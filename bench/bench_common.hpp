@@ -1,0 +1,123 @@
+// bench_common.hpp — shared machinery for the figure/table reproduction
+// harnesses: the STREAM sample runner of Case Study 1 (Figs. 4-10) and
+// box-plot statistics matching the paper's plots (100 samples per thread
+// count, 25-75 box with median).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "workloads/openmp_model.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid::bench {
+
+struct BoxStats {
+  double min = 0, q25 = 0, median = 0, q75 = 0, max = 0;
+};
+
+inline BoxStats box_stats(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    return samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+  };
+  return BoxStats{samples.front(), at(0.25), at(0.5), at(0.75),
+                  samples.back()};
+}
+
+enum class PinMode {
+  kNone,     ///< no explicit pinning (Figs. 4, 7, 9)
+  kLikwid,   ///< likwid-pin with the physical-first scatter list (5, 8, 10)
+  kScatter,  ///< the Intel OpenMP KMP_AFFINITY=scatter interface (Fig. 6)
+};
+
+/// One measured STREAM triad run, reported in STREAM MB/s.
+inline double stream_sample(hwsim::SimMachine& machine, std::uint64_t seed,
+                            int threads, PinMode pin,
+                            workloads::OpenMpImpl impl,
+                            const workloads::CompilerProfile& cc) {
+  ossim::SimKernel kernel(machine, seed);
+  const core::NodeTopology topo = core::probe_topology(machine);
+  ossim::ThreadRuntime runtime(kernel.scheduler());
+
+  std::unique_ptr<core::PinWrapper> wrapper;
+  if (pin == PinMode::kLikwid) {
+    core::PinConfig cfg;
+    cfg.cpu_list = core::scatter_cpu_list(topo, threads);
+    cfg.model = impl == workloads::OpenMpImpl::kIntel
+                    ? core::ThreadModel::kIntel
+                    : core::ThreadModel::kGcc;
+    cfg.skip = core::default_skip_mask(cfg.model);
+    wrapper = std::make_unique<core::PinWrapper>(runtime, cfg);
+  }
+  const auto team = workloads::launch_openmp_team(runtime, impl, threads);
+  if (pin == PinMode::kScatter) {
+    // The compiler's own affinity interface pins the workers after the
+    // team exists (no shepherd problem: it knows its own threads).
+    const auto list = core::scatter_cpu_list(topo, threads);
+    for (std::size_t i = 0; i < team.worker_tids.size(); ++i) {
+      runtime.set_affinity(team.worker_tids[i],
+                           ossim::CpuMask::single(list[i]));
+    }
+  }
+
+  workloads::StreamConfig cfg;
+  cfg.array_length = 20'000'000;
+  cfg.repetitions = 2;
+  cfg.compiler = cc;
+  if (pin == PinMode::kNone) {
+    // First touch under the initial random placement, then OS migration
+    // before the measured run — the paper's unpinned reality.
+    std::vector<int> homes;
+    for (const int tid : team.worker_tids) {
+      homes.push_back(machine.socket_of(runtime.thread(tid).cpu));
+    }
+    cfg.chunk_home_sockets = homes;
+    runtime.migrate_unpinned();
+  }
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = runtime.placement(team.worker_tids);
+  const double seconds = run_workload(kernel, triad, p);
+  return triad.reported_bandwidth_mbs(seconds);
+}
+
+/// Run a full figure: bandwidth box-stats per thread count.
+inline void run_stream_figure(const std::string& title,
+                              const std::string& paper_note,
+                              hwsim::MachineSpec spec, PinMode pin,
+                              workloads::OpenMpImpl impl,
+                              const workloads::CompilerProfile& cc,
+                              int samples = 100) {
+  hwsim::SimMachine machine(std::move(spec));
+  const int max_threads = machine.num_threads();
+  std::printf("# %s\n", title.c_str());
+  std::printf("# machine: %s, compiler profile: %s, samples: %d\n",
+              machine.spec().name.c_str(), cc.name.c_str(),
+              pin == PinMode::kNone ? samples : 1);
+  std::printf("# paper: %s\n", paper_note.c_str());
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "threads", "min", "q25",
+              "median", "q75", "max");
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    std::vector<double> bw;
+    const int n = pin == PinMode::kNone ? samples : 1;
+    for (int s = 0; s < n; ++s) {
+      bw.push_back(stream_sample(machine,
+                                 0x9E3779B9u * static_cast<unsigned>(s) +
+                                     static_cast<unsigned>(threads),
+                                 threads, pin, impl, cc));
+    }
+    const BoxStats st = box_stats(bw);
+    std::printf("%8d %10.0f %10.0f %10.0f %10.0f %10.0f\n", threads, st.min,
+                st.q25, st.median, st.q75, st.max);
+  }
+  std::printf("\n");
+}
+
+}  // namespace likwid::bench

@@ -1,0 +1,14 @@
+// Figure 4: STREAM triad, Intel icc profile, dual-socket Westmere EP,
+// NOT pinned — large bandwidth variance, worst at small thread counts.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace likwid;
+  bench::run_stream_figure(
+      "Fig. 4: STREAM triad bandwidth [MB/s], icc, Westmere EP, unpinned",
+      "large variance; low thread counts often land on one socket; high "
+      "counts suffer oversubscription; pinned case reaches ~42000 MB/s",
+      hwsim::presets::westmere_ep(), bench::PinMode::kNone,
+      workloads::OpenMpImpl::kIntel, workloads::icc_profile());
+  return 0;
+}

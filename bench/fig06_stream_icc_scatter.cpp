@@ -1,0 +1,15 @@
+// Figure 6: STREAM triad, icc, Westmere EP, pinned through the Intel
+// OpenMP affinity interface (KMP_AFFINITY=scatter) instead of likwid-pin.
+// "This option provides the same high performance as with likwid-pin."
+#include "bench_common.hpp"
+
+int main() {
+  using namespace likwid;
+  bench::run_stream_figure(
+      "Fig. 6: STREAM triad bandwidth [MB/s], icc, Westmere EP, "
+      "KMP_AFFINITY=scatter",
+      "indistinguishable from the likwid-pin case (Fig. 5)",
+      hwsim::presets::westmere_ep(), bench::PinMode::kScatter,
+      workloads::OpenMpImpl::kIntel, workloads::icc_profile());
+  return 0;
+}

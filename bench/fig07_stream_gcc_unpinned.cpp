@@ -1,0 +1,14 @@
+// Figure 7: STREAM triad, gcc profile, Westmere EP, unpinned. Lower peak
+// than icc; the variance structure differs from the icc case.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace likwid;
+  bench::run_stream_figure(
+      "Fig. 7: STREAM triad bandwidth [MB/s], gcc, Westmere EP, unpinned",
+      "lower bandwidth than icc throughout (peak ~33000-35000 MB/s); small "
+      "thread counts mostly bad, larger counts volatile",
+      hwsim::presets::westmere_ep(), bench::PinMode::kNone,
+      workloads::OpenMpImpl::kGcc, workloads::gcc_profile());
+  return 0;
+}

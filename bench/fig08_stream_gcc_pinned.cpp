@@ -1,0 +1,14 @@
+// Figure 8: STREAM triad, gcc, Westmere EP, pinned with likwid-pin (same
+// arguments as the icc case of Fig. 5).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace likwid;
+  bench::run_stream_figure(
+      "Fig. 8: STREAM triad bandwidth [MB/s], gcc, Westmere EP, likwid-pin",
+      "stable but below icc: gcc code sustains less bandwidth per thread "
+      "and per socket; SMT helps it slightly",
+      hwsim::presets::westmere_ep(), bench::PinMode::kLikwid,
+      workloads::OpenMpImpl::kGcc, workloads::gcc_profile());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 9: STREAM triad, icc binary, dual-socket AMD Istanbul, unpinned.
+// Large variance but, without SMT, no strong dependence on thread count.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace likwid;
+  bench::run_stream_figure(
+      "Fig. 9: STREAM triad bandwidth [MB/s], icc, AMD Istanbul, unpinned",
+      "large variance at every thread count; no SMT means less "
+      "oversubscription sensitivity than Westmere",
+      hwsim::presets::amd_istanbul(), bench::PinMode::kNone,
+      workloads::OpenMpImpl::kIntel, workloads::icc_profile());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 10: STREAM triad, icc, AMD Istanbul, pinned with likwid-pin —
+// "good, stable results for all thread counts".
+#include "bench_common.hpp"
+
+int main() {
+  using namespace likwid;
+  bench::run_stream_figure(
+      "Fig. 10: STREAM triad bandwidth [MB/s], icc, AMD Istanbul, likwid-pin",
+      "stable; saturates near ~23000 MB/s once both sockets are busy",
+      hwsim::presets::amd_istanbul(), bench::PinMode::kLikwid,
+      workloads::OpenMpImpl::kIntel, workloads::icc_profile());
+  return 0;
+}

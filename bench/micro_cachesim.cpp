@@ -1,0 +1,104 @@
+// Micro-benchmarks for the cache-hierarchy simulator itself: line-touch
+// throughput on L1 hits, L2 hits, full memory streams and prefetched
+// streams. These bound the cost of the Jacobi figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "cachesim/hierarchy.hpp"
+#include "hwsim/presets.hpp"
+
+namespace {
+
+using namespace likwid;
+using cachesim::AccessKind;
+
+struct Fixture {
+  Fixture()
+      : spec(hwsim::presets::nehalem_ep()),
+        threads(hwsim::enumerate_hw_threads(spec)),
+        h(spec, threads) {}
+  hwsim::MachineSpec spec;
+  std::vector<hwsim::HwThread> threads;
+  cachesim::CacheHierarchy h;
+};
+
+void BM_L1Hit(benchmark::State& state) {
+  Fixture f;
+  f.h.access(0, 0x10000, 64, AccessKind::kLoad);  // warm
+  for (auto _ : state) {
+    f.h.access(0, 0x10000, 64, AccessKind::kLoad);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L1Hit);
+
+void BM_L2Hit(benchmark::State& state) {
+  Fixture f;
+  // Two lines that conflict in L1 (same set) but coexist in L2: alternate.
+  const std::uint64_t l1_sets = f.spec.data_cache(1).num_sets();
+  std::uint64_t a = 0x100000;
+  std::uint64_t b = a;
+  // Build 9 conflicting addresses to exceed the 8-way L1 set.
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 9; ++i) {
+    addrs.push_back(a + static_cast<std::uint64_t>(i) * l1_sets * 64);
+  }
+  (void)b;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    f.h.access(0, addrs[i % addrs.size()], 64, AccessKind::kLoad);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2Hit);
+
+void BM_MemoryStreamLoad(benchmark::State& state) {
+  Fixture f;
+  std::uint64_t addr = 0x10000000;
+  for (auto _ : state) {
+    f.h.access(0, addr, 64, AccessKind::kLoad);
+    addr += 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MemoryStreamLoad);
+
+void BM_MemoryStreamStore(benchmark::State& state) {
+  Fixture f;
+  std::uint64_t addr = 0x10000000;
+  for (auto _ : state) {
+    f.h.access(0, addr, 64, AccessKind::kStore);
+    addr += 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryStreamStore);
+
+void BM_NonTemporalStream(benchmark::State& state) {
+  Fixture f;
+  std::uint64_t addr = 0x10000000;
+  for (auto _ : state) {
+    f.h.access(0, addr, 64, AccessKind::kStoreNonTemporal);
+    addr += 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NonTemporalStream);
+
+void BM_RowAccess(benchmark::State& state) {
+  // The Jacobi inner unit: a whole grid row per call.
+  Fixture f;
+  std::uint64_t addr = 0x10000000;
+  const std::uint64_t row = 120 * 8;
+  for (auto _ : state) {
+    f.h.access(0, addr, row, AccessKind::kLoad);
+    addr += row;
+  }
+  state.SetItemsProcessed(state.iterations() * (row / 64 + 1));
+}
+BENCHMARK(BM_RowAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the tool-suite overheads the
+// paper stresses: "the overhead is very small (apart from the unavoidable
+// API call overhead in marker mode)". Measures the simulator-side cost of
+// msr access, cpuid queries, topology probing, counter start/stop and
+// marker region entry/exit.
+#include <benchmark/benchmark.h>
+
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+
+namespace {
+
+using namespace likwid;
+
+struct Fixture {
+  Fixture()
+      : machine(hwsim::presets::nehalem_ep()),
+        kernel(machine),
+        ctr(kernel, {0, 1, 2, 3}) {
+    ctr.add_group("FLOPS_DP");
+  }
+  hwsim::SimMachine machine;
+  ossim::SimKernel kernel;
+  core::PerfCtr ctr;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_MsrRead(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kernel.msr_read(0, hwsim::msr::kTsc));
+  }
+}
+BENCHMARK(BM_MsrRead);
+
+void BM_MsrWrite(benchmark::State& state) {
+  auto& f = fixture();
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    f.kernel.msr_write(0, hwsim::msr::kPmc0, ++v);
+  }
+}
+BENCHMARK(BM_MsrWrite);
+
+void BM_CpuidLeafB(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.machine.cpuid(0, 0xB, 1));
+  }
+}
+BENCHMARK(BM_CpuidLeafB);
+
+void BM_TopologyProbe(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::probe_topology(f.machine));
+  }
+}
+BENCHMARK(BM_TopologyProbe);
+
+void BM_CounterStartStop(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    f.ctr.start();
+    f.ctr.stop();
+  }
+}
+BENCHMARK(BM_CounterStartStop);
+
+void BM_CounterSnapshot(benchmark::State& state) {
+  auto& f = fixture();
+  f.ctr.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctr.snapshot(0));
+  }
+  f.ctr.stop();
+}
+BENCHMARK(BM_CounterSnapshot);
+
+void BM_MarkerRegionRoundTrip(benchmark::State& state) {
+  auto& f = fixture();
+  f.ctr.start();
+  core::MarkerSession session(f.ctr, 1, 1);
+  const int id = session.register_region("bench");
+  for (auto _ : state) {
+    session.start_region(0, 0);
+    session.stop_region(0, 0, id);
+  }
+  f.ctr.stop();
+}
+BENCHMARK(BM_MarkerRegionRoundTrip);
+
+void BM_EventLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hwsim::find_event(hwsim::Arch::kNehalem, "L1D_REPL"));
+  }
+}
+BENCHMARK(BM_EventLookup);
+
+void BM_MetricEvaluation(benchmark::State& state) {
+  const core::MetricExpr expr =
+      core::MetricExpr::parse("1.0E-06*(A*2.0+B)/time");
+  const std::map<std::string, double> vars = {
+      {"A", 8.192e6}, {"B", 1.0}, {"time", 0.01}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr.evaluate(vars));
+  }
+}
+BENCHMARK(BM_MetricEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table I: the qualitative LIKWID vs. PAPI comparison. This table is not a
+// measurement; it is reproduced verbatim (condensed) with an extra column
+// recording which of the LIKWID-side properties this reproduction
+// implements and where.
+#include <cstdio>
+
+namespace {
+
+struct Row {
+  const char* aspect;
+  const char* likwid;
+  const char* papi;
+  const char* repro;
+};
+
+constexpr Row kRows[] = {
+    {"Dependencies",
+     "Linux 2.6 headers only, no kernel patches",
+     "kernel patches on older kernels (none > 2.6.31)",
+     "simulated msr device: src/hwsim/msr.*"},
+    {"Installation",
+     "make only; single 21-line build config",
+     "autoconf; 400-580 line install docs",
+     "cmake + ninja, one CMakeLists per module"},
+    {"Command line tools",
+     "core is a set of standalone CLI tools",
+     "small utilities, not intended standalone",
+     "tools/likwid-{topology,perfctr,pin,features}"},
+    {"User API support",
+     "simple marker API; config stays on the command line",
+     "comparatively high-level API; events set up in code",
+     "core/marker.* + likwid.hpp C shim"},
+    {"Library support",
+     "usable as a library, though not the initial intent",
+     "mature, well tested library API",
+     "every module is a library; tools are thin wrappers"},
+    {"Topology information",
+     "thread + cache topology from cpuid, text and ASCII art",
+     "cpuid-based; no shared-cache groups, no id mapping",
+     "core/topology.* + cli ASCII art"},
+    {"Thread/process pinning",
+     "dedicated portable pinning tool",
+     "no support for pinning",
+     "core/affinity.* + ossim pthread interposition"},
+    {"Multicore support",
+     "simultaneous multi-core measurements, user pins",
+     "no explicit multicore support",
+     "PerfCtr measures cpu lists; counting is core-based"},
+    {"Uncore support",
+     "socket locks serialize shared-resource counting",
+     "no explicit shared-resource support",
+     "PerfCtr::socket_lock_cpus + uncore PMU"},
+    {"Event abstraction",
+     "preconfigured groups with derived metrics",
+     "papi events mapping to native events",
+     "core/perf_groups.* (11 groups, per-arch)"},
+    {"Platform support",
+     "x86 on Linux 2.6 only",
+     "many architectures and operating systems",
+     "7 simulated x86 microarchitectures"},
+    {"Correlated measurements",
+     "performance counters only",
+     "PAPI-C correlates e.g. fan speeds, temperatures",
+     "counters only, as published"},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("# Table I: comparison between LIKWID and PAPI (condensed),\n");
+  std::printf("# plus where this reproduction implements the LIKWID side.\n\n");
+  for (const Row& r : kRows) {
+    std::printf("%s\n", r.aspect);
+    std::printf("  LIKWID : %s\n", r.likwid);
+    std::printf("  PAPI   : %s\n", r.papi);
+    std::printf("  repro  : %s\n\n", r.repro);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// multiplex_study — counter multiplexing from the library API
+// (Section II-A: "likwid-perfCtr also supports a multiplexing mode, where
+// counters are assigned to several event sets in a 'round robin' manner.
+// On the downside, short-running measurements will then carry large
+// statistical errors").
+//
+// The study measures the STREAM triad three ways:
+//   1. three separate runs, one group each (the ground truth),
+//   2. one run with the three groups multiplexed over many quanta,
+//   3. one *short* multiplexed run (few quanta),
+// and reports the extrapolation error of the multiplexed counts.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/perfctr.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "workloads/stream.hpp"
+
+using namespace likwid;
+
+namespace {
+
+const std::vector<std::string> kGroups = {"FLOPS_DP", "L2", "MEM"};
+
+workloads::StreamConfig stream_config(int repetitions) {
+  workloads::StreamConfig cfg;
+  cfg.array_length = 2'000'000;
+  cfg.repetitions = repetitions;
+  return cfg;
+}
+
+/// Run a two-phase program (vectorized triad, then a scalar-code triad of
+/// equal length: the packed-double flops exist only in phase one) with the
+/// three groups multiplexed at the given rotation granularity, and return
+/// the extrapolated packed-double flop count.
+double measured_packed_flops(int quanta_per_phase) {
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  ossim::SimKernel kernel(machine);
+  core::PerfCtr ctr(kernel, {0, 1, 2, 3});
+  for (const auto& g : kGroups) ctr.add_group(g);
+
+  workloads::StreamConfig vec_cfg = stream_config(6);
+  workloads::StreamConfig scalar_cfg = vec_cfg;
+  scalar_cfg.compiler.vectorized = false;  // flops land in the scalar event
+  workloads::StreamTriad vectorized(vec_cfg);
+  workloads::StreamTriad scalar(scalar_cfg);
+
+  workloads::Placement p;
+  p.cpus = {0, 1, 2, 3};
+  for (const int c : p.cpus) kernel.scheduler().add_busy(c, 1);
+
+  // The two phases are sliced into q and q+1 quanta: rotation periods
+  // never divide real program phases exactly, and that misalignment is
+  // precisely where the extrapolation error comes from.
+  workloads::RunOptions opts;
+  opts.quanta = quanta_per_phase;
+  opts.between_quanta = [&ctr](int) { ctr.rotate(); };
+  ctr.start();
+  run_workload(kernel, vectorized, p, opts);
+  ctr.rotate();  // rotation is oblivious to the phase boundary
+  workloads::RunOptions opts2 = opts;
+  opts2.quanta = quanta_per_phase + 1;
+  run_workload(kernel, scalar, p, opts2);
+  ctr.stop();
+
+  double sum = 0;
+  for (const int cpu : ctr.cpus()) {
+    sum += ctr.extrapolated_count(
+        0, cpu, "FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("counter multiplexing study: FLOPS_DP + L2 + MEM rotated\n"
+              "over a two-phase program (vectorized triad, then scalar)\n"
+              "on a Nehalem EP socket\n\n");
+
+  // Ground truth: one packed op per iteration, phase one only.
+  const double exact =
+      static_cast<double>(stream_config(6).array_length) * 6;
+
+  std::printf("%-26s %16s %12s\n", "rotation granularity",
+              "packed-DP flops", "error");
+  for (const int quanta : {1, 2, 3, 6, 12, 48}) {
+    const double est = measured_packed_flops(quanta);
+    std::printf("%3d quanta per phase       %16.4g %11.1f%%\n", quanta, est,
+                100.0 * std::fabs(est - exact) / exact);
+  }
+  std::printf("\nexact count: %.4g — \"short-running measurements will\n"
+              "carry large statistical errors\" (Section II-A); finer\n"
+              "rotation converges on the truth.\n", exact);
+  return 0;
+}

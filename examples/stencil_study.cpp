@@ -1,0 +1,92 @@
+// stencil_study — a condensed rerun of the paper's Case Studies 2 and 3:
+// the temporally blocked Jacobi smoother on a dual-socket Nehalem EP.
+//
+// Shows, via likwid-perfctr uncore measurements on one socket, how
+// nontemporal stores cut the memory traffic by ~1/3 and how the wavefront
+// (temporal blocking) variant cuts it several-fold — and how splitting the
+// wavefront group across the two sockets destroys the benefit (the paper's
+// Fig. 11 "2 per socket" case).
+#include <iostream>
+
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/strings.hpp"
+#include "workloads/jacobi.hpp"
+
+namespace {
+
+using namespace likwid;
+
+struct Row {
+  std::string name;
+  double l3_in, l3_out, volume_gb, mlups;
+};
+
+Row measure(hwsim::SimMachine& machine, workloads::JacobiVariant variant,
+            const std::vector<int>& cpus, const std::string& name) {
+  ossim::SimKernel kernel(machine);
+  workloads::JacobiConfig cfg;
+  cfg.n = 120;
+  cfg.sweeps = 4;
+  cfg.variant = variant;
+  workloads::JacobiStencil jacobi(cfg);
+
+  core::PerfCtr ctr(kernel, cpus);
+  ctr.add_custom("UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1");
+  ctr.start();
+  workloads::Placement placement;
+  placement.cpus = cpus;
+  const double seconds = run_workload(kernel, jacobi, placement);
+  ctr.stop();
+
+  const int lock_cpu = ctr.socket_lock_cpus().front();
+  Row row;
+  row.name = name;
+  row.l3_in = ctr.extrapolated_count(0, lock_cpu, "UNC_L3_LINES_IN_ANY");
+  row.l3_out = ctr.extrapolated_count(0, lock_cpu, "UNC_L3_LINES_OUT_ANY");
+  // Sum over all measured sockets for the split-pinning case.
+  double total_lines = 0;
+  for (const int cpu : ctr.socket_lock_cpus()) {
+    total_lines += ctr.extrapolated_count(0, cpu, "UNC_L3_LINES_IN_ANY") +
+                   ctr.extrapolated_count(0, cpu, "UNC_L3_LINES_OUT_ANY");
+  }
+  row.volume_gb = total_lines * 64.0 / 1e9;
+  row.mlups = jacobi.mlups(seconds);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace likwid;
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  std::cout << "3D Jacobi 120^3, 4 sweeps on " << machine.spec().name << "\n";
+  std::cout << "(paper Table II: NT saves ~1/3 traffic; blocking ~4.5x; "
+               "Fig. 11: wrong pinning halves wavefront performance)\n\n";
+
+  // One socket of the Nehalem EP: physical cores 0-3 (os ids 0,1,2,3).
+  const std::vector<int> one_socket = {0, 1, 2, 3};
+  // Wrong pinning: two pipeline stages per socket.
+  const std::vector<int> split = {0, 1, 4, 5};
+
+  std::vector<Row> rows;
+  rows.push_back(measure(machine, workloads::JacobiVariant::kThreaded,
+                         one_socket, "threaded"));
+  rows.push_back(measure(machine, workloads::JacobiVariant::kThreadedNT,
+                         one_socket, "threaded (NT)"));
+  rows.push_back(measure(machine, workloads::JacobiVariant::kWavefront,
+                         one_socket, "wavefront 1x4"));
+  rows.push_back(measure(machine, workloads::JacobiVariant::kWavefront, split,
+                         "wavefront 2+2 (wrong pinning)"));
+
+  std::cout << util::strprintf("%-30s %14s %14s %12s %10s\n", "variant",
+                               "UNC_L3_LINES_IN", "UNC_L3_LINES_OUT",
+                               "volume [GB]", "MLUPS");
+  for (const auto& r : rows) {
+    std::cout << util::strprintf("%-30s %14.3g %14.3g %12.2f %10.0f\n",
+                                 r.name.c_str(), r.l3_in, r.l3_out,
+                                 r.volume_gb, r.mlups);
+  }
+  return 0;
+}

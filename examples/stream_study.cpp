@@ -1,0 +1,89 @@
+// stream_study — a condensed rerun of the paper's Case Study 1 (Figs. 4/5):
+// the influence of thread pinning on OpenMP STREAM triad bandwidth on a
+// dual-socket Westmere EP.
+//
+// For a few thread counts this example takes several unpinned samples
+// (random placement, first-touch homing, migration between init and run)
+// and one pinned run (likwid-pin round-robin over sockets), printing the
+// spread vs. the stable pinned result.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/strings.hpp"
+#include "workloads/openmp_model.hpp"
+#include "workloads/stream.hpp"
+
+namespace {
+
+using namespace likwid;
+
+/// One unpinned sample: place the team randomly, record first-touch homes,
+/// migrate, run, report STREAM MB/s.
+double unpinned_sample(hwsim::SimMachine& machine, std::uint64_t seed,
+                       int threads) {
+  ossim::SimKernel kernel(machine, seed);
+  ossim::ThreadRuntime runtime(kernel.scheduler());
+  const auto team = workloads::launch_openmp_team(
+      runtime, workloads::OpenMpImpl::kIntel, threads);
+
+  // First touch: data homed where the workers sit during initialization.
+  std::vector<int> homes;
+  for (const int tid : team.worker_tids) {
+    homes.push_back(machine.socket_of(runtime.thread(tid).cpu));
+  }
+  // The OS may migrate unpinned threads before the measured run.
+  runtime.migrate_unpinned();
+  workloads::StreamConfig cfg;
+  cfg.chunk_home_sockets = homes;
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement placement;
+  placement.cpus = runtime.placement(team.worker_tids);
+  const double seconds = run_workload(kernel, triad, placement);
+  return triad.reported_bandwidth_mbs(seconds);
+}
+
+double pinned_run(hwsim::SimMachine& machine, int threads) {
+  ossim::SimKernel kernel(machine, 7);
+  const core::NodeTopology topo = core::probe_topology(machine);
+  ossim::ThreadRuntime runtime(kernel.scheduler());
+  core::PinConfig pin;
+  pin.cpu_list = core::scatter_cpu_list(topo, threads);
+  pin.model = core::ThreadModel::kIntel;
+  pin.skip = core::default_skip_mask(pin.model);
+  core::PinWrapper wrapper(runtime, pin);
+  const auto team = workloads::launch_openmp_team(
+      runtime, workloads::OpenMpImpl::kIntel, threads);
+  workloads::StreamTriad triad(workloads::StreamConfig{});
+  workloads::Placement placement;
+  placement.cpus = runtime.placement(team.worker_tids);
+  const double seconds = run_workload(kernel, triad, placement);
+  return triad.reported_bandwidth_mbs(seconds);
+}
+
+}  // namespace
+
+int main() {
+  using namespace likwid;
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  std::cout << "STREAM triad on " << machine.spec().name
+            << " (icc profile), MB/s\n";
+  std::cout << "threads | unpinned min / median / max (25 samples) | "
+               "likwid-pin\n";
+  for (const int threads : {1, 2, 4, 6, 12, 24}) {
+    std::vector<double> samples;
+    for (int s = 0; s < 25; ++s) {
+      samples.push_back(
+          unpinned_sample(machine, 1000 + 17 * s + threads, threads));
+    }
+    std::sort(samples.begin(), samples.end());
+    const double pinned = pinned_run(machine, threads);
+    std::cout << util::strprintf(
+        "%7d | %8.0f / %8.0f / %8.0f            | %8.0f\n", threads,
+        samples.front(), samples[samples.size() / 2], samples.back(), pinned);
+  }
+  return 0;
+}

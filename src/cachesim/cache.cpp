@@ -1,0 +1,99 @@
+#include "cachesim/cache.hpp"
+
+#include "util/bitops.hpp"
+
+namespace likwid::cachesim {
+
+SetAssociativeCache::SetAssociativeCache(const CacheConfig& config)
+    : config_(config) {
+  LIKWID_REQUIRE(config.size_bytes > 0 && config.associativity > 0 &&
+                     config.line_size > 0,
+                 "cache with zero geometry");
+  LIKWID_REQUIRE(util::is_pow2(config.line_size),
+                 "line size must be a power of two");
+  LIKWID_REQUIRE(
+      config.size_bytes % (config.associativity * config.line_size) == 0,
+      "cache size not divisible into sets");
+  num_sets_ = static_cast<std::uint32_t>(
+      config.size_bytes / (config.associativity * config.line_size));
+  assoc_ = config.associativity;
+  ways_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+}
+
+bool SetAssociativeCache::lookup(std::uint64_t line_addr, bool mark_dirty) {
+  Way* set = set_begin(line_addr);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) {
+      set[w].stamp = ++clock_;
+      if (mark_dirty) set[w].dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+SetAssociativeCache::Eviction SetAssociativeCache::insert(
+    std::uint64_t line_addr, bool dirty) {
+  Way* set = set_begin(line_addr);
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    LIKWID_REQUIRE(set[w].tag != line_addr,
+                   "insert of a line that is already resident");
+    if (victim == nullptr || set[w].stamp < victim->stamp) victim = &set[w];
+  }
+  Eviction ev;
+  if (victim->valid) {
+    ev.valid = true;
+    ev.line_addr = victim->tag;
+    ev.dirty = victim->dirty;
+  }
+  victim->tag = line_addr;
+  victim->stamp = ++clock_;
+  victim->valid = true;
+  victim->dirty = dirty;
+  return ev;
+}
+
+bool SetAssociativeCache::contains(std::uint64_t line_addr) const noexcept {
+  const Way* set = set_begin(line_addr);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) return true;
+  }
+  return false;
+}
+
+SetAssociativeCache::InvalidateResult SetAssociativeCache::invalidate(
+    std::uint64_t line_addr) {
+  Way* set = set_begin(line_addr);
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) {
+      InvalidateResult r{true, set[w].dirty};
+      set[w].valid = false;
+      set[w].dirty = false;
+      return r;
+    }
+  }
+  return {false, false};
+}
+
+void SetAssociativeCache::flush() {
+  for (auto& w : ways_) {
+    w.valid = false;
+    w.dirty = false;
+  }
+  clock_ = 0;
+}
+
+std::size_t SetAssociativeCache::occupancy() const noexcept {
+  std::size_t n = 0;
+  for (const auto& w : ways_) {
+    if (w.valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace likwid::cachesim

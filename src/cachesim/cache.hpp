@@ -1,0 +1,89 @@
+// cache.hpp — a single set-associative, write-back cache with true-LRU
+// replacement, operating on line addresses (byte address >> log2(line)).
+//
+// The cache is policy-free: it answers hit/miss, installs lines and reports
+// victims. The surrounding CacheHierarchy implements multi-level fill,
+// write-allocate, writeback cascades, inclusive back-invalidation and
+// nontemporal stores on top of it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace likwid::cachesim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t associativity = 8;
+  std::uint32_t line_size = 64;
+  bool inclusive = false;
+};
+
+class SetAssociativeCache {
+ public:
+  explicit SetAssociativeCache(const CacheConfig& config);
+
+  /// Result of inserting a line: the displaced victim, if any.
+  struct Eviction {
+    std::uint64_t line_addr = 0;
+    bool valid = false;  ///< a line was displaced
+    bool dirty = false;  ///< ... and it was modified
+  };
+
+  /// Result of removing a line.
+  struct InvalidateResult {
+    bool was_present = false;
+    bool was_dirty = false;
+  };
+
+  /// Look up `line_addr`; updates LRU on hit and optionally marks the line
+  /// dirty. Returns true on hit.
+  bool lookup(std::uint64_t line_addr, bool mark_dirty);
+
+  /// Install a line known to be absent (callers look up first); returns the
+  /// evicted victim. Throws Error(kInvalidState) if the line is present.
+  Eviction insert(std::uint64_t line_addr, bool dirty);
+
+  /// True if the line is resident (no LRU update).
+  bool contains(std::uint64_t line_addr) const noexcept;
+
+  /// Remove the line if present.
+  InvalidateResult invalidate(std::uint64_t line_addr);
+
+  /// Drop all contents (between benchmark repetitions).
+  void flush();
+
+  std::uint32_t num_sets() const noexcept { return num_sets_; }
+  std::uint32_t associativity() const noexcept { return assoc_; }
+  std::uint32_t line_size() const noexcept { return config_.line_size; }
+  std::uint64_t size_bytes() const noexcept { return config_.size_bytes; }
+  bool inclusive() const noexcept { return config_.inclusive; }
+
+  /// Number of resident lines (O(capacity); for tests).
+  std::size_t occupancy() const noexcept;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t stamp = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  Way* set_begin(std::uint64_t line_addr) noexcept {
+    return ways_.data() + (line_addr % num_sets_) * assoc_;
+  }
+  const Way* set_begin(std::uint64_t line_addr) const noexcept {
+    return ways_.data() + (line_addr % num_sets_) * assoc_;
+  }
+
+  CacheConfig config_;
+  std::uint32_t num_sets_ = 0;
+  std::uint32_t assoc_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_;
+};
+
+}  // namespace likwid::cachesim

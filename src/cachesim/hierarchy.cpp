@@ -1,0 +1,463 @@
+#include "cachesim/hierarchy.hpp"
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::cachesim {
+
+using hwsim::EventId;
+using hwsim::EventVector;
+
+namespace {
+
+CacheConfig to_config(const hwsim::CacheLevelSpec& c) {
+  CacheConfig cfg;
+  cfg.size_bytes = c.size_bytes;
+  cfg.associativity = c.associativity;
+  cfg.line_size = c.line_size;
+  cfg.inclusive = c.inclusive;
+  return cfg;
+}
+
+}  // namespace
+
+CacheHierarchy::CacheHierarchy(const hwsim::MachineSpec& spec,
+                               const std::vector<hwsim::HwThread>& threads)
+    : spec_(spec), threads_(threads) {
+  const int n = spec.num_hw_threads();
+  LIKWID_REQUIRE(static_cast<int>(threads.size()) == n,
+                 "thread enumeration does not match spec");
+
+  const auto& l1spec = spec.data_cache(1);
+  line_size_ = l1spec.line_size;
+  line_shift_ = util::log2_exact(line_size_);
+  page_shift_ = util::log2_exact(spec.tlb.page_size);
+
+  // Instance mapping: the shared_by_threads hardware threads that share a
+  // cache are the SMT siblings of a run of consecutive cores in a socket.
+  const auto build_level = [&](const hwsim::CacheLevelSpec& cs,
+                               std::vector<int>& index,
+                               std::vector<std::unique_ptr<SetAssociativeCache>>&
+                                   caches) {
+    const int cores_per_instance = static_cast<int>(cs.shared_by_threads) /
+                                   spec.threads_per_core;
+    const int instances_per_socket =
+        spec.cores_per_socket / std::max(1, cores_per_instance);
+    index.assign(static_cast<std::size_t>(n), -1);
+    caches.clear();
+    for (int s = 0; s < spec.sockets; ++s) {
+      for (int i = 0; i < instances_per_socket; ++i) {
+        caches.push_back(
+            std::make_unique<SetAssociativeCache>(to_config(cs)));
+      }
+    }
+    for (const auto& t : threads_) {
+      const int inst = t.socket * instances_per_socket +
+                       t.core_index / std::max(1, cores_per_instance);
+      index[static_cast<std::size_t>(t.os_id)] = inst;
+    }
+  };
+
+  build_level(l1spec, l1_index_, l1_);
+  has_l2_ = spec.has_data_cache(2);
+  if (has_l2_) build_level(spec.data_cache(2), l2_index_, l2_);
+  has_l3_ = spec.has_data_cache(3);
+  if (has_l3_) {
+    const auto& l3spec = spec.data_cache(3);
+    LIKWID_REQUIRE(static_cast<int>(l3spec.shared_by_threads) ==
+                       spec.cores_per_socket * spec.threads_per_core,
+                   "model requires socket-wide L3");
+    for (int s = 0; s < spec.sockets; ++s) {
+      l3_.push_back(std::make_unique<SetAssociativeCache>(to_config(l3spec)));
+    }
+  }
+
+  cpu_traffic_.resize(static_cast<std::size_t>(n));
+  socket_traffic_.resize(static_cast<std::size_t>(spec.sockets));
+  detectors_.resize(static_cast<std::size_t>(n));
+  active_prefetch_.assign(static_cast<std::size_t>(n), spec.prefetchers);
+  tlbs_.resize(static_cast<std::size_t>(n));
+  for (auto& tlb : tlbs_) tlb.resize(spec.tlb.entries);
+  tlb_last_page_.assign(static_cast<std::size_t>(n), ~std::uint64_t{0});
+}
+
+SetAssociativeCache* CacheHierarchy::l1_of(int cpu) {
+  return l1_[static_cast<std::size_t>(
+                 l1_index_[static_cast<std::size_t>(cpu)])]
+      .get();
+}
+
+SetAssociativeCache* CacheHierarchy::l2_of(int cpu) {
+  return has_l2_ ? l2_[static_cast<std::size_t>(
+                           l2_index_[static_cast<std::size_t>(cpu)])]
+                       .get()
+                 : nullptr;
+}
+
+SetAssociativeCache* CacheHierarchy::l3_of_socket(int socket) {
+  return has_l3_ ? l3_[static_cast<std::size_t>(socket)].get() : nullptr;
+}
+
+int CacheHierarchy::instance_of(int cpu, int level) const {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < static_cast<int>(cpu_traffic_.size()),
+                 "cpu out of range");
+  switch (level) {
+    case 1: return l1_index_[static_cast<std::size_t>(cpu)];
+    case 2:
+      return has_l2_ ? l2_index_[static_cast<std::size_t>(cpu)] : -1;
+    case 3:
+      return has_l3_ ? threads_[static_cast<std::size_t>(cpu)].socket : -1;
+    default:
+      throw_error(ErrorCode::kInvalidArgument, "cache level must be 1..3");
+  }
+}
+
+void CacheHierarchy::set_prefetchers(int cpu,
+                                     const hwsim::PrefetcherSpec& active) {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < static_cast<int>(active_prefetch_.size()),
+                 "cpu out of range");
+  active_prefetch_[static_cast<std::size_t>(cpu)] = active;
+}
+
+void CacheHierarchy::access(int cpu, std::uint64_t addr, std::uint64_t bytes,
+                            AccessKind kind) {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < static_cast<int>(cpu_traffic_.size()),
+                 "cpu out of range");
+  LIKWID_REQUIRE(bytes > 0, "zero-length access");
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    touch_tlb(cpu, line << line_shift_);
+    access_line(cpu, line, kind);
+  }
+}
+
+void CacheHierarchy::touch_tlb(int cpu, std::uint64_t addr) {
+  const std::uint64_t page = addr >> page_shift_;
+  // Fast path: consecutive accesses to the same page (the common case for
+  // streaming kernels) skip the associative TLB scan entirely.
+  if (page == tlb_last_page_[static_cast<std::size_t>(cpu)]) return;
+  tlb_last_page_[static_cast<std::size_t>(cpu)] = page;
+  auto& tlb = tlbs_[static_cast<std::size_t>(cpu)];
+  TlbEntry* victim = &tlb[0];
+  for (auto& e : tlb) {
+    if (e.page == page) {
+      e.stamp = ++tlb_clock_;
+      return;
+    }
+    if (e.stamp < victim->stamp) victim = &e;
+  }
+  cpu_traffic_[static_cast<std::size_t>(cpu)].dtlb_misses += 1;
+  victim->page = page;
+  victim->stamp = ++tlb_clock_;
+}
+
+void CacheHierarchy::access_line(int cpu, std::uint64_t line,
+                                 AccessKind kind) {
+  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
+  const int socket = threads_[static_cast<std::size_t>(cpu)].socket;
+
+  if (kind == AccessKind::kStoreNonTemporal) {
+    t.stores += 1;
+    t.nt_store_lines += 1;
+    // Streaming stores bypass and invalidate all cached copies, then write
+    // the full line to memory through the write-combining buffers. Each
+    // socket's L3 acts as the snoop filter for its inner caches.
+    for (int s = 0; s < spec_.sockets; ++s) {
+      if (!has_l3_) break;
+      if (!l3_of_socket(s)->invalidate(line).was_present && s != socket) {
+        continue;  // remote socket never owned the line
+      }
+      for (const auto& th : threads_) {
+        if (th.socket != s || th.smt != 0) continue;
+        l1_[static_cast<std::size_t>(
+                l1_index_[static_cast<std::size_t>(th.os_id)])]
+            ->invalidate(line);
+        if (has_l2_) {
+          l2_[static_cast<std::size_t>(
+                  l2_index_[static_cast<std::size_t>(th.os_id)])]
+              ->invalidate(line);
+        }
+      }
+    }
+    if (!has_l3_) {
+      for (auto& c : l1_) c->invalidate(line);
+      for (auto& c : l2_) c->invalidate(line);
+    }
+    t.mem_lines_written += 1;
+    socket_traffic_[static_cast<std::size_t>(socket)].mem_writes += 1;
+    return;
+  }
+
+  const bool is_store = kind == AccessKind::kStore;
+  (is_store ? t.stores : t.loads) += 1;
+
+  if (l1_of(cpu)->lookup(line, is_store)) {
+    t.l1_hits += 1;
+    return;
+  }
+  fill_from_below(cpu, line, /*count_demand=*/true);
+  install_l1(cpu, line, is_store);
+  run_prefetchers(cpu, line);
+}
+
+void CacheHierarchy::fill_from_below(int cpu, std::uint64_t line,
+                                     bool count_demand) {
+  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
+  const int socket = threads_[static_cast<std::size_t>(cpu)].socket;
+
+  if (has_l2_) {
+    if (count_demand) t.l2_requests += 1;
+    if (l2_of(cpu)->lookup(line, false)) {
+      if (count_demand) t.l2_hits += 1;
+      return;
+    }
+    if (count_demand) t.l2_misses += 1;
+    resolve_into_l3(cpu, socket, line, count_demand);
+    install_l2(cpu, line, /*dirty=*/false, /*is_fill=*/true);
+    return;
+  }
+  resolve_into_l3(cpu, socket, line, count_demand);
+}
+
+void CacheHierarchy::resolve_into_l3(int cpu, int socket, std::uint64_t line,
+                                     bool count_demand) {
+  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
+  SocketTraffic& st = socket_traffic_[static_cast<std::size_t>(socket)];
+
+  if (!has_l3_) {
+    // No L3: the line comes straight from memory.
+    t.mem_lines_read += 1;
+    st.mem_reads += 1;
+    (void)count_demand;
+    return;
+  }
+
+  SetAssociativeCache* l3 = l3_of_socket(socket);
+  if (l3->lookup(line, false)) {
+    if (count_demand) t.l3_hits += 1;
+    st.l3_hits += 1;
+    return;
+  }
+  st.l3_misses += 1;
+
+  // Remote-socket snoop: migrate the line if another socket caches it.
+  // Fast path: the snoop filter is the remote L3 — only when it holds the
+  // line are the remote inner caches purged (non-inclusive L3s can in
+  // principle hold inner-only lines, but every fill in this model passes
+  // through the L3, so an L3 miss implies the socket does not own it).
+  bool migrated = false;
+  bool migrated_dirty = false;
+  for (int rs = 0; rs < spec_.sockets && !migrated; ++rs) {
+    if (rs == socket) continue;
+    SetAssociativeCache* remote = l3_of_socket(rs);
+    if (!remote->contains(line)) continue;
+    const auto l3_inv = remote->invalidate(line);
+    bool inner_dirty = false;
+    for (const auto& th : threads_) {
+      if (th.socket != rs) continue;
+      if (th.smt != 0) continue;  // instances are shared; one visit enough
+      const auto r1 = l1_[static_cast<std::size_t>(
+                              l1_index_[static_cast<std::size_t>(th.os_id)])]
+                          ->invalidate(line);
+      inner_dirty = inner_dirty || r1.was_dirty;
+      if (has_l2_) {
+        const auto r2 =
+            l2_[static_cast<std::size_t>(
+                    l2_index_[static_cast<std::size_t>(th.os_id)])]
+                ->invalidate(line);
+        inner_dirty = inner_dirty || r2.was_dirty;
+      }
+    }
+    migrated = true;
+    migrated_dirty = l3_inv.was_dirty || inner_dirty;
+    socket_traffic_[static_cast<std::size_t>(rs)].l3_lines_out += 1;
+    t.remote_l3_hits += 1;
+  }
+
+  if (!migrated) {
+    t.mem_lines_read += 1;
+    st.mem_reads += 1;
+  }
+  install_l3(cpu, socket, line, migrated_dirty);
+}
+
+void CacheHierarchy::install_l1(int cpu, std::uint64_t line, bool dirty) {
+  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
+  const auto ev = l1_of(cpu)->insert(line, dirty);
+  t.l1_fills += 1;
+  if (ev.valid && ev.dirty) {
+    t.l1_writebacks += 1;
+    writeback_from_l1(cpu, ev.line_addr);
+  }
+}
+
+void CacheHierarchy::install_l2(int cpu, std::uint64_t line, bool dirty,
+                                bool is_fill) {
+  if (!has_l2_) return;
+  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
+  const auto ev = l2_of(cpu)->insert(line, dirty);
+  if (is_fill) t.l2_fills += 1;
+  if (ev.valid && ev.dirty) {
+    t.l2_writebacks += 1;
+    writeback_from_l2(cpu, ev.line_addr);
+  }
+}
+
+void CacheHierarchy::install_l3(int cpu, int socket, std::uint64_t line,
+                                bool dirty) {
+  if (!has_l3_) {
+    if (dirty) {
+      cpu_traffic_[static_cast<std::size_t>(cpu)].mem_lines_written += 1;
+      socket_traffic_[static_cast<std::size_t>(socket)].mem_writes += 1;
+    }
+    return;
+  }
+  SocketTraffic& st = socket_traffic_[static_cast<std::size_t>(socket)];
+  SetAssociativeCache* l3 = l3_of_socket(socket);
+  const auto ev = l3->insert(line, dirty);
+  st.l3_lines_in += 1;
+  if (ev.valid) {
+    st.l3_lines_out += 1;
+    bool victim_dirty = ev.dirty;
+    if (l3->inclusive()) {
+      // Inclusive LLC: evicting a line expels it from the inner caches of
+      // every core on this socket.
+      for (const auto& th : threads_) {
+        if (th.socket != socket || th.smt != 0) continue;
+        const auto r1 =
+            l1_[static_cast<std::size_t>(
+                    l1_index_[static_cast<std::size_t>(th.os_id)])]
+                ->invalidate(ev.line_addr);
+        victim_dirty = victim_dirty || r1.was_dirty;
+        if (has_l2_) {
+          const auto r2 =
+              l2_[static_cast<std::size_t>(
+                      l2_index_[static_cast<std::size_t>(th.os_id)])]
+                  ->invalidate(ev.line_addr);
+          victim_dirty = victim_dirty || r2.was_dirty;
+        }
+      }
+    }
+    if (victim_dirty) {
+      cpu_traffic_[static_cast<std::size_t>(cpu)].mem_lines_written += 1;
+      st.mem_writes += 1;
+    }
+  }
+}
+
+void CacheHierarchy::writeback_from_l1(int cpu, std::uint64_t line) {
+  // Dirty L1 victim: merge into L2 if resident, else allocate there.
+  if (has_l2_) {
+    if (l2_of(cpu)->lookup(line, /*mark_dirty=*/true)) return;
+    install_l2(cpu, line, /*dirty=*/true, /*is_fill=*/false);
+    return;
+  }
+  writeback_from_l2(cpu, line);  // no L2: falls through to L3/memory
+}
+
+void CacheHierarchy::writeback_from_l2(int cpu, std::uint64_t line) {
+  const int socket = threads_[static_cast<std::size_t>(cpu)].socket;
+  if (has_l3_) {
+    SetAssociativeCache* l3 = l3_of_socket(socket);
+    if (l3->lookup(line, /*mark_dirty=*/true)) return;
+    install_l3(cpu, socket, line, /*dirty=*/true);
+    return;
+  }
+  cpu_traffic_[static_cast<std::size_t>(cpu)].mem_lines_written += 1;
+  socket_traffic_[static_cast<std::size_t>(socket)].mem_writes += 1;
+}
+
+void CacheHierarchy::run_prefetchers(int cpu, std::uint64_t miss_line) {
+  auto& det = detectors_[static_cast<std::size_t>(cpu)];
+  if (miss_line == det.last_miss_line + 1) {
+    det.run_length += 1;
+  } else if (miss_line != det.last_miss_line) {
+    det.run_length = 1;
+  }
+  det.last_miss_line = miss_line;
+
+  const auto& pf = active_prefetch_[static_cast<std::size_t>(cpu)];
+  if (det.run_length >= 2) {
+    if (pf.dcu_prefetcher || pf.ip_prefetcher) prefetch_into_l1(cpu, miss_line + 1);
+    if (pf.hardware_prefetcher) prefetch_into_l2(cpu, miss_line + 2);
+  }
+  if (pf.adjacent_line) prefetch_into_l2(cpu, miss_line ^ 1);
+}
+
+void CacheHierarchy::prefetch_into_l1(int cpu, std::uint64_t line) {
+  if (l1_of(cpu)->lookup(line, false)) return;
+  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
+  t.prefetches_issued += 1;
+  fill_from_below(cpu, line, /*count_demand=*/false);
+  install_l1(cpu, line, /*dirty=*/false);
+}
+
+void CacheHierarchy::prefetch_into_l2(int cpu, std::uint64_t line) {
+  if (!has_l2_) return;
+  if (l2_of(cpu)->lookup(line, false)) return;
+  if (l1_of(cpu)->contains(line)) return;
+  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
+  t.prefetches_issued += 1;
+  const int socket = threads_[static_cast<std::size_t>(cpu)].socket;
+  resolve_into_l3(cpu, socket, line, /*count_demand=*/false);
+  install_l2(cpu, line, /*dirty=*/false, /*is_fill=*/true);
+}
+
+void CacheHierarchy::flush() {
+  for (auto& c : l1_) c->flush();
+  for (auto& c : l2_) c->flush();
+  for (auto& c : l3_) c->flush();
+  for (auto& tlb : tlbs_) {
+    for (auto& e : tlb) e = TlbEntry{};
+  }
+  for (auto& p : tlb_last_page_) p = ~std::uint64_t{0};
+  for (auto& d : detectors_) d = StreamDetector{};
+}
+
+void CacheHierarchy::reset_counters() {
+  for (auto& t : cpu_traffic_) t = CpuTraffic{};
+  for (auto& s : socket_traffic_) s = SocketTraffic{};
+}
+
+const CpuTraffic& CacheHierarchy::cpu_traffic(int cpu) const {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < static_cast<int>(cpu_traffic_.size()),
+                 "cpu out of range");
+  return cpu_traffic_[static_cast<std::size_t>(cpu)];
+}
+
+const SocketTraffic& CacheHierarchy::socket_traffic(int socket) const {
+  LIKWID_REQUIRE(socket >= 0 &&
+                     socket < static_cast<int>(socket_traffic_.size()),
+                 "socket out of range");
+  return socket_traffic_[static_cast<std::size_t>(socket)];
+}
+
+hwsim::EventVector CacheHierarchy::core_cache_events(int cpu) const {
+  const CpuTraffic& t = cpu_traffic(cpu);
+  EventVector ev;
+  ev[EventId::kL1DLinesIn] = t.l1_fills;
+  ev[EventId::kL1DLinesOut] = t.l1_writebacks;
+  ev[EventId::kL2Requests] = t.l2_requests;
+  ev[EventId::kL2Misses] = t.l2_misses;
+  ev[EventId::kL2LinesIn] = t.l2_fills;
+  ev[EventId::kL2LinesOut] = t.l2_writebacks;
+  ev[EventId::kHwPrefetchesIssued] = t.prefetches_issued;
+  ev[EventId::kBusTransMem] = t.mem_lines_read + t.mem_lines_written;
+  ev[EventId::kDtlbMisses] = t.dtlb_misses;
+  return ev;
+}
+
+hwsim::EventVector CacheHierarchy::uncore_cache_events(int socket) const {
+  const SocketTraffic& s = socket_traffic(socket);
+  EventVector ev;
+  ev[EventId::kUncL3LinesIn] = s.l3_lines_in;
+  ev[EventId::kUncL3LinesOut] = s.l3_lines_out;
+  ev[EventId::kUncL3Hits] = s.l3_hits;
+  ev[EventId::kUncL3Misses] = s.l3_misses;
+  ev[EventId::kUncMemReads] = s.mem_reads;
+  ev[EventId::kUncMemWrites] = s.mem_writes;
+  return ev;
+}
+
+}  // namespace likwid::cachesim

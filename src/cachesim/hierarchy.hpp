@@ -1,0 +1,166 @@
+// hierarchy.hpp — the full multi-socket cache/memory hierarchy simulator.
+//
+// Builds per-core (or per-group) L1/L2 caches and per-socket L3 caches from
+// a MachineSpec, simulates demand accesses at cache-line granularity with
+// write-allocate and write-back semantics, nontemporal stores, hardware
+// prefetchers (toggleable at runtime, driven by likwid-features), a small
+// data TLB, cross-socket line migration, and produces both detailed traffic
+// statistics (for the performance model) and μarch EventVectors (for the
+// PMU).
+//
+// Simplifications vs. silicon, documented in DESIGN.md: MESI is reduced to
+// single-owner line migration; AMD's exclusive hierarchy is modeled as
+// non-exclusive; memory traffic is attributed to the accessing core's
+// socket (first-touch NUMA homing is handled by the workload layer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "hwsim/apic.hpp"
+#include "hwsim/events.hpp"
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::cachesim {
+
+enum class AccessKind {
+  kLoad,
+  kStore,             ///< write-allocate, write-back
+  kStoreNonTemporal,  ///< streaming store: bypasses the hierarchy
+};
+
+/// Per-hardware-thread traffic counters (line granularity).
+struct CpuTraffic {
+  double loads = 0;             ///< line-granular load accesses
+  double stores = 0;            ///< line-granular store accesses
+  double l1_hits = 0;
+  double l1_fills = 0;          ///< lines allocated in L1 (demand+prefetch)
+  double l1_writebacks = 0;     ///< dirty L1 victims pushed to L2
+  double l2_requests = 0;       ///< demand requests that reached L2
+  double l2_hits = 0;
+  double l2_misses = 0;
+  double l2_fills = 0;
+  double l2_writebacks = 0;     ///< dirty L2 victims pushed down
+  double l3_hits = 0;           ///< demand lines served from the local L3
+  double remote_l3_hits = 0;    ///< lines migrated in from a remote socket
+  double mem_lines_read = 0;    ///< lines fetched from local memory
+  double mem_lines_written = 0; ///< lines written to memory (wb + NT)
+  double nt_store_lines = 0;
+  double dtlb_misses = 0;
+  double prefetches_issued = 0;
+
+  /// Total demand line traffic between core and L1 (for the exec model).
+  double line_accesses() const { return loads + stores; }
+};
+
+/// Per-socket ("uncore") traffic counters.
+struct SocketTraffic {
+  double l3_lines_in = 0;
+  double l3_lines_out = 0;   ///< victims (clean and dirty), Table II metric
+  double l3_hits = 0;
+  double l3_misses = 0;
+  double mem_reads = 0;      ///< full-line reads at the memory controller
+  double mem_writes = 0;
+};
+
+class CacheHierarchy {
+ public:
+  /// Build the hierarchy for a machine. `threads` must be the machine's
+  /// enumeration (used for cache-instance mapping).
+  CacheHierarchy(const hwsim::MachineSpec& spec,
+                 const std::vector<hwsim::HwThread>& threads);
+
+  /// Set which prefetchers are active for a core (mirrors
+  /// SimMachine::active_prefetchers; call after toggling likwid-features).
+  void set_prefetchers(int cpu, const hwsim::PrefetcherSpec& active);
+
+  /// Simulate one demand access of `bytes` starting at byte address `addr`
+  /// by hardware thread `cpu`. Accesses are decomposed into cache lines.
+  void access(int cpu, std::uint64_t addr, std::uint64_t bytes,
+              AccessKind kind);
+
+  /// Drop all cache and TLB contents (counters are kept).
+  void flush();
+
+  /// Reset all traffic counters (cache contents are kept).
+  void reset_counters();
+
+  const CpuTraffic& cpu_traffic(int cpu) const;
+  const SocketTraffic& socket_traffic(int socket) const;
+
+  /// Translate accumulated traffic into PMU event vectors. These cover the
+  /// cache/memory/TLB events; instruction-level events (flops, branches,
+  /// loads/stores retired) are added by the workload engine, which knows
+  /// the instruction mix.
+  hwsim::EventVector core_cache_events(int cpu) const;
+  hwsim::EventVector uncore_cache_events(int socket) const;
+
+  int num_l1_instances() const { return static_cast<int>(l1_.size()); }
+  int num_l2_instances() const { return static_cast<int>(l2_.size()); }
+  int num_l3_instances() const { return static_cast<int>(l3_.size()); }
+
+  /// Instance index of the cache serving `cpu` at `level` (1..3); -1 if the
+  /// machine has no such level. Exposed for tests.
+  int instance_of(int cpu, int level) const;
+
+  std::uint32_t line_size() const noexcept { return line_size_; }
+
+ private:
+  struct StreamDetector {
+    std::uint64_t last_miss_line = ~std::uint64_t{0};
+    int run_length = 0;
+  };
+
+  SetAssociativeCache* l1_of(int cpu);
+  SetAssociativeCache* l2_of(int cpu);
+  SetAssociativeCache* l3_of_socket(int socket);
+
+  void access_line(int cpu, std::uint64_t line, AccessKind kind);
+  /// Demand miss resolution below L1; returns nothing, updates counters.
+  void fill_from_below(int cpu, std::uint64_t line, bool count_demand);
+  /// Resolve a line into the given socket's L3 (local hit / remote / mem).
+  void resolve_into_l3(int cpu, int socket, std::uint64_t line,
+                       bool count_demand);
+  void install_l1(int cpu, std::uint64_t line, bool dirty);
+  void install_l2(int cpu, std::uint64_t line, bool dirty, bool is_fill);
+  void install_l3(int cpu, int socket, std::uint64_t line, bool dirty);
+  void writeback_from_l1(int cpu, std::uint64_t line);
+  void writeback_from_l2(int cpu, std::uint64_t line);
+  void run_prefetchers(int cpu, std::uint64_t miss_line);
+  void prefetch_into_l1(int cpu, std::uint64_t line);
+  void prefetch_into_l2(int cpu, std::uint64_t line);
+  void touch_tlb(int cpu, std::uint64_t addr);
+
+  const hwsim::MachineSpec& spec_;
+  const std::vector<hwsim::HwThread>& threads_;
+  std::uint32_t line_size_ = 64;
+  unsigned line_shift_ = 6;
+  bool has_l2_ = false;
+  bool has_l3_ = false;
+
+  // cpu -> instance index per level.
+  std::vector<int> l1_index_;
+  std::vector<int> l2_index_;
+  std::vector<std::unique_ptr<SetAssociativeCache>> l1_;
+  std::vector<std::unique_ptr<SetAssociativeCache>> l2_;
+  std::vector<std::unique_ptr<SetAssociativeCache>> l3_;  // one per socket
+
+  std::vector<CpuTraffic> cpu_traffic_;
+  std::vector<SocketTraffic> socket_traffic_;
+  std::vector<StreamDetector> detectors_;
+  std::vector<hwsim::PrefetcherSpec> active_prefetch_;
+
+  // Simple fully-associative LRU data TLBs, one per hardware thread.
+  struct TlbEntry {
+    std::uint64_t page = ~std::uint64_t{0};
+    std::uint64_t stamp = 0;
+  };
+  std::vector<std::vector<TlbEntry>> tlbs_;
+  std::vector<std::uint64_t> tlb_last_page_;  ///< fast path per cpu
+  std::uint64_t tlb_clock_ = 0;
+  unsigned page_shift_ = 12;
+};
+
+}  // namespace likwid::cachesim

@@ -1,0 +1,28 @@
+#include "cli/args.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::cli {
+
+ArgParser::ArgParser(int argc, const char* const* argv,
+                     std::set<std::string> value_flags) {
+  LIKWID_REQUIRE(argc >= 1, "empty argument vector");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg.front() == '-' && arg != "-") {
+      flags_.insert(arg);
+      if (value_flags.count(arg) != 0) {
+        if (i + 1 >= argc) {
+          throw_error(ErrorCode::kInvalidArgument,
+                      "option " + arg + " requires a value");
+        }
+        values_[arg] = argv[++i];
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+}  // namespace likwid::cli

@@ -1,0 +1,44 @@
+// args.hpp — minimal command-line option parsing for the tools.
+// Supports short/long flags with or without values ("-c 0-3", "--machine
+// westmere-ep", "-g") and positional arguments.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace likwid::cli {
+
+class ArgParser {
+ public:
+  /// `value_flags` are the options that consume the following argument.
+  ArgParser(int argc, const char* const* argv,
+            std::set<std::string> value_flags);
+
+  bool has(const std::string& flag) const { return flags_.count(flag) != 0; }
+
+  std::optional<std::string> value(const std::string& flag) const {
+    const auto it = values_.find(flag);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string value_or(const std::string& flag,
+                       const std::string& fallback) const {
+    const auto v = value(flag);
+    return v ? *v : fallback;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::set<std::string> flags_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace likwid::cli

@@ -1,0 +1,151 @@
+#include "cli/csv_output.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace likwid::cli {
+
+namespace {
+
+/// Format a count the way the ASCII tables do (integral when exact).
+std::string format_value(double v) {
+  return util::format_count(v);
+}
+
+/// Append one CSV row from already-escaped cells.
+void row(std::ostringstream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out << ',';
+    out << cells[i];
+  }
+  out << '\n';
+}
+
+std::vector<std::string> cpu_header(const core::PerfCtr& ctr,
+                                    std::vector<std::string> prefix) {
+  for (const int cpu : ctr.cpus()) {
+    prefix.push_back("core " + std::to_string(cpu));
+  }
+  return prefix;
+}
+
+void event_rows(std::ostringstream& out, const core::PerfCtr& ctr, int set,
+                const std::map<int, std::map<std::string, double>>& counts) {
+  row(out, cpu_header(ctr, {"Event", "Counter"}));
+  for (const auto& a : ctr.assignments_of(set)) {
+    std::vector<std::string> cells = {csv_escape(a.event_name),
+                                      csv_escape(a.counter_name)};
+    for (const int cpu : ctr.cpus()) {
+      const auto cpu_it = counts.find(cpu);
+      double v = 0;
+      if (cpu_it != counts.end()) {
+        const auto ev_it = cpu_it->second.find(a.event_name);
+        if (ev_it != cpu_it->second.end()) v = ev_it->second;
+      }
+      cells.push_back(format_value(v));
+    }
+    row(out, cells);
+  }
+}
+
+void metric_rows(std::ostringstream& out, const core::PerfCtr& ctr,
+                 const std::vector<core::PerfCtr::MetricRow>& metrics) {
+  row(out, cpu_header(ctr, {"Metric"}));
+  for (const auto& m : metrics) {
+    std::vector<std::string> cells = {csv_escape(m.name)};
+    for (const int cpu : ctr.cpus()) {
+      const auto it = m.per_cpu.find(cpu);
+      cells.push_back(it == m.per_cpu.end() ? "0"
+                                            : util::format_metric(it->second));
+    }
+    row(out, cells);
+  }
+}
+
+}  // namespace
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_measurement(const core::PerfCtr& ctr, int set) {
+  std::ostringstream out;
+  const auto& group = ctr.group_of(set);
+  row(out, {"GROUP", group ? csv_escape(group->name) : "custom"});
+
+  std::map<int, std::map<std::string, double>> counts;
+  for (const int cpu : ctr.cpus()) {
+    for (const auto& a : ctr.assignments_of(set)) {
+      counts[cpu][a.event_name] =
+          ctr.extrapolated_count(set, cpu, a.event_name);
+    }
+  }
+  event_rows(out, ctr, set, counts);
+  if (group) {
+    metric_rows(out, ctr, ctr.compute_metrics(set));
+  }
+  return out.str();
+}
+
+std::string csv_regions(const core::PerfCtr& ctr, int set,
+                        const core::MarkerSession& session) {
+  std::ostringstream out;
+  const auto& group = ctr.group_of(set);
+  row(out, {"GROUP", group ? csv_escape(group->name) : "custom"});
+  for (const auto& region : session.regions()) {
+    row(out, {"REGION", csv_escape(region.name)});
+    event_rows(out, ctr, set, region.counts);
+    if (group) {
+      double wall = 0;
+      for (const auto& [cpu, seconds] : region.seconds) {
+        wall = std::max(wall, seconds);
+      }
+      metric_rows(out, ctr,
+                  ctr.compute_metrics_for(set, region.counts, wall));
+    }
+  }
+  return out.str();
+}
+
+std::string csv_topology(const core::NodeTopology& topo) {
+  std::ostringstream out;
+  row(out, {"TABLE", "node"});
+  row(out, {"CPU name", csv_escape(topo.cpu_name)});
+  row(out, {"CPU clock GHz", util::format_metric(topo.clock_ghz)});
+  row(out, {"Sockets", std::to_string(topo.num_sockets)});
+  row(out, {"Cores per socket", std::to_string(topo.num_cores_per_socket)});
+  row(out, {"Threads per core", std::to_string(topo.num_threads_per_core)});
+
+  row(out, {"TABLE", "threads"});
+  row(out, {"HWThread", "Thread", "Core", "Socket", "APIC"});
+  for (const auto& t : topo.threads) {
+    row(out, {std::to_string(t.os_id), std::to_string(t.thread_id),
+              std::to_string(t.core_id), std::to_string(t.socket_id),
+              std::to_string(t.apic_id)});
+  }
+
+  row(out, {"TABLE", "caches"});
+  row(out, {"Level", "Type", "Size kB", "Associativity", "Sets",
+            "Line size", "Inclusive", "Shared by"});
+  for (const auto& c : topo.caches) {
+    row(out, {std::to_string(c.level),
+              std::string(hwsim::to_string(c.type)),
+              std::to_string(c.size_bytes / 1024),
+              std::to_string(c.associativity), std::to_string(c.num_sets),
+              std::to_string(c.line_size), c.inclusive ? "yes" : "no",
+              std::to_string(c.threads_sharing)});
+  }
+  return out.str();
+}
+
+}  // namespace likwid::cli

@@ -1,0 +1,38 @@
+// csv_output.hpp — CSV rendering of tool results.
+//
+// Companion to the XML output of Section V: where XML serves structured
+// tooling, CSV serves spreadsheets and plotting scripts. The tools expose
+// it through `--csv` and through `-o FILE.csv` (format chosen by file
+// extension, the convention the real tool suite later adopted).
+//
+// Layout: one section per logical table. Sections start with an uppercase
+// tag row (`GROUP,<name>` / `REGION,<name>` / `TABLE,<what>`), followed by
+// a header row and data rows. Fields containing commas, quotes or
+// newlines are quoted per RFC 4180.
+#pragma once
+
+#include <string>
+
+#include "core/marker.hpp"
+#include "core/perfctr.hpp"
+#include "core/topology.hpp"
+
+namespace likwid::cli {
+
+/// Quote a field per RFC 4180 when it contains a comma, quote or newline.
+std::string csv_escape(std::string_view field);
+
+/// GROUP section with the event table and, for group sets, the derived
+/// metrics — the CSV twin of render_measurement().
+std::string csv_measurement(const core::PerfCtr& ctr, int set);
+
+/// One REGION section per marker region — the CSV twin of
+/// render_regions().
+std::string csv_regions(const core::PerfCtr& ctr, int set,
+                        const core::MarkerSession& session);
+
+/// Thread and cache topology tables — the CSV twin of
+/// render_topology_report().
+std::string csv_topology(const core::NodeTopology& topo);
+
+}  // namespace likwid::cli

@@ -1,0 +1,285 @@
+#include "cli/output.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace likwid::cli {
+
+using util::AsciiTable;
+using util::separator_line;
+using util::star_line;
+using util::strprintf;
+
+namespace {
+
+std::string group_list(const std::vector<int>& members) {
+  std::string out = "( ";
+  for (const int m : members) out += std::to_string(m) + " ";
+  out += ")";
+  return out;
+}
+
+std::string banner(const std::string& title) {
+  return star_line() + title + "\n" + star_line();
+}
+
+}  // namespace
+
+std::string render_header(const core::NodeTopology& topo) {
+  std::string out = separator_line();
+  out += "CPU name:\t" + topo.cpu_name + "\n";
+  out += strprintf("CPU clock:\t%.2f GHz\n", topo.clock_ghz);
+  out += separator_line();
+  return out;
+}
+
+std::string render_topology_report(const core::NodeTopology& topo,
+                                   bool extended) {
+  std::ostringstream out;
+  out << render_header(topo);
+  out << banner("Hardware Thread Topology");
+  out << "Sockets:\t\t" << topo.num_sockets << "\n";
+  out << "Cores per socket:\t" << topo.num_cores_per_socket << "\n";
+  out << "Threads per core:\t" << topo.num_threads_per_core << "\n";
+  out << separator_line();
+  out << "HWThread\tThread\t\tCore\t\tSocket\n";
+  for (const auto& t : topo.threads) {
+    out << t.os_id << "\t\t" << t.thread_id << "\t\t" << t.core_id << "\t\t"
+        << t.socket_id << "\n";
+  }
+  out << separator_line();
+  for (std::size_t s = 0; s < topo.sockets.size(); ++s) {
+    out << "Socket " << s << ": " << group_list(topo.sockets[s]) << "\n";
+  }
+  out << separator_line();
+
+  out << banner("Cache Topology");
+  for (const auto& c : topo.caches) {
+    out << "Level:\t" << c.level << "\n";
+    out << "Size:\t" << util::format_size(c.size_bytes) << "\n";
+    out << "Type:\t" << hwsim::to_string(c.type) << "\n";
+    if (extended) {
+      out << "Associativity:\t" << c.associativity << "\n";
+      out << "Number of sets:\t" << c.num_sets << "\n";
+      out << "Cache line size:\t" << c.line_size << "\n";
+      out << (c.inclusive ? "Inclusive cache" : "Non Inclusive cache") << "\n";
+      out << "Shared among " << c.threads_sharing << " threads\n";
+    }
+    out << "Cache groups:\t";
+    for (const auto& g : c.groups) out << group_list(g) << " ";
+    out << "\n" << separator_line();
+  }
+  return out.str();
+}
+
+std::string render_topology_ascii(const core::NodeTopology& topo) {
+  // Cell width: widest of core labels and cache size strings.
+  std::vector<std::string> core_labels;
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    for (const auto& core : topo.cores) {
+      if (topo.threads[static_cast<std::size_t>(core.front())].socket_id != s)
+        continue;
+      std::string label;
+      for (const int os : core) {
+        if (!label.empty()) label += " ";
+        label += std::to_string(os);
+      }
+      core_labels.push_back(label);
+    }
+  }
+  std::size_t cell = 0;
+  for (const auto& l : core_labels) cell = std::max(cell, l.size());
+  for (const auto& c : topo.caches) {
+    cell = std::max(cell, util::format_size(c.size_bytes).size());
+  }
+  cell += 2;  // one space padding each side
+
+  const int cores = topo.num_cores_per_socket;
+  const auto span_width = [&](int ncells) {
+    return static_cast<std::size_t>(ncells) * (cell + 2) +
+           static_cast<std::size_t>(ncells - 1);
+  };
+  const std::size_t inner = span_width(cores);
+
+  const auto boxed = [&](const std::string& text, std::size_t width) {
+    // center `text` in a width-`width` field.
+    const std::size_t pad = width > text.size() ? width - text.size() : 0;
+    const std::size_t left = pad / 2;
+    return std::string(left, ' ') + text + std::string(pad - left, ' ');
+  };
+
+  std::ostringstream out;
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    out << "+" << std::string(inner + 2, '-') << "+\n";
+    // Core label row (three lines of boxes).
+    std::vector<std::string> labels;
+    for (int c = 0; c < cores; ++c) {
+      labels.push_back(core_labels[static_cast<std::size_t>(s * cores + c)]);
+    }
+    const auto box_row = [&](const std::vector<std::string>& cells,
+                             int cells_per_box) {
+      std::string top = "| ";
+      std::string mid = "| ";
+      std::string bot = "| ";
+      const std::size_t w = span_width(cells_per_box);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) {
+          top += " ";
+          mid += " ";
+          bot += " ";
+        }
+        top += "+" + std::string(w - 2, '-') + "+";
+        mid += "|" + boxed(cells[i], w - 2) + "|";
+        bot += "+" + std::string(w - 2, '-') + "+";
+      }
+      top += " |\n";
+      mid += " |\n";
+      bot += " |\n";
+      out << top << mid << bot;
+    };
+    box_row(labels, 1);
+    for (const auto& cache : topo.caches) {
+      const int groups_in_socket =
+          static_cast<int>(cache.groups.size()) / topo.num_sockets;
+      const int cells_per_box = cores / std::max(1, groups_in_socket);
+      std::vector<std::string> cells(
+          static_cast<std::size_t>(groups_in_socket),
+          util::format_size(cache.size_bytes));
+      box_row(cells, cells_per_box);
+    }
+    out << "+" << std::string(inner + 2, '-') << "+\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Shared table body: one row per event, one column per measured cpu.
+std::string event_table(
+    const core::PerfCtr& ctr, int set,
+    const std::map<int, std::map<std::string, double>>& counts) {
+  std::vector<std::string> headers = {"Event"};
+  for (const int cpu : ctr.cpus()) {
+    headers.push_back("core " + std::to_string(cpu));
+  }
+  AsciiTable table(headers);
+  for (const auto& a : ctr.assignments_of(set)) {
+    std::vector<std::string> row = {a.event_name};
+    for (const int cpu : ctr.cpus()) {
+      double value = 0;
+      const auto it = counts.find(cpu);
+      if (it != counts.end()) {
+        const auto ev = it->second.find(a.event_name);
+        if (ev != it->second.end()) value = ev->second;
+      }
+      row.push_back(util::format_count(value));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string metric_table(const core::PerfCtr& ctr,
+                         const std::vector<core::PerfCtr::MetricRow>& rows) {
+  std::vector<std::string> headers = {"Metric"};
+  for (const int cpu : ctr.cpus()) {
+    headers.push_back("core " + std::to_string(cpu));
+  }
+  AsciiTable table(headers);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (const int cpu : ctr.cpus()) {
+      const auto it = row.per_cpu.find(cpu);
+      cells.push_back(util::format_metric(it != row.per_cpu.end() ? it->second
+                                                                  : 0.0));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.render();
+}
+
+}  // namespace
+
+std::string render_measurement(const core::PerfCtr& ctr, int set) {
+  std::ostringstream out;
+  const auto& group = ctr.group_of(set);
+  if (group) {
+    out << "Measuring group " << group->name << "\n" << separator_line();
+  } else {
+    out << "Measuring custom event set\n" << separator_line();
+  }
+  std::map<int, std::map<std::string, double>> counts;
+  for (const int cpu : ctr.cpus()) {
+    for (const auto& a : ctr.assignments_of(set)) {
+      counts[cpu][a.event_name] =
+          ctr.extrapolated_count(set, cpu, a.event_name);
+    }
+  }
+  out << event_table(ctr, set, counts);
+  if (group) {
+    out << metric_table(ctr, ctr.compute_metrics(set));
+  }
+  return out.str();
+}
+
+std::string render_regions(const core::PerfCtr& ctr, int set,
+                           const core::MarkerSession& session) {
+  std::ostringstream out;
+  const auto& group = ctr.group_of(set);
+  if (group) {
+    out << "Measuring group " << group->name << "\n" << separator_line();
+  }
+  for (const auto& region : session.regions()) {
+    out << "Region: " << region.name << "\n";
+    out << event_table(ctr, set, region.counts);
+    if (group) {
+      double wall = 0;
+      for (const auto& [cpu, seconds] : region.seconds) {
+        wall = std::max(wall, seconds);
+      }
+      out << metric_table(ctr,
+                          ctr.compute_metrics_for(set, region.counts, wall));
+    }
+  }
+  return out.str();
+}
+
+std::string render_numa(const core::NumaTopology& numa) {
+  std::ostringstream out;
+  out << banner("NUMA Topology");
+  out << "NUMA domains: " << numa.num_domains() << "\n";
+  out << separator_line();
+  for (const auto& d : numa.domains) {
+    out << "Domain " << d.id << ":\n";
+    out << "Processors: " << group_list(d.processors) << "\n";
+    out << strprintf("Memory: %.1f GB free of total %.1f GB\n",
+                     d.memory_free_gb, d.memory_total_gb);
+    out << "Distances: ";
+    for (std::size_t i = 0; i < d.distances.size(); ++i) {
+      if (i > 0) out << " ";
+      out << d.distances[i];
+    }
+    out << "\n" << separator_line();
+  }
+  return out.str();
+}
+
+std::string render_features(const core::NodeTopology& topo, int cpu,
+                            const std::vector<core::FeatureState>& states) {
+  std::ostringstream out;
+  out << separator_line();
+  out << "CPU name:\t" << topo.cpu_name << "\n";
+  out << "CPU core id:\t" << cpu << "\n";
+  out << separator_line();
+  for (const auto& s : states) {
+    out << s.name << ": " << s.state << "\n";
+  }
+  out << separator_line();
+  return out.str();
+}
+
+}  // namespace likwid::cli

@@ -1,0 +1,44 @@
+// output.hpp — rendering of all tool output in the exact style of the
+// paper's listings: 61-dash separators, starred section banners, '+--+'
+// tables with "core N" columns, "( 0 12 ) ( 1 13 )" cache groups, and the
+// -g ASCII-art socket diagram.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/marker.hpp"
+#include "core/numa.hpp"
+#include "core/perfctr.hpp"
+#include "core/topology.hpp"
+
+namespace likwid::cli {
+
+/// "CPU name/clock" block shared by all tools.
+std::string render_header(const core::NodeTopology& topo);
+
+/// likwid-topology report; `extended` adds the cache detail block (-c).
+std::string render_topology_report(const core::NodeTopology& topo,
+                                   bool extended);
+
+/// The -g ASCII art: one box per socket, core labels, one row of boxes per
+/// data-cache level with shared caches spanning their cores.
+std::string render_topology_ascii(const core::NodeTopology& topo);
+
+/// Wrapper-mode result block for one event set: the event table and, for
+/// group sets, the derived-metric table.
+std::string render_measurement(const core::PerfCtr& ctr, int set);
+
+/// Marker-mode block: one "Region: <name>" section per region.
+std::string render_regions(const core::PerfCtr& ctr, int set,
+                           const core::MarkerSession& session);
+
+/// likwid-features report.
+std::string render_features(const core::NodeTopology& topo, int cpu,
+                            const std::vector<core::FeatureState>& states);
+
+/// NUMA topology section (the paper's Section V near-term goal).
+std::string render_numa(const core::NumaTopology& numa);
+
+}  // namespace likwid::cli

@@ -1,0 +1,199 @@
+#include "cli/xml_output.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace likwid::cli {
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string attr(const std::string& name, const std::string& value) {
+  return " " + name + "=\"" + xml_escape(value) + "\"";
+}
+
+std::string attr(const std::string& name, double value) {
+  return attr(name, util::format_metric(value));
+}
+
+std::string attr(const std::string& name, int value) {
+  return attr(name, std::to_string(value));
+}
+
+}  // namespace
+
+std::string xml_topology(const core::NodeTopology& topo) {
+  std::ostringstream out;
+  out << "<node" << attr("cpuName", topo.cpu_name)
+      << attr("clockGHz", topo.clock_ghz)
+      << attr("sockets", topo.num_sockets)
+      << attr("coresPerSocket", topo.num_cores_per_socket)
+      << attr("threadsPerCore", topo.num_threads_per_core) << ">\n";
+  out << "  <hwThreads>\n";
+  for (const auto& t : topo.threads) {
+    out << "    <hwThread" << attr("id", t.os_id)
+        << attr("thread", t.thread_id) << attr("core", t.core_id)
+        << attr("socket", t.socket_id)
+        << attr("apicId", static_cast<int>(t.apic_id)) << "/>\n";
+  }
+  out << "  </hwThreads>\n";
+  out << "  <caches>\n";
+  for (const auto& c : topo.caches) {
+    out << "    <cache" << attr("level", c.level)
+        << attr("type", std::string(hwsim::to_string(c.type)))
+        << attr("sizeBytes", static_cast<int>(c.size_bytes))
+        << attr("associativity", static_cast<int>(c.associativity))
+        << attr("lineSize", static_cast<int>(c.line_size))
+        << attr("sets", static_cast<int>(c.num_sets))
+        << attr("inclusive", c.inclusive ? "true" : "false")
+        << attr("threadsSharing", c.threads_sharing) << ">\n";
+    for (const auto& group : c.groups) {
+      out << "      <group>";
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        if (i > 0) out << " ";
+        out << group[i];
+      }
+      out << "</group>\n";
+    }
+    out << "    </cache>\n";
+  }
+  out << "  </caches>\n";
+  out << "</node>\n";
+  return out.str();
+}
+
+std::string xml_numa(const core::NumaTopology& numa) {
+  std::ostringstream out;
+  out << "<numa" << attr("domains", numa.num_domains()) << ">\n";
+  for (const auto& d : numa.domains) {
+    out << "  <domain" << attr("id", d.id)
+        << attr("memoryTotalGB", d.memory_total_gb)
+        << attr("memoryFreeGB", d.memory_free_gb) << ">\n";
+    out << "    <processors>";
+    for (std::size_t i = 0; i < d.processors.size(); ++i) {
+      if (i > 0) out << " ";
+      out << d.processors[i];
+    }
+    out << "</processors>\n";
+    out << "    <distances>";
+    for (std::size_t i = 0; i < d.distances.size(); ++i) {
+      if (i > 0) out << " ";
+      out << d.distances[i];
+    }
+    out << "</distances>\n";
+    out << "  </domain>\n";
+  }
+  out << "</numa>\n";
+  return out.str();
+}
+
+namespace {
+
+void xml_counts(std::ostringstream& out, const core::PerfCtr& ctr, int set,
+                const std::map<int, std::map<std::string, double>>& counts,
+                const std::string& indent) {
+  for (const int cpu : ctr.cpus()) {
+    out << indent << "<cpu" << attr("id", cpu) << ">\n";
+    for (const auto& a : ctr.assignments_of(set)) {
+      double value = 0;
+      const auto it = counts.find(cpu);
+      if (it != counts.end()) {
+        const auto ev = it->second.find(a.event_name);
+        if (ev != it->second.end()) value = ev->second;
+      }
+      out << indent << "  <event" << attr("name", a.event_name)
+          << attr("counter", a.counter_name) << attr("count", value)
+          << "/>\n";
+    }
+    out << indent << "</cpu>\n";
+  }
+}
+
+void xml_metrics(std::ostringstream& out,
+                 const std::vector<core::PerfCtr::MetricRow>& rows,
+                 const std::string& indent) {
+  for (const auto& row : rows) {
+    out << indent << "<metric" << attr("name", row.name) << ">\n";
+    for (const auto& [cpu, value] : row.per_cpu) {
+      out << indent << "  <value" << attr("cpu", cpu)
+          << attr("v", value) << "/>\n";
+    }
+    out << indent << "</metric>\n";
+  }
+}
+
+}  // namespace
+
+std::string xml_measurement(const core::PerfCtr& ctr, int set) {
+  std::ostringstream out;
+  const auto& group = ctr.group_of(set);
+  out << "<measurement"
+      << attr("group", group ? group->name : std::string("custom"))
+      << attr("seconds", ctr.results(set).measured_seconds) << ">\n";
+  std::map<int, std::map<std::string, double>> counts;
+  for (const int cpu : ctr.cpus()) {
+    for (const auto& a : ctr.assignments_of(set)) {
+      counts[cpu][a.event_name] =
+          ctr.extrapolated_count(set, cpu, a.event_name);
+    }
+  }
+  xml_counts(out, ctr, set, counts, "  ");
+  if (group) {
+    xml_metrics(out, ctr.compute_metrics(set), "  ");
+  }
+  out << "</measurement>\n";
+  return out.str();
+}
+
+std::string xml_regions(const core::PerfCtr& ctr, int set,
+                        const core::MarkerSession& session) {
+  std::ostringstream out;
+  out << "<regions>\n";
+  for (const auto& region : session.regions()) {
+    out << "  <region" << attr("name", region.name)
+        << attr("calls", region.call_count) << ">\n";
+    xml_counts(out, ctr, set, region.counts, "    ");
+    if (ctr.group_of(set)) {
+      double wall = 0;
+      for (const auto& [cpu, seconds] : region.seconds) {
+        wall = std::max(wall, seconds);
+      }
+      xml_metrics(out, ctr.compute_metrics_for(set, region.counts, wall),
+                  "    ");
+    }
+    out << "  </region>\n";
+  }
+  out << "</regions>\n";
+  return out.str();
+}
+
+std::string xml_features(const core::NodeTopology& topo, int cpu,
+                         const std::vector<core::FeatureState>& states) {
+  std::ostringstream out;
+  out << "<features" << attr("cpuName", topo.cpu_name) << attr("cpu", cpu)
+      << ">\n";
+  for (const auto& s : states) {
+    out << "  <feature" << attr("name", s.name) << attr("state", s.state)
+        << "/>\n";
+  }
+  out << "</features>\n";
+  return out.str();
+}
+
+}  // namespace likwid::cli

@@ -1,0 +1,41 @@
+// xml_output.hpp — XML rendering of tool results.
+//
+// The paper (Section V): "On popular demand, future releases will also
+// include support for XML output." This module implements that feature for
+// the topology report, NUMA layout, measurement results and the features
+// listing, so downstream tooling can parse tool output without scraping
+// the ASCII tables.
+#pragma once
+
+#include <string>
+
+#include "core/features.hpp"
+#include "core/marker.hpp"
+#include "core/numa.hpp"
+#include "core/perfctr.hpp"
+#include "core/topology.hpp"
+
+namespace likwid::cli {
+
+/// Escape &, <, >, ", ' for XML text and attribute contexts.
+std::string xml_escape(std::string_view text);
+
+/// <node><cpu .../><sockets>...<caches>... per likwid-topology.
+std::string xml_topology(const core::NodeTopology& topo);
+
+/// <numa><domain id=.. memoryGB=..><processor/>*<distance/>*</domain>*.
+std::string xml_numa(const core::NumaTopology& numa);
+
+/// <measurement group=..><set><cpu id=..><event name=.. count=../>...
+/// with derived metrics for group sets.
+std::string xml_measurement(const core::PerfCtr& ctr, int set);
+
+/// <regions><region name=..>... for marker-mode results.
+std::string xml_regions(const core::PerfCtr& ctr, int set,
+                        const core::MarkerSession& session);
+
+/// <features cpu=..><feature name=.. state=../>...
+std::string xml_features(const core::NodeTopology& topo, int cpu,
+                         const std::vector<core::FeatureState>& states);
+
+}  // namespace likwid::cli

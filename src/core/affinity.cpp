@@ -1,0 +1,145 @@
+#include "core/affinity.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::core {
+
+util::SkipMask default_skip_mask(ThreadModel model) {
+  switch (model) {
+    case ThreadModel::kGcc: return util::SkipMask(0x0);
+    case ThreadModel::kIntel: return util::SkipMask(0x1);
+    case ThreadModel::kIntelMpi: return util::SkipMask(0x3);
+    case ThreadModel::kCustom: return util::SkipMask(0x0);
+  }
+  return util::SkipMask(0x0);
+}
+
+ThreadModel parse_thread_model(const std::string& text) {
+  const std::string t = util::to_lower(text);
+  if (t == "gcc") return ThreadModel::kGcc;
+  if (t == "intel") return ThreadModel::kIntel;
+  if (t == "intel-mpi" || t == "intelmpi") return ThreadModel::kIntelMpi;
+  throw_error(ErrorCode::kInvalidArgument,
+              "unknown thread model '" + text + "' (gcc, intel, intel-mpi)");
+}
+
+void PinConfig::to_environment(util::Environment& env) const {
+  env.set("LIKWID_PIN_CPULIST", util::format_cpu_list(cpu_list));
+  env.set("LIKWID_SKIP_MASK", util::strprintf("0x%llX",
+          static_cast<unsigned long long>(skip.bits())));
+  switch (model) {
+    case ThreadModel::kGcc: env.set("LIKWID_PIN_TYPE", "gcc"); break;
+    case ThreadModel::kIntel: env.set("LIKWID_PIN_TYPE", "intel"); break;
+    case ThreadModel::kIntelMpi:
+      env.set("LIKWID_PIN_TYPE", "intel-mpi");
+      break;
+    case ThreadModel::kCustom: env.set("LIKWID_PIN_TYPE", "custom"); break;
+  }
+  // The current version of LIKWID disables the Intel compiler's own
+  // affinity interface automatically to avoid interference.
+  env.set("KMP_AFFINITY", "disabled");
+}
+
+PinConfig PinConfig::from_environment(const util::Environment& env) {
+  PinConfig cfg;
+  const auto list = env.get("LIKWID_PIN_CPULIST");
+  LIKWID_REQUIRE(list.has_value(),
+                 "LIKWID_PIN_CPULIST missing from environment");
+  cfg.cpu_list = util::parse_cpu_list(*list);
+  const auto skip = env.get("LIKWID_SKIP_MASK");
+  cfg.skip = skip ? util::SkipMask::parse(*skip) : util::SkipMask(0);
+  const auto type = env.get("LIKWID_PIN_TYPE");
+  if (type && *type != "custom") {
+    cfg.model = parse_thread_model(*type);
+  } else {
+    cfg.model = ThreadModel::kCustom;
+  }
+  return cfg;
+}
+
+PinWrapper::PinWrapper(ossim::ThreadRuntime& runtime, PinConfig config)
+    : runtime_(runtime), config_(std::move(config)) {
+  LIKWID_REQUIRE(!config_.cpu_list.empty(), "empty pin cpu list");
+  // likwid-pin binds the process (main thread) to the first list entry
+  // before the application starts.
+  runtime_.set_affinity(0, ossim::CpuMask::single(config_.cpu_list.front()));
+  next_entry_ = 1;
+  pinned_ = 1;
+  runtime_.set_create_hook(
+      [this](int create_index, int tid) { on_create(create_index, tid); });
+}
+
+PinWrapper::~PinWrapper() { runtime_.clear_create_hook(); }
+
+void PinWrapper::on_create(int create_index, int tid) {
+  if (config_.skip.skips(static_cast<unsigned>(create_index))) {
+    ++skipped_;
+    return;
+  }
+  const int cpu =
+      config_.cpu_list[next_entry_ % config_.cpu_list.size()];
+  ++next_entry_;
+  ++pinned_;
+  runtime_.set_affinity(tid, ossim::CpuMask::single(cpu));
+}
+
+std::vector<int> physical_first_cpu_list(const NodeTopology& topo) {
+  // Round-robin over sockets; within a socket walk cores in core-id order;
+  // SMT thread 0 of every core first, then SMT thread 1, and so on.
+  std::vector<int> list;
+  for (int smt = 0; smt < topo.num_threads_per_core; ++smt) {
+    for (int core_rank = 0; core_rank < topo.num_cores_per_socket;
+         ++core_rank) {
+      for (int socket = 0; socket < topo.num_sockets; ++socket) {
+        // topo.sockets[socket] is ordered (core, smt); entry index:
+        const auto& members = topo.sockets[static_cast<std::size_t>(socket)];
+        const std::size_t idx = static_cast<std::size_t>(
+            core_rank * topo.num_threads_per_core + smt);
+        LIKWID_ASSERT(idx < members.size(), "socket member indexing");
+        list.push_back(members[idx]);
+      }
+    }
+  }
+  return list;
+}
+
+std::vector<int> scatter_cpu_list(const NodeTopology& topo, int n) {
+  LIKWID_REQUIRE(n >= 1, "scatter needs at least one thread");
+  const std::vector<int> all = physical_first_cpu_list(topo);
+  LIKWID_REQUIRE(n <= static_cast<int>(all.size()),
+                 "more threads than hardware threads");
+  return std::vector<int>(all.begin(), all.begin() + n);
+}
+
+std::vector<int> resolve_logical_cpu_list(const NodeTopology& topo,
+                                          const std::vector<int>& logical) {
+  const std::vector<int> all = physical_first_cpu_list(topo);
+  std::vector<int> physical;
+  physical.reserve(logical.size());
+  for (const int l : logical) {
+    LIKWID_REQUIRE(l >= 0 && l < static_cast<int>(all.size()),
+                   "logical core id " + std::to_string(l) +
+                       " exceeds the machine");
+    physical.push_back(all[static_cast<std::size_t>(l)]);
+  }
+  return physical;
+}
+
+std::vector<int> parse_pin_cpu_expression(const NodeTopology& topo,
+                                          const std::string& text) {
+  if (util::starts_with(text, "L:")) {
+    return resolve_logical_cpu_list(topo,
+                                    util::parse_cpu_list(text.substr(2)));
+  }
+  const std::vector<int> physical = util::parse_cpu_list(text);
+  for (const int cpu : physical) {
+    LIKWID_REQUIRE(cpu < topo.num_hw_threads,
+                   "cpu " + std::to_string(cpu) + " does not exist");
+  }
+  return physical;
+}
+
+}  // namespace likwid::core

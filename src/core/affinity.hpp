@@ -1,0 +1,98 @@
+// affinity.hpp — likwid-pin's core: enforce thread-core affinity from the
+// outside, with no application code changes.
+//
+// The real tool preloads a shared library that overloads pthread_create;
+// each created thread is pinned, in creation order, to the next entry of a
+// core list, except threads selected by a skip mask (OpenMP shepherds, MPI
+// progress threads). Configuration travels through environment variables.
+// PinWrapper reproduces the wrapper library against the simulated thread
+// runtime; helpers provide the thread-model presets and the placement
+// policies used in the paper's case studies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "ossim/threads.hpp"
+#include "util/cpulist.hpp"
+#include "util/env.hpp"
+
+namespace likwid::core {
+
+/// Threading-model presets (-t): which newly created threads are runtime
+/// service threads that must not be pinned.
+enum class ThreadModel { kGcc, kIntel, kIntelMpi, kCustom };
+
+/// The paper's skip masks: gcc 0x0, intel 0x1, intel+Intel MPI 0x3.
+util::SkipMask default_skip_mask(ThreadModel model);
+
+/// Parse "-t gcc|intel|intel-mpi".
+ThreadModel parse_thread_model(const std::string& text);
+
+struct PinConfig {
+  std::vector<int> cpu_list;  ///< -c; threads pinned round-robin through it
+  util::SkipMask skip;        ///< -s overrides the model's default
+  ThreadModel model = ThreadModel::kGcc;
+
+  /// Encode into the environment the wrapper library reads (and disable the
+  /// compiler's own affinity, as the tool sets KMP_AFFINITY=disabled).
+  void to_environment(util::Environment& env) const;
+  static PinConfig from_environment(const util::Environment& env);
+};
+
+/// The wrapper-library state machine. Construction pins the main thread to
+/// the first core of the list (likwid-pin does this before exec'ing the
+/// program); every observed pthread_create pins the new thread to the next
+/// list entry unless skipped. The list wraps around when exhausted.
+class PinWrapper {
+ public:
+  /// Installs itself as the runtime's create hook; `runtime` must outlive
+  /// the wrapper. Throws if the cpu list is empty.
+  PinWrapper(ossim::ThreadRuntime& runtime, PinConfig config);
+  ~PinWrapper();
+
+  PinWrapper(const PinWrapper&) = delete;
+  PinWrapper& operator=(const PinWrapper&) = delete;
+
+  int pinned_count() const { return pinned_; }
+  int skipped_count() const { return skipped_; }
+  const PinConfig& config() const { return config_; }
+
+ private:
+  void on_create(int create_index, int tid);
+
+  ossim::ThreadRuntime& runtime_;
+  PinConfig config_;
+  std::size_t next_entry_ = 0;  ///< next cpu_list position
+  int pinned_ = 0;
+  int skipped_ = 0;
+};
+
+/// Placement helpers for the case studies -------------------------------
+
+/// "Scatter" policy (Fig. 6, KMP_AFFINITY=scatter): distribute n threads
+/// round-robin over sockets, filling physical cores before SMT siblings.
+std::vector<int> scatter_cpu_list(const NodeTopology& topo, int n);
+
+/// The paper's likwid-pin list for Figs. 5/8/10: threads equally
+/// distributed over the sockets, physical cores first, then SMT —
+/// identical to scatter but returned for all hardware threads so callers
+/// can prefix-select.
+std::vector<int> physical_first_cpu_list(const NodeTopology& topo);
+
+/// Section V future work, implemented: "likwid-pin will be equipped with
+/// cpuset support, so that logical core IDs may be used when binding
+/// threads." Translates a logical selection ("L:0-5" on the command line)
+/// into physical os ids: logical id k is the k-th entry of the
+/// topology-aware physical-first enumeration. Throws kInvalidArgument for
+/// logical ids beyond the machine.
+std::vector<int> resolve_logical_cpu_list(const NodeTopology& topo,
+                                          const std::vector<int>& logical);
+
+/// Parse a -c argument that may be physical ("0-3,8") or logical
+/// ("L:0-5"); returns the physical os-id list.
+std::vector<int> parse_pin_cpu_expression(const NodeTopology& topo,
+                                          const std::string& text);
+
+}  // namespace likwid::core

@@ -1,0 +1,100 @@
+#include "core/features.hpp"
+
+#include "hwsim/msr.hpp"
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+namespace msr = hwsim::msr;
+
+Prefetcher parse_prefetcher(const std::string& name) {
+  if (name == "HW_PREFETCHER") return Prefetcher::kHardware;
+  if (name == "CL_PREFETCHER") return Prefetcher::kAdjacentLine;
+  if (name == "DCU_PREFETCHER") return Prefetcher::kDcu;
+  if (name == "IP_PREFETCHER") return Prefetcher::kIp;
+  throw_error(ErrorCode::kInvalidArgument,
+              "unknown prefetcher '" + name +
+                  "' (HW_PREFETCHER, CL_PREFETCHER, DCU_PREFETCHER, "
+                  "IP_PREFETCHER)");
+}
+
+std::string_view to_string(Prefetcher p) noexcept {
+  switch (p) {
+    case Prefetcher::kHardware: return "HW_PREFETCHER";
+    case Prefetcher::kAdjacentLine: return "CL_PREFETCHER";
+    case Prefetcher::kDcu: return "DCU_PREFETCHER";
+    case Prefetcher::kIp: return "IP_PREFETCHER";
+  }
+  return "?";
+}
+
+Features::Features(ossim::SimKernel& kernel, int cpu)
+    : kernel_(kernel), cpu_(cpu) {
+  if (kernel_.machine().spec().vendor != hwsim::Vendor::kIntel) {
+    throw_error(ErrorCode::kUnsupported,
+                "likwid-features supports only Intel processors");
+  }
+  LIKWID_REQUIRE(cpu >= 0 && cpu < kernel_.machine().num_threads(),
+                 "cpu out of range");
+}
+
+unsigned Features::disable_bit(Prefetcher p) const {
+  switch (p) {
+    case Prefetcher::kHardware: return msr::kMiscHwPrefetcherDisable;
+    case Prefetcher::kAdjacentLine: return msr::kMiscAdjacentLineDisable;
+    case Prefetcher::kDcu: return msr::kMiscDcuPrefetcherDisable;
+    case Prefetcher::kIp: return msr::kMiscIpPrefetcherDisable;
+  }
+  return 0;
+}
+
+bool Features::prefetcher_enabled(Prefetcher p) const {
+  const std::uint64_t misc = kernel_.msr_read(cpu_, msr::kMiscEnable);
+  return !util::test_bit(misc, disable_bit(p));
+}
+
+void Features::set_prefetcher(Prefetcher p, bool enable) {
+  const std::uint64_t misc = kernel_.msr_read(cpu_, msr::kMiscEnable);
+  kernel_.msr_write(cpu_, msr::kMiscEnable,
+                    util::assign_bit(misc, disable_bit(p), !enable));
+}
+
+std::vector<FeatureState> Features::report() const {
+  const std::uint64_t misc = kernel_.msr_read(cpu_, msr::kMiscEnable);
+  const auto on = [&](unsigned bit) { return util::test_bit(misc, bit); };
+  const auto enabled = [&](unsigned bit) {
+    return on(bit) ? "enabled" : "disabled";
+  };
+  const auto inverted = [&](unsigned bit) {
+    return on(bit) ? "disabled" : "enabled";
+  };
+
+  std::vector<FeatureState> out;
+  out.push_back({"Fast-Strings", enabled(msr::kMiscFastStrings)});
+  out.push_back(
+      {"Automatic Thermal Control", enabled(msr::kMiscThermalControl)});
+  out.push_back(
+      {"Performance monitoring", enabled(msr::kMiscPerfMonAvailable)});
+  out.push_back(
+      {"Hardware Prefetcher", inverted(msr::kMiscHwPrefetcherDisable)});
+  out.push_back({"Branch Trace Storage",
+                 on(msr::kMiscBtsUnavailable) ? "not supported" : "supported"});
+  out.push_back({"PEBS", on(msr::kMiscPebsUnavailable) ? "not supported"
+                                                       : "supported"});
+  out.push_back({"Intel Enhanced SpeedStep", enabled(msr::kMiscSpeedStep)});
+  out.push_back({"MONITOR/MWAIT",
+                 on(msr::kMiscMonitorMwait) ? "supported" : "not supported"});
+  out.push_back({"Adjacent Cache Line Prefetch",
+                 inverted(msr::kMiscAdjacentLineDisable)});
+  out.push_back(
+      {"Limit CPUID Maxval", enabled(msr::kMiscLimitCpuidMaxval)});
+  out.push_back({"XD Bit Disable", enabled(msr::kMiscXdBitDisable)});
+  out.push_back({"DCU Prefetcher", inverted(msr::kMiscDcuPrefetcherDisable)});
+  out.push_back(
+      {"Intel Dynamic Acceleration", inverted(msr::kMiscIdaDisable)});
+  out.push_back({"IP Prefetcher", inverted(msr::kMiscIpPrefetcherDisable)});
+  return out;
+}
+
+}  // namespace likwid::core

@@ -1,0 +1,59 @@
+// features.hpp — likwid-features: view and toggle switchable processor
+// features, most importantly the hardware prefetchers, through the
+// IA32_MISC_ENABLE MSR (Core 2 semantics).
+//
+// The paper's tool "currently only works for Intel Core 2 processors"; this
+// implementation accepts any Intel part that exposes IA32_MISC_ENABLE and
+// rejects AMD with kUnsupported, mirroring the published behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ossim/kernel.hpp"
+
+namespace likwid::core {
+
+/// The four toggleable prefetchers, with the tool's option names.
+enum class Prefetcher {
+  kHardware,      ///< HW_PREFETCHER   (L2 streamer)
+  kAdjacentLine,  ///< CL_PREFETCHER   (adjacent cache line)
+  kDcu,           ///< DCU_PREFETCHER  (L1 streaming)
+  kIp,            ///< IP_PREFETCHER   (L1 stride by instruction pointer)
+};
+
+/// Parse "HW_PREFETCHER", "CL_PREFETCHER", "DCU_PREFETCHER", "IP_PREFETCHER".
+Prefetcher parse_prefetcher(const std::string& name);
+std::string_view to_string(Prefetcher p) noexcept;
+
+/// One line of the features report.
+struct FeatureState {
+  std::string name;   ///< display name ("Hardware Prefetcher", ...)
+  std::string state;  ///< "enabled" / "disabled" / "supported" / ...
+};
+
+class Features {
+ public:
+  /// Operates on one hardware thread (the register is per-core).
+  /// Throws Error(kUnsupported) on non-Intel machines.
+  Features(ossim::SimKernel& kernel, int cpu);
+
+  /// The report of likwid-features (paper Section II-D listing).
+  std::vector<FeatureState> report() const;
+
+  bool prefetcher_enabled(Prefetcher p) const;
+
+  /// Enable (-e) or disable (-u) a prefetcher. The write lands in
+  /// IA32_MISC_ENABLE and immediately changes cache-simulator behaviour.
+  void set_prefetcher(Prefetcher p, bool enable);
+
+  int cpu() const { return cpu_; }
+
+ private:
+  unsigned disable_bit(Prefetcher p) const;
+
+  ossim::SimKernel& kernel_;
+  int cpu_;
+};
+
+}  // namespace likwid::core

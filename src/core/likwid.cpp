@@ -1,0 +1,84 @@
+#include "core/likwid.hpp"
+
+#include <memory>
+
+#include "util/status.hpp"
+
+namespace likwid {
+
+namespace {
+struct AmbientState {
+  core::PerfCtr* ctr = nullptr;
+  std::function<int()> current_cpu;
+  std::unique_ptr<core::MarkerSession> session;
+};
+AmbientState g_marker;
+}  // namespace
+
+void MarkerBinding::bind(core::PerfCtr* ctr, std::function<int()> current_cpu) {
+  LIKWID_REQUIRE(ctr != nullptr, "null PerfCtr");
+  LIKWID_REQUIRE(current_cpu != nullptr, "null current_cpu callback");
+  if (g_marker.ctr != nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                "marker environment is already bound");
+  }
+  g_marker.ctr = ctr;
+  g_marker.current_cpu = std::move(current_cpu);
+}
+
+void MarkerBinding::unbind() noexcept {
+  g_marker.session.reset();
+  g_marker.ctr = nullptr;
+  g_marker.current_cpu = nullptr;
+}
+
+bool MarkerBinding::bound() noexcept { return g_marker.ctr != nullptr; }
+
+core::MarkerSession* MarkerBinding::session() { return g_marker.session.get(); }
+
+core::PerfCtr* MarkerBinding::counters() { return g_marker.ctr; }
+
+int MarkerBinding::current_cpu() {
+  LIKWID_REQUIRE(g_marker.current_cpu != nullptr,
+                 "marker environment not bound");
+  return g_marker.current_cpu();
+}
+
+void likwid_markerInit(int numberOfThreads, int numberOfRegions) {
+  if (g_marker.ctr == nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                "likwid_markerInit: not running under likwid-perfctr -m");
+  }
+  LIKWID_REQUIRE(g_marker.session == nullptr,
+                 "likwid_markerInit called twice");
+  g_marker.session = std::make_unique<core::MarkerSession>(
+      *g_marker.ctr, numberOfThreads, numberOfRegions);
+}
+
+int likwid_markerRegisterRegion(const char* name) {
+  LIKWID_REQUIRE(g_marker.session != nullptr,
+                 "likwid_markerRegisterRegion before likwid_markerInit");
+  return g_marker.session->register_region(name != nullptr ? name : "");
+}
+
+void likwid_markerStartRegion(int threadId, int coreId) {
+  LIKWID_REQUIRE(g_marker.session != nullptr,
+                 "likwid_markerStartRegion before likwid_markerInit");
+  g_marker.session->start_region(threadId, coreId);
+}
+
+void likwid_markerStopRegion(int threadId, int coreId, int regionId) {
+  LIKWID_REQUIRE(g_marker.session != nullptr,
+                 "likwid_markerStopRegion before likwid_markerInit");
+  g_marker.session->stop_region(threadId, coreId, regionId);
+}
+
+void likwid_markerClose() {
+  LIKWID_REQUIRE(g_marker.session != nullptr,
+                 "likwid_markerClose before likwid_markerInit");
+  g_marker.session->close();
+}
+
+int likwid_processGetProcessorId() { return MarkerBinding::current_cpu(); }
+
+}  // namespace likwid

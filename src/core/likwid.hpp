@@ -1,0 +1,58 @@
+// likwid.hpp — umbrella header: the public API of the LIKWID reproduction.
+//
+// #include "core/likwid.hpp" gives access to:
+//   * topology probing           (core/topology.hpp)
+//   * performance counting       (core/perfctr.hpp, core/perf_groups.hpp)
+//   * the marker API             (core/marker.hpp + the C-style shim below)
+//   * pinning                    (core/affinity.hpp)
+//   * feature/prefetcher control (core/features.hpp)
+//
+// The C-style marker functions reproduce the exact call sequence of the
+// paper's Section II-A listing. In the real tool the ambient measurement
+// state is injected into the profiled process by likwid-perfctr -m; here
+// the harness binds it explicitly with MarkerBinding.
+#pragma once
+
+#include <functional>
+
+#include "core/affinity.hpp"
+#include "core/features.hpp"
+#include "core/marker.hpp"
+#include "core/metric_expr.hpp"
+#include "core/perf_groups.hpp"
+#include "core/perfctr.hpp"
+#include "core/topology.hpp"
+
+namespace likwid {
+
+/// Ambient marker state, as exported into a measured process by
+/// `likwid-perfctr -m`. Bind before using the C-style functions below.
+class MarkerBinding {
+ public:
+  /// `ctr` must be configured (event set added) before binding; started
+  /// counters are required before regions are entered. `current_cpu`
+  /// reports the calling thread's hardware thread, the analog of
+  /// sched_getcpu(). Throws Error(kInvalidState) on double bind.
+  static void bind(core::PerfCtr* ctr, std::function<int()> current_cpu);
+  static void unbind() noexcept;
+  static bool bound() noexcept;
+
+  /// The live session (created by likwid_markerInit); null before init.
+  static core::MarkerSession* session();
+  static core::PerfCtr* counters();
+  static int current_cpu();
+};
+
+// --- the paper's marker API (Section II-A) -------------------------------
+
+/// #include <likwid.h>-compatible entry points.
+void likwid_markerInit(int numberOfThreads, int numberOfRegions);
+int likwid_markerRegisterRegion(const char* name);
+void likwid_markerStartRegion(int threadId, int coreId);
+void likwid_markerStopRegion(int threadId, int coreId, int regionId);
+void likwid_markerClose();
+
+/// Core id of the calling thread (sched_getcpu analog).
+int likwid_processGetProcessorId();
+
+}  // namespace likwid

@@ -1,0 +1,90 @@
+#include "core/marker.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+MarkerSession::MarkerSession(PerfCtr& ctr, int num_threads, int num_regions)
+    : ctr_(ctr), num_threads_(num_threads), max_regions_(num_regions) {
+  LIKWID_REQUIRE(num_threads >= 1, "markerInit: need at least one thread");
+  LIKWID_REQUIRE(num_regions >= 1, "markerInit: need at least one region");
+  open_.resize(static_cast<std::size_t>(num_threads));
+}
+
+int MarkerSession::register_region(const std::string& name) {
+  LIKWID_REQUIRE(!closed_, "markerRegisterRegion after markerClose");
+  LIKWID_REQUIRE(!name.empty(), "empty region name");
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return static_cast<int>(i);
+  }
+  if (static_cast<int>(regions_.size()) >= max_regions_) {
+    throw_error(ErrorCode::kResourceExhausted,
+                "more regions than declared in likwid_markerInit");
+  }
+  RegionResults r;
+  r.name = name;
+  regions_.push_back(std::move(r));
+  return static_cast<int>(regions_.size()) - 1;
+}
+
+void MarkerSession::start_region(int thread_id, int core_id) {
+  LIKWID_REQUIRE(!closed_, "markerStartRegion after markerClose");
+  LIKWID_REQUIRE(thread_id >= 0 && thread_id < num_threads_,
+                 "thread id out of range");
+  OpenRegion& slot = open_[static_cast<std::size_t>(thread_id)];
+  if (slot.open) {
+    throw_error(ErrorCode::kInvalidState,
+                "nested or overlapping marker regions are not allowed");
+  }
+  slot.snapshot = ctr_.snapshot(core_id);
+  slot.start_seconds = ctr_.kernel().now();
+  slot.core_id = core_id;
+  slot.open = true;
+}
+
+void MarkerSession::stop_region(int thread_id, int core_id, int region_id) {
+  LIKWID_REQUIRE(!closed_, "markerStopRegion after markerClose");
+  LIKWID_REQUIRE(thread_id >= 0 && thread_id < num_threads_,
+                 "thread id out of range");
+  LIKWID_REQUIRE(region_id >= 0 &&
+                     region_id < static_cast<int>(regions_.size()),
+                 "unregistered region id");
+  OpenRegion& slot = open_[static_cast<std::size_t>(thread_id)];
+  if (!slot.open) {
+    throw_error(ErrorCode::kInvalidState,
+                "markerStopRegion without a matching start");
+  }
+  LIKWID_REQUIRE(slot.core_id == core_id,
+                 "region started and stopped on different cores");
+
+  const CounterSnapshot after = ctr_.snapshot(core_id);
+  const std::vector<double> delta = ctr_.snapshot_delta(slot.snapshot, after);
+  RegionResults& region = regions_[static_cast<std::size_t>(region_id)];
+  const auto& assignments = ctr_.assignments_of(ctr_.current_set());
+  auto& counts = region.counts[core_id];
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    counts[assignments[i].event_name] += delta[i];
+  }
+  region.seconds[core_id] += ctr_.kernel().now() - slot.start_seconds;
+  region.call_count += 1;
+  slot.open = false;
+}
+
+void MarkerSession::close() {
+  for (const auto& slot : open_) {
+    if (slot.open) {
+      throw_error(ErrorCode::kInvalidState,
+                  "markerClose with a region still open");
+    }
+  }
+  closed_ = true;
+}
+
+const MarkerSession::RegionResults& MarkerSession::region(int region_id) const {
+  LIKWID_REQUIRE(region_id >= 0 &&
+                     region_id < static_cast<int>(regions_.size()),
+                 "unregistered region id");
+  return regions_[static_cast<std::size_t>(region_id)];
+}
+
+}  // namespace likwid::core

@@ -1,0 +1,81 @@
+// marker.hpp — the instrumentation ("marker") API of likwid-perfctr.
+//
+// The paper's usage model:
+//
+//   likwid_markerInit(numberOfThreads, numberOfRegions);
+//   int mainId = likwid_markerRegisterRegion("Main");
+//   likwid_markerStartRegion(threadId, coreId);
+//   ... measured code ...
+//   likwid_markerStopRegion(threadId, coreId, mainId);
+//   likwid_markerClose();
+//
+// Event counts accumulate automatically over multiple start/stop pairs of
+// the same region; nesting or partial overlap of regions is not allowed
+// (enforced here with errors, where the real library corrupts silently).
+// MarkerSession is the object API; likwid.hpp provides the C-style shim
+// bound to an ambient session, exactly as the tool's preloaded environment
+// does for real programs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/perfctr.hpp"
+
+namespace likwid::core {
+
+class MarkerSession {
+ public:
+  /// `ctr` must outlive the session and must have its event set configured
+  /// and started (the tool does this before launching the program).
+  MarkerSession(PerfCtr& ctr, int num_threads, int num_regions);
+
+  /// Register (or look up) a named region; returns its region id.
+  /// Throws Error(kResourceExhausted) beyond num_regions.
+  int register_region(const std::string& name);
+
+  /// Begin measurement of a region on `core_id` for `thread_id`.
+  /// Throws Error(kInvalidState) if that thread already has an open region
+  /// (no nesting / no overlap, per the paper).
+  void start_region(int thread_id, int core_id);
+
+  /// Close the open region, accumulating counter deltas and elapsed time
+  /// into `region_id` for that core.
+  void stop_region(int thread_id, int core_id, int region_id);
+
+  /// Finish the session; after close() no further starts are accepted.
+  void close();
+
+  struct RegionResults {
+    std::string name;
+    /// cpu -> event name -> accumulated count
+    std::map<int, std::map<std::string, double>> counts;
+    /// cpu -> accumulated wall time the region was open
+    std::map<int, double> seconds;
+    int call_count = 0;
+  };
+  const std::vector<RegionResults>& regions() const { return regions_; }
+  const RegionResults& region(int region_id) const;
+
+  int num_threads() const { return num_threads_; }
+  bool closed() const { return closed_; }
+
+ private:
+  struct OpenRegion {
+    CounterSnapshot snapshot;
+    double start_seconds = 0;
+    int core_id = -1;
+    bool open = false;
+  };
+
+  PerfCtr& ctr_;
+  int num_threads_;
+  int max_regions_;
+  bool closed_ = false;
+  std::vector<RegionResults> regions_;
+  std::vector<OpenRegion> open_;  ///< per thread id
+};
+
+}  // namespace likwid::core

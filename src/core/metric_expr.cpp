@@ -1,0 +1,226 @@
+#include "core/metric_expr.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+struct MetricExpr::Node {
+  enum class Kind { kNumber, kVariable, kAdd, kSub, kMul, kDiv, kNeg };
+  Kind kind;
+  double number = 0;
+  std::string variable;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+namespace {
+
+using Node = MetricExpr::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  NodePtr parse() {
+    NodePtr e = expression();
+    skip_ws();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+    return e;
+  }
+
+  void collect_vars(const NodePtr& node, std::set<std::string>& out) {
+    if (!node) return;
+    if (node->kind == Node::Kind::kVariable) out.insert(node->variable);
+    collect_vars(node->lhs, out);
+    collect_vars(node->rhs, out);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "metric formula error at position " + std::to_string(pos_) +
+                    ": " + why + " in '" + std::string(text_) + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  NodePtr expression() {
+    NodePtr lhs = term();
+    while (true) {
+      if (consume('+')) {
+        lhs = binary(Node::Kind::kAdd, lhs, term());
+      } else if (consume('-')) {
+        lhs = binary(Node::Kind::kSub, lhs, term());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr term() {
+    NodePtr lhs = factor();
+    while (true) {
+      if (consume('*')) {
+        lhs = binary(Node::Kind::kMul, lhs, factor());
+      } else if (consume('/')) {
+        lhs = binary(Node::Kind::kDiv, lhs, factor());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr factor() {
+    if (consume('-')) {
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kNeg;
+      n->lhs = factor();
+      return n;
+    }
+    if (consume('(')) {
+      NodePtr inner = expression();
+      if (!consume(')')) fail("missing ')'");
+      return inner;
+    }
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return identifier();
+    }
+    fail("expected number, identifier or '('");
+  }
+
+  NodePtr number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    // Exponent: e/E followed by optional sign and digits.
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      std::size_t exp_pos = pos_ + 1;
+      if (exp_pos < text_.size() &&
+          (text_[exp_pos] == '+' || text_[exp_pos] == '-')) {
+        ++exp_pos;
+      }
+      if (exp_pos < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[exp_pos]))) {
+        pos_ = exp_pos;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kNumber;
+    n->number = value;
+    return n;
+  }
+
+  NodePtr identifier() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kVariable;
+    n->variable = std::string(text_.substr(start, pos_ - start));
+    return n;
+  }
+
+  static NodePtr binary(Node::Kind kind, NodePtr lhs, NodePtr rhs) {
+    auto n = std::make_shared<Node>();
+    n->kind = kind;
+    n->lhs = std::move(lhs);
+    n->rhs = std::move(rhs);
+    return n;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double eval_node(const Node& node, const std::map<std::string, double>& vars) {
+  switch (node.kind) {
+    case Node::Kind::kNumber:
+      return node.number;
+    case Node::Kind::kVariable: {
+      const auto it = vars.find(node.variable);
+      if (it == vars.end()) {
+        throw_error(ErrorCode::kNotFound,
+                    "metric variable '" + node.variable + "' is not bound");
+      }
+      return it->second;
+    }
+    case Node::Kind::kAdd:
+      return eval_node(*node.lhs, vars) + eval_node(*node.rhs, vars);
+    case Node::Kind::kSub:
+      return eval_node(*node.lhs, vars) - eval_node(*node.rhs, vars);
+    case Node::Kind::kMul:
+      return eval_node(*node.lhs, vars) * eval_node(*node.rhs, vars);
+    case Node::Kind::kDiv: {
+      const double denom = eval_node(*node.rhs, vars);
+      if (denom == 0.0) return 0.0;
+      return eval_node(*node.lhs, vars) / denom;
+    }
+    case Node::Kind::kNeg:
+      return -eval_node(*node.lhs, vars);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+MetricExpr MetricExpr::parse(std::string_view text) {
+  Parser parser(text);
+  MetricExpr expr;
+  expr.text_ = std::string(text);
+  expr.root_ = parser.parse();
+  std::set<std::string> vars;
+  parser.collect_vars(expr.root_, vars);
+  expr.variables_.assign(vars.begin(), vars.end());
+  return expr;
+}
+
+double MetricExpr::evaluate(const std::map<std::string, double>& vars) const {
+  LIKWID_ASSERT(root_ != nullptr, "evaluate of empty expression");
+  return eval_node(*root_, vars);
+}
+
+}  // namespace likwid::core

@@ -1,0 +1,46 @@
+// metric_expr.hpp — tiny arithmetic expression engine for derived metrics.
+//
+// Performance groups define derived metrics as formula strings over event
+// names and the built-in variables `time` (region runtime in seconds) and
+// `clock` (core clock in Hz), e.g.
+//     "1.0E-06*(FLOPS_PD*2.0+FLOPS_SD)/time"
+// Supported grammar: + - * /, unary minus, parentheses, floating literals
+// (with exponents), identifiers [A-Za-z_][A-Za-z0-9_]*.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace likwid::core {
+
+/// A parsed, reusable metric expression.
+class MetricExpr {
+ public:
+  /// Parse `text`; throws Error(kInvalidArgument) with position info on
+  /// syntax errors.
+  static MetricExpr parse(std::string_view text);
+
+  /// Evaluate with the given variable bindings; throws Error(kNotFound) for
+  /// unbound identifiers. Division by zero yields 0 (likwid prints 0 for
+  /// metrics whose denominator event did not fire, rather than inf).
+  double evaluate(const std::map<std::string, double>& vars) const;
+
+  /// All identifiers referenced by the expression.
+  const std::vector<std::string>& variables() const { return variables_; }
+
+  const std::string& text() const { return text_; }
+
+  struct Node;  ///< implementation detail, public for the parser
+
+ private:
+  MetricExpr() = default;
+
+  std::string text_;
+  std::shared_ptr<const Node> root_;
+  std::vector<std::string> variables_;
+};
+
+}  // namespace likwid::core

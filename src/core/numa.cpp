@@ -1,0 +1,48 @@
+#include "core/numa.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+int NumaTopology::domain_of(int os_id) const {
+  for (const auto& d : domains) {
+    for (const int cpu : d.processors) {
+      if (cpu == os_id) return d.id;
+    }
+  }
+  throw_error(ErrorCode::kNotFound,
+              "no NUMA domain contains cpu " + std::to_string(os_id));
+}
+
+NumaTopology probe_numa(const ossim::SimKernel& kernel) {
+  const auto& machine = kernel.machine();
+  const auto& spec = machine.spec();
+  NumaTopology topo;
+  const int domains = spec.numa_domains();
+  // ACPI SLIT convention: local distance 10; remote scaled by the access
+  // penalty (penalty 0.7 -> distance ~ 10/0.7 ~ 14... capped to >= 11;
+  // real two-socket Nehalem boxes report 21).
+  const int remote_distance = spec.memory.remote_penalty > 0
+                                  ? std::max(11, static_cast<int>(std::lround(
+                                                     10.0 /
+                                                     spec.memory.remote_penalty)))
+                                  : 10;
+  for (int d = 0; d < domains; ++d) {
+    NumaDomain domain;
+    domain.id = d;
+    domain.processors = machine.cpus_of_socket(d);
+    domain.memory_total_gb = 12.0;  // model constant: 12 GB per socket
+    domain.memory_free_gb = 10.5;
+    domain.distances.resize(static_cast<std::size_t>(domains));
+    for (int o = 0; o < domains; ++o) {
+      domain.distances[static_cast<std::size_t>(o)] =
+          o == d ? 10 : remote_distance;
+    }
+    topo.domains.push_back(std::move(domain));
+  }
+  return topo;
+}
+
+}  // namespace likwid::core

@@ -1,0 +1,39 @@
+// numa.hpp — ccNUMA topology reporting.
+//
+// The paper (Section V): "An important feature missing in likwid-topology
+// is to include NUMA information in the output." This module implements
+// that near-term goal: one NUMA domain per socket on the modeled machines,
+// with processor membership, local memory size and the inter-domain
+// distance matrix (the /sys/devices/system/node analog, served here by the
+// simulated kernel).
+#pragma once
+
+#include <vector>
+
+#include "ossim/kernel.hpp"
+
+namespace likwid::core {
+
+struct NumaDomain {
+  int id = 0;
+  std::vector<int> processors;    ///< os ids with local access
+  double memory_total_gb = 0;     ///< local memory size
+  double memory_free_gb = 0;
+  /// Relative access distances to every domain (10 = local, as in ACPI
+  /// SLIT tables; remote values derive from the machine's NUMA penalty).
+  std::vector<int> distances;
+};
+
+struct NumaTopology {
+  std::vector<NumaDomain> domains;
+
+  int num_domains() const { return static_cast<int>(domains.size()); }
+  /// Domain owning a given hardware thread; throws kNotFound if absent.
+  int domain_of(int os_id) const;
+};
+
+/// Probe the node's NUMA layout (the OS-interface counterpart of
+/// probe_topology's cpuid decoding).
+NumaTopology probe_numa(const ossim::SimKernel& kernel);
+
+}  // namespace likwid::core

@@ -1,0 +1,341 @@
+#include "core/perf_groups.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+namespace {
+
+using hwsim::Arch;
+
+std::string bw_formula(const std::string& sum) {
+  return "1.0E-06*(" + sum + ")*64.0/time";
+}
+std::string volume_formula(const std::string& sum) {
+  return "1.0E-09*(" + sum + ")*64.0";
+}
+
+/// Architecture-specific event names feeding the shared group templates.
+struct ArchNames {
+  bool has_fixed = false;     ///< INSTR/CLK counted on fixed counters
+  std::string instr;          ///< instructions event (fixed or GP)
+  std::string cycles;         ///< core cycles event
+  std::string pd, sd, ps, ss; ///< packed/scalar double/single flops
+  std::string loads, stores;  ///< empty if the arch cannot split them
+  std::string l1_in, l1_out;
+  std::string l2_in, l2_out;
+  std::string l2_req, l2_miss;
+  std::string mem_read, mem_write;  ///< or:
+  std::string mem_single;           ///< single bus-transaction event
+  std::string l3_hits, l3_miss;     ///< empty when there is no L3
+  std::string br, br_misp;
+  std::string dtlb;                 ///< empty when not countable
+  int gp_counters = 2;
+};
+
+ArchNames names_for(Arch arch) {
+  ArchNames n;
+  switch (arch) {
+    case Arch::kCore2:
+    case Arch::kAtom:
+      n.has_fixed = true;
+      n.instr = "INSTR_RETIRED_ANY";
+      n.cycles = "CPU_CLK_UNHALTED_CORE";
+      n.pd = "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE";
+      n.sd = "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE";
+      n.ps = "SIMD_COMP_INST_RETIRED_PACKED_SINGLE";
+      n.ss = "SIMD_COMP_INST_RETIRED_SCALAR_SINGLE";
+      n.loads = "INST_RETIRED_LOADS";
+      n.stores = "INST_RETIRED_STORES";
+      n.l1_in = "L1D_REPL";
+      n.l1_out = "L1D_M_EVICT";
+      n.l2_in = "L2_LINES_IN_ANY";
+      n.l2_out = "L2_LINES_OUT_ANY";
+      n.l2_req = "L2_RQSTS_REFERENCES";
+      n.l2_miss = "L2_RQSTS_MISS";
+      n.mem_single = "BUS_TRANS_MEM";
+      n.br = "BR_INST_RETIRED_ANY";
+      n.br_misp = "BR_INST_RETIRED_MISPRED";
+      n.dtlb = "DTLB_MISSES_ANY";
+      n.gp_counters = 2;
+      break;
+    case Arch::kPentiumM:
+      n.has_fixed = false;
+      n.instr = "INSTR_RETIRED";
+      n.cycles = "CPU_CLK_UNHALTED";
+      n.pd = "EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DOUBLE";
+      n.sd = "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DOUBLE";
+      n.ps = "EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_SINGLE";
+      n.ss = "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_SINGLE";
+      n.l1_in = "DCU_LINES_IN";
+      n.l2_in = "L2_LINES_IN";
+      n.l2_out = "L2_LINES_OUT";
+      n.mem_single = "BUS_TRAN_MEM";
+      n.br = "BR_INST_RETIRED";
+      n.br_misp = "BR_MISPRED_RETIRED";
+      n.gp_counters = 2;
+      break;
+    case Arch::kNehalem:
+    case Arch::kWestmere:
+      n.has_fixed = true;
+      n.instr = "INSTR_RETIRED_ANY";
+      n.cycles = "CPU_CLK_UNHALTED_CORE";
+      n.pd = "FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE";
+      n.sd = "FP_COMP_OPS_EXE_SSE_FP_SCALAR_DOUBLE";
+      n.ps = "FP_COMP_OPS_EXE_SSE_FP_PACKED_SINGLE";
+      n.ss = "FP_COMP_OPS_EXE_SSE_FP_SCALAR_SINGLE";
+      n.loads = "MEM_INST_RETIRED_LOADS";
+      n.stores = "MEM_INST_RETIRED_STORES";
+      n.l1_in = "L1D_REPL";
+      n.l1_out = "L1D_M_EVICT";
+      n.l2_in = "L2_LINES_IN_ANY";
+      n.l2_out = "L2_LINES_OUT_ANY";
+      n.l2_req = "L2_RQSTS_REFERENCES";
+      n.l2_miss = "L2_RQSTS_MISS";
+      n.mem_read = "UNC_QMC_NORMAL_READS_ANY";
+      n.mem_write = "UNC_QMC_WRITES_FULL_ANY";
+      n.l3_hits = "UNC_L3_HITS_ANY";
+      n.l3_miss = "UNC_L3_MISS_ANY";
+      n.br = "BR_INST_RETIRED_ALL_BRANCHES";
+      n.br_misp = "BR_MISP_RETIRED_ALL_BRANCHES";
+      n.dtlb = "DTLB_MISSES_ANY";
+      n.gp_counters = 4;
+      break;
+    case Arch::kK8:
+    case Arch::kK10:
+      n.has_fixed = false;
+      n.instr = "RETIRED_INSTRUCTIONS";
+      n.cycles = "CPU_CLOCKS_UNHALTED";
+      n.pd = "SSE_RETIRED_PACKED_DOUBLE";
+      n.sd = "SSE_RETIRED_SCALAR_DOUBLE";
+      n.ps = "SSE_RETIRED_PACKED_SINGLE";
+      n.ss = "SSE_RETIRED_SCALAR_SINGLE";
+      n.l1_in = "DATA_CACHE_REFILLS_L2_AND_NB";
+      n.l1_out = "DATA_CACHE_EVICTED_ALL";
+      n.l2_in = "L2_FILL_WRITEBACK_FILL";
+      n.l2_out = "L2_FILL_WRITEBACK_WB";
+      n.l2_req = "REQUESTS_TO_L2_ALL";
+      n.l2_miss = "L2_CACHE_MISS_ALL";
+      n.mem_read = "DRAM_ACCESSES_DCT0_READ";
+      n.mem_write = "DRAM_ACCESSES_DCT0_WRITE";
+      if (arch == Arch::kK10) {
+        n.l3_hits = "READ_REQUEST_TO_L3_CACHE_ALL";
+        n.l3_miss = "L3_CACHE_MISSES_ALL";
+      }
+      n.br = "RETIRED_BRANCH_INSTRUCTIONS";
+      n.br_misp = "RETIRED_MISPREDICTED_BRANCH_INSTRUCTIONS";
+      n.dtlb = "DTLB_L1_AND_L2_MISS";
+      n.gp_counters = 4;
+      break;
+  }
+  return n;
+}
+
+/// Common metric preamble: Runtime always, CPI where INSTR/CLK are counted.
+void add_common_metrics(EventGroup& g, const ArchNames& n,
+                        bool instr_counted) {
+  g.metrics.push_back({"Runtime [s]", "time"});
+  if (instr_counted) {
+    g.metrics.push_back({"CPI", n.cycles + "/" + n.instr});
+  }
+}
+
+/// On architectures without fixed counters, INSTR and CLK occupy two GP
+/// counters; add them to the set when the budget allows.
+bool add_instr_events(EventGroup& g, const ArchNames& n, int payload) {
+  if (n.has_fixed) return true;  // fixed counters count them implicitly
+  if (payload + 2 <= n.gp_counters) {
+    g.events.insert(g.events.begin(), {n.instr, n.cycles});
+    return true;
+  }
+  return false;
+}
+
+std::optional<EventGroup> build_group(Arch arch, std::string_view name) {
+  const ArchNames n = names_for(arch);
+  EventGroup g;
+  g.name = std::string(name);
+
+  if (name == "FLOPS_DP") {
+    g.description = "Double Precision MFlops/s";
+    g.events = {n.pd, n.sd};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    g.metrics.push_back(
+        {"DP MFlops/s", "1.0E-06*(" + n.pd + "*2.0+" + n.sd + ")/time"});
+    return g;
+  }
+  if (name == "FLOPS_SP") {
+    g.description = "Single Precision MFlops/s";
+    g.events = {n.ps, n.ss};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    g.metrics.push_back(
+        {"SP MFlops/s", "1.0E-06*(" + n.ps + "*4.0+" + n.ss + ")/time"});
+    return g;
+  }
+  if (name == "L2") {
+    if (n.l1_in.empty() || n.l1_out.empty()) return std::nullopt;
+    g.description = "L2 cache bandwidth in MBytes/s";
+    g.events = {n.l1_in, n.l1_out};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    g.metrics.push_back(
+        {"L2 bandwidth [MBytes/s]", bw_formula(n.l1_in + "+" + n.l1_out)});
+    g.metrics.push_back(
+        {"L2 data volume [GBytes]", volume_formula(n.l1_in + "+" + n.l1_out)});
+    return g;
+  }
+  if (name == "L3") {
+    if (n.l2_in.empty() || n.l2_out.empty()) return std::nullopt;
+    // The L3 bandwidth group only makes sense with an L3 cache behind L2.
+    if (n.l3_hits.empty() && arch != Arch::kNehalem && arch != Arch::kWestmere)
+      return std::nullopt;
+    g.description = "L3 cache bandwidth in MBytes/s";
+    g.events = {n.l2_in, n.l2_out};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    g.metrics.push_back(
+        {"L3 bandwidth [MBytes/s]", bw_formula(n.l2_in + "+" + n.l2_out)});
+    g.metrics.push_back(
+        {"L3 data volume [GBytes]", volume_formula(n.l2_in + "+" + n.l2_out)});
+    return g;
+  }
+  if (name == "MEM") {
+    g.description = "Main memory bandwidth in MBytes/s";
+    if (!n.mem_single.empty()) {
+      g.events = {n.mem_single};
+      const bool instr = add_instr_events(g, n, 1);
+      add_common_metrics(g, n, instr);
+      g.metrics.push_back(
+          {"Memory bandwidth [MBytes/s]", bw_formula(n.mem_single)});
+      g.metrics.push_back(
+          {"Memory data volume [GBytes]", volume_formula(n.mem_single)});
+    } else {
+      g.events = {n.mem_read, n.mem_write};
+      const bool instr = add_instr_events(g, n, 2);
+      add_common_metrics(g, n, instr);
+      g.metrics.push_back({"Memory bandwidth [MBytes/s]",
+                           bw_formula(n.mem_read + "+" + n.mem_write)});
+      g.metrics.push_back({"Memory data volume [GBytes]",
+                           volume_formula(n.mem_read + "+" + n.mem_write)});
+    }
+    return g;
+  }
+  if (name == "CACHE") {
+    g.description = "L1 Data cache miss rate/ratio";
+    g.events = {n.l1_in};
+    int payload = 1;
+    const bool with_refs = !n.loads.empty() && n.gp_counters >= 3;
+    if (with_refs) {
+      g.events.push_back(n.loads);
+      g.events.push_back(n.stores);
+      payload = 3;
+    }
+    const bool instr = add_instr_events(g, n, payload);
+    add_common_metrics(g, n, instr);
+    if (instr) {
+      g.metrics.push_back(
+          {"L1 miss rate", n.l1_in + "/" + n.instr});
+    }
+    if (with_refs) {
+      g.metrics.push_back({"L1 miss ratio",
+                           n.l1_in + "/(" + n.loads + "+" + n.stores + ")"});
+    }
+    return g;
+  }
+  if (name == "L2CACHE") {
+    if (n.l2_req.empty()) return std::nullopt;
+    g.description = "L2 Data cache miss rate/ratio";
+    g.events = {n.l2_req, n.l2_miss};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    if (instr) {
+      g.metrics.push_back({"L2 miss rate", n.l2_miss + "/" + n.instr});
+    }
+    g.metrics.push_back({"L2 miss ratio", n.l2_miss + "/" + n.l2_req});
+    return g;
+  }
+  if (name == "L3CACHE") {
+    if (n.l3_hits.empty()) return std::nullopt;
+    g.description = "L3 Data cache miss rate/ratio";
+    g.events = {n.l3_hits, n.l3_miss};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    if (instr) {
+      g.metrics.push_back({"L3 miss rate", n.l3_miss + "/" + n.instr});
+    }
+    g.metrics.push_back(
+        {"L3 miss ratio", n.l3_miss + "/(" + n.l3_hits + "+" + n.l3_miss + ")"});
+    return g;
+  }
+  if (name == "DATA") {
+    if (n.loads.empty()) return std::nullopt;
+    g.description = "Load to store ratio";
+    g.events = {n.loads, n.stores};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    g.metrics.push_back({"Load to store ratio", n.loads + "/" + n.stores});
+    return g;
+  }
+  if (name == "BRANCH") {
+    g.description = "Branch prediction miss rate/ratio";
+    g.events = {n.br, n.br_misp};
+    const bool instr = add_instr_events(g, n, 2);
+    add_common_metrics(g, n, instr);
+    if (instr) {
+      g.metrics.push_back({"Branch rate", n.br + "/" + n.instr});
+      g.metrics.push_back(
+          {"Branch misprediction rate", n.br_misp + "/" + n.instr});
+    }
+    g.metrics.push_back(
+        {"Branch misprediction ratio", n.br_misp + "/" + n.br});
+    return g;
+  }
+  if (name == "TLB") {
+    if (n.dtlb.empty()) return std::nullopt;
+    g.description = "Translation lookaside buffer miss rate/ratio";
+    g.events = {n.dtlb};
+    const bool instr = add_instr_events(g, n, 1);
+    add_common_metrics(g, n, instr);
+    if (instr) {
+      g.metrics.push_back({"DTLB miss rate", n.dtlb + "/" + n.instr});
+    }
+    return g;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const std::vector<std::string>& group_names() {
+  static const std::vector<std::string> kNames = {
+      "FLOPS_DP", "FLOPS_SP", "L2",   "L3",     "MEM", "CACHE",
+      "L2CACHE",  "L3CACHE",  "DATA", "BRANCH", "TLB"};
+  return kNames;
+}
+
+std::vector<EventGroup> supported_groups(hwsim::Arch arch) {
+  std::vector<EventGroup> out;
+  for (const auto& name : group_names()) {
+    if (auto g = build_group(arch, name)) out.push_back(std::move(*g));
+  }
+  return out;
+}
+
+std::optional<EventGroup> find_group(hwsim::Arch arch, std::string_view name) {
+  bool known = false;
+  for (const auto& n : group_names()) {
+    if (n == name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw_error(ErrorCode::kNotFound,
+                "unknown performance group '" + std::string(name) + "'");
+  }
+  return build_group(arch, name);
+}
+
+}  // namespace likwid::core

@@ -1,0 +1,48 @@
+// perf_groups.hpp — the preconfigured event sets ("performance groups")
+// with derived metrics, as listed in the paper:
+//
+//   FLOPS_DP  Double Precision MFlops/s      FLOPS_SP  Single Precision
+//   L2/L3/MEM cache & memory bandwidths      CACHE/L2CACHE/L3CACHE miss
+//   DATA      Load to store ratio            BRANCH / TLB miss rates
+//
+// Groups are defined per architecture over that architecture's documented
+// event names ("we try to provide the same preconfigured event groups on
+// all supported architectures, as long as the native events support them").
+// Architectures without suitable native events simply lack the group.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hwsim/arch.hpp"
+
+namespace likwid::core {
+
+struct GroupMetric {
+  std::string name;     ///< e.g. "DP MFlops/s"
+  std::string formula;  ///< MetricExpr over event names, `time`, `clock`
+};
+
+struct EventGroup {
+  std::string name;         ///< e.g. "FLOPS_DP"
+  std::string description;  ///< paper wording
+  /// Events to program, in display order. Fixed-counter events (on
+  /// architectures that have them) are added implicitly by the measurement
+  /// layer and referenced by the formulas.
+  std::vector<std::string> events;
+  std::vector<GroupMetric> metrics;
+};
+
+/// All group names the suite defines (whether or not an arch supports them).
+const std::vector<std::string>& group_names();
+
+/// Groups available on an architecture.
+std::vector<EventGroup> supported_groups(hwsim::Arch arch);
+
+/// Find a group by name; std::nullopt if this architecture cannot support
+/// it with native events.
+std::optional<EventGroup> find_group(hwsim::Arch arch, std::string_view name);
+
+}  // namespace likwid::core

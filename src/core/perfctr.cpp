@@ -1,0 +1,510 @@
+#include "core/perfctr.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/metric_expr.hpp"
+#include "hwsim/msr.hpp"
+#include "hwsim/pmu.hpp"
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::core {
+
+namespace msr = hwsim::msr;
+using hwsim::CounterClass;
+using hwsim::Vendor;
+
+PerfCtr::PerfCtr(ossim::SimKernel& kernel, std::vector<int> cpus)
+    : kernel_(kernel), cpus_(std::move(cpus)) {
+  LIKWID_REQUIRE(!cpus_.empty(), "no cpus selected for measurement");
+  const auto& machine = kernel_.machine();
+  arch_ = machine.arch();
+  std::set<int> seen;
+  for (const int cpu : cpus_) {
+    LIKWID_REQUIRE(cpu >= 0 && cpu < machine.num_threads(),
+                   "measured cpu " + std::to_string(cpu) +
+                       " does not exist on this machine");
+    LIKWID_REQUIRE(seen.insert(cpu).second,
+                   "cpu " + std::to_string(cpu) + " listed twice");
+  }
+  // Socket locks: the first measured cpu of each socket owns the uncore.
+  std::set<int> locked_sockets;
+  for (const int cpu : cpus_) {
+    const int socket = machine.socket_of(cpu);
+    if (locked_sockets.insert(socket).second) lock_cpus_.push_back(cpu);
+  }
+}
+
+double PerfCtr::clock_hz() const {
+  return kernel_.machine().clock_ghz() * 1e9;
+}
+
+bool PerfCtr::owns_uncore(int cpu) const {
+  return std::find(lock_cpus_.begin(), lock_cpus_.end(), cpu) !=
+         lock_cpus_.end();
+}
+
+void PerfCtr::add_fixed_counters(EventSet& set) const {
+  // "INSTR_RETIRED_ANY and CPU_CLK_UNHALTED_CORE are always counted" on
+  // architectures with fixed counters.
+  const auto& pmu = kernel_.machine().spec().pmu;
+  if (pmu.num_fixed_counters <= 0) return;
+  static constexpr const char* kFixedNames[3] = {
+      "INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE", "CPU_CLK_UNHALTED_REF"};
+  for (int i = 0; i < std::min(2, pmu.num_fixed_counters); ++i) {
+    const hwsim::EventEncoding* enc = hwsim::find_event(arch_, kFixedNames[i]);
+    LIKWID_ASSERT(enc != nullptr && enc->klass == CounterClass::kFixed,
+                  "fixed event missing from arch table");
+    CounterAssignment a;
+    a.event_name = kFixedNames[i];
+    a.counter_name = "FIXC" + std::to_string(i);
+    a.klass = CounterClass::kFixed;
+    a.index = enc->fixed_index;
+    a.encoding = enc;
+    set.assignments.push_back(std::move(a));
+  }
+}
+
+void PerfCtr::validate_and_store(EventSet set) {
+  const auto& pmu = kernel_.machine().spec().pmu;
+  int gp = 0;
+  int unc = 0;
+  std::set<std::string> used_counters;
+  for (const auto& a : set.assignments) {
+    LIKWID_REQUIRE(used_counters.insert(a.counter_name).second,
+                   "counter " + a.counter_name + " assigned twice");
+    switch (a.klass) {
+      case CounterClass::kCore:
+        LIKWID_REQUIRE(a.index >= 0 && a.index < pmu.num_gp_counters,
+                       "no counter " + a.counter_name + " on this cpu");
+        ++gp;
+        break;
+      case CounterClass::kFixed:
+        LIKWID_REQUIRE(a.index >= 0 && a.index < pmu.num_fixed_counters,
+                       "no fixed counter " + a.counter_name);
+        break;
+      case CounterClass::kUncore:
+        LIKWID_REQUIRE(a.index >= 0 && a.index < pmu.num_uncore_counters,
+                       "no uncore counter " + a.counter_name);
+        ++unc;
+        break;
+    }
+  }
+  if (gp > pmu.num_gp_counters) {
+    throw_error(ErrorCode::kResourceExhausted,
+                util::strprintf("%d core events but only %d counters", gp,
+                                pmu.num_gp_counters));
+  }
+  if (unc > pmu.num_uncore_counters) {
+    throw_error(ErrorCode::kResourceExhausted, "too many uncore events");
+  }
+  sets_.push_back(std::move(set));
+}
+
+void PerfCtr::add_group(const std::string& group_name) {
+  LIKWID_REQUIRE(!running_, "cannot add event sets while counting");
+  const auto group = find_group(arch_, group_name);
+  if (!group) {
+    throw_error(ErrorCode::kUnsupported,
+                "group " + group_name + " is not supported on " +
+                    std::string(hwsim::to_string(arch_)));
+  }
+  EventSet set;
+  set.group = *group;
+  add_fixed_counters(set);
+  int next_pmc = 0;
+  int next_upmc = 0;
+  for (const auto& name : group->events) {
+    const hwsim::EventEncoding* enc = hwsim::find_event(arch_, name);
+    LIKWID_ASSERT(enc != nullptr, "group references unknown event " + name);
+    CounterAssignment a;
+    a.event_name = name;
+    a.encoding = enc;
+    a.klass = enc->klass;
+    if (enc->klass == CounterClass::kUncore) {
+      a.index = next_upmc++;
+      a.counter_name = "UPMC" + std::to_string(a.index);
+    } else if (enc->klass == CounterClass::kFixed) {
+      continue;  // already added implicitly
+    } else {
+      a.index = next_pmc++;
+      a.counter_name = "PMC" + std::to_string(a.index);
+    }
+    set.assignments.push_back(std::move(a));
+  }
+  validate_and_store(std::move(set));
+}
+
+void PerfCtr::add_custom(const std::string& event_spec) {
+  LIKWID_REQUIRE(!running_, "cannot add event sets while counting");
+  EventSet set;
+  add_fixed_counters(set);
+  int next_pmc = 0;
+  int next_upmc = 0;
+  for (const auto& item : util::split_trimmed(event_spec, ',')) {
+    const auto parts = util::split(item, ':');
+    LIKWID_REQUIRE(parts.size() <= 2, "malformed event '" + item + "'");
+    const std::string name(util::trim(parts[0]));
+    const hwsim::EventEncoding* enc = hwsim::find_event(arch_, name);
+    if (enc == nullptr) {
+      throw_error(ErrorCode::kNotFound,
+                  "event " + name + " is not documented for " +
+                      std::string(hwsim::to_string(arch_)));
+    }
+    CounterAssignment a;
+    a.event_name = name;
+    a.encoding = enc;
+    a.klass = enc->klass;
+    if (enc->klass == CounterClass::kFixed) continue;  // implicit
+    if (parts.size() == 2) {
+      const std::string counter(util::trim(parts[1]));
+      std::string prefix;
+      if (util::starts_with(counter, "UPMC")) {
+        prefix = "UPMC";
+      } else if (util::starts_with(counter, "PMC")) {
+        prefix = "PMC";
+      } else {
+        throw_error(ErrorCode::kInvalidArgument,
+                    "unknown counter '" + counter + "' (use PMCn or UPMCn)");
+      }
+      const auto idx = util::parse_u64(counter.substr(prefix.size()));
+      LIKWID_REQUIRE(idx.has_value(),
+                     "malformed counter name '" + counter + "'");
+      const bool want_uncore = prefix == "UPMC";
+      if (want_uncore != (enc->klass == CounterClass::kUncore)) {
+        throw_error(ErrorCode::kInvalidArgument,
+                    "event " + name + " cannot be counted on " + counter);
+      }
+      a.index = static_cast<int>(*idx);
+      a.counter_name = counter;
+    } else if (enc->klass == CounterClass::kUncore) {
+      a.index = next_upmc++;
+      a.counter_name = "UPMC" + std::to_string(a.index);
+    } else {
+      a.index = next_pmc++;
+      a.counter_name = "PMC" + std::to_string(a.index);
+    }
+    set.assignments.push_back(std::move(a));
+  }
+  LIKWID_REQUIRE(!set.assignments.empty(), "empty event specification");
+  validate_and_store(std::move(set));
+}
+
+const std::optional<EventGroup>& PerfCtr::group_of(int set) const {
+  LIKWID_REQUIRE(set >= 0 && set < num_event_sets(), "event set out of range");
+  return sets_[static_cast<std::size_t>(set)].group;
+}
+
+const std::vector<CounterAssignment>& PerfCtr::assignments_of(int set) const {
+  LIKWID_REQUIRE(set >= 0 && set < num_event_sets(), "event set out of range");
+  return sets_[static_cast<std::size_t>(set)].assignments;
+}
+
+std::uint32_t PerfCtr::counter_msr(const CounterAssignment& a) const {
+  const bool amd = kernel_.machine().spec().vendor == Vendor::kAmd;
+  switch (a.klass) {
+    case CounterClass::kCore:
+      return (amd ? msr::kAmdPerfCtr0 : msr::kPmc0) +
+             static_cast<std::uint32_t>(a.index);
+    case CounterClass::kFixed:
+      return msr::kFixedCtr0 + static_cast<std::uint32_t>(a.index);
+    case CounterClass::kUncore:
+      return msr::kUncPmc0 + static_cast<std::uint32_t>(a.index);
+  }
+  return 0;
+}
+
+std::uint32_t PerfCtr::select_msr(const CounterAssignment& a) const {
+  const bool amd = kernel_.machine().spec().vendor == Vendor::kAmd;
+  switch (a.klass) {
+    case CounterClass::kCore:
+      return (amd ? msr::kAmdPerfCtl0 : msr::kPerfEvtSel0) +
+             static_cast<std::uint32_t>(a.index);
+    case CounterClass::kUncore:
+      return msr::kUncPerfEvtSel0 + static_cast<std::uint32_t>(a.index);
+    case CounterClass::kFixed:
+      return msr::kFixedCtrCtrl;
+  }
+  return 0;
+}
+
+int PerfCtr::counter_bits(const CounterAssignment& a) const {
+  const auto& pmu = kernel_.machine().spec().pmu;
+  switch (a.klass) {
+    case CounterClass::kCore: return pmu.gp_counter_bits;
+    case CounterClass::kFixed: return 48;
+    case CounterClass::kUncore: return pmu.uncore_counter_bits;
+  }
+  return 48;
+}
+
+void PerfCtr::program_set(const EventSet& set) {
+  const auto& spec = kernel_.machine().spec();
+  const bool amd = spec.vendor == Vendor::kAmd;
+  for (const int cpu : cpus_) {
+    bool any_fixed = false;
+    for (const auto& a : set.assignments) {
+      if (a.klass == CounterClass::kFixed) {
+        any_fixed = true;
+        kernel_.msr_write(cpu, counter_msr(a), 0);
+        continue;
+      }
+      if (a.klass == CounterClass::kUncore) {
+        if (!owns_uncore(cpu)) continue;
+        std::uint64_t sel = 0;
+        sel = util::deposit_bits(sel, msr::kEvtSelEventLo, msr::kEvtSelEventHi,
+                                 a.encoding->event_code);
+        sel = util::deposit_bits(sel, msr::kEvtSelUmaskLo, msr::kEvtSelUmaskHi,
+                                 a.encoding->umask);
+        sel = util::assign_bit(sel, msr::kEvtSelEnable, true);
+        kernel_.msr_write(cpu, select_msr(a), sel);
+        kernel_.msr_write(cpu, counter_msr(a), 0);
+        continue;
+      }
+      std::uint64_t sel = 0;
+      sel = util::deposit_bits(sel, msr::kEvtSelEventLo, msr::kEvtSelEventHi,
+                               a.encoding->event_code & 0xFF);
+      if (amd && a.encoding->event_code > 0xFF) {
+        sel = util::deposit_bits(sel, msr::kAmdEvtSelExtLo, msr::kAmdEvtSelExtHi,
+                                 a.encoding->event_code >> 8);
+      }
+      sel = util::deposit_bits(sel, msr::kEvtSelUmaskLo, msr::kEvtSelUmaskHi,
+                               a.encoding->umask);
+      sel = util::assign_bit(sel, msr::kEvtSelUsr, true);
+      sel = util::assign_bit(sel, msr::kEvtSelOs, true);
+      sel = util::assign_bit(sel, msr::kEvtSelEnable, true);
+      kernel_.msr_write(cpu, select_msr(a), sel);
+      kernel_.msr_write(cpu, counter_msr(a), 0);
+    }
+    if (any_fixed) {
+      // Enable all present fixed counters for ring 0+3 (0x3 per counter).
+      std::uint64_t ctrl = 0;
+      for (int i = 0; i < spec.pmu.num_fixed_counters; ++i) {
+        ctrl |= std::uint64_t{0x3} << (4 * i);
+      }
+      kernel_.msr_write(cpu, msr::kFixedCtrCtrl, ctrl);
+    }
+  }
+}
+
+void PerfCtr::enable_set(const EventSet& set) {
+  const auto& spec = kernel_.machine().spec();
+  if (spec.vendor == Vendor::kAmd) return;  // per-counter EN bits suffice
+  if (!spec.pmu.has_global_ctrl) return;
+  std::uint64_t global = 0;
+  for (int i = 0; i < spec.pmu.num_gp_counters; ++i) {
+    global = util::assign_bit(global, static_cast<unsigned>(i), true);
+  }
+  for (int i = 0; i < spec.pmu.num_fixed_counters; ++i) {
+    global = util::assign_bit(global, 32u + static_cast<unsigned>(i), true);
+  }
+  for (const int cpu : cpus_) {
+    kernel_.msr_write(cpu, msr::kPerfGlobalCtrl, global);
+  }
+  if (spec.pmu.num_uncore_counters > 0) {
+    bool any_uncore = false;
+    for (const auto& a : set.assignments) {
+      any_uncore = any_uncore || a.klass == CounterClass::kUncore;
+    }
+    if (any_uncore) {
+      std::uint64_t unc = std::uint64_t{1} << 32;  // fixed uncore clock
+      for (int i = 0; i < spec.pmu.num_uncore_counters; ++i) {
+        unc = util::assign_bit(unc, static_cast<unsigned>(i), true);
+      }
+      for (const int cpu : lock_cpus_) {
+        kernel_.msr_write(cpu, msr::kUncFixedCtrCtrl, 1);
+        kernel_.msr_write(cpu, msr::kUncPerfGlobalCtrl, unc);
+      }
+    }
+  }
+}
+
+void PerfCtr::disable_set(const EventSet& set) {
+  const auto& spec = kernel_.machine().spec();
+  if (spec.vendor == Vendor::kAmd) {
+    for (const int cpu : cpus_) {
+      for (const auto& a : set.assignments) {
+        if (a.klass != CounterClass::kCore) continue;
+        const std::uint64_t sel = kernel_.msr_read(cpu, select_msr(a));
+        kernel_.msr_write(cpu, select_msr(a),
+                          util::assign_bit(sel, msr::kEvtSelEnable, false));
+      }
+    }
+    return;
+  }
+  if (spec.pmu.has_global_ctrl) {
+    for (const int cpu : cpus_) {
+      kernel_.msr_write(cpu, msr::kPerfGlobalCtrl, 0);
+    }
+    if (spec.pmu.num_uncore_counters > 0) {
+      for (const int cpu : lock_cpus_) {
+        kernel_.msr_write(cpu, msr::kUncPerfGlobalCtrl, 0);
+      }
+    }
+  } else {
+    // Pre-global-ctrl parts: clear the per-counter enable bits.
+    for (const int cpu : cpus_) {
+      for (const auto& a : set.assignments) {
+        if (a.klass != CounterClass::kCore) continue;
+        const std::uint64_t sel = kernel_.msr_read(cpu, select_msr(a));
+        kernel_.msr_write(cpu, select_msr(a),
+                          util::assign_bit(sel, msr::kEvtSelEnable, false));
+      }
+    }
+  }
+  if (spec.pmu.num_fixed_counters > 0) {
+    for (const int cpu : cpus_) {
+      kernel_.msr_write(cpu, msr::kFixedCtrCtrl, 0);
+    }
+  }
+}
+
+void PerfCtr::start() {
+  LIKWID_REQUIRE(!running_, "counters already running");
+  LIKWID_REQUIRE(!sets_.empty(), "no event set configured");
+  const EventSet& set = sets_[static_cast<std::size_t>(current_)];
+  program_set(set);
+  enable_set(set);
+  start_values_.clear();
+  for (const int cpu : cpus_) {
+    start_values_[cpu] = snapshot(cpu);
+  }
+  start_time_ = kernel_.now();
+  running_ = true;
+}
+
+void PerfCtr::stop() {
+  LIKWID_REQUIRE(running_, "counters are not running");
+  EventSet& set = sets_[static_cast<std::size_t>(current_)];
+  for (const int cpu : cpus_) {
+    const CounterSnapshot after = snapshot(cpu);
+    const std::vector<double> delta =
+        snapshot_delta(start_values_.at(cpu), after);
+    auto& counts = set.results.counts[cpu];
+    for (std::size_t i = 0; i < set.assignments.size(); ++i) {
+      counts[set.assignments[i].event_name] += delta[i];
+    }
+  }
+  set.results.measured_seconds += kernel_.now() - start_time_;
+  disable_set(set);
+  running_ = false;
+}
+
+void PerfCtr::rotate() {
+  stop();
+  current_ = (current_ + 1) % num_event_sets();
+  start();
+}
+
+CounterSnapshot PerfCtr::snapshot(int cpu) const {
+  LIKWID_REQUIRE(!sets_.empty(), "no event set configured");
+  const EventSet& set = sets_[static_cast<std::size_t>(current_)];
+  CounterSnapshot snap;
+  snap.values.reserve(set.assignments.size());
+  for (const auto& a : set.assignments) {
+    if (a.klass == CounterClass::kUncore && !owns_uncore(cpu)) {
+      snap.values.push_back(0);
+      continue;
+    }
+    snap.values.push_back(kernel_.msr_read(cpu, counter_msr(a)));
+  }
+  return snap;
+}
+
+std::vector<double> PerfCtr::snapshot_delta(const CounterSnapshot& before,
+                                            const CounterSnapshot& after) const {
+  const EventSet& set = sets_[static_cast<std::size_t>(current_)];
+  LIKWID_REQUIRE(before.values.size() == set.assignments.size() &&
+                     after.values.size() == set.assignments.size(),
+                 "snapshot does not match the current event set");
+  std::vector<double> delta(set.assignments.size());
+  for (std::size_t i = 0; i < set.assignments.size(); ++i) {
+    delta[i] = static_cast<double>(hwsim::counter_delta(
+        before.values[i], after.values[i],
+        counter_bits(set.assignments[i])));
+  }
+  return delta;
+}
+
+const PerfCtr::SetResults& PerfCtr::results(int set) const {
+  LIKWID_REQUIRE(set >= 0 && set < num_event_sets(), "event set out of range");
+  return sets_[static_cast<std::size_t>(set)].results;
+}
+
+double PerfCtr::total_seconds() const {
+  double total = 0;
+  for (const auto& s : sets_) total += s.results.measured_seconds;
+  return total;
+}
+
+double PerfCtr::extrapolated_count(int set, int cpu,
+                                   const std::string& event) const {
+  const SetResults& r = results(set);
+  const auto cpu_it = r.counts.find(cpu);
+  if (cpu_it == r.counts.end()) return 0;
+  const auto ev_it = cpu_it->second.find(event);
+  if (ev_it == cpu_it->second.end()) return 0;
+  if (num_event_sets() <= 1 || r.measured_seconds <= 0) return ev_it->second;
+  return ev_it->second * total_seconds() / r.measured_seconds;
+}
+
+std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics(int set) const {
+  std::map<int, std::map<std::string, double>> counts;
+  for (const int cpu : cpus_) {
+    for (const auto& a : assignments_of(set)) {
+      counts[cpu][a.event_name] = extrapolated_count(set, cpu, a.event_name);
+    }
+  }
+  return compute_metrics_for(set, counts);
+}
+
+std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics_for(
+    int set, const std::map<int, std::map<std::string, double>>& counts,
+    double fallback_seconds) const {
+  const auto& group = group_of(set);
+  LIKWID_REQUIRE(group.has_value(),
+                 "metrics require a performance group event set");
+  const EventSet& es = sets_[static_cast<std::size_t>(set)];
+
+  // Does this set count core cycles? If so, per-cpu runtime is derived
+  // from them; otherwise fall back to wall time.
+  std::string cycles_event;
+  for (const auto& a : es.assignments) {
+    if (a.encoding != nullptr &&
+        a.encoding->id == hwsim::EventId::kCoreCycles) {
+      cycles_event = a.event_name;
+    }
+  }
+
+  std::vector<MetricRow> rows;
+  for (const auto& metric : group->metrics) {
+    const MetricExpr expr = MetricExpr::parse(metric.formula);
+    MetricRow row;
+    row.name = metric.name;
+    for (const int cpu : cpus_) {
+      // Default every event of the set to 0 so metrics for cpus absent
+      // from `counts` (e.g. cores that never entered a marker region)
+      // evaluate instead of failing on unbound variables.
+      std::map<std::string, double> vars;
+      for (const auto& a : es.assignments) vars[a.event_name] = 0.0;
+      const auto cpu_it = counts.find(cpu);
+      if (cpu_it != counts.end()) {
+        for (const auto& [name, value] : cpu_it->second) vars[name] = value;
+      }
+      double time = fallback_seconds >= 0 ? fallback_seconds
+                                          : es.results.measured_seconds;
+      if (!cycles_event.empty() && vars.count(cycles_event) != 0) {
+        time = vars.at(cycles_event) / clock_hz();
+      }
+      vars["time"] = time;
+      vars["clock"] = clock_hz();
+      row.per_cpu[cpu] = expr.evaluate(vars);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace likwid::core

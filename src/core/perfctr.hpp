@@ -1,0 +1,147 @@
+// perfctr.hpp — likwid-perfctr's measurement core.
+//
+// Responsibilities, mirroring the real tool:
+//   * translate event names / performance groups into counter programming
+//     for the target architecture (PMC/FIXC/UPMC assignment, with fixed
+//     counters always measured on architectures that have them),
+//   * enforce "socket locks" for uncore events: exactly one measured
+//     hardware thread per socket programs and reads the uncore PMU,
+//   * start/stop/read counters through the msr device with wrap-aware
+//     deltas, strictly core-based (whatever runs on a measured core is
+//     counted — the tool never filters by process),
+//   * counter multiplexing: several event sets measured round-robin, with
+//     counts extrapolated to the full runtime,
+//   * derived metrics evaluated from the group formulas.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/perf_groups.hpp"
+#include "hwsim/arch.hpp"
+#include "ossim/kernel.hpp"
+
+namespace likwid::core {
+
+/// A single event placed on a physical counter.
+struct CounterAssignment {
+  std::string event_name;
+  std::string counter_name;  ///< "PMC0", "FIXC1", "UPMC3"
+  hwsim::CounterClass klass = hwsim::CounterClass::kCore;
+  int index = 0;             ///< index within the class
+  const hwsim::EventEncoding* encoding = nullptr;
+};
+
+/// Raw counter snapshot for one cpu (used by the marker API).
+struct CounterSnapshot {
+  std::vector<std::uint64_t> values;  ///< one per assignment of the set
+};
+
+class PerfCtr {
+ public:
+  /// Measure on the given hardware threads (os ids, as `-c 0-3`).
+  PerfCtr(ossim::SimKernel& kernel, std::vector<int> cpus);
+
+  PerfCtr(const PerfCtr&) = delete;
+  PerfCtr& operator=(const PerfCtr&) = delete;
+
+  // --- configuration ----------------------------------------------------
+
+  /// Append a performance group as the next event set. Throws
+  /// Error(kUnsupported) if the architecture lacks the group.
+  void add_group(const std::string& group_name);
+
+  /// Append a custom event set: "EVT:PMC0,EVT2:PMC1" with explicit
+  /// counters, or "EVT,EVT2" for automatic assignment.
+  void add_custom(const std::string& event_spec);
+
+  int num_event_sets() const { return static_cast<int>(sets_.size()); }
+  int current_set() const { return current_; }
+
+  /// The group behind a set (std::nullopt for custom sets).
+  const std::optional<EventGroup>& group_of(int set) const;
+  const std::vector<CounterAssignment>& assignments_of(int set) const;
+
+  // --- measurement ------------------------------------------------------
+
+  void start();   ///< program + zero + enable the current set
+  void stop();    ///< disable and accumulate deltas + elapsed time
+  void rotate();  ///< multiplexing: stop, advance to the next set, start
+
+  bool running() const { return running_; }
+
+  /// Raw per-cpu snapshot of the current set's counters (marker API).
+  CounterSnapshot snapshot(int cpu) const;
+
+  /// Wrap-aware difference between two snapshots of the current set.
+  std::vector<double> snapshot_delta(const CounterSnapshot& before,
+                                     const CounterSnapshot& after) const;
+
+  // --- results ------------------------------------------------------------
+
+  struct SetResults {
+    std::map<int, std::map<std::string, double>> counts;  ///< cpu -> event -> count
+    double measured_seconds = 0;  ///< time this set was live
+  };
+  const SetResults& results(int set) const;
+
+  /// Total measured wall time across all sets.
+  double total_seconds() const;
+
+  /// Counts corrected for multiplexing: measured * total/measured_time.
+  double extrapolated_count(int set, int cpu, const std::string& event) const;
+
+  struct MetricRow {
+    std::string name;
+    std::map<int, double> per_cpu;
+  };
+  /// Evaluate the derived metrics of a group set per measured cpu.
+  std::vector<MetricRow> compute_metrics(int set) const;
+
+  /// Inject externally accumulated counts (marker regions reuse the group
+  /// machinery for metric evaluation and reporting). `fallback_seconds`
+  /// supplies the runtime for formulas when the set counts no cycles event
+  /// (negative: use the set's measured wall time).
+  std::vector<MetricRow> compute_metrics_for(
+      int set, const std::map<int, std::map<std::string, double>>& counts,
+      double fallback_seconds = -1.0) const;
+
+  const std::vector<int>& cpus() const { return cpus_; }
+  ossim::SimKernel& kernel() { return kernel_; }
+  /// Socket-lock holders: the first measured cpu of each socket.
+  const std::vector<int>& socket_lock_cpus() const { return lock_cpus_; }
+  hwsim::Arch arch() const { return arch_; }
+  double clock_hz() const;
+
+ private:
+  struct EventSet {
+    std::vector<CounterAssignment> assignments;
+    std::optional<EventGroup> group;
+    SetResults results;
+  };
+
+  void add_fixed_counters(EventSet& set) const;
+  void validate_and_store(EventSet set);
+  std::uint32_t counter_msr(const CounterAssignment& a) const;
+  std::uint32_t select_msr(const CounterAssignment& a) const;
+  int counter_bits(const CounterAssignment& a) const;
+  bool owns_uncore(int cpu) const;
+  void program_set(const EventSet& set);
+  void enable_set(const EventSet& set);
+  void disable_set(const EventSet& set);
+
+  ossim::SimKernel& kernel_;
+  hwsim::Arch arch_;
+  std::vector<int> cpus_;
+  std::vector<int> lock_cpus_;
+  std::vector<EventSet> sets_;
+  int current_ = 0;
+  bool running_ = false;
+  double start_time_ = 0;
+  /// start values per cpu per assignment of the running set
+  std::map<int, CounterSnapshot> start_values_;
+};
+
+}  // namespace likwid::core

@@ -1,0 +1,52 @@
+#include "core/sampling.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+SamplingProfiler::SamplingProfiler(PerfCtr& ctr, int cpu,
+                                   int assignment_index,
+                                   std::uint64_t period,
+                                   double interrupt_cycles)
+    : ctr_(ctr),
+      cpu_(cpu),
+      index_(assignment_index),
+      period_(period),
+      interrupt_cycles_(interrupt_cycles) {
+  LIKWID_REQUIRE(period_ > 0, "sampling period must be positive");
+  LIKWID_REQUIRE(interrupt_cycles_ >= 0, "interrupt cost cannot be negative");
+  LIKWID_REQUIRE(ctr_.running(), "attach the profiler to started counters");
+  const auto& assignments = ctr_.assignments_of(ctr_.current_set());
+  LIKWID_REQUIRE(assignment_index >= 0 &&
+                     assignment_index <
+                         static_cast<int>(assignments.size()),
+                 "assignment index out of range");
+  bool measured = false;
+  for (const int c : ctr_.cpus()) {
+    if (c == cpu_) measured = true;
+  }
+  LIKWID_REQUIRE(measured, "cpu is not measured by this PerfCtr");
+  last_ = ctr_.snapshot(cpu_);
+}
+
+void SamplingProfiler::poll(const std::string& label) {
+  const CounterSnapshot now = ctr_.snapshot(cpu_);
+  const std::vector<double> delta = ctr_.snapshot_delta(last_, now);
+  last_ = now;
+  pending_ += delta[static_cast<std::size_t>(index_)];
+  if (pending_ < static_cast<double>(period_)) return;
+  const double fired = std::floor(pending_ / static_cast<double>(period_));
+  pending_ -= fired * static_cast<double>(period_);
+  const auto n = static_cast<std::uint64_t>(fired);
+  samples_ += n;
+  histogram_[label] += n;
+}
+
+double SamplingProfiler::overhead_seconds() const {
+  return static_cast<double>(samples_) * interrupt_cycles_ /
+         ctr_.clock_hz();
+}
+
+}  // namespace likwid::core

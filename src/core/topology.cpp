@@ -1,0 +1,360 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+using hwsim::CpuidRegs;
+using hwsim::Vendor;
+using util::extract_bits;
+
+namespace {
+
+Vendor decode_vendor(const CpuidRegs& leaf0) {
+  char text[13] = {};
+  std::memcpy(text + 0, &leaf0.ebx, 4);
+  std::memcpy(text + 4, &leaf0.edx, 4);
+  std::memcpy(text + 8, &leaf0.ecx, 4);
+  if (std::string_view(text) == "GenuineIntel") return Vendor::kIntel;
+  if (std::string_view(text) == "AuthenticAMD") return Vendor::kAmd;
+  throw_error(ErrorCode::kUnsupported,
+              std::string("unknown cpu vendor '") + text + "'");
+}
+
+std::string display_name(hwsim::Arch arch, std::uint32_t model) {
+  switch (arch) {
+    case hwsim::Arch::kPentiumM:
+      return model == 0x09 ? "Intel Pentium M Banias processor"
+                           : "Intel Pentium M Dothan processor";
+    case hwsim::Arch::kAtom: return "Intel Atom processor";
+    case hwsim::Arch::kCore2:
+      return model == 0x0F ? "Intel Core 2 65nm processor"
+                           : "Intel Core 2 45nm processor";
+    case hwsim::Arch::kNehalem: return "Intel Nehalem EP processor";
+    case hwsim::Arch::kWestmere: return "Intel Westmere EP processor";
+    case hwsim::Arch::kK8: return "AMD K8 processor";
+    case hwsim::Arch::kK10: return "AMD K10 processor";
+  }
+  return "Unknown processor";
+}
+
+struct ApicDecode {
+  std::uint32_t apic_id = 0;
+  int smt = 0;
+  int core = 0;
+  int socket = 0;
+};
+
+}  // namespace
+
+NodeTopology probe_topology(const CpuidSource& cpuid, int num_cpus,
+                            double clock_ghz) {
+  LIKWID_REQUIRE(num_cpus >= 1, "node has no cpus");
+  NodeTopology topo;
+  topo.clock_ghz = clock_ghz;
+  topo.num_hw_threads = num_cpus;
+
+  const CpuidRegs leaf0 = cpuid(0, 0x0, 0);
+  const std::uint32_t max_leaf = leaf0.eax;
+  topo.vendor = decode_vendor(leaf0);
+
+  const CpuidRegs leaf1 = cpuid(0, 0x1, 0);
+  const std::uint32_t base_family = extract_bits(leaf1.eax, 8, 11);
+  const std::uint32_t ext_family = extract_bits(leaf1.eax, 20, 27);
+  const std::uint32_t base_model = extract_bits(leaf1.eax, 4, 7);
+  const std::uint32_t ext_model = extract_bits(leaf1.eax, 16, 19);
+  topo.family = base_family == 0xF ? base_family + ext_family : base_family;
+  topo.model = (ext_model << 4) | base_model;
+  topo.stepping = extract_bits(leaf1.eax, 0, 3);
+  topo.arch = hwsim::classify_arch(topo.vendor, topo.family, topo.model);
+  topo.cpu_name = display_name(topo.arch, topo.model);
+
+  // --- per-cpu APIC decoding -------------------------------------------
+  std::vector<ApicDecode> apics(static_cast<std::size_t>(num_cpus));
+  const bool has_leaf_b =
+      topo.vendor == Vendor::kIntel && max_leaf >= 0xB &&
+      cpuid(0, 0xB, 0).ebx != 0;
+
+  if (has_leaf_b) {
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+      const CpuidRegs sl0 = cpuid(cpu, 0xB, 0);
+      const CpuidRegs sl1 = cpuid(cpu, 0xB, 1);
+      const unsigned smt_width = extract_bits(sl0.eax, 0, 4);
+      const unsigned pkg_width = extract_bits(sl1.eax, 0, 4);
+      const std::uint32_t x2apic = sl0.edx;
+      ApicDecode d;
+      d.apic_id = x2apic;
+      d.smt = smt_width == 0
+                  ? 0
+                  : static_cast<int>(extract_bits(x2apic, 0, smt_width - 1));
+      d.core = pkg_width == smt_width
+                   ? 0
+                   : static_cast<int>(
+                         extract_bits(x2apic, smt_width, pkg_width - 1));
+      d.socket = static_cast<int>(x2apic >> pkg_width);
+      apics[static_cast<std::size_t>(cpu)] = d;
+    }
+  } else if (topo.vendor == Vendor::kIntel) {
+    // Legacy Intel: leaf 1 gives logical count + initial APIC id, leaf 4
+    // gives cores per package.
+    const std::uint32_t logical_per_pkg = extract_bits(leaf1.ebx, 16, 23);
+    std::uint32_t cores_per_pkg = 1;
+    if (max_leaf >= 0x4) {
+      const CpuidRegs l4 = cpuid(0, 0x4, 0);
+      if (extract_bits(l4.eax, 0, 4) != 0) {
+        cores_per_pkg =
+            static_cast<std::uint32_t>(extract_bits(l4.eax, 26, 31)) + 1;
+      }
+    }
+    const std::uint32_t smt_per_core =
+        std::max(1u, logical_per_pkg / std::max(1u, cores_per_pkg));
+    const unsigned smt_width = util::field_width(smt_per_core);
+    const unsigned core_width = util::field_width(cores_per_pkg);
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+      const CpuidRegs l1 = cpuid(cpu, 0x1, 0);
+      const std::uint32_t apic = extract_bits(l1.ebx, 24, 31);
+      ApicDecode d;
+      d.apic_id = apic;
+      d.smt = smt_width == 0
+                  ? 0
+                  : static_cast<int>(extract_bits(apic, 0, smt_width - 1));
+      d.core = core_width == 0
+                   ? 0
+                   : static_cast<int>(extract_bits(apic, smt_width,
+                                                   smt_width + core_width - 1));
+      d.socket = static_cast<int>(apic >> (smt_width + core_width));
+      apics[static_cast<std::size_t>(cpu)] = d;
+    }
+  } else {
+    // AMD: core count from 0x80000008, APIC id from leaf 1.
+    const CpuidRegs l8 = cpuid(0, 0x80000008u, 0);
+    const std::uint32_t nc = extract_bits(l8.ecx, 0, 7) + 1;
+    unsigned core_width = extract_bits(l8.ecx, 12, 15);
+    if (core_width == 0) core_width = util::field_width(nc);
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+      const CpuidRegs l1 = cpuid(cpu, 0x1, 0);
+      const std::uint32_t apic = extract_bits(l1.ebx, 24, 31);
+      ApicDecode d;
+      d.apic_id = apic;
+      d.smt = 0;
+      d.core = core_width == 0
+                   ? 0
+                   : static_cast<int>(extract_bits(apic, 0, core_width - 1));
+      d.socket = static_cast<int>(apic >> core_width);
+      apics[static_cast<std::size_t>(cpu)] = d;
+    }
+  }
+
+  // --- aggregate thread topology ---------------------------------------
+  std::set<int> socket_ids;
+  std::map<std::pair<int, int>, std::vector<int>> core_members;
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    const ApicDecode& d = apics[static_cast<std::size_t>(cpu)];
+    socket_ids.insert(d.socket);
+    core_members[{d.socket, d.core}].push_back(cpu);
+    ThreadEntry e;
+    e.os_id = cpu;
+    e.apic_id = d.apic_id;
+    e.thread_id = d.smt;
+    e.core_id = d.core;
+    e.socket_id = d.socket;
+    topo.threads.push_back(e);
+  }
+  topo.num_sockets = static_cast<int>(socket_ids.size());
+  LIKWID_ASSERT(topo.num_sockets > 0, "no sockets decoded");
+  LIKWID_ASSERT(core_members.size() % socket_ids.size() == 0,
+                "uneven cores per socket");
+  topo.num_cores_per_socket =
+      static_cast<int>(core_members.size() / socket_ids.size());
+  topo.num_threads_per_core =
+      static_cast<int>(core_members.begin()->second.size());
+
+  topo.sockets.resize(socket_ids.size());
+  for (const auto& t : topo.threads) {
+    topo.sockets[static_cast<std::size_t>(t.socket_id)].push_back(t.os_id);
+  }
+  // Socket member lists in likwid order: SMT siblings adjacent
+  // "( 0 12 1 13 2 14 ... )" — sort by (core, smt).
+  for (auto& members : topo.sockets) {
+    std::sort(members.begin(), members.end(), [&](int a, int b) {
+      const auto& ta = topo.threads[static_cast<std::size_t>(a)];
+      const auto& tb = topo.threads[static_cast<std::size_t>(b)];
+      if (ta.core_id != tb.core_id) return ta.core_id < tb.core_id;
+      return ta.thread_id < tb.thread_id;
+    });
+  }
+  for (auto& [key, members] : core_members) {
+    std::sort(members.begin(), members.end(), [&](int a, int b) {
+      return topo.threads[static_cast<std::size_t>(a)].thread_id <
+             topo.threads[static_cast<std::size_t>(b)].thread_id;
+    });
+    topo.cores.push_back(members);
+  }
+
+  // --- cache topology ---------------------------------------------------
+  const int threads_per_socket =
+      topo.num_cores_per_socket * topo.num_threads_per_core;
+
+  const auto add_groups = [&](CacheEntry& entry) {
+    // Build the sharing groups structurally from the decoded thread map:
+    // an instance covers `threads_sharing` hw threads = a run of
+    // consecutive cores (by core rank within the socket) times SMT.
+    const int cores_per_instance =
+        std::max(1, entry.threads_sharing / topo.num_threads_per_core);
+    // Rank cores within each socket by core_id.
+    for (int s = 0; s < topo.num_sockets; ++s) {
+      std::vector<std::vector<int>> socket_cores;
+      for (const auto& core : topo.cores) {
+        if (topo.threads[static_cast<std::size_t>(core.front())].socket_id ==
+            s) {
+          socket_cores.push_back(core);
+        }
+      }
+      std::sort(socket_cores.begin(), socket_cores.end(),
+                [&](const auto& a, const auto& b) {
+                  return topo.threads[static_cast<std::size_t>(a.front())]
+                             .core_id <
+                         topo.threads[static_cast<std::size_t>(b.front())]
+                             .core_id;
+                });
+      for (std::size_t c = 0; c < socket_cores.size();
+           c += static_cast<std::size_t>(cores_per_instance)) {
+        std::vector<int> group;
+        for (int k = 0; k < cores_per_instance &&
+                        c + static_cast<std::size_t>(k) < socket_cores.size();
+             ++k) {
+          for (const int os : socket_cores[c + static_cast<std::size_t>(k)]) {
+            group.push_back(os);
+          }
+        }
+        entry.groups.push_back(std::move(group));
+      }
+    }
+  };
+
+  if (topo.vendor == Vendor::kIntel && max_leaf >= 0x4 &&
+      extract_bits(cpuid(0, 0x4, 0).eax, 0, 4) != 0) {
+    for (std::uint32_t sub = 0;; ++sub) {
+      const CpuidRegs r = cpuid(0, 0x4, sub);
+      const std::uint32_t type = extract_bits(r.eax, 0, 4);
+      if (type == 0) break;
+      CacheEntry e;
+      e.type = type == 1 ? hwsim::CacheType::kData
+               : type == 2 ? hwsim::CacheType::kInstruction
+                           : hwsim::CacheType::kUnified;
+      e.level = static_cast<int>(extract_bits(r.eax, 5, 7));
+      const int capacity = static_cast<int>(extract_bits(r.eax, 14, 25)) + 1;
+      e.threads_sharing = std::min(capacity, threads_per_socket);
+      e.line_size = static_cast<std::uint32_t>(extract_bits(r.ebx, 0, 11)) + 1;
+      e.associativity =
+          static_cast<std::uint32_t>(extract_bits(r.ebx, 22, 31)) + 1;
+      e.num_sets = r.ecx + 1;
+      e.size_bytes = static_cast<std::uint64_t>(e.line_size) *
+                     e.associativity * e.num_sets;
+      e.inclusive = util::test_bit(r.edx, 1);
+      if (e.type != hwsim::CacheType::kInstruction) {
+        add_groups(e);
+        topo.caches.push_back(e);
+      }
+    }
+  } else if (topo.vendor == Vendor::kIntel && max_leaf >= 0x2) {
+    // Pentium M era: descriptor table.
+    const CpuidRegs r = cpuid(0, 0x2, 0);
+    const std::uint32_t regs[4] = {r.eax, r.ebx, r.ecx, r.edx};
+    for (int reg = 0; reg < 4; ++reg) {
+      if (util::test_bit(regs[reg], 31)) continue;  // register invalid
+      for (int byte = 0; byte < 4; ++byte) {
+        if (reg == 0 && byte == 0) continue;  // AL: iteration count
+        const auto code = static_cast<std::uint8_t>(
+            (regs[reg] >> (8 * byte)) & 0xFF);
+        if (code == 0) continue;
+        const hwsim::CacheDescriptor* d = hwsim::find_descriptor(code);
+        if (d == nullptr || d->type == hwsim::CacheType::kInstruction) {
+          continue;
+        }
+        CacheEntry e;
+        e.level = d->level;
+        e.type = d->type;
+        e.size_bytes = static_cast<std::uint64_t>(d->size_kb) * 1024;
+        e.associativity = d->associativity;
+        e.line_size = d->line_size;
+        e.num_sets = static_cast<std::uint32_t>(
+            e.size_bytes / (e.associativity * e.line_size));
+        e.inclusive = true;
+        e.threads_sharing = topo.num_threads_per_core;
+        add_groups(e);
+        topo.caches.push_back(e);
+      }
+    }
+  } else {
+    // AMD legacy cache leaves.
+    const CpuidRegs l5 = cpuid(0, 0x80000005u, 0);
+    {
+      CacheEntry e;
+      e.level = 1;
+      e.type = hwsim::CacheType::kData;
+      e.size_bytes = extract_bits(l5.ecx, 24, 31) * 1024;
+      e.associativity = static_cast<std::uint32_t>(extract_bits(l5.ecx, 16, 23));
+      e.line_size = static_cast<std::uint32_t>(extract_bits(l5.ecx, 0, 7));
+      e.num_sets = static_cast<std::uint32_t>(
+          e.size_bytes / (e.associativity * e.line_size));
+      e.inclusive = false;
+      e.threads_sharing = topo.num_threads_per_core;
+      add_groups(e);
+      topo.caches.push_back(e);
+    }
+    const CpuidRegs l6 = cpuid(0, 0x80000006u, 0);
+    if (extract_bits(l6.ecx, 16, 31) > 0) {
+      CacheEntry e;
+      e.level = 2;
+      e.type = hwsim::CacheType::kUnified;
+      e.size_bytes = extract_bits(l6.ecx, 16, 31) * 1024;
+      e.associativity = hwsim::amd_assoc_ways(
+          static_cast<std::uint32_t>(extract_bits(l6.ecx, 12, 15)), 16);
+      e.line_size = static_cast<std::uint32_t>(extract_bits(l6.ecx, 0, 7));
+      e.num_sets = static_cast<std::uint32_t>(
+          e.size_bytes / (e.associativity * e.line_size));
+      e.inclusive = false;
+      e.threads_sharing = topo.num_threads_per_core;
+      add_groups(e);
+      topo.caches.push_back(e);
+    }
+    if (extract_bits(l6.edx, 18, 31) > 0) {
+      CacheEntry e;
+      e.level = 3;
+      e.type = hwsim::CacheType::kUnified;
+      e.size_bytes = extract_bits(l6.edx, 18, 31) * 512 * 1024;
+      e.associativity = hwsim::amd_assoc_ways(
+          static_cast<std::uint32_t>(extract_bits(l6.edx, 12, 15)), 48);
+      e.line_size = static_cast<std::uint32_t>(extract_bits(l6.edx, 0, 7));
+      e.num_sets = static_cast<std::uint32_t>(
+          e.size_bytes / (e.associativity * e.line_size));
+      e.inclusive = false;
+      e.threads_sharing = threads_per_socket;  // shared victim cache
+      add_groups(e);
+      topo.caches.push_back(e);
+    }
+  }
+
+  std::stable_sort(topo.caches.begin(), topo.caches.end(),
+                   [](const CacheEntry& a, const CacheEntry& b) {
+                     return a.level < b.level;
+                   });
+  return topo;
+}
+
+NodeTopology probe_topology(const hwsim::SimMachine& machine) {
+  const CpuidSource source = [&machine](int os_id, std::uint32_t leaf,
+                                        std::uint32_t subleaf) {
+    return machine.cpuid(os_id, leaf, subleaf);
+  };
+  return probe_topology(source, machine.num_threads(), machine.clock_ghz());
+}
+
+}  // namespace likwid::core

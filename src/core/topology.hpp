@@ -1,0 +1,86 @@
+// topology.hpp — likwid-topology's core: reconstruct the node's thread and
+// cache topology exclusively from the cpuid instruction.
+//
+// The decoder never sees the machine description. It is handed a CpuidSource
+// (a callable executing cpuid on a given hardware thread) plus the number of
+// online cpus, and reconstructs everything the way the real tool does:
+//   * vendor/family/model from leaves 0x0/0x1,
+//   * APIC ids and field widths from leaf 0xB (Nehalem+), leaf 1 + leaf 4
+//     (legacy Intel) or leaf 0x80000008 (AMD),
+//   * cache parameters from leaf 4, the leaf-2 descriptor table, or the AMD
+//     0x8000000x leaves.
+// The paper notes this module is deliberately usable as a library from
+// application code; probe_topology is that entry point.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hwsim/arch.hpp"
+#include "hwsim/cpuid.hpp"
+#include "hwsim/machine.hpp"
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::core {
+
+/// Executes cpuid on hardware thread `os_id`.
+using CpuidSource = std::function<hwsim::CpuidRegs(
+    int os_id, std::uint32_t leaf, std::uint32_t subleaf)>;
+
+/// One hardware thread as reported by likwid-topology's first table.
+struct ThreadEntry {
+  int os_id = 0;       ///< HWThread column
+  int thread_id = 0;   ///< Thread column (SMT index)
+  int core_id = 0;     ///< Core column (physical, may be non-contiguous)
+  int socket_id = 0;   ///< Socket column
+  std::uint32_t apic_id = 0;
+};
+
+/// One cache level as reported by the cache-topology section.
+struct CacheEntry {
+  int level = 1;
+  hwsim::CacheType type = hwsim::CacheType::kData;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t associativity = 0;
+  std::uint32_t line_size = 0;
+  std::uint32_t num_sets = 0;
+  bool inclusive = false;
+  int threads_sharing = 1;  ///< hw threads sharing one instance
+  /// Cache groups: the os ids sharing each instance.
+  std::vector<std::vector<int>> groups;
+};
+
+struct NodeTopology {
+  std::string cpu_name;     ///< likwid display name ("Intel Core 2 45nm...")
+  hwsim::Vendor vendor = hwsim::Vendor::kIntel;
+  hwsim::Arch arch = hwsim::Arch::kCore2;
+  std::uint32_t family = 0;
+  std::uint32_t model = 0;
+  std::uint32_t stepping = 0;
+  double clock_ghz = 0;
+
+  int num_hw_threads = 0;
+  int num_sockets = 0;
+  int num_cores_per_socket = 0;
+  int num_threads_per_core = 0;
+
+  std::vector<ThreadEntry> threads;          ///< by os id
+  std::vector<std::vector<int>> sockets;     ///< os ids per socket
+  std::vector<CacheEntry> caches;            ///< data/unified, by level
+
+  /// os ids of SMT sibling groups per physical core (socket-major).
+  std::vector<std::vector<int>> cores;
+};
+
+/// Probe the topology of a node with `num_cpus` online hardware threads.
+/// `clock_ghz` is the measured clock (the real tool times the TSC; the
+/// simulator provides it). Throws Error(kUnsupported) for processors the
+/// suite does not support.
+NodeTopology probe_topology(const CpuidSource& cpuid, int num_cpus,
+                            double clock_ghz);
+
+/// Convenience overload probing a simulated machine.
+NodeTopology probe_topology(const hwsim::SimMachine& machine);
+
+}  // namespace likwid::core

@@ -1,0 +1,105 @@
+#include "hwsim/apic.hpp"
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+
+ApicLayout apic_layout(const MachineSpec& spec) {
+  LIKWID_REQUIRE(!spec.core_apic_ids.empty(), "machine has no cores");
+  ApicLayout layout;
+  layout.smt_width =
+      util::field_width(static_cast<std::uint32_t>(spec.threads_per_core));
+  const int max_core_apic = spec.core_apic_ids.back();
+  layout.core_width =
+      util::field_width(static_cast<std::uint32_t>(max_core_apic) + 1);
+  return layout;
+}
+
+std::uint32_t make_apic_id(const ApicLayout& layout, int socket, int core_apic,
+                           int smt) {
+  LIKWID_REQUIRE(socket >= 0 && core_apic >= 0 && smt >= 0,
+                 "negative apic component");
+  std::uint64_t id = 0;
+  id = util::deposit_bits(id, 0,
+                          layout.smt_width == 0 ? 0 : layout.smt_width - 1,
+                          layout.smt_width == 0 ? 0 : static_cast<unsigned>(smt));
+  if (layout.smt_width == 0) {
+    LIKWID_REQUIRE(smt == 0, "smt thread on non-SMT machine");
+  }
+  if (layout.core_width > 0) {
+    id = util::deposit_bits(id, layout.smt_width,
+                            layout.smt_width + layout.core_width - 1,
+                            static_cast<unsigned>(core_apic));
+  } else {
+    LIKWID_REQUIRE(core_apic == 0, "core id on single-core package");
+  }
+  id |= static_cast<std::uint64_t>(socket) << layout.package_shift();
+  return static_cast<std::uint32_t>(id);
+}
+
+ApicParts split_apic_id(const ApicLayout& layout, std::uint32_t apic_id) {
+  ApicParts parts{};
+  parts.smt = layout.smt_width == 0
+                  ? 0
+                  : static_cast<int>(
+                        util::extract_bits(apic_id, 0, layout.smt_width - 1));
+  parts.core_apic =
+      layout.core_width == 0
+          ? 0
+          : static_cast<int>(util::extract_bits(
+                apic_id, layout.smt_width,
+                layout.smt_width + layout.core_width - 1));
+  parts.socket = static_cast<int>(apic_id >> layout.package_shift());
+  return parts;
+}
+
+std::vector<HwThread> enumerate_hw_threads(const MachineSpec& spec) {
+  const ApicLayout layout = apic_layout(spec);
+  std::vector<HwThread> threads;
+  threads.reserve(static_cast<std::size_t>(spec.num_hw_threads()));
+  int os_id = 0;
+  const auto emit = [&](int socket, int core, int smt) {
+    HwThread t;
+    t.os_id = os_id++;
+    t.socket = socket;
+    t.core_index = core;
+    t.core_apic = spec.core_apic_ids[static_cast<std::size_t>(core)];
+    t.smt = smt;
+    t.global_core = socket * spec.cores_per_socket + core;
+    t.apic_id = make_apic_id(layout, socket, t.core_apic, smt);
+    threads.push_back(t);
+  };
+  switch (spec.os_enumeration) {
+    case OsEnumeration::kSmtLast:
+      for (int smt = 0; smt < spec.threads_per_core; ++smt) {
+        for (int socket = 0; socket < spec.sockets; ++socket) {
+          for (int core = 0; core < spec.cores_per_socket; ++core) {
+            emit(socket, core, smt);
+          }
+        }
+      }
+      break;
+    case OsEnumeration::kSmtAdjacent:
+      for (int socket = 0; socket < spec.sockets; ++socket) {
+        for (int core = 0; core < spec.cores_per_socket; ++core) {
+          for (int smt = 0; smt < spec.threads_per_core; ++smt) {
+            emit(socket, core, smt);
+          }
+        }
+      }
+      break;
+    case OsEnumeration::kSocketRoundRobin:
+      for (int smt = 0; smt < spec.threads_per_core; ++smt) {
+        for (int core = 0; core < spec.cores_per_socket; ++core) {
+          for (int socket = 0; socket < spec.sockets; ++socket) {
+            emit(socket, core, smt);
+          }
+        }
+      }
+      break;
+  }
+  return threads;
+}
+
+}  // namespace likwid::hwsim

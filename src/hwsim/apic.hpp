@@ -1,0 +1,58 @@
+// apic.hpp — APIC ID construction and hardware-thread enumeration.
+//
+// x86 encodes a hardware thread's position as bit fields inside its APIC ID:
+// [ package | core | smt ]. Field widths are powers-of-two capacities, so
+// core numbers may be non-contiguous (Westmere EP's 6 cores occupy a 4-bit
+// field as 0,1,2,8,9,10). The OS assigns `processor` numbers (os ids)
+// independently; this module reproduces the socket-major, SMT-last
+// enumeration observed in the paper's likwid-topology listing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::hwsim {
+
+/// One hardware thread of the simulated machine.
+struct HwThread {
+  int os_id = 0;              ///< Linux "processor" number
+  std::uint32_t apic_id = 0;  ///< full (x2)APIC id
+  int socket = 0;             ///< package index
+  int core_apic = 0;          ///< physical core number within socket (may skip)
+  int core_index = 0;         ///< dense core index within socket
+  int smt = 0;                ///< thread index within core
+  int global_core = 0;        ///< dense core index within the node
+};
+
+/// Bit-field widths of the APIC ID for a machine.
+struct ApicLayout {
+  unsigned smt_width = 0;   ///< bits [0, smt_width) select the SMT thread
+  unsigned core_width = 0;  ///< next core_width bits select the core
+  unsigned package_shift() const noexcept { return smt_width + core_width; }
+};
+
+/// Compute the APIC field layout for a machine spec. The core field must be
+/// wide enough for the largest physical core id (not just the core count).
+ApicLayout apic_layout(const MachineSpec& spec);
+
+/// Compose an APIC ID from its parts.
+std::uint32_t make_apic_id(const ApicLayout& layout, int socket, int core_apic,
+                           int smt);
+
+/// Decompose an APIC ID into (socket, core_apic, smt).
+struct ApicParts {
+  int socket;
+  int core_apic;
+  int smt;
+};
+ApicParts split_apic_id(const ApicLayout& layout, std::uint32_t apic_id);
+
+/// Enumerate all hardware threads of the machine in OS order:
+/// SMT-0 threads of all sockets first (socket-major, core-minor), then
+/// SMT-1 threads, matching the paper's Westmere listing where os ids 0-11
+/// are the physical cores and 12-23 their SMT siblings.
+std::vector<HwThread> enumerate_hw_threads(const MachineSpec& spec);
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,262 @@
+#include "hwsim/arch.hpp"
+
+#include <map>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::hwsim {
+
+std::string_view to_string(Arch arch) noexcept {
+  switch (arch) {
+    case Arch::kPentiumM: return "Intel Pentium M";
+    case Arch::kAtom: return "Intel Atom";
+    case Arch::kCore2: return "Intel Core 2";
+    case Arch::kNehalem: return "Intel Nehalem";
+    case Arch::kWestmere: return "Intel Westmere";
+    case Arch::kK8: return "AMD K8";
+    case Arch::kK10: return "AMD K10";
+  }
+  return "unknown";
+}
+
+Arch classify_arch(Vendor vendor, std::uint32_t family, std::uint32_t model) {
+  if (vendor == Vendor::kIntel && family == 6) {
+    switch (model) {
+      case 0x09:
+      case 0x0D: return Arch::kPentiumM;   // Banias, Dothan
+      case 0x1C: return Arch::kAtom;
+      case 0x0F:
+      case 0x16:
+      case 0x17: return Arch::kCore2;      // Merom/Conroe 65nm, Penryn 45nm
+      case 0x1A:
+      case 0x1E:
+      case 0x1F: return Arch::kNehalem;
+      case 0x25:
+      case 0x2C: return Arch::kWestmere;
+      default: break;
+    }
+  }
+  if (vendor == Vendor::kAmd) {
+    if (family == 0x0F) return Arch::kK8;
+    if (family == 0x10) return Arch::kK10;
+  }
+  throw_error(ErrorCode::kUnsupported,
+              util::strprintf("unsupported processor (vendor %s family 0x%X "
+                              "model 0x%X)",
+                              std::string(to_string(vendor)).c_str(), family,
+                              model));
+}
+
+namespace {
+
+using CC = CounterClass;
+
+EventEncoding fixed(std::string name, EventId id, int index) {
+  return EventEncoding{std::move(name), 0, 0, id, CC::kFixed, index};
+}
+
+EventEncoding core(std::string name, std::uint16_t code, std::uint8_t umask,
+                   EventId id) {
+  return EventEncoding{std::move(name), code, umask, id, CC::kCore, -1};
+}
+
+EventEncoding uncore(std::string name, std::uint16_t code, std::uint8_t umask,
+                     EventId id) {
+  return EventEncoding{std::move(name), code, umask, id, CC::kUncore, -1};
+}
+
+// Intel Core 2 family table (also used for Atom, whose relevant events share
+// the Core-2 era encodings). Encodings follow the Intel SDM event lists.
+std::vector<EventEncoding> make_core2_table() {
+  using E = EventId;
+  std::vector<EventEncoding> t;
+  t.push_back(fixed("INSTR_RETIRED_ANY", E::kInstructionsRetired, 0));
+  t.push_back(fixed("CPU_CLK_UNHALTED_CORE", E::kCoreCycles, 1));
+  t.push_back(fixed("CPU_CLK_UNHALTED_REF", E::kRefCycles, 2));
+  t.push_back(core("INST_RETIRED_ANY_P", 0xC0, 0x00, E::kInstructionsRetired));
+  t.push_back(core("CPU_CLK_UNHALTED_CORE_P", 0x3C, 0x00, E::kCoreCycles));
+  t.push_back(core("SIMD_COMP_INST_RETIRED_PACKED_SINGLE", 0xCA, 0x01,
+                   E::kFpPackedSingle));
+  t.push_back(core("SIMD_COMP_INST_RETIRED_SCALAR_SINGLE", 0xCA, 0x02,
+                   E::kFpScalarSingle));
+  t.push_back(core("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0xCA, 0x04,
+                   E::kFpPackedDouble));
+  t.push_back(core("SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE", 0xCA, 0x08,
+                   E::kFpScalarDouble));
+  t.push_back(core("INST_RETIRED_LOADS", 0xC0, 0x01, E::kLoadsRetired));
+  t.push_back(core("INST_RETIRED_STORES", 0xC0, 0x02, E::kStoresRetired));
+  t.push_back(core("L1D_REPL", 0x45, 0x0F, E::kL1DLinesIn));
+  t.push_back(core("L1D_M_EVICT", 0x47, 0x00, E::kL1DLinesOut));
+  t.push_back(core("L2_LINES_IN_ANY", 0x24, 0x70, E::kL2LinesIn));
+  t.push_back(core("L2_LINES_OUT_ANY", 0x26, 0x70, E::kL2LinesOut));
+  t.push_back(core("L2_RQSTS_REFERENCES", 0x2E, 0x4F, E::kL2Requests));
+  t.push_back(core("L2_RQSTS_MISS", 0x2E, 0x41, E::kL2Misses));
+  t.push_back(core("BUS_TRANS_MEM", 0x6F, 0xC0, E::kBusTransMem));
+  t.push_back(core("BR_INST_RETIRED_ANY", 0xC4, 0x00, E::kBranchesRetired));
+  t.push_back(
+      core("BR_INST_RETIRED_MISPRED", 0xC5, 0x00, E::kBranchesMispredicted));
+  t.push_back(core("DTLB_MISSES_ANY", 0x08, 0x01, E::kDtlbMisses));
+  t.push_back(core("ITLB_MISSES", 0x82, 0x02, E::kItlbMisses));
+  t.push_back(
+      core("L1D_PREFETCH_REQUESTS", 0x4E, 0x10, E::kHwPrefetchesIssued));
+  return t;
+}
+
+// Intel Pentium M: two GP counters, no fixed counters, P6-era encodings.
+std::vector<EventEncoding> make_pentium_m_table() {
+  using E = EventId;
+  std::vector<EventEncoding> t;
+  t.push_back(core("INSTR_RETIRED", 0xC0, 0x00, E::kInstructionsRetired));
+  t.push_back(core("CPU_CLK_UNHALTED", 0x79, 0x00, E::kCoreCycles));
+  t.push_back(core("EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_SINGLE", 0xD9, 0x01,
+                   E::kFpPackedSingle));
+  t.push_back(core("EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_SINGLE", 0xD9, 0x02,
+                   E::kFpScalarSingle));
+  t.push_back(core("EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DOUBLE", 0xD9, 0x04,
+                   E::kFpPackedDouble));
+  t.push_back(core("EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DOUBLE", 0xD9, 0x08,
+                   E::kFpScalarDouble));
+  t.push_back(core("DCU_LINES_IN", 0x45, 0x00, E::kL1DLinesIn));
+  t.push_back(core("L2_LINES_IN", 0x24, 0x00, E::kL2LinesIn));
+  t.push_back(core("L2_LINES_OUT", 0x26, 0x00, E::kL2LinesOut));
+  t.push_back(core("L2_RQSTS", 0x2E, 0x0F, E::kL2Requests));
+  t.push_back(core("BUS_TRAN_MEM", 0x6F, 0x00, E::kBusTransMem));
+  t.push_back(core("BR_INST_RETIRED", 0xC4, 0x00, E::kBranchesRetired));
+  t.push_back(
+      core("BR_MISPRED_RETIRED", 0xC5, 0x00, E::kBranchesMispredicted));
+  return t;
+}
+
+// Intel Nehalem / Westmere core + uncore tables.
+std::vector<EventEncoding> make_nehalem_table() {
+  using E = EventId;
+  std::vector<EventEncoding> t;
+  t.push_back(fixed("INSTR_RETIRED_ANY", E::kInstructionsRetired, 0));
+  t.push_back(fixed("CPU_CLK_UNHALTED_CORE", E::kCoreCycles, 1));
+  t.push_back(fixed("CPU_CLK_UNHALTED_REF", E::kRefCycles, 2));
+  t.push_back(core("INST_RETIRED_ANY_P", 0xC0, 0x01, E::kInstructionsRetired));
+  t.push_back(core("CPU_CLK_UNHALTED_CORE_P", 0x3C, 0x00, E::kCoreCycles));
+  t.push_back(core("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE", 0x10, 0x10,
+                   E::kFpPackedDouble));
+  t.push_back(core("FP_COMP_OPS_EXE_SSE_FP_SCALAR_DOUBLE", 0x10, 0x20,
+                   E::kFpScalarDouble));
+  t.push_back(core("FP_COMP_OPS_EXE_SSE_FP_PACKED_SINGLE", 0x10, 0x40,
+                   E::kFpPackedSingle));
+  t.push_back(core("FP_COMP_OPS_EXE_SSE_FP_SCALAR_SINGLE", 0x10, 0x80,
+                   E::kFpScalarSingle));
+  t.push_back(core("MEM_INST_RETIRED_LOADS", 0x0B, 0x01, E::kLoadsRetired));
+  t.push_back(core("MEM_INST_RETIRED_STORES", 0x0B, 0x02, E::kStoresRetired));
+  t.push_back(core("L1D_REPL", 0x51, 0x01, E::kL1DLinesIn));
+  t.push_back(core("L1D_M_EVICT", 0x51, 0x04, E::kL1DLinesOut));
+  t.push_back(core("L2_LINES_IN_ANY", 0xF1, 0x07, E::kL2LinesIn));
+  t.push_back(core("L2_LINES_OUT_ANY", 0xF2, 0x0F, E::kL2LinesOut));
+  t.push_back(core("L2_RQSTS_REFERENCES", 0x24, 0xFF, E::kL2Requests));
+  t.push_back(core("L2_RQSTS_MISS", 0x24, 0xAA, E::kL2Misses));
+  t.push_back(core("BR_INST_RETIRED_ALL_BRANCHES", 0xC4, 0x04,
+                   E::kBranchesRetired));
+  t.push_back(core("BR_MISP_RETIRED_ALL_BRANCHES", 0xC5, 0x04,
+                   E::kBranchesMispredicted));
+  t.push_back(core("DTLB_MISSES_ANY", 0x49, 0x01, E::kDtlbMisses));
+  t.push_back(core("ITLB_MISSES_ANY", 0x85, 0x01, E::kItlbMisses));
+  t.push_back(
+      core("L1D_PREFETCH_REQUESTS", 0x4E, 0x02, E::kHwPrefetchesIssued));
+  // Socket-scope uncore events (the "socket lock" events of the paper).
+  t.push_back(uncore("UNC_L3_LINES_IN_ANY", 0x0A, 0x0F, E::kUncL3LinesIn));
+  t.push_back(uncore("UNC_L3_LINES_OUT_ANY", 0x0B, 0x0F, E::kUncL3LinesOut));
+  t.push_back(uncore("UNC_L3_HITS_ANY", 0x08, 0x03, E::kUncL3Hits));
+  t.push_back(uncore("UNC_L3_MISS_ANY", 0x09, 0x03, E::kUncL3Misses));
+  t.push_back(
+      uncore("UNC_QMC_NORMAL_READS_ANY", 0x2C, 0x07, E::kUncMemReads));
+  t.push_back(
+      uncore("UNC_QMC_WRITES_FULL_ANY", 0x2F, 0x07, E::kUncMemWrites));
+  t.push_back(uncore("UNC_CLK_UNHALTED", 0xFF, 0x00, E::kUncClockticks));
+  return t;
+}
+
+// AMD K8 (no L3, no NB memory events modeled beyond DRAM accesses).
+std::vector<EventEncoding> make_k8_table() {
+  using E = EventId;
+  std::vector<EventEncoding> t;
+  t.push_back(core("RETIRED_INSTRUCTIONS", 0xC0, 0x00,
+                   E::kInstructionsRetired));
+  t.push_back(core("CPU_CLOCKS_UNHALTED", 0x76, 0x00, E::kCoreCycles));
+  t.push_back(core("SSE_RETIRED_PACKED_SINGLE", 0xCB, 0x01,
+                   E::kFpPackedSingle));
+  t.push_back(core("SSE_RETIRED_SCALAR_SINGLE", 0xCB, 0x02,
+                   E::kFpScalarSingle));
+  t.push_back(core("SSE_RETIRED_PACKED_DOUBLE", 0xCB, 0x04,
+                   E::kFpPackedDouble));
+  t.push_back(core("SSE_RETIRED_SCALAR_DOUBLE", 0xCB, 0x08,
+                   E::kFpScalarDouble));
+  t.push_back(core("DATA_CACHE_REFILLS_L2_AND_NB", 0x42, 0x1F,
+                   E::kL1DLinesIn));
+  t.push_back(core("DATA_CACHE_EVICTED_ALL", 0x44, 0x3F, E::kL1DLinesOut));
+  t.push_back(core("REQUESTS_TO_L2_ALL", 0x7D, 0x07, E::kL2Requests));
+  t.push_back(core("L2_CACHE_MISS_ALL", 0x7E, 0x07, E::kL2Misses));
+  t.push_back(core("L2_FILL_WRITEBACK_FILL", 0x7F, 0x01, E::kL2LinesIn));
+  t.push_back(core("L2_FILL_WRITEBACK_WB", 0x7F, 0x02, E::kL2LinesOut));
+  t.push_back(core("RETIRED_BRANCH_INSTRUCTIONS", 0xC2, 0x00,
+                   E::kBranchesRetired));
+  t.push_back(core("RETIRED_MISPREDICTED_BRANCH_INSTRUCTIONS", 0xC3, 0x00,
+                   E::kBranchesMispredicted));
+  t.push_back(core("DTLB_L1_AND_L2_MISS", 0x46, 0x07, E::kDtlbMisses));
+  // Northbridge DRAM events: counted on core counters, socket scope.
+  t.push_back(core("DRAM_ACCESSES_DCT0_READ", 0xE0, 0x01, E::kUncMemReads));
+  t.push_back(core("DRAM_ACCESSES_DCT0_WRITE", 0xE0, 0x02, E::kUncMemWrites));
+  return t;
+}
+
+// AMD K10 (Shanghai/Istanbul): K8 set plus shared-L3 northbridge events.
+std::vector<EventEncoding> make_k10_table() {
+  using E = EventId;
+  std::vector<EventEncoding> t = make_k8_table();
+  t.push_back(core("READ_REQUEST_TO_L3_CACHE_ALL", 0x4E0 & 0xFFF, 0x07,
+                   E::kUncL3Hits));
+  t.push_back(core("L3_CACHE_MISSES_ALL", 0x4E1 & 0xFFF, 0x07,
+                   E::kUncL3Misses));
+  t.push_back(core("L3_FILLS_CAUSED_BY_L2_EVICTIONS", 0x4E2 & 0xFFF, 0x0F,
+                   E::kUncL3LinesIn));
+  t.push_back(core("L3_EVICTIONS", 0x4E3 & 0xFFF, 0x0F, E::kUncL3LinesOut));
+  return t;
+}
+
+const std::map<Arch, std::vector<EventEncoding>>& all_tables() {
+  static const std::map<Arch, std::vector<EventEncoding>> kTables = [] {
+    std::map<Arch, std::vector<EventEncoding>> m;
+    m[Arch::kPentiumM] = make_pentium_m_table();
+    m[Arch::kAtom] = make_core2_table();
+    m[Arch::kCore2] = make_core2_table();
+    m[Arch::kNehalem] = make_nehalem_table();
+    m[Arch::kWestmere] = make_nehalem_table();
+    m[Arch::kK8] = make_k8_table();
+    m[Arch::kK10] = make_k10_table();
+    return m;
+  }();
+  return kTables;
+}
+
+}  // namespace
+
+const std::vector<EventEncoding>& event_table(Arch arch) {
+  return all_tables().at(arch);
+}
+
+const EventEncoding* find_event(Arch arch, std::string_view name) {
+  for (const auto& e : event_table(arch)) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const EventEncoding* decode_event(Arch arch, std::uint16_t event_code,
+                                  std::uint8_t umask, CounterClass klass) {
+  for (const auto& e : event_table(arch)) {
+    if (e.klass == klass && e.event_code == event_code && e.umask == umask) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,70 @@
+// arch.hpp — microarchitecture classification and per-architecture
+// performance event encoding tables.
+//
+// This is the "vendor manual" of the simulated hardware: the mapping from
+// documented event names (SIMD_COMP_INST_RETIRED_PACKED_DOUBLE, ...) and
+// their (event-code, umask) encodings onto the abstract events the machine
+// model generates. likwid-perfctr looks events up by name here, programs
+// the encodings into PERFEVTSEL MSRs, and the PMU decodes those encodings
+// back through the same table — exactly the round trip real hardware does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hwsim/events.hpp"
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::hwsim {
+
+/// Microarchitectures supported by the tool suite (the paper's list).
+enum class Arch {
+  kPentiumM,
+  kAtom,
+  kCore2,
+  kNehalem,
+  kWestmere,
+  kK8,
+  kK10,
+};
+
+std::string_view to_string(Arch arch) noexcept;
+
+/// Classify a machine from its cpuid identity (vendor/family/model).
+/// Throws Error(kUnsupported) for unknown parts — the same behaviour
+/// likwid-perfctr shows on unsupported processors.
+Arch classify_arch(Vendor vendor, std::uint32_t family, std::uint32_t model);
+
+/// Where an event can be counted.
+enum class CounterClass {
+  kCore,     ///< general-purpose core counters (PMC0..)
+  kFixed,    ///< Intel fixed counters (always-on INSTR/CLK/REF)
+  kUncore,   ///< Nehalem/Westmere socket-scope counters (UPMC0..)
+};
+
+/// One row of an architecture's event table.
+struct EventEncoding {
+  std::string name;          ///< documented event name
+  std::uint16_t event_code;  ///< selector event field (AMD: up to 12 bits)
+  std::uint8_t umask;
+  EventId id;                ///< semantic event counted by the model
+  CounterClass klass = CounterClass::kCore;
+  int fixed_index = -1;      ///< for kFixed: which fixed counter
+};
+
+/// The complete event table of an architecture (stable reference).
+const std::vector<EventEncoding>& event_table(Arch arch);
+
+/// Look up an event by name; returns nullptr if the architecture does not
+/// document this event.
+const EventEncoding* find_event(Arch arch, std::string_view name);
+
+/// Reverse lookup used by the PMU: which semantic event does the encoding
+/// (event_code, umask) select on this architecture? Returns nullptr for
+/// undocumented encodings (such a counter simply never increments).
+const EventEncoding* decode_event(Arch arch, std::uint16_t event_code,
+                                  std::uint8_t umask, CounterClass klass);
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,397 @@
+#include "hwsim/cpuid.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+
+using util::deposit_bits;
+using util::next_pow2;
+
+namespace {
+
+std::uint32_t pack4(const char* s) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, s, 4);
+  return v;
+}
+
+}  // namespace
+
+const std::vector<CacheDescriptor>& cache_descriptor_table() {
+  // Subset of the Intel SDM leaf-2 descriptor encodings, enough to describe
+  // the Pentium M-era parts this project models.
+  static const std::vector<CacheDescriptor> kTable = {
+      {0x2C, 1, CacheType::kData, 32, 8, 64},
+      {0x30, 1, CacheType::kInstruction, 32, 8, 64},
+      {0x60, 1, CacheType::kData, 16, 8, 64},
+      {0x7D, 2, CacheType::kUnified, 2048, 8, 64},
+      {0x86, 2, CacheType::kUnified, 512, 4, 64},
+      {0x87, 2, CacheType::kUnified, 1024, 8, 64},
+  };
+  return kTable;
+}
+
+const CacheDescriptor* find_descriptor(const CacheLevelSpec& cache) {
+  for (const auto& d : cache_descriptor_table()) {
+    const bool type_match =
+        d.type == cache.type ||
+        (d.type == CacheType::kUnified && cache.type == CacheType::kData);
+    if (d.level == cache.level && type_match &&
+        d.size_kb * 1024ull == cache.size_bytes &&
+        d.associativity == cache.associativity &&
+        d.line_size == cache.line_size) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+const CacheDescriptor* find_descriptor(std::uint8_t code) {
+  for (const auto& d : cache_descriptor_table()) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::uint32_t amd_assoc_code(std::uint32_t ways) {
+  switch (ways) {
+    case 0: return 0x0;
+    case 1: return 0x1;
+    case 2: return 0x2;
+    case 4: return 0x4;
+    case 8: return 0x6;
+    case 16: return 0x8;
+    case 32: return 0xA;
+    case 48: return 0xB;
+    case 64: return 0xC;
+    case 96: return 0xD;
+    case 128: return 0xE;
+    default: return 0xF;
+  }
+}
+
+std::uint32_t amd_assoc_ways(std::uint32_t code, std::uint32_t full_ways) {
+  switch (code) {
+    case 0x0: return 0;
+    case 0x1: return 1;
+    case 0x2: return 2;
+    case 0x4: return 4;
+    case 0x6: return 8;
+    case 0x8: return 16;
+    case 0xA: return 32;
+    case 0xB: return 48;
+    case 0xC: return 64;
+    case 0xD: return 96;
+    case 0xE: return 128;
+    case 0xF: return full_ways;
+    default: return 0;
+  }
+}
+
+CpuidEmulator::CpuidEmulator(const MachineSpec& spec)
+    : spec_(spec), layout_(apic_layout(spec)) {
+  switch (spec_.topology_method) {
+    case TopologyMethod::kIntelLeafB:
+      max_std_leaf_ = 0xB;
+      break;
+    case TopologyMethod::kIntelLegacy:
+      max_std_leaf_ = spec_.cache_method == CacheMethod::kIntelLeaf2 ? 0x2 : 0xA;
+      break;
+    case TopologyMethod::kAmdLeaf8:
+      max_std_leaf_ = 0x1;
+      break;
+  }
+  max_ext_leaf_ = 0x80000008;
+  if (spec_.cache_method == CacheMethod::kIntelLeaf2) {
+    // Verify every cache is describable before anything queries leaf 2.
+    for (const auto& c : spec_.caches) {
+      if (find_descriptor(c) == nullptr) {
+        throw_error(ErrorCode::kUnsupported,
+                    "cache level " + std::to_string(c.level) +
+                        " has no leaf-2 descriptor encoding");
+      }
+    }
+  }
+}
+
+CpuidRegs CpuidEmulator::query(const HwThread& thread, std::uint32_t leaf,
+                               std::uint32_t subleaf) const {
+  if (leaf >= 0x80000000u) {
+    if (leaf > max_ext_leaf_) return {};
+    return ext_leaf(thread, leaf);
+  }
+  if (leaf > max_std_leaf_) return {};
+  switch (leaf) {
+    case 0x0: return leaf0();
+    case 0x1: return leaf1(thread);
+    case 0x2:
+      return spec_.cache_method == CacheMethod::kIntelLeaf2 ? leaf2()
+                                                            : CpuidRegs{};
+    case 0x4:
+      return spec_.cache_method == CacheMethod::kIntelLeaf4 ? leaf4(subleaf)
+                                                            : CpuidRegs{};
+    case 0xA:
+      return spec_.vendor == Vendor::kIntel ? leafA() : CpuidRegs{};
+    case 0xB:
+      return spec_.topology_method == TopologyMethod::kIntelLeafB
+                 ? leafB(thread, subleaf)
+                 : CpuidRegs{};
+    default: return {};
+  }
+}
+
+CpuidRegs CpuidEmulator::leaf0() const {
+  CpuidRegs r;
+  r.eax = max_std_leaf_;
+  if (spec_.vendor == Vendor::kIntel) {
+    r.ebx = pack4("Genu");
+    r.edx = pack4("ineI");
+    r.ecx = pack4("ntel");
+  } else {
+    r.ebx = pack4("Auth");
+    r.edx = pack4("enti");
+    r.ecx = pack4("cAMD");
+  }
+  return r;
+}
+
+CpuidRegs CpuidEmulator::leaf1(const HwThread& thread) const {
+  CpuidRegs r;
+  // EAX: stepping / model / family with extended fields.
+  const std::uint32_t base_family = std::min<std::uint32_t>(spec_.family, 0xF);
+  const std::uint32_t ext_family =
+      spec_.family > 0xF ? spec_.family - 0xF : 0;
+  const std::uint32_t base_model = spec_.model & 0xF;
+  const std::uint32_t ext_model = (spec_.model >> 4) & 0xF;
+  std::uint64_t eax = 0;
+  eax = deposit_bits(eax, 0, 3, spec_.stepping);
+  eax = deposit_bits(eax, 4, 7, base_model);
+  eax = deposit_bits(eax, 8, 11, base_family);
+  eax = deposit_bits(eax, 16, 19, ext_model);
+  eax = deposit_bits(eax, 20, 27, ext_family);
+  r.eax = static_cast<std::uint32_t>(eax);
+
+  const int logical_per_pkg = spec_.cores_per_socket * spec_.threads_per_core;
+  std::uint64_t ebx = 0;
+  ebx = deposit_bits(ebx, 8, 15, spec_.caches[0].line_size / 8);  // CLFLUSH
+  ebx = deposit_bits(ebx, 16, 23, static_cast<std::uint32_t>(logical_per_pkg));
+  ebx = deposit_bits(ebx, 24, 31, thread.apic_id & 0xFF);  // initial APIC id
+  r.ebx = static_cast<std::uint32_t>(ebx);
+
+  // EDX feature flags: TSC(4), MSR(5), APIC(9), SSE(25), SSE2(26), HTT(28).
+  std::uint64_t edx = 0;
+  edx = util::assign_bit(edx, 4, true);
+  edx = util::assign_bit(edx, 5, true);
+  edx = util::assign_bit(edx, 9, true);
+  edx = util::assign_bit(edx, 25, true);
+  edx = util::assign_bit(edx, 26, true);
+  edx = util::assign_bit(edx, 28, logical_per_pkg > 1);
+  r.edx = static_cast<std::uint32_t>(edx);
+
+  // ECX: SSE3(0), SSSE3(9), MONITOR(3).
+  std::uint64_t ecx = 0;
+  ecx = util::assign_bit(ecx, 0, true);
+  ecx = util::assign_bit(ecx, 3, true);
+  ecx = util::assign_bit(ecx, 9, spec_.vendor == Vendor::kIntel);
+  r.ecx = static_cast<std::uint32_t>(ecx);
+  return r;
+}
+
+CpuidRegs CpuidEmulator::leaf2() const {
+  // Byte 0 of EAX is the iteration count (always 1 on everything likwid
+  // supports); remaining bytes hold descriptor codes. The high bit of a
+  // register being clear marks it as valid.
+  std::vector<std::uint8_t> codes;
+  for (const auto& c : spec_.caches) {
+    const CacheDescriptor* d = find_descriptor(c);
+    LIKWID_ASSERT(d != nullptr, "undescribable cache checked in constructor");
+    codes.push_back(d->code);
+  }
+  LIKWID_REQUIRE(codes.size() <= 14, "too many caches for leaf-2 encoding");
+
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0x01;  // run cpuid(2) once
+  // Bit 31 of each output register signals "no valid descriptors" — a
+  // descriptor >= 0x80 must therefore never occupy a register's top byte
+  // (offsets 3/7/11/15). Insert a null descriptor to slide it past.
+  std::size_t pos = 1;
+  for (const std::uint8_t code : codes) {
+    if (pos % 4 == 3 && code >= 0x80) ++pos;
+    LIKWID_REQUIRE(pos < bytes.size(), "too many caches for leaf-2 encoding");
+    bytes[pos++] = code;
+  }
+
+  const auto reg = [&bytes](std::size_t base) {
+    return static_cast<std::uint32_t>(bytes[base]) |
+           (static_cast<std::uint32_t>(bytes[base + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes[base + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes[base + 3]) << 24);
+  };
+  CpuidRegs r;
+  r.eax = reg(0);
+  r.ebx = reg(4);
+  r.ecx = reg(8);
+  r.edx = reg(12);
+  return r;
+}
+
+CpuidRegs CpuidEmulator::leaf4(std::uint32_t subleaf) const {
+  if (subleaf >= spec_.caches.size()) return {};  // type 0: no more caches
+  const CacheLevelSpec& c = spec_.caches[subleaf];
+
+  std::uint32_t type_code = 0;
+  switch (c.type) {
+    case CacheType::kData: type_code = 1; break;
+    case CacheType::kInstruction: type_code = 2; break;
+    case CacheType::kUnified: type_code = 3; break;
+  }
+
+  CpuidRegs r;
+  std::uint64_t eax = 0;
+  eax = deposit_bits(eax, 0, 4, type_code);
+  eax = deposit_bits(eax, 5, 7, static_cast<std::uint32_t>(c.level));
+  eax = deposit_bits(eax, 8, 8, 1);  // self initializing
+  // Maximum addressable ids sharing this cache: power-of-two capacity - 1,
+  // exactly like real silicon (Westmere L3 shared by 12 reports 15 here).
+  eax = deposit_bits(eax, 14, 25,
+                     next_pow2(c.shared_by_threads) - 1);
+  eax = deposit_bits(
+      eax, 26, 31,
+      next_pow2(static_cast<std::uint32_t>(spec_.cores_per_socket)) - 1);
+  r.eax = static_cast<std::uint32_t>(eax);
+
+  std::uint64_t ebx = 0;
+  ebx = deposit_bits(ebx, 0, 11, c.line_size - 1);
+  ebx = deposit_bits(ebx, 12, 21, 0);  // partitions - 1
+  ebx = deposit_bits(ebx, 22, 31, c.associativity - 1);
+  r.ebx = static_cast<std::uint32_t>(ebx);
+
+  r.ecx = c.num_sets() - 1;
+  r.edx = c.inclusive ? 0x2u : 0x0u;  // bit 1: cache inclusiveness
+  return r;
+}
+
+CpuidRegs CpuidEmulator::leafA() const {
+  CpuidRegs r;
+  std::uint64_t eax = 0;
+  const std::uint32_t version = spec_.pmu.num_fixed_counters > 0 ? 3 : 1;
+  eax = deposit_bits(eax, 0, 7, version);
+  eax = deposit_bits(eax, 8, 15,
+                     static_cast<std::uint32_t>(spec_.pmu.num_gp_counters));
+  eax = deposit_bits(eax, 16, 23,
+                     static_cast<std::uint32_t>(spec_.pmu.gp_counter_bits));
+  r.eax = static_cast<std::uint32_t>(eax);
+  std::uint64_t edx = 0;
+  edx = deposit_bits(edx, 0, 4,
+                     static_cast<std::uint32_t>(spec_.pmu.num_fixed_counters));
+  edx = deposit_bits(edx, 5, 12, spec_.pmu.num_fixed_counters > 0 ? 48u : 0u);
+  r.edx = static_cast<std::uint32_t>(edx);
+  return r;
+}
+
+CpuidRegs CpuidEmulator::leafB(const HwThread& thread,
+                               std::uint32_t subleaf) const {
+  CpuidRegs r;
+  r.edx = thread.apic_id;  // x2APIC id reported at every subleaf
+  std::uint64_t ecx = deposit_bits(0, 0, 7, subleaf);
+  if (subleaf == 0) {
+    ecx = deposit_bits(ecx, 8, 15, 1);  // level type: SMT
+    r.eax = layout_.smt_width;
+    r.ebx = static_cast<std::uint32_t>(spec_.threads_per_core);
+  } else if (subleaf == 1) {
+    ecx = deposit_bits(ecx, 8, 15, 2);  // level type: core
+    r.eax = layout_.package_shift();
+    r.ebx = static_cast<std::uint32_t>(spec_.cores_per_socket *
+                                       spec_.threads_per_core);
+  } else {
+    ecx = deposit_bits(ecx, 8, 15, 0);  // invalid level: enumeration ends
+  }
+  r.ecx = static_cast<std::uint32_t>(ecx);
+  return r;
+}
+
+CpuidRegs CpuidEmulator::ext_leaf(const HwThread& thread,
+                                  std::uint32_t leaf) const {
+  CpuidRegs r;
+  switch (leaf) {
+    case 0x80000000u:
+      r.eax = max_ext_leaf_;
+      return r;
+    case 0x80000002u:
+    case 0x80000003u:
+    case 0x80000004u: {
+      char brand[48] = {};
+      std::snprintf(brand, sizeof(brand), "%s", spec_.brand_string.c_str());
+      const std::size_t off = (leaf - 0x80000002u) * 16;
+      std::memcpy(&r.eax, brand + off + 0, 4);
+      std::memcpy(&r.ebx, brand + off + 4, 4);
+      std::memcpy(&r.ecx, brand + off + 8, 4);
+      std::memcpy(&r.edx, brand + off + 12, 4);
+      return r;
+    }
+    case 0x80000005u: {
+      if (spec_.vendor != Vendor::kAmd) return {};
+      // ECX: L1D (size KB | assoc | lines/tag | line size), EDX: L1I.
+      const auto encode_l1 = [](const CacheLevelSpec& c) {
+        std::uint64_t v = 0;
+        v = deposit_bits(v, 0, 7, c.line_size);
+        v = deposit_bits(v, 8, 15, 1);
+        v = deposit_bits(v, 16, 23, c.associativity);
+        v = deposit_bits(v, 24, 31,
+                         static_cast<std::uint32_t>(c.size_bytes / 1024));
+        return static_cast<std::uint32_t>(v);
+      };
+      for (const auto& c : spec_.caches) {
+        if (c.level == 1 && c.type == CacheType::kData) r.ecx = encode_l1(c);
+        if (c.level == 1 && c.type == CacheType::kInstruction)
+          r.edx = encode_l1(c);
+      }
+      return r;
+    }
+    case 0x80000006u: {
+      if (spec_.vendor != Vendor::kAmd) return {};
+      for (const auto& c : spec_.caches) {
+        if (c.level == 2 && c.type != CacheType::kInstruction) {
+          std::uint64_t v = 0;
+          v = deposit_bits(v, 0, 7, c.line_size);
+          v = deposit_bits(v, 12, 15, amd_assoc_code(c.associativity));
+          v = deposit_bits(v, 16, 31,
+                           static_cast<std::uint32_t>(c.size_bytes / 1024));
+          r.ecx = static_cast<std::uint32_t>(v);
+        }
+        if (c.level == 3 && c.type != CacheType::kInstruction) {
+          std::uint64_t v = 0;
+          v = deposit_bits(v, 0, 7, c.line_size);
+          v = deposit_bits(v, 12, 15, amd_assoc_code(c.associativity));
+          // Size reported in 512 KB units.
+          v = deposit_bits(
+              v, 18, 31, static_cast<std::uint32_t>(c.size_bytes / (512 * 1024)));
+          r.edx = static_cast<std::uint32_t>(v);
+        }
+      }
+      return r;
+    }
+    case 0x80000008u: {
+      if (spec_.vendor != Vendor::kAmd) return {};
+      std::uint64_t ecx = 0;
+      ecx = deposit_bits(ecx, 0, 7,
+                         static_cast<std::uint32_t>(spec_.cores_per_socket - 1));
+      ecx = deposit_bits(ecx, 12, 15, layout_.core_width + layout_.smt_width);
+      r.ecx = static_cast<std::uint32_t>(ecx);
+      // Reuse EBX/EDX zero; EAX: physical/virtual address sizes.
+      r.eax = 0x3028;  // 48-bit virtual, 40-bit physical
+      (void)thread;
+      return r;
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace likwid::hwsim

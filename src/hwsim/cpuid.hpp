@@ -1,0 +1,92 @@
+// cpuid.hpp — emulation of the x86 `cpuid` instruction for a simulated node.
+//
+// The emulator produces bit-exact register images for the leaves that
+// likwid-topology consumes on real hardware:
+//   0x0        vendor string + max leaf
+//   0x1        family/model/stepping, logical count, initial APIC id, HTT
+//   0x2        cache descriptor table (Pentium M era)
+//   0x4        deterministic cache parameters (Core 2 and newer)
+//   0xA        architectural performance monitoring
+//   0xB        extended topology enumeration (Nehalem and newer)
+//   0x8000000x brand string, AMD L1/L2/L3 parameters, AMD core count
+//
+// The topology decoder in src/core/topology.cpp never sees the MachineSpec:
+// it reconstructs everything from these leaves, exactly as the real tool
+// reconstructs it from silicon.
+#pragma once
+
+#include <cstdint>
+
+#include "hwsim/apic.hpp"
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::hwsim {
+
+/// Output registers of one cpuid invocation.
+struct CpuidRegs {
+  std::uint32_t eax = 0;
+  std::uint32_t ebx = 0;
+  std::uint32_t ecx = 0;
+  std::uint32_t edx = 0;
+};
+
+/// Emulates `cpuid` as executed on a specific hardware thread of a machine.
+class CpuidEmulator {
+ public:
+  /// `spec` must outlive the emulator. Throws Error(kUnsupported) if the
+  /// spec requests leaf-2 cache reporting with a cache geometry that has no
+  /// descriptor code.
+  explicit CpuidEmulator(const MachineSpec& spec);
+
+  /// Execute cpuid with EAX=leaf, ECX=subleaf on hardware thread `thread`.
+  /// Unknown leaves return all-zero registers (sufficient for the decoder,
+  /// which always gates on the max-leaf values).
+  CpuidRegs query(const HwThread& thread, std::uint32_t leaf,
+                  std::uint32_t subleaf = 0) const;
+
+  std::uint32_t max_standard_leaf() const noexcept { return max_std_leaf_; }
+  std::uint32_t max_extended_leaf() const noexcept { return max_ext_leaf_; }
+
+ private:
+  CpuidRegs leaf0() const;
+  CpuidRegs leaf1(const HwThread& thread) const;
+  CpuidRegs leaf2() const;
+  CpuidRegs leaf4(std::uint32_t subleaf) const;
+  CpuidRegs leafA() const;
+  CpuidRegs leafB(const HwThread& thread, std::uint32_t subleaf) const;
+  CpuidRegs ext_leaf(const HwThread& thread, std::uint32_t leaf) const;
+
+  const MachineSpec& spec_;
+  ApicLayout layout_;
+  std::uint32_t max_std_leaf_ = 0;
+  std::uint32_t max_ext_leaf_ = 0;
+};
+
+/// Intel leaf-2 cache descriptor table entry (the subset this project
+/// emulates; values match the Intel SDM descriptor encodings).
+struct CacheDescriptor {
+  std::uint8_t code;
+  int level;
+  CacheType type;
+  std::uint32_t size_kb;
+  std::uint32_t associativity;
+  std::uint32_t line_size;
+};
+
+/// All descriptors known to the emulator/decoder.
+const std::vector<CacheDescriptor>& cache_descriptor_table();
+
+/// Find the descriptor code for a cache spec; returns nullptr if the
+/// geometry has no known descriptor.
+const CacheDescriptor* find_descriptor(const CacheLevelSpec& cache);
+
+/// Look up a descriptor by code; returns nullptr for unknown codes.
+const CacheDescriptor* find_descriptor(std::uint8_t code);
+
+/// AMD L2/L3 associativity field encoding (cpuid 0x80000006).
+/// Returns 0xF ("fully associative") for values not representable.
+std::uint32_t amd_assoc_code(std::uint32_t ways);
+/// Inverse mapping; returns 0 for reserved codes.
+std::uint32_t amd_assoc_ways(std::uint32_t code, std::uint32_t full_ways);
+
+}  // namespace likwid::hwsim

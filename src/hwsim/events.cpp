@@ -1,0 +1,40 @@
+#include "hwsim/events.hpp"
+
+namespace likwid::hwsim {
+
+std::string_view event_id_name(EventId id) noexcept {
+  switch (id) {
+    case EventId::kInstructionsRetired: return "instructions_retired";
+    case EventId::kCoreCycles: return "core_cycles";
+    case EventId::kRefCycles: return "ref_cycles";
+    case EventId::kFpPackedDouble: return "fp_packed_double";
+    case EventId::kFpScalarDouble: return "fp_scalar_double";
+    case EventId::kFpPackedSingle: return "fp_packed_single";
+    case EventId::kFpScalarSingle: return "fp_scalar_single";
+    case EventId::kLoadsRetired: return "loads_retired";
+    case EventId::kStoresRetired: return "stores_retired";
+    case EventId::kBranchesRetired: return "branches_retired";
+    case EventId::kBranchesMispredicted: return "branches_mispredicted";
+    case EventId::kDtlbMisses: return "dtlb_misses";
+    case EventId::kItlbMisses: return "itlb_misses";
+    case EventId::kL1DLinesIn: return "l1d_lines_in";
+    case EventId::kL1DLinesOut: return "l1d_lines_out";
+    case EventId::kL2Requests: return "l2_requests";
+    case EventId::kL2Misses: return "l2_misses";
+    case EventId::kL2LinesIn: return "l2_lines_in";
+    case EventId::kL2LinesOut: return "l2_lines_out";
+    case EventId::kHwPrefetchesIssued: return "hw_prefetches_issued";
+    case EventId::kBusTransMem: return "bus_trans_mem";
+    case EventId::kUncL3LinesIn: return "unc_l3_lines_in";
+    case EventId::kUncL3LinesOut: return "unc_l3_lines_out";
+    case EventId::kUncL3Hits: return "unc_l3_hits";
+    case EventId::kUncL3Misses: return "unc_l3_misses";
+    case EventId::kUncMemReads: return "unc_mem_reads";
+    case EventId::kUncMemWrites: return "unc_mem_writes";
+    case EventId::kUncClockticks: return "unc_clockticks";
+    case EventId::kCount: return "count";
+  }
+  return "unknown";
+}
+
+}  // namespace likwid::hwsim

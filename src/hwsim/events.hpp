@@ -1,0 +1,110 @@
+// events.hpp — the microarchitectural event vocabulary shared between the
+// execution/cache simulator (producer) and the PMU (consumer).
+//
+// The cache simulator and workload engine describe what happened on the
+// machine in terms of these abstract events; per-architecture event tables
+// (src/core/event_tables.cpp) map vendor-specific event names and
+// (event-code, umask) encodings onto them, so the measurement tools program
+// real-looking MSR encodings while the hardware model counts real traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace likwid::hwsim {
+
+/// Abstract μarch events. Core events are attributed to the hardware thread
+/// that caused them; uncore events are attributed to a socket.
+enum class EventId : std::uint16_t {
+  // --- execution core ---
+  kInstructionsRetired = 0,
+  kCoreCycles,            ///< unhalted core clock cycles
+  kRefCycles,             ///< unhalted reference cycles (TSC rate)
+  kFpPackedDouble,        ///< packed double SSE computational instructions
+  kFpScalarDouble,        ///< scalar double SSE computational instructions
+  kFpPackedSingle,
+  kFpScalarSingle,
+  kLoadsRetired,
+  kStoresRetired,
+  kBranchesRetired,
+  kBranchesMispredicted,
+  kDtlbMisses,
+  kItlbMisses,
+  // --- private cache hierarchy (per-core view) ---
+  kL1DLinesIn,            ///< cache lines allocated in L1D (fill on miss)
+  kL1DLinesOut,           ///< modified lines evicted from L1D
+  kL2Requests,            ///< demand requests that reached L2
+  kL2Misses,              ///< demand requests that missed L2
+  kL2LinesIn,             ///< lines allocated in L2
+  kL2LinesOut,            ///< modified lines evicted from L2
+  kHwPrefetchesIssued,    ///< lines requested by hardware prefetchers
+  kBusTransMem,           ///< memory bus transactions caused by this core
+                          ///< (Core 2 style front-side-bus accounting)
+  // --- shared cache / memory controller (per-socket, "uncore" view) ---
+  kUncL3LinesIn,          ///< lines allocated in L3
+  kUncL3LinesOut,         ///< lines victimized from L3
+  kUncL3Hits,
+  kUncL3Misses,
+  kUncMemReads,           ///< full cache-line reads at the memory controller
+  kUncMemWrites,          ///< full cache-line writes at the memory controller
+  kUncClockticks,         ///< uncore clock
+  kCount                  ///< sentinel: number of event ids
+};
+
+inline constexpr std::size_t kNumEvents = static_cast<std::size_t>(EventId::kCount);
+
+/// Index of the first socket-scoped ("uncore") event.
+inline constexpr std::size_t kFirstUncoreEvent =
+    static_cast<std::size_t>(EventId::kUncL3LinesIn);
+
+/// True if this event is counted at socket scope.
+constexpr bool is_uncore_event(EventId id) noexcept {
+  return static_cast<std::size_t>(id) >= kFirstUncoreEvent &&
+         id != EventId::kCount;
+}
+
+/// Stable lower_snake name of an event id (for logs and tests).
+std::string_view event_id_name(EventId id) noexcept;
+
+/// Dense vector of event counts produced by one slice of execution on one
+/// hardware thread (core events) or one socket (uncore events).
+class EventVector {
+ public:
+  EventVector() { counts_.fill(0.0); }
+
+  double& operator[](EventId id) noexcept {
+    return counts_[static_cast<std::size_t>(id)];
+  }
+  double operator[](EventId id) const noexcept {
+    return counts_[static_cast<std::size_t>(id)];
+  }
+
+  void add(EventId id, double n) noexcept {
+    counts_[static_cast<std::size_t>(id)] += n;
+  }
+
+  /// Element-wise accumulate another vector.
+  EventVector& operator+=(const EventVector& other) noexcept {
+    for (std::size_t i = 0; i < kNumEvents; ++i) counts_[i] += other.counts_[i];
+    return *this;
+  }
+
+  /// Scale all counts (used by multiplexing extrapolation in tests).
+  EventVector& operator*=(double factor) noexcept {
+    for (auto& c : counts_) c *= factor;
+    return *this;
+  }
+
+  bool all_zero() const noexcept {
+    for (const double c : counts_) {
+      if (c != 0.0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<double, kNumEvents> counts_;
+};
+
+}  // namespace likwid::hwsim

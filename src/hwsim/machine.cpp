@@ -1,0 +1,76 @@
+#include "hwsim/machine.hpp"
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+
+SimMachine::SimMachine(MachineSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  arch_ = classify_arch(spec_.vendor, spec_.family, spec_.model);
+  threads_ = enumerate_hw_threads(spec_);
+  cpuid_ = std::make_unique<CpuidEmulator>(spec_);
+  msrs_ = std::make_unique<MsrRegisterFile>(spec_);
+  pmu_ = std::make_unique<Pmu>(spec_, arch_, *msrs_, threads_);
+}
+
+const HwThread& SimMachine::thread(int os_id) const {
+  if (os_id < 0 || os_id >= num_threads()) {
+    throw_error(ErrorCode::kNotFound,
+                "no hardware thread with os id " + std::to_string(os_id));
+  }
+  return threads_[static_cast<std::size_t>(os_id)];
+}
+
+std::vector<int> SimMachine::cpus_of_socket(int socket) const {
+  std::vector<int> out;
+  for (const auto& t : threads_) {
+    if (t.socket == socket) out.push_back(t.os_id);
+  }
+  return out;
+}
+
+std::vector<int> SimMachine::core_siblings(int os_id) const {
+  const HwThread& self = thread(os_id);
+  std::vector<int> out;
+  for (const auto& t : threads_) {
+    if (t.socket == self.socket && t.core_index == self.core_index) {
+      out.push_back(t.os_id);
+    }
+  }
+  return out;
+}
+
+CpuidRegs SimMachine::cpuid(int os_id, std::uint32_t leaf,
+                            std::uint32_t subleaf) const {
+  return cpuid_->query(thread(os_id), leaf, subleaf);
+}
+
+void SimMachine::post_core_events(int os_id, const EventVector& ev) {
+  pmu_->post_core(thread(os_id).os_id, ev);
+}
+
+void SimMachine::post_uncore_events(int socket, const EventVector& ev) {
+  pmu_->post_uncore(socket, ev);
+}
+
+PrefetcherSpec SimMachine::active_prefetchers(int os_id) const {
+  const PrefetcherSpec& present = spec_.prefetchers;
+  if (spec_.vendor != Vendor::kIntel || !msrs_->exists(msr::kMiscEnable)) {
+    return present;
+  }
+  const std::uint64_t misc = msrs_->read(thread(os_id).os_id, msr::kMiscEnable);
+  PrefetcherSpec active;
+  active.hardware_prefetcher =
+      present.hardware_prefetcher &&
+      !util::test_bit(misc, msr::kMiscHwPrefetcherDisable);
+  active.adjacent_line = present.adjacent_line &&
+                         !util::test_bit(misc, msr::kMiscAdjacentLineDisable);
+  active.dcu_prefetcher = present.dcu_prefetcher &&
+                          !util::test_bit(misc, msr::kMiscDcuPrefetcherDisable);
+  active.ip_prefetcher = present.ip_prefetcher &&
+                         !util::test_bit(misc, msr::kMiscIpPrefetcherDisable);
+  return active;
+}
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,75 @@
+// machine.hpp — the SimMachine façade: one object per simulated node, tying
+// together the spec, hardware-thread enumeration, cpuid emulation, MSR
+// register file and PMU. Everything higher in the stack (OS simulation,
+// cache simulation, the LIKWID tools) talks to the machine through this
+// class.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hwsim/apic.hpp"
+#include "hwsim/arch.hpp"
+#include "hwsim/cpuid.hpp"
+#include "hwsim/events.hpp"
+#include "hwsim/machine_spec.hpp"
+#include "hwsim/msr.hpp"
+#include "hwsim/pmu.hpp"
+
+namespace likwid::hwsim {
+
+class SimMachine {
+ public:
+  /// Validates the spec and builds all hardware state.
+  explicit SimMachine(MachineSpec spec);
+
+  SimMachine(const SimMachine&) = delete;
+  SimMachine& operator=(const SimMachine&) = delete;
+
+  const MachineSpec& spec() const noexcept { return spec_; }
+  Arch arch() const noexcept { return arch_; }
+  double clock_ghz() const noexcept { return spec_.clock_ghz; }
+
+  int num_threads() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+  const std::vector<HwThread>& threads() const noexcept { return threads_; }
+
+  /// Hardware thread by OS processor number; throws kNotFound if invalid.
+  const HwThread& thread(int os_id) const;
+
+  int socket_of(int os_id) const { return thread(os_id).socket; }
+
+  /// OS ids of all hardware threads on `socket`, ascending.
+  std::vector<int> cpus_of_socket(int socket) const;
+
+  /// OS ids of the SMT siblings sharing the physical core of `os_id`
+  /// (including `os_id` itself), ascending.
+  std::vector<int> core_siblings(int os_id) const;
+
+  /// Execute cpuid on hardware thread `os_id`.
+  CpuidRegs cpuid(int os_id, std::uint32_t leaf,
+                  std::uint32_t subleaf = 0) const;
+
+  MsrRegisterFile& msrs() noexcept { return *msrs_; }
+  const MsrRegisterFile& msrs() const noexcept { return *msrs_; }
+
+  /// Deliver execution events to the PMU (see Pmu documentation).
+  void post_core_events(int os_id, const EventVector& ev);
+  void post_uncore_events(int socket, const EventVector& ev);
+
+  /// Prefetchers currently active on `os_id`: the part's prefetchers minus
+  /// those disabled through IA32_MISC_ENABLE. AMD parts report their spec
+  /// directly (no MISC_ENABLE modeled, as in the paper's likwid-features).
+  PrefetcherSpec active_prefetchers(int os_id) const;
+
+ private:
+  MachineSpec spec_;
+  Arch arch_;
+  std::vector<HwThread> threads_;
+  std::unique_ptr<CpuidEmulator> cpuid_;
+  std::unique_ptr<MsrRegisterFile> msrs_;
+  std::unique_ptr<Pmu> pmu_;
+};
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,108 @@
+#include "hwsim/machine_spec.hpp"
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+
+int MachineSpec::last_level_cache() const {
+  int last = 0;
+  for (const auto& c : caches) {
+    if (c.type != CacheType::kInstruction) last = std::max(last, c.level);
+  }
+  return last;
+}
+
+bool MachineSpec::has_data_cache(int level) const noexcept {
+  for (const auto& c : caches) {
+    if (c.level == level && c.type != CacheType::kInstruction) return true;
+  }
+  return false;
+}
+
+const CacheLevelSpec& MachineSpec::data_cache(int level) const {
+  for (const auto& c : caches) {
+    if (c.level == level && c.type != CacheType::kInstruction) return c;
+  }
+  throw_error(ErrorCode::kNotFound,
+              "no data cache at level " + std::to_string(level));
+}
+
+void MachineSpec::validate() const {
+  LIKWID_REQUIRE(!name.empty(), "machine name empty");
+  LIKWID_REQUIRE(sockets >= 1 && cores_per_socket >= 1 && threads_per_core >= 1,
+                 "non-positive topology extent");
+  LIKWID_REQUIRE(threads_per_core <= 2, "more than 2 SMT threads unsupported");
+  LIKWID_REQUIRE(clock_ghz > 0.1 && clock_ghz < 10.0, "implausible clock");
+  LIKWID_REQUIRE(static_cast<int>(core_apic_ids.size()) == cores_per_socket,
+                 "core_apic_ids size must equal cores_per_socket");
+  for (std::size_t i = 1; i < core_apic_ids.size(); ++i) {
+    LIKWID_REQUIRE(core_apic_ids[i] > core_apic_ids[i - 1],
+                   "core_apic_ids must be strictly increasing");
+  }
+  LIKWID_REQUIRE(!caches.empty(), "machine needs at least an L1 cache");
+  LIKWID_REQUIRE(has_data_cache(1), "machine needs an L1 data cache");
+  for (const auto& c : caches) {
+    LIKWID_REQUIRE(c.level >= 1 && c.level <= 3, "cache level out of range");
+    LIKWID_REQUIRE(c.size_bytes > 0 && c.associativity > 0 && c.line_size > 0,
+                   "cache with zero geometry");
+    LIKWID_REQUIRE(util::is_pow2(c.line_size), "line size must be power of 2");
+    LIKWID_REQUIRE(c.size_bytes % (c.associativity * c.line_size) == 0,
+                   "cache size not divisible into sets");
+    LIKWID_REQUIRE(c.shared_by_threads >= 1 &&
+                       static_cast<int>(c.shared_by_threads) <=
+                           cores_per_socket * threads_per_core,
+                   "cache share factor exceeds socket thread count");
+    LIKWID_REQUIRE((cores_per_socket * threads_per_core) %
+                           static_cast<int>(c.shared_by_threads) ==
+                       0,
+                   "cache share factor must divide socket thread count");
+  }
+  LIKWID_REQUIRE(pmu.num_gp_counters >= 1, "PMU needs at least one counter");
+  LIKWID_REQUIRE(pmu.gp_counter_bits >= 32 && pmu.gp_counter_bits <= 64,
+                 "counter width out of range");
+  LIKWID_REQUIRE(memory.socket_bandwidth_gbs > 0 &&
+                     memory.thread_bandwidth_gbs > 0,
+                 "memory bandwidth must be positive");
+  LIKWID_REQUIRE(memory.thread_bandwidth_gbs <= memory.socket_bandwidth_gbs,
+                 "single thread cannot exceed socket bandwidth");
+  LIKWID_REQUIRE(tlb.entries > 0 && util::is_pow2(tlb.page_size),
+                 "bad TLB spec");
+}
+
+std::string_view to_string(Vendor vendor) noexcept {
+  switch (vendor) {
+    case Vendor::kIntel: return "Intel";
+    case Vendor::kAmd: return "AMD";
+  }
+  return "?";
+}
+
+std::string_view to_string(CacheType type) noexcept {
+  switch (type) {
+    case CacheType::kData: return "Data cache";
+    case CacheType::kInstruction: return "Instruction cache";
+    case CacheType::kUnified: return "Unified cache";
+  }
+  return "?";
+}
+
+std::string_view to_string(OsEnumeration e) noexcept {
+  switch (e) {
+    case OsEnumeration::kSmtLast: return "smt-last";
+    case OsEnumeration::kSmtAdjacent: return "smt-adjacent";
+    case OsEnumeration::kSocketRoundRobin: return "socket-rr";
+  }
+  return "?";
+}
+
+OsEnumeration parse_os_enumeration(std::string_view text) {
+  if (text == "smt-last") return OsEnumeration::kSmtLast;
+  if (text == "smt-adjacent") return OsEnumeration::kSmtAdjacent;
+  if (text == "socket-rr") return OsEnumeration::kSocketRoundRobin;
+  throw_error(ErrorCode::kInvalidArgument,
+              "unknown os enumeration '" + std::string(text) +
+                  "' (smt-last, smt-adjacent, socket-rr)");
+}
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,151 @@
+// machine_spec.hpp — declarative description of a simulated x86 node.
+//
+// A MachineSpec is pure data: vendor identification, clock, socket/core/SMT
+// layout (including non-contiguous physical core numbering as found on
+// Westmere EP), the cache hierarchy, how topology and cache parameters are
+// discoverable through cpuid, the PMU capabilities, and the memory system
+// parameters that drive the bandwidth model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace likwid::hwsim {
+
+enum class Vendor { kIntel, kAmd };
+
+enum class CacheType { kData, kInstruction, kUnified };
+
+/// How software can discover thread topology on this part.
+enum class TopologyMethod {
+  kIntelLeafB,    ///< cpuid leaf 0xB (Nehalem and newer)
+  kIntelLegacy,   ///< cpuid leaf 1 + leaf 4 (Core 2, Atom, Pentium M)
+  kAmdLeaf8,      ///< cpuid 0x80000008 NC field + initial APIC id
+};
+
+/// How software can discover cache parameters on this part.
+enum class CacheMethod {
+  kIntelLeaf4,        ///< deterministic cache parameters (Core 2 and newer)
+  kIntelLeaf2,        ///< descriptor-table lookup (Pentium M)
+  kAmdLegacyLeaves,   ///< 0x80000005 (L1) / 0x80000006 (L2+L3)
+};
+
+/// How the BIOS/OS assigns `processor` numbers to hardware threads. The
+/// paper's motivation for cpuid-based probing: "how this numbering maps to
+/// the node topology depends on BIOS settings and may even differ for
+/// otherwise identical processors". The APIC ids never change — only the
+/// os-id permutation does.
+enum class OsEnumeration {
+  kSmtLast,      ///< SMT-0 of every core first, then siblings (the paper's
+                 ///< Westmere listing: os 0-11 physical, 12-23 siblings)
+  kSmtAdjacent,  ///< SMT siblings adjacent (0,1 share a core)
+  kSocketRoundRobin,  ///< consecutive os ids alternate sockets, SMT last
+};
+
+/// One level of the cache hierarchy. Instruction caches are included so
+/// likwid-topology can report that it omits non-data caches, like the tool.
+struct CacheLevelSpec {
+  int level = 1;                       ///< 1, 2 or 3
+  CacheType type = CacheType::kData;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t associativity = 0;
+  std::uint32_t line_size = 64;
+  std::uint32_t shared_by_threads = 1; ///< hw threads sharing one instance
+  bool inclusive = false;
+
+  std::uint32_t num_sets() const {
+    return static_cast<std::uint32_t>(size_bytes /
+                                      (associativity * line_size));
+  }
+};
+
+/// Performance monitoring capabilities.
+struct PmuSpec {
+  int num_gp_counters = 2;        ///< general-purpose core counters
+  int gp_counter_bits = 48;       ///< width (Core 2: 40)
+  int num_fixed_counters = 0;     ///< Intel fixed counters (INSTR, CLK, REF)
+  bool has_global_ctrl = false;   ///< IA32_PERF_GLOBAL_CTRL present
+  int num_uncore_counters = 0;    ///< Nehalem/Westmere socket-scope counters
+  int uncore_counter_bits = 48;
+};
+
+/// Simple data-TLB model parameters (for the TLB event group).
+struct TlbSpec {
+  std::uint32_t entries = 64;
+  std::uint32_t page_size = 4096;
+};
+
+/// Memory system parameters per NUMA domain (= socket on these machines).
+struct MemorySpec {
+  double socket_bandwidth_gbs = 20.0;   ///< saturated read+write bandwidth
+  double thread_bandwidth_gbs = 10.0;   ///< what a single thread can sustain
+  double remote_penalty = 0.7;          ///< multiplicative factor for remote
+                                        ///< (other-NUMA-domain) traffic
+  double latency_ns = 60.0;
+};
+
+/// Prefetchers present on the part (all toggleable through
+/// IA32_MISC_ENABLE on Intel; AMD parts expose none here, matching the
+/// paper's "likwid-features currently only works for Intel Core 2").
+struct PrefetcherSpec {
+  bool hardware_prefetcher = false;   ///< L2 streamer
+  bool adjacent_line = false;         ///< buddy-line prefetch into L2
+  bool dcu_prefetcher = false;        ///< L1 streaming prefetcher
+  bool ip_prefetcher = false;         ///< L1 stride predictor keyed by IP
+};
+
+/// Full description of one simulated node.
+struct MachineSpec {
+  std::string name;            ///< likwid-style display name
+  std::string brand_string;    ///< cpuid brand string (leaves 0x80000002-4)
+  Vendor vendor = Vendor::kIntel;
+  std::uint32_t family = 6;
+  std::uint32_t model = 0;
+  std::uint32_t stepping = 0;
+  double clock_ghz = 2.0;
+
+  int sockets = 1;
+  int cores_per_socket = 1;
+  int threads_per_core = 1;
+
+  /// Physical (APIC) core numbers within a socket. Size must equal
+  /// cores_per_socket. Westmere EP famously uses {0,1,2,8,9,10}.
+  std::vector<int> core_apic_ids;
+
+  TopologyMethod topology_method = TopologyMethod::kIntelLegacy;
+  CacheMethod cache_method = CacheMethod::kIntelLeaf4;
+  OsEnumeration os_enumeration = OsEnumeration::kSmtLast;
+
+  std::vector<CacheLevelSpec> caches;  ///< ordered by level, I$ after D$
+  PmuSpec pmu;
+  TlbSpec tlb;
+  MemorySpec memory;
+  PrefetcherSpec prefetchers;
+
+  int num_hw_threads() const {
+    return sockets * cores_per_socket * threads_per_core;
+  }
+  int numa_domains() const { return sockets; }
+
+  /// Highest cache level that holds data (2 on Core 2 / K8, 3 on Nehalem).
+  int last_level_cache() const;
+
+  /// The data/unified cache spec at `level`; throws kNotFound if absent.
+  const CacheLevelSpec& data_cache(int level) const;
+  bool has_data_cache(int level) const noexcept;
+
+  /// Validate internal consistency (sizes, counts, share factors);
+  /// throws Error(kInvalidArgument) describing the first problem found.
+  void validate() const;
+};
+
+std::string_view to_string(Vendor vendor) noexcept;
+std::string_view to_string(CacheType type) noexcept;
+std::string_view to_string(OsEnumeration e) noexcept;
+
+/// Parse "smt-last" / "smt-adjacent" / "socket-rr" (the tools' --enum
+/// option); throws Error(kInvalidArgument) otherwise.
+OsEnumeration parse_os_enumeration(std::string_view text);
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,167 @@
+#include "hwsim/msr.hpp"
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::hwsim {
+
+namespace {
+
+std::uint64_t misc_enable_reset(const MachineSpec& spec) {
+  using namespace msr;
+  std::uint64_t v = 0;
+  v = util::assign_bit(v, kMiscFastStrings, true);
+  v = util::assign_bit(v, kMiscThermalControl, true);
+  v = util::assign_bit(v, kMiscPerfMonAvailable, true);
+  v = util::assign_bit(v, kMiscBtsUnavailable, false);   // 0: BTS supported
+  v = util::assign_bit(v, kMiscPebsUnavailable, false);  // 0: PEBS supported
+  v = util::assign_bit(v, kMiscSpeedStep, true);
+  v = util::assign_bit(v, kMiscMonitorMwait, true);
+  v = util::assign_bit(v, kMiscXdBitDisable, true);
+  // All prefetchers enabled (disable bits clear); Dynamic Acceleration off.
+  v = util::assign_bit(v, kMiscIdaDisable, true);
+  (void)spec;
+  return v;
+}
+
+std::uint64_t misc_enable_writable() {
+  using namespace msr;
+  std::uint64_t m = 0;
+  m = util::assign_bit(m, kMiscFastStrings, true);
+  m = util::assign_bit(m, kMiscThermalControl, true);
+  m = util::assign_bit(m, kMiscHwPrefetcherDisable, true);
+  m = util::assign_bit(m, kMiscSpeedStep, true);
+  m = util::assign_bit(m, kMiscMonitorMwait, true);
+  m = util::assign_bit(m, kMiscAdjacentLineDisable, true);
+  m = util::assign_bit(m, kMiscLimitCpuidMaxval, true);
+  m = util::assign_bit(m, kMiscXdBitDisable, true);
+  m = util::assign_bit(m, kMiscDcuPrefetcherDisable, true);
+  m = util::assign_bit(m, kMiscIdaDisable, true);
+  m = util::assign_bit(m, kMiscIpPrefetcherDisable, true);
+  return m;
+}
+
+}  // namespace
+
+MsrRegisterFile::MsrRegisterFile(const MachineSpec& spec)
+    : spec_(spec), num_threads_(spec.num_hw_threads()) {
+  thread_regs_.resize(static_cast<std::size_t>(num_threads_));
+  socket_regs_.resize(static_cast<std::size_t>(spec.sockets));
+
+  declare(msr::kTsc, Scope::kThread, ~std::uint64_t{0});
+
+  if (spec.vendor == Vendor::kIntel) {
+    declare(msr::kMiscEnable, Scope::kThread, misc_enable_writable(),
+            misc_enable_reset(spec));
+    for (int i = 0; i < spec.pmu.num_gp_counters; ++i) {
+      declare(msr::kPmc0 + static_cast<std::uint32_t>(i), Scope::kThread,
+              ~std::uint64_t{0});
+      declare(msr::kPerfEvtSel0 + static_cast<std::uint32_t>(i),
+              Scope::kThread, ~std::uint64_t{0});
+    }
+    for (int i = 0; i < spec.pmu.num_fixed_counters; ++i) {
+      declare(msr::kFixedCtr0 + static_cast<std::uint32_t>(i), Scope::kThread,
+              ~std::uint64_t{0});
+    }
+    if (spec.pmu.num_fixed_counters > 0) {
+      declare(msr::kFixedCtrCtrl, Scope::kThread, ~std::uint64_t{0});
+    }
+    if (spec.pmu.has_global_ctrl) {
+      declare(msr::kPerfGlobalCtrl, Scope::kThread, ~std::uint64_t{0});
+      declare(msr::kPerfGlobalStatus, Scope::kThread, 0);  // read-only
+      declare(msr::kPerfGlobalOvfCtrl, Scope::kThread, ~std::uint64_t{0});
+    }
+    if (spec.pmu.num_uncore_counters > 0) {
+      declare(msr::kUncPerfGlobalCtrl, Scope::kSocket, ~std::uint64_t{0});
+      declare(msr::kUncFixedCtr0, Scope::kSocket, ~std::uint64_t{0});
+      declare(msr::kUncFixedCtrCtrl, Scope::kSocket, ~std::uint64_t{0});
+      for (int i = 0; i < spec.pmu.num_uncore_counters; ++i) {
+        declare(msr::kUncPmc0 + static_cast<std::uint32_t>(i), Scope::kSocket,
+                ~std::uint64_t{0});
+        declare(msr::kUncPerfEvtSel0 + static_cast<std::uint32_t>(i),
+                Scope::kSocket, ~std::uint64_t{0});
+      }
+    }
+  } else {
+    for (int i = 0; i < spec.pmu.num_gp_counters; ++i) {
+      declare(msr::kAmdPerfCtl0 + static_cast<std::uint32_t>(i),
+              Scope::kThread, ~std::uint64_t{0});
+      declare(msr::kAmdPerfCtr0 + static_cast<std::uint32_t>(i),
+              Scope::kThread, ~std::uint64_t{0});
+    }
+  }
+}
+
+void MsrRegisterFile::declare(std::uint32_t reg, Scope scope,
+                              std::uint64_t writable_mask,
+                              std::uint64_t reset_value) {
+  registry_[reg] = RegisterInfo{scope, writable_mask, reset_value};
+  if (scope == Scope::kThread) {
+    for (auto& regs : thread_regs_) regs[reg] = reset_value;
+  } else {
+    for (auto& regs : socket_regs_) regs[reg] = reset_value;
+  }
+}
+
+int MsrRegisterFile::socket_of(int cpu) const {
+  const int threads_per_socket =
+      spec_.cores_per_socket * spec_.threads_per_core;
+  // OS numbering is SMT-major (see apic.cpp): the socket of os id `cpu` is
+  // (cpu / cores_per_socket) % sockets for each SMT block.
+  const int within_smt_block = cpu % (spec_.sockets * spec_.cores_per_socket);
+  (void)threads_per_socket;
+  return within_smt_block / spec_.cores_per_socket;
+}
+
+bool MsrRegisterFile::exists(std::uint32_t reg) const noexcept {
+  return registry_.count(reg) != 0;
+}
+
+std::uint64_t MsrRegisterFile::read(int cpu, std::uint32_t reg) const {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < num_threads_,
+                 "msr read: cpu " + std::to_string(cpu) + " out of range");
+  const auto it = registry_.find(reg);
+  if (it == registry_.end()) {
+    throw_error(ErrorCode::kNotFound,
+                util::strprintf("msr 0x%X does not exist on %s", reg,
+                                spec_.name.c_str()));
+  }
+  if (it->second.scope == Scope::kThread) {
+    return thread_regs_[static_cast<std::size_t>(cpu)].at(reg);
+  }
+  return socket_regs_[static_cast<std::size_t>(socket_of(cpu))].at(reg);
+}
+
+void MsrRegisterFile::write(int cpu, std::uint32_t reg, std::uint64_t value) {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < num_threads_,
+                 "msr write: cpu " + std::to_string(cpu) + " out of range");
+  const auto it = registry_.find(reg);
+  if (it == registry_.end()) {
+    throw_error(ErrorCode::kNotFound,
+                util::strprintf("msr 0x%X does not exist on %s", reg,
+                                spec_.name.c_str()));
+  }
+  const RegisterInfo& info = it->second;
+  if (info.writable_mask == 0) {
+    throw_error(ErrorCode::kPermission,
+                util::strprintf("msr 0x%X is read-only", reg));
+  }
+  auto& regs = info.scope == Scope::kThread
+                   ? thread_regs_[static_cast<std::size_t>(cpu)]
+                   : socket_regs_[static_cast<std::size_t>(socket_of(cpu))];
+  const std::uint64_t old = regs.at(reg);
+  regs[reg] = (old & ~info.writable_mask) | (value & info.writable_mask);
+}
+
+void MsrRegisterFile::reset() {
+  for (const auto& [reg, info] : registry_) {
+    if (info.scope == Scope::kThread) {
+      for (auto& regs : thread_regs_) regs[reg] = info.reset_value;
+    } else {
+      for (auto& regs : socket_regs_) regs[reg] = info.reset_value;
+    }
+  }
+}
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,118 @@
+// msr.hpp — model-specific register (MSR) device for the simulated node.
+//
+// Mirrors the Linux `msr` kernel module semantics that likwid-perfctr and
+// likwid-features rely on: per-cpu register files addressed by MSR number,
+// with reads/writes failing (EIO analog: Error) for registers that do not
+// exist on the part. Socket-scope ("uncore") registers are accessible from
+// every hardware thread of the socket but share storage, exactly like the
+// Nehalem uncore PMU block.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::hwsim {
+
+/// Architectural MSR addresses used by the tool suite (Intel SDM /
+/// AMD BKDG numbering).
+namespace msr {
+inline constexpr std::uint32_t kTsc = 0x10;
+inline constexpr std::uint32_t kMiscEnable = 0x1A0;       // IA32_MISC_ENABLE
+inline constexpr std::uint32_t kPmc0 = 0xC1;              // IA32_PMCx
+inline constexpr std::uint32_t kPerfEvtSel0 = 0x186;      // IA32_PERFEVTSELx
+inline constexpr std::uint32_t kFixedCtr0 = 0x309;        // IA32_FIXED_CTRx
+inline constexpr std::uint32_t kFixedCtrCtrl = 0x38D;
+inline constexpr std::uint32_t kPerfGlobalStatus = 0x38E;
+inline constexpr std::uint32_t kPerfGlobalCtrl = 0x38F;
+inline constexpr std::uint32_t kPerfGlobalOvfCtrl = 0x390;
+// Nehalem/Westmere uncore PMU block (socket scope).
+inline constexpr std::uint32_t kUncPerfGlobalCtrl = 0x391;
+inline constexpr std::uint32_t kUncFixedCtr0 = 0x394;
+inline constexpr std::uint32_t kUncFixedCtrCtrl = 0x395;
+inline constexpr std::uint32_t kUncPmc0 = 0x3B0;          // ..0x3B7
+inline constexpr std::uint32_t kUncPerfEvtSel0 = 0x3C0;   // ..0x3C7
+// AMD K8/K10.
+inline constexpr std::uint32_t kAmdPerfCtl0 = 0xC0010000; // ..3
+inline constexpr std::uint32_t kAmdPerfCtr0 = 0xC0010004; // ..7
+
+/// PERFEVTSEL / PERF_CTL bit fields shared by Intel and AMD encodings.
+inline constexpr unsigned kEvtSelEventLo = 0, kEvtSelEventHi = 7;
+inline constexpr unsigned kEvtSelUmaskLo = 8, kEvtSelUmaskHi = 15;
+inline constexpr unsigned kEvtSelUsr = 16;
+inline constexpr unsigned kEvtSelOs = 17;
+inline constexpr unsigned kEvtSelEdge = 18;
+inline constexpr unsigned kEvtSelPc = 19;
+inline constexpr unsigned kEvtSelInt = 20;
+inline constexpr unsigned kEvtSelAnyThread = 21;
+inline constexpr unsigned kEvtSelEnable = 22;
+inline constexpr unsigned kEvtSelInvert = 23;
+inline constexpr unsigned kEvtSelCmaskLo = 24, kEvtSelCmaskHi = 31;
+// AMD extended event-code bits [35:32] of PERF_CTL.
+inline constexpr unsigned kAmdEvtSelExtLo = 32, kAmdEvtSelExtHi = 35;
+
+/// IA32_MISC_ENABLE bits surfaced by likwid-features (Core 2 semantics).
+inline constexpr unsigned kMiscFastStrings = 0;
+inline constexpr unsigned kMiscThermalControl = 3;
+inline constexpr unsigned kMiscPerfMonAvailable = 7;        // read-only
+inline constexpr unsigned kMiscHwPrefetcherDisable = 9;
+inline constexpr unsigned kMiscBtsUnavailable = 11;          // read-only
+inline constexpr unsigned kMiscPebsUnavailable = 12;         // read-only
+inline constexpr unsigned kMiscSpeedStep = 16;
+inline constexpr unsigned kMiscMonitorMwait = 18;
+inline constexpr unsigned kMiscAdjacentLineDisable = 19;
+inline constexpr unsigned kMiscLimitCpuidMaxval = 22;
+inline constexpr unsigned kMiscXdBitDisable = 34;
+inline constexpr unsigned kMiscDcuPrefetcherDisable = 37;
+inline constexpr unsigned kMiscIdaDisable = 38;
+inline constexpr unsigned kMiscIpPrefetcherDisable = 39;
+}  // namespace msr
+
+/// Backing store for all MSRs of a machine. Registers are declared at
+/// construction from the MachineSpec (which PMU registers exist, whether an
+/// uncore block is present, Intel vs AMD register sets).
+class MsrRegisterFile {
+ public:
+  explicit MsrRegisterFile(const MachineSpec& spec);
+
+  /// Read MSR `reg` as hardware thread `cpu`.
+  /// Throws Error(kNotFound) for unknown cpu or nonexistent register.
+  std::uint64_t read(int cpu, std::uint32_t reg) const;
+
+  /// Write MSR `reg` as hardware thread `cpu`. Read-only bits are silently
+  /// preserved (matching hardware, which ignores or faults on such writes;
+  /// the msr device swallows the distinction). Unknown registers throw
+  /// Error(kNotFound); fully read-only registers throw Error(kPermission).
+  void write(int cpu, std::uint32_t reg, std::uint64_t value);
+
+  /// True if the register exists on this machine.
+  bool exists(std::uint32_t reg) const noexcept;
+
+  int num_threads() const noexcept { return num_threads_; }
+
+  /// Reset every register to its power-on value.
+  void reset();
+
+ private:
+  enum class Scope { kThread, kSocket };
+  struct RegisterInfo {
+    Scope scope = Scope::kThread;
+    std::uint64_t writable_mask = ~std::uint64_t{0};
+    std::uint64_t reset_value = 0;
+  };
+
+  void declare(std::uint32_t reg, Scope scope, std::uint64_t writable_mask,
+               std::uint64_t reset_value = 0);
+  int socket_of(int cpu) const;
+
+  const MachineSpec& spec_;
+  int num_threads_ = 0;
+  std::unordered_map<std::uint32_t, RegisterInfo> registry_;
+  // storage_[thread or socket index][reg] — flat per-scope maps.
+  std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> thread_regs_;
+  std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> socket_regs_;
+};
+
+}  // namespace likwid::hwsim

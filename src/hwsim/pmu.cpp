@@ -1,0 +1,173 @@
+#include "hwsim/pmu.hpp"
+
+#include <cmath>
+
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+
+using util::extract_bits;
+using util::test_bit;
+
+Pmu::Pmu(const MachineSpec& spec, Arch arch, MsrRegisterFile& regs,
+         const std::vector<HwThread>& threads)
+    : spec_(spec), arch_(arch), regs_(regs), threads_(threads) {}
+
+void Pmu::accumulate(int cpu, std::uint32_t counter_reg, double count,
+                     int width_bits) {
+  if (count <= 0) return;
+  const std::uint64_t old = regs_.read(cpu, counter_reg);
+  const std::uint64_t added =
+      static_cast<std::uint64_t>(std::llround(count));
+  regs_.write(cpu, counter_reg, (old + added) & counter_mask(width_bits));
+}
+
+void Pmu::post_core(int cpu, const EventVector& ev) {
+  // Advance the TSC by the reference cycles of this slice.
+  const double ref = ev[EventId::kRefCycles];
+  if (ref > 0) {
+    const std::uint64_t tsc = regs_.read(cpu, msr::kTsc);
+    regs_.write(cpu, msr::kTsc,
+                tsc + static_cast<std::uint64_t>(std::llround(ref)));
+  }
+  if (spec_.vendor == Vendor::kIntel) {
+    post_intel_core(cpu, ev);
+  } else {
+    post_amd_core(cpu, ev);
+  }
+}
+
+void Pmu::post_intel_core(int cpu, const EventVector& ev) {
+  const bool has_global = spec_.pmu.has_global_ctrl;
+  const std::uint64_t global =
+      has_global ? regs_.read(cpu, msr::kPerfGlobalCtrl) : ~std::uint64_t{0};
+
+  // Fixed counters: FIXED_CTR_CTRL holds a 4-bit block per counter; any
+  // non-zero ring-level selection means "count".
+  if (spec_.pmu.num_fixed_counters > 0) {
+    const std::uint64_t ctrl = regs_.read(cpu, msr::kFixedCtrCtrl);
+    static constexpr EventId kFixedEvents[3] = {
+        EventId::kInstructionsRetired, EventId::kCoreCycles,
+        EventId::kRefCycles};
+    for (int i = 0; i < spec_.pmu.num_fixed_counters && i < 3; ++i) {
+      const std::uint64_t ring =
+          extract_bits(ctrl, static_cast<unsigned>(4 * i),
+                       static_cast<unsigned>(4 * i + 1));
+      const bool globally_on = !has_global || test_bit(global, 32u + static_cast<unsigned>(i));
+      if (ring != 0 && globally_on) {
+        accumulate(cpu, msr::kFixedCtr0 + static_cast<std::uint32_t>(i),
+                   ev[kFixedEvents[i]], 48);
+      }
+    }
+  }
+
+  for (int i = 0; i < spec_.pmu.num_gp_counters; ++i) {
+    const std::uint64_t sel =
+        regs_.read(cpu, msr::kPerfEvtSel0 + static_cast<std::uint32_t>(i));
+    if (!test_bit(sel, msr::kEvtSelEnable)) continue;
+    if (has_global && !test_bit(global, static_cast<unsigned>(i))) continue;
+    // A counter with neither USR nor OS selected counts nothing.
+    if (!test_bit(sel, msr::kEvtSelUsr) && !test_bit(sel, msr::kEvtSelOs)) {
+      continue;
+    }
+    const auto event_code = static_cast<std::uint16_t>(
+        extract_bits(sel, msr::kEvtSelEventLo, msr::kEvtSelEventHi));
+    const auto umask = static_cast<std::uint8_t>(
+        extract_bits(sel, msr::kEvtSelUmaskLo, msr::kEvtSelUmaskHi));
+    const EventEncoding* enc =
+        decode_event(arch_, event_code, umask, CounterClass::kCore);
+    if (enc == nullptr || is_uncore_event(enc->id)) continue;
+    accumulate(cpu, msr::kPmc0 + static_cast<std::uint32_t>(i), ev[enc->id],
+               spec_.pmu.gp_counter_bits);
+  }
+}
+
+void Pmu::post_amd_core(int cpu, const EventVector& ev) {
+  for (int i = 0; i < spec_.pmu.num_gp_counters; ++i) {
+    const std::uint64_t sel =
+        regs_.read(cpu, msr::kAmdPerfCtl0 + static_cast<std::uint32_t>(i));
+    if (!test_bit(sel, msr::kEvtSelEnable)) continue;
+    if (!test_bit(sel, msr::kEvtSelUsr) && !test_bit(sel, msr::kEvtSelOs)) {
+      continue;
+    }
+    const auto event_code = static_cast<std::uint16_t>(
+        extract_bits(sel, msr::kEvtSelEventLo, msr::kEvtSelEventHi) |
+        (extract_bits(sel, msr::kAmdEvtSelExtLo, msr::kAmdEvtSelExtHi) << 8));
+    const auto umask = static_cast<std::uint8_t>(
+        extract_bits(sel, msr::kEvtSelUmaskLo, msr::kEvtSelUmaskHi));
+    const EventEncoding* enc =
+        decode_event(arch_, event_code, umask, CounterClass::kCore);
+    if (enc == nullptr || is_uncore_event(enc->id)) continue;
+    accumulate(cpu, msr::kAmdPerfCtr0 + static_cast<std::uint32_t>(i),
+               ev[enc->id], spec_.pmu.gp_counter_bits);
+  }
+}
+
+void Pmu::post_uncore(int socket, const EventVector& ev) {
+  LIKWID_REQUIRE(socket >= 0 && socket < spec_.sockets,
+                 "post_uncore: socket out of range");
+  if (spec_.vendor == Vendor::kIntel) {
+    if (spec_.pmu.num_uncore_counters == 0) return;
+    // Uncore MSRs are socket-scoped: reads/writes through any cpu of the
+    // socket hit the same storage. Use the first hw thread of the socket.
+    int socket_cpu = -1;
+    for (const auto& t : threads_) {
+      if (t.socket == socket) {
+        socket_cpu = t.os_id;
+        break;
+      }
+    }
+    LIKWID_ASSERT(socket_cpu >= 0, "socket has no threads");
+    const std::uint64_t global =
+        regs_.read(socket_cpu, msr::kUncPerfGlobalCtrl);
+    const std::uint64_t fixed_ctrl =
+        regs_.read(socket_cpu, msr::kUncFixedCtrCtrl);
+    if (test_bit(fixed_ctrl, 0) && test_bit(global, 32)) {
+      accumulate(socket_cpu, msr::kUncFixedCtr0, ev[EventId::kUncClockticks],
+                 spec_.pmu.uncore_counter_bits);
+    }
+    for (int i = 0; i < spec_.pmu.num_uncore_counters; ++i) {
+      const std::uint64_t sel = regs_.read(
+          socket_cpu, msr::kUncPerfEvtSel0 + static_cast<std::uint32_t>(i));
+      if (!test_bit(sel, msr::kEvtSelEnable)) continue;
+      if (!test_bit(global, static_cast<unsigned>(i))) continue;
+      const auto event_code = static_cast<std::uint16_t>(
+          extract_bits(sel, msr::kEvtSelEventLo, msr::kEvtSelEventHi));
+      const auto umask = static_cast<std::uint8_t>(
+          extract_bits(sel, msr::kEvtSelUmaskLo, msr::kEvtSelUmaskHi));
+      const EventEncoding* enc =
+          decode_event(arch_, event_code, umask, CounterClass::kUncore);
+      if (enc == nullptr) continue;
+      accumulate(socket_cpu, msr::kUncPmc0 + static_cast<std::uint32_t>(i),
+                 ev[enc->id], spec_.pmu.uncore_counter_bits);
+    }
+    return;
+  }
+
+  // AMD: northbridge events are visible from every core of the socket.
+  for (const auto& t : threads_) {
+    if (t.socket != socket) continue;
+    for (int i = 0; i < spec_.pmu.num_gp_counters; ++i) {
+      const std::uint64_t sel = regs_.read(
+          t.os_id, msr::kAmdPerfCtl0 + static_cast<std::uint32_t>(i));
+      if (!test_bit(sel, msr::kEvtSelEnable)) continue;
+      if (!test_bit(sel, msr::kEvtSelUsr) && !test_bit(sel, msr::kEvtSelOs)) {
+        continue;
+      }
+      const auto event_code = static_cast<std::uint16_t>(
+          extract_bits(sel, msr::kEvtSelEventLo, msr::kEvtSelEventHi) |
+          (extract_bits(sel, msr::kAmdEvtSelExtLo, msr::kAmdEvtSelExtHi)
+           << 8));
+      const auto umask = static_cast<std::uint8_t>(
+          extract_bits(sel, msr::kEvtSelUmaskLo, msr::kEvtSelUmaskHi));
+      const EventEncoding* enc =
+          decode_event(arch_, event_code, umask, CounterClass::kCore);
+      if (enc == nullptr || !is_uncore_event(enc->id)) continue;
+      accumulate(t.os_id, msr::kAmdPerfCtr0 + static_cast<std::uint32_t>(i),
+                 ev[enc->id], spec_.pmu.gp_counter_bits);
+    }
+  }
+}
+
+}  // namespace likwid::hwsim

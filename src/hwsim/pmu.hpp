@@ -1,0 +1,66 @@
+// pmu.hpp — the performance monitoring unit of the simulated machine.
+//
+// The PMU is purely reactive: the execution engine posts vectors of μarch
+// events for a slice of execution, and every counter whose PERFEVTSEL
+// programming (as found in the MSR register file at that moment) selects a
+// matching event accumulates it. This reproduces the properties the paper
+// leans on: counting is core-based, not process-based; counters only count
+// while enabled; fixed counters always count INSTR/CLK/REF when switched
+// on; uncore counters observe socket-level traffic regardless of which
+// thread caused it.
+#pragma once
+
+#include <vector>
+
+#include "hwsim/apic.hpp"
+#include "hwsim/arch.hpp"
+#include "hwsim/events.hpp"
+#include "hwsim/machine_spec.hpp"
+#include "hwsim/msr.hpp"
+
+namespace likwid::hwsim {
+
+class Pmu {
+ public:
+  /// All references must outlive the Pmu.
+  Pmu(const MachineSpec& spec, Arch arch, MsrRegisterFile& regs,
+      const std::vector<HwThread>& threads);
+
+  /// Deliver core-scope events generated on hardware thread `cpu`.
+  /// Counters not enabled at this moment miss the events forever (hardware
+  /// has no queue), which is what makes wrapper-mode "overhead-free".
+  void post_core(int cpu, const EventVector& ev);
+
+  /// Deliver socket-scope events. On Intel parts with an uncore PMU these
+  /// land in the socket's uncore counters; on AMD, northbridge events are
+  /// observable from every core of the socket (each core counting an NB
+  /// event sees the full socket count), as on real K8/K10.
+  void post_uncore(int socket, const EventVector& ev);
+
+ private:
+  void post_intel_core(int cpu, const EventVector& ev);
+  void post_amd_core(int cpu, const EventVector& ev);
+  void accumulate(int cpu, std::uint32_t counter_reg, double count,
+                  int width_bits);
+  void accumulate_socket(int socket_cpu, std::uint32_t counter_reg,
+                         double count, int width_bits);
+
+  const MachineSpec& spec_;
+  Arch arch_;
+  MsrRegisterFile& regs_;
+  const std::vector<HwThread>& threads_;
+};
+
+/// Mask for an n-bit counter.
+constexpr std::uint64_t counter_mask(int bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Delta between two reads of a wrapping counter (stop - start mod 2^bits).
+constexpr std::uint64_t counter_delta(std::uint64_t start, std::uint64_t stop,
+                                      int bits) noexcept {
+  return (stop - start) & counter_mask(bits);
+}
+
+}  // namespace likwid::hwsim

@@ -1,0 +1,384 @@
+#include "hwsim/presets.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::hwsim::presets {
+
+namespace {
+
+CacheLevelSpec cache(int level, CacheType type, std::uint64_t size,
+                     std::uint32_t assoc, std::uint32_t shared_by,
+                     bool inclusive, std::uint32_t line = 64) {
+  CacheLevelSpec c;
+  c.level = level;
+  c.type = type;
+  c.size_bytes = size;
+  c.associativity = assoc;
+  c.line_size = line;
+  c.shared_by_threads = shared_by;
+  c.inclusive = inclusive;
+  return c;
+}
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+}  // namespace
+
+MachineSpec westmere_ep() {
+  MachineSpec m;
+  m.name = "Intel Westmere EP processor";
+  m.brand_string = "Intel(R) Xeon(R) CPU X5670 @ 2.93GHz";
+  m.vendor = Vendor::kIntel;
+  m.family = 6;
+  m.model = 0x2C;
+  m.stepping = 2;
+  m.clock_ghz = 2.93;
+  m.sockets = 2;
+  m.cores_per_socket = 6;
+  m.threads_per_core = 2;
+  m.core_apic_ids = {0, 1, 2, 8, 9, 10};
+  m.topology_method = TopologyMethod::kIntelLeafB;
+  m.cache_method = CacheMethod::kIntelLeaf4;
+  m.caches = {
+      cache(1, CacheType::kData, 32 * kKiB, 8, 2, true),
+      cache(1, CacheType::kInstruction, 32 * kKiB, 4, 2, true),
+      cache(2, CacheType::kUnified, 256 * kKiB, 8, 2, true),
+      cache(3, CacheType::kUnified, 12 * kMiB, 16, 12, false),
+  };
+  m.pmu = PmuSpec{4, 48, 3, true, 8, 48};
+  m.tlb = TlbSpec{64, 4096};
+  m.memory = MemorySpec{28.0, 14.0, 0.7, 65.0};
+  m.prefetchers = PrefetcherSpec{true, true, true, true};
+  return m;
+}
+
+MachineSpec nehalem_ep() {
+  MachineSpec m;
+  m.name = "Intel Nehalem EP processor";
+  m.brand_string = "Intel(R) Xeon(R) CPU X5550 @ 2.66GHz";
+  m.vendor = Vendor::kIntel;
+  m.family = 6;
+  m.model = 0x1A;
+  m.stepping = 5;
+  m.clock_ghz = 2.66;
+  m.sockets = 2;
+  m.cores_per_socket = 4;
+  m.threads_per_core = 2;
+  m.core_apic_ids = {0, 1, 2, 3};
+  m.topology_method = TopologyMethod::kIntelLeafB;
+  m.cache_method = CacheMethod::kIntelLeaf4;
+  m.caches = {
+      cache(1, CacheType::kData, 32 * kKiB, 8, 2, true),
+      cache(1, CacheType::kInstruction, 32 * kKiB, 4, 2, true),
+      cache(2, CacheType::kUnified, 256 * kKiB, 8, 2, true),
+      cache(3, CacheType::kUnified, 8 * kMiB, 16, 8, false),
+  };
+  m.pmu = PmuSpec{4, 48, 3, true, 8, 48};
+  m.tlb = TlbSpec{64, 4096};
+  m.memory = MemorySpec{19.0, 9.5, 0.7, 65.0};
+  m.prefetchers = PrefetcherSpec{true, true, true, true};
+  return m;
+}
+
+MachineSpec core2_quad() {
+  MachineSpec m;
+  m.name = "Intel Core 2 45nm processor";
+  m.brand_string = "Intel(R) Core(TM)2 Quad CPU Q9550 @ 2.83GHz";
+  m.vendor = Vendor::kIntel;
+  m.family = 6;
+  m.model = 0x17;
+  m.stepping = 6;
+  m.clock_ghz = 2.83;
+  m.sockets = 1;
+  m.cores_per_socket = 4;
+  m.threads_per_core = 1;
+  m.core_apic_ids = {0, 1, 2, 3};
+  m.topology_method = TopologyMethod::kIntelLegacy;
+  m.cache_method = CacheMethod::kIntelLeaf4;
+  m.caches = {
+      cache(1, CacheType::kData, 32 * kKiB, 8, 1, true),
+      cache(1, CacheType::kInstruction, 32 * kKiB, 8, 1, true),
+      cache(2, CacheType::kUnified, 6 * kMiB, 24, 2, true),
+  };
+  m.pmu = PmuSpec{2, 40, 3, true, 0, 48};
+  m.tlb = TlbSpec{64, 4096};
+  m.memory = MemorySpec{8.0, 4.5, 1.0, 85.0};
+  m.prefetchers = PrefetcherSpec{true, true, true, true};
+  return m;
+}
+
+MachineSpec core2_duo() {
+  MachineSpec m;
+  m.name = "Intel Core 2 65nm processor";
+  m.brand_string = "Intel(R) Core(TM)2 CPU 6600 @ 2.40GHz";
+  m.vendor = Vendor::kIntel;
+  m.family = 6;
+  m.model = 0x0F;
+  m.stepping = 6;
+  m.clock_ghz = 2.40;
+  m.sockets = 1;
+  m.cores_per_socket = 2;
+  m.threads_per_core = 1;
+  m.core_apic_ids = {0, 1};
+  m.topology_method = TopologyMethod::kIntelLegacy;
+  m.cache_method = CacheMethod::kIntelLeaf4;
+  m.caches = {
+      cache(1, CacheType::kData, 32 * kKiB, 8, 1, true),
+      cache(1, CacheType::kInstruction, 32 * kKiB, 8, 1, true),
+      cache(2, CacheType::kUnified, 4 * kMiB, 16, 2, true),
+  };
+  m.pmu = PmuSpec{2, 40, 3, true, 0, 48};
+  m.tlb = TlbSpec{64, 4096};
+  m.memory = MemorySpec{6.4, 4.0, 1.0, 90.0};
+  m.prefetchers = PrefetcherSpec{true, true, true, true};
+  return m;
+}
+
+MachineSpec atom() {
+  MachineSpec m;
+  m.name = "Intel Atom processor";
+  m.brand_string = "Intel(R) Atom(TM) CPU N270 @ 1.60GHz";
+  m.vendor = Vendor::kIntel;
+  m.family = 6;
+  m.model = 0x1C;
+  m.stepping = 2;
+  m.clock_ghz = 1.60;
+  m.sockets = 1;
+  m.cores_per_socket = 1;
+  m.threads_per_core = 2;
+  m.core_apic_ids = {0};
+  m.topology_method = TopologyMethod::kIntelLegacy;
+  m.cache_method = CacheMethod::kIntelLeaf4;
+  m.caches = {
+      cache(1, CacheType::kData, 24 * kKiB, 6, 2, true),
+      cache(1, CacheType::kInstruction, 32 * kKiB, 8, 2, true),
+      cache(2, CacheType::kUnified, 512 * kKiB, 8, 2, true),
+  };
+  m.pmu = PmuSpec{2, 40, 3, true, 0, 48};
+  m.tlb = TlbSpec{64, 4096};
+  m.memory = MemorySpec{3.0, 2.0, 1.0, 110.0};
+  m.prefetchers = PrefetcherSpec{true, false, true, false};
+  return m;
+}
+
+MachineSpec pentium_m() {
+  MachineSpec m;
+  m.name = "Intel Pentium M processor";
+  m.brand_string = "Intel(R) Pentium(R) M processor 1.60GHz";
+  m.vendor = Vendor::kIntel;
+  m.family = 6;
+  m.model = 0x09;  // Banias
+  m.stepping = 5;
+  m.clock_ghz = 1.60;
+  m.sockets = 1;
+  m.cores_per_socket = 1;
+  m.threads_per_core = 1;
+  m.core_apic_ids = {0};
+  m.topology_method = TopologyMethod::kIntelLegacy;
+  m.cache_method = CacheMethod::kIntelLeaf2;
+  m.caches = {
+      cache(1, CacheType::kData, 32 * kKiB, 8, 1, true),
+      cache(1, CacheType::kInstruction, 32 * kKiB, 8, 1, true),
+      cache(2, CacheType::kUnified, 1 * kMiB, 8, 1, true),
+  };
+  m.pmu = PmuSpec{2, 40, 0, false, 0, 48};
+  m.tlb = TlbSpec{64, 4096};
+  m.memory = MemorySpec{3.2, 2.5, 1.0, 120.0};
+  m.prefetchers = PrefetcherSpec{true, false, false, false};
+  return m;
+}
+
+MachineSpec pentium_m_dothan() {
+  MachineSpec m = pentium_m();
+  m.name = "Intel Pentium M (Dothan) processor";
+  m.brand_string = "Intel(R) Pentium(R) M processor 2.13GHz";
+  m.model = 0x0D;  // Dothan
+  m.stepping = 8;
+  m.clock_ghz = 2.13;
+  for (auto& c : m.caches) {
+    if (c.level == 2) c.size_bytes = 2 * kMiB;  // leaf-2 descriptor 0x7D
+  }
+  m.memory = MemorySpec{3.6, 2.8, 1.0, 115.0};
+  return m;
+}
+
+MachineSpec core2_penryn() {
+  MachineSpec m = core2_duo();
+  m.name = "Intel Core 2 45nm processor";
+  m.brand_string = "Intel(R) Core(TM)2 Duo CPU E8400 @ 3.00GHz";
+  m.model = 0x17;  // Penryn
+  m.stepping = 6;
+  m.clock_ghz = 3.00;
+  for (auto& c : m.caches) {
+    if (c.level == 2) {
+      c.size_bytes = 6 * kMiB;
+      c.associativity = 24;
+    }
+  }
+  m.memory = MemorySpec{8.5, 5.0, 1.0, 80.0};
+  return m;
+}
+
+MachineSpec nehalem_bloomfield() {
+  MachineSpec m = nehalem_ep();
+  m.name = "Intel Core i7 processor";
+  m.brand_string = "Intel(R) Core(TM) i7 CPU 920 @ 2.67GHz";
+  m.model = 0x1A;  // Bloomfield shares the EP model number
+  m.stepping = 4;
+  m.clock_ghz = 2.67;
+  m.sockets = 1;  // desktop part: one socket, one NUMA domain
+  m.memory = MemorySpec{17.0, 9.5, 1.0, 60.0};
+  return m;
+}
+
+MachineSpec atom_330() {
+  MachineSpec m = atom();
+  m.name = "Intel Atom processor";
+  m.brand_string = "Intel(R) Atom(TM) CPU 330 @ 1.60GHz";
+  m.cores_per_socket = 2;
+  m.core_apic_ids = {0, 1};
+  // Diamondville 330 is two Atom dies on one package: the 512 kB L2 stays
+  // private to each core (shared only by its two SMT threads).
+  m.memory = MemorySpec{4.0, 2.0, 1.0, 110.0};
+  return m;
+}
+
+MachineSpec amd_k8() {
+  MachineSpec m;
+  m.name = "AMD K8 processor";
+  m.brand_string = "Dual Core AMD Opteron(tm) Processor 275";
+  m.vendor = Vendor::kAmd;
+  m.family = 0x0F;
+  m.model = 0x21;
+  m.stepping = 2;
+  m.clock_ghz = 2.20;
+  m.sockets = 2;
+  m.cores_per_socket = 2;
+  m.threads_per_core = 1;
+  m.core_apic_ids = {0, 1};
+  m.topology_method = TopologyMethod::kAmdLeaf8;
+  m.cache_method = CacheMethod::kAmdLegacyLeaves;
+  m.caches = {
+      cache(1, CacheType::kData, 64 * kKiB, 2, 1, false),
+      cache(1, CacheType::kInstruction, 64 * kKiB, 2, 1, false),
+      cache(2, CacheType::kUnified, 1 * kMiB, 16, 1, false),
+  };
+  m.pmu = PmuSpec{4, 48, 0, false, 0, 48};
+  m.tlb = TlbSpec{32, 4096};
+  m.memory = MemorySpec{6.4, 4.0, 0.6, 95.0};
+  m.prefetchers = PrefetcherSpec{};  // not exposed, as in the paper
+  return m;
+}
+
+MachineSpec amd_k8_single_core() {
+  MachineSpec m = amd_k8();
+  m.name = "AMD K8 processor";
+  m.brand_string = "AMD Opteron(tm) Processor 250";
+  m.model = 0x05;
+  m.stepping = 10;
+  m.clock_ghz = 2.40;
+  m.cores_per_socket = 1;
+  m.core_apic_ids = {0};
+  m.memory = MemorySpec{5.8, 4.2, 0.6, 95.0};
+  return m;
+}
+
+MachineSpec amd_istanbul() {
+  MachineSpec m;
+  m.name = "AMD K10 (Istanbul) processor";
+  m.brand_string = "Six-Core AMD Opteron(tm) Processor 2435";
+  m.vendor = Vendor::kAmd;
+  m.family = 0x10;
+  m.model = 0x08;
+  m.stepping = 0;
+  m.clock_ghz = 2.60;
+  m.sockets = 2;
+  m.cores_per_socket = 6;
+  m.threads_per_core = 1;
+  m.core_apic_ids = {0, 1, 2, 3, 4, 5};
+  m.topology_method = TopologyMethod::kAmdLeaf8;
+  m.cache_method = CacheMethod::kAmdLegacyLeaves;
+  m.caches = {
+      cache(1, CacheType::kData, 64 * kKiB, 2, 1, false),
+      cache(1, CacheType::kInstruction, 64 * kKiB, 2, 1, false),
+      cache(2, CacheType::kUnified, 512 * kKiB, 16, 1, false),
+      cache(3, CacheType::kUnified, 6 * kMiB, 48, 6, false),
+  };
+  m.pmu = PmuSpec{4, 48, 0, false, 0, 48};
+  m.tlb = TlbSpec{48, 4096};
+  m.memory = MemorySpec{15.5, 7.5, 0.6, 75.0};
+  m.prefetchers = PrefetcherSpec{};
+  return m;
+}
+
+MachineSpec amd_barcelona() {
+  MachineSpec m = amd_istanbul();
+  m.name = "AMD K10 (Barcelona) processor";
+  m.brand_string = "Quad-Core AMD Opteron(tm) Processor 2356";
+  m.model = 0x02;
+  m.stepping = 3;
+  m.clock_ghz = 2.30;
+  m.cores_per_socket = 4;
+  m.core_apic_ids = {0, 1, 2, 3};
+  for (auto& c : m.caches) {
+    if (c.level == 3) {
+      c.size_bytes = 2 * kMiB;  // Barcelona's small first-generation L3
+      c.associativity = 32;
+      c.shared_by_threads = 4;
+    }
+  }
+  m.memory = MemorySpec{12.0, 6.0, 0.6, 85.0};
+  return m;
+}
+
+MachineSpec amd_shanghai() {
+  MachineSpec m = amd_istanbul();
+  m.name = "AMD K10 (Shanghai) processor";
+  m.brand_string = "Quad-Core AMD Opteron(tm) Processor 2378";
+  m.model = 0x04;
+  m.clock_ghz = 2.40;
+  m.cores_per_socket = 4;
+  m.core_apic_ids = {0, 1, 2, 3};
+  for (auto& c : m.caches) {
+    if (c.level == 3) c.shared_by_threads = 4;  // L3 spans the 4 cores
+  }
+  m.memory = MemorySpec{14.5, 7.0, 0.6, 78.0};
+  return m;
+}
+
+const std::vector<NamedPreset>& all_presets() {
+  static const std::vector<NamedPreset> kPresets = {
+      {"westmere-ep", westmere_ep},
+      {"nehalem-ep", nehalem_ep},
+      {"nehalem-bloomfield", nehalem_bloomfield},
+      {"core2-quad", core2_quad},
+      {"core2-duo", core2_duo},
+      {"core2-penryn", core2_penryn},
+      {"atom", atom},
+      {"atom-330", atom_330},
+      {"pentium-m", pentium_m},
+      {"pentium-m-dothan", pentium_m_dothan},
+      {"amd-k8", amd_k8},
+      {"amd-k8-sc", amd_k8_single_core},
+      {"amd-barcelona", amd_barcelona},
+      {"amd-istanbul", amd_istanbul},
+      {"amd-shanghai", amd_shanghai},
+  };
+  return kPresets;
+}
+
+MachineSpec preset_by_key(const std::string& key) {
+  for (const auto& p : all_presets()) {
+    if (p.key == key) return p.factory();
+  }
+  std::string valid;
+  for (const auto& p : all_presets()) {
+    if (!valid.empty()) valid += ", ";
+    valid += p.key;
+  }
+  throw_error(ErrorCode::kNotFound,
+              "unknown machine preset '" + key + "' (valid: " + valid + ")");
+}
+
+}  // namespace likwid::hwsim::presets

@@ -1,0 +1,86 @@
+// presets.hpp — ready-made MachineSpecs for the systems the paper uses and
+// the architectures likwid-perfctr supports.
+//
+// Memory-system numbers are expressed as *traffic* bandwidth (bytes moved
+// across the memory controller, including write-allocate transfers); the
+// STREAM benchmark reports lower numbers because it counts only 24 B per
+// triad iteration while write-allocate moves 32 B.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::hwsim::presets {
+
+/// Dual-socket Intel Westmere EP (2 x 6 cores x 2 SMT, 2.93 GHz) — the
+/// machine of the paper's topology listing and STREAM case study. Physical
+/// core ids within a socket are the non-contiguous 0,1,2,8,9,10.
+MachineSpec westmere_ep();
+
+/// Dual-socket Intel Nehalem EP (2 x 4 cores x 2 SMT, 2.66 GHz) — the
+/// machine of the stencil case studies (Fig. 11, Table II).
+MachineSpec nehalem_ep();
+
+/// Intel Core 2 Quad 45nm (1 x 4 cores, 2.83 GHz, two 6 MB L2 islands) —
+/// the machine of the FLOPS_DP marker-mode listing.
+MachineSpec core2_quad();
+
+/// Intel Core 2 Duo 65nm (1 x 2 cores, 2.40 GHz) — the likwid-features
+/// example machine.
+MachineSpec core2_duo();
+
+/// Intel Atom (1 core, 2 SMT threads, in-order).
+MachineSpec atom();
+
+/// Intel Pentium M Banias (single core; cache parameters only through the
+/// cpuid leaf-2 descriptor table).
+MachineSpec pentium_m();
+
+/// Intel Pentium M Dothan (90nm shrink of Banias: 2 MB L2, higher clock;
+/// still leaf-2-only cache discovery). The paper's support list names
+/// "Pentium M (Banias, Dothan)" explicitly.
+MachineSpec pentium_m_dothan();
+
+/// Intel Core 2 Duo 45nm (Penryn E8400: 2 cores sharing one 6 MB L2) —
+/// the "all variants" of the paper's Core 2 support entry.
+MachineSpec core2_penryn();
+
+/// Single-socket Intel Nehalem (Bloomfield Core i7-920: 4 cores x 2 SMT,
+/// 8 MB L3, triple-channel DDR3, uncore PMU) — the desktop variant of the
+/// paper's "Nehalem (all variants, including uncore events)".
+MachineSpec nehalem_bloomfield();
+
+/// Dual-core Intel Atom 330 (2 cores x 2 SMT, private 512 kB L2 per core).
+MachineSpec atom_330();
+
+/// Dual-socket AMD K10 Barcelona (2 x 4 cores, small 2 MB shared L3).
+MachineSpec amd_barcelona();
+
+/// Dual-socket single-core AMD K8 (Opteron 250) — the oldest "K8 (all
+/// variants)" shape: no shared caches, one core per NUMA domain.
+MachineSpec amd_k8_single_core();
+
+/// Dual-socket AMD K8 (2 x 2 cores, no shared caches).
+MachineSpec amd_k8();
+
+/// Dual-socket AMD K10 Istanbul (2 x 6 cores, shared L3) — the machine of
+/// the STREAM Figs. 9/10.
+MachineSpec amd_istanbul();
+
+/// Dual-socket AMD K10 Shanghai (2 x 4 cores, shared L3).
+MachineSpec amd_shanghai();
+
+/// All presets with stable lookup keys ("westmere-ep", "core2-quad", ...).
+struct NamedPreset {
+  std::string key;
+  std::function<MachineSpec()> factory;
+};
+const std::vector<NamedPreset>& all_presets();
+
+/// Look up a preset by key; throws Error(kNotFound) listing valid keys.
+MachineSpec preset_by_key(const std::string& key);
+
+}  // namespace likwid::hwsim::presets

@@ -1,0 +1,36 @@
+#include "mpisim/cluster.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::mpisim {
+
+Cluster::Cluster(int num_nodes, const hwsim::MachineSpec& spec,
+                 std::uint64_t seed) {
+  LIKWID_REQUIRE(num_nodes >= 1, "a cluster needs at least one node");
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    Node node;
+    node.machine = std::make_unique<hwsim::SimMachine>(spec);
+    node.kernel = std::make_unique<ossim::SimKernel>(
+        *node.machine, seed + static_cast<std::uint64_t>(n));
+    nodes_.push_back(std::move(node));
+  }
+}
+
+Node& Cluster::node(int index) {
+  LIKWID_REQUIRE(index >= 0 && index < num_nodes(),
+                 "node index out of range");
+  return nodes_[static_cast<std::size_t>(index)];
+}
+
+const Node& Cluster::node(int index) const {
+  LIKWID_REQUIRE(index >= 0 && index < num_nodes(),
+                 "node index out of range");
+  return nodes_[static_cast<std::size_t>(index)];
+}
+
+int Cluster::cpus_per_node() const {
+  return nodes_.front().machine->num_threads();
+}
+
+}  // namespace likwid::mpisim

@@ -1,0 +1,47 @@
+// cluster.hpp — a set of simulated shared-memory nodes forming the
+// distributed-memory half of the paper's "hybrid MPI+threads" scenario
+// (Section II-C: "mpiexec -n 64 -pernode likwid-pin -c 0-7 -s 0x3 ./a.out").
+//
+// Each node owns an independent SimMachine and SimKernel: private MSR
+// state, private scheduler, private clock. Nothing is shared between
+// nodes — exactly the isolation an MPI job sees across hosts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hwsim/machine.hpp"
+#include "ossim/kernel.hpp"
+
+namespace likwid::mpisim {
+
+/// One host of the cluster.
+struct Node {
+  std::unique_ptr<hwsim::SimMachine> machine;
+  std::unique_ptr<ossim::SimKernel> kernel;
+};
+
+class Cluster {
+ public:
+  /// Build `num_nodes` identical nodes from `spec`. Each node's scheduler
+  /// is seeded differently (seed + node index) so unpinned placement does
+  /// not replicate across hosts.
+  Cluster(int num_nodes, const hwsim::MachineSpec& spec,
+          std::uint64_t seed = 42);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int index);
+  const Node& node(int index) const;
+
+  /// Hardware threads per node (all nodes are identical).
+  int cpus_per_node() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace likwid::mpisim

@@ -1,0 +1,164 @@
+#include "mpisim/launcher.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::mpisim {
+
+core::ThreadModel thread_model_for(workloads::OpenMpImpl impl) {
+  switch (impl) {
+    case workloads::OpenMpImpl::kGcc: return core::ThreadModel::kGcc;
+    case workloads::OpenMpImpl::kIntel: return core::ThreadModel::kIntel;
+    case workloads::OpenMpImpl::kIntelMpi: return core::ThreadModel::kIntelMpi;
+  }
+  return core::ThreadModel::kGcc;
+}
+
+std::vector<RankPlan> plan_ranks(const MpirunConfig& config, int num_nodes,
+                                 int cpus_per_node) {
+  LIKWID_REQUIRE(config.np >= 1, "mpirun needs at least one rank");
+  LIKWID_REQUIRE(num_nodes >= 1, "mpirun needs at least one node");
+  LIKWID_REQUIRE(config.omp_threads >= 1,
+                 "OMP_NUM_THREADS must be at least 1");
+
+  // Ranks allowed per node.
+  int per_node = 0;
+  if (config.pernode) {
+    if (config.np > num_nodes) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  util::strprintf("-pernode with %d ranks needs %d nodes "
+                                  "(cluster has %d)",
+                                  config.np, config.np, num_nodes));
+    }
+    per_node = 1;
+  } else if (config.npernode > 0) {
+    if (config.np > config.npernode * num_nodes) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  util::strprintf("%d ranks exceed -npernode %d x %d nodes",
+                                  config.np, config.npernode, num_nodes));
+    }
+    per_node = config.npernode;
+  } else {
+    per_node = (config.np + num_nodes - 1) / num_nodes;  // block fill
+  }
+
+  // Node cpu list the pin slices are cut from.
+  std::vector<int> node_list = config.node_cpu_list;
+  if (node_list.empty()) {
+    for (int c = 0; c < cpus_per_node; ++c) node_list.push_back(c);
+  }
+  for (const int c : node_list) {
+    if (c < 0 || c >= cpus_per_node) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  util::strprintf("cpu %d in the node list does not exist "
+                                  "(node has %d hardware threads)",
+                                  c, cpus_per_node));
+    }
+  }
+
+  std::vector<RankPlan> plans(static_cast<std::size_t>(config.np));
+  std::vector<int> slots(static_cast<std::size_t>(num_nodes), 0);
+  for (int r = 0; r < config.np; ++r) {
+    RankPlan& p = plans[static_cast<std::size_t>(r)];
+    p.rank = r;
+    if (config.mapping == RankMapping::kRoundRobin) {
+      p.node = r % num_nodes;
+    } else {
+      p.node = r / per_node;
+    }
+    p.slot = slots[static_cast<std::size_t>(p.node)]++;
+    if (p.slot >= per_node) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  util::strprintf("rank %d overflows node %d (%d slots)", r,
+                                  p.node, per_node));
+    }
+  }
+
+  // Ranks sharing a node partition the node list evenly by slot.
+  for (auto& p : plans) {
+    const int on_node = slots[static_cast<std::size_t>(p.node)];
+    const int chunk = static_cast<int>(node_list.size()) / on_node;
+    if (chunk < 1) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  util::strprintf("node %d hosts %d ranks but the cpu list "
+                                  "has only %zu entries",
+                                  p.node, on_node, node_list.size()));
+    }
+    const auto begin = node_list.begin() + p.slot * chunk;
+    p.pin_cpus.assign(begin, begin + chunk);
+  }
+  return plans;
+}
+
+MpiJob::MpiJob(Cluster& cluster, MpirunConfig config)
+    : cluster_(cluster), config_(std::move(config)) {
+  const auto plans =
+      plan_ranks(config_, cluster_.num_nodes(), cluster_.cpus_per_node());
+  ranks_.reserve(plans.size());
+  for (const auto& plan : plans) {
+    LaunchedRank rank;
+    rank.plan = plan;
+    Node& node = cluster_.node(plan.node);
+    rank.runtime =
+        std::make_unique<ossim::ThreadRuntime>(node.kernel->scheduler());
+    if (config_.pin) {
+      core::PinConfig pc;
+      pc.cpu_list = plan.pin_cpus;
+      pc.model = thread_model_for(config_.omp);
+      pc.skip = config_.skip.value_or(core::default_skip_mask(pc.model));
+      rank.wrapper = std::make_unique<core::PinWrapper>(*rank.runtime, pc);
+    }
+    rank.team = workloads::launch_openmp_team(*rank.runtime, config_.omp,
+                                              config_.omp_threads);
+    rank.worker_cpus = rank.runtime->placement(rank.team.worker_tids);
+    ranks_.push_back(std::move(rank));
+  }
+}
+
+// Note on load accounting: launch_openmp_team marks every worker thread
+// busy on its hardware thread, so by the end of the constructor the
+// schedulers already carry the full job's load — ranks running their
+// slices below see the other ranks' workers as contention automatically.
+
+std::vector<double> MpiJob::run_triad(
+    const workloads::StreamConfig& stream_config) {
+  std::vector<double> seconds;
+  seconds.reserve(ranks_.size());
+  for (const auto& rank : ranks_) {
+    Node& node = cluster_.node(rank.plan.node);
+    workloads::StreamTriad triad(stream_config);
+    workloads::Placement p;
+    p.cpus = rank.worker_cpus;
+    seconds.push_back(run_workload(*node.kernel, triad, p));
+  }
+  return seconds;
+}
+
+std::vector<MpiJob::RankMeasurement> MpiJob::measure_triad(
+    const std::string& group,
+    const workloads::StreamConfig& stream_config) {
+  std::vector<RankMeasurement> out;
+  out.reserve(ranks_.size());
+  for (const auto& rank : ranks_) {
+    Node& node = cluster_.node(rank.plan.node);
+    core::PerfCtr ctr(*node.kernel, rank.worker_cpus);
+    ctr.add_group(group);
+    workloads::StreamTriad triad(stream_config);
+    workloads::Placement p;
+    p.cpus = rank.worker_cpus;
+    ctr.start();
+    const double t = run_workload(*node.kernel, triad, p);
+    ctr.stop();
+    RankMeasurement m;
+    m.rank = rank.plan.rank;
+    m.node = rank.plan.node;
+    m.seconds = t;
+    m.metrics = ctr.compute_metrics(0);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace likwid::mpisim

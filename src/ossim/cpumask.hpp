@@ -1,0 +1,69 @@
+// cpumask.hpp — cpu_set_t analog for the simulated OS.
+#pragma once
+
+#include <bitset>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace likwid::ossim {
+
+/// Affinity mask over hardware threads (cpu_set_t analog).
+class CpuMask {
+ public:
+  static constexpr int kMaxCpus = 256;
+
+  CpuMask() = default;
+
+  /// Mask with cpus [0, n) set.
+  static CpuMask first_n(int n) {
+    LIKWID_REQUIRE(n >= 0 && n <= kMaxCpus, "cpu count out of range");
+    CpuMask m;
+    for (int i = 0; i < n; ++i) m.bits_.set(static_cast<std::size_t>(i));
+    return m;
+  }
+
+  static CpuMask single(int cpu) {
+    CpuMask m;
+    m.set(cpu);
+    return m;
+  }
+
+  static CpuMask from_list(const std::vector<int>& cpus) {
+    CpuMask m;
+    for (const int c : cpus) m.set(c);
+    return m;
+  }
+
+  void set(int cpu) {
+    LIKWID_REQUIRE(cpu >= 0 && cpu < kMaxCpus, "cpu id out of range");
+    bits_.set(static_cast<std::size_t>(cpu));
+  }
+  void clear(int cpu) {
+    LIKWID_REQUIRE(cpu >= 0 && cpu < kMaxCpus, "cpu id out of range");
+    bits_.reset(static_cast<std::size_t>(cpu));
+  }
+  bool test(int cpu) const {
+    return cpu >= 0 && cpu < kMaxCpus &&
+           bits_.test(static_cast<std::size_t>(cpu));
+  }
+
+  int count() const noexcept { return static_cast<int>(bits_.count()); }
+  bool empty() const noexcept { return bits_.none(); }
+
+  /// Ascending list of set cpus.
+  std::vector<int> to_list() const {
+    std::vector<int> out;
+    for (int i = 0; i < kMaxCpus; ++i) {
+      if (bits_.test(static_cast<std::size_t>(i))) out.push_back(i);
+    }
+    return out;
+  }
+
+  bool operator==(const CpuMask&) const = default;
+
+ private:
+  std::bitset<kMaxCpus> bits_;
+};
+
+}  // namespace likwid::ossim

@@ -1,0 +1,62 @@
+#include "ossim/kernel.hpp"
+
+#include <sstream>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::ossim {
+
+SimKernel::SimKernel(hwsim::SimMachine& machine, std::uint64_t seed)
+    : machine_(machine), scheduler_(machine, seed) {
+  caches_ = std::make_unique<cachesim::CacheHierarchy>(machine.spec(),
+                                                       machine.threads());
+}
+
+void SimKernel::advance_time(double seconds) {
+  LIKWID_REQUIRE(seconds >= 0, "time cannot run backwards");
+  now_seconds_ += seconds;
+}
+
+std::uint64_t SimKernel::msr_read(int cpu, std::uint32_t reg) const {
+  return machine_.msrs().read(cpu, reg);
+}
+
+void SimKernel::msr_write(int cpu, std::uint32_t reg, std::uint64_t value) {
+  machine_.msrs().write(cpu, reg, value);
+  sync_prefetchers();
+}
+
+void SimKernel::sync_prefetchers() {
+  for (const auto& t : machine_.threads()) {
+    caches_->set_prefetchers(t.os_id, machine_.active_prefetchers(t.os_id));
+  }
+}
+
+std::string SimKernel::proc_cpuinfo() const {
+  const auto& spec = machine_.spec();
+  std::ostringstream out;
+  for (const auto& t : machine_.threads()) {
+    out << "processor\t: " << t.os_id << "\n";
+    out << "vendor_id\t: "
+        << (spec.vendor == hwsim::Vendor::kIntel ? "GenuineIntel"
+                                                 : "AuthenticAMD")
+        << "\n";
+    out << "cpu family\t: " << spec.family << "\n";
+    out << "model\t\t: " << spec.model << "\n";
+    out << "model name\t: " << spec.brand_string << "\n";
+    out << "stepping\t: " << spec.stepping << "\n";
+    out << util::strprintf("cpu MHz\t\t: %.3f", spec.clock_ghz * 1000.0)
+        << "\n";
+    out << "physical id\t: " << t.socket << "\n";
+    out << "siblings\t: "
+        << spec.cores_per_socket * spec.threads_per_core << "\n";
+    out << "core id\t\t: " << t.core_apic << "\n";
+    out << "cpu cores\t: " << spec.cores_per_socket << "\n";
+    out << "apicid\t\t: " << t.apic_id << "\n";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace likwid::ossim

@@ -1,0 +1,54 @@
+// kernel.hpp — the simulated operating system: owns the scheduler and the
+// global clock, exposes the msr device files and /proc/cpuinfo, and hosts
+// the cache hierarchy (which on real iron would be silicon, but lives here
+// so one kernel object is the complete "running node").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cachesim/hierarchy.hpp"
+#include "hwsim/machine.hpp"
+#include "ossim/scheduler.hpp"
+
+namespace likwid::ossim {
+
+class SimKernel {
+ public:
+  /// `machine` must outlive the kernel.
+  explicit SimKernel(hwsim::SimMachine& machine, std::uint64_t seed = 42);
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  hwsim::SimMachine& machine() noexcept { return machine_; }
+  const hwsim::SimMachine& machine() const noexcept { return machine_; }
+  Scheduler& scheduler() noexcept { return scheduler_; }
+  const Scheduler& scheduler() const noexcept { return scheduler_; }
+  cachesim::CacheHierarchy& caches() noexcept { return *caches_; }
+  const cachesim::CacheHierarchy& caches() const noexcept { return *caches_; }
+
+  /// Wall-clock of the simulation, seconds since boot.
+  double now() const noexcept { return now_seconds_; }
+  void advance_time(double seconds);
+
+  /// /dev/cpu/<cpu>/msr analogs (same failure modes as the msr module).
+  std::uint64_t msr_read(int cpu, std::uint32_t reg) const;
+  void msr_write(int cpu, std::uint32_t reg, std::uint64_t value);
+
+  /// Generate the /proc/cpuinfo text for this node (the information source
+  /// the paper contrasts with cpuid-based topology probing).
+  std::string proc_cpuinfo() const;
+
+  /// Refresh the cache hierarchy's view of which prefetchers are active
+  /// (call after writes to IA32_MISC_ENABLE).
+  void sync_prefetchers();
+
+ private:
+  hwsim::SimMachine& machine_;
+  Scheduler scheduler_;
+  std::unique_ptr<cachesim::CacheHierarchy> caches_;
+  double now_seconds_ = 0.0;
+};
+
+}  // namespace likwid::ossim

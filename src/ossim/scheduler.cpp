@@ -1,0 +1,71 @@
+#include "ossim/scheduler.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::ossim {
+
+Scheduler::Scheduler(const hwsim::SimMachine& machine, std::uint64_t seed)
+    : machine_(machine), rng_(seed) {
+  load_.assign(static_cast<std::size_t>(machine.num_threads()), 0);
+  busy_.assign(static_cast<std::size_t>(machine.num_threads()), 0);
+}
+
+void Scheduler::add_busy(int cpu, int delta) {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < machine_.num_threads(),
+                 "add_busy: cpu out of range");
+  busy_[static_cast<std::size_t>(cpu)] += delta;
+  LIKWID_ASSERT(busy_[static_cast<std::size_t>(cpu)] >= 0,
+                "negative busy count");
+}
+
+int Scheduler::busy_load(int cpu) const {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < machine_.num_threads(),
+                 "busy_load: cpu out of range");
+  return busy_[static_cast<std::size_t>(cpu)];
+}
+
+int Scheduler::place(const CpuMask& affinity) {
+  std::vector<int> allowed;
+  for (int cpu = 0; cpu < machine_.num_threads(); ++cpu) {
+    if (affinity.test(cpu)) allowed.push_back(cpu);
+  }
+  LIKWID_REQUIRE(!allowed.empty(),
+                 "affinity mask selects no cpu of this machine");
+  int chosen;
+  if (allowed.size() == 1) {
+    chosen = allowed.front();
+  } else {
+    std::uniform_int_distribution<std::size_t> dist(0, allowed.size() - 1);
+    const int a = allowed[dist(rng_)];
+    const int b = allowed[dist(rng_)];
+    chosen = load_[static_cast<std::size_t>(b)] <
+                     load_[static_cast<std::size_t>(a)]
+                 ? b
+                 : a;
+  }
+  load_[static_cast<std::size_t>(chosen)] += 1;
+  return chosen;
+}
+
+void Scheduler::release(int cpu) {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < machine_.num_threads(),
+                 "release: cpu out of range");
+  LIKWID_REQUIRE(load_[static_cast<std::size_t>(cpu)] > 0,
+                 "release of an idle cpu");
+  load_[static_cast<std::size_t>(cpu)] -= 1;
+}
+
+int Scheduler::load(int cpu) const {
+  LIKWID_REQUIRE(cpu >= 0 && cpu < machine_.num_threads(),
+                 "load: cpu out of range");
+  return load_[static_cast<std::size_t>(cpu)];
+}
+
+void Scheduler::reset_load() {
+  for (auto& l : load_) l = 0;
+  for (auto& b : busy_) b = 0;
+}
+
+void Scheduler::reseed(std::uint64_t seed) { rng_.seed(seed); }
+
+}  // namespace likwid::ossim

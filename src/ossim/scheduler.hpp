@@ -1,0 +1,59 @@
+// scheduler.hpp — thread placement for the simulated OS.
+//
+// Pinned threads (affinity mask with one cpu) always run there. Unpinned
+// threads are placed the way a topology-unaware 2010-era kernel places
+// busy OpenMP threads: on a uniformly random allowed hardware thread, with
+// no guarantee of socket balance and with oversubscription possible. This
+// is the mechanism behind the variance in the paper's Figs. 4/7/9.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "hwsim/machine.hpp"
+#include "ossim/cpumask.hpp"
+
+namespace likwid::ossim {
+
+class Scheduler {
+ public:
+  /// `machine` must outlive the scheduler; `seed` drives unpinned placement.
+  Scheduler(const hwsim::SimMachine& machine, std::uint64_t seed);
+
+  /// Choose a cpu for a thread with the given affinity mask and account the
+  /// load. Single-cpu masks are honored exactly; wider masks use randomized
+  /// placement that mildly prefers idle cpus (two candidates, pick the less
+  /// loaded — a classic power-of-two-choices balancer, which still leaves
+  /// plenty of collisions and socket imbalance).
+  int place(const CpuMask& affinity);
+
+  /// Release the load accounted to `cpu` for one thread.
+  void release(int cpu);
+
+  /// Number of threads currently placed on `cpu`.
+  int load(int cpu) const;
+
+  /// Busy-thread accounting: placed threads that are actually executing
+  /// (runtime service threads like OpenMP shepherds sleep and do not
+  /// contend for the core). The performance model consumes busy_load.
+  void add_busy(int cpu, int delta);
+  int busy_load(int cpu) const;
+
+  /// Forget all load (between benchmark samples).
+  void reset_load();
+
+  /// Reseed the placement RNG (each unpinned benchmark sample uses a fresh
+  /// derived seed so samples differ like separate program runs).
+  void reseed(std::uint64_t seed);
+
+  const hwsim::SimMachine& machine() const noexcept { return machine_; }
+
+ private:
+  const hwsim::SimMachine& machine_;
+  std::mt19937_64 rng_;
+  std::vector<int> load_;
+  std::vector<int> busy_;
+};
+
+}  // namespace likwid::ossim

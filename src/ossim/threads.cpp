@@ -1,0 +1,103 @@
+#include "ossim/threads.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::ossim {
+
+ThreadRuntime::ThreadRuntime(Scheduler& scheduler) : scheduler_(scheduler) {
+  SimThread main;
+  main.tid = 0;
+  main.is_main = true;
+  main.affinity = CpuMask::first_n(scheduler_.machine().num_threads());
+  main.cpu = scheduler_.place(main.affinity);
+  threads_.push_back(main);
+}
+
+ThreadRuntime::~ThreadRuntime() {
+  for (const auto& t : threads_) {
+    if (t.cpu >= 0) {
+      if (t.busy) scheduler_.add_busy(t.cpu, -1);
+      scheduler_.release(t.cpu);
+    }
+  }
+}
+
+void ThreadRuntime::set_busy(int tid, bool busy) {
+  SimThread& t = thread(tid);
+  if (t.busy == busy) return;
+  t.busy = busy;
+  if (t.cpu >= 0) scheduler_.add_busy(t.cpu, busy ? 1 : -1);
+}
+
+void ThreadRuntime::migrate_unpinned() {
+  for (auto& t : threads_) {
+    if (t.affinity.count() <= 1 || t.cpu < 0) continue;
+    if (t.busy) scheduler_.add_busy(t.cpu, -1);
+    scheduler_.release(t.cpu);
+    t.cpu = scheduler_.place(t.affinity);
+    if (t.busy) scheduler_.add_busy(t.cpu, 1);
+  }
+}
+
+void ThreadRuntime::set_create_hook(CreateHook hook) {
+  LIKWID_REQUIRE(hook != nullptr, "null create hook");
+  if (hook_) {
+    throw_error(ErrorCode::kInvalidState,
+                "a pthread_create interposer is already installed");
+  }
+  hook_ = std::move(hook);
+}
+
+int ThreadRuntime::create_thread() {
+  SimThread t;
+  t.tid = static_cast<int>(threads_.size());
+  t.affinity = CpuMask::first_n(scheduler_.machine().num_threads());
+  threads_.push_back(t);
+  const int index = created_count_++;
+  if (hook_) hook_(index, t.tid);
+  SimThread& stored = threads_[static_cast<std::size_t>(t.tid)];
+  if (stored.cpu < 0) {
+    stored.cpu = scheduler_.place(stored.affinity);
+  }
+  return stored.tid;
+}
+
+void ThreadRuntime::set_affinity(int tid, const CpuMask& mask) {
+  LIKWID_REQUIRE(!mask.empty(), "empty affinity mask");
+  SimThread& t = thread(tid);
+  t.affinity = mask;
+  if (t.cpu >= 0 && !mask.test(t.cpu)) {
+    if (t.busy) scheduler_.add_busy(t.cpu, -1);
+    scheduler_.release(t.cpu);
+    t.cpu = scheduler_.place(mask);
+    if (t.busy) scheduler_.add_busy(t.cpu, 1);
+  } else if (t.cpu < 0) {
+    t.cpu = scheduler_.place(mask);
+    if (t.busy) scheduler_.add_busy(t.cpu, 1);
+  }
+}
+
+const SimThread& ThreadRuntime::thread(int tid) const {
+  if (tid < 0 || tid >= num_threads()) {
+    throw_error(ErrorCode::kNotFound, "no thread with tid " +
+                                          std::to_string(tid));
+  }
+  return threads_[static_cast<std::size_t>(tid)];
+}
+
+SimThread& ThreadRuntime::thread(int tid) {
+  if (tid < 0 || tid >= num_threads()) {
+    throw_error(ErrorCode::kNotFound, "no thread with tid " +
+                                          std::to_string(tid));
+  }
+  return threads_[static_cast<std::size_t>(tid)];
+}
+
+std::vector<int> ThreadRuntime::placement(const std::vector<int>& tids) const {
+  std::vector<int> cpus;
+  cpus.reserve(tids.size());
+  for (const int tid : tids) cpus.push_back(thread(tid).cpu);
+  return cpus;
+}
+
+}  // namespace likwid::ossim

@@ -1,0 +1,85 @@
+// threads.hpp — simulated POSIX thread creation with interposition.
+//
+// likwid-pin works by overloading pthread_create through an LD_PRELOAD
+// shared library; each newly created thread is pinned (or skipped) by the
+// wrapper before the application code runs. ThreadRuntime reproduces that
+// seam: a registered create-hook observes every thread creation in order
+// and may set the new thread's affinity before the scheduler places it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ossim/cpumask.hpp"
+#include "ossim/scheduler.hpp"
+
+namespace likwid::ossim {
+
+/// One simulated thread of the application process.
+struct SimThread {
+  int tid = 0;           ///< 0 is the process main thread
+  CpuMask affinity;      ///< allowed cpus
+  int cpu = -1;          ///< placement chosen by the scheduler
+  bool is_main = false;
+  bool busy = false;     ///< actively executing (vs. sleeping shepherd)
+};
+
+class ThreadRuntime {
+ public:
+  /// Called for every pthread_create, in creation order, *before*
+  /// placement. `create_index` counts created threads from 0 (the main
+  /// thread is not created and has no index, exactly like the real wrapper
+  /// which only sees new threads). The hook may call set_affinity().
+  using CreateHook = std::function<void(int create_index, int tid)>;
+
+  /// `scheduler` must outlive the runtime. The main thread (tid 0) is
+  /// created implicitly with full affinity and placed immediately.
+  explicit ThreadRuntime(Scheduler& scheduler);
+  ~ThreadRuntime();
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  /// Install the pthread_create interposer (at most one, like LD_PRELOAD).
+  /// Throws Error(kInvalidState) if a hook is already installed.
+  void set_create_hook(CreateHook hook);
+  void clear_create_hook() noexcept { hook_ = nullptr; }
+
+  /// pthread_create analog: makes a new thread (inheriting full affinity),
+  /// runs the interposer hook, then asks the scheduler for a placement.
+  /// Returns the new tid.
+  int create_thread();
+
+  /// sched_setaffinity analog. If the thread is already placed on a cpu
+  /// outside the new mask it migrates immediately.
+  void set_affinity(int tid, const CpuMask& mask);
+
+  /// Mark a thread as actively executing / sleeping. Busy threads consume
+  /// their hardware thread in the performance model; sleeping runtime
+  /// service threads (OpenMP shepherds, MPI progress threads) do not.
+  void set_busy(int tid, bool busy);
+
+  /// Re-place every thread whose affinity allows more than one cpu — the
+  /// analog of the OS load balancer moving unpinned threads over time
+  /// (used between first-touch initialization and a measured run).
+  void migrate_unpinned();
+
+  const SimThread& thread(int tid) const;
+  SimThread& thread(int tid);
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Threads in creation order (index 0 = main).
+  const std::vector<SimThread>& threads() const { return threads_; }
+
+  /// cpus of the given tids, in tid order.
+  std::vector<int> placement(const std::vector<int>& tids) const;
+
+ private:
+  Scheduler& scheduler_;
+  CreateHook hook_;
+  std::vector<SimThread> threads_;
+  int created_count_ = 0;  ///< number of pthread_create calls so far
+};
+
+}  // namespace likwid::ossim

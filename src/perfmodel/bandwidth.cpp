@@ -1,0 +1,56 @@
+#include "perfmodel/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace likwid::perfmodel {
+
+std::vector<double> allocate_bandwidth(
+    const std::vector<BandwidthDemand>& demands,
+    const std::vector<double>& domain_capacity_gbs) {
+  const std::size_t n = demands.size();
+  const std::size_t d = domain_capacity_gbs.size();
+  std::vector<double> achieved(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LIKWID_REQUIRE(demands[i].desired_gbs >= 0, "negative bandwidth demand");
+    LIKWID_REQUIRE(demands[i].domain_fraction.size() == d ||
+                       demands[i].desired_gbs == 0,
+                   "demand must name a fraction per domain");
+    achieved[i] = demands[i].desired_gbs;
+  }
+  for (const double cap : domain_capacity_gbs) {
+    LIKWID_REQUIRE(cap > 0, "non-positive domain capacity");
+  }
+
+  // Proportional scaling: repeatedly find domain utilisations and squeeze
+  // consumers of any over-committed domain. Each sweep only reduces rates,
+  // so the iteration converges monotonically.
+  constexpr int kSweeps = 20;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    bool any_overload = false;
+    for (std::size_t k = 0; k < d; ++k) {
+      double util = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (demands[i].desired_gbs <= 0) continue;
+        util += achieved[i] * demands[i].domain_fraction[k];
+      }
+      if (util > domain_capacity_gbs[k] * (1.0 + 1e-9)) {
+        any_overload = true;
+        const double scale = domain_capacity_gbs[k] / util;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (demands[i].desired_gbs <= 0) continue;
+          if (demands[i].domain_fraction[k] > 0) {
+            // Scale the whole thread rate: its traffic mix is fixed, so a
+            // squeezed domain slows all of its traffic.
+            achieved[i] *= 1.0 - demands[i].domain_fraction[k] * (1.0 - scale);
+          }
+        }
+      }
+    }
+    if (!any_overload) break;
+  }
+  return achieved;
+}
+
+}  // namespace likwid::perfmodel

@@ -1,0 +1,194 @@
+#include "perfmodel/exec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace likwid::perfmodel {
+
+MachineModel default_model(const hwsim::MachineSpec& spec) {
+  MachineModel m;
+  m.clock_ghz = spec.clock_ghz;
+  m.l2_bytes_per_cycle = 32.0;
+  m.l3_bytes_per_cycle_core = 12.0;
+  m.l3_bytes_per_cycle_socket = 28.0;
+  m.mem_bw_thread_gbs = spec.memory.thread_bandwidth_gbs;
+  m.mem_bw_socket_gbs = spec.memory.socket_bandwidth_gbs;
+  m.remote_factor = spec.memory.remote_penalty;
+  // The interconnect sustains a fraction of a controller's bandwidth; on
+  // single-socket parts (or specs without a remote penalty) it never binds.
+  m.qpi_gbs = spec.sockets > 1 && spec.memory.remote_penalty < 1.0
+                  ? spec.memory.socket_bandwidth_gbs *
+                        spec.memory.remote_penalty
+                  : 0.0;
+  return m;
+}
+
+TimingResult estimate_slice(const MachineModel& model,
+                            const hwsim::SimMachine& machine,
+                            const std::vector<ThreadWork>& work,
+                            const std::vector<int>& cpu_load,
+                            const TimingOptions& options) {
+  const int sockets = machine.spec().sockets;
+  LIKWID_REQUIRE(static_cast<int>(cpu_load.size()) == machine.num_threads(),
+                 "cpu_load must cover every hardware thread");
+  const double hz = model.clock_ghz * 1e9;
+
+  const auto oversub = [&](int cpu) {
+    return std::max(1, cpu_load[static_cast<std::size_t>(cpu)]);
+  };
+  const auto sibling_busy = [&](int cpu) {
+    for (const int sib : machine.core_siblings(cpu)) {
+      if (sib != cpu && cpu_load[static_cast<std::size_t>(sib)] > 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const std::size_t n = work.size();
+  std::vector<double> core_time(n), l2_time(n), l3_time(n), mem_total(n),
+      mem_cap(n), remote_frac(n);
+
+  // Pass 1: per-thread lower bounds independent of shared contention.
+  for (std::size_t i = 0; i < n; ++i) {
+    const ThreadWork& w = work[i];
+    LIKWID_REQUIRE(w.cpu >= 0 && w.cpu < machine.num_threads(),
+                   "worker placed on invalid cpu");
+    const int k = oversub(w.cpu);
+    const double smt = sibling_busy(w.cpu) ? options.smt_share : 1.0;
+
+    core_time[i] =
+        w.iterations * w.cycles_per_iter / hz / smt * static_cast<double>(k);
+    l2_time[i] = w.l2_bytes / (model.l2_bytes_per_cycle * hz);
+    l3_time[i] = w.l3_bytes / (model.l3_bytes_per_cycle_core * hz);
+
+    double total = 0;
+    double remote = 0;
+    const int home_self = machine.socket_of(w.cpu);
+    if (!w.mem_bytes_by_socket.empty()) {
+      LIKWID_REQUIRE(static_cast<int>(w.mem_bytes_by_socket.size()) == sockets,
+                     "mem_bytes_by_socket must have one entry per socket");
+      for (int s = 0; s < sockets; ++s) {
+        total += w.mem_bytes_by_socket[static_cast<std::size_t>(s)];
+        if (s != home_self) {
+          remote += w.mem_bytes_by_socket[static_cast<std::size_t>(s)];
+        }
+      }
+    }
+    mem_total[i] = total;
+    remote_frac[i] = total > 0 ? remote / total : 0.0;
+
+    // The thread's own pull rate: code quality, prefetchers, time slicing
+    // and the interconnect penalty on its remote share all reduce it.
+    const double remote_mult =
+        1.0 - remote_frac[i] * (1.0 - model.remote_factor);
+    mem_cap[i] = model.mem_bw_thread_gbs * 1e9 * w.bw_scale *
+                 w.prefetch_factor * remote_mult / static_cast<double>(k);
+  }
+
+  // Pass 2: memory-controller waterfilling across sockets.
+  std::vector<BandwidthDemand> demands(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ThreadWork& w = work[i];
+    if (mem_total[i] <= 0) continue;
+    // Desired rate: what the thread would pull if controllers were infinite
+    // — bounded by its own cap and by how fast the rest of the pipeline
+    // lets it consume data.
+    const double t_other =
+        std::max({core_time[i], l2_time[i], l3_time[i],
+                  mem_total[i] / mem_cap[i]});
+    BandwidthDemand d;
+    d.desired_gbs = (mem_total[i] / t_other) / 1e9;
+    d.domain_fraction.assign(static_cast<std::size_t>(sockets), 0.0);
+    for (int s = 0; s < sockets; ++s) {
+      d.domain_fraction[static_cast<std::size_t>(s)] =
+          w.mem_bytes_by_socket[static_cast<std::size_t>(s)] / mem_total[i];
+    }
+    demands[i] = std::move(d);
+  }
+  std::vector<double> caps(static_cast<std::size_t>(sockets),
+                           model.mem_bw_socket_gbs * options.socket_bw_scale);
+  std::vector<double> achieved = allocate_bandwidth(demands, caps);
+
+  // Pass 2b: interconnect cap. Remote streams traverse the socket
+  // interconnect (QPI / HyperTransport), whose sustainable rate is below
+  // the memory controllers'. Each unordered socket pair shares one link;
+  // when a link saturates, every thread's remote component is squeezed
+  // proportionally while its local component is untouched.
+  if (sockets > 1 && model.qpi_gbs > 0) {
+    const auto link_of = [sockets](int a, int b) {
+      return std::min(a, b) * sockets + std::max(a, b);
+    };
+    std::vector<double> link_rate(
+        static_cast<std::size_t>(sockets * sockets), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (achieved[i] <= 0 || remote_frac[i] <= 0) continue;
+      const int src = machine.socket_of(work[i].cpu);
+      for (int s = 0; s < sockets; ++s) {
+        if (s == src) continue;
+        const double frac =
+            demands[i].domain_fraction[static_cast<std::size_t>(s)];
+        if (frac > 0) {
+          link_rate[static_cast<std::size_t>(link_of(src, s))] +=
+              achieved[i] * frac;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (achieved[i] <= 0 || remote_frac[i] <= 0) continue;
+      const int src = machine.socket_of(work[i].cpu);
+      double rate = 0;
+      for (int s = 0; s < sockets; ++s) {
+        const double frac =
+            demands[i].domain_fraction[static_cast<std::size_t>(s)];
+        if (frac <= 0) continue;
+        double component = achieved[i] * frac;
+        if (s != src) {
+          const double lr =
+              link_rate[static_cast<std::size_t>(link_of(src, s))];
+          if (lr > model.qpi_gbs) component *= model.qpi_gbs / lr;
+        }
+        rate += component;
+      }
+      achieved[i] = rate;
+    }
+  }
+
+  // Pass 3: shared-L3 socket aggregate (proportional squeeze).
+  std::vector<double> l3_demand(static_cast<std::size_t>(sockets), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (l3_time[i] <= 0) continue;
+    const int s = machine.socket_of(work[i].cpu);
+    const double t_other = std::max({core_time[i], l2_time[i], l3_time[i]});
+    l3_demand[static_cast<std::size_t>(s)] += work[i].l3_bytes / t_other;
+  }
+  std::vector<double> l3_scale(static_cast<std::size_t>(sockets), 1.0);
+  const double l3_cap = model.l3_bytes_per_cycle_socket * hz;
+  for (int s = 0; s < sockets; ++s) {
+    if (l3_demand[static_cast<std::size_t>(s)] > l3_cap) {
+      l3_scale[static_cast<std::size_t>(s)] =
+          l3_demand[static_cast<std::size_t>(s)] / l3_cap;
+    }
+  }
+
+  TimingResult result;
+  result.thread_seconds.resize(n);
+  result.thread_cycles.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s = machine.socket_of(work[i].cpu);
+    const double mem_time =
+        mem_total[i] > 0 ? mem_total[i] / (achieved[i] * 1e9) : 0.0;
+    const double t =
+        std::max({core_time[i], l2_time[i],
+                  l3_time[i] * l3_scale[static_cast<std::size_t>(s)],
+                  mem_time});
+    result.thread_seconds[i] = t;
+    result.thread_cycles[i] = t * hz;
+    result.seconds = std::max(result.seconds, t);
+  }
+  return result;
+}
+
+}  // namespace likwid::perfmodel

@@ -1,0 +1,75 @@
+// exec_model.hpp — analytic bottleneck timing for one execution slice.
+//
+// Each worker thread is described by its placement, its core-bound cost and
+// the data volumes it moves at each hierarchy boundary; the model computes
+// per-thread wall time as the slowest of: instruction throughput, L2
+// transfer, shared-L3 transfer (socket-capped), and memory transfer
+// (waterfilled across each socket's controller, with remote traffic paying
+// the interconnect penalty and loading the *home* socket's controller).
+// SMT sharing and core oversubscription stretch the core-bound component
+// and shrink the per-thread bandwidth cap.
+#pragma once
+
+#include <vector>
+
+#include "hwsim/machine.hpp"
+#include "perfmodel/bandwidth.hpp"
+
+namespace likwid::perfmodel {
+
+/// Calibrated machine-level throughput parameters derived from a spec.
+struct MachineModel {
+  double clock_ghz = 2.0;
+  double l2_bytes_per_cycle = 32.0;       ///< per core
+  double l3_bytes_per_cycle_core = 12.0;  ///< per core into shared L3
+  double l3_bytes_per_cycle_socket = 28.0;
+  double mem_bw_thread_gbs = 10.0;        ///< one thread's sustainable traffic
+  double mem_bw_socket_gbs = 20.0;
+  double remote_factor = 0.7;             ///< remote-access rate multiplier
+  double no_prefetch_factor = 0.6;        ///< bw multiplier with HW prefetch off
+  /// Sustainable rate of one socket interconnect link (QPI/HyperTransport);
+  /// all remote traffic between a socket pair shares this, in both
+  /// directions. 0 disables the cap (single-socket parts).
+  double qpi_gbs = 0.0;
+};
+
+/// Build the default model for a machine (tunable by callers afterwards).
+MachineModel default_model(const hwsim::MachineSpec& spec);
+
+/// One worker thread's slice of work.
+struct ThreadWork {
+  int cpu = -1;                 ///< placement (os id)
+  double iterations = 0;        ///< kernel iterations in this slice
+  double cycles_per_iter = 1;   ///< pure-core throughput cost
+  double instructions = 0;      ///< retired instructions in this slice
+  double l2_bytes = 0;          ///< L1<->L2 traffic
+  double l3_bytes = 0;          ///< L2<->L3 traffic (local socket)
+  /// Memory-controller traffic homed on each socket (read+write bytes).
+  /// Local streams put their bytes on the thread's own socket; data homed
+  /// remotely puts bytes on the home socket and pays the remote factor.
+  std::vector<double> mem_bytes_by_socket;
+  double bw_scale = 1.0;        ///< compiler/code quality factor (<=1)
+  double prefetch_factor = 1.0; ///< 1 with prefetchers, lower without
+};
+
+struct TimingOptions {
+  double smt_share = 0.55;      ///< per-thread core share with busy sibling
+  double socket_bw_scale = 1.0; ///< compiler factor on socket capacity
+};
+
+struct TimingResult {
+  double seconds = 0;                   ///< slice wall time (max thread)
+  std::vector<double> thread_seconds;   ///< per worker
+  std::vector<double> thread_cycles;    ///< busy core cycles per worker
+};
+
+/// Estimate the slice timing. `cpu_load[cpu]` is the total number of busy
+/// threads placed on each hardware thread (including workers of this slice
+/// and anything else the scheduler placed there).
+TimingResult estimate_slice(const MachineModel& model,
+                            const hwsim::SimMachine& machine,
+                            const std::vector<ThreadWork>& work,
+                            const std::vector<int>& cpu_load,
+                            const TimingOptions& options = {});
+
+}  // namespace likwid::perfmodel

@@ -1,0 +1,65 @@
+// bitops.hpp — bit-field manipulation helpers used throughout the hardware
+// simulation (cpuid register packing, MSR field extraction, APIC ID maths).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace likwid::util {
+
+/// Extract bits [lo, hi] (inclusive) of `value`, shifted down to bit 0.
+constexpr std::uint64_t extract_bits(std::uint64_t value, unsigned lo,
+                                     unsigned hi) noexcept {
+  const unsigned width = hi - lo + 1;
+  if (width >= 64) return value >> lo;
+  return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Deposit `field` into bits [lo, hi] of `value`, returning the new value.
+/// Bits of `field` beyond the destination width are discarded.
+constexpr std::uint64_t deposit_bits(std::uint64_t value, unsigned lo,
+                                     unsigned hi, std::uint64_t field) noexcept {
+  const unsigned width = hi - lo + 1;
+  const std::uint64_t mask =
+      (width >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/// Test a single bit.
+constexpr bool test_bit(std::uint64_t value, unsigned bit) noexcept {
+  return ((value >> bit) & 1u) != 0;
+}
+
+/// Set or clear a single bit.
+constexpr std::uint64_t assign_bit(std::uint64_t value, unsigned bit,
+                                   bool on) noexcept {
+  return on ? (value | (std::uint64_t{1} << bit))
+            : (value & ~(std::uint64_t{1} << bit));
+}
+
+/// Number of bits needed to represent values in [0, count-1]; 0 for count<=1.
+/// This is the field-width function used by x86 APIC topology enumeration
+/// (cpuid leaf 0xB "shift" values): width(6) == 3, width(2) == 1.
+constexpr unsigned field_width(std::uint32_t count) noexcept {
+  if (count <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(count - 1));
+}
+
+/// Round up to the next power of two (minimum 1).
+constexpr std::uint64_t next_pow2(std::uint64_t value) noexcept {
+  return std::bit_ceil(value == 0 ? 1 : value);
+}
+
+constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && std::has_single_bit(value);
+}
+
+/// Integer log2 of a power of two; throws for non-powers.
+inline unsigned log2_exact(std::uint64_t value) {
+  LIKWID_REQUIRE(is_pow2(value), "log2_exact: value is not a power of two");
+  return static_cast<unsigned>(std::countr_zero(value));
+}
+
+}  // namespace likwid::util

@@ -1,0 +1,92 @@
+#include "util/cpulist.hpp"
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::util {
+
+namespace {
+constexpr int kMaxCpuId = 4095;
+
+int parse_cpu_id(std::string_view text) {
+  const auto value = parse_u64(text);
+  if (!value || *value > static_cast<std::uint64_t>(kMaxCpuId)) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "invalid cpu id '" + std::string(text) + "'");
+  }
+  return static_cast<int>(*value);
+}
+}  // namespace
+
+std::vector<int> parse_cpu_list(std::string_view text) {
+  text = trim(text);
+  LIKWID_REQUIRE(!text.empty(), "empty cpu list");
+  std::vector<int> cpus;
+  for (const auto& piece : split(text, ',')) {
+    const std::string_view item = trim(piece);
+    LIKWID_REQUIRE(!item.empty(), "empty element in cpu list '" +
+                                      std::string(text) + "'");
+    const std::size_t dash = item.find('-');
+    if (dash == std::string_view::npos) {
+      cpus.push_back(parse_cpu_id(item));
+      continue;
+    }
+    const int lo = parse_cpu_id(item.substr(0, dash));
+    const int hi = parse_cpu_id(item.substr(dash + 1));
+    LIKWID_REQUIRE(lo <= hi, "reversed cpu range '" + std::string(item) + "'");
+    for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+  }
+  return cpus;
+}
+
+std::string format_cpu_list(const std::vector<int>& cpus) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < cpus.size()) {
+    std::size_t j = i;
+    while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    if (j > i + 1) {
+      out += std::to_string(cpus[i]) + "-" + std::to_string(cpus[j]);
+    } else if (j == i + 1) {
+      out += std::to_string(cpus[i]) + "," + std::to_string(cpus[j]);
+    } else {
+      out += std::to_string(cpus[i]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+SkipMask SkipMask::parse(std::string_view text) {
+  text = trim(text);
+  LIKWID_REQUIRE(!text.empty(), "empty skip mask");
+  if (starts_with(text, "0b") || starts_with(text, "0B")) {
+    std::uint64_t bits = 0;
+    const std::string_view digits = text.substr(2);
+    LIKWID_REQUIRE(!digits.empty() && digits.size() <= 64,
+                   "invalid binary skip mask '" + std::string(text) + "'");
+    for (const char c : digits) {
+      LIKWID_REQUIRE(c == '0' || c == '1',
+                     "invalid binary skip mask '" + std::string(text) + "'");
+      bits = (bits << 1) | static_cast<std::uint64_t>(c - '0');
+    }
+    return SkipMask(bits);
+  }
+  const auto value = parse_u64(text);
+  if (!value) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "invalid skip mask '" + std::string(text) + "'");
+  }
+  return SkipMask(*value);
+}
+
+unsigned SkipMask::count_skipped(unsigned n) const noexcept {
+  unsigned count = 0;
+  for (unsigned i = 0; i < n && i < 64; ++i) {
+    if (skips(i)) ++count;
+  }
+  return count;
+}
+
+}  // namespace likwid::util

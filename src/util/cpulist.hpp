@@ -1,0 +1,52 @@
+// cpulist.hpp — parsing of processor-list expressions and skip masks as
+// accepted by likwid-pin / likwid-perfctr on the command line:
+//
+//   "0-3"          -> {0,1,2,3}
+//   "0,2,4"        -> {0,2,4}
+//   "0-2,8,10-11"  -> {0,1,2,8,10,11}
+//
+// Skip masks ("-s 0x3") are binary patterns selecting which newly created
+// threads the pin wrapper must leave unpinned (Intel OpenMP shepherds, MPI
+// progress threads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace likwid::util {
+
+/// Parse a cpu-list expression into an ordered list of cpu ids.
+/// Duplicates are preserved in order of appearance (pinning round-robin
+/// relies on list order). Throws Error(kInvalidArgument) on syntax errors,
+/// reversed ranges, or ids > 4095.
+std::vector<int> parse_cpu_list(std::string_view text);
+
+/// Render a cpu list in compact range form: {0,1,2,8,10,11} -> "0-2,8,10-11".
+std::string format_cpu_list(const std::vector<int>& cpus);
+
+/// A skip mask: bit i set means "do not pin the i-th created thread".
+class SkipMask {
+ public:
+  SkipMask() = default;
+  explicit SkipMask(std::uint64_t bits) : bits_(bits) {}
+
+  /// Parse "0x3", "3", or binary pattern "0b11". Throws on malformed input.
+  static SkipMask parse(std::string_view text);
+
+  bool skips(unsigned thread_index) const noexcept {
+    return thread_index < 64 && ((bits_ >> thread_index) & 1u) != 0;
+  }
+  std::uint64_t bits() const noexcept { return bits_; }
+
+  /// Number of threads skipped among the first `n` created.
+  unsigned count_skipped(unsigned n) const noexcept;
+
+  bool operator==(const SkipMask&) const = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace likwid::util

@@ -1,0 +1,48 @@
+// env.hpp — an explicit environment-variable map.
+//
+// The real likwid-pin communicates with its LD_PRELOAD wrapper library
+// through environment variables (core list, skip mask, thread-model type).
+// The simulation models a process environment as a value type so tests can
+// construct arbitrary environments without mutating the host process.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace likwid::util {
+
+/// Ordered key/value environment, value-semantic.
+class Environment {
+ public:
+  Environment() = default;
+
+  void set(std::string key, std::string value) {
+    vars_[std::move(key)] = std::move(value);
+  }
+  void unset(const std::string& key) { vars_.erase(key); }
+
+  bool has(const std::string& key) const { return vars_.count(key) != 0; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = vars_.find(key);
+    if (it == vars_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Get with default.
+  std::string get_or(const std::string& key, std::string_view fallback) const {
+    const auto v = get(key);
+    return v ? *v : std::string(fallback);
+  }
+
+  const std::map<std::string, std::string>& vars() const { return vars_; }
+
+  bool operator==(const Environment&) const = default;
+
+ private:
+  std::map<std::string, std::string> vars_;
+};
+
+}  // namespace likwid::util

@@ -1,0 +1,33 @@
+// logging.hpp — minimal leveled logging to stderr, disabled by default so
+// library users (and benchmarks) see clean output. Tools enable kInfo.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace likwid::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one log line (used by the LIKWID_LOG macro).
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace likwid::util
+
+#define LIKWID_LOG(level, expr)                                             \
+  do {                                                                      \
+    if (static_cast<int>(level) >=                                          \
+        static_cast<int>(::likwid::util::log_level())) {                    \
+      std::ostringstream likwid_log_oss;                                    \
+      likwid_log_oss << expr;                                               \
+      ::likwid::util::log_message(level, likwid_log_oss.str());             \
+    }                                                                       \
+  } while (false)
+
+#define LIKWID_DEBUG(expr) LIKWID_LOG(::likwid::util::LogLevel::kDebug, expr)
+#define LIKWID_INFO(expr) LIKWID_LOG(::likwid::util::LogLevel::kInfo, expr)
+#define LIKWID_WARN(expr) LIKWID_LOG(::likwid::util::LogLevel::kWarn, expr)

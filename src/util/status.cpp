@@ -1,0 +1,18 @@
+#include "util/status.hpp"
+
+namespace likwid {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kPermission: return "Permission";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kInvalidState: return "InvalidState";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace likwid

@@ -1,0 +1,107 @@
+// status.hpp — error handling primitives for the LIKWID reproduction.
+//
+// The library throws `likwid::Error` (with a category) at public API
+// boundaries; internal code may also use `Result<T>` where failure is an
+// expected outcome rather than a programming error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace likwid {
+
+/// Coarse error categories, used by tests and tools to branch on failure
+/// kinds without string matching.
+enum class ErrorCode {
+  kInvalidArgument,   ///< malformed user input (event name, cpu list, ...)
+  kNotFound,          ///< entity does not exist (cpu id, region, msr, ...)
+  kPermission,        ///< access denied (msr write to read-only register)
+  kUnsupported,       ///< operation not available on this architecture
+  kResourceExhausted, ///< no free counter / slot
+  kInvalidState,      ///< API misuse (stop before start, double init, ...)
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of an error code ("InvalidArgument", ...).
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// Exception type thrown by all likwid-repro libraries.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+[[noreturn]] inline void throw_error(ErrorCode code, const std::string& msg) {
+  throw Error(code, msg);
+}
+
+/// Lightweight expected-like result for internal plumbing where failure is
+/// a normal outcome. Holds either a value or an Error description.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message)
+      : data_(Failure{code, std::move(message)}) {}
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Access the value; throws the stored error if in failure state.
+  T& value() {
+    if (!ok()) {
+      const auto& f = std::get<Failure>(data_);
+      throw_error(f.code, f.message);
+    }
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    if (!ok()) {
+      const auto& f = std::get<Failure>(data_);
+      throw_error(f.code, f.message);
+    }
+    return std::get<T>(data_);
+  }
+
+  ErrorCode code() const {
+    if (ok()) throw_error(ErrorCode::kInternal, "Result holds a value");
+    return std::get<Failure>(data_).code;
+  }
+  const std::string& message() const {
+    if (ok()) throw_error(ErrorCode::kInternal, "Result holds a value");
+    return std::get<Failure>(data_).message;
+  }
+
+ private:
+  struct Failure {
+    ErrorCode code;
+    std::string message;
+  };
+  std::variant<T, Failure> data_;
+};
+
+}  // namespace likwid
+
+/// Precondition check macro: throws kInvalidArgument on failure.
+#define LIKWID_REQUIRE(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::likwid::throw_error(::likwid::ErrorCode::kInvalidArgument, (msg)); \
+  } while (false)
+
+/// Internal invariant check macro: throws kInternal on failure.
+#define LIKWID_ASSERT(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::likwid::throw_error(::likwid::ErrorCode::kInternal, (msg)); \
+  } while (false)

@@ -1,0 +1,56 @@
+// strings.hpp — string helpers shared by all modules: splitting, trimming,
+// case mapping, numeric parsing and the numeric formatting style used in
+// likwid-perfctr's result tables (six-significant-digit shortest form,
+// matching the paper's listings, e.g. "1.88024e+07", "0.0100882").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace likwid::util {
+
+/// Split `text` at every occurrence of `sep`. Empty fields are preserved:
+/// split(",a,", ',') == {"", "a", ""}.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split and drop empty fields after trimming whitespace from each part.
+std::vector<std::string> split_trimmed(std::string_view text, char sep);
+
+/// Remove leading and trailing whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Join `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string to_upper(std::string_view text);
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Parse a non-negative integer; accepts "0x" prefix for hex.
+/// Returns std::nullopt on malformed input or overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
+
+/// Parse a floating point number. Returns std::nullopt on malformed input.
+std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// Format a double with 6 significant digits in shortest form, the style
+/// used by likwid-perfctr tables ("%g"): 1624.08, 1.88024e+07, 0.693493.
+std::string format_metric(double value);
+
+/// Format a counter value: integral counts below 1e6 print exactly
+/// ("313742"), larger values fall back to format_metric ("5.91e+08").
+std::string format_count(double value);
+
+/// Format bytes as "x.yz kB/MB/GB" with binary-ish HPC conventions used by
+/// likwid-topology (kB = 1024 bytes, MB = 1024 kB).
+std::string format_size(std::uint64_t bytes);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace likwid::util

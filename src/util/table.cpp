@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace likwid::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LIKWID_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  LIKWID_REQUIRE(cells.size() == headers_.size(),
+                 "row arity does not match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&widths]() {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  const auto emit_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line += std::string(widths[c] - cells[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += emit_row(headers_);
+  out += rule();
+  for (const auto& row : rows_) out += emit_row(row);
+  out += rule();
+  return out;
+}
+
+std::string separator_line(std::size_t n) { return std::string(n, '-') + "\n"; }
+
+std::string star_line(std::size_t n) { return std::string(n, '*') + "\n"; }
+
+}  // namespace likwid::util

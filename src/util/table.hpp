@@ -1,0 +1,45 @@
+// table.hpp — ASCII table rendering in the exact style of likwid-perfctr's
+// result listings:
+//
+//   +-------------+-----------+------------+
+//   | Metric      | core 0    | core 1     |
+//   +-------------+-----------+------------+
+//   | Runtime [s] | 0.0100882 | 0.00996574 |
+//   +-------------+-----------+------------+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace likwid::util {
+
+/// A simple row/column text table with a header row and box-drawing in
+/// '+','-','|' characters, matching the paper's listings.
+class AsciiTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append a data row; must have exactly as many cells as headers.
+  /// Throws Error(kInvalidArgument) on arity mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return headers_.size(); }
+
+  /// Render the table including trailing newline.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A horizontal separator line of '-' characters, width `n` (likwid prints
+/// 61-dash separators around tool headers).
+std::string separator_line(std::size_t n = 61);
+
+/// A line of '*' characters used by likwid-topology section banners.
+std::string star_line(std::size_t n = 61);
+
+}  // namespace likwid::util

@@ -1,0 +1,340 @@
+#include "workloads/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "perfmodel/exec_model.hpp"
+#include "util/status.hpp"
+
+namespace likwid::workloads {
+
+using cachesim::AccessKind;
+using hwsim::EventId;
+using hwsim::EventVector;
+
+namespace {
+constexpr std::uint64_t kOldBase = 0x100000000ull;  // 4 GiB: grid "old"
+constexpr std::uint64_t kAlign = 1ull << 30;
+}  // namespace
+
+JacobiStencil::JacobiStencil(JacobiConfig config) : config_(config) {
+  LIKWID_REQUIRE(config_.n >= 4, "grid too small");
+  LIKWID_REQUIRE(config_.sweeps >= 1, "need at least one sweep");
+  LIKWID_REQUIRE(config_.ring_planes >= 2, "ring needs at least two planes");
+  old_base_ = kOldBase;
+  const std::uint64_t grid_bytes = static_cast<std::uint64_t>(config_.n) *
+                                   config_.n * config_.n * 8;
+  new_base_ = old_base_ + ((grid_bytes + kAlign - 1) / kAlign) * kAlign;
+}
+
+std::string JacobiStencil::name() const {
+  switch (config_.variant) {
+    case JacobiVariant::kThreaded: return "jacobi-threaded";
+    case JacobiVariant::kThreadedNT: return "jacobi-threaded-nt";
+    case JacobiVariant::kWavefront: return "jacobi-wavefront";
+  }
+  return "jacobi";
+}
+
+double JacobiStencil::total_updates() const {
+  return static_cast<double>(config_.n) * config_.n * config_.n *
+         config_.sweeps;
+}
+
+double JacobiStencil::mlups(double seconds) const {
+  return total_updates() / seconds / 1e6;
+}
+
+void JacobiStencil::sweep_plane(ossim::SimKernel& kernel, int cpu,
+                                std::uint64_t src_base, std::uint64_t dst_base,
+                                int src_plane, int dst_plane,
+                                bool nontemporal) {
+  const int n = config_.n;
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(n) * 8;
+  const std::uint64_t plane_bytes = row_bytes * static_cast<std::uint64_t>(n);
+  auto& caches = kernel.caches();
+
+  const auto row_addr = [&](std::uint64_t base, int plane, int j) {
+    return base + static_cast<std::uint64_t>(plane) * plane_bytes +
+           static_cast<std::uint64_t>(j) * row_bytes;
+  };
+  const int pm = std::max(src_plane - 1, 0);
+  const int pp = std::min(src_plane + 1, n - 1);
+
+  for (int j = 0; j < n; ++j) {
+    const int jm = std::max(j - 1, 0);
+    const int jp = std::min(j + 1, n - 1);
+    // 7-point stencil: rows (p,j-1), (p,j), (p,j+1), (p-1,j), (p+1,j).
+    caches.access(cpu, row_addr(src_base, src_plane, jm), row_bytes,
+                  AccessKind::kLoad);
+    caches.access(cpu, row_addr(src_base, src_plane, j), row_bytes,
+                  AccessKind::kLoad);
+    caches.access(cpu, row_addr(src_base, src_plane, jp), row_bytes,
+                  AccessKind::kLoad);
+    caches.access(cpu, row_addr(src_base, pm, j), row_bytes, AccessKind::kLoad);
+    caches.access(cpu, row_addr(src_base, pp, j), row_bytes, AccessKind::kLoad);
+    caches.access(cpu, row_addr(dst_base, dst_plane, j), row_bytes,
+                  nontemporal ? AccessKind::kStoreNonTemporal
+                              : AccessKind::kStore);
+  }
+}
+
+void JacobiStencil::simulate_threaded_sweep(ossim::SimKernel& kernel,
+                                            const Placement& p,
+                                            bool nontemporal) {
+  const int n = config_.n;
+  const int workers = p.num_workers();
+  for (int w = 0; w < workers; ++w) {
+    const int k0 = static_cast<int>(static_cast<long>(n) * w / workers);
+    const int k1 = static_cast<int>(static_cast<long>(n) * (w + 1) / workers);
+    for (int k = k0; k < k1; ++k) {
+      sweep_plane(kernel, p.cpus[static_cast<std::size_t>(w)], old_base_,
+                  new_base_, k, k, nontemporal);
+    }
+  }
+  std::swap(old_base_, new_base_);
+}
+
+void JacobiStencil::simulate_wavefront_pass(ossim::SimKernel& kernel,
+                                            const Placement& p) {
+  const int n = config_.n;
+  const int depth = p.num_workers();
+  // The real wavefront kernel blocks in j so its inter-stage buffers stay
+  // resident in the shared cache at any problem size: size the per-plane
+  // ring slots to a j-block that keeps the total ring working set within
+  // a fraction of the L3.
+  const auto& spec = kernel.machine().spec();
+  int block_rows = n;
+  if (spec.has_data_cache(3)) {
+    const double budget = 0.4 * static_cast<double>(
+                                    spec.data_cache(3).size_bytes);
+    const double per_row = static_cast<double>(depth) * config_.ring_planes *
+                           n * 8.0;
+    block_rows = std::max(8, std::min(n, static_cast<int>(budget / per_row)));
+  }
+  const std::uint64_t plane_bytes =
+      static_cast<std::uint64_t>(block_rows) * n * 8;
+  // Ring buffers between consecutive stages live above the two grids.
+  const std::uint64_t ring_base = new_base_ + 2 * kAlign;
+  const auto ring_of_stage = [&](int s) {
+    return ring_base + static_cast<std::uint64_t>(s) * kAlign;
+  };
+  const int ring = config_.ring_planes;
+
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(n) * 8;
+  const std::uint64_t grid_plane_bytes =
+      row_bytes * static_cast<std::uint64_t>(n);
+  auto& caches = kernel.caches();
+  // Full-size grid rows vs. j-blocked, reused ring rows.
+  const auto grid_row = [&](std::uint64_t base, int pl, int j) {
+    return base + static_cast<std::uint64_t>(pl) * grid_plane_bytes +
+           static_cast<std::uint64_t>(j) * row_bytes;
+  };
+  const auto ring_row = [&](int stage, int slot, int j_in_block) {
+    return ring_of_stage(stage) +
+           static_cast<std::uint64_t>(slot) * plane_bytes +
+           static_cast<std::uint64_t>(j_in_block) * row_bytes;
+  };
+
+  // j-block-major wave, as in the real kernel: for each j block, a plane
+  // wave runs through all pipeline stages; ring slots hold one j block of
+  // one plane, so the inter-stage working set stays cache resident at any
+  // problem size while every handoff still moves the full data.
+  const int last_step = n - 1 + 2 * (depth - 1);
+  for (int jb = 0; jb < n; jb += block_rows) {
+    const int jb_end = std::min(jb + block_rows, n);
+    for (int step = 0; step <= last_step; ++step) {
+      for (int s = 0; s < depth; ++s) {
+        const int plane = step - 2 * s;
+        if (plane < 0 || plane >= n) continue;
+        const int cpu = p.cpus[static_cast<std::size_t>(s)];
+        const bool first = s == 0;
+        const bool last = s == depth - 1;
+        const int slot = plane % ring;
+        const int slot_m = (slot + ring - 1) % ring;
+        const int slot_p = (slot + 1) % ring;
+        const int pm = std::max(plane - 1, 0);
+        const int pp = std::min(plane + 1, n - 1);
+        for (int j = jb; j < jb_end; ++j) {
+          const int jm = std::max(j - 1, jb);
+          const int jp = std::min(j + 1, jb_end - 1);
+          if (first) {
+            // Stage 0 reads the full-size old grid from memory.
+            caches.access(cpu, grid_row(old_base_, plane, jm), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, grid_row(old_base_, plane, j), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, grid_row(old_base_, plane, jp), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, grid_row(old_base_, pm, j), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, grid_row(old_base_, pp, j), row_bytes,
+                          AccessKind::kLoad);
+          } else {
+            // Later stages read the previous stage's ring block.
+            caches.access(cpu, ring_row(s - 1, slot, jm - jb), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, ring_row(s - 1, slot, j - jb), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, ring_row(s - 1, slot, jp - jb), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, ring_row(s - 1, slot_m, j - jb), row_bytes,
+                          AccessKind::kLoad);
+            caches.access(cpu, ring_row(s - 1, slot_p, j - jb), row_bytes,
+                          AccessKind::kLoad);
+          }
+          if (last) {
+            caches.access(cpu, grid_row(new_base_, plane, j), row_bytes,
+                          AccessKind::kStore);
+          } else {
+            caches.access(cpu, ring_row(s, slot, j - jb), row_bytes,
+                          AccessKind::kStore);
+          }
+        }
+      }
+    }
+  }
+  std::swap(old_base_, new_base_);
+}
+
+double JacobiStencil::run_slice(ossim::SimKernel& kernel, const Placement& p,
+                                double fraction) {
+  const int workers = p.num_workers();
+  LIKWID_REQUIRE(workers >= 1, "jacobi needs at least one worker");
+  {
+    std::set<int> distinct(p.cpus.begin(), p.cpus.end());
+    LIKWID_REQUIRE(static_cast<int>(distinct.size()) == workers,
+                   "jacobi workers must run on distinct cpus");
+  }
+  const bool wavefront = config_.variant == JacobiVariant::kWavefront;
+  const int step_unit = wavefront ? workers : 1;
+  LIKWID_REQUIRE(!wavefront || config_.sweeps % workers == 0,
+                 "wavefront sweeps must be a multiple of the pipeline depth");
+
+  // Translate the fraction into whole sweeps (wavefront: whole passes).
+  const int total_units = config_.sweeps / step_unit;
+  int units = std::max(1, static_cast<int>(std::lround(total_units * fraction)));
+  const int remaining = total_units - executed_sweeps_ / step_unit;
+  units = std::min(units, std::max(remaining, 1));
+
+  auto& machine = kernel.machine();
+  auto& caches = kernel.caches();
+  caches.reset_counters();
+
+  for (int u = 0; u < units; ++u) {
+    switch (config_.variant) {
+      case JacobiVariant::kThreaded:
+        simulate_threaded_sweep(kernel, p, false);
+        break;
+      case JacobiVariant::kThreadedNT:
+        simulate_threaded_sweep(kernel, p, true);
+        break;
+      case JacobiVariant::kWavefront:
+        simulate_wavefront_pass(kernel, p);
+        break;
+    }
+  }
+  executed_sweeps_ = (executed_sweeps_ + units * step_unit) % config_.sweeps;
+
+  // Build per-worker timing work from the measured traffic.
+  const int sockets = machine.spec().sockets;
+  const double n3 = static_cast<double>(config_.n) * config_.n * config_.n;
+  const double updates_per_worker = n3 * units * step_unit / workers;
+  const double cyc_per_update = wavefront
+                                    ? config_.wavefront_cycles_per_update
+                                    : config_.cycles_per_update;
+
+  std::vector<perfmodel::ThreadWork> work(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    const int cpu = p.cpus[static_cast<std::size_t>(w)];
+    const auto& t = caches.cpu_traffic(cpu);
+    perfmodel::ThreadWork& tw = work[static_cast<std::size_t>(w)];
+    tw.cpu = cpu;
+    tw.iterations = updates_per_worker;
+    tw.cycles_per_iter = cyc_per_update;
+    tw.instructions = updates_per_worker * config_.instructions_per_update;
+    tw.l2_bytes = (t.l1_fills + t.l1_writebacks) * 64.0;
+    tw.l3_bytes = (t.l2_fills + t.l2_writebacks) * 64.0;
+    // Streaming kernels lose memory-level parallelism when the hardware
+    // prefetchers are disabled (the likwid-features ablation).
+    const auto pf = machine.active_prefetchers(cpu);
+    if (!pf.hardware_prefetcher && !pf.dcu_prefetcher) {
+      tw.prefetch_factor = 0.6;
+    }
+    tw.mem_bytes_by_socket.assign(static_cast<std::size_t>(sockets), 0.0);
+    const int own = machine.socket_of(cpu);
+    tw.mem_bytes_by_socket[static_cast<std::size_t>(own)] =
+        (t.mem_lines_read + t.mem_lines_written) * 64.0;
+    // Cross-socket pipeline handoffs: charge the migrated lines to the
+    // remote socket with the synchronization penalty.
+    if (t.remote_l3_hits > 0) {
+      const int other = (own + 1) % sockets;
+      tw.mem_bytes_by_socket[static_cast<std::size_t>(other)] +=
+          t.remote_l3_hits * 64.0 * config_.cross_socket_sync_penalty;
+    }
+  }
+
+  perfmodel::MachineModel model = perfmodel::default_model(machine.spec());
+  const auto timing = perfmodel::estimate_slice(
+      model, machine, work, snapshot_cpu_load(kernel));
+
+  // Post events: measured cache events plus the instruction mix.
+  const double clock_hz = machine.clock_ghz() * 1e9;
+  for (int w = 0; w < workers; ++w) {
+    const int cpu = p.cpus[static_cast<std::size_t>(w)];
+    EventVector ev = caches.core_cache_events(cpu);
+    ev.add(EventId::kInstructionsRetired,
+           work[static_cast<std::size_t>(w)].instructions);
+    // 7-point stencil: 6 adds + 1 multiply per update, packed SSE kernels.
+    ev.add(EventId::kFpPackedDouble, updates_per_worker * 3.5);
+    ev.add(EventId::kLoadsRetired, updates_per_worker * 5.0);
+    ev.add(EventId::kStoresRetired, updates_per_worker);
+    ev.add(EventId::kBranchesRetired, updates_per_worker / 2.0);
+    ev.add(EventId::kBranchesMispredicted, updates_per_worker * 0.001);
+    ev.add(EventId::kCoreCycles,
+           timing.thread_seconds[static_cast<std::size_t>(w)] * clock_hz);
+    ev.add(EventId::kRefCycles,
+           timing.thread_seconds[static_cast<std::size_t>(w)] * clock_hz);
+    machine.post_core_events(cpu, ev);
+  }
+  for (int s = 0; s < sockets; ++s) {
+    EventVector uev = caches.uncore_cache_events(s);
+    if (!uev.all_zero()) {
+      uev.add(EventId::kUncClockticks, timing.seconds * clock_hz);
+      machine.post_uncore_events(s, uev);
+    }
+  }
+  return timing.seconds;
+}
+
+void reference_jacobi_sweep(std::vector<double>& dst,
+                            const std::vector<double>& src, int n) {
+  LIKWID_REQUIRE(n >= 3, "reference grid too small");
+  LIKWID_REQUIRE(dst.size() == src.size() &&
+                     src.size() == static_cast<std::size_t>(n) * n * n,
+                 "grid size mismatch");
+  const auto at = [n](int k, int j, int i) {
+    return (static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)) * n +
+           static_cast<std::size_t>(i);
+  };
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const bool interior = k > 0 && k < n - 1 && j > 0 && j < n - 1 &&
+                              i > 0 && i < n - 1;
+        if (!interior) {
+          dst[at(k, j, i)] = src[at(k, j, i)];
+          continue;
+        }
+        dst[at(k, j, i)] =
+            (src[at(k - 1, j, i)] + src[at(k + 1, j, i)] +
+             src[at(k, j - 1, i)] + src[at(k, j + 1, i)] +
+             src[at(k, j, i - 1)] + src[at(k, j, i + 1)]) /
+            6.0;
+      }
+    }
+  }
+}
+
+}  // namespace likwid::workloads

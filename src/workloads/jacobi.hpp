@@ -1,0 +1,88 @@
+// jacobi.hpp — the 3D 7-point Jacobi smoother of the paper's case studies
+// (Sections IV-B and IV-C), in three variants:
+//
+//   kThreaded    standard threaded sweep, temporal stores (write-allocate)
+//   kThreadedNT  same decomposition with nontemporal (streaming) stores
+//   kWavefront   temporally blocked pipeline-parallel wavefront: D threads
+//                apply D successive time steps to a plane wave passing
+//                through the grid, exchanging intermediate planes through
+//                ring buffers that live in the shared L3 — provided all
+//                threads of the group are pinned to one socket.
+//
+// Unlike STREAM, Jacobi runs through the cache simulator line by line, so
+// write-allocate savings, shared-L3 reuse and the penalty of splitting a
+// wavefront group across sockets are *measured* (through the PMU's uncore
+// counters), not asserted.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace likwid::workloads {
+
+enum class JacobiVariant { kThreaded, kThreadedNT, kWavefront };
+
+struct JacobiConfig {
+  int n = 100;      ///< cubic grid extent (N^3 points)
+  int sweeps = 4;   ///< time steps; for kWavefront a multiple of the
+                    ///< pipeline depth (= worker count)
+  JacobiVariant variant = JacobiVariant::kThreaded;
+
+  /// Core-bound cost per lattice update for the compiler-generated
+  /// threaded kernels and the hand-written assembly wavefront kernel.
+  double cycles_per_update = 10.0;
+  double wavefront_cycles_per_update = 8.0;
+  double instructions_per_update = 9.0;
+
+  /// Ring-buffer depth (planes) between pipeline stages.
+  int ring_planes = 4;
+
+  /// Latency amplification for cross-socket pipeline traffic: wavefront
+  /// stage handoffs through QPI are synchronous plane ping-pongs, far more
+  /// expensive than their raw byte count (see DESIGN.md).
+  double cross_socket_sync_penalty = 5.0;
+};
+
+class JacobiStencil final : public Workload {
+ public:
+  explicit JacobiStencil(JacobiConfig config);
+
+  std::string name() const override;
+
+  /// Workers must be placed on pairwise distinct cpus.
+  double run_slice(ossim::SimKernel& kernel, const Placement& p,
+                   double fraction) override;
+
+  double total_updates() const;
+  /// Million lattice-site updates per second for a measured runtime.
+  double mlups(double seconds) const;
+
+  const JacobiConfig& config() const { return config_; }
+
+ private:
+  struct SweepStats {
+    double updates_per_worker = 0;
+  };
+
+  void simulate_threaded_sweep(ossim::SimKernel& kernel, const Placement& p,
+                               bool nontemporal);
+  void simulate_wavefront_pass(ossim::SimKernel& kernel, const Placement& p);
+  void sweep_plane(ossim::SimKernel& kernel, int cpu, std::uint64_t src_base,
+                   std::uint64_t dst_base, int src_plane, int dst_plane,
+                   bool nontemporal);
+
+  JacobiConfig config_;
+  int executed_sweeps_ = 0;
+  std::uint64_t old_base_ = 0;
+  std::uint64_t new_base_ = 0;
+};
+
+/// Functional reference sweep on real memory (tests pin the arithmetic this
+/// simulated kernel stands in for): dst interior points become the average
+/// of their six neighbours in src; boundary points are copied.
+/// Arrays are n*n*n doubles, index (k*n + j)*n + i.
+void reference_jacobi_sweep(std::vector<double>& dst,
+                            const std::vector<double>& src, int n);
+
+}  // namespace likwid::workloads

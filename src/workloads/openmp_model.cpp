@@ -1,0 +1,51 @@
+#include "workloads/openmp_model.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::workloads {
+
+int expected_creations(OpenMpImpl impl, int num_threads) {
+  switch (impl) {
+    case OpenMpImpl::kGcc: return num_threads - 1;
+    case OpenMpImpl::kIntel: return num_threads;
+    case OpenMpImpl::kIntelMpi: return num_threads + 1;
+  }
+  return 0;
+}
+
+TeamLaunch launch_openmp_team(ossim::ThreadRuntime& runtime, OpenMpImpl impl,
+                              int num_threads) {
+  LIKWID_REQUIRE(num_threads >= 1, "team needs at least one thread");
+  TeamLaunch launch;
+  launch.worker_tids.push_back(0);  // the master always participates
+
+  switch (impl) {
+    case OpenMpImpl::kGcc:
+      for (int i = 1; i < num_threads; ++i) {
+        launch.worker_tids.push_back(runtime.create_thread());
+      }
+      break;
+    case OpenMpImpl::kIntel: {
+      // First created thread is the shepherd, the rest are workers.
+      launch.service_tids.push_back(runtime.create_thread());
+      for (int i = 1; i < num_threads; ++i) {
+        launch.worker_tids.push_back(runtime.create_thread());
+      }
+      break;
+    }
+    case OpenMpImpl::kIntelMpi: {
+      // The MPI library spins up a progress thread before OpenMP starts.
+      launch.service_tids.push_back(runtime.create_thread());
+      launch.service_tids.push_back(runtime.create_thread());
+      for (int i = 1; i < num_threads; ++i) {
+        launch.worker_tids.push_back(runtime.create_thread());
+      }
+      break;
+    }
+  }
+  // Workers execute the parallel region; service threads sleep.
+  for (const int tid : launch.worker_tids) runtime.set_busy(tid, true);
+  return launch;
+}
+
+}  // namespace likwid::workloads

@@ -1,0 +1,45 @@
+// openmp_model.hpp — thread-creation behaviour of the OpenMP runtimes the
+// paper discusses, expressed against the simulated pthread layer.
+//
+// gcc (libgomp):   the master participates; OMP_NUM_THREADS-1 threads are
+//                  created, all of them workers.
+// Intel (iomp):    OMP_NUM_THREADS threads are created in addition to the
+//                  master; the FIRST created thread is a shepherd
+//                  (management) thread that must not be pinned; workers are
+//                  the master plus the remaining created threads.
+// Intel + MPI:     as Intel, but the MPI library creates two runtime
+//                  threads first (skip mask 0x3 in the paper's example).
+#pragma once
+
+#include <vector>
+
+#include "ossim/threads.hpp"
+
+namespace likwid::workloads {
+
+enum class OpenMpImpl {
+  kGcc,
+  kIntel,
+  kIntelMpi,  ///< Intel OpenMP inside an Intel MPI rank
+};
+
+struct TeamLaunch {
+  /// tids of the worker threads that execute the parallel region, in
+  /// OpenMP thread-id order (worker 0 is the master thread).
+  std::vector<int> worker_tids;
+  /// tids of runtime service threads (shepherds, MPI progress threads).
+  std::vector<int> service_tids;
+};
+
+/// Create the team for a parallel region of `num_threads` workers on
+/// `runtime`, following the given implementation's creation pattern. Any
+/// installed pthread_create hook (likwid-pin's wrapper) observes the
+/// creations in the real order.
+TeamLaunch launch_openmp_team(ossim::ThreadRuntime& runtime, OpenMpImpl impl,
+                              int num_threads);
+
+/// Number of pthread_create calls `launch_openmp_team` will issue; the
+/// paper's skip-mask discussion is about which of these to leave unpinned.
+int expected_creations(OpenMpImpl impl, int num_threads);
+
+}  // namespace likwid::workloads

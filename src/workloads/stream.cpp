@@ -1,0 +1,162 @@
+#include "workloads/stream.hpp"
+
+#include <cmath>
+
+#include "perfmodel/exec_model.hpp"
+#include "util/status.hpp"
+
+namespace likwid::workloads {
+
+using hwsim::EventId;
+using hwsim::EventVector;
+
+StreamTriad::StreamTriad(StreamConfig config) : config_(std::move(config)) {
+  LIKWID_REQUIRE(config_.array_length > 0, "empty stream arrays");
+  LIKWID_REQUIRE(config_.repetitions > 0, "repetitions must be positive");
+}
+
+double StreamTriad::reported_bandwidth_mbs(double seconds) const {
+  const double total_iters = static_cast<double>(config_.array_length) *
+                             config_.repetitions;
+  return total_iters * kReportedBytesPerIter / seconds / 1e6;
+}
+
+double StreamTriad::run_slice(ossim::SimKernel& kernel, const Placement& p,
+                              double fraction) {
+  const int workers = p.num_workers();
+  LIKWID_REQUIRE(workers >= 1, "stream needs at least one worker");
+  LIKWID_REQUIRE(config_.chunk_home_sockets.empty() ||
+                     static_cast<int>(config_.chunk_home_sockets.size()) ==
+                         workers,
+                 "chunk_home_sockets must match the worker count");
+
+  auto& machine = kernel.machine();
+  const int sockets = machine.spec().sockets;
+  const CompilerProfile& cc = config_.compiler;
+
+  const double total_iters = static_cast<double>(config_.array_length) *
+                             config_.repetitions * fraction;
+  const double iters_per_worker = total_iters / workers;
+
+  // Build the per-thread work descriptors.
+  std::vector<perfmodel::ThreadWork> work(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    perfmodel::ThreadWork& tw = work[static_cast<std::size_t>(w)];
+    tw.cpu = p.cpus[static_cast<std::size_t>(w)];
+    tw.iterations = iters_per_worker;
+    tw.cycles_per_iter = cc.triad_cycles_per_iter;
+    tw.instructions = iters_per_worker * cc.triad_instr_per_iter;
+    const double traffic = iters_per_worker * kTrafficBytesPerIter;
+    tw.l2_bytes = traffic;
+    tw.l3_bytes = traffic;
+    tw.mem_bytes_by_socket.assign(static_cast<std::size_t>(sockets), 0.0);
+    const int home = config_.chunk_home_sockets.empty()
+                         ? machine.socket_of(tw.cpu)
+                         : config_.chunk_home_sockets[static_cast<std::size_t>(w)];
+    LIKWID_REQUIRE(home >= 0 && home < sockets, "invalid home socket");
+    tw.mem_bytes_by_socket[static_cast<std::size_t>(home)] = traffic;
+    tw.bw_scale = cc.bw_scale;
+    // Disabled hardware prefetchers cost streaming bandwidth.
+    const auto pf = machine.active_prefetchers(tw.cpu);
+    if (!pf.hardware_prefetcher && !pf.dcu_prefetcher) {
+      tw.prefetch_factor = 0.6;
+    }
+  }
+
+  perfmodel::MachineModel model = perfmodel::default_model(machine.spec());
+  perfmodel::TimingOptions topts;
+  topts.smt_share = cc.smt_share;
+  topts.socket_bw_scale = cc.socket_bw_scale;
+  const auto timing = perfmodel::estimate_slice(
+      model, machine, work, snapshot_cpu_load(kernel), topts);
+
+  // Aggregate per-cpu events (counting is core-based: co-scheduled workers
+  // add up on their shared hardware thread) and per-socket uncore events.
+  std::vector<EventVector> core_ev(
+      static_cast<std::size_t>(machine.num_threads()));
+  std::vector<EventVector> unc_ev(static_cast<std::size_t>(sockets));
+  std::vector<bool> cpu_used(static_cast<std::size_t>(machine.num_threads()),
+                             false);
+  const double clock_hz = machine.clock_ghz() * 1e9;
+
+  for (int w = 0; w < workers; ++w) {
+    const perfmodel::ThreadWork& tw = work[static_cast<std::size_t>(w)];
+    EventVector& ev = core_ev[static_cast<std::size_t>(tw.cpu)];
+    cpu_used[static_cast<std::size_t>(tw.cpu)] = true;
+    const double iters = tw.iterations;
+
+    ev.add(EventId::kInstructionsRetired, tw.instructions);
+    // Triad: one add and one mul per element.
+    if (cc.vectorized) {
+      ev.add(EventId::kFpPackedDouble, iters);  // 2 flops per packed op pair
+    } else {
+      ev.add(EventId::kFpScalarDouble, 2.0 * iters);
+    }
+    ev.add(EventId::kLoadsRetired, 2.0 * iters);
+    ev.add(EventId::kStoresRetired, iters);
+    const double branches = iters / 4.0;  // unrolled loop backedge
+    ev.add(EventId::kBranchesRetired, branches);
+    ev.add(EventId::kBranchesMispredicted, branches * 0.002);
+
+    const double lines = iters * kTrafficBytesPerIter / 64.0;
+    ev.add(EventId::kL1DLinesIn, lines);
+    ev.add(EventId::kL1DLinesOut, lines / 4.0);  // the store stream
+    ev.add(EventId::kL2Requests, lines);
+    ev.add(EventId::kL2Misses, lines);
+    ev.add(EventId::kL2LinesIn, lines);
+    ev.add(EventId::kL2LinesOut, lines / 4.0);
+    ev.add(EventId::kBusTransMem, lines);
+    ev.add(EventId::kDtlbMisses, iters * 8.0 / 4096.0);  // one per page
+
+    // Socket-level traffic to the chunk's home controller: 3 line reads and
+    // 1 line write per 4 lines of traffic.
+    for (int s = 0; s < sockets; ++s) {
+      const double bytes = tw.mem_bytes_by_socket[static_cast<std::size_t>(s)];
+      if (bytes <= 0) continue;
+      EventVector& uev = unc_ev[static_cast<std::size_t>(s)];
+      const double slines = bytes / 64.0;
+      uev.add(EventId::kUncMemReads, slines * 3.0 / 4.0);
+      uev.add(EventId::kUncMemWrites, slines / 4.0);
+      uev.add(EventId::kUncL3LinesIn, slines * 3.0 / 4.0);
+      uev.add(EventId::kUncL3LinesOut, slines * 3.0 / 4.0);
+      uev.add(EventId::kUncL3Misses, slines);
+    }
+  }
+
+  // Cycle accounting: a hardware thread is unhalted for the whole slice it
+  // hosts workers on (spin-waiting at the closing barrier).
+  for (int cpu = 0; cpu < machine.num_threads(); ++cpu) {
+    if (!cpu_used[static_cast<std::size_t>(cpu)]) continue;
+    EventVector& ev = core_ev[static_cast<std::size_t>(cpu)];
+    // Busy time of the slowest worker on this cpu.
+    double busy = 0;
+    for (int w = 0; w < workers; ++w) {
+      if (work[static_cast<std::size_t>(w)].cpu == cpu) {
+        busy = std::max(busy,
+                        timing.thread_seconds[static_cast<std::size_t>(w)]);
+      }
+    }
+    ev.add(EventId::kCoreCycles, busy * clock_hz);
+    ev.add(EventId::kRefCycles, busy * clock_hz);
+    machine.post_core_events(cpu, ev);
+  }
+  for (int s = 0; s < sockets; ++s) {
+    if (!unc_ev[static_cast<std::size_t>(s)].all_zero()) {
+      unc_ev[static_cast<std::size_t>(s)].add(
+          EventId::kUncClockticks, timing.seconds * clock_hz);
+      machine.post_uncore_events(s, unc_ev[static_cast<std::size_t>(s)]);
+    }
+  }
+  return timing.seconds;
+}
+
+void reference_triad(std::vector<double>& a, const std::vector<double>& b,
+                     const std::vector<double>& c, double scalar) {
+  LIKWID_REQUIRE(a.size() == b.size() && b.size() == c.size(),
+                 "triad arrays must have equal length");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = b[i] + scalar * c[i];
+  }
+}
+
+}  // namespace likwid::workloads

@@ -1,0 +1,58 @@
+// stream.hpp — the OpenMP STREAM triad benchmark (a[i] = b[i] + s*c[i]) as
+// a simulated workload.
+//
+// The arrays are far larger than any cache, so the kernel is modeled
+// analytically: every iteration moves 32 bytes of memory traffic (load b,
+// load c, write-allocate + write-back a) while STREAM itself reports only
+// 24 bytes — the classic discrepancy. Timing goes through the performance
+// model (per-thread caps, socket saturation, SMT, oversubscription, NUMA
+// homing), and all counter-visible events (flops, loads/stores, cache line
+// traffic, memory-controller transfers) are posted to the PMU.
+#pragma once
+
+#include <vector>
+
+#include "workloads/compiler.hpp"
+#include "workloads/workload.hpp"
+
+namespace likwid::workloads {
+
+struct StreamConfig {
+  std::size_t array_length = 20'000'000;  ///< elements per array (doubles)
+  int repetitions = 10;                   ///< NTIMES
+  CompilerProfile compiler = icc_profile();
+  /// NUMA home socket of each worker's chunk (first-touch placement). When
+  /// empty, chunks are homed on the socket each worker runs on (the pinned
+  /// steady case). For unpinned runs the caller records where init ran.
+  std::vector<int> chunk_home_sockets;
+};
+
+class StreamTriad final : public Workload {
+ public:
+  explicit StreamTriad(StreamConfig config);
+
+  std::string name() const override { return "stream-triad"; }
+
+  double run_slice(ossim::SimKernel& kernel, const Placement& p,
+                   double fraction) override;
+
+  /// Bytes per iteration that STREAM's own bandwidth report counts.
+  static constexpr double kReportedBytesPerIter = 24.0;
+  /// Bytes per iteration actually moved (write-allocate included).
+  static constexpr double kTrafficBytesPerIter = 32.0;
+
+  /// STREAM-convention bandwidth in MB/s for a measured runtime.
+  double reported_bandwidth_mbs(double seconds) const;
+
+  const StreamConfig& config() const { return config_; }
+
+ private:
+  StreamConfig config_;
+};
+
+/// Functional single-threaded triad on real memory — used by tests to pin
+/// down the arithmetic the simulated kernel is standing in for.
+void reference_triad(std::vector<double>& a, const std::vector<double>& b,
+                     const std::vector<double>& c, double scalar);
+
+}  // namespace likwid::workloads

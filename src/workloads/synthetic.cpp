@@ -1,0 +1,380 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "perfmodel/exec_model.hpp"
+#include "util/status.hpp"
+
+namespace likwid::workloads {
+
+using hwsim::EventId;
+using hwsim::EventVector;
+
+namespace {
+
+/// Dense enumeration index of a hardware thread such that threads sharing
+/// a cache of `shared_by` threads occupy one contiguous block (SMT siblings
+/// adjacent, then cores, then sockets — the APIC enumeration order).
+int dense_index(const hwsim::MachineSpec& spec, const hwsim::HwThread& t) {
+  return (t.socket * spec.cores_per_socket + t.core_index) *
+             spec.threads_per_core +
+         t.smt;
+}
+
+}  // namespace
+
+SyntheticKernel::SyntheticKernel(SyntheticConfig config)
+    : config_(std::move(config)) {
+  LIKWID_REQUIRE(config_.iterations_per_sweep > 0,
+                 "synthetic kernel needs a positive iteration count");
+  LIKWID_REQUIRE(config_.sweeps > 0, "sweeps must be positive");
+  LIKWID_REQUIRE(config_.access.stride_bytes >= 8,
+                 "stride below one element (8 bytes)");
+  LIKWID_REQUIRE(config_.access.store_fraction >= 0.0 &&
+                     config_.access.store_fraction <= 1.0,
+                 "store_fraction must be within [0,1]");
+  LIKWID_REQUIRE(config_.mix.mispredict_ratio >= 0.0 &&
+                     config_.mix.mispredict_ratio <= 1.0,
+                 "mispredict_ratio must be within [0,1]");
+}
+
+SweepTraffic SyntheticKernel::sweep_traffic(const hwsim::SimMachine& machine,
+                                            const Placement& p,
+                                            int worker) const {
+  LIKWID_REQUIRE(worker >= 0 && worker < p.num_workers(),
+                 "worker index out of range");
+  const hwsim::MachineSpec& spec = machine.spec();
+  const AccessPattern& a = config_.access;
+
+  SweepTraffic t;
+  if (a.working_set_bytes == 0) return t;
+
+  const double line = 64.0;
+  const double stride = static_cast<double>(a.stride_bytes);
+  const double ws = static_cast<double>(a.working_set_bytes);
+  t.lines = ws / std::max(line, stride);
+  t.store_lines = a.store_fraction * t.lines;
+  const double page = static_cast<double>(spec.tlb.page_size);
+  t.pages = ws / std::max(page, stride);
+  if (t.pages > static_cast<double>(spec.tlb.entries)) {
+    // A cyclic sweep over more pages than the DTLB holds misses on every
+    // page, every sweep (same all-or-nothing LRU argument as for caches).
+    t.dtlb_misses = t.pages;
+  }
+
+  // Resident footprint of one worker at cache-line granularity.
+  const double footprint = t.lines * line;
+
+  // A level overflows when the combined footprint of all workers mapped to
+  // one cache instance exceeds that instance's capacity. Workers are mapped
+  // to instances by the dense topology enumeration (SMT siblings share L1,
+  // a socket shares L3, ...).
+  auto overflows = [&](int level) {
+    if (!spec.has_data_cache(level)) return true;  // no such level: fall through
+    const hwsim::CacheLevelSpec& c = spec.data_cache(level);
+    const int share = static_cast<int>(c.shared_by_threads);
+    const int instance_of_worker =
+        dense_index(spec, machine.thread(p.cpus[static_cast<std::size_t>(
+            worker)])) /
+        share;
+    double sum = 0;
+    for (int w = 0; w < p.num_workers(); ++w) {
+      const int inst =
+          dense_index(spec,
+                      machine.thread(p.cpus[static_cast<std::size_t>(w)])) /
+          share;
+      if (inst == instance_of_worker) sum += footprint;
+    }
+    return sum > static_cast<double>(c.size_bytes);
+  };
+
+  t.misses_l1 = overflows(1);
+  t.misses_l2 = t.misses_l1 && overflows(2);
+  const int llc = spec.last_level_cache();
+  t.misses_llc = llc >= 3 ? (t.misses_l2 && overflows(3)) : t.misses_l2;
+  return t;
+}
+
+double SyntheticKernel::run_slice(ossim::SimKernel& kernel,
+                                  const Placement& p, double fraction) {
+  const int workers = p.num_workers();
+  LIKWID_REQUIRE(workers >= 1, "synthetic kernel needs at least one worker");
+
+  auto& machine = kernel.machine();
+  const hwsim::MachineSpec& spec = machine.spec();
+  const int sockets = spec.sockets;
+  const InstructionMix& mix = config_.mix;
+  const AccessPattern& acc = config_.access;
+
+  const double sweeps = config_.sweeps * fraction;
+  const double iters = config_.iterations_per_sweep * sweeps;
+
+  // --- timing through the performance model ------------------------------
+  std::vector<perfmodel::ThreadWork> work(static_cast<std::size_t>(workers));
+  std::vector<SweepTraffic> traffic(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    traffic[static_cast<std::size_t>(w)] = sweep_traffic(machine, p, w);
+    const SweepTraffic& t = traffic[static_cast<std::size_t>(w)];
+
+    perfmodel::ThreadWork& tw = work[static_cast<std::size_t>(w)];
+    tw.cpu = p.cpus[static_cast<std::size_t>(w)];
+    tw.iterations = iters;
+    tw.cycles_per_iter = mix.cycles;
+    tw.instructions = iters * mix.instructions;
+
+    const double read_lines =
+        (acc.nontemporal_stores ? t.lines - t.store_lines : t.lines) * sweeps;
+    const double wb_lines =
+        (acc.nontemporal_stores ? 0.0 : t.store_lines) * sweeps;
+    const double nt_lines =
+        (acc.nontemporal_stores ? t.store_lines : 0.0) * sweeps;
+
+    const double l1_in = t.misses_l1 ? read_lines : 0.0;
+    const double l1_out = t.misses_l1 ? wb_lines : 0.0;
+    const double l2_in = t.misses_l2 ? read_lines : 0.0;
+    const double l2_out = t.misses_l2 ? wb_lines : 0.0;
+    const double mem_r = t.misses_llc ? read_lines : 0.0;
+    const double mem_w = (t.misses_llc ? wb_lines : 0.0) + nt_lines;
+
+    tw.l2_bytes = (l1_in + l1_out) * 64.0;
+    tw.l3_bytes = (l2_in + l2_out) * 64.0;
+    tw.mem_bytes_by_socket.assign(static_cast<std::size_t>(sockets), 0.0);
+    tw.mem_bytes_by_socket[static_cast<std::size_t>(
+        machine.socket_of(tw.cpu))] = (mem_r + mem_w) * 64.0;
+    const auto pf = machine.active_prefetchers(tw.cpu);
+    if (!pf.hardware_prefetcher && !pf.dcu_prefetcher) {
+      tw.prefetch_factor = 0.6;
+    }
+  }
+
+  perfmodel::MachineModel model = perfmodel::default_model(spec);
+  const auto timing = perfmodel::estimate_slice(
+      model, machine, work, snapshot_cpu_load(kernel));
+
+  // --- event posting ------------------------------------------------------
+  std::vector<EventVector> core_ev(
+      static_cast<std::size_t>(machine.num_threads()));
+  std::vector<EventVector> unc_ev(static_cast<std::size_t>(sockets));
+  std::vector<bool> cpu_used(static_cast<std::size_t>(machine.num_threads()),
+                             false);
+  const double clock_hz = machine.clock_ghz() * 1e9;
+  const bool has_l3 = spec.has_data_cache(3);
+
+  for (int w = 0; w < workers; ++w) {
+    const perfmodel::ThreadWork& tw = work[static_cast<std::size_t>(w)];
+    const SweepTraffic& t = traffic[static_cast<std::size_t>(w)];
+    EventVector& ev = core_ev[static_cast<std::size_t>(tw.cpu)];
+    cpu_used[static_cast<std::size_t>(tw.cpu)] = true;
+
+    ev.add(EventId::kInstructionsRetired, tw.instructions);
+    ev.add(EventId::kFpPackedDouble, iters * mix.packed_double);
+    ev.add(EventId::kFpScalarDouble, iters * mix.scalar_double);
+    ev.add(EventId::kFpPackedSingle, iters * mix.packed_single);
+    ev.add(EventId::kFpScalarSingle, iters * mix.scalar_single);
+    ev.add(EventId::kLoadsRetired, iters * mix.loads);
+    ev.add(EventId::kStoresRetired, iters * mix.stores);
+    const double branches = iters * mix.branches;
+    ev.add(EventId::kBranchesRetired, branches);
+    ev.add(EventId::kBranchesMispredicted, branches * mix.mispredict_ratio);
+    ev.add(EventId::kDtlbMisses, t.dtlb_misses * sweeps);
+
+    const double read_lines =
+        (acc.nontemporal_stores ? t.lines - t.store_lines : t.lines) * sweeps;
+    const double wb_lines =
+        (acc.nontemporal_stores ? 0.0 : t.store_lines) * sweeps;
+    const double nt_lines =
+        (acc.nontemporal_stores ? t.store_lines : 0.0) * sweeps;
+
+    if (t.misses_l1) {
+      ev.add(EventId::kL1DLinesIn, read_lines);
+      ev.add(EventId::kL1DLinesOut, wb_lines);
+      ev.add(EventId::kL2Requests, read_lines + wb_lines);
+    }
+    if (t.misses_l2) {
+      ev.add(EventId::kL2Misses, read_lines);
+      ev.add(EventId::kL2LinesIn, read_lines);
+      ev.add(EventId::kL2LinesOut, wb_lines);
+    }
+    const double mem_r = t.misses_llc ? read_lines : 0.0;
+    const double mem_w = (t.misses_llc ? wb_lines : 0.0) + nt_lines;
+    ev.add(EventId::kBusTransMem, mem_r + mem_w);
+
+    const int sock = machine.socket_of(tw.cpu);
+    EventVector& uev = unc_ev[static_cast<std::size_t>(sock)];
+    if (has_l3 && t.misses_l2) {
+      // Steady-state streaming: every line brought into L3 is later
+      // victimized, so LINES_IN tracks LINES_OUT (the Table II signature).
+      uev.add(EventId::kUncL3LinesIn, read_lines);
+      uev.add(EventId::kUncL3LinesOut, read_lines);
+      uev.add(EventId::kUncL3Hits, t.misses_llc ? 0.0 : read_lines);
+      uev.add(EventId::kUncL3Misses, t.misses_llc ? read_lines : 0.0);
+    }
+    uev.add(EventId::kUncMemReads, mem_r);
+    uev.add(EventId::kUncMemWrites, mem_w);
+  }
+
+  for (int cpu = 0; cpu < machine.num_threads(); ++cpu) {
+    if (!cpu_used[static_cast<std::size_t>(cpu)]) continue;
+    EventVector& ev = core_ev[static_cast<std::size_t>(cpu)];
+    double busy = 0;
+    for (int w = 0; w < workers; ++w) {
+      if (work[static_cast<std::size_t>(w)].cpu == cpu) {
+        busy = std::max(busy,
+                        timing.thread_seconds[static_cast<std::size_t>(w)]);
+      }
+    }
+    ev.add(EventId::kCoreCycles, busy * clock_hz);
+    ev.add(EventId::kRefCycles, busy * clock_hz);
+    machine.post_core_events(cpu, ev);
+  }
+  for (int s = 0; s < sockets; ++s) {
+    if (!unc_ev[static_cast<std::size_t>(s)].all_zero()) {
+      unc_ev[static_cast<std::size_t>(s)].add(EventId::kUncClockticks,
+                                              timing.seconds * clock_hz);
+      machine.post_uncore_events(s, unc_ev[static_cast<std::size_t>(s)]);
+    }
+  }
+  return timing.seconds;
+}
+
+// --- factories --------------------------------------------------------------
+
+SyntheticConfig copy_kernel(std::size_t elements, int sweeps,
+                            bool nontemporal) {
+  SyntheticConfig c;
+  c.name = nontemporal ? "copy-nt" : "copy";
+  c.iterations_per_sweep = static_cast<double>(elements);
+  c.sweeps = sweeps;
+  c.mix.cycles = 1.0;
+  c.mix.instructions = 2.5;  // load, store, fraction of loop control
+  c.mix.loads = 1.0;
+  c.mix.stores = 1.0;
+  c.mix.branches = 0.25;  // 4x unrolled backedge
+  c.mix.mispredict_ratio = 0.001;
+  c.access.working_set_bytes = 2 * 8 * elements;  // source + destination
+  c.access.stride_bytes = 8;
+  c.access.store_fraction = 0.5;  // the destination half is written
+  c.access.nontemporal_stores = nontemporal;
+  return c;
+}
+
+SyntheticConfig daxpy_kernel(std::size_t elements, int sweeps) {
+  SyntheticConfig c;
+  c.name = "daxpy";
+  c.iterations_per_sweep = static_cast<double>(elements);
+  c.sweeps = sweeps;
+  c.mix.cycles = 1.0;
+  c.mix.instructions = 3.5;
+  c.mix.packed_double = 1.0;  // one packed FMA pair = 2 flops per element
+  c.mix.loads = 2.0;          // x[i] and y[i]
+  c.mix.stores = 1.0;         // y[i]
+  c.mix.branches = 0.25;
+  c.mix.mispredict_ratio = 0.001;
+  c.access.working_set_bytes = 2 * 8 * elements;
+  c.access.stride_bytes = 8;
+  // y is loaded *and* stored, so no line is a pure store target.
+  c.access.store_fraction = 0.0;
+  return c;
+}
+
+SyntheticConfig dot_kernel(std::size_t elements, int sweeps) {
+  SyntheticConfig c;
+  c.name = "dot";
+  c.iterations_per_sweep = static_cast<double>(elements);
+  c.sweeps = sweeps;
+  c.mix.cycles = 1.0;
+  c.mix.instructions = 3.0;
+  c.mix.packed_double = 1.0;  // multiply + accumulate = 2 flops per element
+  c.mix.loads = 2.0;
+  c.mix.stores = 0.0;  // the sum lives in a register
+  c.mix.branches = 0.25;
+  c.mix.mispredict_ratio = 0.001;
+  c.access.working_set_bytes = 2 * 8 * elements;
+  c.access.stride_bytes = 8;
+  return c;
+}
+
+SyntheticConfig saxpy_kernel(std::size_t elements, int sweeps) {
+  SyntheticConfig c = daxpy_kernel(elements, sweeps);
+  c.name = "saxpy";
+  c.mix.packed_double = 0.0;
+  c.mix.packed_single = 0.5;  // 4-wide packed single: 2 flops = half an op
+  c.access.working_set_bytes = 2 * 4 * elements;  // floats
+  return c;
+}
+
+SyntheticConfig dgemm_kernel(std::size_t n, std::size_t block) {
+  LIKWID_REQUIRE(block > 0 && block <= n, "dgemm block must be in [1, n]");
+  SyntheticConfig c;
+  c.name = "dgemm";
+  // One iteration = one packed multiply-add pair (4 flops); 2*n^3 flops.
+  c.iterations_per_sweep = static_cast<double>(n) * static_cast<double>(n) *
+                           static_cast<double>(n) / 2.0;
+  c.sweeps = 1;
+  c.mix.cycles = 1.0;  // two packed ops per cycle: 4 flops/cycle peak
+  c.mix.instructions = 3.0;
+  c.mix.packed_double = 2.0;  // mul + add, both packed
+  c.mix.loads = 2.0;
+  c.mix.stores = 0.5;
+  c.mix.branches = 0.1;
+  c.mix.mispredict_ratio = 0.0005;
+  // The blocked panels stay cache-resident.
+  c.access.working_set_bytes = 3 * 8 * block * block;
+  c.access.stride_bytes = 8;
+  c.access.store_fraction = 0.0;
+  return c;
+}
+
+SyntheticConfig branchy_kernel(std::size_t elements, int sweeps,
+                               double mispredict_ratio) {
+  SyntheticConfig c;
+  c.name = "branchy";
+  c.iterations_per_sweep = static_cast<double>(elements);
+  c.sweeps = sweeps;
+  // Cost model: ~16 cycles flushed per mispredicted branch.
+  c.mix.cycles = 1.5 + 16.0 * mispredict_ratio;
+  c.mix.instructions = 4.0;
+  c.mix.loads = 1.0;
+  c.mix.branches = 1.0;  // one data-dependent branch per element
+  c.mix.mispredict_ratio = mispredict_ratio;
+  c.access.working_set_bytes = 8 * elements;
+  c.access.stride_bytes = 8;
+  return c;
+}
+
+SyntheticConfig tlb_thrash_kernel(std::size_t pages, int sweeps,
+                                  std::uint64_t page_size) {
+  SyntheticConfig c;
+  c.name = "tlb-thrash";
+  c.iterations_per_sweep = static_cast<double>(pages);
+  c.sweeps = sweeps;
+  c.mix.cycles = 4.0;  // latency-bound page walk
+  c.mix.instructions = 3.0;
+  c.mix.loads = 1.0;
+  c.mix.branches = 0.25;
+  c.mix.mispredict_ratio = 0.001;
+  c.access.working_set_bytes = pages * page_size;
+  c.access.stride_bytes = page_size;
+  return c;
+}
+
+SyntheticConfig cache_ladder_kernel(std::uint64_t working_set_bytes,
+                                    int sweeps) {
+  LIKWID_REQUIRE(working_set_bytes >= 64, "ladder working set below a line");
+  SyntheticConfig c;
+  c.name = "cache-ladder";
+  c.iterations_per_sweep = static_cast<double>(working_set_bytes) / 64.0;
+  c.sweeps = sweeps;
+  c.mix.cycles = 2.0;
+  c.mix.instructions = 3.0;
+  c.mix.loads = 1.0;  // one 8-byte load per line per iteration
+  c.mix.branches = 0.25;
+  c.mix.mispredict_ratio = 0.001;
+  c.access.working_set_bytes = working_set_bytes;
+  c.access.stride_bytes = 64;
+  return c;
+}
+
+}  // namespace likwid::workloads

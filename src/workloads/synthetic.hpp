@@ -1,0 +1,138 @@
+// synthetic.hpp — a family of parameterizable synthetic kernels that
+// exercise every preconfigured event group of likwid-perfctr.
+//
+// STREAM and Jacobi cover the paper's case studies (bandwidth- and
+// cache-bound double-precision code). The tools, however, ship eleven
+// event groups (FLOPS_DP/SP, L2, L3, MEM, CACHE, L2CACHE, L3CACHE, DATA,
+// BRANCH, TLB), and several of them measure behaviour no stream kernel
+// produces: branch mispredictions, TLB thrashing, store-light reductions,
+// compute-bound SSE throughput. SyntheticKernel closes that gap with a
+// declarative instruction mix plus a cyclic-sweep access pattern whose
+// steady-state cache behaviour is derived from the *measured machine's*
+// cache and TLB capacities — so a working set that overflows L2 on one
+// preset may fit on another, and the group metrics respond accordingly.
+//
+// The factories at the bottom return ready-made descriptors for classic
+// kernels (copy, daxpy, dot, blocked dgemm, a branchy reduction, a TLB
+// thrasher, a cache ladder probe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace likwid::workloads {
+
+/// Per-iteration instruction mix (all rates may be fractional: they are
+/// event expectations per kernel iteration, not literal instruction slots).
+struct InstructionMix {
+  double cycles = 1.0;         ///< core-bound cycles per iteration
+  double instructions = 1.0;   ///< retired instructions per iteration
+  double packed_double = 0;    ///< packed-double SSE computational ops
+  double scalar_double = 0;
+  double packed_single = 0;
+  double scalar_single = 0;
+  double loads = 0;            ///< retired load instructions
+  double stores = 0;           ///< retired store instructions
+  double branches = 0;         ///< retired branch instructions
+  double mispredict_ratio = 0; ///< mispredicted fraction of branches
+};
+
+/// Cyclic sequential sweep over a private per-worker working set. The
+/// steady-state rule is the classic LRU result: a cyclic sweep whose
+/// resident footprint fits the (shared) cache level produces no misses at
+/// that level after warm-up; one that overflows it misses on every line,
+/// every sweep.
+struct AccessPattern {
+  std::uint64_t working_set_bytes = 0;  ///< per worker; 0 = register-only
+  std::uint64_t stride_bytes = 8;       ///< distance between accesses
+  double store_fraction = 0;            ///< fraction of touched lines written
+  bool nontemporal_stores = false;      ///< stores bypass the hierarchy
+};
+
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  /// Kernel iterations per sweep *per worker* (the kernels scale weakly:
+  /// every worker owns a private working set and its own iteration count).
+  double iterations_per_sweep = 0;
+  int sweeps = 1;
+  InstructionMix mix;
+  AccessPattern access;
+};
+
+/// Steady-state per-sweep traffic of one worker, as derived by the kernel
+/// (exposed so tests can assert against the same numbers the PMU sees).
+struct SweepTraffic {
+  double lines = 0;        ///< distinct cache lines touched per sweep
+  double store_lines = 0;  ///< lines also written per sweep
+  double pages = 0;        ///< distinct pages touched per sweep
+  bool misses_l1 = false;  ///< working set overflows L1 (per instance)
+  bool misses_l2 = false;
+  bool misses_llc = false; ///< overflows the last-level cache
+  double dtlb_misses = 0;  ///< per sweep
+};
+
+class SyntheticKernel final : public Workload {
+ public:
+  explicit SyntheticKernel(SyntheticConfig config);
+
+  std::string name() const override { return config_.name; }
+
+  double run_slice(ossim::SimKernel& kernel, const Placement& p,
+                   double fraction) override;
+
+  const SyntheticConfig& config() const { return config_; }
+
+  /// The steady-state traffic `worker` (index into `p.cpus`) generates per
+  /// sweep under placement `p` on `machine` — capacity sharing included.
+  SweepTraffic sweep_traffic(const hwsim::SimMachine& machine,
+                             const Placement& p, int worker) const;
+
+ private:
+  SyntheticConfig config_;
+};
+
+// --- ready-made kernels ---------------------------------------------------
+
+/// y[i] = x[i]: one load, one (optionally nontemporal) store per element.
+/// Exercises DATA (ratio 1) and the NT-store traffic saving of MEM.
+SyntheticConfig copy_kernel(std::size_t elements, int sweeps,
+                            bool nontemporal = false);
+
+/// y[i] += a*x[i]: two loads, one store, two double flops per element
+/// (vectorized). Exercises DATA (ratio 2), FLOPS_DP and the bandwidth
+/// groups.
+SyntheticConfig daxpy_kernel(std::size_t elements, int sweeps);
+
+/// s += x[i]*y[i]: two loads, no stores, two double flops per element.
+/// The store-free extreme of the DATA group.
+SyntheticConfig dot_kernel(std::size_t elements, int sweeps);
+
+/// Single-precision a[i] = b[i]*c[i] + a[i] (vectorized): the FLOPS_SP
+/// counterpart of daxpy.
+SyntheticConfig saxpy_kernel(std::size_t elements, int sweeps);
+
+/// Cache-blocked matrix multiply, n x n with b x b blocks held in cache:
+/// compute-bound packed-double SSE at ~4 flops per cycle. Exercises
+/// FLOPS_DP at high MFlops/s with negligible memory traffic.
+SyntheticConfig dgemm_kernel(std::size_t n, std::size_t block);
+
+/// Data-dependent branches over `elements` values with the given
+/// misprediction ratio (0.5 = random data, ~0 = sorted data). Exercises
+/// BRANCH; the cycle cost includes the misprediction penalty.
+SyntheticConfig branchy_kernel(std::size_t elements, int sweeps,
+                               double mispredict_ratio);
+
+/// One 8-byte load per page over `pages` pages (stride = page size):
+/// maximal TLB pressure with minimal cache traffic. Exercises TLB.
+SyntheticConfig tlb_thrash_kernel(std::size_t pages, int sweeps,
+                                  std::uint64_t page_size = 4096);
+
+/// Load-only sweep over a working set of the given size, one 8-byte load
+/// per line. Sweeping the size across the cache capacities walks the
+/// CACHE / L2CACHE / L3CACHE / MEM groups through their regimes.
+SyntheticConfig cache_ladder_kernel(std::uint64_t working_set_bytes,
+                                    int sweeps);
+
+}  // namespace likwid::workloads

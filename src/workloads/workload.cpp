@@ -1,0 +1,33 @@
+#include "workloads/workload.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::workloads {
+
+double run_workload(ossim::SimKernel& kernel, Workload& workload,
+                    const Placement& placement, const RunOptions& options) {
+  LIKWID_REQUIRE(options.quanta >= 1, "quanta must be positive");
+  LIKWID_REQUIRE(!placement.cpus.empty(), "workload needs at least one worker");
+  double total = 0;
+  const double fraction = 1.0 / options.quanta;
+  for (int q = 0; q < options.quanta; ++q) {
+    const double t = workload.run_slice(kernel, placement, fraction);
+    LIKWID_ASSERT(t >= 0, "negative slice time");
+    kernel.advance_time(t);
+    total += t;
+    if (options.between_quanta && q + 1 < options.quanta) {
+      options.between_quanta(q);
+    }
+  }
+  return total;
+}
+
+std::vector<int> snapshot_cpu_load(const ossim::SimKernel& kernel) {
+  std::vector<int> load(static_cast<std::size_t>(kernel.machine().num_threads()));
+  for (int cpu = 0; cpu < kernel.machine().num_threads(); ++cpu) {
+    load[static_cast<std::size_t>(cpu)] = kernel.scheduler().busy_load(cpu);
+  }
+  return load;
+}
+
+}  // namespace likwid::workloads

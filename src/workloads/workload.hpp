@@ -1,0 +1,58 @@
+// workload.hpp — the workload abstraction executed on the simulated node.
+//
+// A Workload knows how to run a slice of its total work on a set of worker
+// placements: it computes the slice's timing through the performance model
+// (and, for cache-bound kernels, the cache simulator), posts the generated
+// μarch events to the machine's PMU, and advances the kernel clock. Tools
+// (likwid-perfctr) interact with workloads only through counters and wall
+// time — exactly like the real tool wrapping an arbitrary binary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ossim/kernel.hpp"
+
+namespace likwid::workloads {
+
+/// Placement of the worker threads of a parallel region (one cpu per
+/// worker, duplicates allowed — that is oversubscription).
+struct Placement {
+  std::vector<int> cpus;
+
+  int num_workers() const { return static_cast<int>(cpus.size()); }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Execute `fraction` (0,1] of the total work. Returns the slice's wall
+  /// time in seconds. Implementations must post core events for every cpu
+  /// they ran on and uncore events for every socket they touched, and must
+  /// NOT advance the kernel clock (the runner does).
+  virtual double run_slice(ossim::SimKernel& kernel, const Placement& p,
+                           double fraction) = 0;
+};
+
+struct RunOptions {
+  /// Number of equal slices to split the run into. Counter multiplexing
+  /// rotates event sets between slices.
+  int quanta = 1;
+  /// Invoked after each slice except the last (multiplexing switch point).
+  std::function<void(int completed_quantum)> between_quanta;
+};
+
+/// Run a workload to completion; returns total wall time and advances the
+/// kernel clock.
+double run_workload(ossim::SimKernel& kernel, Workload& workload,
+                    const Placement& placement, const RunOptions& options = {});
+
+/// Build the per-cpu load vector from the scheduler (workers plus any other
+/// threads occupying hardware threads).
+std::vector<int> snapshot_cpu_load(const ossim::SimKernel& kernel);
+
+}  // namespace likwid::workloads

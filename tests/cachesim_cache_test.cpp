@@ -1,0 +1,143 @@
+// Tests for the single set-associative cache: LRU replacement, eviction
+// reporting, invalidation, dirty tracking, and geometric invariants.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+
+namespace likwid::cachesim {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 sets x 2 ways x 64 B lines = 512 B.
+  return CacheConfig{512, 2, 64, false};
+}
+
+TEST(Cache, GeometryDerivation) {
+  SetAssociativeCache c(small_cache());
+  EXPECT_EQ(c.num_sets(), 4u);
+  EXPECT_EQ(c.associativity(), 2u);
+  EXPECT_EQ(c.size_bytes(), 512u);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssociativeCache(CacheConfig{0, 2, 64, false}), Error);
+  EXPECT_THROW(SetAssociativeCache(CacheConfig{512, 2, 48, false}), Error);
+  EXPECT_THROW(SetAssociativeCache(CacheConfig{500, 2, 64, false}), Error);
+}
+
+TEST(Cache, MissThenHit) {
+  SetAssociativeCache c(small_cache());
+  EXPECT_FALSE(c.lookup(100, false));
+  c.insert(100, false);
+  EXPECT_TRUE(c.lookup(100, false));
+  EXPECT_TRUE(c.contains(100));
+}
+
+TEST(Cache, InsertReportsNoVictimWhileSetHasRoom) {
+  SetAssociativeCache c(small_cache());
+  EXPECT_FALSE(c.insert(0, false).valid);   // set 0
+  EXPECT_FALSE(c.insert(4, false).valid);   // set 0, second way
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  SetAssociativeCache c(small_cache());
+  // Lines 0, 4, 8 all map to set 0 (line % 4).
+  c.insert(0, false);
+  c.insert(4, false);
+  EXPECT_TRUE(c.lookup(0, false));  // 0 becomes MRU, 4 is LRU
+  const auto ev = c.insert(8, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 4u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(4));
+}
+
+TEST(Cache, EvictionCarriesDirtyBit) {
+  SetAssociativeCache c(small_cache());
+  c.insert(0, true);
+  c.insert(4, false);
+  const auto ev = c.insert(8, false);  // evicts dirty line 0
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 0u);
+  EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, LookupCanMarkDirty) {
+  SetAssociativeCache c(small_cache());
+  c.insert(0, false);
+  EXPECT_TRUE(c.lookup(0, /*mark_dirty=*/true));  // 0 now dirty and MRU
+  c.insert(4, false);  // 4 is now MRU, 0 is LRU
+  const auto ev = c.insert(8, false);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 0u);  // LRU victim is the marked line
+  EXPECT_TRUE(ev.dirty);        // ... and it carries the dirty bit
+}
+
+TEST(Cache, DoubleInsertThrows) {
+  SetAssociativeCache c(small_cache());
+  c.insert(0, false);
+  EXPECT_THROW(c.insert(0, false), Error);
+}
+
+TEST(Cache, InvalidateRemovesAndReportsDirty) {
+  SetAssociativeCache c(small_cache());
+  c.insert(0, true);
+  const auto r = c.invalidate(0);
+  EXPECT_TRUE(r.was_present);
+  EXPECT_TRUE(r.was_dirty);
+  EXPECT_FALSE(c.contains(0));
+  const auto r2 = c.invalidate(0);
+  EXPECT_FALSE(r2.was_present);
+}
+
+TEST(Cache, FlushEmptiesEverything) {
+  SetAssociativeCache c(small_cache());
+  for (std::uint64_t l = 0; l < 8; ++l) c.insert(l, true);
+  EXPECT_EQ(c.occupancy(), 8u);
+  c.flush();
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, DistinctSetsDoNotInterfere) {
+  SetAssociativeCache c(small_cache());
+  c.insert(0, false);  // set 0
+  c.insert(1, false);  // set 1
+  c.insert(2, false);  // set 2
+  c.insert(3, false);  // set 3
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+// Property sweep: streaming through caches of varying geometry never loses
+// or duplicates lines and respects capacity.
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheGeometry, StreamingRespectsCapacity) {
+  const auto [sets, ways] = GetParam();
+  CacheConfig cfg;
+  cfg.line_size = 64;
+  cfg.associativity = static_cast<std::uint32_t>(ways);
+  cfg.size_bytes = static_cast<std::uint64_t>(sets) * ways * 64;
+  SetAssociativeCache c(cfg);
+  const std::uint64_t capacity = static_cast<std::uint64_t>(sets) * ways;
+  for (std::uint64_t line = 0; line < 4 * capacity; ++line) {
+    if (!c.lookup(line, false)) c.insert(line, false);
+    EXPECT_LE(c.occupancy(), capacity);
+  }
+  // After the stream the last `capacity` lines are resident (pure LRU).
+  for (std::uint64_t line = 3 * capacity; line < 4 * capacity; ++line) {
+    EXPECT_TRUE(c.contains(line)) << "line " << line;
+  }
+  EXPECT_EQ(c.occupancy(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometry,
+                         ::testing::Combine(::testing::Values(1, 4, 64),
+                                            ::testing::Values(1, 2, 8, 16)));
+
+}  // namespace
+}  // namespace likwid::cachesim

@@ -1,0 +1,286 @@
+// Tests for the full cache hierarchy: demand fills, write-allocate,
+// writeback cascades, nontemporal stores, remote-socket migration,
+// prefetchers, TLB, and the event-vector projection.
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+
+namespace likwid::cachesim {
+namespace {
+
+class Hierarchy : public ::testing::Test {
+ protected:
+  Hierarchy()
+      : spec_(hwsim::presets::nehalem_ep()),
+        threads_(hwsim::enumerate_hw_threads(spec_)),
+        h_(spec_, threads_) {
+    no_prefetch_ = hwsim::PrefetcherSpec{};
+    for (const auto& t : threads_) h_.set_prefetchers(t.os_id, no_prefetch_);
+  }
+
+  hwsim::MachineSpec spec_;
+  std::vector<hwsim::HwThread> threads_;
+  CacheHierarchy h_;
+  hwsim::PrefetcherSpec no_prefetch_;
+};
+
+TEST_F(Hierarchy, InstanceMapping) {
+  // Nehalem EP: private L1/L2 per core (shared by SMT pair), L3 per socket.
+  EXPECT_EQ(h_.num_l1_instances(), 8);
+  EXPECT_EQ(h_.num_l2_instances(), 8);
+  EXPECT_EQ(h_.num_l3_instances(), 2);
+  // cpu 0 and its SMT sibling (cpu 8) share the L1.
+  EXPECT_EQ(h_.instance_of(0, 1), h_.instance_of(8, 1));
+  EXPECT_NE(h_.instance_of(0, 1), h_.instance_of(1, 1));
+  // Socket mapping for L3.
+  EXPECT_EQ(h_.instance_of(0, 3), 0);
+  EXPECT_EQ(h_.instance_of(4, 3), 1);
+}
+
+TEST_F(Hierarchy, ColdLoadMissesToMemory) {
+  h_.access(0, 0x10000, 64, AccessKind::kLoad);
+  const auto& t = h_.cpu_traffic(0);
+  EXPECT_EQ(t.loads, 1);
+  EXPECT_EQ(t.l1_hits, 0);
+  EXPECT_EQ(t.l1_fills, 1);
+  EXPECT_EQ(t.l2_misses, 1);
+  EXPECT_EQ(t.mem_lines_read, 1);
+  const auto& s = h_.socket_traffic(0);
+  EXPECT_EQ(s.l3_misses, 1);
+  EXPECT_EQ(s.l3_lines_in, 1);
+  EXPECT_EQ(s.mem_reads, 1);
+}
+
+TEST_F(Hierarchy, SecondAccessHitsL1) {
+  h_.access(0, 0x10000, 64, AccessKind::kLoad);
+  h_.access(0, 0x10000, 64, AccessKind::kLoad);
+  const auto& t = h_.cpu_traffic(0);
+  EXPECT_EQ(t.l1_hits, 1);
+  EXPECT_EQ(t.mem_lines_read, 1);
+}
+
+TEST_F(Hierarchy, SmtSiblingHitsSharedL1) {
+  h_.access(0, 0x10000, 64, AccessKind::kLoad);
+  h_.access(8, 0x10000, 64, AccessKind::kLoad);  // SMT sibling of cpu 0
+  EXPECT_EQ(h_.cpu_traffic(8).l1_hits, 1);
+}
+
+TEST_F(Hierarchy, NeighbourCoreHitsSharedL3) {
+  h_.access(0, 0x10000, 64, AccessKind::kLoad);
+  h_.access(1, 0x10000, 64, AccessKind::kLoad);  // same socket, own L1/L2
+  const auto& t1 = h_.cpu_traffic(1);
+  EXPECT_EQ(t1.l3_hits, 1);
+  EXPECT_EQ(t1.mem_lines_read, 0);
+  EXPECT_EQ(h_.socket_traffic(0).l3_hits, 1);
+}
+
+TEST_F(Hierarchy, RangeAccessTouchesEveryLine) {
+  h_.access(0, 0x20000, 640, AccessKind::kLoad);  // 10 lines
+  EXPECT_EQ(h_.cpu_traffic(0).loads, 10);
+  EXPECT_EQ(h_.cpu_traffic(0).mem_lines_read, 10);
+}
+
+TEST_F(Hierarchy, UnalignedRangeCoversStraddledLines) {
+  h_.access(0, 0x20000 + 60, 8, AccessKind::kLoad);  // straddles 2 lines
+  EXPECT_EQ(h_.cpu_traffic(0).loads, 2);
+}
+
+TEST_F(Hierarchy, StoreMissWriteAllocates) {
+  h_.access(0, 0x30000, 64, AccessKind::kStore);
+  const auto& t = h_.cpu_traffic(0);
+  EXPECT_EQ(t.stores, 1);
+  EXPECT_EQ(t.mem_lines_read, 1);  // the write-allocate read
+  EXPECT_EQ(t.mem_lines_written, 0);  // not yet written back
+}
+
+TEST_F(Hierarchy, DirtyEvictionWritesBack) {
+  // Fill far beyond all cache capacity with stores, then check that
+  // writebacks reached memory.
+  const std::uint64_t l3_bytes = spec_.data_cache(3).size_bytes;
+  const std::uint64_t span = l3_bytes * 3;
+  for (std::uint64_t off = 0; off < span; off += 64) {
+    h_.access(0, 0x1000000 + off, 64, AccessKind::kStore);
+  }
+  const auto& s = h_.socket_traffic(0);
+  EXPECT_GT(s.mem_writes, static_cast<double>(span / 64 / 2));
+  EXPECT_GT(h_.cpu_traffic(0).l1_writebacks, 0);
+  EXPECT_GT(s.l3_lines_out, 0);
+}
+
+TEST_F(Hierarchy, StreamingStoreMovesReadAndWriteTraffic) {
+  // Pure streaming store over a range 3x the L3: every line costs one
+  // write-allocate read and (once the caches are full) one writeback.
+  const std::uint64_t l3_lines = spec_.data_cache(3).size_bytes / 64;
+  const std::uint64_t lines = l3_lines * 3;
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    h_.access(0, 0x8000000 + l * 64, 64, AccessKind::kStore);
+  }
+  const auto& s = h_.socket_traffic(0);
+  EXPECT_NEAR(s.mem_reads, static_cast<double>(lines), lines * 0.01);
+  // All but the still-resident lines have been written back.
+  EXPECT_GT(s.mem_writes, static_cast<double>(lines - l3_lines) * 0.95);
+  EXPECT_LE(s.mem_writes, static_cast<double>(lines));
+}
+
+TEST_F(Hierarchy, NonTemporalStoreBypassesHierarchy) {
+  h_.access(0, 0x40000, 64, AccessKind::kStoreNonTemporal);
+  const auto& t = h_.cpu_traffic(0);
+  EXPECT_EQ(t.nt_store_lines, 1);
+  EXPECT_EQ(t.mem_lines_written, 1);
+  EXPECT_EQ(t.mem_lines_read, 0);   // no write-allocate
+  EXPECT_EQ(t.l1_fills, 0);
+  EXPECT_EQ(h_.socket_traffic(0).l3_lines_in, 0);
+}
+
+TEST_F(Hierarchy, NonTemporalStoreInvalidatesCachedCopies) {
+  h_.access(0, 0x50000, 64, AccessKind::kLoad);
+  h_.access(0, 0x50000, 64, AccessKind::kStoreNonTemporal);
+  h_.access(0, 0x50000, 64, AccessKind::kLoad);  // must miss again
+  EXPECT_EQ(h_.cpu_traffic(0).mem_lines_read, 2);
+}
+
+TEST_F(Hierarchy, RemoteSocketMigration) {
+  h_.access(0, 0x60000, 64, AccessKind::kStore);  // socket 0 owns, dirty
+  h_.access(4, 0x60000, 64, AccessKind::kLoad);   // socket 1 wants it
+  const auto& t = h_.cpu_traffic(4);
+  EXPECT_EQ(t.remote_l3_hits, 1);
+  EXPECT_EQ(t.mem_lines_read, 0);  // served by migration, not memory
+  EXPECT_EQ(h_.socket_traffic(1).l3_lines_in, 1);
+  EXPECT_EQ(h_.socket_traffic(0).l3_lines_out, 1);
+  // The line is gone from socket 0: cpu 0 now misses locally and migrates
+  // it back.
+  h_.access(0, 0x60000, 64, AccessKind::kLoad);
+  EXPECT_EQ(h_.cpu_traffic(0).remote_l3_hits, 1);
+}
+
+TEST_F(Hierarchy, DtlbMissesOncePerPage) {
+  // 2 pages of sequential loads -> 2 TLB misses on first touch, none after.
+  for (int rep = 0; rep < 2; ++rep) {
+    for (std::uint64_t off = 0; off < 8192; off += 64) {
+      h_.access(1, 0x100000 + off, 64, AccessKind::kLoad);
+    }
+  }
+  EXPECT_EQ(h_.cpu_traffic(1).dtlb_misses, 2);
+}
+
+TEST_F(Hierarchy, DtlbCapacityEviction) {
+  // Touch more pages than TLB entries twice; every touch misses when the
+  // working set exceeds the TLB (LRU, round-robin sweep).
+  const std::uint32_t entries = spec_.tlb.entries;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (std::uint32_t p = 0; p < entries + 8; ++p) {
+      h_.access(2, 0x4000000 + static_cast<std::uint64_t>(p) * 4096, 8,
+                AccessKind::kLoad);
+    }
+  }
+  EXPECT_EQ(h_.cpu_traffic(2).dtlb_misses, 2.0 * (entries + 8));
+}
+
+TEST_F(Hierarchy, AdjacentLinePrefetchFetchesBuddy) {
+  hwsim::PrefetcherSpec adj;
+  adj.adjacent_line = true;
+  h_.set_prefetchers(0, adj);
+  h_.access(0, 0x200000, 64, AccessKind::kLoad);  // even line: buddy is +64
+  const auto& t = h_.cpu_traffic(0);
+  EXPECT_EQ(t.prefetches_issued, 1);
+  EXPECT_EQ(t.mem_lines_read, 2);  // demand + buddy
+  // Buddy access now hits (L2).
+  h_.access(0, 0x200040, 64, AccessKind::kLoad);
+  EXPECT_EQ(t.mem_lines_read, 2);
+}
+
+TEST_F(Hierarchy, StreamPrefetcherHidesSequentialMisses) {
+  hwsim::PrefetcherSpec stream;
+  stream.hardware_prefetcher = true;
+  stream.dcu_prefetcher = true;
+  h_.set_prefetchers(3, stream);
+  for (std::uint64_t l = 0; l < 64; ++l) {
+    h_.access(3, 0x300000 + l * 64, 64, AccessKind::kLoad);
+  }
+  const auto& t = h_.cpu_traffic(3);
+  EXPECT_GT(t.prefetches_issued, 30);
+  // Many demand accesses were satisfied from L1/L2 thanks to prefetch.
+  EXPECT_GT(t.l1_hits + t.l2_hits, 30);
+}
+
+TEST_F(Hierarchy, PrefetchersCanBeDisabledPerCpu) {
+  hwsim::PrefetcherSpec all;
+  all.hardware_prefetcher = all.adjacent_line = true;
+  all.dcu_prefetcher = all.ip_prefetcher = true;
+  h_.set_prefetchers(5, all);
+  h_.set_prefetchers(6, no_prefetch_);
+  for (std::uint64_t l = 0; l < 16; ++l) {
+    h_.access(5, 0x400000 + l * 64, 64, AccessKind::kLoad);
+    h_.access(6, 0x500000 + l * 64, 64, AccessKind::kLoad);
+  }
+  EXPECT_GT(h_.cpu_traffic(5).prefetches_issued, 0);
+  EXPECT_EQ(h_.cpu_traffic(6).prefetches_issued, 0);
+}
+
+TEST_F(Hierarchy, EventProjectionMatchesTraffic) {
+  h_.access(0, 0x600000, 64 * 100, AccessKind::kStore);
+  const auto ev = h_.core_cache_events(0);
+  const auto& t = h_.cpu_traffic(0);
+  EXPECT_EQ(ev[hwsim::EventId::kL1DLinesIn], t.l1_fills);
+  EXPECT_EQ(ev[hwsim::EventId::kL2LinesIn], t.l2_fills);
+  EXPECT_EQ(ev[hwsim::EventId::kDtlbMisses], t.dtlb_misses);
+  const auto uev = h_.uncore_cache_events(0);
+  const auto& s = h_.socket_traffic(0);
+  EXPECT_EQ(uev[hwsim::EventId::kUncL3LinesIn], s.l3_lines_in);
+  EXPECT_EQ(uev[hwsim::EventId::kUncMemReads], s.mem_reads);
+}
+
+TEST_F(Hierarchy, ResetCountersKeepsContents) {
+  h_.access(0, 0x700000, 64, AccessKind::kLoad);
+  h_.reset_counters();
+  EXPECT_EQ(h_.cpu_traffic(0).loads, 0);
+  h_.access(0, 0x700000, 64, AccessKind::kLoad);
+  EXPECT_EQ(h_.cpu_traffic(0).l1_hits, 1);  // still cached
+}
+
+TEST_F(Hierarchy, FlushDropsContents) {
+  h_.access(0, 0x800000, 64, AccessKind::kLoad);
+  h_.flush();
+  h_.reset_counters();
+  h_.access(0, 0x800000, 64, AccessKind::kLoad);
+  EXPECT_EQ(h_.cpu_traffic(0).mem_lines_read, 1);
+}
+
+TEST_F(Hierarchy, InvalidCpuOrZeroLengthRejected) {
+  EXPECT_THROW(h_.access(99, 0, 64, AccessKind::kLoad), Error);
+  EXPECT_THROW(h_.access(0, 0, 0, AccessKind::kLoad), Error);
+  EXPECT_THROW(h_.cpu_traffic(-1), Error);
+  EXPECT_THROW(h_.socket_traffic(5), Error);
+}
+
+TEST(HierarchyNoL3, Core2WritebacksGoStraightToMemory) {
+  const hwsim::MachineSpec spec = hwsim::presets::core2_quad();
+  const auto threads = hwsim::enumerate_hw_threads(spec);
+  CacheHierarchy h(spec, threads);
+  for (const auto& t : threads) h.set_prefetchers(t.os_id, {});
+  EXPECT_EQ(h.num_l3_instances(), 0);
+  EXPECT_EQ(h.instance_of(0, 3), -1);
+  // Stream stores through the 6MB L2.
+  const std::uint64_t lines = spec.data_cache(2).size_bytes / 64 * 2;
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    h.access(0, 0x1000000 + l * 64, 64, AccessKind::kStore);
+  }
+  EXPECT_GT(h.socket_traffic(0).mem_writes, static_cast<double>(lines) / 4);
+  EXPECT_EQ(h.socket_traffic(0).l3_lines_in, 0);
+}
+
+TEST(HierarchyShared, Core2QuadL2SharedByCorePairs) {
+  const hwsim::MachineSpec spec = hwsim::presets::core2_quad();
+  const auto threads = hwsim::enumerate_hw_threads(spec);
+  CacheHierarchy h(spec, threads);
+  // L2 is shared by core pairs {0,1} and {2,3}.
+  EXPECT_EQ(h.num_l2_instances(), 2);
+  EXPECT_EQ(h.instance_of(0, 2), h.instance_of(1, 2));
+  EXPECT_EQ(h.instance_of(2, 2), h.instance_of(3, 2));
+  EXPECT_NE(h.instance_of(1, 2), h.instance_of(2, 2));
+}
+
+}  // namespace
+}  // namespace likwid::cachesim

@@ -1,0 +1,119 @@
+// Tests for the CLI layer: argument parsing and the output renderers'
+// fidelity to the paper's listing formats.
+#include <gtest/gtest.h>
+
+#include "cli/args.hpp"
+#include "cli/output.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+
+namespace likwid::cli {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv,
+                std::set<std::string> value_flags = {}) {
+  std::vector<const char*> v(argv);
+  return ArgParser(static_cast<int>(v.size()), v.data(),
+                   std::move(value_flags));
+}
+
+TEST(Args, FlagsWithoutValues) {
+  const auto args = parse({"tool", "-c", "-g"});
+  EXPECT_TRUE(args.has("-c"));
+  EXPECT_TRUE(args.has("-g"));
+  EXPECT_FALSE(args.has("-m"));
+  EXPECT_EQ(args.program(), "tool");
+}
+
+TEST(Args, FlagsWithValues) {
+  const auto args = parse({"tool", "-c", "0-3", "-g", "FLOPS_DP"},
+                          {"-c", "-g"});
+  EXPECT_EQ(args.value("-c").value(), "0-3");
+  EXPECT_EQ(args.value("-g").value(), "FLOPS_DP");
+  EXPECT_EQ(args.value_or("-t", "gcc"), "gcc");
+}
+
+TEST(Args, PositionalArguments) {
+  const auto args = parse({"tool", "-c", "0", "triad", "extra"}, {"-c"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"triad", "extra"}));
+}
+
+TEST(Args, MissingValueRejected) {
+  EXPECT_THROW(parse({"tool", "-c"}, {"-c"}), Error);
+}
+
+TEST(Args, LongOptions) {
+  const auto args = parse({"tool", "--machine", "core2-quad", "--xml"},
+                          {"--machine"});
+  EXPECT_EQ(args.value("--machine").value(), "core2-quad");
+  EXPECT_TRUE(args.has("--xml"));
+}
+
+TEST(OutputFormat, HeaderMatchesPaperLayout) {
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string header = render_header(topo);
+  // "---...---\nCPU name:\t...\nCPU clock:\t2.83 GHz\n---...---\n"
+  EXPECT_EQ(header.find(std::string(61, '-')), 0u);
+  EXPECT_NE(header.find("CPU name:\tIntel Core 2 45nm processor\n"),
+            std::string::npos);
+  EXPECT_NE(header.find("CPU clock:\t2.83 GHz\n"), std::string::npos);
+}
+
+TEST(OutputFormat, TopologyListsThreadsInOsOrder) {
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string report = render_topology_report(topo, false);
+  const std::size_t t0 = report.find("\n0\t");
+  const std::size_t t1 = report.find("\n1\t");
+  const std::size_t t15 = report.find("\n15\t");
+  EXPECT_NE(t0, std::string::npos);
+  EXPECT_NE(t1, std::string::npos);
+  EXPECT_NE(t15, std::string::npos);
+  EXPECT_LT(t0, t1);
+  EXPECT_LT(t1, t15);
+}
+
+TEST(OutputFormat, NonExtendedReportOmitsCacheDetails) {
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string brief = render_topology_report(topo, false);
+  EXPECT_EQ(brief.find("Associativity"), std::string::npos);
+  const std::string full = render_topology_report(topo, true);
+  EXPECT_NE(full.find("Associativity"), std::string::npos);
+  EXPECT_NE(full.find("Number of sets"), std::string::npos);
+}
+
+TEST(OutputFormat, AsciiArtBoxesAreAligned) {
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string art = render_topology_ascii(topo);
+  // Every line of a socket box has the same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < art.size()) {
+    const std::size_t eol = art.find('\n', pos);
+    const std::string line = art.substr(pos, eol - pos);
+    if (!line.empty()) {
+      if (width == 0) width = line.size();
+      EXPECT_EQ(line.size(), width) << "misaligned line: " << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(OutputFormat, FeaturesUsesPaperPhrasing) {
+  hwsim::SimMachine machine(hwsim::presets::core2_duo());
+  ossim::SimKernel kernel(machine);
+  core::Features features(kernel, 0);
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string out = render_features(topo, 0, features.report());
+  EXPECT_NE(out.find("CPU core id:\t0"), std::string::npos);
+  EXPECT_NE(out.find("Hardware Prefetcher: enabled"), std::string::npos);
+  EXPECT_NE(out.find("Intel Dynamic Acceleration: disabled"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace likwid::cli

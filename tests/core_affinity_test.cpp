@@ -1,0 +1,187 @@
+// Tests for likwid-pin's core: skip masks per thread model, the wrapper
+// state machine against the simulated pthread layer, environment encoding,
+// and the placement policies of the case studies.
+#include <gtest/gtest.h>
+
+#include "core/affinity.hpp"
+#include "core/topology.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+#include "workloads/openmp_model.hpp"
+
+namespace likwid::core {
+namespace {
+
+TEST(SkipMasks, PaperDefaults) {
+  EXPECT_EQ(default_skip_mask(ThreadModel::kGcc).bits(), 0x0u);
+  EXPECT_EQ(default_skip_mask(ThreadModel::kIntel).bits(), 0x1u);
+  EXPECT_EQ(default_skip_mask(ThreadModel::kIntelMpi).bits(), 0x3u);
+}
+
+TEST(ThreadModelParse, AcceptsToolNames) {
+  EXPECT_EQ(parse_thread_model("gcc"), ThreadModel::kGcc);
+  EXPECT_EQ(parse_thread_model("intel"), ThreadModel::kIntel);
+  EXPECT_EQ(parse_thread_model("intel-mpi"), ThreadModel::kIntelMpi);
+  EXPECT_EQ(parse_thread_model("Intel"), ThreadModel::kIntel);
+  EXPECT_THROW(parse_thread_model("pgi"), Error);
+}
+
+TEST(PinEnvironment, RoundTrip) {
+  PinConfig cfg;
+  cfg.cpu_list = {0, 1, 2, 3, 8};
+  cfg.skip = util::SkipMask(0x3);
+  cfg.model = ThreadModel::kIntelMpi;
+  util::Environment env;
+  cfg.to_environment(env);
+  EXPECT_EQ(env.get("LIKWID_PIN_CPULIST").value(), "0-3,8");
+  EXPECT_EQ(env.get("LIKWID_SKIP_MASK").value(), "0x3");
+  // The tool disables the Intel compiler's own affinity automatically.
+  EXPECT_EQ(env.get("KMP_AFFINITY").value(), "disabled");
+  const PinConfig back = PinConfig::from_environment(env);
+  EXPECT_EQ(back.cpu_list, cfg.cpu_list);
+  EXPECT_EQ(back.skip, cfg.skip);
+  EXPECT_EQ(back.model, cfg.model);
+}
+
+TEST(PinEnvironment, MissingCpuListRejected) {
+  util::Environment env;
+  EXPECT_THROW(PinConfig::from_environment(env), Error);
+}
+
+class PinWrapperTest : public ::testing::Test {
+ protected:
+  PinWrapperTest()
+      : machine(hwsim::presets::westmere_ep()),
+        kernel(machine, 5),
+        runtime(kernel.scheduler()) {}
+
+  hwsim::SimMachine machine;
+  ossim::SimKernel kernel;
+  ossim::ThreadRuntime runtime;
+};
+
+TEST_F(PinWrapperTest, PinsMainThreadToFirstEntry) {
+  PinConfig cfg;
+  cfg.cpu_list = {5, 6, 7};
+  PinWrapper wrapper(runtime, cfg);
+  EXPECT_EQ(runtime.thread(0).cpu, 5);
+  EXPECT_EQ(wrapper.pinned_count(), 1);
+}
+
+TEST_F(PinWrapperTest, PinsCreatedThreadsInListOrder) {
+  PinConfig cfg;
+  cfg.cpu_list = {0, 6, 1, 7};
+  PinWrapper wrapper(runtime, cfg);
+  const int t1 = runtime.create_thread();
+  const int t2 = runtime.create_thread();
+  const int t3 = runtime.create_thread();
+  EXPECT_EQ(runtime.thread(t1).cpu, 6);
+  EXPECT_EQ(runtime.thread(t2).cpu, 1);
+  EXPECT_EQ(runtime.thread(t3).cpu, 7);
+  EXPECT_EQ(wrapper.pinned_count(), 4);
+}
+
+TEST_F(PinWrapperTest, ListWrapsAroundWhenExhausted) {
+  PinConfig cfg;
+  cfg.cpu_list = {2, 3};
+  PinWrapper wrapper(runtime, cfg);
+  const int t1 = runtime.create_thread();  // 3
+  const int t2 = runtime.create_thread();  // wraps to 2
+  EXPECT_EQ(runtime.thread(t1).cpu, 3);
+  EXPECT_EQ(runtime.thread(t2).cpu, 2);
+}
+
+TEST_F(PinWrapperTest, SkipMaskLeavesShepherdUnpinned) {
+  // Intel OpenMP: skip the first created thread (mask 0x1).
+  PinConfig cfg;
+  cfg.cpu_list = {0, 1, 2, 3};
+  cfg.model = ThreadModel::kIntel;
+  cfg.skip = default_skip_mask(cfg.model);
+  PinWrapper wrapper(runtime, cfg);
+  const auto team =
+      workloads::launch_openmp_team(runtime, workloads::OpenMpImpl::kIntel, 4);
+  // Workers: master on 0, created workers on 1,2,3 in order.
+  EXPECT_EQ(runtime.thread(team.worker_tids[0]).cpu, 0);
+  EXPECT_EQ(runtime.thread(team.worker_tids[1]).cpu, 1);
+  EXPECT_EQ(runtime.thread(team.worker_tids[2]).cpu, 2);
+  EXPECT_EQ(runtime.thread(team.worker_tids[3]).cpu, 3);
+  // The shepherd kept its full affinity mask.
+  const int shepherd = team.service_tids.front();
+  EXPECT_GT(runtime.thread(shepherd).affinity.count(), 1);
+  EXPECT_EQ(wrapper.skipped_count(), 1);
+}
+
+TEST_F(PinWrapperTest, HybridMpiMaskSkipsTwo) {
+  PinConfig cfg;
+  cfg.cpu_list = {0, 1, 2, 3};
+  cfg.model = ThreadModel::kIntelMpi;
+  cfg.skip = default_skip_mask(cfg.model);
+  PinWrapper wrapper(runtime, cfg);
+  const auto team = workloads::launch_openmp_team(
+      runtime, workloads::OpenMpImpl::kIntelMpi, 4);
+  EXPECT_EQ(wrapper.skipped_count(), 2);
+  for (const int tid : team.service_tids) {
+    EXPECT_GT(runtime.thread(tid).affinity.count(), 1);
+  }
+  // Workers still land on 0,1,2,3.
+  EXPECT_EQ(runtime.thread(team.worker_tids[1]).cpu, 1);
+  EXPECT_EQ(runtime.thread(team.worker_tids[3]).cpu, 3);
+}
+
+TEST_F(PinWrapperTest, GccModelPinsEverything) {
+  PinConfig cfg;
+  cfg.cpu_list = {0, 1, 2, 3};
+  PinWrapper wrapper(runtime, cfg);
+  const auto team =
+      workloads::launch_openmp_team(runtime, workloads::OpenMpImpl::kGcc, 4);
+  for (std::size_t i = 0; i < team.worker_tids.size(); ++i) {
+    EXPECT_EQ(runtime.thread(team.worker_tids[i]).cpu, static_cast<int>(i));
+  }
+  EXPECT_EQ(wrapper.skipped_count(), 0);
+}
+
+TEST_F(PinWrapperTest, EmptyListRejected) {
+  PinConfig cfg;
+  EXPECT_THROW(PinWrapper(runtime, cfg), Error);
+}
+
+TEST_F(PinWrapperTest, WrapperUninstallsOnDestruction) {
+  {
+    PinConfig cfg;
+    cfg.cpu_list = {0};
+    PinWrapper wrapper(runtime, cfg);
+  }
+  // A new wrapper can be installed afterwards.
+  PinConfig cfg2;
+  cfg2.cpu_list = {1};
+  EXPECT_NO_THROW(PinWrapper(runtime, cfg2));
+}
+
+TEST(PlacementPolicies, ScatterDistributesOverSockets) {
+  const hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const NodeTopology topo = probe_topology(machine);
+  // Scatter: socket-alternating, physical cores first.
+  const auto list4 = scatter_cpu_list(topo, 4);
+  EXPECT_EQ(list4, (std::vector<int>{0, 6, 1, 7}));
+  const auto list12 = scatter_cpu_list(topo, 12);
+  // First 12 entries cover all physical cores before any SMT thread.
+  for (const int cpu : list12) {
+    EXPECT_LT(cpu, 12);  // os ids 12-23 are SMT siblings on Westmere
+  }
+  const auto all = physical_first_cpu_list(topo);
+  EXPECT_EQ(all.size(), 24u);
+  // SMT siblings come last.
+  EXPECT_GE(all[12], 12);
+}
+
+TEST(PlacementPolicies, ScatterValidatesThreadCount) {
+  const hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  const NodeTopology topo = probe_topology(machine);
+  EXPECT_THROW(scatter_cpu_list(topo, 0), Error);
+  EXPECT_THROW(scatter_cpu_list(topo, 5), Error);
+  EXPECT_EQ(scatter_cpu_list(topo, 4).size(), 4u);
+}
+
+}  // namespace
+}  // namespace likwid::core

@@ -1,0 +1,212 @@
+// Tests for the marker API: region registration, accumulation over repeated
+// start/stop pairs (the paper's "Accum" loop), misuse detection, and the
+// C-style shim of the paper's listing.
+#include <gtest/gtest.h>
+
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid::core {
+namespace {
+
+class Marker : public ::testing::Test {
+ protected:
+  Marker()
+      : machine(hwsim::presets::core2_quad()),
+        kernel(machine),
+        ctr(kernel, {0, 1, 2, 3}) {
+    ctr.add_group("FLOPS_DP");
+    ctr.start();
+  }
+
+  ~Marker() override {
+    if (ctr.running()) ctr.stop();
+  }
+
+  void run_triad(const std::vector<int>& cpus, std::size_t len) {
+    workloads::StreamConfig cfg;
+    cfg.array_length = len;
+    cfg.repetitions = 1;
+    workloads::StreamTriad triad(cfg);
+    workloads::Placement p;
+    p.cpus = cpus;
+    run_workload(kernel, triad, p);
+  }
+
+  hwsim::SimMachine machine;
+  ossim::SimKernel kernel;
+  PerfCtr ctr;
+};
+
+TEST_F(Marker, RegisterAssignsSequentialIds) {
+  MarkerSession session(ctr, 1, 2);
+  EXPECT_EQ(session.register_region("Main"), 0);
+  EXPECT_EQ(session.register_region("Accum"), 1);
+  // Re-registration returns the existing id.
+  EXPECT_EQ(session.register_region("Main"), 0);
+}
+
+TEST_F(Marker, RegionCapacityEnforced) {
+  MarkerSession session(ctr, 1, 1);
+  session.register_region("Only");
+  try {
+    session.register_region("TooMany");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
+}
+
+TEST_F(Marker, MeasuresOnlyInsideRegion) {
+  MarkerSession session(ctr, 1, 1);
+  const int id = session.register_region("Main");
+  run_triad({0}, 500'000);  // before the region: must not be counted
+  session.start_region(0, 0);
+  run_triad({0}, 1'000'000);
+  session.stop_region(0, 0, id);
+  run_triad({0}, 500'000);  // after the region: must not be counted
+  const auto& region = session.region(id);
+  EXPECT_DOUBLE_EQ(
+      region.counts.at(0).at("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      1'000'000);
+}
+
+TEST_F(Marker, AccumulatesOverCalls) {
+  // The paper: "Event counts are automatically accumulated on multiple
+  // calls" — the Accum region inside the j-loop.
+  MarkerSession session(ctr, 1, 1);
+  const int id = session.register_region("Accum");
+  for (int j = 0; j < 5; ++j) {
+    session.start_region(0, 0);
+    run_triad({0}, 200'000);
+    session.stop_region(0, 0, id);
+  }
+  const auto& region = session.region(id);
+  EXPECT_DOUBLE_EQ(
+      region.counts.at(0).at("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      1'000'000);
+  EXPECT_EQ(region.call_count, 5);
+  EXPECT_GT(region.seconds.at(0), 0);
+}
+
+TEST_F(Marker, PerThreadRegionsOnDifferentCores) {
+  MarkerSession session(ctr, 4, 1);
+  const int id = session.register_region("Par");
+  for (int t = 0; t < 4; ++t) session.start_region(t, t);
+  run_triad({0, 1, 2, 3}, 4'000'000);
+  for (int t = 0; t < 4; ++t) session.stop_region(t, t, id);
+  const auto& region = session.region(id);
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_DOUBLE_EQ(
+        region.counts.at(cpu).at("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+        1'000'000);
+  }
+}
+
+TEST_F(Marker, NestingRejected) {
+  MarkerSession session(ctr, 1, 2);
+  session.register_region("A");
+  session.start_region(0, 0);
+  try {
+    session.start_region(0, 0);  // nesting / overlap
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidState);
+  }
+  session.stop_region(0, 0, 0);
+}
+
+TEST_F(Marker, StopWithoutStartRejected) {
+  MarkerSession session(ctr, 1, 1);
+  session.register_region("A");
+  EXPECT_THROW(session.stop_region(0, 0, 0), Error);
+}
+
+TEST_F(Marker, StopOnDifferentCoreRejected) {
+  MarkerSession session(ctr, 1, 1);
+  session.register_region("A");
+  session.start_region(0, 0);
+  EXPECT_THROW(session.stop_region(0, 1, 0), Error);
+  session.stop_region(0, 0, 0);
+}
+
+TEST_F(Marker, UnregisteredRegionRejected) {
+  MarkerSession session(ctr, 1, 1);
+  session.start_region(0, 0);
+  EXPECT_THROW(session.stop_region(0, 0, 7), Error);
+  session.register_region("A");
+  session.stop_region(0, 0, 0);
+}
+
+TEST_F(Marker, CloseWithOpenRegionRejected) {
+  MarkerSession session(ctr, 1, 1);
+  session.register_region("A");
+  session.start_region(0, 0);
+  EXPECT_THROW(session.close(), Error);
+  session.stop_region(0, 0, 0);
+  session.close();
+  EXPECT_TRUE(session.closed());
+  EXPECT_THROW(session.start_region(0, 0), Error);
+}
+
+TEST_F(Marker, MetricsFromRegionCounts) {
+  MarkerSession session(ctr, 1, 1);
+  const int id = session.register_region("Bench");
+  session.start_region(0, 0);
+  run_triad({0}, 2'000'000);
+  session.stop_region(0, 0, id);
+  const auto& region = session.region(id);
+  const auto rows = ctr.compute_metrics_for(0, region.counts,
+                                            region.seconds.at(0));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2].name, "DP MFlops/s");
+  EXPECT_GT(rows[2].per_cpu.at(0), 0);
+}
+
+TEST_F(Marker, CStyleShimFollowsPaperListing) {
+  // The exact call sequence of the paper's Section II-A listing.
+  MarkerBinding::bind(&ctr, [] { return 0; });
+  const int coreID = likwid_processGetProcessorId();
+  EXPECT_EQ(coreID, 0);
+  likwid_markerInit(1, 2);
+  const int MainId = likwid_markerRegisterRegion("Main");
+  const int AccumId = likwid_markerRegisterRegion("Accum");
+  likwid_markerStartRegion(0, coreID);
+  run_triad({0}, 1'000'000);
+  likwid_markerStopRegion(0, coreID, MainId);
+  for (int j = 0; j < 3; ++j) {
+    likwid_markerStartRegion(0, coreID);
+    run_triad({0}, 100'000);
+    likwid_markerStopRegion(0, coreID, AccumId);
+  }
+  likwid_markerClose();
+  const auto* session = MarkerBinding::session();
+  ASSERT_NE(session, nullptr);
+  EXPECT_DOUBLE_EQ(session->region(MainId).counts.at(0).at(
+                       "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+                   1'000'000);
+  EXPECT_DOUBLE_EQ(session->region(AccumId).counts.at(0).at(
+                       "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+                   300'000);
+  MarkerBinding::unbind();
+}
+
+TEST_F(Marker, ShimWithoutBindingRejected) {
+  MarkerBinding::unbind();
+  EXPECT_THROW(likwid_markerInit(1, 1), Error);
+  EXPECT_THROW(likwid_markerRegisterRegion("X"), Error);
+  EXPECT_THROW(likwid_markerStartRegion(0, 0), Error);
+  EXPECT_THROW(likwid_markerClose(), Error);
+}
+
+TEST_F(Marker, DoubleBindRejected) {
+  MarkerBinding::bind(&ctr, [] { return 0; });
+  EXPECT_THROW(MarkerBinding::bind(&ctr, [] { return 0; }), Error);
+  MarkerBinding::unbind();
+}
+
+}  // namespace
+}  // namespace likwid::core

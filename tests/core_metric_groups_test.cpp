@@ -1,0 +1,225 @@
+// Tests for the metric expression engine and the performance-group
+// definitions across all architectures.
+#include <gtest/gtest.h>
+
+#include "core/metric_expr.hpp"
+#include "core/perf_groups.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+
+namespace likwid::core {
+namespace {
+
+// --- metric expressions -------------------------------------------------
+
+double eval(const std::string& text,
+            const std::map<std::string, double>& vars = {}) {
+  return MetricExpr::parse(text).evaluate(vars);
+}
+
+TEST(MetricExpr, Literals) {
+  EXPECT_DOUBLE_EQ(eval("42"), 42.0);
+  EXPECT_DOUBLE_EQ(eval("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(eval("1.0E-06"), 1e-6);
+  EXPECT_DOUBLE_EQ(eval("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(eval("2E+2"), 200.0);
+}
+
+TEST(MetricExpr, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval("1+2*3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval("(1+2)*3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval("10-4-3"), 3.0);   // left associative
+  EXPECT_DOUBLE_EQ(eval("24/4/2"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("-5+2"), -3.0);
+  EXPECT_DOUBLE_EQ(eval("2*-3"), -6.0);
+}
+
+TEST(MetricExpr, Variables) {
+  EXPECT_DOUBLE_EQ(eval("FLOPS_PD*2.0+FLOPS_SD",
+                        {{"FLOPS_PD", 100}, {"FLOPS_SD", 7}}),
+                   207.0);
+  EXPECT_DOUBLE_EQ(eval("CPU_CLK_UNHALTED_CORE/INSTR_RETIRED_ANY",
+                        {{"CPU_CLK_UNHALTED_CORE", 300},
+                         {"INSTR_RETIRED_ANY", 200}}),
+                   1.5);
+}
+
+TEST(MetricExpr, PaperFlopsFormula) {
+  // "DP MFlops/s" from the FLOPS_DP group.
+  const double v =
+      eval("1.0E-06*(PD*2.0+SD)/time",
+           {{"PD", 8.192e6}, {"SD", 1}, {"time", 0.01}});
+  EXPECT_NEAR(v, 1638.4, 0.1);
+}
+
+TEST(MetricExpr, DivisionByZeroYieldsZero) {
+  EXPECT_DOUBLE_EQ(eval("5/0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("A/B", {{"A", 5}, {"B", 0}}), 0.0);
+}
+
+TEST(MetricExpr, UnboundVariableThrows) {
+  const MetricExpr e = MetricExpr::parse("MISSING/2");
+  try {
+    e.evaluate({});
+    FAIL();
+  } catch (const Error& err) {
+    EXPECT_EQ(err.code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(MetricExpr, VariableCollection) {
+  const MetricExpr e = MetricExpr::parse("A*(B+C)/A");
+  EXPECT_EQ(e.variables(), (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(MetricExpr, SyntaxErrorsCarryPosition) {
+  for (const char* bad : {"", "1+", "(1", "1 2", "*3", "a..b", "1+%"}) {
+    EXPECT_THROW(MetricExpr::parse(bad), Error) << bad;
+  }
+}
+
+TEST(MetricExpr, WhitespaceTolerant) {
+  EXPECT_DOUBLE_EQ(eval("  1 +  2 * ( 3 - 1 ) "), 5.0);
+}
+
+// --- performance groups ----------------------------------------------------
+
+TEST(Groups, PaperListIsComplete) {
+  // The paper's table of predefined event sets.
+  EXPECT_EQ(group_names(),
+            (std::vector<std::string>{"FLOPS_DP", "FLOPS_SP", "L2", "L3",
+                                      "MEM", "CACHE", "L2CACHE", "L3CACHE",
+                                      "DATA", "BRANCH", "TLB"}));
+}
+
+TEST(Groups, UnknownGroupNameThrows) {
+  EXPECT_THROW(find_group(hwsim::Arch::kCore2, "FLOPS_QP"), Error);
+}
+
+TEST(Groups, FlopsDpOnCore2UsesPaperEvents) {
+  const auto g = find_group(hwsim::Arch::kCore2, "FLOPS_DP");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->description, "Double Precision MFlops/s");
+  EXPECT_EQ(g->events,
+            (std::vector<std::string>{"SIMD_COMP_INST_RETIRED_PACKED_DOUBLE",
+                                      "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE"}));
+  // Metrics: Runtime, CPI, DP MFlops/s — as in the paper's listing.
+  ASSERT_EQ(g->metrics.size(), 3u);
+  EXPECT_EQ(g->metrics[0].name, "Runtime [s]");
+  EXPECT_EQ(g->metrics[1].name, "CPI");
+  EXPECT_EQ(g->metrics[2].name, "DP MFlops/s");
+}
+
+TEST(Groups, MemGroupUsesUncoreOnNehalem) {
+  const auto g = find_group(hwsim::Arch::kNehalem, "MEM");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->events,
+            (std::vector<std::string>{"UNC_QMC_NORMAL_READS_ANY",
+                                      "UNC_QMC_WRITES_FULL_ANY"}));
+}
+
+TEST(Groups, MemGroupUsesBusEventsOnCore2) {
+  const auto g = find_group(hwsim::Arch::kCore2, "MEM");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->events, (std::vector<std::string>{"BUS_TRANS_MEM"}));
+}
+
+TEST(Groups, L3GroupsOnlyWhereL3Exists) {
+  EXPECT_FALSE(find_group(hwsim::Arch::kCore2, "L3CACHE").has_value());
+  EXPECT_FALSE(find_group(hwsim::Arch::kCore2, "L3").has_value());
+  EXPECT_FALSE(find_group(hwsim::Arch::kK8, "L3CACHE").has_value());
+  EXPECT_TRUE(find_group(hwsim::Arch::kNehalem, "L3CACHE").has_value());
+  EXPECT_TRUE(find_group(hwsim::Arch::kK10, "L3CACHE").has_value());
+}
+
+TEST(Groups, DataGroupNeedsLoadStoreSplit) {
+  EXPECT_TRUE(find_group(hwsim::Arch::kCore2, "DATA").has_value());
+  EXPECT_TRUE(find_group(hwsim::Arch::kWestmere, "DATA").has_value());
+  // AMD and Pentium M cannot split loads from stores in our tables.
+  EXPECT_FALSE(find_group(hwsim::Arch::kK10, "DATA").has_value());
+  EXPECT_FALSE(find_group(hwsim::Arch::kPentiumM, "DATA").has_value());
+}
+
+TEST(Groups, PentiumMGroupsLackCpi) {
+  // Two counters, no fixed counters: the flop events use both counters and
+  // CPI cannot be derived.
+  const auto g = find_group(hwsim::Arch::kPentiumM, "FLOPS_DP");
+  ASSERT_TRUE(g.has_value());
+  for (const auto& m : g->metrics) {
+    EXPECT_NE(m.name, "CPI");
+  }
+}
+
+TEST(Groups, AmdGroupsCarryInstrAndCyclesExplicitly) {
+  // No fixed counters on K10: INSTR/CLK occupy two of the four counters.
+  const auto g = find_group(hwsim::Arch::kK10, "FLOPS_DP");
+  ASSERT_TRUE(g.has_value());
+  ASSERT_GE(g->events.size(), 2u);
+  EXPECT_EQ(g->events[0], "RETIRED_INSTRUCTIONS");
+  EXPECT_EQ(g->events[1], "CPU_CLOCKS_UNHALTED");
+}
+
+// Property sweep: every supported group on every architecture must
+// reference only documented events, fit in the counter budget, and carry
+// parseable metric formulas whose variables are all satisfiable.
+class GroupsOnArch : public ::testing::TestWithParam<hwsim::presets::NamedPreset> {};
+
+TEST_P(GroupsOnArch, AllGroupsWellFormed) {
+  const hwsim::MachineSpec spec = GetParam().factory();
+  const hwsim::Arch arch =
+      hwsim::classify_arch(spec.vendor, spec.family, spec.model);
+  const auto groups = supported_groups(arch);
+  EXPECT_FALSE(groups.empty());
+  for (const auto& g : groups) {
+    int gp = 0;
+    int uncore = 0;
+    for (const auto& name : g.events) {
+      const auto* enc = hwsim::find_event(arch, name);
+      ASSERT_NE(enc, nullptr) << g.name << " references unknown " << name;
+      if (enc->klass == hwsim::CounterClass::kCore) ++gp;
+      if (enc->klass == hwsim::CounterClass::kUncore) ++uncore;
+    }
+    EXPECT_LE(gp, spec.pmu.num_gp_counters) << g.name;
+    EXPECT_LE(uncore, spec.pmu.num_uncore_counters) << g.name;
+    for (const auto& metric : g.metrics) {
+      const MetricExpr expr = MetricExpr::parse(metric.formula);
+      // Every referenced variable is an event of the set, a fixed-counter
+      // event, `time` or `clock`.
+      for (const auto& var : expr.variables()) {
+        if (var == "time" || var == "clock") continue;
+        const auto* enc = hwsim::find_event(arch, var);
+        ASSERT_NE(enc, nullptr)
+            << g.name << "/" << metric.name << " references " << var;
+        const bool in_set =
+            std::find(g.events.begin(), g.events.end(), var) != g.events.end();
+        EXPECT_TRUE(in_set || enc->klass == hwsim::CounterClass::kFixed)
+            << g.name << "/" << metric.name << " uses " << var
+            << " which is neither in the set nor fixed";
+      }
+    }
+  }
+}
+
+TEST_P(GroupsOnArch, FlopsGroupsAlwaysSupported) {
+  const hwsim::MachineSpec spec = GetParam().factory();
+  const hwsim::Arch arch =
+      hwsim::classify_arch(spec.vendor, spec.family, spec.model);
+  EXPECT_TRUE(find_group(arch, "FLOPS_DP").has_value());
+  EXPECT_TRUE(find_group(arch, "FLOPS_SP").has_value());
+  EXPECT_TRUE(find_group(arch, "BRANCH").has_value());
+  EXPECT_TRUE(find_group(arch, "MEM").has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, GroupsOnArch,
+    ::testing::ValuesIn(hwsim::presets::all_presets()),
+    [](const ::testing::TestParamInfo<hwsim::presets::NamedPreset>& info) {
+      std::string name = info.param.key;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace likwid::core

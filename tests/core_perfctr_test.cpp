@@ -1,0 +1,330 @@
+// Tests for the perfctr measurement engine: counter assignment, socket
+// locks, wrapper-mode measurement, custom event syntax, failure modes,
+// multiplexing with extrapolation, derived metrics.
+#include <gtest/gtest.h>
+
+#include "core/perfctr.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid::core {
+namespace {
+
+class PerfCtrCore2 : public ::testing::Test {
+ protected:
+  PerfCtrCore2()
+      : machine(hwsim::presets::core2_quad()), kernel(machine) {}
+
+  void run_triad(const std::vector<int>& cpus, std::size_t len = 1'000'000,
+                 int reps = 1) {
+    workloads::StreamConfig cfg;
+    cfg.array_length = len;
+    cfg.repetitions = reps;
+    workloads::StreamTriad triad(cfg);
+    workloads::Placement p;
+    p.cpus = cpus;
+    for (const int c : cpus) kernel.scheduler().add_busy(c, 1);
+    run_workload(kernel, triad, p);
+    for (const int c : cpus) kernel.scheduler().add_busy(c, -1);
+  }
+
+  hwsim::SimMachine machine;
+  ossim::SimKernel kernel;
+};
+
+TEST_F(PerfCtrCore2, GroupAssignmentAddsFixedCounters) {
+  PerfCtr ctr(kernel, {0, 1});
+  ctr.add_group("FLOPS_DP");
+  const auto& a = ctr.assignments_of(0);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0].event_name, "INSTR_RETIRED_ANY");
+  EXPECT_EQ(a[0].counter_name, "FIXC0");
+  EXPECT_EQ(a[1].event_name, "CPU_CLK_UNHALTED_CORE");
+  EXPECT_EQ(a[1].counter_name, "FIXC1");
+  EXPECT_EQ(a[2].event_name, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE");
+  EXPECT_EQ(a[2].counter_name, "PMC0");
+  EXPECT_EQ(a[3].counter_name, "PMC1");
+}
+
+TEST_F(PerfCtrCore2, WrapperModeMeasuresTriad) {
+  PerfCtr ctr(kernel, {0, 1, 2, 3});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  run_triad({0, 1, 2, 3}, 2'000'000, 2);
+  ctr.stop();
+  // 4M iterations over 4 workers = 1M packed ops each (icc profile).
+  for (const int cpu : {0, 1, 2, 3}) {
+    EXPECT_DOUBLE_EQ(ctr.extrapolated_count(
+                         0, cpu, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+                     1'000'000);
+    EXPECT_GT(ctr.extrapolated_count(0, cpu, "INSTR_RETIRED_ANY"), 0);
+    EXPECT_GT(ctr.extrapolated_count(0, cpu, "CPU_CLK_UNHALTED_CORE"), 0);
+  }
+}
+
+TEST_F(PerfCtrCore2, CountersStopWhenStopped) {
+  PerfCtr ctr(kernel, {0});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  run_triad({0});
+  ctr.stop();
+  const double counted =
+      ctr.extrapolated_count(0, 0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE");
+  run_triad({0});  // not measured
+  EXPECT_DOUBLE_EQ(
+      ctr.extrapolated_count(0, 0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      counted);
+}
+
+TEST_F(PerfCtrCore2, AccumulatesOverStartStopPairs) {
+  PerfCtr ctr(kernel, {0});
+  ctr.add_group("FLOPS_DP");
+  for (int i = 0; i < 3; ++i) {
+    ctr.start();
+    run_triad({0});
+    ctr.stop();
+  }
+  EXPECT_DOUBLE_EQ(
+      ctr.extrapolated_count(0, 0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      3'000'000);
+}
+
+TEST_F(PerfCtrCore2, CountingIsCoreBasedNotProcessBased) {
+  // Measure core 0 while the work runs on core 2: nothing is counted on 0;
+  // measuring core 2 from "outside" sees the foreign work.
+  PerfCtr ctr(kernel, {0, 2});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  run_triad({2});
+  ctr.stop();
+  EXPECT_DOUBLE_EQ(
+      ctr.extrapolated_count(0, 0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      0);
+  EXPECT_DOUBLE_EQ(
+      ctr.extrapolated_count(0, 2, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      1'000'000);
+}
+
+TEST_F(PerfCtrCore2, CustomEventSpecWithExplicitCounters) {
+  // The paper's command line: -g SIMD_...PACKED_DOUBLE:PMC0,SIMD_...:PMC1.
+  PerfCtr ctr(kernel, {1});
+  ctr.add_custom(
+      "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,"
+      "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE:PMC1");
+  const auto& a = ctr.assignments_of(0);
+  // Fixed counters implicit + the two custom events.
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[2].counter_name, "PMC0");
+  EXPECT_EQ(a[3].counter_name, "PMC1");
+  ctr.start();
+  run_triad({1});
+  ctr.stop();
+  EXPECT_DOUBLE_EQ(ctr.extrapolated_count(
+                       0, 1, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+                   1'000'000);
+}
+
+TEST_F(PerfCtrCore2, CustomEventAutoAssignment) {
+  PerfCtr ctr(kernel, {0});
+  ctr.add_custom("L1D_REPL,L1D_M_EVICT");
+  const auto& a = ctr.assignments_of(0);
+  EXPECT_EQ(a[2].counter_name, "PMC0");
+  EXPECT_EQ(a[3].counter_name, "PMC1");
+}
+
+TEST_F(PerfCtrCore2, FailureModes) {
+  PerfCtr ctr(kernel, {0});
+  // Unknown event name.
+  try {
+    ctr.add_custom("NO_SUCH_EVENT:PMC0");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+  // Counter out of range (Core 2 has PMC0/PMC1 only).
+  try {
+    ctr.add_custom("L1D_REPL:PMC5");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+  // Too many events for the counter budget.
+  try {
+    ctr.add_custom("L1D_REPL,L1D_M_EVICT,BUS_TRANS_MEM");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+  // Same counter twice.
+  EXPECT_THROW(ctr.add_custom("L1D_REPL:PMC0,L1D_M_EVICT:PMC0"), Error);
+  // Stop without start / double start.
+  EXPECT_THROW(ctr.stop(), Error);
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  EXPECT_THROW(ctr.start(), Error);
+  ctr.stop();
+}
+
+TEST_F(PerfCtrCore2, InvalidCpuListRejected) {
+  EXPECT_THROW(PerfCtr(kernel, {}), Error);
+  EXPECT_THROW(PerfCtr(kernel, {0, 0}), Error);
+  EXPECT_THROW(PerfCtr(kernel, {99}), Error);
+}
+
+TEST_F(PerfCtrCore2, UnsupportedGroupOnArch) {
+  PerfCtr ctr(kernel, {0});
+  try {
+    ctr.add_group("L3CACHE");  // Core 2 has no L3
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+  }
+}
+
+TEST_F(PerfCtrCore2, DerivedMetricsMatchHandComputation) {
+  PerfCtr ctr(kernel, {0});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  run_triad({0}, 4'000'000, 1);
+  ctr.stop();
+  const auto metrics = ctr.compute_metrics(0);
+  ASSERT_EQ(metrics.size(), 3u);
+  const double cycles = ctr.extrapolated_count(0, 0, "CPU_CLK_UNHALTED_CORE");
+  const double instr = ctr.extrapolated_count(0, 0, "INSTR_RETIRED_ANY");
+  const double pd = ctr.extrapolated_count(
+      0, 0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE");
+  const double time = cycles / (2.83e9);
+  EXPECT_NEAR(metrics[0].per_cpu.at(0), time, time * 1e-6);       // Runtime
+  EXPECT_NEAR(metrics[1].per_cpu.at(0), cycles / instr, 1e-9);    // CPI
+  EXPECT_NEAR(metrics[2].per_cpu.at(0), 1e-6 * pd * 2.0 / time,
+              1e-6);                                              // MFlops
+}
+
+class PerfCtrNehalem : public ::testing::Test {
+ protected:
+  PerfCtrNehalem()
+      : machine(hwsim::presets::nehalem_ep()), kernel(machine) {}
+
+  void run_triad_on(const std::vector<int>& cpus) {
+    workloads::StreamConfig cfg;
+    cfg.array_length = 1'000'000;
+    cfg.repetitions = 1;
+    workloads::StreamTriad triad(cfg);
+    workloads::Placement p;
+    p.cpus = cpus;
+    for (const int c : cpus) kernel.scheduler().add_busy(c, 1);
+    run_workload(kernel, triad, p);
+    for (const int c : cpus) kernel.scheduler().add_busy(c, -1);
+  }
+
+  hwsim::SimMachine machine;
+  ossim::SimKernel kernel;
+};
+
+TEST_F(PerfCtrNehalem, SocketLockAssignsOneOwnerPerSocket) {
+  PerfCtr ctr(kernel, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(ctr.socket_lock_cpus(), (std::vector<int>{0, 4}));
+  PerfCtr ctr2(kernel, {3, 2, 7});
+  EXPECT_EQ(ctr2.socket_lock_cpus(), (std::vector<int>{3, 7}));
+}
+
+TEST_F(PerfCtrNehalem, UncoreEventsCountOnlyOnLockOwner) {
+  PerfCtr ctr(kernel, {0, 1, 4});
+  ctr.add_group("MEM");
+  ctr.start();
+  run_triad_on({0, 1});  // traffic on socket 0 only
+  ctr.stop();
+  const double reads0 =
+      ctr.extrapolated_count(0, 0, "UNC_QMC_NORMAL_READS_ANY");
+  const double reads1 =
+      ctr.extrapolated_count(0, 1, "UNC_QMC_NORMAL_READS_ANY");
+  const double reads4 =
+      ctr.extrapolated_count(0, 4, "UNC_QMC_NORMAL_READS_ANY");
+  EXPECT_GT(reads0, 0);   // socket-lock owner of socket 0
+  EXPECT_EQ(reads1, 0);   // measured, same socket, but not the owner
+  EXPECT_EQ(reads4, 0);   // other socket: no traffic there
+}
+
+TEST_F(PerfCtrNehalem, UncoreSeesWholeSocketTraffic) {
+  // Even when only cpu 0 is measured, the uncore counters see the traffic
+  // of the unmeasured cpu 2 on the same socket.
+  PerfCtr ctr(kernel, {0});
+  ctr.add_group("MEM");
+  ctr.start();
+  run_triad_on({2});
+  ctr.stop();
+  EXPECT_GT(ctr.extrapolated_count(0, 0, "UNC_QMC_NORMAL_READS_ANY"), 0);
+}
+
+TEST_F(PerfCtrNehalem, MultiplexingExtrapolatesCounts) {
+  PerfCtr ctr(kernel, {0});
+  ctr.add_group("FLOPS_DP");
+  ctr.add_group("BRANCH");
+  EXPECT_EQ(ctr.num_event_sets(), 2);
+
+  // Run 4 equal slices, rotating after each: each set sees half the run.
+  workloads::StreamConfig cfg;
+  cfg.array_length = 4'000'000;
+  cfg.repetitions = 1;
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = {0};
+  kernel.scheduler().add_busy(0, 1);
+  ctr.start();
+  workloads::RunOptions opts;
+  opts.quanta = 4;
+  opts.between_quanta = [&ctr](int) { ctr.rotate(); };
+  run_workload(kernel, triad, p, opts);
+  ctr.stop();
+  kernel.scheduler().add_busy(0, -1);
+
+  // Raw counts: each set measured half the iterations; extrapolation
+  // recovers the full-run estimate (steady workload -> exact).
+  const double raw =
+      ctr.results(0).counts.at(0).at("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+  EXPECT_DOUBLE_EQ(raw, 2'000'000);
+  EXPECT_NEAR(ctr.extrapolated_count(0, 0,
+                                     "FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE"),
+              4'000'000, 1);
+  const double branches_raw =
+      ctr.results(1).counts.at(0).at("BR_INST_RETIRED_ALL_BRANCHES");
+  EXPECT_GT(branches_raw, 0);
+  EXPECT_NEAR(
+      ctr.extrapolated_count(1, 0, "BR_INST_RETIRED_ALL_BRANCHES"),
+      branches_raw * 2, branches_raw * 0.01);
+}
+
+TEST_F(PerfCtrNehalem, RotateRequiresMultipleSetsOrWraps) {
+  PerfCtr ctr(kernel, {0});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  ctr.rotate();  // single set: rotates back to itself
+  EXPECT_EQ(ctr.current_set(), 0);
+  EXPECT_TRUE(ctr.running());
+  ctr.stop();
+}
+
+TEST_F(PerfCtrNehalem, AmdStylePerfCtrWorksToo) {
+  hwsim::SimMachine amd(hwsim::presets::amd_istanbul());
+  ossim::SimKernel akernel(amd);
+  PerfCtr ctr(akernel, {0, 1});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  workloads::StreamConfig cfg;
+  cfg.array_length = 1'000'000;
+  cfg.repetitions = 1;
+  cfg.compiler = workloads::icc_profile();
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = {0, 1};
+  run_workload(akernel, triad, p);
+  ctr.stop();
+  EXPECT_DOUBLE_EQ(
+      ctr.extrapolated_count(0, 0, "SSE_RETIRED_PACKED_DOUBLE"), 500'000);
+  EXPECT_GT(ctr.extrapolated_count(0, 0, "RETIRED_INSTRUCTIONS"), 0);
+}
+
+}  // namespace
+}  // namespace likwid::core

@@ -1,0 +1,133 @@
+// Tests for the event-based sampling emulation (core/sampling.hpp): the
+// estimate's period-bounded undercount, multi-overflow polls, phase
+// attribution, overhead accounting, and misuse rejection.
+#include <gtest/gtest.h>
+
+#include "core/perfctr.hpp"
+#include "core/sampling.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace likwid::core {
+namespace {
+
+class Sampling : public ::testing::Test {
+ protected:
+  Sampling()
+      : machine_(hwsim::presets::nehalem_ep()), kernel_(machine_) {
+    kernel_.scheduler().add_busy(0, 1);
+  }
+
+  /// Run `cfg` in `quanta` slices, polling the profiler after each with
+  /// the given label.
+  void run_polled(PerfCtr& ctr, SamplingProfiler& prof,
+                  const workloads::SyntheticConfig& cfg, int quanta,
+                  const std::string& label) {
+    workloads::SyntheticKernel k(cfg);
+    workloads::Placement p;
+    p.cpus = {0};
+    workloads::RunOptions opts;
+    opts.quanta = quanta;
+    opts.between_quanta = [&](int) { prof.poll(label); };
+    run_workload(kernel_, k, p, opts);
+    prof.poll(label);  // final tick
+    (void)ctr;
+  }
+
+  hwsim::SimMachine machine_;
+  ossim::SimKernel kernel_;
+};
+
+TEST_F(Sampling, EstimateUndercountsByLessThanOnePeriod) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_custom("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+  ctr.start();
+  const int fixed = static_cast<int>(ctr.assignments_of(0).size()) - 1;
+  SamplingProfiler prof(ctr, 0, fixed, /*period=*/10'000);
+
+  // daxpy: one packed op per element; 3 x 100k elements = 300k events.
+  run_polled(ctr, prof, workloads::daxpy_kernel(100'000, 3), 16, "daxpy");
+  ctr.stop();
+
+  const double truth = 300'000;
+  EXPECT_LE(prof.estimated_count(), truth);
+  EXPECT_GT(prof.estimated_count(), truth - 10'000);
+  EXPECT_EQ(prof.samples(), 30u);
+}
+
+TEST_F(Sampling, CoarsePollsAbsorbManyOverflowsAtOnce) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_custom("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+  ctr.start();
+  const int fixed = static_cast<int>(ctr.assignments_of(0).size()) - 1;
+  SamplingProfiler prof(ctr, 0, fixed, /*period=*/1'000);
+
+  // One single poll sees all 100k events: 100 overflows at once.
+  run_polled(ctr, prof, workloads::daxpy_kernel(100'000, 1), 1, "all");
+  ctr.stop();
+  EXPECT_EQ(prof.samples(), 100u);
+}
+
+TEST_F(Sampling, HistogramAttributesSamplesToTheFloppyPhase) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_custom("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+  ctr.start();
+  const int fixed = static_cast<int>(ctr.assignments_of(0).size()) - 1;
+  SamplingProfiler prof(ctr, 0, fixed, /*period=*/5'000);
+
+  // Phase A has packed flops; the branchy phase B has none.
+  run_polled(ctr, prof, workloads::daxpy_kernel(200'000, 1), 8, "A");
+  run_polled(ctr, prof, workloads::branchy_kernel(200'000, 1, 0.1), 8, "B");
+  ctr.stop();
+
+  ASSERT_TRUE(prof.histogram().count("A"));
+  EXPECT_EQ(prof.histogram().at("A"), prof.samples());
+  EXPECT_EQ(prof.histogram().count("B"), 0u);
+}
+
+TEST_F(Sampling, OverheadScalesWithSampleCountAndVanishesWithPeriod) {
+  const auto overhead_at = [&](std::uint64_t period) {
+    hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+    ossim::SimKernel kernel(machine);
+    kernel.scheduler().add_busy(0, 1);
+    PerfCtr ctr(kernel, {0});
+    ctr.add_custom("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+    ctr.start();
+    const int fixed = static_cast<int>(ctr.assignments_of(0).size()) - 1;
+    SamplingProfiler prof(ctr, 0, fixed, period);
+    workloads::SyntheticKernel k(workloads::daxpy_kernel(400'000, 1));
+    workloads::Placement p;
+    p.cpus = {0};
+    workloads::RunOptions opts;
+    opts.quanta = 8;
+    opts.between_quanta = [&](int) { prof.poll("run"); };
+    run_workload(kernel, k, p, opts);
+    prof.poll("run");
+    ctr.stop();
+    return prof.overhead_seconds();
+  };
+  const double fine = overhead_at(1'000);     // 400 interrupts
+  const double coarse = overhead_at(100'000);  // 4 interrupts
+  EXPECT_GT(fine, 0.0);
+  EXPECT_NEAR(fine / coarse, 100.0, 1.0);
+}
+
+TEST_F(Sampling, MisuseRejected) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_custom("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+
+  // Not started yet.
+  EXPECT_THROW(SamplingProfiler(ctr, 0, 0, 1000), Error);
+
+  ctr.start();
+  EXPECT_THROW(SamplingProfiler(ctr, 0, 0, 0), Error);     // zero period
+  EXPECT_THROW(SamplingProfiler(ctr, 0, 99, 1000), Error); // bad index
+  EXPECT_THROW(SamplingProfiler(ctr, 5, 0, 1000), Error);  // unmeasured cpu
+  EXPECT_THROW(SamplingProfiler(ctr, 0, 0, 1000, -1.0), Error);
+  ctr.stop();
+}
+
+}  // namespace
+}  // namespace likwid::core

@@ -1,0 +1,149 @@
+// Tests for the CSV output renderer (the --csv / -o FILE.csv extension):
+// RFC 4180 escaping, section layout, and agreement with the measurement
+// data the ASCII tables show.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/csv_output.hpp"
+#include "core/perfctr.hpp"
+#include "core/topology.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace likwid::cli {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("INSTR_RETIRED_ANY"), "INSTR_RETIRED_ANY");
+  EXPECT_EQ(csv_escape("Runtime [s]"), "Runtime [s]");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, SpecialCharactersAreQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+/// Split CSV text into rows of unquoted cells (no embedded-quote cells in
+/// the tool's numeric output, so a simple splitter suffices for plain rows).
+std::vector<std::vector<std::string>> parse_rows(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+class CsvMeasurement : public ::testing::Test {
+ protected:
+  CsvMeasurement()
+      : machine_(hwsim::presets::nehalem_ep()), kernel_(machine_) {}
+
+  std::string measure_csv(const std::string& group) {
+    core::PerfCtr ctr(kernel_, {0, 1});
+    ctr.add_group(group);
+    workloads::SyntheticKernel k(workloads::daxpy_kernel(200'000, 2));
+    workloads::Placement p;
+    p.cpus = {0, 1};
+    kernel_.scheduler().add_busy(0, 1);
+    kernel_.scheduler().add_busy(1, 1);
+    ctr.start();
+    run_workload(kernel_, k, p);
+    ctr.stop();
+    return csv_measurement(ctr, 0);
+  }
+
+  hwsim::SimMachine machine_;
+  ossim::SimKernel kernel_;
+};
+
+TEST_F(CsvMeasurement, SectionsAndHeadersArePresent) {
+  const auto rows = parse_rows(measure_csv("FLOPS_DP"));
+  ASSERT_GE(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"GROUP", "FLOPS_DP"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"Event", "Counter", "core 0",
+                                               "core 1"}));
+  // A metric header follows the event rows.
+  bool metric_header = false;
+  for (const auto& r : rows) {
+    if (!r.empty() && r[0] == "Metric") {
+      metric_header = true;
+      EXPECT_EQ(r.size(), 3u);  // Metric + 2 cpus
+    }
+  }
+  EXPECT_TRUE(metric_header);
+}
+
+TEST_F(CsvMeasurement, EventRowsCarryTheCounterNames) {
+  const auto rows = parse_rows(measure_csv("FLOPS_DP"));
+  bool fixed_seen = false, pmc_seen = false;
+  for (const auto& r : rows) {
+    if (r.size() >= 2 && r[1].rfind("FIXC", 0) == 0) fixed_seen = true;
+    if (r.size() >= 2 && r[1].rfind("PMC", 0) == 0) pmc_seen = true;
+  }
+  EXPECT_TRUE(fixed_seen);
+  EXPECT_TRUE(pmc_seen);
+}
+
+TEST_F(CsvMeasurement, ValuesMatchTheMeasuredCounts) {
+  const auto rows = parse_rows(measure_csv("DATA"));
+  // daxpy: loads = 2 per iteration, stores = 1; 200k iters x 2 sweeps per
+  // worker.
+  double loads = -1, stores = -1;
+  for (const auto& r : rows) {
+    if (r.size() >= 4 && r[0].find("LOADS") != std::string::npos) {
+      loads = std::stod(r[2]);
+    }
+    if (r.size() >= 4 && r[0].find("STORES") != std::string::npos) {
+      stores = std::stod(r[2]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(loads, 800'000.0);
+  EXPECT_DOUBLE_EQ(stores, 400'000.0);
+  // And the derived ratio row reports 2.
+  bool ratio_found = false;
+  for (const auto& r : rows) {
+    if (!r.empty() && r[0] == "Load to store ratio") {
+      ratio_found = true;
+      EXPECT_DOUBLE_EQ(std::stod(r[1]), 2.0);
+    }
+  }
+  EXPECT_TRUE(ratio_found);
+}
+
+TEST(CsvTopology, TablesDescribeTheNode) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const auto topo = core::probe_topology(machine);
+  const auto rows = parse_rows(csv_topology(topo));
+
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"TABLE", "node"}));
+  int thread_rows = 0;
+  bool cache_table = false, sockets_row = false;
+  for (const auto& r : rows) {
+    if (r.size() == 2 && r[0] == "Sockets") {
+      sockets_row = true;
+      EXPECT_EQ(r[1], "2");
+    }
+    if (r.size() == 5 && r[0] != "HWThread" &&
+        r[0].find_first_not_of("0123456789") == std::string::npos) {
+      ++thread_rows;
+    }
+    if (r.size() == 2 && r[1] == "caches") cache_table = true;
+  }
+  EXPECT_TRUE(sockets_row);
+  EXPECT_TRUE(cache_table);
+  EXPECT_EQ(thread_rows, 24);  // 2 sockets x 6 cores x 2 SMT
+}
+
+}  // namespace
+}  // namespace likwid::cli

@@ -1,0 +1,218 @@
+// Tests for the Section V future-work features this reproduction
+// implements: NUMA topology reporting, logical (cpuset-style) pinning,
+// XML output, and the bandwidth-map building blocks.
+#include <gtest/gtest.h>
+
+#include "cli/output.hpp"
+#include "cli/xml_output.hpp"
+#include "core/likwid.hpp"
+#include "core/numa.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid {
+namespace {
+
+// --- NUMA -------------------------------------------------------------------
+
+class NumaTest : public ::testing::Test {
+ protected:
+  NumaTest() : machine(hwsim::presets::westmere_ep()), kernel(machine) {}
+  hwsim::SimMachine machine;
+  ossim::SimKernel kernel;
+};
+
+TEST_F(NumaTest, OneDomainPerSocket) {
+  const core::NumaTopology numa = core::probe_numa(kernel);
+  ASSERT_EQ(numa.num_domains(), 2);
+  EXPECT_EQ(numa.domains[0].processors, machine.cpus_of_socket(0));
+  EXPECT_EQ(numa.domains[1].processors, machine.cpus_of_socket(1));
+}
+
+TEST_F(NumaTest, DistancesFollowSlitConvention) {
+  const core::NumaTopology numa = core::probe_numa(kernel);
+  for (const auto& d : numa.domains) {
+    EXPECT_EQ(d.distances[static_cast<std::size_t>(d.id)], 10);
+    for (int o = 0; o < numa.num_domains(); ++o) {
+      if (o != d.id) {
+        EXPECT_GT(d.distances[static_cast<std::size_t>(o)], 10);
+      }
+    }
+  }
+}
+
+TEST_F(NumaTest, DomainOfCpu) {
+  const core::NumaTopology numa = core::probe_numa(kernel);
+  EXPECT_EQ(numa.domain_of(0), 0);
+  EXPECT_EQ(numa.domain_of(6), 1);
+  EXPECT_EQ(numa.domain_of(12), 0);  // SMT sibling of cpu 0
+  EXPECT_THROW(numa.domain_of(99), Error);
+}
+
+TEST_F(NumaTest, SingleSocketMachineHasOneDomain) {
+  hwsim::SimMachine c2(hwsim::presets::core2_quad());
+  ossim::SimKernel k2(c2);
+  const core::NumaTopology numa = core::probe_numa(k2);
+  EXPECT_EQ(numa.num_domains(), 1);
+  EXPECT_EQ(numa.domains[0].distances, (std::vector<int>{10}));
+}
+
+TEST_F(NumaTest, TextRendering) {
+  const std::string out = cli::render_numa(core::probe_numa(kernel));
+  EXPECT_NE(out.find("NUMA Topology"), std::string::npos);
+  EXPECT_NE(out.find("NUMA domains: 2"), std::string::npos);
+  EXPECT_NE(out.find("Domain 0:"), std::string::npos);
+  EXPECT_NE(out.find("Distances: 10"), std::string::npos);
+}
+
+// --- logical pinning ---------------------------------------------------------
+
+class LogicalPin : public ::testing::Test {
+ protected:
+  LogicalPin() : machine(hwsim::presets::westmere_ep()) {}
+  hwsim::SimMachine machine;
+};
+
+TEST_F(LogicalPin, LogicalIdsFollowTopologyOrder) {
+  const core::NodeTopology topo = core::probe_topology(machine);
+  // Logical 0,1 are the first cores of socket 0 and socket 1.
+  const auto cpus = core::resolve_logical_cpu_list(topo, {0, 1, 2, 3});
+  EXPECT_EQ(cpus, (std::vector<int>{0, 6, 1, 7}));
+}
+
+TEST_F(LogicalPin, LogicalBeyondMachineRejected) {
+  const core::NodeTopology topo = core::probe_topology(machine);
+  EXPECT_THROW(core::resolve_logical_cpu_list(topo, {24}), Error);
+  EXPECT_THROW(core::resolve_logical_cpu_list(topo, {-1}), Error);
+}
+
+TEST_F(LogicalPin, ExpressionParserDistinguishesForms) {
+  const core::NodeTopology topo = core::probe_topology(machine);
+  EXPECT_EQ(core::parse_pin_cpu_expression(topo, "0-3"),
+            (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(core::parse_pin_cpu_expression(topo, "L:0-3"),
+            (std::vector<int>{0, 6, 1, 7}));
+  EXPECT_THROW(core::parse_pin_cpu_expression(topo, "42"), Error);
+  EXPECT_THROW(core::parse_pin_cpu_expression(topo, "L:99"), Error);
+}
+
+TEST_F(LogicalPin, LogicalPinningPinsPhysicalFirst) {
+  ossim::SimKernel kernel(machine);
+  ossim::ThreadRuntime runtime(kernel.scheduler());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  core::PinConfig cfg;
+  cfg.cpu_list = core::parse_pin_cpu_expression(topo, "L:0-5");
+  core::PinWrapper wrapper(runtime, cfg);
+  for (int i = 1; i < 6; ++i) runtime.create_thread();
+  // All six threads on physical cores (os ids < 12), alternating sockets.
+  for (int tid = 0; tid < 6; ++tid) {
+    EXPECT_LT(runtime.thread(tid).cpu, 12);
+  }
+  EXPECT_EQ(machine.socket_of(runtime.thread(0).cpu), 0);
+  EXPECT_EQ(machine.socket_of(runtime.thread(1).cpu), 1);
+}
+
+// --- XML output --------------------------------------------------------------
+
+TEST(XmlEscape, EscapesSpecials) {
+  EXPECT_EQ(cli::xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+  EXPECT_EQ(cli::xml_escape("plain"), "plain");
+}
+
+TEST(XmlOutput, TopologyDocumentWellFormedIsh) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string xml = cli::xml_topology(topo);
+  EXPECT_NE(xml.find("<node cpuName=\"Intel Westmere EP processor\""),
+            std::string::npos);
+  EXPECT_NE(xml.find("sockets=\"2\""), std::string::npos);
+  EXPECT_NE(xml.find("<hwThread id=\"0\""), std::string::npos);
+  EXPECT_NE(xml.find("<cache level=\"3\""), std::string::npos);
+  EXPECT_NE(xml.find("</node>"), std::string::npos);
+  // Balanced tags for the containers we emit.
+  const auto count = [&xml](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = xml.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<cache "), count("</cache>"));
+  EXPECT_EQ(count("<group>"), count("</group>"));
+}
+
+TEST(XmlOutput, NumaDocument) {
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  ossim::SimKernel kernel(machine);
+  const std::string xml = cli::xml_numa(core::probe_numa(kernel));
+  EXPECT_NE(xml.find("<numa domains=\"2\">"), std::string::npos);
+  EXPECT_NE(xml.find("<processors>0 1 2 3 8 9 10 11</processors>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<distances>10"), std::string::npos);
+}
+
+TEST(XmlOutput, MeasurementDocument) {
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  ossim::SimKernel kernel(machine);
+  core::PerfCtr ctr(kernel, {0, 1});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  workloads::StreamConfig cfg;
+  cfg.array_length = 100'000;
+  cfg.repetitions = 1;
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = {0, 1};
+  run_workload(kernel, triad, p);
+  ctr.stop();
+  const std::string xml = cli::xml_measurement(ctr, 0);
+  EXPECT_NE(xml.find("<measurement group=\"FLOPS_DP\""), std::string::npos);
+  EXPECT_NE(xml.find("<cpu id=\"0\">"), std::string::npos);
+  EXPECT_NE(xml.find(
+                "<event name=\"SIMD_COMP_INST_RETIRED_PACKED_DOUBLE\" "
+                "counter=\"PMC0\" count=\"50000\"/>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<metric name=\"DP MFlops/s\">"), std::string::npos);
+}
+
+TEST(XmlOutput, FeaturesDocument) {
+  hwsim::SimMachine machine(hwsim::presets::core2_duo());
+  ossim::SimKernel kernel(machine);
+  core::Features features(kernel, 0);
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string xml = cli::xml_features(topo, 0, features.report());
+  EXPECT_NE(xml.find("<features cpuName=\"Intel Core 2 65nm processor\" "
+                     "cpu=\"0\">"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<feature name=\"Hardware Prefetcher\" "
+                     "state=\"enabled\"/>"),
+            std::string::npos);
+}
+
+// --- ccNUMA bandwidth map building block ----------------------------------
+
+TEST(BandwidthMap, RemoteDomainIsSlower) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const auto run = [&machine](int cpu, int domain) {
+    ossim::SimKernel kernel(machine);
+    workloads::StreamConfig cfg;
+    cfg.array_length = 2'000'000;
+    cfg.repetitions = 1;
+    cfg.chunk_home_sockets = {domain};
+    workloads::StreamTriad triad(cfg);
+    workloads::Placement p;
+    p.cpus = {cpu};
+    kernel.scheduler().add_busy(cpu, 1);
+    return run_workload(kernel, triad, p);
+  };
+  const double local = run(0, 0);
+  const double remote = run(0, 1);
+  EXPECT_NEAR(remote / local, 1.0 / machine.spec().memory.remote_penalty,
+              0.02);
+}
+
+}  // namespace
+}  // namespace likwid

@@ -1,0 +1,129 @@
+// Tests for APIC id construction and hardware-thread enumeration, including
+// property-style round trips across every machine preset.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwsim/apic.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+namespace {
+
+TEST(ApicLayout, WestmereUsesFourCoreBits) {
+  const MachineSpec spec = presets::westmere_ep();
+  const ApicLayout layout = apic_layout(spec);
+  EXPECT_EQ(layout.smt_width, 1u);
+  EXPECT_EQ(layout.core_width, 4u);  // core ids reach 10
+  EXPECT_EQ(layout.package_shift(), 5u);
+}
+
+TEST(ApicLayout, SingleCoreNoSmtHasZeroWidths) {
+  const MachineSpec spec = presets::pentium_m();
+  const ApicLayout layout = apic_layout(spec);
+  EXPECT_EQ(layout.smt_width, 0u);
+  EXPECT_EQ(layout.core_width, 0u);
+}
+
+TEST(ApicId, ComposeAndSplit) {
+  const ApicLayout layout{1, 4};
+  const std::uint32_t id = make_apic_id(layout, 1, 10, 1);
+  EXPECT_EQ(id, (1u << 5) | (10u << 1) | 1u);
+  const ApicParts parts = split_apic_id(layout, id);
+  EXPECT_EQ(parts.socket, 1);
+  EXPECT_EQ(parts.core_apic, 10);
+  EXPECT_EQ(parts.smt, 1);
+}
+
+TEST(ApicId, SmtOnNonSmtMachineThrows) {
+  const ApicLayout layout{0, 2};
+  EXPECT_THROW(make_apic_id(layout, 0, 1, 1), Error);
+}
+
+TEST(Enumeration, WestmereMatchesPaperListing) {
+  // The paper's likwid-topology table: os ids 0-5 are socket 0 cores
+  // 0,1,2,8,9,10 (SMT 0); 6-11 socket 1; 12-23 the SMT siblings.
+  const auto threads = enumerate_hw_threads(presets::westmere_ep());
+  ASSERT_EQ(threads.size(), 24u);
+  EXPECT_EQ(threads[0].socket, 0);
+  EXPECT_EQ(threads[0].core_apic, 0);
+  EXPECT_EQ(threads[0].smt, 0);
+  EXPECT_EQ(threads[3].core_apic, 8);  // non-contiguous physical id
+  EXPECT_EQ(threads[5].core_apic, 10);
+  EXPECT_EQ(threads[6].socket, 1);
+  EXPECT_EQ(threads[12].smt, 1);
+  EXPECT_EQ(threads[12].socket, 0);
+  EXPECT_EQ(threads[12].core_apic, 0);
+  EXPECT_EQ(threads[23].socket, 1);
+  EXPECT_EQ(threads[23].core_apic, 10);
+}
+
+TEST(Enumeration, OsIdsAreDense) {
+  const auto threads = enumerate_hw_threads(presets::nehalem_ep());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    EXPECT_EQ(threads[i].os_id, static_cast<int>(i));
+  }
+}
+
+TEST(Enumeration, SmtSiblingsShareCoreBitsOfApic) {
+  const MachineSpec spec = presets::westmere_ep();
+  const auto threads = enumerate_hw_threads(spec);
+  const ApicLayout layout = apic_layout(spec);
+  // os id i and i+12 are SMT siblings: same apic id except the SMT bit.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(threads[static_cast<std::size_t>(i)].apic_id >> layout.smt_width,
+              threads[static_cast<std::size_t>(i + 12)].apic_id >>
+                  layout.smt_width);
+  }
+}
+
+// Property: across all presets, APIC ids are unique and decode back to the
+// enumerated (socket, core, smt).
+class ApicPresetTest : public ::testing::TestWithParam<presets::NamedPreset> {};
+
+TEST_P(ApicPresetTest, ApicIdsUniqueAndInvertible) {
+  const MachineSpec spec = GetParam().factory();
+  const ApicLayout layout = apic_layout(spec);
+  const auto threads = enumerate_hw_threads(spec);
+  ASSERT_EQ(threads.size(), static_cast<std::size_t>(spec.num_hw_threads()));
+  std::set<std::uint32_t> ids;
+  for (const auto& t : threads) {
+    EXPECT_TRUE(ids.insert(t.apic_id).second)
+        << "duplicate apic id " << t.apic_id;
+    const ApicParts parts = split_apic_id(layout, t.apic_id);
+    EXPECT_EQ(parts.socket, t.socket);
+    EXPECT_EQ(parts.core_apic, t.core_apic);
+    EXPECT_EQ(parts.smt, t.smt);
+  }
+}
+
+TEST_P(ApicPresetTest, EnumerationCoversAllPositions) {
+  const MachineSpec spec = GetParam().factory();
+  const auto threads = enumerate_hw_threads(spec);
+  std::set<std::tuple<int, int, int>> positions;
+  for (const auto& t : threads) {
+    positions.insert({t.socket, t.core_index, t.smt});
+    EXPECT_GE(t.socket, 0);
+    EXPECT_LT(t.socket, spec.sockets);
+    EXPECT_GE(t.core_index, 0);
+    EXPECT_LT(t.core_index, spec.cores_per_socket);
+    EXPECT_GE(t.smt, 0);
+    EXPECT_LT(t.smt, spec.threads_per_core);
+  }
+  EXPECT_EQ(positions.size(), threads.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, ApicPresetTest,
+    ::testing::ValuesIn(presets::all_presets()),
+    [](const ::testing::TestParamInfo<presets::NamedPreset>& info) {
+      std::string name = info.param.key;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace likwid::hwsim

@@ -1,0 +1,218 @@
+// Tests for the cpuid emulator: bit-exact leaf contents for the leaves the
+// topology decoder consumes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hwsim/cpuid.hpp"
+#include "hwsim/presets.hpp"
+#include "util/bitops.hpp"
+
+namespace likwid::hwsim {
+namespace {
+
+using util::extract_bits;
+
+class Cpuid : public ::testing::Test {
+ protected:
+  static CpuidRegs q(const MachineSpec& spec, int thread_idx,
+                     std::uint32_t leaf, std::uint32_t sub = 0) {
+    const CpuidEmulator emu(spec);
+    const auto threads = enumerate_hw_threads(spec);
+    return emu.query(threads.at(static_cast<std::size_t>(thread_idx)), leaf,
+                     sub);
+  }
+};
+
+TEST_F(Cpuid, VendorStringIntel) {
+  const auto r = q(presets::westmere_ep(), 0, 0x0);
+  char text[13] = {};
+  std::memcpy(text + 0, &r.ebx, 4);
+  std::memcpy(text + 4, &r.edx, 4);
+  std::memcpy(text + 8, &r.ecx, 4);
+  EXPECT_STREQ(text, "GenuineIntel");
+}
+
+TEST_F(Cpuid, VendorStringAmd) {
+  const auto r = q(presets::amd_istanbul(), 0, 0x0);
+  char text[13] = {};
+  std::memcpy(text + 0, &r.ebx, 4);
+  std::memcpy(text + 4, &r.edx, 4);
+  std::memcpy(text + 8, &r.ecx, 4);
+  EXPECT_STREQ(text, "AuthenticAMD");
+}
+
+TEST_F(Cpuid, MaxLeafReflectsTopologyMethod) {
+  EXPECT_EQ(q(presets::westmere_ep(), 0, 0x0).eax, 0xBu);   // leaf B part
+  EXPECT_EQ(q(presets::core2_quad(), 0, 0x0).eax, 0xAu);    // legacy + leaf 4
+  EXPECT_EQ(q(presets::pentium_m(), 0, 0x0).eax, 0x2u);     // leaf 2 caches
+  EXPECT_EQ(q(presets::amd_k8(), 0, 0x0).eax, 0x1u);        // AMD
+}
+
+TEST_F(Cpuid, Leaf1FamilyModelStepping) {
+  // Westmere EP: family 6, model 0x2C -> base model 0xC, ext model 0x2.
+  const auto r = q(presets::westmere_ep(), 0, 0x1);
+  EXPECT_EQ(extract_bits(r.eax, 8, 11), 6u);
+  EXPECT_EQ(extract_bits(r.eax, 4, 7), 0xCu);
+  EXPECT_EQ(extract_bits(r.eax, 16, 19), 0x2u);
+}
+
+TEST_F(Cpuid, Leaf1AmdExtendedFamily) {
+  // K10: family 0x10 = base 0xF + extended 0x1.
+  const auto r = q(presets::amd_istanbul(), 0, 0x1);
+  EXPECT_EQ(extract_bits(r.eax, 8, 11), 0xFu);
+  EXPECT_EQ(extract_bits(r.eax, 20, 27), 0x1u);
+}
+
+TEST_F(Cpuid, Leaf1HttBitAndLogicalCount) {
+  const auto smt = q(presets::westmere_ep(), 0, 0x1);
+  EXPECT_TRUE(util::test_bit(smt.edx, 28));
+  EXPECT_EQ(extract_bits(smt.ebx, 16, 23), 12u);  // 6 cores x 2 threads
+
+  const auto single = q(presets::pentium_m(), 0, 0x1);
+  EXPECT_FALSE(util::test_bit(single.edx, 28));
+}
+
+TEST_F(Cpuid, Leaf1InitialApicIdVariesPerThread) {
+  const MachineSpec spec = presets::core2_quad();
+  for (int t = 0; t < 4; ++t) {
+    const auto r = q(spec, t, 0x1);
+    EXPECT_EQ(extract_bits(r.ebx, 24, 31), static_cast<std::uint32_t>(t));
+  }
+}
+
+TEST_F(Cpuid, Leaf4EnumeratesCachesInOrder) {
+  const MachineSpec spec = presets::nehalem_ep();
+  // Subleaf 0: L1D 32kB/8-way/64B shared by 2 threads.
+  const auto l1 = q(spec, 0, 0x4, 0);
+  EXPECT_EQ(extract_bits(l1.eax, 0, 4), 1u);   // data
+  EXPECT_EQ(extract_bits(l1.eax, 5, 7), 1u);   // level 1
+  EXPECT_EQ(extract_bits(l1.eax, 14, 25), 1u); // capacity 2 - 1
+  EXPECT_EQ(extract_bits(l1.ebx, 0, 11), 63u);
+  EXPECT_EQ(extract_bits(l1.ebx, 22, 31), 7u);
+  EXPECT_EQ(l1.ecx, 63u);  // 64 sets - 1
+  // Subleaf 3: L3 8MB/16-way shared by 8 (capacity 8-1=7).
+  const auto l3 = q(spec, 0, 0x4, 3);
+  EXPECT_EQ(extract_bits(l3.eax, 0, 4), 3u);   // unified
+  EXPECT_EQ(extract_bits(l3.eax, 5, 7), 3u);
+  EXPECT_EQ(extract_bits(l3.eax, 14, 25), 7u);
+  EXPECT_EQ(extract_bits(l3.ebx, 22, 31), 15u);
+  EXPECT_FALSE(util::test_bit(l3.edx, 1));  // non-inclusive
+  // Subleaf 4: enumeration ends.
+  EXPECT_EQ(extract_bits(q(spec, 0, 0x4, 4).eax, 0, 4), 0u);
+}
+
+TEST_F(Cpuid, Leaf4WestmereL3SharedCapacityIsSixteen) {
+  // 12 threads share the L3; real silicon reports the pow2 capacity 16.
+  const auto l3 = q(presets::westmere_ep(), 0, 0x4, 3);
+  EXPECT_EQ(extract_bits(l3.eax, 14, 25), 15u);
+}
+
+TEST_F(Cpuid, LeafBSubleaves) {
+  const MachineSpec spec = presets::westmere_ep();
+  const auto threads = enumerate_hw_threads(spec);
+  const CpuidEmulator emu(spec);
+  const auto sl0 = emu.query(threads[13], 0xB, 0);  // socket 0 core 1 smt 1
+  EXPECT_EQ(extract_bits(sl0.ecx, 8, 15), 1u);      // level type SMT
+  EXPECT_EQ(sl0.eax, 1u);                           // smt shift
+  EXPECT_EQ(sl0.ebx, 2u);                           // threads per core
+  EXPECT_EQ(sl0.edx, threads[13].apic_id);
+  const auto sl1 = emu.query(threads[13], 0xB, 1);
+  EXPECT_EQ(extract_bits(sl1.ecx, 8, 15), 2u);      // level type core
+  EXPECT_EQ(sl1.eax, 5u);                           // package shift
+  EXPECT_EQ(sl1.ebx, 12u);                          // threads per package
+  const auto sl2 = emu.query(threads[13], 0xB, 2);
+  EXPECT_EQ(extract_bits(sl2.ecx, 8, 15), 0u);      // end of enumeration
+}
+
+TEST_F(Cpuid, LeafBAbsentOnLegacyParts) {
+  const auto r = q(presets::core2_quad(), 0, 0xB);
+  EXPECT_EQ(r.eax, 0u);
+  EXPECT_EQ(r.ebx, 0u);
+}
+
+TEST_F(Cpuid, LeafAReportsPmu) {
+  const auto nhm = q(presets::nehalem_ep(), 0, 0xA);
+  EXPECT_EQ(extract_bits(nhm.eax, 8, 15), 4u);   // 4 GP counters
+  EXPECT_EQ(extract_bits(nhm.eax, 16, 23), 48u);
+  EXPECT_EQ(extract_bits(nhm.edx, 0, 4), 3u);    // 3 fixed counters
+  const auto c2 = q(presets::core2_quad(), 0, 0xA);
+  EXPECT_EQ(extract_bits(c2.eax, 8, 15), 2u);
+  EXPECT_EQ(extract_bits(c2.eax, 16, 23), 40u);
+}
+
+TEST_F(Cpuid, Leaf2DescriptorsRoundTrip) {
+  const auto r = q(presets::pentium_m(), 0, 0x2);
+  EXPECT_EQ(r.eax & 0xFF, 0x01u);  // iteration count
+  // Collect descriptor bytes and decode them back.
+  int found_l1d = 0, found_l2 = 0;
+  const std::uint32_t regs[4] = {r.eax, r.ebx, r.ecx, r.edx};
+  for (int reg = 0; reg < 4; ++reg) {
+    for (int byte = (reg == 0 ? 1 : 0); byte < 4; ++byte) {
+      const auto code =
+          static_cast<std::uint8_t>((regs[reg] >> (8 * byte)) & 0xFF);
+      if (code == 0) continue;
+      const CacheDescriptor* d = find_descriptor(code);
+      ASSERT_NE(d, nullptr) << "undecodable descriptor";
+      if (d->level == 1 && d->type == CacheType::kData) found_l1d++;
+      if (d->level == 2) found_l2++;
+    }
+  }
+  EXPECT_EQ(found_l1d, 1);
+  EXPECT_EQ(found_l2, 1);
+}
+
+TEST_F(Cpuid, BrandStringAcrossThreeLeaves) {
+  const MachineSpec spec = presets::westmere_ep();
+  const CpuidEmulator emu(spec);
+  const auto threads = enumerate_hw_threads(spec);
+  char brand[49] = {};
+  for (std::uint32_t leaf = 0; leaf < 3; ++leaf) {
+    const auto r = emu.query(threads[0], 0x80000002u + leaf);
+    std::memcpy(brand + leaf * 16 + 0, &r.eax, 4);
+    std::memcpy(brand + leaf * 16 + 4, &r.ebx, 4);
+    std::memcpy(brand + leaf * 16 + 8, &r.ecx, 4);
+    std::memcpy(brand + leaf * 16 + 12, &r.edx, 4);
+  }
+  EXPECT_STREQ(brand, spec.brand_string.c_str());
+}
+
+TEST_F(Cpuid, AmdLeaf8CoreCount) {
+  const auto r = q(presets::amd_istanbul(), 0, 0x80000008u);
+  EXPECT_EQ(extract_bits(r.ecx, 0, 7), 5u);  // 6 cores - 1
+  EXPECT_EQ(extract_bits(r.ecx, 12, 15), 3u);  // core id field width
+}
+
+TEST_F(Cpuid, AmdCacheLeaves) {
+  const auto l5 = q(presets::amd_istanbul(), 0, 0x80000005u);
+  EXPECT_EQ(extract_bits(l5.ecx, 24, 31), 64u);  // L1D 64 kB
+  EXPECT_EQ(extract_bits(l5.ecx, 16, 23), 2u);   // 2-way
+  EXPECT_EQ(extract_bits(l5.ecx, 0, 7), 64u);    // 64 B lines
+  const auto l6 = q(presets::amd_istanbul(), 0, 0x80000006u);
+  EXPECT_EQ(extract_bits(l6.ecx, 16, 31), 512u);             // L2 512 kB
+  EXPECT_EQ(amd_assoc_ways(extract_bits(l6.ecx, 12, 15), 16), 16u);
+  EXPECT_EQ(extract_bits(l6.edx, 18, 31), 12u);              // L3 6MB/512kB
+  EXPECT_EQ(amd_assoc_ways(extract_bits(l6.edx, 12, 15), 48), 48u);
+}
+
+TEST_F(Cpuid, AmdLeavesEmptyOnIntel) {
+  const auto r = q(presets::core2_quad(), 0, 0x80000005u);
+  EXPECT_EQ(r.ecx, 0u);
+  EXPECT_EQ(r.edx, 0u);
+}
+
+TEST_F(Cpuid, UnknownLeavesReturnZero) {
+  const auto r = q(presets::westmere_ep(), 0, 0x7F);
+  EXPECT_EQ(r.eax, 0u);
+  const auto e = q(presets::westmere_ep(), 0, 0x80001234u);
+  EXPECT_EQ(e.eax, 0u);
+}
+
+TEST_F(Cpuid, AmdAssocCodeRoundTrip) {
+  for (const std::uint32_t ways : {1u, 2u, 4u, 8u, 16u, 32u, 48u, 64u}) {
+    EXPECT_EQ(amd_assoc_ways(amd_assoc_code(ways), ways), ways);
+  }
+}
+
+}  // namespace
+}  // namespace likwid::hwsim

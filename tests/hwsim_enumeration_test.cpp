@@ -1,0 +1,187 @@
+// Tests for BIOS/OS processor-numbering permutations (OsEnumeration): the
+// paper's point that os-id numbering "depends on BIOS settings and may
+// even differ for otherwise identical processors" while cpuid-based
+// probing always recovers the true topology. Every preset is probed under
+// every enumeration; the topology-aware helpers (scatter lists, logical
+// pin ids) must keep working when the naive "first half are physical
+// cores" assumption breaks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/affinity.hpp"
+#include "core/topology.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+namespace {
+
+const std::vector<OsEnumeration> kEnumerations = {
+    OsEnumeration::kSmtLast, OsEnumeration::kSmtAdjacent,
+    OsEnumeration::kSocketRoundRobin};
+
+using PresetEnum = std::tuple<presets::NamedPreset, OsEnumeration>;
+
+class EnumeratedMachine : public ::testing::TestWithParam<PresetEnum> {
+ protected:
+  MachineSpec spec() const {
+    MachineSpec s = std::get<0>(GetParam()).factory();
+    s.os_enumeration = std::get<1>(GetParam());
+    return s;
+  }
+};
+
+TEST_P(EnumeratedMachine, TopologyProbeRecoversTheGroundTruth) {
+  SimMachine machine(spec());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  ASSERT_EQ(topo.num_hw_threads, machine.num_threads());
+  for (const auto& t : machine.threads()) {
+    const core::ThreadEntry& e =
+        topo.threads[static_cast<std::size_t>(t.os_id)];
+    EXPECT_EQ(e.os_id, t.os_id);
+    EXPECT_EQ(e.thread_id, t.smt);
+    EXPECT_EQ(e.core_id, t.core_apic);
+    EXPECT_EQ(e.socket_id, t.socket);
+    EXPECT_EQ(e.apic_id, t.apic_id);
+  }
+}
+
+TEST_P(EnumeratedMachine, ApicIdsAreAPermutationInvariant) {
+  // Renumbering changes which os id carries which APIC id, never the set.
+  const MachineSpec base = std::get<0>(GetParam()).factory();
+  const SimMachine reference_machine(base);
+  std::set<std::uint32_t> reference;
+  for (const auto& t : reference_machine.threads()) {
+    reference.insert(t.apic_id);
+  }
+  std::set<std::uint32_t> permuted;
+  std::set<int> os_ids;
+  SimMachine machine(spec());
+  for (const auto& t : machine.threads()) {
+    permuted.insert(t.apic_id);
+    os_ids.insert(t.os_id);
+  }
+  EXPECT_EQ(permuted, reference);
+  EXPECT_EQ(static_cast<int>(os_ids.size()), machine.num_threads());
+}
+
+TEST_P(EnumeratedMachine, ScatterListStaysTopologyAware) {
+  SimMachine machine(spec());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const int n = std::min(4, machine.num_threads());
+  const auto list = core::scatter_cpu_list(topo, n);
+  ASSERT_EQ(static_cast<int>(list.size()), n);
+  // Scatter fills physical cores before SMT siblings: the first
+  // min(n, num_cores) entries are on distinct physical cores, whatever
+  // the os numbering looks like.
+  const int cores = topo.num_sockets * topo.num_cores_per_socket;
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < std::min(n, cores); ++i) {
+    const auto& t = machine.thread(list[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(seen.insert({t.socket, t.core_index}).second)
+        << "entry " << i << " repeats a physical core";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, EnumeratedMachine,
+    ::testing::Combine(::testing::ValuesIn(presets::all_presets()),
+                       ::testing::ValuesIn(kEnumerations)),
+    [](const ::testing::TestParamInfo<PresetEnum>& info) {
+      std::string name = std::get<0>(info.param).key + "_" +
+                         std::string(to_string(std::get<1>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Enumeration, WestmereNumberingsMatchTheKnownPatterns) {
+  MachineSpec spec = presets::westmere_ep();
+
+  // Paper listing (smt-last): os 0-11 are SMT-0, sibling of 0 is 12.
+  {
+    SimMachine m(spec);
+    EXPECT_EQ(m.core_siblings(0), (std::vector<int>{0, 12}));
+    EXPECT_EQ(m.thread(11).smt, 0);
+    EXPECT_EQ(m.thread(12).smt, 1);
+  }
+  // smt-adjacent: sibling pairs take consecutive os ids.
+  {
+    spec.os_enumeration = OsEnumeration::kSmtAdjacent;
+    SimMachine m(spec);
+    EXPECT_EQ(m.core_siblings(0), (std::vector<int>{0, 1}));
+    EXPECT_EQ(m.thread(1).smt, 1);
+    EXPECT_EQ(m.thread(2).core_index, 1);
+  }
+  // socket-rr: consecutive os ids alternate sockets.
+  {
+    spec.os_enumeration = OsEnumeration::kSocketRoundRobin;
+    SimMachine m(spec);
+    EXPECT_EQ(m.thread(0).socket, 0);
+    EXPECT_EQ(m.thread(1).socket, 1);
+    EXPECT_EQ(m.thread(2).socket, 0);
+  }
+}
+
+TEST(Enumeration, LogicalPinIdsResolvePhysicalFirstUnderAnyNumbering) {
+  // likwid-pin -c L:0-3 means "four distinct physical cores" regardless
+  // of the BIOS numbering — the Section V cpuset goal combined with the
+  // enumeration robustness the tool exists for.
+  for (const auto e : kEnumerations) {
+    MachineSpec spec = presets::westmere_ep();
+    spec.os_enumeration = e;
+    SimMachine machine(spec);
+    const core::NodeTopology topo = core::probe_topology(machine);
+    const auto cpus = core::resolve_logical_cpu_list(topo, {0, 1, 2, 3});
+    std::set<std::pair<int, int>> cores;
+    for (const int c : cpus) {
+      const auto& t = machine.thread(c);
+      EXPECT_TRUE(cores.insert({t.socket, t.core_index}).second)
+          << to_string(e) << ": logical ids landed on one core twice";
+      EXPECT_EQ(t.smt, 0) << to_string(e);
+    }
+  }
+}
+
+TEST(Enumeration, ProcCpuinfoShowsTheBiosDependentNumbering) {
+  // The motivating contrast of Section II-B: /proc/cpuinfo's view of
+  // "processor 1" changes with the BIOS numbering, while cpuid probing
+  // (the tests above) does not.
+  const auto cpuinfo_for = [](OsEnumeration e) {
+    MachineSpec spec = presets::westmere_ep();
+    spec.os_enumeration = e;
+    SimMachine machine(spec);
+    ossim::SimKernel kernel(machine);
+    return kernel.proc_cpuinfo();
+  };
+  const std::string smt_last = cpuinfo_for(OsEnumeration::kSmtLast);
+  const std::string adjacent = cpuinfo_for(OsEnumeration::kSmtAdjacent);
+  EXPECT_NE(smt_last, adjacent);
+  // processor 1 is core 1's SMT-0 thread (apic 2) under smt-last, but
+  // core 0's SMT-1 sibling (apic 1) under smt-adjacent.
+  EXPECT_NE(smt_last.find("processor\t: 1\n"), std::string::npos);
+  const auto apic_of_processor_1 = [](const std::string& text) {
+    const auto pos = text.find("processor\t: 1\n");
+    const auto apic = text.find("apicid\t\t: ", pos);
+    return text.substr(apic, text.find('\n', apic) - apic);
+  };
+  EXPECT_EQ(apic_of_processor_1(smt_last), "apicid\t\t: 2");
+  EXPECT_EQ(apic_of_processor_1(adjacent), "apicid\t\t: 1");
+}
+
+TEST(Enumeration, ParseAndFormat) {
+  EXPECT_EQ(parse_os_enumeration("smt-last"), OsEnumeration::kSmtLast);
+  EXPECT_EQ(parse_os_enumeration("smt-adjacent"),
+            OsEnumeration::kSmtAdjacent);
+  EXPECT_EQ(parse_os_enumeration("socket-rr"),
+            OsEnumeration::kSocketRoundRobin);
+  EXPECT_EQ(to_string(OsEnumeration::kSmtAdjacent), "smt-adjacent");
+  EXPECT_THROW(parse_os_enumeration("random"), Error);
+}
+
+}  // namespace
+}  // namespace likwid::hwsim

@@ -1,0 +1,72 @@
+// Tests for the μarch event vocabulary: id/name mapping, core-vs-uncore
+// classification, and EventVector arithmetic (the carrier type between the
+// execution model and the PMU).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwsim/events.hpp"
+
+namespace likwid::hwsim {
+namespace {
+
+TEST(EventIds, NamesAreUniqueAndStable) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    const auto id = static_cast<EventId>(i);
+    const std::string_view name = event_id_name(id);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  EXPECT_EQ(event_id_name(EventId::kUncL3LinesIn), "unc_l3_lines_in");
+  EXPECT_EQ(event_id_name(EventId::kInstructionsRetired),
+            "instructions_retired");
+}
+
+TEST(EventIds, UncoreClassification) {
+  EXPECT_FALSE(is_uncore_event(EventId::kInstructionsRetired));
+  EXPECT_FALSE(is_uncore_event(EventId::kBusTransMem));
+  EXPECT_TRUE(is_uncore_event(EventId::kUncL3LinesIn));
+  EXPECT_TRUE(is_uncore_event(EventId::kUncMemWrites));
+  EXPECT_TRUE(is_uncore_event(EventId::kUncClockticks));
+  EXPECT_FALSE(is_uncore_event(EventId::kCount));
+  // Everything at or past the first uncore id is socket scope.
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    const auto id = static_cast<EventId>(i);
+    EXPECT_EQ(is_uncore_event(id), i >= kFirstUncoreEvent) << i;
+  }
+}
+
+TEST(EventVectorTest, StartsZeroed) {
+  const EventVector ev;
+  EXPECT_TRUE(ev.all_zero());
+  EXPECT_EQ(ev[EventId::kCoreCycles], 0.0);
+}
+
+TEST(EventVectorTest, AddAndIndex) {
+  EventVector ev;
+  ev.add(EventId::kLoadsRetired, 10);
+  ev.add(EventId::kLoadsRetired, 5);
+  ev[EventId::kStoresRetired] = 3;
+  EXPECT_EQ(ev[EventId::kLoadsRetired], 15.0);
+  EXPECT_EQ(ev[EventId::kStoresRetired], 3.0);
+  EXPECT_FALSE(ev.all_zero());
+}
+
+TEST(EventVectorTest, AccumulateAndScale) {
+  EventVector a;
+  a.add(EventId::kFpPackedDouble, 100);
+  EventVector b;
+  b.add(EventId::kFpPackedDouble, 50);
+  b.add(EventId::kBranchesRetired, 7);
+  a += b;
+  EXPECT_EQ(a[EventId::kFpPackedDouble], 150.0);
+  EXPECT_EQ(a[EventId::kBranchesRetired], 7.0);
+  a *= 2.0;
+  EXPECT_EQ(a[EventId::kFpPackedDouble], 300.0);
+  EXPECT_EQ(a[EventId::kBranchesRetired], 14.0);
+}
+
+}  // namespace
+}  // namespace likwid::hwsim

@@ -1,0 +1,140 @@
+// Tests for the MSR register file: existence per architecture, read/write
+// semantics, read-only bit masking, socket-scoped uncore registers.
+#include <gtest/gtest.h>
+
+#include "hwsim/msr.hpp"
+#include "hwsim/presets.hpp"
+#include "util/bitops.hpp"
+
+namespace likwid::hwsim {
+namespace {
+
+TEST(Msr, IntelRegistersExist) {
+  const MachineSpec spec = presets::nehalem_ep();
+  MsrRegisterFile regs(spec);
+  EXPECT_TRUE(regs.exists(msr::kTsc));
+  EXPECT_TRUE(regs.exists(msr::kMiscEnable));
+  EXPECT_TRUE(regs.exists(msr::kPmc0));
+  EXPECT_TRUE(regs.exists(msr::kPmc0 + 3));
+  EXPECT_FALSE(regs.exists(msr::kPmc0 + 4));  // only 4 GP counters
+  EXPECT_TRUE(regs.exists(msr::kFixedCtr0 + 2));
+  EXPECT_TRUE(regs.exists(msr::kPerfGlobalCtrl));
+  EXPECT_TRUE(regs.exists(msr::kUncPmc0 + 7));
+  EXPECT_FALSE(regs.exists(msr::kAmdPerfCtl0));
+}
+
+TEST(Msr, AmdRegistersExist) {
+  const MachineSpec spec = presets::amd_istanbul();
+  MsrRegisterFile regs(spec);
+  EXPECT_TRUE(regs.exists(msr::kAmdPerfCtl0 + 3));
+  EXPECT_TRUE(regs.exists(msr::kAmdPerfCtr0 + 3));
+  EXPECT_FALSE(regs.exists(msr::kMiscEnable));
+  EXPECT_FALSE(regs.exists(msr::kPerfGlobalCtrl));
+  EXPECT_FALSE(regs.exists(msr::kUncPmc0));
+}
+
+TEST(Msr, Core2HasNoUncoreBlock) {
+  MsrRegisterFile regs(presets::core2_quad());
+  EXPECT_FALSE(regs.exists(msr::kUncPerfGlobalCtrl));
+  EXPECT_FALSE(regs.exists(msr::kUncPmc0));
+}
+
+TEST(Msr, UnknownRegisterFaults) {
+  MsrRegisterFile regs(presets::core2_quad());
+  try {
+    regs.read(0, 0xDEAD);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+  EXPECT_THROW(regs.write(0, 0xDEAD, 1), Error);
+}
+
+TEST(Msr, InvalidCpuFaults) {
+  MsrRegisterFile regs(presets::core2_quad());
+  EXPECT_THROW(regs.read(99, msr::kTsc), Error);
+  EXPECT_THROW(regs.read(-1, msr::kTsc), Error);
+}
+
+TEST(Msr, WriteReadRoundTrip) {
+  MsrRegisterFile regs(presets::nehalem_ep());
+  regs.write(3, msr::kPmc0, 0x123456789ull);
+  EXPECT_EQ(regs.read(3, msr::kPmc0), 0x123456789ull);
+  EXPECT_EQ(regs.read(2, msr::kPmc0), 0u);  // per-thread storage
+}
+
+TEST(Msr, GlobalStatusIsReadOnly) {
+  MsrRegisterFile regs(presets::nehalem_ep());
+  try {
+    regs.write(0, msr::kPerfGlobalStatus, 1);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPermission);
+  }
+}
+
+TEST(Msr, MiscEnableReadOnlyBitsPreserved) {
+  MsrRegisterFile regs(presets::core2_duo());
+  const std::uint64_t before = regs.read(0, msr::kMiscEnable);
+  ASSERT_TRUE(util::test_bit(before, msr::kMiscPerfMonAvailable));
+  // Attempt to clear the read-only perfmon-available bit: silently kept.
+  regs.write(0, msr::kMiscEnable,
+             util::assign_bit(before, msr::kMiscPerfMonAvailable, false));
+  EXPECT_TRUE(util::test_bit(regs.read(0, msr::kMiscEnable),
+                             msr::kMiscPerfMonAvailable));
+}
+
+TEST(Msr, MiscEnablePrefetchBitsWritable) {
+  MsrRegisterFile regs(presets::core2_duo());
+  const std::uint64_t before = regs.read(0, msr::kMiscEnable);
+  EXPECT_FALSE(util::test_bit(before, msr::kMiscAdjacentLineDisable));
+  regs.write(0, msr::kMiscEnable,
+             util::assign_bit(before, msr::kMiscAdjacentLineDisable, true));
+  EXPECT_TRUE(util::test_bit(regs.read(0, msr::kMiscEnable),
+                             msr::kMiscAdjacentLineDisable));
+}
+
+TEST(Msr, MiscEnableResetState) {
+  MsrRegisterFile regs(presets::core2_duo());
+  const std::uint64_t v = regs.read(0, msr::kMiscEnable);
+  EXPECT_TRUE(util::test_bit(v, msr::kMiscFastStrings));
+  EXPECT_TRUE(util::test_bit(v, msr::kMiscSpeedStep));
+  EXPECT_FALSE(util::test_bit(v, msr::kMiscBtsUnavailable));   // BTS there
+  EXPECT_FALSE(util::test_bit(v, msr::kMiscHwPrefetcherDisable));
+  EXPECT_TRUE(util::test_bit(v, msr::kMiscIdaDisable));  // no turbo on Core2
+}
+
+TEST(Msr, UncoreRegistersAreSocketScoped) {
+  const MachineSpec spec = presets::nehalem_ep();
+  MsrRegisterFile regs(spec);
+  // cpus 0-3 are socket 0, 4-7 socket 1, 8-15 the SMT siblings.
+  regs.write(0, msr::kUncPmc0, 777);
+  EXPECT_EQ(regs.read(1, msr::kUncPmc0), 777u);   // same socket, other core
+  EXPECT_EQ(regs.read(8, msr::kUncPmc0), 777u);   // SMT sibling of cpu 0
+  EXPECT_EQ(regs.read(4, msr::kUncPmc0), 0u);     // other socket
+  regs.write(5, msr::kUncPmc0, 42);
+  EXPECT_EQ(regs.read(4, msr::kUncPmc0), 42u);
+  EXPECT_EQ(regs.read(0, msr::kUncPmc0), 777u);
+}
+
+TEST(Msr, ResetRestoresPowerOnValues) {
+  MsrRegisterFile regs(presets::core2_duo());
+  const std::uint64_t misc = regs.read(0, msr::kMiscEnable);
+  regs.write(0, msr::kPmc0, 999);
+  regs.write(0, msr::kMiscEnable,
+             util::assign_bit(misc, msr::kMiscHwPrefetcherDisable, true));
+  regs.reset();
+  EXPECT_EQ(regs.read(0, msr::kPmc0), 0u);
+  EXPECT_EQ(regs.read(0, msr::kMiscEnable), misc);
+}
+
+TEST(Msr, PentiumMHasNoFixedOrGlobal) {
+  MsrRegisterFile regs(presets::pentium_m());
+  EXPECT_FALSE(regs.exists(msr::kFixedCtr0));
+  EXPECT_FALSE(regs.exists(msr::kFixedCtrCtrl));
+  EXPECT_FALSE(regs.exists(msr::kPerfGlobalCtrl));
+  EXPECT_TRUE(regs.exists(msr::kPerfEvtSel0 + 1));
+}
+
+}  // namespace
+}  // namespace likwid::hwsim

@@ -1,0 +1,228 @@
+// Tests for the PMU: counters only count what their programming selects,
+// only while enabled; fixed counters; counter-width wrap; uncore counting
+// with socket scope; AMD northbridge visibility from all cores.
+#include <gtest/gtest.h>
+
+#include "hwsim/machine.hpp"
+#include "hwsim/presets.hpp"
+#include "util/bitops.hpp"
+
+namespace likwid::hwsim {
+namespace {
+
+std::uint64_t evtsel(std::uint16_t event, std::uint8_t umask,
+                     bool enable = true) {
+  std::uint64_t sel = 0;
+  sel = util::deposit_bits(sel, msr::kEvtSelEventLo, msr::kEvtSelEventHi,
+                           event & 0xFF);
+  sel = util::deposit_bits(sel, msr::kEvtSelUmaskLo, msr::kEvtSelUmaskHi,
+                           umask);
+  sel = util::assign_bit(sel, msr::kEvtSelUsr, true);
+  sel = util::assign_bit(sel, msr::kEvtSelOs, true);
+  sel = util::assign_bit(sel, msr::kEvtSelEnable, enable);
+  if (event > 0xFF) {
+    sel = util::deposit_bits(sel, msr::kAmdEvtSelExtLo, msr::kAmdEvtSelExtHi,
+                             event >> 8);
+  }
+  return sel;
+}
+
+EventVector flops_events() {
+  EventVector ev;
+  ev[EventId::kFpPackedDouble] = 1000;
+  ev[EventId::kFpScalarDouble] = 7;
+  ev[EventId::kInstructionsRetired] = 5000;
+  ev[EventId::kCoreCycles] = 9000;
+  ev[EventId::kRefCycles] = 9000;
+  return ev;
+}
+
+class PmuCore2 : public ::testing::Test {
+ protected:
+  PmuCore2() : machine(presets::core2_quad()) {}
+  SimMachine machine;
+};
+
+TEST_F(PmuCore2, DisabledCountersStaySilent) {
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 0u);
+  EXPECT_EQ(machine.msrs().read(0, msr::kFixedCtr0), 0u);
+}
+
+TEST_F(PmuCore2, ProgrammedCounterCountsSelectedEvent) {
+  // SIMD_COMP_INST_RETIRED_PACKED_DOUBLE = 0xCA/0x04 on Core 2.
+  machine.msrs().write(1, msr::kPerfEvtSel0, evtsel(0xCA, 0x04));
+  machine.msrs().write(1, msr::kPerfGlobalCtrl, 0x1);
+  machine.post_core_events(1, flops_events());
+  EXPECT_EQ(machine.msrs().read(1, msr::kPmc0), 1000u);
+  // Other cores unaffected (core-based counting).
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 0u);
+}
+
+TEST_F(PmuCore2, UmaskDistinguishesEvents) {
+  machine.msrs().write(0, msr::kPerfEvtSel0, evtsel(0xCA, 0x04));  // packed
+  machine.msrs().write(0, msr::kPerfEvtSel0 + 1, evtsel(0xCA, 0x08));  // scalar
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x3);
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 1000u);
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0 + 1), 7u);
+}
+
+TEST_F(PmuCore2, UndocumentedEncodingCountsNothing) {
+  machine.msrs().write(0, msr::kPerfEvtSel0, evtsel(0x42, 0x42));
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x1);
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 0u);
+}
+
+TEST_F(PmuCore2, EnableBitGatesCounting) {
+  machine.msrs().write(0, msr::kPerfEvtSel0, evtsel(0xCA, 0x04, false));
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x1);
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 0u);
+}
+
+TEST_F(PmuCore2, GlobalCtrlGatesCounting) {
+  machine.msrs().write(0, msr::kPerfEvtSel0, evtsel(0xCA, 0x04));
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x0);
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 0u);
+}
+
+TEST_F(PmuCore2, NoRingSelectionCountsNothing) {
+  std::uint64_t sel = evtsel(0xCA, 0x04);
+  sel = util::assign_bit(sel, msr::kEvtSelUsr, false);
+  sel = util::assign_bit(sel, msr::kEvtSelOs, false);
+  machine.msrs().write(0, msr::kPerfEvtSel0, sel);
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x1);
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 0u);
+}
+
+TEST_F(PmuCore2, FixedCountersCountWhenEnabled) {
+  machine.msrs().write(0, msr::kFixedCtrCtrl, 0x333);
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x7ull << 32);
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kFixedCtr0), 5000u);  // instructions
+  EXPECT_EQ(machine.msrs().read(0, msr::kFixedCtr0 + 1), 9000u);  // cycles
+  EXPECT_EQ(machine.msrs().read(0, msr::kFixedCtr0 + 2), 9000u);  // ref
+}
+
+TEST_F(PmuCore2, TscAdvancesWithRefCycles) {
+  const std::uint64_t before = machine.msrs().read(0, msr::kTsc);
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kTsc), before + 9000u);
+}
+
+TEST_F(PmuCore2, CounterWrapsAtGpWidth) {
+  // Core 2 GP counters are 40 bits wide.
+  machine.msrs().write(0, msr::kPerfEvtSel0, evtsel(0xCA, 0x04));
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x1);
+  machine.msrs().write(0, msr::kPmc0, counter_mask(40) - 500);
+  machine.post_core_events(0, flops_events());  // +1000 packed ops
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 499u);
+  // The wrap-aware delta recovers the true count.
+  EXPECT_EQ(counter_delta(counter_mask(40) - 500, 499, 40), 1000u);
+}
+
+TEST_F(PmuCore2, AccumulatesAcrossSlices) {
+  machine.msrs().write(0, msr::kPerfEvtSel0, evtsel(0xCA, 0x04));
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x1);
+  machine.post_core_events(0, flops_events());
+  machine.post_core_events(0, flops_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 2000u);
+}
+
+class PmuNehalem : public ::testing::Test {
+ protected:
+  PmuNehalem() : machine(presets::nehalem_ep()) {}
+
+  void program_uncore(int cpu) {
+    // UNC_L3_LINES_IN_ANY = 0x0A/0x0F on UPMC0.
+    machine.msrs().write(cpu, msr::kUncPerfEvtSel0, evtsel(0x0A, 0x0F));
+    machine.msrs().write(cpu, msr::kUncFixedCtrCtrl, 1);
+    machine.msrs().write(cpu, msr::kUncPerfGlobalCtrl,
+                         (std::uint64_t{1} << 32) | 0x1);
+  }
+
+  static EventVector l3_events() {
+    EventVector ev;
+    ev[EventId::kUncL3LinesIn] = 123456;
+    ev[EventId::kUncClockticks] = 777;
+    return ev;
+  }
+
+  SimMachine machine;
+};
+
+TEST_F(PmuNehalem, UncoreCountsSocketEvents) {
+  program_uncore(0);
+  machine.post_uncore_events(0, l3_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kUncPmc0), 123456u);
+  EXPECT_EQ(machine.msrs().read(0, msr::kUncFixedCtr0), 777u);
+  // Visible through any cpu of socket 0, zero on socket 1.
+  EXPECT_EQ(machine.msrs().read(1, msr::kUncPmc0), 123456u);
+  EXPECT_EQ(machine.msrs().read(4, msr::kUncPmc0), 0u);
+}
+
+TEST_F(PmuNehalem, UncoreEventsToOtherSocketNotCounted) {
+  program_uncore(0);
+  machine.post_uncore_events(1, l3_events());  // socket 1 traffic
+  EXPECT_EQ(machine.msrs().read(0, msr::kUncPmc0), 0u);
+}
+
+TEST_F(PmuNehalem, UncoreGlobalCtrlGates) {
+  program_uncore(0);
+  machine.msrs().write(0, msr::kUncPerfGlobalCtrl, 0);
+  machine.post_uncore_events(0, l3_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kUncPmc0), 0u);
+}
+
+TEST_F(PmuNehalem, CoreCounterCannotSelectUncoreEvent) {
+  // Programming the uncore encoding into a core counter counts nothing.
+  machine.msrs().write(0, msr::kPerfEvtSel0, evtsel(0x0A, 0x0F));
+  machine.msrs().write(0, msr::kPerfGlobalCtrl, 0x1);
+  machine.post_uncore_events(0, l3_events());
+  machine.post_core_events(0, l3_events());
+  EXPECT_EQ(machine.msrs().read(0, msr::kPmc0), 0u);
+}
+
+class PmuAmd : public ::testing::Test {
+ protected:
+  PmuAmd() : machine(presets::amd_istanbul()) {}
+  SimMachine machine;
+};
+
+TEST_F(PmuAmd, CoreCounterCounts) {
+  // RETIRED_INSTRUCTIONS = 0xC0/0x00, no global ctrl on AMD.
+  machine.msrs().write(2, msr::kAmdPerfCtl0, evtsel(0xC0, 0x00));
+  EventVector ev;
+  ev[EventId::kInstructionsRetired] = 4242;
+  machine.post_core_events(2, ev);
+  EXPECT_EQ(machine.msrs().read(2, msr::kAmdPerfCtr0), 4242u);
+}
+
+TEST_F(PmuAmd, ExtendedEventCodeDecodes) {
+  // READ_REQUEST_TO_L3_CACHE_ALL uses the 12-bit code 0x4E0.
+  machine.msrs().write(0, msr::kAmdPerfCtl0, evtsel(0x4E0, 0x07));
+  EventVector ev;
+  ev[EventId::kUncL3Hits] = 99;
+  machine.post_uncore_events(0, ev);
+  EXPECT_EQ(machine.msrs().read(0, msr::kAmdPerfCtr0), 99u);
+}
+
+TEST_F(PmuAmd, NorthbridgeEventsVisibleFromEveryCoreOfSocket) {
+  machine.msrs().write(0, msr::kAmdPerfCtl0, evtsel(0x4E0, 0x07));
+  machine.msrs().write(3, msr::kAmdPerfCtl0, evtsel(0x4E0, 0x07));
+  machine.msrs().write(6, msr::kAmdPerfCtl0, evtsel(0x4E0, 0x07));  // socket 1
+  EventVector ev;
+  ev[EventId::kUncL3Hits] = 500;
+  machine.post_uncore_events(0, ev);
+  // Both socket-0 cores observe the full NB count; socket 1 sees nothing.
+  EXPECT_EQ(machine.msrs().read(0, msr::kAmdPerfCtr0), 500u);
+  EXPECT_EQ(machine.msrs().read(3, msr::kAmdPerfCtr0), 500u);
+  EXPECT_EQ(machine.msrs().read(6, msr::kAmdPerfCtr0), 0u);
+}
+
+}  // namespace
+}  // namespace likwid::hwsim

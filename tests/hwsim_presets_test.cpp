@@ -1,0 +1,225 @@
+// Tests for the machine presets and spec validation.
+#include <gtest/gtest.h>
+
+#include "hwsim/machine.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+
+namespace likwid::hwsim {
+namespace {
+
+class PresetTest : public ::testing::TestWithParam<presets::NamedPreset> {};
+
+TEST_P(PresetTest, SpecValidates) {
+  const MachineSpec spec = GetParam().factory();
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST_P(PresetTest, MachineConstructs) {
+  SimMachine machine(GetParam().factory());
+  EXPECT_EQ(machine.num_threads(), machine.spec().num_hw_threads());
+  EXPECT_NO_THROW(machine.arch());
+}
+
+TEST_P(PresetTest, ArchClassificationConsistent) {
+  const MachineSpec spec = GetParam().factory();
+  const Arch arch = classify_arch(spec.vendor, spec.family, spec.model);
+  // Event table exists and is non-empty for every supported arch.
+  EXPECT_FALSE(event_table(arch).empty());
+}
+
+TEST_P(PresetTest, SocketAndSiblingQueries) {
+  SimMachine machine(GetParam().factory());
+  const auto& spec = machine.spec();
+  for (int s = 0; s < spec.sockets; ++s) {
+    const auto cpus = machine.cpus_of_socket(s);
+    EXPECT_EQ(static_cast<int>(cpus.size()),
+              spec.cores_per_socket * spec.threads_per_core);
+  }
+  const auto sibs = machine.core_siblings(0);
+  EXPECT_EQ(static_cast<int>(sibs.size()), spec.threads_per_core);
+  EXPECT_EQ(sibs.front(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, PresetTest, ::testing::ValuesIn(presets::all_presets()),
+    [](const ::testing::TestParamInfo<presets::NamedPreset>& info) {
+      std::string name = info.param.key;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Presets, LookupByKey) {
+  EXPECT_EQ(presets::preset_by_key("westmere-ep").name,
+            "Intel Westmere EP processor");
+  try {
+    presets::preset_by_key("pentium-4");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+    // The error lists valid keys to help the user.
+    EXPECT_NE(std::string(e.what()).find("westmere-ep"), std::string::npos);
+  }
+}
+
+TEST(Presets, PaperMachinesHaveExpectedShapes) {
+  const MachineSpec wsm = presets::westmere_ep();
+  EXPECT_EQ(wsm.sockets, 2);
+  EXPECT_EQ(wsm.cores_per_socket, 6);
+  EXPECT_EQ(wsm.threads_per_core, 2);
+  EXPECT_EQ(wsm.core_apic_ids, (std::vector<int>{0, 1, 2, 8, 9, 10}));
+  EXPECT_DOUBLE_EQ(wsm.clock_ghz, 2.93);
+  EXPECT_EQ(wsm.data_cache(3).size_bytes, 12ull * 1024 * 1024);
+
+  const MachineSpec nhm = presets::nehalem_ep();
+  EXPECT_EQ(nhm.sockets, 2);
+  EXPECT_EQ(nhm.cores_per_socket, 4);
+  EXPECT_DOUBLE_EQ(nhm.clock_ghz, 2.66);
+  EXPECT_EQ(nhm.pmu.num_uncore_counters, 8);
+
+  const MachineSpec c2 = presets::core2_quad();
+  EXPECT_EQ(c2.pmu.num_gp_counters, 2);
+  EXPECT_EQ(c2.pmu.gp_counter_bits, 40);
+  EXPECT_EQ(c2.last_level_cache(), 2);
+
+  const MachineSpec ist = presets::amd_istanbul();
+  EXPECT_EQ(ist.cores_per_socket, 6);
+  EXPECT_EQ(ist.threads_per_core, 1);
+  EXPECT_EQ(ist.data_cache(3).associativity, 48u);
+}
+
+TEST(Presets, SupportListVariantsHaveExpectedShapes) {
+  // "Pentium M (Banias, Dothan)": Dothan doubles Banias' L2 to 2 MB and
+  // keeps leaf-2-only cache discovery.
+  const MachineSpec dothan = presets::pentium_m_dothan();
+  EXPECT_EQ(dothan.model, 0x0Du);
+  EXPECT_EQ(dothan.cache_method, CacheMethod::kIntelLeaf2);
+  EXPECT_EQ(dothan.data_cache(2).size_bytes, 2ull * 1024 * 1024);
+  EXPECT_EQ(classify_arch(dothan.vendor, dothan.family, dothan.model),
+            Arch::kPentiumM);
+
+  // "Core 2 (all variants)": Penryn duo shares one 6 MB 24-way L2.
+  const MachineSpec penryn = presets::core2_penryn();
+  EXPECT_EQ(penryn.cores_per_socket, 2);
+  EXPECT_EQ(penryn.data_cache(2).size_bytes, 6ull * 1024 * 1024);
+  EXPECT_EQ(penryn.data_cache(2).shared_by_threads, 2u);
+  EXPECT_EQ(classify_arch(penryn.vendor, penryn.family, penryn.model),
+            Arch::kCore2);
+
+  // "Nehalem (all variants, including uncore)": Bloomfield is one socket
+  // but keeps the full uncore PMU.
+  const MachineSpec bloom = presets::nehalem_bloomfield();
+  EXPECT_EQ(bloom.sockets, 1);
+  EXPECT_EQ(bloom.pmu.num_uncore_counters, 8);
+  EXPECT_EQ(bloom.numa_domains(), 1);
+  EXPECT_EQ(classify_arch(bloom.vendor, bloom.family, bloom.model),
+            Arch::kNehalem);
+
+  // Atom 330: two cores, L2 private per core (shared by SMT pair only).
+  const MachineSpec a330 = presets::atom_330();
+  EXPECT_EQ(a330.cores_per_socket, 2);
+  EXPECT_EQ(a330.num_hw_threads(), 4);
+  EXPECT_EQ(a330.data_cache(2).shared_by_threads, 2u);
+
+  // "K10 (Barcelona, Shanghai, Istanbul)": Barcelona's first-gen 2 MB L3.
+  const MachineSpec barc = presets::amd_barcelona();
+  EXPECT_EQ(barc.cores_per_socket, 4);
+  EXPECT_EQ(barc.data_cache(3).size_bytes, 2ull * 1024 * 1024);
+  EXPECT_EQ(classify_arch(barc.vendor, barc.family, barc.model), Arch::kK10);
+
+  // "K8 (all variants)": single-core Opteron, one core per NUMA domain.
+  const MachineSpec k8sc = presets::amd_k8_single_core();
+  EXPECT_EQ(k8sc.sockets, 2);
+  EXPECT_EQ(k8sc.cores_per_socket, 1);
+  EXPECT_FALSE(k8sc.has_data_cache(3));
+  EXPECT_EQ(classify_arch(k8sc.vendor, k8sc.family, k8sc.model), Arch::kK8);
+}
+
+TEST(SpecValidation, RejectsBrokenSpecs) {
+  MachineSpec spec = presets::core2_quad();
+  spec.core_apic_ids = {0, 1};  // wrong arity
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = presets::core2_quad();
+  spec.caches[0].line_size = 48;  // not a power of two
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = presets::core2_quad();
+  spec.memory.thread_bandwidth_gbs = spec.memory.socket_bandwidth_gbs * 2;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = presets::core2_quad();
+  spec.caches.clear();
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = presets::core2_quad();
+  spec.caches[0].shared_by_threads = 3;  // does not divide 4
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST(SpecValidation, LastLevelAndDataCacheQueries) {
+  const MachineSpec nhm = presets::nehalem_ep();
+  EXPECT_EQ(nhm.last_level_cache(), 3);
+  EXPECT_TRUE(nhm.has_data_cache(2));
+  EXPECT_THROW(presets::core2_quad().data_cache(3), Error);
+}
+
+TEST(ArchClassify, UnknownPartsRejected) {
+  try {
+    classify_arch(Vendor::kIntel, 6, 0x99);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+  }
+  EXPECT_THROW(classify_arch(Vendor::kAmd, 0x15, 0x1), Error);
+}
+
+TEST(ArchClassify, PaperSupportList) {
+  // The architectures named in the paper's support list all classify.
+  EXPECT_EQ(classify_arch(Vendor::kIntel, 6, 0x09), Arch::kPentiumM);
+  EXPECT_EQ(classify_arch(Vendor::kIntel, 6, 0x1C), Arch::kAtom);
+  EXPECT_EQ(classify_arch(Vendor::kIntel, 6, 0x0F), Arch::kCore2);
+  EXPECT_EQ(classify_arch(Vendor::kIntel, 6, 0x17), Arch::kCore2);
+  EXPECT_EQ(classify_arch(Vendor::kIntel, 6, 0x1A), Arch::kNehalem);
+  EXPECT_EQ(classify_arch(Vendor::kIntel, 6, 0x2C), Arch::kWestmere);
+  EXPECT_EQ(classify_arch(Vendor::kAmd, 0x0F, 0x21), Arch::kK8);
+  EXPECT_EQ(classify_arch(Vendor::kAmd, 0x10, 0x08), Arch::kK10);
+}
+
+TEST(EventTables, EncodingsUniquePerArchAndClass) {
+  for (const auto& preset : presets::all_presets()) {
+    const MachineSpec spec = preset.factory();
+    const Arch arch = classify_arch(spec.vendor, spec.family, spec.model);
+    const auto& table = event_table(arch);
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      for (std::size_t j = i + 1; j < table.size(); ++j) {
+        EXPECT_FALSE(table[i].name == table[j].name)
+            << "duplicate event name " << table[i].name;
+        if (table[i].klass == table[j].klass &&
+            table[i].klass != CounterClass::kFixed) {
+          EXPECT_FALSE(table[i].event_code == table[j].event_code &&
+                       table[i].umask == table[j].umask)
+              << "ambiguous encoding for " << table[i].name << " vs "
+              << table[j].name;
+        }
+      }
+    }
+  }
+}
+
+TEST(EventTables, FindAndDecodeAgree) {
+  const auto* enc = find_event(Arch::kCore2,
+                               "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE");
+  ASSERT_NE(enc, nullptr);
+  EXPECT_EQ(enc->event_code, 0xCA);
+  EXPECT_EQ(enc->umask, 0x04);
+  const auto* back =
+      decode_event(Arch::kCore2, 0xCA, 0x04, CounterClass::kCore);
+  EXPECT_EQ(back, enc);
+  EXPECT_EQ(find_event(Arch::kCore2, "NO_SUCH_EVENT"), nullptr);
+}
+
+}  // namespace
+}  // namespace likwid::hwsim

@@ -1,0 +1,329 @@
+// Integration tests: the paper's tool compositions and case-study claims,
+// executed end-to-end through the full stack (tools -> msr device -> PMU ->
+// cache/performance model -> workloads).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cli/output.hpp"
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/openmp_model.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid {
+namespace {
+
+// --- Case study 1: pinning and STREAM ------------------------------------
+
+double stream_run(hwsim::SimMachine& machine, std::uint64_t seed, int threads,
+                  bool pinned, workloads::OpenMpImpl impl,
+                  const workloads::CompilerProfile& cc) {
+  ossim::SimKernel kernel(machine, seed);
+  const core::NodeTopology topo = core::probe_topology(machine);
+  ossim::ThreadRuntime runtime(kernel.scheduler());
+  std::unique_ptr<core::PinWrapper> wrapper;
+  if (pinned) {
+    core::PinConfig cfg;
+    cfg.cpu_list = core::scatter_cpu_list(topo, threads);
+    cfg.model = impl == workloads::OpenMpImpl::kIntel
+                    ? core::ThreadModel::kIntel
+                    : core::ThreadModel::kGcc;
+    cfg.skip = core::default_skip_mask(cfg.model);
+    wrapper = std::make_unique<core::PinWrapper>(runtime, cfg);
+  }
+  const auto team = workloads::launch_openmp_team(runtime, impl, threads);
+
+  workloads::StreamConfig cfg;
+  cfg.array_length = 10'000'000;
+  cfg.repetitions = 2;
+  cfg.compiler = cc;
+  if (!pinned) {
+    // First touch happens at the initial placement; the scheduler may then
+    // migrate unpinned threads before the measured run.
+    std::vector<int> homes;
+    for (const int tid : team.worker_tids) {
+      homes.push_back(machine.socket_of(runtime.thread(tid).cpu));
+    }
+    cfg.chunk_home_sockets = homes;
+    runtime.migrate_unpinned();
+  }
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = runtime.placement(team.worker_tids);
+  const double t = run_workload(kernel, triad, p);
+  return triad.reported_bandwidth_mbs(t);
+}
+
+TEST(CaseStudy1, PinnedBeatsUnpinnedMedianOnWestmere) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  for (const int threads : {2, 6, 12}) {
+    std::vector<double> unpinned;
+    for (int s = 0; s < 20; ++s) {
+      unpinned.push_back(stream_run(machine, 100 + s, threads, false,
+                                    workloads::OpenMpImpl::kIntel,
+                                    workloads::icc_profile()));
+    }
+    std::sort(unpinned.begin(), unpinned.end());
+    const double median = unpinned[unpinned.size() / 2];
+    const double pinned =
+        stream_run(machine, 1, threads, true, workloads::OpenMpImpl::kIntel,
+                   workloads::icc_profile());
+    EXPECT_GE(pinned, median) << threads << " threads";
+    // Unpinned runs show real variance (Fig. 4); pinned is deterministic.
+    EXPECT_GT(unpinned.back() - unpinned.front(), pinned * 0.05)
+        << threads << " threads";
+  }
+}
+
+TEST(CaseStudy1, PinnedBandwidthIsStableAcrossSeeds) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const double a = stream_run(machine, 1, 6, true,
+                              workloads::OpenMpImpl::kIntel,
+                              workloads::icc_profile());
+  const double b = stream_run(machine, 999, 6, true,
+                              workloads::OpenMpImpl::kIntel,
+                              workloads::icc_profile());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CaseStudy1, PinnedSaturatesBothSockets) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const double bw12 = stream_run(machine, 1, 12, true,
+                                 workloads::OpenMpImpl::kIntel,
+                                 workloads::icc_profile());
+  const double bw24 = stream_run(machine, 1, 24, true,
+                                 workloads::OpenMpImpl::kIntel,
+                                 workloads::icc_profile());
+  // Fig. 5: flat at the node's saturated bandwidth; SMT adds nothing.
+  EXPECT_NEAR(bw12, 42000, 1000);
+  EXPECT_NEAR(bw24, bw12, bw12 * 0.03);
+}
+
+TEST(CaseStudy1, GccLowerPeakThanIcc) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const double icc = stream_run(machine, 1, 12, true,
+                                workloads::OpenMpImpl::kIntel,
+                                workloads::icc_profile());
+  const double gcc = stream_run(machine, 1, 12, true,
+                                workloads::OpenMpImpl::kGcc,
+                                workloads::gcc_profile());
+  // Figs. 5 vs 8: gcc peaks well below icc.
+  EXPECT_LT(gcc, icc * 0.9);
+  EXPECT_GT(gcc, icc * 0.6);
+}
+
+TEST(CaseStudy1, IstanbulPinnedStable) {
+  hwsim::SimMachine machine(hwsim::presets::amd_istanbul());
+  std::vector<double> unpinned;
+  for (int s = 0; s < 15; ++s) {
+    unpinned.push_back(stream_run(machine, 300 + s, 6, false,
+                                  workloads::OpenMpImpl::kIntel,
+                                  workloads::icc_profile()));
+  }
+  std::sort(unpinned.begin(), unpinned.end());
+  const double pinned = stream_run(machine, 1, 6, true,
+                                   workloads::OpenMpImpl::kIntel,
+                                   workloads::icc_profile());
+  // Fig. 10: pinning yields good stable results.
+  EXPECT_GE(pinned, unpinned[unpinned.size() / 2]);
+  EXPECT_GT(pinned, 15000);
+}
+
+// --- Case studies 2+3: the temporally blocked stencil ---------------------
+
+struct JacobiMeasurement {
+  double mlups = 0;
+  double l3_lines_in = 0;
+  double l3_lines_out = 0;
+};
+
+JacobiMeasurement measure_jacobi(workloads::JacobiVariant variant,
+                                 const std::vector<int>& cpus) {
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  ossim::SimKernel kernel(machine);
+  core::PerfCtr ctr(kernel, cpus);
+  ctr.add_custom("UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1");
+  workloads::JacobiConfig cfg;
+  cfg.n = 96;
+  cfg.sweeps = 4;
+  cfg.variant = variant;
+  workloads::JacobiStencil jacobi(cfg);
+  workloads::Placement p;
+  p.cpus = cpus;
+  for (const int c : cpus) kernel.scheduler().add_busy(c, 1);
+  ctr.start();
+  const double t = run_workload(kernel, jacobi, p);
+  ctr.stop();
+  JacobiMeasurement m;
+  m.mlups = jacobi.mlups(t);
+  for (const int lock : ctr.socket_lock_cpus()) {
+    m.l3_lines_in += ctr.extrapolated_count(0, lock, "UNC_L3_LINES_IN_ANY");
+    m.l3_lines_out += ctr.extrapolated_count(0, lock, "UNC_L3_LINES_OUT_ANY");
+  }
+  return m;
+}
+
+TEST(CaseStudy3, TableIIShape) {
+  const std::vector<int> socket0 = {0, 1, 2, 3};
+  const auto threaded = measure_jacobi(workloads::JacobiVariant::kThreaded,
+                                       socket0);
+  const auto nt = measure_jacobi(workloads::JacobiVariant::kThreadedNT,
+                                 socket0);
+  const auto blocked = measure_jacobi(workloads::JacobiVariant::kWavefront,
+                                      socket0);
+
+  // Uncore counters measured through the tool: lines in ~ lines out for
+  // the streaming variants (paper Table II).
+  EXPECT_NEAR(threaded.l3_lines_out / threaded.l3_lines_in, 1.0, 0.25);
+
+  // NT stores cut L3 line traffic vs. threaded (paper: 5.91e8 -> 3.44e8).
+  const double nt_cut = nt.l3_lines_in / threaded.l3_lines_in;
+  EXPECT_GT(nt_cut, 0.4);
+  EXPECT_LT(nt_cut, 0.75);
+
+  // Blocking cuts it several-fold (paper: 5.91e8 -> 1.30e8 = 4.5x).
+  const double block_cut = threaded.l3_lines_in / blocked.l3_lines_in;
+  EXPECT_GT(block_cut, 2.5);
+
+  // MLUPS ordering: threaded < NT < blocked (paper: 784 / 1032 / 1331).
+  EXPECT_LT(threaded.mlups, nt.mlups);
+  EXPECT_LT(nt.mlups, blocked.mlups);
+  // And the blocked speedup is modest, not proportional to the 4.5x
+  // traffic cut (the paper's central observation).
+  EXPECT_LT(blocked.mlups / threaded.mlups, 2.5);
+  EXPECT_GT(blocked.mlups / threaded.mlups, 1.2);
+}
+
+TEST(CaseStudy2, WrongPinningReversesTheOptimization) {
+  const auto good = measure_jacobi(workloads::JacobiVariant::kWavefront,
+                                   {0, 1, 2, 3});
+  const auto wrong = measure_jacobi(workloads::JacobiVariant::kWavefront,
+                                    {0, 1, 4, 5});
+  const auto baseline = measure_jacobi(workloads::JacobiVariant::kThreadedNT,
+                                       {0, 1, 2, 3});
+  // Fig. 11: wrong pinning costs about a factor of two...
+  EXPECT_LT(wrong.mlups, good.mlups * 0.65);
+  // ... and is even lower than the threaded NT baseline.
+  EXPECT_LT(wrong.mlups, baseline.mlups);
+}
+
+// --- tool composition: likwid-perfctr + likwid-pin ------------------------
+
+TEST(ToolComposition, PerfctrWrappingPinnedRun) {
+  // The paper's combined invocation:
+  //   likwid-perfCtr -c 1 -g ... likwid-pin -c 1 ./a.out
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  ossim::SimKernel kernel(machine);
+  core::PerfCtr ctr(kernel, {1});
+  ctr.add_custom(
+      "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,"
+      "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE:PMC1");
+
+  ossim::ThreadRuntime runtime(kernel.scheduler());
+  core::PinConfig pin;
+  pin.cpu_list = {1};
+  core::PinWrapper wrapper(runtime, pin);
+  const auto team = workloads::launch_openmp_team(
+      runtime, workloads::OpenMpImpl::kGcc, 1);
+
+  ctr.start();
+  workloads::StreamConfig cfg;
+  cfg.array_length = 500'000;
+  cfg.repetitions = 1;
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = runtime.placement(team.worker_tids);
+  run_workload(kernel, triad, p);
+  ctr.stop();
+
+  ASSERT_EQ(p.cpus, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(ctr.extrapolated_count(
+                       0, 1, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+                   500'000);
+  EXPECT_DOUBLE_EQ(ctr.extrapolated_count(
+                       0, 1, "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE"),
+                   0);
+}
+
+TEST(ToolComposition, MonitoringModeSeesForeignWork) {
+  // likwid-perfctr -c 0-7 -g MEM sleep 1: core-based counting makes the
+  // monitor see work it did not start.
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  ossim::SimKernel kernel(machine);
+  core::PerfCtr ctr(kernel, {0, 1, 2, 3, 4, 5, 6, 7});
+  ctr.add_group("MEM");
+  ctr.start();
+  workloads::JacobiConfig cfg;
+  cfg.n = 64;
+  cfg.sweeps = 4;
+  workloads::JacobiStencil jacobi(cfg);
+  workloads::Placement p;
+  p.cpus = {0, 1, 2, 3};
+  run_workload(kernel, jacobi, p);
+  kernel.advance_time(1.0);  // the monitor's own "sleep 1"
+  ctr.stop();
+  EXPECT_GT(ctr.extrapolated_count(0, 0, "UNC_QMC_NORMAL_READS_ANY"), 0);
+  EXPECT_EQ(ctr.extrapolated_count(0, 4, "UNC_QMC_NORMAL_READS_ANY"), 0);
+}
+
+// --- output rendering -------------------------------------------------------
+
+TEST(Output, TopologyReportContainsPaperSections) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string report = cli::render_topology_report(topo, true);
+  EXPECT_NE(report.find("CPU name:\tIntel Westmere EP processor"),
+            std::string::npos);
+  EXPECT_NE(report.find("CPU clock:\t2.93 GHz"), std::string::npos);
+  EXPECT_NE(report.find("Hardware Thread Topology"), std::string::npos);
+  EXPECT_NE(report.find("Sockets:\t\t2"), std::string::npos);
+  EXPECT_NE(report.find("Socket 0: ( 0 12 1 13 2 14 3 15 4 16 5 17 )"),
+            std::string::npos);
+  EXPECT_NE(report.find("Cache Topology"), std::string::npos);
+  EXPECT_NE(report.find("Size:\t12 MB"), std::string::npos);
+  EXPECT_NE(report.find("Non Inclusive cache"), std::string::npos);
+  EXPECT_NE(report.find("Shared among 12 threads"), std::string::npos);
+  EXPECT_NE(report.find("( 0 12 )"), std::string::npos);
+}
+
+TEST(Output, AsciiArtShowsCoresAndCaches) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const core::NodeTopology topo = core::probe_topology(machine);
+  const std::string art = cli::render_topology_ascii(topo);
+  EXPECT_NE(art.find("0 12"), std::string::npos);
+  EXPECT_NE(art.find("32 kB"), std::string::npos);
+  EXPECT_NE(art.find("256 kB"), std::string::npos);
+  EXPECT_NE(art.find("12 MB"), std::string::npos);
+  // Two socket boxes.
+  EXPECT_NE(art.find("6 18"), std::string::npos);
+}
+
+TEST(Output, MeasurementTablesRenderEventAndMetricBlocks) {
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  ossim::SimKernel kernel(machine);
+  core::PerfCtr ctr(kernel, {0, 1});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  workloads::StreamConfig cfg;
+  cfg.array_length = 100'000;
+  cfg.repetitions = 1;
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = {0, 1};
+  run_workload(kernel, triad, p);
+  ctr.stop();
+  const std::string out = cli::render_measurement(ctr, 0);
+  EXPECT_NE(out.find("Measuring group FLOPS_DP"), std::string::npos);
+  EXPECT_NE(out.find("| Event"), std::string::npos);
+  EXPECT_NE(out.find("| core 0"), std::string::npos);
+  EXPECT_NE(out.find("| core 1"), std::string::npos);
+  EXPECT_NE(out.find("INSTR_RETIRED_ANY"), std::string::npos);
+  EXPECT_NE(out.find("| Metric"), std::string::npos);
+  EXPECT_NE(out.find("DP MFlops/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace likwid

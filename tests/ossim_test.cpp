@@ -1,0 +1,239 @@
+// Tests for the OS simulation: cpu masks, scheduler placement, thread
+// runtime with create-hook interposition, busy accounting, /proc/cpuinfo.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "ossim/threads.hpp"
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+
+namespace likwid::ossim {
+namespace {
+
+TEST(CpuMaskTest, BasicOperations) {
+  CpuMask m;
+  EXPECT_TRUE(m.empty());
+  m.set(3);
+  m.set(17);
+  EXPECT_TRUE(m.test(3));
+  EXPECT_FALSE(m.test(4));
+  EXPECT_EQ(m.count(), 2);
+  EXPECT_EQ(m.to_list(), (std::vector<int>{3, 17}));
+  m.clear(3);
+  EXPECT_FALSE(m.test(3));
+}
+
+TEST(CpuMaskTest, Factories) {
+  EXPECT_EQ(CpuMask::first_n(4).to_list(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(CpuMask::single(7).to_list(), (std::vector<int>{7}));
+  EXPECT_EQ(CpuMask::from_list({2, 5}).count(), 2);
+  EXPECT_THROW(CpuMask::single(-1), Error);
+  EXPECT_THROW(CpuMask::single(CpuMask::kMaxCpus), Error);
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : machine(hwsim::presets::westmere_ep()) {}
+  hwsim::SimMachine machine;
+};
+
+TEST_F(SchedulerTest, SingleCpuMaskIsHonoredExactly) {
+  Scheduler sched(machine, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sched.place(CpuMask::single(5)), 5);
+  }
+  EXPECT_EQ(sched.load(5), 10);
+}
+
+TEST_F(SchedulerTest, WideMaskStaysWithinMask) {
+  Scheduler sched(machine, 2);
+  CpuMask mask = CpuMask::from_list({1, 3, 5});
+  for (int i = 0; i < 50; ++i) {
+    const int cpu = sched.place(mask);
+    EXPECT_TRUE(mask.test(cpu));
+  }
+}
+
+TEST_F(SchedulerTest, EmptyMaskRejected) {
+  Scheduler sched(machine, 3);
+  EXPECT_THROW(sched.place(CpuMask()), Error);
+}
+
+TEST_F(SchedulerTest, RandomPlacementVariesWithSeed) {
+  std::set<int> first_choices;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Scheduler sched(machine, seed);
+    first_choices.insert(sched.place(CpuMask::first_n(24)));
+  }
+  EXPECT_GT(first_choices.size(), 4u);  // genuinely random
+}
+
+TEST_F(SchedulerTest, ReleaseDecrementsLoad) {
+  Scheduler sched(machine, 4);
+  const int cpu = sched.place(CpuMask::first_n(24));
+  EXPECT_EQ(sched.load(cpu), 1);
+  sched.release(cpu);
+  EXPECT_EQ(sched.load(cpu), 0);
+  EXPECT_THROW(sched.release(cpu), Error);  // double release
+}
+
+TEST_F(SchedulerTest, BusyAccountingSeparateFromPlacement) {
+  Scheduler sched(machine, 5);
+  const int cpu = sched.place(CpuMask::single(2));
+  EXPECT_EQ(sched.busy_load(cpu), 0);
+  sched.add_busy(cpu, 1);
+  EXPECT_EQ(sched.busy_load(cpu), 1);
+  sched.add_busy(cpu, -1);
+  EXPECT_EQ(sched.busy_load(cpu), 0);
+}
+
+class ThreadRuntimeTest : public ::testing::Test {
+ protected:
+  ThreadRuntimeTest()
+      : machine(hwsim::presets::westmere_ep()),
+        sched(machine, 11),
+        runtime(sched) {}
+  hwsim::SimMachine machine;
+  Scheduler sched;
+  ThreadRuntime runtime;
+};
+
+TEST_F(ThreadRuntimeTest, MainThreadExistsAndIsPlaced) {
+  EXPECT_EQ(runtime.num_threads(), 1);
+  EXPECT_TRUE(runtime.thread(0).is_main);
+  EXPECT_GE(runtime.thread(0).cpu, 0);
+}
+
+TEST_F(ThreadRuntimeTest, CreateAssignsSequentialTids) {
+  EXPECT_EQ(runtime.create_thread(), 1);
+  EXPECT_EQ(runtime.create_thread(), 2);
+  EXPECT_EQ(runtime.num_threads(), 3);
+}
+
+TEST_F(ThreadRuntimeTest, CreateHookSeesCreationOrderNotTids) {
+  std::vector<std::pair<int, int>> seen;
+  runtime.set_create_hook([&](int index, int tid) {
+    seen.push_back({index, tid});
+  });
+  runtime.create_thread();
+  runtime.create_thread();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(seen[1], (std::pair<int, int>{1, 2}));
+}
+
+TEST_F(ThreadRuntimeTest, HookMayPinBeforePlacement) {
+  runtime.set_create_hook([&](int, int tid) {
+    runtime.set_affinity(tid, CpuMask::single(9));
+  });
+  const int tid = runtime.create_thread();
+  EXPECT_EQ(runtime.thread(tid).cpu, 9);
+}
+
+TEST_F(ThreadRuntimeTest, DoubleHookInstallRejected) {
+  runtime.set_create_hook([](int, int) {});
+  try {
+    runtime.set_create_hook([](int, int) {});
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidState);
+  }
+  runtime.clear_create_hook();
+  EXPECT_NO_THROW(runtime.set_create_hook([](int, int) {}));
+}
+
+TEST_F(ThreadRuntimeTest, SetAffinityMigratesOffForbiddenCpu) {
+  const int tid = runtime.create_thread();
+  const int old_cpu = runtime.thread(tid).cpu;
+  CpuMask other = CpuMask::single(old_cpu == 3 ? 4 : 3);
+  runtime.set_affinity(tid, other);
+  EXPECT_NE(runtime.thread(tid).cpu, old_cpu);
+  EXPECT_TRUE(other.test(runtime.thread(tid).cpu));
+}
+
+TEST_F(ThreadRuntimeTest, BusyFollowsMigration) {
+  const int tid = runtime.create_thread();
+  runtime.set_busy(tid, true);
+  const int before = runtime.thread(tid).cpu;
+  EXPECT_EQ(sched.busy_load(before), 1);
+  runtime.set_affinity(tid, CpuMask::single(before == 7 ? 6 : 7));
+  EXPECT_EQ(sched.busy_load(before), 0);
+  EXPECT_EQ(sched.busy_load(runtime.thread(tid).cpu), 1);
+}
+
+TEST_F(ThreadRuntimeTest, MigrateUnpinnedLeavesPinnedAlone) {
+  const int pinned = runtime.create_thread();
+  runtime.set_affinity(pinned, CpuMask::single(2));
+  const int unpinned = runtime.create_thread();
+  const int pinned_cpu = runtime.thread(pinned).cpu;
+  bool moved = false;
+  for (int i = 0; i < 64 && !moved; ++i) {
+    const int before = runtime.thread(unpinned).cpu;
+    runtime.migrate_unpinned();
+    moved = runtime.thread(unpinned).cpu != before;
+    EXPECT_EQ(runtime.thread(pinned).cpu, pinned_cpu);
+  }
+  EXPECT_TRUE(moved);  // random placement eventually moves it
+}
+
+TEST_F(ThreadRuntimeTest, UnknownTidFaults) {
+  EXPECT_THROW(runtime.thread(42), Error);
+  EXPECT_THROW(runtime.set_affinity(42, CpuMask::single(0)), Error);
+}
+
+TEST(KernelTest, TimeAdvancesMonotonically) {
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  SimKernel kernel(machine);
+  EXPECT_EQ(kernel.now(), 0.0);
+  kernel.advance_time(0.5);
+  kernel.advance_time(0.25);
+  EXPECT_DOUBLE_EQ(kernel.now(), 0.75);
+  EXPECT_THROW(kernel.advance_time(-1), Error);
+}
+
+TEST(KernelTest, MsrDeviceRoundTrip) {
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  SimKernel kernel(machine);
+  kernel.msr_write(1, hwsim::msr::kPmc0, 1234);
+  EXPECT_EQ(kernel.msr_read(1, hwsim::msr::kPmc0), 1234u);
+}
+
+TEST(KernelTest, ProcCpuinfoListsEveryProcessor) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  SimKernel kernel(machine);
+  const std::string info = kernel.proc_cpuinfo();
+  for (int cpu = 0; cpu < 24; ++cpu) {
+    EXPECT_NE(info.find("processor\t: " + std::to_string(cpu) + "\n"),
+              std::string::npos);
+  }
+  EXPECT_NE(info.find("GenuineIntel"), std::string::npos);
+  EXPECT_NE(info.find(machine.spec().brand_string), std::string::npos);
+  // The paper's point: core ids in cpuinfo do not reveal cache sharing;
+  // but physical id (socket) must be present.
+  EXPECT_NE(info.find("physical id\t: 1"), std::string::npos);
+}
+
+TEST(KernelTest, MiscEnableWriteSyncsPrefetchersIntoCacheSim) {
+  hwsim::SimMachine machine(hwsim::presets::core2_duo());
+  SimKernel kernel(machine);
+  // Disable all four prefetchers through the MSR (as likwid-features does).
+  using namespace hwsim::msr;
+  std::uint64_t misc = kernel.msr_read(0, kMiscEnable);
+  misc = util::assign_bit(misc, kMiscHwPrefetcherDisable, true);
+  misc = util::assign_bit(misc, kMiscAdjacentLineDisable, true);
+  misc = util::assign_bit(misc, kMiscDcuPrefetcherDisable, true);
+  misc = util::assign_bit(misc, kMiscIpPrefetcherDisable, true);
+  kernel.msr_write(0, kMiscEnable, misc);
+  // Stream: no prefetches must be issued now.
+  for (std::uint64_t l = 0; l < 32; ++l) {
+    kernel.caches().access(0, 0x10000 + l * 64, 64,
+                           cachesim::AccessKind::kLoad);
+  }
+  EXPECT_EQ(kernel.caches().cpu_traffic(0).prefetches_issued, 0);
+}
+
+}  // namespace
+}  // namespace likwid::ossim

@@ -1,0 +1,284 @@
+// Tests for the performance model: bandwidth waterfilling and the slice
+// timing estimator (saturation, SMT, oversubscription, NUMA penalties).
+#include <gtest/gtest.h>
+
+#include "hwsim/presets.hpp"
+#include "perfmodel/bandwidth.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "util/status.hpp"
+
+namespace likwid::perfmodel {
+namespace {
+
+BandwidthDemand demand(double gbs, std::vector<double> fractions) {
+  BandwidthDemand d;
+  d.desired_gbs = gbs;
+  d.domain_fraction = std::move(fractions);
+  return d;
+}
+
+TEST(Bandwidth, UnconstrainedDemandsPassThrough) {
+  const auto got = allocate_bandwidth({demand(5, {1.0}), demand(3, {1.0})},
+                                      {20.0});
+  EXPECT_DOUBLE_EQ(got[0], 5.0);
+  EXPECT_DOUBLE_EQ(got[1], 3.0);
+}
+
+TEST(Bandwidth, OverloadedDomainScalesProportionally) {
+  const auto got = allocate_bandwidth(
+      {demand(15, {1.0}), demand(15, {1.0})}, {20.0});
+  EXPECT_NEAR(got[0], 10.0, 1e-6);
+  EXPECT_NEAR(got[1], 10.0, 1e-6);
+}
+
+TEST(Bandwidth, AsymmetricDemandsKeepRatios) {
+  const auto got = allocate_bandwidth(
+      {demand(30, {1.0}), demand(10, {1.0})}, {20.0});
+  EXPECT_NEAR(got[0] / got[1], 3.0, 1e-6);
+  EXPECT_NEAR(got[0] + got[1], 20.0, 1e-6);
+}
+
+TEST(Bandwidth, IndependentDomainsDoNotInterfere) {
+  const auto got = allocate_bandwidth(
+      {demand(15, {1.0, 0.0}), demand(15, {0.0, 1.0})}, {20.0, 20.0});
+  EXPECT_DOUBLE_EQ(got[0], 15.0);
+  EXPECT_DOUBLE_EQ(got[1], 15.0);
+}
+
+TEST(Bandwidth, SplitTrafficSqueezedByBindingDomain) {
+  // One thread pulls half local, half remote; the remote domain is
+  // saturated by another consumer.
+  const auto got = allocate_bandwidth(
+      {demand(10, {0.5, 0.5}), demand(20, {0.0, 1.0})}, {20.0, 20.0});
+  // Domain 1 carries 5 + 20 = 25 > 20: everything touching it slows down.
+  EXPECT_LT(got[0], 10.0);
+  EXPECT_LT(got[1], 20.0);
+  double util1 = got[0] * 0.5 + got[1];
+  EXPECT_LE(util1, 20.0 + 1e-6);
+}
+
+TEST(Bandwidth, ZeroDemandAllowed) {
+  const auto got = allocate_bandwidth({demand(0, {}), demand(5, {1.0})},
+                                      {20.0});
+  EXPECT_DOUBLE_EQ(got[0], 0.0);
+  EXPECT_DOUBLE_EQ(got[1], 5.0);
+}
+
+TEST(Bandwidth, InvalidInputsRejected) {
+  EXPECT_THROW(allocate_bandwidth({demand(-1, {1.0})}, {20.0}), Error);
+  EXPECT_THROW(allocate_bandwidth({demand(5, {1.0})}, {0.0}), Error);
+  EXPECT_THROW(allocate_bandwidth({demand(5, {1.0, 0.0})}, {20.0}), Error);
+}
+
+class ExecModel : public ::testing::Test {
+ protected:
+  ExecModel()
+      : machine(hwsim::presets::westmere_ep()),
+        model(default_model(machine.spec())),
+        load(static_cast<std::size_t>(machine.num_threads()), 0) {}
+
+  ThreadWork stream_work(int cpu, double gb) {
+    ThreadWork w;
+    w.cpu = cpu;
+    w.iterations = gb * 1e9 / 32.0;
+    w.cycles_per_iter = 2.0;
+    w.l2_bytes = gb * 1e9;
+    w.l3_bytes = gb * 1e9;
+    w.mem_bytes_by_socket.assign(2, 0.0);
+    w.mem_bytes_by_socket[static_cast<std::size_t>(
+        machine.socket_of(cpu))] = gb * 1e9;
+    return w;
+  }
+
+  hwsim::SimMachine machine;
+  MachineModel model;
+  std::vector<int> load;
+};
+
+TEST_F(ExecModel, SingleThreadIsMemoryBoundAtThreadCap) {
+  load[0] = 1;
+  const auto r = estimate_slice(model, machine, {stream_work(0, 1.0)}, load);
+  // 1 GB at 14 GB/s thread cap.
+  EXPECT_NEAR(r.seconds, 1.0 / 14.0, 1e-3);
+}
+
+TEST_F(ExecModel, SocketSaturatesAtSocketCap) {
+  std::vector<ThreadWork> work;
+  for (const int cpu : {0, 1, 2}) {  // three cores of socket 0
+    work.push_back(stream_work(cpu, 1.0));
+    load[static_cast<std::size_t>(cpu)] = 1;
+  }
+  const auto r = estimate_slice(model, machine, work, load);
+  // 3 GB total at the 28 GB/s socket cap.
+  EXPECT_NEAR(r.seconds, 3.0 / 28.0, 2e-3);
+}
+
+TEST_F(ExecModel, TwoSocketsDoubleTheThroughput) {
+  std::vector<ThreadWork> work;
+  for (const int cpu : {0, 1, 2, 6, 7, 8}) {  // 3 cores on each socket
+    work.push_back(stream_work(cpu, 1.0));
+    load[static_cast<std::size_t>(cpu)] = 1;
+  }
+  const auto r = estimate_slice(model, machine, work, load);
+  EXPECT_NEAR(r.seconds, 3.0 / 28.0, 2e-3);  // same time, twice the data
+}
+
+TEST_F(ExecModel, OversubscriptionStretchesCoreTime) {
+  // Two workers time-slicing one cpu on a compute-bound kernel.
+  ThreadWork w;
+  w.cpu = 0;
+  w.iterations = 1e9;
+  w.cycles_per_iter = 2.0;
+  w.mem_bytes_by_socket.assign(2, 0.0);
+  load[0] = 2;
+  const auto solo_load = std::vector<int>(load.size(), 0);
+  auto solo = solo_load;
+  solo[0] = 1;
+  const auto alone = estimate_slice(model, machine, {w}, solo);
+  const auto shared = estimate_slice(model, machine, {w, w}, load);
+  EXPECT_NEAR(shared.seconds / alone.seconds, 2.0, 0.01);
+}
+
+TEST_F(ExecModel, SmtSiblingSharesTheCore) {
+  ThreadWork w;
+  w.cpu = 0;
+  w.iterations = 1e9;
+  w.cycles_per_iter = 2.0;
+  w.mem_bytes_by_socket.assign(2, 0.0);
+  ThreadWork sib = w;
+  sib.cpu = 12;  // SMT sibling of cpu 0 on Westmere
+  load[0] = 1;
+  load[12] = 1;
+  TimingOptions opts;
+  opts.smt_share = 0.5;
+  const auto r = estimate_slice(model, machine, {w, sib}, load, opts);
+  std::vector<int> solo_load(load.size(), 0);
+  solo_load[0] = 1;
+  const auto solo = estimate_slice(model, machine, {w}, solo_load, opts);
+  EXPECT_NEAR(r.seconds / solo.seconds, 2.0, 0.01);
+}
+
+TEST_F(ExecModel, RemoteTrafficPaysThePenalty) {
+  ThreadWork local = stream_work(0, 1.0);
+  ThreadWork remote = stream_work(0, 1.0);
+  // All of the remote thread's data homed on socket 1.
+  remote.mem_bytes_by_socket = {0.0, 1e9};
+  std::vector<int> l(load.size(), 0);
+  l[0] = 1;
+  const auto rl = estimate_slice(model, machine, {local}, l);
+  const auto rr = estimate_slice(model, machine, {remote}, l);
+  EXPECT_NEAR(rr.seconds / rl.seconds, 1.0 / model.remote_factor, 0.01);
+}
+
+TEST_F(ExecModel, QpiLinkCapsAggregateRemoteTraffic) {
+  // Six socket-0 threads all streaming from socket 1's memory: the
+  // aggregate is limited by the interconnect (28 * 0.7 = 19.6 GB/s), not
+  // by the remote controller's full 28 GB/s.
+  std::vector<ThreadWork> work;
+  for (const int cpu : {0, 1, 2, 3, 4, 5}) {
+    ThreadWork w = stream_work(cpu, 1.0);
+    w.mem_bytes_by_socket = {0.0, 1e9};
+    work.push_back(w);
+    load[static_cast<std::size_t>(cpu)] = 1;
+  }
+  const auto r = estimate_slice(model, machine, work, load);
+  EXPECT_NEAR(r.seconds, 6.0 / model.qpi_gbs, 3e-3);
+}
+
+TEST_F(ExecModel, QpiLinkIsSharedByBothDirections) {
+  // Three threads per socket, each streaming from the *other* socket:
+  // all six flows share the one link between the pair.
+  std::vector<ThreadWork> work;
+  for (const int cpu : {0, 1, 2}) {
+    ThreadWork w = stream_work(cpu, 1.0);
+    w.mem_bytes_by_socket = {0.0, 1e9};
+    work.push_back(w);
+    load[static_cast<std::size_t>(cpu)] = 1;
+  }
+  for (const int cpu : {6, 7, 8}) {
+    ThreadWork w = stream_work(cpu, 1.0);
+    w.mem_bytes_by_socket = {1e9, 0.0};
+    work.push_back(w);
+    load[static_cast<std::size_t>(cpu)] = 1;
+  }
+  const auto r = estimate_slice(model, machine, work, load);
+  EXPECT_NEAR(r.seconds, 6.0 / model.qpi_gbs, 3e-3);
+}
+
+TEST_F(ExecModel, LocalStreamUnaffectedByQpiSaturation) {
+  // One local stream next to five QPI-saturating remote streams: the
+  // local thread still runs at its own 14 GB/s cap (the controller has
+  // headroom; only the link is saturated).
+  std::vector<ThreadWork> work;
+  work.push_back(stream_work(0, 1.0));  // local on socket 0
+  load[0] = 1;
+  for (const int cpu : {1, 2, 3, 4, 5}) {
+    ThreadWork w = stream_work(cpu, 1.0);
+    w.mem_bytes_by_socket = {0.0, 1e9};
+    work.push_back(w);
+    load[static_cast<std::size_t>(cpu)] = 1;
+  }
+  const auto r = estimate_slice(model, machine, work, load);
+  EXPECT_NEAR(r.thread_seconds[0], 1.0 / 14.0, 2e-3);
+  EXPECT_GT(r.thread_seconds[1], 1.0 / 14.0);
+}
+
+TEST_F(ExecModel, SingleSocketSpecsDisableTheLinkCap) {
+  const auto bloom =
+      default_model(hwsim::presets::nehalem_bloomfield());
+  EXPECT_DOUBLE_EQ(bloom.qpi_gbs, 0.0);
+  // Dual-socket parts with a remote penalty expose a positive link rate.
+  EXPECT_GT(model.qpi_gbs, 0.0);
+  EXPECT_LT(model.qpi_gbs, model.mem_bw_socket_gbs);
+}
+
+TEST_F(ExecModel, PrefetchFactorReducesBandwidth) {
+  ThreadWork w = stream_work(0, 1.0);
+  w.prefetch_factor = 0.6;
+  std::vector<int> l(load.size(), 0);
+  l[0] = 1;
+  const auto slow = estimate_slice(model, machine, {w}, l);
+  w.prefetch_factor = 1.0;
+  const auto fast = estimate_slice(model, machine, {w}, l);
+  EXPECT_NEAR(slow.seconds / fast.seconds, 1.0 / 0.6, 0.01);
+}
+
+TEST_F(ExecModel, ComputeBoundIgnoresBandwidth) {
+  ThreadWork w;
+  w.cpu = 0;
+  w.iterations = 1e9;
+  w.cycles_per_iter = 10.0;  // heavy core work
+  w.mem_bytes_by_socket.assign(2, 0.0);
+  w.mem_bytes_by_socket[0] = 1e6;  // negligible traffic
+  std::vector<int> l(load.size(), 0);
+  l[0] = 1;
+  const auto r = estimate_slice(model, machine, {w}, l);
+  EXPECT_NEAR(r.seconds, 1e10 / (2.93e9), 1e-2);
+}
+
+TEST_F(ExecModel, CyclesMatchSeconds) {
+  std::vector<int> l(load.size(), 0);
+  l[0] = 1;
+  const auto r = estimate_slice(model, machine, {stream_work(0, 1.0)}, l);
+  EXPECT_NEAR(r.thread_cycles[0], r.thread_seconds[0] * 2.93e9, 1.0);
+}
+
+TEST_F(ExecModel, InvalidWorkRejected) {
+  ThreadWork w;
+  w.cpu = 99;
+  EXPECT_THROW(estimate_slice(model, machine, {w}, load), Error);
+  ThreadWork bad = stream_work(0, 1.0);
+  bad.mem_bytes_by_socket = {1.0};  // wrong arity
+  EXPECT_THROW(estimate_slice(model, machine, {bad}, load), Error);
+}
+
+TEST_F(ExecModel, DefaultModelTracksSpec) {
+  const auto m = default_model(machine.spec());
+  EXPECT_DOUBLE_EQ(m.clock_ghz, 2.93);
+  EXPECT_DOUBLE_EQ(m.mem_bw_socket_gbs, 28.0);
+  EXPECT_DOUBLE_EQ(m.mem_bw_thread_gbs, 14.0);
+  EXPECT_DOUBLE_EQ(m.remote_factor, 0.7);
+}
+
+}  // namespace
+}  // namespace likwid::perfmodel

@@ -1,0 +1,294 @@
+// Seeded-fuzz property tests complementing tests/property_test.cpp:
+// cpu-list and skip-mask parsing round-trips, event-table encode/decode
+// inverses across every architecture, counter-allocation validity under
+// random event subsets, timing monotonicity under extra remote traffic,
+// and the synthetic kernels' steady-state invariants on random machines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+
+#include "core/perfctr.hpp"
+#include "hwsim/arch.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "util/cpulist.hpp"
+#include "util/status.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace likwid {
+namespace {
+
+// --- cpu-list / skip-mask round-trips ----------------------------------------
+
+class CpuListFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuListFuzz, FormatParseRoundTrips) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 50; ++round) {
+    // Random strictly-increasing list (format_cpu_list compacts ranges).
+    std::set<int> chosen;
+    const int count = 1 + static_cast<int>(rng() % 24);
+    while (static_cast<int>(chosen.size()) < count) {
+      chosen.insert(static_cast<int>(rng() % 128));
+    }
+    const std::vector<int> cpus(chosen.begin(), chosen.end());
+    const std::string text = util::format_cpu_list(cpus);
+    EXPECT_EQ(util::parse_cpu_list(text), cpus) << text;
+  }
+}
+
+TEST_P(CpuListFuzz, SkipMaskRoundTripsThroughHex) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t bits = rng() >> (rng() % 32);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(bits));
+    const util::SkipMask mask = util::SkipMask::parse(buf);
+    EXPECT_EQ(mask.bits(), bits);
+    // count_skipped agrees with bit-by-bit membership.
+    unsigned expected = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+      if ((bits >> i) & 1u) ++expected;
+      EXPECT_EQ(mask.skips(i), ((bits >> i) & 1u) != 0);
+    }
+    EXPECT_EQ(mask.count_skipped(64), expected);
+  }
+}
+
+TEST_P(CpuListFuzz, GarbageInputsThrowCleanly) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const std::string alphabet = "0123456789-, abcxg";
+  int rejected = 0;
+  for (int round = 0; round < 100; ++round) {
+    std::string text;
+    const int len = 1 + static_cast<int>(rng() % 10);
+    for (int i = 0; i < len; ++i) {
+      text += alphabet[rng() % alphabet.size()];
+    }
+    try {
+      const auto cpus = util::parse_cpu_list(text);
+      // Accepted: must be a valid non-empty list of in-range ids.
+      EXPECT_FALSE(cpus.empty()) << "'" << text << "'";
+      for (const int c : cpus) {
+        EXPECT_GE(c, 0);
+        EXPECT_LE(c, 4095);
+      }
+    } catch (const Error& e) {
+      ++rejected;
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument) << "'" << text << "'";
+    }
+  }
+  // The alphabet is mostly garbage: most inputs must be rejected, and
+  // rejection must always be the typed Error above (never a crash).
+  EXPECT_GT(rejected, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuListFuzz, ::testing::Range(0, 4));
+
+// --- event tables: encode/decode inverse across every architecture -----------
+
+class EventTableRoundTrip
+    : public ::testing::TestWithParam<hwsim::presets::NamedPreset> {};
+
+TEST_P(EventTableRoundTrip, DecodeInvertsEveryDocumentedEncoding) {
+  const hwsim::MachineSpec spec = GetParam().factory();
+  const hwsim::Arch arch =
+      hwsim::classify_arch(spec.vendor, spec.family, spec.model);
+  for (const auto& enc : hwsim::event_table(arch)) {
+    if (enc.klass == hwsim::CounterClass::kFixed) continue;
+    const auto* back = hwsim::decode_event(arch, enc.event_code, enc.umask,
+                                           enc.klass);
+    ASSERT_NE(back, nullptr) << enc.name;
+    EXPECT_EQ(back->id, enc.id) << enc.name;
+    EXPECT_EQ(back->name, enc.name);
+  }
+}
+
+TEST_P(EventTableRoundTrip, UndocumentedEncodingsDecodeToNothing) {
+  const hwsim::MachineSpec spec = GetParam().factory();
+  const hwsim::Arch arch =
+      hwsim::classify_arch(spec.vendor, spec.family, spec.model);
+  std::mt19937_64 rng(0xC0FFEE);
+  const auto& table = hwsim::event_table(arch);
+  int probed = 0;
+  while (probed < 64) {
+    const auto code = static_cast<std::uint16_t>(rng() % 0x400);
+    const auto umask = static_cast<std::uint8_t>(rng() % 0x100);
+    const bool documented = std::any_of(
+        table.begin(), table.end(), [&](const hwsim::EventEncoding& e) {
+          return e.event_code == code && e.umask == umask;
+        });
+    if (documented) continue;
+    ++probed;
+    // Like real silicon: an unprogrammed selector simply never counts.
+    EXPECT_EQ(hwsim::decode_event(arch, code, umask,
+                                  hwsim::CounterClass::kCore),
+              nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, EventTableRoundTrip,
+    ::testing::ValuesIn(hwsim::presets::all_presets()),
+    [](const ::testing::TestParamInfo<hwsim::presets::NamedPreset>& info) {
+      std::string name = info.param.key;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- counter allocation under random event subsets ---------------------------
+
+class AllocationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocationFuzz, AutoAssignmentNeverDoublesACounter) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  for (const auto& preset : hwsim::presets::all_presets()) {
+    hwsim::SimMachine machine(preset.factory());
+    ossim::SimKernel kernel(machine);
+
+    // Candidate GP events of this architecture.
+    std::vector<std::string> names;
+    for (const auto& enc : hwsim::event_table(machine.arch())) {
+      if (enc.klass == hwsim::CounterClass::kCore) names.push_back(enc.name);
+    }
+    for (int round = 0; round < 6; ++round) {
+      std::shuffle(names.begin(), names.end(), rng);
+      const int take = 1 + static_cast<int>(rng() % 5);
+      std::string spec;
+      for (int i = 0; i < take && i < static_cast<int>(names.size()); ++i) {
+        if (!spec.empty()) spec += ',';
+        spec += names[static_cast<std::size_t>(i)];
+      }
+      core::PerfCtr ctr(kernel, {0});
+      try {
+        ctr.add_custom(spec);
+      } catch (const Error& e) {
+        // Exhaustion of the GP budget is the only acceptable failure.
+        EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument) << spec;
+        continue;
+      }
+      std::set<std::string> used;
+      int gp = 0;
+      for (const auto& a : ctr.assignments_of(0)) {
+        EXPECT_TRUE(used.insert(a.counter_name).second)
+            << preset.key << ": counter " << a.counter_name
+            << " assigned twice in '" << spec << "'";
+        if (a.counter_name.rfind("PMC", 0) == 0) ++gp;
+      }
+      EXPECT_LE(gp, machine.spec().pmu.num_gp_counters) << preset.key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationFuzz, ::testing::Range(0, 3));
+
+// --- timing monotonicity ------------------------------------------------------
+
+class TimingMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimingMonotonicity, LoneWorkerNeverGainsFromRemoteHoming) {
+  // With several workers, pushing one worker's data to the other socket
+  // can legitimately *help* (it off-loads a saturated controller). For a
+  // lone worker there is no such upside: the remote factor and the QPI
+  // cap only penalize, so its runtime must be monotone in the remote
+  // share of its traffic.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 12347 + 11);
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const auto model = perfmodel::default_model(machine.spec());
+  std::vector<int> load(static_cast<std::size_t>(machine.num_threads()), 0);
+
+  for (int round = 0; round < 20; ++round) {
+    const int cpu = static_cast<int>(rng() % 12);
+    const int sock = machine.socket_of(cpu);
+    const double total = (1.0 + static_cast<double>(rng() % 100)) * 1e7;
+    const double cycles_per_iter = 1.0 + static_cast<double>(rng() % 4);
+    double prev_seconds = 0;
+    for (const double remote_share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      perfmodel::ThreadWork t;
+      t.cpu = cpu;
+      t.iterations = 1e7;
+      t.cycles_per_iter = cycles_per_iter;
+      t.mem_bytes_by_socket.assign(2, 0.0);
+      t.mem_bytes_by_socket[static_cast<std::size_t>(sock)] =
+          total * (1.0 - remote_share);
+      t.mem_bytes_by_socket[static_cast<std::size_t>(1 - sock)] =
+          total * remote_share;
+      t.l2_bytes = total;
+      t.l3_bytes = total;
+      const auto r = perfmodel::estimate_slice(model, machine, {t}, load);
+      EXPECT_GE(r.seconds, prev_seconds * (1.0 - 1e-9))
+          << "cpu " << cpu << " remote share " << remote_share;
+      prev_seconds = r.seconds;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingMonotonicity, ::testing::Range(0, 4));
+
+// --- synthetic kernel steady-state invariants ---------------------------------
+
+class SyntheticInvariants
+    : public ::testing::TestWithParam<hwsim::presets::NamedPreset> {};
+
+TEST_P(SyntheticInvariants, MissFlagsAreMonotoneAcrossLevels) {
+  hwsim::SimMachine machine(GetParam().factory());
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 30; ++round) {
+    const std::uint64_t ws = 64ull << (rng() % 22);  // 64 B .. 128 MB
+    const workloads::SyntheticKernel k(
+        workloads::cache_ladder_kernel(ws, 1));
+    workloads::Placement p;
+    p.cpus = {static_cast<int>(rng() %
+                               static_cast<unsigned>(machine.num_threads()))};
+    const auto t = k.sweep_traffic(machine, p, 0);
+    // A hit at an inner level implies no traffic deeper down.
+    if (!t.misses_l1) EXPECT_FALSE(t.misses_l2);
+    if (!t.misses_l2) EXPECT_FALSE(t.misses_llc);
+    EXPECT_GE(t.lines, t.store_lines);
+    const auto& tlb = machine.spec().tlb;
+    if (t.pages > tlb.entries) {
+      EXPECT_GT(t.dtlb_misses, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(t.dtlb_misses, 0.0);
+    }
+  }
+}
+
+TEST_P(SyntheticInvariants, LargerWorkingSetsNeverMissLess) {
+  hwsim::SimMachine machine(GetParam().factory());
+  workloads::Placement p;
+  p.cpus = {0};
+  bool prev_l1 = false, prev_llc = false;
+  for (std::uint64_t ws = 1024; ws <= (256ull << 20); ws *= 4) {
+    const workloads::SyntheticKernel k(
+        workloads::cache_ladder_kernel(ws, 1));
+    const auto t = k.sweep_traffic(machine, p, 0);
+    EXPECT_TRUE(t.misses_l1 || !prev_l1) << ws;
+    EXPECT_TRUE(t.misses_llc || !prev_llc) << ws;
+    prev_l1 = t.misses_l1;
+    prev_llc = t.misses_llc;
+  }
+  EXPECT_TRUE(prev_l1);
+  EXPECT_TRUE(prev_llc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, SyntheticInvariants,
+    ::testing::ValuesIn(hwsim::presets::all_presets()),
+    [](const ::testing::TestParamInfo<hwsim::presets::NamedPreset>& info) {
+      std::string name = info.param.key;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace likwid

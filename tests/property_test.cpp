@@ -1,0 +1,254 @@
+// Property-based tests: invariants that must hold across randomized
+// machine shapes, cache geometries, access streams and counter
+// programmings — the sweeps DESIGN.md commits to.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cachesim/hierarchy.hpp"
+#include "core/topology.hpp"
+#include "hwsim/machine.hpp"
+#include "hwsim/presets.hpp"
+#include "perfmodel/bandwidth.hpp"
+#include "util/status.hpp"
+
+namespace likwid {
+namespace {
+
+// --- randomized machines -----------------------------------------------------
+
+hwsim::MachineSpec random_intel_machine(std::mt19937_64& rng) {
+  hwsim::MachineSpec m = hwsim::presets::nehalem_ep();
+  std::uniform_int_distribution<int> sockets(1, 4);
+  std::uniform_int_distribution<int> cores(1, 8);
+  std::uniform_int_distribution<int> smt(1, 2);
+  std::uniform_int_distribution<int> gap(0, 1);
+  m.sockets = sockets(rng);
+  m.cores_per_socket = cores(rng);
+  m.threads_per_core = smt(rng);
+  m.core_apic_ids.clear();
+  // Possibly non-contiguous core numbering (Westmere style).
+  int id = 0;
+  for (int c = 0; c < m.cores_per_socket; ++c) {
+    m.core_apic_ids.push_back(id);
+    id += 1 + gap(rng) * (c == m.cores_per_socket / 2 ? 5 : 0);
+  }
+  // Keep caches consistent with the new shape.
+  const int threads_per_socket = m.cores_per_socket * m.threads_per_core;
+  for (auto& c : m.caches) {
+    if (c.level == 3) {
+      c.shared_by_threads = static_cast<std::uint32_t>(threads_per_socket);
+    } else {
+      c.shared_by_threads = static_cast<std::uint32_t>(m.threads_per_core);
+    }
+  }
+  m.name = "randomized Nehalem variant";
+  return m;
+}
+
+class RandomMachine : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMachine, TopologyDecodeRoundTrips) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const hwsim::MachineSpec spec = random_intel_machine(rng);
+  ASSERT_NO_THROW(spec.validate());
+  hwsim::SimMachine machine(spec);
+  const core::NodeTopology topo = core::probe_topology(machine);
+  EXPECT_EQ(topo.num_sockets, spec.sockets);
+  EXPECT_EQ(topo.num_cores_per_socket, spec.cores_per_socket);
+  EXPECT_EQ(topo.num_threads_per_core, spec.threads_per_core);
+  for (const auto& hw : machine.threads()) {
+    const auto& e = topo.threads.at(static_cast<std::size_t>(hw.os_id));
+    EXPECT_EQ(e.socket_id, hw.socket);
+    EXPECT_EQ(e.core_id, hw.core_apic);
+    EXPECT_EQ(e.thread_id, hw.smt);
+  }
+}
+
+TEST_P(RandomMachine, CacheGroupsAlwaysPartition) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  hwsim::SimMachine machine(random_intel_machine(rng));
+  const core::NodeTopology topo = core::probe_topology(machine);
+  for (const auto& cache : topo.caches) {
+    int covered = 0;
+    for (const auto& g : cache.groups) covered += static_cast<int>(g.size());
+    EXPECT_EQ(covered, topo.num_hw_threads) << "L" << cache.level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMachine, ::testing::Range(0, 12));
+
+// --- cache invariants ----------------------------------------------------------
+
+class RandomStream : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStream, HitsPlusFillsEqualAccesses) {
+  // For any access stream: every L1 access either hits or causes a fill.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const hwsim::MachineSpec spec = hwsim::presets::nehalem_ep();
+  const auto threads = hwsim::enumerate_hw_threads(spec);
+  cachesim::CacheHierarchy h(spec, threads);
+  for (const auto& t : threads) h.set_prefetchers(t.os_id, {});
+  std::uniform_int_distribution<std::uint64_t> addr(0, 1 << 22);
+  std::uniform_int_distribution<int> kind(0, 2);
+  for (int i = 0; i < 20000; ++i) {
+    h.access(0, addr(rng) * 8, 8,
+             static_cast<cachesim::AccessKind>(kind(rng)));
+  }
+  const auto& t = h.cpu_traffic(0);
+  // NT stores neither hit nor fill L1.
+  EXPECT_DOUBLE_EQ(t.l1_hits + t.l1_fills + t.nt_store_lines,
+                   t.loads + t.stores);
+  // Demand L2 requests = L1 demand misses.
+  EXPECT_DOUBLE_EQ(t.l2_requests, t.l2_hits + t.l2_misses);
+  // Everything fetched from somewhere: misses are served by L2, L3,
+  // remote caches or memory.
+  EXPECT_DOUBLE_EQ(t.l2_requests,
+                   t.l2_hits + t.l3_hits + t.remote_l3_hits +
+                       t.mem_lines_read);
+}
+
+TEST_P(RandomStream, MissesDecreaseWithCapacity) {
+  // Monotonicity: a larger L2 never produces more L2 misses on the same
+  // access stream (fully-LRU inclusion property).
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  std::vector<std::pair<std::uint64_t, bool>> stream;
+  std::uniform_int_distribution<std::uint64_t> addr(0, 4096);
+  std::uniform_int_distribution<int> w(0, 1);
+  for (int i = 0; i < 30000; ++i) {
+    stream.push_back({addr(rng) * 64, w(rng) == 1});
+  }
+  double previous_misses = -1;
+  for (const std::uint64_t kb : {64, 256, 1024}) {
+    hwsim::MachineSpec spec = hwsim::presets::nehalem_ep();
+    for (auto& c : spec.caches) {
+      if (c.level == 2) c.size_bytes = kb * 1024;
+    }
+    const auto threads = hwsim::enumerate_hw_threads(spec);
+    cachesim::CacheHierarchy h(spec, threads);
+    for (const auto& t : threads) h.set_prefetchers(t.os_id, {});
+    for (const auto& [a, is_store] : stream) {
+      h.access(0, a, 8,
+               is_store ? cachesim::AccessKind::kStore
+                        : cachesim::AccessKind::kLoad);
+    }
+    const double misses = h.cpu_traffic(0).l2_misses;
+    if (previous_misses >= 0) {
+      EXPECT_LE(misses, previous_misses + 1e-9) << kb << " kB L2";
+    }
+    previous_misses = misses;
+  }
+}
+
+TEST_P(RandomStream, InclusiveL3ContainsInnerLevels) {
+  // With an inclusive L3, any line resident in L1 must be in the L3.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 17 + 11);
+  hwsim::MachineSpec spec = hwsim::presets::nehalem_ep();
+  for (auto& c : spec.caches) {
+    if (c.level == 3) c.inclusive = true;
+  }
+  const auto threads = hwsim::enumerate_hw_threads(spec);
+  cachesim::CacheHierarchy h(spec, threads);
+  for (const auto& t : threads) h.set_prefetchers(t.os_id, {});
+  std::uniform_int_distribution<std::uint64_t> addr(0, 1 << 20);
+  std::vector<std::uint64_t> touched;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = addr(rng) * 64;
+    h.access(0, a, 8, cachesim::AccessKind::kLoad);
+    touched.push_back(a);
+  }
+  // Probe: re-access a sample; if it hits L1/L2 instantly (no new memory
+  // read) the line must still be L3-resident. Use traffic deltas.
+  const auto before = h.cpu_traffic(0);
+  int probed = 0;
+  for (std::size_t i = touched.size() - 100; i < touched.size(); ++i) {
+    h.access(0, touched[i], 8, cachesim::AccessKind::kLoad);
+    ++probed;
+  }
+  const auto after = h.cpu_traffic(0);
+  // Recently touched lines must be close: no more memory reads than probes
+  // and most should hit the hierarchy.
+  EXPECT_LE(after.mem_lines_read - before.mem_lines_read, probed);
+  EXPECT_GT(after.l1_hits + after.l3_hits + after.l2_hits -
+                (before.l1_hits + before.l3_hits + before.l2_hits),
+            probed / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStream, ::testing::Range(0, 8));
+
+// --- bandwidth allocator conservation ---------------------------------------
+
+class RandomDemands : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDemands, NeverExceedsCapsAndNeverExceedsDesire) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2029 + 1);
+  std::uniform_real_distribution<double> gbs(0.0, 30.0);
+  std::uniform_int_distribution<int> count(1, 12);
+  std::uniform_int_distribution<int> domains(1, 4);
+  const int n = count(rng);
+  const int d = domains(rng);
+  std::vector<perfmodel::BandwidthDemand> demands;
+  for (int i = 0; i < n; ++i) {
+    perfmodel::BandwidthDemand dem;
+    dem.desired_gbs = gbs(rng);
+    dem.domain_fraction.assign(static_cast<std::size_t>(d), 0.0);
+    // Random split over domains, normalized.
+    double total = 0;
+    std::vector<double> raw(static_cast<std::size_t>(d));
+    for (auto& r : raw) {
+      r = gbs(rng) + 0.01;
+      total += r;
+    }
+    for (int k = 0; k < d; ++k) {
+      dem.domain_fraction[static_cast<std::size_t>(k)] =
+          raw[static_cast<std::size_t>(k)] / total;
+    }
+    demands.push_back(std::move(dem));
+  }
+  std::vector<double> caps;
+  for (int k = 0; k < d; ++k) caps.push_back(gbs(rng) + 5.0);
+
+  const auto achieved = perfmodel::allocate_bandwidth(demands, caps);
+  ASSERT_EQ(achieved.size(), demands.size());
+  for (std::size_t i = 0; i < achieved.size(); ++i) {
+    EXPECT_GE(achieved[i], 0.0);
+    EXPECT_LE(achieved[i], demands[i].desired_gbs + 1e-9);
+  }
+  for (int k = 0; k < d; ++k) {
+    double util = 0;
+    for (std::size_t i = 0; i < achieved.size(); ++i) {
+      if (demands[i].desired_gbs > 0) {
+        util += achieved[i] *
+                demands[i].domain_fraction[static_cast<std::size_t>(k)];
+      }
+    }
+    EXPECT_LE(util, caps[static_cast<std::size_t>(k)] * 1.01)
+        << "domain " << k << " over capacity";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDemands, ::testing::Range(0, 16));
+
+// --- counter width sweep ------------------------------------------------------
+
+class CounterWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterWidth, DeltaRecoversCountAcrossWrap) {
+  const int bits = GetParam();
+  const std::uint64_t mask = hwsim::counter_mask(bits);
+  // Any (start, added) pair with added < 2^bits is recovered exactly.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(bits) * 77);
+  std::uniform_int_distribution<std::uint64_t> dist(0, mask);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t start = dist(rng);
+    const std::uint64_t added = dist(rng);
+    const std::uint64_t stop = (start + added) & mask;
+    EXPECT_EQ(hwsim::counter_delta(start, stop, bits), added);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CounterWidth,
+                         ::testing::Values(32, 40, 48, 64));
+
+}  // namespace
+}  // namespace likwid

@@ -1,0 +1,317 @@
+// Tests for the util module: strings, bitops, cpu lists, tables, env.
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+#include "util/cpulist.hpp"
+#include "util/env.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace likwid::util {
+namespace {
+
+// --- status ---------------------------------------------------------------
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  try {
+    throw_error(ErrorCode::kNotFound, "the thing");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+    EXPECT_NE(std::string(e.what()).find("the thing"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NotFound"), std::string::npos);
+  }
+}
+
+TEST(Status, ResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Status, ResultHoldsFailure) {
+  Result<int> r(ErrorCode::kPermission, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kPermission);
+  EXPECT_EQ(r.message(), "nope");
+  EXPECT_THROW(r.value(), Error);
+}
+
+TEST(Status, RequireMacroThrowsInvalidArgument) {
+  const auto bad = [] { LIKWID_REQUIRE(false, "broken"); };
+  try {
+    bad();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+// --- strings ----------------------------------------------------------------
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split(",a,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitTrimmedDropsEmptyAndTrims) {
+  const auto parts = split_trimmed(" a , , b ,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, CaseMapping) {
+  EXPECT_EQ(to_upper("flops_dp"), "FLOPS_DP");
+  EXPECT_EQ(to_lower("FLOPS_DP"), "flops_dp");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("UNC_L3_LINES_IN", "UNC_"));
+  EXPECT_FALSE(starts_with("X", "UNC_"));
+  EXPECT_TRUE(ends_with("likwid-pin", "-pin"));
+  EXPECT_FALSE(ends_with("pin", "likwid-pin"));
+}
+
+TEST(Strings, ParseU64Decimal) {
+  EXPECT_EQ(parse_u64("1234").value(), 1234u);
+  EXPECT_EQ(parse_u64(" 7 ").value(), 7u);
+}
+
+TEST(Strings, ParseU64Hex) {
+  EXPECT_EQ(parse_u64("0x3").value(), 3u);
+  EXPECT_EQ(parse_u64("0xFF").value(), 255u);
+  EXPECT_EQ(parse_u64("0X10").value(), 16u);
+}
+
+TEST(Strings, ParseU64Malformed) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("0x").has_value());
+  EXPECT_FALSE(parse_u64("12a").has_value());
+  EXPECT_FALSE(parse_u64("-3").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("2.93").value(), 2.93);
+  EXPECT_DOUBLE_EQ(parse_double("1e6").value(), 1e6);
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(Strings, FormatMetricMatchesPaperStyle) {
+  EXPECT_EQ(format_metric(1624.08), "1624.08");
+  EXPECT_EQ(format_metric(0.693493), "0.693493");
+  EXPECT_EQ(format_metric(18802400), "1.88024e+07");
+}
+
+TEST(Strings, FormatCountIntegralSmall) {
+  EXPECT_EQ(format_count(313742), "313742");
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(1), "1");
+}
+
+TEST(Strings, FormatCountLargeUsesExponent) {
+  EXPECT_EQ(format_count(5.91e8), "5.91e+08");
+}
+
+TEST(Strings, FormatSize) {
+  EXPECT_EQ(format_size(32 * 1024), "32 kB");
+  EXPECT_EQ(format_size(256 * 1024), "256 kB");
+  EXPECT_EQ(format_size(12 * 1024 * 1024), "12 MB");
+  EXPECT_EQ(format_size(100), "100 B");
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("%.2f GHz", 2.93), "2.93 GHz");
+  EXPECT_EQ(strprintf("%d-%d", 0, 3), "0-3");
+}
+
+// --- bitops ---------------------------------------------------------------
+
+TEST(BitOps, ExtractBits) {
+  EXPECT_EQ(extract_bits(0xABCD, 0, 3), 0xDu);
+  EXPECT_EQ(extract_bits(0xABCD, 4, 7), 0xCu);
+  EXPECT_EQ(extract_bits(0xABCD, 8, 15), 0xABu);
+  EXPECT_EQ(extract_bits(~0ull, 0, 63), ~0ull);
+}
+
+TEST(BitOps, DepositBits) {
+  EXPECT_EQ(deposit_bits(0, 8, 15, 0xAB), 0xAB00u);
+  EXPECT_EQ(deposit_bits(0xFFFF, 4, 7, 0), 0xFF0Fu);
+  // Field wider than destination is truncated.
+  EXPECT_EQ(deposit_bits(0, 0, 3, 0x1F), 0xFu);
+}
+
+TEST(BitOps, ExtractDepositRoundTrip) {
+  for (unsigned lo = 0; lo < 32; lo += 5) {
+    const unsigned hi = lo + 6;
+    const std::uint64_t v = deposit_bits(0x123456789ABCDEFull, lo, hi, 0x55);
+    EXPECT_EQ(extract_bits(v, lo, hi), 0x55u) << "lo=" << lo;
+  }
+}
+
+TEST(BitOps, TestAndAssignBit) {
+  std::uint64_t v = 0;
+  v = assign_bit(v, 9, true);
+  EXPECT_TRUE(test_bit(v, 9));
+  v = assign_bit(v, 9, false);
+  EXPECT_FALSE(test_bit(v, 9));
+}
+
+TEST(BitOps, FieldWidthMatchesApicSemantics) {
+  EXPECT_EQ(field_width(1), 0u);
+  EXPECT_EQ(field_width(2), 1u);
+  EXPECT_EQ(field_width(6), 3u);   // 6 cores need 3 bits
+  EXPECT_EQ(field_width(11), 4u);  // Westmere core ids up to 10
+  EXPECT_EQ(field_width(16), 4u);
+  EXPECT_EQ(field_width(17), 5u);
+}
+
+TEST(BitOps, Pow2Helpers) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(12), 16u);
+  EXPECT_EQ(next_pow2(16), 16u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_exact(64), 6u);
+  EXPECT_THROW(log2_exact(48), Error);
+}
+
+// --- cpulist ----------------------------------------------------------------
+
+TEST(CpuList, SingleIds) {
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("0,2,4"), (std::vector<int>{0, 2, 4}));
+}
+
+TEST(CpuList, Ranges) {
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-2,8,10-11"),
+            (std::vector<int>{0, 1, 2, 8, 10, 11}));
+}
+
+TEST(CpuList, PreservesOrderAndDuplicates) {
+  EXPECT_EQ(parse_cpu_list("3,1,3"), (std::vector<int>{3, 1, 3}));
+}
+
+TEST(CpuList, RejectsMalformed) {
+  EXPECT_THROW(parse_cpu_list(""), Error);
+  EXPECT_THROW(parse_cpu_list("a-b"), Error);
+  EXPECT_THROW(parse_cpu_list("3-1"), Error);
+  EXPECT_THROW(parse_cpu_list("1,,2"), Error);
+  EXPECT_THROW(parse_cpu_list("99999"), Error);
+}
+
+TEST(CpuList, FormatCompactsRanges) {
+  EXPECT_EQ(format_cpu_list({0, 1, 2, 8, 10, 11}), "0-2,8,10,11");
+  EXPECT_EQ(format_cpu_list({5}), "5");
+  EXPECT_EQ(format_cpu_list({0, 1, 2, 3}), "0-3");
+}
+
+TEST(CpuList, FormatParseRoundTrip) {
+  const std::vector<int> cpus = {0, 1, 2, 3, 8, 9, 10, 15};
+  EXPECT_EQ(parse_cpu_list(format_cpu_list(cpus)), cpus);
+}
+
+TEST(SkipMask, PaperValues) {
+  // gcc: nothing skipped; intel: first created; intel-MPI: first two.
+  EXPECT_FALSE(SkipMask(0x0).skips(0));
+  EXPECT_TRUE(SkipMask(0x1).skips(0));
+  EXPECT_FALSE(SkipMask(0x1).skips(1));
+  EXPECT_TRUE(SkipMask(0x3).skips(0));
+  EXPECT_TRUE(SkipMask(0x3).skips(1));
+  EXPECT_FALSE(SkipMask(0x3).skips(2));
+}
+
+TEST(SkipMask, ParseHexDecimalBinary) {
+  EXPECT_EQ(SkipMask::parse("0x3"), SkipMask(3));
+  EXPECT_EQ(SkipMask::parse("3"), SkipMask(3));
+  EXPECT_EQ(SkipMask::parse("0b11"), SkipMask(3));
+  EXPECT_EQ(SkipMask::parse("0b10"), SkipMask(2));
+}
+
+TEST(SkipMask, ParseRejectsGarbage) {
+  EXPECT_THROW(SkipMask::parse(""), Error);
+  EXPECT_THROW(SkipMask::parse("0b"), Error);
+  EXPECT_THROW(SkipMask::parse("0b12"), Error);
+  EXPECT_THROW(SkipMask::parse("zz"), Error);
+}
+
+TEST(SkipMask, CountSkipped) {
+  EXPECT_EQ(SkipMask(0x3).count_skipped(8), 2u);
+  EXPECT_EQ(SkipMask(0x3).count_skipped(1), 1u);
+  EXPECT_EQ(SkipMask(0x0).count_skipped(8), 0u);
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(AsciiTable, RendersPaperStyle) {
+  AsciiTable t({"Event", "core 0"});
+  t.add_row({"INSTR_RETIRED_ANY", "313742"});
+  const std::string expected =
+      "+-------------------+--------+\n"
+      "| Event             | core 0 |\n"
+      "+-------------------+--------+\n"
+      "| INSTR_RETIRED_ANY | 313742 |\n"
+      "+-------------------+--------+\n";
+  EXPECT_EQ(t.render(), expected);
+}
+
+TEST(AsciiTable, WidensToLargestCell) {
+  AsciiTable t({"a"});
+  t.add_row({"wide-cell-here"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| wide-cell-here |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsArityMismatch) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), Error);
+}
+
+TEST(Separator, Has61Dashes) {
+  EXPECT_EQ(separator_line().size(), 62u);  // 61 dashes + newline
+  EXPECT_EQ(separator_line()[0], '-');
+  EXPECT_EQ(star_line()[0], '*');
+}
+
+// --- env --------------------------------------------------------------------
+
+TEST(Environment, SetGetUnset) {
+  Environment env;
+  EXPECT_FALSE(env.has("OMP_NUM_THREADS"));
+  env.set("OMP_NUM_THREADS", "4");
+  EXPECT_EQ(env.get("OMP_NUM_THREADS").value(), "4");
+  env.unset("OMP_NUM_THREADS");
+  EXPECT_FALSE(env.get("OMP_NUM_THREADS").has_value());
+}
+
+TEST(Environment, GetOrDefault) {
+  Environment env;
+  EXPECT_EQ(env.get_or("LIKWID_PIN_TYPE", "gcc"), "gcc");
+  env.set("LIKWID_PIN_TYPE", "intel");
+  EXPECT_EQ(env.get_or("LIKWID_PIN_TYPE", "gcc"), "intel");
+}
+
+}  // namespace
+}  // namespace likwid::util

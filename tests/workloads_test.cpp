@@ -1,0 +1,361 @@
+// Tests for the workload layer: OpenMP team creation patterns, the STREAM
+// triad (functional reference + simulated bandwidths + counter events), the
+// Jacobi variants (functional reference + traffic ratios of the paper).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/bitops.hpp"
+#include "util/status.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/openmp_model.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid::workloads {
+namespace {
+
+// --- OpenMP team creation ---------------------------------------------------
+
+class OpenMpTeam : public ::testing::Test {
+ protected:
+  OpenMpTeam()
+      : machine(hwsim::presets::westmere_ep()),
+        sched(machine, 3),
+        runtime(sched) {}
+  hwsim::SimMachine machine;
+  ossim::Scheduler sched;
+  ossim::ThreadRuntime runtime;
+};
+
+TEST_F(OpenMpTeam, GccCreatesNMinusOne) {
+  const auto team = launch_openmp_team(runtime, OpenMpImpl::kGcc, 4);
+  EXPECT_EQ(team.worker_tids.size(), 4u);
+  EXPECT_EQ(team.worker_tids.front(), 0);  // master participates
+  EXPECT_TRUE(team.service_tids.empty());
+  EXPECT_EQ(runtime.num_threads(), 4);  // main + 3 created
+  EXPECT_EQ(expected_creations(OpenMpImpl::kGcc, 4), 3);
+}
+
+TEST_F(OpenMpTeam, IntelCreatesShepherdFirst) {
+  // "The Intel OpenMP implementation always runs OMP_NUM_THREADS+1
+  // threads but uses the first newly created thread as a management
+  // thread."
+  const auto team = launch_openmp_team(runtime, OpenMpImpl::kIntel, 4);
+  EXPECT_EQ(team.worker_tids.size(), 4u);
+  ASSERT_EQ(team.service_tids.size(), 1u);
+  EXPECT_EQ(team.service_tids.front(), 1);  // first created = shepherd
+  EXPECT_EQ(runtime.num_threads(), 5);      // OMP_NUM_THREADS + 1
+  EXPECT_EQ(expected_creations(OpenMpImpl::kIntel, 4), 4);
+}
+
+TEST_F(OpenMpTeam, IntelMpiCreatesTwoServiceThreads) {
+  const auto team = launch_openmp_team(runtime, OpenMpImpl::kIntelMpi, 8);
+  EXPECT_EQ(team.worker_tids.size(), 8u);
+  EXPECT_EQ(team.service_tids.size(), 2u);
+  EXPECT_EQ(expected_creations(OpenMpImpl::kIntelMpi, 8), 9);
+}
+
+TEST_F(OpenMpTeam, WorkersAreBusyServiceThreadsAreNot) {
+  const auto team = launch_openmp_team(runtime, OpenMpImpl::kIntel, 4);
+  for (const int tid : team.worker_tids) {
+    EXPECT_TRUE(runtime.thread(tid).busy);
+  }
+  for (const int tid : team.service_tids) {
+    EXPECT_FALSE(runtime.thread(tid).busy);
+  }
+}
+
+// --- STREAM triad ------------------------------------------------------------
+
+TEST(ReferenceTriad, ComputesCorrectly) {
+  std::vector<double> a(100, 0.0), b(100), c(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    b[i] = static_cast<double>(i);
+    c[i] = 2.0 * static_cast<double>(i);
+  }
+  reference_triad(a, b, c, 3.0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a[i], static_cast<double>(i) + 3.0 * 2.0 *
+                               static_cast<double>(i));
+  }
+}
+
+TEST(ReferenceTriad, RejectsMismatchedLengths) {
+  std::vector<double> a(3), b(4), c(3);
+  EXPECT_THROW(reference_triad(a, b, c, 1.0), Error);
+}
+
+class StreamSim : public ::testing::Test {
+ protected:
+  StreamSim() : machine(hwsim::presets::westmere_ep()), kernel(machine) {}
+
+  double run(const std::vector<int>& cpus, const StreamConfig& cfg) {
+    StreamTriad triad(cfg);
+    Placement p;
+    p.cpus = cpus;
+    // Account the workers as busy on their cpus.
+    for (const int cpu : cpus) kernel.scheduler().add_busy(cpu, 1);
+    const double t = run_workload(kernel, triad, p);
+    for (const int cpu : cpus) kernel.scheduler().add_busy(cpu, -1);
+    last_bw_ = triad.reported_bandwidth_mbs(t);
+    return t;
+  }
+
+  hwsim::SimMachine machine;
+  ossim::SimKernel kernel;
+  double last_bw_ = 0;
+};
+
+TEST_F(StreamSim, SingleThreadBandwidthMatchesThreadCap) {
+  run({0}, StreamConfig{});
+  // 14 GB/s traffic cap * 24/32 reported fraction = 10500 MB/s.
+  EXPECT_NEAR(last_bw_, 10500, 50);
+}
+
+TEST_F(StreamSim, SocketSaturates) {
+  run({0, 1, 2, 3, 4, 5}, StreamConfig{});
+  // 28 GB/s socket * 0.75 = 21000 MB/s.
+  EXPECT_NEAR(last_bw_, 21000, 200);
+}
+
+TEST_F(StreamSim, TwoSocketsDouble) {
+  run({0, 1, 2, 6, 7, 8}, StreamConfig{});
+  EXPECT_NEAR(last_bw_, 42000, 400);
+}
+
+TEST_F(StreamSim, SmtAddsNothingWhenMemoryBound) {
+  run({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, StreamConfig{});
+  const double physical = last_bw_;
+  ossim::SimKernel kernel2(machine);
+  StreamConfig cfg;
+  StreamTriad triad(cfg);
+  Placement p;
+  for (int cpu = 0; cpu < 24; ++cpu) {
+    p.cpus.push_back(cpu);
+    kernel2.scheduler().add_busy(cpu, 1);
+  }
+  const double t = run_workload(kernel2, triad, p);
+  EXPECT_NEAR(triad.reported_bandwidth_mbs(t), physical, physical * 0.02);
+}
+
+TEST_F(StreamSim, GccProfileIsSlower) {
+  StreamConfig gcc_cfg;
+  gcc_cfg.compiler = gcc_profile();
+  run({0}, gcc_cfg);
+  const double gcc_bw = last_bw_;
+  run({0}, StreamConfig{});  // icc
+  EXPECT_LT(gcc_bw, last_bw_ * 0.7);
+}
+
+TEST_F(StreamSim, GccBenefitsFromSmt) {
+  StreamConfig cfg;
+  cfg.compiler = gcc_profile();
+  // One core, one thread vs. the same core with both SMT threads.
+  run({0}, cfg);
+  const double one = last_bw_;
+  run({0, 12}, cfg);
+  EXPECT_GT(last_bw_, one * 1.15);  // SMT helps the sparse gcc code
+}
+
+TEST_F(StreamSim, RemoteHomingReducesBandwidth) {
+  StreamConfig cfg;
+  cfg.chunk_home_sockets = {1};  // data on socket 1, thread on socket 0
+  run({0}, cfg);
+  EXPECT_NEAR(last_bw_, 10500 * 0.7, 150);
+}
+
+TEST_F(StreamSim, CountersSeeFlopsAndTraffic) {
+  StreamConfig cfg;
+  cfg.array_length = 1'000'000;
+  cfg.repetitions = 1;
+  // Program FLOPS events on cpu 0 before running.
+  auto& msrs = machine.msrs();
+  std::uint64_t sel = 0;
+  sel = util::deposit_bits(sel, 0, 7, 0x10);   // FP_COMP_OPS packed double
+  sel = util::deposit_bits(sel, 8, 15, 0x10);
+  sel = util::assign_bit(sel, hwsim::msr::kEvtSelUsr, true);
+  sel = util::assign_bit(sel, hwsim::msr::kEvtSelEnable, true);
+  msrs.write(0, hwsim::msr::kPerfEvtSel0, sel);
+  msrs.write(0, hwsim::msr::kPerfGlobalCtrl, 0x1);
+  run({0}, cfg);
+  // icc profile: one packed op per iteration.
+  EXPECT_EQ(msrs.read(0, hwsim::msr::kPmc0), 1'000'000u);
+}
+
+TEST_F(StreamSim, ConfigValidation) {
+  StreamConfig cfg;
+  cfg.array_length = 0;
+  EXPECT_THROW(StreamTriad{cfg}, Error);
+  StreamConfig cfg2;
+  cfg2.chunk_home_sockets = {0, 1};  // two homes for one worker
+  StreamTriad triad(cfg2);
+  Placement p;
+  p.cpus = {0};
+  EXPECT_THROW(triad.run_slice(kernel, p, 1.0), Error);
+}
+
+// --- Jacobi -----------------------------------------------------------------
+
+TEST(ReferenceJacobi, InteriorAveragesNeighbours) {
+  const int n = 4;
+  std::vector<double> src(static_cast<std::size_t>(n) * n * n, 0.0);
+  std::vector<double> dst(src.size(), -1.0);
+  // Set the six neighbours of (1,1,1).
+  const auto at = [n](int k, int j, int i) {
+    return (static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)) * n +
+           static_cast<std::size_t>(i);
+  };
+  src[at(0, 1, 1)] = 6;
+  src[at(2, 1, 1)] = 12;
+  src[at(1, 0, 1)] = 6;
+  src[at(1, 2, 1)] = 12;
+  src[at(1, 1, 0)] = 6;
+  src[at(1, 1, 2)] = 12;
+  reference_jacobi_sweep(dst, src, n);
+  EXPECT_DOUBLE_EQ(dst[at(1, 1, 1)], 9.0);
+  // Boundary points are copied.
+  EXPECT_DOUBLE_EQ(dst[at(0, 0, 0)], src[at(0, 0, 0)]);
+}
+
+TEST(ReferenceJacobi, ConvergesToUniformField) {
+  const int n = 8;
+  std::vector<double> a(static_cast<std::size_t>(n) * n * n, 1.0);
+  std::vector<double> b(a.size());
+  // Constant boundary = 1, random-ish interior: must converge toward 1.
+  a[static_cast<std::size_t>((1 * n + 1) * n + 1)] = 100.0;
+  for (int sweep = 0; sweep < 400; ++sweep) {
+    reference_jacobi_sweep(b, a, n);
+    std::swap(a, b);
+  }
+  for (const double v : a) {
+    EXPECT_NEAR(v, 1.0, 0.05);
+  }
+}
+
+class JacobiSim : public ::testing::Test {
+ protected:
+  JacobiSim() : machine(hwsim::presets::nehalem_ep()) {}
+
+  struct Outcome {
+    double seconds;
+    double mlups;
+    double mem_lines;
+    double updates;
+  };
+
+  Outcome run(JacobiVariant variant, const std::vector<int>& cpus,
+              int n = 96) {
+    ossim::SimKernel kernel(machine);
+    JacobiConfig cfg;
+    cfg.n = n;
+    cfg.sweeps = 4;
+    cfg.variant = variant;
+    JacobiStencil jacobi(cfg);
+    Placement p;
+    p.cpus = cpus;
+    for (const int cpu : cpus) kernel.scheduler().add_busy(cpu, 1);
+    const double t = run_workload(kernel, jacobi, p);
+    Outcome o;
+    o.seconds = t;
+    o.mlups = jacobi.mlups(t);
+    o.updates = jacobi.total_updates();
+    o.mem_lines = 0;
+    for (int s = 0; s < machine.spec().sockets; ++s) {
+      o.mem_lines += kernel.caches().socket_traffic(s).mem_reads +
+                     kernel.caches().socket_traffic(s).mem_writes;
+    }
+    return o;
+  }
+
+  hwsim::SimMachine machine;
+};
+
+TEST_F(JacobiSim, ThreadedTrafficIsAbout24BytesPerUpdate) {
+  const auto o = run(JacobiVariant::kThreaded, {0, 1, 2, 3});
+  const double bytes_per_update = o.mem_lines * 64.0 / o.updates;
+  EXPECT_NEAR(bytes_per_update, 24.0, 3.0);
+}
+
+TEST_F(JacobiSim, NtStoresSaveOneThirdOfTraffic) {
+  const auto base = run(JacobiVariant::kThreaded, {0, 1, 2, 3});
+  const auto nt = run(JacobiVariant::kThreadedNT, {0, 1, 2, 3});
+  const double ratio = nt.mem_lines / base.mem_lines;
+  // Paper Table II: 43.97 / 75.39 = 0.58; 16B vs 24B per update = 0.67.
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 0.75);
+  EXPECT_GT(nt.mlups, base.mlups);  // and it is faster
+}
+
+TEST_F(JacobiSim, WavefrontCutsTrafficSeveralFold) {
+  const auto base = run(JacobiVariant::kThreaded, {0, 1, 2, 3});
+  const auto wf = run(JacobiVariant::kWavefront, {0, 1, 2, 3});
+  const double factor = base.mem_lines / wf.mem_lines;
+  // Paper Table II: 75.39 / 16.57 = 4.5-fold decrease.
+  EXPECT_GT(factor, 3.0);
+  EXPECT_LT(factor, 7.0);
+  EXPECT_GT(wf.mlups, base.mlups * 1.3);
+}
+
+TEST_F(JacobiSim, WrongPinningHalvesWavefrontPerformance) {
+  const auto good = run(JacobiVariant::kWavefront, {0, 1, 2, 3});
+  const auto bad = run(JacobiVariant::kWavefront, {0, 1, 4, 5});
+  // Paper Fig. 11: pinning pairs to different sockets costs ~2x.
+  EXPECT_LT(bad.mlups, good.mlups * 0.65);
+}
+
+TEST_F(JacobiSim, MlupsOrderingMatchesTableII) {
+  const auto threaded = run(JacobiVariant::kThreaded, {0, 1, 2, 3});
+  const auto nt = run(JacobiVariant::kThreadedNT, {0, 1, 2, 3});
+  const auto wf = run(JacobiVariant::kWavefront, {0, 1, 2, 3});
+  EXPECT_LT(threaded.mlups, nt.mlups);
+  EXPECT_LT(nt.mlups, wf.mlups);
+}
+
+TEST_F(JacobiSim, ConfigValidation) {
+  JacobiConfig cfg;
+  cfg.n = 2;
+  EXPECT_THROW(JacobiStencil{cfg}, Error);
+  JacobiConfig cfg2;
+  cfg2.n = 32;
+  cfg2.sweeps = 3;  // not a multiple of the 4-deep pipeline
+  cfg2.variant = JacobiVariant::kWavefront;
+  JacobiStencil jacobi(cfg2);
+  ossim::SimKernel kernel(machine);
+  Placement p;
+  p.cpus = {0, 1, 2, 3};
+  EXPECT_THROW(jacobi.run_slice(kernel, p, 1.0), Error);
+}
+
+TEST_F(JacobiSim, DuplicateCpusRejected) {
+  JacobiConfig cfg;
+  cfg.n = 32;
+  JacobiStencil jacobi(cfg);
+  ossim::SimKernel kernel(machine);
+  Placement p;
+  p.cpus = {0, 0};
+  EXPECT_THROW(jacobi.run_slice(kernel, p, 1.0), Error);
+}
+
+// --- run_workload quanta -----------------------------------------------------
+
+TEST(RunWorkload, QuantaSplitTheRunAndCallBack) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  ossim::SimKernel kernel(machine);
+  StreamConfig cfg;
+  cfg.array_length = 1'000'000;
+  StreamTriad triad(cfg);
+  Placement p;
+  p.cpus = {0};
+  int calls = 0;
+  RunOptions opts;
+  opts.quanta = 4;
+  opts.between_quanta = [&calls](int) { ++calls; };
+  const double t = run_workload(kernel, triad, p, opts);
+  EXPECT_EQ(calls, 3);  // between slices only
+  EXPECT_NEAR(kernel.now(), t, 1e-12);
+}
+
+}  // namespace
+}  // namespace likwid::workloads

@@ -1,0 +1,109 @@
+// likwid-bandwidth-map — the paper's Section V plan, implemented:
+// "low-level benchmarking with a tool creating a 'bandwidth map'. This
+// will allow a quick overview of the cache and memory bandwidth
+// bottlenecks in a shared-memory node, including the ccNUMA behavior."
+//
+// For every physical core the tool streams through working sets sized to
+// each cache level (bandwidth ladder), and for every (core, NUMA domain)
+// pair it runs a memory stream against data homed on that domain — the
+// ccNUMA bandwidth matrix.
+//
+// Usage: likwid-bandwidth-map [--machine KEY]
+#include <iostream>
+
+#include "cli/output.hpp"
+#include "core/likwid.hpp"
+#include "core/numa.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "tool_common.hpp"
+#include "util/table.hpp"
+#include "workloads/stream.hpp"
+
+namespace {
+
+using namespace likwid;
+
+/// Stream bandwidth (GB/s of traffic) for one core against one domain.
+double domain_stream_gbs(hwsim::SimMachine& machine, int cpu, int domain) {
+  ossim::SimKernel kernel(machine);
+  workloads::StreamConfig cfg;
+  cfg.array_length = 8'000'000;
+  cfg.repetitions = 1;
+  cfg.chunk_home_sockets = {domain};
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = {cpu};
+  kernel.scheduler().add_busy(cpu, 1);
+  const double t = run_workload(kernel, triad, p);
+  return static_cast<double>(cfg.array_length) *
+         workloads::StreamTriad::kTrafficBytesPerIter / t / 1e9;
+}
+
+/// Cache-level bandwidth ladder for one core from the machine model.
+std::vector<std::pair<std::string, double>> cache_ladder(
+    const hwsim::SimMachine& machine) {
+  const auto model = perfmodel::default_model(machine.spec());
+  const double hz = machine.clock_ghz() * 1e9;
+  std::vector<std::pair<std::string, double>> out;
+  out.push_back({"L1 <-> core", 2.0 * model.l2_bytes_per_cycle * hz / 1e9});
+  out.push_back({"L2 <-> L1", model.l2_bytes_per_cycle * hz / 1e9});
+  if (machine.spec().has_data_cache(3)) {
+    out.push_back(
+        {"L3 <-> L2 (per core)", model.l3_bytes_per_cycle_core * hz / 1e9});
+    out.push_back({"L3 aggregate (socket)",
+                   model.l3_bytes_per_cycle_socket * hz / 1e9});
+  }
+  out.push_back({"memory (single thread)", model.mem_bw_thread_gbs});
+  out.push_back({"memory (socket saturated)", model.mem_bw_socket_gbs});
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tools::tool_main([&]() {
+    const cli::ArgParser args(argc, argv, {"--machine", "--seed", "--enum"});
+    if (args.has("-h") || args.has("--help")) {
+      std::cout << "Usage: likwid-bandwidth-map [--machine KEY]\n"
+                << tools::machine_help();
+      return 0;
+    }
+    tools::ToolContext ctx = tools::make_context(args);
+    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
+    const core::NumaTopology numa = core::probe_numa(*ctx.kernel);
+    std::cout << cli::render_header(topo);
+
+    std::cout << "Bandwidth ladder (traffic GB/s):\n";
+    util::AsciiTable ladder({"path", "GB/s"});
+    for (const auto& [name, gbs] : cache_ladder(*ctx.machine)) {
+      ladder.add_row({name, util::strprintf("%.1f", gbs)});
+    }
+    std::cout << ladder.render();
+
+    std::cout << "\nccNUMA stream bandwidth map (one thread, traffic GB/s);\n"
+              << "rows: the core running the stream, columns: the NUMA\n"
+              << "domain holding the data:\n";
+    std::vector<std::string> headers = {"core \\ domain"};
+    for (const auto& d : numa.domains) {
+      headers.push_back("node " + std::to_string(d.id));
+    }
+    util::AsciiTable matrix(headers);
+    // One representative physical core per socket keeps the table small.
+    for (int socket = 0; socket < topo.num_sockets; ++socket) {
+      const int cpu = ctx.machine->cpus_of_socket(socket).front();
+      std::vector<std::string> row = {"core " + std::to_string(cpu) +
+                                      " (socket " + std::to_string(socket) +
+                                      ")"};
+      for (const auto& d : numa.domains) {
+        row.push_back(util::strprintf(
+            "%.1f", domain_stream_gbs(*ctx.machine, cpu, d.id)));
+      }
+      matrix.add_row(std::move(row));
+    }
+    std::cout << matrix.render();
+    std::cout << "\nLocal access runs at the single-thread limit; remote\n"
+              << "access pays the interconnect penalty (distance matrix in\n"
+              << "likwid-topology -n).\n";
+    return 0;
+  });
+}

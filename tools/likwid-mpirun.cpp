@@ -1,0 +1,146 @@
+// likwid-mpirun — launch a hybrid MPI+threads job on the simulated
+// cluster with per-rank pinning and optional per-rank counter measurement.
+//
+// The paper closes with the goal of combining LIKWID with MPI profiling
+// ("to facilitate the collection of performance counter data in MPI
+// programs", Section V); Section II-C gives the manual building block:
+//
+//   $ export OMP_NUM_THREADS=8
+//   $ mpiexec -n 64 -pernode likwid-pin -c 0-7 -s 0x3 ./a.out
+//
+// This tool automates that composition. Usage:
+//
+//   likwid-mpirun -np N [--nodes M] [-pernode | -npernode K] [--map rr]
+//                 [--omp gcc|intel|intel-mpi] [--threads T]
+//                 [--pin [-c LIST] [-s MASK]] [-g GROUP]
+//                 [--machine KEY] [--n LEN --reps R --cc icc|gcc]
+//
+// Without -g it prints the launch plan (rank -> node, pinned cpus, skipped
+// service threads) and the per-rank STREAM triad bandwidth. With -g it
+// additionally measures the group on every rank's workers.
+#include <iostream>
+
+#include "mpisim/launcher.hpp"
+#include "tool_common.hpp"
+#include "util/cpulist.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace likwid;
+
+workloads::OpenMpImpl parse_omp(const std::string& text) {
+  if (text == "gcc") return workloads::OpenMpImpl::kGcc;
+  if (text == "intel") return workloads::OpenMpImpl::kIntel;
+  if (text == "intel-mpi") return workloads::OpenMpImpl::kIntelMpi;
+  throw_error(ErrorCode::kInvalidArgument,
+              "unknown OpenMP implementation '" + text +
+                  "' (gcc, intel, intel-mpi)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tools::tool_main([&]() {
+    const cli::ArgParser args(
+        argc, argv,
+        {"--machine", "--seed", "-np", "--nodes", "-npernode", "--map",
+         "--omp", "--threads", "-c", "-s", "-g", "--n", "--reps", "--cc"});
+    if (args.has("-h") || args.has("--help") || !args.value("-np")) {
+      std::cout
+          << "Usage: likwid-mpirun -np N [--nodes M] [-pernode|-npernode K]\n"
+          << "                     [--map rr] [--omp gcc|intel|intel-mpi]\n"
+          << "                     [--threads T] [--pin [-c LIST] [-s MASK]]\n"
+          << "                     [-g GROUP] [--n LEN --reps R --cc icc|gcc]\n"
+          << tools::machine_help();
+      return args.has("-h") || args.has("--help") ? 0 : 1;
+    }
+
+    const int np = static_cast<int>(
+        util::parse_u64(*args.value("-np")).value_or(1));
+    const int nodes = static_cast<int>(
+        util::parse_u64(args.value_or("--nodes", "1")).value_or(1));
+
+    mpisim::MpirunConfig cfg;
+    cfg.np = np;
+    cfg.pernode = args.has("-pernode");
+    cfg.npernode = static_cast<int>(
+        util::parse_u64(args.value_or("-npernode", "0")).value_or(0));
+    if (args.value_or("--map", "block") == "rr") {
+      cfg.mapping = mpisim::RankMapping::kRoundRobin;
+    }
+    cfg.omp = parse_omp(args.value_or("--omp", "gcc"));
+    cfg.omp_threads = static_cast<int>(
+        util::parse_u64(args.value_or("--threads", "1")).value_or(1));
+    cfg.pin = args.has("--pin");
+    if (const auto list = args.value("-c")) {
+      cfg.node_cpu_list = util::parse_cpu_list(*list);
+    }
+    if (const auto mask = args.value("-s")) {
+      cfg.skip = util::SkipMask::parse(*mask);
+    }
+
+    const std::string key = args.value_or("--machine", "westmere-ep");
+    const std::uint64_t seed =
+        util::parse_u64(args.value_or("--seed", "42")).value_or(42);
+    mpisim::Cluster cluster(nodes, hwsim::presets::preset_by_key(key), seed);
+
+    mpisim::MpiJob job(cluster, cfg);
+
+    std::cout << util::separator_line()
+              << "likwid-mpirun: " << np << " rank" << (np == 1 ? "" : "s")
+              << " on " << nodes << " node" << (nodes == 1 ? "" : "s")
+              << " (" << key << "), " << cfg.omp_threads
+              << " thread" << (cfg.omp_threads == 1 ? "" : "s")
+              << " per rank\n"
+              << util::separator_line();
+    for (const auto& rank : job.ranks()) {
+      std::cout << "Rank " << rank.plan.rank << " -> node " << rank.plan.node
+                << " slot " << rank.plan.slot << ": workers on cpus";
+      for (const int c : rank.worker_cpus) std::cout << " " << c;
+      if (rank.wrapper) {
+        std::cout << " (pinned " << rank.wrapper->pinned_count()
+                  << ", skipped " << rank.wrapper->skipped_count()
+                  << " service thread"
+                  << (rank.wrapper->skipped_count() == 1 ? "" : "s") << ")";
+      }
+      std::cout << "\n";
+    }
+
+    workloads::StreamConfig stream;
+    stream.array_length = util::parse_u64(args.value_or("--n", "4000000"))
+                              .value_or(4000000);
+    stream.repetitions = static_cast<int>(
+        util::parse_u64(args.value_or("--reps", "5")).value_or(5));
+    stream.compiler = args.value_or("--cc", "icc") == "gcc"
+                          ? workloads::gcc_profile()
+                          : workloads::icc_profile();
+
+    if (const auto group = args.value("-g")) {
+      std::cout << util::separator_line() << "Measuring group " << *group
+                << " per rank\n" << util::separator_line();
+      for (const auto& m : job.measure_triad(*group, stream)) {
+        std::cout << "Rank " << m.rank << " (node " << m.node << "):\n";
+        for (const auto& row : m.metrics) {
+          double max_v = 0;
+          for (const auto& [cpu, v] : row.per_cpu) {
+            max_v = std::max(max_v, v);
+          }
+          std::cout << util::strprintf("  %-32s %14.6g\n", row.name.c_str(),
+                                       max_v);
+        }
+      }
+      return 0;
+    }
+
+    const auto seconds = job.run_triad(stream);
+    std::cout << util::separator_line();
+    for (std::size_t r = 0; r < seconds.size(); ++r) {
+      workloads::StreamTriad triad(stream);
+      std::cout << util::strprintf(
+          "Rank %zu STREAM triad: %8.0f MB/s\n", r,
+          triad.reported_bandwidth_mbs(seconds[r]));
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,396 @@
+// likwid-perfctr — measure hardware performance counters while running an
+// application on the simulated node (Section II-A of the paper).
+//
+// Usage:
+//   likwid-perfctr [--machine KEY] -c 0-3 -g FLOPS_DP[;GROUP2;...]
+//                  [-m] [-d SEC] [-S SEC] [--pin LIST] [--threads N]
+//                  [--csv | --xml] [-o FILE.{txt,csv,xml}]
+//                  APP [app options]
+//
+// APP is one of the built-in workloads standing in for "./a.out":
+//   triad   the OpenMP STREAM triad (options: --n LEN --reps R --cc icc|gcc)
+//   jacobi  the 3D Jacobi smoother (--variant threaded|nt|wavefront --size N)
+//   sleep   do nothing (node monitoring mode, as in the paper's example)
+//
+// Multiple groups separated by ';' enable counter multiplexing (round-robin
+// rotation with extrapolated counts). -m runs the triad in marker mode with
+// the two named regions "Init" and "Benchmark" of the paper's listing.
+//
+// Extensions beyond the paper's command set, following the conventions the
+// real suite adopted later:
+//   -d SEC   timeline mode: stream one "TIMELINE,..." CSV row per derived
+//            metric roughly every SEC simulated seconds (single set only)
+//   -S SEC   stethoscope mode: measure the node for SEC seconds without
+//            launching an application (formalizes the paper's `sleep` idiom)
+//   -o FILE  write the result block to FILE; the extension picks the
+//            format (.csv, .xml, anything else: the ASCII tables)
+#include <fstream>
+#include <iostream>
+
+#include "cli/csv_output.hpp"
+#include "cli/output.hpp"
+#include "cli/xml_output.hpp"
+#include "core/likwid.hpp"
+#include "tool_common.hpp"
+#include "util/cpulist.hpp"
+#include "util/table.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/openmp_model.hpp"
+#include "workloads/stream.hpp"
+
+namespace {
+
+using namespace likwid;
+
+enum class OutputFormat { kText, kXml, kCsv };
+
+workloads::Placement make_placement(ossim::SimKernel& kernel,
+                                    const std::optional<std::string>& pin,
+                                    int threads) {
+  ossim::ThreadRuntime* runtime =
+      new ossim::ThreadRuntime(kernel.scheduler());  // lives for the run
+  std::unique_ptr<core::PinWrapper> wrapper;
+  if (pin) {
+    core::PinConfig cfg;
+    cfg.cpu_list = util::parse_cpu_list(*pin);
+    cfg.model = core::ThreadModel::kGcc;
+    cfg.skip = core::default_skip_mask(cfg.model);
+    wrapper = std::make_unique<core::PinWrapper>(*runtime, cfg);
+  }
+  const auto team = workloads::launch_openmp_team(
+      *runtime, workloads::OpenMpImpl::kGcc, threads);
+  workloads::Placement placement;
+  placement.cpus = runtime->placement(team.worker_tids);
+  wrapper.reset();
+  return placement;  // runtime intentionally kept alive (leaked) for run
+}
+
+OutputFormat pick_format(const cli::ArgParser& args) {
+  if (const auto ofile = args.value("-o")) {
+    if (util::ends_with(*ofile, ".xml")) return OutputFormat::kXml;
+    if (util::ends_with(*ofile, ".csv")) return OutputFormat::kCsv;
+    return OutputFormat::kText;
+  }
+  if (args.has("--xml")) return OutputFormat::kXml;
+  if (args.has("--csv")) return OutputFormat::kCsv;
+  return OutputFormat::kText;
+}
+
+/// Route the result block to stdout or the -o file.
+void emit(const cli::ArgParser& args, const std::string& text) {
+  if (const auto ofile = args.value("-o")) {
+    std::ofstream out(*ofile);
+    if (!out) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  "cannot open output file '" + *ofile + "'");
+    }
+    out << text;
+    std::cout << "Results written to " << *ofile << "\n";
+  } else {
+    std::cout << text;
+  }
+}
+
+/// Streams per-interval metric rows while the measured run progresses:
+/// tick() is called between work quanta and emits one CSV row per derived
+/// metric once the configured interval has elapsed.
+class TimelineStreamer {
+ public:
+  TimelineStreamer(ossim::SimKernel& kernel, core::PerfCtr& ctr,
+                   double interval)
+      : kernel_(kernel), ctr_(ctr), interval_(interval) {
+    LIKWID_REQUIRE(interval_ > 0, "timeline interval must be positive");
+    if (ctr_.num_event_sets() != 1) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  "timeline mode (-d) requires exactly one event set; "
+                  "multiplexing across intervals is not supported");
+    }
+    last_time_ = kernel_.now();
+    std::cout << "TIMELINE,time[s],group,metric";
+    for (const int cpu : ctr_.cpus()) std::cout << ",core " << cpu;
+    std::cout << "\n";
+  }
+
+  /// Emit a row block if at least one interval passed (or `force`).
+  void tick(bool force = false) {
+    const double now = kernel_.now();
+    if (!force && now - last_time_ < interval_) return;
+    ctr_.stop();
+
+    const auto& cumulative = ctr_.results(0).counts;
+    std::map<int, std::map<std::string, double>> delta = cumulative;
+    for (auto& [cpu, events] : delta) {
+      const auto prev_cpu = prev_.find(cpu);
+      if (prev_cpu == prev_.end()) continue;
+      for (auto& [name, value] : events) {
+        const auto prev_ev = prev_cpu->second.find(name);
+        if (prev_ev != prev_cpu->second.end()) value -= prev_ev->second;
+      }
+    }
+    const auto rows =
+        ctr_.compute_metrics_for(0, delta, now - last_time_);
+    const std::string group =
+        ctr_.group_of(0) ? ctr_.group_of(0)->name : "custom";
+    for (const auto& row : rows) {
+      std::cout << "TIMELINE," << util::format_metric(now) << ","
+                << cli::csv_escape(group) << "," << cli::csv_escape(row.name);
+      for (const int cpu : ctr_.cpus()) {
+        const auto it = row.per_cpu.find(cpu);
+        std::cout << ","
+                  << util::format_metric(
+                         it == row.per_cpu.end() ? 0.0 : it->second);
+      }
+      std::cout << "\n";
+    }
+    prev_ = cumulative;
+    last_time_ = now;
+    ctr_.start();
+  }
+
+  /// Final flush; leaves the counters stopped.
+  void finish() {
+    tick(/*force=*/true);
+    ctr_.stop();
+  }
+
+ private:
+  ossim::SimKernel& kernel_;
+  core::PerfCtr& ctr_;
+  double interval_;
+  double last_time_ = 0;
+  std::map<int, std::map<std::string, double>> prev_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tools::tool_main([&]() {
+    const cli::ArgParser args(
+        argc, argv,
+        {"--machine", "--seed", "--enum", "-c", "-g", "--pin", "--threads", "--n",
+         "--reps", "--cc", "--variant", "--size", "--seconds", "-d", "-S",
+         "-o"});
+    const bool list_groups = args.has("-a");
+    const bool list_events = args.has("-e");
+    if (args.has("-h") || args.has("--help") ||
+        (!list_groups && !list_events &&
+         (!args.value("-c") || !args.value("-g")))) {
+      std::cout
+          << "Usage: likwid-perfctr -c CPULIST -g GROUP[;GROUP2...] [-m]\n"
+          << "                      [-d SEC] [-S SEC] [--pin LIST]\n"
+          << "                      [--threads N] [--csv|--xml] [-o FILE] APP\n"
+          << "       likwid-perfctr -a   list performance groups\n"
+          << "       likwid-perfctr -e   list documented events\n"
+          << "APPs: triad [--n LEN --reps R --cc icc|gcc],\n"
+          << "      jacobi [--variant threaded|nt|wavefront --size N], sleep\n"
+          << tools::machine_help();
+      return args.has("-h") || args.has("--help") ? 0 : 1;
+    }
+
+    tools::ToolContext ctx = tools::make_context(args);
+
+    // -a / -e: the self-describing listings of the real tool — what can
+    // be measured on this machine, without opening the vendor manuals.
+    if (list_groups || list_events) {
+      const hwsim::Arch arch = ctx.machine->arch();
+      std::cout << util::separator_line() << "CPU type:\t"
+                << ctx.machine->spec().name << "\n" << util::separator_line();
+      if (list_groups) {
+        std::cout << "Performance groups on " << hwsim::to_string(arch)
+                  << ":\n";
+        for (const auto& g : core::supported_groups(arch)) {
+          std::cout << util::strprintf("  %-10s %s\n", g.name.c_str(),
+                                       g.description.c_str());
+        }
+      }
+      if (list_events) {
+        std::cout << "Documented events on " << hwsim::to_string(arch)
+                  << ":\n";
+        for (const auto& enc : hwsim::event_table(arch)) {
+          const char* klass =
+              enc.klass == hwsim::CounterClass::kFixed    ? "FIXC"
+              : enc.klass == hwsim::CounterClass::kUncore ? "UPMC"
+                                                          : "PMC";
+          std::cout << util::strprintf("  %-44s %-5s event 0x%03X umask 0x%02X\n",
+                                       enc.name.c_str(), klass,
+                                       enc.event_code, enc.umask);
+        }
+      }
+      return 0;
+    }
+    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
+    std::cout << util::separator_line() << "CPU type:\t" << topo.cpu_name
+              << "\n"
+              << util::strprintf("CPU clock:\t%.2f GHz\n", topo.clock_ghz)
+              << util::separator_line();
+
+    const std::vector<int> cpus = util::parse_cpu_list(*args.value("-c"));
+    core::PerfCtr ctr(*ctx.kernel, cpus);
+    for (const auto& g : util::split_trimmed(*args.value("-g"), ';')) {
+      ctr.add_group(g);
+    }
+
+    const OutputFormat fmt = pick_format(args);
+    const auto render_sets = [&]() {
+      std::string text;
+      for (int set = 0; set < ctr.num_event_sets(); ++set) {
+        switch (fmt) {
+          case OutputFormat::kXml: text += cli::xml_measurement(ctr, set); break;
+          case OutputFormat::kCsv: text += cli::csv_measurement(ctr, set); break;
+          case OutputFormat::kText: text += cli::render_measurement(ctr, set); break;
+        }
+      }
+      return text;
+    };
+
+    // Stethoscope mode: measure the running node for a fixed duration, no
+    // application launch (the paper's `sleep 1` monitoring idiom as a flag).
+    if (const auto steth = args.value("-S")) {
+      const double seconds = util::parse_double(*steth).value_or(1.0);
+      LIKWID_REQUIRE(seconds > 0, "stethoscope duration must be positive");
+      ctr.start();
+      ctx.kernel->advance_time(seconds);
+      ctr.stop();
+      emit(args, render_sets());
+      return 0;
+    }
+
+    const int threads = static_cast<int>(
+        util::parse_u64(args.value_or("--threads",
+                                      std::to_string(cpus.size())))
+            .value_or(cpus.size()));
+    const std::string app =
+        args.positional().empty() ? "triad" : args.positional().front();
+
+    workloads::Placement placement = make_placement(
+        *ctx.kernel, args.value("--pin"), threads);
+
+    std::unique_ptr<TimelineStreamer> timeline;
+    if (const auto interval = args.value("-d")) {
+      if (args.has("-m")) {
+        throw_error(ErrorCode::kInvalidArgument,
+                    "timeline (-d) and marker (-m) modes are mutually "
+                    "exclusive");
+      }
+      timeline = std::make_unique<TimelineStreamer>(
+          *ctx.kernel, ctr, util::parse_double(*interval).value_or(1.0));
+    }
+
+    /// Quanta/rotation policy shared by the measured apps: multiplexing
+    /// rotates sets between quanta; timeline mode slices finer and ticks.
+    const auto run_options = [&]() {
+      workloads::RunOptions opts;
+      opts.quanta = std::max(1, 2 * ctr.num_event_sets());
+      if (timeline) opts.quanta = std::max(opts.quanta, 32);
+      if (ctr.num_event_sets() > 1) {
+        opts.between_quanta = [&ctr](int) { ctr.rotate(); };
+      } else if (timeline) {
+        opts.between_quanta = [&timeline](int) { timeline->tick(); };
+      }
+      return opts;
+    };
+
+    if (app == "sleep") {
+      const double seconds =
+          util::parse_double(args.value_or("--seconds", "1")).value_or(1.0);
+      ctr.start();
+      if (timeline) {
+        const int slices = 16;
+        for (int s = 0; s < slices; ++s) {
+          ctx.kernel->advance_time(seconds / slices);
+          timeline->tick();
+        }
+        timeline->finish();
+      } else {
+        ctx.kernel->advance_time(seconds);
+        ctr.stop();
+      }
+    } else if (app == "jacobi") {
+      workloads::JacobiConfig cfg;
+      cfg.n = static_cast<int>(
+          util::parse_u64(args.value_or("--size", "120")).value_or(120));
+      const std::string variant = args.value_or("--variant", "threaded");
+      cfg.variant = variant == "nt" ? workloads::JacobiVariant::kThreadedNT
+                    : variant == "wavefront"
+                        ? workloads::JacobiVariant::kWavefront
+                        : workloads::JacobiVariant::kThreaded;
+      cfg.sweeps = cfg.variant == workloads::JacobiVariant::kWavefront
+                       ? threads * 2
+                       : 4;
+      workloads::JacobiStencil jacobi(cfg);
+      ctr.start();
+      run_workload(*ctx.kernel, jacobi, placement, run_options());
+      if (timeline) timeline->finish(); else ctr.stop();
+    } else if (app == "triad") {
+      workloads::StreamConfig cfg;
+      cfg.array_length = util::parse_u64(args.value_or("--n", "20000000"))
+                             .value_or(20000000);
+      cfg.repetitions = static_cast<int>(
+          util::parse_u64(args.value_or("--reps", "10")).value_or(10));
+      cfg.compiler = args.value_or("--cc", "icc") == "gcc"
+                         ? workloads::gcc_profile()
+                         : workloads::icc_profile();
+      workloads::StreamTriad triad(cfg);
+
+      if (args.has("-m")) {
+        // Marker mode: the paper's two named regions. The "application"
+        // below is the simulated analog of the instrumented a.out.
+        ctr.start();
+        MarkerBinding::bind(&ctr, [&placement]() {
+          return placement.cpus.front();
+        });
+        likwid_markerInit(placement.num_workers(), 2);
+        const int init_id = likwid_markerRegisterRegion("Init");
+        const int bench_id = likwid_markerRegisterRegion("Benchmark");
+
+        workloads::StreamConfig init_cfg = cfg;
+        init_cfg.repetitions = 1;
+        init_cfg.array_length = cfg.array_length / 100;
+        workloads::StreamTriad init_triad(init_cfg);
+        for (int t = 0; t < placement.num_workers(); ++t) {
+          likwid_markerStartRegion(t, placement.cpus[static_cast<std::size_t>(t)]);
+        }
+        run_workload(*ctx.kernel, init_triad, placement);
+        for (int t = 0; t < placement.num_workers(); ++t) {
+          likwid_markerStopRegion(
+              t, placement.cpus[static_cast<std::size_t>(t)], init_id);
+        }
+
+        for (int t = 0; t < placement.num_workers(); ++t) {
+          likwid_markerStartRegion(t, placement.cpus[static_cast<std::size_t>(t)]);
+        }
+        run_workload(*ctx.kernel, triad, placement);
+        for (int t = 0; t < placement.num_workers(); ++t) {
+          likwid_markerStopRegion(
+              t, placement.cpus[static_cast<std::size_t>(t)], bench_id);
+        }
+        likwid_markerClose();
+        ctr.stop();
+        std::string text;
+        switch (fmt) {
+          case OutputFormat::kXml:
+            text = cli::xml_regions(ctr, 0, *MarkerBinding::session());
+            break;
+          case OutputFormat::kCsv:
+            text = cli::csv_regions(ctr, 0, *MarkerBinding::session());
+            break;
+          case OutputFormat::kText:
+            text = cli::render_regions(ctr, 0, *MarkerBinding::session());
+            break;
+        }
+        emit(args, text);
+        MarkerBinding::unbind();
+        return 0;
+      }
+
+      ctr.start();
+      run_workload(*ctx.kernel, triad, placement, run_options());
+      if (timeline) timeline->finish(); else ctr.stop();
+    } else {
+      throw_error(ErrorCode::kInvalidArgument, "unknown app '" + app + "'");
+    }
+
+    emit(args, render_sets());
+    return 0;
+  });
+}

@@ -1,0 +1,56 @@
+// likwid-topology — probe and report the thread and cache topology of the
+// (simulated) node, exactly as in Section II-B of the paper.
+//
+// Usage: likwid-topology [--machine KEY] [-c] [-g] [-n] [--xml] [--csv]
+//   -c     extended cache parameters
+//   -g     ASCII-art socket/cache diagram
+//   -n     NUMA domains (the paper's Section V near-term goal)
+//   --xml  machine-readable output (Section V: XML support)
+//   --csv  spreadsheet-friendly output
+#include <iostream>
+
+#include "cli/csv_output.hpp"
+#include "cli/output.hpp"
+#include "cli/xml_output.hpp"
+#include "core/numa.hpp"
+#include "core/topology.hpp"
+#include "tool_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace likwid;
+  return tools::tool_main([&]() {
+    const cli::ArgParser args(argc, argv, {"--machine", "--seed", "--enum"});
+    if (args.has("-h") || args.has("--help")) {
+      std::cout << "Usage: likwid-topology [--machine KEY] [-c] [-g] [-n] "
+                   "[--xml] [--csv]\n"
+                << "  -c     extended cache parameters\n"
+                << "  -g     ASCII art of the socket topology\n"
+                << "  -n     NUMA domain report\n"
+                << "  --xml  XML output\n"
+                << "  --csv  CSV output\n"
+                << tools::machine_help();
+      return 0;
+    }
+    tools::ToolContext ctx = tools::make_context(args);
+    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
+    if (args.has("--csv")) {
+      std::cout << cli::csv_topology(topo);
+      return 0;
+    }
+    if (args.has("--xml")) {
+      std::cout << cli::xml_topology(topo);
+      if (args.has("-n")) {
+        std::cout << cli::xml_numa(core::probe_numa(*ctx.kernel));
+      }
+      return 0;
+    }
+    std::cout << cli::render_topology_report(topo, args.has("-c"));
+    if (args.has("-n")) {
+      std::cout << cli::render_numa(core::probe_numa(*ctx.kernel));
+    }
+    if (args.has("-g")) {
+      std::cout << cli::render_topology_ascii(topo);
+    }
+    return 0;
+  });
+}

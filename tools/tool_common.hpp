@@ -1,0 +1,61 @@
+// tool_common.hpp — shared plumbing for the command-line tools: construct
+// the simulated node from --machine (default: the paper's Westmere EP) and
+// hold the kernel the tool operates on.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "cli/args.hpp"
+#include "hwsim/machine.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::tools {
+
+struct ToolContext {
+  std::unique_ptr<hwsim::SimMachine> machine;
+  std::unique_ptr<ossim::SimKernel> kernel;
+};
+
+inline ToolContext make_context(const cli::ArgParser& args) {
+  const std::string key = args.value_or("--machine", "westmere-ep");
+  const std::uint64_t seed =
+      util::parse_u64(args.value_or("--seed", "42")).value_or(42);
+  hwsim::MachineSpec spec = hwsim::presets::preset_by_key(key);
+  // --enum permutes the BIOS/OS processor numbering without touching the
+  // hardware (the paper: the numbering "depends on BIOS settings and may
+  // even differ for otherwise identical processors").
+  if (const auto en = args.value("--enum")) {
+    spec.os_enumeration = hwsim::parse_os_enumeration(*en);
+  }
+  ToolContext ctx;
+  ctx.machine = std::make_unique<hwsim::SimMachine>(std::move(spec));
+  ctx.kernel = std::make_unique<ossim::SimKernel>(*ctx.machine, seed);
+  return ctx;
+}
+
+inline std::string machine_help() {
+  std::string out = "  --machine KEY   simulated node (default westmere-ep):";
+  for (const auto& p : hwsim::presets::all_presets()) {
+    out += " " + p.key;
+  }
+  return out +
+         "\n  --enum MODE     BIOS numbering: smt-last (default), "
+         "smt-adjacent, socket-rr\n";
+}
+
+/// Standard error handling for tool main() bodies.
+template <typename Fn>
+int tool_main(Fn&& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::cerr << "ERROR: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace likwid::tools
