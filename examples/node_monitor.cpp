@@ -1,51 +1,51 @@
-// node_monitor — likwid-perfctr as a whole-node monitoring tool, the
-// paper's "sleep" trick:
+// node_monitor — continuous whole-node monitoring with the monitor
+// subsystem, the always-on generalization of the paper's "sleep" trick:
 //
 //   $ likwid-perfctr -c 0-7 -g ... sleep 1
 //
-// Counting is core-based, not process-based: by measuring every core while
-// running only "sleep", whatever else executes on the node shows up in the
-// counters. Here a background Jacobi run plays the role of the foreign
-// workload, and the monitor sees its memory traffic without ever touching
-// the application.
+// The one-shot version measured a single interval; likwid-agent's
+// Collector closes a counter interval every 100 ms, retains the node-level
+// samples in a bounded ring, and the Aggregator rolls them up into
+// windowed min/avg/max/p95 statistics. Counting stays core-based, not
+// process-based: the collector's resident workload is "foreign" to the
+// monitor, which only reads counters — exactly like the real tool
+// wrapping `sleep`.
 #include <iostream>
 
-#include "cli/output.hpp"
-#include "core/likwid.hpp"
-#include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
-#include "workloads/jacobi.hpp"
+#include "cli/series_output.hpp"
+#include "monitor/agent.hpp"
 
 int main() {
   using namespace likwid;
-  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
-  ossim::SimKernel kernel(machine);
-  const core::NodeTopology topo = core::probe_topology(machine);
-  std::cout << cli::render_header(topo);
-  std::cout << "Monitoring all cores with group MEM while a foreign Jacobi\n"
-               "run owns socket 0 (the monitor only runs 'sleep'):\n\n";
 
-  // Monitor every physical core of the node.
-  core::PerfCtr ctr(kernel, {0, 1, 2, 3, 4, 5, 6, 7});
-  ctr.add_group("MEM");
-  ctr.start();
+  monitor::AgentConfig cfg;
+  cfg.num_machines = 2;           // a two-node "fleet"
+  cfg.duration_seconds = 3.0;
+  cfg.monitor.machine_preset = "nehalem-ep";
+  cfg.monitor.groups = {"MEM", "FLOPS_DP"};  // rotate between intervals
+  cfg.monitor.interval_seconds = 0.1;
+  cfg.monitor.window_samples = 5;
 
-  // The "foreign" application: a Jacobi smoother on socket 0, not started
-  // by the monitor and invisible to a process-based profiler.
-  workloads::JacobiConfig cfg;
-  cfg.n = 100;
-  cfg.sweeps = 4;
-  workloads::JacobiStencil jacobi(cfg);
-  workloads::Placement placement;
-  placement.cpus = {0, 1, 2, 3};
-  run_workload(kernel, jacobi, placement);
+  std::cout << "Monitoring " << cfg.num_machines
+            << " nodes for 3 s at 100 ms cadence, multiplexing MEM and\n"
+               "FLOPS_DP between intervals. Each node runs its own foreign\n"
+               "workload; the monitor never touches it, it only reads the\n"
+               "counters.\n\n";
 
-  // ... and the monitor's own "application" is just sleep:
-  kernel.advance_time(1.0);
+  monitor::Agent agent(cfg);
+  agent.run();
 
-  ctr.stop();
-  std::cout << cli::render_measurement(ctr, 0);
-  std::cout << "\nNote: the QMC (memory controller) events appear on the\n"
-               "socket-lock core of socket 0, where the Jacobi ran.\n";
+  for (const auto& collector : agent.collectors()) {
+    std::cout << "machine " << collector->machine_id() << " ran '"
+              << collector->workload().name() << "': "
+              << collector->samples().size() << " samples, "
+              << collector->steps() << " intervals\n";
+  }
+  std::cout << "\nWindowed rollups (min/avg/max/p95 per metric):\n\n"
+            << cli::csv_series(agent.rollups());
+  std::cout << "\nNote: with rotation each group sees every other interval;\n"
+               "its rates are still computed against the full wall cadence,\n"
+               "the same extrapolation likwid-perfctr applies when\n"
+               "multiplexing event sets.\n";
   return 0;
 }

@@ -1,0 +1,54 @@
+#include "cli/series_output.hpp"
+
+#include <sstream>
+
+#include "cli/csv_output.hpp"
+#include "cli/xml_output.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::cli {
+
+std::string csv_series_header() {
+  return "machine,window,group,metric,t_start[s],t_end[s],samples,min,avg,"
+         "max,p95";
+}
+
+std::string csv_series(const std::vector<monitor::SeriesPoint>& points) {
+  std::ostringstream out;
+  out << "SERIES,likwid-agent\n" << csv_series_header() << "\n";
+  for (const auto& p : points) {
+    out << p.machine_id << ',' << p.window << ',' << csv_escape(p.group)
+        << ',' << csv_escape(p.metric) << ','
+        << util::format_metric(p.t_start) << ','
+        << util::format_metric(p.t_end) << ',' << p.stats.count << ','
+        << util::format_metric(p.stats.min) << ','
+        << util::format_metric(p.stats.avg) << ','
+        << util::format_metric(p.stats.max) << ','
+        << util::format_metric(p.stats.p95) << '\n';
+  }
+  return out.str();
+}
+
+std::string xml_series(const std::vector<monitor::SeriesPoint>& points) {
+  const auto attr = [](const std::string& name, const std::string& value) {
+    return " " + name + "=\"" + xml_escape(value) + "\"";
+  };
+  std::ostringstream out;
+  out << "<monitorSeries>\n";
+  for (const auto& p : points) {
+    out << "  <rollup" << attr("machine", std::to_string(p.machine_id))
+        << attr("window", std::to_string(p.window)) << attr("group", p.group)
+        << attr("metric", p.metric)
+        << attr("start", util::format_metric(p.t_start))
+        << attr("end", util::format_metric(p.t_end))
+        << attr("samples", std::to_string(p.stats.count))
+        << attr("min", util::format_metric(p.stats.min))
+        << attr("avg", util::format_metric(p.stats.avg))
+        << attr("max", util::format_metric(p.stats.max))
+        << attr("p95", util::format_metric(p.stats.p95)) << "/>\n";
+  }
+  out << "</monitorSeries>\n";
+  return out.str();
+}
+
+}  // namespace likwid::cli

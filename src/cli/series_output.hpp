@@ -1,0 +1,26 @@
+// series_output.hpp — CSV/XML rendering of timestamped monitoring series.
+//
+// Extends the Section V output formats from one-shot result blocks to the
+// windowed rollups of the continuous agent: one row (or element) per
+// (machine, window, group, metric) cell with min/avg/max/p95 statistics,
+// the export surface of likwid-agent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/aggregator.hpp"
+
+namespace likwid::cli {
+
+/// The column row of the series CSV (no trailing newline):
+/// "machine,window,group,metric,t_start[s],t_end[s],samples,min,avg,max,p95".
+std::string csv_series_header();
+
+/// SERIES section: tag row, header row, one data row per rollup point.
+std::string csv_series(const std::vector<monitor::SeriesPoint>& points);
+
+/// <monitorSeries><rollup .../>...</monitorSeries>.
+std::string xml_series(const std::vector<monitor::SeriesPoint>& points);
+
+}  // namespace likwid::cli

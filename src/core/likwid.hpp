@@ -3,6 +3,7 @@
 // #include "core/likwid.hpp" gives access to:
 //   * topology probing           (core/topology.hpp)
 //   * performance counting       (core/perfctr.hpp, core/perf_groups.hpp)
+//   * continuous/interval sampling (core/sampling.hpp)
 //   * the marker API             (core/marker.hpp + the C-style shim below)
 //   * pinning                    (core/affinity.hpp)
 //   * feature/prefetcher control (core/features.hpp)
@@ -21,6 +22,7 @@
 #include "core/metric_expr.hpp"
 #include "core/perf_groups.hpp"
 #include "core/perfctr.hpp"
+#include "core/sampling.hpp"
 #include "core/topology.hpp"
 
 namespace likwid {

@@ -462,7 +462,7 @@ std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics(int set) const {
 
 std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics_for(
     int set, const std::map<int, std::map<std::string, double>>& counts,
-    double fallback_seconds) const {
+    double fallback_seconds, bool wall_time) const {
   const auto& group = group_of(set);
   LIKWID_REQUIRE(group.has_value(),
                  "metrics require a performance group event set");
@@ -495,7 +495,8 @@ std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics_for(
       }
       double time = fallback_seconds >= 0 ? fallback_seconds
                                           : es.results.measured_seconds;
-      if (!cycles_event.empty() && vars.count(cycles_event) != 0) {
+      if (!wall_time && !cycles_event.empty() &&
+          vars.count(cycles_event) != 0) {
         time = vars.at(cycles_event) / clock_hz();
       }
       vars["time"] = time;

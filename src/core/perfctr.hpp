@@ -103,10 +103,13 @@ class PerfCtr {
   /// Inject externally accumulated counts (marker regions reuse the group
   /// machinery for metric evaluation and reporting). `fallback_seconds`
   /// supplies the runtime for formulas when the set counts no cycles event
-  /// (negative: use the set's measured wall time).
+  /// (negative: use the set's measured wall time). With `wall_time`, the
+  /// formulas always evaluate `time` as `fallback_seconds` even when the
+  /// set counts cycles — the continuous-monitoring semantic, where rates
+  /// are per sampling interval rather than per unhalted-cycle busy time.
   std::vector<MetricRow> compute_metrics_for(
       int set, const std::map<int, std::map<std::string, double>>& counts,
-      double fallback_seconds = -1.0) const;
+      double fallback_seconds = -1.0, bool wall_time = false) const;
 
   const std::vector<int>& cpus() const { return cpus_; }
   ossim::SimKernel& kernel() { return kernel_; }

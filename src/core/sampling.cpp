@@ -49,4 +49,44 @@ double SamplingProfiler::overhead_seconds() const {
          ctr_.clock_hz();
 }
 
+IntervalSampler::IntervalSampler(PerfCtr& ctr)
+    : ctr_(ctr), last_time_(ctr.kernel().now()) {}
+
+IntervalSampler::Interval IntervalSampler::poll(bool rotate) {
+  const int set = ctr_.current_set();
+  if (rotate && ctr_.num_event_sets() > 1) {
+    ctr_.rotate();
+  } else {
+    ctr_.stop();
+    ctr_.start();
+  }
+
+  Interval iv;
+  iv.set = set;
+  iv.t_start = last_time_;
+  iv.t_end = ctr_.kernel().now();
+  last_time_ = iv.t_end;
+
+  const auto& cumulative = ctr_.results(set).counts;
+  iv.counts = cumulative;
+  const auto prev_set = prev_.find(set);
+  if (prev_set != prev_.end()) {
+    for (auto& [cpu, events] : iv.counts) {
+      const auto prev_cpu = prev_set->second.find(cpu);
+      if (prev_cpu == prev_set->second.end()) continue;
+      for (auto& [name, value] : events) {
+        const auto prev_ev = prev_cpu->second.find(name);
+        if (prev_ev != prev_cpu->second.end()) value -= prev_ev->second;
+      }
+    }
+  }
+  prev_[set] = cumulative;
+
+  if (ctr_.group_of(set)) {
+    iv.metrics = ctr_.compute_metrics_for(set, iv.counts, iv.seconds(),
+                                          /*wall_time=*/true);
+  }
+  return iv;
+}
+
 }  // namespace likwid::core

@@ -79,4 +79,49 @@ class SamplingProfiler {
   std::map<std::string, std::uint64_t> histogram_;
 };
 
+/// IntervalSampler — the reusable step/poll hook behind every continuous
+/// consumer of the counting machinery (likwid-perfctr's timeline mode, the
+/// likwid-agent monitoring daemon). Each poll() closes the current
+/// measurement interval: it reads the counter deltas accrued since the
+/// previous poll of the same event set, evaluates the derived metrics over
+/// the interval's wall time, and leaves the counters running — optionally
+/// rotated to the next set for interval-grained multiplexing.
+class IntervalSampler {
+ public:
+  struct Interval {
+    int set = 0;        ///< event set that was live during the interval
+    double t_start = 0; ///< kernel time when the interval opened
+    double t_end = 0;   ///< kernel time of the closing poll
+    /// cpu -> event -> counts accrued since the set's previous poll.
+    std::map<int, std::map<std::string, double>> counts;
+    /// Derived metrics over `counts` and the interval's wall time
+    /// (empty for custom sets, which have no formulas).
+    std::vector<PerfCtr::MetricRow> metrics;
+
+    double seconds() const { return t_end - t_start; }
+  };
+
+  /// `ctr` must be configured and outlive the sampler. The counters may be
+  /// started after construction; the first interval opens at construction
+  /// time, but poll() requires running counters.
+  explicit IntervalSampler(PerfCtr& ctr);
+
+  IntervalSampler(const IntervalSampler&) = delete;
+  IntervalSampler& operator=(const IntervalSampler&) = delete;
+
+  /// Close the interval and restart measurement. With `rotate`, the next
+  /// interval measures the next event set (multiplexing at interval
+  /// granularity); a rotated set's metrics are still evaluated against the
+  /// full wall interval, so its rates match what extrapolation reports.
+  Interval poll(bool rotate = false);
+
+  PerfCtr& ctr() { return ctr_; }
+
+ private:
+  PerfCtr& ctr_;
+  double last_time_;
+  /// Cumulative counts of each set as of its previous poll.
+  std::map<int, std::map<int, std::map<std::string, double>>> prev_;
+};
+
 }  // namespace likwid::core

@@ -1,0 +1,49 @@
+#include "monitor/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+
+Agent::Agent(AgentConfig config) : cfg_(std::move(config)) {
+  LIKWID_REQUIRE(cfg_.num_machines > 0, "agent needs at least one machine");
+  LIKWID_REQUIRE(cfg_.duration_seconds > 0, "duration must be positive");
+  collectors_.reserve(static_cast<std::size_t>(cfg_.num_machines));
+  for (int id = 0; id < cfg_.num_machines; ++id) {
+    collectors_.push_back(std::make_unique<Collector>(id, cfg_.monitor));
+  }
+}
+
+void Agent::step() {
+  for (auto& collector : collectors_) {
+    collector->step();
+  }
+  ++steps_;
+}
+
+void Agent::run() {
+  const auto total = static_cast<std::uint64_t>(
+      std::ceil(cfg_.duration_seconds / cfg_.monitor.interval_seconds -
+                1e-9));
+  for (std::uint64_t s = std::max<std::uint64_t>(total, 1); s > 0; --s) {
+    step();
+  }
+}
+
+std::vector<SeriesPoint> Agent::rollups() const {
+  const Aggregator aggregator(cfg_.monitor.window_samples);
+  std::vector<SeriesPoint> out;
+  for (const auto& collector : collectors_) {
+    auto points =
+        aggregator.rollup(collector->machine_id(), collector->samples());
+    out.insert(out.end(), std::make_move_iterator(points.begin()),
+               std::make_move_iterator(points.end()));
+  }
+  return out;
+}
+
+}  // namespace likwid::monitor

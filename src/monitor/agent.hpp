@@ -1,0 +1,53 @@
+// agent.hpp — the fleet driver of likwid-agent.
+//
+// An Agent owns one Collector per monitored machine and advances the whole
+// fleet in lockstep sampling intervals. Rollups across the fleet come from
+// the Aggregator; the cli series writers export them. This is the
+// process-level composition point future scaling PRs shard or make
+// asynchronous — collectors are already independent by construction (each
+// owns its node and clock).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "monitor/aggregator.hpp"
+#include "monitor/collector.hpp"
+#include "monitor/config.hpp"
+
+namespace likwid::monitor {
+
+struct AgentConfig {
+  MonitorConfig monitor;       ///< per-machine configuration
+  int num_machines = 1;
+  double duration_seconds = 1.0;  ///< simulated time run() covers
+};
+
+class Agent {
+ public:
+  explicit Agent(AgentConfig config);
+
+  /// One sampling interval on every machine of the fleet.
+  void step();
+
+  /// Step until `duration_seconds` of simulated time is covered
+  /// (ceil(duration / interval) steps).
+  void run();
+
+  std::uint64_t steps() const noexcept { return steps_; }
+  const AgentConfig& config() const noexcept { return cfg_; }
+  const std::vector<std::unique_ptr<Collector>>& collectors() const noexcept {
+    return collectors_;
+  }
+
+  /// Windowed rollups of every machine, fleet-ordered by machine id.
+  std::vector<SeriesPoint> rollups() const;
+
+ private:
+  AgentConfig cfg_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace likwid::monitor

@@ -1,0 +1,109 @@
+#include "monitor/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+
+WindowStats compute_stats(std::vector<double> values) {
+  LIKWID_REQUIRE(!values.empty(), "window statistics need at least one value");
+  WindowStats s;
+  s.count = values.size();
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.avg = sum / static_cast<double>(values.size());
+  // Nearest-rank percentile: the smallest value with at least 95% of the
+  // samples at or below it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(values.size())));
+  s.p95 = values[std::max<std::size_t>(rank, 1) - 1];
+  return s;
+}
+
+double node_reduce(const std::string& metric_name,
+                   const std::map<int, double>& per_cpu) {
+  if (per_cpu.empty()) return 0;
+  if (metric_name.find("Runtime") != std::string::npos) {
+    double slowest = 0;
+    for (const auto& [cpu, v] : per_cpu) slowest = std::max(slowest, v);
+    return slowest;
+  }
+  double sum = 0;
+  for (const auto& [cpu, v] : per_cpu) sum += v;
+  const bool additive = metric_name.find("/s") != std::string::npos ||
+                        metric_name.find("[GBytes]") != std::string::npos;
+  if (additive) return sum;
+  return sum / static_cast<double>(per_cpu.size());
+}
+
+Aggregator::Aggregator(int window_samples) : window_samples_(window_samples) {
+  LIKWID_REQUIRE(window_samples_ > 0, "window length must be positive");
+}
+
+std::vector<SeriesPoint> Aggregator::rollup(int machine_id,
+                                            const SampleRing& ring) const {
+  struct OpenWindow {
+    double t_start = 0;
+    double t_end = 0;
+    std::map<std::string, std::vector<double>> values;  ///< metric -> series
+    std::size_t samples = 0;
+  };
+
+  std::vector<SeriesPoint> out;
+  int window_index = 0;
+  // group name -> its currently open window. With rotation the groups
+  // interleave in the ring; each group fills its own windows at its own
+  // cadence, exactly like a per-group downsampler.
+  std::map<std::string, OpenWindow> open;
+
+  const auto flush = [&](const std::string& group, OpenWindow& w) {
+    for (const auto& [metric, series] : w.values) {
+      SeriesPoint p;
+      p.machine_id = machine_id;
+      p.window = window_index;
+      p.t_start = w.t_start;
+      p.t_end = w.t_end;
+      p.group = group;
+      p.metric = metric;
+      p.stats = compute_stats(series);
+      out.push_back(std::move(p));
+    }
+    ++window_index;
+    w = OpenWindow{};
+  };
+
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Sample& s = ring[i];
+    OpenWindow& w = open[s.group];
+    if (w.samples == 0) w.t_start = s.t_start;
+    w.t_end = s.t_end;
+    for (const auto& [metric, value] : s.metrics) {
+      w.values[metric].push_back(value);
+    }
+    ++w.samples;
+    if (w.samples == static_cast<std::size_t>(window_samples_)) {
+      flush(s.group, w);
+    }
+  }
+  // Trailing partial windows, oldest-first by window start so the emitted
+  // window indices stay in time order across groups.
+  std::vector<std::pair<std::string, OpenWindow*>> trailing;
+  for (auto& [group, w] : open) {
+    if (w.samples > 0) trailing.emplace_back(group, &w);
+  }
+  std::sort(trailing.begin(), trailing.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->t_start < b.second->t_start;
+            });
+  for (auto& [group, w] : trailing) {
+    flush(group, *w);
+  }
+  return out;
+}
+
+}  // namespace likwid::monitor

@@ -1,0 +1,68 @@
+// aggregator.hpp — windowed statistical rollups over monitoring samples.
+//
+// "Best practices for HPM-assisted performance engineering" (Treibig et
+// al., 2012) argues raw per-interval counter streams are too noisy and too
+// voluminous to act on; monitoring wants derived metrics reduced twice:
+// spatially (cpus -> node) and temporally (samples -> window statistics).
+// node_reduce() does the spatial step with per-metric semantics (rates and
+// volumes add across cpus, ratios average, runtimes take the slowest cpu);
+// Aggregator does the temporal step, closing a window every
+// `window_samples` samples of the same group and emitting min/avg/max/p95.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/config.hpp"
+
+namespace likwid::monitor {
+
+/// Statistics of one metric over one window.
+struct WindowStats {
+  double min = 0;
+  double avg = 0;
+  double max = 0;
+  double p95 = 0;  ///< nearest-rank 95th percentile
+  std::size_t count = 0;
+};
+
+/// One rollup row of the exported series: a (machine, window, group,
+/// metric) cell with its window statistics.
+struct SeriesPoint {
+  int machine_id = 0;
+  int window = 0;      ///< per-machine window index, oldest retained = 0
+  double t_start = 0;  ///< first sample's interval start
+  double t_end = 0;    ///< last sample's interval end
+  std::string group;
+  std::string metric;
+  WindowStats stats;
+};
+
+/// Nearest-rank statistics over `values`; requires a non-empty vector.
+WindowStats compute_stats(std::vector<double> values);
+
+/// Reduce a per-cpu metric row to one node-level value: metrics named as
+/// rates ("... MBytes/s", "... MFlops/s") or volumes ("[GBytes]") sum
+/// across cpus, "Runtime [s]" takes the slowest cpu, everything else
+/// (CPI, miss ratios, ...) averages.
+double node_reduce(const std::string& metric_name,
+                   const std::map<int, double>& per_cpu);
+
+class Aggregator {
+ public:
+  /// Windows close after `window_samples` consecutive samples of the same
+  /// group; a trailing partial window is emitted with its actual count.
+  explicit Aggregator(int window_samples);
+
+  /// Roll up the retained samples of one machine, oldest first.
+  std::vector<SeriesPoint> rollup(int machine_id, const SampleRing& ring) const;
+
+  int window_samples() const noexcept { return window_samples_; }
+
+ private:
+  int window_samples_;
+};
+
+}  // namespace likwid::monitor

@@ -1,0 +1,123 @@
+#include "monitor/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/topology.hpp"
+#include "hwsim/presets.hpp"
+#include "monitor/aggregator.hpp"
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+
+namespace {
+
+/// The resident workload of machine `id`: a rotation of memory-, compute-
+/// and branch-bound kernels with an id-dependent size factor, so the fleet
+/// covers distinct metric regimes without any randomness.
+workloads::SyntheticConfig workload_for(int id) {
+  const std::size_t factor = 1 + static_cast<std::size_t>(id) % 3;
+  switch (id % 4) {
+    case 1:
+      return workloads::copy_kernel(4'000'000 * factor, 64);
+    case 2:
+      return workloads::dgemm_kernel(256 * factor, 64);
+    case 3:
+      return workloads::branchy_kernel(2'000'000 * factor, 64, 0.3);
+    default:
+      return workloads::daxpy_kernel(4'000'000 * factor, 64);
+  }
+}
+
+}  // namespace
+
+Collector::Collector(int machine_id, MonitorConfig config)
+    : machine_id_(machine_id),
+      cfg_(std::move(config)),
+      ring_(cfg_.ring_capacity) {
+  LIKWID_REQUIRE(machine_id >= 0, "machine id cannot be negative");
+  LIKWID_REQUIRE(cfg_.interval_seconds > 0,
+                 "sampling interval must be positive");
+  LIKWID_REQUIRE(!cfg_.groups.empty(), "configure at least one event group");
+  LIKWID_REQUIRE(
+      cfg_.target_utilization > 0 && cfg_.target_utilization <= 1,
+      "target utilization must be in (0, 1]");
+  // Validated here, not first in Aggregator, so a bad window length fails
+  // before any monitoring time is spent.
+  LIKWID_REQUIRE(cfg_.window_samples > 0, "window length must be positive");
+
+  hwsim::MachineSpec spec = hwsim::presets::preset_by_key(cfg_.machine_preset);
+  if (!cfg_.os_enumeration.empty()) {
+    spec.os_enumeration = hwsim::parse_os_enumeration(cfg_.os_enumeration);
+  }
+  machine_ = std::make_unique<hwsim::SimMachine>(std::move(spec));
+  kernel_ = std::make_unique<ossim::SimKernel>(
+      *machine_, cfg_.seed + static_cast<std::uint64_t>(machine_id));
+
+  // Measure (and load) one hardware thread per physical core; SMT siblings
+  // stay idle, as in the paper's pinned measurement setups.
+  const core::NodeTopology topo = core::probe_topology(*machine_);
+  for (const auto& siblings : topo.cores) {
+    placement_.cpus.push_back(siblings.front());
+  }
+
+  ctr_ = std::make_unique<core::PerfCtr>(*kernel_, placement_.cpus);
+  for (const auto& group : cfg_.groups) {
+    ctr_->add_group(group);
+  }
+  workload_ =
+      std::make_unique<workloads::SyntheticKernel>(workload_for(machine_id));
+  ctr_->start();
+  sampler_ = std::make_unique<core::IntervalSampler>(*ctr_);
+}
+
+void Collector::step() {
+  const double interval = cfg_.interval_seconds;
+  // Deterministic sawtooth load modulation (phase-shifted per machine):
+  // real nodes breathe between job phases, and flat samples would make the
+  // windowed min/max/p95 rollups degenerate to the mean.
+  const double phase = static_cast<double>(
+                           (steps_ + static_cast<std::uint64_t>(machine_id_)) %
+                           8) /
+                       8.0;
+  const double busy_budget =
+      std::min(interval * cfg_.target_utilization * (0.5 + phase), interval);
+
+  // Run resident-workload slices until the busy share of the interval is
+  // spent. Each slice asks for ~1/4 of the budget but never more than the
+  // remainder, sized through the measured cost rate of the previous slice,
+  // so the busy time lands on the budget instead of overshooting the
+  // sampling cadence.
+  double busy = 0;
+  for (int slice = 0; slice < 64 && busy < busy_budget - 1e-12; ++slice) {
+    const double want = std::min(busy_budget / 4, busy_budget - busy);
+    const double fraction =
+        std::clamp(want * fraction_per_second_, 1e-9, 1.0);
+    const double t = workload_->run_slice(*kernel_, placement_, fraction);
+    if (t <= 0) break;
+    kernel_->advance_time(t);
+    busy += t;
+    fraction_per_second_ = fraction / t;  // calibrate the next slice
+  }
+  if (busy < interval) {
+    kernel_->advance_time(interval - busy);
+  }
+
+  const bool rotate = cfg_.rotate_groups && ctr_->num_event_sets() > 1;
+  const core::IntervalSampler::Interval iv = sampler_->poll(rotate);
+
+  Sample s;
+  s.sequence = steps_;
+  s.t_start = iv.t_start;
+  s.t_end = iv.t_end;
+  const auto& group = ctr_->group_of(iv.set);
+  s.group = group ? group->name : "custom";
+  for (const auto& row : iv.metrics) {
+    s.metrics[row.name] = node_reduce(row.name, row.per_cpu);
+  }
+  ring_.push(std::move(s));
+  ++steps_;
+}
+
+}  // namespace likwid::monitor

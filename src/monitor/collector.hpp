@@ -1,0 +1,67 @@
+// collector.hpp — one monitored machine of the agent's fleet.
+//
+// A Collector owns a complete simulated node (machine, kernel, counters)
+// plus a synthetic resident workload standing in for whatever the node is
+// running, and advances it in fixed sampling intervals: each step() runs
+// the workload for the configured utilization share of the interval, idles
+// the remainder, closes the measurement interval through the core
+// IntervalSampler, reduces the derived metrics to node level and retains
+// the sample in the bounded ring. Everything is deterministic in
+// (machine_id, MonitorConfig), which is what makes fleet-scale tests and
+// reproducible incident analysis possible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/perfctr.hpp"
+#include "core/sampling.hpp"
+#include "hwsim/machine.hpp"
+#include "monitor/config.hpp"
+#include "ossim/kernel.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace likwid::monitor {
+
+class Collector {
+ public:
+  /// Builds the node from `config.machine_preset` and programs one event
+  /// set per configured group. The resident workload is chosen
+  /// deterministically from `machine_id`, so a fleet is heterogeneous but
+  /// reproducible.
+  Collector(int machine_id, MonitorConfig config);
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Advance the node by one sampling interval and record one Sample.
+  void step();
+
+  int machine_id() const noexcept { return machine_id_; }
+  std::uint64_t steps() const noexcept { return steps_; }
+  const MonitorConfig& config() const noexcept { return cfg_; }
+  const SampleRing& samples() const noexcept { return ring_; }
+  const ossim::SimKernel& kernel() const noexcept { return *kernel_; }
+  const core::PerfCtr& ctr() const noexcept { return *ctr_; }
+  const workloads::SyntheticKernel& workload() const noexcept {
+    return *workload_;
+  }
+
+ private:
+  int machine_id_;
+  MonitorConfig cfg_;
+  std::unique_ptr<hwsim::SimMachine> machine_;
+  std::unique_ptr<ossim::SimKernel> kernel_;
+  std::unique_ptr<core::PerfCtr> ctr_;
+  std::unique_ptr<workloads::SyntheticKernel> workload_;
+  std::unique_ptr<core::IntervalSampler> sampler_;
+  workloads::Placement placement_;
+  SampleRing ring_;
+  /// Measured cost rate of the resident workload (workload fraction per
+  /// simulated second), calibrated after every slice; sizes the next slice
+  /// to hit its time target.
+  double fraction_per_second_ = 1e-3;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace likwid::monitor

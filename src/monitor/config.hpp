@@ -1,0 +1,63 @@
+// config.hpp — configuration and the sample record of the monitoring
+// subsystem.
+//
+// The paper's likwid-perfctr measures one run and exits; likwid-agent
+// (after the LIKWID Monitoring Stack, Röhl et al. 2017) turns the same
+// counting core into a continuous daemon: every `interval_seconds` each
+// monitored machine closes a measurement interval, reduces the derived
+// metrics to one node-level value per metric, and retains the sample in a
+// bounded ring.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/ring_buffer.hpp"
+
+namespace likwid::monitor {
+
+/// Per-machine monitoring configuration.
+struct MonitorConfig {
+  /// Simulated node type (hwsim preset key, see presets::all_presets()).
+  std::string machine_preset = "westmere-ep";
+  /// BIOS/OS processor numbering override ("smt-last", "smt-adjacent",
+  /// "socket-rr"); empty keeps the preset's default.
+  std::string os_enumeration;
+  /// Performance groups to measure. More than one enables interval-grained
+  /// multiplexing when `rotate_groups` is set.
+  std::vector<std::string> groups = {"MEM"};
+  /// Sampling cadence in simulated seconds.
+  double interval_seconds = 0.1;
+  /// Rotate to the next event set after each sample (multiplexing); when
+  /// false, only the first group is ever measured.
+  bool rotate_groups = true;
+  /// Retained samples per machine; older ones are overwritten.
+  std::size_t ring_capacity = 4096;
+  /// Samples per aggregation window (min/avg/max/p95 rollups).
+  int window_samples = 5;
+  /// Fraction of each interval the machine's synthetic load keeps it busy;
+  /// the rest of the interval the node idles, like a real host between
+  /// job phases.
+  double target_utilization = 0.6;
+  /// Base RNG seed; collectors offset it by their machine id so a fleet is
+  /// deterministic yet not in lockstep.
+  std::uint64_t seed = 42;
+};
+
+/// One closed measurement interval of one machine, reduced to node level.
+struct Sample {
+  std::uint64_t sequence = 0;  ///< step index of the collector
+  double t_start = 0;          ///< simulated time the interval opened
+  double t_end = 0;            ///< simulated time the interval closed
+  std::string group;           ///< event group live during the interval
+  /// Derived metric name -> node-level value (see node_reduce()).
+  std::map<std::string, double> metrics;
+
+  double seconds() const { return t_end - t_start; }
+};
+
+using SampleRing = RingBuffer<Sample>;
+
+}  // namespace likwid::monitor

@@ -1,0 +1,75 @@
+// ring_buffer.hpp — fixed-capacity sample storage for the always-on agent.
+//
+// A monitoring daemon runs indefinitely but memory must not: the agent
+// keeps the most recent `capacity` samples per machine and overwrites the
+// oldest on overflow, counting what it dropped (the LIKWID Monitoring
+// Stack keeps the same bounded retention between router flushes). Indexing
+// is age-ordered: [0] is the oldest retained sample, [size()-1] the newest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    LIKWID_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  /// Append a sample, overwriting the oldest one when full.
+  void push(T value) {
+    const std::size_t slot = (head_ + size_) % slots_.size();
+    slots_[slot] = std::move(value);
+    if (size_ < slots_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % slots_.size();
+      ++dropped_;
+    }
+    ++pushed_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == slots_.size(); }
+
+  /// Total samples ever pushed, including overwritten ones.
+  std::uint64_t pushed() const noexcept { return pushed_; }
+  /// Samples lost to overwriting (cleared samples are not "dropped").
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Age-ordered access: index 0 is the oldest retained sample.
+  const T& operator[](std::size_t index) const {
+    LIKWID_REQUIRE(index < size_, "ring buffer index out of range");
+    return slots_[(head_ + index) % slots_.size()];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const {
+    LIKWID_REQUIRE(size_ > 0, "ring buffer is empty");
+    return (*this)[size_ - 1];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    // pushed_/dropped_ survive: they describe the buffer's lifetime.
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;  ///< slot of the oldest sample
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace likwid::monitor

@@ -1,0 +1,109 @@
+// End-to-end smoke test for the likwid-agent pipeline: run the fleet the
+// way the CLI does (4 machines, 100 ms cadence, 2 s, group MEM), render
+// the CSV series, and check its header and row accounting, plus the XML
+// twin's well-formedness basics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/series_output.hpp"
+#include "monitor/agent.hpp"
+
+namespace likwid {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+class AgentSmoke : public ::testing::Test {
+ protected:
+  AgentSmoke() {
+    cfg_.num_machines = 4;
+    cfg_.duration_seconds = 2.0;
+    cfg_.monitor.groups = {"MEM"};
+    cfg_.monitor.interval_seconds = 0.1;
+    cfg_.monitor.window_samples = 5;
+  }
+
+  monitor::AgentConfig cfg_;
+};
+
+TEST_F(AgentSmoke, CsvHeaderAndRowCount) {
+  monitor::Agent agent(cfg_);
+  agent.run();
+  const auto rollups = agent.rollups();
+  ASSERT_FALSE(rollups.empty());
+
+  const auto lines = lines_of(cli::csv_series(rollups));
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "SERIES,likwid-agent");
+  EXPECT_EQ(lines[1],
+            "machine,window,group,metric,t_start[s],t_end[s],samples,min,avg,"
+            "max,p95");
+  EXPECT_EQ(lines[1], cli::csv_series_header());
+  // One data row per rollup point, nothing else.
+  EXPECT_EQ(lines.size(), rollups.size() + 2);
+
+  // 2 s at 100 ms = 20 samples per machine; 5-sample windows = 4 windows;
+  // every MEM metric appears in every window of every machine.
+  std::set<std::string> metric_names;
+  for (const auto& p : rollups) metric_names.insert(p.metric);
+  EXPECT_EQ(rollups.size(), 4u * 4u * metric_names.size());
+
+  // Every machine id appears, each with 4 windows, and all rows carry the
+  // full 5-sample windows of group MEM.
+  std::set<int> machines;
+  for (const auto& p : rollups) {
+    machines.insert(p.machine_id);
+    EXPECT_EQ(p.group, "MEM");
+    EXPECT_EQ(p.stats.count, 5u);
+    EXPECT_GE(p.window, 0);
+    EXPECT_LT(p.window, 4);
+    EXPECT_LE(p.stats.min, p.stats.avg);
+    EXPECT_LE(p.stats.avg, p.stats.max);
+    EXPECT_LE(p.stats.p95, p.stats.max);
+    EXPECT_GE(p.stats.p95, p.stats.min);
+  }
+  EXPECT_EQ(machines, (std::set<int>{0, 1, 2, 3}));
+
+  // Every data row has exactly the header's column count.
+  const std::size_t columns =
+      lines_of(cli::csv_series_header()).empty()
+          ? 0
+          : static_cast<std::size_t>(
+                std::count(lines[1].begin(), lines[1].end(), ',') + 1);
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(lines[i].begin(), lines[i].end(), ',') + 1),
+              columns)
+        << lines[i];
+  }
+}
+
+TEST_F(AgentSmoke, XmlSeriesIsBalancedAndComplete) {
+  monitor::Agent agent(cfg_);
+  agent.run();
+  const auto rollups = agent.rollups();
+  const std::string xml = cli::xml_series(rollups);
+  const auto lines = lines_of(xml);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines.front(), "<monitorSeries>");
+  EXPECT_EQ(lines.back(), "</monitorSeries>");
+  EXPECT_EQ(lines.size(), rollups.size() + 2);
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("<rollup"), std::string::npos);
+    EXPECT_NE(lines[i].find("p95="), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace likwid

@@ -1,6 +1,8 @@
 // Tests for the event-based sampling emulation (core/sampling.hpp): the
 // estimate's period-bounded undercount, multi-overflow polls, phase
-// attribution, overhead accounting, and misuse rejection.
+// attribution, overhead accounting, and misuse rejection — plus the
+// IntervalSampler continuous-polling hook (delta tiling, group metric
+// evaluation, set rotation).
 #include <gtest/gtest.h>
 
 #include "core/perfctr.hpp"
@@ -127,6 +129,87 @@ TEST_F(Sampling, MisuseRejected) {
   EXPECT_THROW(SamplingProfiler(ctr, 5, 0, 1000), Error);  // unmeasured cpu
   EXPECT_THROW(SamplingProfiler(ctr, 0, 0, 1000, -1.0), Error);
   ctr.stop();
+}
+
+// --- IntervalSampler: the continuous-polling hook --------------------------
+
+TEST_F(Sampling, IntervalPollDeltasTileTheCumulativeCounts) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_custom("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+  ctr.start();
+  IntervalSampler sampler(ctr);
+
+  workloads::SyntheticKernel k(workloads::daxpy_kernel(100'000, 1));
+  workloads::Placement p;
+  p.cpus = {0};
+  const std::string ev = "FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE";
+
+  run_workload(kernel_, k, p);
+  const IntervalSampler::Interval iv1 = sampler.poll();
+  run_workload(kernel_, k, p);
+  const IntervalSampler::Interval iv2 = sampler.poll();
+  ctr.stop();
+
+  // Equal work per interval -> equal deltas, not growing cumulatives.
+  EXPECT_NEAR(iv1.counts.at(0).at(ev), 100'000, 1);
+  EXPECT_NEAR(iv2.counts.at(0).at(ev), iv1.counts.at(0).at(ev), 1e-6);
+  // Intervals tile the timeline and the deltas sum to the cumulative.
+  EXPECT_DOUBLE_EQ(iv2.t_start, iv1.t_end);
+  EXPECT_GT(iv1.seconds(), 0.0);
+  EXPECT_NEAR(ctr.results(0).counts.at(0).at(ev),
+              iv1.counts.at(0).at(ev) + iv2.counts.at(0).at(ev), 1e-6);
+  // Custom sets have no formulas.
+  EXPECT_TRUE(iv1.metrics.empty());
+}
+
+TEST_F(Sampling, IntervalPollEvaluatesGroupMetrics) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  IntervalSampler sampler(ctr);
+
+  workloads::SyntheticKernel k(workloads::daxpy_kernel(100'000, 1));
+  workloads::Placement p;
+  p.cpus = {0};
+  run_workload(kernel_, k, p);
+  const IntervalSampler::Interval iv = sampler.poll();
+  ctr.stop();
+
+  bool found = false;
+  for (const auto& row : iv.metrics) {
+    if (row.name == "DP MFlops/s") {
+      found = true;
+      EXPECT_GT(row.per_cpu.at(0), 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Sampling, IntervalPollRotatesSets) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_group("FLOPS_DP");
+  ctr.add_group("MEM");
+  ctr.start();
+  IntervalSampler sampler(ctr);
+
+  kernel_.advance_time(0.1);
+  const IntervalSampler::Interval iv1 = sampler.poll(/*rotate=*/true);
+  EXPECT_EQ(iv1.set, 0);
+  EXPECT_EQ(ctr.current_set(), 1);
+
+  kernel_.advance_time(0.1);
+  const IntervalSampler::Interval iv2 = sampler.poll(/*rotate=*/true);
+  EXPECT_EQ(iv2.set, 1);
+  EXPECT_EQ(ctr.current_set(), 0);
+  EXPECT_DOUBLE_EQ(iv2.t_start, iv1.t_end);
+  ctr.stop();
+}
+
+TEST_F(Sampling, IntervalPollRequiresRunningCounters) {
+  PerfCtr ctr(kernel_, {0});
+  ctr.add_group("FLOPS_DP");
+  IntervalSampler sampler(ctr);
+  EXPECT_THROW(sampler.poll(), Error);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// Tests for the windowed rollup machinery (monitor/aggregator.hpp):
+// nearest-rank statistics, node-level reduction semantics per metric kind,
+// window bucketing (full, partial, per-group under rotation) and rollup
+// timestamps.
+#include <gtest/gtest.h>
+
+#include "monitor/aggregator.hpp"
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+namespace {
+
+Sample make_sample(std::uint64_t seq, const std::string& group, double value,
+                   double interval = 0.1) {
+  Sample s;
+  s.sequence = seq;
+  s.t_start = static_cast<double>(seq) * interval;
+  s.t_end = s.t_start + interval;
+  s.group = group;
+  s.metrics["metric"] = value;
+  return s;
+}
+
+TEST(ComputeStats, SingleValue) {
+  const WindowStats s = compute_stats({3.5});
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.avg, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.p95, 3.5);
+  EXPECT_EQ(s.count, 1u);
+}
+
+TEST(ComputeStats, KnownDistribution) {
+  // 1..20: min 1, max 20, avg 10.5, nearest-rank p95 = ceil(0.95*20)=19th.
+  std::vector<double> values;
+  for (int v = 20; v >= 1; --v) values.push_back(v);
+  const WindowStats s = compute_stats(values);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 20.0);
+  EXPECT_DOUBLE_EQ(s.avg, 10.5);
+  EXPECT_DOUBLE_EQ(s.p95, 19.0);
+  EXPECT_EQ(s.count, 20u);
+}
+
+TEST(ComputeStats, P95OfSmallWindow) {
+  // ceil(0.95*5) = 5th of the sorted values: the maximum.
+  const WindowStats s = compute_stats({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);
+}
+
+TEST(ComputeStats, EmptyThrows) {
+  EXPECT_THROW(compute_stats({}), Error);
+}
+
+TEST(NodeReduce, RatesSumAcrossCpus) {
+  const std::map<int, double> per_cpu = {{0, 1000.0}, {1, 2000.0}, {4, 500.0}};
+  EXPECT_DOUBLE_EQ(node_reduce("Memory bandwidth [MBytes/s]", per_cpu),
+                   3500.0);
+  EXPECT_DOUBLE_EQ(node_reduce("DP MFlops/s", per_cpu), 3500.0);
+}
+
+TEST(NodeReduce, VolumesSumAcrossCpus) {
+  const std::map<int, double> per_cpu = {{0, 1.5}, {1, 2.5}};
+  EXPECT_DOUBLE_EQ(node_reduce("Memory data volume [GBytes]", per_cpu), 4.0);
+}
+
+TEST(NodeReduce, RatiosAverageAcrossCpus) {
+  const std::map<int, double> per_cpu = {{0, 1.0}, {1, 3.0}};
+  EXPECT_DOUBLE_EQ(node_reduce("CPI", per_cpu), 2.0);
+  EXPECT_DOUBLE_EQ(node_reduce("L2 miss ratio", per_cpu), 2.0);
+}
+
+TEST(NodeReduce, RuntimeTakesSlowestCpu) {
+  const std::map<int, double> per_cpu = {{0, 0.5}, {1, 0.9}, {2, 0.2}};
+  EXPECT_DOUBLE_EQ(node_reduce("Runtime [s]", per_cpu), 0.9);
+}
+
+TEST(NodeReduce, EmptyRowIsZero) {
+  EXPECT_DOUBLE_EQ(node_reduce("CPI", {}), 0.0);
+}
+
+TEST(Aggregator, RejectsNonPositiveWindow) {
+  EXPECT_THROW(Aggregator(0), Error);
+}
+
+TEST(Aggregator, ClosesFullWindowsAndTrailingPartial) {
+  SampleRing ring(16);
+  for (std::uint64_t seq = 0; seq < 7; ++seq) {
+    ring.push(make_sample(seq, "MEM", static_cast<double>(seq)));
+  }
+  const Aggregator agg(3);
+  const auto points = agg.rollup(9, ring);
+  // Windows: {0,1,2}, {3,4,5}, partial {6}; one metric each.
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].machine_id, 9);
+  EXPECT_EQ(points[0].window, 0);
+  EXPECT_EQ(points[0].stats.count, 3u);
+  EXPECT_DOUBLE_EQ(points[0].stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].stats.max, 2.0);
+  EXPECT_DOUBLE_EQ(points[0].stats.avg, 1.0);
+  EXPECT_EQ(points[1].window, 1);
+  EXPECT_DOUBLE_EQ(points[1].stats.min, 3.0);
+  EXPECT_EQ(points[2].stats.count, 1u);
+  EXPECT_DOUBLE_EQ(points[2].stats.avg, 6.0);
+}
+
+TEST(Aggregator, WindowTimestampsSpanTheirSamples) {
+  SampleRing ring(8);
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    ring.push(make_sample(seq, "MEM", 1.0, 0.25));
+  }
+  const auto points = Aggregator(4).rollup(0, ring);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].t_start, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].t_end, 1.0);
+}
+
+TEST(Aggregator, GroupsWindowIndependentlyUnderRotation) {
+  // MEM and FLOPS_DP alternate, as the rotating collector emits them.
+  SampleRing ring(16);
+  for (std::uint64_t seq = 0; seq < 8; ++seq) {
+    ring.push(make_sample(seq, seq % 2 == 0 ? "MEM" : "FLOPS_DP",
+                          static_cast<double>(seq)));
+  }
+  const auto points = Aggregator(2).rollup(0, ring);
+  // Each group contributes 4 samples -> 2 full windows; no partials.
+  ASSERT_EQ(points.size(), 4u);
+  int mem_windows = 0;
+  int flops_windows = 0;
+  for (const auto& p : points) {
+    EXPECT_EQ(p.stats.count, 2u);
+    if (p.group == "MEM") {
+      // MEM samples are the even sequence values.
+      EXPECT_EQ(static_cast<int>(p.stats.max) % 2, 0);
+      ++mem_windows;
+    } else {
+      EXPECT_EQ(p.group, "FLOPS_DP");
+      ++flops_windows;
+    }
+  }
+  EXPECT_EQ(mem_windows, 2);
+  EXPECT_EQ(flops_windows, 2);
+}
+
+TEST(Aggregator, TrailingPartialsFlushInTimeOrder) {
+  // Two rotating groups, one partial window each: FLOPS_DP sorts before
+  // MEM alphabetically, but MEM's partial opened earlier and must get the
+  // lower window index.
+  SampleRing ring(8);
+  ring.push(make_sample(0, "MEM", 1.0));
+  ring.push(make_sample(1, "FLOPS_DP", 2.0));
+  const auto points = Aggregator(4).rollup(0, ring);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].group, "MEM");
+  EXPECT_EQ(points[0].window, 0);
+  EXPECT_EQ(points[1].group, "FLOPS_DP");
+  EXPECT_EQ(points[1].window, 1);
+  EXPECT_LT(points[0].t_start, points[1].t_start);
+}
+
+TEST(Aggregator, MultipleMetricsPerWindow) {
+  SampleRing ring(8);
+  for (std::uint64_t seq = 0; seq < 2; ++seq) {
+    Sample s = make_sample(seq, "MEM", static_cast<double>(seq));
+    s.metrics["other"] = 10.0 + static_cast<double>(seq);
+    ring.push(s);
+  }
+  const auto points = Aggregator(2).rollup(0, ring);
+  ASSERT_EQ(points.size(), 2u);  // one row per metric of the single window
+  EXPECT_EQ(points[0].metric, "metric");
+  EXPECT_EQ(points[1].metric, "other");
+  EXPECT_DOUBLE_EQ(points[1].stats.max, 11.0);
+}
+
+}  // namespace
+}  // namespace likwid::monitor

@@ -1,0 +1,212 @@
+// Tests for the per-machine Collector and the fleet Agent
+// (monitor/collector.hpp, monitor/agent.hpp): sampling cadence, group
+// rotation, ring retention, multi-machine determinism and fleet
+// heterogeneity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "monitor/agent.hpp"
+#include "monitor/collector.hpp"
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+namespace {
+
+MonitorConfig small_config() {
+  MonitorConfig cfg;
+  cfg.machine_preset = "nehalem-ep";
+  cfg.groups = {"MEM"};
+  cfg.interval_seconds = 0.05;
+  cfg.ring_capacity = 64;
+  cfg.window_samples = 4;
+  return cfg;
+}
+
+TEST(Collector, SamplesAtTheConfiguredCadence) {
+  Collector collector(0, small_config());
+  for (int s = 0; s < 10; ++s) collector.step();
+  EXPECT_EQ(collector.steps(), 10u);
+  ASSERT_EQ(collector.samples().size(), 10u);
+  for (std::size_t i = 0; i < collector.samples().size(); ++i) {
+    const Sample& s = collector.samples()[i];
+    EXPECT_EQ(s.sequence, i);
+    EXPECT_EQ(s.group, "MEM");
+    // Each interval covers exactly the cadence (the busy loop sizes its
+    // slices to land on the budget) and the samples tile the timeline
+    // contiguously.
+    EXPECT_NEAR(s.seconds(), 0.05, 1e-9);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(s.t_start, collector.samples()[i - 1].t_end);
+    }
+  }
+  // The kernel clock advanced with the samples.
+  EXPECT_GE(collector.kernel().now(), 0.5 - 1e-9);
+}
+
+TEST(Collector, ProducesMemMetrics) {
+  Collector collector(0, small_config());
+  collector.step();
+  const Sample& s = collector.samples().back();
+  ASSERT_TRUE(s.metrics.count("Memory bandwidth [MBytes/s]"));
+  ASSERT_TRUE(s.metrics.count("Runtime [s]"));
+  EXPECT_GT(s.metrics.at("Memory bandwidth [MBytes/s]"), 0.0);
+  EXPECT_GT(s.metrics.at("Runtime [s]"), 0.0);
+}
+
+TEST(Collector, RateMetricsReflectUtilizationNotBusyPeak) {
+  // Rates are per wall interval (wall_time metric evaluation), so the
+  // sawtooth load modulation must show up in the bandwidth samples instead
+  // of every interval reporting the machine's busy-peak bandwidth.
+  Collector collector(0, small_config());
+  for (int s = 0; s < 8; ++s) collector.step();
+  double lo = 0;
+  double hi = 0;
+  for (std::size_t i = 0; i < collector.samples().size(); ++i) {
+    const double bw =
+        collector.samples()[i].metrics.at("Memory bandwidth [MBytes/s]");
+    EXPECT_GT(bw, 0.0);
+    lo = (i == 0) ? bw : std::min(lo, bw);
+    hi = std::max(hi, bw);
+  }
+  EXPECT_LT(lo, hi);
+}
+
+TEST(Collector, RotatesGroupsBetweenIntervals) {
+  MonitorConfig cfg = small_config();
+  cfg.groups = {"MEM", "FLOPS_DP"};
+  Collector collector(0, cfg);
+  for (int s = 0; s < 4; ++s) collector.step();
+  ASSERT_EQ(collector.samples().size(), 4u);
+  EXPECT_EQ(collector.samples()[0].group, "MEM");
+  EXPECT_EQ(collector.samples()[1].group, "FLOPS_DP");
+  EXPECT_EQ(collector.samples()[2].group, "MEM");
+  EXPECT_EQ(collector.samples()[3].group, "FLOPS_DP");
+}
+
+TEST(Collector, NoRotatePinsTheFirstGroup) {
+  MonitorConfig cfg = small_config();
+  cfg.groups = {"MEM", "FLOPS_DP"};
+  cfg.rotate_groups = false;
+  Collector collector(0, cfg);
+  for (int s = 0; s < 3; ++s) collector.step();
+  for (std::size_t i = 0; i < collector.samples().size(); ++i) {
+    EXPECT_EQ(collector.samples()[i].group, "MEM");
+  }
+}
+
+TEST(Collector, RingRetainsOnlyTheNewestSamples) {
+  MonitorConfig cfg = small_config();
+  cfg.ring_capacity = 6;
+  Collector collector(0, cfg);
+  for (int s = 0; s < 10; ++s) collector.step();
+  EXPECT_EQ(collector.samples().size(), 6u);
+  EXPECT_EQ(collector.samples().dropped(), 4u);
+  EXPECT_EQ(collector.samples().front().sequence, 4u);
+  EXPECT_EQ(collector.samples().back().sequence, 9u);
+}
+
+TEST(Collector, RejectsBadConfig) {
+  MonitorConfig cfg = small_config();
+  cfg.interval_seconds = 0;
+  EXPECT_THROW(Collector(0, cfg), Error);
+  cfg = small_config();
+  cfg.groups.clear();
+  EXPECT_THROW(Collector(0, cfg), Error);
+  cfg = small_config();
+  cfg.machine_preset = "no-such-machine";
+  EXPECT_THROW(Collector(0, cfg), Error);
+  cfg = small_config();
+  cfg.window_samples = 0;  // must fail up front, not after the run
+  EXPECT_THROW(Collector(0, cfg), Error);
+  EXPECT_THROW(Collector(-1, small_config()), Error);
+}
+
+TEST(Collector, IdenticalConfigsAreDeterministic) {
+  Collector a(2, small_config());
+  Collector b(2, small_config());
+  for (int s = 0; s < 8; ++s) {
+    a.step();
+    b.step();
+  }
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    const Sample& sa = a.samples()[i];
+    const Sample& sb = b.samples()[i];
+    EXPECT_DOUBLE_EQ(sa.t_start, sb.t_start);
+    EXPECT_DOUBLE_EQ(sa.t_end, sb.t_end);
+    ASSERT_EQ(sa.metrics.size(), sb.metrics.size());
+    for (const auto& [name, value] : sa.metrics) {
+      ASSERT_TRUE(sb.metrics.count(name)) << name;
+      EXPECT_DOUBLE_EQ(value, sb.metrics.at(name)) << name;
+    }
+  }
+}
+
+TEST(Collector, MachinesRunDistinctResidentWorkloads) {
+  Collector a(0, small_config());  // daxpy: memory-bound
+  Collector b(2, small_config());  // dgemm: compute-bound
+  EXPECT_NE(a.workload().name(), b.workload().name());
+  for (int s = 0; s < 4; ++s) {
+    a.step();
+    b.step();
+  }
+  // The memory-bound machine moves more data than the compute-bound one.
+  double vol_a = 0;
+  double vol_b = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    vol_a += a.samples()[i].metrics.at("Memory data volume [GBytes]");
+    vol_b += b.samples()[i].metrics.at("Memory data volume [GBytes]");
+  }
+  EXPECT_GT(vol_a, vol_b);
+}
+
+TEST(Agent, RunsTheWholeFleetInLockstep) {
+  AgentConfig cfg;
+  cfg.monitor = small_config();
+  cfg.num_machines = 3;
+  cfg.duration_seconds = 0.5;  // 10 intervals of 50 ms
+  Agent agent(cfg);
+  agent.run();
+  EXPECT_EQ(agent.steps(), 10u);
+  ASSERT_EQ(agent.collectors().size(), 3u);
+  for (const auto& collector : agent.collectors()) {
+    EXPECT_EQ(collector->steps(), 10u);
+    EXPECT_EQ(collector->samples().size(), 10u);
+  }
+}
+
+TEST(Agent, FleetRollupsAreDeterministic) {
+  AgentConfig cfg;
+  cfg.monitor = small_config();
+  cfg.num_machines = 2;
+  cfg.duration_seconds = 0.4;
+  Agent a(cfg);
+  Agent b(cfg);
+  a.run();
+  b.run();
+  const auto ra = a.rollups();
+  const auto rb = b.rollups();
+  ASSERT_EQ(ra.size(), rb.size());
+  ASSERT_FALSE(ra.empty());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].machine_id, rb[i].machine_id);
+    EXPECT_EQ(ra[i].metric, rb[i].metric);
+    EXPECT_DOUBLE_EQ(ra[i].stats.avg, rb[i].stats.avg);
+    EXPECT_DOUBLE_EQ(ra[i].stats.p95, rb[i].stats.p95);
+  }
+}
+
+TEST(Agent, RejectsBadConfig) {
+  AgentConfig cfg;
+  cfg.monitor = small_config();
+  cfg.num_machines = 0;
+  EXPECT_THROW(Agent{cfg}, Error);
+  cfg.num_machines = 1;
+  cfg.duration_seconds = 0;
+  EXPECT_THROW(Agent{cfg}, Error);
+}
+
+}  // namespace
+}  // namespace likwid::monitor

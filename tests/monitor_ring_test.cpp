@@ -1,0 +1,84 @@
+// Tests for the agent's bounded sample storage (monitor/ring_buffer.hpp):
+// fill-up, wrap/overwrite semantics, age-ordered indexing, drop
+// accounting, and misuse rejection.
+#include <gtest/gtest.h>
+
+#include "monitor/ring_buffer.hpp"
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), Error);
+}
+
+TEST(RingBuffer, FillsInOrder) {
+  RingBuffer<int> ring(3);
+  ring.push(10);
+  ring.push(11);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_FALSE(ring.full());
+  EXPECT_EQ(ring[0], 10);
+  EXPECT_EQ(ring[1], 11);
+  EXPECT_EQ(ring.front(), 10);
+  EXPECT_EQ(ring.back(), 11);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBuffer<int> ring(3);
+  for (int v = 0; v < 5; ++v) ring.push(v);
+  // 0 and 1 were overwritten; 2,3,4 survive in age order.
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring[0], 2);
+  EXPECT_EQ(ring[1], 3);
+  EXPECT_EQ(ring[2], 4);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(RingBuffer, WrapsRepeatedly) {
+  RingBuffer<int> ring(2);
+  for (int v = 0; v < 101; ++v) ring.push(v);
+  EXPECT_EQ(ring[0], 99);
+  EXPECT_EQ(ring[1], 100);
+  EXPECT_EQ(ring.pushed(), 101u);
+  EXPECT_EQ(ring.dropped(), 99u);
+}
+
+TEST(RingBuffer, IndexOutOfRangeThrows) {
+  RingBuffer<int> ring(4);
+  ring.push(1);
+  EXPECT_THROW(ring[1], Error);
+  EXPECT_NO_THROW(ring[0]);
+}
+
+TEST(RingBuffer, BackOnEmptyThrows) {
+  RingBuffer<int> ring(4);
+  EXPECT_THROW(ring.back(), Error);
+}
+
+TEST(RingBuffer, ClearKeepsLifetimeStatistics) {
+  RingBuffer<int> ring(2);
+  for (int v = 0; v < 4; ++v) ring.push(v);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.pushed(), 4u);
+  ring.push(7);
+  EXPECT_EQ(ring[0], 7);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+}  // namespace
+}  // namespace likwid::monitor

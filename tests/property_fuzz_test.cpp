@@ -249,8 +249,12 @@ TEST_P(SyntheticInvariants, MissFlagsAreMonotoneAcrossLevels) {
                                static_cast<unsigned>(machine.num_threads()))};
     const auto t = k.sweep_traffic(machine, p, 0);
     // A hit at an inner level implies no traffic deeper down.
-    if (!t.misses_l1) EXPECT_FALSE(t.misses_l2);
-    if (!t.misses_l2) EXPECT_FALSE(t.misses_llc);
+    if (!t.misses_l1) {
+      EXPECT_FALSE(t.misses_l2);
+    }
+    if (!t.misses_l2) {
+      EXPECT_FALSE(t.misses_llc);
+    }
     EXPECT_GE(t.lines, t.store_lines);
     const auto& tlb = machine.spec().tlb;
     if (t.pages > tlb.entries) {

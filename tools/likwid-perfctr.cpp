@@ -24,7 +24,6 @@
 //            launching an application (formalizes the paper's `sleep` idiom)
 //   -o FILE  write the result block to FILE; the extension picks the
 //            format (.csv, .xml, anything else: the ASCII tables)
-#include <fstream>
 #include <iostream>
 
 #include "cli/csv_output.hpp"
@@ -79,12 +78,7 @@ OutputFormat pick_format(const cli::ArgParser& args) {
 /// Route the result block to stdout or the -o file.
 void emit(const cli::ArgParser& args, const std::string& text) {
   if (const auto ofile = args.value("-o")) {
-    std::ofstream out(*ofile);
-    if (!out) {
-      throw_error(ErrorCode::kInvalidArgument,
-                  "cannot open output file '" + *ofile + "'");
-    }
-    out << text;
+    tools::write_file(*ofile, text);
     std::cout << "Results written to " << *ofile << "\n";
   } else {
     std::cout << text;
@@ -93,19 +87,19 @@ void emit(const cli::ArgParser& args, const std::string& text) {
 
 /// Streams per-interval metric rows while the measured run progresses:
 /// tick() is called between work quanta and emits one CSV row per derived
-/// metric once the configured interval has elapsed.
+/// metric once the configured interval has elapsed. The delta machinery
+/// lives in core::IntervalSampler; this class only paces and formats.
 class TimelineStreamer {
  public:
-  TimelineStreamer(ossim::SimKernel& kernel, core::PerfCtr& ctr,
-                   double interval)
-      : kernel_(kernel), ctr_(ctr), interval_(interval) {
+  TimelineStreamer(core::PerfCtr& ctr, double interval)
+      : ctr_(ctr), sampler_(ctr), interval_(interval) {
     LIKWID_REQUIRE(interval_ > 0, "timeline interval must be positive");
     if (ctr_.num_event_sets() != 1) {
       throw_error(ErrorCode::kInvalidArgument,
                   "timeline mode (-d) requires exactly one event set; "
                   "multiplexing across intervals is not supported");
     }
-    last_time_ = kernel_.now();
+    last_emit_ = ctr_.kernel().now();
     std::cout << "TIMELINE,time[s],group,metric";
     for (const int cpu : ctr_.cpus()) std::cout << ",core " << cpu;
     std::cout << "\n";
@@ -113,26 +107,16 @@ class TimelineStreamer {
 
   /// Emit a row block if at least one interval passed (or `force`).
   void tick(bool force = false) {
-    const double now = kernel_.now();
-    if (!force && now - last_time_ < interval_) return;
-    ctr_.stop();
-
-    const auto& cumulative = ctr_.results(0).counts;
-    std::map<int, std::map<std::string, double>> delta = cumulative;
-    for (auto& [cpu, events] : delta) {
-      const auto prev_cpu = prev_.find(cpu);
-      if (prev_cpu == prev_.end()) continue;
-      for (auto& [name, value] : events) {
-        const auto prev_ev = prev_cpu->second.find(name);
-        if (prev_ev != prev_cpu->second.end()) value -= prev_ev->second;
-      }
-    }
-    const auto rows =
-        ctr_.compute_metrics_for(0, delta, now - last_time_);
+    const double now = ctr_.kernel().now();
+    if (!force && now - last_emit_ < interval_) return;
+    // A forced flush right after a paced tick would emit a duplicate
+    // zero-length block at the same timestamp.
+    if (force && now <= last_emit_) return;
+    const core::IntervalSampler::Interval iv = sampler_.poll();
     const std::string group =
         ctr_.group_of(0) ? ctr_.group_of(0)->name : "custom";
-    for (const auto& row : rows) {
-      std::cout << "TIMELINE," << util::format_metric(now) << ","
+    for (const auto& row : iv.metrics) {
+      std::cout << "TIMELINE," << util::format_metric(iv.t_end) << ","
                 << cli::csv_escape(group) << "," << cli::csv_escape(row.name);
       for (const int cpu : ctr_.cpus()) {
         const auto it = row.per_cpu.find(cpu);
@@ -142,9 +126,7 @@ class TimelineStreamer {
       }
       std::cout << "\n";
     }
-    prev_ = cumulative;
-    last_time_ = now;
-    ctr_.start();
+    last_emit_ = now;
   }
 
   /// Final flush; leaves the counters stopped.
@@ -154,11 +136,10 @@ class TimelineStreamer {
   }
 
  private:
-  ossim::SimKernel& kernel_;
   core::PerfCtr& ctr_;
+  core::IntervalSampler sampler_;
   double interval_;
-  double last_time_ = 0;
-  std::map<int, std::map<std::string, double>> prev_;
+  double last_emit_ = 0;
 };
 
 }  // namespace
@@ -273,7 +254,7 @@ int main(int argc, char** argv) {
                     "exclusive");
       }
       timeline = std::make_unique<TimelineStreamer>(
-          *ctx.kernel, ctr, util::parse_double(*interval).value_or(1.0));
+          ctr, util::parse_double(*interval).value_or(1.0));
     }
 
     /// Quanta/rotation policy shared by the measured apps: multiplexing

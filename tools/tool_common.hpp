@@ -3,6 +3,7 @@
 // hold the kernel the tool operates on.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -45,6 +46,17 @@ inline std::string machine_help() {
   return out +
          "\n  --enum MODE     BIOS numbering: smt-last (default), "
          "smt-adjacent, socket-rr\n";
+}
+
+/// Write a result block to `path`, throwing the tools' standard error on
+/// unopenable files.
+inline void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "cannot open output file '" + path + "'");
+  }
+  out << text;
 }
 
 /// Standard error handling for tool main() bodies.
