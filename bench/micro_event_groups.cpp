@@ -42,8 +42,8 @@ void run_case(hwsim::SimMachine& machine, const Case& c) {
   std::printf("%-8s on %-12s (%s)\n", c.group.c_str(),
               c.kernel.name.c_str(), c.expectation.c_str());
   for (const auto& row : ctr.compute_metrics(0)) {
-    if (row.name == "Runtime [s]" || row.name == "CPI") continue;
-    std::printf("    %-32s %14.6g\n", row.name.c_str(), row.per_cpu.at(0));
+    if (row.name() == "Runtime [s]" || row.name() == "CPI") continue;
+    std::printf("    %-32s %14.6g\n", row.name().c_str(), row.at(0));
   }
 }
 
@@ -99,10 +99,10 @@ int main() {
     run_workload(kernel, workload, p);
     ctr.stop();
     for (const auto& row : ctr.compute_metrics(0)) {
-      if (row.name == "Memory data volume [GBytes]") {
+      if (row.name() == "Memory data volume [GBytes]") {
         std::printf("    copy %-14s %8.3f GB\n",
                     nt ? "(NT stores)" : "(write-allocate)",
-                    row.per_cpu.at(0));
+                    row.at(0));
       }
     }
   }

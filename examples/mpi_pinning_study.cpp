@@ -85,11 +85,11 @@ int main() {
     std::printf("\nper-rank FLOPS_DP (pinned job):\n");
     for (const auto& m : job.measure_triad("FLOPS_DP", stream)) {
       for (const auto& row : m.metrics) {
-        if (row.name != "DP MFlops/s") continue;
+        if (row.name() != "DP MFlops/s") continue;
         double sum = 0;
-        for (const auto& [cpu, v] : row.per_cpu) sum += v;
+        for (const double v : row.values) sum += v;
         std::printf("  rank %d (node %d): %8.1f MFlops/s across %zu cpus\n",
-                    m.rank, m.node, sum, row.per_cpu.size());
+                    m.rank, m.node, sum, row.values.size());
       }
     }
   }

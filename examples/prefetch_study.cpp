@@ -30,8 +30,8 @@ double measure_stream_bandwidth(ossim::SimKernel& kernel) {
   run_workload(kernel, ladder, p);
   ctr.stop();
   for (const auto& row : ctr.compute_metrics(0)) {
-    if (row.name == "Memory bandwidth [MBytes/s]") {
-      return row.per_cpu.at(0);
+    if (row.name() == "Memory bandwidth [MBytes/s]") {
+      return row.at(0);
     }
   }
   return 0;

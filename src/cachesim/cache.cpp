@@ -58,6 +58,40 @@ SetAssociativeCache::Eviction SetAssociativeCache::insert(
   return ev;
 }
 
+SetAssociativeCache::ProbeResult SetAssociativeCache::probe_or_insert(
+    std::uint64_t line_addr, bool mark_dirty, bool insert_dirty) {
+  Way* set = set_begin(line_addr);
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) {
+      set[w].stamp = ++clock_;
+      if (mark_dirty) set[w].dirty = true;
+      return {true, {}};
+    }
+    if (!set[w].valid) {
+      // Free way: remember the first one, like insert() does, but keep
+      // scanning — the line could still live in a later way.
+      if (victim == nullptr || victim->valid) victim = &set[w];
+      continue;
+    }
+    if (victim == nullptr ||
+        (victim->valid && set[w].stamp < victim->stamp)) {
+      victim = &set[w];
+    }
+  }
+  ProbeResult r;
+  if (victim->valid) {
+    r.eviction.valid = true;
+    r.eviction.line_addr = victim->tag;
+    r.eviction.dirty = victim->dirty;
+  }
+  victim->tag = line_addr;
+  victim->stamp = ++clock_;
+  victim->valid = true;
+  victim->dirty = insert_dirty;
+  return r;
+}
+
 bool SetAssociativeCache::contains(std::uint64_t line_addr) const noexcept {
   const Way* set = set_begin(line_addr);
   for (std::uint32_t w = 0; w < assoc_; ++w) {

@@ -46,6 +46,21 @@ class SetAssociativeCache {
   /// evicted victim. Throws Error(kInvalidState) if the line is present.
   Eviction insert(std::uint64_t line_addr, bool dirty);
 
+  /// Result of a fused probe: whether the line was already resident, and
+  /// the displaced victim when it was not.
+  struct ProbeResult {
+    bool hit = false;
+    Eviction eviction;  ///< valid only when !hit
+  };
+
+  /// lookup() and insert() fused into one associative-way walk: on hit the
+  /// line's LRU stamp refreshes (and `mark_dirty` applies), on miss the
+  /// line is installed with `insert_dirty`, displacing the same victim the
+  /// separate walks would have picked. For the miss paths this halves the
+  /// set scans per access.
+  ProbeResult probe_or_insert(std::uint64_t line_addr, bool mark_dirty,
+                              bool insert_dirty);
+
   /// True if the line is resident (no LRU update).
   bool contains(std::uint64_t line_addr) const noexcept;
 

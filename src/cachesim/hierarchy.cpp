@@ -207,6 +207,10 @@ void CacheHierarchy::fill_from_below(int cpu, std::uint64_t line,
   const int socket = threads_[static_cast<std::size_t>(cpu)].socket;
 
   if (has_l2_) {
+    // Demand probes stay separate from the allocation (unlike the fused
+    // writeback paths): the install must run after the lower levels
+    // resolved, or an inclusive-L3 back-invalidation in between could pick
+    // a different victim than real fill ordering would.
     if (count_demand) t.l2_requests += 1;
     if (l2_of(cpu)->lookup(line, false)) {
       if (count_demand) t.l2_hits += 1;
@@ -292,15 +296,50 @@ void CacheHierarchy::install_l1(int cpu, std::uint64_t line, bool dirty) {
   }
 }
 
+void CacheHierarchy::handle_l2_eviction(
+    int cpu, const SetAssociativeCache::Eviction& ev) {
+  if (ev.valid && ev.dirty) {
+    cpu_traffic_[static_cast<std::size_t>(cpu)].l2_writebacks += 1;
+    writeback_from_l2(cpu, ev.line_addr);
+  }
+}
+
 void CacheHierarchy::install_l2(int cpu, std::uint64_t line, bool dirty,
                                 bool is_fill) {
   if (!has_l2_) return;
-  CpuTraffic& t = cpu_traffic_[static_cast<std::size_t>(cpu)];
   const auto ev = l2_of(cpu)->insert(line, dirty);
-  if (is_fill) t.l2_fills += 1;
-  if (ev.valid && ev.dirty) {
-    t.l2_writebacks += 1;
-    writeback_from_l2(cpu, ev.line_addr);
+  if (is_fill) cpu_traffic_[static_cast<std::size_t>(cpu)].l2_fills += 1;
+  handle_l2_eviction(cpu, ev);
+}
+
+void CacheHierarchy::handle_l3_eviction(
+    int cpu, int socket, const SetAssociativeCache::Eviction& ev) {
+  if (!ev.valid) return;
+  SocketTraffic& st = socket_traffic_[static_cast<std::size_t>(socket)];
+  st.l3_lines_out += 1;
+  bool victim_dirty = ev.dirty;
+  if (l3_of_socket(socket)->inclusive()) {
+    // Inclusive LLC: evicting a line expels it from the inner caches of
+    // every core on this socket.
+    for (const auto& th : threads_) {
+      if (th.socket != socket || th.smt != 0) continue;
+      const auto r1 =
+          l1_[static_cast<std::size_t>(
+                  l1_index_[static_cast<std::size_t>(th.os_id)])]
+              ->invalidate(ev.line_addr);
+      victim_dirty = victim_dirty || r1.was_dirty;
+      if (has_l2_) {
+        const auto r2 =
+            l2_[static_cast<std::size_t>(
+                    l2_index_[static_cast<std::size_t>(th.os_id)])]
+                ->invalidate(ev.line_addr);
+        victim_dirty = victim_dirty || r2.was_dirty;
+      }
+    }
+  }
+  if (victim_dirty) {
+    cpu_traffic_[static_cast<std::size_t>(cpu)].mem_lines_written += 1;
+    st.mem_writes += 1;
   }
 }
 
@@ -313,44 +352,18 @@ void CacheHierarchy::install_l3(int cpu, int socket, std::uint64_t line,
     }
     return;
   }
-  SocketTraffic& st = socket_traffic_[static_cast<std::size_t>(socket)];
-  SetAssociativeCache* l3 = l3_of_socket(socket);
-  const auto ev = l3->insert(line, dirty);
-  st.l3_lines_in += 1;
-  if (ev.valid) {
-    st.l3_lines_out += 1;
-    bool victim_dirty = ev.dirty;
-    if (l3->inclusive()) {
-      // Inclusive LLC: evicting a line expels it from the inner caches of
-      // every core on this socket.
-      for (const auto& th : threads_) {
-        if (th.socket != socket || th.smt != 0) continue;
-        const auto r1 =
-            l1_[static_cast<std::size_t>(
-                    l1_index_[static_cast<std::size_t>(th.os_id)])]
-                ->invalidate(ev.line_addr);
-        victim_dirty = victim_dirty || r1.was_dirty;
-        if (has_l2_) {
-          const auto r2 =
-              l2_[static_cast<std::size_t>(
-                      l2_index_[static_cast<std::size_t>(th.os_id)])]
-                  ->invalidate(ev.line_addr);
-          victim_dirty = victim_dirty || r2.was_dirty;
-        }
-      }
-    }
-    if (victim_dirty) {
-      cpu_traffic_[static_cast<std::size_t>(cpu)].mem_lines_written += 1;
-      st.mem_writes += 1;
-    }
-  }
+  const auto ev = l3_of_socket(socket)->insert(line, dirty);
+  socket_traffic_[static_cast<std::size_t>(socket)].l3_lines_in += 1;
+  handle_l3_eviction(cpu, socket, ev);
 }
 
 void CacheHierarchy::writeback_from_l1(int cpu, std::uint64_t line) {
-  // Dirty L1 victim: merge into L2 if resident, else allocate there.
+  // Dirty L1 victim: merge into L2 if resident, else allocate there. One
+  // fused set walk serves both the probe and the allocation.
   if (has_l2_) {
-    if (l2_of(cpu)->lookup(line, /*mark_dirty=*/true)) return;
-    install_l2(cpu, line, /*dirty=*/true, /*is_fill=*/false);
+    const auto r = l2_of(cpu)->probe_or_insert(line, /*mark_dirty=*/true,
+                                               /*insert_dirty=*/true);
+    if (!r.hit) handle_l2_eviction(cpu, r.eviction);
     return;
   }
   writeback_from_l2(cpu, line);  // no L2: falls through to L3/memory
@@ -359,9 +372,12 @@ void CacheHierarchy::writeback_from_l1(int cpu, std::uint64_t line) {
 void CacheHierarchy::writeback_from_l2(int cpu, std::uint64_t line) {
   const int socket = threads_[static_cast<std::size_t>(cpu)].socket;
   if (has_l3_) {
-    SetAssociativeCache* l3 = l3_of_socket(socket);
-    if (l3->lookup(line, /*mark_dirty=*/true)) return;
-    install_l3(cpu, socket, line, /*dirty=*/true);
+    const auto r = l3_of_socket(socket)->probe_or_insert(
+        line, /*mark_dirty=*/true, /*insert_dirty=*/true);
+    if (!r.hit) {
+      socket_traffic_[static_cast<std::size_t>(socket)].l3_lines_in += 1;
+      handle_l3_eviction(cpu, socket, r.eviction);
+    }
     return;
   }
   cpu_traffic_[static_cast<std::size_t>(cpu)].mem_lines_written += 1;

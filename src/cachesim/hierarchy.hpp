@@ -126,6 +126,12 @@ class CacheHierarchy {
   void install_l1(int cpu, std::uint64_t line, bool dirty);
   void install_l2(int cpu, std::uint64_t line, bool dirty, bool is_fill);
   void install_l3(int cpu, int socket, std::uint64_t line, bool dirty);
+  /// Shared victim handling of an L2 allocation (writeback cascade).
+  void handle_l2_eviction(int cpu, const SetAssociativeCache::Eviction& ev);
+  /// Shared victim handling of an L3 allocation (lines_out accounting,
+  /// inclusive back-invalidation, dirty writeback to memory).
+  void handle_l3_eviction(int cpu, int socket,
+                          const SetAssociativeCache::Eviction& ev);
   void writeback_from_l1(int cpu, std::uint64_t line);
   void writeback_from_l2(int cpu, std::uint64_t line);
   void run_prefetchers(int cpu, std::uint64_t miss_line);

@@ -31,18 +31,19 @@ std::vector<std::string> cpu_header(const core::PerfCtr& ctr,
 }
 
 void event_rows(std::ostringstream& out, const core::PerfCtr& ctr, int set,
-                const std::map<int, std::map<std::string, double>>& counts) {
+                const core::CountSlab& counts) {
   row(out, cpu_header(ctr, {"Event", "Counter"}));
-  for (const auto& a : ctr.assignments_of(set)) {
-    std::vector<std::string> cells = {csv_escape(a.event_name),
-                                      csv_escape(a.counter_name)};
-    for (const int cpu : ctr.cpus()) {
-      const auto cpu_it = counts.find(cpu);
-      double v = 0;
-      if (cpu_it != counts.end()) {
-        const auto ev_it = cpu_it->second.find(a.event_name);
-        if (ev_it != cpu_it->second.end()) v = ev_it->second;
-      }
+  const auto& assignments = ctr.assignments_of(set);
+  std::vector<int> cpu_rows;
+  for (const int cpu : ctr.cpus()) {
+    cpu_rows.push_back(counts.empty() ? -1 : counts.row_of(cpu));
+  }
+  for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
+    std::vector<std::string> cells = {csv_escape(assignments[slot].event_name),
+                                      csv_escape(assignments[slot].counter_name)};
+    for (const int r : cpu_rows) {
+      const double v =
+          r < 0 ? 0.0 : counts.row(static_cast<std::size_t>(r))[slot];
       cells.push_back(format_value(v));
     }
     row(out, cells);
@@ -53,11 +54,9 @@ void metric_rows(std::ostringstream& out, const core::PerfCtr& ctr,
                  const std::vector<core::PerfCtr::MetricRow>& metrics) {
   row(out, cpu_header(ctr, {"Metric"}));
   for (const auto& m : metrics) {
-    std::vector<std::string> cells = {csv_escape(m.name)};
+    std::vector<std::string> cells = {csv_escape(m.name())};
     for (const int cpu : ctr.cpus()) {
-      const auto it = m.per_cpu.find(cpu);
-      cells.push_back(it == m.per_cpu.end() ? "0"
-                                            : util::format_metric(it->second));
+      cells.push_back(util::format_metric(m.value_or(cpu, 0.0)));
     }
     row(out, cells);
   }
@@ -82,15 +81,7 @@ std::string csv_measurement(const core::PerfCtr& ctr, int set) {
   std::ostringstream out;
   const auto& group = ctr.group_of(set);
   row(out, {"GROUP", group ? csv_escape(group->name) : "custom"});
-
-  std::map<int, std::map<std::string, double>> counts;
-  for (const int cpu : ctr.cpus()) {
-    for (const auto& a : ctr.assignments_of(set)) {
-      counts[cpu][a.event_name] =
-          ctr.extrapolated_count(set, cpu, a.event_name);
-    }
-  }
-  event_rows(out, ctr, set, counts);
+  event_rows(out, ctr, set, ctr.extrapolated_counts(set));
   if (group) {
     metric_rows(out, ctr, ctr.compute_metrics(set));
   }

@@ -159,23 +159,25 @@ std::string render_topology_ascii(const core::NodeTopology& topo) {
 namespace {
 
 /// Shared table body: one row per event, one column per measured cpu.
-std::string event_table(
-    const core::PerfCtr& ctr, int set,
-    const std::map<int, std::map<std::string, double>>& counts) {
+/// Event names are resolved from the set's assignment table; the slab is
+/// indexed by (cpu, assignment slot).
+std::string event_table(const core::PerfCtr& ctr, int set,
+                        const core::CountSlab& counts) {
   std::vector<std::string> headers = {"Event"};
   for (const int cpu : ctr.cpus()) {
     headers.push_back("core " + std::to_string(cpu));
   }
   AsciiTable table(headers);
-  for (const auto& a : ctr.assignments_of(set)) {
-    std::vector<std::string> row = {a.event_name};
-    for (const int cpu : ctr.cpus()) {
-      double value = 0;
-      const auto it = counts.find(cpu);
-      if (it != counts.end()) {
-        const auto ev = it->second.find(a.event_name);
-        if (ev != it->second.end()) value = ev->second;
-      }
+  const auto& assignments = ctr.assignments_of(set);
+  std::vector<int> cpu_rows;
+  for (const int cpu : ctr.cpus()) {
+    cpu_rows.push_back(counts.empty() ? -1 : counts.row_of(cpu));
+  }
+  for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
+    std::vector<std::string> row = {assignments[slot].event_name};
+    for (const int r : cpu_rows) {
+      const double value =
+          r < 0 ? 0.0 : counts.row(static_cast<std::size_t>(r))[slot];
       row.push_back(util::format_count(value));
     }
     table.add_row(std::move(row));
@@ -191,11 +193,9 @@ std::string metric_table(const core::PerfCtr& ctr,
   }
   AsciiTable table(headers);
   for (const auto& row : rows) {
-    std::vector<std::string> cells = {row.name};
+    std::vector<std::string> cells = {row.name()};
     for (const int cpu : ctr.cpus()) {
-      const auto it = row.per_cpu.find(cpu);
-      cells.push_back(util::format_metric(it != row.per_cpu.end() ? it->second
-                                                                  : 0.0));
+      cells.push_back(util::format_metric(row.value_or(cpu, 0.0)));
     }
     table.add_row(std::move(cells));
   }
@@ -212,14 +212,7 @@ std::string render_measurement(const core::PerfCtr& ctr, int set) {
   } else {
     out << "Measuring custom event set\n" << separator_line();
   }
-  std::map<int, std::map<std::string, double>> counts;
-  for (const int cpu : ctr.cpus()) {
-    for (const auto& a : ctr.assignments_of(set)) {
-      counts[cpu][a.event_name] =
-          ctr.extrapolated_count(set, cpu, a.event_name);
-    }
-  }
-  out << event_table(ctr, set, counts);
+  out << event_table(ctr, set, ctr.extrapolated_counts(set));
   if (group) {
     out << metric_table(ctr, ctr.compute_metrics(set));
   }

@@ -17,8 +17,8 @@ std::string csv_series(const std::vector<monitor::SeriesPoint>& points) {
   std::ostringstream out;
   out << "SERIES,likwid-agent\n" << csv_series_header() << "\n";
   for (const auto& p : points) {
-    out << p.machine_id << ',' << p.window << ',' << csv_escape(p.group)
-        << ',' << csv_escape(p.metric) << ','
+    out << p.machine_id << ',' << p.window << ',' << csv_escape(p.group())
+        << ',' << csv_escape(p.metric()) << ','
         << util::format_metric(p.t_start) << ','
         << util::format_metric(p.t_end) << ',' << p.stats.count << ','
         << util::format_metric(p.stats.min) << ','
@@ -37,8 +37,8 @@ std::string xml_series(const std::vector<monitor::SeriesPoint>& points) {
   out << "<monitorSeries>\n";
   for (const auto& p : points) {
     out << "  <rollup" << attr("machine", std::to_string(p.machine_id))
-        << attr("window", std::to_string(p.window)) << attr("group", p.group)
-        << attr("metric", p.metric)
+        << attr("window", std::to_string(p.window)) << attr("group", p.group())
+        << attr("metric", p.metric())
         << attr("start", util::format_metric(p.t_start))
         << attr("end", util::format_metric(p.t_end))
         << attr("samples", std::to_string(p.stats.count))

@@ -1,6 +1,9 @@
 #include "cli/xml_output.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "util/strings.hpp"
 
@@ -106,20 +109,17 @@ std::string xml_numa(const core::NumaTopology& numa) {
 namespace {
 
 void xml_counts(std::ostringstream& out, const core::PerfCtr& ctr, int set,
-                const std::map<int, std::map<std::string, double>>& counts,
-                const std::string& indent) {
+                const core::CountSlab& counts, const std::string& indent) {
+  const auto& assignments = ctr.assignments_of(set);
   for (const int cpu : ctr.cpus()) {
     out << indent << "<cpu" << attr("id", cpu) << ">\n";
-    for (const auto& a : ctr.assignments_of(set)) {
-      double value = 0;
-      const auto it = counts.find(cpu);
-      if (it != counts.end()) {
-        const auto ev = it->second.find(a.event_name);
-        if (ev != it->second.end()) value = ev->second;
-      }
-      out << indent << "  <event" << attr("name", a.event_name)
-          << attr("counter", a.counter_name) << attr("count", value)
-          << "/>\n";
+    const int r = counts.empty() ? -1 : counts.row_of(cpu);
+    for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
+      const double value =
+          r < 0 ? 0.0 : counts.row(static_cast<std::size_t>(r))[slot];
+      out << indent << "  <event" << attr("name", assignments[slot].event_name)
+          << attr("counter", assignments[slot].counter_name)
+          << attr("count", value) << "/>\n";
     }
     out << indent << "</cpu>\n";
   }
@@ -129,8 +129,16 @@ void xml_metrics(std::ostringstream& out,
                  const std::vector<core::PerfCtr::MetricRow>& rows,
                  const std::string& indent) {
   for (const auto& row : rows) {
-    out << indent << "<metric" << attr("name", row.name) << ">\n";
-    for (const auto& [cpu, value] : row.per_cpu) {
+    out << indent << "<metric" << attr("name", row.name()) << ">\n";
+    // The former cpu -> value map iterated in ascending cpu order; emit
+    // the dense row the same way so existing XML consumers see no change.
+    std::vector<std::pair<int, double>> by_cpu;
+    by_cpu.reserve(row.cpus->size());
+    for (std::size_t i = 0; i < row.cpus->size(); ++i) {
+      by_cpu.emplace_back((*row.cpus)[i], row.values[i]);
+    }
+    std::sort(by_cpu.begin(), by_cpu.end());
+    for (const auto& [cpu, value] : by_cpu) {
       out << indent << "  <value" << attr("cpu", cpu)
           << attr("v", value) << "/>\n";
     }
@@ -146,14 +154,7 @@ std::string xml_measurement(const core::PerfCtr& ctr, int set) {
   out << "<measurement"
       << attr("group", group ? group->name : std::string("custom"))
       << attr("seconds", ctr.results(set).measured_seconds) << ">\n";
-  std::map<int, std::map<std::string, double>> counts;
-  for (const int cpu : ctr.cpus()) {
-    for (const auto& a : ctr.assignments_of(set)) {
-      counts[cpu][a.event_name] =
-          ctr.extrapolated_count(set, cpu, a.event_name);
-    }
-  }
-  xml_counts(out, ctr, set, counts, "  ");
+  xml_counts(out, ctr, set, ctr.extrapolated_counts(set), "  ");
   if (group) {
     xml_metrics(out, ctr.compute_metrics(set), "  ");
   }

@@ -1,0 +1,41 @@
+#include "core/compiled_metric.hpp"
+
+namespace likwid::core {
+
+double CompiledMetric::evaluate(std::span<const double> regs) const noexcept {
+  double stack[kMaxStack];
+  int top = -1;  // index of the stack head
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case Op::kPushConst:
+        stack[++top] = ins.value;
+        break;
+      case Op::kPushReg:
+        stack[++top] = regs[static_cast<std::size_t>(ins.reg)];
+        break;
+      case Op::kAdd:
+        --top;
+        stack[top] += stack[top + 1];
+        break;
+      case Op::kSub:
+        --top;
+        stack[top] -= stack[top + 1];
+        break;
+      case Op::kMul:
+        --top;
+        stack[top] *= stack[top + 1];
+        break;
+      case Op::kDiv:
+        --top;
+        stack[top] =
+            stack[top + 1] == 0.0 ? 0.0 : stack[top] / stack[top + 1];
+        break;
+      case Op::kNeg:
+        stack[top] = -stack[top];
+        break;
+    }
+  }
+  return top >= 0 ? stack[top] : 0.0;
+}
+
+}  // namespace likwid::core

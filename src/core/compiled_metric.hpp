@@ -1,0 +1,68 @@
+// compiled_metric.hpp — flat postfix programs for derived-metric formulas.
+//
+// A parsed MetricExpr is a shared_ptr AST whose evaluation walks pointers
+// and looks every identifier up in a string-keyed map — fine for one-shot
+// reporting, far too heavy for the monitoring hot loop that evaluates every
+// group formula for every cpu on every sampling interval. compile() lowers
+// the AST once into a CompiledMetric: a flat vector of postfix instructions
+// whose variables were resolved to register indices at compile (group
+// setup) time. evaluate() is then a tight loop over a std::span<const
+// double> register file — no hashing, no allocation, no recursion.
+//
+// The AST path stays as the parse front-end and as the differential-testing
+// oracle (tests/compiled_metric_test.cpp fuzzes one against the other).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace likwid::core {
+
+class MetricExpr;
+struct MetricCompiler;
+
+class CompiledMetric {
+ public:
+  /// Evaluate against a register file; reg indices were bound at compile
+  /// time, so `regs` only has to be as long as the largest bound index + 1.
+  /// Division by zero yields 0, matching the AST evaluator (likwid prints 0
+  /// for metrics whose denominator event did not fire).
+  double evaluate(std::span<const double> regs) const noexcept;
+
+  /// Instruction count (diagnostics / tests).
+  std::size_t size() const noexcept { return code_.size(); }
+
+  /// Deepest operand-stack use of evaluate(); bounded by kMaxStack.
+  int max_stack_depth() const noexcept { return max_depth_; }
+
+  /// Operand stack ceiling; compile() rejects deeper programs with
+  /// Error(kResourceExhausted). Group formulas are tiny — a program this
+  /// deep would need >60 nested parentheses.
+  static constexpr int kMaxStack = 64;
+
+ private:
+  friend class MetricExpr;     ///< compile() is the only constructor path
+  friend struct MetricCompiler;  ///< the AST-lowering pass (metric_expr.cpp)
+
+  enum class Op : std::uint8_t {
+    kPushConst,  ///< push `value`
+    kPushReg,    ///< push regs[`reg`]
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,  ///< x/0 -> 0
+    kNeg,
+  };
+
+  struct Instr {
+    Op op;
+    std::int32_t reg = 0;
+    double value = 0;
+  };
+
+  std::vector<Instr> code_;
+  int max_depth_ = 0;
+};
+
+}  // namespace likwid::core

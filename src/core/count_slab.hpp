@@ -1,0 +1,98 @@
+// count_slab.hpp — dense per-cpu x per-slot count storage.
+//
+// The measurement pipeline used to carry counts as
+// std::map<int, std::map<std::string, double>> (cpu -> event name -> count),
+// paying string compares and node allocations on every read-out, interval
+// delta and metric evaluation. A CountSlab is the interned replacement: one
+// flat std::vector<double> with a row per measured cpu (in the PerfCtr's
+// cpu order) and a column per event-set slot (the assignment index, which
+// doubles as the register index of the compiled metric programs). Event
+// names live only in the set's assignment table; the slab itself is pure
+// numbers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+class CountSlab {
+ public:
+  CountSlab() = default;
+
+  /// `cpus` maps row index -> os cpu id; shared with the owning PerfCtr so
+  /// copying a slab never duplicates the cpu list.
+  CountSlab(std::shared_ptr<const std::vector<int>> cpus, std::size_t slots)
+      : cpus_(std::move(cpus)), slots_(slots) {
+    LIKWID_ASSERT(cpus_ != nullptr, "count slab without a cpu list");
+    data_.assign(cpus_->size() * slots_, 0.0);
+  }
+
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t slots() const noexcept { return slots_; }
+  std::size_t rows() const noexcept { return cpus_ ? cpus_->size() : 0; }
+
+  const std::vector<int>& cpus() const noexcept {
+    static const std::vector<int> kNone;
+    return cpus_ ? *cpus_ : kNone;
+  }
+
+  /// Row index of an os cpu id; -1 when the cpu is not measured.
+  int row_of(int cpu) const noexcept {
+    if (!cpus_) return -1;
+    for (std::size_t r = 0; r < cpus_->size(); ++r) {
+      if ((*cpus_)[r] == cpu) return static_cast<int>(r);
+    }
+    return -1;
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * slots_, slots_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * slots_, slots_};
+  }
+
+  /// Count of `slot` on os cpu `cpu`; throws Error(kNotFound) for cpus the
+  /// slab does not cover (boundary/test convenience — hot paths use row()).
+  double at(int cpu, std::size_t slot) const {
+    const int r = row_of(cpu);
+    if (r < 0 || slot >= slots_) {
+      throw_error(ErrorCode::kNotFound,
+                  "cpu " + std::to_string(cpu) + " slot " +
+                      std::to_string(slot) + " not covered by this slab");
+    }
+    return data_[static_cast<std::size_t>(r) * slots_ + slot];
+  }
+  double& at(int cpu, std::size_t slot) {
+    const int r = row_of(cpu);
+    if (r < 0 || slot >= slots_) {
+      throw_error(ErrorCode::kNotFound,
+                  "cpu " + std::to_string(cpu) + " slot " +
+                      std::to_string(slot) + " not covered by this slab");
+    }
+    return data_[static_cast<std::size_t>(r) * slots_ + slot];
+  }
+
+  /// Elementwise this -= other; layouts must match.
+  void subtract(const CountSlab& other) {
+    LIKWID_ASSERT(other.data_.size() == data_.size() && other.slots_ == slots_,
+                  "slab subtraction with mismatched layouts");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  }
+
+  /// Elementwise scale (multiplex extrapolation).
+  void scale(double factor) noexcept {
+    for (double& v : data_) v *= factor;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<int>> cpus_;
+  std::size_t slots_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace likwid::core

@@ -23,6 +23,8 @@ int MarkerSession::register_region(const std::string& name) {
   }
   RegionResults r;
   r.name = name;
+  r.event_set = ctr_.current_set();
+  r.counts = ctr_.make_slab(r.event_set);
   regions_.push_back(std::move(r));
   return static_cast<int>(regions_.size()) - 1;
 }
@@ -60,10 +62,23 @@ void MarkerSession::stop_region(int thread_id, int core_id, int region_id) {
   const CounterSnapshot after = ctr_.snapshot(core_id);
   const std::vector<double> delta = ctr_.snapshot_delta(slot.snapshot, after);
   RegionResults& region = regions_[static_cast<std::size_t>(region_id)];
-  const auto& assignments = ctr_.assignments_of(ctr_.current_set());
-  auto& counts = region.counts[core_id];
-  for (std::size_t i = 0; i < assignments.size(); ++i) {
-    counts[assignments[i].event_name] += delta[i];
+  // The slab's slots are the registration-time set's assignments; deltas
+  // from a rotated set would land in slots labeled with other events.
+  if (region.event_set != ctr_.current_set()) {
+    throw_error(ErrorCode::kInvalidState,
+                "region '" + region.name +
+                    "' stopped under a different event set than it was "
+                    "registered with (marker regions do not multiplex)");
+  }
+  // Regions may run on cores outside the measured -c list (unpinned
+  // threads); their counts never reach any report, so only measured cores
+  // accumulate. The elapsed time below is kept for every core — it feeds
+  // the region's wall-time estimate.
+  const int row = region.counts.row_of(core_id);
+  if (row >= 0) {
+    const std::span<double> counts =
+        region.counts.row(static_cast<std::size_t>(row));
+    for (std::size_t i = 0; i < delta.size(); ++i) counts[i] += delta[i];
   }
   region.seconds[core_id] += ctr_.kernel().now() - slot.start_seconds;
   region.call_count += 1;

@@ -50,8 +50,12 @@ class MarkerSession {
 
   struct RegionResults {
     std::string name;
-    /// cpu -> event name -> accumulated count
-    std::map<int, std::map<std::string, double>> counts;
+    /// Event set the slab's slots belong to (the ctr's current set when
+    /// the region was registered).
+    int event_set = 0;
+    /// Accumulated counter deltas, cpu row x slot of `event_set`
+    /// (zero rows for cores that never entered the region).
+    CountSlab counts;
     /// cpu -> accumulated wall time the region was open
     std::map<int, double> seconds;
     int call_count = 0;

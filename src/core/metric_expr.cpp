@@ -223,4 +223,68 @@ double MetricExpr::evaluate(const std::map<std::string, double>& vars) const {
   return eval_node(*root_, vars);
 }
 
+/// Post-order lowering of the AST into the flat program; tracks the
+/// operand-stack high-water mark as it emits.
+struct MetricCompiler {
+  const MetricExpr::RegisterResolver& reg_of;
+  CompiledMetric& out;
+  int depth = 0;
+
+  void push(CompiledMetric::Instr instr) {
+    out.code_.push_back(instr);
+    ++depth;
+    if (depth > out.max_depth_) out.max_depth_ = depth;
+    if (out.max_depth_ > CompiledMetric::kMaxStack) {
+      throw_error(ErrorCode::kResourceExhausted,
+                  "metric formula needs more than " +
+                      std::to_string(CompiledMetric::kMaxStack) +
+                      " operand stack slots");
+    }
+  }
+
+  void lower(const Node& node) {
+    using Op = CompiledMetric::Op;
+    switch (node.kind) {
+      case Node::Kind::kNumber:
+        push({Op::kPushConst, 0, node.number});
+        return;
+      case Node::Kind::kVariable: {
+        const int reg = reg_of(node.variable);
+        if (reg < 0) {
+          throw_error(ErrorCode::kNotFound,
+                      "metric variable '" + node.variable + "' is not bound");
+        }
+        push({Op::kPushReg, reg, 0});
+        return;
+      }
+      case Node::Kind::kNeg:
+        lower(*node.lhs);
+        out.code_.push_back({Op::kNeg, 0, 0});
+        return;
+      case Node::Kind::kAdd:
+      case Node::Kind::kSub:
+      case Node::Kind::kMul:
+      case Node::Kind::kDiv: {
+        lower(*node.lhs);
+        lower(*node.rhs);
+        const Op op = node.kind == Node::Kind::kAdd   ? Op::kAdd
+                      : node.kind == Node::Kind::kSub ? Op::kSub
+                      : node.kind == Node::Kind::kMul ? Op::kMul
+                                                      : Op::kDiv;
+        out.code_.push_back({op, 0, 0});
+        --depth;  // two operands replaced by one result
+        return;
+      }
+    }
+  }
+};
+
+CompiledMetric MetricExpr::compile(const RegisterResolver& reg_of) const {
+  LIKWID_ASSERT(root_ != nullptr, "compile of empty expression");
+  CompiledMetric program;
+  MetricCompiler compiler{reg_of, program};
+  compiler.lower(*root_);
+  return program;
+}
+
 }  // namespace likwid::core

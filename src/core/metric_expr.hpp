@@ -8,11 +8,14 @@
 // (with exponents), identifiers [A-Za-z_][A-Za-z0-9_]*.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/compiled_metric.hpp"
 
 namespace likwid::core {
 
@@ -26,7 +29,19 @@ class MetricExpr {
   /// Evaluate with the given variable bindings; throws Error(kNotFound) for
   /// unbound identifiers. Division by zero yields 0 (likwid prints 0 for
   /// metrics whose denominator event did not fire, rather than inf).
+  /// This is the slow reference path; hot loops use compile() once and run
+  /// the CompiledMetric instead.
   double evaluate(const std::map<std::string, double>& vars) const;
+
+  /// Maps a variable name to its register index in the compiled program's
+  /// register file; a negative return means the name is not bound.
+  using RegisterResolver = std::function<int(std::string_view)>;
+
+  /// Lower the expression to a flat postfix program with every variable
+  /// resolved through `reg_of`. Throws Error(kNotFound) for variables the
+  /// resolver rejects — the AST evaluator's unbound-variable error, moved
+  /// from every evaluation to the one compile.
+  CompiledMetric compile(const RegisterResolver& reg_of) const;
 
   /// All identifiers referenced by the expression.
   const std::vector<std::string>& variables() const { return variables_; }

@@ -1,0 +1,42 @@
+#include "core/name_table.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+NameTable& NameTable::instance() {
+  static NameTable table;
+  return table;
+}
+
+NameId NameTable::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+NameId NameTable::find(std::string_view name) const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  return it == index_.end() ? kInvalidNameId : it->second;
+}
+
+const std::string& NameTable::name(NameId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) {
+    throw_error(ErrorCode::kNotFound,
+                "name id " + std::to_string(id) + " was never interned");
+  }
+  return names_[static_cast<std::size_t>(id)];
+}
+
+std::size_t NameTable::size() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace likwid::core

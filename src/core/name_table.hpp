@@ -1,0 +1,65 @@
+// name_table.hpp — process-wide string interner for the counter pipeline.
+//
+// Every event and metric name that flows through the measurement hot path
+// (perfctr readout, interval sampling, marker accumulation, the monitoring
+// rollups) is interned once into a small dense NameId at setup time; the
+// per-sample code then moves ids and flat arrays only. Strings are resolved
+// back exclusively at the output boundary (ASCII/CSV/XML writers), so the
+// emitted files are unchanged while the hot loops never hash or compare a
+// string.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace likwid::core {
+
+/// Dense identifier of an interned name. Ids are assigned consecutively
+/// from 0 in interning order and are never recycled.
+using NameId = std::int32_t;
+
+inline constexpr NameId kInvalidNameId = -1;
+
+class NameTable {
+ public:
+  /// The process-wide table shared by all measurement objects.
+  static NameTable& instance();
+
+  NameTable() = default;
+  NameTable(const NameTable&) = delete;
+  NameTable& operator=(const NameTable&) = delete;
+
+  /// Id of `name`, interning it on first sight.
+  NameId intern(std::string_view name);
+
+  /// Id of `name` if already interned, kInvalidNameId otherwise.
+  NameId find(std::string_view name) const noexcept;
+
+  /// The string behind an id; throws Error(kNotFound) for ids this table
+  /// never handed out. The reference stays valid for the table's lifetime.
+  const std::string& name(NameId id) const;
+
+  std::size_t size() const noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  /// Deque: growth never moves existing strings, so name() can hand out
+  /// stable references.
+  std::deque<std::string> names_;
+  /// Views point into names_ entries, which never move or die.
+  std::unordered_map<std::string_view, NameId> index_;
+};
+
+/// Shorthands for the common case of the process-wide table.
+inline NameId intern_name(std::string_view name) {
+  return NameTable::instance().intern(name);
+}
+inline const std::string& resolve_name(NameId id) {
+  return NameTable::instance().name(id);
+}
+
+}  // namespace likwid::core

@@ -16,13 +16,29 @@ namespace msr = hwsim::msr;
 using hwsim::CounterClass;
 using hwsim::Vendor;
 
+double PerfCtr::MetricRow::at(int cpu) const {
+  for (std::size_t r = 0; r < cpus->size(); ++r) {
+    if ((*cpus)[r] == cpu) return values[r];
+  }
+  throw_error(ErrorCode::kNotFound,
+              "cpu " + std::to_string(cpu) + " is not measured by this row");
+}
+
+double PerfCtr::MetricRow::value_or(int cpu, double fallback) const noexcept {
+  for (std::size_t r = 0; r < cpus->size(); ++r) {
+    if ((*cpus)[r] == cpu) return values[r];
+  }
+  return fallback;
+}
+
 PerfCtr::PerfCtr(ossim::SimKernel& kernel, std::vector<int> cpus)
-    : kernel_(kernel), cpus_(std::move(cpus)) {
-  LIKWID_REQUIRE(!cpus_.empty(), "no cpus selected for measurement");
+    : kernel_(kernel),
+      cpus_(std::make_shared<const std::vector<int>>(std::move(cpus))) {
+  LIKWID_REQUIRE(!cpus_->empty(), "no cpus selected for measurement");
   const auto& machine = kernel_.machine();
   arch_ = machine.arch();
   std::set<int> seen;
-  for (const int cpu : cpus_) {
+  for (const int cpu : *cpus_) {
     LIKWID_REQUIRE(cpu >= 0 && cpu < machine.num_threads(),
                    "measured cpu " + std::to_string(cpu) +
                        " does not exist on this machine");
@@ -31,7 +47,7 @@ PerfCtr::PerfCtr(ossim::SimKernel& kernel, std::vector<int> cpus)
   }
   // Socket locks: the first measured cpu of each socket owns the uncore.
   std::set<int> locked_sockets;
-  for (const int cpu : cpus_) {
+  for (const int cpu : *cpus_) {
     const int socket = machine.socket_of(cpu);
     if (locked_sockets.insert(socket).second) lock_cpus_.push_back(cpu);
   }
@@ -59,6 +75,7 @@ void PerfCtr::add_fixed_counters(EventSet& set) const {
                   "fixed event missing from arch table");
     CounterAssignment a;
     a.event_name = kFixedNames[i];
+    a.event_id = intern_name(a.event_name);
     a.counter_name = "FIXC" + std::to_string(i);
     a.klass = CounterClass::kFixed;
     a.index = enc->fixed_index;
@@ -100,6 +117,36 @@ void PerfCtr::validate_and_store(EventSet set) {
   if (unc > pmu.num_uncore_counters) {
     throw_error(ErrorCode::kResourceExhausted, "too many uncore events");
   }
+
+  const std::size_t slots = set.assignments.size();
+  for (std::size_t i = 0; i < slots; ++i) {
+    const auto* enc = set.assignments[i].encoding;
+    if (enc != nullptr && enc->id == hwsim::EventId::kCoreCycles) {
+      set.cycles_slot = static_cast<int>(i);
+    }
+  }
+
+  // Group sets: bind every formula to the set's register file once. Slots
+  // [0, slots) are the assignments; the two trailing registers carry the
+  // built-ins `time` and `clock`.
+  if (set.group) {
+    const auto reg_of = [&](std::string_view name) -> int {
+      for (std::size_t i = 0; i < slots; ++i) {
+        if (set.assignments[i].event_name == name) return static_cast<int>(i);
+      }
+      if (name == "time") return static_cast<int>(slots);
+      if (name == "clock") return static_cast<int>(slots) + 1;
+      return -1;
+    };
+    for (const auto& metric : set.group->metrics) {
+      CompiledGroupMetric compiled;
+      compiled.name_id = intern_name(metric.name);
+      compiled.program = MetricExpr::parse(metric.formula).compile(reg_of);
+      set.programs.push_back(std::move(compiled));
+    }
+  }
+
+  set.results.counts = CountSlab(cpus_, slots);
   sets_.push_back(std::move(set));
 }
 
@@ -121,6 +168,7 @@ void PerfCtr::add_group(const std::string& group_name) {
     LIKWID_ASSERT(enc != nullptr, "group references unknown event " + name);
     CounterAssignment a;
     a.event_name = name;
+    a.event_id = intern_name(name);
     a.encoding = enc;
     a.klass = enc->klass;
     if (enc->klass == CounterClass::kUncore) {
@@ -155,6 +203,7 @@ void PerfCtr::add_custom(const std::string& event_spec) {
     }
     CounterAssignment a;
     a.event_name = name;
+    a.event_id = intern_name(name);
     a.encoding = enc;
     a.klass = enc->klass;
     if (enc->klass == CounterClass::kFixed) continue;  // implicit
@@ -202,6 +251,15 @@ const std::vector<CounterAssignment>& PerfCtr::assignments_of(int set) const {
   return sets_[static_cast<std::size_t>(set)].assignments;
 }
 
+std::optional<std::size_t> PerfCtr::slot_of(int set,
+                                            std::string_view event) const {
+  const auto& assignments = assignments_of(set);
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    if (assignments[i].event_name == event) return i;
+  }
+  return std::nullopt;
+}
+
 std::uint32_t PerfCtr::counter_msr(const CounterAssignment& a) const {
   const bool amd = kernel_.machine().spec().vendor == Vendor::kAmd;
   switch (a.klass) {
@@ -243,7 +301,7 @@ int PerfCtr::counter_bits(const CounterAssignment& a) const {
 void PerfCtr::program_set(const EventSet& set) {
   const auto& spec = kernel_.machine().spec();
   const bool amd = spec.vendor == Vendor::kAmd;
-  for (const int cpu : cpus_) {
+  for (const int cpu : *cpus_) {
     bool any_fixed = false;
     for (const auto& a : set.assignments) {
       if (a.klass == CounterClass::kFixed) {
@@ -300,7 +358,7 @@ void PerfCtr::enable_set(const EventSet& set) {
   for (int i = 0; i < spec.pmu.num_fixed_counters; ++i) {
     global = util::assign_bit(global, 32u + static_cast<unsigned>(i), true);
   }
-  for (const int cpu : cpus_) {
+  for (const int cpu : *cpus_) {
     kernel_.msr_write(cpu, msr::kPerfGlobalCtrl, global);
   }
   if (spec.pmu.num_uncore_counters > 0) {
@@ -324,7 +382,7 @@ void PerfCtr::enable_set(const EventSet& set) {
 void PerfCtr::disable_set(const EventSet& set) {
   const auto& spec = kernel_.machine().spec();
   if (spec.vendor == Vendor::kAmd) {
-    for (const int cpu : cpus_) {
+    for (const int cpu : *cpus_) {
       for (const auto& a : set.assignments) {
         if (a.klass != CounterClass::kCore) continue;
         const std::uint64_t sel = kernel_.msr_read(cpu, select_msr(a));
@@ -335,7 +393,7 @@ void PerfCtr::disable_set(const EventSet& set) {
     return;
   }
   if (spec.pmu.has_global_ctrl) {
-    for (const int cpu : cpus_) {
+    for (const int cpu : *cpus_) {
       kernel_.msr_write(cpu, msr::kPerfGlobalCtrl, 0);
     }
     if (spec.pmu.num_uncore_counters > 0) {
@@ -345,7 +403,7 @@ void PerfCtr::disable_set(const EventSet& set) {
     }
   } else {
     // Pre-global-ctrl parts: clear the per-counter enable bits.
-    for (const int cpu : cpus_) {
+    for (const int cpu : *cpus_) {
       for (const auto& a : set.assignments) {
         if (a.klass != CounterClass::kCore) continue;
         const std::uint64_t sel = kernel_.msr_read(cpu, select_msr(a));
@@ -355,7 +413,7 @@ void PerfCtr::disable_set(const EventSet& set) {
     }
   }
   if (spec.pmu.num_fixed_counters > 0) {
-    for (const int cpu : cpus_) {
+    for (const int cpu : *cpus_) {
       kernel_.msr_write(cpu, msr::kFixedCtrCtrl, 0);
     }
   }
@@ -368,8 +426,9 @@ void PerfCtr::start() {
   program_set(set);
   enable_set(set);
   start_values_.clear();
-  for (const int cpu : cpus_) {
-    start_values_[cpu] = snapshot(cpu);
+  start_values_.reserve(cpus_->size());
+  for (const int cpu : *cpus_) {
+    start_values_.push_back(snapshot(cpu));
   }
   start_time_ = kernel_.now();
   running_ = true;
@@ -378,14 +437,11 @@ void PerfCtr::start() {
 void PerfCtr::stop() {
   LIKWID_REQUIRE(running_, "counters are not running");
   EventSet& set = sets_[static_cast<std::size_t>(current_)];
-  for (const int cpu : cpus_) {
-    const CounterSnapshot after = snapshot(cpu);
-    const std::vector<double> delta =
-        snapshot_delta(start_values_.at(cpu), after);
-    auto& counts = set.results.counts[cpu];
-    for (std::size_t i = 0; i < set.assignments.size(); ++i) {
-      counts[set.assignments[i].event_name] += delta[i];
-    }
+  for (std::size_t r = 0; r < cpus_->size(); ++r) {
+    const CounterSnapshot after = snapshot((*cpus_)[r]);
+    const std::vector<double> delta = snapshot_delta(start_values_[r], after);
+    const std::span<double> row = set.results.counts.row(r);
+    for (std::size_t i = 0; i < delta.size(); ++i) row[i] += delta[i];
   }
   set.results.measured_seconds += kernel_.now() - start_time_;
   disable_set(set);
@@ -433,6 +489,10 @@ const PerfCtr::SetResults& PerfCtr::results(int set) const {
   return sets_[static_cast<std::size_t>(set)].results;
 }
 
+CountSlab PerfCtr::make_slab(int set) const {
+  return CountSlab(cpus_, assignments_of(set).size());
+}
+
 double PerfCtr::total_seconds() const {
   double total = 0;
   for (const auto& s : sets_) total += s.results.measured_seconds;
@@ -440,70 +500,87 @@ double PerfCtr::total_seconds() const {
 }
 
 double PerfCtr::extrapolated_count(int set, int cpu,
-                                   const std::string& event) const {
+                                   std::string_view event) const {
   const SetResults& r = results(set);
-  const auto cpu_it = r.counts.find(cpu);
-  if (cpu_it == r.counts.end()) return 0;
-  const auto ev_it = cpu_it->second.find(event);
-  if (ev_it == cpu_it->second.end()) return 0;
-  if (num_event_sets() <= 1 || r.measured_seconds <= 0) return ev_it->second;
-  return ev_it->second * total_seconds() / r.measured_seconds;
+  const auto slot = slot_of(set, event);
+  if (!slot.has_value()) return 0;
+  const int row = r.counts.row_of(cpu);
+  if (row < 0) return 0;
+  const double measured = r.counts.row(static_cast<std::size_t>(row))[*slot];
+  if (num_event_sets() <= 1 || r.measured_seconds <= 0) return measured;
+  return measured * total_seconds() / r.measured_seconds;
+}
+
+CountSlab PerfCtr::extrapolated_counts(int set) const {
+  const SetResults& r = results(set);
+  CountSlab counts = r.counts;
+  if (num_event_sets() > 1 && r.measured_seconds > 0) {
+    counts.scale(total_seconds() / r.measured_seconds);
+  }
+  return counts;
+}
+
+std::vector<NameId> PerfCtr::metric_ids(int set) const {
+  LIKWID_REQUIRE(set >= 0 && set < num_event_sets(), "event set out of range");
+  std::vector<NameId> ids;
+  for (const auto& m : sets_[static_cast<std::size_t>(set)].programs) {
+    ids.push_back(m.name_id);
+  }
+  return ids;
 }
 
 std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics(int set) const {
-  std::map<int, std::map<std::string, double>> counts;
-  for (const int cpu : cpus_) {
-    for (const auto& a : assignments_of(set)) {
-      counts[cpu][a.event_name] = extrapolated_count(set, cpu, a.event_name);
-    }
-  }
-  return compute_metrics_for(set, counts);
+  return compute_metrics_for(set, extrapolated_counts(set));
 }
 
 std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics_for(
-    int set, const std::map<int, std::map<std::string, double>>& counts,
-    double fallback_seconds, bool wall_time) const {
+    int set, const CountSlab& counts, double fallback_seconds,
+    bool wall_time) const {
   const auto& group = group_of(set);
   LIKWID_REQUIRE(group.has_value(),
                  "metrics require a performance group event set");
   const EventSet& es = sets_[static_cast<std::size_t>(set)];
-
-  // Does this set count core cycles? If so, per-cpu runtime is derived
-  // from them; otherwise fall back to wall time.
-  std::string cycles_event;
-  for (const auto& a : es.assignments) {
-    if (a.encoding != nullptr &&
-        a.encoding->id == hwsim::EventId::kCoreCycles) {
-      cycles_event = a.event_name;
-    }
-  }
+  const std::size_t slots = es.assignments.size();
+  LIKWID_REQUIRE(counts.empty() || counts.slots() == slots,
+                 "count slab does not match the event set");
 
   std::vector<MetricRow> rows;
-  for (const auto& metric : group->metrics) {
-    const MetricExpr expr = MetricExpr::parse(metric.formula);
+  rows.reserve(es.programs.size());
+  for (const auto& m : es.programs) {
     MetricRow row;
-    row.name = metric.name;
-    for (const int cpu : cpus_) {
-      // Default every event of the set to 0 so metrics for cpus absent
-      // from `counts` (e.g. cores that never entered a marker region)
-      // evaluate instead of failing on unbound variables.
-      std::map<std::string, double> vars;
-      for (const auto& a : es.assignments) vars[a.event_name] = 0.0;
-      const auto cpu_it = counts.find(cpu);
-      if (cpu_it != counts.end()) {
-        for (const auto& [name, value] : cpu_it->second) vars[name] = value;
-      }
-      double time = fallback_seconds >= 0 ? fallback_seconds
-                                          : es.results.measured_seconds;
-      if (!wall_time && !cycles_event.empty() &&
-          vars.count(cycles_event) != 0) {
-        time = vars.at(cycles_event) / clock_hz();
-      }
-      vars["time"] = time;
-      vars["clock"] = clock_hz();
-      row.per_cpu[cpu] = expr.evaluate(vars);
-    }
+    row.name_id = m.name_id;
+    row.cpus = cpus_;
+    row.values.resize(cpus_->size());
     rows.push_back(std::move(row));
+  }
+
+  // Register file: the set's slots, then the built-ins `time` and `clock`.
+  std::vector<double> regs(slots + 2, 0.0);
+  regs[slots + 1] = clock_hz();
+  for (std::size_t r = 0; r < cpus_->size(); ++r) {
+    const int cpu = (*cpus_)[r];
+    // Counts default to 0 for cpus the slab does not cover (e.g. cores
+    // that never entered a marker region), so metrics still evaluate.
+    const int crow = counts.empty() ? -1 : counts.row_of(cpu);
+    if (crow >= 0) {
+      const std::span<const double> src =
+          counts.row(static_cast<std::size_t>(crow));
+      std::copy(src.begin(), src.end(), regs.begin());
+    } else {
+      std::fill(regs.begin(), regs.begin() + static_cast<std::ptrdiff_t>(slots),
+                0.0);
+    }
+    // Runtime: derived from core cycles when the set counts them (the
+    // busy-time semantic), else the caller's fallback / measured wall time.
+    double time = fallback_seconds >= 0 ? fallback_seconds
+                                        : es.results.measured_seconds;
+    if (!wall_time && es.cycles_slot >= 0) {
+      time = regs[static_cast<std::size_t>(es.cycles_slot)] / clock_hz();
+    }
+    regs[slots] = time;
+    for (std::size_t m = 0; m < es.programs.size(); ++m) {
+      rows[m].values[r] = es.programs[m].program.evaluate(regs);
+    }
   }
   return rows;
 }

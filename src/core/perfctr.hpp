@@ -12,13 +12,24 @@
 //   * counter multiplexing: several event sets measured round-robin, with
 //     counts extrapolated to the full runtime,
 //   * derived metrics evaluated from the group formulas.
+//
+// Data flow is interned end-to-end: event and metric names are interned
+// into core::NameTable ids at set-up time, counts travel as dense
+// CountSlab matrices (cpu row x assignment slot), and each group formula
+// is compiled once into a CompiledMetric whose registers are the set's
+// slots plus the trailing `time` and `clock` registers. Strings reappear
+// only at the output boundary.
 #pragma once
 
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/compiled_metric.hpp"
+#include "core/count_slab.hpp"
+#include "core/name_table.hpp"
 #include "core/perf_groups.hpp"
 #include "hwsim/arch.hpp"
 #include "ossim/kernel.hpp"
@@ -28,7 +39,8 @@ namespace likwid::core {
 /// A single event placed on a physical counter.
 struct CounterAssignment {
   std::string event_name;
-  std::string counter_name;  ///< "PMC0", "FIXC1", "UPMC3"
+  NameId event_id = kInvalidNameId;  ///< interned event_name
+  std::string counter_name;          ///< "PMC0", "FIXC1", "UPMC3"
   hwsim::CounterClass klass = hwsim::CounterClass::kCore;
   int index = 0;             ///< index within the class
   const hwsim::EventEncoding* encoding = nullptr;
@@ -64,6 +76,10 @@ class PerfCtr {
   const std::optional<EventGroup>& group_of(int set) const;
   const std::vector<CounterAssignment>& assignments_of(int set) const;
 
+  /// Slot (= assignment index = compiled register index) of an event in a
+  /// set; std::nullopt when the set does not count it.
+  std::optional<std::size_t> slot_of(int set, std::string_view event) const;
+
   // --- measurement ------------------------------------------------------
 
   void start();   ///< program + zero + enable the current set
@@ -82,36 +98,64 @@ class PerfCtr {
   // --- results ------------------------------------------------------------
 
   struct SetResults {
-    std::map<int, std::map<std::string, double>> counts;  ///< cpu -> event -> count
+    CountSlab counts;             ///< accumulated deltas, cpu row x slot
     double measured_seconds = 0;  ///< time this set was live
   };
   const SetResults& results(int set) const;
+
+  /// A zeroed slab with the set's shape (external accumulators — markers).
+  CountSlab make_slab(int set) const;
 
   /// Total measured wall time across all sets.
   double total_seconds() const;
 
   /// Counts corrected for multiplexing: measured * total/measured_time.
-  double extrapolated_count(int set, int cpu, const std::string& event) const;
+  double extrapolated_count(int set, int cpu, std::string_view event) const;
 
+  /// The whole set's counts extrapolated at once (dense twin of
+  /// extrapolated_count, and what the writers and metrics consume).
+  CountSlab extrapolated_counts(int set) const;
+
+  /// One derived metric evaluated per measured cpu; `values` is aligned
+  /// with `cpus()` and the name is resolved through the NameTable only
+  /// when asked for.
   struct MetricRow {
-    std::string name;
-    std::map<int, double> per_cpu;
+    NameId name_id = kInvalidNameId;
+    std::shared_ptr<const std::vector<int>> cpus;  ///< row -> os cpu id
+    std::vector<double> values;
+
+    const std::string& name() const { return resolve_name(name_id); }
+
+    /// Value for an os cpu id; throws Error(kNotFound) when unmeasured.
+    double at(int cpu) const;
+    /// Value for an os cpu id, or `fallback` when unmeasured.
+    double value_or(int cpu, double fallback) const noexcept;
   };
+
+  /// Metric names of a group set in display order (interned); empty for
+  /// custom sets.
+  std::vector<NameId> metric_ids(int set) const;
+
   /// Evaluate the derived metrics of a group set per measured cpu.
   std::vector<MetricRow> compute_metrics(int set) const;
 
-  /// Inject externally accumulated counts (marker regions reuse the group
-  /// machinery for metric evaluation and reporting). `fallback_seconds`
-  /// supplies the runtime for formulas when the set counts no cycles event
-  /// (negative: use the set's measured wall time). With `wall_time`, the
-  /// formulas always evaluate `time` as `fallback_seconds` even when the
-  /// set counts cycles — the continuous-monitoring semantic, where rates
-  /// are per sampling interval rather than per unhalted-cycle busy time.
+  /// Evaluate the metrics over externally accumulated counts (marker
+  /// regions and interval sampling reuse the group machinery for metric
+  /// evaluation and reporting). `fallback_seconds` supplies the runtime
+  /// for formulas when the set counts no cycles event (negative: use the
+  /// set's measured wall time). With `wall_time`, the formulas always
+  /// evaluate `time` as `fallback_seconds` even when the set counts
+  /// cycles — the continuous-monitoring semantic, where rates are per
+  /// sampling interval rather than per unhalted-cycle busy time.
   std::vector<MetricRow> compute_metrics_for(
-      int set, const std::map<int, std::map<std::string, double>>& counts,
-      double fallback_seconds = -1.0, bool wall_time = false) const;
+      int set, const CountSlab& counts, double fallback_seconds = -1.0,
+      bool wall_time = false) const;
 
-  const std::vector<int>& cpus() const { return cpus_; }
+  const std::vector<int>& cpus() const { return *cpus_; }
+  /// The shared cpu list backing every slab and metric row of this ctr.
+  const std::shared_ptr<const std::vector<int>>& cpus_ptr() const {
+    return cpus_;
+  }
   ossim::SimKernel& kernel() { return kernel_; }
   /// Socket-lock holders: the first measured cpu of each socket.
   const std::vector<int>& socket_lock_cpus() const { return lock_cpus_; }
@@ -119,9 +163,17 @@ class PerfCtr {
   double clock_hz() const;
 
  private:
+  /// A group formula lowered to its postfix program at add_group time.
+  struct CompiledGroupMetric {
+    NameId name_id = kInvalidNameId;
+    CompiledMetric program;
+  };
+
   struct EventSet {
     std::vector<CounterAssignment> assignments;
     std::optional<EventGroup> group;
+    std::vector<CompiledGroupMetric> programs;  ///< empty for custom sets
+    int cycles_slot = -1;  ///< slot counting core cycles, -1 if none
     SetResults results;
   };
 
@@ -137,14 +189,14 @@ class PerfCtr {
 
   ossim::SimKernel& kernel_;
   hwsim::Arch arch_;
-  std::vector<int> cpus_;
+  std::shared_ptr<const std::vector<int>> cpus_;
   std::vector<int> lock_cpus_;
   std::vector<EventSet> sets_;
   int current_ = 0;
   bool running_ = false;
   double start_time_ = 0;
-  /// start values per cpu per assignment of the running set
-  std::map<int, CounterSnapshot> start_values_;
+  /// start values per cpu row (cpus() order) of the running set
+  std::vector<CounterSnapshot> start_values_;
 };
 
 }  // namespace likwid::core

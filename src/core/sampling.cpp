@@ -67,20 +67,17 @@ IntervalSampler::Interval IntervalSampler::poll(bool rotate) {
   iv.t_end = ctr_.kernel().now();
   last_time_ = iv.t_end;
 
-  const auto& cumulative = ctr_.results(set).counts;
-  iv.counts = cumulative;
-  const auto prev_set = prev_.find(set);
-  if (prev_set != prev_.end()) {
-    for (auto& [cpu, events] : iv.counts) {
-      const auto prev_cpu = prev_set->second.find(cpu);
-      if (prev_cpu == prev_set->second.end()) continue;
-      for (auto& [name, value] : events) {
-        const auto prev_ev = prev_cpu->second.find(name);
-        if (prev_ev != prev_cpu->second.end()) value -= prev_ev->second;
-      }
-    }
+  // Dense interval delta: copy the cumulative slab, subtract the previous
+  // poll's cumulative values — two flat array passes, no lookups. Sized
+  // here, not at construction: event sets may be added after the sampler.
+  if (prev_.size() < static_cast<std::size_t>(ctr_.num_event_sets())) {
+    prev_.resize(static_cast<std::size_t>(ctr_.num_event_sets()));
   }
-  prev_[set] = cumulative;
+  CountSlab cumulative = ctr_.results(set).counts;
+  iv.counts = cumulative;
+  CountSlab& prev = prev_[static_cast<std::size_t>(set)];
+  if (!prev.empty()) iv.counts.subtract(prev);
+  prev = std::move(cumulative);
 
   if (ctr_.group_of(set)) {
     iv.metrics = ctr_.compute_metrics_for(set, iv.counts, iv.seconds(),

@@ -92,8 +92,8 @@ class IntervalSampler {
     int set = 0;        ///< event set that was live during the interval
     double t_start = 0; ///< kernel time when the interval opened
     double t_end = 0;   ///< kernel time of the closing poll
-    /// cpu -> event -> counts accrued since the set's previous poll.
-    std::map<int, std::map<std::string, double>> counts;
+    /// Counts accrued since the set's previous poll (cpu row x slot).
+    CountSlab counts;
     /// Derived metrics over `counts` and the interval's wall time
     /// (empty for custom sets, which have no formulas).
     std::vector<PerfCtr::MetricRow> metrics;
@@ -120,8 +120,9 @@ class IntervalSampler {
  private:
   PerfCtr& ctr_;
   double last_time_;
-  /// Cumulative counts of each set as of its previous poll.
-  std::map<int, std::map<int, std::map<std::string, double>>> prev_;
+  /// Cumulative counts of each set as of its previous poll (empty slab
+  /// until a set's first poll).
+  std::vector<CountSlab> prev_;
 };
 
 }  // namespace likwid::core

@@ -2,43 +2,97 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/status.hpp"
 
 namespace likwid::monitor {
 
-WindowStats compute_stats(std::vector<double> values) {
+ReduceKind reduce_kind_of(std::string_view metric_name) {
+  if (metric_name.find("Runtime") != std::string_view::npos) {
+    return ReduceKind::kMax;
+  }
+  if (metric_name.find("/s") != std::string_view::npos ||
+      metric_name.find("[GBytes]") != std::string_view::npos) {
+    return ReduceKind::kSum;
+  }
+  return ReduceKind::kAvg;
+}
+
+double reduce_values(ReduceKind kind, std::span<const double> values) {
+  if (values.empty()) return 0;
+  switch (kind) {
+    case ReduceKind::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case ReduceKind::kSum:
+      return std::accumulate(values.begin(), values.end(), 0.0);
+    case ReduceKind::kAvg:
+      return std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+  }
+  return 0;
+}
+
+std::shared_ptr<const MetricSchema> MetricSchema::create(
+    std::string_view group, const std::vector<core::NameId>& metric_ids) {
+  auto schema = std::make_shared<MetricSchema>();
+  schema->group_id = core::intern_name(group);
+  schema->metric_ids = metric_ids;
+  schema->reduce.reserve(metric_ids.size());
+  for (const core::NameId id : metric_ids) {
+    schema->reduce.push_back(reduce_kind_of(core::resolve_name(id)));
+  }
+  schema->output_order.resize(metric_ids.size());
+  std::iota(schema->output_order.begin(), schema->output_order.end(), 0u);
+  std::sort(schema->output_order.begin(), schema->output_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return core::resolve_name(metric_ids[a]) <
+                     core::resolve_name(metric_ids[b]);
+            });
+  return schema;
+}
+
+double Sample::value_of(std::string_view metric) const {
+  LIKWID_ASSERT(schema != nullptr, "sample without a schema");
+  const core::NameId id = core::NameTable::instance().find(metric);
+  if (id != core::kInvalidNameId) {
+    for (std::size_t i = 0; i < schema->metric_ids.size(); ++i) {
+      if (schema->metric_ids[i] == id) return values[i];
+    }
+  }
+  throw_error(ErrorCode::kNotFound, "sample has no metric '" +
+                                        std::string(metric) + "'");
+}
+
+WindowStats compute_stats(std::vector<double>& values) {
   LIKWID_REQUIRE(!values.empty(), "window statistics need at least one value");
   WindowStats s;
   s.count = values.size();
-  std::sort(values.begin(), values.end());
-  s.min = values.front();
-  s.max = values.back();
-  double sum = 0;
-  for (const double v : values) sum += v;
-  s.avg = sum / static_cast<double>(values.size());
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  s.min = *min_it;
+  s.max = *max_it;
+  s.avg = std::accumulate(values.begin(), values.end(), 0.0) /
+          static_cast<double>(values.size());
   // Nearest-rank percentile: the smallest value with at least 95% of the
-  // samples at or below it.
+  // samples at or below it. nth_element beats the former full sort — the
+  // window is partitioned, not ordered.
   const auto rank = static_cast<std::size_t>(
       std::ceil(0.95 * static_cast<double>(values.size())));
-  s.p95 = values[std::max<std::size_t>(rank, 1) - 1];
+  const std::size_t idx = std::max<std::size_t>(rank, 1) - 1;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  s.p95 = values[idx];
   return s;
 }
 
 double node_reduce(const std::string& metric_name,
                    const std::map<int, double>& per_cpu) {
-  if (per_cpu.empty()) return 0;
-  if (metric_name.find("Runtime") != std::string::npos) {
-    double slowest = 0;
-    for (const auto& [cpu, v] : per_cpu) slowest = std::max(slowest, v);
-    return slowest;
-  }
-  double sum = 0;
-  for (const auto& [cpu, v] : per_cpu) sum += v;
-  const bool additive = metric_name.find("/s") != std::string::npos ||
-                        metric_name.find("[GBytes]") != std::string::npos;
-  if (additive) return sum;
-  return sum / static_cast<double>(per_cpu.size());
+  std::vector<double> values;
+  values.reserve(per_cpu.size());
+  for (const auto& [cpu, v] : per_cpu) values.push_back(v);
+  return reduce_values(reduce_kind_of(metric_name), values);
 }
 
 Aggregator::Aggregator(int window_samples) : window_samples_(window_samples) {
@@ -50,58 +104,69 @@ std::vector<SeriesPoint> Aggregator::rollup(int machine_id,
   struct OpenWindow {
     double t_start = 0;
     double t_end = 0;
-    std::map<std::string, std::vector<double>> values;  ///< metric -> series
+    std::shared_ptr<const MetricSchema> schema;
+    /// metric slot -> its values in this window. Cleared (capacity kept)
+    /// on flush, so one buffer set serves every window of the group.
+    std::vector<std::vector<double>> series;
     std::size_t samples = 0;
   };
 
   std::vector<SeriesPoint> out;
   int window_index = 0;
-  // group name -> its currently open window. With rotation the groups
+  // group id -> its currently open window. With rotation the groups
   // interleave in the ring; each group fills its own windows at its own
   // cadence, exactly like a per-group downsampler.
-  std::map<std::string, OpenWindow> open;
+  std::map<core::NameId, OpenWindow> open;
 
-  const auto flush = [&](const std::string& group, OpenWindow& w) {
-    for (const auto& [metric, series] : w.values) {
+  const auto flush = [&](OpenWindow& w) {
+    // Emit in metric-name order (the schema's precomputed permutation),
+    // matching the old string-keyed rollup maps byte for byte.
+    for (const std::size_t slot : w.schema->output_order) {
       SeriesPoint p;
       p.machine_id = machine_id;
       p.window = window_index;
       p.t_start = w.t_start;
       p.t_end = w.t_end;
-      p.group = group;
-      p.metric = metric;
-      p.stats = compute_stats(series);
+      p.group_id = w.schema->group_id;
+      p.metric_id = w.schema->metric_ids[slot];
+      p.stats = compute_stats(w.series[slot]);
       out.push_back(std::move(p));
     }
     ++window_index;
-    w = OpenWindow{};
+    w.samples = 0;
+    for (auto& s : w.series) s.clear();
   };
 
   for (std::size_t i = 0; i < ring.size(); ++i) {
     const Sample& s = ring[i];
-    OpenWindow& w = open[s.group];
-    if (w.samples == 0) w.t_start = s.t_start;
+    LIKWID_ASSERT(s.schema != nullptr, "ring sample without a schema");
+    OpenWindow& w = open[s.schema->group_id];
+    if (w.samples == 0) {
+      w.t_start = s.t_start;
+      w.schema = s.schema;
+      w.series.resize(s.values.size());
+    }
     w.t_end = s.t_end;
-    for (const auto& [metric, value] : s.metrics) {
-      w.values[metric].push_back(value);
+    for (std::size_t m = 0; m < s.values.size(); ++m) {
+      w.series[m].push_back(s.values[m]);
     }
     ++w.samples;
     if (w.samples == static_cast<std::size_t>(window_samples_)) {
-      flush(s.group, w);
+      flush(w);
     }
   }
   // Trailing partial windows, oldest-first by window start so the emitted
   // window indices stay in time order across groups.
-  std::vector<std::pair<std::string, OpenWindow*>> trailing;
+  std::vector<OpenWindow*> trailing;
   for (auto& [group, w] : open) {
-    if (w.samples > 0) trailing.emplace_back(group, &w);
+    if (w.samples > 0) trailing.push_back(&w);
   }
   std::sort(trailing.begin(), trailing.end(),
-            [](const auto& a, const auto& b) {
-              return a.second->t_start < b.second->t_start;
+            [](const OpenWindow* a, const OpenWindow* b) {
+              return a->t_start < b->t_start;
             });
-  for (auto& [group, w] : trailing) {
-    flush(group, *w);
+  for (OpenWindow* w : trailing) {
+    flush(*w);
   }
   return out;
 }

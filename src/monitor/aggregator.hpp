@@ -4,10 +4,12 @@
 // al., 2012) argues raw per-interval counter streams are too noisy and too
 // voluminous to act on; monitoring wants derived metrics reduced twice:
 // spatially (cpus -> node) and temporally (samples -> window statistics).
-// node_reduce() does the spatial step with per-metric semantics (rates and
-// volumes add across cpus, ratios average, runtimes take the slowest cpu);
-// Aggregator does the temporal step, closing a window every
-// `window_samples` samples of the same group and emitting min/avg/max/p95.
+// The spatial step runs per sample through the schema's precomputed
+// ReduceKind (rates and volumes add across cpus, ratios average, runtimes
+// take the slowest cpu — see reduce_kind_of()); Aggregator does the
+// temporal step, closing a window every `window_samples` samples of the
+// same group and emitting min/avg/max/p95. Groups and metrics travel as
+// interned ids; the series writers resolve them back to strings.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/name_table.hpp"
 #include "monitor/config.hpp"
 
 namespace likwid::monitor {
@@ -35,18 +38,22 @@ struct SeriesPoint {
   int window = 0;      ///< per-machine window index, oldest retained = 0
   double t_start = 0;  ///< first sample's interval start
   double t_end = 0;    ///< last sample's interval end
-  std::string group;
-  std::string metric;
+  core::NameId group_id = core::kInvalidNameId;
+  core::NameId metric_id = core::kInvalidNameId;
   WindowStats stats;
+
+  const std::string& group() const { return core::resolve_name(group_id); }
+  const std::string& metric() const { return core::resolve_name(metric_id); }
 };
 
 /// Nearest-rank statistics over `values`; requires a non-empty vector.
-WindowStats compute_stats(std::vector<double> values);
+/// Takes the scratch by reference and may reorder it (std::nth_element) —
+/// callers that need the original order must copy first.
+WindowStats compute_stats(std::vector<double>& values);
 
-/// Reduce a per-cpu metric row to one node-level value: metrics named as
-/// rates ("... MBytes/s", "... MFlops/s") or volumes ("[GBytes]") sum
-/// across cpus, "Runtime [s]" takes the slowest cpu, everything else
-/// (CPI, miss ratios, ...) averages.
+/// Reduce a per-cpu metric row to one node-level value by display-name
+/// classification; the hot path precomputes reduce_kind_of() once per
+/// metric instead (see MetricSchema).
 double node_reduce(const std::string& metric_name,
                    const std::map<int, double>& per_cpu);
 

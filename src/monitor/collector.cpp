@@ -66,6 +66,13 @@ Collector::Collector(int machine_id, MonitorConfig config)
   for (const auto& group : cfg_.groups) {
     ctr_->add_group(group);
   }
+  // Intern each set's sample shape once; the per-interval path below only
+  // moves ids and dense vectors.
+  for (int set = 0; set < ctr_->num_event_sets(); ++set) {
+    const auto& group = ctr_->group_of(set);
+    schemas_.push_back(MetricSchema::create(group ? group->name : "custom",
+                                            ctr_->metric_ids(set)));
+  }
   workload_ =
       std::make_unique<workloads::SyntheticKernel>(workload_for(machine_id));
   ctr_->start();
@@ -111,10 +118,10 @@ void Collector::step() {
   s.sequence = steps_;
   s.t_start = iv.t_start;
   s.t_end = iv.t_end;
-  const auto& group = ctr_->group_of(iv.set);
-  s.group = group ? group->name : "custom";
-  for (const auto& row : iv.metrics) {
-    s.metrics[row.name] = node_reduce(row.name, row.per_cpu);
+  s.schema = schemas_[static_cast<std::size_t>(iv.set)];
+  s.values.resize(iv.metrics.size());
+  for (std::size_t m = 0; m < iv.metrics.size(); ++m) {
+    s.values[m] = reduce_values(s.schema->reduce[m], iv.metrics[m].values);
   }
   ring_.push(std::move(s));
   ++steps_;

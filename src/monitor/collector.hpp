@@ -56,6 +56,8 @@ class Collector {
   std::unique_ptr<workloads::SyntheticKernel> workload_;
   std::unique_ptr<core::IntervalSampler> sampler_;
   workloads::Placement placement_;
+  /// One schema per event set, built at construction; samples share them.
+  std::vector<std::shared_ptr<const MetricSchema>> schemas_;
   SampleRing ring_;
   /// Measured cost rate of the resident workload (workload fraction per
   /// simulated second), calibrated after every slice; sizes the next slice

@@ -7,13 +7,22 @@
 // monitored machine closes a measurement interval, reduces the derived
 // metrics to one node-level value per metric, and retains the sample in a
 // bounded ring.
+//
+// Samples are interned: a Sample carries one dense vector of node-level
+// values plus a shared MetricSchema describing which metric id each slot
+// holds and how it reduces across cpus. The schema is built once per
+// event group at collector setup; the per-interval path never touches a
+// string or a map node.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/name_table.hpp"
 #include "monitor/ring_buffer.hpp"
 
 namespace likwid::monitor {
@@ -46,14 +55,53 @@ struct MonitorConfig {
   std::uint64_t seed = 42;
 };
 
+/// How a per-cpu metric reduces to one node-level value (see
+/// reduce_kind_of() for the naming rules).
+enum class ReduceKind {
+  kSum,  ///< rates ("... MBytes/s") and volumes ("[GBytes]")
+  kMax,  ///< runtimes: the slowest cpu
+  kAvg,  ///< ratios (CPI, miss ratios, ...)
+};
+
+/// Classify a metric by its display name.
+ReduceKind reduce_kind_of(std::string_view metric_name);
+
+/// Apply a reduction over per-cpu values; 0 for an empty span.
+double reduce_values(ReduceKind kind, std::span<const double> values);
+
+/// The shape of one event group's samples: which metric each value slot
+/// holds, how it reduces, and the name-sorted emission order the rollup
+/// writers use. Built once per group, shared by every Sample of it.
+struct MetricSchema {
+  core::NameId group_id = core::kInvalidNameId;
+  std::vector<core::NameId> metric_ids;  ///< slot -> metric, group order
+  std::vector<ReduceKind> reduce;        ///< per slot
+  /// Slot indices sorted by metric name — the emission order of the old
+  /// string-keyed rollup maps, preserved so exported series are unchanged.
+  std::vector<std::size_t> output_order;
+
+  static std::shared_ptr<const MetricSchema> create(
+      std::string_view group, const std::vector<core::NameId>& metric_ids);
+};
+
 /// One closed measurement interval of one machine, reduced to node level.
 struct Sample {
   std::uint64_t sequence = 0;  ///< step index of the collector
   double t_start = 0;          ///< simulated time the interval opened
   double t_end = 0;            ///< simulated time the interval closed
-  std::string group;           ///< event group live during the interval
-  /// Derived metric name -> node-level value (see node_reduce()).
-  std::map<std::string, double> metrics;
+  /// Shape of `values` (shared; one per event group of the collector).
+  std::shared_ptr<const MetricSchema> schema;
+  /// Node-level metric values, aligned with schema->metric_ids.
+  std::vector<double> values;
+
+  /// Display name of the group live during the interval.
+  const std::string& group() const {
+    return core::resolve_name(schema->group_id);
+  }
+
+  /// Value of a metric by display name; throws Error(kNotFound) when this
+  /// sample's group does not define it (boundary/test convenience).
+  double value_of(std::string_view metric) const;
 
   double seconds() const { return t_end - t_start; }
 };

@@ -56,7 +56,7 @@ TEST_F(AgentSmoke, CsvHeaderAndRowCount) {
   // 2 s at 100 ms = 20 samples per machine; 5-sample windows = 4 windows;
   // every MEM metric appears in every window of every machine.
   std::set<std::string> metric_names;
-  for (const auto& p : rollups) metric_names.insert(p.metric);
+  for (const auto& p : rollups) metric_names.insert(p.metric());
   EXPECT_EQ(rollups.size(), 4u * 4u * metric_names.size());
 
   // Every machine id appears, each with 4 windows, and all rows carry the
@@ -64,7 +64,7 @@ TEST_F(AgentSmoke, CsvHeaderAndRowCount) {
   std::set<int> machines;
   for (const auto& p : rollups) {
     machines.insert(p.machine_id);
-    EXPECT_EQ(p.group, "MEM");
+    EXPECT_EQ(p.group(), "MEM");
     EXPECT_EQ(p.stats.count, 5u);
     EXPECT_GE(p.window, 0);
     EXPECT_LT(p.window, 4);

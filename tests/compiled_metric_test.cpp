@@ -1,0 +1,194 @@
+// Tests for the compiled metric programs (core/compiled_metric.hpp):
+// differential fuzzing against the AST evaluator (the oracle the postfix
+// lowering must agree with bit for bit), plus the documented edge cases —
+// division by zero yields 0, unbound variables throw kNotFound at compile
+// time, nested unary minus, exponent literals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metric_expr.hpp"
+#include "util/status.hpp"
+
+namespace likwid::core {
+namespace {
+
+/// Variable universe shared by the fuzzer's expressions and bindings.
+const std::vector<std::string>& var_names() {
+  static const std::vector<std::string> kVars = {"A", "B", "C", "time",
+                                                 "clock", "EVT_0"};
+  return kVars;
+}
+
+/// Compile with registers 0..n-1 bound to var_names() order.
+CompiledMetric compile_with_vars(const MetricExpr& expr) {
+  return expr.compile([](std::string_view name) -> int {
+    const auto& vars = var_names();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  });
+}
+
+double eval_compiled(const MetricExpr& expr,
+                     const std::vector<double>& regs) {
+  return compile_with_vars(expr).evaluate(regs);
+}
+
+std::map<std::string, double> bindings_of(const std::vector<double>& regs) {
+  std::map<std::string, double> vars;
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    vars[var_names()[i]] = regs[i];
+  }
+  return vars;
+}
+
+// --- deterministic expression fuzzer ---------------------------------------
+
+/// xorshift64*: tiny, seedable, no <random> verbosity.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  int below(int n) { return static_cast<int>(next() % static_cast<unsigned>(n)); }
+};
+
+/// Random expression over var_names() and assorted literals, depth-bounded.
+std::string random_expr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.below(4) == 0) {
+    switch (rng.below(6)) {
+      case 0: return var_names()[static_cast<std::size_t>(
+          rng.below(static_cast<int>(var_names().size())))];
+      case 1: return "0";
+      case 2: return "2.5";
+      case 3: return "1e-3";
+      case 4: return "2.5E+2";
+      default: return std::to_string(rng.below(100));
+    }
+  }
+  switch (rng.below(6)) {
+    case 0: return "-" + random_expr(rng, depth - 1);
+    case 1: return "(" + random_expr(rng, depth - 1) + ")";
+    default: {
+      static const char* kOps[] = {"+", "-", "*", "/"};
+      return random_expr(rng, depth - 1) + kOps[rng.below(4)] +
+             random_expr(rng, depth - 1);
+    }
+  }
+}
+
+TEST(CompiledMetric, DifferentialFuzzAgreesWithAstOracle) {
+  Rng rng{0x9E3779B97F4A7C15ULL};
+  for (int round = 0; round < 2000; ++round) {
+    const std::string text = random_expr(rng, 5);
+    const MetricExpr expr = MetricExpr::parse(text);
+    const CompiledMetric program = compile_with_vars(expr);
+    // Several bindings per expression, mixing zeros (division-by-zero
+    // paths), negatives and large magnitudes.
+    for (int binding = 0; binding < 4; ++binding) {
+      std::vector<double> regs(var_names().size());
+      for (double& r : regs) {
+        switch (rng.below(5)) {
+          case 0: r = 0.0; break;
+          case 1: r = -3.25; break;
+          case 2: r = 1e9; break;
+          case 3: r = 1e-9; break;
+          default: r = static_cast<double>(rng.below(1000)); break;
+        }
+      }
+      const double want = expr.evaluate(bindings_of(regs));
+      const double got = program.evaluate(regs);
+      // The programs execute the identical operation tree, so the results
+      // are bit-identical, NaN included (0/0 never occurs: /0 -> 0).
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got)) << text;
+      } else {
+        EXPECT_EQ(want, got) << text;
+      }
+    }
+  }
+}
+
+TEST(CompiledMetric, PaperFlopsFormula) {
+  const MetricExpr expr =
+      MetricExpr::parse("1.0E-06*(A*2.0+B)/time");
+  const CompiledMetric program = compile_with_vars(expr);
+  // regs: A B C time clock EVT_0
+  const std::vector<double> regs = {2'000'000, 1'000'000, 0, 0.5, 2.66e9, 0};
+  EXPECT_DOUBLE_EQ(program.evaluate(regs), 1e-6 * 5'000'000 / 0.5);
+}
+
+TEST(CompiledMetric, DivisionByZeroYieldsZero) {
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("A/B"),
+                                 {7.0, 0.0, 0, 0, 0, 0}),
+                   0.0);
+  // ... also when the zero denominator is itself a division by zero.
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("1/(A/B)"),
+                                 {7.0, 0.0, 0, 0, 0, 0}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("3/0"), {}), 0.0);
+}
+
+TEST(CompiledMetric, UnboundVariableThrowsAtCompileTime) {
+  const MetricExpr expr = MetricExpr::parse("MISSING/2");
+  try {
+    compile_with_vars(expr);
+    FAIL() << "compile of an unbound variable must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+}
+
+TEST(CompiledMetric, NestedUnaryMinus) {
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("--A"),
+                                 {4.0, 0, 0, 0, 0, 0}),
+                   4.0);
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("-(-(-A))"),
+                                 {4.0, 0, 0, 0, 0, 0}),
+                   -4.0);
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("5--3"), {}), 8.0);
+}
+
+TEST(CompiledMetric, ExponentLiterals) {
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("1e-3"), {}), 1e-3);
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("2.5E+2"), {}), 250.0);
+  EXPECT_DOUBLE_EQ(eval_compiled(MetricExpr::parse("1e-3*2.5E+2"), {}), 0.25);
+}
+
+TEST(CompiledMetric, StackDepthIsTrackedAndBounded) {
+  // Left-leaning chains keep the stack shallow...
+  const MetricExpr chain = MetricExpr::parse("A+A+A+A+A+A+A+A");
+  EXPECT_EQ(compile_with_vars(chain).max_stack_depth(), 2);
+  // ... right-nested parentheses deepen it by one per level.
+  const MetricExpr nested = MetricExpr::parse("A+(A+(A+(A+A)))");
+  EXPECT_EQ(compile_with_vars(nested).max_stack_depth(), 5);
+  // Deeper than kMaxStack is rejected at compile time.
+  std::string deep = "A";
+  for (int i = 0; i < CompiledMetric::kMaxStack; ++i) {
+    deep = "A+(" + deep + ")";
+  }
+  try {
+    compile_with_vars(MetricExpr::parse(deep));
+    FAIL() << "over-deep program must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
+}
+
+TEST(CompiledMetric, EmptyRegisterFileServesConstantFormulas) {
+  // Formulas without variables never touch regs; an empty span is fine.
+  const MetricExpr expr = MetricExpr::parse("(1+2)*3-4/5");
+  EXPECT_DOUBLE_EQ(compile_with_vars(expr).evaluate({}), 9.0 - 0.8);
+}
+
+}  // namespace
+}  // namespace likwid::core

@@ -70,7 +70,7 @@ TEST_F(Marker, MeasuresOnlyInsideRegion) {
   run_triad({0}, 500'000);  // after the region: must not be counted
   const auto& region = session.region(id);
   EXPECT_DOUBLE_EQ(
-      region.counts.at(0).at("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      region.counts.at(0, *ctr.slot_of(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE")),
       1'000'000);
 }
 
@@ -86,7 +86,7 @@ TEST_F(Marker, AccumulatesOverCalls) {
   }
   const auto& region = session.region(id);
   EXPECT_DOUBLE_EQ(
-      region.counts.at(0).at("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+      region.counts.at(0, *ctr.slot_of(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE")),
       1'000'000);
   EXPECT_EQ(region.call_count, 5);
   EXPECT_GT(region.seconds.at(0), 0);
@@ -101,7 +101,8 @@ TEST_F(Marker, PerThreadRegionsOnDifferentCores) {
   const auto& region = session.region(id);
   for (int cpu = 0; cpu < 4; ++cpu) {
     EXPECT_DOUBLE_EQ(
-        region.counts.at(cpu).at("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
+        region.counts.at(
+            cpu, *ctr.slot_of(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE")),
         1'000'000);
   }
 }
@@ -162,8 +163,8 @@ TEST_F(Marker, MetricsFromRegionCounts) {
   const auto rows = ctr.compute_metrics_for(0, region.counts,
                                             region.seconds.at(0));
   ASSERT_EQ(rows.size(), 3u);
-  EXPECT_EQ(rows[2].name, "DP MFlops/s");
-  EXPECT_GT(rows[2].per_cpu.at(0), 0);
+  EXPECT_EQ(rows[2].name(), "DP MFlops/s");
+  EXPECT_GT(rows[2].at(0), 0);
 }
 
 TEST_F(Marker, CStyleShimFollowsPaperListing) {
@@ -185,12 +186,10 @@ TEST_F(Marker, CStyleShimFollowsPaperListing) {
   likwid_markerClose();
   const auto* session = MarkerBinding::session();
   ASSERT_NE(session, nullptr);
-  EXPECT_DOUBLE_EQ(session->region(MainId).counts.at(0).at(
-                       "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
-                   1'000'000);
-  EXPECT_DOUBLE_EQ(session->region(AccumId).counts.at(0).at(
-                       "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"),
-                   300'000);
+  const std::size_t slot =
+      *ctr.slot_of(0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE");
+  EXPECT_DOUBLE_EQ(session->region(MainId).counts.at(0, slot), 1'000'000);
+  EXPECT_DOUBLE_EQ(session->region(AccumId).counts.at(0, slot), 300'000);
   MarkerBinding::unbind();
 }
 

@@ -196,9 +196,9 @@ TEST_F(PerfCtrCore2, DerivedMetricsMatchHandComputation) {
   const double pd = ctr.extrapolated_count(
       0, 0, "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE");
   const double time = cycles / (2.83e9);
-  EXPECT_NEAR(metrics[0].per_cpu.at(0), time, time * 1e-6);       // Runtime
-  EXPECT_NEAR(metrics[1].per_cpu.at(0), cycles / instr, 1e-9);    // CPI
-  EXPECT_NEAR(metrics[2].per_cpu.at(0), 1e-6 * pd * 2.0 / time,
+  EXPECT_NEAR(metrics[0].at(0), time, time * 1e-6);       // Runtime
+  EXPECT_NEAR(metrics[1].at(0), cycles / instr, 1e-9);    // CPI
+  EXPECT_NEAR(metrics[2].at(0), 1e-6 * pd * 2.0 / time,
               1e-6);                                              // MFlops
 }
 
@@ -282,14 +282,14 @@ TEST_F(PerfCtrNehalem, MultiplexingExtrapolatesCounts) {
 
   // Raw counts: each set measured half the iterations; extrapolation
   // recovers the full-run estimate (steady workload -> exact).
-  const double raw =
-      ctr.results(0).counts.at(0).at("FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE");
+  const double raw = ctr.results(0).counts.at(
+      0, *ctr.slot_of(0, "FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE"));
   EXPECT_DOUBLE_EQ(raw, 2'000'000);
   EXPECT_NEAR(ctr.extrapolated_count(0, 0,
                                      "FP_COMP_OPS_EXE_SSE_FP_PACKED_DOUBLE"),
               4'000'000, 1);
-  const double branches_raw =
-      ctr.results(1).counts.at(0).at("BR_INST_RETIRED_ALL_BRANCHES");
+  const double branches_raw = ctr.results(1).counts.at(
+      0, *ctr.slot_of(1, "BR_INST_RETIRED_ALL_BRANCHES"));
   EXPECT_GT(branches_raw, 0);
   EXPECT_NEAR(
       ctr.extrapolated_count(1, 0, "BR_INST_RETIRED_ALL_BRANCHES"),

@@ -151,13 +151,14 @@ TEST_F(Sampling, IntervalPollDeltasTileTheCumulativeCounts) {
   ctr.stop();
 
   // Equal work per interval -> equal deltas, not growing cumulatives.
-  EXPECT_NEAR(iv1.counts.at(0).at(ev), 100'000, 1);
-  EXPECT_NEAR(iv2.counts.at(0).at(ev), iv1.counts.at(0).at(ev), 1e-6);
+  const std::size_t slot = *ctr.slot_of(0, ev);
+  EXPECT_NEAR(iv1.counts.at(0, slot), 100'000, 1);
+  EXPECT_NEAR(iv2.counts.at(0, slot), iv1.counts.at(0, slot), 1e-6);
   // Intervals tile the timeline and the deltas sum to the cumulative.
   EXPECT_DOUBLE_EQ(iv2.t_start, iv1.t_end);
   EXPECT_GT(iv1.seconds(), 0.0);
-  EXPECT_NEAR(ctr.results(0).counts.at(0).at(ev),
-              iv1.counts.at(0).at(ev) + iv2.counts.at(0).at(ev), 1e-6);
+  EXPECT_NEAR(ctr.results(0).counts.at(0, slot),
+              iv1.counts.at(0, slot) + iv2.counts.at(0, slot), 1e-6);
   // Custom sets have no formulas.
   EXPECT_TRUE(iv1.metrics.empty());
 }
@@ -177,9 +178,9 @@ TEST_F(Sampling, IntervalPollEvaluatesGroupMetrics) {
 
   bool found = false;
   for (const auto& row : iv.metrics) {
-    if (row.name == "DP MFlops/s") {
+    if (row.name() == "DP MFlops/s") {
       found = true;
-      EXPECT_GT(row.per_cpu.at(0), 0.0);
+      EXPECT_GT(row.at(0), 0.0);
     }
   }
   EXPECT_TRUE(found);

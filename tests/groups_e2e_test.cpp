@@ -59,17 +59,17 @@ TEST_P(GroupsEndToEnd, EverySupportedGroupMeasuresCleanly) {
   for (const auto& g : groups) {
     const auto rows = measure(machine, g.name);
     ASSERT_FALSE(rows.empty()) << g.name;
-    EXPECT_EQ(rows.front().name, "Runtime [s]") << g.name;
+    EXPECT_EQ(rows.front().name(), "Runtime [s]") << g.name;
     for (const auto& row : rows) {
-      for (const auto& [cpu, value] : row.per_cpu) {
+      for (const double value : row.values) {
         EXPECT_TRUE(std::isfinite(value))
-            << GetParam().key << "/" << g.name << "/" << row.name;
+            << GetParam().key << "/" << g.name << "/" << row.name();
         EXPECT_GE(value, 0.0)
-            << GetParam().key << "/" << g.name << "/" << row.name;
+            << GetParam().key << "/" << g.name << "/" << row.name();
       }
     }
     // The runtime of a real run is positive on the measured cpus.
-    EXPECT_GT(rows.front().per_cpu.at(0), 0) << g.name;
+    EXPECT_GT(rows.front().at(0), 0) << g.name;
   }
 }
 
@@ -84,9 +84,9 @@ TEST_P(GroupsEndToEnd, FlopsDpCountsTheTriadFlops) {
   // And the derived MFlops/s metric is positive wherever defined.
   bool found = false;
   for (const auto& row : rows) {
-    if (row.name == "DP MFlops/s") {
+    if (row.name() == "DP MFlops/s") {
       found = true;
-      EXPECT_GT(row.per_cpu.at(0), 0);
+      EXPECT_GT(row.at(0), 0);
     }
   }
   EXPECT_TRUE(found);
@@ -96,11 +96,11 @@ TEST_P(GroupsEndToEnd, MemGroupSeesTheStreamTraffic) {
   hwsim::SimMachine machine(GetParam().factory());
   const auto rows = measure(machine, "MEM");
   for (const auto& row : rows) {
-    if (row.name == "Memory bandwidth [MBytes/s]") {
+    if (row.name() == "Memory bandwidth [MBytes/s]") {
       // Some cpu (the socket-lock owner for uncore-based groups, any
       // measured cpu for bus-event groups) reports nonzero bandwidth.
       double max_bw = 0;
-      for (const auto& [cpu, value] : row.per_cpu) {
+      for (const double value : row.values) {
         max_bw = std::max(max_bw, value);
       }
       EXPECT_GT(max_bw, 0) << GetParam().key;

@@ -4,25 +4,47 @@
 // timestamps.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <vector>
+
 #include "monitor/aggregator.hpp"
 #include "util/status.hpp"
 
 namespace likwid::monitor {
 namespace {
 
-Sample make_sample(std::uint64_t seq, const std::string& group, double value,
-                   double interval = 0.1) {
+/// Schema with one metric slot per name, cached per group so every sample
+/// of a group shares one schema object (as the Collector guarantees).
+std::shared_ptr<const MetricSchema> schema_for(
+    const std::string& group, const std::vector<std::string>& metrics) {
+  static std::map<std::string, std::shared_ptr<const MetricSchema>> cache;
+  auto& slot = cache[group];
+  if (!slot) {
+    std::vector<core::NameId> ids;
+    for (const auto& m : metrics) ids.push_back(core::intern_name(m));
+    slot = MetricSchema::create(group, ids);
+  }
+  return slot;
+}
+
+Sample make_sample(std::uint64_t seq, const std::string& group,
+                   std::vector<double> values, double interval = 0.1,
+                   std::vector<std::string> metrics = {"metric"}) {
   Sample s;
   s.sequence = seq;
   s.t_start = static_cast<double>(seq) * interval;
   s.t_end = s.t_start + interval;
-  s.group = group;
-  s.metrics["metric"] = value;
+  s.schema = schema_for(group, metrics);
+  s.values = std::move(values);
   return s;
 }
 
+WindowStats stats_of(std::vector<double> values) {
+  return compute_stats(values);
+}
+
 TEST(ComputeStats, SingleValue) {
-  const WindowStats s = compute_stats({3.5});
+  const WindowStats s = stats_of({3.5});
   EXPECT_DOUBLE_EQ(s.min, 3.5);
   EXPECT_DOUBLE_EQ(s.avg, 3.5);
   EXPECT_DOUBLE_EQ(s.max, 3.5);
@@ -44,12 +66,12 @@ TEST(ComputeStats, KnownDistribution) {
 
 TEST(ComputeStats, P95OfSmallWindow) {
   // ceil(0.95*5) = 5th of the sorted values: the maximum.
-  const WindowStats s = compute_stats({5, 1, 4, 2, 3});
+  const WindowStats s = stats_of({5, 1, 4, 2, 3});
   EXPECT_DOUBLE_EQ(s.p95, 5.0);
 }
 
 TEST(ComputeStats, EmptyThrows) {
-  EXPECT_THROW(compute_stats({}), Error);
+  EXPECT_THROW(stats_of({}), Error);
 }
 
 TEST(NodeReduce, RatesSumAcrossCpus) {
@@ -79,6 +101,34 @@ TEST(NodeReduce, EmptyRowIsZero) {
   EXPECT_DOUBLE_EQ(node_reduce("CPI", {}), 0.0);
 }
 
+TEST(ReduceKind, ClassifiesByDisplayName) {
+  EXPECT_EQ(reduce_kind_of("Memory bandwidth [MBytes/s]"), ReduceKind::kSum);
+  EXPECT_EQ(reduce_kind_of("Memory data volume [GBytes]"), ReduceKind::kSum);
+  EXPECT_EQ(reduce_kind_of("Runtime [s]"), ReduceKind::kMax);
+  EXPECT_EQ(reduce_kind_of("CPI"), ReduceKind::kAvg);
+  const std::vector<double> values = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(reduce_values(ReduceKind::kSum, values), 4.0);
+  EXPECT_DOUBLE_EQ(reduce_values(ReduceKind::kMax, values), 3.0);
+  EXPECT_DOUBLE_EQ(reduce_values(ReduceKind::kAvg, values), 2.0);
+  EXPECT_DOUBLE_EQ(reduce_values(ReduceKind::kAvg, {}), 0.0);
+}
+
+TEST(MetricSchemaTest, OutputOrderSortsByName) {
+  const auto schema = MetricSchema::create(
+      "SORT_TEST", {core::intern_name("zeta"), core::intern_name("alpha"),
+                    core::intern_name("mid")});
+  ASSERT_EQ(schema->output_order.size(), 3u);
+  EXPECT_EQ(core::resolve_name(
+                schema->metric_ids[schema->output_order[0]]),
+            "alpha");
+  EXPECT_EQ(core::resolve_name(
+                schema->metric_ids[schema->output_order[1]]),
+            "mid");
+  EXPECT_EQ(core::resolve_name(
+                schema->metric_ids[schema->output_order[2]]),
+            "zeta");
+}
+
 TEST(Aggregator, RejectsNonPositiveWindow) {
   EXPECT_THROW(Aggregator(0), Error);
 }
@@ -86,7 +136,7 @@ TEST(Aggregator, RejectsNonPositiveWindow) {
 TEST(Aggregator, ClosesFullWindowsAndTrailingPartial) {
   SampleRing ring(16);
   for (std::uint64_t seq = 0; seq < 7; ++seq) {
-    ring.push(make_sample(seq, "MEM", static_cast<double>(seq)));
+    ring.push(make_sample(seq, "MEM", {static_cast<double>(seq)}));
   }
   const Aggregator agg(3);
   const auto points = agg.rollup(9, ring);
@@ -107,7 +157,7 @@ TEST(Aggregator, ClosesFullWindowsAndTrailingPartial) {
 TEST(Aggregator, WindowTimestampsSpanTheirSamples) {
   SampleRing ring(8);
   for (std::uint64_t seq = 0; seq < 4; ++seq) {
-    ring.push(make_sample(seq, "MEM", 1.0, 0.25));
+    ring.push(make_sample(seq, "MEM", {1.0}, 0.25));
   }
   const auto points = Aggregator(4).rollup(0, ring);
   ASSERT_EQ(points.size(), 1u);
@@ -120,7 +170,7 @@ TEST(Aggregator, GroupsWindowIndependentlyUnderRotation) {
   SampleRing ring(16);
   for (std::uint64_t seq = 0; seq < 8; ++seq) {
     ring.push(make_sample(seq, seq % 2 == 0 ? "MEM" : "FLOPS_DP",
-                          static_cast<double>(seq)));
+                          {static_cast<double>(seq)}));
   }
   const auto points = Aggregator(2).rollup(0, ring);
   // Each group contributes 4 samples -> 2 full windows; no partials.
@@ -129,12 +179,12 @@ TEST(Aggregator, GroupsWindowIndependentlyUnderRotation) {
   int flops_windows = 0;
   for (const auto& p : points) {
     EXPECT_EQ(p.stats.count, 2u);
-    if (p.group == "MEM") {
+    if (p.group() == "MEM") {
       // MEM samples are the even sequence values.
       EXPECT_EQ(static_cast<int>(p.stats.max) % 2, 0);
       ++mem_windows;
     } else {
-      EXPECT_EQ(p.group, "FLOPS_DP");
+      EXPECT_EQ(p.group(), "FLOPS_DP");
       ++flops_windows;
     }
   }
@@ -147,13 +197,13 @@ TEST(Aggregator, TrailingPartialsFlushInTimeOrder) {
   // MEM alphabetically, but MEM's partial opened earlier and must get the
   // lower window index.
   SampleRing ring(8);
-  ring.push(make_sample(0, "MEM", 1.0));
-  ring.push(make_sample(1, "FLOPS_DP", 2.0));
+  ring.push(make_sample(0, "MEM", {1.0}));
+  ring.push(make_sample(1, "FLOPS_DP", {2.0}));
   const auto points = Aggregator(4).rollup(0, ring);
   ASSERT_EQ(points.size(), 2u);
-  EXPECT_EQ(points[0].group, "MEM");
+  EXPECT_EQ(points[0].group(), "MEM");
   EXPECT_EQ(points[0].window, 0);
-  EXPECT_EQ(points[1].group, "FLOPS_DP");
+  EXPECT_EQ(points[1].group(), "FLOPS_DP");
   EXPECT_EQ(points[1].window, 1);
   EXPECT_LT(points[0].t_start, points[1].t_start);
 }
@@ -161,14 +211,15 @@ TEST(Aggregator, TrailingPartialsFlushInTimeOrder) {
 TEST(Aggregator, MultipleMetricsPerWindow) {
   SampleRing ring(8);
   for (std::uint64_t seq = 0; seq < 2; ++seq) {
-    Sample s = make_sample(seq, "MEM", static_cast<double>(seq));
-    s.metrics["other"] = 10.0 + static_cast<double>(seq);
-    ring.push(s);
+    ring.push(make_sample(seq, "MEM2",
+                          {static_cast<double>(seq),
+                           10.0 + static_cast<double>(seq)},
+                          0.1, {"metric", "other"}));
   }
   const auto points = Aggregator(2).rollup(0, ring);
   ASSERT_EQ(points.size(), 2u);  // one row per metric of the single window
-  EXPECT_EQ(points[0].metric, "metric");
-  EXPECT_EQ(points[1].metric, "other");
+  EXPECT_EQ(points[0].metric(), "metric");
+  EXPECT_EQ(points[1].metric(), "other");
   EXPECT_DOUBLE_EQ(points[1].stats.max, 11.0);
 }
 

@@ -32,7 +32,7 @@ TEST(Collector, SamplesAtTheConfiguredCadence) {
   for (std::size_t i = 0; i < collector.samples().size(); ++i) {
     const Sample& s = collector.samples()[i];
     EXPECT_EQ(s.sequence, i);
-    EXPECT_EQ(s.group, "MEM");
+    EXPECT_EQ(s.group(), "MEM");
     // Each interval covers exactly the cadence (the busy loop sizes its
     // slices to land on the budget) and the samples tile the timeline
     // contiguously.
@@ -49,10 +49,9 @@ TEST(Collector, ProducesMemMetrics) {
   Collector collector(0, small_config());
   collector.step();
   const Sample& s = collector.samples().back();
-  ASSERT_TRUE(s.metrics.count("Memory bandwidth [MBytes/s]"));
-  ASSERT_TRUE(s.metrics.count("Runtime [s]"));
-  EXPECT_GT(s.metrics.at("Memory bandwidth [MBytes/s]"), 0.0);
-  EXPECT_GT(s.metrics.at("Runtime [s]"), 0.0);
+  EXPECT_GT(s.value_of("Memory bandwidth [MBytes/s]"), 0.0);
+  EXPECT_GT(s.value_of("Runtime [s]"), 0.0);
+  EXPECT_THROW(s.value_of("No such metric"), Error);
 }
 
 TEST(Collector, RateMetricsReflectUtilizationNotBusyPeak) {
@@ -65,7 +64,7 @@ TEST(Collector, RateMetricsReflectUtilizationNotBusyPeak) {
   double hi = 0;
   for (std::size_t i = 0; i < collector.samples().size(); ++i) {
     const double bw =
-        collector.samples()[i].metrics.at("Memory bandwidth [MBytes/s]");
+        collector.samples()[i].value_of("Memory bandwidth [MBytes/s]");
     EXPECT_GT(bw, 0.0);
     lo = (i == 0) ? bw : std::min(lo, bw);
     hi = std::max(hi, bw);
@@ -79,10 +78,10 @@ TEST(Collector, RotatesGroupsBetweenIntervals) {
   Collector collector(0, cfg);
   for (int s = 0; s < 4; ++s) collector.step();
   ASSERT_EQ(collector.samples().size(), 4u);
-  EXPECT_EQ(collector.samples()[0].group, "MEM");
-  EXPECT_EQ(collector.samples()[1].group, "FLOPS_DP");
-  EXPECT_EQ(collector.samples()[2].group, "MEM");
-  EXPECT_EQ(collector.samples()[3].group, "FLOPS_DP");
+  EXPECT_EQ(collector.samples()[0].group(), "MEM");
+  EXPECT_EQ(collector.samples()[1].group(), "FLOPS_DP");
+  EXPECT_EQ(collector.samples()[2].group(), "MEM");
+  EXPECT_EQ(collector.samples()[3].group(), "FLOPS_DP");
 }
 
 TEST(Collector, NoRotatePinsTheFirstGroup) {
@@ -92,7 +91,7 @@ TEST(Collector, NoRotatePinsTheFirstGroup) {
   Collector collector(0, cfg);
   for (int s = 0; s < 3; ++s) collector.step();
   for (std::size_t i = 0; i < collector.samples().size(); ++i) {
-    EXPECT_EQ(collector.samples()[i].group, "MEM");
+    EXPECT_EQ(collector.samples()[i].group(), "MEM");
   }
 }
 
@@ -136,10 +135,11 @@ TEST(Collector, IdenticalConfigsAreDeterministic) {
     const Sample& sb = b.samples()[i];
     EXPECT_DOUBLE_EQ(sa.t_start, sb.t_start);
     EXPECT_DOUBLE_EQ(sa.t_end, sb.t_end);
-    ASSERT_EQ(sa.metrics.size(), sb.metrics.size());
-    for (const auto& [name, value] : sa.metrics) {
-      ASSERT_TRUE(sb.metrics.count(name)) << name;
-      EXPECT_DOUBLE_EQ(value, sb.metrics.at(name)) << name;
+    ASSERT_EQ(sa.schema->group_id, sb.schema->group_id);
+    ASSERT_EQ(sa.values.size(), sb.values.size());
+    for (std::size_t m = 0; m < sa.values.size(); ++m) {
+      EXPECT_DOUBLE_EQ(sa.values[m], sb.values[m])
+          << core::resolve_name(sa.schema->metric_ids[m]);
     }
   }
 }
@@ -156,8 +156,8 @@ TEST(Collector, MachinesRunDistinctResidentWorkloads) {
   double vol_a = 0;
   double vol_b = 0;
   for (std::size_t i = 0; i < 4; ++i) {
-    vol_a += a.samples()[i].metrics.at("Memory data volume [GBytes]");
-    vol_b += b.samples()[i].metrics.at("Memory data volume [GBytes]");
+    vol_a += a.samples()[i].value_of("Memory data volume [GBytes]");
+    vol_b += b.samples()[i].value_of("Memory data volume [GBytes]");
   }
   EXPECT_GT(vol_a, vol_b);
 }
@@ -192,7 +192,7 @@ TEST(Agent, FleetRollupsAreDeterministic) {
   ASSERT_FALSE(ra.empty());
   for (std::size_t i = 0; i < ra.size(); ++i) {
     EXPECT_EQ(ra[i].machine_id, rb[i].machine_id);
-    EXPECT_EQ(ra[i].metric, rb[i].metric);
+    EXPECT_EQ(ra[i].metric_id, rb[i].metric_id);
     EXPECT_DOUBLE_EQ(ra[i].stats.avg, rb[i].stats.avg);
     EXPECT_DOUBLE_EQ(ra[i].stats.p95, rb[i].stats.p95);
   }

@@ -257,10 +257,10 @@ TEST(MpiJob, PerRankMeasurementCountsTheTriadFlops) {
     EXPECT_GT(m.seconds, 0.0);
     bool found = false;
     for (const auto& row : m.metrics) {
-      if (row.name != "DP MFlops/s") continue;
+      if (row.name() != "DP MFlops/s") continue;
       found = true;
       for (const int cpu : {0, 1, 2, 3}) {
-        EXPECT_GT(row.per_cpu.at(cpu), 0.0) << "rank " << m.rank;
+        EXPECT_GT(row.at(cpu), 0.0) << "rank " << m.rank;
       }
     }
     EXPECT_TRUE(found);
@@ -286,8 +286,8 @@ TEST(MpiJob, MeasurementSeesRankLocalMemoryTraffic) {
   for (const auto& m : results) {
     double bw = 0;
     for (const auto& row : m.metrics) {
-      if (row.name == "Memory bandwidth [MBytes/s]") {
-        for (const auto& [cpu, v] : row.per_cpu) bw = std::max(bw, v);
+      if (row.name() == "Memory bandwidth [MBytes/s]") {
+        for (const double v : row.values) bw = std::max(bw, v);
       }
     }
     EXPECT_GT(bw, 0.0) << "rank " << m.rank;

@@ -1,0 +1,104 @@
+// Tests for the process-wide name interner (core/name_table.hpp): id
+// stability, find-vs-intern, resolution failures, and the dense CountSlab
+// the interned pipeline carries counts in.
+#include <gtest/gtest.h>
+
+#include "core/count_slab.hpp"
+#include "core/name_table.hpp"
+#include "util/status.hpp"
+
+namespace likwid::core {
+namespace {
+
+TEST(NameTable, InternIsIdempotentAndDense) {
+  NameTable table;
+  const NameId a = table.intern("INSTR_RETIRED_ANY");
+  const NameId b = table.intern("CPU_CLK_UNHALTED_CORE");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(table.intern("INSTR_RETIRED_ANY"), a);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(NameTable, ResolvesBackToTheExactString) {
+  NameTable table;
+  const NameId id = table.intern("DP MFlops/s");
+  EXPECT_EQ(table.name(id), "DP MFlops/s");
+}
+
+TEST(NameTable, FindDoesNotIntern) {
+  NameTable table;
+  EXPECT_EQ(table.find("never-seen"), kInvalidNameId);
+  EXPECT_EQ(table.size(), 0u);
+  const NameId id = table.intern("seen");
+  EXPECT_EQ(table.find("seen"), id);
+}
+
+TEST(NameTable, UnknownIdThrows) {
+  NameTable table;
+  try {
+    table.name(0);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  }
+  EXPECT_THROW(table.name(kInvalidNameId), Error);
+}
+
+TEST(NameTable, ReferencesSurviveGrowth) {
+  NameTable table;
+  const std::string& first = table.name(table.intern("first"));
+  for (int i = 0; i < 1000; ++i) {
+    table.intern("filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(first, "first");  // deque storage: no reallocation moved it
+}
+
+TEST(NameTable, ProcessWideInstanceIsShared) {
+  const NameId id = intern_name("process-wide-entry");
+  EXPECT_EQ(NameTable::instance().find("process-wide-entry"), id);
+  EXPECT_EQ(resolve_name(id), "process-wide-entry");
+}
+
+TEST(CountSlabTest, RowsFollowTheCpuList) {
+  const auto cpus = std::make_shared<const std::vector<int>>(
+      std::vector<int>{4, 0, 9});
+  CountSlab slab(cpus, 2);
+  EXPECT_EQ(slab.rows(), 3u);
+  EXPECT_EQ(slab.slots(), 2u);
+  EXPECT_EQ(slab.row_of(4), 0);
+  EXPECT_EQ(slab.row_of(9), 2);
+  EXPECT_EQ(slab.row_of(7), -1);
+  slab.at(9, 1) = 42.0;
+  EXPECT_DOUBLE_EQ(slab.row(2)[1], 42.0);
+  EXPECT_DOUBLE_EQ(slab.at(4, 0), 0.0);
+  EXPECT_THROW(slab.at(7, 0), Error);   // unmeasured cpu
+  EXPECT_THROW(slab.at(4, 2), Error);   // slot out of range
+}
+
+TEST(CountSlabTest, SubtractAndScaleAreElementwise) {
+  const auto cpus =
+      std::make_shared<const std::vector<int>>(std::vector<int>{0, 1});
+  CountSlab a(cpus, 2);
+  CountSlab b(cpus, 2);
+  a.at(0, 0) = 10;
+  a.at(1, 1) = 6;
+  b.at(0, 0) = 4;
+  a.subtract(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 6.0);
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0);
+}
+
+TEST(CountSlabTest, DefaultConstructedIsEmpty) {
+  CountSlab slab;
+  EXPECT_TRUE(slab.empty());
+  EXPECT_EQ(slab.rows(), 0u);
+  EXPECT_EQ(slab.row_of(0), -1);
+  EXPECT_TRUE(slab.cpus().empty());
+}
+
+}  // namespace
+}  // namespace likwid::core

@@ -57,7 +57,7 @@ std::vector<PerfCtr::MetricRow> measure_group(hwsim::SimMachine& machine,
 double metric_value(const std::vector<PerfCtr::MetricRow>& rows,
                     const std::string& name, int cpu) {
   for (const auto& row : rows) {
-    if (row.name == name) return row.per_cpu.at(cpu);
+    if (row.name() == name) return row.at(cpu);
   }
   ADD_FAILURE() << "metric '" << name << "' not found";
   return std::nan("");
@@ -225,10 +225,12 @@ TEST(SyntheticGroups, TlbGroupSeparatesFitFromThrash) {
   const auto m = run_measured(machine, tlb_thrash_kernel(512, 8), "TLB", {0});
   EXPECT_GT(metric_value(m.rows, "DTLB miss rate", 0), 0.0);
   // Every page of every sweep misses: 512 * 8 events.
-  const auto& counts = m.ctr->results(0).counts.at(0);
   double dtlb = -1;
-  for (const auto& [name, value] : counts) {
-    if (name.find("DTLB") != std::string::npos) dtlb = value;
+  const auto& assignments = m.ctr->assignments_of(0);
+  for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
+    if (assignments[slot].event_name.find("DTLB") != std::string::npos) {
+      dtlb = m.ctr->results(0).counts.at(0, slot);
+    }
   }
   EXPECT_DOUBLE_EQ(dtlb, 512.0 * 8.0);
 }
@@ -321,8 +323,8 @@ TEST(SyntheticGroups, LadderTrafficIsSharedAcrossAllPresets) {
         machine, cache_ladder_kernel(64 << 20, 1), "MEM", {0});
     double best = 0;
     for (const auto& row : rows) {
-      if (row.name == "Memory bandwidth [MBytes/s]") {
-        for (const auto& [cpu, v] : row.per_cpu) best = std::max(best, v);
+      if (row.name() == "Memory bandwidth [MBytes/s]") {
+        for (const double v : row.values) best = std::max(best, v);
       }
     }
     EXPECT_GT(best, 0.0) << preset.key;

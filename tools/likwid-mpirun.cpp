@@ -123,10 +123,8 @@ int main(int argc, char** argv) {
         std::cout << "Rank " << m.rank << " (node " << m.node << "):\n";
         for (const auto& row : m.metrics) {
           double max_v = 0;
-          for (const auto& [cpu, v] : row.per_cpu) {
-            max_v = std::max(max_v, v);
-          }
-          std::cout << util::strprintf("  %-32s %14.6g\n", row.name.c_str(),
+          for (const double v : row.values) max_v = std::max(max_v, v);
+          std::cout << util::strprintf("  %-32s %14.6g\n", row.name().c_str(),
                                        max_v);
         }
       }

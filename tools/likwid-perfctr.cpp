@@ -117,12 +117,9 @@ class TimelineStreamer {
         ctr_.group_of(0) ? ctr_.group_of(0)->name : "custom";
     for (const auto& row : iv.metrics) {
       std::cout << "TIMELINE," << util::format_metric(iv.t_end) << ","
-                << cli::csv_escape(group) << "," << cli::csv_escape(row.name);
+                << cli::csv_escape(group) << "," << cli::csv_escape(row.name());
       for (const int cpu : ctr_.cpus()) {
-        const auto it = row.per_cpu.find(cpu);
-        std::cout << ","
-                  << util::format_metric(
-                         it == row.per_cpu.end() ? 0.0 : it->second);
+        std::cout << "," << util::format_metric(row.value_or(cpu, 0.0));
       }
       std::cout << "\n";
     }
