@@ -12,10 +12,10 @@
 // traffic per socket.
 #include <iostream>
 
+#include "api/session.hpp"
 #include "cli/output.hpp"
+#include "cli/sinks.hpp"
 #include "core/likwid.hpp"
-#include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
 #include "util/table.hpp"
 #include "workloads/openmp_model.hpp"
 #include "workloads/stream.hpp"
@@ -48,10 +48,16 @@ Rank launch_rank(ossim::SimKernel& kernel, const std::vector<int>& cpus,
 
 int main() {
   using namespace likwid;
-  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
-  ossim::SimKernel kernel(machine);
-  const core::NodeTopology topo = core::probe_topology(machine);
-  std::cout << cli::render_header(topo);
+  // One node-wide session: both ranks run on its kernel, one measurement
+  // attributes their traffic per socket.
+  const auto session = api::Session::configure()
+                           .name("hybrid_mpi")
+                           .machine("nehalem-ep")
+                           .cpus({0, 1, 2, 3, 4, 5, 6, 7})
+                           .group("MEM")
+                           .build();
+  ossim::SimKernel& kernel = session->kernel();
+  std::cout << cli::render_header(session->topology());
   std::cout << "Two MPI ranks on one node, 4 OpenMP threads each,\n"
                "likwid-pin -s 0x3 (skip MPI progress + OpenMP shepherd):\n\n";
 
@@ -73,9 +79,7 @@ int main() {
 
   // Node-wide measurement: one likwid-perfctr instance, both ranks' work
   // attributed per core / per socket via the MEM group's uncore events.
-  core::PerfCtr ctr(kernel, {0, 1, 2, 3, 4, 5, 6, 7});
-  ctr.add_group("MEM");
-  ctr.start();
+  session->start();
   workloads::StreamConfig cfg;
   cfg.array_length = 10'000'000;
   cfg.repetitions = 2;
@@ -87,12 +91,13 @@ int main() {
   p1.cpus = rank1.runtime->placement(rank1.team.worker_tids);
   run_workload(kernel, triad0, p0);
   run_workload(kernel, triad1, p1);
-  ctr.stop();
+  session->stop();
 
-  std::cout << "\n" << cli::render_measurement(ctr, 0);
+  std::cout << "\n" << cli::AsciiSink().measurement(session->measurement(0));
+  const auto& lock_cpus = session->counters().socket_lock_cpus();
   std::cout << "Socket-lock cores "
-            << ctr.socket_lock_cpus()[0] << " and "
-            << ctr.socket_lock_cpus()[1]
+            << lock_cpus[0] << " and "
+            << lock_cpus[1]
             << " carry each socket's QMC counts: both ranks' bandwidth\n"
                "is visible from one measurement session, which is what the\n"
                "paper's MPI-framework integration plan builds on.\n";

@@ -15,9 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/perfctr.hpp"
-#include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
+#include "api/session.hpp"
 #include "workloads/stream.hpp"
 
 using namespace likwid;
@@ -38,10 +36,14 @@ workloads::StreamConfig stream_config(int repetitions) {
 /// three groups multiplexed at the given rotation granularity, and return
 /// the extrapolated packed-double flop count.
 double measured_packed_flops(int quanta_per_phase) {
-  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
-  ossim::SimKernel kernel(machine);
-  core::PerfCtr ctr(kernel, {0, 1, 2, 3});
-  for (const auto& g : kGroups) ctr.add_group(g);
+  auto builder = api::Session::configure()
+                     .name("multiplex_study")
+                     .machine("nehalem-ep")
+                     .cpus({0, 1, 2, 3});
+  for (const auto& g : kGroups) builder.group(g);
+  const auto session = builder.build();
+  ossim::SimKernel& kernel = session->kernel();
+  core::PerfCtr& ctr = session->counters();
 
   workloads::StreamConfig vec_cfg = stream_config(6);
   workloads::StreamConfig scalar_cfg = vec_cfg;

@@ -10,28 +10,27 @@
 //      even increases performance" — and in this one it costs).
 #include <cstdio>
 
-#include "core/likwid.hpp"
-#include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
+#include "api/session.hpp"
 #include "workloads/synthetic.hpp"
 
 using namespace likwid;
 
 namespace {
 
-double measure_stream_bandwidth(ossim::SimKernel& kernel) {
-  core::PerfCtr ctr(kernel, {0});
-  ctr.add_group("MEM");
+double measure_stream_bandwidth(api::Session& session) {
+  // Fresh counter scope on the same (feature-reconfigured) node.
+  session.reset_counters();
+  session.add_group("MEM");
   workloads::SyntheticKernel ladder(
       workloads::cache_ladder_kernel(64 << 20, 2));
   workloads::Placement p;
   p.cpus = {0};
-  ctr.start();
-  run_workload(kernel, ladder, p);
-  ctr.stop();
-  for (const auto& row : ctr.compute_metrics(0)) {
-    if (row.name() == "Memory bandwidth [MBytes/s]") {
-      return row.at(0);
+  session.start();
+  run_workload(session.kernel(), ladder, p);
+  session.stop();
+  for (const auto& row : session.measurement(0).metrics) {
+    if (row.name == "Memory bandwidth [MBytes/s]") {
+      return row.values.front();
     }
   }
   return 0;
@@ -40,20 +39,23 @@ double measure_stream_bandwidth(ossim::SimKernel& kernel) {
 }  // namespace
 
 int main() {
-  hwsim::SimMachine machine(hwsim::presets::core2_duo());
-  ossim::SimKernel kernel(machine);
-  kernel.scheduler().add_busy(0, 1);
+  const auto session = api::Session::configure()
+                           .name("prefetch_study")
+                           .machine("core2-duo")
+                           .cpus({0})
+                           .build();
+  session->kernel().scheduler().add_busy(0, 1);
 
   // Step 1: the likwid-features report.
-  core::Features features(kernel, /*cpu=*/0);
+  core::Features features = session->features(/*cpu=*/0);
   std::printf("switchable features on %s:\n",
-              machine.spec().name.c_str());
+              session->machine().spec().name.c_str());
   for (const auto& state : features.report()) {
     std::printf("  %-28s %s\n", state.name.c_str(), state.state.c_str());
   }
 
   // Step 2: streaming bandwidth with all prefetchers on.
-  const double bw_on = measure_stream_bandwidth(kernel);
+  const double bw_on = measure_stream_bandwidth(*session);
 
   // Step 3: likwid-features -u HW_PREFETCHER -u DCU_PREFETCHER.
   features.set_prefetcher(core::Prefetcher::kHardware, false);
@@ -61,7 +63,7 @@ int main() {
   std::printf("\nprefetchers disabled via IA32_MISC_ENABLE\n");
 
   // Step 4: re-measure.
-  const double bw_off = measure_stream_bandwidth(kernel);
+  const double bw_off = measure_stream_bandwidth(*session);
   std::printf("stream bandwidth, prefetchers on : %8.0f MB/s\n", bw_on);
   std::printf("stream bandwidth, prefetchers off: %8.0f MB/s (%.0f%%)\n",
               bw_off, 100.0 * bw_off / bw_on);
@@ -69,7 +71,7 @@ int main() {
   // Restore, as a well-behaved tool would.
   features.set_prefetcher(core::Prefetcher::kHardware, true);
   features.set_prefetcher(core::Prefetcher::kDcu, true);
-  const double bw_restored = measure_stream_bandwidth(kernel);
+  const double bw_restored = measure_stream_bandwidth(*session);
   std::printf("stream bandwidth, restored       : %8.0f MB/s\n", bw_restored);
   return 0;
 }

@@ -1,29 +1,34 @@
-// quickstart — the paper's Section II-A workflow in ~60 lines:
-//   1. build a simulated node (a Core 2 Quad, as in the paper's listing),
+// quickstart — the paper's Section II-A workflow in ~60 lines, wired
+// through the likwid::api::Session facade:
+//   1. build a session around a simulated node (a Core 2 Quad, as in the
+//      paper's listing),
 //   2. probe its topology through cpuid,
 //   3. measure the FLOPS_DP performance group over a threaded STREAM triad
 //      in marker mode with the two named regions "Init" and "Benchmark",
 //   4. print the per-core event counts and derived metrics.
 #include <iostream>
 
+#include "api/session.hpp"
 #include "cli/output.hpp"
+#include "cli/sinks.hpp"
 #include "core/likwid.hpp"
-#include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
 #include "workloads/openmp_model.hpp"
 #include "workloads/stream.hpp"
 
 int main() {
   using namespace likwid;
 
-  // -- the machine --------------------------------------------------------
-  hwsim::SimMachine machine(hwsim::presets::core2_quad());
-  ossim::SimKernel kernel(machine);
-  const core::NodeTopology topo = core::probe_topology(machine);
-  std::cout << cli::render_header(topo);
+  // -- the machine: one Session owns node, counters and marker state ------
+  const auto session = api::Session::configure()
+                           .name("quickstart")
+                           .machine("core2-quad")
+                           .cpus({0, 1, 2, 3})
+                           .group("FLOPS_DP")
+                           .build();
+  std::cout << cli::render_header(session->topology());
 
   // -- pin four workers to cores 0-3 (likwid-pin ./a.out) ------------------
-  ossim::ThreadRuntime runtime(kernel.scheduler());
+  ossim::ThreadRuntime runtime(session->kernel().scheduler());
   core::PinConfig pin;
   pin.cpu_list = {0, 1, 2, 3};
   core::PinWrapper wrapper(runtime, pin);
@@ -32,13 +37,11 @@ int main() {
   workloads::Placement placement;
   placement.cpus = runtime.placement(team.worker_tids);
 
-  // -- configure counters (likwid-perfctr -c 0-3 -g FLOPS_DP -m) ----------
-  core::PerfCtr ctr(kernel, {0, 1, 2, 3});
-  ctr.add_group("FLOPS_DP");
-  ctr.start();
+  // -- start counters (likwid-perfctr -c 0-3 -g FLOPS_DP -m) ---------------
+  session->start();
 
   // -- the "application" with markers, as in the paper's listing ----------
-  MarkerBinding::bind(&ctr, [&] { return placement.cpus.front(); });
+  session->bind_ambient_markers();
   likwid_markerInit(/*numberOfThreads=*/4, /*numberOfRegions=*/2);
   const int init_id = likwid_markerRegisterRegion("Init");
   const int bench_id = likwid_markerRegisterRegion("Benchmark");
@@ -50,7 +53,7 @@ int main() {
   for (int t = 0; t < 4; ++t) {
     likwid_markerStartRegion(t, placement.cpus[static_cast<std::size_t>(t)]);
   }
-  run_workload(kernel, init, placement);
+  run_workload(session->kernel(), init, placement);
   for (int t = 0; t < 4; ++t) {
     likwid_markerStopRegion(t, placement.cpus[static_cast<std::size_t>(t)],
                             init_id);
@@ -63,16 +66,15 @@ int main() {
   for (int t = 0; t < 4; ++t) {
     likwid_markerStartRegion(t, placement.cpus[static_cast<std::size_t>(t)]);
   }
-  run_workload(kernel, bench, placement);
+  run_workload(session->kernel(), bench, placement);
   for (int t = 0; t < 4; ++t) {
     likwid_markerStopRegion(t, placement.cpus[static_cast<std::size_t>(t)],
                             bench_id);
   }
   likwid_markerClose();
-  ctr.stop();
+  session->stop();
 
-  // -- report --------------------------------------------------------------
-  std::cout << cli::render_regions(ctr, 0, *MarkerBinding::session());
-  MarkerBinding::unbind();
+  // -- report: per-region tables through the pluggable ASCII sink ----------
+  std::cout << cli::AsciiSink().regions(session->regions(0));
   return 0;
 }

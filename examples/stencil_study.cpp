@@ -8,9 +8,8 @@
 // Fig. 11 "2 per socket" case).
 #include <iostream>
 
-#include "core/likwid.hpp"
+#include "api/session.hpp"
 #include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
 #include "util/strings.hpp"
 #include "workloads/jacobi.hpp"
 
@@ -23,22 +22,28 @@ struct Row {
   double l3_in, l3_out, volume_gb, mlups;
 };
 
-Row measure(hwsim::SimMachine& machine, workloads::JacobiVariant variant,
-            const std::vector<int>& cpus, const std::string& name) {
-  ossim::SimKernel kernel(machine);
+Row measure(workloads::JacobiVariant variant, const std::vector<int>& cpus,
+            const std::string& name) {
+  // A fresh session per variant: same preset, same seed, fresh node.
+  const auto session =
+      api::Session::configure()
+          .name("stencil_study " + name)
+          .machine("nehalem-ep")
+          .cpus(cpus)
+          .custom("UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1")
+          .build();
   workloads::JacobiConfig cfg;
   cfg.n = 120;
   cfg.sweeps = 4;
   cfg.variant = variant;
   workloads::JacobiStencil jacobi(cfg);
 
-  core::PerfCtr ctr(kernel, cpus);
-  ctr.add_custom("UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1");
-  ctr.start();
+  core::PerfCtr& ctr = session->counters();
+  session->start();
   workloads::Placement placement;
   placement.cpus = cpus;
-  const double seconds = run_workload(kernel, jacobi, placement);
-  ctr.stop();
+  const double seconds = run_workload(session->kernel(), jacobi, placement);
+  session->stop();
 
   const int lock_cpu = ctr.socket_lock_cpus().front();
   Row row;
@@ -60,8 +65,8 @@ Row measure(hwsim::SimMachine& machine, workloads::JacobiVariant variant,
 
 int main() {
   using namespace likwid;
-  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
-  std::cout << "3D Jacobi 120^3, 4 sweeps on " << machine.spec().name << "\n";
+  std::cout << "3D Jacobi 120^3, 4 sweeps on "
+            << hwsim::presets::preset_by_key("nehalem-ep").name << "\n";
   std::cout << "(paper Table II: NT saves ~1/3 traffic; blocking ~4.5x; "
                "Fig. 11: wrong pinning halves wavefront performance)\n\n";
 
@@ -71,13 +76,13 @@ int main() {
   const std::vector<int> split = {0, 1, 4, 5};
 
   std::vector<Row> rows;
-  rows.push_back(measure(machine, workloads::JacobiVariant::kThreaded,
-                         one_socket, "threaded"));
-  rows.push_back(measure(machine, workloads::JacobiVariant::kThreadedNT,
-                         one_socket, "threaded (NT)"));
-  rows.push_back(measure(machine, workloads::JacobiVariant::kWavefront,
-                         one_socket, "wavefront 1x4"));
-  rows.push_back(measure(machine, workloads::JacobiVariant::kWavefront, split,
+  rows.push_back(measure(workloads::JacobiVariant::kThreaded, one_socket,
+                         "threaded"));
+  rows.push_back(measure(workloads::JacobiVariant::kThreadedNT, one_socket,
+                         "threaded (NT)"));
+  rows.push_back(measure(workloads::JacobiVariant::kWavefront, one_socket,
+                         "wavefront 1x4"));
+  rows.push_back(measure(workloads::JacobiVariant::kWavefront, split,
                          "wavefront 2+2 (wrong pinning)"));
 
   std::cout << util::strprintf("%-30s %14s %14s %12s %10s\n", "variant",

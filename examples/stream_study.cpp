@@ -10,9 +10,9 @@
 #include <iostream>
 #include <vector>
 
-#include "core/likwid.hpp"
+#include "api/session.hpp"
+#include "core/affinity.hpp"
 #include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
 #include "util/strings.hpp"
 #include "workloads/openmp_model.hpp"
 #include "workloads/stream.hpp"
@@ -22,10 +22,16 @@ namespace {
 using namespace likwid;
 
 /// One unpinned sample: place the team randomly, record first-touch homes,
-/// migrate, run, report STREAM MB/s.
-double unpinned_sample(hwsim::SimMachine& machine, std::uint64_t seed,
-                       int threads) {
-  ossim::SimKernel kernel(machine, seed);
+/// migrate, run, report STREAM MB/s. Each sample is its own session —
+/// same preset, sample-specific seed.
+double unpinned_sample(std::uint64_t seed, int threads) {
+  const auto session = api::Session::configure()
+                           .name("stream_study unpinned")
+                           .machine("westmere-ep")
+                           .seed(seed)
+                           .build();
+  hwsim::SimMachine& machine = session->machine();
+  ossim::SimKernel& kernel = session->kernel();
   ossim::ThreadRuntime runtime(kernel.scheduler());
   const auto team = workloads::launch_openmp_team(
       runtime, workloads::OpenMpImpl::kIntel, threads);
@@ -46,10 +52,14 @@ double unpinned_sample(hwsim::SimMachine& machine, std::uint64_t seed,
   return triad.reported_bandwidth_mbs(seconds);
 }
 
-double pinned_run(hwsim::SimMachine& machine, int threads) {
-  ossim::SimKernel kernel(machine, 7);
-  const core::NodeTopology topo = core::probe_topology(machine);
-  ossim::ThreadRuntime runtime(kernel.scheduler());
+double pinned_run(int threads) {
+  const auto session = api::Session::configure()
+                           .name("stream_study pinned")
+                           .machine("westmere-ep")
+                           .seed(7)
+                           .build();
+  const core::NodeTopology& topo = session->topology();
+  ossim::ThreadRuntime runtime(session->kernel().scheduler());
   core::PinConfig pin;
   pin.cpu_list = core::scatter_cpu_list(topo, threads);
   pin.model = core::ThreadModel::kIntel;
@@ -60,7 +70,7 @@ double pinned_run(hwsim::SimMachine& machine, int threads) {
   workloads::StreamTriad triad(workloads::StreamConfig{});
   workloads::Placement placement;
   placement.cpus = runtime.placement(team.worker_tids);
-  const double seconds = run_workload(kernel, triad, placement);
+  const double seconds = run_workload(session->kernel(), triad, placement);
   return triad.reported_bandwidth_mbs(seconds);
 }
 
@@ -68,8 +78,8 @@ double pinned_run(hwsim::SimMachine& machine, int threads) {
 
 int main() {
   using namespace likwid;
-  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
-  std::cout << "STREAM triad on " << machine.spec().name
+  std::cout << "STREAM triad on "
+            << hwsim::presets::preset_by_key("westmere-ep").name
             << " (icc profile), MB/s\n";
   std::cout << "threads | unpinned min / median / max (25 samples) | "
                "likwid-pin\n";
@@ -77,10 +87,10 @@ int main() {
     std::vector<double> samples;
     for (int s = 0; s < 25; ++s) {
       samples.push_back(
-          unpinned_sample(machine, 1000 + 17 * s + threads, threads));
+          unpinned_sample(1000 + 17 * s + threads, threads));
     }
     std::sort(samples.begin(), samples.end());
-    const double pinned = pinned_run(machine, threads);
+    const double pinned = pinned_run(threads);
     std::cout << util::strprintf(
         "%7d | %8.0f / %8.0f / %8.0f            | %8.0f\n", threads,
         samples.front(), samples[samples.size() / 2], samples.back(), pinned);

@@ -1,0 +1,132 @@
+/* likwid.h — the C-compatible flat API of the LIKWID reproduction.
+ *
+ * External programs embed the suite through opaque integer handles and
+ * status codes, mirroring the perfmon naming of the real library
+ * (perfmon_init / perfmon_addEventSet / perfmon_setupCounters / ...) that
+ * downstream projects such as TVM's metric collector link against. Every
+ * entry point catches C++ exceptions at the boundary and returns a
+ * likwid_status; the message of the last failure is kept per calling
+ * thread and readable via likwid_lastError(). Calls are serialized
+ * internally, so the API may be used from several threads.
+ *
+ * Lifecycle:
+ *
+ *   likwid_handle h;
+ *   likwid_init("westmere-ep", cpus, n_cpus, &h);
+ *   int gid;
+ *   likwid_addEventSet(h, "FLOPS_DP", &gid);
+ *   likwid_setupCounters(h, gid);
+ *   likwid_startCounters(h);
+ *   ... run measured work (likwid_runWorkload / likwid_advanceTime) ...
+ *   likwid_stopCounters(h);
+ *   likwid_getResult(h, gid, event_index, cpu_index, &value);
+ *   likwid_finalize(h);
+ */
+#ifndef LIKWID_API_LIKWID_H_
+#define LIKWID_API_LIKWID_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Opaque session handle. Handles are never reused; a finalized handle
+ * stays invalid forever. */
+typedef int likwid_handle;
+
+typedef enum likwid_status {
+  LIKWID_OK = 0,
+  LIKWID_ERROR_INVALID_HANDLE = 1,    /* unknown or finalized handle */
+  LIKWID_ERROR_INVALID_ARGUMENT = 2,  /* malformed input / null pointer */
+  LIKWID_ERROR_NOT_FOUND = 3,         /* set/event/metric/cpu out of range */
+  LIKWID_ERROR_PERMISSION = 4,        /* msr access denied */
+  LIKWID_ERROR_UNSUPPORTED = 5,       /* group/event not on this machine */
+  LIKWID_ERROR_RESOURCE_EXHAUSTED = 6,/* no free counter slot */
+  LIKWID_ERROR_INVALID_STATE = 7,     /* lifecycle misuse (start before
+                                         setup, double start, ...) */
+  LIKWID_ERROR_INTERNAL = 8           /* invariant violation */
+} likwid_status;
+
+/* --- lifecycle --------------------------------------------------------- */
+
+/* Build a simulated node from `machine_key` (NULL: "westmere-ep") and
+ * measure the `num_cpus` hardware threads in `cpus`. On success writes a
+ * fresh handle to `out_handle`. */
+likwid_status likwid_init(const char* machine_key, const int* cpus,
+                          int num_cpus, likwid_handle* out_handle);
+
+/* Append an event set and write its id to `out_set` (may be NULL).
+ * `spec` is a performance-group name ("FLOPS_DP") or a custom event list
+ * ("INSTR_RETIRED_ANY:FIXC0,CPU_CLK_UNHALTED_CORE:FIXC1"); a bare word
+ * that names no group is tried as a one-event custom set. */
+likwid_status likwid_addEventSet(likwid_handle handle, const char* spec,
+                                 int* out_set);
+
+/* Program `set` as the one measured by the next likwid_startCounters. */
+likwid_status likwid_setupCounters(likwid_handle handle, int set);
+
+/* Enable the set selected by likwid_setupCounters. Calling without a
+ * prior setup, or twice in a row, fails with LIKWID_ERROR_INVALID_STATE. */
+likwid_status likwid_startCounters(likwid_handle handle);
+
+/* Disable the running set and accumulate counts + elapsed time. */
+likwid_status likwid_stopCounters(likwid_handle handle);
+
+/* Destroy the session; the handle becomes permanently invalid. */
+likwid_status likwid_finalize(likwid_handle handle);
+
+/* --- driving the measured node ----------------------------------------- */
+
+/* Run a built-in workload on the measured cpus while the counters run:
+ * "triad" (STREAM triad; size = array length, reps = repetitions) or
+ * "jacobi" (3D stencil; size = grid points per dimension, reps = sweeps). */
+likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
+                                 long long size, int reps);
+
+/* Advance the node's clock without launching work (stethoscope mode). */
+likwid_status likwid_advanceTime(likwid_handle handle, double seconds);
+
+/* --- results ----------------------------------------------------------- */
+
+likwid_status likwid_getNumberOfEvents(likwid_handle handle, int set,
+                                       int* out_count);
+likwid_status likwid_getNumberOfMetrics(likwid_handle handle, int set,
+                                        int* out_count);
+
+/* Copy the event / counter / metric name into `buffer` (NUL-terminated,
+ * truncated to `capacity`). */
+likwid_status likwid_getEventName(likwid_handle handle, int set, int index,
+                                  char* buffer, int capacity);
+likwid_status likwid_getCounterName(likwid_handle handle, int set, int index,
+                                    char* buffer, int capacity);
+likwid_status likwid_getMetricName(likwid_handle handle, int set, int index,
+                                   char* buffer, int capacity);
+
+/* Multiplexing-corrected count of event `event_index` of `set` on the
+ * `cpu_index`-th measured cpu (index into the likwid_init cpu list). */
+likwid_status likwid_getResult(likwid_handle handle, int set, int event_index,
+                               int cpu_index, double* out_value);
+
+/* Derived metric `metric_index` of a group set on the `cpu_index`-th
+ * measured cpu. */
+likwid_status likwid_getMetric(likwid_handle handle, int set, int metric_index,
+                               int cpu_index, double* out_value);
+
+/* Wall time `set` was live, in seconds. */
+likwid_status likwid_getTimeOfGroup(likwid_handle handle, int set,
+                                    double* out_seconds);
+
+/* --- diagnostics ------------------------------------------------------- */
+
+/* Static name of a status code ("LIKWID_ERROR_UNSUPPORTED"). */
+const char* likwid_statusName(likwid_status status);
+
+/* Message of the most recent failure on this thread; "" when the last
+ * call succeeded. The pointer stays valid until the next API call from
+ * the same thread. */
+const char* likwid_lastError(void);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* LIKWID_API_LIKWID_H_ */

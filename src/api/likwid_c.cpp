@@ -1,0 +1,489 @@
+// likwid_c.cpp — the exception -> status-code boundary behind api/likwid.h.
+//
+// Every handle owns one api::Session. The wrapper adds the flat API's
+// lifecycle bookkeeping (setup-before-start) on top of the facade and
+// translates likwid::Error categories into likwid_status values; no
+// exception ever crosses into the C caller.
+#include "api/likwid.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "api/session.hpp"
+#include "core/name_table.hpp"
+#include "util/status.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/stream.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using likwid::Error;
+using likwid::ErrorCode;
+
+struct HandleEntry {
+  std::unique_ptr<likwid::api::Session> session;
+  bool setup_done = false;  ///< likwid_setupCounters seen since init/stop
+  /// Derived metrics of each set, evaluated once per measurement and
+  /// served to every likwid_getMetric call; invalidated on start.
+  std::map<int, std::vector<likwid::core::PerfCtr::MetricRow>> metric_cache;
+};
+
+/// Handle ids are monotonically increasing and never reused, so stale
+/// handles keep failing with LIKWID_ERROR_INVALID_HANDLE forever.
+std::map<likwid_handle, HandleEntry>& handles() {
+  static std::map<likwid_handle, HandleEntry> table;
+  return table;
+}
+likwid_handle g_next_handle = 1;
+
+/// Serializes every API call: the handle table (and the sessions behind
+/// it) are shared process state. Coarse, but the measured work runs on a
+/// simulated clock — there is nothing to overlap.
+std::mutex& api_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+thread_local std::string t_last_error;
+
+likwid_status to_status(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return LIKWID_ERROR_INVALID_ARGUMENT;
+    case ErrorCode::kNotFound: return LIKWID_ERROR_NOT_FOUND;
+    case ErrorCode::kPermission: return LIKWID_ERROR_PERMISSION;
+    case ErrorCode::kUnsupported: return LIKWID_ERROR_UNSUPPORTED;
+    case ErrorCode::kResourceExhausted: return LIKWID_ERROR_RESOURCE_EXHAUSTED;
+    case ErrorCode::kInvalidState: return LIKWID_ERROR_INVALID_STATE;
+    case ErrorCode::kInternal: return LIKWID_ERROR_INTERNAL;
+  }
+  return LIKWID_ERROR_INTERNAL;
+}
+
+likwid_status fail(likwid_status status, const std::string& message) {
+  t_last_error = message;
+  return status;
+}
+
+/// Run `fn` behind the exception boundary. `fn` either returns a status
+/// (for argument checks) or void (LIKWID_OK on fall-through).
+template <typename Fn>
+likwid_status guarded(Fn&& fn) {
+  const std::lock_guard<std::mutex> lock(api_mutex());
+  try {
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      t_last_error.clear();
+      return LIKWID_OK;
+    } else {
+      const likwid_status status = fn();
+      if (status == LIKWID_OK) t_last_error.clear();
+      return status;
+    }
+  } catch (const Error& e) {
+    return fail(to_status(e.code()), e.what());
+  } catch (const std::exception& e) {
+    return fail(LIKWID_ERROR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(LIKWID_ERROR_INTERNAL, "unknown exception");
+  }
+}
+
+/// Look up a live handle or fail with LIKWID_ERROR_INVALID_HANDLE.
+HandleEntry* find(likwid_handle handle) {
+  const auto it = handles().find(handle);
+  return it == handles().end() ? nullptr : &it->second;
+}
+
+likwid_status invalid_handle(likwid_handle handle) {
+  return fail(LIKWID_ERROR_INVALID_HANDLE,
+              "handle " + std::to_string(handle) +
+                  " does not name a live likwid session");
+}
+
+likwid_status copy_name(const std::string& name, char* buffer, int capacity) {
+  if (buffer == nullptr || capacity <= 0) {
+    return fail(LIKWID_ERROR_INVALID_ARGUMENT,
+                "null or empty name buffer");
+  }
+  const std::size_t n =
+      std::min(name.size(), static_cast<std::size_t>(capacity) - 1);
+  std::memcpy(buffer, name.data(), n);
+  buffer[n] = '\0';
+  return LIKWID_OK;
+}
+
+likwid_status check_set(const likwid::api::Session& session, int set) {
+  if (set < 0 || set >= session.counters().num_event_sets()) {
+    return fail(LIKWID_ERROR_NOT_FOUND,
+                "event set " + std::to_string(set) + " does not exist");
+  }
+  return LIKWID_OK;
+}
+
+}  // namespace
+
+extern "C" {
+
+likwid_status likwid_init(const char* machine_key, const int* cpus,
+                          int num_cpus, likwid_handle* out_handle) {
+  return guarded([&]() -> likwid_status {
+    if (out_handle == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_handle");
+    }
+    if (cpus == nullptr || num_cpus <= 0) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT,
+                  "likwid_init needs at least one measured cpu");
+    }
+    const likwid_handle handle = g_next_handle;
+    auto session =
+        likwid::api::Session::configure()
+            .name("likwid_c handle " + std::to_string(handle))
+            .machine(machine_key != nullptr ? machine_key : "westmere-ep")
+            .cpus(std::vector<int>(cpus, cpus + num_cpus))
+            .build();
+    // Construct the counters now so bad cpu lists fail here, not at the
+    // first addEventSet.
+    session->counters();
+    HandleEntry entry;
+    entry.session = std::move(session);
+    handles().emplace(handle, std::move(entry));
+    ++g_next_handle;
+    *out_handle = handle;
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_addEventSet(likwid_handle handle, const char* spec,
+                                 int* out_set) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (spec == nullptr || spec[0] == '\0') {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null or empty event spec");
+    }
+    const std::string text(spec);
+    // Specs with ':' (explicit counters) or ',' (several events) are
+    // custom event lists; a bare word is tried as a performance-group
+    // name first and falls back to a one-event custom set, so
+    // "FLOPS_DP" and "L1D_REPL" both work.
+    if (text.find(':') != std::string::npos ||
+        text.find(',') != std::string::npos) {
+      entry->session->add_custom(text);
+    } else {
+      try {
+        entry->session->add_group(text);
+      } catch (const Error& e) {
+        if (e.code() != ErrorCode::kNotFound) throw;
+        entry->session->add_custom(text);
+      }
+    }
+    if (out_set != nullptr) {
+      *out_set = entry->session->counters().num_event_sets() - 1;
+    }
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_setupCounters(likwid_handle handle, int set) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    entry->session->counters().select_set(set);
+    entry->setup_done = true;
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_startCounters(likwid_handle handle) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (!entry->setup_done) {
+      return fail(LIKWID_ERROR_INVALID_STATE,
+                  "likwid_startCounters before likwid_setupCounters");
+    }
+    if (entry->session->running()) {
+      return fail(LIKWID_ERROR_INVALID_STATE,
+                  "counters already started (likwid_startCounters called "
+                  "twice)");
+    }
+    entry->session->start();
+    entry->metric_cache.clear();  // results are stale once counting resumes
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_stopCounters(likwid_handle handle) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (!entry->session->running()) {
+      return fail(LIKWID_ERROR_INVALID_STATE,
+                  "likwid_stopCounters without running counters");
+    }
+    entry->session->stop();
+    entry->metric_cache.clear();  // re-evaluate over the final counts
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_finalize(likwid_handle handle) {
+  return guarded([&]() -> likwid_status {
+    if (handles().erase(handle) == 0) return invalid_handle(handle);
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
+                                 long long size, int reps) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (workload == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null workload name");
+    }
+    if (size <= 0 || reps <= 0) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT,
+                  "workload size and reps must be positive");
+    }
+    likwid::api::Session& session = *entry->session;
+    likwid::workloads::Placement placement;
+    placement.cpus = session.cpus();
+    const std::string name(workload);
+    if (name == "triad") {
+      likwid::workloads::StreamConfig cfg;
+      cfg.array_length = static_cast<std::size_t>(size);
+      cfg.repetitions = reps;
+      likwid::workloads::StreamTriad triad(cfg);
+      run_workload(session.kernel(), triad, placement);
+    } else if (name == "jacobi") {
+      likwid::workloads::JacobiConfig cfg;
+      cfg.n = static_cast<int>(size);
+      cfg.sweeps = reps;
+      likwid::workloads::JacobiStencil jacobi(cfg);
+      run_workload(session.kernel(), jacobi, placement);
+    } else {
+      return fail(LIKWID_ERROR_NOT_FOUND,
+                  "unknown workload '" + name + "' (triad, jacobi)");
+    }
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_advanceTime(likwid_handle handle, double seconds) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (!(seconds > 0)) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT,
+                  "duration must be positive");
+    }
+    entry->session->kernel().advance_time(seconds);
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_getNumberOfEvents(likwid_handle handle, int set,
+                                       int* out_count) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (out_count == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_count");
+    }
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    *out_count = static_cast<int>(
+        entry->session->counters().assignments_of(set).size());
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_getNumberOfMetrics(likwid_handle handle, int set,
+                                        int* out_count) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (out_count == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_count");
+    }
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    *out_count =
+        static_cast<int>(entry->session->counters().metric_ids(set).size());
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_getEventName(likwid_handle handle, int set, int index,
+                                  char* buffer, int capacity) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    const auto& assignments = entry->session->counters().assignments_of(set);
+    if (index < 0 || index >= static_cast<int>(assignments.size())) {
+      return fail(LIKWID_ERROR_NOT_FOUND, "event index out of range");
+    }
+    return copy_name(assignments[static_cast<std::size_t>(index)].event_name,
+                     buffer, capacity);
+  });
+}
+
+likwid_status likwid_getCounterName(likwid_handle handle, int set, int index,
+                                    char* buffer, int capacity) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    const auto& assignments = entry->session->counters().assignments_of(set);
+    if (index < 0 || index >= static_cast<int>(assignments.size())) {
+      return fail(LIKWID_ERROR_NOT_FOUND, "event index out of range");
+    }
+    return copy_name(assignments[static_cast<std::size_t>(index)].counter_name,
+                     buffer, capacity);
+  });
+}
+
+likwid_status likwid_getMetricName(likwid_handle handle, int set, int index,
+                                   char* buffer, int capacity) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    const auto ids = entry->session->counters().metric_ids(set);
+    if (index < 0 || index >= static_cast<int>(ids.size())) {
+      return fail(LIKWID_ERROR_NOT_FOUND, "metric index out of range");
+    }
+    return copy_name(
+        likwid::core::resolve_name(ids[static_cast<std::size_t>(index)]),
+        buffer, capacity);
+  });
+}
+
+likwid_status likwid_getResult(likwid_handle handle, int set, int event_index,
+                               int cpu_index, double* out_value) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (out_value == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_value");
+    }
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    const likwid::core::PerfCtr& ctr = entry->session->counters();
+    const auto& assignments = ctr.assignments_of(set);
+    if (event_index < 0 ||
+        event_index >= static_cast<int>(assignments.size())) {
+      return fail(LIKWID_ERROR_NOT_FOUND, "event index out of range");
+    }
+    if (cpu_index < 0 || cpu_index >= static_cast<int>(ctr.cpus().size())) {
+      return fail(LIKWID_ERROR_NOT_FOUND, "cpu index out of range");
+    }
+    // Index the dense slab by (cpu row, assignment slot): event_index IS
+    // the slot, so sets counting the same event on two counters read the
+    // right one (a name lookup would alias both to the first slot).
+    const likwid::core::CountSlab counts = ctr.extrapolated_counts(set);
+    const int row =
+        counts.row_of(ctr.cpus()[static_cast<std::size_t>(cpu_index)]);
+    *out_value =
+        row < 0 ? 0.0
+                : counts.row(static_cast<std::size_t>(row))
+                      [static_cast<std::size_t>(event_index)];
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_getMetric(likwid_handle handle, int set, int metric_index,
+                               int cpu_index, double* out_value) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (out_value == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_value");
+    }
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    const likwid::core::PerfCtr& ctr = entry->session->counters();
+    // Evaluate the set's metrics once per measurement; the read loop of
+    // an embedding collector calls likwid_getMetric per (metric, cpu).
+    auto cached = entry->metric_cache.find(set);
+    if (cached == entry->metric_cache.end()) {
+      cached = entry->metric_cache.emplace(set, ctr.compute_metrics(set))
+                   .first;
+    }
+    const auto& rows = cached->second;
+    if (metric_index < 0 || metric_index >= static_cast<int>(rows.size())) {
+      return fail(LIKWID_ERROR_NOT_FOUND, "metric index out of range");
+    }
+    if (cpu_index < 0 || cpu_index >= static_cast<int>(ctr.cpus().size())) {
+      return fail(LIKWID_ERROR_NOT_FOUND, "cpu index out of range");
+    }
+    *out_value = rows[static_cast<std::size_t>(metric_index)].value_or(
+        ctr.cpus()[static_cast<std::size_t>(cpu_index)], 0.0);
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_getTimeOfGroup(likwid_handle handle, int set,
+                                    double* out_seconds) {
+  return guarded([&]() -> likwid_status {
+    HandleEntry* entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    if (out_seconds == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_seconds");
+    }
+    if (const likwid_status s = check_set(*entry->session, set);
+        s != LIKWID_OK) {
+      return s;
+    }
+    *out_seconds = entry->session->counters().results(set).measured_seconds;
+    return LIKWID_OK;
+  });
+}
+
+const char* likwid_statusName(likwid_status status) {
+  switch (status) {
+    case LIKWID_OK: return "LIKWID_OK";
+    case LIKWID_ERROR_INVALID_HANDLE: return "LIKWID_ERROR_INVALID_HANDLE";
+    case LIKWID_ERROR_INVALID_ARGUMENT:
+      return "LIKWID_ERROR_INVALID_ARGUMENT";
+    case LIKWID_ERROR_NOT_FOUND: return "LIKWID_ERROR_NOT_FOUND";
+    case LIKWID_ERROR_PERMISSION: return "LIKWID_ERROR_PERMISSION";
+    case LIKWID_ERROR_UNSUPPORTED: return "LIKWID_ERROR_UNSUPPORTED";
+    case LIKWID_ERROR_RESOURCE_EXHAUSTED:
+      return "LIKWID_ERROR_RESOURCE_EXHAUSTED";
+    case LIKWID_ERROR_INVALID_STATE: return "LIKWID_ERROR_INVALID_STATE";
+    case LIKWID_ERROR_INTERNAL: return "LIKWID_ERROR_INTERNAL";
+  }
+  return "LIKWID_ERROR_INTERNAL";
+}
+
+const char* likwid_lastError(void) { return t_last_error.c_str(); }
+
+}  // extern "C"

@@ -1,0 +1,33 @@
+// output_sink.hpp — the pluggable formatting boundary of the public API.
+//
+// Measurement produces ResultTable / RegionReport / SeriesPoint data;
+// an OutputSink turns that data into text. The suite ships three sinks
+// (ASCII tables, CSV, XML — see cli/sinks.hpp); embedders implement their
+// own to route results into whatever their host system consumes, the way
+// TVM's metric collector feeds LIKWID counts into its profiling reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/result_table.hpp"
+#include "monitor/aggregator.hpp"
+
+namespace likwid::api {
+
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+
+  /// One wrapper-mode result block (event counts + derived metrics).
+  virtual std::string measurement(const ResultTable& table) const = 0;
+
+  /// Marker-mode result block (one section per region).
+  virtual std::string regions(const RegionReport& report) const = 0;
+
+  /// Timestamped monitoring rollups (the likwid-agent export surface).
+  virtual std::string series(
+      const std::vector<monitor::SeriesPoint>& points) const = 0;
+};
+
+}  // namespace likwid::api

@@ -1,0 +1,113 @@
+#include "api/result_table.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace likwid::api {
+
+namespace {
+
+/// One row per assignment of `set`, one column per measured cpu; missing
+/// slab rows read as 0.0 (cores that never entered a marker region).
+std::vector<ResultTable::EventRow> event_rows(const core::PerfCtr& ctr,
+                                              int set,
+                                              const core::CountSlab& counts) {
+  const auto& assignments = ctr.assignments_of(set);
+  std::vector<int> cpu_rows;
+  cpu_rows.reserve(ctr.cpus().size());
+  for (const int cpu : ctr.cpus()) {
+    cpu_rows.push_back(counts.empty() ? -1 : counts.row_of(cpu));
+  }
+  std::vector<ResultTable::EventRow> rows;
+  rows.reserve(assignments.size());
+  for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
+    ResultTable::EventRow row;
+    row.event = assignments[slot].event_name;
+    row.counter = assignments[slot].counter_name;
+    row.values.reserve(cpu_rows.size());
+    for (const int r : cpu_rows) {
+      row.values.push_back(
+          r < 0 ? 0.0 : counts.row(static_cast<std::size_t>(r))[slot]);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<ResultTable::MetricRow> metric_rows(
+    const core::PerfCtr& ctr,
+    const std::vector<core::PerfCtr::MetricRow>& computed) {
+  std::vector<ResultTable::MetricRow> rows;
+  rows.reserve(computed.size());
+  for (const auto& m : computed) {
+    ResultTable::MetricRow row;
+    row.name = m.name();
+    row.values.reserve(ctr.cpus().size());
+    for (const int cpu : ctr.cpus()) {
+      row.values.push_back(m.value_or(cpu, 0.0));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+ResultTable measurement_table(const core::PerfCtr& ctr, int set) {
+  ResultTable table;
+  const auto& group = ctr.group_of(set);
+  table.group = group ? group->name : "custom";
+  table.has_metrics = group.has_value();
+  table.seconds = ctr.results(set).measured_seconds;
+  table.cpus = ctr.cpus();
+  table.events = event_rows(ctr, set, ctr.extrapolated_counts(set));
+  if (group) {
+    table.metrics = metric_rows(ctr, ctr.compute_metrics(set));
+  }
+  return table;
+}
+
+ResultTable counts_table(const core::PerfCtr& ctr, int set,
+                         const core::CountSlab& counts,
+                         double fallback_seconds, bool wall_time) {
+  ResultTable table;
+  const auto& group = ctr.group_of(set);
+  table.group = group ? group->name : "custom";
+  table.has_metrics = group.has_value();
+  table.seconds = fallback_seconds >= 0 ? fallback_seconds : 0.0;
+  table.cpus = ctr.cpus();
+  table.events = event_rows(ctr, set, counts);
+  if (group) {
+    table.metrics = metric_rows(
+        ctr, ctr.compute_metrics_for(set, counts, fallback_seconds, wall_time));
+  }
+  return table;
+}
+
+RegionReport region_report(const core::PerfCtr& ctr, int set,
+                           const core::MarkerSession& session) {
+  RegionReport report;
+  const auto& group = ctr.group_of(set);
+  report.group = group ? group->name : "custom";
+  report.has_metrics = group.has_value();
+  report.cpus = ctr.cpus();
+  for (const auto& region : session.regions()) {
+    RegionReport::Region entry;
+    entry.name = region.name;
+    entry.calls = region.call_count;
+    entry.events = event_rows(ctr, set, region.counts);
+    if (group) {
+      // The region's wall time is the longest any core had it open.
+      double wall = 0;
+      for (const auto& [cpu, seconds] : region.seconds) {
+        wall = std::max(wall, seconds);
+      }
+      entry.metrics = metric_rows(
+          ctr, ctr.compute_metrics_for(set, region.counts, wall));
+    }
+    report.regions.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace likwid::api

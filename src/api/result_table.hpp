@@ -1,0 +1,73 @@
+// result_table.hpp — the format-neutral result model of the public API.
+//
+// A ResultTable is one event set's measurement flattened into plain data:
+// the measured cpus in column order, one row per counted event and one row
+// per derived metric, all values already extrapolated and evaluated. The
+// per-set / per-cpu extraction that used to be copy-pasted across the
+// ASCII, CSV and XML writers lives here exactly once; OutputSink
+// implementations only format what they are handed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/marker.hpp"
+#include "core/perfctr.hpp"
+
+namespace likwid::api {
+
+/// One event set's results, decoupled from PerfCtr and from any output
+/// format. Values are aligned with `cpus` (0.0 for cpus the backing slab
+/// never saw, matching the writers' historical fallback).
+struct ResultTable {
+  std::string group;         ///< group name, or "custom" for custom sets
+  bool has_metrics = false;  ///< group sets carry derived metrics
+  double seconds = 0;        ///< wall time the set was live
+  std::vector<int> cpus;     ///< measured cpus, column order of the values
+
+  struct EventRow {
+    std::string event;    ///< event name ("INSTR_RETIRED_ANY")
+    std::string counter;  ///< counter it ran on ("PMC0", "FIXC1", "UPMC3")
+    std::vector<double> values;
+  };
+  std::vector<EventRow> events;
+
+  struct MetricRow {
+    std::string name;  ///< display name ("DP MFlops/s")
+    std::vector<double> values;
+  };
+  std::vector<MetricRow> metrics;
+};
+
+/// Marker-mode results: one ResultTable worth of rows per region.
+struct RegionReport {
+  std::string group;
+  bool has_metrics = false;
+  std::vector<int> cpus;
+
+  struct Region {
+    std::string name;
+    int calls = 0;
+    std::vector<ResultTable::EventRow> events;
+    std::vector<ResultTable::MetricRow> metrics;
+  };
+  std::vector<Region> regions;
+};
+
+/// Wrapper-mode table of `set`: extrapolated counts plus, for group sets,
+/// the derived metrics.
+ResultTable measurement_table(const core::PerfCtr& ctr, int set);
+
+/// Table over externally accumulated counts (marker regions, sampling
+/// intervals). `fallback_seconds` / `wall_time` forward to
+/// PerfCtr::compute_metrics_for.
+ResultTable counts_table(const core::PerfCtr& ctr, int set,
+                         const core::CountSlab& counts,
+                         double fallback_seconds = -1.0,
+                         bool wall_time = false);
+
+/// Marker-mode report of `set` over a finished MarkerSession.
+RegionReport region_report(const core::PerfCtr& ctr, int set,
+                           const core::MarkerSession& session);
+
+}  // namespace likwid::api

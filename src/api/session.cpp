@@ -1,0 +1,205 @@
+#include "api/session.hpp"
+
+#include <utility>
+
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+
+namespace likwid::api {
+
+Session::Builder& Session::Builder::name(std::string value) {
+  name_ = std::move(value);
+  return *this;
+}
+
+Session::Builder& Session::Builder::machine(std::string preset_key) {
+  machine_ = std::move(preset_key);
+  return *this;
+}
+
+Session::Builder& Session::Builder::os_enumeration(std::string mode) {
+  os_enumeration_ = std::move(mode);
+  return *this;
+}
+
+Session::Builder& Session::Builder::seed(std::uint64_t value) {
+  seed_ = value;
+  return *this;
+}
+
+Session::Builder& Session::Builder::cpus(std::vector<int> list) {
+  cpus_ = std::move(list);
+  return *this;
+}
+
+Session::Builder& Session::Builder::group(std::string group_name) {
+  sets_.push_back({true, std::move(group_name)});
+  return *this;
+}
+
+Session::Builder& Session::Builder::custom(std::string event_spec) {
+  sets_.push_back({false, std::move(event_spec)});
+  return *this;
+}
+
+Session::Builder& Session::Builder::current_cpu(std::function<int()> fn) {
+  current_cpu_ = std::move(fn);
+  return *this;
+}
+
+std::unique_ptr<Session> Session::Builder::build() {
+  hwsim::MachineSpec spec = hwsim::presets::preset_by_key(machine_);
+  if (!os_enumeration_.empty()) {
+    spec.os_enumeration = hwsim::parse_os_enumeration(os_enumeration_);
+  }
+  std::unique_ptr<Session> session(new Session());
+  session->name_ = name_;
+  session->markers_.set_owner(name_);
+  session->owned_machine_ = std::make_unique<hwsim::SimMachine>(std::move(spec));
+  session->owned_kernel_ =
+      std::make_unique<ossim::SimKernel>(*session->owned_machine_, seed_);
+  session->kernel_ = session->owned_kernel_.get();
+  session->cpus_ = cpus_;
+  session->current_cpu_ = current_cpu_;
+  for (const auto& set : sets_) {
+    if (set.is_group) {
+      session->add_group(set.spec);
+    } else {
+      session->add_custom(set.spec);
+    }
+  }
+  return session;
+}
+
+std::unique_ptr<Session> Session::attach(ossim::SimKernel& kernel,
+                                         std::vector<int> cpus,
+                                         std::string name) {
+  std::unique_ptr<Session> session(new Session());
+  session->name_ = std::move(name);
+  session->markers_.set_owner(session->name_);
+  session->kernel_ = &kernel;
+  session->cpus_ = std::move(cpus);
+  return session;
+}
+
+Session::~Session() { release_ambient_markers(); }
+
+const core::NodeTopology& Session::topology() {
+  if (!topology_) {
+    topology_ = core::probe_topology(kernel_->machine());
+  }
+  return *topology_;
+}
+
+core::NumaTopology Session::numa() { return core::probe_numa(*kernel_); }
+
+core::Features Session::features(int cpu) {
+  return core::Features(*kernel_, cpu);
+}
+
+void Session::set_cpus(std::vector<int> cpus) {
+  if (ctr_ != nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                "session '" + name_ +
+                    "': cannot change the cpu list after the counters exist");
+  }
+  cpus_ = std::move(cpus);
+}
+
+core::PerfCtr& Session::counters() {
+  if (ctr_ == nullptr) {
+    if (cpus_.empty()) {
+      throw_error(ErrorCode::kInvalidState,
+                  "session '" + name_ +
+                      "': no measured cpus configured (Builder::cpus / "
+                      "set_cpus before using the counters)");
+    }
+    ctr_ = std::make_unique<core::PerfCtr>(*kernel_, cpus_);
+  }
+  return *ctr_;
+}
+
+const core::PerfCtr& Session::counters() const {
+  if (ctr_ == nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                "session '" + name_ + "': counters not configured");
+  }
+  return *ctr_;
+}
+
+void Session::add_group(const std::string& group_name) {
+  counters().add_group(group_name);
+}
+
+void Session::add_custom(const std::string& event_spec) {
+  counters().add_custom(event_spec);
+}
+
+void Session::reset_counters() {
+  release_ambient_markers();
+  markers_.unbind();
+  sampler_.reset();
+  ctr_.reset();
+}
+
+void Session::start() { counters().start(); }
+
+void Session::stop() { counters().stop(); }
+
+void Session::rotate() { counters().rotate(); }
+
+core::IntervalSampler& Session::sampler() {
+  if (sampler_ == nullptr) {
+    sampler_ = std::make_unique<core::IntervalSampler>(counters());
+  }
+  return *sampler_;
+}
+
+void Session::set_current_cpu(std::function<int()> fn) {
+  if (markers_.bound()) {
+    throw_error(ErrorCode::kInvalidState,
+                "session '" + name_ +
+                    "': marker environment already bound; set the "
+                    "current-cpu callback before using markers()");
+  }
+  current_cpu_ = std::move(fn);
+}
+
+core::MarkerEnv& Session::markers() {
+  if (!markers_.bound()) {
+    core::PerfCtr& ctr = counters();
+    std::function<int()> current = current_cpu_;
+    if (current == nullptr) {
+      // The sched_getcpu analog of a single-process harness: the first
+      // measured hardware thread.
+      const int cpu = cpus_.front();
+      current = [cpu]() { return cpu; };
+    }
+    markers_.bind(&ctr, std::move(current));
+  }
+  return markers_;
+}
+
+void Session::bind_ambient_markers() { MarkerBinding::adopt_env(&markers()); }
+
+void Session::release_ambient_markers() noexcept {
+  MarkerBinding::release_env(&markers_);
+}
+
+ResultTable Session::measurement(int set) const {
+  return measurement_table(counters(), set);
+}
+
+RegionReport Session::regions(int set) const {
+  const core::MarkerSession* session = markers_.session();
+  if (session == nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                "session '" + name_ +
+                    "': no marker session (likwid_markerInit / "
+                    "markers().init() first)");
+  }
+  return region_report(counters(), set, *session);
+}
+
+}  // namespace likwid::api

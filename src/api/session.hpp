@@ -1,0 +1,185 @@
+// session.hpp — likwid::api::Session, the embeddable facade of the suite.
+//
+// One Session is one complete measurement context: the simulated node
+// (machine + kernel), its probed topology, the performance counters, the
+// interval sampler and the per-session marker environment. Before the
+// facade, every tool and example hand-wired ossim::SimKernel +
+// core::PerfCtr + IntervalSampler + a writer; now that wiring exists in
+// exactly one place and external programs embed the suite through this
+// class (C++) or through the flat handle API in api/likwid.h (C), the way
+// downstream projects embed the real library's perfmon interface.
+//
+// Construction is builder-based:
+//
+//   auto session = likwid::api::Session::configure()
+//                      .machine("westmere-ep")
+//                      .cpus({0, 1, 2, 3})
+//                      .group("FLOPS_DP")
+//                      .build();
+//   session->start();
+//   ... run the measured code on session->kernel() ...
+//   session->stop();
+//   likwid::api::ResultTable table = session->measurement(0);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/result_table.hpp"
+#include "core/features.hpp"
+#include "core/marker.hpp"
+#include "core/numa.hpp"
+#include "core/perfctr.hpp"
+#include "core/sampling.hpp"
+#include "core/topology.hpp"
+#include "hwsim/machine.hpp"
+#include "ossim/kernel.hpp"
+
+namespace likwid::api {
+
+class Session {
+ public:
+  class Builder {
+   public:
+    /// Label used in diagnostics (marker double-bind errors name it).
+    Builder& name(std::string value);
+    /// Machine preset key ("westmere-ep", "core2-quad", ...).
+    Builder& machine(std::string preset_key);
+    /// BIOS numbering override ("smt-last", "smt-adjacent", "socket-rr");
+    /// empty keeps the preset's default.
+    Builder& os_enumeration(std::string mode);
+    Builder& seed(std::uint64_t value);
+    /// Hardware threads to measure (the tools' -c list).
+    Builder& cpus(std::vector<int> list);
+    /// Append a performance group as the next event set.
+    Builder& group(std::string group_name);
+    /// Append a custom event set ("EVT:PMC0,EVT2:PMC1").
+    Builder& custom(std::string event_spec);
+    /// Callback reporting the calling thread's hardware thread for the
+    /// marker API (sched_getcpu analog). Defaults to "first measured cpu".
+    Builder& current_cpu(std::function<int()> fn);
+
+    /// Build the node and program the configured event sets. Throws on
+    /// unknown presets, bad cpu lists and unsupported groups.
+    std::unique_ptr<Session> build();
+
+   private:
+    friend class Session;
+    std::string name_ = "session";
+    std::string machine_ = "westmere-ep";
+    std::string os_enumeration_;
+    std::uint64_t seed_ = 42;
+    std::vector<int> cpus_;
+    struct EventSetSpec {
+      bool is_group = false;
+      std::string spec;
+    };
+    std::vector<EventSetSpec> sets_;
+    std::function<int()> current_cpu_;
+  };
+
+  static Builder configure() { return Builder(); }
+
+  /// Attach a session to an externally owned kernel (an mpisim cluster
+  /// node, a test fixture). The kernel must outlive the session.
+  static std::unique_ptr<Session> attach(ossim::SimKernel& kernel,
+                                         std::vector<int> cpus,
+                                         std::string name = "attached");
+
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  // --- the node ----------------------------------------------------------
+
+  hwsim::SimMachine& machine() noexcept { return kernel_->machine(); }
+  ossim::SimKernel& kernel() noexcept { return *kernel_; }
+  /// Probed once, cached for the session's lifetime.
+  const core::NodeTopology& topology();
+  core::NumaTopology numa();
+  core::Features features(int cpu);
+
+  // --- counter configuration ---------------------------------------------
+
+  /// Replace the measured cpu list. Only allowed before the counters
+  /// exist; throws Error(kInvalidState) afterwards.
+  void set_cpus(std::vector<int> cpus);
+  const std::vector<int>& cpus() const noexcept { return cpus_; }
+
+  void add_group(const std::string& group_name);
+  void add_custom(const std::string& event_spec);
+
+  bool has_counters() const noexcept { return ctr_ != nullptr; }
+  /// The session's counters; created on first use from the configured cpu
+  /// list. Throws Error(kInvalidState) when no cpus are configured.
+  core::PerfCtr& counters();
+  const core::PerfCtr& counters() const;
+
+  /// Drop counters, sampler and marker state and start a fresh counter
+  /// scope on the same node (repeat-measurement workflows: measure,
+  /// reconfigure the machine, measure again).
+  void reset_counters();
+
+  // --- measurement --------------------------------------------------------
+
+  void start();
+  void stop();
+  void rotate();
+  bool running() const noexcept { return ctr_ != nullptr && ctr_->running(); }
+
+  /// The session's interval sampler (timeline / monitoring consumers);
+  /// created on first use, after the event sets are configured.
+  core::IntervalSampler& sampler();
+
+  // --- markers ------------------------------------------------------------
+
+  /// Replace the current-cpu callback (sched_getcpu analog). Only allowed
+  /// before the marker environment binds; throws Error(kInvalidState)
+  /// afterwards.
+  void set_current_cpu(std::function<int()> fn);
+
+  /// This session's marker environment. Bound lazily on first access (to
+  /// the session's counters and current-cpu callback), so marker state is
+  /// per-session; use MarkerBinding::adopt_env(&markers()) — or
+  /// bind_ambient_markers() — to also route the C-style likwid_marker*
+  /// functions here.
+  core::MarkerEnv& markers();
+
+  /// Make this session's env the target of the global C-style marker
+  /// functions. Throws Error(kInvalidState), naming the owner, when
+  /// another session holds the ambient binding.
+  void bind_ambient_markers();
+  /// Release the ambient binding if this session holds it (also done by
+  /// the destructor). Marker results stay readable through markers().
+  void release_ambient_markers() noexcept;
+
+  // --- results ------------------------------------------------------------
+
+  /// Wrapper-mode results of one event set.
+  ResultTable measurement(int set) const;
+  /// Marker-mode results; requires an initialized marker session.
+  RegionReport regions(int set) const;
+
+ private:
+  Session() = default;
+
+  std::string name_;
+  std::unique_ptr<hwsim::SimMachine> owned_machine_;
+  std::unique_ptr<ossim::SimKernel> owned_kernel_;
+  ossim::SimKernel* kernel_ = nullptr;
+  std::vector<int> cpus_;
+  std::optional<core::NodeTopology> topology_;
+  std::unique_ptr<core::PerfCtr> ctr_;
+  std::unique_ptr<core::IntervalSampler> sampler_;
+  core::MarkerEnv markers_;
+  std::function<int()> current_cpu_;
+};
+
+}  // namespace likwid::api

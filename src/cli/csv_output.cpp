@@ -2,16 +2,14 @@
 
 #include <sstream>
 
+#include "api/result_table.hpp"
+#include "cli/series_output.hpp"
+#include "cli/sinks.hpp"
 #include "util/strings.hpp"
 
 namespace likwid::cli {
 
 namespace {
-
-/// Format a count the way the ASCII tables do (integral when exact).
-std::string format_value(double v) {
-  return util::format_count(v);
-}
 
 /// Append one CSV row from already-escaped cells.
 void row(std::ostringstream& out, const std::vector<std::string>& cells) {
@@ -22,41 +20,35 @@ void row(std::ostringstream& out, const std::vector<std::string>& cells) {
   out << '\n';
 }
 
-std::vector<std::string> cpu_header(const core::PerfCtr& ctr,
+std::vector<std::string> cpu_header(const std::vector<int>& cpus,
                                     std::vector<std::string> prefix) {
-  for (const int cpu : ctr.cpus()) {
+  for (const int cpu : cpus) {
     prefix.push_back("core " + std::to_string(cpu));
   }
   return prefix;
 }
 
-void event_rows(std::ostringstream& out, const core::PerfCtr& ctr, int set,
-                const core::CountSlab& counts) {
-  row(out, cpu_header(ctr, {"Event", "Counter"}));
-  const auto& assignments = ctr.assignments_of(set);
-  std::vector<int> cpu_rows;
-  for (const int cpu : ctr.cpus()) {
-    cpu_rows.push_back(counts.empty() ? -1 : counts.row_of(cpu));
-  }
-  for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
-    std::vector<std::string> cells = {csv_escape(assignments[slot].event_name),
-                                      csv_escape(assignments[slot].counter_name)};
-    for (const int r : cpu_rows) {
-      const double v =
-          r < 0 ? 0.0 : counts.row(static_cast<std::size_t>(r))[slot];
-      cells.push_back(format_value(v));
+void event_rows(std::ostringstream& out, const std::vector<int>& cpus,
+                const std::vector<api::ResultTable::EventRow>& events) {
+  row(out, cpu_header(cpus, {"Event", "Counter"}));
+  for (const auto& event : events) {
+    std::vector<std::string> cells = {csv_escape(event.event),
+                                      csv_escape(event.counter)};
+    for (const double value : event.values) {
+      // Counts format the way the ASCII tables do (integral when exact).
+      cells.push_back(util::format_count(value));
     }
     row(out, cells);
   }
 }
 
-void metric_rows(std::ostringstream& out, const core::PerfCtr& ctr,
-                 const std::vector<core::PerfCtr::MetricRow>& metrics) {
-  row(out, cpu_header(ctr, {"Metric"}));
-  for (const auto& m : metrics) {
-    std::vector<std::string> cells = {csv_escape(m.name())};
-    for (const int cpu : ctr.cpus()) {
-      cells.push_back(util::format_metric(m.value_or(cpu, 0.0)));
+void metric_rows(std::ostringstream& out, const std::vector<int>& cpus,
+                 const std::vector<api::ResultTable::MetricRow>& metrics) {
+  row(out, cpu_header(cpus, {"Metric"}));
+  for (const auto& metric : metrics) {
+    std::vector<std::string> cells = {csv_escape(metric.name)};
+    for (const double value : metric.values) {
+      cells.push_back(util::format_metric(value));
     }
     row(out, cells);
   }
@@ -77,35 +69,41 @@ std::string csv_escape(std::string_view field) {
   return out;
 }
 
-std::string csv_measurement(const core::PerfCtr& ctr, int set) {
+std::string CsvSink::measurement(const api::ResultTable& table) const {
   std::ostringstream out;
-  const auto& group = ctr.group_of(set);
-  row(out, {"GROUP", group ? csv_escape(group->name) : "custom"});
-  event_rows(out, ctr, set, ctr.extrapolated_counts(set));
-  if (group) {
-    metric_rows(out, ctr, ctr.compute_metrics(set));
+  row(out, {"GROUP", csv_escape(table.group)});
+  event_rows(out, table.cpus, table.events);
+  if (table.has_metrics) {
+    metric_rows(out, table.cpus, table.metrics);
   }
   return out.str();
 }
 
-std::string csv_regions(const core::PerfCtr& ctr, int set,
-                        const core::MarkerSession& session) {
+std::string CsvSink::regions(const api::RegionReport& report) const {
   std::ostringstream out;
-  const auto& group = ctr.group_of(set);
-  row(out, {"GROUP", group ? csv_escape(group->name) : "custom"});
-  for (const auto& region : session.regions()) {
+  row(out, {"GROUP", csv_escape(report.group)});
+  for (const auto& region : report.regions) {
     row(out, {"REGION", csv_escape(region.name)});
-    event_rows(out, ctr, set, region.counts);
-    if (group) {
-      double wall = 0;
-      for (const auto& [cpu, seconds] : region.seconds) {
-        wall = std::max(wall, seconds);
-      }
-      metric_rows(out, ctr,
-                  ctr.compute_metrics_for(set, region.counts, wall));
+    event_rows(out, report.cpus, region.events);
+    if (report.has_metrics) {
+      metric_rows(out, report.cpus, region.metrics);
     }
   }
   return out.str();
+}
+
+std::string CsvSink::series(
+    const std::vector<monitor::SeriesPoint>& points) const {
+  return csv_series(points);
+}
+
+std::string csv_measurement(const core::PerfCtr& ctr, int set) {
+  return CsvSink().measurement(api::measurement_table(ctr, set));
+}
+
+std::string csv_regions(const core::PerfCtr& ctr, int set,
+                        const core::MarkerSession& session) {
+  return CsvSink().regions(api::region_report(ctr, set, session));
 }
 
 std::string csv_topology(const core::NodeTopology& topo) {

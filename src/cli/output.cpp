@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "api/result_table.hpp"
+#include "cli/series_output.hpp"
+#include "cli/sinks.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -159,25 +162,16 @@ std::string render_topology_ascii(const core::NodeTopology& topo) {
 namespace {
 
 /// Shared table body: one row per event, one column per measured cpu.
-/// Event names are resolved from the set's assignment table; the slab is
-/// indexed by (cpu, assignment slot).
-std::string event_table(const core::PerfCtr& ctr, int set,
-                        const core::CountSlab& counts) {
+std::string event_table(const std::vector<int>& cpus,
+                        const std::vector<api::ResultTable::EventRow>& events) {
   std::vector<std::string> headers = {"Event"};
-  for (const int cpu : ctr.cpus()) {
+  for (const int cpu : cpus) {
     headers.push_back("core " + std::to_string(cpu));
   }
   AsciiTable table(headers);
-  const auto& assignments = ctr.assignments_of(set);
-  std::vector<int> cpu_rows;
-  for (const int cpu : ctr.cpus()) {
-    cpu_rows.push_back(counts.empty() ? -1 : counts.row_of(cpu));
-  }
-  for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
-    std::vector<std::string> row = {assignments[slot].event_name};
-    for (const int r : cpu_rows) {
-      const double value =
-          r < 0 ? 0.0 : counts.row(static_cast<std::size_t>(r))[slot];
+  for (const auto& event : events) {
+    std::vector<std::string> row = {event.event};
+    for (const double value : event.values) {
       row.push_back(util::format_count(value));
     }
     table.add_row(std::move(row));
@@ -185,17 +179,18 @@ std::string event_table(const core::PerfCtr& ctr, int set,
   return table.render();
 }
 
-std::string metric_table(const core::PerfCtr& ctr,
-                         const std::vector<core::PerfCtr::MetricRow>& rows) {
+std::string metric_table(
+    const std::vector<int>& cpus,
+    const std::vector<api::ResultTable::MetricRow>& metrics) {
   std::vector<std::string> headers = {"Metric"};
-  for (const int cpu : ctr.cpus()) {
+  for (const int cpu : cpus) {
     headers.push_back("core " + std::to_string(cpu));
   }
   AsciiTable table(headers);
-  for (const auto& row : rows) {
-    std::vector<std::string> cells = {row.name()};
-    for (const int cpu : ctr.cpus()) {
-      cells.push_back(util::format_metric(row.value_or(cpu, 0.0)));
+  for (const auto& metric : metrics) {
+    std::vector<std::string> cells = {metric.name};
+    for (const double value : metric.values) {
+      cells.push_back(util::format_metric(value));
     }
     table.add_row(std::move(cells));
   }
@@ -204,41 +199,49 @@ std::string metric_table(const core::PerfCtr& ctr,
 
 }  // namespace
 
-std::string render_measurement(const core::PerfCtr& ctr, int set) {
+std::string AsciiSink::measurement(const api::ResultTable& table) const {
   std::ostringstream out;
-  const auto& group = ctr.group_of(set);
-  if (group) {
-    out << "Measuring group " << group->name << "\n" << separator_line();
+  if (table.has_metrics) {
+    out << "Measuring group " << table.group << "\n" << separator_line();
   } else {
     out << "Measuring custom event set\n" << separator_line();
   }
-  out << event_table(ctr, set, ctr.extrapolated_counts(set));
-  if (group) {
-    out << metric_table(ctr, ctr.compute_metrics(set));
+  out << event_table(table.cpus, table.events);
+  if (table.has_metrics) {
+    out << metric_table(table.cpus, table.metrics);
   }
   return out.str();
 }
 
-std::string render_regions(const core::PerfCtr& ctr, int set,
-                           const core::MarkerSession& session) {
+std::string AsciiSink::regions(const api::RegionReport& report) const {
   std::ostringstream out;
-  const auto& group = ctr.group_of(set);
-  if (group) {
-    out << "Measuring group " << group->name << "\n" << separator_line();
+  if (report.has_metrics) {
+    out << "Measuring group " << report.group << "\n" << separator_line();
   }
-  for (const auto& region : session.regions()) {
+  for (const auto& region : report.regions) {
     out << "Region: " << region.name << "\n";
-    out << event_table(ctr, set, region.counts);
-    if (group) {
-      double wall = 0;
-      for (const auto& [cpu, seconds] : region.seconds) {
-        wall = std::max(wall, seconds);
-      }
-      out << metric_table(ctr,
-                          ctr.compute_metrics_for(set, region.counts, wall));
+    out << event_table(report.cpus, region.events);
+    if (report.has_metrics) {
+      out << metric_table(report.cpus, region.metrics);
     }
   }
   return out.str();
+}
+
+std::string AsciiSink::series(
+    const std::vector<monitor::SeriesPoint>& points) const {
+  // The tools never grew an ASCII series layout; the CSV one is the
+  // human-readable default likwid-agent prints to stdout.
+  return csv_series(points);
+}
+
+std::string render_measurement(const core::PerfCtr& ctr, int set) {
+  return AsciiSink().measurement(api::measurement_table(ctr, set));
+}
+
+std::string render_regions(const core::PerfCtr& ctr, int set,
+                           const core::MarkerSession& session) {
+  return AsciiSink().regions(api::region_report(ctr, set, session));
 }
 
 std::string render_numa(const core::NumaTopology& numa) {

@@ -1,0 +1,57 @@
+// sinks.hpp — the suite's built-in OutputSink implementations.
+//
+// The three Section II/V output formats of the tools, expressed as
+// pluggable sinks over the format-neutral ResultTable model: the paper's
+// ASCII tables, the CSV extension and the Section V XML output. The
+// legacy free functions (render_measurement, csv_measurement,
+// xml_measurement, ...) remain as thin wrappers that build the table from
+// a PerfCtr and hand it to the matching sink.
+#pragma once
+
+#include <memory>
+
+#include "api/output_sink.hpp"
+#include "util/status.hpp"
+
+namespace likwid::cli {
+
+/// The paper's '+--+' ASCII tables. series() falls back to the CSV series
+/// layout (the tools never grew an ASCII series format).
+class AsciiSink : public api::OutputSink {
+ public:
+  std::string measurement(const api::ResultTable& table) const override;
+  std::string regions(const api::RegionReport& report) const override;
+  std::string series(
+      const std::vector<monitor::SeriesPoint>& points) const override;
+};
+
+/// RFC 4180 CSV with uppercase section tag rows.
+class CsvSink : public api::OutputSink {
+ public:
+  std::string measurement(const api::ResultTable& table) const override;
+  std::string regions(const api::RegionReport& report) const override;
+  std::string series(
+      const std::vector<monitor::SeriesPoint>& points) const override;
+};
+
+/// The Section V XML output.
+class XmlSink : public api::OutputSink {
+ public:
+  std::string measurement(const api::ResultTable& table) const override;
+  std::string regions(const api::RegionReport& report) const override;
+  std::string series(
+      const std::vector<monitor::SeriesPoint>& points) const override;
+};
+
+enum class SinkFormat { kText, kCsv, kXml };
+
+inline std::unique_ptr<api::OutputSink> make_sink(SinkFormat format) {
+  switch (format) {
+    case SinkFormat::kText: return std::make_unique<AsciiSink>();
+    case SinkFormat::kCsv: return std::make_unique<CsvSink>();
+    case SinkFormat::kXml: return std::make_unique<XmlSink>();
+  }
+  throw_error(ErrorCode::kInvalidArgument, "unknown sink format");
+}
+
+}  // namespace likwid::cli

@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "api/result_table.hpp"
+#include "cli/series_output.hpp"
+#include "cli/sinks.hpp"
 #include "util/strings.hpp"
 
 namespace likwid::cli {
@@ -108,34 +111,38 @@ std::string xml_numa(const core::NumaTopology& numa) {
 
 namespace {
 
-void xml_counts(std::ostringstream& out, const core::PerfCtr& ctr, int set,
-                const core::CountSlab& counts, const std::string& indent) {
-  const auto& assignments = ctr.assignments_of(set);
-  for (const int cpu : ctr.cpus()) {
-    out << indent << "<cpu" << attr("id", cpu) << ">\n";
-    const int r = counts.empty() ? -1 : counts.row_of(cpu);
-    for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
-      const double value =
-          r < 0 ? 0.0 : counts.row(static_cast<std::size_t>(r))[slot];
-      out << indent << "  <event" << attr("name", assignments[slot].event_name)
-          << attr("counter", assignments[slot].counter_name)
-          << attr("count", value) << "/>\n";
+// ResultTable is a public struct embedders may build by hand; a row
+// shorter than the cpu list reads as 0.0 (the writers' historical
+// fallback) instead of indexing out of bounds.
+double value_at(const std::vector<double>& values, std::size_t c) {
+  return c < values.size() ? values[c] : 0.0;
+}
+
+void xml_counts(std::ostringstream& out, const std::vector<int>& cpus,
+                const std::vector<api::ResultTable::EventRow>& events,
+                const std::string& indent) {
+  for (std::size_t c = 0; c < cpus.size(); ++c) {
+    out << indent << "<cpu" << attr("id", cpus[c]) << ">\n";
+    for (const auto& event : events) {
+      out << indent << "  <event" << attr("name", event.event)
+          << attr("counter", event.counter)
+          << attr("count", value_at(event.values, c)) << "/>\n";
     }
     out << indent << "</cpu>\n";
   }
 }
 
-void xml_metrics(std::ostringstream& out,
-                 const std::vector<core::PerfCtr::MetricRow>& rows,
+void xml_metrics(std::ostringstream& out, const std::vector<int>& cpus,
+                 const std::vector<api::ResultTable::MetricRow>& metrics,
                  const std::string& indent) {
-  for (const auto& row : rows) {
-    out << indent << "<metric" << attr("name", row.name()) << ">\n";
+  for (const auto& metric : metrics) {
+    out << indent << "<metric" << attr("name", metric.name) << ">\n";
     // The former cpu -> value map iterated in ascending cpu order; emit
     // the dense row the same way so existing XML consumers see no change.
     std::vector<std::pair<int, double>> by_cpu;
-    by_cpu.reserve(row.cpus->size());
-    for (std::size_t i = 0; i < row.cpus->size(); ++i) {
-      by_cpu.emplace_back((*row.cpus)[i], row.values[i]);
+    by_cpu.reserve(cpus.size());
+    for (std::size_t i = 0; i < cpus.size(); ++i) {
+      by_cpu.emplace_back(cpus[i], value_at(metric.values, i));
     }
     std::sort(by_cpu.begin(), by_cpu.end());
     for (const auto& [cpu, value] : by_cpu) {
@@ -148,40 +155,46 @@ void xml_metrics(std::ostringstream& out,
 
 }  // namespace
 
-std::string xml_measurement(const core::PerfCtr& ctr, int set) {
+std::string XmlSink::measurement(const api::ResultTable& table) const {
   std::ostringstream out;
-  const auto& group = ctr.group_of(set);
-  out << "<measurement"
-      << attr("group", group ? group->name : std::string("custom"))
-      << attr("seconds", ctr.results(set).measured_seconds) << ">\n";
-  xml_counts(out, ctr, set, ctr.extrapolated_counts(set), "  ");
-  if (group) {
-    xml_metrics(out, ctr.compute_metrics(set), "  ");
+  out << "<measurement" << attr("group", table.group)
+      << attr("seconds", table.seconds) << ">\n";
+  xml_counts(out, table.cpus, table.events, "  ");
+  if (table.has_metrics) {
+    xml_metrics(out, table.cpus, table.metrics, "  ");
   }
   out << "</measurement>\n";
   return out.str();
 }
 
-std::string xml_regions(const core::PerfCtr& ctr, int set,
-                        const core::MarkerSession& session) {
+std::string XmlSink::regions(const api::RegionReport& report) const {
   std::ostringstream out;
   out << "<regions>\n";
-  for (const auto& region : session.regions()) {
+  for (const auto& region : report.regions) {
     out << "  <region" << attr("name", region.name)
-        << attr("calls", region.call_count) << ">\n";
-    xml_counts(out, ctr, set, region.counts, "    ");
-    if (ctr.group_of(set)) {
-      double wall = 0;
-      for (const auto& [cpu, seconds] : region.seconds) {
-        wall = std::max(wall, seconds);
-      }
-      xml_metrics(out, ctr.compute_metrics_for(set, region.counts, wall),
-                  "    ");
+        << attr("calls", region.calls) << ">\n";
+    xml_counts(out, report.cpus, region.events, "    ");
+    if (report.has_metrics) {
+      xml_metrics(out, report.cpus, region.metrics, "    ");
     }
     out << "  </region>\n";
   }
   out << "</regions>\n";
   return out.str();
+}
+
+std::string XmlSink::series(
+    const std::vector<monitor::SeriesPoint>& points) const {
+  return xml_series(points);
+}
+
+std::string xml_measurement(const core::PerfCtr& ctr, int set) {
+  return XmlSink().measurement(api::measurement_table(ctr, set));
+}
+
+std::string xml_regions(const core::PerfCtr& ctr, int set,
+                        const core::MarkerSession& session) {
+  return XmlSink().regions(api::region_report(ctr, set, session));
 }
 
 std::string xml_features(const core::NodeTopology& topo, int cpu,

@@ -1,83 +1,97 @@
 #include "core/likwid.hpp"
 
-#include <memory>
-
 #include "util/status.hpp"
 
 namespace likwid {
 
 namespace {
-struct AmbientState {
-  core::PerfCtr* ctr = nullptr;
-  std::function<int()> current_cpu;
-  std::unique_ptr<core::MarkerSession> session;
-};
-AmbientState g_marker;
+/// The env behind the legacy MarkerBinding::bind(ctr, fn) convenience.
+core::MarkerEnv& legacy_env() {
+  static core::MarkerEnv env("MarkerBinding");
+  return env;
+}
+/// The one env the C-style marker functions operate on.
+core::MarkerEnv* g_ambient = nullptr;
+
+core::MarkerEnv& require_ambient(const char* what) {
+  if (g_ambient == nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                std::string(what) + ": not running under likwid-perfctr -m");
+  }
+  return *g_ambient;
+}
 }  // namespace
 
 void MarkerBinding::bind(core::PerfCtr* ctr, std::function<int()> current_cpu) {
-  LIKWID_REQUIRE(ctr != nullptr, "null PerfCtr");
-  LIKWID_REQUIRE(current_cpu != nullptr, "null current_cpu callback");
-  if (g_marker.ctr != nullptr) {
-    throw_error(ErrorCode::kInvalidState,
-                "marker environment is already bound");
+  const bool was_ambient = g_ambient == &legacy_env();
+  adopt_env(&legacy_env());
+  try {
+    legacy_env().bind(ctr, std::move(current_cpu));
+  } catch (...) {
+    if (!was_ambient) g_ambient = nullptr;
+    throw;
   }
-  g_marker.ctr = ctr;
-  g_marker.current_cpu = std::move(current_cpu);
 }
 
 void MarkerBinding::unbind() noexcept {
-  g_marker.session.reset();
-  g_marker.ctr = nullptr;
-  g_marker.current_cpu = nullptr;
+  if (g_ambient != nullptr) g_ambient->unbind();
+  // The legacy env is library-owned: reset it even when a session env was
+  // ambient, so no stale state survives into the next bind cycle.
+  legacy_env().unbind();
+  g_ambient = nullptr;
 }
 
-bool MarkerBinding::bound() noexcept { return g_marker.ctr != nullptr; }
+bool MarkerBinding::bound() noexcept {
+  return g_ambient != nullptr && g_ambient->bound();
+}
 
-core::MarkerSession* MarkerBinding::session() { return g_marker.session.get(); }
+void MarkerBinding::adopt_env(core::MarkerEnv* env) {
+  LIKWID_REQUIRE(env != nullptr, "null marker environment");
+  if (g_ambient != nullptr && g_ambient != env) {
+    throw_error(ErrorCode::kInvalidState,
+                "marker environment is already bound by '" +
+                    g_ambient->owner() + "'");
+  }
+  g_ambient = env;
+}
 
-core::PerfCtr* MarkerBinding::counters() { return g_marker.ctr; }
+void MarkerBinding::release_env(core::MarkerEnv* env) noexcept {
+  if (g_ambient == env) g_ambient = nullptr;
+}
+
+core::MarkerEnv* MarkerBinding::ambient() noexcept { return g_ambient; }
+
+core::MarkerSession* MarkerBinding::session() {
+  return g_ambient != nullptr ? g_ambient->session() : nullptr;
+}
+
+core::PerfCtr* MarkerBinding::counters() {
+  return g_ambient != nullptr ? g_ambient->counters() : nullptr;
+}
 
 int MarkerBinding::current_cpu() {
-  LIKWID_REQUIRE(g_marker.current_cpu != nullptr,
-                 "marker environment not bound");
-  return g_marker.current_cpu();
+  return require_ambient("likwid_processGetProcessorId").current_cpu();
 }
 
 void likwid_markerInit(int numberOfThreads, int numberOfRegions) {
-  if (g_marker.ctr == nullptr) {
-    throw_error(ErrorCode::kInvalidState,
-                "likwid_markerInit: not running under likwid-perfctr -m");
-  }
-  LIKWID_REQUIRE(g_marker.session == nullptr,
-                 "likwid_markerInit called twice");
-  g_marker.session = std::make_unique<core::MarkerSession>(
-      *g_marker.ctr, numberOfThreads, numberOfRegions);
+  require_ambient("likwid_markerInit").init(numberOfThreads, numberOfRegions);
 }
 
 int likwid_markerRegisterRegion(const char* name) {
-  LIKWID_REQUIRE(g_marker.session != nullptr,
-                 "likwid_markerRegisterRegion before likwid_markerInit");
-  return g_marker.session->register_region(name != nullptr ? name : "");
+  return require_ambient("likwid_markerRegisterRegion")
+      .register_region(name != nullptr ? name : "");
 }
 
 void likwid_markerStartRegion(int threadId, int coreId) {
-  LIKWID_REQUIRE(g_marker.session != nullptr,
-                 "likwid_markerStartRegion before likwid_markerInit");
-  g_marker.session->start_region(threadId, coreId);
+  require_ambient("likwid_markerStartRegion").start_region(threadId, coreId);
 }
 
 void likwid_markerStopRegion(int threadId, int coreId, int regionId) {
-  LIKWID_REQUIRE(g_marker.session != nullptr,
-                 "likwid_markerStopRegion before likwid_markerInit");
-  g_marker.session->stop_region(threadId, coreId, regionId);
+  require_ambient("likwid_markerStopRegion")
+      .stop_region(threadId, coreId, regionId);
 }
 
-void likwid_markerClose() {
-  LIKWID_REQUIRE(g_marker.session != nullptr,
-                 "likwid_markerClose before likwid_markerInit");
-  g_marker.session->close();
-}
+void likwid_markerClose() { require_ambient("likwid_markerClose").close(); }
 
 int likwid_processGetProcessorId() { return MarkerBinding::current_cpu(); }
 

@@ -1,4 +1,4 @@
-// likwid.hpp — umbrella header: the public API of the LIKWID reproduction.
+// likwid.hpp — umbrella header over the core measurement subsystems.
 //
 // #include "core/likwid.hpp" gives access to:
 //   * topology probing           (core/topology.hpp)
@@ -8,10 +8,16 @@
 //   * pinning                    (core/affinity.hpp)
 //   * feature/prefetcher control (core/features.hpp)
 //
+// Embedders should prefer the stable facade one layer up: api/session.hpp
+// (likwid::api::Session, C++) and api/likwid.h (the flat, handle-based C
+// API) — the tools and examples are written against those.
+//
 // The C-style marker functions reproduce the exact call sequence of the
 // paper's Section II-A listing. In the real tool the ambient measurement
 // state is injected into the profiled process by likwid-perfctr -m; here
-// the harness binds it explicitly with MarkerBinding.
+// a harness binds it explicitly — per session via
+// api::Session::bind_ambient_markers(), or through the legacy
+// MarkerBinding shim below.
 #pragma once
 
 #include <functional>
@@ -27,17 +33,41 @@
 
 namespace likwid {
 
-/// Ambient marker state, as exported into a measured process by
-/// `likwid-perfctr -m`. Bind before using the C-style functions below.
+/// The process-global marker registry, as exported into a measured process
+/// by `likwid-perfctr -m`. Marker state itself lives in a core::MarkerEnv
+/// (one per likwid::Session); this shim only designates ONE env as the
+/// ambient target of the C-style functions below. The static bind()
+/// overload keeps the pre-facade calling convention working by binding a
+/// library-owned legacy env.
 class MarkerBinding {
  public:
-  /// `ctr` must be configured (event set added) before binding; started
-  /// counters are required before regions are entered. `current_cpu`
-  /// reports the calling thread's hardware thread, the analog of
-  /// sched_getcpu(). Throws Error(kInvalidState) on double bind.
+  /// Legacy convenience: bind a library-owned env to `ctr`. `ctr` must be
+  /// configured (event set added) before binding; started counters are
+  /// required before regions are entered. `current_cpu` reports the
+  /// calling thread's hardware thread, the analog of sched_getcpu().
+  /// Throws Error(kInvalidState), naming the already-bound owner, on
+  /// double bind.
   static void bind(core::PerfCtr* ctr, std::function<int()> current_cpu);
+
+  /// Release the ambient env, fully resetting its state (counters,
+  /// callback and any live MarkerSession), so bind -> unbind -> bind
+  /// cycles and test ordering are always safe.
   static void unbind() noexcept;
   static bool bound() noexcept;
+
+  /// Make `env` the ambient target of the C-style marker functions.
+  /// Throws Error(kInvalidState), naming the current owner, if a
+  /// different env is already ambient. `env` must stay alive until
+  /// release_env(env) (likwid::Session does this from its destructor).
+  static void adopt_env(core::MarkerEnv* env);
+
+  /// Drop `env` as ambient (no-op when another env is ambient). Unlike
+  /// unbind(), does not reset `env` — its marker results stay readable
+  /// through the owning session.
+  static void release_env(core::MarkerEnv* env) noexcept;
+
+  /// The ambient env; null when nothing is bound.
+  static core::MarkerEnv* ambient() noexcept;
 
   /// The live session (created by likwid_markerInit); null before init.
   static core::MarkerSession* session();

@@ -102,4 +102,58 @@ const MarkerSession::RegionResults& MarkerSession::region(int region_id) const {
   return regions_[static_cast<std::size_t>(region_id)];
 }
 
+void MarkerEnv::bind(PerfCtr* ctr, std::function<int()> current_cpu) {
+  LIKWID_REQUIRE(ctr != nullptr, "null PerfCtr");
+  LIKWID_REQUIRE(current_cpu != nullptr, "null current_cpu callback");
+  if (ctr_ != nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                "marker environment is already bound by '" + owner_ + "'");
+  }
+  ctr_ = ctr;
+  current_cpu_ = std::move(current_cpu);
+}
+
+void MarkerEnv::unbind() noexcept {
+  session_.reset();
+  ctr_ = nullptr;
+  current_cpu_ = nullptr;
+}
+
+void MarkerEnv::init(int num_threads, int num_regions) {
+  if (ctr_ == nullptr) {
+    throw_error(ErrorCode::kInvalidState,
+                "likwid_markerInit: not running under likwid-perfctr -m");
+  }
+  LIKWID_REQUIRE(session_ == nullptr, "likwid_markerInit called twice");
+  session_ = std::make_unique<MarkerSession>(*ctr_, num_threads, num_regions);
+}
+
+MarkerSession& MarkerEnv::require_session(const char* what) const {
+  if (session_ == nullptr) {
+    throw_error(ErrorCode::kInvalidArgument,
+                std::string(what) + " before likwid_markerInit");
+  }
+  return *session_;
+}
+
+int MarkerEnv::register_region(const std::string& name) {
+  return require_session("likwid_markerRegisterRegion").register_region(name);
+}
+
+void MarkerEnv::start_region(int thread_id, int core_id) {
+  require_session("likwid_markerStartRegion").start_region(thread_id, core_id);
+}
+
+void MarkerEnv::stop_region(int thread_id, int core_id, int region_id) {
+  require_session("likwid_markerStopRegion")
+      .stop_region(thread_id, core_id, region_id);
+}
+
+void MarkerEnv::close() { require_session("likwid_markerClose").close(); }
+
+int MarkerEnv::current_cpu() const {
+  LIKWID_REQUIRE(current_cpu_ != nullptr, "marker environment not bound");
+  return current_cpu_();
+}
+
 }  // namespace likwid::core

@@ -12,12 +12,16 @@
 // Event counts accumulate automatically over multiple start/stop pairs of
 // the same region; nesting or partial overlap of regions is not allowed
 // (enforced here with errors, where the real library corrupts silently).
-// MarkerSession is the object API; likwid.hpp provides the C-style shim
-// bound to an ambient session, exactly as the tool's preloaded environment
-// does for real programs.
+// MarkerSession is the object API; MarkerEnv bundles one session's worth
+// of marker state (counters, current-cpu callback, the live session) so
+// several embedded sessions can carry independent marker state; likwid.hpp
+// provides the C-style shim bound to ONE ambient MarkerEnv, exactly as the
+// tool's preloaded environment does for real programs.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -80,6 +84,56 @@ class MarkerSession {
   bool closed_ = false;
   std::vector<RegionResults> regions_;
   std::vector<OpenRegion> open_;  ///< per thread id
+};
+
+/// One session's worth of marker state: the measured counters, the
+/// current-cpu callback (the sched_getcpu analog injected by the harness)
+/// and the MarkerSession created by init(). Where the pre-facade code kept
+/// this process-global, every likwid::Session now owns its own MarkerEnv;
+/// the global MarkerBinding shim merely points at one ambient env.
+class MarkerEnv {
+ public:
+  explicit MarkerEnv(std::string owner = "anonymous") : owner_(std::move(owner)) {}
+
+  MarkerEnv(const MarkerEnv&) = delete;
+  MarkerEnv& operator=(const MarkerEnv&) = delete;
+
+  /// Attach counters and the calling-thread cpu callback. `ctr` must be
+  /// configured before regions are entered. Throws Error(kInvalidState),
+  /// naming the owner, if this env is already bound.
+  void bind(PerfCtr* ctr, std::function<int()> current_cpu);
+
+  /// Full reset: forgets counters, callback AND any live MarkerSession,
+  /// so bind -> unbind -> bind cycles are always safe.
+  void unbind() noexcept;
+
+  bool bound() const noexcept { return ctr_ != nullptr; }
+
+  /// Label used in diagnostics ("session 'perfctr' already holds ...").
+  const std::string& owner() const noexcept { return owner_; }
+  void set_owner(std::string owner) { owner_ = std::move(owner); }
+
+  // --- the paper's marker lifecycle over this env ------------------------
+
+  void init(int num_threads, int num_regions);
+  int register_region(const std::string& name);
+  void start_region(int thread_id, int core_id);
+  void stop_region(int thread_id, int core_id, int region_id);
+  void close();
+
+  /// The live session (created by init); null before init / after unbind.
+  MarkerSession* session() noexcept { return session_.get(); }
+  const MarkerSession* session() const noexcept { return session_.get(); }
+  PerfCtr* counters() noexcept { return ctr_; }
+  int current_cpu() const;
+
+ private:
+  MarkerSession& require_session(const char* what) const;
+
+  std::string owner_;
+  PerfCtr* ctr_ = nullptr;
+  std::function<int()> current_cpu_;
+  std::unique_ptr<MarkerSession> session_;
 };
 
 }  // namespace likwid::core

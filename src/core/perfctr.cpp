@@ -187,6 +187,7 @@ void PerfCtr::add_group(const std::string& group_name) {
 
 void PerfCtr::add_custom(const std::string& event_spec) {
   LIKWID_REQUIRE(!running_, "cannot add event sets while counting");
+  const auto& pmu = kernel_.machine().spec().pmu;
   EventSet set;
   add_fixed_counters(set);
   int next_pmc = 0;
@@ -230,9 +231,19 @@ void PerfCtr::add_custom(const std::string& event_spec) {
       a.counter_name = counter;
     } else if (enc->klass == CounterClass::kUncore) {
       a.index = next_upmc++;
+      if (a.index >= pmu.num_uncore_counters) {
+        throw_error(ErrorCode::kResourceExhausted,
+                    "no free uncore counter for event " + name);
+      }
       a.counter_name = "UPMC" + std::to_string(a.index);
     } else {
       a.index = next_pmc++;
+      if (a.index >= pmu.num_gp_counters) {
+        throw_error(ErrorCode::kResourceExhausted,
+                    "no free core counter for event " + name +
+                        util::strprintf(" (%d PMC counters on this cpu)",
+                                        pmu.num_gp_counters));
+      }
       a.counter_name = "PMC" + std::to_string(a.index);
     }
     set.assignments.push_back(std::move(a));
@@ -452,6 +463,18 @@ void PerfCtr::rotate() {
   stop();
   current_ = (current_ + 1) % num_event_sets();
   start();
+}
+
+void PerfCtr::select_set(int set) {
+  if (set < 0 || set >= num_event_sets()) {
+    throw_error(ErrorCode::kNotFound,
+                "event set " + std::to_string(set) + " does not exist");
+  }
+  if (running_) {
+    throw_error(ErrorCode::kInvalidState,
+                "cannot select an event set while the counters are running");
+  }
+  current_ = set;
 }
 
 CounterSnapshot PerfCtr::snapshot(int cpu) const {

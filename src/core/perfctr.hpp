@@ -72,6 +72,11 @@ class PerfCtr {
   int num_event_sets() const { return static_cast<int>(sets_.size()); }
   int current_set() const { return current_; }
 
+  /// Make `set` the one programmed by the next start() (the flat API's
+  /// likwid_setupCounters). Throws Error(kNotFound) for an unknown set and
+  /// Error(kInvalidState) while the counters are running.
+  void select_set(int set);
+
   /// The group behind a set (std::nullopt for custom sets).
   const std::optional<EventGroup>& group_of(int set) const;
   const std::vector<CounterAssignment>& assignments_of(int set) const;

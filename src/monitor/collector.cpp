@@ -4,8 +4,6 @@
 #include <cmath>
 #include <utility>
 
-#include "core/topology.hpp"
-#include "hwsim/presets.hpp"
 #include "monitor/aggregator.hpp"
 #include "util/status.hpp"
 
@@ -47,36 +45,36 @@ Collector::Collector(int machine_id, MonitorConfig config)
   // before any monitoring time is spent.
   LIKWID_REQUIRE(cfg_.window_samples > 0, "window length must be positive");
 
-  hwsim::MachineSpec spec = hwsim::presets::preset_by_key(cfg_.machine_preset);
-  if (!cfg_.os_enumeration.empty()) {
-    spec.os_enumeration = hwsim::parse_os_enumeration(cfg_.os_enumeration);
-  }
-  machine_ = std::make_unique<hwsim::SimMachine>(std::move(spec));
-  kernel_ = std::make_unique<ossim::SimKernel>(
-      *machine_, cfg_.seed + static_cast<std::uint64_t>(machine_id));
+  session_ = api::Session::configure()
+                 .name("likwid-agent machine " + std::to_string(machine_id))
+                 .machine(cfg_.machine_preset)
+                 .os_enumeration(cfg_.os_enumeration)
+                 .seed(cfg_.seed + static_cast<std::uint64_t>(machine_id))
+                 .build();
 
   // Measure (and load) one hardware thread per physical core; SMT siblings
   // stay idle, as in the paper's pinned measurement setups.
-  const core::NodeTopology topo = core::probe_topology(*machine_);
-  for (const auto& siblings : topo.cores) {
+  for (const auto& siblings : session_->topology().cores) {
     placement_.cpus.push_back(siblings.front());
   }
-
-  ctr_ = std::make_unique<core::PerfCtr>(*kernel_, placement_.cpus);
+  session_->set_cpus(placement_.cpus);
   for (const auto& group : cfg_.groups) {
-    ctr_->add_group(group);
+    session_->add_group(group);
   }
+  core::PerfCtr& ctr = session_->counters();
   // Intern each set's sample shape once; the per-interval path below only
   // moves ids and dense vectors.
-  for (int set = 0; set < ctr_->num_event_sets(); ++set) {
-    const auto& group = ctr_->group_of(set);
+  for (int set = 0; set < ctr.num_event_sets(); ++set) {
+    const auto& group = ctr.group_of(set);
     schemas_.push_back(MetricSchema::create(group ? group->name : "custom",
-                                            ctr_->metric_ids(set)));
+                                            ctr.metric_ids(set)));
   }
   workload_ =
       std::make_unique<workloads::SyntheticKernel>(workload_for(machine_id));
-  ctr_->start();
-  sampler_ = std::make_unique<core::IntervalSampler>(*ctr_);
+  session_->start();
+  // Open the first sampling interval now (at t = 0, counters running);
+  // step() only ever closes intervals.
+  session_->sampler();
 }
 
 void Collector::step() {
@@ -96,23 +94,25 @@ void Collector::step() {
   // remainder, sized through the measured cost rate of the previous slice,
   // so the busy time lands on the budget instead of overshooting the
   // sampling cadence.
+  ossim::SimKernel& kernel = session_->kernel();
   double busy = 0;
   for (int slice = 0; slice < 64 && busy < busy_budget - 1e-12; ++slice) {
     const double want = std::min(busy_budget / 4, busy_budget - busy);
     const double fraction =
         std::clamp(want * fraction_per_second_, 1e-9, 1.0);
-    const double t = workload_->run_slice(*kernel_, placement_, fraction);
+    const double t = workload_->run_slice(kernel, placement_, fraction);
     if (t <= 0) break;
-    kernel_->advance_time(t);
+    kernel.advance_time(t);
     busy += t;
     fraction_per_second_ = fraction / t;  // calibrate the next slice
   }
   if (busy < interval) {
-    kernel_->advance_time(interval - busy);
+    kernel.advance_time(interval - busy);
   }
 
-  const bool rotate = cfg_.rotate_groups && ctr_->num_event_sets() > 1;
-  const core::IntervalSampler::Interval iv = sampler_->poll(rotate);
+  const bool rotate =
+      cfg_.rotate_groups && session_->counters().num_event_sets() > 1;
+  const core::IntervalSampler::Interval iv = session_->sampler().poll(rotate);
 
   Sample s;
   s.sequence = steps_;

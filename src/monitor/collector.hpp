@@ -14,9 +14,9 @@
 #include <cstdint>
 #include <memory>
 
+#include "api/session.hpp"
 #include "core/perfctr.hpp"
 #include "core/sampling.hpp"
-#include "hwsim/machine.hpp"
 #include "monitor/config.hpp"
 #include "ossim/kernel.hpp"
 #include "workloads/synthetic.hpp"
@@ -41,8 +41,8 @@ class Collector {
   std::uint64_t steps() const noexcept { return steps_; }
   const MonitorConfig& config() const noexcept { return cfg_; }
   const SampleRing& samples() const noexcept { return ring_; }
-  const ossim::SimKernel& kernel() const noexcept { return *kernel_; }
-  const core::PerfCtr& ctr() const noexcept { return *ctr_; }
+  const ossim::SimKernel& kernel() const noexcept { return session_->kernel(); }
+  const core::PerfCtr& ctr() const noexcept { return session_->counters(); }
   const workloads::SyntheticKernel& workload() const noexcept {
     return *workload_;
   }
@@ -50,11 +50,10 @@ class Collector {
  private:
   int machine_id_;
   MonitorConfig cfg_;
-  std::unique_ptr<hwsim::SimMachine> machine_;
-  std::unique_ptr<ossim::SimKernel> kernel_;
-  std::unique_ptr<core::PerfCtr> ctr_;
+  /// The monitored node, wired through the embeddable facade: machine,
+  /// kernel, counters and interval sampler all live in the session.
+  std::unique_ptr<api::Session> session_;
   std::unique_ptr<workloads::SyntheticKernel> workload_;
-  std::unique_ptr<core::IntervalSampler> sampler_;
   workloads::Placement placement_;
   /// One schema per event set, built at construction; samples share them.
   std::vector<std::shared_ptr<const MetricSchema>> schemas_;

@@ -1,7 +1,9 @@
 #include "mpisim/launcher.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "api/session.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
 
@@ -143,19 +145,23 @@ std::vector<MpiJob::RankMeasurement> MpiJob::measure_triad(
   out.reserve(ranks_.size());
   for (const auto& rank : ranks_) {
     Node& node = cluster_.node(rank.plan.node);
-    core::PerfCtr ctr(*node.kernel, rank.worker_cpus);
-    ctr.add_group(group);
+    // One likwid-perfctr invocation per rank, through the facade: the
+    // session attaches to the node's kernel instead of owning a machine.
+    const auto session = api::Session::attach(
+        *node.kernel, rank.worker_cpus,
+        "likwid-mpirun rank " + std::to_string(rank.plan.rank));
+    session->add_group(group);
     workloads::StreamTriad triad(stream_config);
     workloads::Placement p;
     p.cpus = rank.worker_cpus;
-    ctr.start();
+    session->start();
     const double t = run_workload(*node.kernel, triad, p);
-    ctr.stop();
+    session->stop();
     RankMeasurement m;
     m.rank = rank.plan.rank;
     m.node = rank.plan.node;
     m.seconds = t;
-    m.metrics = ctr.compute_metrics(0);
+    m.metrics = session->counters().compute_metrics(0);
     out.push_back(std::move(m));
   }
   return out;

@@ -1,0 +1,333 @@
+// Tests for the flat C API (api/likwid.h): the full lifecycle, every
+// reachable status code at the exception boundary, and the round-trip
+// guarantee that Session-produced CSV/XML/ASCII output is byte-identical
+// to the pre-redesign writers across the groups_e2e fixture space.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/likwid.h"
+#include "api/session.hpp"
+#include "cli/csv_output.hpp"
+#include "cli/output.hpp"
+#include "cli/sinks.hpp"
+#include "cli/xml_output.hpp"
+#include "core/perf_groups.hpp"
+#include "core/perfctr.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid {
+namespace {
+
+class CBoundary : public ::testing::Test {
+ protected:
+  ~CBoundary() override {
+    if (handle_ != 0) likwid_finalize(handle_);
+  }
+
+  likwid_handle init(const char* machine = "nehalem-ep",
+                     std::vector<int> cpus = {0, 1}) {
+    EXPECT_EQ(likwid_init(machine, cpus.data(),
+                          static_cast<int>(cpus.size()), &handle_),
+              LIKWID_OK);
+    return handle_;
+  }
+
+  likwid_handle handle_ = 0;
+};
+
+TEST_F(CBoundary, FullLifecycleMeasuresTheTriad) {
+  const likwid_handle h = init();
+  int set = -1;
+  ASSERT_EQ(likwid_addEventSet(h, "FLOPS_DP", &set), LIKWID_OK);
+  EXPECT_EQ(set, 0);
+  ASSERT_EQ(likwid_setupCounters(h, set), LIKWID_OK);
+  ASSERT_EQ(likwid_startCounters(h), LIKWID_OK);
+  ASSERT_EQ(likwid_runWorkload(h, "triad", 400'000, 1), LIKWID_OK);
+  ASSERT_EQ(likwid_stopCounters(h), LIKWID_OK);
+
+  int events = 0;
+  ASSERT_EQ(likwid_getNumberOfEvents(h, set, &events), LIKWID_OK);
+  ASSERT_GT(events, 0);
+  char name[128];
+  double instructions = -1;
+  for (int e = 0; e < events; ++e) {
+    ASSERT_EQ(likwid_getEventName(h, set, e, name, sizeof(name)), LIKWID_OK);
+    if (std::string(name) == "INSTR_RETIRED_ANY") {
+      ASSERT_EQ(likwid_getResult(h, set, e, 0, &instructions), LIKWID_OK);
+    }
+  }
+  EXPECT_GT(instructions, 0);
+
+  int metrics = 0;
+  ASSERT_EQ(likwid_getNumberOfMetrics(h, set, &metrics), LIKWID_OK);
+  ASSERT_GT(metrics, 0);
+  ASSERT_EQ(likwid_getMetricName(h, set, 0, name, sizeof(name)), LIKWID_OK);
+  EXPECT_EQ(std::string(name), "Runtime [s]");
+  double runtime = 0;
+  ASSERT_EQ(likwid_getMetric(h, set, 0, 0, &runtime), LIKWID_OK);
+  EXPECT_GT(runtime, 0);
+  double seconds = 0;
+  ASSERT_EQ(likwid_getTimeOfGroup(h, set, &seconds), LIKWID_OK);
+  EXPECT_GT(seconds, 0);
+}
+
+TEST_F(CBoundary, InvalidHandleIsReportedOnEveryEntryPoint) {
+  const likwid_handle bogus = 424242;
+  double value;
+  int count;
+  char buf[8];
+  EXPECT_EQ(likwid_addEventSet(bogus, "FLOPS_DP", nullptr),
+            LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_setupCounters(bogus, 0), LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_startCounters(bogus), LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_stopCounters(bogus), LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_runWorkload(bogus, "triad", 1000, 1),
+            LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_advanceTime(bogus, 1.0), LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_getNumberOfEvents(bogus, 0, &count),
+            LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_getResult(bogus, 0, 0, 0, &value),
+            LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_getEventName(bogus, 0, 0, buf, sizeof(buf)),
+            LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_finalize(bogus), LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_NE(std::string(likwid_lastError()).find("424242"),
+            std::string::npos);
+}
+
+TEST_F(CBoundary, FinalizedHandleStaysInvalidForever) {
+  const likwid_handle h = init();
+  ASSERT_EQ(likwid_finalize(h), LIKWID_OK);
+  EXPECT_EQ(likwid_finalize(h), LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(likwid_startCounters(h), LIKWID_ERROR_INVALID_HANDLE);
+  handle_ = 0;  // already gone
+}
+
+TEST_F(CBoundary, LifecycleMisuseIsInvalidState) {
+  const likwid_handle h = init();
+  ASSERT_EQ(likwid_addEventSet(h, "FLOPS_DP", nullptr), LIKWID_OK);
+  // Start before setup.
+  EXPECT_EQ(likwid_startCounters(h), LIKWID_ERROR_INVALID_STATE);
+  // Stop without start.
+  EXPECT_EQ(likwid_stopCounters(h), LIKWID_ERROR_INVALID_STATE);
+  ASSERT_EQ(likwid_setupCounters(h, 0), LIKWID_OK);
+  ASSERT_EQ(likwid_startCounters(h), LIKWID_OK);
+  // Double start ("double init" of the measurement).
+  EXPECT_EQ(likwid_startCounters(h), LIKWID_ERROR_INVALID_STATE);
+  // Re-programming while running is refused too.
+  EXPECT_EQ(likwid_setupCounters(h, 0), LIKWID_ERROR_INVALID_STATE);
+  ASSERT_EQ(likwid_stopCounters(h), LIKWID_OK);
+}
+
+TEST_F(CBoundary, BadArgumentsAndUnknownEntitiesAreMapped) {
+  likwid_handle h = 0;
+  // Invalid argument: no cpus / null outputs.
+  EXPECT_EQ(likwid_init("nehalem-ep", nullptr, 0, &h),
+            LIKWID_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(likwid_init("nehalem-ep", nullptr, 2, nullptr),
+            LIKWID_ERROR_INVALID_ARGUMENT);
+  // Unknown machine preset.
+  const int cpus[] = {0};
+  EXPECT_NE(likwid_init("vax-780", cpus, 1, &h), LIKWID_OK);
+
+  init();
+  EXPECT_EQ(likwid_addEventSet(handle_, "", nullptr),
+            LIKWID_ERROR_INVALID_ARGUMENT);
+  // Unknown group name.
+  EXPECT_EQ(likwid_addEventSet(handle_, "NOT_A_GROUP", nullptr),
+            LIKWID_ERROR_NOT_FOUND);
+  // Known group, unsupported on this architecture: Pentium M has no L3.
+  likwid_handle pm = 0;
+  ASSERT_EQ(likwid_init("pentium-m", cpus, 1, &pm), LIKWID_OK);
+  EXPECT_EQ(likwid_addEventSet(pm, "L3", nullptr),
+            LIKWID_ERROR_UNSUPPORTED);
+  likwid_finalize(pm);
+  // Out-of-range set / event / cpu indices.
+  int count = 0;
+  EXPECT_EQ(likwid_getNumberOfEvents(handle_, 7, &count),
+            LIKWID_ERROR_NOT_FOUND);
+  ASSERT_EQ(likwid_addEventSet(handle_, "FLOPS_DP", nullptr), LIKWID_OK);
+  double value = 0;
+  EXPECT_EQ(likwid_getResult(handle_, 0, 999, 0, &value),
+            LIKWID_ERROR_NOT_FOUND);
+  EXPECT_EQ(likwid_getResult(handle_, 0, 0, 99, &value),
+            LIKWID_ERROR_NOT_FOUND);
+  EXPECT_EQ(likwid_getResult(handle_, 0, 0, 0, nullptr),
+            LIKWID_ERROR_INVALID_ARGUMENT);
+  // Unknown workload name.
+  ASSERT_EQ(likwid_setupCounters(handle_, 0), LIKWID_OK);
+  ASSERT_EQ(likwid_startCounters(handle_), LIKWID_OK);
+  EXPECT_EQ(likwid_runWorkload(handle_, "doom", 1000, 1),
+            LIKWID_ERROR_NOT_FOUND);
+  EXPECT_EQ(likwid_advanceTime(handle_, -1.0),
+            LIKWID_ERROR_INVALID_ARGUMENT);
+  ASSERT_EQ(likwid_stopCounters(handle_), LIKWID_OK);
+}
+
+TEST_F(CBoundary, ResourceExhaustionIsMapped) {
+  // More programmable events than the architecture has PMC slots: three
+  // auto-assigned core events on a two-counter Core 2.
+  init("core2-quad", {0});
+  EXPECT_EQ(
+      likwid_addEventSet(
+          handle_,
+          "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE,"
+          "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE,L2_LINES_IN_ANY",
+          nullptr),
+      LIKWID_ERROR_RESOURCE_EXHAUSTED);
+}
+
+TEST_F(CBoundary, BareEventNameBecomesAOneEventCustomSet) {
+  // A bare word that names no performance group is a legal one-event
+  // custom list with automatic counter assignment.
+  init("core2-quad", {0});
+  int set = -1;
+  ASSERT_EQ(likwid_addEventSet(handle_, "L1D_REPL", &set), LIKWID_OK);
+  char name[64];
+  int events = 0;
+  ASSERT_EQ(likwid_getNumberOfEvents(handle_, set, &events), LIKWID_OK);
+  bool found = false;
+  for (int e = 0; e < events; ++e) {
+    ASSERT_EQ(likwid_getEventName(handle_, set, e, name, sizeof(name)),
+              LIKWID_OK);
+    found = found || std::string(name) == "L1D_REPL";
+  }
+  EXPECT_TRUE(found);
+  int metrics = -1;
+  ASSERT_EQ(likwid_getNumberOfMetrics(handle_, set, &metrics), LIKWID_OK);
+  EXPECT_EQ(metrics, 0);  // custom sets have no formulas
+}
+
+TEST_F(CBoundary, DuplicateEventOnTwoCountersReadsPerSlot) {
+  // The same event programmed on two counters must read per assignment
+  // slot, not per name (a name lookup would alias both to the first).
+  init("core2-quad", {0});
+  int set = -1;
+  ASSERT_EQ(likwid_addEventSet(handle_, "L1D_REPL:PMC0,L1D_REPL:PMC1", &set),
+            LIKWID_OK);
+  ASSERT_EQ(likwid_setupCounters(handle_, set), LIKWID_OK);
+  ASSERT_EQ(likwid_startCounters(handle_), LIKWID_OK);
+  ASSERT_EQ(likwid_runWorkload(handle_, "triad", 100'000, 1), LIKWID_OK);
+  ASSERT_EQ(likwid_stopCounters(handle_), LIKWID_OK);
+  int events = 0;
+  ASSERT_EQ(likwid_getNumberOfEvents(handle_, set, &events), LIKWID_OK);
+  char name[64];
+  char counter[16];
+  double a = -1, b = -1;
+  for (int e = 0; e < events; ++e) {
+    ASSERT_EQ(likwid_getEventName(handle_, set, e, name, sizeof(name)),
+              LIKWID_OK);
+    if (std::string(name) != "L1D_REPL") continue;
+    ASSERT_EQ(likwid_getCounterName(handle_, set, e, counter,
+                                    sizeof(counter)),
+              LIKWID_OK);
+    double v = -1;
+    ASSERT_EQ(likwid_getResult(handle_, set, e, 0, &v), LIKWID_OK);
+    (std::string(counter) == "PMC0" ? a : b) = v;
+  }
+  // Both counters saw the same traffic; the point is that both slots are
+  // individually addressable and populated.
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a + b, 0);
+}
+
+TEST_F(CBoundary, EveryStatusCodeHasAName) {
+  // The boundary maps every ErrorCode; the names are part of the API.
+  const likwid_status all[] = {
+      LIKWID_OK, LIKWID_ERROR_INVALID_HANDLE, LIKWID_ERROR_INVALID_ARGUMENT,
+      LIKWID_ERROR_NOT_FOUND, LIKWID_ERROR_PERMISSION,
+      LIKWID_ERROR_UNSUPPORTED, LIKWID_ERROR_RESOURCE_EXHAUSTED,
+      LIKWID_ERROR_INVALID_STATE, LIKWID_ERROR_INTERNAL};
+  for (const likwid_status s : all) {
+    const std::string name = likwid_statusName(s);
+    EXPECT_NE(name.find("LIKWID"), std::string::npos) << s;
+  }
+  EXPECT_EQ(std::string(likwid_statusName(LIKWID_ERROR_UNSUPPORTED)),
+            "LIKWID_ERROR_UNSUPPORTED");
+}
+
+TEST_F(CBoundary, LastErrorClearsOnSuccess) {
+  EXPECT_EQ(likwid_stopCounters(99999), LIKWID_ERROR_INVALID_HANDLE);
+  EXPECT_NE(std::string(likwid_lastError()), "");
+  init();
+  EXPECT_EQ(std::string(likwid_lastError()), "");
+}
+
+// --- round trip: Session output vs the pre-redesign writers -------------
+
+/// Drive one (preset, group) fixture twice — once through direct PerfCtr
+/// wiring + the legacy writer entry points, once through the facade +
+/// the pluggable sinks — and require byte-identical text. The measured
+/// run mirrors tests/groups_e2e_test.cpp.
+class RoundTrip : public ::testing::TestWithParam<hwsim::presets::NamedPreset> {
+ protected:
+  static void run_fixture(ossim::SimKernel& kernel,
+                          const std::vector<int>& cpus) {
+    workloads::StreamConfig cfg;
+    cfg.array_length = 100'000;
+    cfg.repetitions = 1;
+    workloads::StreamTriad triad(cfg);
+    workloads::Placement p;
+    p.cpus = cpus;
+    for (const int c : cpus) kernel.scheduler().add_busy(c, 1);
+    run_workload(kernel, triad, p);
+  }
+};
+
+TEST_P(RoundTrip, SessionOutputMatchesPreRedesignWriters) {
+  hwsim::SimMachine probe(GetParam().factory());
+  std::vector<int> cpus = {0};
+  if (probe.num_threads() > 1) cpus.push_back(1);
+
+  for (const auto& g : core::supported_groups(probe.arch())) {
+    // Pre-redesign path: hand-wired kernel + PerfCtr + writer functions.
+    hwsim::SimMachine machine(GetParam().factory());
+    ossim::SimKernel kernel(machine);
+    core::PerfCtr ctr(kernel, cpus);
+    ctr.add_group(g.name);
+    ctr.start();
+    run_fixture(kernel, cpus);
+    ctr.stop();
+    const std::string legacy_ascii = cli::render_measurement(ctr, 0);
+    const std::string legacy_csv = cli::csv_measurement(ctr, 0);
+    const std::string legacy_xml = cli::xml_measurement(ctr, 0);
+
+    // Facade path: Session + ResultTable + pluggable sinks.
+    const auto session = api::Session::configure()
+                             .machine(GetParam().key)
+                             .cpus(cpus)
+                             .group(g.name)
+                             .build();
+    session->start();
+    run_fixture(session->kernel(), cpus);
+    session->stop();
+    const api::ResultTable table = session->measurement(0);
+
+    EXPECT_EQ(cli::AsciiSink().measurement(table), legacy_ascii)
+        << GetParam().key << "/" << g.name;
+    EXPECT_EQ(cli::CsvSink().measurement(table), legacy_csv)
+        << GetParam().key << "/" << g.name;
+    EXPECT_EQ(cli::XmlSink().measurement(table), legacy_xml)
+        << GetParam().key << "/" << g.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, RoundTrip,
+    ::testing::ValuesIn(hwsim::presets::all_presets()),
+    [](const ::testing::TestParamInfo<hwsim::presets::NamedPreset>& info) {
+      std::string name = info.param.key;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace likwid

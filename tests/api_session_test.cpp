@@ -1,0 +1,225 @@
+// Tests for likwid::api::Session — the embeddable facade: builder
+// configuration, node access, counter lifecycle, per-session marker state
+// and the ResultTable result model.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/session.hpp"
+#include "core/likwid.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+#include "workloads/stream.hpp"
+
+namespace likwid::api {
+namespace {
+
+void run_triad(Session& session, std::size_t len, int reps = 1) {
+  workloads::StreamConfig cfg;
+  cfg.array_length = len;
+  cfg.repetitions = reps;
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = session.cpus();
+  run_workload(session.kernel(), triad, p);
+}
+
+TEST(SessionBuilder, BuildsTheConfiguredNode) {
+  const auto session = Session::configure()
+                           .name("builder test")
+                           .machine("core2-quad")
+                           .cpus({0, 1})
+                           .group("FLOPS_DP")
+                           .build();
+  EXPECT_EQ(session->name(), "builder test");
+  EXPECT_EQ(session->machine().spec().name,
+            hwsim::presets::core2_quad().name);
+  EXPECT_EQ(session->counters().num_event_sets(), 1);
+  EXPECT_EQ(session->topology().num_sockets, 1);
+  EXPECT_EQ(session->cpus(), (std::vector<int>{0, 1}));
+}
+
+TEST(SessionBuilder, UnknownPresetRejected) {
+  EXPECT_THROW(Session::configure().machine("pdp-11").build(), Error);
+}
+
+TEST(SessionBuilder, UnknownGroupRejected) {
+  EXPECT_THROW(
+      Session::configure().cpus({0}).group("NO_SUCH_GROUP").build(), Error);
+}
+
+TEST(Session, CountersRequireConfiguredCpus) {
+  const auto session = Session::configure().build();
+  try {
+    session->counters();
+    FAIL() << "counters() without cpus must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidState);
+  }
+  session->set_cpus({0});
+  EXPECT_NO_THROW(session->counters());
+  // Once the counters exist the cpu list is frozen.
+  EXPECT_THROW(session->set_cpus({0, 1}), Error);
+}
+
+TEST(Session, MeasuresAGroupEndToEnd) {
+  const auto session = Session::configure()
+                           .machine("nehalem-ep")
+                           .cpus({0, 1})
+                           .group("FLOPS_DP")
+                           .build();
+  session->start();
+  run_triad(*session, 400'000);
+  session->stop();
+
+  const ResultTable table = session->measurement(0);
+  EXPECT_EQ(table.group, "FLOPS_DP");
+  EXPECT_TRUE(table.has_metrics);
+  EXPECT_GT(table.seconds, 0);
+  EXPECT_EQ(table.cpus, (std::vector<int>{0, 1}));
+  ASSERT_FALSE(table.events.empty());
+  for (const auto& event : table.events) {
+    EXPECT_EQ(event.values.size(), table.cpus.size());
+  }
+  ASSERT_FALSE(table.metrics.empty());
+  EXPECT_EQ(table.metrics.front().name, "Runtime [s]");
+  EXPECT_GT(table.metrics.front().values.front(), 0);
+}
+
+TEST(Session, CustomSetsCarryNoMetrics) {
+  const auto session =
+      Session::configure()
+          .machine("nehalem-ep")
+          .cpus({0})
+          .custom("INSTR_RETIRED_ANY:FIXC0")
+          .build();
+  session->start();
+  run_triad(*session, 100'000);
+  session->stop();
+  const ResultTable table = session->measurement(0);
+  EXPECT_EQ(table.group, "custom");
+  EXPECT_FALSE(table.has_metrics);
+  EXPECT_TRUE(table.metrics.empty());
+}
+
+TEST(Session, ResetCountersStartsAFreshScopeOnTheSameNode) {
+  const auto session = Session::configure()
+                           .machine("core2-quad")
+                           .cpus({0})
+                           .group("FLOPS_DP")
+                           .build();
+  session->start();
+  run_triad(*session, 200'000);
+  session->stop();
+  const double first = session->measurement(0).seconds;
+  EXPECT_GT(first, 0);
+
+  session->reset_counters();
+  EXPECT_FALSE(session->has_counters());
+  session->add_group("FLOPS_DP");
+  session->start();
+  run_triad(*session, 200'000);
+  session->stop();
+  // A fresh scope accumulates only its own interval, on the same kernel.
+  EXPECT_GT(session->measurement(0).seconds, 0);
+  EXPECT_LT(session->measurement(0).seconds, 2 * first + 1e-9);
+}
+
+TEST(Session, PerSessionMarkersViaAmbientBinding) {
+  const auto session = Session::configure()
+                           .machine("core2-quad")
+                           .cpus({0, 1, 2, 3})
+                           .group("FLOPS_DP")
+                           .build();
+  session->start();
+  session->bind_ambient_markers();
+  likwid_markerInit(1, 1);
+  const int id = likwid_markerRegisterRegion("Bench");
+  likwid_markerStartRegion(0, 0);
+  run_triad(*session, 400'000);
+  likwid_markerStopRegion(0, 0, id);
+  likwid_markerClose();
+  session->stop();
+
+  const RegionReport report = session->regions(0);
+  EXPECT_EQ(report.group, "FLOPS_DP");
+  ASSERT_EQ(report.regions.size(), 1u);
+  EXPECT_EQ(report.regions.front().name, "Bench");
+  EXPECT_EQ(report.regions.front().calls, 1);
+  session->release_ambient_markers();
+  EXPECT_FALSE(MarkerBinding::bound());
+}
+
+TEST(Session, SecondAmbientBindNamesTheHoldingSession) {
+  const auto holder = Session::configure()
+                          .name("holder")
+                          .cpus({0})
+                          .group("FLOPS_DP")
+                          .build();
+  const auto intruder = Session::configure()
+                            .name("intruder")
+                            .cpus({0})
+                            .group("FLOPS_DP")
+                            .build();
+  holder->bind_ambient_markers();
+  try {
+    intruder->bind_ambient_markers();
+    FAIL() << "second ambient bind must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidState);
+    EXPECT_NE(std::string(e.what()).find("holder"), std::string::npos)
+        << e.what();
+  }
+  holder->release_ambient_markers();
+  // Now the second session can take over.
+  EXPECT_NO_THROW(intruder->bind_ambient_markers());
+  intruder->release_ambient_markers();
+}
+
+TEST(Session, DestructorReleasesTheAmbientBinding) {
+  {
+    const auto session =
+        Session::configure().cpus({0}).group("FLOPS_DP").build();
+    session->bind_ambient_markers();
+    EXPECT_NE(MarkerBinding::ambient(), nullptr);
+  }
+  EXPECT_EQ(MarkerBinding::ambient(), nullptr);
+  // The legacy shim can bind again immediately.
+  const auto next = Session::configure().cpus({0}).group("FLOPS_DP").build();
+  EXPECT_NO_THROW(next->bind_ambient_markers());
+}
+
+TEST(Session, AttachSharesAnExternallyOwnedKernel) {
+  hwsim::SimMachine machine(hwsim::presets::nehalem_ep());
+  ossim::SimKernel kernel(machine);
+  const auto session = Session::attach(kernel, {0, 1}, "attached test");
+  EXPECT_EQ(&session->kernel(), &kernel);
+  session->add_group("FLOPS_DP");
+  session->start();
+  workloads::StreamConfig cfg;
+  cfg.array_length = 200'000;
+  workloads::StreamTriad triad(cfg);
+  workloads::Placement p;
+  p.cpus = {0, 1};
+  run_workload(kernel, triad, p);
+  session->stop();
+  EXPECT_GT(session->measurement(0).seconds, 0);
+  // The attached session advanced the shared clock.
+  EXPECT_GT(kernel.now(), 0);
+}
+
+TEST(Session, RegionsWithoutMarkerInitRejected) {
+  const auto session =
+      Session::configure().cpus({0}).group("FLOPS_DP").build();
+  session->start();
+  session->stop();
+  try {
+    session->regions(0);
+    FAIL() << "regions() without markers must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidState);
+  }
+}
+
+}  // namespace
+}  // namespace likwid::api

@@ -207,5 +207,81 @@ TEST_F(Marker, DoubleBindRejected) {
   MarkerBinding::unbind();
 }
 
+TEST_F(Marker, DoubleBindNamesTheBoundOwner) {
+  MarkerEnv env("session 'alpha'");
+  env.bind(&ctr, [] { return 0; });
+  MarkerBinding::adopt_env(&env);
+  try {
+    MarkerBinding::bind(&ctr, [] { return 0; });
+    FAIL() << "double bind must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidState);
+    EXPECT_NE(std::string(e.what()).find("session 'alpha'"),
+              std::string::npos)
+        << e.what();
+  }
+  MarkerBinding::unbind();
+}
+
+TEST_F(Marker, BindUnbindBindCyclesAreSafe) {
+  // Three full cycles, each running the complete marker lifecycle: a
+  // stale session or counter pointer from a previous cycle would trip
+  // the "called twice" / "already bound" checks immediately.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    MarkerBinding::bind(&ctr, [] { return 0; });
+    EXPECT_TRUE(MarkerBinding::bound());
+    EXPECT_EQ(MarkerBinding::session(), nullptr)
+        << "unbind must clear the previous cycle's session";
+    likwid_markerInit(1, 1);
+    const int id = likwid_markerRegisterRegion("Cycle");
+    likwid_markerStartRegion(0, 0);
+    run_triad({0}, 100'000);
+    likwid_markerStopRegion(0, 0, id);
+    likwid_markerClose();
+    ASSERT_NE(MarkerBinding::session(), nullptr);
+    MarkerBinding::unbind();
+    EXPECT_FALSE(MarkerBinding::bound());
+    EXPECT_EQ(MarkerBinding::session(), nullptr);
+  }
+}
+
+TEST_F(Marker, UnbindReleasesASessionEnvWithoutResettingIt) {
+  MarkerEnv env("session 'beta'");
+  env.bind(&ctr, [] { return 0; });
+  MarkerBinding::adopt_env(&env);
+  likwid_markerInit(1, 1);
+  const int id = likwid_markerRegisterRegion("Kept");
+  likwid_markerStartRegion(0, 0);
+  run_triad({0}, 100'000);
+  likwid_markerStopRegion(0, 0, id);
+  likwid_markerClose();
+  // release_env only detaches the ambient routing; the owning session's
+  // results stay readable. unbind() instead resets the ambient env.
+  MarkerBinding::release_env(&env);
+  EXPECT_FALSE(MarkerBinding::bound());
+  ASSERT_NE(env.session(), nullptr);
+  EXPECT_EQ(env.session()->region(id).call_count, 1);
+  env.unbind();
+  EXPECT_EQ(env.session(), nullptr);
+}
+
+TEST_F(Marker, PerSessionEnvsKeepIndependentState) {
+  MarkerEnv first("first");
+  MarkerEnv second("second");
+  first.bind(&ctr, [] { return 0; });
+  second.bind(&ctr, [] { return 1; });
+  first.init(1, 1);
+  second.init(2, 2);
+  EXPECT_EQ(first.register_region("A"), 0);
+  EXPECT_EQ(second.register_region("B"), 0);
+  EXPECT_EQ(second.register_region("C"), 1);
+  ASSERT_NE(first.session(), nullptr);
+  ASSERT_NE(second.session(), nullptr);
+  EXPECT_EQ(first.session()->regions().size(), 1u);
+  EXPECT_EQ(second.session()->regions().size(), 2u);
+  EXPECT_EQ(first.current_cpu(), 0);
+  EXPECT_EQ(second.current_cpu(), 1);
+}
+
 }  // namespace
 }  // namespace likwid::core

@@ -150,12 +150,13 @@ TEST_F(PerfCtrCore2, FailureModes) {
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
   }
-  // Too many events for the counter budget.
+  // Too many events for the counter budget: automatic assignment runs
+  // out of free slots, the enum's kResourceExhausted case.
   try {
     ctr.add_custom("L1D_REPL,L1D_M_EVICT,BUS_TRANS_MEM");
     FAIL();
   } catch (const Error& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
   }
   // Same counter twice.
   EXPECT_THROW(ctr.add_custom("L1D_REPL:PMC0,L1D_M_EVICT:PMC0"), Error);

@@ -171,7 +171,7 @@ TEST_P(AllocationFuzz, AutoAssignmentNeverDoublesACounter) {
         ctr.add_custom(spec);
       } catch (const Error& e) {
         // Exhaustion of the GP budget is the only acceptable failure.
-        EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument) << spec;
+        EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted) << spec;
         continue;
       }
       std::set<std::string> used;

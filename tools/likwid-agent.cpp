@@ -16,7 +16,7 @@
 // --no-rotate pins the first group.
 #include <iostream>
 
-#include "cli/series_output.hpp"
+#include "cli/sinks.hpp"
 #include "monitor/agent.hpp"
 #include "tool_common.hpp"
 
@@ -87,17 +87,17 @@ int main(int argc, char** argv) {
 
     bool wrote = false;
     if (const auto csv = args.value("--csv")) {
-      tools::write_file(*csv, cli::csv_series(rollups));
+      tools::write_file(*csv, cli::CsvSink().series(rollups));
       std::cout << "Series written to " << *csv << "\n";
       wrote = true;
     }
     if (const auto xml = args.value("--xml")) {
-      tools::write_file(*xml, cli::xml_series(rollups));
+      tools::write_file(*xml, cli::XmlSink().series(rollups));
       std::cout << "Series written to " << *xml << "\n";
       wrote = true;
     }
     if (!wrote) {
-      std::cout << cli::csv_series(rollups);
+      std::cout << cli::CsvSink().series(rollups);
     }
     return 0;
   });

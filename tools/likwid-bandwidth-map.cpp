@@ -24,8 +24,12 @@ namespace {
 using namespace likwid;
 
 /// Stream bandwidth (GB/s of traffic) for one core against one domain.
-double domain_stream_gbs(hwsim::SimMachine& machine, int cpu, int domain) {
-  ossim::SimKernel kernel(machine);
+/// Each sample runs on a fresh session of the same machine (clean clock
+/// and caches, as the paper's one-shot benchmark runs would see).
+double domain_stream_gbs(const cli::ArgParser& args, int cpu, int domain) {
+  const auto sample =
+      tools::make_session(args, "likwid-bandwidth-map sample");
+  ossim::SimKernel& kernel = sample->kernel();
   workloads::StreamConfig cfg;
   cfg.array_length = 8'000'000;
   cfg.repetitions = 1;
@@ -68,14 +72,15 @@ int main(int argc, char** argv) {
                 << tools::machine_help();
       return 0;
     }
-    tools::ToolContext ctx = tools::make_context(args);
-    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
-    const core::NumaTopology numa = core::probe_numa(*ctx.kernel);
+    const std::unique_ptr<api::Session> session =
+        tools::make_session(args, "likwid-bandwidth-map");
+    const core::NodeTopology& topo = session->topology();
+    const core::NumaTopology numa = session->numa();
     std::cout << cli::render_header(topo);
 
     std::cout << "Bandwidth ladder (traffic GB/s):\n";
     util::AsciiTable ladder({"path", "GB/s"});
-    for (const auto& [name, gbs] : cache_ladder(*ctx.machine)) {
+    for (const auto& [name, gbs] : cache_ladder(session->machine())) {
       ladder.add_row({name, util::strprintf("%.1f", gbs)});
     }
     std::cout << ladder.render();
@@ -90,13 +95,13 @@ int main(int argc, char** argv) {
     util::AsciiTable matrix(headers);
     // One representative physical core per socket keeps the table small.
     for (int socket = 0; socket < topo.num_sockets; ++socket) {
-      const int cpu = ctx.machine->cpus_of_socket(socket).front();
+      const int cpu = session->machine().cpus_of_socket(socket).front();
       std::vector<std::string> row = {"core " + std::to_string(cpu) +
                                       " (socket " + std::to_string(socket) +
                                       ")"};
       for (const auto& d : numa.domains) {
         row.push_back(util::strprintf(
-            "%.1f", domain_stream_gbs(*ctx.machine, cpu, d.id)));
+            "%.1f", domain_stream_gbs(args, cpu, d.id)));
       }
       matrix.add_row(std::move(row));
     }

@@ -26,18 +26,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     // The paper demonstrates likwid-features on a Core 2 65nm machine.
-    cli::ArgParser defaulted = args;
-    tools::ToolContext ctx = [&]() {
-      if (args.value("--machine")) return tools::make_context(args);
-      const char* argv2[] = {"likwid-features", "--machine", "core2-duo"};
-      const cli::ArgParser a2(3, argv2, {"--machine"});
-      return tools::make_context(a2);
-    }();
+    const std::unique_ptr<api::Session> session = tools::make_session(
+        args, "likwid-features", /*default_machine=*/"core2-duo");
 
     const int cpu = static_cast<int>(
         util::parse_u64(args.value_or("-c", "0")).value_or(0));
-    core::Features features(*ctx.kernel, cpu);
-    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
+    core::Features features = session->features(cpu);
+    const core::NodeTopology& topo = session->topology();
 
     if (const auto name = args.value("-u")) {
       features.set_prefetcher(core::parse_prefetcher(*name), false);

@@ -26,9 +26,9 @@
 //            format (.csv, .xml, anything else: the ASCII tables)
 #include <iostream>
 
+#include "api/result_table.hpp"
 #include "cli/csv_output.hpp"
-#include "cli/output.hpp"
-#include "cli/xml_output.hpp"
+#include "cli/sinks.hpp"
 #include "core/likwid.hpp"
 #include "tool_common.hpp"
 #include "util/cpulist.hpp"
@@ -40,8 +40,6 @@
 namespace {
 
 using namespace likwid;
-
-enum class OutputFormat { kText, kXml, kCsv };
 
 workloads::Placement make_placement(ossim::SimKernel& kernel,
                                     const std::optional<std::string>& pin,
@@ -64,15 +62,15 @@ workloads::Placement make_placement(ossim::SimKernel& kernel,
   return placement;  // runtime intentionally kept alive (leaked) for run
 }
 
-OutputFormat pick_format(const cli::ArgParser& args) {
+cli::SinkFormat pick_format(const cli::ArgParser& args) {
   if (const auto ofile = args.value("-o")) {
-    if (util::ends_with(*ofile, ".xml")) return OutputFormat::kXml;
-    if (util::ends_with(*ofile, ".csv")) return OutputFormat::kCsv;
-    return OutputFormat::kText;
+    if (util::ends_with(*ofile, ".xml")) return cli::SinkFormat::kXml;
+    if (util::ends_with(*ofile, ".csv")) return cli::SinkFormat::kCsv;
+    return cli::SinkFormat::kText;
   }
-  if (args.has("--xml")) return OutputFormat::kXml;
-  if (args.has("--csv")) return OutputFormat::kCsv;
-  return OutputFormat::kText;
+  if (args.has("--xml")) return cli::SinkFormat::kXml;
+  if (args.has("--csv")) return cli::SinkFormat::kCsv;
+  return cli::SinkFormat::kText;
 }
 
 /// Route the result block to stdout or the -o file.
@@ -91,8 +89,9 @@ void emit(const cli::ArgParser& args, const std::string& text) {
 /// lives in core::IntervalSampler; this class only paces and formats.
 class TimelineStreamer {
  public:
-  TimelineStreamer(core::PerfCtr& ctr, double interval)
-      : ctr_(ctr), sampler_(ctr), interval_(interval) {
+  TimelineStreamer(api::Session& session, double interval)
+      : ctr_(session.counters()), sampler_(session.sampler()),
+        interval_(interval) {
     LIKWID_REQUIRE(interval_ > 0, "timeline interval must be positive");
     if (ctr_.num_event_sets() != 1) {
       throw_error(ErrorCode::kInvalidArgument,
@@ -134,7 +133,7 @@ class TimelineStreamer {
 
  private:
   core::PerfCtr& ctr_;
-  core::IntervalSampler sampler_;
+  core::IntervalSampler& sampler_;
   double interval_;
   double last_emit_ = 0;
 };
@@ -165,14 +164,16 @@ int main(int argc, char** argv) {
       return args.has("-h") || args.has("--help") ? 0 : 1;
     }
 
-    tools::ToolContext ctx = tools::make_context(args);
+    const std::unique_ptr<api::Session> session =
+        tools::make_session(args, "likwid-perfctr");
 
     // -a / -e: the self-describing listings of the real tool — what can
     // be measured on this machine, without opening the vendor manuals.
     if (list_groups || list_events) {
-      const hwsim::Arch arch = ctx.machine->arch();
+      const hwsim::Arch arch = session->machine().arch();
       std::cout << util::separator_line() << "CPU type:\t"
-                << ctx.machine->spec().name << "\n" << util::separator_line();
+                << session->machine().spec().name << "\n"
+                << util::separator_line();
       if (list_groups) {
         std::cout << "Performance groups on " << hwsim::to_string(arch)
                   << ":\n";
@@ -196,27 +197,25 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
+    const core::NodeTopology& topo = session->topology();
     std::cout << util::separator_line() << "CPU type:\t" << topo.cpu_name
               << "\n"
               << util::strprintf("CPU clock:\t%.2f GHz\n", topo.clock_ghz)
               << util::separator_line();
 
     const std::vector<int> cpus = util::parse_cpu_list(*args.value("-c"));
-    core::PerfCtr ctr(*ctx.kernel, cpus);
+    session->set_cpus(cpus);
     for (const auto& g : util::split_trimmed(*args.value("-g"), ';')) {
-      ctr.add_group(g);
+      session->add_group(g);
     }
+    core::PerfCtr& ctr = session->counters();
 
-    const OutputFormat fmt = pick_format(args);
+    const std::unique_ptr<api::OutputSink> sink =
+        cli::make_sink(pick_format(args));
     const auto render_sets = [&]() {
       std::string text;
       for (int set = 0; set < ctr.num_event_sets(); ++set) {
-        switch (fmt) {
-          case OutputFormat::kXml: text += cli::xml_measurement(ctr, set); break;
-          case OutputFormat::kCsv: text += cli::csv_measurement(ctr, set); break;
-          case OutputFormat::kText: text += cli::render_measurement(ctr, set); break;
-        }
+        text += sink->measurement(session->measurement(set));
       }
       return text;
     };
@@ -226,9 +225,9 @@ int main(int argc, char** argv) {
     if (const auto steth = args.value("-S")) {
       const double seconds = util::parse_double(*steth).value_or(1.0);
       LIKWID_REQUIRE(seconds > 0, "stethoscope duration must be positive");
-      ctr.start();
-      ctx.kernel->advance_time(seconds);
-      ctr.stop();
+      session->start();
+      session->kernel().advance_time(seconds);
+      session->stop();
       emit(args, render_sets());
       return 0;
     }
@@ -241,7 +240,7 @@ int main(int argc, char** argv) {
         args.positional().empty() ? "triad" : args.positional().front();
 
     workloads::Placement placement = make_placement(
-        *ctx.kernel, args.value("--pin"), threads);
+        session->kernel(), args.value("--pin"), threads);
 
     std::unique_ptr<TimelineStreamer> timeline;
     if (const auto interval = args.value("-d")) {
@@ -251,7 +250,7 @@ int main(int argc, char** argv) {
                     "exclusive");
       }
       timeline = std::make_unique<TimelineStreamer>(
-          ctr, util::parse_double(*interval).value_or(1.0));
+          *session, util::parse_double(*interval).value_or(1.0));
     }
 
     /// Quanta/rotation policy shared by the measured apps: multiplexing
@@ -271,17 +270,17 @@ int main(int argc, char** argv) {
     if (app == "sleep") {
       const double seconds =
           util::parse_double(args.value_or("--seconds", "1")).value_or(1.0);
-      ctr.start();
+      session->start();
       if (timeline) {
         const int slices = 16;
         for (int s = 0; s < slices; ++s) {
-          ctx.kernel->advance_time(seconds / slices);
+          session->kernel().advance_time(seconds / slices);
           timeline->tick();
         }
         timeline->finish();
       } else {
-        ctx.kernel->advance_time(seconds);
-        ctr.stop();
+        session->kernel().advance_time(seconds);
+        session->stop();
       }
     } else if (app == "jacobi") {
       workloads::JacobiConfig cfg;
@@ -296,9 +295,9 @@ int main(int argc, char** argv) {
                        ? threads * 2
                        : 4;
       workloads::JacobiStencil jacobi(cfg);
-      ctr.start();
-      run_workload(*ctx.kernel, jacobi, placement, run_options());
-      if (timeline) timeline->finish(); else ctr.stop();
+      session->start();
+      run_workload(session->kernel(), jacobi, placement, run_options());
+      if (timeline) timeline->finish(); else session->stop();
     } else if (app == "triad") {
       workloads::StreamConfig cfg;
       cfg.array_length = util::parse_u64(args.value_or("--n", "20000000"))
@@ -312,11 +311,14 @@ int main(int argc, char** argv) {
 
       if (args.has("-m")) {
         // Marker mode: the paper's two named regions. The "application"
-        // below is the simulated analog of the instrumented a.out.
-        ctr.start();
-        MarkerBinding::bind(&ctr, [&placement]() {
+        // below is the simulated analog of the instrumented a.out; its
+        // ambient marker state is this session's, bound the way
+        // `likwid-perfctr -m` exports it into a real measured process.
+        session->start();
+        session->set_current_cpu([&placement]() {
           return placement.cpus.front();
         });
+        session->bind_ambient_markers();
         likwid_markerInit(placement.num_workers(), 2);
         const int init_id = likwid_markerRegisterRegion("Init");
         const int bench_id = likwid_markerRegisterRegion("Benchmark");
@@ -328,7 +330,7 @@ int main(int argc, char** argv) {
         for (int t = 0; t < placement.num_workers(); ++t) {
           likwid_markerStartRegion(t, placement.cpus[static_cast<std::size_t>(t)]);
         }
-        run_workload(*ctx.kernel, init_triad, placement);
+        run_workload(session->kernel(), init_triad, placement);
         for (int t = 0; t < placement.num_workers(); ++t) {
           likwid_markerStopRegion(
               t, placement.cpus[static_cast<std::size_t>(t)], init_id);
@@ -337,33 +339,21 @@ int main(int argc, char** argv) {
         for (int t = 0; t < placement.num_workers(); ++t) {
           likwid_markerStartRegion(t, placement.cpus[static_cast<std::size_t>(t)]);
         }
-        run_workload(*ctx.kernel, triad, placement);
+        run_workload(session->kernel(), triad, placement);
         for (int t = 0; t < placement.num_workers(); ++t) {
           likwid_markerStopRegion(
               t, placement.cpus[static_cast<std::size_t>(t)], bench_id);
         }
         likwid_markerClose();
-        ctr.stop();
-        std::string text;
-        switch (fmt) {
-          case OutputFormat::kXml:
-            text = cli::xml_regions(ctr, 0, *MarkerBinding::session());
-            break;
-          case OutputFormat::kCsv:
-            text = cli::csv_regions(ctr, 0, *MarkerBinding::session());
-            break;
-          case OutputFormat::kText:
-            text = cli::render_regions(ctr, 0, *MarkerBinding::session());
-            break;
-        }
-        emit(args, text);
-        MarkerBinding::unbind();
+        session->stop();
+        emit(args, sink->regions(session->regions(0)));
+        session->release_ambient_markers();
         return 0;
       }
 
-      ctr.start();
-      run_workload(*ctx.kernel, triad, placement, run_options());
-      if (timeline) timeline->finish(); else ctr.stop();
+      session->start();
+      run_workload(session->kernel(), triad, placement, run_options());
+      if (timeline) timeline->finish(); else session->stop();
     } else {
       throw_error(ErrorCode::kInvalidArgument, "unknown app '" + app + "'");
     }

@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
       return args.has("-h") || args.has("--help") ? 0 : 1;
     }
 
-    tools::ToolContext ctx = tools::make_context(args);
-    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
+    const std::unique_ptr<api::Session> session =
+        tools::make_session(args, "likwid-pin");
+    const core::NodeTopology& topo = session->topology();
 
     core::PinConfig cfg;
     // "-c L:0-5" selects logical (topology-ordered) ids, Section V's
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
     cfg.to_environment(env);
     const core::PinConfig wrapper_cfg = core::PinConfig::from_environment(env);
 
-    ossim::ThreadRuntime runtime(ctx.kernel->scheduler());
+    ossim::ThreadRuntime runtime(session->kernel().scheduler());
     core::PinWrapper wrapper(runtime, wrapper_cfg);
 
     const auto impl = cfg.model == core::ThreadModel::kIntel
@@ -90,7 +91,8 @@ int main(int argc, char** argv) {
     workloads::StreamTriad triad(scfg);
     workloads::Placement placement;
     placement.cpus = runtime.placement(team.worker_tids);
-    const double seconds = run_workload(*ctx.kernel, triad, placement);
+    const double seconds =
+        run_workload(session->kernel(), triad, placement);
     std::cout << util::strprintf(
         "STREAM triad with %d threads: %.0f MB/s (runtime %.4f s)\n", threads,
         triad.reported_bandwidth_mbs(seconds), seconds);

@@ -12,8 +12,6 @@
 #include "cli/csv_output.hpp"
 #include "cli/output.hpp"
 #include "cli/xml_output.hpp"
-#include "core/numa.hpp"
-#include "core/topology.hpp"
 #include "tool_common.hpp"
 
 int main(int argc, char** argv) {
@@ -31,8 +29,9 @@ int main(int argc, char** argv) {
                 << tools::machine_help();
       return 0;
     }
-    tools::ToolContext ctx = tools::make_context(args);
-    const core::NodeTopology topo = core::probe_topology(*ctx.machine);
+    const std::unique_ptr<api::Session> session =
+        tools::make_session(args, "likwid-topology");
+    const core::NodeTopology& topo = session->topology();
     if (args.has("--csv")) {
       std::cout << cli::csv_topology(topo);
       return 0;
@@ -40,13 +39,13 @@ int main(int argc, char** argv) {
     if (args.has("--xml")) {
       std::cout << cli::xml_topology(topo);
       if (args.has("-n")) {
-        std::cout << cli::xml_numa(core::probe_numa(*ctx.kernel));
+        std::cout << cli::xml_numa(session->numa());
       }
       return 0;
     }
     std::cout << cli::render_topology_report(topo, args.has("-c"));
     if (args.has("-n")) {
-      std::cout << cli::render_numa(core::probe_numa(*ctx.kernel));
+      std::cout << cli::render_numa(session->numa());
     }
     if (args.has("-g")) {
       std::cout << cli::render_topology_ascii(topo);

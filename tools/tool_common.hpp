@@ -1,41 +1,34 @@
-// tool_common.hpp — shared plumbing for the command-line tools: construct
-// the simulated node from --machine (default: the paper's Westmere EP) and
-// hold the kernel the tool operates on.
+// tool_common.hpp — shared plumbing for the command-line tools: build the
+// likwid::api::Session every tool operates on from --machine / --seed /
+// --enum (default: the paper's Westmere EP).
 #pragma once
 
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "api/session.hpp"
 #include "cli/args.hpp"
-#include "hwsim/machine.hpp"
 #include "hwsim/presets.hpp"
-#include "ossim/kernel.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
 
 namespace likwid::tools {
 
-struct ToolContext {
-  std::unique_ptr<hwsim::SimMachine> machine;
-  std::unique_ptr<ossim::SimKernel> kernel;
-};
-
-inline ToolContext make_context(const cli::ArgParser& args) {
-  const std::string key = args.value_or("--machine", "westmere-ep");
-  const std::uint64_t seed =
-      util::parse_u64(args.value_or("--seed", "42")).value_or(42);
-  hwsim::MachineSpec spec = hwsim::presets::preset_by_key(key);
-  // --enum permutes the BIOS/OS processor numbering without touching the
-  // hardware (the paper: the numbering "depends on BIOS settings and may
-  // even differ for otherwise identical processors").
-  if (const auto en = args.value("--enum")) {
-    spec.os_enumeration = hwsim::parse_os_enumeration(*en);
-  }
-  ToolContext ctx;
-  ctx.machine = std::make_unique<hwsim::SimMachine>(std::move(spec));
-  ctx.kernel = std::make_unique<ossim::SimKernel>(*ctx.machine, seed);
-  return ctx;
+/// The tool's measurement session. --enum permutes the BIOS/OS processor
+/// numbering without touching the hardware (the paper: the numbering
+/// "depends on BIOS settings and may even differ for otherwise identical
+/// processors").
+inline std::unique_ptr<api::Session> make_session(
+    const cli::ArgParser& args, std::string tool_name,
+    const std::string& default_machine = "westmere-ep") {
+  return api::Session::configure()
+      .name(std::move(tool_name))
+      .machine(args.value_or("--machine", default_machine))
+      .os_enumeration(args.value_or("--enum", ""))
+      .seed(util::parse_u64(args.value_or("--seed", "42")).value_or(42))
+      .build();
 }
 
 inline std::string machine_help() {
