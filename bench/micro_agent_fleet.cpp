@@ -1,0 +1,190 @@
+// Micro harness for the concurrent fleet scheduler: how many monitoring
+// samples per second can one process collect and aggregate over a 64-node
+// simulated fleet, serially vs sharded over 1/2/4/8 worker threads with
+// the dedicated aggregation thread (the likwid-agent --threads path)?
+//
+// Each configuration builds a fresh fleet (construction excluded from the
+// timing), runs the same simulated duration, and reports samples/s.
+// Correctness rides along: every threaded configuration must fold exactly
+// as many rollup rows as the serial baseline.
+//
+// Emits a human-readable table and a machine-readable
+// BENCH_agent_fleet.json (CI runs `--smoke` so the harness, the JSON
+// schema and the speedup gate cannot bit-rot). Pass `--out FILE` to
+// relocate the JSON.
+//
+// The gate scales with the machine: 8 workers cannot triple throughput on
+// a 1- or 2-core runner, so the required speedup is 3x only when >= 8
+// hardware threads exist and degrades gracefully below (documented in the
+// JSON as "required_speedup" next to "hardware_threads").
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/agent.hpp"
+
+namespace {
+
+using namespace likwid;
+
+struct RunResult {
+  int workers = 0;  ///< 0 = serial path
+  double seconds = 0;
+  double samples_per_s = 0;
+  std::size_t rollup_rows = 0;
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_agent_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+  }
+
+  constexpr int kNodes = 64;
+  const int steps = smoke ? 10 : 24;
+
+  monitor::AgentConfig cfg;
+  cfg.num_machines = kNodes;
+  cfg.monitor.groups = {"MEM"};
+  cfg.monitor.interval_seconds = 0.1;
+  cfg.duration_seconds = cfg.monitor.interval_seconds * steps;
+  cfg.monitor.window_samples = 3;
+  cfg.monitor.ring_capacity = static_cast<std::size_t>(steps);
+
+  const auto run_once = [&](int workers) {
+    monitor::AgentConfig c = cfg;
+    c.fleet.num_threads = std::max(workers, 1);
+    // workers == 0 is the serial baseline; every workers >= 1 entry runs
+    // the real threaded scheduler, so "threads=1" measures the scheduler
+    // and aggregation-thread overhead rather than aliasing serial.
+    c.fleet.force_threaded = workers >= 1;
+    monitor::Agent agent(c);  // fleet construction is not timed
+    const double t0 = now_seconds();
+    agent.run();
+    RunResult r;
+    r.workers = workers;
+    r.seconds = now_seconds() - t0;
+    r.samples_per_s =
+        static_cast<double>(kNodes) * static_cast<double>(steps) / r.seconds;
+    r.rollup_rows = agent.rollups().size();
+    return r;
+  };
+
+  // Best of two: the timing windows are tens of milliseconds, so one
+  // noisy-neighbor hiccup on a shared CI runner must not decide the gate.
+  // Both executions feed the correctness ride-along (all_rows), so the
+  // discarded slower run still has its rollup-row count checked.
+  std::vector<std::size_t> all_rows;
+  const auto run_config = [&](int workers) {
+    const RunResult a = run_once(workers);
+    const RunResult b = run_once(workers);
+    all_rows.push_back(a.rollup_rows);
+    all_rows.push_back(b.rollup_rows);
+    return a.samples_per_s >= b.samples_per_s ? a : b;
+  };
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hardware_threads = hw == 0 ? 1 : static_cast<int>(hw);
+
+  std::printf("==================== micro_agent_fleet ====================\n");
+  std::printf(
+      "# %d nodes x %d intervals of %s, %d hardware threads (%s mode)\n",
+      kNodes, steps, cfg.monitor.groups.front().c_str(), hardware_threads,
+      smoke ? "smoke" : "full");
+
+  const RunResult serial = run_config(0);
+  std::printf("  %-10s %12.0f samples/s  (%8.3f s)  %zu rows\n", "serial",
+              serial.samples_per_s, serial.seconds, serial.rollup_rows);
+
+  std::vector<RunResult> threaded;
+  for (const int workers : {1, 2, 4, 8}) {
+    const RunResult r = run_config(workers);
+    std::printf("  %-10s %12.0f samples/s  (%8.3f s)  %zu rows  (%.2fx)\n",
+                ("threads=" + std::to_string(workers)).c_str(),
+                r.samples_per_s, r.seconds, r.rollup_rows,
+                r.samples_per_s / serial.samples_per_s);
+    threaded.push_back(r);
+  }
+  bool rows_match = true;
+  for (const std::size_t rows : all_rows) {
+    if (rows != serial.rollup_rows) rows_match = false;
+  }
+
+  const double speedup_8 = threaded.back().samples_per_s /
+                           serial.samples_per_s;
+  // 3x at 8 workers needs at least 8 hardware threads; below that the
+  // fleet can only scale to the cores that exist (the aggregation thread
+  // rides along and CI runners share their cores with neighbors), so the
+  // bar degrades to 0.45x per core, and on one core the threaded path
+  // must merely stay within 30% of serial.
+  const double required_speedup =
+      hardware_threads >= 8
+          ? 3.0
+          : (hardware_threads >= 2 ? 0.45 * hardware_threads : 0.7);
+  std::printf("  speedup 8 workers vs serial: %.2fx (required %.2fx at %d "
+              "hardware threads)\n",
+              speedup_8, required_speedup, hardware_threads);
+  if (!rows_match) {
+    std::fprintf(stderr,
+                 "FAIL: threaded rollup row counts diverge from serial\n");
+    return 1;
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"agent_fleet\",\n"
+       << "  \"machine\": \"" << cfg.monitor.machine_preset << "\",\n"
+       << "  \"group\": \"" << cfg.monitor.groups.front() << "\",\n"
+       << "  \"nodes\": " << kNodes << ",\n"
+       << "  \"steps_per_node\": " << steps << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": " << hardware_threads << ",\n"
+       << "  \"serial\": {\"samples_per_s\": " << serial.samples_per_s
+       << ", \"seconds\": " << serial.seconds << "},\n"
+       << "  \"threaded\": {\n";
+  for (std::size_t i = 0; i < threaded.size(); ++i) {
+    const RunResult& r = threaded[i];
+    json << "    \"" << r.workers
+         << "\": {\"samples_per_s\": " << r.samples_per_s
+         << ", \"seconds\": " << r.seconds
+         << ", \"speedup_vs_serial\": "
+         << r.samples_per_s / serial.samples_per_s << "}"
+         << (i + 1 < threaded.size() ? "," : "") << "\n";
+  }
+  const bool pass = speedup_8 >= required_speedup;
+  json << "  },\n"
+       << "  \"speedup_8_vs_serial\": " << speedup_8 << ",\n"
+       << "  \"required_speedup\": " << required_speedup << ",\n"
+       << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+       << "}\n";
+  json.close();
+  std::printf("JSON written to %s\n", out_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: 8-worker fleet only %.2fx over serial (need >= "
+                 "%.2fx at %d hardware threads)\n",
+                 speedup_8, required_speedup, hardware_threads);
+    return 1;
+  }
+  return 0;
+}

@@ -6,8 +6,19 @@
  * downstream projects such as TVM's metric collector link against. Every
  * entry point catches C++ exceptions at the boundary and returns a
  * likwid_status; the message of the last failure is kept per calling
- * thread and readable via likwid_lastError(). Calls are serialized
- * internally, so the API may be used from several threads.
+ * thread and readable via likwid_lastError().
+ *
+ * Thread-safety: the handle registry is internally synchronized and every
+ * handle carries its own lock, so INDEPENDENT SESSIONS MEASURE IN
+ * PARALLEL — likwid_init/likwid_finalize and calls on distinct handles
+ * may run concurrently from any threads with no external locking. Calls
+ * on the SAME handle are serialized by that handle's lock; interleaving
+ * them from several threads is memory-safe but the lifecycle outcome
+ * depends on arrival order (e.g. two racing likwid_startCounters: one
+ * wins, the other gets LIKWID_ERROR_INVALID_STATE). Finalizing a handle
+ * while another thread still uses it is a caller error: in-flight calls
+ * complete safely on the detached session, every later call fails with
+ * LIKWID_ERROR_INVALID_HANDLE.
  *
  * Lifecycle:
  *

@@ -4,13 +4,25 @@
 // lifecycle bookkeeping (setup-before-start) on top of the facade and
 // translates likwid::Error categories into likwid_status values; no
 // exception ever crosses into the C caller.
+//
+// Concurrency model (see the contract in likwid.h): the registry maps
+// handle ids to shared_ptr<HandleEntry> under a shared_mutex — shared for
+// lookups, exclusive only for init/finalize — and every entry carries its
+// own mutex serializing the calls on that handle. Independent sessions
+// therefore measure in parallel; the only cross-handle serialization left
+// is the registry lock, held for a map operation and never across session
+// work. Handle ids come from one atomic counter and are never reused. A
+// finalized entry dies when the last in-flight call's shared_ptr drops,
+// so racing a call against finalize is memory-safe by construction.
 #include "api/likwid.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -29,6 +41,9 @@ using likwid::Error;
 using likwid::ErrorCode;
 
 struct HandleEntry {
+  /// Serializes every call on this handle; never held across another
+  /// entry's mutex, so handles cannot deadlock against each other.
+  std::mutex mutex;
   std::unique_ptr<likwid::api::Session> session;
   bool setup_done = false;  ///< likwid_setupCounters seen since init/stop
   /// Derived metrics of each set, evaluated once per measurement and
@@ -36,21 +51,21 @@ struct HandleEntry {
   std::map<int, std::vector<likwid::core::PerfCtr::MetricRow>> metric_cache;
 };
 
-/// Handle ids are monotonically increasing and never reused, so stale
-/// handles keep failing with LIKWID_ERROR_INVALID_HANDLE forever.
-std::map<likwid_handle, HandleEntry>& handles() {
-  static std::map<likwid_handle, HandleEntry> table;
-  return table;
-}
-likwid_handle g_next_handle = 1;
-
-/// Serializes every API call: the handle table (and the sessions behind
-/// it) are shared process state. Coarse, but the measured work runs on a
-/// simulated clock — there is nothing to overlap.
-std::mutex& api_mutex() {
-  static std::mutex m;
+/// Guards the handle map only — shared for lookups, exclusive for
+/// insert/erase. Session work never runs under this lock.
+std::shared_mutex& registry_mutex() {
+  static std::shared_mutex m;
   return m;
 }
+
+std::map<likwid_handle, std::shared_ptr<HandleEntry>>& handles() {
+  static std::map<likwid_handle, std::shared_ptr<HandleEntry>> table;
+  return table;
+}
+
+/// Handle ids are monotonically increasing and never reused, so stale
+/// handles keep failing with LIKWID_ERROR_INVALID_HANDLE forever.
+std::atomic<likwid_handle> g_next_handle{1};
 
 thread_local std::string t_last_error;
 
@@ -73,10 +88,10 @@ likwid_status fail(likwid_status status, const std::string& message) {
 }
 
 /// Run `fn` behind the exception boundary. `fn` either returns a status
-/// (for argument checks) or void (LIKWID_OK on fall-through).
+/// (for argument checks) or void (LIKWID_OK on fall-through). Takes no
+/// lock: locking is per-handle (with_entry) or registry-scoped.
 template <typename Fn>
 likwid_status guarded(Fn&& fn) {
-  const std::lock_guard<std::mutex> lock(api_mutex());
   try {
     if constexpr (std::is_void_v<decltype(fn())>) {
       fn();
@@ -96,16 +111,32 @@ likwid_status guarded(Fn&& fn) {
   }
 }
 
-/// Look up a live handle or fail with LIKWID_ERROR_INVALID_HANDLE.
-HandleEntry* find(likwid_handle handle) {
+/// Look up a live handle under the shared registry lock; nullptr when the
+/// handle never existed or was finalized.
+std::shared_ptr<HandleEntry> find(likwid_handle handle) {
+  const std::shared_lock<std::shared_mutex> lock(registry_mutex());
   const auto it = handles().find(handle);
-  return it == handles().end() ? nullptr : &it->second;
+  if (it == handles().end()) return nullptr;
+  return it->second;
 }
 
 likwid_status invalid_handle(likwid_handle handle) {
   return fail(LIKWID_ERROR_INVALID_HANDLE,
               "handle " + std::to_string(handle) +
                   " does not name a live likwid session");
+}
+
+/// Resolve `handle`, serialize on its entry mutex, and run `fn(entry)`
+/// behind the exception boundary. The shared_ptr keeps the entry alive
+/// across the call even if another thread finalizes the handle meanwhile.
+template <typename Fn>
+likwid_status with_entry(likwid_handle handle, Fn&& fn) {
+  return guarded([&]() -> likwid_status {
+    const std::shared_ptr<HandleEntry> entry = find(handle);
+    if (entry == nullptr) return invalid_handle(handle);
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    return fn(*entry);
+  });
 }
 
 likwid_status copy_name(const std::string& name, char* buffer, int capacity) {
@@ -142,7 +173,10 @@ likwid_status likwid_init(const char* machine_key, const int* cpus,
       return fail(LIKWID_ERROR_INVALID_ARGUMENT,
                   "likwid_init needs at least one measured cpu");
     }
-    const likwid_handle handle = g_next_handle;
+    const likwid_handle handle =
+        g_next_handle.fetch_add(1, std::memory_order_relaxed);
+    // Build the session outside every lock: node construction is the
+    // expensive part and must not serialize concurrent likwid_init calls.
     auto session =
         likwid::api::Session::configure()
             .name("likwid_c handle " + std::to_string(handle))
@@ -152,10 +186,12 @@ likwid_status likwid_init(const char* machine_key, const int* cpus,
     // Construct the counters now so bad cpu lists fail here, not at the
     // first addEventSet.
     session->counters();
-    HandleEntry entry;
-    entry.session = std::move(session);
-    handles().emplace(handle, std::move(entry));
-    ++g_next_handle;
+    auto entry = std::make_shared<HandleEntry>();
+    entry->session = std::move(session);
+    {
+      const std::unique_lock<std::shared_mutex> lock(registry_mutex());
+      handles().emplace(handle, std::move(entry));
+    }
     *out_handle = handle;
     return LIKWID_OK;
   });
@@ -163,9 +199,7 @@ likwid_status likwid_init(const char* machine_key, const int* cpus,
 
 likwid_status likwid_addEventSet(likwid_handle handle, const char* spec,
                                  int* out_set) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (spec == nullptr || spec[0] == '\0') {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null or empty event spec");
     }
@@ -176,77 +210,80 @@ likwid_status likwid_addEventSet(likwid_handle handle, const char* spec,
     // "FLOPS_DP" and "L1D_REPL" both work.
     if (text.find(':') != std::string::npos ||
         text.find(',') != std::string::npos) {
-      entry->session->add_custom(text);
+      entry.session->add_custom(text);
     } else {
       try {
-        entry->session->add_group(text);
+        entry.session->add_group(text);
       } catch (const Error& e) {
         if (e.code() != ErrorCode::kNotFound) throw;
-        entry->session->add_custom(text);
+        entry.session->add_custom(text);
       }
     }
     if (out_set != nullptr) {
-      *out_set = entry->session->counters().num_event_sets() - 1;
+      *out_set = entry.session->counters().num_event_sets() - 1;
     }
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_setupCounters(likwid_handle handle, int set) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
-    entry->session->counters().select_set(set);
-    entry->setup_done = true;
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+    entry.session->counters().select_set(set);
+    entry.setup_done = true;
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_startCounters(likwid_handle handle) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
-    if (!entry->setup_done) {
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+    if (!entry.setup_done) {
       return fail(LIKWID_ERROR_INVALID_STATE,
                   "likwid_startCounters before likwid_setupCounters");
     }
-    if (entry->session->running()) {
+    if (entry.session->running()) {
       return fail(LIKWID_ERROR_INVALID_STATE,
                   "counters already started (likwid_startCounters called "
                   "twice)");
     }
-    entry->session->start();
-    entry->metric_cache.clear();  // results are stale once counting resumes
+    entry.session->start();
+    entry.metric_cache.clear();  // results are stale once counting resumes
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_stopCounters(likwid_handle handle) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
-    if (!entry->session->running()) {
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+    if (!entry.session->running()) {
       return fail(LIKWID_ERROR_INVALID_STATE,
                   "likwid_stopCounters without running counters");
     }
-    entry->session->stop();
-    entry->metric_cache.clear();  // re-evaluate over the final counts
+    entry.session->stop();
+    entry.metric_cache.clear();  // re-evaluate over the final counts
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_finalize(likwid_handle handle) {
   return guarded([&]() -> likwid_status {
-    if (handles().erase(handle) == 0) return invalid_handle(handle);
+    // Unregister under the exclusive lock but let the session die outside
+    // it: if another thread is mid-call on this handle, its shared_ptr
+    // keeps the entry alive until that call returns, and destruction
+    // happens on whichever thread drops the last reference.
+    std::shared_ptr<HandleEntry> doomed;
+    {
+      const std::unique_lock<std::shared_mutex> lock(registry_mutex());
+      const auto it = handles().find(handle);
+      if (it == handles().end()) return invalid_handle(handle);
+      doomed = std::move(it->second);
+      handles().erase(it);
+    }
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
                                  long long size, int reps) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (workload == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null workload name");
     }
@@ -254,7 +291,7 @@ likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
       return fail(LIKWID_ERROR_INVALID_ARGUMENT,
                   "workload size and reps must be positive");
     }
-    likwid::api::Session& session = *entry->session;
+    likwid::api::Session& session = *entry.session;
     likwid::workloads::Placement placement;
     placement.cpus = session.cpus();
     const std::string name(workload);
@@ -279,64 +316,56 @@ likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
 }
 
 likwid_status likwid_advanceTime(likwid_handle handle, double seconds) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (!(seconds > 0)) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT,
                   "duration must be positive");
     }
-    entry->session->kernel().advance_time(seconds);
+    entry.session->kernel().advance_time(seconds);
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_getNumberOfEvents(likwid_handle handle, int set,
                                        int* out_count) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (out_count == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_count");
     }
-    if (const likwid_status s = check_set(*entry->session, set);
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
     *out_count = static_cast<int>(
-        entry->session->counters().assignments_of(set).size());
+        entry.session->counters().assignments_of(set).size());
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_getNumberOfMetrics(likwid_handle handle, int set,
                                         int* out_count) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (out_count == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_count");
     }
-    if (const likwid_status s = check_set(*entry->session, set);
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
     *out_count =
-        static_cast<int>(entry->session->counters().metric_ids(set).size());
+        static_cast<int>(entry.session->counters().metric_ids(set).size());
     return LIKWID_OK;
   });
 }
 
 likwid_status likwid_getEventName(likwid_handle handle, int set, int index,
                                   char* buffer, int capacity) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
-    if (const likwid_status s = check_set(*entry->session, set);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
-    const auto& assignments = entry->session->counters().assignments_of(set);
+    const auto& assignments = entry.session->counters().assignments_of(set);
     if (index < 0 || index >= static_cast<int>(assignments.size())) {
       return fail(LIKWID_ERROR_NOT_FOUND, "event index out of range");
     }
@@ -347,14 +376,12 @@ likwid_status likwid_getEventName(likwid_handle handle, int set, int index,
 
 likwid_status likwid_getCounterName(likwid_handle handle, int set, int index,
                                     char* buffer, int capacity) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
-    if (const likwid_status s = check_set(*entry->session, set);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
-    const auto& assignments = entry->session->counters().assignments_of(set);
+    const auto& assignments = entry.session->counters().assignments_of(set);
     if (index < 0 || index >= static_cast<int>(assignments.size())) {
       return fail(LIKWID_ERROR_NOT_FOUND, "event index out of range");
     }
@@ -365,14 +392,12 @@ likwid_status likwid_getCounterName(likwid_handle handle, int set, int index,
 
 likwid_status likwid_getMetricName(likwid_handle handle, int set, int index,
                                    char* buffer, int capacity) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
-    if (const likwid_status s = check_set(*entry->session, set);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
-    const auto ids = entry->session->counters().metric_ids(set);
+    const auto ids = entry.session->counters().metric_ids(set);
     if (index < 0 || index >= static_cast<int>(ids.size())) {
       return fail(LIKWID_ERROR_NOT_FOUND, "metric index out of range");
     }
@@ -384,17 +409,15 @@ likwid_status likwid_getMetricName(likwid_handle handle, int set, int index,
 
 likwid_status likwid_getResult(likwid_handle handle, int set, int event_index,
                                int cpu_index, double* out_value) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (out_value == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_value");
     }
-    if (const likwid_status s = check_set(*entry->session, set);
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
-    const likwid::core::PerfCtr& ctr = entry->session->counters();
+    const likwid::core::PerfCtr& ctr = entry.session->counters();
     const auto& assignments = ctr.assignments_of(set);
     if (event_index < 0 ||
         event_index >= static_cast<int>(assignments.size())) {
@@ -419,22 +442,20 @@ likwid_status likwid_getResult(likwid_handle handle, int set, int event_index,
 
 likwid_status likwid_getMetric(likwid_handle handle, int set, int metric_index,
                                int cpu_index, double* out_value) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (out_value == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_value");
     }
-    if (const likwid_status s = check_set(*entry->session, set);
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
-    const likwid::core::PerfCtr& ctr = entry->session->counters();
+    const likwid::core::PerfCtr& ctr = entry.session->counters();
     // Evaluate the set's metrics once per measurement; the read loop of
     // an embedding collector calls likwid_getMetric per (metric, cpu).
-    auto cached = entry->metric_cache.find(set);
-    if (cached == entry->metric_cache.end()) {
-      cached = entry->metric_cache.emplace(set, ctr.compute_metrics(set))
+    auto cached = entry.metric_cache.find(set);
+    if (cached == entry.metric_cache.end()) {
+      cached = entry.metric_cache.emplace(set, ctr.compute_metrics(set))
                    .first;
     }
     const auto& rows = cached->second;
@@ -452,17 +473,15 @@ likwid_status likwid_getMetric(likwid_handle handle, int set, int metric_index,
 
 likwid_status likwid_getTimeOfGroup(likwid_handle handle, int set,
                                     double* out_seconds) {
-  return guarded([&]() -> likwid_status {
-    HandleEntry* entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
+  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
     if (out_seconds == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_seconds");
     }
-    if (const likwid_status s = check_set(*entry->session, set);
+    if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
     }
-    *out_seconds = entry->session->counters().results(set).measured_seconds;
+    *out_seconds = entry.session->counters().results(set).measured_seconds;
     return LIKWID_OK;
   });
 }

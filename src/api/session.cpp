@@ -83,9 +83,35 @@ std::unique_ptr<Session> Session::attach(ossim::SimKernel& kernel,
   return session;
 }
 
+Session::UseGuard::UseGuard(const Session& session) : session_(&session) {
+  std::thread::id expected{};
+  const std::thread::id self = std::this_thread::get_id();
+  if (session_->active_thread_.compare_exchange_strong(
+          expected, self, std::memory_order_acq_rel)) {
+    owner_ = true;
+    return;
+  }
+  if (expected != self) {
+    throw_error(ErrorCode::kInvalidState,
+                "session '" + session_->name_ +
+                    "' entered concurrently from a second thread; a "
+                    "Session is single-threaded — use one Session per "
+                    "thread or serialize calls externally");
+  }
+  // Same-thread reentrancy: the outermost guard keeps ownership.
+}
+
+Session::UseGuard::~UseGuard() {
+  if (owner_) {
+    session_->active_thread_.store(std::thread::id{},
+                                   std::memory_order_release);
+  }
+}
+
 Session::~Session() { release_ambient_markers(); }
 
 const core::NodeTopology& Session::topology() {
+  const UseGuard guard(*this);  // lazily mutates the cached topology_
   if (!topology_) {
     topology_ = core::probe_topology(kernel_->machine());
   }
@@ -99,6 +125,7 @@ core::Features Session::features(int cpu) {
 }
 
 void Session::set_cpus(std::vector<int> cpus) {
+  const UseGuard guard(*this);
   if (ctr_ != nullptr) {
     throw_error(ErrorCode::kInvalidState,
                 "session '" + name_ +
@@ -108,6 +135,7 @@ void Session::set_cpus(std::vector<int> cpus) {
 }
 
 core::PerfCtr& Session::counters() {
+  const UseGuard guard(*this);
   if (ctr_ == nullptr) {
     if (cpus_.empty()) {
       throw_error(ErrorCode::kInvalidState,
@@ -129,27 +157,40 @@ const core::PerfCtr& Session::counters() const {
 }
 
 void Session::add_group(const std::string& group_name) {
+  const UseGuard guard(*this);
   counters().add_group(group_name);
 }
 
 void Session::add_custom(const std::string& event_spec) {
+  const UseGuard guard(*this);
   counters().add_custom(event_spec);
 }
 
 void Session::reset_counters() {
+  const UseGuard guard(*this);
   release_ambient_markers();
   markers_.unbind();
   sampler_.reset();
   ctr_.reset();
 }
 
-void Session::start() { counters().start(); }
+void Session::start() {
+  const UseGuard guard(*this);
+  counters().start();
+}
 
-void Session::stop() { counters().stop(); }
+void Session::stop() {
+  const UseGuard guard(*this);
+  counters().stop();
+}
 
-void Session::rotate() { counters().rotate(); }
+void Session::rotate() {
+  const UseGuard guard(*this);
+  counters().rotate();
+}
 
 core::IntervalSampler& Session::sampler() {
+  const UseGuard guard(*this);
   if (sampler_ == nullptr) {
     sampler_ = std::make_unique<core::IntervalSampler>(counters());
   }
@@ -157,6 +198,7 @@ core::IntervalSampler& Session::sampler() {
 }
 
 void Session::set_current_cpu(std::function<int()> fn) {
+  const UseGuard guard(*this);
   if (markers_.bound()) {
     throw_error(ErrorCode::kInvalidState,
                 "session '" + name_ +
@@ -167,6 +209,7 @@ void Session::set_current_cpu(std::function<int()> fn) {
 }
 
 core::MarkerEnv& Session::markers() {
+  const UseGuard guard(*this);
   if (!markers_.bound()) {
     core::PerfCtr& ctr = counters();
     std::function<int()> current = current_cpu_;
@@ -181,7 +224,10 @@ core::MarkerEnv& Session::markers() {
   return markers_;
 }
 
-void Session::bind_ambient_markers() { MarkerBinding::adopt_env(&markers()); }
+void Session::bind_ambient_markers() {
+  const UseGuard guard(*this);
+  MarkerBinding::adopt_env(&markers());
+}
 
 void Session::release_ambient_markers() noexcept {
   MarkerBinding::release_env(&markers_);

@@ -20,13 +20,34 @@
 //   ... run the measured code on session->kernel() ...
 //   session->stop();
 //   likwid::api::ResultTable table = session->measurement(0);
+//
+// Thread-safety contract:
+//   - One Session is confined to one thread AT A TIME. Calls are not
+//     internally locked; two threads must never be inside the same
+//     Session concurrently. Handing a Session between threads is fine
+//     when the handoff itself synchronizes (thread join, mutex, queue).
+//   - Distinct Sessions are independent and may measure in parallel from
+//     different threads with no external locking: each owns its machine,
+//     kernel, counters, sampler and marker environment. The process-wide
+//     state sessions share — the core::NameTable interner, the ambient
+//     marker registry, the preset/event tables — is internally
+//     synchronized or immutable after first use.
+//   - Enforcement: the mutating entry points carry a lock-free tripwire
+//     that throws Error(kInvalidState) when it observes two threads
+//     overlapping inside one Session. It is a misuse detector (same-thread
+//     reentrancy stays allowed), not a serialization mechanism — races it
+//     happens to miss are still undefined behavior.
+//   - The flat C API (api/likwid.h) layers real per-handle locking on top
+//     of this contract, so C callers may share a handle across threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/result_table.hpp"
@@ -170,6 +191,23 @@ class Session {
  private:
   Session() = default;
 
+  /// RAII tripwire for the "one thread at a time" contract: entry points
+  /// construct one; overlapping construction from a second thread throws
+  /// Error(kInvalidState) naming the session. Same-thread reentrancy
+  /// (start() calling counters()) is allowed and keeps the outermost
+  /// guard's ownership.
+  class UseGuard {
+   public:
+    explicit UseGuard(const Session& session);
+    ~UseGuard();
+    UseGuard(const UseGuard&) = delete;
+    UseGuard& operator=(const UseGuard&) = delete;
+
+   private:
+    const Session* session_;
+    bool owner_ = false;
+  };
+
   std::string name_;
   std::unique_ptr<hwsim::SimMachine> owned_machine_;
   std::unique_ptr<ossim::SimKernel> owned_kernel_;
@@ -180,6 +218,8 @@ class Session {
   std::unique_ptr<core::IntervalSampler> sampler_;
   core::MarkerEnv markers_;
   std::function<int()> current_cpu_;
+  /// Thread currently inside an entry point (default id = none).
+  mutable std::atomic<std::thread::id> active_thread_{};
 };
 
 }  // namespace likwid::api

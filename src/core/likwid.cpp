@@ -1,5 +1,7 @@
 #include "core/likwid.hpp"
 
+#include <atomic>
+
 #include "util/status.hpp"
 
 namespace likwid {
@@ -10,63 +12,80 @@ core::MarkerEnv& legacy_env() {
   static core::MarkerEnv env("MarkerBinding");
   return env;
 }
-/// The one env the C-style marker functions operate on.
-core::MarkerEnv* g_ambient = nullptr;
+/// The one env the C-style marker functions operate on. Atomic because
+/// concurrent Sessions adopt/release it from their own threads (every
+/// Session destructor releases); the registry itself is race-free, while
+/// the marker calls routed THROUGH the ambient env stay single-threaded
+/// per env, as documented on api::Session.
+std::atomic<core::MarkerEnv*> g_ambient{nullptr};
 
 core::MarkerEnv& require_ambient(const char* what) {
-  if (g_ambient == nullptr) {
+  core::MarkerEnv* env = g_ambient.load(std::memory_order_acquire);
+  if (env == nullptr) {
     throw_error(ErrorCode::kInvalidState,
                 std::string(what) + ": not running under likwid-perfctr -m");
   }
-  return *g_ambient;
+  return *env;
 }
 }  // namespace
 
 void MarkerBinding::bind(core::PerfCtr* ctr, std::function<int()> current_cpu) {
-  const bool was_ambient = g_ambient == &legacy_env();
+  const bool was_ambient =
+      g_ambient.load(std::memory_order_acquire) == &legacy_env();
   adopt_env(&legacy_env());
   try {
     legacy_env().bind(ctr, std::move(current_cpu));
   } catch (...) {
-    if (!was_ambient) g_ambient = nullptr;
+    if (!was_ambient) release_env(&legacy_env());
     throw;
   }
 }
 
 void MarkerBinding::unbind() noexcept {
-  if (g_ambient != nullptr) g_ambient->unbind();
+  core::MarkerEnv* env = g_ambient.exchange(nullptr,
+                                            std::memory_order_acq_rel);
+  if (env != nullptr) env->unbind();
   // The legacy env is library-owned: reset it even when a session env was
   // ambient, so no stale state survives into the next bind cycle.
   legacy_env().unbind();
-  g_ambient = nullptr;
 }
 
 bool MarkerBinding::bound() noexcept {
-  return g_ambient != nullptr && g_ambient->bound();
+  core::MarkerEnv* env = g_ambient.load(std::memory_order_acquire);
+  return env != nullptr && env->bound();
 }
 
 void MarkerBinding::adopt_env(core::MarkerEnv* env) {
   LIKWID_REQUIRE(env != nullptr, "null marker environment");
-  if (g_ambient != nullptr && g_ambient != env) {
-    throw_error(ErrorCode::kInvalidState,
-                "marker environment is already bound by '" +
-                    g_ambient->owner() + "'");
+  core::MarkerEnv* expected = nullptr;
+  if (g_ambient.compare_exchange_strong(expected, env,
+                                        std::memory_order_acq_rel)) {
+    return;
   }
-  g_ambient = env;
+  if (expected == env) return;  // already ours
+  throw_error(ErrorCode::kInvalidState,
+              "marker environment is already bound by '" +
+                  expected->owner() + "'");
 }
 
 void MarkerBinding::release_env(core::MarkerEnv* env) noexcept {
-  if (g_ambient == env) g_ambient = nullptr;
+  core::MarkerEnv* expected = env;
+  g_ambient.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
 }
 
-core::MarkerEnv* MarkerBinding::ambient() noexcept { return g_ambient; }
+core::MarkerEnv* MarkerBinding::ambient() noexcept {
+  return g_ambient.load(std::memory_order_acquire);
+}
 
 core::MarkerSession* MarkerBinding::session() {
-  return g_ambient != nullptr ? g_ambient->session() : nullptr;
+  core::MarkerEnv* env = g_ambient.load(std::memory_order_acquire);
+  return env != nullptr ? env->session() : nullptr;
 }
 
 core::PerfCtr* MarkerBinding::counters() {
-  return g_ambient != nullptr ? g_ambient->counters() : nullptr;
+  core::MarkerEnv* env = g_ambient.load(std::memory_order_acquire);
+  return env != nullptr ? env->counters() : nullptr;
 }
 
 int MarkerBinding::current_cpu() {

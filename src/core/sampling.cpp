@@ -52,7 +52,28 @@ double SamplingProfiler::overhead_seconds() const {
 IntervalSampler::IntervalSampler(PerfCtr& ctr)
     : ctr_(ctr), last_time_(ctr.kernel().now()) {}
 
+namespace {
+
+/// RAII for the poll-overlap tripwire (see the class contract).
+class PollScope {
+ public:
+  explicit PollScope(std::atomic<bool>& flag) : flag_(flag) {
+    if (flag_.exchange(true, std::memory_order_acq_rel)) {
+      throw_error(ErrorCode::kInvalidState,
+                  "IntervalSampler::poll re-entered while a poll is in "
+                  "flight; a sampler is single-threaded");
+    }
+  }
+  ~PollScope() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace
+
 IntervalSampler::Interval IntervalSampler::poll(bool rotate) {
+  const PollScope scope(polling_);
   const int set = ctr_.current_set();
   if (rotate && ctr_.num_event_sets() > 1) {
     ctr_.rotate();

@@ -19,6 +19,7 @@
 // published tool.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -86,6 +87,16 @@ class SamplingProfiler {
 /// previous poll of the same event set, evaluates the derived metrics over
 /// the interval's wall time, and leaves the counters running — optionally
 /// rotated to the next set for interval-grained multiplexing.
+///
+/// Thread-safety / reentrancy: a sampler is single-threaded, like the
+/// PerfCtr it wraps — poll() mutates both the sampler's interval state
+/// (prev_, last_time_) and the counters (stop/start/rotate), so exactly
+/// one thread may drive a given (PerfCtr, IntervalSampler) pair, and
+/// poll() must not be re-entered while a poll is in flight (it is not a
+/// signal-safe hook). Distinct samplers over distinct PerfCtrs are fully
+/// independent — that independence is what lets the fleet scheduler poll
+/// one sampler per node from parallel workers. poll() carries a lock-free
+/// tripwire that throws Error(kInvalidState) on observed overlap.
 class IntervalSampler {
  public:
   struct Interval {
@@ -123,6 +134,8 @@ class IntervalSampler {
   /// Cumulative counts of each set as of its previous poll (empty slab
   /// until a set's first poll).
   std::vector<CountSlab> prev_;
+  /// Overlap tripwire: set while a poll is in flight.
+  std::atomic<bool> polling_{false};
 };
 
 }  // namespace likwid::core

@@ -1,17 +1,35 @@
 #include "monitor/agent.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <exception>
 #include <iterator>
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "monitor/spsc_ring.hpp"
 #include "util/status.hpp"
 
 namespace likwid::monitor {
 
+int FleetConfig::resolved_threads() const {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 Agent::Agent(AgentConfig config) : cfg_(std::move(config)) {
   LIKWID_REQUIRE(cfg_.num_machines > 0, "agent needs at least one machine");
   LIKWID_REQUIRE(cfg_.duration_seconds > 0, "duration must be positive");
+  LIKWID_REQUIRE(cfg_.fleet.num_threads >= 0,
+                 "worker thread count cannot be negative");
+  LIKWID_REQUIRE(cfg_.fleet.batch_samples > 0,
+                 "batch size must be positive");
+  LIKWID_REQUIRE(cfg_.fleet.queue_capacity > 0,
+                 "queue capacity must be positive");
   collectors_.reserve(static_cast<std::size_t>(cfg_.num_machines));
   for (int id = 0; id < cfg_.num_machines; ++id) {
     collectors_.push_back(std::make_unique<Collector>(id, cfg_.monitor));
@@ -19,6 +37,10 @@ Agent::Agent(AgentConfig config) : cfg_(std::move(config)) {
 }
 
 void Agent::step() {
+  // Serial stepping invalidates a previous threaded run's folded
+  // snapshot: rollups() falls back to aggregating the retention rings,
+  // which include the new samples.
+  folded_.clear();
   for (auto& collector : collectors_) {
     collector->step();
   }
@@ -26,17 +48,181 @@ void Agent::step() {
 }
 
 void Agent::run() {
-  const auto total = static_cast<std::uint64_t>(
-      std::ceil(cfg_.duration_seconds / cfg_.monitor.interval_seconds -
-                1e-9));
-  for (std::uint64_t s = std::max<std::uint64_t>(total, 1); s > 0; --s) {
+  const auto total = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(cfg_.duration_seconds / cfg_.monitor.interval_seconds -
+                    1e-9)),
+      1);
+  if (plans_threaded()) {
+    run_threaded(total, std::max(planned_workers(), 1));
+  } else {
+    run_serial(total);
+  }
+}
+
+int Agent::planned_workers() const noexcept {
+  return std::min(cfg_.fleet.resolved_threads(), cfg_.num_machines);
+}
+
+bool Agent::plans_threaded() const noexcept {
+  return planned_workers() > 1 || cfg_.fleet.force_threaded;
+}
+
+void Agent::run_serial(std::uint64_t total_steps) {
+  for (std::uint64_t s = total_steps; s > 0; --s) {
     step();
   }
 }
 
+void Agent::run_threaded(std::uint64_t total_steps, int workers) {
+  const std::size_t machines = collectors_.size();
+  using SampleBatch = std::vector<Sample>;
+
+  // One SPSC transport ring per collector: its worker is the single
+  // producer, the aggregation thread the single consumer.
+  std::vector<std::unique_ptr<SpscRing<SampleBatch>>> queues;
+  queues.reserve(machines);
+  for (std::size_t i = 0; i < machines; ++i) {
+    queues.push_back(
+        std::make_unique<SpscRing<SampleBatch>>(cfg_.fleet.queue_capacity));
+  }
+
+  std::atomic<bool> producers_done{false};
+  std::atomic<bool> aggregation_alive{true};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+  const auto record_failure = [&]() {
+    const std::lock_guard<std::mutex> lock(failure_mutex);
+    if (!failure) failure = std::current_exception();
+  };
+
+  // Publish with bounded backpressure: a full transport ring means the
+  // aggregation thread is behind, so the worker waits instead of losing
+  // samples (monitoring retention may drop, aggregation must not). If the
+  // aggregation thread died, stop waiting — the run is failing anyway and
+  // spinning on a ring nobody drains would deadlock the pool.
+  const auto publish = [&](std::size_t machine, SampleBatch&& batch) {
+    while (!queues[machine]->try_push(std::move(batch))) {
+      if (!aggregation_alive.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  };
+
+  const auto worker_body = [&](std::size_t lo, std::size_t hi) {
+    try {
+      std::vector<SampleBatch> batches(hi - lo);
+      for (std::uint64_t s = 0; s < total_steps; ++s) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          collectors_[i]->step();
+          SampleBatch& batch = batches[i - lo];
+          batch.push_back(collectors_[i]->samples().back());
+          if (batch.size() >= cfg_.fleet.batch_samples) {
+            publish(i, std::move(batch));
+            batch = SampleBatch();
+          }
+        }
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!batches[i - lo].empty()) publish(i, std::move(batches[i - lo]));
+      }
+    } catch (...) {
+      record_failure();
+    }
+  };
+
+  const auto aggregator_body = [&]() {
+    try {
+      std::vector<WindowFolder> folders;
+      folders.reserve(machines);
+      for (std::size_t i = 0; i < machines; ++i) {
+        folders.emplace_back(static_cast<int>(i),
+                             cfg_.monitor.window_samples);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      auto last_report = t0;
+      std::vector<SampleBatch> burst;
+      for (;;) {
+        // Load the done flag BEFORE draining: if it was already set and
+        // the drain still finds nothing, no producer can publish again.
+        const bool done = producers_done.load(std::memory_order_acquire);
+        bool any = false;
+        for (std::size_t i = 0; i < machines; ++i) {
+          burst.clear();
+          if (queues[i]->drain_into(burst, cfg_.fleet.queue_capacity) > 0) {
+            for (const SampleBatch& batch : burst) {
+              for (const Sample& s : batch) folders[i].add(s);
+            }
+            any = true;
+          }
+        }
+        if (progress_) {
+          const auto now = std::chrono::steady_clock::now();
+          if (std::chrono::duration<double>(now - last_report).count() >=
+              progress_interval_seconds_) {
+            last_report = now;
+            FleetProgress p;
+            p.elapsed_seconds =
+                std::chrono::duration<double>(now - t0).count();
+            for (const WindowFolder& f : folders) {
+              p.samples_folded += f.samples_folded();
+              p.rows_emitted += f.points().size();
+            }
+            progress_(p);
+          }
+        }
+        if (!any) {
+          if (done) break;
+          std::this_thread::yield();
+        }
+      }
+      folded_.assign(machines, {});
+      for (std::size_t i = 0; i < machines; ++i) {
+        folders[i].finish();
+        folded_[i] = folders[i].take_points();
+      }
+    } catch (...) {
+      record_failure();
+      aggregation_alive.store(false, std::memory_order_release);
+    }
+  };
+
+  folded_.clear();
+  std::thread aggregation(aggregator_body);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  // Contiguous shards, sized ceil(machines / workers): worker w steps
+  // collectors [w*per, min((w+1)*per, machines)).
+  const std::size_t per =
+      (machines + static_cast<std::size_t>(workers) - 1) /
+      static_cast<std::size_t>(workers);
+  for (int w = 0; w < workers; ++w) {
+    const std::size_t lo =
+        std::min(static_cast<std::size_t>(w) * per, machines);
+    const std::size_t hi = std::min(lo + per, machines);
+    if (lo >= hi) break;
+    pool.emplace_back(worker_body, lo, hi);
+  }
+  for (std::thread& t : pool) t.join();
+  producers_done.store(true, std::memory_order_release);
+  aggregation.join();
+  if (failure) {
+    // A failed run must not present partially folded windows as valid
+    // rollups; fall back to the retention rings.
+    folded_.clear();
+    std::rethrow_exception(failure);
+  }
+  steps_ += total_steps;
+}
+
 std::vector<SeriesPoint> Agent::rollups() const {
-  const Aggregator aggregator(cfg_.monitor.window_samples);
   std::vector<SeriesPoint> out;
+  if (!folded_.empty()) {
+    for (const auto& machine_points : folded_) {
+      out.insert(out.end(), machine_points.begin(), machine_points.end());
+    }
+    return out;
+  }
+  const Aggregator aggregator(cfg_.monitor.window_samples);
   for (const auto& collector : collectors_) {
     auto points =
         aggregator.rollup(collector->machine_id(), collector->samples());
@@ -44,6 +230,14 @@ std::vector<SeriesPoint> Agent::rollups() const {
                std::make_move_iterator(points.end()));
   }
   return out;
+}
+
+void Agent::set_progress(std::function<void(const FleetProgress&)> callback,
+                         double interval_seconds) {
+  LIKWID_REQUIRE(interval_seconds > 0,
+                 "progress interval must be positive");
+  progress_ = std::move(callback);
+  progress_interval_seconds_ = interval_seconds;
 }
 
 }  // namespace likwid::monitor

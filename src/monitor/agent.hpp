@@ -1,14 +1,30 @@
-// agent.hpp — the fleet driver of likwid-agent.
+// agent.hpp — the fleet scheduler of likwid-agent.
 //
 // An Agent owns one Collector per monitored machine and advances the whole
-// fleet in lockstep sampling intervals. Rollups across the fleet come from
-// the Aggregator; the cli series writers export them. This is the
-// process-level composition point future scaling PRs shard or make
-// asynchronous — collectors are already independent by construction (each
-// owns its node and clock).
+// fleet in lockstep sampling intervals. With FleetConfig::num_threads == 1
+// it is the original serial loop; with N > 1 it becomes a thread-pooled
+// scheduler: the collectors are sharded over N worker threads (one worker
+// per num_machines/N nodes), each worker publishes Sample batches into a
+// per-collector lock-free SPSC transport ring (monitor/spsc_ring.hpp), and
+// one dedicated aggregation thread drains the rings and folds the samples
+// into min/avg/max/p95 windows as they arrive (monitor::WindowFolder).
+//
+//   worker 0 ── step ──> Collector 0 ─┐ batch   ┌> SpscRing 0 ─┐
+//              step ──> Collector 1 ─┤ ──────> ├> SpscRing 1 ─┼─> aggregation
+//   worker 1 ── step ──> Collector 2 ─┤         ├> SpscRing 2 ─┤   thread
+//              step ──> Collector 3 ─┘         └> SpscRing 3 ─┘   (folds
+//                                                                  windows)
+//
+// Collectors are independent by construction (each owns its node, clock
+// and RNG stream), so a machine's sample stream is identical no matter
+// which worker steps it: threaded rollups are bit-equal to the serial
+// fold over the same samples. The two paths differ only when the per-
+// collector retention ring overwrote samples — the serial rollup reads the
+// retained ring, the aggregation thread saw every sample live.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -20,19 +36,29 @@ namespace likwid::monitor {
 
 struct AgentConfig {
   MonitorConfig monitor;       ///< per-machine configuration
+  FleetConfig fleet;           ///< worker/aggregation scheduling
   int num_machines = 1;
   double duration_seconds = 1.0;  ///< simulated time run() covers
+};
+
+/// Snapshot handed to the progress callback from the aggregation thread.
+struct FleetProgress {
+  double elapsed_seconds = 0;        ///< real time since run() started
+  std::uint64_t samples_folded = 0;  ///< samples folded into windows so far
+  std::uint64_t rows_emitted = 0;    ///< rollup rows closed so far
 };
 
 class Agent {
  public:
   explicit Agent(AgentConfig config);
 
-  /// One sampling interval on every machine of the fleet.
+  /// One sampling interval on every machine of the fleet (serial path;
+  /// not meant to be mixed with a concurrently executing run()).
   void step();
 
   /// Step until `duration_seconds` of simulated time is covered
-  /// (ceil(duration / interval) steps).
+  /// (ceil(duration / interval) steps), serially or on the worker pool
+  /// per FleetConfig::num_threads.
   void run();
 
   std::uint64_t steps() const noexcept { return steps_; }
@@ -41,13 +67,42 @@ class Agent {
     return collectors_;
   }
 
+  /// Worker threads run() will shard the fleet over (resolved thread
+  /// count capped at the machine count). The single source of the
+  /// scheduling policy — tools display it rather than re-deriving it.
+  int planned_workers() const noexcept;
+  /// Whether run() will use the threaded scheduler (more than one worker,
+  /// or FleetConfig::force_threaded).
+  bool plans_threaded() const noexcept;
+
+  /// Whether the last run() COMPLETED on the threaded scheduler (a
+  /// failed threaded run, or a later serial step(), clears this and
+  /// rollups() falls back to the retention rings).
+  bool threaded() const noexcept { return !folded_.empty(); }
+
   /// Windowed rollups of every machine, fleet-ordered by machine id.
+  /// After a threaded run these are the live-folded windows of that run;
+  /// otherwise they are computed from each machine's retention ring.
   std::vector<SeriesPoint> rollups() const;
 
+  /// Install a live progress callback, invoked from the aggregation
+  /// thread roughly every `interval_seconds` of real time during a
+  /// threaded run (never from a serial run). The callback must be
+  /// thread-safe with respect to the caller's own state.
+  void set_progress(std::function<void(const FleetProgress&)> callback,
+                    double interval_seconds = 0.5);
+
  private:
+  void run_serial(std::uint64_t total_steps);
+  void run_threaded(std::uint64_t total_steps, int workers);
+
   AgentConfig cfg_;
   std::vector<std::unique_ptr<Collector>> collectors_;
   std::uint64_t steps_ = 0;
+  /// Per-machine rollup rows folded live by the last threaded run.
+  std::vector<std::vector<SeriesPoint>> folded_;
+  std::function<void(const FleetProgress&)> progress_;
+  double progress_interval_seconds_ = 0.5;
 };
 
 }  // namespace likwid::monitor

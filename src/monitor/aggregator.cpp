@@ -95,70 +95,54 @@ double node_reduce(const std::string& metric_name,
   return reduce_values(reduce_kind_of(metric_name), values);
 }
 
-Aggregator::Aggregator(int window_samples) : window_samples_(window_samples) {
+WindowFolder::WindowFolder(int machine_id, int window_samples)
+    : machine_id_(machine_id), window_samples_(window_samples) {
   LIKWID_REQUIRE(window_samples_ > 0, "window length must be positive");
 }
 
-std::vector<SeriesPoint> Aggregator::rollup(int machine_id,
-                                            const SampleRing& ring) const {
-  struct OpenWindow {
-    double t_start = 0;
-    double t_end = 0;
-    std::shared_ptr<const MetricSchema> schema;
-    /// metric slot -> its values in this window. Cleared (capacity kept)
-    /// on flush, so one buffer set serves every window of the group.
-    std::vector<std::vector<double>> series;
-    std::size_t samples = 0;
-  };
-
-  std::vector<SeriesPoint> out;
-  int window_index = 0;
-  // group id -> its currently open window. With rotation the groups
-  // interleave in the ring; each group fills its own windows at its own
-  // cadence, exactly like a per-group downsampler.
-  std::map<core::NameId, OpenWindow> open;
-
-  const auto flush = [&](OpenWindow& w) {
-    // Emit in metric-name order (the schema's precomputed permutation),
-    // matching the old string-keyed rollup maps byte for byte.
-    for (const std::size_t slot : w.schema->output_order) {
-      SeriesPoint p;
-      p.machine_id = machine_id;
-      p.window = window_index;
-      p.t_start = w.t_start;
-      p.t_end = w.t_end;
-      p.group_id = w.schema->group_id;
-      p.metric_id = w.schema->metric_ids[slot];
-      p.stats = compute_stats(w.series[slot]);
-      out.push_back(std::move(p));
-    }
-    ++window_index;
-    w.samples = 0;
-    for (auto& s : w.series) s.clear();
-  };
-
-  for (std::size_t i = 0; i < ring.size(); ++i) {
-    const Sample& s = ring[i];
-    LIKWID_ASSERT(s.schema != nullptr, "ring sample without a schema");
-    OpenWindow& w = open[s.schema->group_id];
-    if (w.samples == 0) {
-      w.t_start = s.t_start;
-      w.schema = s.schema;
-      w.series.resize(s.values.size());
-    }
-    w.t_end = s.t_end;
-    for (std::size_t m = 0; m < s.values.size(); ++m) {
-      w.series[m].push_back(s.values[m]);
-    }
-    ++w.samples;
-    if (w.samples == static_cast<std::size_t>(window_samples_)) {
-      flush(w);
-    }
+void WindowFolder::flush(OpenWindow& w) {
+  // Emit in metric-name order (the schema's precomputed permutation),
+  // matching the old string-keyed rollup maps byte for byte.
+  for (const std::size_t slot : w.schema->output_order) {
+    SeriesPoint p;
+    p.machine_id = machine_id_;
+    p.window = window_index_;
+    p.t_start = w.t_start;
+    p.t_end = w.t_end;
+    p.group_id = w.schema->group_id;
+    p.metric_id = w.schema->metric_ids[slot];
+    p.stats = compute_stats(w.series[slot]);
+    points_.push_back(std::move(p));
   }
+  ++window_index_;
+  w.samples = 0;
+  for (auto& s : w.series) s.clear();
+}
+
+void WindowFolder::add(const Sample& s) {
+  LIKWID_ASSERT(s.schema != nullptr, "sample without a schema");
+  OpenWindow& w = open_[s.schema->group_id];
+  if (w.samples == 0) {
+    w.t_start = s.t_start;
+    w.schema = s.schema;
+    w.series.resize(s.values.size());
+  }
+  w.t_end = s.t_end;
+  for (std::size_t m = 0; m < s.values.size(); ++m) {
+    w.series[m].push_back(s.values[m]);
+  }
+  ++w.samples;
+  ++samples_folded_;
+  if (w.samples == static_cast<std::size_t>(window_samples_)) {
+    flush(w);
+  }
+}
+
+void WindowFolder::finish() {
   // Trailing partial windows, oldest-first by window start so the emitted
   // window indices stay in time order across groups.
   std::vector<OpenWindow*> trailing;
-  for (auto& [group, w] : open) {
+  for (auto& [group, w] : open_) {
     if (w.samples > 0) trailing.push_back(&w);
   }
   std::sort(trailing.begin(), trailing.end(),
@@ -168,7 +152,20 @@ std::vector<SeriesPoint> Aggregator::rollup(int machine_id,
   for (OpenWindow* w : trailing) {
     flush(*w);
   }
-  return out;
+}
+
+Aggregator::Aggregator(int window_samples) : window_samples_(window_samples) {
+  LIKWID_REQUIRE(window_samples_ > 0, "window length must be positive");
+}
+
+std::vector<SeriesPoint> Aggregator::rollup(int machine_id,
+                                            const SampleRing& ring) const {
+  WindowFolder folder(machine_id, window_samples_);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    folder.add(ring[i]);
+  }
+  folder.finish();
+  return folder.take_points();
 }
 
 }  // namespace likwid::monitor

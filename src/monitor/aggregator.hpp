@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,60 @@ WindowStats compute_stats(std::vector<double>& values);
 /// metric instead (see MetricSchema).
 double node_reduce(const std::string& metric_name,
                    const std::map<int, double>& per_cpu);
+
+/// Streaming per-machine window folder: feed it one machine's samples in
+/// production order (add), flush the trailing partials (finish), read the
+/// emitted rollup rows (points). One folder per machine is exactly the
+/// state the fleet's aggregation thread keeps while it drains sample
+/// batches; Aggregator::rollup() runs the identical fold over a retained
+/// ring, so batch and streaming aggregation emit the same rows by
+/// construction.
+///
+/// Thread-safety: none. A folder is owned by whichever single thread folds
+/// that machine (the aggregation thread during a fleet run).
+class WindowFolder {
+ public:
+  /// Windows close after `window_samples` consecutive samples of the same
+  /// group; a trailing partial window is emitted with its actual count.
+  WindowFolder(int machine_id, int window_samples);
+
+  /// Fold one sample; closes (and emits) a window when it fills.
+  void add(const Sample& sample);
+
+  /// Flush the open partial windows, oldest window start first, so the
+  /// emitted window indices stay in time order across groups.
+  void finish();
+
+  /// Rows emitted so far, in window order.
+  const std::vector<SeriesPoint>& points() const noexcept { return points_; }
+  std::vector<SeriesPoint> take_points() { return std::move(points_); }
+
+  int machine_id() const noexcept { return machine_id_; }
+  std::uint64_t samples_folded() const noexcept { return samples_folded_; }
+
+ private:
+  /// One group's currently filling window. With rotation the groups
+  /// interleave in the sample stream; each group fills its own windows at
+  /// its own cadence, exactly like a per-group downsampler.
+  struct OpenWindow {
+    double t_start = 0;
+    double t_end = 0;
+    std::shared_ptr<const MetricSchema> schema;
+    /// metric slot -> its values in this window. Cleared (capacity kept)
+    /// on flush, so one buffer set serves every window of the group.
+    std::vector<std::vector<double>> series;
+    std::size_t samples = 0;
+  };
+
+  void flush(OpenWindow& window);
+
+  int machine_id_;
+  int window_samples_;
+  int window_index_ = 0;
+  std::uint64_t samples_folded_ = 0;
+  std::map<core::NameId, OpenWindow> open_;
+  std::vector<SeriesPoint> points_;
+};
 
 class Aggregator {
  public:

@@ -8,7 +8,15 @@
 // IntervalSampler, reduces the derived metrics to node level and retains
 // the sample in the bounded ring. Everything is deterministic in
 // (machine_id, MonitorConfig), which is what makes fleet-scale tests and
-// reproducible incident analysis possible.
+// reproducible incident analysis possible — and what lets the threaded
+// fleet scheduler shard collectors over workers without changing any
+// machine's sample stream.
+//
+// Thread-safety: a Collector is confined to one thread at a time. During a
+// threaded fleet run exactly one worker steps it and reads its ring; any
+// thread may read it after the fleet joined. The only process-global state
+// a step touches is core::NameTable, which is internally synchronized (all
+// schema interning happens at construction anyway).
 #pragma once
 
 #include <cstdint>

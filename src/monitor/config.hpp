@@ -55,6 +55,32 @@ struct MonitorConfig {
   std::uint64_t seed = 42;
 };
 
+/// Fleet-level scheduling configuration: how many worker threads step the
+/// collectors and how their samples travel to the aggregation thread.
+struct FleetConfig {
+  /// Worker threads stepping the fleet. 1 keeps the serial in-thread loop
+  /// (deterministic legacy path, no aggregation thread); N > 1 shards the
+  /// collectors over N workers plus one dedicated aggregation thread.
+  /// 0 picks std::thread::hardware_concurrency().
+  int num_threads = 1;
+  /// Samples a worker accumulates per collector before publishing one
+  /// batch to the aggregation thread (the last batch of a run may be
+  /// shorter). Batching amortizes the queue traffic: with B samples per
+  /// push, cursor traffic drops by B.
+  std::size_t batch_samples = 16;
+  /// Batches each collector's SPSC transport ring can hold before the
+  /// worker has to wait for the aggregation thread to catch up.
+  std::size_t queue_capacity = 64;
+  /// Run the threaded scheduler even when only one worker resolves
+  /// (pool of 1 + aggregation thread). The default keeps single-worker
+  /// runs on the plain serial loop; forcing is how the scaling bench
+  /// measures the scheduler's own overhead at 1 worker.
+  bool force_threaded = false;
+
+  /// Worker count after resolving 0 = hardware concurrency.
+  int resolved_threads() const;
+};
+
 /// How a per-cpu metric reduces to one node-level value (see
 /// reduce_kind_of() for the naming rules).
 enum class ReduceKind {

@@ -1,10 +1,30 @@
-// ring_buffer.hpp — fixed-capacity sample storage for the always-on agent.
+// ring_buffer.hpp — fixed-capacity sample retention for the always-on
+// agent.
 //
 // A monitoring daemon runs indefinitely but memory must not: the agent
 // keeps the most recent `capacity` samples per machine and overwrites the
 // oldest on overflow, counting what it dropped (the LIKWID Monitoring
 // Stack keeps the same bounded retention between router flushes). Indexing
 // is age-ordered: [0] is the oldest retained sample, [size()-1] the newest.
+//
+// This is the single-threaded retention store: it must only ever be
+// touched by the thread that owns it (a collector's worker during a fleet
+// run, or any thread after the fleet joined). The cross-thread transport
+// between collectors and the aggregation thread is monitor::SpscRing,
+// which is lock-free precisely because it refuses to overwrite (see the
+// design note there).
+//
+// Internally the ring runs on monotonic begin_/end_ cursors (size is their
+// difference) rather than a wrapped head index, and an overwriting push
+// RETIRES THE OLDEST SLOT BEFORE WRITING IT. The old scheme assigned into
+// the slot while the indexing still exposed it as the front element, so a
+// move assignment that throws partway (a sample payload allocating) left a
+// half-written slot published as valid data. Retiring first makes the
+// throwing case consistent — the oldest sample is gone, the new one was
+// never published, every visible slot is intact — and keeps the overwrite
+// safe even if push ever takes its argument by reference (today's by-value
+// signature copies before touching any slot, so push(ring.front()) was
+// already alias-safe).
 #pragma once
 
 #include <cstddef>
@@ -25,49 +45,64 @@ class RingBuffer {
 
   /// Append a sample, overwriting the oldest one when full.
   void push(T value) {
-    const std::size_t slot = (head_ + size_) % slots_.size();
-    slots_[slot] = std::move(value);
-    if (size_ < slots_.size()) {
-      ++size_;
-    } else {
-      head_ = (head_ + 1) % slots_.size();
+    if (full()) {
+      // Retire the oldest sample before its slot is reused, so indexing
+      // never exposes a slot that is being overwritten.
+      ++begin_;
       ++dropped_;
     }
+    slots_[slot_of(end_)] = std::move(value);
+    ++end_;
     ++pushed_;
   }
 
-  std::size_t size() const noexcept { return size_; }
+  /// Remove and return the oldest retained sample (drain-style
+  /// consumption); throws Error(kInvalidArgument) when empty.
+  T pop_front() {
+    LIKWID_REQUIRE(end_ != begin_, "ring buffer is empty");
+    T value = std::move(slots_[slot_of(begin_)]);
+    ++begin_;
+    return value;
+  }
+
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(end_ - begin_);
+  }
   std::size_t capacity() const noexcept { return slots_.size(); }
-  bool empty() const noexcept { return size_ == 0; }
-  bool full() const noexcept { return size_ == slots_.size(); }
+  bool empty() const noexcept { return end_ == begin_; }
+  bool full() const noexcept { return size() == slots_.size(); }
 
   /// Total samples ever pushed, including overwritten ones.
   std::uint64_t pushed() const noexcept { return pushed_; }
-  /// Samples lost to overwriting (cleared samples are not "dropped").
+  /// Samples lost to overwriting (cleared/popped samples are not
+  /// "dropped").
   std::uint64_t dropped() const noexcept { return dropped_; }
 
   /// Age-ordered access: index 0 is the oldest retained sample.
   const T& operator[](std::size_t index) const {
-    LIKWID_REQUIRE(index < size_, "ring buffer index out of range");
-    return slots_[(head_ + index) % slots_.size()];
+    LIKWID_REQUIRE(index < size(), "ring buffer index out of range");
+    return slots_[slot_of(begin_ + index)];
   }
 
   const T& front() const { return (*this)[0]; }
   const T& back() const {
-    LIKWID_REQUIRE(size_ > 0, "ring buffer is empty");
-    return (*this)[size_ - 1];
+    LIKWID_REQUIRE(end_ != begin_, "ring buffer is empty");
+    return (*this)[size() - 1];
   }
 
   void clear() noexcept {
-    head_ = 0;
-    size_ = 0;
+    begin_ = end_;
     // pushed_/dropped_ survive: they describe the buffer's lifetime.
   }
 
  private:
+  std::size_t slot_of(std::uint64_t cursor) const noexcept {
+    return static_cast<std::size_t>(cursor % slots_.size());
+  }
+
   std::vector<T> slots_;
-  std::size_t head_ = 0;  ///< slot of the oldest sample
-  std::size_t size_ = 0;
+  std::uint64_t begin_ = 0;  ///< cursor of the oldest retained sample
+  std::uint64_t end_ = 0;    ///< one past the newest sample
   std::uint64_t pushed_ = 0;
   std::uint64_t dropped_ = 0;
 };

@@ -1,0 +1,120 @@
+// spsc_ring.hpp — lock-free single-producer/single-consumer transport ring.
+//
+// The concurrent fleet pipeline moves Sample batches from each collector's
+// worker thread to the aggregation thread through one of these per
+// collector. It is a classic bounded SPSC queue over monotonic cursors:
+// the producer owns tail_, the consumer owns head_, each side caches the
+// other's cursor so the common case touches one shared atomic per
+// operation (the rigtorp/folly ProducerConsumerQueue construction).
+//
+// Design note on overwrite semantics: a lock-free ring cannot overwrite
+// its oldest element for non-trivially-copyable payloads — the producer
+// would mutate a slot the consumer may be reading, which is a torn read no
+// memory ordering can repair (only per-slot seqlocks over memcpy-able
+// types can). So under backpressure try_push() REJECTS THE NEWEST element
+// and counts it; keep-most-recent retention (overwrite-oldest) lives in
+// the single-threaded monitor::RingBuffer on whichever side owns it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+
+/// Destructive-interference distance of every x86 this suite models. Not
+/// std::hardware_destructive_interference_size: its value is ABI-unstable
+/// and GCC warns on any use (-Winterference-size).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    LIKWID_REQUIRE(capacity > 0, "spsc ring capacity must be positive");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Appends `value` unless the ring is full; a rejected
+  /// element is counted in rejected() and left untouched in `value`.
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == capacity_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    slots_[static_cast<std::size_t>(tail % capacity_)] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side. Moves the oldest element into `out`; false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[static_cast<std::size_t>(head % capacity_)]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Pops up to `max` elements into `out` (appended);
+  /// returns how many were moved.
+  std::size_t drain_into(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    T item;
+    while (n < max && try_pop(item)) {
+      out.push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Approximate occupancy; exact only when both sides are quiescent.
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail >= head ? tail - head : 0);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Elements successfully published (does not include rejected ones).
+  std::uint64_t pushed() const noexcept {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  /// try_push() calls bounced off a full ring.
+  std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<T> slots_;
+  /// Consumer cursor (total elements popped) and the producer's cached
+  /// view of it; separate cache lines so the cursors do not false-share.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLineSize) std::uint64_t head_cache_ = 0;  ///< producer-owned
+  /// Producer cursor (total elements pushed) and the consumer's cache.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLineSize) std::uint64_t tail_cache_ = 0;  ///< consumer-owned
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace likwid::monitor

@@ -1,9 +1,21 @@
-// Tests for the agent's bounded sample storage (monitor/ring_buffer.hpp):
-// fill-up, wrap/overwrite semantics, age-ordered indexing, drop
-// accounting, and misuse rejection.
+// Tests for the agent's sample transport and storage rings:
+//  - monitor/ring_buffer.hpp (single-threaded retention): fill-up,
+//    wrap/overwrite semantics (including the retire-before-overwrite fix
+//    for self-referential pushes on a full ring), age-ordered indexing,
+//    pop_front draining, drop accounting, and misuse rejection.
+//  - monitor/spsc_ring.hpp (lock-free SPSC transport): full-buffer
+//    rejection, wrap-around reuse, and a concurrent produce/drain stress
+//    run checking that nothing is lost, duplicated or reordered.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "monitor/ring_buffer.hpp"
+#include "monitor/spsc_ring.hpp"
 #include "util/status.hpp"
 
 namespace likwid::monitor {
@@ -78,6 +90,188 @@ TEST(RingBuffer, ClearKeepsLifetimeStatistics) {
   ring.push(7);
   EXPECT_EQ(ring[0], 7);
   EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(RingBuffer, ClearAfterWrapKeepsAgeOrder) {
+  RingBuffer<int> ring(3);
+  for (int v = 0; v < 7; ++v) ring.push(v);  // wrapped twice
+  ring.clear();
+  for (int v = 10; v < 13; ++v) ring.push(v);
+  EXPECT_EQ(ring[0], 10);
+  EXPECT_EQ(ring[1], 11);
+  EXPECT_EQ(ring[2], 12);
+  EXPECT_TRUE(ring.full());
+}
+
+// Retire-before-overwrite regression anchor: re-enqueueing the full
+// ring's own front must stay correct. The by-value push signature copies
+// the argument before any slot is touched (so this passed before the
+// reorder too); the reorder's real payoff is consistency when the move
+// assignment into the slot throws, and this test pins the aliasing
+// behavior so a future pass-by-reference push cannot regress it.
+TEST(RingBuffer, SelfPushOfFrontOnFullRing) {
+  RingBuffer<std::string> ring(3);
+  ring.push("aaaa");
+  ring.push("bbbb");
+  ring.push("cccc");
+  ring.push(ring.front());  // re-enqueue the oldest
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring[0], "bbbb");
+  EXPECT_EQ(ring[1], "cccc");
+  EXPECT_EQ(ring[2], "aaaa");
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(RingBuffer, PopFrontDrainsInAgeOrder) {
+  RingBuffer<int> ring(3);
+  for (int v = 0; v < 5; ++v) ring.push(v);  // retains 2,3,4
+  EXPECT_EQ(ring.pop_front(), 2);
+  EXPECT_EQ(ring.pop_front(), 3);
+  ring.push(5);
+  EXPECT_EQ(ring.pop_front(), 4);
+  EXPECT_EQ(ring.pop_front(), 5);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.pop_front(), Error);
+  // Popped samples are consumed, not dropped.
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(RingBuffer, InterleavedPushPopAcrossManyWraps) {
+  RingBuffer<int> ring(4);
+  // Consumption (1 pop per 3 pushes) lags production by more than the
+  // capacity, so the ring wraps continuously; the retained window must
+  // always be the contiguous suffix of what was pushed.
+  int oldest = 0;  // value currently at the front
+  for (int v = 0; v < 1000; ++v) {
+    ring.push(v);
+    oldest = std::max(oldest, v + 1 - static_cast<int>(ring.capacity()));
+    if (v % 3 == 2) {
+      ASSERT_EQ(ring.pop_front(), oldest);
+      ++oldest;
+    }
+    ASSERT_EQ(ring.front(), oldest);
+    ASSERT_EQ(ring.back(), v);
+  }
+  EXPECT_EQ(ring.pushed(), 1000u);
+}
+
+// --- SpscRing: the lock-free transport ------------------------------------
+
+TEST(SpscRing, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscRing<int>(0), Error);
+}
+
+TEST(SpscRing, FullBufferRejectsNewestAndCounts) {
+  SpscRing<int> ring(2);
+  int v1 = 1, v2 = 2, v3 = 3;
+  EXPECT_TRUE(ring.try_push(std::move(v1)));
+  EXPECT_TRUE(ring.try_push(std::move(v2)));
+  EXPECT_FALSE(ring.try_push(std::move(v3)));  // full: newest bounces
+  EXPECT_EQ(ring.pushed(), 2u);
+  EXPECT_EQ(ring.rejected(), 1u);
+  EXPECT_EQ(ring.size(), 2u);
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);  // oldest first; nothing was overwritten
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, WrapAroundReusesSlotsInOrder) {
+  SpscRing<int> ring(3);
+  int out = 0;
+  for (int v = 0; v < 100; ++v) {
+    int value = v;
+    ASSERT_TRUE(ring.try_push(std::move(value)));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, v);  // cursors far beyond capacity: slots reused FIFO
+  }
+  EXPECT_EQ(ring.pushed(), 100u);
+  EXPECT_EQ(ring.rejected(), 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, DrainIntoRespectsLimitAndOrder) {
+  SpscRing<int> ring(8);
+  for (int v = 0; v < 6; ++v) {
+    int value = v;
+    ASSERT_TRUE(ring.try_push(std::move(value)));
+  }
+  std::vector<int> out;
+  EXPECT_EQ(ring.drain_into(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ring.drain_into(out, 100), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+// Concurrent produce/drain under load: a small ring forces constant
+// wrap-around and backpressure while producer and consumer run on real
+// threads. Everything pushed must come out exactly once, in order —
+// under TSan this is also the memory-ordering proof of the ring.
+TEST(SpscRing, ConcurrentProduceDrainUnderLoad) {
+  constexpr std::uint64_t kItems = 200'000;
+  SpscRing<std::uint64_t> ring(16);
+
+  std::thread producer([&]() {
+    for (std::uint64_t v = 0; v < kItems;) {
+      std::uint64_t value = v;
+      if (ring.try_push(std::move(value))) {
+        ++v;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t out = 0;
+  while (expected < kItems) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);  // in order, no loss, no duplication
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(ring.pushed(), kItems);
+  EXPECT_TRUE(ring.empty());
+}
+
+// Same under a non-trivially-copyable payload (vector batches, like the
+// fleet's Sample batches), draining in bursts.
+TEST(SpscRing, ConcurrentBatchDrain) {
+  constexpr int kBatches = 5'000;
+  constexpr int kBatchLen = 7;
+  SpscRing<std::vector<int>> ring(8);
+
+  std::thread producer([&]() {
+    for (int b = 0; b < kBatches;) {
+      std::vector<int> batch;
+      batch.reserve(kBatchLen);
+      for (int i = 0; i < kBatchLen; ++i) batch.push_back(b * kBatchLen + i);
+      while (!ring.try_push(std::move(batch))) {
+        std::this_thread::yield();
+      }
+      ++b;
+    }
+  });
+
+  std::vector<std::vector<int>> got;
+  while (got.size() < static_cast<std::size_t>(kBatches)) {
+    if (ring.drain_into(got, 64) == 0) std::this_thread::yield();
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kBatches));
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_EQ(got[static_cast<std::size_t>(b)].size(),
+              static_cast<std::size_t>(kBatchLen));
+    for (int i = 0; i < kBatchLen; ++i) {
+      ASSERT_EQ(got[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)],
+                b * kBatchLen + i);
+    }
+  }
 }
 
 }  // namespace

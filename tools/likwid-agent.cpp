@@ -3,9 +3,10 @@
 // (after the LIKWID Monitoring Stack, Röhl et al. 2017).
 //
 // Usage:
-//   likwid-agent [--machines N] [--interval-ms MS] [--duration-ms MS]
-//                [--group G[;G2;...]] [--window N] [--ring N] [--no-rotate]
-//                [--machine KEY] [--seed S] [--csv FILE] [--xml FILE]
+//   likwid-agent [--nodes N] [--threads W] [--interval-ms MS]
+//                [--duration-ms MS] [--group G[;G2;...]] [--window N]
+//                [--ring N] [--no-rotate] [--machine KEY] [--seed S]
+//                [--csv FILE] [--xml FILE]
 //
 // Every machine of the fleet runs a deterministic resident workload; each
 // sampling interval the agent closes a counter measurement, reduces the
@@ -14,7 +15,15 @@
 // metric as a timestamped CSV/XML series. Multiple groups rotate between
 // intervals (counter multiplexing at monitoring cadence) unless
 // --no-rotate pins the first group.
+//
+// With --threads W > 1 the fleet is sharded over W worker threads and the
+// samples are folded live by a dedicated aggregation thread (the same
+// rollup rows the serial path emits); a live fleet summary goes to stderr
+// while the run is in flight. --threads 0 uses one worker per hardware
+// thread.
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "cli/sinks.hpp"
 #include "monitor/agent.hpp"
@@ -26,24 +35,34 @@ int main(int argc, char** argv) {
   return tools::tool_main([&]() {
     const cli::ArgParser args(
         argc, argv,
-        {"--machines", "--interval-ms", "--duration-ms", "--group",
-         "--window", "--ring", "--machine", "--enum", "--seed", "--csv",
-         "--xml"});
+        {"--machines", "--nodes", "--threads", "--interval-ms",
+         "--duration-ms", "--group", "--window", "--ring", "--machine",
+         "--enum", "--seed", "--csv", "--xml"});
     if (args.has("-h") || args.has("--help")) {
       std::cout
-          << "Usage: likwid-agent [--machines N] [--interval-ms MS]\n"
-          << "                    [--duration-ms MS] [--group G[;G2...]]\n"
-          << "                    [--window N] [--ring N] [--no-rotate]\n"
-          << "                    [--seed S] [--csv FILE] [--xml FILE]\n"
+          << "Usage: likwid-agent [--nodes N] [--threads W]\n"
+          << "                    [--interval-ms MS] [--duration-ms MS]\n"
+          << "                    [--group G[;G2...]] [--window N]\n"
+          << "                    [--ring N] [--no-rotate] [--seed S]\n"
+          << "                    [--csv FILE] [--xml FILE]\n"
           << "Monitors a fleet of simulated nodes continuously and emits\n"
           << "windowed min/avg/max/p95 metric rollups per machine.\n"
+          << "--threads W > 1 shards the fleet over W worker threads with\n"
+          << "live aggregation (0 = one worker per hardware thread);\n"
+          << "--machines is accepted as an alias of --nodes.\n"
           << tools::machine_help();
       return 0;
     }
 
     monitor::AgentConfig cfg;
+    // --nodes is the fleet-scheduler name for the flag; --machines, the
+    // original spelling, stays as an alias.
     cfg.num_machines = static_cast<int>(
-        util::parse_u64(args.value_or("--machines", "1")).value_or(1));
+        util::parse_u64(
+            args.value_or("--nodes", args.value_or("--machines", "1")))
+            .value_or(1));
+    cfg.fleet.num_threads = static_cast<int>(
+        util::parse_u64(args.value_or("--threads", "1")).value_or(1));
     const double interval_ms =
         util::parse_double(args.value_or("--interval-ms", "100"))
             .value_or(100);
@@ -67,13 +86,35 @@ int main(int argc, char** argv) {
         util::parse_u64(args.value_or("--seed", "42")).value_or(42);
 
     monitor::Agent agent(cfg);
+    const int workers = agent.planned_workers();
+    if (agent.plans_threaded()) {
+      // Live fleet summary: the aggregation thread reports fold progress
+      // to stderr while the workers run, so a long fleet run is visibly
+      // alive without disturbing the stdout series.
+      agent.set_progress([](const monitor::FleetProgress& p) {
+        std::cerr << "likwid-agent: +"
+                  << util::format_metric(p.elapsed_seconds) << " s  "
+                  << p.samples_folded << " samples folded, "
+                  << p.rows_emitted << " rollup rows, "
+                  << util::format_metric(
+                         p.elapsed_seconds > 0
+                             ? static_cast<double>(p.samples_folded) /
+                                   p.elapsed_seconds
+                             : 0)
+                  << " samples/s\n";
+      });
+    }
     agent.run();
 
     std::cout << "likwid-agent: monitored " << cfg.num_machines << " x "
               << cfg.monitor.machine_preset << " for "
               << util::format_metric(cfg.duration_seconds) << " s at "
               << util::format_metric(cfg.monitor.interval_seconds * 1000)
-              << " ms cadence (" << agent.steps() << " intervals)\n";
+              << " ms cadence (" << agent.steps() << " intervals, "
+              << (agent.threaded()
+                      ? std::to_string(workers) + " workers + aggregation"
+                      : std::string("serial"))
+              << ")\n";
     for (const auto& collector : agent.collectors()) {
       const auto& ring = collector->samples();
       std::cout << "  machine " << collector->machine_id() << ": "
