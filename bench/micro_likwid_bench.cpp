@@ -1,0 +1,142 @@
+// Micro harness for the likwid-bench subsystem: run every registered
+// kernel over a memory-sized socket workgroup, record the simulated
+// bandwidth/FLOPS each sustains, and gate on the model cross-check — the
+// measured bandwidth of every kernel must agree with the independent
+// perfmodel::bandwidth prediction within the documented tolerance. This
+// is the trajectory point that ties the microbenchmark subsystem to the
+// machine model: if either side drifts, the gate trips.
+//
+// Emits a human-readable table and a machine-readable
+// BENCH_likwid_bench.json (CI runs `--smoke`; scripts/run-benches.sh
+// writes the repo-root trajectory file). Pass `--out FILE` to relocate
+// the JSON.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "microbench/kernels.hpp"
+#include "microbench/runner.hpp"
+
+namespace {
+
+using namespace likwid;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct KernelPoint {
+  std::string name;
+  std::string bound;
+  double mbytes_per_s = 0;
+  double mflops_per_s = 0;
+  double traffic_gbytes_per_s = 0;
+  double model_mbytes_per_s = 0;
+  double rel_error = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_likwid_bench.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const std::string machine = "westmere-ep";
+  // Memory-sized per-thread slices so the gate exercises the waterfilled
+  // controller path; smoke shrinks the set and the sweep count.
+  const std::string workgroup = smoke ? "S0:32MB:4" : "S0:256MB:6";
+  const int sweeps = smoke ? 2 : 4;
+
+  std::printf("==================== micro_likwid_bench ====================\n");
+  std::printf("# %s, workgroup %s, %d sweeps (%s mode)\n", machine.c_str(),
+              workgroup.c_str(), sweeps, smoke ? "smoke" : "full");
+  std::printf("  %-14s %-5s %12s %10s %12s %9s\n", "kernel", "bound",
+              "MByte/s", "MFlops/s", "model MB/s", "error");
+
+  const double t0 = now_seconds();
+  std::vector<KernelPoint> points;
+  double max_rel_error = 0;
+  for (const auto& kernel : microbench::kernel_registry()) {
+    const auto session = api::Session::configure()
+                             .name("micro_likwid_bench")
+                             .machine(machine)
+                             .build();
+    microbench::BenchOptions options;
+    options.workgroup = microbench::parse_workgroup(workgroup);
+    options.kernel = kernel.name;
+    options.sweeps = sweeps;
+    options.validate = true;
+    const microbench::BenchResult result =
+        microbench::run_bench(*session, options);
+
+    KernelPoint p;
+    p.name = kernel.name;
+    p.bound = result.validation->bound;
+    p.mbytes_per_s = result.bandwidth_mbs;
+    p.mflops_per_s = result.mflops;
+    p.traffic_gbytes_per_s = result.traffic_gbs;
+    p.model_mbytes_per_s = result.validation->predicted_mbs;
+    p.rel_error = result.validation->rel_error;
+    if (p.rel_error > max_rel_error) max_rel_error = p.rel_error;
+    std::printf("  %-14s %-5s %12.0f %10.0f %12.0f %8.2f%%\n",
+                p.name.c_str(), p.bound.c_str(), p.mbytes_per_s,
+                p.mflops_per_s, p.model_mbytes_per_s, 100.0 * p.rel_error);
+    points.push_back(std::move(p));
+  }
+  const double harness_seconds = now_seconds() - t0;
+
+  const double tolerance = microbench::ModelValidation::kTolerance;
+  const bool pass = max_rel_error <= tolerance;
+  std::printf("  max model error: %.2f%% (tolerance %.0f%%), harness %.2f s\n",
+              100.0 * max_rel_error, 100.0 * tolerance, harness_seconds);
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"likwid_bench\",\n"
+       << "  \"machine\": \"" << machine << "\",\n"
+       << "  \"workgroup\": \"" << workgroup << "\",\n"
+       << "  \"sweeps\": " << sweeps << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"tolerance\": " << tolerance << ",\n"
+       << "  \"kernels\": {\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const KernelPoint& p = points[i];
+    json << "    \"" << p.name << "\": {\"bound\": \"" << p.bound
+         << "\", \"mbytes_per_s\": " << p.mbytes_per_s
+         << ", \"mflops_per_s\": " << p.mflops_per_s
+         << ", \"traffic_gbytes_per_s\": " << p.traffic_gbytes_per_s
+         << ", \"model_mbytes_per_s\": " << p.model_mbytes_per_s
+         << ", \"rel_error\": " << p.rel_error << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  },\n"
+       << "  \"max_rel_error\": " << max_rel_error << ",\n"
+       << "  \"harness_seconds\": " << harness_seconds << ",\n"
+       << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+       << "}\n";
+  json.close();
+  std::printf("JSON written to %s\n", out_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: kernel bandwidth diverges from the perfmodel "
+                 "prediction by %.2f%% (tolerance %.0f%%)\n",
+                 100.0 * max_rel_error, 100.0 * tolerance);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# run-benches.sh — produce the repo-root perf trajectory.
+#
+# Runs every --smoke-capable bench harness and writes its BENCH_*.json
+# next to this repo's README, where the files are COMMITTED — the point
+# of the trajectory is that every checkout carries the numbers of the
+# revision it came from, not only CI logs. CI runs the same binaries with
+# the same flags and asserts the schemas and the gates.
+#
+# Usage:
+#   scripts/run-benches.sh            # smoke sizes (what CI runs)
+#   FULL=1 scripts/run-benches.sh     # full-size runs
+#   BUILD_DIR=out scripts/run-benches.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SMOKE_FLAG="--smoke"
+if [ "${FULL:-0}" = "1" ]; then
+  SMOKE_FLAG=""
+fi
+
+# Every harness that understands --smoke/--out and emits a BENCH JSON.
+BENCHES=(
+  micro_metric_pipeline
+  micro_agent_fleet
+  micro_likwid_bench
+)
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+targets=()
+for bench in "${BENCHES[@]}"; do
+  targets+=("bench_${bench}")
+done
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${targets[@]}"
+
+for bench in "${BENCHES[@]}"; do
+  out="BENCH_${bench#micro_}.json"
+  # shellcheck disable=SC2086 # SMOKE_FLAG is intentionally word-split
+  "./$BUILD_DIR/bench_${bench}" $SMOKE_FLAG --out "$out"
+done
+
+echo
+echo "Trajectory files:"
+ls -l BENCH_*.json

@@ -72,7 +72,8 @@ std::string csv_escape(std::string_view field) {
 std::string CsvSink::measurement(const api::ResultTable& table) const {
   std::ostringstream out;
   row(out, {"GROUP", csv_escape(table.group)});
-  event_rows(out, table.cpus, table.events);
+  // Metric-only tables (likwid-bench reports) skip the event section.
+  if (!table.events.empty()) event_rows(out, table.cpus, table.events);
   if (table.has_metrics) {
     metric_rows(out, table.cpus, table.metrics);
   }

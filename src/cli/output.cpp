@@ -206,7 +206,11 @@ std::string AsciiSink::measurement(const api::ResultTable& table) const {
   } else {
     out << "Measuring custom event set\n" << separator_line();
   }
-  out << event_table(table.cpus, table.events);
+  // Synthesized tables (likwid-bench reports) carry metrics only; an
+  // empty event grid would render as a bare header box.
+  if (!table.events.empty()) {
+    out << event_table(table.cpus, table.events);
+  }
   if (table.has_metrics) {
     out << metric_table(table.cpus, table.metrics);
   }

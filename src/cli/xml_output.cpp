@@ -159,7 +159,8 @@ std::string XmlSink::measurement(const api::ResultTable& table) const {
   std::ostringstream out;
   out << "<measurement" << attr("group", table.group)
       << attr("seconds", table.seconds) << ">\n";
-  xml_counts(out, table.cpus, table.events, "  ");
+  // Metric-only tables (likwid-bench reports) skip the per-cpu counts.
+  if (!table.events.empty()) xml_counts(out, table.cpus, table.events, "  ");
   if (table.has_metrics) {
     xml_metrics(out, table.cpus, table.metrics, "  ");
   }

@@ -1,0 +1,54 @@
+// kernels.hpp — the likwid-bench kernel registry.
+//
+// The companion paper ("LIKWID: Lightweight Performance Tools",
+// arXiv:1104.4874) ships likwid-bench with a fixed set of assembly
+// streaming kernels; this registry reproduces that set over the simulated
+// memory hierarchy. Each kernel is described declaratively — stream count,
+// per-iteration loads/stores/flops, reported-vs-actual byte conventions —
+// and materializes as a workloads::SyntheticConfig, so execution reuses
+// the existing SyntheticKernel cache/bandwidth machinery (the same
+// working-set-aware model the perfctr groups are validated against)
+// instead of duplicating the stream kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hpp"
+
+namespace likwid::microbench {
+
+/// One registered microbenchmark kernel.
+struct KernelDesc {
+  std::string name;         ///< registry key (-t)
+  std::string description;  ///< one-line listing text (-a)
+  /// Number of distinct arrays the kernel streams through; a workgroup's
+  /// per-thread byte slice is split evenly over them.
+  int streams = 1;
+  /// Double-precision flops per element iteration.
+  double flops_per_iter = 0;
+  /// Bytes the benchmark reports per iteration (the STREAM convention:
+  /// write-allocate traffic is not counted). Actual traffic is derived at
+  /// run time from the kernel's SweepTraffic, never duplicated here.
+  double reported_bytes_per_iter = 8;
+
+  /// Build the executable kernel for one worker's working-set slice.
+  /// `elements` is the per-array element count of ONE thread; `sweeps` is
+  /// the iteration (repetition) count.
+  workloads::SyntheticConfig (*make)(std::size_t elements, int sweeps) =
+      nullptr;
+
+  /// Elements per array for a per-thread byte budget.
+  std::size_t elements_for_bytes(std::uint64_t bytes_per_thread) const;
+};
+
+/// All registered kernels: copy, load, store, stream_triad, daxpy, sum,
+/// peakflops (ordered as listed by `likwid-bench -a`).
+const std::vector<KernelDesc>& kernel_registry();
+
+/// Look up a kernel by name; throws Error(kNotFound) listing the valid
+/// names when `name` is not registered.
+const KernelDesc& kernel_by_name(const std::string& name);
+
+}  // namespace likwid::microbench

@@ -1,0 +1,309 @@
+#include "microbench/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "core/affinity.hpp"
+#include "perfmodel/bandwidth.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "util/status.hpp"
+#include "workloads/openmp_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace likwid::microbench {
+
+namespace {
+
+constexpr int kMaxSweeps = 100000;
+
+/// Per-sweep traffic bytes of one worker at each hierarchy boundary,
+/// derived from the kernel's own steady-state SweepTraffic (the exact
+/// numbers run_slice feeds into the timing model).
+struct BoundaryBytes {
+  double l2 = 0;   ///< L1 <-> L2
+  double l3 = 0;   ///< L2 <-> L3
+  double mem = 0;  ///< memory controller
+};
+
+BoundaryBytes boundary_bytes(const workloads::SweepTraffic& t) {
+  const double read_lines = t.lines;
+  const double wb_lines = t.store_lines;
+  BoundaryBytes b;
+  if (t.misses_l1) b.l2 = (read_lines + wb_lines) * 64.0;
+  if (t.misses_l2) b.l3 = (read_lines + wb_lines) * 64.0;
+  if (t.misses_llc) b.mem = (read_lines + wb_lines) * 64.0;
+  return b;
+}
+
+/// Pin the workgroup's threads through the likwid-pin wrapper and return
+/// their placement. The runtime must outlive the measured run.
+workloads::Placement pin_workgroup(ossim::ThreadRuntime& runtime,
+                                   const Workgroup& group) {
+  core::PinConfig cfg;
+  cfg.cpu_list = group.cpus;
+  cfg.model = core::ThreadModel::kGcc;  // no shepherd: all threads work
+  cfg.skip = util::SkipMask(0);
+  const core::PinWrapper wrapper(runtime, cfg);
+  const workloads::TeamLaunch team = workloads::launch_openmp_team(
+      runtime, workloads::OpenMpImpl::kGcc, group.num_threads());
+  workloads::Placement placement;
+  placement.cpus = runtime.placement(team.worker_tids);
+  LIKWID_ASSERT(placement.cpus == group.cpus,
+                "workgroup pinning diverged from the cpu selection");
+  return placement;
+}
+
+}  // namespace
+
+BenchResult run_bench(api::Session& session, const BenchOptions& options) {
+  const KernelDesc& desc = kernel_by_name(options.kernel);
+  const core::NodeTopology& topo = session.topology();
+  Workgroup group = resolve_workgroup(topo, options.workgroup);
+  const std::size_t elements =
+      desc.elements_for_bytes(group.bytes_per_thread());
+
+  if (session.cpus() != group.cpus) session.set_cpus(group.cpus);
+  for (const std::string& g : options.groups) session.add_group(g);
+  const bool measured = session.has_counters();
+
+  ossim::ThreadRuntime runtime(session.kernel().scheduler());
+  const workloads::Placement placement = pin_workgroup(runtime, group);
+
+  // Sweep auto-calibration: one unmeasured probe sweep (counters are not
+  // running yet, and counter reads are delta-based anyway) prices the
+  // working set, then the measured run repeats it often enough to cover
+  // the target simulated runtime — the real tool's "iterate until the
+  // measurement is long enough" loop.
+  int sweeps = options.sweeps;
+  if (sweeps <= 0) {
+    workloads::SyntheticKernel probe(desc.make(elements, 1));
+    const double probe_seconds =
+        run_workload(session.kernel(), probe, placement);
+    sweeps = probe_seconds > 0
+                 ? static_cast<int>(std::ceil(
+                       options.target_seconds / probe_seconds - 1e-9))
+                 : kMaxSweeps;
+    sweeps = std::clamp(sweeps, 1, kMaxSweeps);
+  }
+
+  workloads::SyntheticKernel kernel(desc.make(elements, sweeps));
+  workloads::RunOptions run_options;
+  if (measured && session.counters().num_event_sets() > 1) {
+    run_options.quanta = 2 * session.counters().num_event_sets();
+    core::PerfCtr& ctr = session.counters();
+    run_options.between_quanta = [&ctr](int) { ctr.rotate(); };
+  }
+  if (measured) session.start();
+  const double seconds =
+      run_workload(session.kernel(), kernel, placement, run_options);
+  if (measured) session.stop();
+
+  BenchResult result;
+  result.kernel = desc.name;
+  result.workgroup = group;
+  result.elements_per_thread = elements;
+  result.sweeps = sweeps;
+  result.seconds = seconds;
+
+  const double iters_per_thread =
+      static_cast<double>(elements) * static_cast<double>(sweeps);
+  const double reported_per_thread =
+      iters_per_thread * desc.reported_bytes_per_iter;
+  const double flops_per_thread = iters_per_thread * desc.flops_per_iter;
+  const int threads = group.num_threads();
+  result.bandwidth_mbs =
+      reported_per_thread * threads / seconds / 1e6;
+  result.mflops = flops_per_thread * threads / seconds / 1e6;
+  double traffic_bytes = 0;
+  for (int w = 0; w < threads; ++w) {
+    const BoundaryBytes b = boundary_bytes(
+        kernel.sweep_traffic(session.machine(), placement, w));
+    traffic_bytes += std::max({b.l2, b.l3, b.mem}) * sweeps;
+  }
+  result.traffic_gbs = traffic_bytes / seconds / 1e9;
+
+  api::ResultTable& table = result.table;
+  table.group = "likwid-bench " + desc.name;
+  table.has_metrics = true;
+  table.seconds = seconds;
+  table.cpus = group.cpus;
+  const auto metric_row = [&](const std::string& name, double value) {
+    api::ResultTable::MetricRow row;
+    row.name = name;
+    row.values.assign(static_cast<std::size_t>(threads), value);
+    table.metrics.push_back(std::move(row));
+  };
+  metric_row("Runtime [s]", seconds);
+  metric_row("Iterations", iters_per_thread);
+  metric_row("Bandwidth [MBytes/s]", reported_per_thread / seconds / 1e6);
+  metric_row("MFlops/s", flops_per_thread / seconds / 1e6);
+  metric_row("Data volume [GBytes]", reported_per_thread / 1e9);
+
+  if (measured) {
+    for (int set = 0; set < session.counters().num_event_sets(); ++set) {
+      result.measurements.push_back(session.measurement(set));
+    }
+  }
+  if (options.validate) {
+    result.validation =
+        validate_against_model(session, desc, group, sweeps, seconds);
+  }
+  return result;
+}
+
+ModelValidation validate_against_model(api::Session& session,
+                                       const KernelDesc& desc,
+                                       const Workgroup& group, int sweeps,
+                                       double measured_seconds) {
+  LIKWID_REQUIRE(sweeps > 0 && measured_seconds > 0,
+                 "validation needs a completed run");
+  hwsim::SimMachine& machine = session.machine();
+  const perfmodel::MachineModel model =
+      perfmodel::default_model(machine.spec());
+  const double hz = model.clock_ghz * 1e9;
+  const perfmodel::TimingOptions defaults;
+  const int sockets = machine.spec().sockets;
+  const int threads = group.num_threads();
+
+  const std::size_t elements =
+      desc.elements_for_bytes(group.bytes_per_thread());
+  const workloads::SyntheticConfig cfg = desc.make(elements, sweeps);
+  const workloads::SyntheticKernel kernel(cfg);
+  workloads::Placement placement;
+  placement.cpus = group.cpus;
+
+  // Pass 1: per-thread bounds independent of shared resources. An SMT
+  // sibling inside the workgroup halves-ish the core share, exactly as
+  // the execution model assumes.
+  const auto sibling_in_group = [&](int cpu) {
+    for (const int sib : machine.core_siblings(cpu)) {
+      if (sib != cpu &&
+          std::find(group.cpus.begin(), group.cpus.end(), sib) !=
+              group.cpus.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const double iters =
+      static_cast<double>(elements) * static_cast<double>(sweeps);
+  std::vector<double> core_t(static_cast<std::size_t>(threads));
+  std::vector<double> l2_t(static_cast<std::size_t>(threads));
+  std::vector<double> l3_t(static_cast<std::size_t>(threads));
+  std::vector<BoundaryBytes> bytes(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    const int cpu = group.cpus[static_cast<std::size_t>(w)];
+    const double smt = sibling_in_group(cpu) ? defaults.smt_share : 1.0;
+    core_t[static_cast<std::size_t>(w)] =
+        iters * cfg.mix.cycles / hz / smt;
+    BoundaryBytes b =
+        boundary_bytes(kernel.sweep_traffic(machine, placement, w));
+    b.l2 *= sweeps;
+    b.l3 *= sweeps;
+    b.mem *= sweeps;
+    bytes[static_cast<std::size_t>(w)] = b;
+    l2_t[static_cast<std::size_t>(w)] =
+        b.l2 / (model.l2_bytes_per_cycle * hz);
+    l3_t[static_cast<std::size_t>(w)] =
+        b.l3 / (model.l3_bytes_per_cycle_core * hz);
+  }
+
+  // Pass 2: waterfill the shared domains (perfmodel::allocate_bandwidth).
+  // Each thread demands what its own pipeline lets it consume; each
+  // over-subscribed domain squeezes its consumers proportionally.
+  const auto waterfill = [&](auto member_bytes, double per_thread_cap_gbs,
+                             double domain_cap_gbs) {
+    std::vector<perfmodel::BandwidthDemand> demands(
+        static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      const double volume = member_bytes(w);
+      if (volume <= 0) continue;
+      const double floor_t = std::max(
+          {core_t[static_cast<std::size_t>(w)],
+           l2_t[static_cast<std::size_t>(w)],
+           l3_t[static_cast<std::size_t>(w)],
+           volume / (per_thread_cap_gbs * 1e9)});
+      perfmodel::BandwidthDemand d;
+      d.desired_gbs = volume / floor_t / 1e9;
+      d.domain_fraction.assign(static_cast<std::size_t>(sockets), 0.0);
+      d.domain_fraction[static_cast<std::size_t>(machine.socket_of(
+          group.cpus[static_cast<std::size_t>(w)]))] = 1.0;
+      demands[static_cast<std::size_t>(w)] = std::move(d);
+    }
+    std::vector<double> achieved = perfmodel::allocate_bandwidth(
+        demands,
+        std::vector<double>(static_cast<std::size_t>(sockets),
+                            domain_cap_gbs));
+    // Return each thread's squeeze factor (>= 1 when the domain
+    // saturates; allocate_bandwidth never exceeds the demand).
+    std::vector<double> squeeze(static_cast<std::size_t>(threads), 1.0);
+    for (int w = 0; w < threads; ++w) {
+      const std::size_t i = static_cast<std::size_t>(w);
+      if (demands[i].desired_gbs > 0 && achieved[i] > 0) {
+        squeeze[i] = demands[i].desired_gbs / achieved[i];
+      }
+    }
+    return squeeze;
+  };
+
+  // Shared L3: the execution model scales the per-core L3 transfer time
+  // by the socket's over-subscription factor, so the cross-check derives
+  // the same factor from the allocator's proportional squeeze.
+  const std::vector<double> l3_squeeze =
+      waterfill([&](int w) { return bytes[static_cast<std::size_t>(w)].l3; },
+                model.l3_bytes_per_cycle_core * hz / 1e9,
+                model.l3_bytes_per_cycle_socket * hz / 1e9);
+  std::vector<double> l3_shared_t(static_cast<std::size_t>(threads), 0.0);
+  for (int w = 0; w < threads; ++w) {
+    const std::size_t i = static_cast<std::size_t>(w);
+    l3_shared_t[i] = l3_t[i] * l3_squeeze[i];
+  }
+  // Memory controllers: transfer time at the waterfilled achieved rate.
+  const std::vector<double> mem_squeeze =
+      waterfill([&](int w) { return bytes[static_cast<std::size_t>(w)].mem; },
+                model.mem_bw_thread_gbs, model.mem_bw_socket_gbs);
+  std::vector<double> mem_t(static_cast<std::size_t>(threads), 0.0);
+  for (int w = 0; w < threads; ++w) {
+    const std::size_t i = static_cast<std::size_t>(w);
+    const double volume = bytes[i].mem;
+    if (volume <= 0) continue;
+    const double floor_t =
+        std::max({core_t[i], l2_t[i], l3_t[i],
+                  volume / (model.mem_bw_thread_gbs * 1e9)});
+    mem_t[i] = floor_t * mem_squeeze[i];
+  }
+
+  ModelValidation v;
+  double predicted_seconds = 0;
+  for (int w = 0; w < threads; ++w) {
+    const std::size_t i = static_cast<std::size_t>(w);
+    const double t =
+        std::max({core_t[i], l2_t[i], l3_shared_t[i], mem_t[i]});
+    if (t > predicted_seconds) {
+      predicted_seconds = t;
+      if (t == mem_t[i]) {
+        v.bound = "MEM";
+      } else if (t == l3_shared_t[i]) {
+        v.bound = "L3";
+      } else if (t == l2_t[i]) {
+        v.bound = "L2";
+      } else {
+        v.bound = "core";
+      }
+    }
+  }
+  LIKWID_ASSERT(predicted_seconds > 0, "model predicted a zero runtime");
+
+  const double reported_total = iters * desc.reported_bytes_per_iter *
+                                static_cast<double>(threads);
+  v.measured_mbs = reported_total / measured_seconds / 1e6;
+  v.predicted_mbs = reported_total / predicted_seconds / 1e6;
+  v.rel_error =
+      std::fabs(v.measured_mbs - v.predicted_mbs) / v.predicted_mbs;
+  v.pass = v.rel_error <= v.tolerance;
+  return v;
+}
+
+}  // namespace likwid::microbench

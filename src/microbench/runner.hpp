@@ -1,0 +1,91 @@
+// runner.hpp — execute one likwid-bench workgroup.
+//
+// The runner slices the workgroup's working set evenly over its threads,
+// auto-calibrates the sweep count to a target (simulated) runtime the way
+// the real likwid-bench iterates until the measurement is long enough,
+// pins the benchmark threads through the likwid-pin wrapper machinery,
+// runs the kernel on the session's simulated node, and reports per-thread
+// bandwidth/FLOPS as an api::ResultTable so every OutputSink (ASCII, CSV,
+// XML, or an embedder's own) renders it for free. When the session has
+// event sets configured, the run is measured through the counters exactly
+// like an application under likwid-perfctr — any -g group works on top.
+//
+// Model validation cross-checks the kernel-reported bandwidth against an
+// independent prediction assembled from perfmodel primitives
+// (default_model + allocate_bandwidth), closing the loop between measured
+// kernels and the machine model ("Best practices for HPM-assisted
+// performance engineering", arXiv:1206.3738).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/result_table.hpp"
+#include "api/session.hpp"
+#include "microbench/kernels.hpp"
+#include "microbench/workgroup.hpp"
+
+namespace likwid::microbench {
+
+struct BenchOptions {
+  WorkgroupSpec workgroup;
+  std::string kernel = "stream_triad";
+  /// Sweeps over the working set; 0 auto-calibrates to `target_seconds`.
+  int sweeps = 0;
+  /// Simulated runtime the calibration aims for.
+  double target_seconds = 1.0;
+  /// Performance groups measured over the run (likwid-perfctr -g names);
+  /// more than one rotates between work quanta (multiplexing).
+  std::vector<std::string> groups;
+  /// Cross-check the result against the perfmodel prediction.
+  bool validate = false;
+};
+
+/// Outcome of the model cross-check.
+struct ModelValidation {
+  std::string bound;         ///< binding regime: core, L2, L3, MEM
+  double measured_mbs = 0;   ///< kernel-reported bandwidth
+  double predicted_mbs = 0;  ///< perfmodel prediction, same convention
+  double rel_error = 0;      ///< |measured-predicted| / predicted
+  double tolerance = kTolerance;
+  bool pass = false;
+
+  /// Documented agreement bound: the predictor rebuilds the binding
+  /// regime from perfmodel::allocate_bandwidth and the ladder caps
+  /// independently of the execution model, so measured and predicted
+  /// bandwidth agree within 10% on every registered kernel.
+  static constexpr double kTolerance = 0.10;
+};
+
+struct BenchResult {
+  std::string kernel;
+  Workgroup workgroup;
+  std::size_t elements_per_thread = 0;  ///< per array
+  int sweeps = 0;
+  double seconds = 0;          ///< measured simulated wall time
+  double bandwidth_mbs = 0;    ///< group total, reported-byte convention
+  double mflops = 0;           ///< group total
+  double traffic_gbs = 0;      ///< actual hierarchy traffic moved
+  /// Per-thread rows (bandwidth, flops, data volume, runtime) keyed by
+  /// the pinned cpus — render with any api::OutputSink.
+  api::ResultTable table;
+  /// Counter measurements of the run, one per configured event set.
+  std::vector<api::ResultTable> measurements;
+  std::optional<ModelValidation> validation;
+};
+
+/// Run one workgroup of `options.kernel` on the session's node. The
+/// session must carry no cpu list yet (the workgroup decides it); event
+/// sets already added to the session are measured over the run.
+BenchResult run_bench(api::Session& session, const BenchOptions& options);
+
+/// The independent model prediction for a resolved workgroup (exposed for
+/// tests and the validation report).
+ModelValidation validate_against_model(api::Session& session,
+                                       const KernelDesc& kernel,
+                                       const Workgroup& group, int sweeps,
+                                       double measured_seconds);
+
+}  // namespace likwid::microbench

@@ -1,0 +1,198 @@
+#include "microbench/workgroup.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::microbench {
+
+namespace {
+
+/// "S0" -> 0; throws for a missing, malformed or out-of-range index.
+/// The range check runs on the parsed u64 BEFORE narrowing: an index
+/// like 2^32 must be rejected, not truncated into a valid domain.
+int domain_index(const std::string& domain, std::size_t prefix_len,
+                 int limit, const char* what) {
+  const auto idx = util::parse_u64(domain.substr(prefix_len));
+  if (!idx || *idx >= static_cast<std::uint64_t>(limit)) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "affinity domain '" + domain + "': this machine has " +
+                    std::to_string(limit) + " " + what);
+  }
+  return static_cast<int>(*idx);
+}
+
+/// The last-level data/unified cache's sharing groups.
+const core::CacheEntry& last_level_cache(const core::NodeTopology& topo) {
+  LIKWID_REQUIRE(!topo.caches.empty(), "topology carries no caches");
+  const core::CacheEntry* best = &topo.caches.front();
+  for (const core::CacheEntry& c : topo.caches) {
+    if (c.level > best->level) best = &c;
+  }
+  return *best;
+}
+
+/// Reorder a domain's members physical-cores-first (all SMT-0 threads,
+/// then all SMT-1 threads, ...), the way the real suite lists affinity
+/// domains: the first N entries of a domain are N distinct physical
+/// cores, so default thread selection never lands on an SMT sibling
+/// before the physical cores are exhausted.
+std::vector<int> physical_first(const core::NodeTopology& topo,
+                                const std::vector<int>& members) {
+  std::vector<int> out;
+  out.reserve(members.size());
+  for (int smt = 0; smt < topo.num_threads_per_core; ++smt) {
+    for (const int os_id : members) {
+      if (topo.threads[static_cast<std::size_t>(os_id)].thread_id == smt) {
+        out.push_back(os_id);
+      }
+    }
+  }
+  // Foreign enumerations (a thread_id beyond threads_per_core) fall back
+  // to the raw member order rather than dropping threads.
+  return out.size() == members.size() ? out : members;
+}
+
+}  // namespace
+
+WorkgroupSpec parse_workgroup(const std::string& text) {
+  const std::vector<std::string> parts = util::split(text, ':');
+  if (parts.size() < 2 || parts.size() == 4 || parts.size() > 5) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "workgroup '" + text +
+                    "': expected <domain>:<size>[:<nthreads>[:<chunk>:"
+                    "<stride>]]");
+  }
+  WorkgroupSpec spec;
+  spec.domain = std::string(util::trim(parts[0]));
+  LIKWID_REQUIRE(!spec.domain.empty(),
+                 "workgroup '" + text + "': empty affinity domain");
+  const auto size = util::parse_size_bytes(parts[1]);
+  if (!size || *size == 0) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "workgroup '" + text + "': invalid size '" + parts[1] +
+                    "' (use e.g. 64kB, 2MB, 1GB)");
+  }
+  spec.size_bytes = *size;
+  // Thread counts and chunk/stride walk a domain list of at most a few
+  // thousand entries; anything beyond kMaxField is a typo, and values
+  // past it must be rejected BEFORE the int narrowing (2^32 would wrap
+  // to 0, 2^32+k would silently run k threads).
+  constexpr std::uint64_t kMaxField = 1u << 20;
+  if (parts.size() >= 3) {
+    const auto threads = util::parse_u64(parts[2]);
+    if (!threads || *threads == 0 || *threads > kMaxField) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  "workgroup '" + text + "': invalid thread count '" +
+                      parts[2] + "'");
+    }
+    spec.num_threads = static_cast<int>(*threads);
+  }
+  if (parts.size() == 5) {
+    const auto chunk = util::parse_u64(parts[3]);
+    const auto stride = util::parse_u64(parts[4]);
+    if (!chunk || *chunk == 0 || !stride || *stride < *chunk ||
+        *stride > kMaxField) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  "workgroup '" + text + "': chunk:stride must satisfy " +
+                      "1 <= chunk <= stride (<= 2^20)");
+    }
+    spec.chunk = static_cast<int>(*chunk);
+    spec.stride = static_cast<int>(*stride);
+  }
+  return spec;
+}
+
+std::vector<int> affinity_domain_cpus(const core::NodeTopology& topo,
+                                      const std::string& domain) {
+  LIKWID_REQUIRE(!domain.empty(), "empty affinity domain");
+  if (domain == "N") {
+    // Whole node: sockets concatenated, each physical-first.
+    std::vector<int> cpus;
+    for (const auto& socket : topo.sockets) {
+      const std::vector<int> ordered = physical_first(topo, socket);
+      cpus.insert(cpus.end(), ordered.begin(), ordered.end());
+    }
+    return cpus;
+  }
+  switch (domain.front()) {
+    case 'S': {
+      const int s = domain_index(domain, 1, topo.num_sockets, "sockets");
+      return physical_first(topo, topo.sockets[static_cast<std::size_t>(s)]);
+    }
+    case 'M': {
+      // One NUMA/memory domain per socket on every modeled machine
+      // (core::probe_numa's layout).
+      const int m =
+          domain_index(domain, 1, topo.num_sockets, "memory domains");
+      return physical_first(topo, topo.sockets[static_cast<std::size_t>(m)]);
+    }
+    case 'C': {
+      const core::CacheEntry& llc = last_level_cache(topo);
+      const int c = domain_index(domain, 1,
+                                 static_cast<int>(llc.groups.size()),
+                                 "last-level cache groups");
+      return physical_first(topo, llc.groups[static_cast<std::size_t>(c)]);
+    }
+    default:
+      throw_error(ErrorCode::kInvalidArgument,
+                  "unknown affinity domain '" + domain +
+                      "' (N, S<k>, M<k>, C<k>)");
+  }
+}
+
+std::vector<std::pair<std::string, std::vector<int>>> affinity_domains(
+    const core::NodeTopology& topo) {
+  std::vector<std::pair<std::string, std::vector<int>>> out;
+  out.emplace_back("N", affinity_domain_cpus(topo, "N"));
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    out.emplace_back("S" + std::to_string(s),
+                     affinity_domain_cpus(topo, "S" + std::to_string(s)));
+  }
+  const core::CacheEntry& llc = last_level_cache(topo);
+  for (std::size_t c = 0; c < llc.groups.size(); ++c) {
+    out.emplace_back("C" + std::to_string(c),
+                     affinity_domain_cpus(topo, "C" + std::to_string(c)));
+  }
+  for (int m = 0; m < topo.num_sockets; ++m) {
+    out.emplace_back("M" + std::to_string(m),
+                     affinity_domain_cpus(topo, "M" + std::to_string(m)));
+  }
+  return out;
+}
+
+Workgroup resolve_workgroup(const core::NodeTopology& topo,
+                            const WorkgroupSpec& spec) {
+  const std::vector<int> domain = affinity_domain_cpus(topo, spec.domain);
+  const int want = spec.num_threads < 0
+                       ? static_cast<int>(domain.size())
+                       : spec.num_threads;
+  Workgroup group;
+  group.spec = spec;
+  group.spec.num_threads = want;
+  std::size_t pos = 0;
+  while (static_cast<int>(group.cpus.size()) < want) {
+    for (int c = 0;
+         c < spec.chunk && static_cast<int>(group.cpus.size()) < want; ++c) {
+      const std::size_t idx = pos + static_cast<std::size_t>(c);
+      if (idx >= domain.size()) {
+        throw_error(ErrorCode::kInvalidArgument,
+                    "workgroup " + spec.domain + ": needs " +
+                        std::to_string(want) + " threads but the " +
+                        std::to_string(domain.size()) + "-thread domain " +
+                        "is exhausted at chunk " + std::to_string(spec.chunk) +
+                        " stride " + std::to_string(spec.stride));
+      }
+      group.cpus.push_back(domain[idx]);
+    }
+    pos += static_cast<std::size_t>(spec.stride);
+  }
+  LIKWID_REQUIRE(
+      group.spec.size_bytes >= group.cpus.size() * 8,
+      "workgroup " + spec.domain + ": working set smaller than one " +
+          "element per thread");
+  return group;
+}
+
+}  // namespace likwid::microbench

@@ -1,0 +1,67 @@
+// workgroup.hpp — the likwid-bench workgroup syntax.
+//
+// A workgroup binds one benchmark stream to an affinity domain:
+//
+//   -w <domain>:<size>[:<nthreads>[:<chunk>:<stride>]]
+//
+// `domain` is an affinity-domain label resolved against the probed
+// NodeTopology (N = node, S<k> = socket, M<k> = NUMA/memory domain,
+// C<k> = last-level cache group), `size` is the group's TOTAL working set
+// ("1MB", "2GB" — binary units via util::parse_size_bytes), `nthreads`
+// defaults to every hardware thread of the domain, and `chunk`/`stride`
+// select threads from the domain's thread list: take `chunk` consecutive
+// entries, skip ahead `stride` from the chunk start, repeat. Domain lists
+// are ordered physical-cores-first (SMT siblings after every physical
+// core, the real suite's affinity-domain order), so small thread counts
+// land on distinct physical cores by default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace likwid::microbench {
+
+/// Parsed form of one -w argument (nothing resolved yet).
+struct WorkgroupSpec {
+  std::string domain;            ///< "N", "S0", "M1", "C0", ...
+  std::uint64_t size_bytes = 0;  ///< total working set of the group
+  int num_threads = -1;          ///< -1: all threads of the domain
+  int chunk = 1;
+  int stride = 1;
+};
+
+/// A spec resolved against a topology: the selected hardware threads.
+struct Workgroup {
+  WorkgroupSpec spec;
+  std::vector<int> cpus;  ///< os ids, selection order
+
+  int num_threads() const { return static_cast<int>(cpus.size()); }
+  std::uint64_t bytes_per_thread() const {
+    return spec.size_bytes / static_cast<std::uint64_t>(cpus.size());
+  }
+};
+
+/// Parse "<domain>:<size>[:<nthreads>[:<chunk>:<stride>]]"; throws
+/// Error(kInvalidArgument) with the offending field on malformed input.
+WorkgroupSpec parse_workgroup(const std::string& text);
+
+/// The hardware threads of an affinity domain, physical cores first.
+/// Throws Error(kInvalidArgument) for labels the machine does not have.
+std::vector<int> affinity_domain_cpus(const core::NodeTopology& topo,
+                                      const std::string& domain);
+
+/// All affinity-domain labels of a machine with their thread lists
+/// (likwid-bench -p).
+std::vector<std::pair<std::string, std::vector<int>>> affinity_domains(
+    const core::NodeTopology& topo);
+
+/// Resolve a spec: pick the workgroup's threads from its domain via the
+/// chunk/stride walk. Throws when the domain cannot supply the requested
+/// thread count under the given stride.
+Workgroup resolve_workgroup(const core::NodeTopology& topo,
+                            const WorkgroupSpec& spec);
+
+}  // namespace likwid::microbench

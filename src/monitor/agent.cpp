@@ -41,6 +41,7 @@ void Agent::step() {
   // snapshot: rollups() falls back to aggregating the retention rings,
   // which include the new samples.
   folded_.clear();
+  transport_ = FleetTransportStats{};
   for (auto& collector : collectors_) {
     collector->step();
   }
@@ -100,10 +101,16 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
   // aggregation thread is behind, so the worker waits instead of losing
   // samples (monitoring retention may drop, aggregation must not). If the
   // aggregation thread died, stop waiting — the run is failing anyway and
-  // spinning on a ring nobody drains would deadlock the pool.
+  // spinning on a ring nobody drains would deadlock the pool. A batch
+  // abandoned that way is counted: its samples are missing from the
+  // folded windows, and that bias must never be silent.
+  std::atomic<std::uint64_t> lost_batches{0};
   const auto publish = [&](std::size_t machine, SampleBatch&& batch) {
     while (!queues[machine]->try_push(std::move(batch))) {
-      if (!aggregation_alive.load(std::memory_order_acquire)) return;
+      if (!aggregation_alive.load(std::memory_order_acquire)) {
+        lost_batches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       std::this_thread::yield();
     }
   };
@@ -205,6 +212,17 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
   for (std::thread& t : pool) t.join();
   producers_done.store(true, std::memory_order_release);
   aggregation.join();
+  // Harvest the transport accounting before the rings go away: rejected()
+  // was previously counted but never surfaced, leaving backpressure (and
+  // any lost batches) invisible to tools and tests.
+  transport_ = FleetTransportStats{};
+  transport_.rejects_per_machine.reserve(machines);
+  for (std::size_t i = 0; i < machines; ++i) {
+    transport_.batches_published += queues[i]->pushed();
+    transport_.rejects += queues[i]->rejected();
+    transport_.rejects_per_machine.push_back(queues[i]->rejected());
+  }
+  transport_.batches_lost = lost_batches.load(std::memory_order_relaxed);
   if (failure) {
     // A failed run must not present partially folded windows as valid
     // rollups; fall back to the retention rings.

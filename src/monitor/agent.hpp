@@ -48,6 +48,20 @@ struct FleetProgress {
   std::uint64_t rows_emitted = 0;    ///< rollup rows closed so far
 };
 
+/// Transport-ring accounting of the last threaded run. Backpressure must
+/// not be invisible: a full SPSC ring makes the worker retry (counted as
+/// a reject), and a batch is LOST only when the aggregation thread died —
+/// lost batches bias the window aggregates, so tools surface both
+/// counters next to the retention ring's dropped() line.
+struct FleetTransportStats {
+  std::uint64_t batches_published = 0;  ///< batches that reached the rings
+  std::uint64_t rejects = 0;            ///< try_push bounces (retried)
+  std::uint64_t batches_lost = 0;       ///< gave up: samples missing
+  /// Per-machine reject counts, fleet-ordered (which collector's worker
+  /// was bouncing off a full ring).
+  std::vector<std::uint64_t> rejects_per_machine;
+};
+
 class Agent {
  public:
   explicit Agent(AgentConfig config);
@@ -85,6 +99,12 @@ class Agent {
   /// otherwise they are computed from each machine's retention ring.
   std::vector<SeriesPoint> rollups() const;
 
+  /// Transport accounting of the last threaded run (empty per-machine
+  /// vector after a serial run or step()).
+  const FleetTransportStats& transport() const noexcept {
+    return transport_;
+  }
+
   /// Install a live progress callback, invoked from the aggregation
   /// thread roughly every `interval_seconds` of real time during a
   /// threaded run (never from a serial run). The callback must be
@@ -101,6 +121,7 @@ class Agent {
   std::uint64_t steps_ = 0;
   /// Per-machine rollup rows folded live by the last threaded run.
   std::vector<std::vector<SeriesPoint>> folded_;
+  FleetTransportStats transport_;
   std::function<void(const FleetProgress&)> progress_;
   double progress_interval_seconds_ = 0.5;
 };

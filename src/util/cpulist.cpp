@@ -1,5 +1,6 @@
 #include "util/cpulist.hpp"
 
+#include "util/logging.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
 
@@ -22,19 +23,38 @@ std::vector<int> parse_cpu_list(std::string_view text) {
   text = trim(text);
   LIKWID_REQUIRE(!text.empty(), "empty cpu list");
   std::vector<int> cpus;
+  // Expressions like "0,0-2" or "3,1-3" name the same cpu twice. A
+  // duplicate must not survive into pinning round-robins or PerfCtr cpu
+  // rows (a cpu measured twice double-counts in node reductions), so the
+  // list is de-duplicated here, keeping each id's first occurrence.
+  std::vector<bool> seen(static_cast<std::size_t>(kMaxCpuId) + 1, false);
+  bool had_duplicates = false;
+  const auto append = [&](int cpu) {
+    if (seen[static_cast<std::size_t>(cpu)]) {
+      had_duplicates = true;
+      return;
+    }
+    seen[static_cast<std::size_t>(cpu)] = true;
+    cpus.push_back(cpu);
+  };
   for (const auto& piece : split(text, ',')) {
     const std::string_view item = trim(piece);
     LIKWID_REQUIRE(!item.empty(), "empty element in cpu list '" +
                                       std::string(text) + "'");
     const std::size_t dash = item.find('-');
     if (dash == std::string_view::npos) {
-      cpus.push_back(parse_cpu_id(item));
+      append(parse_cpu_id(item));
       continue;
     }
     const int lo = parse_cpu_id(item.substr(0, dash));
     const int hi = parse_cpu_id(item.substr(dash + 1));
     LIKWID_REQUIRE(lo <= hi, "reversed cpu range '" + std::string(item) + "'");
-    for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+    for (int cpu = lo; cpu <= hi; ++cpu) append(cpu);
+  }
+  if (had_duplicates) {
+    LIKWID_WARN("cpu list '" << std::string(text)
+                             << "' contains duplicate ids; collapsed to '"
+                             << format_cpu_list(cpus) << "'");
   }
   return cpus;
 }

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <limits>
 
 namespace likwid::util {
 
@@ -95,6 +96,38 @@ std::optional<double> parse_double(std::string_view text) noexcept {
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) return std::nullopt;
   return value;
+}
+
+std::optional<std::uint64_t> parse_size_bytes(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  // Split off the longest trailing run of unit letters.
+  std::size_t digits_end = text.size();
+  while (digits_end > 0 &&
+         std::isalpha(static_cast<unsigned char>(text[digits_end - 1]))) {
+    --digits_end;
+  }
+  const std::string_view number = trim(text.substr(0, digits_end));
+  const std::string unit = to_lower(text.substr(digits_end));
+  std::uint64_t scale = 1;
+  if (unit.empty() || unit == "b") {
+    scale = 1;
+  } else if (unit == "k" || unit == "kb") {
+    scale = 1024ull;
+  } else if (unit == "m" || unit == "mb") {
+    scale = 1024ull * 1024;
+  } else if (unit == "g" || unit == "gb") {
+    scale = 1024ull * 1024 * 1024;
+  } else {
+    return std::nullopt;
+  }
+  const auto value = parse_u64(number);
+  if (!value) return std::nullopt;
+  if (*value != 0 &&
+      *value > std::numeric_limits<std::uint64_t>::max() / scale) {
+    return std::nullopt;  // overflow
+  }
+  return *value * scale;
 }
 
 std::string format_metric(double value) {

@@ -38,6 +38,13 @@ std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
 /// Parse a floating point number. Returns std::nullopt on malformed input.
 std::optional<double> parse_double(std::string_view text) noexcept;
 
+/// Parse a byte size with an optional unit suffix, the likwid-bench
+/// workgroup convention: "2MB", "1GB", "512kB", "64k", "100B", "4096".
+/// Units are binary (kB = 1024 bytes, MB = 1024 kB) and case-insensitive;
+/// a bare number is bytes. Returns std::nullopt on malformed input or
+/// overflow.
+std::optional<std::uint64_t> parse_size_bytes(std::string_view text) noexcept;
+
 /// Format a double with 6 significant digits in shortest form, the style
 /// used by likwid-perfctr tables ("%g"): 1624.08, 1.88024e+07, 0.693493.
 std::string format_metric(double value);

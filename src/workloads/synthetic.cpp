@@ -279,6 +279,26 @@ SyntheticConfig daxpy_kernel(std::size_t elements, int sweeps) {
   return c;
 }
 
+SyntheticConfig triad_kernel(std::size_t elements, int sweeps) {
+  SyntheticConfig c;
+  c.name = "stream_triad";
+  c.iterations_per_sweep = static_cast<double>(elements);
+  c.sweeps = sweeps;
+  // The icc triad profile (workloads::CompilerProfile): vectorized, two
+  // cycles and 2.5 instructions per element.
+  c.mix.cycles = 2.0;
+  c.mix.instructions = 2.5;
+  c.mix.packed_double = 1.0;  // one packed add+mul pair = 2 flops
+  c.mix.loads = 2.0;          // b[i] and c[i]
+  c.mix.stores = 1.0;         // a[i]
+  c.mix.branches = 0.25;
+  c.mix.mispredict_ratio = 0.001;
+  c.access.working_set_bytes = 3 * 8 * elements;
+  c.access.stride_bytes = 8;
+  c.access.store_fraction = 1.0 / 3.0;  // the a[] third is written
+  return c;
+}
+
 SyntheticConfig dot_kernel(std::size_t elements, int sweeps) {
   SyntheticConfig c;
   c.name = "dot";

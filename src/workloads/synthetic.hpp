@@ -105,6 +105,12 @@ SyntheticConfig copy_kernel(std::size_t elements, int sweeps,
 /// groups.
 SyntheticConfig daxpy_kernel(std::size_t elements, int sweeps);
 
+/// a[i] = b[i] + s*c[i]: the STREAM triad as a working-set-aware synthetic
+/// kernel (the instruction mix of workloads::StreamTriad under the icc
+/// profile). Three streams; the a[] third of the lines is written with
+/// write-allocate. Backs likwid-bench's stream_triad.
+SyntheticConfig triad_kernel(std::size_t elements, int sweeps);
+
 /// s += x[i]*y[i]: two loads, no stores, two double flops per element.
 /// The store-free extreme of the DATA group.
 SyntheticConfig dot_kernel(std::size_t elements, int sweeps);

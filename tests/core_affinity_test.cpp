@@ -3,6 +3,8 @@
 // and the placement policies of the case studies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/affinity.hpp"
 #include "core/topology.hpp"
 #include "hwsim/presets.hpp"
@@ -173,6 +175,39 @@ TEST(PlacementPolicies, ScatterDistributesOverSockets) {
   EXPECT_EQ(all.size(), 24u);
   // SMT siblings come last.
   EXPECT_GE(all[12], 12);
+}
+
+// Regression for the likwid-pin -c path: a duplicate expression like
+// "0,0-2" used to survive into the pin round-robin, so two workers landed
+// on cpu 0 while cpu 2 stayed idle. The parse now collapses duplicates.
+TEST(PinCpuExpression, CollapsesDuplicateIds) {
+  const hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const NodeTopology topo = probe_topology(machine);
+  EXPECT_EQ(parse_pin_cpu_expression(topo, "0,0-2"),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parse_pin_cpu_expression(topo, "3,1-3"),
+            (std::vector<int>{3, 1, 2}));
+  // Logical selections dedupe before resolving against the topology.
+  EXPECT_EQ(parse_pin_cpu_expression(topo, "L:0,0-1"),
+            resolve_logical_cpu_list(topo, {0, 1}));
+}
+
+TEST(PinCpuExpression, DedupedListPinsDistinctCores) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  const NodeTopology topo = probe_topology(machine);
+  ossim::SimKernel kernel(machine);
+  ossim::ThreadRuntime runtime(kernel.scheduler());
+
+  PinConfig cfg;
+  cfg.cpu_list = parse_pin_cpu_expression(topo, "0,0-2");
+  PinWrapper wrapper(runtime, cfg);
+  const auto team =
+      workloads::launch_openmp_team(runtime, workloads::OpenMpImpl::kGcc, 3);
+  // Three workers over "0,0-2": with the duplicate collapsed every worker
+  // gets its own core instead of two sharing cpu 0.
+  std::vector<int> cpus = runtime.placement(team.worker_tids);
+  std::sort(cpus.begin(), cpus.end());
+  EXPECT_EQ(cpus, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(PlacementPolicies, ScatterValidatesThreadCount) {

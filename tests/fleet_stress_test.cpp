@@ -79,6 +79,51 @@ TEST(FleetStress, ThreadedRollupsMatchSerialAtEveryWorkerCount) {
     ASSERT_TRUE(threaded.threaded()) << workers;
     SCOPED_TRACE("workers=" + std::to_string(workers));
     expect_same_rollups(expected, threaded.rollups());
+    // Backpressure is loud but lossless: with queue capacity 2 the
+    // workers bounce off full rings (counted, surfaced per machine), yet
+    // every batch is retried until published — zero batches lost is WHY
+    // the rollups above can match serial exactly.
+    const monitor::FleetTransportStats& t = threaded.transport();
+    EXPECT_EQ(t.batches_lost, 0u);
+    EXPECT_EQ(t.rejects_per_machine.size(), 7u);
+    std::uint64_t per_machine_total = 0;
+    for (const std::uint64_t r : t.rejects_per_machine) {
+      per_machine_total += r;
+    }
+    EXPECT_EQ(per_machine_total, t.rejects);
+    // 30 samples at batch 5 = 6 batches per machine.
+    EXPECT_EQ(t.batches_published, 7u * 6u);
+  }
+}
+
+// The equality run that MUST see no backpressure at all: ample queue
+// capacity, odd batch sizes (1, 3, 7 against 30 samples — final short
+// batches at two of them), every worker count. The windows fold from
+// batch boundaries that never align with the window length, and the
+// transport counters must read exactly zero rejects and zero losses.
+TEST(FleetStress, OddBatchSizesFoldEquallyWithZeroTransportRejects) {
+  monitor::Agent serial(fleet_config(5, 1));
+  serial.run();
+  const std::vector<monitor::SeriesPoint> expected = serial.rollups();
+  ASSERT_FALSE(expected.empty());
+  EXPECT_TRUE(serial.transport().rejects_per_machine.empty());
+
+  for (const std::size_t batch : {1u, 3u, 7u}) {
+    for (const int workers : {2, 4}) {
+      monitor::AgentConfig cfg = fleet_config(5, workers);
+      cfg.fleet.batch_samples = batch;
+      cfg.fleet.queue_capacity = 64;  // >= batches per machine: no bounce
+      monitor::Agent threaded(cfg);
+      threaded.run();
+      SCOPED_TRACE("batch=" + std::to_string(batch) +
+                   " workers=" + std::to_string(workers));
+      expect_same_rollups(expected, threaded.rollups());
+      const monitor::FleetTransportStats& t = threaded.transport();
+      EXPECT_EQ(t.rejects, 0u);
+      EXPECT_EQ(t.batches_lost, 0u);
+      // ceil(30 / batch) batches per machine, all published.
+      EXPECT_EQ(t.batches_published, 5u * ((30u + batch - 1) / batch));
+    }
   }
 }
 

@@ -74,6 +74,45 @@ TEST(ComputeStats, EmptyThrows) {
   EXPECT_THROW(stats_of({}), Error);
 }
 
+// Nearest-rank edge cases around the n=1 window, the exact 95% boundary
+// and degenerate all-equal windows.
+TEST(ComputeStats, NearestRankSingleElementIsThatElement) {
+  // ceil(0.95 * 1) = 1 -> index 0: the only value, even when extreme.
+  const WindowStats s = stats_of({-7.25});
+  EXPECT_DOUBLE_EQ(s.p95, -7.25);
+  EXPECT_DOUBLE_EQ(s.min, -7.25);
+  EXPECT_DOUBLE_EQ(s.max, -7.25);
+  EXPECT_EQ(s.count, 1u);
+}
+
+TEST(ComputeStats, NearestRankExactBoundaryAtTwenty) {
+  // n=20 is the smallest window where 0.95*n is integral: the rank is
+  // exactly 19 (not 20), so p95 must be the 19th smallest, NOT the max.
+  std::vector<double> values;
+  for (int v = 1; v <= 20; ++v) values.push_back(v);
+  const WindowStats s = compute_stats(values);
+  EXPECT_DOUBLE_EQ(s.p95, 19.0);
+
+  // One element fewer: ceil(0.95*19) = ceil(18.05) = 19 -> the max.
+  std::vector<double> nineteen;
+  for (int v = 1; v <= 19; ++v) nineteen.push_back(v);
+  EXPECT_DOUBLE_EQ(compute_stats(nineteen).p95, 19.0);
+
+  // One more: ceil(0.95*21) = 20th of 21 -> again not the max.
+  std::vector<double> twentyone;
+  for (int v = 1; v <= 21; ++v) twentyone.push_back(v);
+  EXPECT_DOUBLE_EQ(compute_stats(twentyone).p95, 20.0);
+}
+
+TEST(ComputeStats, AllEqualWindowIsDegenerate) {
+  const WindowStats s = stats_of(std::vector<double>(17, 4.5));
+  EXPECT_DOUBLE_EQ(s.min, 4.5);
+  EXPECT_DOUBLE_EQ(s.avg, 4.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.5);
+  EXPECT_DOUBLE_EQ(s.p95, 4.5);
+  EXPECT_EQ(s.count, 17u);
+}
+
 TEST(NodeReduce, RatesSumAcrossCpus) {
   const std::map<int, double> per_cpu = {{0, 1000.0}, {1, 2000.0}, {4, 500.0}};
   EXPECT_DOUBLE_EQ(node_reduce("Memory bandwidth [MBytes/s]", per_cpu),

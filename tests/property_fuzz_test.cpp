@@ -72,11 +72,15 @@ TEST_P(CpuListFuzz, GarbageInputsThrowCleanly) {
     }
     try {
       const auto cpus = util::parse_cpu_list(text);
-      // Accepted: must be a valid non-empty list of in-range ids.
+      // Accepted: must be a valid non-empty list of in-range ids with no
+      // duplicates (duplicate expressions collapse to first occurrence).
       EXPECT_FALSE(cpus.empty()) << "'" << text << "'";
+      std::set<int> distinct;
       for (const int c : cpus) {
         EXPECT_GE(c, 0);
         EXPECT_LE(c, 4095);
+        EXPECT_TRUE(distinct.insert(c).second)
+            << "duplicate cpu " << c << " from '" << text << "'";
       }
     } catch (const Error& e) {
       ++rejected;

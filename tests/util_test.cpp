@@ -114,6 +114,30 @@ TEST(Strings, ParseDouble) {
   EXPECT_FALSE(parse_double("abc").has_value());
 }
 
+TEST(Strings, ParseSizeBytesUnits) {
+  // The likwid-bench workgroup sizes: binary units, case-insensitive.
+  EXPECT_EQ(parse_size_bytes("4096").value(), 4096u);
+  EXPECT_EQ(parse_size_bytes("100B").value(), 100u);
+  EXPECT_EQ(parse_size_bytes("64kB").value(), 64u * 1024);
+  EXPECT_EQ(parse_size_bytes("64KB").value(), 64u * 1024);
+  EXPECT_EQ(parse_size_bytes("512k").value(), 512u * 1024);
+  EXPECT_EQ(parse_size_bytes("2MB").value(), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes("2mb").value(), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes("1GB").value(), 1024ull * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes(" 8 MB ").value(), 8u * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes("0kB").value(), 0u);
+}
+
+TEST(Strings, ParseSizeBytesMalformed) {
+  EXPECT_FALSE(parse_size_bytes("").has_value());
+  EXPECT_FALSE(parse_size_bytes("MB").has_value());
+  EXPECT_FALSE(parse_size_bytes("1TB").has_value());
+  EXPECT_FALSE(parse_size_bytes("12x").has_value());
+  EXPECT_FALSE(parse_size_bytes("-1MB").has_value());
+  // 2^64 bytes overflows.
+  EXPECT_FALSE(parse_size_bytes("17179869184GB").has_value());
+}
+
 TEST(Strings, FormatMetricMatchesPaperStyle) {
   EXPECT_EQ(format_metric(1624.08), "1624.08");
   EXPECT_EQ(format_metric(0.693493), "0.693493");
@@ -206,8 +230,18 @@ TEST(CpuList, Ranges) {
             (std::vector<int>{0, 1, 2, 8, 10, 11}));
 }
 
-TEST(CpuList, PreservesOrderAndDuplicates) {
-  EXPECT_EQ(parse_cpu_list("3,1,3"), (std::vector<int>{3, 1, 3}));
+TEST(CpuList, PreservesFirstOccurrenceOrder) {
+  EXPECT_EQ(parse_cpu_list("3,1,2"), (std::vector<int>{3, 1, 2}));
+}
+
+TEST(CpuList, CollapsesDuplicates) {
+  // Duplicates used to flow into pinning round-robins and PerfCtr cpu
+  // rows; they now collapse to the first occurrence.
+  EXPECT_EQ(parse_cpu_list("3,1,3"), (std::vector<int>{3, 1}));
+  EXPECT_EQ(parse_cpu_list("0,0-2"), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parse_cpu_list("3,1-3"), (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(parse_cpu_list("2-4,3-5"), (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_EQ(parse_cpu_list("7,7,7"), (std::vector<int>{7}));
 }
 
 TEST(CpuList, RejectsMalformed) {

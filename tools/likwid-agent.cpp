@@ -115,11 +115,28 @@ int main(int argc, char** argv) {
                       ? std::to_string(workers) + " workers + aggregation"
                       : std::string("serial"))
               << ")\n";
+    const monitor::FleetTransportStats& transport = agent.transport();
     for (const auto& collector : agent.collectors()) {
       const auto& ring = collector->samples();
+      const std::size_t id =
+          static_cast<std::size_t>(collector->machine_id());
       std::cout << "  machine " << collector->machine_id() << ": "
                 << collector->workload().name() << ", " << ring.size()
-                << " samples retained, " << ring.dropped() << " dropped\n";
+                << " samples retained, " << ring.dropped() << " dropped";
+      if (id < transport.rejects_per_machine.size()) {
+        std::cout << ", " << transport.rejects_per_machine[id]
+                  << " transport rejects";
+      }
+      std::cout << "\n";
+    }
+    if (agent.threaded()) {
+      // Backpressure summary next to the per-machine retention lines: a
+      // reject is a worker retry against a full transport ring (no data
+      // loss); a lost batch means the aggregated windows are biased.
+      std::cerr << "likwid-agent: transport: "
+                << transport.batches_published << " batches published, "
+                << transport.rejects << " rejects (retried), "
+                << transport.batches_lost << " batches lost\n";
     }
 
     const std::vector<monitor::SeriesPoint> rollups = agent.rollups();

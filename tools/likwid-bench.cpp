@@ -1,0 +1,159 @@
+// likwid-bench — threaded microbenchmarking with workgroup syntax (the
+// companion paper's benchmarking tool: "LIKWID: Lightweight Performance
+// Tools", arXiv:1104.4874, Section 2.6).
+//
+// Usage:
+//   likwid-bench -t KERNEL -w DOMAIN:SIZE[:NTHREADS[:CHUNK:STRIDE]]
+//                [-i SWEEPS] [-g GROUP[;GROUP2...]] [--validate]
+//                [--machine KEY] [--csv | --xml] [-o FILE.{txt,csv,xml}]
+//   likwid-bench -a   list the registered kernels
+//   likwid-bench -p   list the affinity domains of the machine
+//
+// The workgroup pins KERNEL's threads into an affinity domain (N, S<k>,
+// M<k>, C<k>) resolved from the probed topology, slices SIZE evenly over
+// the threads, auto-calibrates the sweep count (-i overrides), and
+// reports per-thread bandwidth and FLOPS through the OutputSink model.
+// With -g the run measures itself through a likwid::api::Session, so any
+// perfctr group rides on top; --validate cross-checks the reported
+// bandwidth against the perfmodel::bandwidth machine-model prediction and
+// fails (exit 1) outside the documented tolerance.
+#include <iostream>
+
+#include "cli/sinks.hpp"
+#include "microbench/runner.hpp"
+#include "tool_common.hpp"
+#include "util/cpulist.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace likwid;
+
+cli::SinkFormat pick_format(const cli::ArgParser& args) {
+  if (const auto ofile = args.value("-o")) {
+    if (util::ends_with(*ofile, ".xml")) return cli::SinkFormat::kXml;
+    if (util::ends_with(*ofile, ".csv")) return cli::SinkFormat::kCsv;
+    return cli::SinkFormat::kText;
+  }
+  if (args.has("--xml")) return cli::SinkFormat::kXml;
+  if (args.has("--csv")) return cli::SinkFormat::kCsv;
+  return cli::SinkFormat::kText;
+}
+
+void emit(const cli::ArgParser& args, const std::string& text) {
+  if (const auto ofile = args.value("-o")) {
+    tools::write_file(*ofile, text);
+    std::cout << "Results written to " << *ofile << "\n";
+  } else {
+    std::cout << text;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tools::tool_main([&]() {
+    const cli::ArgParser args(argc, argv,
+                              {"--machine", "--seed", "--enum", "-w", "-t",
+                               "-i", "-g", "--target", "-o"});
+    const bool list_kernels = args.has("-a");
+    const bool list_domains = args.has("-p");
+    if (args.has("-h") || args.has("--help") ||
+        (!list_kernels && !list_domains && !args.value("-w"))) {
+      std::cout
+          << "Usage: likwid-bench -t KERNEL "
+             "-w DOMAIN:SIZE[:NTHREADS[:CHUNK:STRIDE]]\n"
+          << "                    [-i SWEEPS] [-g GROUP[;GROUP2...]]\n"
+          << "                    [--validate] [--csv|--xml] [-o FILE]\n"
+          << "       likwid-bench -a   list kernels\n"
+          << "       likwid-bench -p   list affinity domains\n"
+          << "Domains: N (node), S<k> (socket), M<k> (memory domain),\n"
+          << "         C<k> (last-level cache group); sizes like 64kB,\n"
+          << "         2MB, 1GB split evenly over the threads.\n"
+          << tools::machine_help();
+      return args.has("-h") || args.has("--help") ? 0 : 1;
+    }
+
+    if (list_kernels) {
+      std::cout << "Registered likwid-bench kernels:\n";
+      for (const auto& k : microbench::kernel_registry()) {
+        std::cout << util::strprintf(
+            "  %-14s %-38s %d stream%s, %g flops/iter\n", k.name.c_str(),
+            k.description.c_str(), k.streams, k.streams == 1 ? "" : "s",
+            k.flops_per_iter);
+      }
+      return 0;
+    }
+
+    const std::unique_ptr<api::Session> session =
+        tools::make_session(args, "likwid-bench");
+    const core::NodeTopology& topo = session->topology();
+
+    if (list_domains) {
+      std::cout << "Affinity domains on " << topo.cpu_name << ":\n";
+      for (const auto& [label, cpus] : microbench::affinity_domains(topo)) {
+        std::cout << util::strprintf("  %-4s %2zu threads: %s\n",
+                                     label.c_str(), cpus.size(),
+                                     util::format_cpu_list(cpus).c_str());
+      }
+      return 0;
+    }
+
+    microbench::BenchOptions options;
+    options.workgroup = microbench::parse_workgroup(*args.value("-w"));
+    options.kernel = args.value_or("-t", "stream_triad");
+    options.sweeps = static_cast<int>(
+        util::parse_u64(args.value_or("-i", "0")).value_or(0));
+    options.target_seconds =
+        util::parse_double(args.value_or("--target", "1")).value_or(1.0);
+    if (const auto groups = args.value("-g")) {
+      options.groups = util::split_trimmed(*groups, ';');
+    }
+    options.validate = args.has("--validate");
+
+    std::cout << util::separator_line() << "CPU type:\t" << topo.cpu_name
+              << "\n"
+              << util::strprintf("CPU clock:\t%.2f GHz\n", topo.clock_ghz)
+              << util::separator_line();
+
+    const microbench::BenchResult result =
+        microbench::run_bench(*session, options);
+
+    std::cout << "Kernel:\t\t" << result.kernel << "\n"
+              << "Workgroup:\t" << result.workgroup.spec.domain << ", "
+              << util::format_size(result.workgroup.spec.size_bytes) << " on "
+              << result.workgroup.num_threads() << " threads (cpus "
+              << util::format_cpu_list(result.workgroup.cpus) << ")\n"
+              << "Sweeps:\t\t" << result.sweeps << " x "
+              << result.elements_per_thread << " elements/thread\n"
+              << util::strprintf("Runtime:\t%.4f s\n", result.seconds)
+              << util::strprintf("Bandwidth:\t%.0f MByte/s\n",
+                                 result.bandwidth_mbs)
+              << util::strprintf("MFlops/s:\t%.0f\n", result.mflops)
+              << util::strprintf("Traffic:\t%.2f GByte/s\n",
+                                 result.traffic_gbs)
+              << util::separator_line();
+
+    const std::unique_ptr<api::OutputSink> sink =
+        cli::make_sink(pick_format(args));
+    std::string text = sink->measurement(result.table);
+    for (const api::ResultTable& m : result.measurements) {
+      text += sink->measurement(m);
+    }
+    emit(args, text);
+
+    if (result.validation) {
+      const microbench::ModelValidation& v = *result.validation;
+      std::cout << util::separator_line()
+                << "Model validation (perfmodel::bandwidth):\n"
+                << util::strprintf(
+                       "  %s-bound: measured %.0f MByte/s, predicted %.0f "
+                       "MByte/s, error %.1f%% (tolerance %.0f%%): %s\n",
+                       v.bound.c_str(), v.measured_mbs, v.predicted_mbs,
+                       100.0 * v.rel_error, 100.0 * v.tolerance,
+                       v.pass ? "OK" : "FAIL");
+      if (!v.pass) return 1;
+    }
+    return 0;
+  });
+}
