@@ -14,6 +14,15 @@
 // work. Handle ids come from one atomic counter and are never reused. A
 // finalized entry dies when the last in-flight call's shared_ptr drops,
 // so racing a call against finalize is memory-safe by construction.
+//
+// Both locks are Clang thread-safety capabilities
+// (util/thread_annotations.hpp): the registry table and every per-handle
+// field are LIKWID_GUARDED_BY their mutex, so an entry point that forgets
+// to lock fails the -Wthread-safety CI job at compile time. Because the
+// analysis is intraprocedural, each entry point inlines its lookup+lock
+// prologue via LIKWID_LOCK_LIVE_ENTRY instead of passing a lambda to a
+// locking helper (a callback body is analyzed without the caller's lock
+// context and would check nothing).
 #include "api/likwid.h"
 
 #include <algorithm>
@@ -21,8 +30,6 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -31,6 +38,7 @@
 #include "api/session.hpp"
 #include "core/name_table.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 #include "workloads/jacobi.hpp"
 #include "workloads/stream.hpp"
 #include "workloads/workload.hpp"
@@ -41,26 +49,35 @@ using likwid::Error;
 using likwid::ErrorCode;
 
 struct HandleEntry {
+  /// Constructor runs pre-publication (no other thread can hold a
+  /// reference yet), which the thread-safety analysis exempts.
+  explicit HandleEntry(std::unique_ptr<likwid::api::Session> s)
+      : session(std::move(s)) {}
+
   /// Serializes every call on this handle; never held across another
   /// entry's mutex, so handles cannot deadlock against each other.
-  std::mutex mutex;
-  std::unique_ptr<likwid::api::Session> session;
-  bool setup_done = false;  ///< likwid_setupCounters seen since init/stop
+  likwid::util::Mutex mutex;
+  std::unique_ptr<likwid::api::Session> session LIKWID_GUARDED_BY(mutex);
+  /// likwid_setupCounters seen since init/stop.
+  bool setup_done LIKWID_GUARDED_BY(mutex) = false;
   /// Derived metrics of each set, evaluated once per measurement and
   /// served to every likwid_getMetric call; invalidated on start.
-  std::map<int, std::vector<likwid::core::PerfCtr::MetricRow>> metric_cache;
+  std::map<int, std::vector<likwid::core::PerfCtr::MetricRow>> metric_cache
+      LIKWID_GUARDED_BY(mutex);
 };
 
-/// Guards the handle map only — shared for lookups, exclusive for
-/// insert/erase. Session work never runs under this lock.
-std::shared_mutex& registry_mutex() {
-  static std::shared_mutex m;
-  return m;
-}
+/// The process-wide handle table and the lock guarding it — shared for
+/// lookups, exclusive for insert/erase. Session work never runs under
+/// this lock.
+struct Registry {
+  likwid::util::SharedMutex mutex;
+  std::map<likwid_handle, std::shared_ptr<HandleEntry>> table
+      LIKWID_GUARDED_BY(mutex);
+};
 
-std::map<likwid_handle, std::shared_ptr<HandleEntry>>& handles() {
-  static std::map<likwid_handle, std::shared_ptr<HandleEntry>> table;
-  return table;
+Registry& registry() {
+  static Registry instance;
+  return instance;
 }
 
 /// Handle ids are monotonically increasing and never reused, so stale
@@ -89,7 +106,8 @@ likwid_status fail(likwid_status status, const std::string& message) {
 
 /// Run `fn` behind the exception boundary. `fn` either returns a status
 /// (for argument checks) or void (LIKWID_OK on fall-through). Takes no
-/// lock: locking is per-handle (with_entry) or registry-scoped.
+/// lock: locking is per-handle (LIKWID_LOCK_LIVE_ENTRY) or
+/// registry-scoped.
 template <typename Fn>
 likwid_status guarded(Fn&& fn) {
   try {
@@ -114,9 +132,10 @@ likwid_status guarded(Fn&& fn) {
 /// Look up a live handle under the shared registry lock; nullptr when the
 /// handle never existed or was finalized.
 std::shared_ptr<HandleEntry> find(likwid_handle handle) {
-  const std::shared_lock<std::shared_mutex> lock(registry_mutex());
-  const auto it = handles().find(handle);
-  if (it == handles().end()) return nullptr;
+  Registry& reg = registry();
+  const likwid::util::SharedLock lock(reg.mutex);
+  const auto it = reg.table.find(handle);
+  if (it == reg.table.end()) return nullptr;
   return it->second;
 }
 
@@ -126,18 +145,17 @@ likwid_status invalid_handle(likwid_handle handle) {
                   " does not name a live likwid session");
 }
 
-/// Resolve `handle`, serialize on its entry mutex, and run `fn(entry)`
-/// behind the exception boundary. The shared_ptr keeps the entry alive
-/// across the call even if another thread finalizes the handle meanwhile.
-template <typename Fn>
-likwid_status with_entry(likwid_handle handle, Fn&& fn) {
-  return guarded([&]() -> likwid_status {
-    const std::shared_ptr<HandleEntry> entry = find(handle);
-    if (entry == nullptr) return invalid_handle(handle);
-    const std::lock_guard<std::mutex> lock(entry->mutex);
-    return fn(*entry);
-  });
-}
+/// Entry-point prologue: resolve `handle`, pin the entry alive via its
+/// shared_ptr (finalize may race us), bind `entry` to it and hold its
+/// mutex for the rest of the enclosing scope. Expanded inline — not a
+/// locking helper taking a callback — so Clang's intraprocedural
+/// thread-safety analysis sees the acquisition and the guarded accesses
+/// in one function body.
+#define LIKWID_LOCK_LIVE_ENTRY(handle, entry)                         \
+  const std::shared_ptr<HandleEntry> entry##_ptr = find(handle);      \
+  if (entry##_ptr == nullptr) return invalid_handle(handle);          \
+  HandleEntry& entry = *entry##_ptr;                                  \
+  const likwid::util::MutexLock entry##_lock(entry.mutex)
 
 likwid_status copy_name(const std::string& name, char* buffer, int capacity) {
   if (buffer == nullptr || capacity <= 0) {
@@ -186,11 +204,11 @@ likwid_status likwid_init(const char* machine_key, const int* cpus,
     // Construct the counters now so bad cpu lists fail here, not at the
     // first addEventSet.
     session->counters();
-    auto entry = std::make_shared<HandleEntry>();
-    entry->session = std::move(session);
+    auto entry = std::make_shared<HandleEntry>(std::move(session));
     {
-      const std::unique_lock<std::shared_mutex> lock(registry_mutex());
-      handles().emplace(handle, std::move(entry));
+      Registry& reg = registry();
+      const likwid::util::ExclusiveLock lock(reg.mutex);
+      reg.table.emplace(handle, std::move(entry));
     }
     *out_handle = handle;
     return LIKWID_OK;
@@ -199,10 +217,11 @@ likwid_status likwid_init(const char* machine_key, const int* cpus,
 
 likwid_status likwid_addEventSet(likwid_handle handle, const char* spec,
                                  int* out_set) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (spec == nullptr || spec[0] == '\0') {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null or empty event spec");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     const std::string text(spec);
     // Specs with ':' (explicit counters) or ',' (several events) are
     // custom event lists; a bare word is tried as a performance-group
@@ -227,7 +246,8 @@ likwid_status likwid_addEventSet(likwid_handle handle, const char* spec,
 }
 
 likwid_status likwid_setupCounters(likwid_handle handle, int set) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     entry.session->counters().select_set(set);
     entry.setup_done = true;
     return LIKWID_OK;
@@ -235,7 +255,8 @@ likwid_status likwid_setupCounters(likwid_handle handle, int set) {
 }
 
 likwid_status likwid_startCounters(likwid_handle handle) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (!entry.setup_done) {
       return fail(LIKWID_ERROR_INVALID_STATE,
                   "likwid_startCounters before likwid_setupCounters");
@@ -252,7 +273,8 @@ likwid_status likwid_startCounters(likwid_handle handle) {
 }
 
 likwid_status likwid_stopCounters(likwid_handle handle) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (!entry.session->running()) {
       return fail(LIKWID_ERROR_INVALID_STATE,
                   "likwid_stopCounters without running counters");
@@ -271,11 +293,12 @@ likwid_status likwid_finalize(likwid_handle handle) {
     // happens on whichever thread drops the last reference.
     std::shared_ptr<HandleEntry> doomed;
     {
-      const std::unique_lock<std::shared_mutex> lock(registry_mutex());
-      const auto it = handles().find(handle);
-      if (it == handles().end()) return invalid_handle(handle);
+      Registry& reg = registry();
+      const likwid::util::ExclusiveLock lock(reg.mutex);
+      const auto it = reg.table.find(handle);
+      if (it == reg.table.end()) return invalid_handle(handle);
       doomed = std::move(it->second);
-      handles().erase(it);
+      reg.table.erase(it);
     }
     return LIKWID_OK;
   });
@@ -283,7 +306,7 @@ likwid_status likwid_finalize(likwid_handle handle) {
 
 likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
                                  long long size, int reps) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (workload == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null workload name");
     }
@@ -291,6 +314,7 @@ likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
       return fail(LIKWID_ERROR_INVALID_ARGUMENT,
                   "workload size and reps must be positive");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     likwid::api::Session& session = *entry.session;
     likwid::workloads::Placement placement;
     placement.cpus = session.cpus();
@@ -316,11 +340,12 @@ likwid_status likwid_runWorkload(likwid_handle handle, const char* workload,
 }
 
 likwid_status likwid_advanceTime(likwid_handle handle, double seconds) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (!(seconds > 0)) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT,
                   "duration must be positive");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     entry.session->kernel().advance_time(seconds);
     return LIKWID_OK;
   });
@@ -328,10 +353,11 @@ likwid_status likwid_advanceTime(likwid_handle handle, double seconds) {
 
 likwid_status likwid_getNumberOfEvents(likwid_handle handle, int set,
                                        int* out_count) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (out_count == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_count");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
@@ -344,10 +370,11 @@ likwid_status likwid_getNumberOfEvents(likwid_handle handle, int set,
 
 likwid_status likwid_getNumberOfMetrics(likwid_handle handle, int set,
                                         int* out_count) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (out_count == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_count");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
@@ -360,7 +387,8 @@ likwid_status likwid_getNumberOfMetrics(likwid_handle handle, int set,
 
 likwid_status likwid_getEventName(likwid_handle handle, int set, int index,
                                   char* buffer, int capacity) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
@@ -376,7 +404,8 @@ likwid_status likwid_getEventName(likwid_handle handle, int set, int index,
 
 likwid_status likwid_getCounterName(likwid_handle handle, int set, int index,
                                     char* buffer, int capacity) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
@@ -392,7 +421,8 @@ likwid_status likwid_getCounterName(likwid_handle handle, int set, int index,
 
 likwid_status likwid_getMetricName(likwid_handle handle, int set, int index,
                                    char* buffer, int capacity) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
@@ -409,10 +439,11 @@ likwid_status likwid_getMetricName(likwid_handle handle, int set, int index,
 
 likwid_status likwid_getResult(likwid_handle handle, int set, int event_index,
                                int cpu_index, double* out_value) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (out_value == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_value");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
@@ -442,10 +473,11 @@ likwid_status likwid_getResult(likwid_handle handle, int set, int event_index,
 
 likwid_status likwid_getMetric(likwid_handle handle, int set, int metric_index,
                                int cpu_index, double* out_value) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (out_value == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_value");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;
@@ -473,10 +505,11 @@ likwid_status likwid_getMetric(likwid_handle handle, int set, int metric_index,
 
 likwid_status likwid_getTimeOfGroup(likwid_handle handle, int set,
                                     double* out_seconds) {
-  return with_entry(handle, [&](HandleEntry& entry) -> likwid_status {
+  return guarded([&]() -> likwid_status {
     if (out_seconds == nullptr) {
       return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_seconds");
     }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
     if (const likwid_status s = check_set(*entry.session, set);
         s != LIKWID_OK) {
       return s;

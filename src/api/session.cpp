@@ -54,6 +54,10 @@ std::unique_ptr<Session> Session::Builder::build() {
     spec.os_enumeration = hwsim::parse_os_enumeration(os_enumeration_);
   }
   std::unique_ptr<Session> session(new Session());
+  // The fresh session is single-owner until returned; the guard makes
+  // the pre-publication writes to guarded members visible to the
+  // thread-safety analysis (and costs one uncontended CAS).
+  const UseGuard guard(*session);
   session->name_ = name_;
   session->markers_.set_owner(name_);
   session->owned_machine_ = std::make_unique<hwsim::SimMachine>(std::move(spec));
@@ -76,6 +80,7 @@ std::unique_ptr<Session> Session::attach(ossim::SimKernel& kernel,
                                          std::vector<int> cpus,
                                          std::string name) {
   std::unique_ptr<Session> session(new Session());
+  const UseGuard guard(*session);  // single-owner until returned
   session->name_ = std::move(name);
   session->markers_.set_owner(session->name_);
   session->kernel_ = &kernel;
@@ -83,30 +88,35 @@ std::unique_ptr<Session> Session::attach(ossim::SimKernel& kernel,
   return session;
 }
 
-Session::UseGuard::UseGuard(const Session& session) : session_(&session) {
+bool Session::UseSlot::enter(const Session& session) {
   std::thread::id expected{};
   const std::thread::id self = std::this_thread::get_id();
-  if (session_->active_thread_.compare_exchange_strong(
-          expected, self, std::memory_order_acq_rel)) {
-    owner_ = true;
-    return;
+  if (active_thread_.compare_exchange_strong(expected, self,
+                                             std::memory_order_acq_rel)) {
+    return true;
   }
   if (expected != self) {
     throw_error(ErrorCode::kInvalidState,
-                "session '" + session_->name_ +
+                "session '" + session.name_ +
                     "' entered concurrently from a second thread; a "
                     "Session is single-threaded — use one Session per "
                     "thread or serialize calls externally");
   }
   // Same-thread reentrancy: the outermost guard keeps ownership.
+  return false;
 }
 
-Session::UseGuard::~UseGuard() {
-  if (owner_) {
-    session_->active_thread_.store(std::thread::id{},
-                                   std::memory_order_release);
+void Session::UseSlot::exit(bool owner) noexcept {
+  if (owner) {
+    active_thread_.store(std::thread::id{}, std::memory_order_release);
   }
 }
+
+Session::UseGuard::UseGuard(const Session& session) : session_(&session) {
+  owner_ = session.use_.enter(session);
+}
+
+Session::UseGuard::~UseGuard() { session_->use_.exit(owner_); }
 
 Session::~Session() { release_ambient_markers(); }
 

@@ -32,11 +32,14 @@
 //     state sessions share — the core::NameTable interner, the ambient
 //     marker registry, the preset/event tables — is internally
 //     synchronized or immutable after first use.
-//   - Enforcement: the mutating entry points carry a lock-free tripwire
-//     that throws Error(kInvalidState) when it observes two threads
+//   - Enforcement: the entry points carry a lock-free tripwire that
+//     throws Error(kInvalidState) when it observes two threads
 //     overlapping inside one Session. It is a misuse detector (same-thread
 //     reentrancy stays allowed), not a serialization mechanism — races it
-//     happens to miss are still undefined behavior.
+//     happens to miss are still undefined behavior. The tripwire doubles
+//     as a Clang thread-safety capability (UseSlot below): the lazily
+//     mutated members are LIKWID_GUARDED_BY it, so an entry point that
+//     forgets the guard fails -Wthread-safety at compile time.
 //   - The flat C API (api/likwid.h) layers real per-handle locking on top
 //     of this contract, so C callers may share a handle across threads.
 #pragma once
@@ -59,6 +62,7 @@
 #include "core/topology.hpp"
 #include "hwsim/machine.hpp"
 #include "ossim/kernel.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace likwid::api {
 
@@ -179,7 +183,10 @@ class Session {
   void bind_ambient_markers();
   /// Release the ambient binding if this session holds it (also done by
   /// the destructor). Marker results stay readable through markers().
-  void release_ambient_markers() noexcept;
+  /// Outside the tripwire analysis: it must stay noexcept for the
+  /// destructor path, while acquiring the UseSlot can throw; it only
+  /// passes the env's address to the CAS-synchronized ambient registry.
+  void release_ambient_markers() noexcept LIKWID_NO_THREAD_SAFETY_ANALYSIS;
 
   // --- results ------------------------------------------------------------
 
@@ -191,15 +198,35 @@ class Session {
  private:
   Session() = default;
 
-  /// RAII tripwire for the "one thread at a time" contract: entry points
-  /// construct one; overlapping construction from a second thread throws
-  /// Error(kInvalidState) naming the session. Same-thread reentrancy
-  /// (start() calling counters()) is allowed and keeps the outermost
-  /// guard's ownership.
-  class UseGuard {
+  /// The "one thread at a time" contract as a Clang thread-safety
+  /// capability. Not a mutex: entering claims the slot with a CAS and a
+  /// SECOND thread's claim throws Error(kInvalidState) instead of
+  /// blocking. The lazily mutated members below are LIKWID_GUARDED_BY
+  /// this slot, which is what lets -Wthread-safety prove every entry
+  /// point constructs its UseGuard.
+  class LIKWID_CAPABILITY("session") UseSlot {
    public:
-    explicit UseGuard(const Session& session);
-    ~UseGuard();
+    /// Claim the slot for the calling thread. Returns true when the call
+    /// took ownership (outermost entry), false on same-thread
+    /// reentrancy; throws Error(kInvalidState) — naming `session` —
+    /// when another thread is inside.
+    bool enter(const Session& session) LIKWID_ACQUIRE();
+    /// Release the slot (outermost guard only).
+    void exit(bool owner) noexcept LIKWID_RELEASE();
+
+   private:
+    /// Thread currently inside an entry point (default id = none).
+    std::atomic<std::thread::id> active_thread_{};
+  };
+
+  /// RAII tripwire guard: entry points construct one; overlapping
+  /// construction from a second thread throws Error(kInvalidState)
+  /// naming the session. Same-thread reentrancy (start() calling
+  /// counters()) is allowed and keeps the outermost guard's ownership.
+  class LIKWID_SCOPED_CAPABILITY UseGuard {
+   public:
+    explicit UseGuard(const Session& session) LIKWID_ACQUIRE(session.use_);
+    ~UseGuard() LIKWID_RELEASE();
     UseGuard(const UseGuard&) = delete;
     UseGuard& operator=(const UseGuard&) = delete;
 
@@ -212,14 +239,18 @@ class Session {
   std::unique_ptr<hwsim::SimMachine> owned_machine_;
   std::unique_ptr<ossim::SimKernel> owned_kernel_;
   ossim::SimKernel* kernel_ = nullptr;
+  mutable UseSlot use_;
+  /// cpus_ and ctr_ stay outside the capability: the hot const noexcept
+  /// queries (cpus(), has_counters(), running()) read them guard-free and
+  /// must not throw. Their mutation paths (set_cpus, counters,
+  /// reset_counters) all hold the guard, so cross-thread mutation still
+  /// trips the wire.
   std::vector<int> cpus_;
-  std::optional<core::NodeTopology> topology_;
   std::unique_ptr<core::PerfCtr> ctr_;
-  std::unique_ptr<core::IntervalSampler> sampler_;
-  core::MarkerEnv markers_;
-  std::function<int()> current_cpu_;
-  /// Thread currently inside an entry point (default id = none).
-  mutable std::atomic<std::thread::id> active_thread_{};
+  std::optional<core::NodeTopology> topology_ LIKWID_GUARDED_BY(use_);
+  std::unique_ptr<core::IntervalSampler> sampler_ LIKWID_GUARDED_BY(use_);
+  core::MarkerEnv markers_ LIKWID_GUARDED_BY(use_);
+  std::function<int()> current_cpu_ LIKWID_GUARDED_BY(use_);
 };
 
 }  // namespace likwid::api

@@ -10,7 +10,7 @@ NameTable& NameTable::instance() {
 }
 
 NameId NameTable::intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   const NameId id = static_cast<NameId>(names_.size());
@@ -20,13 +20,13 @@ NameId NameTable::intern(std::string_view name) {
 }
 
 NameId NameTable::find(std::string_view name) const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(name);
   return it == index_.end() ? kInvalidNameId : it->second;
 }
 
 const std::string& NameTable::name(NameId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) {
     throw_error(ErrorCode::kNotFound,
                 "name id " + std::to_string(id) + " was never interned");
@@ -35,7 +35,7 @@ const std::string& NameTable::name(NameId id) const {
 }
 
 std::size_t NameTable::size() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return names_.size();
 }
 

@@ -11,10 +11,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 namespace likwid::core {
 
@@ -46,12 +47,15 @@ class NameTable {
   std::size_t size() const noexcept;
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   /// Deque: growth never moves existing strings, so name() can hand out
-  /// stable references.
-  std::deque<std::string> names_;
+  /// stable references (the returned reference outlives the lock by
+  /// design — only the container structure is guarded, not the interned
+  /// bytes, which are immutable once published).
+  std::deque<std::string> names_ LIKWID_GUARDED_BY(mutex_);
   /// Views point into names_ entries, which never move or die.
-  std::unordered_map<std::string_view, NameId> index_;
+  std::unordered_map<std::string_view, NameId> index_
+      LIKWID_GUARDED_BY(mutex_);
 };
 
 /// Shorthands for the common case of the process-wide table.

@@ -6,14 +6,43 @@
 #include <cmath>
 #include <exception>
 #include <iterator>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "monitor/spsc_ring.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace likwid::monitor {
+
+namespace {
+
+/// First-failure latch shared by the worker pool and the aggregation
+/// thread: every catch(...) records into it, the joining thread rethrows
+/// the first exception. The mutex is an annotated capability so a future
+/// unlocked read of the slot fails -Wthread-safety instead of TSan.
+class FailureLatch {
+ public:
+  /// Store the in-flight exception if the latch is still empty.
+  void record() noexcept {
+    const util::MutexLock lock(mutex_);
+    if (!failure_) failure_ = std::current_exception();
+  }
+
+  /// The first recorded failure (nullptr when every thread finished
+  /// clean). Only meaningful after the recording threads joined, but
+  /// locked regardless — the latch does not know its callers' joins.
+  std::exception_ptr first() const {
+    const util::MutexLock lock(mutex_);
+    return failure_;
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  std::exception_ptr failure_ LIKWID_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 int FleetConfig::resolved_threads() const {
   if (num_threads > 0) return num_threads;
@@ -90,12 +119,7 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
 
   std::atomic<bool> producers_done{false};
   std::atomic<bool> aggregation_alive{true};
-  std::mutex failure_mutex;
-  std::exception_ptr failure;
-  const auto record_failure = [&]() {
-    const std::lock_guard<std::mutex> lock(failure_mutex);
-    if (!failure) failure = std::current_exception();
-  };
+  FailureLatch failure;
 
   // Publish with bounded backpressure: a full transport ring means the
   // aggregation thread is behind, so the worker waits instead of losing
@@ -133,7 +157,7 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
         if (!batches[i - lo].empty()) publish(i, std::move(batches[i - lo]));
       }
     } catch (...) {
-      record_failure();
+      failure.record();
     }
   };
 
@@ -188,7 +212,7 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
         folded_[i] = folders[i].take_points();
       }
     } catch (...) {
-      record_failure();
+      failure.record();
       aggregation_alive.store(false, std::memory_order_release);
     }
   };
@@ -223,11 +247,11 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
     transport_.rejects_per_machine.push_back(queues[i]->rejected());
   }
   transport_.batches_lost = lost_batches.load(std::memory_order_relaxed);
-  if (failure) {
+  if (const std::exception_ptr first = failure.first()) {
     // A failed run must not present partially folded windows as valid
     // rollups; fall back to the retention rings.
     folded_.clear();
-    std::rethrow_exception(failure);
+    std::rethrow_exception(first);
   }
   steps_ += total_steps;
 }

@@ -1,0 +1,171 @@
+// thread_annotations.hpp — Clang thread-safety analysis for the suite's
+// locking contracts.
+//
+// The locking invariants of the concurrent subsystems (the C handle
+// registry, the Session use-tripwire, the agent fleet, the name interner)
+// were previously prose comments checked only by whatever interleavings the
+// TSan CI job happened to draw. These macros turn the contracts into
+// machine-checked annotations: under Clang, `-Wthread-safety` (promoted to
+// an error by the dedicated CI job) rejects any access to a
+// LIKWID_GUARDED_BY member without the named capability held in the same
+// function body. Under every other compiler the macros vanish.
+//
+// The analysis only understands types that declare themselves capabilities,
+// and libstdc++'s std::mutex / std::lock_guard carry no annotations — so
+// this header also provides drop-in annotated wrappers (util::Mutex,
+// util::SharedMutex) and RAII guards (MutexLock, ExclusiveLock,
+// SharedLock). Code holding a lock through std types is invisible to the
+// checker; guarded state must be locked through these.
+//
+// The analysis is intraprocedural: the lock acquisition and the guarded
+// access must be visible in the SAME function body (a lambda body counts as
+// its own function). Helpers that lock and then invoke a caller-supplied
+// callback therefore silently defeat the analysis — prefer a scoped guard
+// constructed directly in the accessing function (see likwid_c.cpp's
+// LIKWID_LOCK_LIVE_ENTRY for the pattern).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define LIKWID_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LIKWID_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no analysis
+#endif
+
+/// Marks a type as a lockable capability (the string names it in
+/// diagnostics: "reading variable 'x' requires holding mutex ...").
+#define LIKWID_CAPABILITY(x) LIKWID_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define LIKWID_SCOPED_CAPABILITY LIKWID_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define LIKWID_GUARDED_BY(x) LIKWID_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is protected by the capability (the
+/// pointer itself may be read freely).
+#define LIKWID_PT_GUARDED_BY(x) LIKWID_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held (and does not release it).
+#define LIKWID_REQUIRES(...) \
+  LIKWID_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define LIKWID_REQUIRES_SHARED(...) \
+  LIKWID_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define LIKWID_ACQUIRE(...) \
+  LIKWID_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LIKWID_ACQUIRE_SHARED(...) \
+  LIKWID_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define LIKWID_RELEASE(...) \
+  LIKWID_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LIKWID_RELEASE_SHARED(...) \
+  LIKWID_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`.
+#define LIKWID_TRY_ACQUIRE(ret, ...) \
+  LIKWID_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (non-reentrant
+/// locks; prevents self-deadlock).
+#define LIKWID_EXCLUDES(...) LIKWID_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability is held here without acquiring it
+/// (runtime-verified handoffs the checker cannot see).
+#define LIKWID_ASSERT_CAPABILITY(x) \
+  LIKWID_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define LIKWID_RETURN_CAPABILITY(x) LIKWID_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions deliberately outside the analysis (document
+/// WHY at every use site).
+#define LIKWID_NO_THREAD_SAFETY_ANALYSIS \
+  LIKWID_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace likwid::util {
+
+/// std::mutex with capability annotations: anything LIKWID_GUARDED_BY one
+/// of these is compile-time checked under Clang.
+class LIKWID_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LIKWID_ACQUIRE() { mutex_.lock(); }
+  void unlock() LIKWID_RELEASE() { mutex_.unlock(); }
+  bool try_lock() LIKWID_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// std::shared_mutex with capability annotations (exclusive + shared).
+class LIKWID_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() LIKWID_ACQUIRE() { mutex_.lock(); }
+  void unlock() LIKWID_RELEASE() { mutex_.unlock(); }
+  void lock_shared() LIKWID_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() LIKWID_RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// Scoped exclusive lock on a util::Mutex (std::lock_guard equivalent).
+class LIKWID_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) LIKWID_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() LIKWID_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped exclusive lock on a util::SharedMutex (std::unique_lock held for
+/// the full scope).
+class LIKWID_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mutex) LIKWID_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~ExclusiveLock() LIKWID_RELEASE() { mutex_.unlock(); }
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped shared (reader) lock on a util::SharedMutex.
+class LIKWID_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mutex) LIKWID_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  // Generic release: a scoped capability's destructor releases whichever
+  // mode its constructor acquired.
+  ~SharedLock() LIKWID_RELEASE() { mutex_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+}  // namespace likwid::util
