@@ -159,6 +159,10 @@ core::PerfCtr& Session::counters() {
 }
 
 const core::PerfCtr& Session::counters() const {
+  // The const read path trips the same wire as the mutators: a reader
+  // overlapping a configuring thread is the misuse the tripwire exists
+  // to catch (it previously slipped through unguarded).
+  const UseGuard guard(*this);
   if (ctr_ == nullptr) {
     throw_error(ErrorCode::kInvalidState,
                 "session '" + name_ + "': counters not configured");
@@ -244,10 +248,12 @@ void Session::release_ambient_markers() noexcept {
 }
 
 ResultTable Session::measurement(int set) const {
+  const UseGuard guard(*this);
   return measurement_table(counters(), set);
 }
 
 RegionReport Session::regions(int set) const {
+  const UseGuard guard(*this);
   const core::MarkerSession* session = markers_.session();
   if (session == nullptr) {
     throw_error(ErrorCode::kInvalidState,

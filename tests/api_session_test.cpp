@@ -3,7 +3,11 @@
 // and the ResultTable result model.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "api/session.hpp"
 #include "core/likwid.hpp"
@@ -219,6 +223,57 @@ TEST(Session, RegionsWithoutMarkerInitRejected) {
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kInvalidState);
   }
+}
+
+// Regression: the const result accessors used to bypass the
+// single-thread tripwire, so a second thread reading measurement() while
+// the owner was inside the session went undetected. Both threads spend
+// essentially all their time inside measurement(0); the first preemption
+// mid-call must now surface as Error(kInvalidState) naming the session
+// instead of an unflagged data race.
+TEST(Session, ConstResultAccessorsTripTheConcurrencyWire) {
+  const auto session = Session::configure()
+                           .name("tripwire")
+                           .cpus({0})
+                           .group("FLOPS_DP")
+                           .build();
+  session->start();
+  session->stop();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> tripped{false};
+  std::string message;
+  std::mutex message_mutex;
+  const auto hammer = [&] {
+    while (!stop.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < deadline) {
+      try {
+        (void)session->measurement(0);
+      } catch (const Error& e) {
+        if (e.code() == ErrorCode::kInvalidState) {
+          {
+            const std::lock_guard<std::mutex> lock(message_mutex);
+            message = e.what();
+          }
+          tripped.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        throw;
+      }
+    }
+  };
+
+  std::thread other(hammer);
+  hammer();
+  stop.store(true, std::memory_order_relaxed);
+  other.join();
+
+  ASSERT_TRUE(tripped.load()) << "no overlap detected within the deadline";
+  EXPECT_NE(message.find("tripwire"), std::string::npos) << message;
+  EXPECT_NE(message.find("second thread"), std::string::npos) << message;
 }
 
 }  // namespace
