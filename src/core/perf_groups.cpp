@@ -237,6 +237,12 @@ std::optional<EventGroup> build_group(Arch arch, std::string_view name) {
     if (instr) {
       g.metrics.push_back(
           {"L1 miss rate", n.l1_in + "/" + n.instr});
+    } else {
+      // Two-counter machines (Pentium M) cannot fit INSTR next to the
+      // payload, so the per-instruction rate is impossible — report the
+      // raw replacement rate instead of counting an event no formula
+      // consumes (likwid-lint's unused-event check).
+      g.metrics.push_back({"L1 misses/s", n.l1_in + "/time"});
     }
     if (with_refs) {
       g.metrics.push_back({"L1 miss ratio",

@@ -2,6 +2,8 @@
 // definitions across all architectures.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/metric_expr.hpp"
 #include "core/perf_groups.hpp"
 #include "hwsim/presets.hpp"
@@ -148,6 +150,20 @@ TEST(Groups, PentiumMGroupsLackCpi) {
   for (const auto& m : g->metrics) {
     EXPECT_NE(m.name, "CPI");
   }
+}
+
+TEST(Groups, PentiumMCacheGroupConsumesItsOnlyEvent) {
+  // Regression: with no room for INSTR next to DCU_LINES_IN, the group
+  // used to count the event without any consuming formula (flagged by
+  // likwid-lint's unused-event check); it now reports the raw rate.
+  const auto g = find_group(hwsim::Arch::kPentiumM, "CACHE");
+  ASSERT_TRUE(g.has_value());
+  ASSERT_EQ(g->events, std::vector<std::string>{"DCU_LINES_IN"});
+  const auto rate = std::find_if(
+      g->metrics.begin(), g->metrics.end(),
+      [](const GroupMetric& m) { return m.name == "L1 misses/s"; });
+  ASSERT_NE(rate, g->metrics.end());
+  EXPECT_EQ(rate->formula, "DCU_LINES_IN/time");
 }
 
 TEST(Groups, AmdGroupsCarryInstrAndCyclesExplicitly) {
