@@ -1,0 +1,425 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/compiled_metric.hpp"
+#include "core/metric_expr.hpp"
+#include "hwsim/arch.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::analysis {
+
+namespace {
+
+using hwsim::Arch;
+using hwsim::CounterClass;
+using hwsim::EventEncoding;
+using hwsim::EventId;
+
+/// Events that advance whenever the machine executes at all: a formula
+/// dividing by one of these cannot hit the x/0 = 0 fallback on any run
+/// that measured something. `time` and `clock` are nonzero by the same
+/// argument (a measurement covers nonzero wall time on a nonzero-clock
+/// machine).
+bool always_advances(const EventEncoding* enc) {
+  if (enc == nullptr) return false;
+  switch (enc->id) {
+    case EventId::kInstructionsRetired:
+    case EventId::kCoreCycles:
+    case EventId::kRefCycles:
+    case EventId::kUncClockticks:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The register file a group's formulas bind against, derived exactly the
+/// way PerfCtr builds the event set (add_fixed_counters + add_group):
+/// implicit fixed counters first, then the group's non-fixed events in
+/// listing order, with `time` and `clock` in the two trailing registers
+/// (validate_and_store's reg_of).
+struct RegisterFile {
+  struct Slot {
+    std::string name;
+    std::string counter;
+    const EventEncoding* enc = nullptr;
+  };
+  std::vector<Slot> slots;
+  int core_events = 0;
+  int uncore_events = 0;
+
+  int reg_of(std::string_view name) const {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].name == name) return static_cast<int>(i);
+    }
+    if (name == "time") return static_cast<int>(slots.size());
+    if (name == "clock") return static_cast<int>(slots.size()) + 1;
+    return -1;
+  }
+
+  /// nonzero_regs span for CompiledMetric::division_risks, covering the
+  /// event slots plus the trailing time/clock registers.
+  std::vector<bool> nonzero_registers() const {
+    std::vector<bool> nonzero(slots.size() + 2, false);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      nonzero[i] = always_advances(slots[i].enc);
+    }
+    nonzero[slots.size()] = true;      // time
+    nonzero[slots.size() + 1] = true;  // clock
+    return nonzero;
+  }
+};
+
+/// Group names follow the builtin convention: uppercase word starting
+/// with a letter (FLOPS_DP, L2CACHE, ...).
+bool well_formed_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (std::isupper(static_cast<unsigned char>(name.front())) == 0) {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    const auto uc = static_cast<unsigned char>(c);
+    return std::isupper(uc) != 0 || std::isdigit(uc) != 0 || c == '_';
+  });
+}
+
+std::string upper_copy(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+/// Mirror of PerfCtr::add_fixed_counters' implicit event list.
+constexpr const char* kFixedNames[3] = {
+    "INSTR_RETIRED_ANY", "CPU_CLK_UNHALTED_CORE", "CPU_CLK_UNHALTED_REF"};
+
+class GroupLinter {
+ public:
+  GroupLinter(const hwsim::MachineSpec& spec, const core::EventGroup& group,
+              std::string machine_label)
+      : spec_(spec),
+        group_(group),
+        machine_(std::move(machine_label)),
+        arch_(hwsim::classify_arch(spec.vendor, spec.family, spec.model)) {}
+
+  std::vector<Diagnostic> run() {
+    check_name();
+    build_register_file();
+    check_slot_budget();
+    check_formulas();
+    check_unused_events();
+    return std::move(diags_);
+  }
+
+ private:
+  void emit(Severity severity, std::string check, std::string message,
+            std::string metric = "") {
+    Diagnostic d;
+    d.severity = severity;
+    d.check = std::move(check);
+    d.machine = machine_;
+    d.group = group_.name;
+    d.metric = std::move(metric);
+    d.message = std::move(message);
+    diags_.push_back(std::move(d));
+  }
+
+  void check_name() {
+    if (!well_formed_name(group_.name)) {
+      emit(Severity::kError, "group-name",
+           "malformed group name '" + group_.name +
+               "' (expected an uppercase identifier like FLOPS_DP)");
+    }
+  }
+
+  /// PerfCtr::add_group, as a pure function: derive the assignments the
+  /// measurement layer would build, diagnosing instead of throwing.
+  void build_register_file() {
+    const auto& pmu = spec_.pmu;
+    if (pmu.num_fixed_counters > 0) {
+      for (int i = 0; i < std::min(2, pmu.num_fixed_counters); ++i) {
+        const EventEncoding* enc = hwsim::find_event(arch_, kFixedNames[i]);
+        if (enc == nullptr || enc->klass != CounterClass::kFixed) {
+          emit(Severity::kError, "schedulability",
+               std::string("implicit fixed event ") + kFixedNames[i] +
+                   " is missing from the architecture's event table");
+          continue;
+        }
+        regs_.slots.push_back(
+            {kFixedNames[i], "FIXC" + std::to_string(i), enc});
+      }
+    }
+    int next_pmc = 0;
+    int next_upmc = 0;
+    for (const auto& name : group_.events) {
+      const EventEncoding* enc = hwsim::find_event(arch_, name);
+      if (enc == nullptr) {
+        emit(Severity::kError, "undefined-event",
+             "event '" + name + "' is not documented on " +
+                 std::string(hwsim::to_string(arch_)));
+        continue;
+      }
+      switch (enc->klass) {
+        case CounterClass::kFixed:
+          // The measurement layer drops listed fixed-class events (they
+          // are counted implicitly) — but only the implicit ones exist.
+          if (pmu.num_fixed_counters <= 0) {
+            emit(Severity::kError, "schedulability",
+                 "event '" + name +
+                     "' needs a fixed counter but this machine has none");
+          } else if (enc->fixed_index >=
+                     std::min(2, pmu.num_fixed_counters)) {
+            emit(Severity::kError, "schedulability",
+                 "fixed event '" + name +
+                     "' is outside the implicitly counted set and would be "
+                     "silently dropped");
+          }
+          break;
+        case CounterClass::kUncore:
+          regs_.slots.push_back(
+              {name, "UPMC" + std::to_string(next_upmc), enc});
+          ++next_upmc;
+          ++regs_.uncore_events;
+          break;
+        case CounterClass::kCore:
+          regs_.slots.push_back(
+              {name, "PMC" + std::to_string(next_pmc), enc});
+          ++next_pmc;
+          ++regs_.core_events;
+          break;
+      }
+    }
+  }
+
+  /// PerfCtr::validate_and_store's slot-budget errors, as diagnostics.
+  void check_slot_budget() {
+    const auto& pmu = spec_.pmu;
+    if (regs_.core_events > pmu.num_gp_counters) {
+      emit(Severity::kError, "schedulability",
+           util::strprintf("%d core events but only %d general-purpose "
+                           "counters",
+                           regs_.core_events, pmu.num_gp_counters));
+    }
+    if (regs_.uncore_events > pmu.num_uncore_counters) {
+      emit(Severity::kError, "schedulability",
+           util::strprintf("%d uncore events but only %d uncore counters",
+                           regs_.uncore_events, pmu.num_uncore_counters));
+    }
+  }
+
+  void check_formulas() {
+    const std::vector<bool> nonzero = regs_.nonzero_registers();
+    for (const auto& metric : group_.metrics) {
+      std::optional<core::MetricExpr> parsed;
+      try {
+        parsed = core::MetricExpr::parse(metric.formula);
+      } catch (const Error& e) {
+        emit(Severity::kError, "formula-syntax", e.what(), metric.name);
+        continue;
+      }
+      const core::MetricExpr& expr = *parsed;
+      bool resolvable = true;
+      for (const auto& var : expr.variables()) {
+        consumed_.insert(var);
+        if (regs_.reg_of(var) < 0) {
+          emit(Severity::kError, "undefined-event",
+               "formula references '" + var +
+                   "', which the event set does not count",
+               metric.name);
+          resolvable = false;
+        }
+      }
+      if (!resolvable) continue;
+      const core::CompiledMetric program = expr.compile(
+          [this](std::string_view name) { return regs_.reg_of(name); });
+      for (const auto& risk : program.division_risks(nonzero)) {
+        std::string divisor;
+        for (const auto reg : risk.registers) {
+          if (!divisor.empty()) divisor += ", ";
+          divisor += reg < static_cast<std::int32_t>(regs_.slots.size())
+                         ? regs_.slots[static_cast<std::size_t>(reg)].name
+                         : (reg == static_cast<std::int32_t>(
+                                       regs_.slots.size())
+                                ? "time"
+                                : "clock");
+        }
+        if (risk.certain) {
+          emit(Severity::kError, "zero-division",
+               "divisor is always zero — the metric can only report 0",
+               metric.name);
+        } else {
+          std::string message =
+              divisor.empty()
+                  ? "division by a possibly-zero subexpression"
+                  : "divisor (" + divisor +
+                        ") is not provably nonzero; x/0 evaluates to 0";
+          if (risk.cancellation) {
+            message += " (contains a subtraction that can cancel)";
+          }
+          emit(Severity::kWarning, "zero-division", std::move(message),
+               metric.name);
+        }
+      }
+    }
+  }
+
+  void check_unused_events() {
+    for (const auto& name : group_.events) {
+      if (hwsim::find_event(arch_, name) == nullptr) {
+        continue;  // already an undefined-event error
+      }
+      if (consumed_.find(name) == consumed_.end()) {
+        emit(Severity::kWarning, "unused-event",
+             "event '" + name +
+                 "' is counted but no metric formula consumes it");
+      }
+    }
+  }
+
+  const hwsim::MachineSpec& spec_;
+  const core::EventGroup& group_;
+  std::string machine_;
+  Arch arch_;
+  RegisterFile regs_;
+  std::set<std::string> consumed_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::string_view to_string(Severity severity) noexcept {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::vector<Diagnostic> lint_group(const hwsim::MachineSpec& spec,
+                                   const core::EventGroup& group,
+                                   const std::string& machine_label) {
+  return GroupLinter(spec, group, machine_label).run();
+}
+
+std::vector<Diagnostic> lint_catalog(
+    const hwsim::MachineSpec& spec,
+    const std::vector<core::EventGroup>& groups,
+    const std::string& machine_label) {
+  std::vector<Diagnostic> diags;
+  // Name collisions are catalog-level: find_group resolves by exact
+  // match, so an exact duplicate makes the later group unreachable and a
+  // case-insensitive near-duplicate invites silent misuse.
+  std::set<std::string> seen;
+  std::map<std::string, std::string> seen_upper;
+  for (const auto& group : groups) {
+    if (!seen.insert(group.name).second) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.check = "group-name";
+      d.machine = machine_label;
+      d.group = group.name;
+      d.message = "duplicate group name '" + group.name +
+                  "' — the later definition is unreachable";
+      diags.push_back(std::move(d));
+      continue;
+    }
+    const auto [it, inserted] =
+        seen_upper.emplace(upper_copy(group.name), group.name);
+    if (!inserted) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.check = "group-name";
+      d.machine = machine_label;
+      d.group = group.name;
+      d.message = "group name '" + group.name + "' shadows '" + it->second +
+                  "' (names differ only by case)";
+      diags.push_back(std::move(d));
+    }
+  }
+  for (const auto& group : groups) {
+    auto group_diags = lint_group(spec, group, machine_label);
+    diags.insert(diags.end(),
+                 std::make_move_iterator(group_diags.begin()),
+                 std::make_move_iterator(group_diags.end()));
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> lint_machine(const std::string& preset_key) {
+  const hwsim::MachineSpec spec = hwsim::presets::preset_by_key(preset_key);
+  const Arch arch =
+      hwsim::classify_arch(spec.vendor, spec.family, spec.model);
+  return lint_catalog(spec, core::supported_groups(arch), preset_key);
+}
+
+std::vector<Diagnostic> lint_all_machines() {
+  std::vector<Diagnostic> diags;
+  for (const auto& preset : hwsim::presets::all_presets()) {
+    auto machine_diags = lint_machine(preset.key);
+    diags.insert(diags.end(),
+                 std::make_move_iterator(machine_diags.begin()),
+                 std::make_move_iterator(machine_diags.end()));
+  }
+  return diags;
+}
+
+std::size_t count(const std::vector<Diagnostic>& diags, Severity severity) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(), [severity](const auto& d) {
+        return d.severity == severity;
+      }));
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags,
+                bool warnings_as_errors) {
+  if (warnings_as_errors) return !diags.empty();
+  return count(diags, Severity::kError) > 0;
+}
+
+std::string format_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  for (const auto& d : diags) {
+    out << to_string(d.severity) << ": [" << d.check << "] " << d.machine;
+    if (!d.group.empty()) out << "/" << d.group;
+    out << ": ";
+    if (!d.metric.empty()) out << "metric '" << d.metric << "': ";
+    out << d.message << "\n";
+  }
+  return out.str();
+}
+
+api::ResultTable report_table(const std::vector<Diagnostic>& diags,
+                              std::size_t groups_linted,
+                              std::size_t machines_linted) {
+  api::ResultTable table;
+  table.group = "LINT";
+  table.has_metrics = true;
+  // One synthetic value column: lint results have no cpu dimension, but
+  // the sink layer renders one column per entry of `cpus`.
+  table.cpus = {0};
+  const auto add = [&table](const std::string& name, double value) {
+    table.metrics.push_back({name, {value}});
+  };
+  add("machines linted", static_cast<double>(machines_linted));
+  add("groups linted", static_cast<double>(groups_linted));
+  add("errors", static_cast<double>(count(diags, Severity::kError)));
+  add("warnings", static_cast<double>(count(diags, Severity::kWarning)));
+  std::map<std::string, std::size_t> by_check;
+  for (const auto& d : diags) {
+    ++by_check[std::string(to_string(d.severity)) + ":" + d.check];
+  }
+  for (const auto& [key, n] : by_check) {
+    add(key, static_cast<double>(n));
+  }
+  return table;
+}
+
+}  // namespace likwid::analysis

@@ -1,0 +1,97 @@
+// lint.hpp — static validation of performance-group and metric
+// definitions against a machine model, without executing a measurement.
+//
+// The paper's discipline is that event sets, counter constraints and
+// derived-metric formulas are *declared* — which means a group definition
+// can be proven schedulable and its formulas proven well-formed at
+// definition time, long before a counter is programmed. This library is
+// that proof, mirrored from the measurement layer as pure checks:
+//
+//   schedulability   the group's events fit the PMU's counter slots
+//                    (PerfCtr::add_group + validate_and_store, minus the
+//                    side effects)
+//   undefined-event  an event name the architecture does not document, or
+//                    a formula variable no register of the set carries
+//   unused-event     an explicitly listed event no formula consumes —
+//                    it burns a counter slot for nothing
+//   zero-division    a formula path whose divisor the abstract
+//                    interpreter (CompiledMetric::division_risks) cannot
+//                    prove nonzero; evaluate() defines x/0 = 0, so such a
+//                    metric silently reports 0
+//   formula-syntax   a formula MetricExpr cannot parse
+//   group-name       malformed, duplicate or case-shadowed group names
+//
+// Severity model: a definition the measurement layer would reject or that
+// can only ever mislead is an error; a definition that is legal but
+// wasteful or fragile (unused events, maybe-zero divisors — several
+// builtin ratio groups divide by a plain counter on purpose) is a
+// warning. likwid-lint --strict promotes warnings to errors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/result_table.hpp"
+#include "core/perf_groups.hpp"
+#include "hwsim/machine_spec.hpp"
+
+namespace likwid::analysis {
+
+enum class Severity {
+  kWarning,  ///< legal but wasteful or fragile
+  kError,    ///< the measurement layer would reject it, or it can only mislead
+};
+
+std::string_view to_string(Severity severity) noexcept;
+
+/// One finding of the linter, machine- and group-scoped (metric-scoped
+/// when a formula is at fault).
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string check;    ///< check id ("schedulability", "zero-division", ...)
+  std::string machine;  ///< preset key or architecture label
+  std::string group;    ///< group name; empty for catalog-level findings
+  std::string metric;   ///< metric display name; empty when not formula-scoped
+  std::string message;
+};
+
+/// Lint one group definition against a machine model.
+std::vector<Diagnostic> lint_group(const hwsim::MachineSpec& spec,
+                                   const core::EventGroup& group,
+                                   const std::string& machine_label);
+
+/// Lint a catalog of groups: name collisions/shadowing across the catalog,
+/// then every group via lint_group.
+std::vector<Diagnostic> lint_catalog(const hwsim::MachineSpec& spec,
+                                     const std::vector<core::EventGroup>& groups,
+                                     const std::string& machine_label);
+
+/// Lint every builtin group supported on the preset machine; throws
+/// Error(kNotFound) for unknown preset keys.
+std::vector<Diagnostic> lint_machine(const std::string& preset_key);
+
+/// Lint every machine preset's builtin catalog.
+std::vector<Diagnostic> lint_all_machines();
+
+std::size_t count(const std::vector<Diagnostic>& diags, Severity severity);
+
+/// Whether the findings fail the lint (any error; with
+/// `warnings_as_errors`, any diagnostic at all).
+bool has_errors(const std::vector<Diagnostic>& diags,
+                bool warnings_as_errors = false);
+
+/// One text line per diagnostic:
+///   error: [schedulability] westmere-ep/FLOPS_DP: ...
+///   warning: [zero-division] core2-quad/DATA: metric 'Load to store ratio': ...
+std::string format_diagnostics(const std::vector<Diagnostic>& diags);
+
+/// The findings summarized as a ResultTable for the existing output sinks
+/// (ASCII/CSV/XML): one synthetic value column, one metric row per
+/// severity and per (severity, check) pair with a nonzero count.
+api::ResultTable report_table(const std::vector<Diagnostic>& diags,
+                              std::size_t groups_linted,
+                              std::size_t machines_linted);
+
+}  // namespace likwid::analysis

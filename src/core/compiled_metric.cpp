@@ -1,5 +1,7 @@
 #include "core/compiled_metric.hpp"
 
+#include <algorithm>
+
 namespace likwid::core {
 
 double CompiledMetric::evaluate(std::span<const double> regs) const noexcept {
@@ -36,6 +38,127 @@ double CompiledMetric::evaluate(std::span<const double> regs) const noexcept {
     }
   }
   return top >= 0 ? stack[top] : 0.0;
+}
+
+namespace {
+
+/// Abstract value of one operand-stack slot for division_risks(): what we
+/// can prove about the sign/zeroness of the subexpression it holds, and
+/// which registers feed it.
+struct AbstractValue {
+  bool may_zero = true;      ///< cannot rule out the value being 0
+  bool always_zero = false;  ///< provably 0 on every register file
+  bool nonneg = false;       ///< provably >= 0 (counters, nonneg literals)
+  bool has_sub = false;      ///< a live subtraction feeds this value
+  std::vector<std::int32_t> regs;
+};
+
+AbstractValue merge_regs(AbstractValue v, const AbstractValue& a,
+                         const AbstractValue& b) {
+  v.regs = a.regs;
+  v.regs.insert(v.regs.end(), b.regs.begin(), b.regs.end());
+  std::sort(v.regs.begin(), v.regs.end());
+  v.regs.erase(std::unique(v.regs.begin(), v.regs.end()), v.regs.end());
+  return v;
+}
+
+}  // namespace
+
+std::vector<CompiledMetric::DivisionRisk> CompiledMetric::division_risks(
+    const std::vector<bool>& nonzero_regs) const {
+  std::vector<DivisionRisk> risks;
+  std::vector<AbstractValue> stack;
+  stack.reserve(static_cast<std::size_t>(max_depth_));
+  const auto pop = [&]() {
+    AbstractValue v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+  for (const Instr& ins : code_) {
+    switch (ins.op) {
+      case Op::kPushConst: {
+        AbstractValue v;
+        v.may_zero = v.always_zero = (ins.value == 0.0);
+        v.nonneg = ins.value >= 0.0;
+        stack.push_back(std::move(v));
+        break;
+      }
+      case Op::kPushReg: {
+        AbstractValue v;
+        const auto reg = static_cast<std::size_t>(ins.reg);
+        const bool nonzero = reg < nonzero_regs.size() && nonzero_regs[reg];
+        v.may_zero = !nonzero;
+        v.always_zero = false;
+        v.nonneg = true;  // registers carry counts / seconds / Hz
+        v.regs = {ins.reg};
+        stack.push_back(std::move(v));
+        break;
+      }
+      case Op::kAdd: {
+        const AbstractValue b = pop();
+        const AbstractValue a = pop();
+        AbstractValue v;
+        // A sum of nonnegatives vanishes only when both sides do; with a
+        // possibly negative side anything can cancel.
+        v.may_zero = (a.nonneg && b.nonneg) ? (a.may_zero && b.may_zero)
+                                            : !(a.always_zero && b.always_zero);
+        v.always_zero = a.always_zero && b.always_zero;
+        v.nonneg = a.nonneg && b.nonneg;
+        v.has_sub = a.has_sub || b.has_sub;
+        stack.push_back(merge_regs(std::move(v), a, b));
+        break;
+      }
+      case Op::kSub: {
+        const AbstractValue b = pop();
+        const AbstractValue a = pop();
+        AbstractValue v;
+        v.may_zero = b.always_zero ? a.may_zero : true;
+        v.always_zero = a.always_zero && b.always_zero;
+        v.nonneg = a.nonneg && b.always_zero;
+        v.has_sub = a.has_sub || b.has_sub || !b.always_zero;
+        stack.push_back(merge_regs(std::move(v), a, b));
+        break;
+      }
+      case Op::kMul: {
+        const AbstractValue b = pop();
+        const AbstractValue a = pop();
+        AbstractValue v;
+        v.may_zero = a.may_zero || b.may_zero;
+        v.always_zero = a.always_zero || b.always_zero;
+        v.nonneg = (a.nonneg && b.nonneg) || v.always_zero;
+        v.has_sub = a.has_sub || b.has_sub;
+        stack.push_back(merge_regs(std::move(v), a, b));
+        break;
+      }
+      case Op::kDiv: {
+        const AbstractValue b = pop();
+        const AbstractValue a = pop();
+        if (b.may_zero) {
+          DivisionRisk risk;
+          risk.certain = b.always_zero;
+          risk.cancellation = b.has_sub;
+          risk.registers = b.regs;
+          risks.push_back(std::move(risk));
+        }
+        AbstractValue v;
+        // evaluate() defines x/0 = 0, so a zero on EITHER side zeroes the
+        // quotient.
+        v.may_zero = a.may_zero || b.may_zero;
+        v.always_zero = a.always_zero || b.always_zero;
+        v.nonneg = (a.nonneg && b.nonneg) || v.always_zero;
+        v.has_sub = a.has_sub || b.has_sub;
+        stack.push_back(merge_regs(std::move(v), a, b));
+        break;
+      }
+      case Op::kNeg: {
+        AbstractValue v = pop();
+        v.nonneg = v.always_zero;
+        stack.push_back(std::move(v));
+        break;
+      }
+    }
+  }
+  return risks;
 }
 
 }  // namespace likwid::core

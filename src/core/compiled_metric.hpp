@@ -36,6 +36,32 @@ class CompiledMetric {
   /// Deepest operand-stack use of evaluate(); bounded by kMaxStack.
   int max_stack_depth() const noexcept { return max_depth_; }
 
+  /// One division whose divisor the static analysis could not prove
+  /// nonzero. evaluate() defines x/0 = 0, so such a division silently
+  /// reports 0 instead of the intended ratio — worth a diagnostic at
+  /// group-definition time (likwid-lint's zero-division check).
+  struct DivisionRisk {
+    /// The divisor is PROVABLY always zero (e.g. a literal 0, or a value
+    /// multiplied by one): the metric can only ever report 0.
+    bool certain = false;
+    /// The divisor contains a live subtraction, so it can cancel to zero
+    /// even when every input register is nonzero.
+    bool cancellation = false;
+    /// Registers feeding the divisor subexpression, ascending, deduped
+    /// (callers map them back to event names for the message).
+    std::vector<std::int32_t> registers;
+  };
+
+  /// Abstract interpretation over the postfix program: walk it once with
+  /// a may-be-zero/always-zero/nonnegative lattice per stack slot and
+  /// report every kDiv whose divisor may be zero. `nonzero_regs[i]` marks
+  /// register i as guaranteed nonzero (time, clock, always-advancing
+  /// fixed counters); out-of-range registers are assumed maybe-zero.
+  /// Registers are otherwise assumed nonnegative (they carry counter
+  /// values), which lets `a + b` stay nonzero when either side is.
+  std::vector<DivisionRisk> division_risks(
+      const std::vector<bool>& nonzero_regs) const;
+
   /// Operand stack ceiling; compile() rejects deeper programs with
   /// Error(kResourceExhausted). Group formulas are tiny — a program this
   /// deep would need >60 nested parentheses.

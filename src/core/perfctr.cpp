@@ -65,6 +65,9 @@ bool PerfCtr::owns_uncore(int cpu) const {
 void PerfCtr::add_fixed_counters(EventSet& set) const {
   // "INSTR_RETIRED_ANY and CPU_CLK_UNHALTED_CORE are always counted" on
   // architectures with fixed counters.
+  //
+  // analysis/lint.cpp mirrors this assignment logic (and add_group's /
+  // validate_and_store's) as a pure check; keep the two in sync.
   const auto& pmu = kernel_.machine().spec().pmu;
   if (pmu.num_fixed_counters <= 0) return;
   static constexpr const char* kFixedNames[3] = {

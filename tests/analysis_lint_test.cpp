@@ -1,0 +1,343 @@
+// Tests for the group/metric static analyzer (src/analysis/lint.hpp):
+// each bad-fixture class must be rejected with its exact diagnostic, and
+// every builtin preset catalog must lint clean of errors on every machine
+// model (the same invariant the likwid-lint ctest smoke cases enforce on
+// the installed binary).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "core/perf_groups.hpp"
+#include "hwsim/arch.hpp"
+#include "hwsim/presets.hpp"
+
+namespace likwid::analysis {
+namespace {
+
+hwsim::MachineSpec westmere() {
+  return hwsim::presets::preset_by_key("westmere-ep");
+}
+
+/// The subset of `diags` produced by one check id.
+std::vector<Diagnostic> of_check(const std::vector<Diagnostic>& diags,
+                                 const std::string& check) {
+  std::vector<Diagnostic> out;
+  std::copy_if(diags.begin(), diags.end(), std::back_inserter(out),
+               [&](const Diagnostic& d) { return d.check == check; });
+  return out;
+}
+
+// --- fixture class 1: unschedulable event set -------------------------------
+
+TEST(LintGroup, RejectsEventSetExceedingGeneralPurposeCounters) {
+  // Westmere-EP has 4 general-purpose core counters; five core events
+  // cannot be scheduled simultaneously.
+  const core::EventGroup group{
+      "TOOWIDE",
+      "fixture: five core events on a four-counter PMU",
+      {"MEM_INST_RETIRED_LOADS", "MEM_INST_RETIRED_STORES", "L1D_REPL",
+       "L1D_M_EVICT", "L2_LINES_IN_ANY"},
+      {{"Runtime [s]", "time"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "schedulability");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].machine, "westmere-ep");
+  EXPECT_EQ(diags[0].group, "TOOWIDE");
+  EXPECT_EQ(diags[0].message,
+            "5 core events but only 4 general-purpose counters");
+}
+
+TEST(LintGroup, RejectsUncoreEventsOnMachinesWithoutUncoreCounters) {
+  // Core 2 has no uncore counters at all, so any UNC_* event is
+  // unschedulable — but on Core 2 those names are also undocumented, so
+  // exercise the budget check on Westmere by exceeding its 8 slots via
+  // a group that is fine on the core side.
+  core::EventGroup group{"UNCWIDE",
+                         "fixture: nine uncore events on an eight-slot PMU",
+                         {},
+                         {{"Runtime [s]", "time"}}};
+  for (int i = 0; i < 9; ++i) {
+    // Alternate over the documented uncore events; duplicates still each
+    // claim a counter slot, exactly as PerfCtr::add_group assigns them.
+    group.events.push_back(i % 2 == 0 ? "UNC_L3_HITS_ANY"
+                                      : "UNC_L3_MISS_ANY");
+  }
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "schedulability");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].message, "9 uncore events but only 8 uncore counters");
+}
+
+TEST(LintGroup, RejectsFixedEventOutsideTheImplicitlyCountedSet) {
+  // Only the first two fixed counters are programmed implicitly;
+  // CPU_CLK_UNHALTED_REF sits at fixed index 2 and would be dropped.
+  const core::EventGroup group{"REFCYC",
+                               "fixture: third fixed counter requested",
+                               {"CPU_CLK_UNHALTED_REF"},
+                               {{"Runtime [s]", "time"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "schedulability");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].message,
+            "fixed event 'CPU_CLK_UNHALTED_REF' is outside the implicitly "
+            "counted set and would be silently dropped");
+}
+
+// --- fixture class 2: undefined events --------------------------------------
+
+TEST(LintGroup, RejectsEventTheArchitectureDoesNotDocument) {
+  const core::EventGroup group{"GHOST",
+                               "fixture: event name outside the event table",
+                               {"NO_SUCH_EVENT"},
+                               {{"Runtime [s]", "time"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "undefined-event");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].message,
+            "event 'NO_SUCH_EVENT' is not documented on Intel Westmere");
+}
+
+TEST(LintGroup, RejectsFormulaReferencingAnEventTheSetDoesNotCount) {
+  const core::EventGroup group{
+      "PHANTOM",
+      "fixture: formula over an event the set does not program",
+      {"MEM_INST_RETIRED_LOADS"},
+      {{"Load rate", "MEM_INST_RETIRED_LOADS/time"},
+       {"Store rate", "MEM_INST_RETIRED_STORES/time"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "undefined-event");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].metric, "Store rate");
+  EXPECT_EQ(diags[0].message,
+            "formula references 'MEM_INST_RETIRED_STORES', which the event "
+            "set does not count");
+}
+
+// --- fixture class 3: unused events -----------------------------------------
+
+TEST(LintGroup, WarnsWhenAnEventBurnsACounterSlotForNothing) {
+  const core::EventGroup group{
+      "WASTE",
+      "fixture: programmed event no formula consumes",
+      {"MEM_INST_RETIRED_LOADS", "MEM_INST_RETIRED_STORES"},
+      {{"Load rate", "MEM_INST_RETIRED_LOADS/time"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "unused-event");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].message,
+            "event 'MEM_INST_RETIRED_STORES' is counted but no metric "
+            "formula consumes it");
+}
+
+// --- fixture class 4: division by a possibly-zero counter -------------------
+
+TEST(LintGroup, WarnsOnDivisionByAnUnguardedCounter) {
+  // MEM_INST_RETIRED_STORES is a plain programmable counter — nothing
+  // guarantees a workload stores at all, and x/0 evaluates to 0.
+  const core::EventGroup group{
+      "RATIO",
+      "fixture: ratio over a counter that may read zero",
+      {"MEM_INST_RETIRED_LOADS", "MEM_INST_RETIRED_STORES"},
+      {{"Load to store ratio",
+        "MEM_INST_RETIRED_LOADS/MEM_INST_RETIRED_STORES"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "zero-division");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].metric, "Load to store ratio");
+  EXPECT_EQ(diags[0].message,
+            "divisor (MEM_INST_RETIRED_STORES) is not provably nonzero; "
+            "x/0 evaluates to 0");
+}
+
+TEST(LintGroup, DivisionByAlwaysAdvancingCountersIsClean) {
+  // time, clock, and the implicit fixed counters advance on every run
+  // that measured anything; ratios over them need no guard.
+  const core::EventGroup group{
+      "GUARDED",
+      "fixture: divisors the analysis proves nonzero",
+      {"MEM_INST_RETIRED_LOADS"},
+      {{"CPI", "CPU_CLK_UNHALTED_CORE/INSTR_RETIRED_ANY"},
+       {"Load rate", "MEM_INST_RETIRED_LOADS/time"},
+       {"Clock [MHz]", "1.E-06*clock"},
+       {"Loads per cycle",
+        "MEM_INST_RETIRED_LOADS/(INSTR_RETIRED_ANY+CPU_CLK_UNHALTED_CORE)"}}};
+  EXPECT_TRUE(of_check(lint_group(westmere(), group, "westmere-ep"),
+                       "zero-division")
+                  .empty());
+}
+
+TEST(LintGroup, FlagsAnAlwaysZeroDivisorAsAnError) {
+  const core::EventGroup group{"DEADDIV",
+                               "fixture: literal zero divisor",
+                               {},
+                               {{"Broken", "time/0"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "zero-division");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].message,
+            "divisor is always zero — the metric can only report 0");
+}
+
+TEST(LintGroup, NotesWhenTheDivisorContainsACancellingSubtraction) {
+  // INSTR_RETIRED_ANY alone is provably nonzero, but subtracting another
+  // counter from it can cancel — the warning must say so.
+  const core::EventGroup group{
+      "CANCEL",
+      "fixture: guarded counter minus an unguarded one",
+      {"MEM_INST_RETIRED_LOADS"},
+      {{"Non-load instructions ratio",
+        "time/(INSTR_RETIRED_ANY-MEM_INST_RETIRED_LOADS)"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "zero-division");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].message,
+            "divisor (INSTR_RETIRED_ANY, MEM_INST_RETIRED_LOADS) is not "
+            "provably nonzero; x/0 evaluates to 0 (contains a subtraction "
+            "that can cancel)");
+}
+
+// --- formula syntax and group naming ----------------------------------------
+
+TEST(LintGroup, ReportsUnparseableFormulas) {
+  const core::EventGroup group{"SYNTAX",
+                               "fixture: malformed formula",
+                               {},
+                               {{"Broken", "(((time"}}};
+  const auto diags = of_check(lint_group(westmere(), group, "westmere-ep"),
+                              "formula-syntax");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].metric, "Broken");
+}
+
+TEST(LintGroup, RejectsMalformedGroupNames) {
+  const core::EventGroup group{"flops dp",
+                               "fixture: lowercase, embedded space",
+                               {},
+                               {{"Runtime [s]", "time"}}};
+  const auto diags =
+      of_check(lint_group(westmere(), group, "westmere-ep"), "group-name");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].message,
+            "malformed group name 'flops dp' (expected an uppercase "
+            "identifier like FLOPS_DP)");
+}
+
+TEST(LintCatalog, RejectsDuplicateAndCaseShadowedGroupNames) {
+  const core::EventGroup base{"FLOPS_DP", "fixture", {},
+                              {{"Runtime [s]", "time"}}};
+  core::EventGroup dup = base;
+  core::EventGroup shadow = base;
+  shadow.name = "Flops_dp";
+  const auto diags = of_check(
+      lint_catalog(westmere(), {base, dup, shadow}, "westmere-ep"),
+      "group-name");
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].message,
+            "duplicate group name 'FLOPS_DP' — the later definition is "
+            "unreachable");
+  EXPECT_EQ(diags[1].message,
+            "group name 'Flops_dp' shadows 'FLOPS_DP' (names differ only "
+            "by case)");
+  // The mixed-case shadow is also malformed on its own terms.
+  EXPECT_EQ(diags[2].message,
+            "malformed group name 'Flops_dp' (expected an uppercase "
+            "identifier like FLOPS_DP)");
+}
+
+// --- the builtin catalogs must lint clean on every machine model ------------
+
+TEST(LintCatalog, EveryBuiltinPresetCatalogHasNoErrors) {
+  for (const auto& preset : hwsim::presets::all_presets()) {
+    const auto diags = lint_machine(preset.key);
+    for (const auto& d : diags) {
+      EXPECT_NE(d.severity, Severity::kError)
+          << preset.key << ": " << format_diagnostics({d});
+    }
+  }
+}
+
+TEST(LintCatalog, KnownBuiltinWarningsStayCharacterized) {
+  // The builtin ratio groups divide by plain counters on purpose — the
+  // maybe-zero warnings on those divisors are the only findings the
+  // shipped catalogs carry. (The linter's unused-event check caught the
+  // Pentium M CACHE group counting DCU_LINES_IN without a consuming
+  // formula; the group now reports "L1 misses/s" instead.)
+  const auto diags = lint_all_machines();
+  EXPECT_EQ(count(diags, Severity::kError), 0u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.check, "zero-division") << format_diagnostics({d});
+    EXPECT_EQ(d.severity, Severity::kWarning) << format_diagnostics({d});
+  }
+  EXPECT_TRUE(of_check(diags, "unused-event").empty());
+}
+
+// --- severity plumbing and reporting ----------------------------------------
+
+TEST(LintReport, StrictModePromotesWarningsToFailures) {
+  const core::EventGroup group{
+      "WASTE", "fixture", {"MEM_INST_RETIRED_LOADS"},
+      {{"Runtime [s]", "time"}}};
+  const auto diags = lint_group(westmere(), group, "westmere-ep");
+  EXPECT_EQ(count(diags, Severity::kError), 0u);
+  EXPECT_EQ(count(diags, Severity::kWarning), 1u);
+  EXPECT_FALSE(has_errors(diags));
+  EXPECT_TRUE(has_errors(diags, /*warnings_as_errors=*/true));
+  EXPECT_FALSE(has_errors({}, /*warnings_as_errors=*/true));
+}
+
+TEST(LintReport, FormatsOneLinePerDiagnostic) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.check = "zero-division";
+  d.machine = "westmere-ep";
+  d.group = "DATA";
+  d.metric = "Load to store ratio";
+  d.message = "divisor may be zero";
+  EXPECT_EQ(format_diagnostics({d}),
+            "warning: [zero-division] westmere-ep/DATA: "
+            "metric 'Load to store ratio': divisor may be zero\n");
+}
+
+TEST(LintReport, SummaryTableCountsBySeverityAndCheck) {
+  Diagnostic err;
+  err.severity = Severity::kError;
+  err.check = "schedulability";
+  Diagnostic warn;
+  warn.severity = Severity::kWarning;
+  warn.check = "unused-event";
+  const api::ResultTable table =
+      report_table({err, warn, warn}, /*groups_linted=*/7,
+                   /*machines_linted=*/2);
+  EXPECT_EQ(table.group, "LINT");
+  ASSERT_EQ(table.cpus.size(), 1u);
+  const auto value = [&](const std::string& name) -> double {
+    for (const auto& metric : table.metrics) {
+      if (metric.name == name) return metric.values.at(0);
+    }
+    ADD_FAILURE() << "missing metric row " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value("machines linted"), 2.0);
+  EXPECT_DOUBLE_EQ(value("groups linted"), 7.0);
+  EXPECT_DOUBLE_EQ(value("errors"), 1.0);
+  EXPECT_DOUBLE_EQ(value("warnings"), 2.0);
+  EXPECT_DOUBLE_EQ(value("error:schedulability"), 1.0);
+  EXPECT_DOUBLE_EQ(value("warning:unused-event"), 2.0);
+}
+
+}  // namespace
+}  // namespace likwid::analysis

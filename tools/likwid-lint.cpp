@@ -1,0 +1,124 @@
+// likwid-lint — static validation of performance-group and metric
+// definitions against a machine model, without programming a counter.
+//
+// The measurement layer only discovers a bad group definition when a tool
+// tries to use it; likwid-lint proves the whole catalog sound (or names
+// exactly what is wrong) at build time, so CI can reject a bad definition
+// before it ships. Checks: event-set schedulability under the PMU's
+// counter-slot budget, formulas referencing events the set does not
+// count, events no formula consumes, division-by-possibly-zero formula
+// paths, malformed or shadowed group names.
+//
+// Usage:
+//   likwid-lint                        # lint every machine preset
+//   likwid-lint --machine westmere-ep  # one machine's builtin catalog
+//   likwid-lint --machine core2-quad --group FLOPS_DP
+//   likwid-lint --strict               # warnings fail the lint too
+//   likwid-lint --csv | --xml          # summary table via the sinks
+//
+// Exit status: 0 when the lint passes, 1 when it fails (any error, or —
+// under --strict — any diagnostic at all).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "cli/sinks.hpp"
+#include "core/perf_groups.hpp"
+#include "hwsim/arch.hpp"
+#include "hwsim/presets.hpp"
+#include "tool_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace likwid;
+  return tools::tool_main([&]() {
+    const cli::ArgParser args(argc, argv, {"--machine", "--group", "--out"});
+    if (args.has("-h") || args.has("--help")) {
+      std::cout
+          << "Usage: likwid-lint [--machine KEY [--group NAME]] [--strict]\n"
+          << "                   [--csv | --xml] [--out FILE]\n"
+          << "Statically validates performance-group definitions against\n"
+          << "a machine model (schedulability, undefined/unused events,\n"
+          << "zero-division formula paths, group naming). Without\n"
+          << "--machine, every preset machine's catalog is linted.\n"
+          << "  --strict        warnings fail the lint too\n"
+          << "  --csv / --xml   emit the summary table in that format\n"
+          << "  --out FILE      also write the summary table to FILE\n"
+          << tools::machine_help();
+      return 0;
+    }
+
+    std::vector<analysis::Diagnostic> diags;
+    std::size_t groups_linted = 0;
+    std::size_t machines_linted = 0;
+    if (const auto machine = args.value("--machine")) {
+      const hwsim::MachineSpec spec = hwsim::presets::preset_by_key(*machine);
+      const hwsim::Arch arch =
+          hwsim::classify_arch(spec.vendor, spec.family, spec.model);
+      machines_linted = 1;
+      if (const auto group_name = args.value("--group")) {
+        // find_group throws kNotFound for names outside the suite's
+        // vocabulary and returns nullopt for groups this arch cannot
+        // support — the latter is a lint failure, not a crash.
+        const auto group = core::find_group(arch, *group_name);
+        if (!group) {
+          analysis::Diagnostic d;
+          d.severity = analysis::Severity::kError;
+          d.check = "schedulability";
+          d.machine = *machine;
+          d.group = *group_name;
+          d.message = "group is not supported on " +
+                      std::string(hwsim::to_string(arch)) +
+                      " (no suitable native events)";
+          diags.push_back(std::move(d));
+        } else {
+          groups_linted = 1;
+          diags = analysis::lint_group(spec, *group, *machine);
+        }
+      } else {
+        const auto groups = core::supported_groups(arch);
+        groups_linted = groups.size();
+        diags = analysis::lint_catalog(spec, groups, *machine);
+      }
+    } else {
+      for (const auto& preset : hwsim::presets::all_presets()) {
+        const hwsim::MachineSpec spec = preset.factory();
+        const hwsim::Arch arch =
+            hwsim::classify_arch(spec.vendor, spec.family, spec.model);
+        groups_linted += core::supported_groups(arch).size();
+        ++machines_linted;
+      }
+      diags = analysis::lint_all_machines();
+    }
+
+    const bool strict = args.has("--strict");
+    const api::ResultTable table =
+        analysis::report_table(diags, groups_linted, machines_linted);
+    cli::SinkFormat format = cli::SinkFormat::kText;
+    if (args.has("--csv")) format = cli::SinkFormat::kCsv;
+    if (args.has("--xml")) format = cli::SinkFormat::kXml;
+    const auto sink = cli::make_sink(format);
+
+    if (format == cli::SinkFormat::kText) {
+      std::cout << analysis::format_diagnostics(diags);
+      std::cout << sink->measurement(table);
+    } else {
+      std::cout << sink->measurement(table);
+      // Keep the per-finding detail visible next to machine-readable
+      // summaries, but on stderr so the CSV/XML stream stays parseable.
+      std::cerr << analysis::format_diagnostics(diags);
+    }
+    if (const auto out = args.value("--out")) {
+      tools::write_file(*out, sink->measurement(table));
+    }
+
+    const bool failed = analysis::has_errors(diags, strict);
+    std::cout << "likwid-lint: " << machines_linted << " machine(s), "
+              << groups_linted << " group(s): "
+              << count(diags, analysis::Severity::kError) << " error(s), "
+              << count(diags, analysis::Severity::kWarning)
+              << " warning(s)" << (strict ? " [strict]" : "") << " -> "
+              << (failed ? "FAIL" : "OK") << "\n";
+    return failed ? 1 : 0;
+  });
+}
