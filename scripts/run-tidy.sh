@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# run-tidy.sh — clang-tidy over the paths that have been brought to
+# .clang-tidy cleanliness, against the compile_commands.json of an
+# existing build tree. Scoped like scripts/check-format.sh so adopting
+# the check did not demand a whole-tree cleanup at once; extend
+# TIDY_PATHS as more files are audited.
+#
+# Usage: scripts/run-tidy.sh [build-dir] [clang-tidy-binary]
+#   build-dir defaults to ./build and must have been configured with
+#   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the CI job does this).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CLANG_TIDY="${2:-clang-tidy}"
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found; configure with" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+TIDY_PATHS=(
+  src/analysis/lint.cpp
+  src/api/likwid_c.cpp
+  src/api/session.cpp
+  src/core/compiled_metric.cpp
+  src/core/name_table.cpp
+  src/monitor/agent.cpp
+  tools/likwid-lint.cpp
+)
+
+"$CLANG_TIDY" --version
+
+status=0
+for path in "${TIDY_PATHS[@]}"; do
+  echo "== clang-tidy $path"
+  if ! "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$path"; then
+    status=1
+  fi
+done
+
+exit "$status"
