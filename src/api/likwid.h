@@ -18,7 +18,10 @@
  * wins, the other gets LIKWID_ERROR_INVALID_STATE). Finalizing a handle
  * while another thread still uses it is a caller error: in-flight calls
  * complete safely on the detached session, every later call fails with
- * LIKWID_ERROR_INVALID_HANDLE.
+ * LIKWID_ERROR_INVALID_HANDLE. This locking contract is machine-checked:
+ * the implementation's registry and per-handle locks carry Clang
+ * thread-safety annotations (src/util/thread_annotations.hpp) and CI
+ * compiles with -Werror=thread-safety.
  *
  * Lifecycle:
  *
