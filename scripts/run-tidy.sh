@@ -26,7 +26,10 @@ TIDY_PATHS=(
   src/api/session.cpp
   src/core/compiled_metric.cpp
   src/core/name_table.cpp
+  src/fault/msr_fault.cpp
+  src/fault/plan.cpp
   src/monitor/agent.cpp
+  src/monitor/health.cpp
   tools/likwid-lint.cpp
 )
 

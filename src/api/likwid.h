@@ -57,7 +57,12 @@ typedef enum likwid_status {
   LIKWID_ERROR_RESOURCE_EXHAUSTED = 6,/* no free counter slot */
   LIKWID_ERROR_INVALID_STATE = 7,     /* lifecycle misuse (start before
                                          setup, double start, ...) */
-  LIKWID_ERROR_INTERNAL = 8           /* invariant violation */
+  LIKWID_ERROR_INTERNAL = 8,          /* invariant violation */
+  LIKWID_ERROR_UNAVAILABLE = 9,       /* flaky/failed resource (msr read
+                                         error, stale or pegged counters);
+                                         retrying may help */
+  LIKWID_ERROR_DEADLINE_EXCEEDED = 10 /* operation gave up at its time
+                                         budget */
 } likwid_status;
 
 /* --- lifecycle --------------------------------------------------------- */
@@ -128,6 +133,17 @@ likwid_status likwid_getMetric(likwid_handle handle, int set, int metric_index,
 /* Wall time `set` was live, in seconds. */
 likwid_status likwid_getTimeOfGroup(likwid_handle handle, int set,
                                     double* out_seconds);
+
+/* --- fault injection --------------------------------------------------- */
+
+/* Arm (or, with "none", disarm) a simulated MSR fault on the session's
+ * node, effective immediately: "msr-fail" makes counter reads return
+ * LIKWID_ERROR_UNAVAILABLE, "msr-timeout" LIKWID_ERROR_DEADLINE_EXCEEDED,
+ * "msr-stale" freezes the counter registers, "msr-saturate" pegs them at
+ * all-ones (both surface as LIKWID_ERROR_UNAVAILABLE when the measurement
+ * is read back). The chaos hook embedders use to exercise their own error
+ * paths against deterministic hardware failure. */
+likwid_status likwid_injectFault(likwid_handle handle, const char* mode);
 
 /* --- diagnostics ------------------------------------------------------- */
 

@@ -37,6 +37,7 @@
 
 #include "api/session.hpp"
 #include "core/name_table.hpp"
+#include "fault/msr_fault.hpp"
 #include "util/status.hpp"
 #include "util/thread_annotations.hpp"
 #include "workloads/jacobi.hpp"
@@ -95,6 +96,8 @@ likwid_status to_status(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return LIKWID_ERROR_RESOURCE_EXHAUSTED;
     case ErrorCode::kInvalidState: return LIKWID_ERROR_INVALID_STATE;
     case ErrorCode::kInternal: return LIKWID_ERROR_INTERNAL;
+    case ErrorCode::kUnavailable: return LIKWID_ERROR_UNAVAILABLE;
+    case ErrorCode::kDeadlineExceeded: return LIKWID_ERROR_DEADLINE_EXCEEDED;
   }
   return LIKWID_ERROR_INTERNAL;
 }
@@ -519,6 +522,45 @@ likwid_status likwid_getTimeOfGroup(likwid_handle handle, int set,
   });
 }
 
+likwid_status likwid_injectFault(likwid_handle handle, const char* mode) {
+  return guarded([&]() -> likwid_status {
+    if (mode == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null fault mode");
+    }
+    const std::string name(mode);
+    likwid::fault::MsrFaultMode fault_mode;
+    if (name == "none") {
+      fault_mode = likwid::fault::MsrFaultMode::kNone;
+    } else if (name == "msr-fail") {
+      fault_mode = likwid::fault::MsrFaultMode::kFail;
+    } else if (name == "msr-timeout") {
+      fault_mode = likwid::fault::MsrFaultMode::kTimeout;
+    } else if (name == "msr-stale") {
+      fault_mode = likwid::fault::MsrFaultMode::kStale;
+    } else if (name == "msr-saturate") {
+      fault_mode = likwid::fault::MsrFaultMode::kSaturate;
+    } else {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT,
+                  "unknown fault mode '" + name +
+                      "' (want none, msr-fail, msr-timeout, msr-stale or "
+                      "msr-saturate)");
+    }
+    LIKWID_LOCK_LIVE_ENTRY(handle, entry);
+    likwid::hwsim::SimMachine& machine = entry.session->kernel().machine();
+    if (fault_mode == likwid::fault::MsrFaultMode::kNone) {
+      machine.msrs().set_read_interposer(nullptr);
+      return LIKWID_OK;
+    }
+    // Onset 0 + an immediate begin_step arms the device right away: the
+    // very next counter access sees the fault.
+    auto device = std::make_shared<likwid::fault::MsrFaultDevice>(
+        machine.spec(), fault_mode, /*onset_step=*/0);
+    device->begin_step(0);
+    machine.msrs().set_read_interposer(std::move(device));
+    return LIKWID_OK;
+  });
+}
+
 const char* likwid_statusName(likwid_status status) {
   switch (status) {
     case LIKWID_OK: return "LIKWID_OK";
@@ -532,6 +574,9 @@ const char* likwid_statusName(likwid_status status) {
       return "LIKWID_ERROR_RESOURCE_EXHAUSTED";
     case LIKWID_ERROR_INVALID_STATE: return "LIKWID_ERROR_INVALID_STATE";
     case LIKWID_ERROR_INTERNAL: return "LIKWID_ERROR_INTERNAL";
+    case LIKWID_ERROR_UNAVAILABLE: return "LIKWID_ERROR_UNAVAILABLE";
+    case LIKWID_ERROR_DEADLINE_EXCEEDED:
+      return "LIKWID_ERROR_DEADLINE_EXCEEDED";
   }
   return "LIKWID_ERROR_INTERNAL";
 }

@@ -1,0 +1,72 @@
+#include "fault/msr_fault.hpp"
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::fault {
+
+namespace {
+
+std::uint64_t key_of(int cpu, std::uint32_t reg) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cpu)) << 32) |
+         reg;
+}
+
+}  // namespace
+
+MsrFaultDevice::MsrFaultDevice(const hwsim::MachineSpec& spec,
+                               MsrFaultMode mode, std::uint64_t onset_step)
+    : mode_(mode), onset_(onset_step) {
+  namespace msr = hwsim::msr;
+  const auto add_range = [this](std::uint32_t base, int count) {
+    for (int i = 0; i < count; ++i) {
+      counter_regs_.insert(base + static_cast<std::uint32_t>(i));
+    }
+  };
+  if (spec.vendor == hwsim::Vendor::kIntel) {
+    add_range(msr::kPmc0, spec.pmu.num_gp_counters);
+    add_range(msr::kFixedCtr0, spec.pmu.num_fixed_counters);
+    if (spec.pmu.num_uncore_counters > 0) {
+      add_range(msr::kUncPmc0, spec.pmu.num_uncore_counters);
+      counter_regs_.insert(msr::kUncFixedCtr0);
+    }
+  } else {
+    add_range(msr::kAmdPerfCtr0, spec.pmu.num_gp_counters);
+  }
+  counter_regs_.insert(msr::kTsc);
+}
+
+std::optional<std::uint64_t> MsrFaultDevice::on_read(int cpu,
+                                                     std::uint32_t reg,
+                                                     std::uint64_t value) {
+  if (!armed_ || mode_ == MsrFaultMode::kNone) return std::nullopt;
+  switch (mode_) {
+    case MsrFaultMode::kFail:
+      ++faults_;
+      throw_error(ErrorCode::kUnavailable,
+                  util::strprintf("injected msr read failure: cpu %d msr 0x%X",
+                                  cpu, reg));
+    case MsrFaultMode::kTimeout:
+      ++faults_;
+      throw_error(
+          ErrorCode::kDeadlineExceeded,
+          util::strprintf("injected msr read timeout: cpu %d msr 0x%X", cpu,
+                          reg));
+    case MsrFaultMode::kStale: {
+      if (!is_counter(reg)) return std::nullopt;
+      ++faults_;
+      const auto [it, inserted] = frozen_.emplace(key_of(cpu, reg), value);
+      (void)inserted;
+      return it->second;
+    }
+    case MsrFaultMode::kSaturate:
+      if (!is_counter(reg)) return std::nullopt;
+      ++faults_;
+      return ~std::uint64_t{0};
+    case MsrFaultMode::kNone:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace likwid::fault

@@ -1,0 +1,67 @@
+// msr_fault.hpp — the flaky-MSR device of the fault layer.
+//
+// An MsrFaultDevice sits on the hwsim::MsrRegisterFile read path (via
+// MsrReadInterposer) and reproduces the hardware failure modes a fleet
+// monitor actually meets: reads that error out (the /dev/cpu/*/msr EIO
+// analog), reads that hang past their deadline, counters that silently
+// stop counting (stale), and counters pegged at all-ones (saturated).
+// The device is armed per sampling step by its owner — faults never fire
+// before the plan's onset step, so every node first proves it can produce
+// healthy samples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fault/plan.hpp"
+#include "hwsim/machine_spec.hpp"
+#include "hwsim/msr.hpp"
+
+namespace likwid::fault {
+
+class MsrFaultDevice final : public hwsim::MsrReadInterposer {
+ public:
+  /// A device for one node: `mode` fires from sampling step `onset_step`
+  /// on. The counter-register set is copied out of `spec` (no reference is
+  /// kept). Like the register file it interposes, the device is confined
+  /// to the thread currently stepping the node — no locking.
+  MsrFaultDevice(const hwsim::MachineSpec& spec, MsrFaultMode mode,
+                 std::uint64_t onset_step);
+
+  /// Arm/disarm for the step about to run. Owners call this at the top of
+  /// every sampling step; the device is armed while step >= onset_step.
+  void begin_step(std::uint64_t step) noexcept { armed_ = step >= onset_; }
+
+  std::optional<std::uint64_t> on_read(int cpu, std::uint32_t reg,
+                                       std::uint64_t value) override;
+
+  MsrFaultMode mode() const noexcept { return mode_; }
+  bool armed() const noexcept { return armed_; }
+  std::uint64_t onset_step() const noexcept { return onset_; }
+
+  /// Reads corrupted or failed so far (diagnostics / health accounting).
+  std::uint64_t faults_injected() const noexcept { return faults_; }
+
+ private:
+  bool is_counter(std::uint32_t reg) const noexcept {
+    return counter_regs_.count(reg) != 0;
+  }
+
+  const MsrFaultMode mode_;
+  const std::uint64_t onset_;
+  bool armed_ = false;
+  std::uint64_t faults_ = 0;
+  /// The data registers (PMC/fixed/uncore/AMD counters) of the part —
+  /// the only ones kStale/kSaturate corrupt; control registers stay sane
+  /// so programming the PMU keeps working, exactly like real stuck
+  /// counters.
+  std::unordered_set<std::uint32_t> counter_regs_;
+  /// kStale: value each (cpu, reg) froze at, captured lazily on the first
+  /// armed read so the freeze point is the counter's real running value
+  /// (freezing at 0 would look like a wrap to the delta logic instead).
+  std::unordered_map<std::uint64_t, std::uint64_t> frozen_;
+};
+
+}  // namespace likwid::fault

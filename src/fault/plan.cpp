@@ -1,0 +1,233 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace likwid::fault {
+
+namespace {
+
+// splitmix64 (Steele/Lea/Flood) — the same stateless mixer the hwsim layer
+// uses for deterministic per-entity draws. Full 64-bit avalanche, so
+// chaining ids through it gives independent-looking streams per entity.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t id, std::uint64_t salt) {
+  return splitmix64(splitmix64(splitmix64(seed) ^ id) ^ salt);
+}
+
+/// Uniform draw in [0, 1) from a hash — 53 mantissa bits, exact halving.
+double unit_draw(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Salts separating the independent draw streams of one plan.
+constexpr std::uint64_t kSaltMsrMode = 0x6d73722d6d6f6465ull;   // "msr-mode"
+constexpr std::uint64_t kSaltOnset = 0x6f6e7365742d7374ull;     // "onset-st"
+constexpr std::uint64_t kSaltStall = 0x7374616c6c2d6e64ull;     // "stall-nd"
+constexpr std::uint64_t kSaltCrash = 0x63726173682d7774ull;     // "crash-wt"
+constexpr std::uint64_t kSaltJitter = 0x6a69747465722d77ull;    // "jitter-w"
+
+[[noreturn]] void parse_fail(std::string_view text, const std::string& why) {
+  throw_error(ErrorCode::kInvalidArgument,
+              "fault plan '" + std::string(text) + "': " + why);
+}
+
+double parse_rate(std::string_view text, std::string_view key,
+                  const std::string& value) {
+  std::size_t consumed = 0;
+  double rate = 0;
+  try {
+    rate = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || !std::isfinite(rate) || rate < 0 ||
+      rate > 1) {
+    parse_fail(text, std::string(key) + " wants a rate in [0, 1], got '" +
+                         value + "'");
+  }
+  return rate;
+}
+
+std::uint64_t parse_count(std::string_view text, std::string_view key,
+                          const std::string& value) {
+  std::size_t consumed = 0;
+  unsigned long long count = 0;
+  try {
+    count = std::stoull(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size()) {
+    parse_fail(text, std::string(key) + " wants a non-negative integer, got '" +
+                         value + "'");
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string_view to_string(MsrFaultMode mode) noexcept {
+  switch (mode) {
+    case MsrFaultMode::kNone: return "none";
+    case MsrFaultMode::kFail: return "msr-fail";
+    case MsrFaultMode::kTimeout: return "msr-timeout";
+    case MsrFaultMode::kStale: return "msr-stale";
+    case MsrFaultMode::kSaturate: return "msr-saturate";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    parse_fail(text, "expected '<seed>:<key>=<value>[;...]'");
+  }
+  FaultPlan plan;
+  plan.seed_ = parse_count(text, "seed", std::string(text.substr(0, colon)));
+
+  std::string_view rest = text.substr(colon + 1);
+  if (rest.empty()) parse_fail(text, "empty fault spec after seed");
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    const std::string_view item =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (item.empty()) parse_fail(text, "empty clause (stray ';')");
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      parse_fail(text, "clause '" + std::string(item) + "' lacks '='");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string value{item.substr(eq + 1)};
+    if (key == "msr-fail") {
+      plan.msr_fail_ = parse_rate(text, key, value);
+    } else if (key == "msr-timeout") {
+      plan.msr_timeout_ = parse_rate(text, key, value);
+    } else if (key == "msr-stale") {
+      plan.msr_stale_ = parse_rate(text, key, value);
+    } else if (key == "msr-saturate") {
+      plan.msr_saturate_ = parse_rate(text, key, value);
+    } else if (key == "stall") {
+      plan.stall_ = parse_rate(text, key, value);
+    } else if (key == "crash") {
+      plan.crashes_ = static_cast<int>(parse_count(text, key, value));
+    } else if (key == "stall-us") {
+      plan.stall_us_ = parse_count(text, key, value);
+    } else if (key == "slow-consumer-us") {
+      plan.slow_consumer_us_ = parse_count(text, key, value);
+    } else if (key == "onset") {
+      plan.onset_window_ = parse_count(text, key, value);
+      if (plan.onset_window_ == 0) {
+        parse_fail(text, "onset must be >= 1");
+      }
+    } else {
+      parse_fail(text, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  const double msr_total =
+      plan.msr_fail_ + plan.msr_timeout_ + plan.msr_stale_ + plan.msr_saturate_;
+  if (msr_total > 1.0) {
+    parse_fail(text, util::strprintf(
+                         "msr-* rates sum to %.3f > 1 (modes are mutually "
+                         "exclusive per node)",
+                         msr_total));
+  }
+  return plan;
+}
+
+bool FaultPlan::has_faults() const noexcept {
+  return msr_fail_ > 0 || msr_timeout_ > 0 || msr_stale_ > 0 ||
+         msr_saturate_ > 0 || stall_ > 0 || crashes_ > 0 ||
+         slow_consumer_us_ > 0;
+}
+
+NodeFault FaultPlan::node_fault(int machine_id) const {
+  NodeFault fault;
+  const auto id = static_cast<std::uint64_t>(machine_id);
+  // One uniform draw, cut into cumulative mode ranges: [0, fail) → kFail,
+  // [fail, fail+timeout) → kTimeout, … — mutually exclusive by
+  // construction, and each mode's population hits its rate in expectation.
+  const double draw = unit_draw(hash3(seed_, id, kSaltMsrMode));
+  double cut = msr_fail_;
+  if (draw < cut) {
+    fault.msr = MsrFaultMode::kFail;
+  } else if (draw < (cut += msr_timeout_)) {
+    fault.msr = MsrFaultMode::kTimeout;
+  } else if (draw < (cut += msr_stale_)) {
+    fault.msr = MsrFaultMode::kStale;
+  } else if (draw < (cut += msr_saturate_)) {
+    fault.msr = MsrFaultMode::kSaturate;
+  }
+  if (fault.msr != MsrFaultMode::kNone) {
+    fault.onset_step =
+        1 + hash3(seed_, id, kSaltOnset) % onset_window_;
+  }
+  fault.stall =
+      stall_ > 0 && unit_draw(hash3(seed_, id, kSaltStall)) < stall_;
+  return fault;
+}
+
+std::vector<int> FaultPlan::faulted_nodes(int num_machines) const {
+  std::vector<int> out;
+  for (int id = 0; id < num_machines; ++id) {
+    if (node_fault(id).msr != MsrFaultMode::kNone) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> FaultPlan::crash_steps(
+    int worker, int num_workers, std::uint64_t total_steps) const {
+  std::vector<std::uint64_t> steps;
+  if (num_workers <= 0 || total_steps < 2) return steps;
+  for (int c = 0; c < crashes_; ++c) {
+    const std::uint64_t h =
+        hash3(seed_, static_cast<std::uint64_t>(c), kSaltCrash);
+    // Crash c is owned by one deterministic worker and lands in a step of
+    // [1, total_steps) — never step 0, so each worker finishes a full first
+    // sweep before its first injected restart.
+    if (static_cast<int>(h % static_cast<std::uint64_t>(num_workers)) !=
+        worker) {
+      continue;
+    }
+    steps.push_back(1 + splitmix64(h) % (total_steps - 1));
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+double FaultPlan::backoff_jitter(int worker, int restart) const {
+  const std::uint64_t id = (static_cast<std::uint64_t>(worker) << 32) |
+                           static_cast<std::uint64_t>(restart);
+  return unit_draw(hash3(seed_, id, kSaltJitter));
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = "seed " + std::to_string(seed_) + ":";
+  const auto rate = [&out](const char* key, double r) {
+    if (r > 0) out += util::strprintf(" %s=%.3g", key, r);
+  };
+  rate("msr-fail", msr_fail_);
+  rate("msr-timeout", msr_timeout_);
+  rate("msr-stale", msr_stale_);
+  rate("msr-saturate", msr_saturate_);
+  rate("stall", stall_);
+  if (crashes_ > 0) out += " crash=" + std::to_string(crashes_);
+  if (slow_consumer_us_ > 0) {
+    out += " slow-consumer-us=" + std::to_string(slow_consumer_us_);
+  }
+  if (!has_faults()) out += " (no faults)";
+  return out;
+}
+
+}  // namespace likwid::fault

@@ -1,0 +1,120 @@
+// plan.hpp — the deterministic fault model of the monitoring fleet.
+//
+// On production fleets node-level hardware flakiness is the norm, not the
+// exception (LIKWID Monitoring Stack, Röhl et al. 2017), and HPM data is
+// only trustworthy when its failure modes are visible (best-practices
+// paper, Treibig et al. 2012). A FaultPlan makes those failure modes a
+// first-class, reproducible input: one seed plus a small spec string fully
+// determines WHICH nodes develop WHICH hardware fault at WHICH sampling
+// step, which workers crash when, and how hard the transport consumer is
+// slowed — so a chaos run is exactly as replayable as a healthy one.
+//
+// Spec grammar (the `--fault-plan=<seed>:<spec>` flag of likwid-agent):
+//
+//   plan  := <seed> ":" fault (";" fault)*
+//   fault := "msr-fail" "=" rate        // MSR reads throw kUnavailable
+//          | "msr-timeout" "=" rate     // MSR reads throw kDeadlineExceeded
+//          | "msr-stale" "=" rate       // counter MSRs freeze at onset
+//          | "msr-saturate" "=" rate    // counter MSRs peg at all-ones
+//          | "stall" "=" rate           // node's sampler stalls every step
+//          | "crash" "=" count          // worker-thread crashes injected
+//          | "stall-us" "=" micros      // stall duration  (default 200)
+//          | "slow-consumer-us" "=" micros // aggregation delay per drain
+//          | "onset" "=" steps          // node fault onset window (def. 8)
+//
+// A `rate` in [0, 1] is the per-node probability of developing that fault;
+// the MSR modes are mutually exclusive per node (their rates must sum to
+// <= 1). Node assignment, onset steps, crash placement and backoff jitter
+// all derive from splitmix64 hashes of (seed, entity id) — no global RNG,
+// no ordering sensitivity: the same plan sends the same faults to the same
+// nodes no matter how many workers step the fleet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace likwid::fault {
+
+/// How a node's MSR device misbehaves once its fault onsets.
+enum class MsrFaultMode {
+  kNone,      ///< healthy device
+  kFail,      ///< reads throw Error(kUnavailable) — the EIO analog
+  kTimeout,   ///< reads throw Error(kDeadlineExceeded) — hung core
+  kStale,     ///< counter registers freeze at their onset values
+  kSaturate,  ///< counter registers read all-ones (pegged)
+};
+
+std::string_view to_string(MsrFaultMode mode) noexcept;
+
+/// The fault assignment of one node, fully determined by (plan, node id).
+struct NodeFault {
+  MsrFaultMode msr = MsrFaultMode::kNone;
+  /// Sampling step at which the MSR fault arms (>= 1: the node always
+  /// produces at least one healthy sample, so quarantine is observable as
+  /// a transition, not an initial state).
+  std::uint64_t onset_step = 0;
+  /// Whether this node's sampler stalls (sleeps stall_us) every step.
+  bool stall = false;
+};
+
+class FaultPlan {
+ public:
+  /// Neutral plan: injects nothing. has_faults() is false.
+  FaultPlan() = default;
+
+  /// Parse `<seed>:<spec>` per the grammar above; throws
+  /// Error(kInvalidArgument) naming the offending token on any error.
+  static FaultPlan parse(std::string_view text);
+
+  /// True when the plan can inject anything at all.
+  bool has_faults() const noexcept;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  double msr_fail_rate() const noexcept { return msr_fail_; }
+  double msr_timeout_rate() const noexcept { return msr_timeout_; }
+  double msr_stale_rate() const noexcept { return msr_stale_; }
+  double msr_saturate_rate() const noexcept { return msr_saturate_; }
+  double stall_rate() const noexcept { return stall_; }
+  int crashes() const noexcept { return crashes_; }
+  std::uint64_t stall_us() const noexcept { return stall_us_; }
+  std::uint64_t slow_consumer_us() const noexcept { return slow_consumer_us_; }
+  std::uint64_t onset_window() const noexcept { return onset_window_; }
+
+  /// The deterministic fault assignment of node `machine_id`.
+  NodeFault node_fault(int machine_id) const;
+
+  /// Ids in [0, num_machines) whose MSR device develops a fault under this
+  /// plan, ascending — exactly the nodes a surviving fleet must quarantine.
+  std::vector<int> faulted_nodes(int num_machines) const;
+
+  /// Injected crash steps of worker `worker` when `num_workers` share
+  /// `total_steps`, ascending (one entry per scheduled crash; a worker may
+  /// draw several). Crashes land in steps [1, total_steps): never at step
+  /// 0, so every worker completes its first sweep before the first injected
+  /// restart.
+  std::vector<std::uint64_t> crash_steps(int worker, int num_workers,
+                                         std::uint64_t total_steps) const;
+
+  /// Deterministic backoff jitter in [0, 1) for a worker's n-th restart.
+  double backoff_jitter(int worker, int restart) const;
+
+  /// One-line human description ("seed 7: msr-fail=0.05; crash=2"), used
+  /// by logs and the agent banner.
+  std::string describe() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  double msr_fail_ = 0;
+  double msr_timeout_ = 0;
+  double msr_stale_ = 0;
+  double msr_saturate_ = 0;
+  double stall_ = 0;
+  int crashes_ = 0;
+  std::uint64_t stall_us_ = 200;
+  std::uint64_t slow_consumer_us_ = 0;
+  std::uint64_t onset_window_ = 8;
+};
+
+}  // namespace likwid::fault

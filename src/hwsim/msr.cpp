@@ -127,10 +127,16 @@ std::uint64_t MsrRegisterFile::read(int cpu, std::uint32_t reg) const {
                 util::strprintf("msr 0x%X does not exist on %s", reg,
                                 spec_.name.c_str()));
   }
-  if (it->second.scope == Scope::kThread) {
-    return thread_regs_[static_cast<std::size_t>(cpu)].at(reg);
+  const std::uint64_t value =
+      it->second.scope == Scope::kThread
+          ? thread_regs_[static_cast<std::size_t>(cpu)].at(reg)
+          : socket_regs_[static_cast<std::size_t>(socket_of(cpu))].at(reg);
+  if (interposer_ != nullptr) {
+    if (const auto injected = interposer_->on_read(cpu, reg, value)) {
+      return *injected;
+    }
   }
-  return socket_regs_[static_cast<std::size_t>(socket_of(cpu))].at(reg);
+  return value;
 }
 
 void MsrRegisterFile::write(int cpu, std::uint32_t reg, std::uint64_t value) {

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -70,6 +72,27 @@ inline constexpr unsigned kMiscIdaDisable = 38;
 inline constexpr unsigned kMiscIpPrefetcherDisable = 39;
 }  // namespace msr
 
+/// Interposer on the MSR read path — the hook the fault-injection layer
+/// (src/fault) uses to simulate flaky hardware: an implementation may
+/// observe every read, substitute the returned value (stale / saturated
+/// counters), or throw (the EIO / timeout failure modes of the real msr
+/// kernel module). Reads are interposed AFTER the register file resolved
+/// the register, so nonexistent registers still fail kNotFound first.
+///
+/// Thread-safety: the interposer is called on whichever thread reads the
+/// register file; like the register file itself, one simulated node is
+/// confined to one thread at a time, so implementations need no locking.
+class MsrReadInterposer {
+ public:
+  virtual ~MsrReadInterposer() = default;
+
+  /// Called for every read of an existing register. `value` is the real
+  /// stored value; returning nullopt passes it through, returning a value
+  /// substitutes it, throwing propagates to the reader.
+  virtual std::optional<std::uint64_t> on_read(int cpu, std::uint32_t reg,
+                                               std::uint64_t value) = 0;
+};
+
 /// Backing store for all MSRs of a machine. Registers are declared at
 /// construction from the MachineSpec (which PMU registers exist, whether an
 /// uncore block is present, Intel vs AMD register sets).
@@ -95,6 +118,15 @@ class MsrRegisterFile {
   /// Reset every register to its power-on value.
   void reset();
 
+  /// Install (or, with nullptr, remove) a read interposer. The register
+  /// file shares ownership so an armed fault device cannot dangle.
+  void set_read_interposer(std::shared_ptr<MsrReadInterposer> interposer) {
+    interposer_ = std::move(interposer);
+  }
+  MsrReadInterposer* read_interposer() const noexcept {
+    return interposer_.get();
+  }
+
  private:
   enum class Scope { kThread, kSocket };
   struct RegisterInfo {
@@ -113,6 +145,7 @@ class MsrRegisterFile {
   // storage_[thread or socket index][reg] — flat per-scope maps.
   std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> thread_regs_;
   std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> socket_regs_;
+  std::shared_ptr<MsrReadInterposer> interposer_;
 };
 
 }  // namespace likwid::hwsim

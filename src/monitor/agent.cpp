@@ -9,7 +9,9 @@
 #include <thread>
 #include <utility>
 
+#include "fault/plan.hpp"
 #include "monitor/spsc_ring.hpp"
+#include "util/logging.hpp"
 #include "util/status.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -17,10 +19,12 @@ namespace likwid::monitor {
 
 namespace {
 
-/// First-failure latch shared by the worker pool and the aggregation
-/// thread: every catch(...) records into it, the joining thread rethrows
-/// the first exception. The mutex is an annotated capability so a future
-/// unlocked read of the slot fails -Wthread-safety instead of TSan.
+/// Terminal-failure latch shared by the worker pool and the aggregation
+/// thread. Under supervision only failures the policy cannot absorb land
+/// here — a worker out of restarts, or the aggregation thread dying — and
+/// the joining thread rethrows the first one. The mutex is an annotated
+/// capability so a future unlocked read of the slot fails -Wthread-safety
+/// instead of TSan.
 class FailureLatch {
  public:
   /// Store the in-flight exception if the latch is still empty.
@@ -59,6 +63,13 @@ Agent::Agent(AgentConfig config) : cfg_(std::move(config)) {
                  "batch size must be positive");
   LIKWID_REQUIRE(cfg_.fleet.queue_capacity > 0,
                  "queue capacity must be positive");
+  LIKWID_REQUIRE(cfg_.fleet.supervision.max_restarts >= 0,
+                 "max restarts cannot be negative");
+  LIKWID_REQUIRE(cfg_.fleet.publish_deadline_seconds > 0,
+                 "publish deadline must be positive");
+  health_ = std::make_unique<HealthRegistry>(
+      cfg_.num_machines, cfg_.fleet.supervision.quarantine_after,
+      cfg_.fleet.supervision.recover_after);
   collectors_.reserve(static_cast<std::size_t>(cfg_.num_machines));
   for (int id = 0; id < cfg_.num_machines; ++id) {
     collectors_.push_back(std::make_unique<Collector>(id, cfg_.monitor));
@@ -71,8 +82,22 @@ void Agent::step() {
   // which include the new samples.
   folded_.clear();
   transport_ = FleetTransportStats{};
+  const bool supervised = cfg_.monitor.fault_plan != nullptr;
   for (auto& collector : collectors_) {
-    collector->step();
+    const int id = collector->machine_id();
+    if (!supervised) {
+      collector->step();
+      continue;
+    }
+    if (health_->quarantined(id)) continue;
+    try {
+      collector->step();
+      health_->record_sample_ok(id);
+    } catch (const std::exception& e) {
+      if (health_->record_fault(id, e.what()) == NodeHealth::kQuarantined) {
+        LIKWID_WARN("fleet: machine " << id << " quarantined: " << e.what());
+      }
+    }
   }
   ++steps_;
 }
@@ -107,6 +132,13 @@ void Agent::run_serial(std::uint64_t total_steps) {
 void Agent::run_threaded(std::uint64_t total_steps, int workers) {
   const std::size_t machines = collectors_.size();
   using SampleBatch = std::vector<Sample>;
+  const fault::FaultPlan* plan = cfg_.monitor.fault_plan.get();
+  const SupervisionConfig& sup = cfg_.fleet.supervision;
+  // With a fault plan, node-level step failures are expected hardware
+  // behavior and flow into the health registry; without one a throwing
+  // collector is a bug and crashes its worker (which supervision then
+  // retries, surfacing the failure after max_restarts).
+  const bool supervised = plan != nullptr;
 
   // One SPSC transport ring per collector: its worker is the single
   // producer, the aggregation thread the single consumer.
@@ -121,43 +153,165 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
   std::atomic<bool> aggregation_alive{true};
   FailureLatch failure;
 
+  // Loss accounting. Every abandoned batch is attributed to exactly one
+  // reason and one machine — samples missing from the folded windows bias
+  // the aggregates, and that bias must never be silent. `lost_per_machine`
+  // elements are each written only by the machine's owning worker and read
+  // after the join.
+  std::atomic<std::uint64_t> lost_deadline{0};
+  std::atomic<std::uint64_t> lost_aggregator_down{0};
+  std::atomic<std::uint64_t> lost_quarantined{0};
+  std::vector<std::uint64_t> lost_per_machine(machines, 0);
+  util::LogRateLimiter give_up_log(16);
+
   // Publish with bounded backpressure: a full transport ring means the
-  // aggregation thread is behind, so the worker waits instead of losing
-  // samples (monitoring retention may drop, aggregation must not). If the
-  // aggregation thread died, stop waiting — the run is failing anyway and
-  // spinning on a ring nobody drains would deadlock the pool. A batch
-  // abandoned that way is counted: its samples are missing from the
-  // folded windows, and that bias must never be silent.
-  std::atomic<std::uint64_t> lost_batches{0};
+  // aggregation thread is behind, so the worker retries — but only within
+  // the publish deadline. A dead aggregation thread or an expired deadline
+  // gives the batch up as lost (attributed, health-recorded, rate-limit
+  // logged) instead of wedging the pool on a ring nobody drains.
   const auto publish = [&](std::size_t machine, SampleBatch&& batch) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                cfg_.fleet.publish_deadline_seconds));
     while (!queues[machine]->try_push(std::move(batch))) {
-      if (!aggregation_alive.load(std::memory_order_acquire)) {
-        lost_batches.fetch_add(1, std::memory_order_relaxed);
+      const bool agg_down =
+          !aggregation_alive.load(std::memory_order_acquire);
+      if (agg_down || std::chrono::steady_clock::now() >= deadline) {
+        (agg_down ? lost_aggregator_down : lost_deadline)
+            .fetch_add(1, std::memory_order_relaxed);
+        ++lost_per_machine[machine];
+        health_->record_lost_batch(static_cast<int>(machine));
+        if (give_up_log.tick()) {
+          LIKWID_WARN("transport: gave up batch of machine "
+                      << machine
+                      << (agg_down ? " (aggregation thread down); "
+                                   : " (publish deadline exceeded); ")
+                      << give_up_log.occurrences() << " give-up(s) so far");
+        }
         return;
       }
       std::this_thread::yield();
     }
   };
 
-  const auto worker_body = [&](std::size_t lo, std::size_t hi) {
-    try {
-      std::vector<SampleBatch> batches(hi - lo);
-      for (std::uint64_t s = 0; s < total_steps; ++s) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          collectors_[i]->step();
-          SampleBatch& batch = batches[i - lo];
-          batch.push_back(collectors_[i]->samples().back());
-          if (batch.size() >= cfg_.fleet.batch_samples) {
-            publish(i, std::move(batch));
-            batch = SampleBatch();
+  // A worker's progress lives OUTSIDE its try scope so a restart resumes
+  // exactly where the crash interrupted — already-stepped collectors are
+  // not re-stepped, which is what keeps healthy-node sample streams (and
+  // therefore the folded windows) bit-equal to a crash-free run.
+  struct WorkerState {
+    std::uint64_t step = 0;        ///< next fleet step to run
+    std::size_t node = 0;          ///< next collector (absolute index)
+    std::size_t crash_idx = 0;     ///< injected crashes consumed
+    std::vector<SampleBatch> batches;
+    bool flushed = false;
+  };
+
+  const auto worker_body = [&](WorkerState& st, std::size_t lo,
+                               std::size_t hi,
+                               const std::vector<std::uint64_t>& crashes) {
+    while (st.step < total_steps) {
+      if (st.node == lo && st.crash_idx < crashes.size() &&
+          crashes[st.crash_idx] == st.step) {
+        // Consume the schedule entry BEFORE throwing: the restarted body
+        // must resume past this crash, not re-crash forever.
+        ++st.crash_idx;
+        throw_error(ErrorCode::kInternal,
+                    "injected worker crash at step " +
+                        std::to_string(st.step));
+      }
+      while (st.node < hi) {
+        const std::size_t i = st.node;
+        const int id = static_cast<int>(i);
+        SampleBatch& batch = st.batches[i - lo];
+        if (supervised && health_->quarantined(id)) {
+          ++st.node;
+          continue;
+        }
+        if (supervised) {
+          try {
+            collectors_[i]->step();
+          } catch (const std::exception& e) {
+            if (health_->record_fault(id, e.what()) ==
+                NodeHealth::kQuarantined) {
+              // The node's in-flight batch may hold samples taken while
+              // its device was already failing — discard, attributed.
+              if (!batch.empty()) {
+                lost_quarantined.fetch_add(1, std::memory_order_relaxed);
+                ++lost_per_machine[i];
+                health_->record_lost_batch(id);
+                batch.clear();
+              }
+              LIKWID_WARN("fleet: machine " << id
+                                            << " quarantined: " << e.what());
+            }
+            ++st.node;
+            continue;
           }
+          health_->record_sample_ok(id);
+        } else {
+          collectors_[i]->step();
+        }
+        batch.push_back(collectors_[i]->samples().back());
+        if (batch.size() >= cfg_.fleet.batch_samples) {
+          publish(i, std::move(batch));
+          batch = SampleBatch();
+        }
+        ++st.node;
+      }
+      st.node = lo;
+      ++st.step;
+    }
+    if (!st.flushed) {
+      st.flushed = true;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!st.batches[i - lo].empty()) {
+          publish(i, std::move(st.batches[i - lo]));
         }
       }
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (!batches[i - lo].empty()) publish(i, std::move(batches[i - lo]));
+    }
+  };
+
+  // In-place supervision: the thread survives its body's exceptions and
+  // re-enters it (state preserved) after capped exponential backoff with
+  // a deterministic plan-drawn jitter. Out of restarts — or no consumer
+  // left to publish to — the failure is terminal and latched.
+  const auto worker_thread = [&](int w, std::size_t lo, std::size_t hi) {
+    WorkerState st;
+    st.node = lo;
+    st.batches.assign(hi - lo, SampleBatch());
+    const std::vector<std::uint64_t> crashes =
+        plan != nullptr
+            ? plan->crash_steps(w, workers, total_steps)
+            : std::vector<std::uint64_t>{};
+    for (int restarts = 0;;) {
+      try {
+        worker_body(st, lo, hi, crashes);
+        return;
+      } catch (...) {
+        if (restarts >= sup.max_restarts ||
+            !aggregation_alive.load(std::memory_order_acquire)) {
+          failure.record();
+          return;
+        }
+        ++restarts;
+        health_->record_worker_restart();
+        double delay_ms =
+            std::min(sup.backoff_initial_ms *
+                         std::pow(2.0, static_cast<double>(restarts - 1)),
+                     sup.backoff_max_ms);
+        // Jitter by 0.5x..1.5x to decorrelate simultaneous restarts; the
+        // draw comes from the plan so chaos runs stay reproducible.
+        if (plan != nullptr) {
+          delay_ms *= 0.5 + plan->backoff_jitter(w, restarts);
+        }
+        LIKWID_WARN("fleet: worker " << w << " crashed; restart " << restarts
+                                     << "/" << sup.max_restarts
+                                     << " after " << delay_ms << " ms");
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
       }
-    } catch (...) {
-      failure.record();
     }
   };
 
@@ -173,6 +327,13 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
       auto last_report = t0;
       std::vector<SampleBatch> burst;
       for (;;) {
+        // Injected slow consumer: the fault layer's transport-pressure
+        // knob. Sleeping here backs the rings up exactly like an
+        // overloaded real aggregation service.
+        if (plan != nullptr && plan->slow_consumer_us() > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(plan->slow_consumer_us()));
+        }
         // Load the done flag BEFORE draining: if it was already set and
         // the drain still finds nothing, no producer can publish again.
         const bool done = producers_done.load(std::memory_order_acquire);
@@ -231,7 +392,7 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
         std::min(static_cast<std::size_t>(w) * per, machines);
     const std::size_t hi = std::min(lo + per, machines);
     if (lo >= hi) break;
-    pool.emplace_back(worker_body, lo, hi);
+    pool.emplace_back(worker_thread, w, lo, hi);
   }
   for (std::thread& t : pool) t.join();
   producers_done.store(true, std::memory_order_release);
@@ -246,7 +407,15 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
     transport_.rejects += queues[i]->rejected();
     transport_.rejects_per_machine.push_back(queues[i]->rejected());
   }
-  transport_.batches_lost = lost_batches.load(std::memory_order_relaxed);
+  transport_.lost_deadline = lost_deadline.load(std::memory_order_relaxed);
+  transport_.lost_aggregator_down =
+      lost_aggregator_down.load(std::memory_order_relaxed);
+  transport_.lost_quarantined =
+      lost_quarantined.load(std::memory_order_relaxed);
+  transport_.batches_lost = transport_.lost_deadline +
+                            transport_.lost_aggregator_down +
+                            transport_.lost_quarantined;
+  transport_.lost_per_machine = std::move(lost_per_machine);
   if (const std::exception_ptr first = failure.first()) {
     // A failed run must not present partially folded windows as valid
     // rollups; fall back to the retention rings.
@@ -259,19 +428,49 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
 std::vector<SeriesPoint> Agent::rollups() const {
   std::vector<SeriesPoint> out;
   if (!folded_.empty()) {
-    for (const auto& machine_points : folded_) {
-      out.insert(out.end(), machine_points.begin(), machine_points.end());
+    for (std::size_t i = 0; i < folded_.size(); ++i) {
+      if (health_->quarantined(static_cast<int>(i))) continue;
+      out.insert(out.end(), folded_[i].begin(), folded_[i].end());
     }
     return out;
   }
   const Aggregator aggregator(cfg_.monitor.window_samples);
   for (const auto& collector : collectors_) {
+    if (health_->quarantined(collector->machine_id())) continue;
     auto points =
         aggregator.rollup(collector->machine_id(), collector->samples());
     out.insert(out.end(), std::make_move_iterator(points.begin()),
                std::make_move_iterator(points.end()));
   }
   return out;
+}
+
+api::ResultTable Agent::health_report() const {
+  api::ResultTable table;
+  table.group = "NODE_HEALTH";
+  table.has_metrics = true;
+  table.seconds = cfg_.duration_seconds;
+  api::ResultTable::MetricRow state{
+      "Health state (0=healthy 1=degraded 2=quarantined)", {}};
+  api::ResultTable::MetricRow faults{"Step faults", {}};
+  api::ResultTable::MetricRow ok{"Samples ok", {}};
+  api::ResultTable::MetricRow lost{"Batches lost", {}};
+  api::ResultTable::MetricRow rejects{"Transport rejects", {}};
+  for (const NodeHealthSnapshot& s : health_->snapshots()) {
+    table.cpus.push_back(s.machine_id);
+    state.values.push_back(static_cast<double>(static_cast<int>(s.state)));
+    faults.values.push_back(static_cast<double>(s.step_faults));
+    ok.values.push_back(static_cast<double>(s.samples_ok));
+    lost.values.push_back(static_cast<double>(s.batches_lost));
+    const auto id = static_cast<std::size_t>(s.machine_id);
+    rejects.values.push_back(
+        id < transport_.rejects_per_machine.size()
+            ? static_cast<double>(transport_.rejects_per_machine[id])
+            : 0.0);
+  }
+  table.metrics = {std::move(state), std::move(faults), std::move(ok),
+                   std::move(lost), std::move(rejects)};
+  return table;
 }
 
 void Agent::set_progress(std::function<void(const FleetProgress&)> callback,

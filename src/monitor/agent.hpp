@@ -21,6 +21,14 @@
 // fold over the same samples. The two paths differ only when the per-
 // collector retention ring overwrote samples — the serial rollup reads the
 // retained ring, the aggregation thread saw every sample live.
+//
+// The scheduler SUPERVISES rather than failing fast: a sampling step that
+// throws marks the node in the HealthRegistry (degraded, then quarantined
+// after repeated faults — quarantined nodes are skipped and excluded from
+// rollups); a worker thread that dies is restarted in place with capped,
+// jittered exponential backoff, up to SupervisionConfig::max_restarts
+// before the failure turns terminal. Aggregation-thread death stays
+// terminal — without the consumer there is nothing to supervise for.
 #pragma once
 
 #include <cstdint>
@@ -28,9 +36,11 @@
 #include <memory>
 #include <vector>
 
+#include "api/result_table.hpp"
 #include "monitor/aggregator.hpp"
 #include "monitor/collector.hpp"
 #include "monitor/config.hpp"
+#include "monitor/health.hpp"
 
 namespace likwid::monitor {
 
@@ -50,16 +60,24 @@ struct FleetProgress {
 
 /// Transport-ring accounting of the last threaded run. Backpressure must
 /// not be invisible: a full SPSC ring makes the worker retry (counted as
-/// a reject), and a batch is LOST only when the aggregation thread died —
-/// lost batches bias the window aggregates, so tools surface both
-/// counters next to the retention ring's dropped() line.
+/// a reject), and every batch LOST carries an attribution — lost batches
+/// bias the window aggregates, so tools surface the counters next to the
+/// retention ring's dropped() line, and the chaos tests assert the loss
+/// reasons add up to the total (no silent loss path).
 struct FleetTransportStats {
   std::uint64_t batches_published = 0;  ///< batches that reached the rings
   std::uint64_t rejects = 0;            ///< try_push bounces (retried)
   std::uint64_t batches_lost = 0;       ///< gave up: samples missing
+  /// Loss attribution; the three always sum to `batches_lost`.
+  std::uint64_t lost_deadline = 0;         ///< publish deadline expired
+  std::uint64_t lost_aggregator_down = 0;  ///< aggregation thread died
+  std::uint64_t lost_quarantined = 0;      ///< flushed at node quarantine
   /// Per-machine reject counts, fleet-ordered (which collector's worker
   /// was bouncing off a full ring).
   std::vector<std::uint64_t> rejects_per_machine;
+  /// Per-machine lost-batch counts, fleet-ordered (who the lost samples
+  /// belonged to — pairs with HealthRegistry's per-node batches_lost).
+  std::vector<std::uint64_t> lost_per_machine;
 };
 
 class Agent {
@@ -94,10 +112,19 @@ class Agent {
   /// rollups() falls back to the retention rings).
   bool threaded() const noexcept { return !folded_.empty(); }
 
-  /// Windowed rollups of every machine, fleet-ordered by machine id.
-  /// After a threaded run these are the live-folded windows of that run;
-  /// otherwise they are computed from each machine's retention ring.
+  /// Windowed rollups of every non-quarantined machine, fleet-ordered by
+  /// machine id. After a threaded run these are the live-folded windows of
+  /// that run; otherwise they are computed from each machine's retention
+  /// ring. Quarantined machines are excluded (their data is untrusted) and
+  /// reported through health_report() instead.
   std::vector<SeriesPoint> rollups() const;
+
+  /// Per-node health state, maintained across runs of this agent.
+  const HealthRegistry& health() const noexcept { return *health_; }
+
+  /// The fleet's health as a result table (group NODE_HEALTH, one column
+  /// per machine id), emitted by likwid-agent through every OutputSink.
+  api::ResultTable health_report() const;
 
   /// Transport accounting of the last threaded run (empty per-machine
   /// vector after a serial run or step()).
@@ -118,6 +145,9 @@ class Agent {
 
   AgentConfig cfg_;
   std::vector<std::unique_ptr<Collector>> collectors_;
+  /// Health ledger shared by workers, aggregation and reporting
+  /// (internally synchronized); sized to the fleet at construction.
+  std::unique_ptr<HealthRegistry> health_;
   std::uint64_t steps_ = 0;
   /// Per-machine rollup rows folded live by the last threaded run.
   std::vector<std::vector<SeriesPoint>> folded_;

@@ -1,15 +1,24 @@
 #include "monitor/collector.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
+#include "fault/plan.hpp"
 #include "monitor/aggregator.hpp"
 #include "util/status.hpp"
+#include "util/strings.hpp"
 
 namespace likwid::monitor {
 
 namespace {
+
+/// Counts a real PMU cannot plausibly accrue in one sampling interval
+/// (~100 G events in 0.1 s would be a 1 THz event rate); anything above is
+/// a saturated/wrapped counter read.
+constexpr double kMaxPlausibleCount = 1e11;
 
 /// The resident workload of machine `id`: a rotation of memory-, compute-
 /// and branch-bound kernels with an id-dependent size factor, so the fleet
@@ -71,6 +80,15 @@ Collector::Collector(int machine_id, MonitorConfig config)
   }
   workload_ =
       std::make_unique<workloads::SyntheticKernel>(workload_for(machine_id));
+  if (cfg_.fault_plan != nullptr) {
+    fault_ = cfg_.fault_plan->node_fault(machine_id);
+    if (fault_.msr != fault::MsrFaultMode::kNone) {
+      hwsim::SimMachine& machine = session_->kernel().machine();
+      fault_device_ = std::make_shared<fault::MsrFaultDevice>(
+          machine.spec(), fault_.msr, fault_.onset_step);
+      machine.msrs().set_read_interposer(fault_device_);
+    }
+  }
   session_->start();
   // Open the first sampling interval now (at t = 0, counters running);
   // step() only ever closes intervals.
@@ -78,6 +96,17 @@ Collector::Collector(int machine_id, MonitorConfig config)
 }
 
 void Collector::step() {
+  // Arm the node's fault device for this step; a stalled node burns real
+  // wall time first (its samples stay identical — the stall only shows up
+  // as transport backpressure, like a wedged remote agent).
+  if (fault_device_ != nullptr) {
+    fault_device_->begin_step(steps_);
+  }
+  if (fault_.stall && cfg_.fault_plan != nullptr) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(cfg_.fault_plan->stall_us()));
+  }
+
   const double interval = cfg_.interval_seconds;
   // Deterministic sawtooth load modulation (phase-shifted per machine):
   // real nodes breathe between job phases, and flat samples would make the
@@ -113,6 +142,36 @@ void Collector::step() {
   const bool rotate =
       cfg_.rotate_groups && session_->counters().num_event_sets() > 1;
   const core::IntervalSampler::Interval iv = session_->sampler().poll(rotate);
+
+  // Plausibility-check the raw counts while the node's fault device is
+  // armed: a frozen counter bank yields an all-zero interval (the metric
+  // evaluator defines x/0 = 0, so stale data would otherwise aggregate as
+  // silent zeros), a pegged one yields physically impossible rates. Gated
+  // on the armed device so fault-free runs stay bit-identical.
+  if (fault_device_ != nullptr && fault_device_->armed()) {
+    bool any_nonzero = false;
+    double peak = 0;
+    for (std::size_t r = 0; r < iv.counts.rows(); ++r) {
+      for (const double c : iv.counts.row(r)) {
+        any_nonzero = any_nonzero || c != 0;
+        peak = std::max(peak, c);
+      }
+    }
+    if (iv.counts.rows() > 0 && !any_nonzero) {
+      throw_error(ErrorCode::kUnavailable,
+                  util::strprintf("machine %d: counters stale (all-zero "
+                                  "interval at step %llu)",
+                                  machine_id_,
+                                  static_cast<unsigned long long>(steps_)));
+    }
+    if (peak > kMaxPlausibleCount) {
+      throw_error(ErrorCode::kUnavailable,
+                  util::strprintf("machine %d: counter saturated (%.3g "
+                                  "events in one interval at step %llu)",
+                                  machine_id_, peak,
+                                  static_cast<unsigned long long>(steps_)));
+    }
+  }
 
   Sample s;
   s.sequence = steps_;

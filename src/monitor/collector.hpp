@@ -25,6 +25,7 @@
 #include "api/session.hpp"
 #include "core/perfctr.hpp"
 #include "core/sampling.hpp"
+#include "fault/msr_fault.hpp"
 #include "monitor/config.hpp"
 #include "ossim/kernel.hpp"
 #include "workloads/synthetic.hpp"
@@ -47,6 +48,12 @@ class Collector {
 
   int machine_id() const noexcept { return machine_id_; }
   std::uint64_t steps() const noexcept { return steps_; }
+  /// The node's fault assignment (all-kNone without a plan).
+  const fault::NodeFault& fault_assignment() const noexcept { return fault_; }
+  /// Armed MSR fault device, or null when the node's device is healthy.
+  const fault::MsrFaultDevice* fault_device() const noexcept {
+    return fault_device_.get();
+  }
   const MonitorConfig& config() const noexcept { return cfg_; }
   const SampleRing& samples() const noexcept { return ring_; }
   const ossim::SimKernel& kernel() const noexcept { return session_->kernel(); }
@@ -65,6 +72,11 @@ class Collector {
   workloads::Placement placement_;
   /// One schema per event set, built at construction; samples share them.
   std::vector<std::shared_ptr<const MetricSchema>> schemas_;
+  /// Fault assignment of this node under cfg_.fault_plan (all-kNone
+  /// otherwise) and the interposer realizing its MSR mode. The register
+  /// file co-owns the device, so it outlives any reader.
+  fault::NodeFault fault_;
+  std::shared_ptr<fault::MsrFaultDevice> fault_device_;
   SampleRing ring_;
   /// Measured cost rate of the resident workload (workload fraction per
   /// simulated second), calibrated after every slice; sizes the next slice

@@ -25,6 +25,10 @@
 #include "core/name_table.hpp"
 #include "monitor/ring_buffer.hpp"
 
+namespace likwid::fault {
+class FaultPlan;
+}  // namespace likwid::fault
+
 namespace likwid::monitor {
 
 /// Per-machine monitoring configuration.
@@ -53,6 +57,29 @@ struct MonitorConfig {
   /// Base RNG seed; collectors offset it by their machine id so a fleet is
   /// deterministic yet not in lockstep.
   std::uint64_t seed = 42;
+  /// Optional deterministic fault plan (see fault/plan.hpp). When set,
+  /// collectors install the plan's MSR fault devices, validate intervals
+  /// for stale/saturated counters, and the agent supervises instead of
+  /// failing fast. Null (the default) injects nothing and keeps the
+  /// fault-free paths byte-identical to before.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
+};
+
+/// Supervision policy of the threaded fleet scheduler: what the agent does
+/// when a worker thread dies instead of latching the first failure.
+struct SupervisionConfig {
+  /// Restarts allowed per worker before the failure becomes terminal for
+  /// the run. 0 restores the old fail-fast behavior.
+  int max_restarts = 3;
+  /// Exponential backoff before the n-th restart of a worker:
+  /// initial * 2^n, capped at `backoff_max_ms`, jittered by the fault
+  /// plan's deterministic draw (or unjittered without a plan).
+  double backoff_initial_ms = 1.0;
+  double backoff_max_ms = 100.0;
+  /// Consecutive faulted sampling steps that quarantine a node.
+  int quarantine_after = 2;
+  /// Consecutive clean samples that return a degraded node to healthy.
+  int recover_after = 3;
 };
 
 /// Fleet-level scheduling configuration: how many worker threads step the
@@ -76,6 +103,12 @@ struct FleetConfig {
   /// runs on the plain serial loop; forcing is how the scaling bench
   /// measures the scheduler's own overhead at 1 worker.
   bool force_threaded = false;
+  /// Wall-clock budget of one transport publish: a worker retries a full
+  /// ring for this long before giving the batch up as lost (attributed to
+  /// the node and rate-limit-logged, never silent).
+  double publish_deadline_seconds = 5.0;
+  /// Worker-restart and node-quarantine policy.
+  SupervisionConfig supervision;
 
   /// Worker count after resolving 0 = hardware concurrency.
   int resolved_threads() const;

@@ -1,0 +1,113 @@
+#include "monitor/health.hpp"
+
+#include "util/status.hpp"
+
+namespace likwid::monitor {
+
+std::string_view to_string(NodeHealth state) noexcept {
+  switch (state) {
+    case NodeHealth::kHealthy: return "healthy";
+    case NodeHealth::kDegraded: return "degraded";
+    case NodeHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+HealthRegistry::HealthRegistry(int num_nodes, int quarantine_after,
+                               int recover_after)
+    : quarantine_after_(quarantine_after), recover_after_(recover_after) {
+  LIKWID_REQUIRE(num_nodes >= 0, "health registry: negative node count");
+  LIKWID_REQUIRE(quarantine_after >= 1 && recover_after >= 1,
+                 "health registry: thresholds must be >= 1");
+  util::MutexLock lock(mutex_);
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void HealthRegistry::record_sample_ok(int node) {
+  util::MutexLock lock(mutex_);
+  Node& n = nodes_.at(static_cast<std::size_t>(node));
+  ++n.samples_ok;
+  n.consecutive_faults = 0;
+  if (n.state == NodeHealth::kQuarantined) return;  // terminal for the run
+  if (n.state == NodeHealth::kDegraded &&
+      ++n.consecutive_ok >= static_cast<std::uint64_t>(recover_after_)) {
+    n.state = NodeHealth::kHealthy;
+  }
+}
+
+NodeHealth HealthRegistry::record_fault(int node, const std::string& error) {
+  util::MutexLock lock(mutex_);
+  Node& n = nodes_.at(static_cast<std::size_t>(node));
+  ++n.step_faults;
+  n.consecutive_ok = 0;
+  n.last_error = error;
+  if (n.state != NodeHealth::kQuarantined) {
+    n.state = ++n.consecutive_faults >=
+                      static_cast<std::uint64_t>(quarantine_after_)
+                  ? NodeHealth::kQuarantined
+                  : NodeHealth::kDegraded;
+  }
+  return n.state;
+}
+
+void HealthRegistry::record_lost_batch(int node) {
+  util::MutexLock lock(mutex_);
+  Node& n = nodes_.at(static_cast<std::size_t>(node));
+  ++n.batches_lost;
+  n.consecutive_ok = 0;
+  if (n.state == NodeHealth::kHealthy) n.state = NodeHealth::kDegraded;
+}
+
+void HealthRegistry::record_worker_restart() {
+  util::MutexLock lock(mutex_);
+  ++worker_restarts_;
+}
+
+bool HealthRegistry::quarantined(int node) const {
+  util::MutexLock lock(mutex_);
+  return nodes_.at(static_cast<std::size_t>(node)).state ==
+         NodeHealth::kQuarantined;
+}
+
+NodeHealth HealthRegistry::state(int node) const {
+  util::MutexLock lock(mutex_);
+  return nodes_.at(static_cast<std::size_t>(node)).state;
+}
+
+NodeHealthSnapshot HealthRegistry::snapshot(int node) const {
+  util::MutexLock lock(mutex_);
+  const Node& n = nodes_.at(static_cast<std::size_t>(node));
+  return NodeHealthSnapshot{node,         n.state,        n.step_faults,
+                            n.samples_ok, n.batches_lost, n.last_error};
+}
+
+std::vector<NodeHealthSnapshot> HealthRegistry::snapshots() const {
+  util::MutexLock lock(mutex_);
+  std::vector<NodeHealthSnapshot> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    out.push_back(NodeHealthSnapshot{static_cast<int>(i), n.state,
+                                     n.step_faults, n.samples_ok,
+                                     n.batches_lost, n.last_error});
+  }
+  return out;
+}
+
+std::vector<int> HealthRegistry::quarantined_nodes() const {
+  util::MutexLock lock(mutex_);
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state == NodeHealth::kQuarantined) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::uint64_t HealthRegistry::worker_restarts() const {
+  util::MutexLock lock(mutex_);
+  return worker_restarts_;
+}
+
+}  // namespace likwid::monitor

@@ -1,0 +1,97 @@
+// health.hpp — per-node health state of the monitoring fleet.
+//
+// The supervision layer (agent.cpp) classifies every node as healthy,
+// degraded or quarantined from the faults its sampling steps produce:
+//
+//   healthy ──fault──▶ degraded ──`quarantine_after` consecutive──▶ quarantined
+//      ▲                   │
+//      └─`recover_after` consecutive clean samples─┘
+//
+// Quarantine is terminal for the run: a node whose device keeps failing is
+// excluded from aggregation (its windows would be garbage) and reported,
+// rather than poisoning fleet rollups or killing the whole run — the
+// self-healing stance of production monitoring stacks (Röhl et al. 2017).
+// The registry is the one fleet-wide mutable record shared by workers, the
+// aggregation thread and the reporting path, so it owns a mutex and is
+// annotated for clang thread-safety analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace likwid::monitor {
+
+enum class NodeHealth {
+  kHealthy,      ///< producing valid samples
+  kDegraded,     ///< recent fault or lost batch; still sampled
+  kQuarantined,  ///< persistent faults; excluded from aggregation
+};
+
+std::string_view to_string(NodeHealth state) noexcept;
+
+/// Point-in-time health record of one node, for reports and tests.
+struct NodeHealthSnapshot {
+  int machine_id = 0;
+  NodeHealth state = NodeHealth::kHealthy;
+  std::uint64_t step_faults = 0;    ///< sampling steps that threw
+  std::uint64_t samples_ok = 0;     ///< sampling steps that succeeded
+  std::uint64_t batches_lost = 0;   ///< transport batches attributed lost
+  std::string last_error;           ///< message of the most recent fault
+};
+
+class HealthRegistry {
+ public:
+  /// `quarantine_after` consecutive faulted steps quarantine a node;
+  /// `recover_after` consecutive clean steps return a degraded node to
+  /// healthy. Both must be >= 1.
+  HealthRegistry(int num_nodes, int quarantine_after, int recover_after);
+
+  /// A sampling step of `node` succeeded.
+  void record_sample_ok(int node);
+
+  /// A sampling step of `node` threw. Returns the node's resulting state
+  /// so the caller can react (skip the node, log the transition) without a
+  /// second lock round-trip.
+  NodeHealth record_fault(int node, const std::string& error);
+
+  /// A transport batch of `node` was dropped (deadline, dead aggregator,
+  /// or quarantine flush). Marks the node degraded unless quarantined.
+  void record_lost_batch(int node);
+
+  /// A worker thread was restarted by the supervisor.
+  void record_worker_restart();
+
+  bool quarantined(int node) const;
+  NodeHealth state(int node) const;
+  NodeHealthSnapshot snapshot(int node) const;
+  std::vector<NodeHealthSnapshot> snapshots() const;
+
+  /// Ids of quarantined nodes, ascending.
+  std::vector<int> quarantined_nodes() const;
+
+  std::uint64_t worker_restarts() const;
+  int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    NodeHealth state = NodeHealth::kHealthy;
+    std::uint64_t step_faults = 0;
+    std::uint64_t samples_ok = 0;
+    std::uint64_t batches_lost = 0;
+    std::uint64_t consecutive_faults = 0;
+    std::uint64_t consecutive_ok = 0;
+    std::string last_error;
+  };
+
+  const int quarantine_after_;
+  const int recover_after_;
+  mutable util::Mutex mutex_;
+  std::vector<Node> nodes_ LIKWID_GUARDED_BY(mutex_);
+  std::uint64_t worker_restarts_ LIKWID_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace likwid::monitor

@@ -2,6 +2,8 @@
 // library users (and benchmarks) see clean output. Tools enable kInfo.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -15,6 +17,31 @@ LogLevel log_level() noexcept;
 
 /// Emit one log line (used by the LIKWID_LOG macro).
 void log_message(LogLevel level, const std::string& message);
+
+/// Rate limiter for log sites that can fire per-sample or per-retry (the
+/// transport give-up path, per-node fault warnings): the first occurrence
+/// and then every `every`-th one pass, the rest are suppressed but still
+/// counted. Thread-safe; one instance per log site, shared by whichever
+/// threads hit it.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(std::uint64_t every) noexcept : every_(every) {}
+
+  /// True when this occurrence should be logged. `occurrences()` names the
+  /// running total, so a passing site can report how many were suppressed.
+  bool tick() noexcept {
+    const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    return every_ == 0 || n % every_ == 0;
+  }
+
+  std::uint64_t occurrences() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint64_t every_;
+  std::atomic<std::uint64_t> count_{0};
+};
 
 }  // namespace likwid::util
 

@@ -11,6 +11,8 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kResourceExhausted: return "ResourceExhausted";
     case ErrorCode::kInvalidState: return "InvalidState";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,9 @@ enum class ErrorCode {
   kResourceExhausted, ///< no free counter / slot
   kInvalidState,      ///< API misuse (stop before start, double init, ...)
   kInternal,          ///< invariant violation inside the library
+  kUnavailable,       ///< resource failed / implausible (flaky msr, stale
+                      ///< or pegged counters) — retrying may help
+  kDeadlineExceeded,  ///< operation gave up at its time budget
 };
 
 /// Human-readable name of an error code ("InvalidArgument", ...).

@@ -243,13 +243,59 @@ TEST_F(CBoundary, EveryStatusCodeHasAName) {
       LIKWID_OK, LIKWID_ERROR_INVALID_HANDLE, LIKWID_ERROR_INVALID_ARGUMENT,
       LIKWID_ERROR_NOT_FOUND, LIKWID_ERROR_PERMISSION,
       LIKWID_ERROR_UNSUPPORTED, LIKWID_ERROR_RESOURCE_EXHAUSTED,
-      LIKWID_ERROR_INVALID_STATE, LIKWID_ERROR_INTERNAL};
+      LIKWID_ERROR_INVALID_STATE, LIKWID_ERROR_INTERNAL,
+      LIKWID_ERROR_UNAVAILABLE, LIKWID_ERROR_DEADLINE_EXCEEDED};
   for (const likwid_status s : all) {
     const std::string name = likwid_statusName(s);
     EXPECT_NE(name.find("LIKWID"), std::string::npos) << s;
   }
   EXPECT_EQ(std::string(likwid_statusName(LIKWID_ERROR_UNSUPPORTED)),
             "LIKWID_ERROR_UNSUPPORTED");
+  EXPECT_EQ(std::string(likwid_statusName(LIKWID_ERROR_UNAVAILABLE)),
+            "LIKWID_ERROR_UNAVAILABLE");
+  EXPECT_EQ(std::string(likwid_statusName(LIKWID_ERROR_DEADLINE_EXCEEDED)),
+            "LIKWID_ERROR_DEADLINE_EXCEEDED");
+}
+
+TEST_F(CBoundary, InjectedFaultsRoundTripTheNewStatusCodes) {
+  // Arm an MSR fault through the C surface, drive a measurement into the
+  // faulted read path, and require the matching status at the boundary:
+  // kUnavailable -> LIKWID_ERROR_UNAVAILABLE, kDeadlineExceeded ->
+  // LIKWID_ERROR_DEADLINE_EXCEEDED.
+  const struct {
+    const char* mode;
+    likwid_status expected;
+  } cases[] = {{"msr-fail", LIKWID_ERROR_UNAVAILABLE},
+               {"msr-timeout", LIKWID_ERROR_DEADLINE_EXCEEDED}};
+  for (const auto& c : cases) {
+    likwid_handle h = 0;
+    const int cpus[] = {0};
+    ASSERT_EQ(likwid_init("nehalem-ep", cpus, 1, &h), LIKWID_OK);
+    ASSERT_EQ(likwid_addEventSet(h, "FLOPS_DP", nullptr), LIKWID_OK);
+    ASSERT_EQ(likwid_setupCounters(h, 0), LIKWID_OK);
+    ASSERT_EQ(likwid_startCounters(h), LIKWID_OK);
+    ASSERT_EQ(likwid_injectFault(h, c.mode), LIKWID_OK);
+    EXPECT_EQ(likwid_stopCounters(h), c.expected) << c.mode;
+    EXPECT_NE(std::string(likwid_lastError()), "") << c.mode;
+    likwid_finalize(h);
+  }
+}
+
+TEST_F(CBoundary, InjectFaultDisarmsAndRejectsBadInput) {
+  const likwid_handle h = init();
+  ASSERT_EQ(likwid_addEventSet(h, "FLOPS_DP", nullptr), LIKWID_OK);
+  ASSERT_EQ(likwid_setupCounters(h, 0), LIKWID_OK);
+  // "none" removes an armed fault: the lifecycle completes cleanly.
+  ASSERT_EQ(likwid_startCounters(h), LIKWID_OK);
+  ASSERT_EQ(likwid_injectFault(h, "msr-fail"), LIKWID_OK);
+  ASSERT_EQ(likwid_injectFault(h, "none"), LIKWID_OK);
+  EXPECT_EQ(likwid_stopCounters(h), LIKWID_OK);
+  // Bad mode string / null mode / bogus handle are all mapped.
+  EXPECT_EQ(likwid_injectFault(h, "msr-explode"),
+            LIKWID_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(likwid_injectFault(h, nullptr), LIKWID_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(likwid_injectFault(424242, "msr-fail"),
+            LIKWID_ERROR_INVALID_HANDLE);
 }
 
 TEST_F(CBoundary, LastErrorClearsOnSuccess) {

@@ -1,0 +1,212 @@
+// FaultPlan — the deterministic fault model (fault/plan.hpp): spec
+// grammar, per-node assignment, crash schedules and jitter draws. Every
+// assertion here is about determinism and parse strictness; the behavior
+// of an injected fault is covered by chaos_fleet_test.cpp and the MSR
+// device tests below.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fault/msr_fault.hpp"
+#include "fault/plan.hpp"
+#include "hwsim/msr.hpp"
+#include "hwsim/presets.hpp"
+#include "util/status.hpp"
+
+namespace likwid {
+namespace {
+
+using fault::FaultPlan;
+using fault::MsrFaultMode;
+
+TEST(FaultPlan, ParsesFullGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "7:msr-fail=0.05;msr-timeout=0.01;msr-stale=0.03;msr-saturate=0.02;"
+      "stall=0.1;crash=2;stall-us=300;slow-consumer-us=50;onset=4");
+  EXPECT_EQ(plan.seed(), 7u);
+  EXPECT_DOUBLE_EQ(plan.msr_fail_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(plan.msr_timeout_rate(), 0.01);
+  EXPECT_DOUBLE_EQ(plan.msr_stale_rate(), 0.03);
+  EXPECT_DOUBLE_EQ(plan.msr_saturate_rate(), 0.02);
+  EXPECT_DOUBLE_EQ(plan.stall_rate(), 0.1);
+  EXPECT_EQ(plan.crashes(), 2);
+  EXPECT_EQ(plan.stall_us(), 300u);
+  EXPECT_EQ(plan.slow_consumer_us(), 50u);
+  EXPECT_EQ(plan.onset_window(), 4u);
+  EXPECT_TRUE(plan.has_faults());
+}
+
+TEST(FaultPlan, DefaultPlanInjectsNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.has_faults());
+  for (int id = 0; id < 64; ++id) {
+    const fault::NodeFault f = plan.node_fault(id);
+    EXPECT_EQ(f.msr, MsrFaultMode::kNone);
+    EXPECT_FALSE(f.stall);
+  }
+  EXPECT_TRUE(plan.faulted_nodes(64).empty());
+  EXPECT_TRUE(plan.crash_steps(0, 4, 30).empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const auto expect_invalid = [](const char* text) {
+    try {
+      FaultPlan::parse(text);
+      FAIL() << "accepted '" << text << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument) << text;
+    }
+  };
+  expect_invalid("no-colon");
+  expect_invalid("x:msr-fail=0.1");          // non-numeric seed
+  expect_invalid("7:");                      // empty spec
+  expect_invalid("7:msr-fail");              // missing '='
+  expect_invalid("7:msr-fail=1.5");          // rate out of range
+  expect_invalid("7:msr-fail=-0.1");         // negative rate
+  expect_invalid("7:msr-fail=abc");          // non-numeric rate
+  expect_invalid("7:crash=two");             // non-numeric count
+  expect_invalid("7:bogus-key=1");           // unknown key
+  expect_invalid("7:msr-fail=0.1;;crash=1"); // stray ';'
+  expect_invalid("7:onset=0");               // onset must be >= 1
+  expect_invalid("7:msr-fail=0.6;msr-stale=0.6");  // modes sum > 1
+}
+
+TEST(FaultPlan, NodeAssignmentIsDeterministicAndSeedSensitive) {
+  const FaultPlan a = FaultPlan::parse("7:msr-fail=0.2;msr-stale=0.2");
+  const FaultPlan b = FaultPlan::parse("7:msr-fail=0.2;msr-stale=0.2");
+  const FaultPlan c = FaultPlan::parse("8:msr-fail=0.2;msr-stale=0.2");
+  for (int id = 0; id < 256; ++id) {
+    EXPECT_EQ(a.node_fault(id).msr, b.node_fault(id).msr) << id;
+    EXPECT_EQ(a.node_fault(id).onset_step, b.node_fault(id).onset_step) << id;
+  }
+  EXPECT_EQ(a.faulted_nodes(256), b.faulted_nodes(256));
+  // A different seed must shuffle the assignment (some node differs).
+  EXPECT_NE(a.faulted_nodes(256), c.faulted_nodes(256));
+}
+
+TEST(FaultPlan, FaultedNodePopulationTracksTheRates) {
+  const FaultPlan plan = FaultPlan::parse("11:msr-fail=0.25");
+  const std::vector<int> faulted = plan.faulted_nodes(1024);
+  // 25% of 1024 with independent uniform draws: 6 sigma ~ +/- 83.
+  EXPECT_GT(faulted.size(), 170u);
+  EXPECT_LT(faulted.size(), 340u);
+  for (const int id : faulted) {
+    const fault::NodeFault f = plan.node_fault(id);
+    EXPECT_EQ(f.msr, MsrFaultMode::kFail);
+    // Onset is always within the window and never step 0.
+    EXPECT_GE(f.onset_step, 1u);
+    EXPECT_LE(f.onset_step, plan.onset_window());
+  }
+}
+
+TEST(FaultPlan, MsrModesAreMutuallyExclusivePerNode) {
+  const FaultPlan plan = FaultPlan::parse(
+      "3:msr-fail=0.25;msr-timeout=0.25;msr-stale=0.25;msr-saturate=0.25");
+  int modes[5] = {0, 0, 0, 0, 0};
+  for (int id = 0; id < 512; ++id) {
+    ++modes[static_cast<int>(plan.node_fault(id).msr)];
+  }
+  // Every node drew exactly one mode; with the rates summing to 1 none
+  // stay healthy, and each mode gets a nontrivial share.
+  EXPECT_EQ(modes[static_cast<int>(MsrFaultMode::kNone)], 0);
+  for (const MsrFaultMode m :
+       {MsrFaultMode::kFail, MsrFaultMode::kTimeout, MsrFaultMode::kStale,
+        MsrFaultMode::kSaturate}) {
+    EXPECT_GT(modes[static_cast<int>(m)], 64) << to_string(m);
+  }
+}
+
+TEST(FaultPlan, CrashScheduleCoversExactlyTheRequestedCrashes) {
+  const FaultPlan plan = FaultPlan::parse("5:crash=4");
+  constexpr int kWorkers = 8;
+  constexpr std::uint64_t kSteps = 30;
+  std::size_t total = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    const std::vector<std::uint64_t> steps =
+        plan.crash_steps(w, kWorkers, kSteps);
+    EXPECT_TRUE(std::is_sorted(steps.begin(), steps.end()));
+    for (const std::uint64_t s : steps) {
+      EXPECT_GE(s, 1u);  // never step 0
+      EXPECT_LT(s, kSteps);
+    }
+    total += steps.size();
+    // Determinism: the same call yields the same schedule.
+    EXPECT_EQ(steps, plan.crash_steps(w, kWorkers, kSteps));
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(FaultPlan, BackoffJitterIsDeterministicAndInRange) {
+  const FaultPlan plan = FaultPlan::parse("9:crash=1");
+  for (int w = 0; w < 4; ++w) {
+    for (int r = 1; r <= 3; ++r) {
+      const double j = plan.backoff_jitter(w, r);
+      EXPECT_GE(j, 0.0);
+      EXPECT_LT(j, 1.0);
+      EXPECT_EQ(j, plan.backoff_jitter(w, r));
+    }
+  }
+  // Distinct (worker, restart) pairs draw distinct jitter.
+  EXPECT_NE(plan.backoff_jitter(0, 1), plan.backoff_jitter(1, 1));
+  EXPECT_NE(plan.backoff_jitter(0, 1), plan.backoff_jitter(0, 2));
+}
+
+// --- MsrFaultDevice on a real register file ---------------------------
+
+TEST(MsrFaultDevice, FailAndTimeoutThrowTheNewStatusCodes) {
+  const hwsim::MachineSpec spec = hwsim::presets::westmere_ep();
+  for (const auto& [mode, code] :
+       {std::pair{MsrFaultMode::kFail, ErrorCode::kUnavailable},
+        std::pair{MsrFaultMode::kTimeout, ErrorCode::kDeadlineExceeded}}) {
+    hwsim::MsrRegisterFile msrs(spec);
+    const auto device =
+        std::make_shared<fault::MsrFaultDevice>(spec, mode, /*onset=*/2);
+    msrs.set_read_interposer(device);
+    // Before onset the device is dormant.
+    device->begin_step(0);
+    EXPECT_NO_THROW(msrs.read(0, hwsim::msr::kTsc));
+    device->begin_step(2);
+    try {
+      msrs.read(0, hwsim::msr::kTsc);
+      FAIL() << to_string(mode);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), code) << to_string(mode);
+    }
+    EXPECT_GT(device->faults_injected(), 0u);
+  }
+}
+
+TEST(MsrFaultDevice, StaleFreezesCountersAtFirstArmedRead) {
+  const hwsim::MachineSpec spec = hwsim::presets::westmere_ep();
+  hwsim::MsrRegisterFile msrs(spec);
+  const auto device = std::make_shared<fault::MsrFaultDevice>(
+      spec, MsrFaultMode::kStale, /*onset=*/1);
+  msrs.set_read_interposer(device);
+
+  msrs.write(0, hwsim::msr::kPmc0, 1000);
+  device->begin_step(1);
+  EXPECT_EQ(msrs.read(0, hwsim::msr::kPmc0), 1000u);  // freezes here
+  msrs.write(0, hwsim::msr::kPmc0, 5000);             // hardware moves on
+  EXPECT_EQ(msrs.read(0, hwsim::msr::kPmc0), 1000u);  // reads stay frozen
+  // Non-counter registers are untouched (the PMU stays programmable).
+  EXPECT_NO_THROW(msrs.write(0, hwsim::msr::kPerfEvtSel0, 0x4300C0));
+  EXPECT_EQ(msrs.read(0, hwsim::msr::kPerfEvtSel0), 0x4300C0u);
+}
+
+TEST(MsrFaultDevice, SaturatePegsCountersAtAllOnes) {
+  const hwsim::MachineSpec spec = hwsim::presets::westmere_ep();
+  hwsim::MsrRegisterFile msrs(spec);
+  const auto device = std::make_shared<fault::MsrFaultDevice>(
+      spec, MsrFaultMode::kSaturate, /*onset=*/0);
+  msrs.set_read_interposer(device);
+  device->begin_step(0);
+  EXPECT_EQ(msrs.read(0, hwsim::msr::kPmc0), ~std::uint64_t{0});
+  // Removing the interposer restores honest reads.
+  msrs.set_read_interposer(nullptr);
+  EXPECT_EQ(msrs.read(0, hwsim::msr::kPmc0), 0u);
+}
+
+}  // namespace
+}  // namespace likwid

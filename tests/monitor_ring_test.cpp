@@ -4,11 +4,14 @@
 //    for self-referential pushes on a full ring), age-ordered indexing,
 //    pop_front draining, drop accounting, and misuse rejection.
 //  - monitor/spsc_ring.hpp (lock-free SPSC transport): full-buffer
-//    rejection, wrap-around reuse, and a concurrent produce/drain stress
-//    run checking that nothing is lost, duplicated or reordered.
+//    rejection, wrap-around reuse, a concurrent produce/drain stress
+//    run checking that nothing is lost, duplicated or reordered, and an
+//    injected slow consumer proving reject-newest keeps the cursors and
+//    counters exact under sustained backpressure.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -271,6 +274,59 @@ TEST(SpscRing, ConcurrentBatchDrain) {
       ASSERT_EQ(got[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)],
                 b * kBatchLen + i);
     }
+  }
+}
+
+// Injected slow consumer, producer that does NOT retry: sustained
+// backpressure must reject-newest without corrupting the cursors. The
+// delivered stream has to be an ordered subsequence of the input (no
+// duplication, no tearing) and the counters must balance exactly:
+// pushed + rejected == attempts, delivered == pushed.
+TEST(SpscRing, SlowConsumerRejectsNewestWithExactCounters) {
+  constexpr std::uint64_t kAttempts = 20'000;
+  SpscRing<std::uint64_t> ring(4);
+
+  std::vector<std::uint64_t> delivered;
+  std::thread consumer([&]() {
+    std::uint64_t out = 0;
+    std::uint64_t idle = 0;
+    while (true) {
+      if (ring.try_pop(out)) {
+        delivered.push_back(out);
+        idle = 0;
+        // The injected slowdown: stall after every pop so the producer
+        // keeps hitting a full ring.
+        std::this_thread::sleep_for(std::chrono::microseconds(5));
+      } else if (++idle > 1'000'000) {
+        return;  // producer done and ring drained
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t v = 0; v < kAttempts; ++v) {
+    std::uint64_t value = v;
+    ring.try_push(std::move(value));  // a reject is a LOSS, not a retry
+  }
+  consumer.join();
+
+  // Exact accounting: every attempt either landed or was rejected, and
+  // everything that landed came out the other side.
+  EXPECT_EQ(ring.pushed() + ring.rejected(), kAttempts);
+  EXPECT_EQ(delivered.size(), ring.pushed());
+  EXPECT_GT(ring.rejected(), 0u) << "consumer was not slow enough to "
+                                    "exercise backpressure";
+  EXPECT_TRUE(ring.empty());
+
+  // Cursor integrity: the survivors form a strictly increasing
+  // subsequence of the input — any duplication, reordering or torn slot
+  // would break monotonicity.
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    ASSERT_LT(delivered[i - 1], delivered[i]) << i;
+  }
+  if (!delivered.empty()) {
+    EXPECT_LT(delivered.back(), kAttempts);
   }
 }
 

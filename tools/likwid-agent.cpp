@@ -21,11 +21,20 @@
 // rollup rows the serial path emits); a live fleet summary goes to stderr
 // while the run is in flight. --threads 0 uses one worker per hardware
 // thread.
+//
+// --fault-plan=<seed>:<spec> (grammar in fault/plan.hpp) injects
+// deterministic faults — failing/stale/saturated MSRs, sampler stalls,
+// worker crashes, slow aggregation — and the agent supervises through
+// them: faulted nodes are quarantined (excluded from the rollup series),
+// crashed workers restart with backoff (capped by --max-restarts), and a
+// NODE_HEALTH report is emitted next to the series.
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "cli/sinks.hpp"
+#include "fault/plan.hpp"
 #include "monitor/agent.hpp"
 #include "tool_common.hpp"
 
@@ -37,7 +46,8 @@ int main(int argc, char** argv) {
         argc, argv,
         {"--machines", "--nodes", "--threads", "--interval-ms",
          "--duration-ms", "--group", "--window", "--ring", "--machine",
-         "--enum", "--seed", "--csv", "--xml"});
+         "--enum", "--seed", "--csv", "--xml", "--fault-plan",
+         "--max-restarts"});
     if (args.has("-h") || args.has("--help")) {
       std::cout
           << "Usage: likwid-agent [--nodes N] [--threads W]\n"
@@ -45,11 +55,17 @@ int main(int argc, char** argv) {
           << "                    [--group G[;G2...]] [--window N]\n"
           << "                    [--ring N] [--no-rotate] [--seed S]\n"
           << "                    [--csv FILE] [--xml FILE]\n"
+          << "                    [--fault-plan SEED:SPEC] [--max-restarts N]\n"
           << "Monitors a fleet of simulated nodes continuously and emits\n"
           << "windowed min/avg/max/p95 metric rollups per machine.\n"
           << "--threads W > 1 shards the fleet over W worker threads with\n"
           << "live aggregation (0 = one worker per hardware thread);\n"
           << "--machines is accepted as an alias of --nodes.\n"
+          << "--fault-plan injects deterministic faults (e.g.\n"
+          << "  7:msr-fail=0.05;msr-stale=0.03;crash=2 — see fault/plan.hpp\n"
+          << "for the grammar); the agent quarantines faulted nodes,\n"
+          << "restarts crashed workers up to --max-restarts times and\n"
+          << "emits a NODE_HEALTH report next to the rollup series.\n"
           << tools::machine_help();
       return 0;
     }
@@ -84,6 +100,14 @@ int main(int argc, char** argv) {
         util::parse_u64(args.value_or("--ring", "4096")).value_or(4096));
     cfg.monitor.seed =
         util::parse_u64(args.value_or("--seed", "42")).value_or(42);
+    if (const auto plan_spec = args.value("--fault-plan")) {
+      cfg.monitor.fault_plan = std::make_shared<const fault::FaultPlan>(
+          fault::FaultPlan::parse(*plan_spec));
+      std::cerr << "likwid-agent: fault plan "
+                << cfg.monitor.fault_plan->describe() << "\n";
+    }
+    cfg.fleet.supervision.max_restarts = static_cast<int>(
+        util::parse_u64(args.value_or("--max-restarts", "3")).value_or(3));
 
     monitor::Agent agent(cfg);
     const int workers = agent.planned_workers();
@@ -136,26 +160,50 @@ int main(int argc, char** argv) {
       std::cerr << "likwid-agent: transport: "
                 << transport.batches_published << " batches published, "
                 << transport.rejects << " rejects (retried), "
-                << transport.batches_lost << " batches lost\n";
+                << transport.batches_lost << " batches lost";
+      if (transport.batches_lost > 0) {
+        std::cerr << " (" << transport.lost_deadline << " deadline, "
+                  << transport.lost_aggregator_down << " aggregator down, "
+                  << transport.lost_quarantined << " quarantined)";
+      }
+      std::cerr << "\n";
+    }
+    if (cfg.monitor.fault_plan != nullptr) {
+      const auto quarantined = agent.health().quarantined_nodes();
+      std::cerr << "likwid-agent: supervision: "
+                << agent.health().worker_restarts() << " worker restart(s), "
+                << quarantined.size() << " node(s) quarantined\n";
     }
 
     const std::vector<monitor::SeriesPoint> rollups = agent.rollups();
     std::cout << "  " << rollups.size() << " rollup rows ("
               << cfg.monitor.window_samples << " samples per window)\n";
 
+    // Under a fault plan the health report travels with the series through
+    // every sink: the consumer of a chaos run must see WHO was quarantined
+    // next to the windows that exclude them.
+    const bool report_health = cfg.monitor.fault_plan != nullptr;
+    const api::ResultTable health = agent.health_report();
     bool wrote = false;
     if (const auto csv = args.value("--csv")) {
-      tools::write_file(*csv, cli::CsvSink().series(rollups));
+      std::string body = cli::CsvSink().series(rollups);
+      if (report_health) body += cli::CsvSink().measurement(health);
+      tools::write_file(*csv, body);
       std::cout << "Series written to " << *csv << "\n";
       wrote = true;
     }
     if (const auto xml = args.value("--xml")) {
-      tools::write_file(*xml, cli::XmlSink().series(rollups));
+      std::string body = cli::XmlSink().series(rollups);
+      if (report_health) body += cli::XmlSink().measurement(health);
+      tools::write_file(*xml, body);
       std::cout << "Series written to " << *xml << "\n";
       wrote = true;
     }
     if (!wrote) {
       std::cout << cli::CsvSink().series(rollups);
+    }
+    if (report_health) {
+      std::cout << cli::AsciiSink().measurement(health);
     }
     return 0;
   });
