@@ -1,0 +1,155 @@
+// micro_collector_ingest — throughput and wire efficiency of the
+// distributed monitoring pipeline (src/collect): a 1000-node simulated
+// fleet streams counter samples over the binary wire format into the
+// collector's sharded ingest threads and tiered store, and the bench
+// reports ingest rate (samples/s, node streams/s) plus bytes per sample
+// on the wire against the uncompressed sample footprint.
+//
+// The acceptance gate of the wire format lives here: the XOR + varint
+// encoding must carry counter-flavored samples at >= 5x less than their
+// uncompressed 8 * (3 + n_metrics) bytes. Run `--smoke` for the CI-sized
+// fleet; both modes must hold the gate and must finish with zero
+// unattributed loss. Writes BENCH_collector.json (scripts/run-benches.sh
+// aggregates it; CI asserts its schema and the gate).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collect/loopback.hpp"
+
+using namespace likwid;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_collector.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+  }
+
+  collect::LoopbackConfig cfg;
+  cfg.fleet.num_nodes = smoke ? 128 : 1000;
+  cfg.fleet.seed = 42;
+  // Six metric slots: the footprint of a MEM-sized group.
+  cfg.fleet.schemas = {collect::make_sim_schema("BENCH_MEM", 6)};
+  cfg.steps = smoke ? 64 : 128;
+  cfg.batch_samples = 32;  // long batches amortize framing + XOR warmup
+  cfg.producer_threads = 2;
+  cfg.service.ingest_threads = 2;
+  cfg.service.ring_capacity = 64;
+  // This bench measures throughput, not backpressure: a generous deadline
+  // means every sample arrives and the rate reflects pipeline speed.
+  cfg.service.publish_deadline_seconds = 30.0;
+  cfg.service.store.chunk_points = 64;
+  cfg.service.store.raw_chunks_per_series = 4;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hardware_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  std::printf("================= micro_collector_ingest =================\n");
+  std::printf("# %zu node streams x %zu samples, batch %zu, %zu+%zu threads, "
+              "%d hardware threads (%s mode)\n",
+              cfg.fleet.num_nodes, cfg.steps, cfg.batch_samples,
+              cfg.producer_threads, cfg.service.ingest_threads,
+              hardware_threads, smoke ? "smoke" : "full");
+
+  collect::LoopbackCollector collector(cfg);
+  const double t0 = now_seconds();
+  collector.run();
+  const double seconds = now_seconds() - t0;
+
+  const collect::ProducerStats& producer = collector.producer();
+  const collect::DecodeStats decode = collector.service().decode_stats();
+  const collect::StoreStats store = collector.service().store_stats();
+
+  const double samples_per_s =
+      static_cast<double>(decode.samples) / seconds;
+  const double streams_per_s =
+      static_cast<double>(cfg.fleet.num_nodes) / seconds;
+  const double bytes_per_sample =
+      static_cast<double>(producer.bytes_encoded) /
+      static_cast<double>(producer.samples_encoded);
+  // The uncompressed footprint the wire format competes against:
+  // sequence + t_start + t_end + one double per metric slot.
+  const double uncompressed_bytes_per_sample =
+      8.0 * (3.0 + static_cast<double>(cfg.fleet.schemas[0]->metric_ids.size()));
+  const double compression_ratio =
+      uncompressed_bytes_per_sample / bytes_per_sample;
+
+  const bool lossless = producer.batches_dropped == 0 &&
+                        decode.decode_errors() == 0 &&
+                        decode.samples == producer.samples_encoded;
+  const double required_ratio = 5.0;
+  const bool pass = lossless && compression_ratio >= required_ratio;
+
+  std::printf("  ingest: %12.0f samples/s  %8.0f streams/s  (%8.3f s)\n",
+              samples_per_s, streams_per_s, seconds);
+  std::printf("  wire:   %6.2f bytes/sample vs %5.1f uncompressed "
+              "(%.2fx, required %.1fx)\n",
+              bytes_per_sample, uncompressed_bytes_per_sample,
+              compression_ratio, required_ratio);
+  std::printf("  store:  %llu chunks closed, %llu evicted into buckets, "
+              "%llu samples retained raw\n",
+              static_cast<unsigned long long>(store.chunks_closed),
+              static_cast<unsigned long long>(store.chunks_evicted),
+              static_cast<unsigned long long>(
+                  store.samples_appended - store.samples_downsampled -
+                  store.samples_forgotten));
+  if (!lossless) {
+    std::fprintf(stderr, "FAIL: lossy run (%llu batches dropped, %llu "
+                         "decode errors) — throughput numbers meaningless\n",
+                 static_cast<unsigned long long>(producer.batches_dropped),
+                 static_cast<unsigned long long>(decode.decode_errors()));
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"collector_ingest\",\n"
+       << "  \"nodes\": " << cfg.fleet.num_nodes << ",\n"
+       << "  \"steps_per_node\": " << cfg.steps << ",\n"
+       << "  \"batch_samples\": " << cfg.batch_samples << ",\n"
+       << "  \"metrics_per_sample\": "
+       << cfg.fleet.schemas[0]->metric_ids.size() << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": " << hardware_threads << ",\n"
+       << "  \"seconds\": " << seconds << ",\n"
+       << "  \"samples_per_s\": " << samples_per_s << ",\n"
+       << "  \"streams_per_s\": " << streams_per_s << ",\n"
+       << "  \"bytes_per_sample\": " << bytes_per_sample << ",\n"
+       << "  \"uncompressed_bytes_per_sample\": "
+       << uncompressed_bytes_per_sample << ",\n"
+       << "  \"compression_ratio\": " << compression_ratio << ",\n"
+       << "  \"required_compression_ratio\": " << required_ratio << ",\n"
+       << "  \"lossless\": " << (lossless ? "true" : "false") << ",\n"
+       << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+       << "}\n";
+  json.close();
+  std::printf("JSON written to %s\n", out_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: wire format carries %.2f bytes/sample — only %.2fx "
+                 "under the uncompressed %.1f (need >= %.1fx)\n",
+                 bytes_per_sample, compression_ratio,
+                 uncompressed_bytes_per_sample, required_ratio);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/session.hpp"
@@ -111,6 +112,11 @@ int main(int argc, char** argv) {
        << "  \"workgroup\": \"" << workgroup << "\",\n"
        << "  \"sweeps\": " << sweeps << ",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": "
+       << (std::thread::hardware_concurrency() == 0
+               ? 1
+               : static_cast<int>(std::thread::hardware_concurrency()))
+       << ",\n"
        << "  \"tolerance\": " << tolerance << ",\n"
        << "  \"kernels\": {\n";
   for (std::size_t i = 0; i < points.size(); ++i) {

@@ -24,6 +24,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/metric_expr.hpp"
@@ -180,6 +181,11 @@ int main(int argc, char** argv) {
        << "  \"cpus\": " << cpus.size() << ",\n"
        << "  \"samples\": " << samples << ",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": "
+       << (std::thread::hardware_concurrency() == 0
+               ? 1
+               : static_cast<int>(std::thread::hardware_concurrency()))
+       << ",\n"
        << "  \"paths\": {\n";
   bool first = true;
   for (const PathResult* r : {&map_parse, &map_eval, &compiled}) {

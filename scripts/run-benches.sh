@@ -25,6 +25,7 @@ BENCHES=(
   micro_metric_pipeline
   micro_agent_fleet
   micro_likwid_bench
+  micro_collector_ingest
 )
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
@@ -38,6 +39,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${targets[@]}"
 
 for bench in "${BENCHES[@]}"; do
   out="BENCH_${bench#micro_}.json"
+  # The collector bench is named for the subsystem, not the harness.
+  [ "$bench" = "micro_collector_ingest" ] && out="BENCH_collector.json"
   # shellcheck disable=SC2086 # SMOKE_FLAG is intentionally word-split
   "./$BUILD_DIR/bench_${bench}" $SMOKE_FLAG --out "$out"
 done

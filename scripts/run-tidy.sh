@@ -24,6 +24,13 @@ TIDY_PATHS=(
   src/analysis/lint.cpp
   src/api/likwid_c.cpp
   src/api/session.cpp
+  src/collect/codec.cpp
+  src/collect/loopback.cpp
+  src/collect/query.cpp
+  src/collect/service.cpp
+  src/collect/simfleet.cpp
+  src/collect/store.cpp
+  src/collect/wire.cpp
   src/core/compiled_metric.cpp
   src/core/name_table.cpp
   src/fault/msr_fault.cpp

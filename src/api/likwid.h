@@ -145,6 +145,49 @@ likwid_status likwid_getTimeOfGroup(likwid_handle handle, int set,
  * paths against deterministic hardware failure. */
 likwid_status likwid_injectFault(likwid_handle handle, const char* mode);
 
+/* --- collector (distributed monitoring) -------------------------------- */
+
+/* A collector handle owns one completed ingest run of the distributed
+ * monitoring stack: `num_nodes` simulated node agents stream `steps`
+ * counter samples each over the binary wire format into the collector's
+ * tiered time-series store, and the queries below run over what was
+ * ingested. Handles follow the same rules as likwid_handle: never reused,
+ * each call thread-safe, destroyed ids fail forever. */
+typedef int likwid_collector;
+
+/* Run the full ingest synchronously and return a queryable handle.
+ * `machine_key` / `group` choose whose metric schemas the fleet streams
+ * (NULL: "westmere-ep" / "MEM"). */
+likwid_status likwid_collector_create(const char* machine_key,
+                                      const char* group, int num_nodes,
+                                      int steps,
+                                      likwid_collector* out_collector);
+
+/* Total samples decoded into the store across every node stream. */
+likwid_status likwid_collector_samplesIngested(likwid_collector collector,
+                                               long long* out_samples);
+
+/* Frames dropped under backpressure plus records dropped by decode
+ * errors — the attributed-loss side of the ingest accounting. */
+likwid_status likwid_collector_framesDropped(likwid_collector collector,
+                                             long long* out_frames);
+
+/* The `rank`-th hottest node (0 = hottest) by mean of `metric` (NULL:
+ * the group's first metric) over the raw retention tier. */
+likwid_status likwid_collector_topNode(likwid_collector collector,
+                                       const char* metric, int rank,
+                                       int* out_node, double* out_mean);
+
+/* Windowed min/avg/max/p95 of `metric` (NULL: the group's first metric)
+ * on one node's raw retention tier. Any out pointer may be NULL. */
+likwid_status likwid_collector_nodeStats(likwid_collector collector,
+                                         int node, const char* metric,
+                                         double* out_min, double* out_avg,
+                                         double* out_max, double* out_p95);
+
+/* Destroy the collector; the handle becomes permanently invalid. */
+likwid_status likwid_collector_destroy(likwid_collector collector);
+
 /* --- diagnostics ------------------------------------------------------- */
 
 /* Static name of a status code ("LIKWID_ERROR_UNSUPPORTED"). */

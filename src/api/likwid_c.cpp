@@ -36,8 +36,10 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "collect/loopback.hpp"
 #include "core/name_table.hpp"
 #include "fault/msr_fault.hpp"
+#include "monitor/collector.hpp"
 #include "util/status.hpp"
 #include "util/thread_annotations.hpp"
 #include "workloads/jacobi.hpp"
@@ -557,6 +559,215 @@ likwid_status likwid_injectFault(likwid_handle handle, const char* mode) {
         machine.spec(), fault_mode, /*onset_step=*/0);
     device->begin_step(0);
     machine.msrs().set_read_interposer(std::move(device));
+    return LIKWID_OK;
+  });
+}
+
+}  // extern "C"
+
+namespace {
+
+/// A collector handle owns one COMPLETED loopback ingest run — create()
+/// runs the whole pipeline synchronously, so queries never race ingest.
+/// Same concurrency shape as HandleEntry: shared registry lock for
+/// lookups, per-entry mutex serializing the queries on one handle.
+struct CollectorEntry {
+  CollectorEntry(std::unique_ptr<likwid::collect::LoopbackCollector> c,
+                 std::string g, std::string m)
+      : collector(std::move(c)),
+        group(std::move(g)),
+        default_metric(std::move(m)) {}
+
+  likwid::util::Mutex mutex;
+  std::unique_ptr<likwid::collect::LoopbackCollector> collector
+      LIKWID_GUARDED_BY(mutex);
+  std::string group LIKWID_GUARDED_BY(mutex);
+  std::string default_metric LIKWID_GUARDED_BY(mutex);
+};
+
+struct CollectorRegistry {
+  likwid::util::SharedMutex mutex;
+  std::map<likwid_collector, std::shared_ptr<CollectorEntry>> table
+      LIKWID_GUARDED_BY(mutex);
+};
+
+CollectorRegistry& collector_registry() {
+  static CollectorRegistry instance;
+  return instance;
+}
+
+std::atomic<likwid_collector> g_next_collector{1};
+
+std::shared_ptr<CollectorEntry> find_collector(likwid_collector collector) {
+  CollectorRegistry& reg = collector_registry();
+  const likwid::util::SharedLock lock(reg.mutex);
+  const auto it = reg.table.find(collector);
+  if (it == reg.table.end()) return nullptr;
+  return it->second;
+}
+
+likwid_status invalid_collector(likwid_collector collector) {
+  return fail(LIKWID_ERROR_INVALID_HANDLE,
+              "collector " + std::to_string(collector) +
+                  " does not name a live collector");
+}
+
+/// Collector twin of LIKWID_LOCK_LIVE_ENTRY (see that macro for why this
+/// is expanded inline rather than a locking helper).
+#define LIKWID_LOCK_LIVE_COLLECTOR(handle, entry)                        \
+  const std::shared_ptr<CollectorEntry> entry##_ptr =                    \
+      find_collector(handle);                                            \
+  if (entry##_ptr == nullptr) return invalid_collector(handle);          \
+  CollectorEntry& entry = *entry##_ptr;                                  \
+  const likwid::util::MutexLock entry##_lock(entry.mutex)
+
+}  // namespace
+
+extern "C" {
+
+likwid_status likwid_collector_create(const char* machine_key,
+                                      const char* group, int num_nodes,
+                                      int steps,
+                                      likwid_collector* out_collector) {
+  return guarded([&]() -> likwid_status {
+    if (out_collector == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_collector");
+    }
+    if (num_nodes <= 0 || steps <= 0) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT,
+                  "collector needs positive num_nodes and steps");
+    }
+    const std::string group_name = group != nullptr ? group : "MEM";
+    // One template collector supplies the real metric schemas of the
+    // group; the simulated fleet streams samples shaped like them.
+    likwid::monitor::MonitorConfig monitor_cfg;
+    monitor_cfg.machine_preset =
+        machine_key != nullptr ? machine_key : "westmere-ep";
+    monitor_cfg.groups = {group_name};
+    const likwid::monitor::Collector schema_template(0, monitor_cfg);
+
+    likwid::collect::LoopbackConfig cfg;
+    cfg.fleet.num_nodes = static_cast<std::size_t>(num_nodes);
+    cfg.fleet.schemas = schema_template.schemas();
+    cfg.steps = static_cast<std::size_t>(steps);
+    // A generous publish deadline: the C API promises a complete ingest,
+    // not a backpressure experiment.
+    cfg.service.publish_deadline_seconds = 1.0;
+    // Run the whole pipeline outside every lock — this is the expensive
+    // part, and concurrent creates must not serialize.
+    auto loopback =
+        std::make_unique<likwid::collect::LoopbackCollector>(cfg);
+    loopback->run();
+    const std::string default_metric = likwid::core::resolve_name(
+        cfg.fleet.schemas.front()->metric_ids.front());
+
+    const likwid_collector handle =
+        g_next_collector.fetch_add(1, std::memory_order_relaxed);
+    auto entry = std::make_shared<CollectorEntry>(
+        std::move(loopback), group_name, default_metric);
+    {
+      CollectorRegistry& reg = collector_registry();
+      const likwid::util::ExclusiveLock lock(reg.mutex);
+      reg.table.emplace(handle, std::move(entry));
+    }
+    *out_collector = handle;
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_collector_samplesIngested(likwid_collector collector,
+                                               long long* out_samples) {
+  return guarded([&]() -> likwid_status {
+    if (out_samples == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_samples");
+    }
+    LIKWID_LOCK_LIVE_COLLECTOR(collector, entry);
+    *out_samples = static_cast<long long>(
+        entry.collector->service().decode_stats().samples);
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_collector_framesDropped(likwid_collector collector,
+                                             long long* out_frames) {
+  return guarded([&]() -> likwid_status {
+    if (out_frames == nullptr) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "null out_frames");
+    }
+    LIKWID_LOCK_LIVE_COLLECTOR(collector, entry);
+    const likwid::collect::CollectorService& service =
+        entry.collector->service();
+    *out_frames = static_cast<long long>(
+        service.frames_dropped() + service.decode_stats().decode_errors());
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_collector_topNode(likwid_collector collector,
+                                       const char* metric, int rank,
+                                       int* out_node, double* out_mean) {
+  return guarded([&]() -> likwid_status {
+    if (rank < 0) {
+      return fail(LIKWID_ERROR_INVALID_ARGUMENT, "negative rank");
+    }
+    LIKWID_LOCK_LIVE_COLLECTOR(collector, entry);
+    const std::string name =
+        metric != nullptr ? metric : entry.default_metric;
+    const likwid::api::ResultTable top = entry.collector->query().top_k(
+        entry.group, name, static_cast<std::size_t>(rank) + 1);
+    if (static_cast<std::size_t>(rank) >= top.cpus.size()) {
+      return fail(LIKWID_ERROR_NOT_FOUND,
+                  "rank " + std::to_string(rank) +
+                      " exceeds the nodes reporting metric '" + name + "'");
+    }
+    if (out_node != nullptr) {
+      *out_node = top.cpus[static_cast<std::size_t>(rank)];
+    }
+    if (out_mean != nullptr) {
+      *out_mean = top.metrics.front().values[static_cast<std::size_t>(rank)];
+    }
+    return LIKWID_OK;
+  });
+}
+
+likwid_status likwid_collector_nodeStats(likwid_collector collector,
+                                         int node, const char* metric,
+                                         double* out_min, double* out_avg,
+                                         double* out_max, double* out_p95) {
+  return guarded([&]() -> likwid_status {
+    LIKWID_LOCK_LIVE_COLLECTOR(collector, entry);
+    const std::string name =
+        metric != nullptr ? metric : entry.default_metric;
+    const likwid::api::ResultTable stats =
+        entry.collector->query().fleet_stats(entry.group, name);
+    for (std::size_t i = 0; i < stats.cpus.size(); ++i) {
+      if (stats.cpus[i] != node) continue;
+      if (out_min != nullptr) *out_min = stats.metrics[0].values[i];
+      if (out_avg != nullptr) *out_avg = stats.metrics[1].values[i];
+      if (out_max != nullptr) *out_max = stats.metrics[2].values[i];
+      if (out_p95 != nullptr) *out_p95 = stats.metrics[3].values[i];
+      return LIKWID_OK;
+    }
+    return fail(LIKWID_ERROR_NOT_FOUND,
+                "node " + std::to_string(node) +
+                    " has no samples of metric '" + name + "'");
+  });
+}
+
+likwid_status likwid_collector_destroy(likwid_collector collector) {
+  return guarded([&]() -> likwid_status {
+    std::shared_ptr<CollectorEntry> entry;
+    {
+      CollectorRegistry& reg = collector_registry();
+      const likwid::util::ExclusiveLock lock(reg.mutex);
+      const auto it = reg.table.find(collector);
+      if (it == reg.table.end()) return invalid_collector(collector);
+      entry = std::move(it->second);
+      reg.table.erase(it);
+    }
+    // The entry (and the stores it holds) dies here or when the last
+    // in-flight query's shared_ptr drops — racing destroy against a
+    // query is memory-safe, same as likwid_finalize.
     return LIKWID_OK;
   });
 }

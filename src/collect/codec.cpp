@@ -1,0 +1,207 @@
+#include "collect/codec.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace likwid::collect {
+
+void put_uvarint(Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::optional<std::uint64_t> ByteReader::uvarint() noexcept {
+  if (failed_) return std::nullopt;
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    const std::uint8_t byte = data_[pos_++];
+    if (shift == 63 && byte > 1) break;  // would overflow 64 bits
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) break;
+  }
+  failed_ = true;
+  return std::nullopt;
+}
+
+std::optional<std::span<const std::uint8_t>> ByteReader::bytes(
+    std::size_t n) noexcept {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  const auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::optional<std::uint32_t> ByteReader::u32le() noexcept {
+  const auto raw = bytes(4);
+  if (!raw) return std::nullopt;
+  return static_cast<std::uint32_t>((*raw)[0]) |
+         static_cast<std::uint32_t>((*raw)[1]) << 8 |
+         static_cast<std::uint32_t>((*raw)[2]) << 16 |
+         static_cast<std::uint32_t>((*raw)[3]) << 24;
+}
+
+void BitWriter::put_bit(bool bit) {
+  const std::size_t byte = bit_count_ / 8;
+  if (byte == buffer_.size()) buffer_.push_back(0);
+  if (bit) {
+    buffer_[byte] |= static_cast<std::uint8_t>(0x80U >> (bit_count_ % 8));
+  }
+  ++bit_count_;
+}
+
+void BitWriter::put_bits(std::uint64_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    put_bit(((value >> i) & 1) != 0);
+  }
+}
+
+const Bytes& BitWriter::finish() { return buffer_; }
+
+bool BitReader::get_bit() noexcept {
+  const std::size_t byte = bit_pos_ / 8;
+  if (failed_ || byte >= data_.size()) {
+    failed_ = true;
+    return false;
+  }
+  const bool bit =
+      (data_[byte] & (0x80U >> (bit_pos_ % 8))) != 0;
+  ++bit_pos_;
+  return bit;
+}
+
+std::uint64_t BitReader::get_bits(int count) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(get_bit());
+  }
+  return failed_ ? 0 : value;
+}
+
+void XorDoubleEncoder::append(BitWriter& out, double value) {
+  // Plain Gorilla: the prediction is simply the previous value.
+  double prev = 0;
+  std::memcpy(&prev, &prev_bits_, sizeof(prev));
+  append(out, value, prev);
+}
+
+void XorDoubleEncoder::append(BitWriter& out, double value,
+                              double prediction) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  if (first_) {
+    first_ = false;
+    out.put_bits(bits, 64);
+    prev_bits_ = bits;
+    return;
+  }
+  std::uint64_t prediction_bits = 0;
+  std::memcpy(&prediction_bits, &prediction, sizeof(prediction_bits));
+  const std::uint64_t x = bits ^ prediction_bits;
+  prev_bits_ = bits;
+  if (x == 0) {
+    out.put_bit(false);
+    return;
+  }
+  out.put_bit(true);
+  // Leading zeros capped at 31 so they fit the 5-bit field of the '11'
+  // branch (a window starting further right just carries a few extra
+  // zero bits).
+  const int leading = std::min(std::countl_zero(x), 31);
+  const int trailing = std::countr_zero(x);
+  if (prev_leading_ >= 0 && leading >= prev_leading_ &&
+      trailing >= prev_trailing_) {
+    // Reuse the previous meaningful-bit window: '0' + the window bits.
+    out.put_bit(false);
+    const int window = 64 - prev_leading_ - prev_trailing_;
+    out.put_bits(x >> prev_trailing_, window);
+    return;
+  }
+  // New window: '1' + 5-bit leading count + 6-bit window length (64
+  // encodes as 0) + the meaningful bits.
+  out.put_bit(true);
+  const int window = 64 - leading - trailing;
+  out.put_bits(static_cast<std::uint64_t>(leading), 5);
+  out.put_bits(static_cast<std::uint64_t>(window) & 0x3F, 6);
+  out.put_bits(x >> trailing, window);
+  prev_leading_ = leading;
+  prev_trailing_ = trailing;
+}
+
+double XorDoubleDecoder::next(BitReader& in) {
+  double prev = 0;
+  std::memcpy(&prev, &prev_bits_, sizeof(prev));
+  return next(in, prev);
+}
+
+double XorDoubleDecoder::next(BitReader& in, double prediction) {
+  std::uint64_t prediction_bits = 0;
+  std::memcpy(&prediction_bits, &prediction, sizeof(prediction_bits));
+  std::uint64_t bits = 0;
+  if (first_) {
+    first_ = false;
+    bits = in.get_bits(64);
+    prev_bits_ = bits;
+  } else if (!in.get_bit()) {
+    bits = prediction_bits;  // XOR == 0: value matches the prediction
+    prev_bits_ = bits;
+  } else {
+    if (in.get_bit()) {
+      prev_leading_ = static_cast<int>(in.get_bits(5));
+      const int window = static_cast<int>(in.get_bits(6));
+      prev_trailing_ = 64 - prev_leading_ - (window == 0 ? 64 : window);
+    }
+    const int window = 64 - prev_leading_ - prev_trailing_;
+    const std::uint64_t x = in.get_bits(window) << prev_trailing_;
+    bits = prediction_bits ^ x;
+    prev_bits_ = bits;
+  }
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFU;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+void put_u32le(Bytes& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+}  // namespace likwid::collect

@@ -1,0 +1,186 @@
+// codec.hpp — low-level encoding primitives of the collector wire format
+// and the time-series store.
+//
+// The distributed monitoring stack (Röhl et al. 2017) moves counter
+// samples from thousands of node agents to one collector; at that volume
+// the encoding is the bandwidth bill. Three primitives cover everything
+// the subsystem ships or stores:
+//
+//   - LEB128 varints (with zigzag for signed deltas) for ids, counts and
+//     sequence-number deltas — small integers cost one byte;
+//   - a Gorilla-style XOR codec for double streams (Pelkonen et al.,
+//     "Gorilla: A Fast, Scalable, In-Memory Time Series Database"):
+//     each value is XORed with its predecessor — or, for predictable
+//     series like timestamps, a caller-supplied prediction (lossless
+//     float delta-of-delta) — and only the meaningful mantissa window
+//     crosses the wire, so slowly-varying counter series cost a few
+//     BITS per point instead of eight bytes;
+//   - CRC32 (IEEE) framing so a torn or corrupted record is detected and
+//     dropped instead of poisoning the store.
+//
+// All of it is lossless: decode(encode(x)) reproduces the exact bit
+// pattern of every double and integer, which is what lets query results
+// over ingested samples stay bit-equal to an in-process rollup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace likwid::collect {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// --- varint / zigzag --------------------------------------------------------
+
+/// Append `value` as a LEB128 varint (1 byte per 7 bits, little groups
+/// first, high bit = continuation).
+void put_uvarint(Bytes& out, std::uint64_t value);
+
+/// Zigzag-fold a signed value so small magnitudes of either sign encode
+/// short: 0,-1,1,-2,... -> 0,1,2,3,...
+constexpr std::uint64_t zigzag_encode(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+inline void put_svarint(Bytes& out, std::int64_t value) {
+  put_uvarint(out, zigzag_encode(value));
+}
+
+/// Bounds-checked sequential reader over an encoded byte span. All reads
+/// return std::nullopt past the end or on malformed input and leave the
+/// reader failed; callers check ok() once at the end of a record instead
+/// of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  std::optional<std::uint64_t> uvarint() noexcept;
+  std::optional<std::int64_t> svarint() noexcept {
+    const auto raw = uvarint();
+    if (!raw) return std::nullopt;
+    return zigzag_decode(*raw);
+  }
+
+  /// Next `n` raw bytes, or std::nullopt when fewer remain.
+  std::optional<std::span<const std::uint8_t>> bytes(std::size_t n) noexcept;
+
+  /// Fixed-width little-endian u32 (CRC trailers).
+  std::optional<std::uint32_t> u32le() noexcept;
+
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept {
+    return failed_ ? 0 : data_.size() - pos_;
+  }
+  bool ok() const noexcept { return !failed_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- bit I/O ----------------------------------------------------------------
+
+/// MSB-first bit appender backing the XOR codec. Bits land in a byte
+/// vector; the final partial byte is zero-padded by finish().
+class BitWriter {
+ public:
+  void put_bit(bool bit);
+  /// Append the low `count` bits of `value`, most significant first.
+  void put_bits(std::uint64_t value, int count);
+  /// Flush the partial byte and return the buffer (writer reusable after
+  /// clear()).
+  const Bytes& finish();
+
+  std::size_t bit_count() const noexcept { return bit_count_; }
+  void clear() noexcept {
+    buffer_.clear();
+    bit_count_ = 0;
+  }
+
+ private:
+  Bytes buffer_;
+  std::size_t bit_count_ = 0;
+};
+
+/// MSB-first bit reader; past-the-end reads fail the reader permanently
+/// (ok() goes false) and return zeros, mirroring ByteReader's discipline.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  bool get_bit() noexcept;
+  std::uint64_t get_bits(int count) noexcept;
+  bool ok() const noexcept { return !failed_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bit_pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- Gorilla XOR codec for double streams -----------------------------------
+
+/// Streaming encoder for one double series. The first value is written
+/// verbatim (64 bits); every later value XORs against its predecessor:
+/// identical -> one '0' bit; same meaningful-bit window as the previous
+/// XOR -> '10' + the window bits; otherwise '11' + 5-bit leading-zero
+/// count + 6-bit window length + the window bits. State is per-series, so
+/// interleaved series each use their own encoder.
+class XorDoubleEncoder {
+ public:
+  void append(BitWriter& out, double value);
+
+  /// Same bit grammar, but XOR against an explicit `prediction` instead
+  /// of the previous value — the lossless float analog of delta-of-delta.
+  /// A caller that predicts well (e.g. linear extrapolation over a steady
+  /// sampling cadence) leaves near-zero residuals where plain prev-XOR
+  /// churns most of the mantissa. The decoder must reconstruct the exact
+  /// same prediction from already-decoded values. The first value is
+  /// still written verbatim; `prediction` is ignored for it.
+  void append(BitWriter& out, double value, double prediction);
+
+ private:
+  std::uint64_t prev_bits_ = 0;
+  int prev_leading_ = -1;  ///< -1: no window established yet
+  int prev_trailing_ = 0;
+  bool first_ = true;
+};
+
+/// Decoder mirroring XorDoubleEncoder bit for bit.
+class XorDoubleDecoder {
+ public:
+  double next(BitReader& in);
+
+  /// Counterpart of the predicted append: XORs the decoded residual
+  /// against `prediction` (ignored for the verbatim first value).
+  double next(BitReader& in, double prediction);
+
+ private:
+  std::uint64_t prev_bits_ = 0;
+  int prev_leading_ = 0;
+  int prev_trailing_ = 0;
+  bool first_ = true;
+};
+
+// --- CRC32 ------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320), the canonical zlib CRC.
+/// `seed` chains partial computations: crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0) noexcept;
+
+/// Append a fixed-width little-endian u32 (the CRC trailer of a frame).
+void put_u32le(Bytes& out, std::uint32_t value);
+
+}  // namespace likwid::collect

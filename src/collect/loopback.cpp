@@ -1,0 +1,135 @@
+#include "collect/loopback.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace likwid::collect {
+
+LoopbackCollector::LoopbackCollector(LoopbackConfig config)
+    : config_(std::move(config)) {
+  LIKWID_REQUIRE(config_.fleet.num_nodes > 0, "fleet needs nodes");
+  LIKWID_REQUIRE(config_.batch_samples > 0,
+                 "batch_samples must be positive");
+  if (config_.producer_threads == 0) config_.producer_threads = 1;
+  if (config_.producer_threads > config_.fleet.num_nodes) {
+    config_.producer_threads = config_.fleet.num_nodes;
+  }
+  config_.service.num_nodes = config_.fleet.num_nodes;
+  service_ = std::make_unique<CollectorService>(config_.service);
+}
+
+ProducerStats LoopbackCollector::produce(std::size_t producer_index) {
+  ProducerStats stats;
+  stats.samples_dropped_per_node.assign(config_.fleet.num_nodes, 0);
+  // The thread's nodes, each with its own generator and stream encoder
+  // (strict SPSC: this thread is the only publisher of these streams).
+  struct NodeStream {
+    std::uint64_t node_id;
+    SampleGenerator generator;
+    StreamEncoder encoder;
+  };
+  std::vector<NodeStream> streams;
+  for (std::uint64_t node = producer_index; node < config_.fleet.num_nodes;
+       node += config_.producer_threads) {
+    streams.push_back(NodeStream{node, SampleGenerator(config_.fleet, node),
+                                 StreamEncoder(node)});
+    Frame header = streams.back().encoder.header();
+    if (service_->publish(node, std::move(header.data))) {
+      ++stats.frames_sent;
+    } else {
+      ++stats.frames_dropped;  // header carries no schemas or batches
+    }
+  }
+  // Step-major order interleaves the streams like concurrent agents
+  // would, keeping every ring warm instead of bursting one node at a
+  // time.
+  std::vector<monitor::Sample> batch;
+  for (std::size_t step = 0; step < config_.steps;
+       step += config_.batch_samples) {
+    const std::size_t batch_size =
+        std::min(config_.batch_samples, config_.steps - step);
+    for (NodeStream& stream : streams) {
+      batch.clear();
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        batch.push_back(stream.generator.next());
+      }
+      Frame frame = stream.encoder.encode_batch(batch);
+      stats.batches_encoded += frame.batch_count;
+      stats.samples_encoded += frame.sample_count;
+      stats.bytes_encoded += frame.data.size();
+      const std::size_t batches = frame.batch_count;
+      const std::size_t samples = frame.sample_count;
+      if (service_->publish(stream.node_id, std::move(frame.data))) {
+        ++stats.frames_sent;
+      } else {
+        // The frame is gone; attribute the loss and make the encoder
+        // re-announce any schemas it carried, so the NEXT frame of the
+        // group stays decodable (one drop must never cascade).
+        stream.encoder.rollback_schemas(frame);
+        ++stats.frames_dropped;
+        stats.batches_dropped += batches;
+        stats.samples_dropped += samples;
+        stats.samples_dropped_per_node[stream.node_id] += samples;
+      }
+    }
+  }
+  return stats;
+}
+
+void LoopbackCollector::run() {
+  LIKWID_REQUIRE(!ran_, "a LoopbackCollector runs once");
+  ran_ = true;
+  producer_.samples_dropped_per_node.assign(config_.fleet.num_nodes, 0);
+  service_->start();
+  std::vector<ProducerStats> per_thread(config_.producer_threads);
+  {
+    std::vector<std::thread> producers;
+    producers.reserve(config_.producer_threads);
+    for (std::size_t p = 0; p < config_.producer_threads; ++p) {
+      producers.emplace_back(
+          [this, p, &per_thread] { per_thread[p] = produce(p); });
+    }
+    for (std::thread& thread : producers) thread.join();
+  }
+  for (const ProducerStats& stats : per_thread) {
+    producer_.frames_sent += stats.frames_sent;
+    producer_.frames_dropped += stats.frames_dropped;
+    producer_.batches_encoded += stats.batches_encoded;
+    producer_.batches_dropped += stats.batches_dropped;
+    producer_.samples_encoded += stats.samples_encoded;
+    producer_.samples_dropped += stats.samples_dropped;
+    producer_.bytes_encoded += stats.bytes_encoded;
+    for (std::size_t n = 0; n < stats.samples_dropped_per_node.size(); ++n) {
+      producer_.samples_dropped_per_node[n] +=
+          stats.samples_dropped_per_node[n];
+    }
+  }
+  service_->stop();
+}
+
+std::vector<monitor::Sample> LoopbackCollector::replay(
+    std::uint64_t node_id) const {
+  SampleGenerator generator(config_.fleet, node_id);
+  std::vector<monitor::Sample> samples;
+  samples.reserve(config_.steps);
+  for (std::size_t step = 0; step < config_.steps; ++step) {
+    samples.push_back(generator.sample_at(step));
+  }
+  return samples;
+}
+
+bool LoopbackCollector::node_lossless(std::uint64_t node_id) const {
+  if (service_->frames_dropped_for(node_id) != 0) return false;
+  const DecodeStats& decode = service_->decoder_for(node_id).stats();
+  if (decode.decode_errors() != 0) return false;
+  // Raw tier must still hold the full stream (no downsample-on-evict) or
+  // the reconstructed fold would see fewer samples than the replay.
+  std::vector<monitor::Sample> raw;
+  service_->store_for(node_id).raw_samples(node_id, raw);
+  return raw.size() == config_.steps && decode.samples == config_.steps;
+}
+
+}  // namespace likwid::collect

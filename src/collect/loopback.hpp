@@ -1,0 +1,90 @@
+// loopback.hpp — the whole distributed pipeline in one process.
+//
+// LoopbackCollector wires a deterministic simulated fleet (simfleet.hpp)
+// through the wire format (wire.hpp) into a CollectorService: producer
+// threads each own a set of node streams and, per node, generate samples,
+// encode frames and publish them into the node's stream ring under the
+// service's backpressure rules, while the ingest threads decode and store
+// concurrently. It is the integration surface the soak test, the ingest
+// bench and likwid-collectd all run — the only thing a real deployment
+// would change is the transport under publish().
+//
+// Accounting spans both sides so the loss reconciliation can close:
+// producer-side (frames/batches/samples encoded, dropped per node) here,
+// consumer-side (decode/store counters) in the service. For a node with
+// zero drops, zero decode errors and a raw tier big enough to hold its
+// whole stream, query rollups are bit-equal to an in-process fold of
+// replay(node).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collect/query.hpp"
+#include "collect/service.hpp"
+#include "collect/simfleet.hpp"
+
+namespace likwid::collect {
+
+struct LoopbackConfig {
+  SimFleetConfig fleet;
+  /// num_nodes is taken from `fleet`; the rest of the service knobs
+  /// (ingest threads, ring capacity, publish deadline, store tiers)
+  /// apply as given.
+  ServiceConfig service;
+  std::size_t steps = 64;         ///< samples per node
+  std::size_t batch_samples = 8;  ///< samples per published frame
+  std::size_t producer_threads = 2;
+};
+
+/// Producer-side accounting (the encoder half of the reconciliation).
+struct ProducerStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t batches_encoded = 0;
+  std::uint64_t batches_dropped = 0;
+  std::uint64_t samples_encoded = 0;
+  std::uint64_t samples_dropped = 0;
+  std::uint64_t bytes_encoded = 0;
+  /// Per-node dropped samples — every loss is attributed, mirroring the
+  /// agent fleet's lost_per_machine.
+  std::vector<std::uint64_t> samples_dropped_per_node;
+};
+
+class LoopbackCollector {
+ public:
+  explicit LoopbackCollector(LoopbackConfig config);
+
+  /// Run the full simulation: start the service, stream every node's
+  /// samples from `producer_threads` threads, drain, stop. Callable once.
+  void run();
+
+  const CollectorService& service() const noexcept { return *service_; }
+  const ProducerStats& producer() const noexcept { return producer_; }
+  const LoopbackConfig& config() const noexcept { return config_; }
+
+  QueryEngine query(int window_samples = 5) const {
+    return QueryEngine(*service_, window_samples);
+  }
+
+  /// Regenerate node's full sample stream (what the producer encoded),
+  /// independent of what survived transport and retention.
+  std::vector<monitor::Sample> replay(std::uint64_t node_id) const;
+
+  /// Whether node's stream survived loss-free AND its raw tier still
+  /// holds every sample — the precondition of the bit-equality check.
+  bool node_lossless(std::uint64_t node_id) const;
+
+ private:
+  /// Stream every node owned by one producer thread; returns that
+  /// thread's accounting (summed into producer_ after the join).
+  ProducerStats produce(std::size_t producer_index);
+
+  LoopbackConfig config_;
+  std::unique_ptr<CollectorService> service_;
+  ProducerStats producer_;
+  bool ran_ = false;
+};
+
+}  // namespace likwid::collect

@@ -1,0 +1,170 @@
+#include "collect/query.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/name_table.hpp"
+
+namespace likwid::collect {
+
+namespace {
+
+/// Slot of `metric_id` in `schema`, or npos.
+std::size_t slot_of(const monitor::MetricSchema& schema,
+                    core::NameId metric_id) {
+  for (std::size_t m = 0; m < schema.metric_ids.size(); ++m) {
+    if (schema.metric_ids[m] == metric_id) return m;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Per-node values of one (group, metric) over the raw tier.
+void metric_values(const TimeSeriesStore& store, std::uint64_t node,
+                   core::NameId group_id, core::NameId metric_id,
+                   std::vector<double>& out) {
+  const Series* series = store.series(node, group_id);
+  if (series == nullptr || !series->schema) return;
+  const std::size_t slot = slot_of(*series->schema, metric_id);
+  if (slot == static_cast<std::size_t>(-1)) return;
+  std::vector<monitor::Sample> samples;
+  for (const Bytes& chunk : series->chunks) {
+    decode_samples_payload(chunk, series->schema, samples);
+  }
+  samples.insert(samples.end(), series->open.begin(), series->open.end());
+  out.reserve(out.size() + samples.size());
+  for (const monitor::Sample& sample : samples) out.push_back(sample.values[slot]);
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const CollectorService& service, int window_samples)
+    : service_(service), window_samples_(window_samples) {}
+
+std::vector<monitor::Sample> QueryEngine::raw_samples(
+    std::uint64_t node_id) const {
+  std::vector<monitor::Sample> samples;
+  service_.store_for(node_id).raw_samples(node_id, samples);
+  // The store keeps one chronological stream per group; the fold wants
+  // production order across groups, which the per-step sequence restores.
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const monitor::Sample& a, const monitor::Sample& b) {
+                     return a.sequence < b.sequence;
+                   });
+  return samples;
+}
+
+std::vector<monitor::SeriesPoint> QueryEngine::rollup(
+    std::uint64_t node_id) const {
+  monitor::WindowFolder folder(static_cast<int>(node_id), window_samples_);
+  for (const monitor::Sample& sample : raw_samples(node_id)) {
+    folder.add(sample);
+  }
+  folder.finish();
+  return folder.take_points();
+}
+
+std::vector<std::pair<std::uint64_t, double>> QueryEngine::node_means(
+    std::string_view group, std::string_view metric) const {
+  const core::NameId group_id = core::intern_name(group);
+  const core::NameId metric_id = core::intern_name(metric);
+  std::vector<std::pair<std::uint64_t, double>> means;
+  std::vector<double> values;
+  for (std::uint64_t node = 0; node < service_.config().num_nodes; ++node) {
+    values.clear();
+    metric_values(service_.store_for(node), node, group_id, metric_id,
+                  values);
+    if (values.empty()) continue;
+    double sum = 0;
+    for (const double v : values) sum += v;
+    means.emplace_back(node, sum / static_cast<double>(values.size()));
+  }
+  return means;
+}
+
+api::ResultTable QueryEngine::fleet_stats(std::string_view group,
+                                          std::string_view metric) const {
+  const core::NameId group_id = core::intern_name(group);
+  const core::NameId metric_id = core::intern_name(metric);
+  api::ResultTable table;
+  table.group = std::string(group);
+  table.has_metrics = true;
+  const std::string name(metric);
+  table.metrics = {{name + " min", {}},
+                   {name + " avg", {}},
+                   {name + " max", {}},
+                   {name + " p95", {}}};
+  std::vector<double> values;
+  for (std::uint64_t node = 0; node < service_.config().num_nodes; ++node) {
+    values.clear();
+    metric_values(service_.store_for(node), node, group_id, metric_id,
+                  values);
+    if (values.empty()) continue;
+    const monitor::WindowStats stats = monitor::compute_stats(values);
+    table.cpus.push_back(static_cast<int>(node));
+    table.metrics[0].values.push_back(stats.min);
+    table.metrics[1].values.push_back(stats.avg);
+    table.metrics[2].values.push_back(stats.max);
+    table.metrics[3].values.push_back(stats.p95);
+  }
+  return table;
+}
+
+api::ResultTable QueryEngine::top_k(std::string_view group,
+                                    std::string_view metric,
+                                    std::size_t k) const {
+  auto means = node_means(group, metric);
+  std::stable_sort(means.begin(), means.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (means.size() > k) means.resize(k);
+  api::ResultTable table;
+  table.group = std::string(group);
+  table.has_metrics = true;
+  api::ResultTable::MetricRow row{std::string(metric) + " avg", {}};
+  for (const auto& [node, mean] : means) {
+    table.cpus.push_back(static_cast<int>(node));
+    row.values.push_back(mean);
+  }
+  table.metrics.push_back(std::move(row));
+  return table;
+}
+
+api::ResultTable QueryEngine::node_status() const {
+  api::ResultTable table;
+  table.group = "COLLECT_NODES";
+  table.has_metrics = true;
+  table.metrics = {{"frames dropped", {}}, {"decode errors", {}},
+                   {"samples ingested", {}}, {"samples raw", {}},
+                   {"samples downsampled", {}}, {"samples summarized", {}}};
+  for (std::uint64_t node = 0; node < service_.config().num_nodes; ++node) {
+    table.cpus.push_back(static_cast<int>(node));
+    const DecodeStats& decode = service_.decoder_for(node).stats();
+    double raw = 0, buckets = 0, summaries = 0;
+    const TimeSeriesStore& store = service_.store_for(node);
+    if (const auto* groups = store.node_series(node)) {
+      for (const auto& [group, series] : *groups) {
+        raw += static_cast<double>(
+            series.open.size() +
+            series.chunks.size() * store.config().chunk_points);
+        for (const Bucket& bucket : series.buckets) {
+          buckets += static_cast<double>(bucket.count);
+        }
+        for (const Bucket& summary : series.summaries) {
+          summaries += static_cast<double>(summary.count);
+        }
+      }
+    }
+    table.metrics[0].values.push_back(
+        static_cast<double>(service_.frames_dropped_for(node)));
+    table.metrics[1].values.push_back(
+        static_cast<double>(decode.decode_errors()));
+    table.metrics[2].values.push_back(static_cast<double>(decode.samples));
+    table.metrics[3].values.push_back(raw);
+    table.metrics[4].values.push_back(buckets);
+    table.metrics[5].values.push_back(summaries);
+  }
+  return table;
+}
+
+}  // namespace likwid::collect

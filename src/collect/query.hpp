@@ -1,0 +1,71 @@
+// query.hpp — the collector's query surface.
+//
+// Queries run over a STOPPED CollectorService (ingest threads joined, so
+// every shard store is quiescent) and answer the fleet questions the
+// monitoring papers actually ask of a collector: windowed statistics per
+// node, the hottest nodes by a metric, and per-node health/loss. Results
+// are api::ResultTable — node ids take the cpu-column slot — so the
+// existing ASCII/CSV/XML OutputSinks render collector output with zero
+// new formatting code.
+//
+// Bit-equality contract: rollup() reconstructs a node's raw-tier samples
+// (lossless XOR decode), re-sorts them into production order by sequence
+// and folds them through monitor::WindowFolder — the identical fold
+// monitor::Aggregator runs in-process. For a node whose stream lost
+// nothing (no drops, no decode errors, no retention eviction), the
+// emitted SeriesPoints match an in-process rollup of the same samples
+// bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "api/result_table.hpp"
+#include "collect/service.hpp"
+#include "monitor/aggregator.hpp"
+
+namespace likwid::collect {
+
+class QueryEngine {
+ public:
+  /// `window_samples` is the rollup window width, matching the
+  /// monitor-side Aggregator the results are reconciled against.
+  explicit QueryEngine(const CollectorService& service,
+                       int window_samples = 5);
+
+  /// One node's raw-tier samples in production (sequence) order.
+  std::vector<monitor::Sample> raw_samples(std::uint64_t node_id) const;
+
+  /// Windowed min/avg/max/p95 rollup of one node's raw tier (see the
+  /// bit-equality contract above).
+  std::vector<monitor::SeriesPoint> rollup(std::uint64_t node_id) const;
+
+  /// Fleet-wide windowed statistics of one metric: one column per node,
+  /// rows "<metric> min/avg/max/p95" over the node's raw tier.
+  api::ResultTable fleet_stats(std::string_view group,
+                               std::string_view metric) const;
+
+  /// The k hottest nodes by mean of `metric` over the raw tier,
+  /// descending.
+  api::ResultTable top_k(std::string_view group, std::string_view metric,
+                         std::size_t k) const;
+
+  /// Per-node health and loss accounting: frames dropped under
+  /// backpressure, decode errors, samples ingested, and what each
+  /// retention tier currently holds.
+  api::ResultTable node_status() const;
+
+  int window_samples() const noexcept { return window_samples_; }
+
+ private:
+  /// Mean of `metric` per node over the raw tier; nodes without the
+  /// metric get no entry.
+  std::vector<std::pair<std::uint64_t, double>> node_means(
+      std::string_view group, std::string_view metric) const;
+
+  const CollectorService& service_;
+  int window_samples_;
+};
+
+}  // namespace likwid::collect

@@ -1,0 +1,176 @@
+#include "collect/service.hpp"
+
+#include <chrono>
+
+#include "util/status.hpp"
+
+namespace likwid::collect {
+
+CollectorService::CollectorService(ServiceConfig config)
+    : config_(config) {
+  LIKWID_REQUIRE(config_.num_nodes > 0, "service needs at least one node");
+  LIKWID_REQUIRE(config_.ingest_threads > 0,
+                 "service needs at least one ingest thread");
+  if (config_.ingest_threads > config_.num_nodes) {
+    config_.ingest_threads = config_.num_nodes;
+  }
+  rings_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    rings_.push_back(
+        std::make_unique<monitor::SpscRing<Bytes>>(config_.ring_capacity));
+  }
+  decoders_.resize(config_.num_nodes);
+  shards_.reserve(config_.ingest_threads);
+  for (std::size_t i = 0; i < config_.ingest_threads; ++i) {
+    shards_.push_back(std::make_unique<TimeSeriesStore>(config_.store));
+  }
+  frames_dropped_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(config_.num_nodes);
+}
+
+CollectorService::~CollectorService() { stop(); }
+
+std::size_t CollectorService::num_shards() const noexcept {
+  return shards_.size();
+}
+
+std::size_t CollectorService::shard_of(std::uint64_t node_id) const noexcept {
+  return static_cast<std::size_t>(node_id) % config_.ingest_threads;
+}
+
+void CollectorService::start() {
+  util::MutexLock lock(lifecycle_mutex_);
+  if (started_) return;
+  LIKWID_REQUIRE(!stopped_, "a stopped service cannot be restarted");
+  started_ = true;
+  threads_.reserve(config_.ingest_threads);
+  for (std::size_t i = 0; i < config_.ingest_threads; ++i) {
+    threads_.emplace_back([this, i] { ingest_loop(i); });
+  }
+}
+
+void CollectorService::stop() {
+  util::MutexLock lock(lifecycle_mutex_);
+  if (!started_ || stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+  stopped_ = true;
+}
+
+bool CollectorService::publish(std::uint64_t node_id, Bytes&& frame) {
+  LIKWID_REQUIRE(node_id < rings_.size(), "publish to unknown node");
+  monitor::SpscRing<Bytes>& ring = *rings_[node_id];
+  if (ring.try_push(std::move(frame))) {
+    frames_published_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Same backpressure contract as the agent fleet's transport: retry the
+  // full ring until the deadline, then give the frame up AND attribute
+  // the loss to its node.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.publish_deadline_seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+    if (ring.try_push(std::move(frame))) {
+      frames_published_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  frames_dropped_[node_id].fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void CollectorService::ingest_loop(std::size_t shard_index) {
+  TimeSeriesStore& store = *shards_[shard_index];
+  std::vector<monitor::Sample> scratch;
+  Bytes frame;
+  while (true) {
+    bool drained_any = false;
+    for (std::size_t node = shard_index; node < rings_.size();
+         node += config_.ingest_threads) {
+      while (rings_[node]->try_pop(frame)) {
+        drained_any = true;
+        scratch.clear();
+        decoders_[node].consume(frame, scratch);
+        if (!scratch.empty()) {
+          store.append_batch(node, scratch);
+        }
+      }
+    }
+    if (!drained_any) {
+      // Rings empty: exit once stop() raised the flag (producers are
+      // done, so nothing more can arrive), otherwise back off briefly.
+      if (stopping_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+const TimeSeriesStore& CollectorService::store_for(
+    std::uint64_t node_id) const {
+  return shard(shard_of(node_id));
+}
+
+const TimeSeriesStore& CollectorService::shard(std::size_t index) const {
+  LIKWID_REQUIRE(index < shards_.size(), "shard index out of range");
+  return *shards_[index];
+}
+
+const StreamDecoder& CollectorService::decoder_for(
+    std::uint64_t node_id) const {
+  LIKWID_REQUIRE(node_id < decoders_.size(), "unknown node");
+  return decoders_[node_id];
+}
+
+DecodeStats CollectorService::decode_stats() const {
+  DecodeStats total;
+  for (const StreamDecoder& decoder : decoders_) {
+    const DecodeStats& s = decoder.stats();
+    total.frames += s.frames;
+    total.records += s.records;
+    total.batches += s.batches;
+    total.samples += s.samples;
+    total.bad_crc += s.bad_crc;
+    total.truncated += s.truncated;
+    total.malformed += s.malformed;
+    total.unknown_schema += s.unknown_schema;
+    total.skipped_records += s.skipped_records;
+  }
+  return total;
+}
+
+StoreStats CollectorService::store_stats() const {
+  StoreStats total;
+  for (const auto& shard : shards_) {
+    const StoreStats& s = shard->stats();
+    total.samples_appended += s.samples_appended;
+    total.chunks_closed += s.chunks_closed;
+    total.chunks_evicted += s.chunks_evicted;
+    total.samples_downsampled += s.samples_downsampled;
+    total.buckets_folded += s.buckets_folded;
+    total.summaries_evicted += s.summaries_evicted;
+    total.samples_forgotten += s.samples_forgotten;
+    total.bytes_compressed += s.bytes_compressed;
+    total.bytes_uncompressed += s.bytes_uncompressed;
+  }
+  return total;
+}
+
+std::uint64_t CollectorService::frames_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    total += frames_dropped_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t CollectorService::frames_dropped_for(
+    std::uint64_t node_id) const {
+  LIKWID_REQUIRE(node_id < config_.num_nodes, "unknown node");
+  return frames_dropped_[node_id].load(std::memory_order_relaxed);
+}
+
+}  // namespace likwid::collect

@@ -1,0 +1,116 @@
+// service.hpp — the collector daemon's ingest core.
+//
+// One CollectorService multiplexes every node's frame stream into sharded
+// time-series stores:
+//
+//   producer threads ── publish ──> SpscRing<Bytes> per node ─┐
+//   (one StreamEncoder per node,       bounded, drop-newest   ├─> ingest
+//    deadline-bounded retry,           under backpressure     │   threads
+//    every drop attributed)                                   ┘
+//   ingest thread i owns nodes with id % ingest_threads == i:
+//   StreamDecoder per node -> TimeSeriesStore shard i (no cross-thread
+//   store access — the shard is the thread's private state while running)
+//
+// The backpressure model is the agent fleet's (monitor/agent.hpp): a full
+// ring makes the producer retry until a wall-clock deadline, then the
+// frame is dropped COUNTED against its node — the soak test reconciles
+// producer-side drops + decode errors + ingested batches against
+// everything encoded, so no loss path is silent.
+//
+// Lifecycle: construct -> start() -> producers publish -> producers
+// finish -> stop() (drains every ring, joins) -> read stores/stats.
+// Reading stores or summed stats while ingest threads run is a data race
+// by design — the accessors document they require the stopped state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "collect/store.hpp"
+#include "collect/wire.hpp"
+#include "monitor/spsc_ring.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace likwid::collect {
+
+struct ServiceConfig {
+  std::size_t num_nodes = 1;
+  std::size_t ingest_threads = 1;
+  /// Frames each node's stream ring holds before publishers see
+  /// backpressure.
+  std::size_t ring_capacity = 64;
+  /// How long publish() retries a full ring before dropping the frame.
+  double publish_deadline_seconds = 0.05;
+  StoreConfig store;
+};
+
+class CollectorService {
+ public:
+  explicit CollectorService(ServiceConfig config);
+  ~CollectorService();
+
+  CollectorService(const CollectorService&) = delete;
+  CollectorService& operator=(const CollectorService&) = delete;
+
+  /// Spawn the ingest threads. Idempotent until stop().
+  void start();
+
+  /// Drain every stream ring, then join the ingest threads. Producers
+  /// must have finished publishing first — then every frame that was
+  /// accepted is guaranteed ingested when stop() returns.
+  void stop();
+
+  /// Producer side (one thread per node stream, like the SPSC contract).
+  /// Pushes `frame` into the node's ring, retrying a full ring until the
+  /// publish deadline; a false return means the frame was DROPPED and
+  /// counted against the node (the caller rolls back its encoder's schema
+  /// announcements for the frame).
+  bool publish(std::uint64_t node_id, Bytes&& frame);
+
+  std::size_t num_shards() const noexcept;
+  std::size_t shard_of(std::uint64_t node_id) const noexcept;
+
+  /// The store shard holding `node_id`. Requires the stopped state.
+  const TimeSeriesStore& store_for(std::uint64_t node_id) const;
+  const TimeSeriesStore& shard(std::size_t index) const;
+
+  /// Per-node stream decoder accounting. Requires the stopped state.
+  const StreamDecoder& decoder_for(std::uint64_t node_id) const;
+
+  /// Summed decode/store accounting. Requires the stopped state.
+  DecodeStats decode_stats() const;
+  StoreStats store_stats() const;
+
+  std::uint64_t frames_published() const noexcept {
+    return frames_published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_dropped() const noexcept;
+  std::uint64_t frames_dropped_for(std::uint64_t node_id) const;
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  void ingest_loop(std::size_t shard_index);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<monitor::SpscRing<Bytes>>> rings_;  ///< per node
+  /// Per-node decoders; owned by the node's ingest thread while running.
+  std::vector<StreamDecoder> decoders_;
+  std::vector<std::unique_ptr<TimeSeriesStore>> shards_;
+  /// Per-node publish-deadline drops (producer-side attribution).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> frames_dropped_;
+  std::atomic<std::uint64_t> frames_published_{0};
+  /// stop() raises this; ingest threads exit after a drain pass finds
+  /// every owned ring empty with it set.
+  std::atomic<bool> stopping_{false};
+
+  util::Mutex lifecycle_mutex_;
+  std::vector<std::thread> threads_ LIKWID_GUARDED_BY(lifecycle_mutex_);
+  bool started_ LIKWID_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stopped_ LIKWID_GUARDED_BY(lifecycle_mutex_) = false;
+};
+
+}  // namespace likwid::collect

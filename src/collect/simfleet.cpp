@@ -1,0 +1,60 @@
+#include "collect/simfleet.hpp"
+
+#include <string>
+
+#include "core/name_table.hpp"
+#include "util/status.hpp"
+
+namespace likwid::collect {
+
+std::shared_ptr<const monitor::MetricSchema> make_sim_schema(
+    std::string_view group, std::size_t n_metrics) {
+  std::vector<core::NameId> metric_ids;
+  metric_ids.reserve(n_metrics);
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    metric_ids.push_back(core::intern_name("SIM_" + std::string(group) +
+                                           "_M" + std::to_string(m)));
+  }
+  return monitor::MetricSchema::create(group, metric_ids);
+}
+
+SampleGenerator::SampleGenerator(const SimFleetConfig& config,
+                                 std::uint64_t node_id)
+    : config_(config), node_id_(node_id) {
+  LIKWID_REQUIRE(!config_.schemas.empty(),
+                 "a simulated fleet needs at least one schema");
+}
+
+double SampleGenerator::value_at(std::size_t schema_index, std::size_t slot,
+                                 std::uint64_t step) const {
+  // Counter-flavored integral series: base + slope * step + jitter. The
+  // mix keys make every (node, group, slot) series distinct while staying
+  // a pure function — replayable from (config, node_id) alone.
+  const std::uint64_t series_key =
+      splitmix64(config_.seed ^ (node_id_ * 0x9E3779B97F4A7C15ULL) ^
+                 (schema_index << 32) ^ slot);
+  const double base = static_cast<double>(series_key % 100000);
+  const double slope = static_cast<double>(1 + (series_key >> 17) % 7);
+  const double jitter =
+      static_cast<double>(splitmix64(series_key ^ step) % 4);
+  return base + slope * static_cast<double>(step) + jitter;
+}
+
+monitor::Sample SampleGenerator::sample_at(std::uint64_t step) const {
+  const std::size_t schema_index = step % config_.schemas.size();
+  const auto& schema = config_.schemas[schema_index];
+  monitor::Sample sample;
+  sample.sequence = step;
+  sample.t_start = static_cast<double>(step) * config_.interval_seconds;
+  sample.t_end = sample.t_start + config_.interval_seconds;
+  sample.schema = schema;
+  sample.values.reserve(schema->metric_ids.size());
+  for (std::size_t m = 0; m < schema->metric_ids.size(); ++m) {
+    sample.values.push_back(value_at(schema_index, m, step));
+  }
+  return sample;
+}
+
+monitor::Sample SampleGenerator::next() { return sample_at(step_++); }
+
+}  // namespace likwid::collect

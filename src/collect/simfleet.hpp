@@ -1,0 +1,75 @@
+// simfleet.hpp — the deterministic simulated fleet feeding the collector.
+//
+// A thousand-node soak cannot afford a full hwsim machine per node on one
+// core, and it does not need one: what the collector pipeline exercises
+// is the SHAPE of agent traffic — schema-tagged Sample batches whose
+// values drift like counters. SampleGenerator produces exactly that from
+// pure hashing (splitmix64 over node/group/slot/step), so the stream is:
+//
+//   - deterministic and replayable: any (node, seed) regenerates its
+//     sample stream exactly, which is how the soak test checks query
+//     results against an in-process rollup of the same samples;
+//   - counter-flavored: each metric slot follows base + slope * step with
+//     small integral jitter, the smooth integral series the XOR codec is
+//     built for (and the compression gate measures against).
+//
+// Thread-safety: a generator is one node's state, owned by one producer
+// thread. Distinct generators share nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "monitor/config.hpp"
+
+namespace likwid::collect {
+
+/// splitmix64 finalizer — the cheapest hash with full avalanche; every
+/// simulated value is a pure function of (seed, node, group, slot, step).
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// A synthetic MetricSchema ("SIM_<group>_M<slot>" metrics) for tests and
+/// benches that run without a monitor::Collector.
+std::shared_ptr<const monitor::MetricSchema> make_sim_schema(
+    std::string_view group, std::size_t n_metrics);
+
+struct SimFleetConfig {
+  std::size_t num_nodes = 1000;
+  std::uint64_t seed = 42;
+  double interval_seconds = 0.1;
+  /// Schemas every node samples; with more than one the generator rotates
+  /// per step like a multiplexing agent.
+  std::vector<std::shared_ptr<const monitor::MetricSchema>> schemas;
+};
+
+/// One node's deterministic sample stream.
+class SampleGenerator {
+ public:
+  SampleGenerator(const SimFleetConfig& config, std::uint64_t node_id);
+
+  /// The next sample (advances one step).
+  monitor::Sample next();
+
+  /// The sample of an arbitrary step, without advancing (replay).
+  monitor::Sample sample_at(std::uint64_t step) const;
+
+  std::uint64_t node_id() const noexcept { return node_id_; }
+  std::uint64_t step() const noexcept { return step_; }
+
+ private:
+  double value_at(std::size_t schema_index, std::size_t slot,
+                  std::uint64_t step) const;
+
+  SimFleetConfig config_;
+  std::uint64_t node_id_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace likwid::collect

@@ -1,0 +1,202 @@
+#include "collect/store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "collect/wire.hpp"
+#include "util/status.hpp"
+
+namespace likwid::collect {
+
+namespace {
+
+/// Logical (uncompressed) size of one sample: sequence + both timestamps
+/// + one double per metric slot. The baseline the compression ratio in
+/// StoreStats and the ingest bench is measured against.
+std::size_t logical_bytes(const monitor::Sample& sample) {
+  return sizeof(std::uint64_t) + 2 * sizeof(double) +
+         sample.values.size() * sizeof(double);
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(StoreConfig config) : config_(config) {
+  LIKWID_REQUIRE(config_.chunk_points > 0, "chunk_points must be positive");
+  LIKWID_REQUIRE(config_.downsample_seconds > 0,
+                 "downsample_seconds must be positive");
+  LIKWID_REQUIRE(config_.summary_factor > 0,
+                 "summary_factor must be positive");
+}
+
+void TimeSeriesStore::append(std::uint64_t node_id,
+                             const monitor::Sample& sample) {
+  LIKWID_REQUIRE(sample.schema != nullptr, "sample without a schema");
+  Series& series = nodes_[node_id][sample.schema->group_id];
+  if (!series.schema) series.schema = sample.schema;
+  series.open.push_back(sample);
+  ++stats_.samples_appended;
+  if (series.open.size() >= config_.chunk_points) close_open_chunk(series);
+}
+
+void TimeSeriesStore::append_batch(std::uint64_t node_id,
+                                   std::span<const monitor::Sample> samples) {
+  for (const monitor::Sample& sample : samples) append(node_id, sample);
+}
+
+void TimeSeriesStore::close_open_chunk(Series& series) {
+  Bytes chunk;
+  // Store chunks are self-scoped like wire batches; the schema travels
+  // beside the chunk in the Series, so the payload's id slot is unused.
+  encode_samples_payload(series.open, /*schema_id=*/0, chunk);
+  stats_.bytes_compressed += chunk.size();
+  for (const monitor::Sample& sample : series.open) {
+    stats_.bytes_uncompressed += logical_bytes(sample);
+  }
+  series.open.clear();
+  series.chunks.push_back(std::move(chunk));
+  ++stats_.chunks_closed;
+  while (series.chunks.size() > config_.raw_chunks_per_series) {
+    const Bytes evicted = std::move(series.chunks.front());
+    series.chunks.pop_front();
+    ++stats_.chunks_evicted;
+    downsample_chunk(series, evicted);
+  }
+}
+
+void TimeSeriesStore::downsample_chunk(Series& series, const Bytes& chunk) {
+  std::vector<monitor::Sample> samples;
+  const bool ok = decode_samples_payload(chunk, series.schema, samples);
+  LIKWID_REQUIRE(ok, "store chunk failed to decode — memory corruption?");
+  const std::size_t n_metrics = series.schema->metric_ids.size();
+  for (const monitor::Sample& sample : samples) {
+    const double window =
+        std::floor(sample.t_start / config_.downsample_seconds) *
+        config_.downsample_seconds;
+    if (series.buckets.empty() || series.buckets.back().t_start != window) {
+      Bucket bucket;
+      bucket.t_start = window;
+      bucket.t_end = window + config_.downsample_seconds;
+      bucket.agg.resize(n_metrics);
+      series.buckets.push_back(std::move(bucket));
+    }
+    Bucket& bucket = series.buckets.back();
+    for (std::size_t m = 0; m < n_metrics; ++m) {
+      MetricAgg& agg = bucket.agg[m];
+      const double v = sample.values[m];
+      if (bucket.count == 0) {
+        agg = {v, v, v};
+      } else {
+        agg.sum += v;
+        agg.min = std::min(agg.min, v);
+        agg.max = std::max(agg.max, v);
+      }
+    }
+    ++bucket.count;
+    ++stats_.samples_downsampled;
+  }
+  while (series.buckets.size() > config_.buckets_per_series) {
+    fold_buckets(series);
+  }
+}
+
+void TimeSeriesStore::fold_buckets(Series& series) {
+  const std::size_t fold =
+      std::min(config_.summary_factor, series.buckets.size());
+  Bucket summary = std::move(series.buckets.front());
+  series.buckets.pop_front();
+  for (std::size_t i = 1; i < fold; ++i) {
+    const Bucket& next = series.buckets.front();
+    summary.t_end = next.t_end;
+    summary.count += next.count;
+    for (std::size_t m = 0; m < summary.agg.size(); ++m) {
+      summary.agg[m].sum += next.agg[m].sum;
+      summary.agg[m].min = std::min(summary.agg[m].min, next.agg[m].min);
+      summary.agg[m].max = std::max(summary.agg[m].max, next.agg[m].max);
+    }
+    series.buckets.pop_front();
+  }
+  stats_.buckets_folded += fold;
+  series.summaries.push_back(std::move(summary));
+  while (series.summaries.size() > config_.summaries_per_series) {
+    stats_.samples_forgotten += series.summaries.front().count;
+    series.summaries.pop_front();
+    ++stats_.summaries_evicted;
+  }
+}
+
+std::vector<std::uint64_t> TimeSeriesStore::nodes() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, series] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+void TimeSeriesStore::raw_samples(std::uint64_t node_id,
+                                  std::vector<monitor::Sample>& out) const {
+  const auto node = nodes_.find(node_id);
+  if (node == nodes_.end()) return;
+  for (const auto& [group, series] : node->second) {
+    for (const Bytes& chunk : series.chunks) {
+      const bool ok = decode_samples_payload(chunk, series.schema, out);
+      LIKWID_REQUIRE(ok, "store chunk failed to decode — memory corruption?");
+    }
+    out.insert(out.end(), series.open.begin(), series.open.end());
+  }
+}
+
+const Series* TimeSeriesStore::series(std::uint64_t node_id,
+                                      core::NameId group_id) const {
+  const auto node = nodes_.find(node_id);
+  if (node == nodes_.end()) return nullptr;
+  const auto series = node->second.find(group_id);
+  return series == node->second.end() ? nullptr : &series->second;
+}
+
+const std::map<core::NameId, Series>* TimeSeriesStore::node_series(
+    std::uint64_t node_id) const {
+  const auto node = nodes_.find(node_id);
+  return node == nodes_.end() ? nullptr : &node->second;
+}
+
+std::uint64_t TimeSeriesStore::samples_in_raw() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, groups] : nodes_) {
+    for (const auto& [group, series] : groups) {
+      total += series.open.size() +
+               series.chunks.size() * config_.chunk_points;
+    }
+  }
+  return total;
+}
+
+std::uint64_t TimeSeriesStore::samples_in_buckets() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, groups] : nodes_) {
+    for (const auto& [group, series] : groups) {
+      for (const Bucket& bucket : series.buckets) total += bucket.count;
+    }
+  }
+  return total;
+}
+
+std::uint64_t TimeSeriesStore::samples_in_summaries() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, groups] : nodes_) {
+    for (const auto& [group, series] : groups) {
+      for (const Bucket& summary : series.summaries) total += summary.count;
+    }
+  }
+  return total;
+}
+
+std::uint64_t TimeSeriesStore::retained_chunk_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, groups] : nodes_) {
+    for (const auto& [group, series] : groups) {
+      for (const Bytes& chunk : series.chunks) total += chunk.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace likwid::collect

@@ -1,0 +1,146 @@
+// store.hpp — the collector's bounded in-memory time-series store.
+//
+// Samples ingested from the fleet land in per-(node, group) series and age
+// through three retention tiers, each cheaper per point than the last:
+//
+//   tier 1  raw samples — an uncompressed open tail plus closed chunks
+//           compressed with the wire SampleBatch payload codec (XOR
+//           doubles + varint deltas). Lossless: reading the raw tier back
+//           reproduces the ingested samples bit for bit.
+//   tier 2  downsample buckets — when the raw tier overflows, the oldest
+//           chunk is decompressed once and folded into fixed-width
+//           count/sum/min/max buckets per metric slot (default 10 s).
+//   tier 3  window summaries — when the bucket tier overflows, the oldest
+//           `summary_factor` buckets merge into one coarse summary; when
+//           even those overflow, the oldest summary is dropped.
+//
+// Nothing leaves the store unaccounted. Every transition is a counter in
+// StoreStats, and the invariant the soak test asserts is
+//
+//   samples_appended == samples_in_raw() + samples_in_buckets()
+//                       + samples_in_summaries() + samples_forgotten
+//
+// Thread-safety: none — a store shard is owned by exactly one ingest
+// thread (the collector service shards nodes over threads precisely so
+// the hot append path never takes a lock). Cross-thread reads go through
+// the service, which only exposes a shard once its owner has quiesced.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "collect/codec.hpp"
+#include "core/name_table.hpp"
+#include "monitor/config.hpp"
+
+namespace likwid::collect {
+
+struct StoreConfig {
+  /// Samples per compressed chunk; the open tail closes at this size.
+  std::size_t chunk_points = 64;
+  /// Closed chunks retained per series before downsample-on-evict.
+  std::size_t raw_chunks_per_series = 8;
+  /// Width of one tier-2 bucket in sample (simulated) seconds.
+  double downsample_seconds = 10.0;
+  /// Tier-2 buckets retained per series before folding into summaries.
+  std::size_t buckets_per_series = 64;
+  /// Buckets merged into one tier-3 summary.
+  std::size_t summary_factor = 6;
+  /// Tier-3 summaries retained per series; beyond this, data is forgotten
+  /// (counted, never silent).
+  std::size_t summaries_per_series = 32;
+};
+
+/// Per-metric-slot aggregate of one bucket or summary.
+struct MetricAgg {
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// One tier-2 bucket (or tier-3 summary — same shape, coarser span):
+/// count/sum/min/max per metric slot over [t_start, t_end).
+struct Bucket {
+  double t_start = 0;
+  double t_end = 0;
+  std::uint64_t count = 0;
+  std::vector<MetricAgg> agg;  ///< aligned with the series schema slots
+};
+
+/// Retention accounting. Totals are monotonic; the *_in_* helpers on the
+/// store report what is currently retained.
+struct StoreStats {
+  std::uint64_t samples_appended = 0;
+  std::uint64_t chunks_closed = 0;
+  std::uint64_t chunks_evicted = 0;       ///< raw chunks downsampled away
+  std::uint64_t samples_downsampled = 0;  ///< samples moved raw -> buckets
+  std::uint64_t buckets_folded = 0;       ///< buckets merged into summaries
+  std::uint64_t summaries_evicted = 0;    ///< summaries dropped entirely
+  std::uint64_t samples_forgotten = 0;    ///< sample counts those carried
+  std::uint64_t bytes_compressed = 0;     ///< closed-chunk bytes, total
+  std::uint64_t bytes_uncompressed = 0;   ///< logical bytes of those samples
+};
+
+/// One (node, group) series across all three tiers.
+struct Series {
+  std::shared_ptr<const monitor::MetricSchema> schema;
+  std::vector<monitor::Sample> open;  ///< uncompressed tail, newest last
+  std::deque<Bytes> chunks;           ///< closed chunks, oldest first
+  std::deque<Bucket> buckets;         ///< tier 2, oldest first
+  std::deque<Bucket> summaries;       ///< tier 3, oldest first
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(StoreConfig config = {});
+
+  /// Ingest one sample (tier 1 open tail; may cascade chunk close,
+  /// chunk eviction, bucket folds and summary evictions).
+  void append(std::uint64_t node_id, const monitor::Sample& sample);
+  void append_batch(std::uint64_t node_id,
+                    std::span<const monitor::Sample> samples);
+
+  /// Node ids with at least one series, ascending.
+  std::vector<std::uint64_t> nodes() const;
+
+  /// Reconstruct every raw-tier sample of `node` (all groups; within a
+  /// group, chronological). Decompression is exact, so these are
+  /// bit-equal to the samples that were appended.
+  void raw_samples(std::uint64_t node_id,
+                   std::vector<monitor::Sample>& out) const;
+
+  /// The series of (node, group), or nullptr.
+  const Series* series(std::uint64_t node_id, core::NameId group_id) const;
+
+  /// All series of one node, keyed by group id (empty map reference
+  /// semantics: nullptr when the node is unknown).
+  const std::map<core::NameId, Series>* node_series(
+      std::uint64_t node_id) const;
+
+  const StoreStats& stats() const noexcept { return stats_; }
+  const StoreConfig& config() const noexcept { return config_; }
+
+  /// Currently retained sample counts per tier (for the reconciliation
+  /// invariant; see file comment).
+  std::uint64_t samples_in_raw() const;
+  std::uint64_t samples_in_buckets() const;
+  std::uint64_t samples_in_summaries() const;
+
+  /// Bytes currently held in closed compressed chunks.
+  std::uint64_t retained_chunk_bytes() const;
+
+ private:
+  void close_open_chunk(Series& series);
+  void downsample_chunk(Series& series, const Bytes& chunk);
+  void fold_buckets(Series& series);
+
+  StoreConfig config_;
+  std::map<std::uint64_t, std::map<core::NameId, Series>> nodes_;
+  StoreStats stats_;
+};
+
+}  // namespace likwid::collect

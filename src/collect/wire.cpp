@@ -1,0 +1,440 @@
+#include "collect/wire.hpp"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/name_table.hpp"
+#include "util/status.hpp"
+
+namespace likwid::collect {
+
+namespace {
+
+/// Append one framed record: type | payload_len | payload | crc32 over
+/// the type varint and the payload bytes (a corrupted length desyncs the
+/// CRC with overwhelming probability, so it is covered transitively).
+void put_record(Bytes& out, RecordType type,
+                std::span<const std::uint8_t> payload) {
+  const std::size_t type_pos = out.size();
+  put_uvarint(out, static_cast<std::uint64_t>(type));
+  const std::size_t type_len = out.size() - type_pos;
+  put_uvarint(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  std::uint32_t crc = crc32({out.data() + type_pos, type_len});
+  crc = crc32(payload, crc);
+  put_u32le(out, crc);
+}
+
+void put_string(Bytes& out, const std::string& text) {
+  put_uvarint(out, text.size());
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+/// True when `value` is an integral double that round-trips through
+/// int64 bit-for-bit (rejects NaN/inf, fractions, magnitudes past 2^53
+/// where int64->double rounds, and -0.0 which int64 cannot represent).
+bool integral_bits(double value, std::int64_t& out) {
+  if (!(value >= -9007199254740992.0 && value <= 9007199254740992.0)) {
+    return false;
+  }
+  const std::int64_t integer = static_cast<std::int64_t>(value);
+  const double back = static_cast<double>(integer);
+  std::uint64_t a = 0, b = 0;
+  std::memcpy(&a, &value, sizeof(a));
+  std::memcpy(&b, &back, sizeof(b));
+  if (a != b) return false;
+  out = integer;
+  return true;
+}
+
+}  // namespace
+
+void encode_samples_payload(std::span<const monitor::Sample> samples,
+                            std::uint64_t schema_id, Bytes& out) {
+  LIKWID_REQUIRE(!samples.empty(), "cannot encode an empty sample batch");
+  const monitor::MetricSchema& schema = *samples.front().schema;
+  put_uvarint(out, schema_id);
+  put_uvarint(out, samples.size());
+  put_uvarint(out, samples.front().sequence);
+  // Sequences almost always step by exactly one, so a run-length prefix
+  // collapses the common batch to a single byte; only the samples after
+  // the first irregular step pay for an explicit zigzag delta.
+  std::size_t regular = 0;
+  while (regular + 1 < samples.size() &&
+         samples[regular + 1].sequence == samples[regular].sequence + 1) {
+    ++regular;
+  }
+  put_uvarint(out, regular);
+  for (std::size_t i = regular + 1; i < samples.size(); ++i) {
+    put_svarint(out, static_cast<std::int64_t>(samples[i].sequence -
+                                               samples[i - 1].sequence));
+  }
+  // Counter metrics are integral doubles; a column that stays integral
+  // for the whole batch crosses the wire as zigzag varint deltas (about
+  // one byte per slowly-moving point) instead of XOR residuals. A
+  // per-column bitmask says which path each column took.
+  const std::size_t n_metrics = schema.metric_ids.size();
+  std::vector<std::vector<std::int64_t>> integer_columns(n_metrics);
+  Bytes mask((n_metrics + 7) / 8, 0);
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    std::vector<std::int64_t>& column = integer_columns[m];
+    column.reserve(samples.size());
+    for (const monitor::Sample& s : samples) {
+      std::int64_t integer = 0;
+      if (!integral_bits(s.values[m], integer)) {
+        column.clear();
+        break;
+      }
+      column.push_back(integer);
+    }
+    if (!column.empty()) mask[m / 8] |= std::uint8_t(1u << (m % 8));
+  }
+  out.insert(out.end(), mask.begin(), mask.end());
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    const std::vector<std::int64_t>& column = integer_columns[m];
+    if (column.empty()) continue;
+    put_svarint(out, column.front());
+    for (std::size_t i = 1; i < column.size(); ++i) {
+      // Two's-complement wrap in uint64 keeps extreme deltas defined;
+      // the decoder adds them back in uint64 so the wrap cancels.
+      put_svarint(out, static_cast<std::int64_t>(
+                           static_cast<std::uint64_t>(column[i]) -
+                           static_cast<std::uint64_t>(column[i - 1])));
+    }
+  }
+  // Bit section, column-major: both timestamp streams, then each metric
+  // slot's series. Columns are smooth over time, which is where the XOR
+  // codec earns its bits; rows (one sample's metrics) are not.
+  //
+  // Timestamps get the predicted variant (lossless float delta-of-delta):
+  // plain prev-XOR of two nearby doubles still churns most of the
+  // mantissa, but a steady sampling cadence makes t_start linearly
+  // extrapolatable and t_end reconstructible from t_start plus the
+  // previous sample's duration, leaving residuals of a few bits. The
+  // decoder rebuilds the identical predictions from already-decoded
+  // values, so round trips stay bit-exact.
+  BitWriter bits;
+  {
+    XorDoubleEncoder t_start;
+    double prev = 0.0, prev2 = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const double t = samples[i].t_start;
+      const double predicted = i >= 2 ? prev + (prev - prev2) : prev;
+      t_start.append(bits, t, predicted);
+      prev2 = prev;
+      prev = t;
+    }
+  }
+  {
+    XorDoubleEncoder t_end;
+    double prev_start = 0.0, prev_end = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const monitor::Sample& s = samples[i];
+      const double predicted =
+          i >= 1 ? s.t_start + (prev_end - prev_start) : 0.0;
+      t_end.append(bits, s.t_end, predicted);
+      prev_start = s.t_start;
+      prev_end = s.t_end;
+    }
+  }
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    if (!integer_columns[m].empty()) continue;  // already in the byte section
+    XorDoubleEncoder values;
+    for (const monitor::Sample& s : samples) {
+      values.append(bits, s.values[m]);
+    }
+  }
+  const Bytes& section = bits.finish();
+  out.insert(out.end(), section.begin(), section.end());
+}
+
+bool peek_payload_schema_id(std::span<const std::uint8_t> payload,
+                            std::uint64_t& schema_id) {
+  ByteReader reader(payload);
+  const auto id = reader.uvarint();
+  if (!id) return false;
+  schema_id = *id;
+  return true;
+}
+
+bool decode_samples_payload(
+    std::span<const std::uint8_t> payload,
+    const std::shared_ptr<const monitor::MetricSchema>& schema,
+    std::vector<monitor::Sample>& out) {
+  ByteReader reader(payload);
+  if (!reader.uvarint()) return false;  // schema id, resolved by caller
+  const auto n_samples = reader.uvarint();
+  if (!n_samples || *n_samples == 0) return false;
+  // A batch cannot hold more samples than payload bytes (every sample
+  // costs at least one bit in each of its streams); anything larger is a
+  // malformed length field, not a huge batch.
+  if (*n_samples > payload.size() * 8) return false;
+  const auto first_seq = reader.uvarint();
+  if (!first_seq) return false;
+  const auto regular = reader.uvarint();
+  if (!regular || *regular >= *n_samples) return false;
+  std::vector<std::uint64_t> sequences;
+  sequences.reserve(*n_samples);
+  sequences.push_back(*first_seq);
+  for (std::uint64_t i = 0; i < *regular; ++i) {
+    sequences.push_back(sequences.back() + 1);
+  }
+  for (std::uint64_t i = *regular + 1; i < *n_samples; ++i) {
+    const auto delta = reader.svarint();
+    if (!delta) return false;
+    sequences.push_back(sequences.back() +
+                        static_cast<std::uint64_t>(*delta));
+  }
+  const std::size_t n = sequences.size();
+  const std::size_t n_metrics = schema->metric_ids.size();
+  // Per-column integer/XOR mode mask, then the integer columns as
+  // varint deltas accumulated in uint64 (wrap-safe for hostile input).
+  const auto mask = reader.bytes((n_metrics + 7) / 8);
+  if (!mask) return false;
+  std::vector<std::vector<double>> integer_columns(n_metrics);
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    if (((*mask)[m / 8] & (1u << (m % 8))) == 0) continue;
+    std::vector<double>& column = integer_columns[m];
+    column.reserve(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto delta = reader.svarint();
+      if (!delta) return false;
+      acc = i == 0 ? static_cast<std::uint64_t>(*delta)
+                   : acc + static_cast<std::uint64_t>(*delta);
+      column.push_back(
+          static_cast<double>(static_cast<std::int64_t>(acc)));
+    }
+  }
+  const auto section = reader.bytes(reader.remaining());
+  if (!section) return false;
+  BitReader bits(*section);
+  std::vector<monitor::Sample> decoded(n);
+  // Predictions mirror encode_samples_payload expression for expression;
+  // IEEE arithmetic is deterministic, so both sides compute identical
+  // reference bits.
+  {
+    XorDoubleDecoder t_start;
+    double prev = 0.0, prev2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double predicted = i >= 2 ? prev + (prev - prev2) : prev;
+      decoded[i].t_start = t_start.next(bits, predicted);
+      prev2 = prev;
+      prev = decoded[i].t_start;
+    }
+  }
+  {
+    XorDoubleDecoder t_end;
+    double prev_start = 0.0, prev_end = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double predicted =
+          i >= 1 ? decoded[i].t_start + (prev_end - prev_start) : 0.0;
+      decoded[i].t_end = t_end.next(bits, predicted);
+      prev_start = decoded[i].t_start;
+      prev_end = decoded[i].t_end;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    decoded[i].sequence = sequences[i];
+    decoded[i].schema = schema;
+    decoded[i].values.resize(n_metrics);
+  }
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    const std::vector<double>& column = integer_columns[m];
+    if (!column.empty()) {
+      for (std::size_t i = 0; i < n; ++i) decoded[i].values[m] = column[i];
+      continue;
+    }
+    XorDoubleDecoder values;
+    for (std::size_t i = 0; i < n; ++i) {
+      decoded[i].values[m] = values.next(bits);
+    }
+  }
+  if (!bits.ok()) return false;
+  out.insert(out.end(), std::make_move_iterator(decoded.begin()),
+             std::make_move_iterator(decoded.end()));
+  return true;
+}
+
+StreamEncoder::StreamEncoder(std::uint64_t node_id) : node_id_(node_id) {}
+
+Frame StreamEncoder::header() const {
+  Frame frame;
+  put_u32le(frame.data, kWireMagic);
+  frame.data.push_back(kWireVersion);
+  put_uvarint(frame.data, node_id_);
+  return frame;
+}
+
+std::uint64_t StreamEncoder::schema_id_of(const monitor::MetricSchema& schema,
+                                          Frame& frame) {
+  const auto it = announced_.find(&schema);
+  if (it != announced_.end()) return it->second;
+  const std::uint64_t id = next_schema_id_++;
+  announced_.emplace(&schema, id);
+  frame.new_schema_ids.push_back(id);
+  Bytes payload;
+  put_uvarint(payload, id);
+  put_string(payload, core::resolve_name(schema.group_id));
+  put_uvarint(payload, schema.metric_ids.size());
+  for (const core::NameId metric : schema.metric_ids) {
+    put_string(payload, core::resolve_name(metric));
+  }
+  put_record(frame.data, RecordType::kSchema, payload);
+  return id;
+}
+
+Frame StreamEncoder::encode_batch(std::span<const monitor::Sample> samples) {
+  Frame frame;
+  // Consecutive runs of one schema become one SampleBatch each (group
+  // rotation interleaves schemas only when the caller batches across
+  // rotation boundaries).
+  std::size_t begin = 0;
+  while (begin < samples.size()) {
+    std::size_t end = begin + 1;
+    while (end < samples.size() &&
+           samples[end].schema == samples[begin].schema) {
+      ++end;
+    }
+    const auto run = samples.subspan(begin, end - begin);
+    const std::uint64_t id = schema_id_of(*run.front().schema, frame);
+    Bytes payload;
+    encode_samples_payload(run, id, payload);
+    put_record(frame.data, RecordType::kSampleBatch, payload);
+    frame.batch_count += 1;
+    frame.sample_count += run.size();
+    begin = end;
+  }
+  bytes_encoded_ += frame.data.size();
+  samples_encoded_ += frame.sample_count;
+  batches_encoded_ += frame.batch_count;
+  return frame;
+}
+
+void StreamEncoder::rollback_schemas(const Frame& lost) {
+  for (const std::uint64_t id : lost.new_schema_ids) {
+    for (auto it = announced_.begin(); it != announced_.end(); ++it) {
+      if (it->second == id) {
+        announced_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+bool StreamDecoder::decode_schema(std::span<const std::uint8_t> payload) {
+  ByteReader reader(payload);
+  const auto id = reader.uvarint();
+  if (!id) return false;
+  const auto group_len = reader.uvarint();
+  if (!group_len) return false;
+  const auto group_bytes = reader.bytes(*group_len);
+  if (!group_bytes) return false;
+  const std::string group(group_bytes->begin(), group_bytes->end());
+  const auto n_metrics = reader.uvarint();
+  if (!n_metrics || *n_metrics > reader.remaining()) return false;
+  std::vector<core::NameId> metric_ids;
+  metric_ids.reserve(*n_metrics);
+  for (std::uint64_t m = 0; m < *n_metrics; ++m) {
+    const auto len = reader.uvarint();
+    if (!len) return false;
+    const auto name = reader.bytes(*len);
+    if (!name) return false;
+    metric_ids.push_back(core::intern_name(
+        std::string_view(reinterpret_cast<const char*>(name->data()),
+                         name->size())));
+  }
+  // Re-announcing an id rebinds it (the encoder only reuses an id after a
+  // rollback, for the identical schema, so rebinding is idempotent).
+  schemas_[*id] = monitor::MetricSchema::create(group, metric_ids);
+  return true;
+}
+
+bool StreamDecoder::decode_batch(std::span<const std::uint8_t> payload,
+                                 std::vector<monitor::Sample>& out,
+                                 std::size_t& decoded) {
+  std::uint64_t schema_id = 0;
+  if (!peek_payload_schema_id(payload, schema_id)) return false;
+  const auto schema = schemas_.find(schema_id);
+  if (schema == schemas_.end()) {
+    // Counted in its own bucket (the record itself is intact): the
+    // announcing frame was lost and the encoder will re-send the schema.
+    ++stats_.unknown_schema;
+    return true;
+  }
+  const std::size_t before = out.size();
+  if (!decode_samples_payload(payload, schema->second, out)) return false;
+  decoded += out.size() - before;
+  ++stats_.batches;
+  return true;
+}
+
+std::size_t StreamDecoder::consume(std::span<const std::uint8_t> frame,
+                                   std::vector<monitor::Sample>& out) {
+  ++stats_.frames;
+  ByteReader reader(frame);
+  std::size_t decoded = 0;
+  // A header frame starts with the magic; record frames never do (their
+  // first byte is a tiny record-type varint).
+  if (frame.size() >= 5) {
+    ByteReader peek(frame);
+    if (peek.u32le().value_or(0) == kWireMagic) {
+      (void)reader.bytes(4);  // magic
+      const auto version = reader.bytes(1);
+      const auto node = reader.uvarint();
+      if (!version || (*version)[0] == 0 || !node ||
+          (header_seen_ && *node != node_id_)) {
+        ++stats_.malformed;
+        return decoded;
+      }
+      node_id_ = *node;
+      header_seen_ = true;
+    }
+  }
+  while (reader.ok() && reader.remaining() > 0) {
+    const std::size_t record_start = reader.position();
+    const auto type = reader.uvarint();
+    const std::size_t type_end = reader.position();
+    const auto len = reader.uvarint();
+    if (!type || !len) {
+      ++stats_.truncated;
+      break;
+    }
+    const auto payload = reader.bytes(*len);
+    const auto crc = reader.u32le();
+    if (!payload || !crc) {
+      ++stats_.truncated;
+      break;
+    }
+    // CRC covers the type varint + payload (see put_record).
+    std::uint32_t expected =
+        crc32(frame.subspan(record_start, type_end - record_start));
+    expected = crc32(*payload, expected);
+    if (expected != *crc) {
+      // The length field parsed, so the framing cursor is still sound;
+      // drop just this record and try the next one.
+      ++stats_.bad_crc;
+      continue;
+    }
+    ++stats_.records;
+    switch (static_cast<RecordType>(*type)) {
+      case RecordType::kSchema:
+        if (!decode_schema(*payload)) ++stats_.malformed;
+        break;
+      case RecordType::kSampleBatch:
+        if (!decode_batch(*payload, out, decoded)) ++stats_.malformed;
+        break;
+      case RecordType::kBye:
+        break;
+      default:
+        // Version skew: a future record type is skipped, not an error.
+        ++stats_.skipped_records;
+        break;
+    }
+  }
+  stats_.samples += decoded;
+  return decoded;
+}
+
+}  // namespace likwid::collect

@@ -1,0 +1,187 @@
+// wire.hpp — the versioned binary wire format between node agents and the
+// collector.
+//
+// One stream is one node's connection. Strings cross the wire ONCE per
+// stream: the first batch of a schema is preceded by a Schema record that
+// maps a small per-stream wire id to the group and metric names; every
+// SampleBatch afterwards references the id. Sequence numbers travel as a
+// run-length of +1 steps plus zigzag varint deltas for the irregular
+// tail; metric columns that stay integral for the whole batch (the
+// normal case for hardware counters) travel as zigzag varint deltas,
+// everything else as predicted Gorilla-XOR bit streams (codec.hpp).
+// Every record carries a CRC32 trailer so a corrupted frame is detected
+// and dropped, never ingested.
+//
+// Layout (all integers LEB128 varints unless noted):
+//
+//   stream header   u32le magic "LKWD" | u8 version | uvarint node_id
+//   record frame    uvarint type | uvarint payload_len | payload
+//                   | u32le crc32(type..payload)
+//
+//   Schema (1)      uvarint wire_schema_id | string group
+//                   | uvarint n_metrics | string metric[n]
+//                   (string = uvarint len | bytes)
+//   SampleBatch (2) uvarint wire_schema_id | uvarint n_samples
+//                   | uvarint first_sequence | uvarint regular (leading
+//                     samples stepping by exactly +1)
+//                   | svarint seq_delta[n-1-regular]
+//                   | integer-column bitmask (ceil(n_metrics/8) bytes)
+//                   | per integer column: svarint first, svarint delta[n-1]
+//                   | bit section: XOR t_start[n] predicted by linear
+//                     extrapolation, XOR t_end[n] predicted by t_start +
+//                     previous duration, then per non-integer metric slot
+//                     XOR value[n] (column-major — a metric's series is
+//                     smooth, a sample's row is not)
+//   Bye (3)         empty
+//
+// Version skew: a decoder skips record types it does not know (the frame
+// length makes that possible without understanding the payload), so an
+// older collector survives a newer agent. Every XOR/delta state is scoped
+// to ONE record — a batch dropped under backpressure never corrupts the
+// decode of the batches after it.
+//
+// Thread-safety: encoders and decoders are single-stream state machines,
+// confined to one thread at a time (the node's producer, the collector's
+// ingest shard).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "collect/codec.hpp"
+#include "monitor/config.hpp"
+
+namespace likwid::collect {
+
+inline constexpr std::uint32_t kWireMagic = 0x44574B4CU;  // "LKWD" LE
+inline constexpr std::uint8_t kWireVersion = 2;
+
+enum class RecordType : std::uint8_t {
+  kSchema = 1,
+  kSampleBatch = 2,
+  kBye = 3,
+};
+
+/// One transport frame: the unit the loopback transport moves and the
+/// unit that is dropped whole under backpressure. A frame carries zero or
+/// more Schema records followed by at most one SampleBatch, so the batch
+/// count of any frame is 0 or 1.
+struct Frame {
+  Bytes data;
+  std::size_t batch_count = 0;   ///< SampleBatch records in the frame
+  std::size_t sample_count = 0;  ///< samples across those batches
+  /// Schemas first announced by this frame; if the frame is lost the
+  /// encoder must be told (rollback_schemas) so the next batch re-sends
+  /// them — otherwise every later batch of the group would be
+  /// undecodable, turning one dropped frame into silent permanent loss.
+  std::vector<std::uint64_t> new_schema_ids;
+};
+
+/// Agent-side encoder of one node's stream.
+class StreamEncoder {
+ public:
+  explicit StreamEncoder(std::uint64_t node_id);
+
+  /// The stream header frame (send first; resend-safe — the decoder
+  /// accepts repeated identical headers).
+  Frame header() const;
+
+  /// Encode `samples` (any schema mix; consecutive runs of one schema
+  /// become one SampleBatch record) plus Schema records for schemas this
+  /// stream has not announced yet.
+  Frame encode_batch(std::span<const monitor::Sample> samples);
+
+  /// Forget the schema announcements carried by a LOST frame so they are
+  /// re-sent with the next batch.
+  void rollback_schemas(const Frame& lost);
+
+  std::uint64_t node_id() const noexcept { return node_id_; }
+  std::uint64_t bytes_encoded() const noexcept { return bytes_encoded_; }
+  std::uint64_t samples_encoded() const noexcept { return samples_encoded_; }
+  std::uint64_t batches_encoded() const noexcept { return batches_encoded_; }
+
+ private:
+  std::uint64_t schema_id_of(const monitor::MetricSchema& schema,
+                             Frame& frame);
+
+  std::uint64_t node_id_;
+  /// Schema identity is the shared MetricSchema instance: collectors hand
+  /// out one per group, so pointer identity is schema identity per node.
+  std::map<const monitor::MetricSchema*, std::uint64_t> announced_;
+  std::uint64_t next_schema_id_ = 0;
+  std::uint64_t bytes_encoded_ = 0;
+  std::uint64_t samples_encoded_ = 0;
+  std::uint64_t batches_encoded_ = 0;
+};
+
+/// Per-stream decode accounting. Every frame the collector accepted ends
+/// up in exactly one bucket: decoded, or one of the error counters — the
+/// reconciliation the soak test asserts.
+struct DecodeStats {
+  std::uint64_t frames = 0;          ///< frames consumed
+  std::uint64_t records = 0;         ///< records decoded (all types)
+  std::uint64_t batches = 0;         ///< SampleBatch records decoded
+  std::uint64_t samples = 0;         ///< samples decoded
+  std::uint64_t bad_crc = 0;         ///< records dropped: CRC mismatch
+  std::uint64_t truncated = 0;       ///< records dropped: frame ran out
+  std::uint64_t malformed = 0;       ///< records dropped: bad payload
+  std::uint64_t unknown_schema = 0;  ///< batches naming an unseen schema
+  std::uint64_t skipped_records = 0; ///< unknown record types (version skew)
+
+  /// Records dropped for any reason (skipped future records are not
+  /// errors — that is the version-skew contract working as designed).
+  std::uint64_t decode_errors() const noexcept {
+    return bad_crc + truncated + malformed + unknown_schema;
+  }
+};
+
+/// Collector-side decoder of one node's stream.
+class StreamDecoder {
+ public:
+  /// Decode every intact record of `frame`, appending decoded samples to
+  /// `out`. Returns the number of samples appended; failures are counted
+  /// in stats() and never throw — a hostile or corrupted stream must not
+  /// take down the collector.
+  std::size_t consume(std::span<const std::uint8_t> frame,
+                      std::vector<monitor::Sample>& out);
+
+  bool header_seen() const noexcept { return header_seen_; }
+  std::uint64_t node_id() const noexcept { return node_id_; }
+  const DecodeStats& stats() const noexcept { return stats_; }
+
+ private:
+  bool decode_schema(std::span<const std::uint8_t> payload);
+  bool decode_batch(std::span<const std::uint8_t> payload,
+                    std::vector<monitor::Sample>& out, std::size_t& decoded);
+
+  bool header_seen_ = false;
+  std::uint64_t node_id_ = 0;
+  std::map<std::uint64_t, std::shared_ptr<const monitor::MetricSchema>>
+      schemas_;
+  DecodeStats stats_;
+};
+
+/// Encode one schema-homogeneous run of samples as a SampleBatch payload
+/// (no framing). Exposed for the time-series store, whose compressed
+/// chunks are exactly this payload.
+void encode_samples_payload(std::span<const monitor::Sample> samples,
+                            std::uint64_t schema_id, Bytes& out);
+
+/// Decode a SampleBatch payload produced by encode_samples_payload,
+/// appending the reconstructed samples to `out`. The caller resolves the
+/// payload's schema id (peek_payload_schema_id) to the shared schema
+/// first — the store passes its series' schema, the wire decoder its
+/// per-stream table. Returns false on malformed input.
+bool decode_samples_payload(
+    std::span<const std::uint8_t> payload,
+    const std::shared_ptr<const monitor::MetricSchema>& schema,
+    std::vector<monitor::Sample>& out);
+
+/// Read just the schema id prefix of a SampleBatch payload.
+bool peek_payload_schema_id(std::span<const std::uint8_t> payload,
+                            std::uint64_t& schema_id);
+
+}  // namespace likwid::collect

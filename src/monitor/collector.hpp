@@ -56,6 +56,14 @@ class Collector {
   }
   const MonitorConfig& config() const noexcept { return cfg_; }
   const SampleRing& samples() const noexcept { return ring_; }
+  /// The per-group sample schemas, fleet-shared by every Sample this
+  /// collector emits (one per configured event group, group order). The
+  /// collector wire format keys its per-stream dictionary on these
+  /// instances.
+  const std::vector<std::shared_ptr<const MetricSchema>>& schemas()
+      const noexcept {
+    return schemas_;
+  }
   const ossim::SimKernel& kernel() const noexcept { return session_->kernel(); }
   const core::PerfCtr& ctr() const noexcept { return session_->counters(); }
   const workloads::SyntheticKernel& workload() const noexcept {

@@ -130,6 +130,37 @@ std::optional<std::uint64_t> parse_size_bytes(std::string_view text) noexcept {
   return *value * scale;
 }
 
+std::optional<double> parse_duration_seconds(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  // Split off the longest trailing run of unit letters (same convention
+  // as parse_size_bytes).
+  std::size_t digits_end = text.size();
+  while (digits_end > 0 &&
+         std::isalpha(static_cast<unsigned char>(text[digits_end - 1]))) {
+    --digits_end;
+  }
+  const std::string_view number = trim(text.substr(0, digits_end));
+  const std::string unit = to_lower(text.substr(digits_end));
+  double scale = 1.0;
+  if (unit.empty() || unit == "s") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e-6;
+  } else if (unit == "ms") {
+    scale = 1e-3;
+  } else if (unit == "m" || unit == "min") {
+    scale = 60.0;
+  } else if (unit == "h") {
+    scale = 3600.0;
+  } else {
+    return std::nullopt;
+  }
+  const auto value = parse_double(number);
+  if (!value || !std::isfinite(*value) || *value < 0) return std::nullopt;
+  return *value * scale;
+}
+
 std::string format_metric(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", value);

@@ -45,6 +45,13 @@ std::optional<double> parse_double(std::string_view text) noexcept;
 /// overflow.
 std::optional<std::uint64_t> parse_size_bytes(std::string_view text) noexcept;
 
+/// Parse a duration with an optional unit suffix into seconds: "500ms",
+/// "10s", "5m", "1.5h", "250us"; a bare number is seconds. Units are
+/// case-insensitive ("m" is minutes — durations have no mega). Returns
+/// std::nullopt on malformed input, an unknown unit, or a negative or
+/// non-finite value.
+std::optional<double> parse_duration_seconds(std::string_view text) noexcept;
+
 /// Format a double with 6 significant digits in shortest form, the style
 /// used by likwid-perfctr tables ("%g"): 1624.08, 1.88024e+07, 0.693493.
 std::string format_metric(double value);

@@ -1,0 +1,220 @@
+// Tests for the collector query surface (collect/query.hpp) over a small
+// loopback fleet: the bit-equality contract between collector-side
+// rollups and an in-process WindowFolder fold of the same stream, top-k
+// ordering, fleet_stats against compute_stats, and the node_status loss
+// table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "collect/loopback.hpp"
+#include "core/name_table.hpp"
+
+namespace likwid::collect {
+namespace {
+
+LoopbackConfig small_fleet_config() {
+  LoopbackConfig cfg;
+  cfg.fleet.num_nodes = 8;
+  cfg.fleet.seed = 7;
+  cfg.fleet.schemas = {make_sim_schema("QUERY_MEM", 2),
+                       make_sim_schema("QUERY_FLOPS", 1)};
+  cfg.steps = 40;
+  cfg.batch_samples = 8;
+  cfg.producer_threads = 2;
+  cfg.service.ingest_threads = 2;
+  cfg.service.ring_capacity = 64;
+  cfg.service.publish_deadline_seconds = 5.0;  // no drops wanted here
+  cfg.service.store.chunk_points = 16;
+  cfg.service.store.raw_chunks_per_series = 64;  // raw tier holds everything
+  return cfg;
+}
+
+/// One completed loopback run shared by every test in this file (the run
+/// is deterministic, so sharing it only saves wall clock).
+const LoopbackCollector& fleet() {
+  static LoopbackCollector* collector = [] {
+    auto* c = new LoopbackCollector(small_fleet_config());
+    c->run();
+    return c;
+  }();
+  return *collector;
+}
+
+void expect_bits(double got, double want, const char* what) {
+  std::uint64_t a = 0, b = 0;
+  std::memcpy(&a, &got, sizeof(a));
+  std::memcpy(&b, &want, sizeof(b));
+  EXPECT_EQ(a, b) << what;
+}
+
+TEST(Query, EveryNodeIsLosslessUnderGenerousDeadline) {
+  const LoopbackCollector& c = fleet();
+  EXPECT_EQ(c.producer().batches_dropped, 0u);
+  EXPECT_EQ(c.service().decode_stats().decode_errors(), 0u);
+  for (std::uint64_t node = 0; node < 8; ++node) {
+    EXPECT_TRUE(c.node_lossless(node)) << node;
+  }
+}
+
+TEST(Query, RawSamplesMatchReplayBitForBit) {
+  const LoopbackCollector& c = fleet();
+  const QueryEngine query = c.query();
+  for (std::uint64_t node = 0; node < 8; ++node) {
+    const auto got = query.raw_samples(node);
+    const auto want = c.replay(node);
+    ASSERT_EQ(got.size(), want.size()) << node;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].sequence, want[i].sequence);
+      EXPECT_EQ(got[i].t_start, want[i].t_start);
+      EXPECT_EQ(got[i].schema->group_id, want[i].schema->group_id);
+      ASSERT_EQ(got[i].values.size(), want[i].values.size());
+      for (std::size_t m = 0; m < want[i].values.size(); ++m) {
+        expect_bits(got[i].values[m], want[i].values[m], "value");
+      }
+    }
+  }
+}
+
+TEST(Query, RollupIsBitEqualToInProcessWindowFolder) {
+  // The acceptance contract: query results over healthy nodes must be
+  // bit-equal to what the in-process aggregation path produces from the
+  // same samples.
+  const LoopbackCollector& c = fleet();
+  const int window_samples = 5;
+  const QueryEngine query = c.query(window_samples);
+  for (std::uint64_t node = 0; node < 8; ++node) {
+    ASSERT_TRUE(c.node_lossless(node)) << node;
+    const auto got = query.rollup(node);
+
+    monitor::WindowFolder folder(static_cast<int>(node), window_samples);
+    for (const monitor::Sample& s : c.replay(node)) folder.add(s);
+    folder.finish();
+    const auto want = folder.take_points();
+
+    ASSERT_EQ(got.size(), want.size()) << node;
+    ASSERT_FALSE(want.empty());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].machine_id, want[i].machine_id);
+      EXPECT_EQ(got[i].window, want[i].window);
+      EXPECT_EQ(got[i].group_id, want[i].group_id);
+      EXPECT_EQ(got[i].metric_id, want[i].metric_id);
+      expect_bits(got[i].t_start, want[i].t_start, "t_start");
+      expect_bits(got[i].t_end, want[i].t_end, "t_end");
+      expect_bits(got[i].stats.min, want[i].stats.min, "min");
+      expect_bits(got[i].stats.avg, want[i].stats.avg, "avg");
+      expect_bits(got[i].stats.max, want[i].stats.max, "max");
+      expect_bits(got[i].stats.p95, want[i].stats.p95, "p95");
+      EXPECT_EQ(got[i].stats.count, want[i].stats.count);
+    }
+  }
+}
+
+TEST(Query, FleetStatsMatchComputeStatsPerNode) {
+  const LoopbackCollector& c = fleet();
+  const QueryEngine query = c.query();
+  const api::ResultTable table = query.fleet_stats("QUERY_MEM", "SIM_QUERY_MEM_M0");
+  EXPECT_EQ(table.group, "QUERY_MEM");
+  ASSERT_EQ(table.cpus.size(), 8u);  // node ids ride the cpu-column slot
+  ASSERT_EQ(table.metrics.size(), 4u);
+  EXPECT_EQ(table.metrics[0].name, "SIM_QUERY_MEM_M0 min");
+  EXPECT_EQ(table.metrics[1].name, "SIM_QUERY_MEM_M0 avg");
+  EXPECT_EQ(table.metrics[2].name, "SIM_QUERY_MEM_M0 max");
+  EXPECT_EQ(table.metrics[3].name, "SIM_QUERY_MEM_M0 p95");
+
+  const core::NameId metric_id = core::intern_name("SIM_QUERY_MEM_M0");
+  for (std::size_t col = 0; col < table.cpus.size(); ++col) {
+    const auto node = static_cast<std::uint64_t>(table.cpus[col]);
+    std::vector<double> values;
+    for (const monitor::Sample& s : c.replay(node)) {
+      for (std::size_t m = 0; m < s.schema->metric_ids.size(); ++m) {
+        if (s.schema->metric_ids[m] == metric_id) values.push_back(s.values[m]);
+      }
+    }
+    ASSERT_FALSE(values.empty());
+    const monitor::WindowStats want = monitor::compute_stats(values);
+    expect_bits(table.metrics[0].values[col], want.min, "min");
+    expect_bits(table.metrics[1].values[col], want.avg, "avg");
+    expect_bits(table.metrics[2].values[col], want.max, "max");
+    expect_bits(table.metrics[3].values[col], want.p95, "p95");
+  }
+}
+
+TEST(Query, TopKOrdersNodesByMeanDescending) {
+  const LoopbackCollector& c = fleet();
+  const QueryEngine query = c.query();
+  const api::ResultTable top = query.top_k("QUERY_MEM", "SIM_QUERY_MEM_M0", 3);
+  ASSERT_EQ(top.cpus.size(), 3u);
+  ASSERT_EQ(top.metrics.size(), 1u);
+  const auto& means = top.metrics[0].values;
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_GE(means[0], means[1]);
+  EXPECT_GE(means[1], means[2]);
+
+  // The winner really is the fleet-wide argmax of the replayed means.
+  const core::NameId metric_id = core::intern_name("SIM_QUERY_MEM_M0");
+  double best_mean = 0;
+  std::uint64_t best_node = 0;
+  for (std::uint64_t node = 0; node < 8; ++node) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const monitor::Sample& s : c.replay(node)) {
+      for (std::size_t m = 0; m < s.schema->metric_ids.size(); ++m) {
+        if (s.schema->metric_ids[m] == metric_id) {
+          sum += s.values[m];
+          ++n;
+        }
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    if (node == 0 || mean > best_mean) {
+      best_mean = mean;
+      best_node = node;
+    }
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(top.cpus[0]), best_node);
+  EXPECT_DOUBLE_EQ(means[0], best_mean);
+}
+
+TEST(Query, TopKClampsToFleetSize) {
+  const QueryEngine query = fleet().query();
+  const api::ResultTable top =
+      query.top_k("QUERY_MEM", "SIM_QUERY_MEM_M0", 100);
+  EXPECT_EQ(top.cpus.size(), 8u);
+}
+
+TEST(Query, UnknownMetricYieldsEmptyTables) {
+  const QueryEngine query = fleet().query();
+  EXPECT_TRUE(query.top_k("QUERY_MEM", "NO_SUCH_METRIC", 3).cpus.empty());
+  EXPECT_TRUE(query.fleet_stats("QUERY_MEM", "NO_SUCH_METRIC").cpus.empty());
+}
+
+TEST(Query, NodeStatusAccountsEveryNode) {
+  const LoopbackCollector& c = fleet();
+  const api::ResultTable status = c.query().node_status();
+  EXPECT_EQ(status.group, "COLLECT_NODES");
+  ASSERT_EQ(status.cpus.size(), 8u);
+  auto row = [&](const std::string& name) -> const std::vector<double>* {
+    for (const auto& metric : status.metrics) {
+      if (metric.name == name) return &metric.values;
+    }
+    return nullptr;
+  };
+  const auto* dropped = row("frames dropped");
+  const auto* errors = row("decode errors");
+  const auto* ingested = row("samples ingested");
+  ASSERT_NE(dropped, nullptr);
+  ASSERT_NE(errors, nullptr);
+  ASSERT_NE(ingested, nullptr);
+  for (std::size_t col = 0; col < status.cpus.size(); ++col) {
+    EXPECT_EQ((*dropped)[col], 0.0) << col;
+    EXPECT_EQ((*errors)[col], 0.0) << col;
+    EXPECT_EQ((*ingested)[col], 40.0) << col;  // steps per node
+  }
+}
+
+}  // namespace
+}  // namespace likwid::collect

@@ -1,0 +1,274 @@
+// Tests for the tiered time-series store (collect/store.hpp): lossless
+// raw-tier reads, the chunk-close / downsample / fold / forget cascade,
+// bucket aggregate correctness against a hand-rolled reference, and the
+// accounting invariant that no sample ever leaves the store uncounted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collect/simfleet.hpp"
+#include "collect/store.hpp"
+#include "core/name_table.hpp"
+
+namespace likwid::collect {
+namespace {
+
+monitor::Sample make_sample(
+    std::uint64_t seq, const std::shared_ptr<const monitor::MetricSchema>& s,
+    std::vector<double> values, double interval = 0.1) {
+  monitor::Sample sample;
+  sample.sequence = seq;
+  sample.t_start = static_cast<double>(seq) * interval;
+  sample.t_end = sample.t_start + interval;
+  sample.schema = s;
+  sample.values = std::move(values);
+  return sample;
+}
+
+void expect_sample_bits(const monitor::Sample& got,
+                        const monitor::Sample& want, std::size_t i) {
+  EXPECT_EQ(got.sequence, want.sequence) << i;
+  EXPECT_EQ(got.t_start, want.t_start) << i;
+  EXPECT_EQ(got.t_end, want.t_end) << i;
+  ASSERT_EQ(got.values.size(), want.values.size()) << i;
+  for (std::size_t m = 0; m < want.values.size(); ++m) {
+    std::uint64_t a = 0, b = 0;
+    std::memcpy(&a, &got.values[m], sizeof(a));
+    std::memcpy(&b, &want.values[m], sizeof(b));
+    EXPECT_EQ(a, b) << "sample " << i << " slot " << m;
+  }
+}
+
+/// The reconciliation invariant from the store's file comment.
+void expect_accounted(const TimeSeriesStore& store) {
+  EXPECT_EQ(store.stats().samples_appended,
+            store.samples_in_raw() + store.samples_in_buckets() +
+                store.samples_in_summaries() +
+                store.stats().samples_forgotten);
+}
+
+TEST(Store, RawTierIsLossless) {
+  StoreConfig cfg;
+  cfg.chunk_points = 8;
+  cfg.raw_chunks_per_series = 100;  // nothing evicts
+  TimeSeriesStore store(cfg);
+  const auto schema = make_sim_schema("STORE_RAW", 3);
+  std::vector<monitor::Sample> appended;
+  for (std::uint64_t seq = 0; seq < 37; ++seq) {
+    appended.push_back(make_sample(
+        seq, schema,
+        {1000.0 + static_cast<double>(seq), -0.5, 1e9 / (1.0 + seq)}));
+    store.append(9, appended.back());
+  }
+  // 37 samples: 4 closed chunks of 8 plus 5 in the open tail.
+  EXPECT_EQ(store.stats().chunks_closed, 4u);
+  EXPECT_EQ(store.samples_in_raw(), 37u);
+  std::vector<monitor::Sample> out;
+  store.raw_samples(9, out);
+  ASSERT_EQ(out.size(), appended.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    expect_sample_bits(out[i], appended[i], i);
+  }
+  EXPECT_GT(store.retained_chunk_bytes(), 0u);
+  EXPECT_LT(store.stats().bytes_compressed, store.stats().bytes_uncompressed);
+  expect_accounted(store);
+}
+
+TEST(Store, SeriesArePerNodeAndGroup) {
+  TimeSeriesStore store;
+  const auto a = make_sim_schema("STORE_A", 1);
+  const auto b = make_sim_schema("STORE_B", 1);
+  store.append(1, make_sample(0, a, {1}));
+  store.append(1, make_sample(0, b, {2}));
+  store.append(2, make_sample(0, a, {3}));
+  EXPECT_EQ(store.nodes(), (std::vector<std::uint64_t>{1, 2}));
+  ASSERT_NE(store.series(1, a->group_id), nullptr);
+  ASSERT_NE(store.series(1, b->group_id), nullptr);
+  EXPECT_EQ(store.series(2, b->group_id), nullptr);
+  EXPECT_EQ(store.node_series(3), nullptr);
+  ASSERT_NE(store.node_series(1), nullptr);
+  EXPECT_EQ(store.node_series(1)->size(), 2u);
+}
+
+TEST(Store, DownsampleBucketsMatchManualAggregation) {
+  StoreConfig cfg;
+  cfg.chunk_points = 4;
+  cfg.raw_chunks_per_series = 1;  // evict aggressively into buckets
+  cfg.downsample_seconds = 1.0;
+  cfg.buckets_per_series = 1000;  // no folding in this test
+  TimeSeriesStore store(cfg);
+  const auto schema = make_sim_schema("STORE_DS", 2);
+  // interval 0.25 s -> 4 samples per 1 s bucket; 32 samples = 8 buckets'
+  // worth, most of which must have been downsampled out of the raw tier.
+  std::vector<monitor::Sample> appended;
+  for (std::uint64_t seq = 0; seq < 32; ++seq) {
+    appended.push_back(make_sample(
+        seq, schema,
+        {static_cast<double>((seq * 7) % 13), 100.0 - static_cast<double>(seq)},
+        0.25));
+    store.append(5, appended.back());
+  }
+  const Series* series = store.series(5, schema->group_id);
+  ASSERT_NE(series, nullptr);
+  EXPECT_GT(store.stats().chunks_evicted, 0u);
+  EXPECT_GT(store.stats().samples_downsampled, 0u);
+  expect_accounted(store);
+
+  // Rebuild the expected buckets from the appended samples that are no
+  // longer in the raw tier (the oldest samples_downsampled of them).
+  std::map<double, Bucket> expected;
+  for (std::uint64_t i = 0; i < store.stats().samples_downsampled; ++i) {
+    const monitor::Sample& s = appended[i];
+    const double window = std::floor(s.t_start / 1.0) * 1.0;
+    Bucket& bucket = expected[window];
+    if (bucket.count == 0) {
+      bucket.t_start = window;
+      bucket.t_end = window + 1.0;
+      bucket.agg.assign(s.values.size(), MetricAgg{});
+    }
+    for (std::size_t m = 0; m < s.values.size(); ++m) {
+      MetricAgg& agg = bucket.agg[m];
+      if (bucket.count == 0) {
+        agg = {s.values[m], s.values[m], s.values[m]};
+      } else {
+        agg.sum += s.values[m];
+        agg.min = std::min(agg.min, s.values[m]);
+        agg.max = std::max(agg.max, s.values[m]);
+      }
+    }
+    ++bucket.count;
+  }
+  ASSERT_EQ(series->buckets.size(), expected.size());
+  std::size_t index = 0;
+  for (const auto& [window, want] : expected) {
+    const Bucket& got = series->buckets[index++];
+    EXPECT_EQ(got.t_start, want.t_start);
+    EXPECT_EQ(got.count, want.count);
+    ASSERT_EQ(got.agg.size(), want.agg.size());
+    for (std::size_t m = 0; m < want.agg.size(); ++m) {
+      EXPECT_DOUBLE_EQ(got.agg[m].sum, want.agg[m].sum) << m;
+      EXPECT_EQ(got.agg[m].min, want.agg[m].min) << m;
+      EXPECT_EQ(got.agg[m].max, want.agg[m].max) << m;
+    }
+  }
+}
+
+TEST(Store, FoldsBucketsIntoSummaries) {
+  StoreConfig cfg;
+  cfg.chunk_points = 2;
+  cfg.raw_chunks_per_series = 1;
+  cfg.downsample_seconds = 0.2;  // one bucket per 2 samples at 0.1 s
+  cfg.buckets_per_series = 4;
+  cfg.summary_factor = 2;
+  cfg.summaries_per_series = 1000;
+  TimeSeriesStore store(cfg);
+  const auto schema = make_sim_schema("STORE_FOLD", 1);
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    store.append(2, make_sample(seq, schema, {static_cast<double>(seq)}));
+  }
+  const Series* series = store.series(2, schema->group_id);
+  ASSERT_NE(series, nullptr);
+  EXPECT_GT(store.stats().buckets_folded, 0u);
+  EXPECT_FALSE(series->summaries.empty());
+  EXPECT_EQ(store.stats().summaries_evicted, 0u);
+  expect_accounted(store);
+  // A summary spans summary_factor buckets and keeps min <= max with the
+  // combined count.
+  for (const Bucket& summary : series->summaries) {
+    EXPECT_GT(summary.count, 0u);
+    EXPECT_LT(summary.t_start, summary.t_end);
+    for (const MetricAgg& agg : summary.agg) {
+      EXPECT_LE(agg.min, agg.max);
+      EXPECT_LE(agg.min * static_cast<double>(summary.count), agg.sum);
+      EXPECT_GE(agg.max * static_cast<double>(summary.count), agg.sum);
+    }
+  }
+}
+
+TEST(Store, ForgetsOldestSummariesCounted) {
+  StoreConfig cfg;
+  cfg.chunk_points = 2;
+  cfg.raw_chunks_per_series = 1;
+  cfg.downsample_seconds = 0.2;
+  cfg.buckets_per_series = 2;
+  cfg.summary_factor = 2;
+  cfg.summaries_per_series = 2;  // tiny: data ages all the way out
+  TimeSeriesStore store(cfg);
+  const auto schema = make_sim_schema("STORE_FORGET", 1);
+  for (std::uint64_t seq = 0; seq < 400; ++seq) {
+    store.append(3, make_sample(seq, schema, {1.0}));
+  }
+  EXPECT_GT(store.stats().summaries_evicted, 0u);
+  EXPECT_GT(store.stats().samples_forgotten, 0u);
+  const Series* series = store.series(3, schema->group_id);
+  ASSERT_NE(series, nullptr);
+  EXPECT_LE(series->summaries.size(), cfg.summaries_per_series);
+  EXPECT_LE(series->buckets.size(), cfg.buckets_per_series);
+  EXPECT_LE(series->chunks.size(), cfg.raw_chunks_per_series);
+  expect_accounted(store);
+}
+
+TEST(Store, BoundedMemoryUnderSustainedLoad) {
+  // The whole point of the tier design: memory stays bounded no matter
+  // how long the stream runs. Two checkpoints far apart must retain the
+  // same number of samples and chunk bytes.
+  StoreConfig cfg;
+  cfg.chunk_points = 4;
+  cfg.raw_chunks_per_series = 2;
+  cfg.downsample_seconds = 0.4;
+  cfg.buckets_per_series = 4;
+  cfg.summary_factor = 2;
+  cfg.summaries_per_series = 4;
+  TimeSeriesStore store(cfg);
+  const auto schema = make_sim_schema("STORE_BOUND", 2);
+  SimFleetConfig fleet;
+  fleet.schemas = {schema};
+  fleet.num_nodes = 1;
+  SampleGenerator gen(fleet, 0);
+  std::uint64_t retained_at_1k = 0, bytes_at_1k = 0;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    store.append(0, gen.next());
+    if (i == 999) {
+      retained_at_1k = store.samples_in_raw() + store.samples_in_buckets() +
+                       store.samples_in_summaries();
+      bytes_at_1k = store.retained_chunk_bytes();
+    }
+  }
+  const std::uint64_t retained = store.samples_in_raw() +
+                                 store.samples_in_buckets() +
+                                 store.samples_in_summaries();
+  EXPECT_EQ(retained, retained_at_1k);
+  // Chunk byte sizes wobble a little with the values they compress; the
+  // bound is structural (chunk count), not byte-exact.
+  EXPECT_LT(store.retained_chunk_bytes(), bytes_at_1k * 2);
+  expect_accounted(store);
+}
+
+TEST(Store, AppendBatchMatchesSingleAppends) {
+  StoreConfig cfg;
+  cfg.chunk_points = 4;
+  TimeSeriesStore batch_store(cfg), single_store(cfg);
+  const auto schema = make_sim_schema("STORE_BATCH", 2);
+  std::vector<monitor::Sample> samples;
+  for (std::uint64_t seq = 0; seq < 11; ++seq) {
+    samples.push_back(
+        make_sample(seq, schema, {static_cast<double>(seq), 2.5}));
+  }
+  batch_store.append_batch(7, samples);
+  for (const auto& s : samples) single_store.append(7, s);
+  std::vector<monitor::Sample> a, b;
+  batch_store.raw_samples(7, a);
+  single_store.raw_samples(7, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_sample_bits(a[i], b[i], i);
+  EXPECT_EQ(batch_store.stats().samples_appended,
+            single_store.stats().samples_appended);
+}
+
+}  // namespace
+}  // namespace likwid::collect

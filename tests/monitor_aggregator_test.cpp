@@ -4,6 +4,7 @@
 // timestamps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -260,6 +261,109 @@ TEST(Aggregator, MultipleMetricsPerWindow) {
   EXPECT_EQ(points[0].metric(), "metric");
   EXPECT_EQ(points[1].metric(), "other");
   EXPECT_DOUBLE_EQ(points[1].stats.max, 11.0);
+}
+
+// --- WindowFolder merge edges ---------------------------------------------
+// The collector's query engine folds reconstructed sample batches through
+// the same WindowFolder the in-process Aggregator uses; these pin the
+// edges that fold must survive: empty input, one-sample windows, and
+// batch boundaries landing anywhere relative to window boundaries.
+
+TEST(WindowFolderTest, EmptyFolderFinishEmitsNothing) {
+  WindowFolder folder(0, 5);
+  folder.finish();
+  EXPECT_TRUE(folder.points().empty());
+  EXPECT_EQ(folder.samples_folded(), 0u);
+}
+
+TEST(WindowFolderTest, FinishIsIdempotent) {
+  WindowFolder folder(0, 3);
+  folder.add(make_sample(0, "WF_IDEM", {1.0}));
+  folder.finish();
+  ASSERT_EQ(folder.points().size(), 1u);
+  folder.finish();  // nothing left open; must not emit again
+  EXPECT_EQ(folder.points().size(), 1u);
+}
+
+TEST(WindowFolderTest, SingleSampleWindowsEmitPerSample) {
+  WindowFolder folder(3, 1);
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    folder.add(make_sample(seq, "WF_ONE", {static_cast<double>(seq) * 2}));
+  }
+  folder.finish();
+  const auto& points = folder.points();
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].window, static_cast<int>(i));
+    EXPECT_EQ(points[i].stats.count, 1u);
+    // A one-sample window is degenerate: min == avg == max == p95.
+    const double v = static_cast<double>(i) * 2;
+    EXPECT_DOUBLE_EQ(points[i].stats.min, v);
+    EXPECT_DOUBLE_EQ(points[i].stats.avg, v);
+    EXPECT_DOUBLE_EQ(points[i].stats.max, v);
+    EXPECT_DOUBLE_EQ(points[i].stats.p95, v);
+  }
+}
+
+/// Fold `samples` in batch-sized slices through one folder; the batching
+/// must be invisible (bit-equal points to a serial one-by-one fold).
+void expect_batched_fold_matches_serial(
+    const std::vector<Sample>& samples, int window_samples,
+    std::size_t batch_size) {
+  WindowFolder serial(7, window_samples);
+  for (const Sample& s : samples) serial.add(s);
+  serial.finish();
+
+  WindowFolder batched(7, window_samples);
+  for (std::size_t start = 0; start < samples.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, samples.size());
+    for (std::size_t i = start; i < end; ++i) batched.add(samples[i]);
+  }
+  batched.finish();
+
+  const auto& want = serial.points();
+  const auto& got = batched.points();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].window, want[i].window) << i;
+    EXPECT_EQ(got[i].group_id, want[i].group_id) << i;
+    EXPECT_EQ(got[i].metric_id, want[i].metric_id) << i;
+    EXPECT_EQ(got[i].t_start, want[i].t_start) << i;
+    EXPECT_EQ(got[i].t_end, want[i].t_end) << i;
+    EXPECT_EQ(got[i].stats.count, want[i].stats.count) << i;
+    // Bit-equality, not tolerance: the folds must be the same arithmetic.
+    EXPECT_EQ(got[i].stats.min, want[i].stats.min) << i;
+    EXPECT_EQ(got[i].stats.avg, want[i].stats.avg) << i;
+    EXPECT_EQ(got[i].stats.max, want[i].stats.max) << i;
+    EXPECT_EQ(got[i].stats.p95, want[i].stats.p95) << i;
+  }
+}
+
+TEST(WindowFolderTest, BatchBoundariesAreInvisibleToTheFold) {
+  // 23 samples, window 5: the quarantine cut lands mid-window for every
+  // batch size that does not divide 23 — including batch sizes that slice
+  // a window across three batches (size 2) and a trailing partial batch.
+  std::vector<Sample> samples;
+  for (std::uint64_t seq = 0; seq < 23; ++seq) {
+    samples.push_back(make_sample(
+        seq, "WF_BATCH", {100.0 + static_cast<double>((seq * 13) % 7)}));
+  }
+  for (const std::size_t batch_size : {1u, 2u, 4u, 5u, 7u, 23u, 64u}) {
+    expect_batched_fold_matches_serial(samples, 5, batch_size);
+  }
+}
+
+TEST(WindowFolderTest, BatchFoldMatchesSerialUnderGroupRotation) {
+  // Rotation interleaves two groups, so each batch cut also splits the
+  // PER-GROUP windows at uneven points.
+  std::vector<Sample> samples;
+  for (std::uint64_t seq = 0; seq < 17; ++seq) {
+    samples.push_back(make_sample(seq, seq % 2 == 0 ? "WF_ROT_A" : "WF_ROT_B",
+                                  {static_cast<double>(seq)}));
+  }
+  for (const std::size_t batch_size : {1u, 3u, 8u}) {
+    expect_batched_fold_matches_serial(samples, 4, batch_size);
+  }
 }
 
 }  // namespace

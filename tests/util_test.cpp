@@ -138,6 +138,32 @@ TEST(Strings, ParseSizeBytesMalformed) {
   EXPECT_FALSE(parse_size_bytes("17179869184GB").has_value());
 }
 
+TEST(Strings, ParseDurationUnits) {
+  // The monitoring tools' interval flags: "m" means minutes here, unlike
+  // parse_size_bytes where a bare "k"/"m" scales bytes.
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("500ms").value(), 0.5);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("10s").value(), 10.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("5m").value(), 300.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("5min").value(), 300.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("1.5h").value(), 5400.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("250us").value(), 0.00025);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("2.5").value(), 2.5);  // bare = s
+  EXPECT_DOUBLE_EQ(parse_duration_seconds(" 10 s ").value(), 10.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("10S").value(), 10.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("0s").value(), 0.0);
+}
+
+TEST(Strings, ParseDurationMalformed) {
+  EXPECT_FALSE(parse_duration_seconds("").has_value());
+  EXPECT_FALSE(parse_duration_seconds("s").has_value());     // bare unit
+  EXPECT_FALSE(parse_duration_seconds("10x").has_value());   // unknown unit
+  EXPECT_FALSE(parse_duration_seconds("10 ss").has_value());
+  EXPECT_FALSE(parse_duration_seconds("-5s").has_value());   // negative
+  EXPECT_FALSE(parse_duration_seconds("nan").has_value());
+  EXPECT_FALSE(parse_duration_seconds("inf").has_value());
+  EXPECT_FALSE(parse_duration_seconds("1e400ms").has_value());  // overflow
+}
+
 TEST(Strings, FormatMetricMatchesPaperStyle) {
   EXPECT_EQ(format_metric(1624.08), "1624.08");
   EXPECT_EQ(format_metric(0.693493), "0.693493");

@@ -45,13 +45,14 @@ int main(int argc, char** argv) {
     const cli::ArgParser args(
         argc, argv,
         {"--machines", "--nodes", "--threads", "--interval-ms",
-         "--duration-ms", "--group", "--window", "--ring", "--machine",
-         "--enum", "--seed", "--csv", "--xml", "--fault-plan",
-         "--max-restarts"});
+         "--duration-ms", "--interval", "--duration", "--group", "--window",
+         "--ring", "--machine", "--enum", "--seed", "--csv", "--xml",
+         "--fault-plan", "--max-restarts"});
     if (args.has("-h") || args.has("--help")) {
       std::cout
           << "Usage: likwid-agent [--nodes N] [--threads W]\n"
           << "                    [--interval-ms MS] [--duration-ms MS]\n"
+          << "                    [--interval DUR] [--duration DUR]\n"
           << "                    [--group G[;G2...]] [--window N]\n"
           << "                    [--ring N] [--no-rotate] [--seed S]\n"
           << "                    [--csv FILE] [--xml FILE]\n"
@@ -61,6 +62,8 @@ int main(int argc, char** argv) {
           << "--threads W > 1 shards the fleet over W worker threads with\n"
           << "live aggregation (0 = one worker per hardware thread);\n"
           << "--machines is accepted as an alias of --nodes.\n"
+          << "--interval/--duration accept unit suffixes (500ms, 10s, 5m)\n"
+          << "and override the legacy millisecond flags.\n"
           << "--fault-plan injects deterministic faults (e.g.\n"
           << "  7:msr-fail=0.05;msr-stale=0.03;crash=2 — see fault/plan.hpp\n"
           << "for the grammar); the agent quarantines faulted nodes,\n"
@@ -89,6 +92,20 @@ int main(int argc, char** argv) {
     LIKWID_REQUIRE(duration_ms > 0, "--duration-ms must be positive");
     cfg.duration_seconds = duration_ms / 1000.0;
     cfg.monitor.interval_seconds = interval_ms / 1000.0;
+    // --interval/--duration take unit-suffixed durations ("500ms", "10s",
+    // "5m") and win over the legacy millisecond flags when both appear.
+    if (const auto text = args.value("--interval")) {
+      const auto parsed = util::parse_duration_seconds(*text);
+      LIKWID_REQUIRE(parsed.has_value() && *parsed > 0,
+                     "--interval must be a positive duration (500ms, 10s, 5m)");
+      cfg.monitor.interval_seconds = *parsed;
+    }
+    if (const auto text = args.value("--duration")) {
+      const auto parsed = util::parse_duration_seconds(*text);
+      LIKWID_REQUIRE(parsed.has_value() && *parsed > 0,
+                     "--duration must be a positive duration (500ms, 10s, 5m)");
+      cfg.duration_seconds = *parsed;
+    }
     cfg.monitor.machine_preset = args.value_or("--machine", "westmere-ep");
     cfg.monitor.os_enumeration = args.value_or("--enum", "");
     cfg.monitor.groups =
