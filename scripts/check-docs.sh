@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# check-docs.sh — keep the docs/ suite honest. Three checks, all of which
+# fail CI rather than letting the documentation rot quietly:
+#
+#   1. Subsystem coverage: every src/*/ subsystem directory is mentioned
+#      in docs/ARCHITECTURE.md (the one-page system map must stay a map
+#      of the WHOLE system).
+#   2. Link resolution: every relative markdown link in docs/*.md and
+#      README.md points at a file that exists (anchors stripped).
+#   3. Stale references: every backtick-quoted repo path (src/...,
+#      tests/..., tools/..., bench/..., scripts/..., docs/...,
+#      examples/...) in docs/*.md and README.md resolves. Renaming a
+#      source file without updating the docs that cite it fails here.
+#
+# Usage: scripts/check-docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+fail() {
+  echo "check-docs: $1" >&2
+  status=1
+}
+
+# --- 1. every src subsystem appears in the architecture map ------------
+for dir in src/*/; do
+  subsystem="${dir%/}"
+  if ! grep -q "$subsystem" docs/ARCHITECTURE.md; then
+    fail "docs/ARCHITECTURE.md does not mention subsystem $subsystem"
+  fi
+done
+
+DOCS=(docs/*.md README.md)
+
+# --- 2. relative markdown links resolve --------------------------------
+for doc in "${DOCS[@]}"; do
+  dir="$(dirname "$doc")"
+  # [text](target) pairs; external links and pure anchors are skipped.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      fail "$doc links to missing file: $target"
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//;s/)$//')
+done
+
+# --- 3. backtick-quoted repo paths exist -------------------------------
+for doc in "${DOCS[@]}"; do
+  while IFS= read -r ref; do
+    # Globs and illustrative patterns are not concrete references.
+    case "$ref" in
+      *'*'*|*'...'*) continue ;;
+    esac
+    if [ ! -e "$ref" ]; then
+      fail "$doc references missing path: $ref"
+    fi
+  done < <(grep -oE '`(src|tests|tools|bench|scripts|docs|examples)/[^` ]+`' "$doc" |
+           tr -d '`' | sort -u)
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check-docs: OK (subsystem coverage, links, path references)"
+fi
+exit "$status"

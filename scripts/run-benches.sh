@@ -48,3 +48,7 @@ done
 echo
 echo "Trajectory files:"
 ls -l BENCH_*.json
+
+# The README perf table is generated from these files; keep it in step so
+# a trajectory refresh never leaves the prose stale (CI checks the sync).
+scripts/bench-table.sh

@@ -36,7 +36,9 @@ TIDY_PATHS=(
   src/fault/msr_fault.cpp
   src/fault/plan.cpp
   src/monitor/agent.cpp
+  src/monitor/collector.cpp
   src/monitor/health.cpp
+  tools/likwid-agent.cpp
   tools/likwid-lint.cpp
 )
 

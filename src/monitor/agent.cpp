@@ -10,7 +10,7 @@
 #include <utility>
 
 #include "fault/plan.hpp"
-#include "monitor/spsc_ring.hpp"
+#include "monitor/scheduler.hpp"
 #include "util/logging.hpp"
 #include "util/status.hpp"
 #include "util/thread_annotations.hpp"
@@ -19,12 +19,11 @@ namespace likwid::monitor {
 
 namespace {
 
-/// Terminal-failure latch shared by the worker pool and the aggregation
-/// thread. Under supervision only failures the policy cannot absorb land
-/// here — a worker out of restarts, or the aggregation thread dying — and
-/// the joining thread rethrows the first one. The mutex is an annotated
-/// capability so a future unlocked read of the slot fails -Wthread-safety
-/// instead of TSan.
+/// Terminal-failure latch shared by the worker pool. Under supervision
+/// only failures the policy cannot absorb land here — a worker out of
+/// restarts — and the joining thread rethrows the first one. The mutex is
+/// an annotated capability so a future unlocked read of the slot fails
+/// -Wthread-safety instead of TSan.
 class FailureLatch {
  public:
   /// Store the in-flight exception if the latch is still empty.
@@ -46,6 +45,15 @@ class FailureLatch {
   std::exception_ptr failure_ LIKWID_GUARDED_BY(mutex_);
 };
 
+/// Samples sitting in a task's OPEN windows: folded but not yet merged
+/// into the series as a closed row. This is what a quarantine flush
+/// discards, and therefore what the loss attribution counts.
+std::uint64_t open_sample_count(const NodeTask& task) {
+  std::uint64_t closed = 0;
+  for (const SeriesPoint& p : task.folder.points()) closed += p.stats.count;
+  return task.folder.samples_folded() - closed;
+}
+
 }  // namespace
 
 int FleetConfig::resolved_threads() const {
@@ -59,14 +67,8 @@ Agent::Agent(AgentConfig config) : cfg_(std::move(config)) {
   LIKWID_REQUIRE(cfg_.duration_seconds > 0, "duration must be positive");
   LIKWID_REQUIRE(cfg_.fleet.num_threads >= 0,
                  "worker thread count cannot be negative");
-  LIKWID_REQUIRE(cfg_.fleet.batch_samples > 0,
-                 "batch size must be positive");
-  LIKWID_REQUIRE(cfg_.fleet.queue_capacity > 0,
-                 "queue capacity must be positive");
   LIKWID_REQUIRE(cfg_.fleet.supervision.max_restarts >= 0,
                  "max restarts cannot be negative");
-  LIKWID_REQUIRE(cfg_.fleet.publish_deadline_seconds > 0,
-                 "publish deadline must be positive");
   health_ = std::make_unique<HealthRegistry>(
       cfg_.num_machines, cfg_.fleet.supervision.quarantine_after,
       cfg_.fleet.supervision.recover_after);
@@ -131,7 +133,6 @@ void Agent::run_serial(std::uint64_t total_steps) {
 
 void Agent::run_threaded(std::uint64_t total_steps, int workers) {
   const std::size_t machines = collectors_.size();
-  using SampleBatch = std::vector<Sample>;
   const fault::FaultPlan* plan = cfg_.monitor.fault_plan.get();
   const SupervisionConfig& sup = cfg_.fleet.supervision;
   // With a fault plan, node-level step failures are expected hardware
@@ -140,159 +141,227 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
   // retries, surfacing the failure after max_restarts).
   const bool supervised = plan != nullptr;
 
-  // One SPSC transport ring per collector: its worker is the single
-  // producer, the aggregation thread the single consumer.
-  std::vector<std::unique_ptr<SpscRing<SampleBatch>>> queues;
-  queues.reserve(machines);
+  // One task per node: collector + partial folds + progress. The task is
+  // the unit of stealing; whoever holds it has exclusive use of the node.
+  std::vector<std::unique_ptr<NodeTask>> tasks;
+  tasks.reserve(machines);
   for (std::size_t i = 0; i < machines; ++i) {
-    queues.push_back(
-        std::make_unique<SpscRing<SampleBatch>>(cfg_.fleet.queue_capacity));
+    tasks.push_back(std::make_unique<NodeTask>(
+        static_cast<int>(i), collectors_[i].get(),
+        cfg_.monitor.window_samples, total_steps));
   }
 
-  std::atomic<bool> producers_done{false};
-  std::atomic<bool> aggregation_alive{true};
+  // Per-worker deques, seeded with the same contiguous shards the old
+  // fixed split used (ceil(machines / workers) nodes each), so an
+  // unskewed fleet starts perfectly balanced and stealing only moves
+  // work when the balance actually breaks.
+  std::vector<TaskQueue> queues(static_cast<std::size_t>(workers));
+  const std::size_t per =
+      (machines + static_cast<std::size_t>(workers) - 1) /
+      static_cast<std::size_t>(workers);
+  for (std::size_t i = 0; i < machines; ++i) {
+    queues[std::min(i / per, static_cast<std::size_t>(workers) - 1)].push(
+        tasks[i].get());
+  }
+
+  std::atomic<std::size_t> remaining{machines};
+  std::atomic<bool> terminal{false};
   FailureLatch failure;
 
-  // Loss accounting. Every abandoned batch is attributed to exactly one
-  // reason and one machine — samples missing from the folded windows bias
-  // the aggregates, and that bias must never be silent. `lost_per_machine`
-  // elements are each written only by the machine's owning worker and read
-  // after the join.
-  std::atomic<std::uint64_t> lost_deadline{0};
-  std::atomic<std::uint64_t> lost_aggregator_down{0};
+  // Loss accounting. The task scheduler has exactly one loss mode — the
+  // quarantine flush — and it is attributed to its machine: samples
+  // missing from the folded windows bias the aggregates, and that bias
+  // must never be silent. `lost_per_machine` / `steals_per_machine`
+  // elements are only ever written by the worker exclusively holding that
+  // machine's task, and read after the join.
   std::atomic<std::uint64_t> lost_quarantined{0};
   std::vector<std::uint64_t> lost_per_machine(machines, 0);
-  util::LogRateLimiter give_up_log(16);
+  std::vector<std::uint64_t> steals_per_machine(machines, 0);
+  std::atomic<std::uint64_t> slices_folded{0};
+  std::atomic<std::uint64_t> steals_total{0};
+  std::vector<std::size_t> final_batch(static_cast<std::size_t>(workers),
+                                       cfg_.fleet.batch_samples);
 
-  // Publish with bounded backpressure: a full transport ring means the
-  // aggregation thread is behind, so the worker retries — but only within
-  // the publish deadline. A dead aggregation thread or an expired deadline
-  // gives the batch up as lost (attributed, health-recorded, rate-limit
-  // logged) instead of wedging the pool on a ring nobody drains.
-  const auto publish = [&](std::size_t machine, SampleBatch&& batch) {
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(
-                cfg_.fleet.publish_deadline_seconds));
-    while (!queues[machine]->try_push(std::move(batch))) {
-      const bool agg_down =
-          !aggregation_alive.load(std::memory_order_acquire);
-      if (agg_down || std::chrono::steady_clock::now() >= deadline) {
-        (agg_down ? lost_aggregator_down : lost_deadline)
-            .fetch_add(1, std::memory_order_relaxed);
-        ++lost_per_machine[machine];
-        health_->record_lost_batch(static_cast<int>(machine));
-        if (give_up_log.tick()) {
-          LIKWID_WARN("transport: gave up batch of machine "
-                      << machine
-                      << (agg_down ? " (aggregation thread down); "
-                                   : " (publish deadline exceeded); ")
-                      << give_up_log.occurrences() << " give-up(s) so far");
-        }
-        return;
+  // Steal from the busiest other queue — the victim whose owner is the
+  // furthest behind — taking from the thief end (the work the owner
+  // would reach last).
+  const auto steal_task = [&](int self) -> NodeTask* {
+    int victim = -1;
+    std::size_t victim_size = 0;
+    for (int q = 0; q < workers; ++q) {
+      if (q == self) continue;
+      const std::size_t size = queues[static_cast<std::size_t>(q)].size();
+      if (size > victim_size) {
+        victim_size = size;
+        victim = q;
       }
-      std::this_thread::yield();
     }
+    if (victim < 0) return nullptr;
+    return queues[static_cast<std::size_t>(victim)].steal();
   };
 
-  // A worker's progress lives OUTSIDE its try scope so a restart resumes
-  // exactly where the crash interrupted — already-stepped collectors are
-  // not re-stepped, which is what keeps healthy-node sample streams (and
-  // therefore the folded windows) bit-equal to a crash-free run.
-  struct WorkerState {
-    std::uint64_t step = 0;        ///< next fleet step to run
-    std::size_t node = 0;          ///< next collector (absolute index)
-    std::size_t crash_idx = 0;     ///< injected crashes consumed
-    std::vector<SampleBatch> batches;
-    bool flushed = false;
-  };
-
-  const auto worker_body = [&](WorkerState& st, std::size_t lo,
-                               std::size_t hi,
-                               const std::vector<std::uint64_t>& crashes) {
-    while (st.step < total_steps) {
-      if (st.node == lo && st.crash_idx < crashes.size() &&
-          crashes[st.crash_idx] == st.step) {
-        // Consume the schedule entry BEFORE throwing: the restarted body
-        // must resume past this crash, not re-crash forever.
-        ++st.crash_idx;
-        throw_error(ErrorCode::kInternal,
-                    "injected worker crash at step " +
-                        std::to_string(st.step));
-      }
-      while (st.node < hi) {
-        const std::size_t i = st.node;
-        const int id = static_cast<int>(i);
-        SampleBatch& batch = st.batches[i - lo];
-        if (supervised && health_->quarantined(id)) {
-          ++st.node;
+  // Run one slice of `task`: up to the tuner's slice length of
+  // consecutive sampling steps, each folded immediately into the task's
+  // folder — the no-transport hot path. Returns true when the task was
+  // retired (finished or quarantined), false when it went back on the
+  // worker's queue.
+  const auto run_slice = [&](int w, BatchAutotuner& tuner, NodeTask* task) {
+    const std::size_t slice_len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(tuner.current(),
+                                task->total_steps - task->next_step));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t attempts = 0;
+    bool retire = false;
+    for (std::size_t k = 0; k < slice_len; ++k) {
+      if (terminal.load(std::memory_order_acquire)) break;
+      const int id = task->machine;
+      if (supervised) {
+        try {
+          task->collector->step();
+        } catch (const std::exception& e) {
+          // The attempt is consumed — exactly like the serial loop, a
+          // faulted step leaves a hole in the stream, it does not stall
+          // the schedule.
+          ++task->next_step;
+          ++attempts;
+          if (health_->record_fault(id, e.what()) ==
+              NodeHealth::kQuarantined) {
+            // The node's open partial windows hold samples taken while
+            // its device was already failing — discard, attributed.
+            if (open_sample_count(*task) > 0) {
+              lost_quarantined.fetch_add(1, std::memory_order_relaxed);
+              ++lost_per_machine[static_cast<std::size_t>(id)];
+              health_->record_lost_batch(id);
+            }
+            LIKWID_WARN("fleet: machine " << id
+                                          << " quarantined: " << e.what());
+            retire = true;
+            break;
+          }
           continue;
         }
-        if (supervised) {
-          try {
-            collectors_[i]->step();
-          } catch (const std::exception& e) {
-            if (health_->record_fault(id, e.what()) ==
-                NodeHealth::kQuarantined) {
-              // The node's in-flight batch may hold samples taken while
-              // its device was already failing — discard, attributed.
-              if (!batch.empty()) {
-                lost_quarantined.fetch_add(1, std::memory_order_relaxed);
-                ++lost_per_machine[i];
-                health_->record_lost_batch(id);
-                batch.clear();
-              }
-              LIKWID_WARN("fleet: machine " << id
-                                            << " quarantined: " << e.what());
-            }
-            ++st.node;
-            continue;
-          }
-          health_->record_sample_ok(id);
-        } else {
-          collectors_[i]->step();
-        }
-        batch.push_back(collectors_[i]->samples().back());
-        if (batch.size() >= cfg_.fleet.batch_samples) {
-          publish(i, std::move(batch));
-          batch = SampleBatch();
-        }
-        ++st.node;
+        health_->record_sample_ok(id);
+      } else {
+        task->collector->step();
       }
-      st.node = lo;
-      ++st.step;
+      task->folder.add(task->collector->samples().back());
+      ++task->next_step;
+      ++attempts;
+      task->samples_folded.fetch_add(1, std::memory_order_relaxed);
+      task->rows_emitted.store(task->folder.points().size(),
+                               std::memory_order_relaxed);
     }
-    if (!st.flushed) {
-      st.flushed = true;
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (!st.batches[i - lo].empty()) {
-          publish(i, std::move(st.batches[i - lo]));
+    // Injected slow fold consumer: the fault layer's scheduling-pressure
+    // knob. Slowing every merge stretches the run exactly like an
+    // overloaded real fold path — but, unlike the old transport rings,
+    // nothing backs up and nothing can be lost to it.
+    if (plan != nullptr && plan->slow_consumer_us() > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(plan->slow_consumer_us()));
+    }
+    slices_folded.fetch_add(1, std::memory_order_relaxed);
+    tuner.observe(attempts,
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+    if (retire) {
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    if (task->done()) {
+      // Merge the trailing partial windows at close — the only moment a
+      // task's open folds ever become series rows.
+      task->folder.finish();
+      task->rows_emitted.store(task->folder.points().size(),
+                               std::memory_order_relaxed);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    queues[static_cast<std::size_t>(w)].push(task);
+    return false;
+  };
+
+  // Worker progress lives OUTSIDE the restart loop so a restarted body
+  // resumes where the crash interrupted — the crash schedule is consumed
+  // exactly once and the in-flight task is re-queued, never lost.
+  struct WorkerState {
+    std::uint64_t acquisitions = 0;  ///< slices acquired so far
+    std::size_t crash_idx = 0;       ///< injected crashes consumed
+    NodeTask* in_flight = nullptr;   ///< task held when a crash hit
+    BatchAutotuner tuner;
+    explicit WorkerState(std::size_t configured_batch)
+        : tuner(configured_batch) {}
+  };
+
+  const auto worker_body = [&](int w, WorkerState& st,
+                               const std::vector<std::uint64_t>& crashes) {
+    while (!terminal.load(std::memory_order_acquire)) {
+      // Injected crashes fire at acquisition points — never with a task
+      // in flight — keyed on this worker's acquisition count. Consume the
+      // schedule entry BEFORE throwing: the restarted body must resume
+      // past this crash, not re-crash forever.
+      if (st.crash_idx < crashes.size() &&
+          st.acquisitions >= crashes[st.crash_idx]) {
+        ++st.crash_idx;
+        throw_error(ErrorCode::kInternal,
+                    "injected worker crash after " +
+                        std::to_string(st.acquisitions) + " slices");
+      }
+      NodeTask* task = queues[static_cast<std::size_t>(w)].pop();
+      if (task == nullptr) {
+        task = steal_task(w);
+        if (task != nullptr) {
+          ++task->steals;
+          steals_total.fetch_add(1, std::memory_order_relaxed);
+          ++steals_per_machine[static_cast<std::size_t>(task->machine)];
         }
       }
+      if (task == nullptr) {
+        if (remaining.load(std::memory_order_acquire) == 0) break;
+        std::this_thread::yield();
+        continue;
+      }
+      ++st.acquisitions;
+      st.in_flight = task;
+      run_slice(w, st.tuner, task);
+      st.in_flight = nullptr;
+    }
+    // Exit drain: crashes the schedule still owes this worker fire now,
+    // so a chaos run absorbs a deterministic restart count no matter how
+    // the stealing race distributed the slices.
+    if (!terminal.load(std::memory_order_acquire) &&
+        st.crash_idx < crashes.size()) {
+      ++st.crash_idx;
+      throw_error(ErrorCode::kInternal, "injected worker crash at exit");
     }
   };
 
   // In-place supervision: the thread survives its body's exceptions and
-  // re-enters it (state preserved) after capped exponential backoff with
-  // a deterministic plan-drawn jitter. Out of restarts — or no consumer
-  // left to publish to — the failure is terminal and latched.
-  const auto worker_thread = [&](int w, std::size_t lo, std::size_t hi) {
-    WorkerState st;
-    st.node = lo;
-    st.batches.assign(hi - lo, SampleBatch());
+  // re-enters it (state preserved, in-flight task re-queued) after capped
+  // exponential backoff with a deterministic plan-drawn jitter. Out of
+  // restarts, the failure is terminal and latched.
+  const auto worker_thread = [&](int w) {
+    WorkerState st(cfg_.fleet.batch_samples);
     const std::vector<std::uint64_t> crashes =
         plan != nullptr
             ? plan->crash_steps(w, workers, total_steps)
             : std::vector<std::uint64_t>{};
     for (int restarts = 0;;) {
       try {
-        worker_body(st, lo, hi, crashes);
-        return;
+        worker_body(w, st, crashes);
+        break;
       } catch (...) {
-        if (restarts >= sup.max_restarts ||
-            !aggregation_alive.load(std::memory_order_acquire)) {
+        if (st.in_flight != nullptr) {
+          // The crash interrupted a slice: the task's progress counters
+          // are consistent (each step updates them atomically with its
+          // fold), so re-queueing resumes the node exactly where the
+          // crash left it.
+          queues[static_cast<std::size_t>(w)].push(st.in_flight);
+          st.in_flight = nullptr;
+        }
+        if (restarts >= sup.max_restarts) {
           failure.record();
+          terminal.store(true, std::memory_order_release);
           return;
         }
         ++restarts;
@@ -313,114 +382,87 @@ void Agent::run_threaded(std::uint64_t total_steps, int workers) {
             std::chrono::duration<double, std::milli>(delay_ms));
       }
     }
-  };
-
-  const auto aggregator_body = [&]() {
-    try {
-      std::vector<WindowFolder> folders;
-      folders.reserve(machines);
-      for (std::size_t i = 0; i < machines; ++i) {
-        folders.emplace_back(static_cast<int>(i),
-                             cfg_.monitor.window_samples);
-      }
-      const auto t0 = std::chrono::steady_clock::now();
-      auto last_report = t0;
-      std::vector<SampleBatch> burst;
-      for (;;) {
-        // Injected slow consumer: the fault layer's transport-pressure
-        // knob. Sleeping here backs the rings up exactly like an
-        // overloaded real aggregation service.
-        if (plan != nullptr && plan->slow_consumer_us() > 0) {
-          std::this_thread::sleep_for(
-              std::chrono::microseconds(plan->slow_consumer_us()));
-        }
-        // Load the done flag BEFORE draining: if it was already set and
-        // the drain still finds nothing, no producer can publish again.
-        const bool done = producers_done.load(std::memory_order_acquire);
-        bool any = false;
-        for (std::size_t i = 0; i < machines; ++i) {
-          burst.clear();
-          if (queues[i]->drain_into(burst, cfg_.fleet.queue_capacity) > 0) {
-            for (const SampleBatch& batch : burst) {
-              for (const Sample& s : batch) folders[i].add(s);
-            }
-            any = true;
-          }
-        }
-        if (progress_) {
-          const auto now = std::chrono::steady_clock::now();
-          if (std::chrono::duration<double>(now - last_report).count() >=
-              progress_interval_seconds_) {
-            last_report = now;
-            FleetProgress p;
-            p.elapsed_seconds =
-                std::chrono::duration<double>(now - t0).count();
-            for (const WindowFolder& f : folders) {
-              p.samples_folded += f.samples_folded();
-              p.rows_emitted += f.points().size();
-            }
-            progress_(p);
-          }
-        }
-        if (!any) {
-          if (done) break;
-          std::this_thread::yield();
-        }
-      }
-      folded_.assign(machines, {});
-      for (std::size_t i = 0; i < machines; ++i) {
-        folders[i].finish();
-        folded_[i] = folders[i].take_points();
-      }
-    } catch (...) {
-      failure.record();
-      aggregation_alive.store(false, std::memory_order_release);
-    }
+    final_batch[static_cast<std::size_t>(w)] = st.tuner.current();
   };
 
   folded_.clear();
-  std::thread aggregation(aggregator_body);
+  // Lightweight progress thread (only when a callback is installed): it
+  // sums the tasks' monotonic fold counters — the workers never stop to
+  // report. One final report fires before the thread exits, so every
+  // threaded run reports at least once.
+  std::atomic<bool> pool_done{false};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread progress_thread;
+  if (progress_) {
+    progress_thread = std::thread([&]() {
+      const auto report = [&]() {
+        FleetProgress p;
+        p.elapsed_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        for (const auto& task : tasks) {
+          p.samples_folded +=
+              task->samples_folded.load(std::memory_order_acquire);
+          p.rows_emitted +=
+              task->rows_emitted.load(std::memory_order_acquire);
+        }
+        progress_(p);
+      };
+      const auto tick = std::chrono::duration<double>(
+          std::min(progress_interval_seconds_, 0.05));
+      auto last = t0;
+      while (!pool_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(tick);
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration<double>(now - last).count() >=
+            progress_interval_seconds_) {
+          last = now;
+          report();
+        }
+      }
+      report();
+    });
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
-  // Contiguous shards, sized ceil(machines / workers): worker w steps
-  // collectors [w*per, min((w+1)*per, machines)).
-  const std::size_t per =
-      (machines + static_cast<std::size_t>(workers) - 1) /
-      static_cast<std::size_t>(workers);
   for (int w = 0; w < workers; ++w) {
-    const std::size_t lo =
-        std::min(static_cast<std::size_t>(w) * per, machines);
-    const std::size_t hi = std::min(lo + per, machines);
-    if (lo >= hi) break;
-    pool.emplace_back(worker_thread, w, lo, hi);
+    pool.emplace_back(worker_thread, w);
   }
   for (std::thread& t : pool) t.join();
-  producers_done.store(true, std::memory_order_release);
-  aggregation.join();
-  // Harvest the transport accounting before the rings go away: rejected()
-  // was previously counted but never surfaced, leaving backpressure (and
-  // any lost batches) invisible to tools and tests.
+  pool_done.store(true, std::memory_order_release);
+  if (progress_thread.joinable()) progress_thread.join();
+
+  // Harvest the scheduler accounting before the tasks go away. The
+  // reported batch is the configured value, or — when autotuning — the
+  // median of the workers' final slice lengths.
   transport_ = FleetTransportStats{};
-  transport_.rejects_per_machine.reserve(machines);
-  for (std::size_t i = 0; i < machines; ++i) {
-    transport_.batches_published += queues[i]->pushed();
-    transport_.rejects += queues[i]->rejected();
-    transport_.rejects_per_machine.push_back(queues[i]->rejected());
-  }
-  transport_.lost_deadline = lost_deadline.load(std::memory_order_relaxed);
-  transport_.lost_aggregator_down =
-      lost_aggregator_down.load(std::memory_order_relaxed);
+  transport_.slices_folded = slices_folded.load(std::memory_order_relaxed);
+  transport_.steals = steals_total.load(std::memory_order_relaxed);
   transport_.lost_quarantined =
       lost_quarantined.load(std::memory_order_relaxed);
-  transport_.batches_lost = transport_.lost_deadline +
-                            transport_.lost_aggregator_down +
-                            transport_.lost_quarantined;
+  transport_.batches_lost = transport_.lost_quarantined;
+  transport_.steals_per_machine = std::move(steals_per_machine);
   transport_.lost_per_machine = std::move(lost_per_machine);
+  transport_.batch_autotuned = cfg_.fleet.batch_samples == 0;
+  if (transport_.batch_autotuned) {
+    std::nth_element(final_batch.begin(),
+                     final_batch.begin() + final_batch.size() / 2,
+                     final_batch.end());
+    transport_.batch_steps = final_batch[final_batch.size() / 2];
+  } else {
+    transport_.batch_steps = cfg_.fleet.batch_samples;
+  }
   if (const std::exception_ptr first = failure.first()) {
     // A failed run must not present partially folded windows as valid
     // rollups; fall back to the retention rings.
     folded_.clear();
     std::rethrow_exception(first);
+  }
+  folded_.assign(machines, {});
+  for (std::size_t i = 0; i < machines; ++i) {
+    folded_[i] = tasks[i]->folder.take_points();
   }
   steps_ += total_steps;
 }
@@ -455,7 +497,7 @@ api::ResultTable Agent::health_report() const {
   api::ResultTable::MetricRow faults{"Step faults", {}};
   api::ResultTable::MetricRow ok{"Samples ok", {}};
   api::ResultTable::MetricRow lost{"Batches lost", {}};
-  api::ResultTable::MetricRow rejects{"Transport rejects", {}};
+  api::ResultTable::MetricRow steals{"Task steals", {}};
   for (const NodeHealthSnapshot& s : health_->snapshots()) {
     table.cpus.push_back(s.machine_id);
     state.values.push_back(static_cast<double>(static_cast<int>(s.state)));
@@ -463,13 +505,13 @@ api::ResultTable Agent::health_report() const {
     ok.values.push_back(static_cast<double>(s.samples_ok));
     lost.values.push_back(static_cast<double>(s.batches_lost));
     const auto id = static_cast<std::size_t>(s.machine_id);
-    rejects.values.push_back(
-        id < transport_.rejects_per_machine.size()
-            ? static_cast<double>(transport_.rejects_per_machine[id])
+    steals.values.push_back(
+        id < transport_.steals_per_machine.size()
+            ? static_cast<double>(transport_.steals_per_machine[id])
             : 0.0);
   }
   table.metrics = {std::move(state), std::move(faults), std::move(ok),
-                   std::move(lost), std::move(rejects)};
+                   std::move(lost), std::move(steals)};
   return table;
 }
 

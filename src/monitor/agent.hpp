@@ -2,33 +2,39 @@
 //
 // An Agent owns one Collector per monitored machine and advances the whole
 // fleet in lockstep sampling intervals. With FleetConfig::num_threads == 1
-// it is the original serial loop; with N > 1 it becomes a thread-pooled
-// scheduler: the collectors are sharded over N worker threads (one worker
-// per num_machines/N nodes), each worker publishes Sample batches into a
-// per-collector lock-free SPSC transport ring (monitor/spsc_ring.hpp), and
-// one dedicated aggregation thread drains the rings and folds the samples
-// into min/avg/max/p95 windows as they arrive (monitor::WindowFolder).
+// it is the original serial loop; with N > 1 it becomes a work-stealing
+// task scheduler (monitor/scheduler.hpp): every node is a NodeTask
+// carrying its collector AND its WindowFolder, tasks start sharded over N
+// per-worker deques, and the worker holding a task steps the node and
+// folds each sample immediately into the task's folder. Partial folds
+// merge into the fleet series only at window close; there is no
+// aggregation thread and no transport ring on the hot path — the design
+// that replaced the PR 4 worker/aggregator split after it bottlenecked
+// the whole fleet on one consumer (0.84x serial at 8 workers).
 //
-//   worker 0 ── step ──> Collector 0 ─┐ batch   ┌> SpscRing 0 ─┐
-//              step ──> Collector 1 ─┤ ──────> ├> SpscRing 1 ─┼─> aggregation
-//   worker 1 ── step ──> Collector 2 ─┤         ├> SpscRing 2 ─┤   thread
-//              step ──> Collector 3 ─┘         └> SpscRing 3 ─┘   (folds
-//                                                                  windows)
+//   worker 0  deque: [task 0][task 1] ── slice ──> step node, fold local
+//   worker 1  deque: [task 2][task 3] ── slice ──> step node, fold local
+//      │                        ▲
+//      └── idle? steal from the ┘      rows emitted at window close only;
+//          busiest other deque         per-node folders concatenate after
+//                                      the join (fleet-ordered)
 //
 // Collectors are independent by construction (each owns its node, clock
-// and RNG stream), so a machine's sample stream is identical no matter
-// which worker steps it: threaded rollups are bit-equal to the serial
-// fold over the same samples. The two paths differ only when the per-
-// collector retention ring overwrote samples — the serial rollup reads the
-// retained ring, the aggregation thread saw every sample live.
+// and RNG stream) and a task is held by exactly one worker at a time, so
+// a machine's sample stream — and its fold order — is identical no matter
+// how often its task is stolen: threaded rollups are bit-equal to the
+// serial fold over the same samples. The two paths differ only when the
+// per-collector retention ring overwrote samples — the serial rollup
+// reads the retained ring, the task's folder saw every sample live.
 //
 // The scheduler SUPERVISES rather than failing fast: a sampling step that
 // throws marks the node in the HealthRegistry (degraded, then quarantined
-// after repeated faults — quarantined nodes are skipped and excluded from
-// rollups); a worker thread that dies is restarted in place with capped,
-// jittered exponential backoff, up to SupervisionConfig::max_restarts
-// before the failure turns terminal. Aggregation-thread death stays
-// terminal — without the consumer there is nothing to supervise for.
+// after repeated faults — a quarantined node's task is retired and its
+// partial windows are discarded with attributed loss); a worker thread
+// that dies is restarted in place with capped, jittered exponential
+// backoff, up to SupervisionConfig::max_restarts before the failure turns
+// terminal. Its in-flight task is re-queued first, so no node loses
+// progress to a worker crash.
 #pragma once
 
 #include <cstdint>
@@ -51,33 +57,41 @@ struct AgentConfig {
   double duration_seconds = 1.0;  ///< simulated time run() covers
 };
 
-/// Snapshot handed to the progress callback from the aggregation thread.
+/// Snapshot handed to the progress callback during a threaded run.
 struct FleetProgress {
   double elapsed_seconds = 0;        ///< real time since run() started
   std::uint64_t samples_folded = 0;  ///< samples folded into windows so far
   std::uint64_t rows_emitted = 0;    ///< rollup rows closed so far
 };
 
-/// Transport-ring accounting of the last threaded run. Backpressure must
-/// not be invisible: a full SPSC ring makes the worker retry (counted as
-/// a reject), and every batch LOST carries an attribution — lost batches
-/// bias the window aggregates, so tools surface the counters next to the
-/// retention ring's dropped() line, and the chaos tests assert the loss
-/// reasons add up to the total (no silent loss path).
+/// Scheduling and loss accounting of the last threaded run. The old
+/// transport rings are gone — a worker folds its own samples, so
+/// backpressure (and its deadline/aggregator-down loss modes) is
+/// structurally impossible. What remains observable is the scheduler
+/// itself: how many task slices ran, how many were acquired by stealing,
+/// what slice length the autotuner settled on — and the one loss mode
+/// left, the quarantine flush, still fully attributed (the chaos tests
+/// assert the reasons sum to the total; no silent loss path).
 struct FleetTransportStats {
-  std::uint64_t batches_published = 0;  ///< batches that reached the rings
-  std::uint64_t rejects = 0;            ///< try_push bounces (retried)
-  std::uint64_t batches_lost = 0;       ///< gave up: samples missing
-  /// Loss attribution; the three always sum to `batches_lost`.
-  std::uint64_t lost_deadline = 0;         ///< publish deadline expired
-  std::uint64_t lost_aggregator_down = 0;  ///< aggregation thread died
-  std::uint64_t lost_quarantined = 0;      ///< flushed at node quarantine
-  /// Per-machine reject counts, fleet-ordered (which collector's worker
-  /// was bouncing off a full ring).
-  std::vector<std::uint64_t> rejects_per_machine;
+  std::uint64_t slices_folded = 0;  ///< task slices executed (fold batches)
+  std::uint64_t steals = 0;         ///< slices acquired by work stealing
+  std::uint64_t batches_lost = 0;   ///< partial folds discarded: samples
+                                    ///< missing from the series
+  /// Loss attribution; always sums to `batches_lost`. Quarantine flush is
+  /// the only loss mode of the task scheduler (a quarantined node's open
+  /// partial windows are discarded — its data is untrusted).
+  std::uint64_t lost_quarantined = 0;
+  /// Per-machine steal counts, fleet-ordered (whose tasks migrated —
+  /// the slow shard under a skewed fleet).
+  std::vector<std::uint64_t> steals_per_machine;
   /// Per-machine lost-batch counts, fleet-ordered (who the lost samples
   /// belonged to — pairs with HealthRegistry's per-node batches_lost).
   std::vector<std::uint64_t> lost_per_machine;
+  /// Slice length the run actually used: the autotuner's final choice
+  /// when FleetConfig::batch_samples was 0, the configured value
+  /// otherwise. Surfaced so bench runs record what the tuner chose.
+  std::size_t batch_steps = 0;
+  bool batch_autotuned = false;  ///< batch_steps came from the autotuner
 };
 
 class Agent {
@@ -132,10 +146,11 @@ class Agent {
     return transport_;
   }
 
-  /// Install a live progress callback, invoked from the aggregation
-  /// thread roughly every `interval_seconds` of real time during a
-  /// threaded run (never from a serial run). The callback must be
-  /// thread-safe with respect to the caller's own state.
+  /// Install a live progress callback, invoked from a lightweight
+  /// progress thread roughly every `interval_seconds` of real time during
+  /// a threaded run (never from a serial run; at least once per threaded
+  /// run). The callback must be thread-safe with respect to the caller's
+  /// own state.
   void set_progress(std::function<void(const FleetProgress&)> callback,
                     double interval_seconds = 0.5);
 

@@ -62,13 +62,15 @@ double node_reduce(const std::string& metric_name,
 /// Streaming per-machine window folder: feed it one machine's samples in
 /// production order (add), flush the trailing partials (finish), read the
 /// emitted rollup rows (points). One folder per machine is exactly the
-/// state the fleet's aggregation thread keeps while it drains sample
-/// batches; Aggregator::rollup() runs the identical fold over a retained
-/// ring, so batch and streaming aggregation emit the same rows by
-/// construction.
+/// sharded fold state a fleet `NodeTask` carries through the work-stealing
+/// scheduler (scheduler.hpp); Aggregator::rollup() runs the identical fold
+/// over a retained ring, so batch and streaming aggregation emit the same
+/// rows by construction. The collector daemon's query path folds with it
+/// too, which is what makes collector rollups bit-equal to in-process ones.
 ///
 /// Thread-safety: none. A folder is owned by whichever single thread folds
-/// that machine (the aggregation thread during a fleet run).
+/// that machine — under the fleet scheduler, the worker currently holding
+/// the machine's task (exclusive by construction, even across steals).
 class WindowFolder {
  public:
   /// Windows close after `window_samples` consecutive samples of the same

@@ -53,6 +53,13 @@ Collector::Collector(int machine_id, MonitorConfig config)
   // Validated here, not first in Aggregator, so a bad window length fails
   // before any monitoring time is spent.
   LIKWID_REQUIRE(cfg_.window_samples > 0, "window length must be positive");
+  LIKWID_REQUIRE(cfg_.device_latency_us >= 0,
+                 "device latency cannot be negative");
+  LIKWID_REQUIRE(cfg_.device_latency_skew >= 0,
+                 "device latency skew cannot be negative");
+  device_latency_us_ =
+      cfg_.device_latency_us *
+      (1.0 + cfg_.device_latency_skew * static_cast<double>(machine_id));
 
   session_ = api::Session::configure()
                  .name("likwid-agent machine " + std::to_string(machine_id))
@@ -105,6 +112,15 @@ void Collector::step() {
   if (fault_.stall && cfg_.fault_plan != nullptr) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(cfg_.fault_plan->stall_us()));
+  }
+  // Simulated counter-access latency: block the way a real node agent
+  // blocks on /dev/msr, sysfs or a management network round trip. Wall
+  // time only — simulated time and the sample below are untouched, so the
+  // sleep can never perturb rollups. This is the path worker threads
+  // overlap (and the skewed variant is how tests force work stealing).
+  if (device_latency_us_ > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(device_latency_us_));
   }
 
   const double interval = cfg_.interval_seconds;

@@ -90,6 +90,9 @@ class Collector {
   /// simulated second), calibrated after every slice; sizes the next slice
   /// to hit its time target.
   double fraction_per_second_ = 1e-3;
+  /// This node's resolved per-step counter-access latency:
+  /// `device_latency_us * (1 + device_latency_skew * machine_id)`.
+  double device_latency_us_ = 0;
   std::uint64_t steps_ = 0;
 };
 

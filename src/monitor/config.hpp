@@ -57,6 +57,22 @@ struct MonitorConfig {
   /// Base RNG seed; collectors offset it by their machine id so a fleet is
   /// deterministic yet not in lockstep.
   std::uint64_t seed = 42;
+  /// Simulated per-sample counter-access latency in microseconds: each
+  /// sampling step blocks this long before closing its interval, the way
+  /// a real node agent blocks on /dev/msr, sysfs or a management network
+  /// round trip. The sleep burns wall time only — simulated time and the
+  /// sample stream are untouched, so latency never perturbs rollups. This
+  /// is the regime the fleet scheduler exists for: overlapping many
+  /// blocked acquisitions is what worker threads buy (the paper's
+  /// negligible-overhead requirement is about exactly this path). 0 (the
+  /// default) keeps steps latency-free.
+  double device_latency_us = 0;
+  /// Linear per-node latency skew: node `i` blocks
+  /// `device_latency_us * (1 + device_latency_skew * i)` per step.
+  /// Skewed fleets are how tests and the bench force work stealing —
+  /// workers owning cheap nodes drain their queues first and steal from
+  /// the slow shard. 0 keeps the fleet uniform.
+  double device_latency_skew = 0;
   /// Optional deterministic fault plan (see fault/plan.hpp). When set,
   /// collectors install the plan's MSR fault devices, validate intervals
   /// for stale/saturated counters, and the agent supervises instead of
@@ -82,31 +98,30 @@ struct SupervisionConfig {
   int recover_after = 3;
 };
 
-/// Fleet-level scheduling configuration: how many worker threads step the
-/// collectors and how their samples travel to the aggregation thread.
+/// Fleet-level scheduling configuration: how many worker threads run the
+/// work-stealing task scheduler and how long its task slices are.
 struct FleetConfig {
   /// Worker threads stepping the fleet. 1 keeps the serial in-thread loop
-  /// (deterministic legacy path, no aggregation thread); N > 1 shards the
-  /// collectors over N workers plus one dedicated aggregation thread.
+  /// (deterministic legacy path, no scheduler); N > 1 runs the
+  /// work-stealing task scheduler over N workers (monitor/scheduler.hpp):
+  /// node tasks start sharded over per-worker deques, idle workers steal
+  /// from the busiest queue, and every worker folds the samples it
+  /// produces locally — there is no aggregation thread.
   /// 0 picks std::thread::hardware_concurrency().
   int num_threads = 1;
-  /// Samples a worker accumulates per collector before publishing one
-  /// batch to the aggregation thread (the last batch of a run may be
-  /// shorter). Batching amortizes the queue traffic: with B samples per
-  /// push, cursor traffic drops by B.
-  std::size_t batch_samples = 16;
-  /// Batches each collector's SPSC transport ring can hold before the
-  /// worker has to wait for the aggregation thread to catch up.
-  std::size_t queue_capacity = 64;
-  /// Run the threaded scheduler even when only one worker resolves
-  /// (pool of 1 + aggregation thread). The default keeps single-worker
-  /// runs on the plain serial loop; forcing is how the scaling bench
-  /// measures the scheduler's own overhead at 1 worker.
+  /// Sampling steps a worker runs per task slice before the node's task
+  /// goes back on its queue — the granularity of stealing and of the
+  /// queue round trip. 0 (the default) autotunes the slice length from
+  /// the observed per-step fold latency (monitor::BatchAutotuner); the
+  /// chosen value is surfaced in FleetTransportStats::batch_steps and the
+  /// likwid-agent fleet summary, so the former silent magic constant is
+  /// now recorded with every run.
+  std::size_t batch_samples = 0;
+  /// Run the threaded scheduler even when only one worker resolves.
+  /// The default keeps single-worker runs on the plain serial loop;
+  /// forcing is how the scaling bench measures the scheduler's own
+  /// overhead at 1 worker.
   bool force_threaded = false;
-  /// Wall-clock budget of one transport publish: a worker retries a full
-  /// ring for this long before giving the batch up as lost (attributed to
-  /// the node and rate-limit-logged, never silent).
-  double publish_deadline_seconds = 5.0;
   /// Worker-restart and node-quarantine policy.
   SupervisionConfig supervision;
 

@@ -1,0 +1,171 @@
+// scheduler.hpp — work-stealing task scheduler primitives of the fleet.
+//
+// The first threaded Agent (PR 4) split the fleet into fixed worker
+// shards publishing Sample batches through SPSC rings into one live
+// aggregation thread — and the aggregation thread was the serial
+// bottleneck: at 8 workers the fleet ran BELOW serial speed
+// (BENCH_agent_fleet.json recorded 0.84x) because every sample crossed a
+// queue and one consumer folded all of them. The LIKWID Monitoring Stack
+// paper (Röhl et al. 2017) is explicit that fleet monitoring lives or
+// dies on the aggregation path, so this layer replaces the split with a
+// task-scheduler architecture (cf. production schedulers like tsurugi's
+// tateyama task_scheduler: per-worker local queues plus stealing):
+//
+//   * A NodeTask is the unit of scheduling: one node's collector plus its
+//     WindowFolder. The worker HOLDING a task steps the collector and
+//     folds each sample immediately into the task's folder — partial
+//     folds stay worker-local and merge into the fleet series only when
+//     a window closes (a SeriesPoint row). No aggregation thread, no
+//     transport ring, no cross-thread sample hop on the hot path.
+//   * Each worker owns a TaskQueue (a deque): it pops work from the
+//     front; an idle worker steals from the BACK of the busiest other
+//     queue (classic work-stealing polarity — the thief takes the work
+//     the owner would reach last) and migrates the task to its own queue.
+//   * A task executes in SLICES of up to `batch` consecutive sampling
+//     steps before re-queueing, so stealing has a bounded granularity.
+//     BatchAutotuner picks the slice length from the observed per-step
+//     fold latency when FleetConfig::batch_samples is 0 (autotune).
+//
+// Exclusive task ownership is what keeps threaded rollups bit-equal to
+// serial under stealing: a node's collector is only ever stepped by the
+// worker holding its task, so its sample stream is produced in sequence
+// order and folded in sequence order into its own folder, no matter how
+// often the task migrates (tests/fleet_stress_test.cpp asserts exact
+// equality at 2/4/8 workers with forced steals).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "monitor/aggregator.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace likwid::monitor {
+
+class Collector;
+
+/// One node's schedulable work: its collector, its partial window folds
+/// and its progress through the run. Confined to the worker currently
+/// holding it (queues hand tasks over with their mutex, which orders the
+/// plain fields); the atomics are the exception — they feed the progress
+/// thread while the task is in flight.
+struct NodeTask {
+  int machine = 0;
+  Collector* collector = nullptr;
+  /// Partial min/avg/max/p95 folds of this node. Rows merge into the
+  /// fleet series only at window close; the open windows never leave the
+  /// task.
+  WindowFolder folder;
+  /// Sampling-step attempts consumed so far (a faulted step consumes its
+  /// attempt too, exactly like the serial loop).
+  std::uint64_t next_step = 0;
+  std::uint64_t total_steps = 0;  ///< attempt budget of the run
+  /// Times this task was acquired by stealing (it migrated queues).
+  std::uint64_t steals = 0;
+  /// Live fold counters for the progress thread (monotonic).
+  std::atomic<std::uint64_t> samples_folded{0};
+  std::atomic<std::uint64_t> rows_emitted{0};
+
+  NodeTask(int machine_id, Collector* c, int window_samples,
+           std::uint64_t steps)
+      : machine(machine_id),
+        collector(c),
+        folder(machine_id, window_samples),
+        total_steps(steps) {}
+
+  bool done() const noexcept { return next_step >= total_steps; }
+};
+
+/// One worker's task deque. The owner pops from the front, thieves steal
+/// from the back. A mutex (annotated for clang thread-safety analysis,
+/// per the repo's locking policy) instead of a lock-free Chase-Lev deque:
+/// the queue is touched once per SLICE, not per sample, so at fleet scale
+/// (tens of nodes, batch >= 1 samples per slice) the lock is nowhere near
+/// the hot path — the hot path is collector->step() + folder.add().
+class TaskQueue {
+ public:
+  void push(NodeTask* task) {
+    const util::MutexLock lock(mutex_);
+    tasks_.push_back(task);
+  }
+
+  /// Owner end; nullptr when empty.
+  NodeTask* pop() {
+    const util::MutexLock lock(mutex_);
+    if (tasks_.empty()) return nullptr;
+    NodeTask* task = tasks_.front();
+    tasks_.pop_front();
+    return task;
+  }
+
+  /// Thief end; nullptr when empty.
+  NodeTask* steal() {
+    const util::MutexLock lock(mutex_);
+    if (tasks_.empty()) return nullptr;
+    NodeTask* task = tasks_.back();
+    tasks_.pop_back();
+    return task;
+  }
+
+  std::size_t size() const {
+    const util::MutexLock lock(mutex_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  std::deque<NodeTask*> tasks_ LIKWID_GUARDED_BY(mutex_);
+};
+
+/// Picks the slice length (sampling steps a worker runs per task
+/// acquisition) from the observed per-step latency. Short slices keep
+/// steal granularity fine (load balance); long slices amortize the queue
+/// round trip. The tuner targets a fixed slice duration and keeps an EWMA
+/// of the measured per-step cost, so slow nodes get short slices and fast
+/// nodes long ones. One instance per worker — no sharing, no contention —
+/// and purely a scheduling choice: slice boundaries cannot change any
+/// node's sample stream or fold order, so autotuning never touches
+/// bit-equality.
+class BatchAutotuner {
+ public:
+  /// `configured` == 0 autotunes; any other value is pinned (the tuner
+  /// just reports it). `target_slice_seconds` is the slice duration the
+  /// tuner aims for when autotuning.
+  explicit BatchAutotuner(std::size_t configured,
+                          double target_slice_seconds = 2e-3)
+      : configured_(configured),
+        target_seconds_(target_slice_seconds),
+        current_(configured == 0 ? 1 : configured) {}
+
+  bool autotuning() const noexcept { return configured_ == 0; }
+  std::size_t current() const noexcept { return current_; }
+
+  /// Record one executed slice (`steps` steps in `seconds` wall time) and
+  /// update the slice length for the next acquisition.
+  void observe(std::size_t steps, double seconds) noexcept {
+    if (!autotuning() || steps == 0 || seconds <= 0) return;
+    const double per_step = seconds / static_cast<double>(steps);
+    ewma_step_seconds_ = ewma_step_seconds_ <= 0
+                             ? per_step
+                             : 0.7 * ewma_step_seconds_ + 0.3 * per_step;
+    const double want = target_seconds_ / ewma_step_seconds_;
+    std::size_t next = want < 1.0 ? 1 : static_cast<std::size_t>(want);
+    if (next > kMaxSlice) next = kMaxSlice;
+    current_ = next;
+  }
+
+  /// Steps-per-slice ceiling: even on very cheap nodes a slice stays
+  /// small enough that thieves see work surface regularly.
+  static constexpr std::size_t kMaxSlice = 64;
+
+ private:
+  std::size_t configured_;
+  double target_seconds_;
+  std::size_t current_;
+  double ewma_step_seconds_ = 0;
+};
+
+}  // namespace likwid::monitor

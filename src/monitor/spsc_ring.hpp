@@ -1,8 +1,11 @@
 // spsc_ring.hpp — lock-free single-producer/single-consumer transport ring.
 //
-// The concurrent fleet pipeline moves Sample batches from each collector's
-// worker thread to the aggregation thread through one of these per
-// collector. It is a classic bounded SPSC queue over monotonic cursors:
+// The distributed monitoring stack (src/collect) moves encoded frames
+// from each node agent to its collector ingest thread through one of
+// these per node. (The in-process fleet once used it to feed a live
+// aggregation thread; the work-stealing scheduler folds samples on the
+// producing worker, so no ring sits on that path anymore.) It is a
+// classic bounded SPSC queue over monotonic cursors:
 // the producer owns tail_, the consumer owns head_, each side caches the
 // other's cursor so the common case touches one shared atomic per
 // operation (the rigtorp/folly ProducerConsumerQueue construction).

@@ -1,15 +1,16 @@
-// Chaos soak of the supervised fleet scheduler (the `chaos`-labelled
-// suite the TSan CI job runs alongside `concurrency`): 64 nodes sharded
-// over 8 workers with >5% of the fleet's MSR devices failing, two injected
-// worker crashes and transport pressure — and the pipeline must come out
-// the other side with:
+// Chaos soak of the supervised work-stealing fleet scheduler (the
+// `chaos`-labelled suite the TSan CI job runs alongside `concurrency`):
+// 64 nodes over 8 workers with >5% of the fleet's MSR devices failing and
+// two injected worker crashes — and the pipeline must come out the other
+// side with:
 //   1. the run COMPLETING (supervision absorbs every injected fault),
 //   2. exactly the plan's faulted nodes quarantined (no false positives),
 //   3. the healthy nodes' windows BIT-EQUAL to a serial fault-free run
 //      (faults on node A must never perturb node B's samples),
-//   4. every lost batch attributed to a quarantined or backpressured node
-//      (no silent loss path), and
-//   5. the whole thing deterministic in the plan seed.
+//   4. every lost batch attributed to a quarantined node (the scheduler's
+//      only loss mode; no silent loss path), and
+//   5. the whole thing deterministic in the plan seed — including with
+//      tasks stolen mid-window under a skewed device latency.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -40,7 +41,6 @@ monitor::AgentConfig chaos_config(bool with_plan) {
   cfg.monitor.ring_capacity = 64;
   cfg.fleet.num_threads = with_plan ? kWorkers : 1;
   cfg.fleet.batch_samples = 5;
-  cfg.fleet.queue_capacity = 64;  // ample: losses only via quarantine
   if (with_plan) {
     cfg.monitor.fault_plan =
         std::make_shared<const fault::FaultPlan>(fault::FaultPlan::parse(
@@ -92,7 +92,7 @@ TEST(ChaosFleet, SupervisedFleetSurvivesTheFaultPlan) {
   }
   ASSERT_FALSE(expected.empty());
 
-  // The chaos run: 8 workers, live aggregation, faults armed.
+  // The chaos run: 8 work-stealing workers, faults armed.
   monitor::Agent chaos(chaos_config(/*with_plan=*/true));
   ASSERT_NO_THROW(chaos.run()) << "supervision failed to absorb the plan";
   ASSERT_TRUE(chaos.threaded());
@@ -118,12 +118,11 @@ TEST(ChaosFleet, SupervisedFleetSurvivesTheFaultPlan) {
   // Both injected worker crashes were absorbed by restarts.
   EXPECT_EQ(chaos.health().worker_restarts(), 2u);
 
-  // (4) No silent loss: the attribution reasons add up to the total, the
-  // per-machine ledger matches, and every losing machine is quarantined
-  // or backpressured (degraded), never healthy.
+  // (4) No silent loss: the quarantine flush is the scheduler's only loss
+  // mode, the per-machine ledger matches the health snapshots, and every
+  // losing machine is quarantined, never healthy.
   const monitor::FleetTransportStats& t = chaos.transport();
-  EXPECT_EQ(t.batches_lost,
-            t.lost_deadline + t.lost_aggregator_down + t.lost_quarantined);
+  EXPECT_EQ(t.batches_lost, t.lost_quarantined);
   ASSERT_EQ(t.lost_per_machine.size(), static_cast<std::size_t>(kNodes));
   std::uint64_t lost_total = 0;
   for (int id = 0; id < kNodes; ++id) {
@@ -159,29 +158,83 @@ TEST(ChaosFleet, ChaosRunIsDeterministicInTheSeed) {
   EXPECT_EQ(first.health().worker_restarts(),
             second.health().worker_restarts());
   expect_same_rollups(first.rollups(), second.rollups());
-  // Quarantine-flush losses are schedule-determined, so they agree too
-  // (deadline losses would be timing noise, but the ample queue keeps
-  // them at zero).
+  // Quarantine-flush losses depend only on each node's own step schedule
+  // (which step quarantines it, how many samples its open windows held),
+  // so they agree exactly however the stealing race unfolded.
   EXPECT_EQ(first.transport().lost_quarantined,
             second.transport().lost_quarantined);
   EXPECT_EQ(first.transport().lost_per_machine,
             second.transport().lost_per_machine);
 }
 
-// A slow aggregation consumer (injected per-drain delay) backs the rings
-// up: the workers must ride out the pressure through retries (rejects),
-// lose nothing to the generous publish deadline, and still fold the
-// healthy nodes bit-equal.
-TEST(ChaosFleet, SlowConsumerPressureIsLosslessWithinDeadline) {
+// Quarantine and loss attribution must survive task stealing: a skewed
+// per-node device latency unbalances the shards so tasks migrate
+// mid-window, while the fault plan quarantines part of the fleet. The
+// quarantine set, the attributed losses and the healthy nodes' windows
+// must all come out exactly as in the unstolen (serial, fault-free,
+// latency-free) world — device latency is wall time only, and a stolen
+// task still folds its node's samples in sequence order.
+TEST(ChaosFleet, QuarantineAndLossAttributionSurviveStealing) {
+  monitor::AgentConfig cfg = chaos_config(/*with_plan=*/true);
+  cfg.num_machines = 16;
+  cfg.fleet.num_threads = 4;
+  cfg.fleet.batch_samples = 0;  // autotune under chaos too
+  cfg.monitor.device_latency_us = 200;
+  cfg.monitor.device_latency_skew = 0.5;
+  cfg.monitor.fault_plan = std::make_shared<const fault::FaultPlan>(
+      fault::FaultPlan::parse("7:msr-fail=0.2;msr-stale=0.1"));
+  const std::vector<int> faulted =
+      cfg.monitor.fault_plan->faulted_nodes(cfg.num_machines);
+  ASSERT_FALSE(faulted.empty());
+
+  // Serial fault-free latency-free reference: stealing, latency and the
+  // fault plan together must not perturb a single healthy sample.
+  monitor::AgentConfig serial_cfg = chaos_config(/*with_plan=*/false);
+  serial_cfg.num_machines = cfg.num_machines;
+  monitor::Agent serial(serial_cfg);
+  serial.run();
+  std::vector<monitor::SeriesPoint> expected;
+  for (const monitor::SeriesPoint& p : serial.rollups()) {
+    if (!std::binary_search(faulted.begin(), faulted.end(), p.machine_id)) {
+      expected.push_back(p);
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  monitor::Agent chaos(cfg);
+  ASSERT_NO_THROW(chaos.run());
+  EXPECT_EQ(chaos.health().quarantined_nodes(), faulted);
+  expect_same_rollups(expected, chaos.rollups());
+
+  const monitor::FleetTransportStats& t = chaos.transport();
+  EXPECT_GT(t.steals, 0u) << "the skewed shards must force stealing";
+  EXPECT_EQ(t.batches_lost, t.lost_quarantined);
+  std::uint64_t lost_total = 0;
+  for (int id = 0; id < cfg.num_machines; ++id) {
+    const std::uint64_t lost = t.lost_per_machine[static_cast<size_t>(id)];
+    lost_total += lost;
+    EXPECT_EQ(chaos.health().snapshot(id).batches_lost, lost) << id;
+    if (lost > 0) {
+      EXPECT_TRUE(
+          std::binary_search(faulted.begin(), faulted.end(), id))
+          << id;
+    }
+  }
+  EXPECT_EQ(lost_total, t.batches_lost);
+}
+
+// The injected slow fold consumer (per-slice delay) stretches the run but
+// — unlike the old transport rings — nothing backs up and nothing can be
+// lost: the healthy fleet still folds bit-equal with zero losses.
+TEST(ChaosFleet, SlowFoldPressureIsLossless) {
   monitor::AgentConfig cfg = chaos_config(/*with_plan=*/false);
   cfg.num_machines = 8;
   cfg.fleet.num_threads = 4;
-  cfg.fleet.queue_capacity = 2;  // tight rings: pressure hits the workers
   cfg.monitor.fault_plan = std::make_shared<const fault::FaultPlan>(
       fault::FaultPlan::parse("3:slow-consumer-us=200"));
 
   monitor::Agent reference(cfg);
-  // A plan whose only knob is consumer speed faults no node: the serial
+  // A plan whose only knob is fold speed faults no node: the serial
   // reference can share the config (minus threading).
   monitor::AgentConfig serial_cfg = cfg;
   serial_cfg.fleet.num_threads = 1;

@@ -1,9 +1,10 @@
 // Concurrency stress tests for the fleet pipeline and the per-handle C
 // API — the `concurrency`-labelled suite the TSan CI job runs (see
 // CMakeLists.txt). Three surfaces:
-//   1. The threaded Agent: worker shards + SPSC transport + live window
-//      folding must produce exactly the serial rollups, at every worker
-//      count, including under rotation and non-divisible shard sizes.
+//   1. The threaded Agent: the work-stealing task scheduler with sharded
+//      window folds must produce exactly the serial rollups, at every
+//      worker count, including under rotation, non-divisible shard sizes
+//      and forced task stealing (docs/monitor.md states the invariant).
 //   2. The C API: independent handles driven from parallel threads
 //      (init/measure/read/finalize in each), plus a thread hammering
 //      invalid handles, must neither race nor cross-talk.
@@ -21,6 +22,7 @@
 #include "api/likwid.h"
 #include "api/session.hpp"
 #include "monitor/agent.hpp"
+#include "monitor/scheduler.hpp"
 #include "util/status.hpp"
 
 namespace likwid {
@@ -35,8 +37,7 @@ monitor::AgentConfig fleet_config(int machines, int threads) {
   cfg.monitor.window_samples = 4;
   cfg.monitor.ring_capacity = 64;  // >= samples: retention sees everything
   cfg.fleet.num_threads = threads;
-  cfg.fleet.batch_samples = 5;  // force several publishes per collector
-  cfg.fleet.queue_capacity = 2;  // force backpressure on the workers
+  cfg.fleet.batch_samples = 5;  // several slices (and re-queues) per task
   return cfg;
 }
 
@@ -62,10 +63,10 @@ void expect_same_rollups(const std::vector<monitor::SeriesPoint>& serial,
   }
 }
 
-// The fleet produce/drain path under load: every worker count must fold
-// exactly the serial rollups. 7 machines over 4 workers also exercises a
-// non-divisible shard split; batch 5 over 30 steps leaves a short final
-// batch; queue capacity 2 keeps the workers bouncing off full rings.
+// The scheduler's core promise: every worker count must fold exactly the
+// serial rollups. 7 machines over 4 workers also exercises a
+// non-divisible initial shard split; batch 5 over 30 steps leaves a short
+// final slice per task.
 TEST(FleetStress, ThreadedRollupsMatchSerialAtEveryWorkerCount) {
   monitor::Agent serial(fleet_config(7, 1));
   serial.run();
@@ -79,51 +80,86 @@ TEST(FleetStress, ThreadedRollupsMatchSerialAtEveryWorkerCount) {
     ASSERT_TRUE(threaded.threaded()) << workers;
     SCOPED_TRACE("workers=" + std::to_string(workers));
     expect_same_rollups(expected, threaded.rollups());
-    // Backpressure is loud but lossless: with queue capacity 2 the
-    // workers bounce off full rings (counted, surfaced per machine), yet
-    // every batch is retried until published — zero batches lost is WHY
-    // the rollups above can match serial exactly.
+    // The scheduler has no loss path outside quarantine, and this run is
+    // fault-free: zero losses is WHY the rollups above match serial
+    // exactly. Steal accounting must be internally consistent however the
+    // race distributed the tasks.
     const monitor::FleetTransportStats& t = threaded.transport();
     EXPECT_EQ(t.batches_lost, 0u);
-    EXPECT_EQ(t.rejects_per_machine.size(), 7u);
+    EXPECT_EQ(t.lost_quarantined, 0u);
+    EXPECT_EQ(t.steals_per_machine.size(), 7u);
     std::uint64_t per_machine_total = 0;
-    for (const std::uint64_t r : t.rejects_per_machine) {
-      per_machine_total += r;
+    for (const std::uint64_t s : t.steals_per_machine) {
+      per_machine_total += s;
     }
-    EXPECT_EQ(per_machine_total, t.rejects);
-    // 30 samples at batch 5 = 6 batches per machine.
-    EXPECT_EQ(t.batches_published, 7u * 6u);
+    EXPECT_EQ(per_machine_total, t.steals);
+    // A pinned batch runs exactly ceil(30 / 5) = 6 slices per task, no
+    // matter which workers executed them.
+    EXPECT_EQ(t.slices_folded, 7u * 6u);
+    EXPECT_EQ(t.batch_steps, 5u);
+    EXPECT_FALSE(t.batch_autotuned);
   }
 }
 
-// The equality run that MUST see no backpressure at all: ample queue
-// capacity, odd batch sizes (1, 3, 7 against 30 samples — final short
-// batches at two of them), every worker count. The windows fold from
-// batch boundaries that never align with the window length, and the
-// transport counters must read exactly zero rejects and zero losses.
-TEST(FleetStress, OddBatchSizesFoldEquallyWithZeroTransportRejects) {
+// Odd pinned slice lengths (1, 3, 7 against 30 samples — short final
+// slices at two of them) at every worker count: slice boundaries never
+// align with the window length, and the fold must not care.
+TEST(FleetStress, OddBatchSizesFoldEquallyWithZeroLosses) {
   monitor::Agent serial(fleet_config(5, 1));
   serial.run();
   const std::vector<monitor::SeriesPoint> expected = serial.rollups();
   ASSERT_FALSE(expected.empty());
-  EXPECT_TRUE(serial.transport().rejects_per_machine.empty());
+  EXPECT_TRUE(serial.transport().steals_per_machine.empty());
 
   for (const std::size_t batch : {1u, 3u, 7u}) {
     for (const int workers : {2, 4}) {
       monitor::AgentConfig cfg = fleet_config(5, workers);
       cfg.fleet.batch_samples = batch;
-      cfg.fleet.queue_capacity = 64;  // >= batches per machine: no bounce
       monitor::Agent threaded(cfg);
       threaded.run();
       SCOPED_TRACE("batch=" + std::to_string(batch) +
                    " workers=" + std::to_string(workers));
       expect_same_rollups(expected, threaded.rollups());
       const monitor::FleetTransportStats& t = threaded.transport();
-      EXPECT_EQ(t.rejects, 0u);
       EXPECT_EQ(t.batches_lost, 0u);
-      // ceil(30 / batch) batches per machine, all published.
-      EXPECT_EQ(t.batches_published, 5u * ((30u + batch - 1) / batch));
+      // ceil(30 / batch) slices per task, all folded.
+      EXPECT_EQ(t.slices_folded, 5u * ((30u + batch - 1) / batch));
     }
+  }
+}
+
+// Stealing determinism, the invariant that makes work stealing safe to
+// ship: rollups stay bit-equal to serial even when tasks DO migrate.
+// A skewed per-node device latency (node i sleeps 1 + 0.5 * i times the
+// base per step) makes the initial contiguous shards wildly unbalanced,
+// and 9 nodes over 8 workers leaves idle workers from the start — every
+// worker count here MUST observe steals, and the autotuner (batch 0)
+// picks the slice lengths. Exclusive task ownership keeps each node's
+// sample stream and fold order untouched by any of it.
+TEST(FleetStress, ForcedStealsKeepRollupsBitEqualToSerial) {
+  const auto skewed_config = [](int threads) {
+    monitor::AgentConfig cfg = fleet_config(9, threads);
+    cfg.fleet.batch_samples = 0;  // autotune
+    cfg.monitor.device_latency_us = 300;
+    cfg.monitor.device_latency_skew = 0.5;
+    return cfg;
+  };
+  monitor::Agent serial(skewed_config(1));
+  serial.run();
+  const std::vector<monitor::SeriesPoint> expected = serial.rollups();
+  ASSERT_FALSE(expected.empty());
+
+  for (const int workers : {2, 4, 8}) {
+    monitor::Agent threaded(skewed_config(workers));
+    threaded.run();
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_same_rollups(expected, threaded.rollups());
+    const monitor::FleetTransportStats& t = threaded.transport();
+    EXPECT_GT(t.steals, 0u) << "skewed shards must force task migration";
+    EXPECT_EQ(t.batches_lost, 0u);
+    EXPECT_TRUE(t.batch_autotuned);
+    EXPECT_GE(t.batch_steps, 1u);
+    EXPECT_LE(t.batch_steps, monitor::BatchAutotuner::kMaxSlice);
   }
 }
 

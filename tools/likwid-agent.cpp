@@ -16,15 +16,18 @@
 // intervals (counter multiplexing at monitoring cadence) unless
 // --no-rotate pins the first group.
 //
-// With --threads W > 1 the fleet is sharded over W worker threads and the
-// samples are folded live by a dedicated aggregation thread (the same
-// rollup rows the serial path emits); a live fleet summary goes to stderr
-// while the run is in flight. --threads 0 uses one worker per hardware
-// thread.
+// With --threads W > 1 the fleet runs on the work-stealing task scheduler:
+// node tasks start sharded over W per-worker deques, idle workers steal
+// from the busiest queue, and each worker folds the samples it produces
+// locally (the same rollup rows the serial path emits — bit-equal). A live
+// fleet summary goes to stderr while the run is in flight. --threads 0
+// uses one worker per hardware thread. --batch pins the task slice length;
+// the default 0 autotunes it from the observed fold latency and the chosen
+// value is reported in the fleet summary.
 //
 // --fault-plan=<seed>:<spec> (grammar in fault/plan.hpp) injects
 // deterministic faults — failing/stale/saturated MSRs, sampler stalls,
-// worker crashes, slow aggregation — and the agent supervises through
+// worker crashes, slow folds — and the agent supervises through
 // them: faulted nodes are quarantined (excluded from the rollup series),
 // crashed workers restart with backoff (capped by --max-restarts), and a
 // NODE_HEALTH report is emitted next to the series.
@@ -44,13 +47,13 @@ int main(int argc, char** argv) {
   return tools::tool_main([&]() {
     const cli::ArgParser args(
         argc, argv,
-        {"--machines", "--nodes", "--threads", "--interval-ms",
+        {"--machines", "--nodes", "--threads", "--batch", "--interval-ms",
          "--duration-ms", "--interval", "--duration", "--group", "--window",
          "--ring", "--machine", "--enum", "--seed", "--csv", "--xml",
          "--fault-plan", "--max-restarts"});
     if (args.has("-h") || args.has("--help")) {
       std::cout
-          << "Usage: likwid-agent [--nodes N] [--threads W]\n"
+          << "Usage: likwid-agent [--nodes N] [--threads W] [--batch B]\n"
           << "                    [--interval-ms MS] [--duration-ms MS]\n"
           << "                    [--interval DUR] [--duration DUR]\n"
           << "                    [--group G[;G2...]] [--window N]\n"
@@ -59,8 +62,9 @@ int main(int argc, char** argv) {
           << "                    [--fault-plan SEED:SPEC] [--max-restarts N]\n"
           << "Monitors a fleet of simulated nodes continuously and emits\n"
           << "windowed min/avg/max/p95 metric rollups per machine.\n"
-          << "--threads W > 1 shards the fleet over W worker threads with\n"
-          << "live aggregation (0 = one worker per hardware thread);\n"
+          << "--threads W > 1 runs the work-stealing fleet scheduler over\n"
+          << "W worker threads (0 = one worker per hardware thread);\n"
+          << "--batch B pins the task slice length (0 = autotune);\n"
           << "--machines is accepted as an alias of --nodes.\n"
           << "--interval/--duration accept unit suffixes (500ms, 10s, 5m)\n"
           << "and override the legacy millisecond flags.\n"
@@ -82,6 +86,8 @@ int main(int argc, char** argv) {
             .value_or(1));
     cfg.fleet.num_threads = static_cast<int>(
         util::parse_u64(args.value_or("--threads", "1")).value_or(1));
+    cfg.fleet.batch_samples = static_cast<std::size_t>(
+        util::parse_u64(args.value_or("--batch", "0")).value_or(0));
     const double interval_ms =
         util::parse_double(args.value_or("--interval-ms", "100"))
             .value_or(100);
@@ -129,9 +135,9 @@ int main(int argc, char** argv) {
     monitor::Agent agent(cfg);
     const int workers = agent.planned_workers();
     if (agent.plans_threaded()) {
-      // Live fleet summary: the aggregation thread reports fold progress
-      // to stderr while the workers run, so a long fleet run is visibly
-      // alive without disturbing the stdout series.
+      // Live fleet summary: a lightweight progress thread reports fold
+      // progress to stderr while the workers run, so a long fleet run is
+      // visibly alive without disturbing the stdout series.
       agent.set_progress([](const monitor::FleetProgress& p) {
         std::cerr << "likwid-agent: +"
                   << util::format_metric(p.elapsed_seconds) << " s  "
@@ -153,7 +159,7 @@ int main(int argc, char** argv) {
               << util::format_metric(cfg.monitor.interval_seconds * 1000)
               << " ms cadence (" << agent.steps() << " intervals, "
               << (agent.threaded()
-                      ? std::to_string(workers) + " workers + aggregation"
+                      ? std::to_string(workers) + " work-stealing workers"
                       : std::string("serial"))
               << ")\n";
     const monitor::FleetTransportStats& transport = agent.transport();
@@ -164,24 +170,23 @@ int main(int argc, char** argv) {
       std::cout << "  machine " << collector->machine_id() << ": "
                 << collector->workload().name() << ", " << ring.size()
                 << " samples retained, " << ring.dropped() << " dropped";
-      if (id < transport.rejects_per_machine.size()) {
-        std::cout << ", " << transport.rejects_per_machine[id]
-                  << " transport rejects";
+      if (id < transport.steals_per_machine.size()) {
+        std::cout << ", " << transport.steals_per_machine[id]
+                  << " task steals";
       }
       std::cout << "\n";
     }
     if (agent.threaded()) {
-      // Backpressure summary next to the per-machine retention lines: a
-      // reject is a worker retry against a full transport ring (no data
-      // loss); a lost batch means the aggregated windows are biased.
-      std::cerr << "likwid-agent: transport: "
-                << transport.batches_published << " batches published, "
-                << transport.rejects << " rejects (retried), "
+      // Scheduler summary next to the per-machine retention lines: steals
+      // are load balance in action (no data loss); a lost batch means the
+      // aggregated windows are biased (quarantine flush, attributed).
+      std::cerr << "likwid-agent: fleet: " << transport.slices_folded
+                << " task slices folded, " << transport.steals
+                << " stolen, batch " << transport.batch_steps
+                << (transport.batch_autotuned ? " (autotuned), " : ", ")
                 << transport.batches_lost << " batches lost";
       if (transport.batches_lost > 0) {
-        std::cerr << " (" << transport.lost_deadline << " deadline, "
-                  << transport.lost_aggregator_down << " aggregator down, "
-                  << transport.lost_quarantined << " quarantined)";
+        std::cerr << " (" << transport.lost_quarantined << " quarantined)";
       }
       std::cerr << "\n";
     }
