@@ -2,7 +2,7 @@
 // evaluate every derived metric of its event groups for every measured cpu
 // — the per-sample hot loop of timeline mode and the likwid-agent daemon?
 //
-// Three paths over identical inputs:
+// Four paths over identical inputs:
 //   map_parse_eval  the seed implementation: every sample re-parses each
 //                   group formula into a shared_ptr AST and evaluates it
 //                   against a freshly built std::map<std::string,double>
@@ -11,14 +11,25 @@
 //   map_eval        the obvious first fix: ASTs parsed once up front, but
 //                   evaluation still walks the tree and hashes every
 //                   variable through a string map built per (sample, cpu).
-//   compiled        the current pipeline: CompiledMetric postfix programs
-//                   bound to register slots, counts in a dense CountSlab,
-//                   evaluated through PerfCtr::compute_metrics_for().
+//   compiled        the scalar interned pipeline: CompiledMetric postfix
+//                   programs bound to register slots, counts in a dense
+//                   CountSlab, evaluated row-at-a-time through
+//                   PerfCtr::compute_metrics_for().
+//   batched         the fused struct-of-arrays engine: the set's
+//                   BatchProgram evaluated across all cpu rows at once
+//                   into a reusable MetricBatch
+//                   (PerfCtr::compute_metrics_batched) — zero allocations
+//                   per sample after warm-up, measured here through the
+//                   counting allocator hook and gated on exactly 0.
 //
 // Emits a human-readable table and a machine-readable
-// BENCH_metric_pipeline.json (CI runs `--smoke` so the bench and the JSON
-// schema cannot bit-rot). Pass `--out FILE` to relocate the JSON.
+// BENCH_metric_pipeline.json (CI runs `--smoke` so the bench, the JSON
+// schema, the >= 3x batched-over-compiled bar, the bit-equality check and
+// the zero-allocation gate cannot bit-rot). Pass `--out FILE` to relocate
+// the JSON.
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -27,10 +38,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch_program.hpp"
 #include "core/metric_expr.hpp"
 #include "core/perfctr.hpp"
 #include "hwsim/presets.hpp"
 #include "ossim/kernel.hpp"
+#include "util/alloc_hook.hpp"
 
 namespace {
 
@@ -39,7 +52,9 @@ using namespace likwid;
 struct PathResult {
   std::string name;
   double seconds = 0;
-  double ops_per_s = 0;  ///< group-evaluations (samples) per second
+  double ops_per_s = 0;       ///< group-evaluations (samples) per second
+  double allocs_per_op = -1;  ///< heap allocations per sample (-1: not measured)
+  double bytes_per_op = -1;   ///< heap bytes per sample (-1: not measured)
 };
 
 double now_seconds() {
@@ -129,7 +144,7 @@ int main(int argc, char** argv) {
     }
   };
 
-  // --- path 3: the interned pipeline --------------------------------------
+  // --- path 3: the scalar interned pipeline --------------------------------
   const auto run_compiled = [&]() {
     for (const SetFixture& f : sets) {
       const auto rows = ctr.compute_metrics_for(f.set, f.counts, interval,
@@ -140,33 +155,96 @@ int main(int argc, char** argv) {
     }
   };
 
-  const auto timed = [&](const std::string& name, const auto& body) {
+  // --- path 4: the fused struct-of-arrays engine ---------------------------
+  // One reusable MetricBatch per set — the steady-state shape of the
+  // sampling loop, allocation-free after the first refill.
+  std::vector<core::MetricBatch> batches(sets.size());
+  const auto run_batched = [&]() {
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      const SetFixture& f = sets[i];
+      ctr.compute_metrics_batched(f.set, f.counts, batches[i], interval,
+                                  /*wall_time=*/true);
+      for (const double v : batches[i].mutable_values()) sink += v;
+    }
+  };
+
+  const auto timed = [&](const std::string& name, int iters,
+                         const auto& body) {
     const double t0 = now_seconds();
-    for (int s = 0; s < samples; ++s) body();
+    for (int s = 0; s < iters; ++s) body();
     PathResult r;
     r.name = name;
     r.seconds = now_seconds() - t0;
-    r.ops_per_s = static_cast<double>(samples) / r.seconds;
+    r.ops_per_s = static_cast<double>(iters) / r.seconds;
     return r;
+  };
+
+  // Heap traffic per sample through the counting allocator (this binary
+  // links likwid_alloc_hook). One warm-up call first: the batched path's
+  // contract is zero allocations in the STEADY state.
+  const auto measure_allocs = [&](PathResult& r, const auto& body) {
+    body();
+    const util::AllocCounts before = util::alloc_counts();
+    constexpr int kOps = 64;
+    for (int s = 0; s < kOps; ++s) body();
+    const util::AllocCounts after = util::alloc_counts();
+    r.allocs_per_op =
+        static_cast<double>(after.allocations - before.allocations) / kOps;
+    r.bytes_per_op = static_cast<double>(after.bytes - before.bytes) / kOps;
   };
 
   std::printf("==================== micro_metric_pipeline ====================\n");
   std::printf("# per-sample evaluation of %zu groups x %zu cpus (%s mode)\n",
               sets.size(), cpus.size(), smoke ? "smoke" : "full");
+  // The fast paths run 100x more iterations: at batched speed the map
+  // paths' sample count finishes in microseconds, far below timer noise.
+  const int iters_fast = samples * 100;
   const PathResult map_parse =
-      timed("map_parse_eval", [&] { run_map_parse(true); });
+      timed("map_parse_eval", samples, [&] { run_map_parse(true); });
   const PathResult map_eval =
-      timed("map_eval", [&] { run_map_parse(false); });
-  const PathResult compiled = timed("compiled", run_compiled);
+      timed("map_eval", samples, [&] { run_map_parse(false); });
+  PathResult compiled = timed("compiled", iters_fast, run_compiled);
+  PathResult batched = timed("batched", iters_fast, run_batched);
+  measure_allocs(compiled, run_compiled);
+  measure_allocs(batched, run_batched);
+
+  // The batched engine must be a pure optimization: bit-equal to the
+  // scalar interpreter on the bench fixture, per metric per cpu.
+  bool bit_equal = true;
+  for (const SetFixture& f : sets) {
+    const auto scalar_rows = ctr.compute_metrics_for(f.set, f.counts,
+                                                     interval, true);
+    core::MetricBatch check;
+    ctr.compute_metrics_batched(f.set, f.counts, check, interval, true);
+    for (std::size_t m = 0; m < scalar_rows.size(); ++m) {
+      for (std::size_t r = 0; r < cpus.size(); ++r) {
+        if (std::bit_cast<std::uint64_t>(scalar_rows[m].values[r]) !=
+            std::bit_cast<std::uint64_t>(check.values(m)[r])) {
+          bit_equal = false;
+        }
+      }
+    }
+  }
 
   const double speedup_parse = compiled.ops_per_s / map_parse.ops_per_s;
   const double speedup_eval = compiled.ops_per_s / map_eval.ops_per_s;
-  for (const PathResult* r : {&map_parse, &map_eval, &compiled}) {
-    std::printf("  %-16s %12.0f samples/s  (%8.3f ms total)\n",
+  const double speedup_batched = batched.ops_per_s / compiled.ops_per_s;
+  const PathResult* all_paths[] = {&map_parse, &map_eval, &compiled,
+                                   &batched};
+  for (const PathResult* r : all_paths) {
+    std::printf("  %-16s %12.0f samples/s  (%8.3f ms total)",
                 r->name.c_str(), r->ops_per_s, r->seconds * 1e3);
+    if (r->allocs_per_op >= 0) {
+      std::printf("  %6.1f allocs/op  %8.0f B/op", r->allocs_per_op,
+                  r->bytes_per_op);
+    }
+    std::printf("\n");
   }
   std::printf("  speedup compiled vs map_parse_eval: %.1fx\n", speedup_parse);
   std::printf("  speedup compiled vs map_eval:       %.1fx\n", speedup_eval);
+  std::printf("  speedup batched  vs compiled:       %.1fx\n", speedup_batched);
+  std::printf("  batched bit-equal to compiled:      %s\n",
+              bit_equal ? "yes" : "NO");
   std::printf("  (sink %g)\n", sink);
 
   std::ofstream json(out_path);
@@ -188,27 +266,57 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"paths\": {\n";
   bool first = true;
-  for (const PathResult* r : {&map_parse, &map_eval, &compiled}) {
+  for (const PathResult* r : all_paths) {
     if (!first) json << ",\n";
     first = false;
     json << "    \"" << r->name << "\": {\"ops_per_s\": " << r->ops_per_s
-         << ", \"seconds\": " << r->seconds << "}";
+         << ", \"seconds\": " << r->seconds;
+    if (r->allocs_per_op >= 0) {
+      json << ", \"allocs_per_op\": " << r->allocs_per_op
+           << ", \"bytes_per_op\": " << r->bytes_per_op;
+    }
+    json << "}";
   }
   json << "\n  },\n"
        << "  \"speedup_compiled_vs_map_parse_eval\": " << speedup_parse
        << ",\n"
-       << "  \"speedup_compiled_vs_map_eval\": " << speedup_eval << "\n"
+       << "  \"speedup_compiled_vs_map_eval\": " << speedup_eval << ",\n"
+       << "  \"speedup_batched_vs_compiled\": " << speedup_batched << ",\n"
+       << "  \"batched_bit_equal\": " << (bit_equal ? "true" : "false")
+       << "\n"
        << "}\n";
   json.close();
   std::printf("JSON written to %s\n", out_path.c_str());
 
-  // The ISSUE's acceptance bar: the interned pipeline must beat the seed's
-  // map-based path at least 5x. Fail loudly so CI catches regressions.
+  // The acceptance bars, failed loudly so CI catches regressions: the
+  // interned pipeline >= 5x over the seed's map path (PR 3), the fused
+  // batched engine >= 3x over the scalar interned pipeline with bit-equal
+  // output and ZERO steady-state allocations (PR 10).
   if (speedup_parse < 5.0) {
     std::fprintf(stderr,
                  "FAIL: compiled path only %.2fx over the map-based path "
                  "(need >= 5x)\n",
                  speedup_parse);
+    return 1;
+  }
+  if (speedup_batched < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched path only %.2fx over the compiled path "
+                 "(need >= 3x)\n",
+                 speedup_batched);
+    return 1;
+  }
+  if (!bit_equal) {
+    std::fprintf(stderr,
+                 "FAIL: batched output is not bit-equal to the scalar "
+                 "interpreter\n");
+    return 1;
+  }
+  if (batched.allocs_per_op != 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched path allocates %.2f times per sample in "
+                 "steady state (need exactly 0)\n",
+                 batched.allocs_per_op);
     return 1;
   }
   return 0;

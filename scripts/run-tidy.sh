@@ -31,8 +31,10 @@ TIDY_PATHS=(
   src/collect/simfleet.cpp
   src/collect/store.cpp
   src/collect/wire.cpp
+  src/core/batch_program.cpp
   src/core/compiled_metric.cpp
   src/core/name_table.cpp
+  src/util/alloc_hook.cpp
   src/fault/msr_fault.cpp
   src/fault/plan.cpp
   src/monitor/agent.cpp

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/batch_program.hpp"
 #include "core/compiled_metric.hpp"
 #include "core/metric_expr.hpp"
 #include "hwsim/arch.hpp"
@@ -221,6 +222,11 @@ class GroupLinter {
 
   void check_formulas() {
     const std::vector<bool> nonzero = regs_.nonzero_registers();
+    // Every formula that compiles is retained (with its scalar risks) for
+    // the fused-interpreter parity check after the loop.
+    std::vector<core::CompiledMetric> compiled;
+    std::vector<std::string> compiled_names;
+    std::vector<std::vector<core::CompiledMetric::DivisionRisk>> scalar_risks;
     for (const auto& metric : group_.metrics) {
       std::optional<core::MetricExpr> parsed;
       try {
@@ -242,9 +248,11 @@ class GroupLinter {
         }
       }
       if (!resolvable) continue;
-      const core::CompiledMetric program = expr.compile(
+      core::CompiledMetric program = expr.compile(
           [this](std::string_view name) { return regs_.reg_of(name); });
-      for (const auto& risk : program.division_risks(nonzero)) {
+      std::vector<core::CompiledMetric::DivisionRisk> risks =
+          program.division_risks(nonzero);
+      for (const auto& risk : risks) {
         std::string divisor;
         for (const auto reg : risk.registers) {
           if (!divisor.empty()) divisor += ", ";
@@ -272,7 +280,57 @@ class GroupLinter {
                metric.name);
         }
       }
+      compiled.push_back(std::move(program));
+      compiled_names.push_back(metric.name);
+      scalar_risks.push_back(std::move(risks));
     }
+    check_fused_parity(compiled, compiled_names, scalar_risks, nonzero);
+  }
+
+  /// Cross-check: the fused struct-of-arrays interpreter's zero-division
+  /// analysis (BatchProgram::division_risks) must report EXACTLY what the
+  /// scalar analysis reported per formula — same sites, same severity
+  /// inputs, same registers. The two share their lattice
+  /// (core/metric_abstract.hpp); a divergence means the engines drifted
+  /// and is itself a lint error. Running inside every lint pass makes the
+  /// whole machine x group lint suite a parity proof.
+  void check_fused_parity(
+      const std::vector<core::CompiledMetric>& compiled,
+      const std::vector<std::string>& names,
+      const std::vector<std::vector<core::CompiledMetric::DivisionRisk>>&
+          scalar_risks,
+      const std::vector<bool>& nonzero) {
+    if (compiled.empty()) return;
+    std::vector<const core::CompiledMetric*> programs;
+    programs.reserve(compiled.size());
+    for (const auto& p : compiled) programs.push_back(&p);
+    const core::BatchProgram fused =
+        core::BatchProgram::fuse(programs, regs_.slots.size());
+    const std::vector<std::vector<core::CompiledMetric::DivisionRisk>>
+        fused_risks = fused.division_risks(nonzero);
+    for (std::size_t m = 0; m < compiled.size(); ++m) {
+      if (risks_equal(scalar_risks[m], fused_risks[m])) continue;
+      emit(Severity::kError, "zero-division-parity",
+           util::strprintf("fused interpreter reports %zu zero-division "
+                           "risk(s) where the scalar analysis reports %zu — "
+                           "the metric engines have drifted apart",
+                           fused_risks[m].size(), scalar_risks[m].size()),
+           names[m]);
+    }
+  }
+
+  static bool risks_equal(
+      const std::vector<core::CompiledMetric::DivisionRisk>& a,
+      const std::vector<core::CompiledMetric::DivisionRisk>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].certain != b[i].certain ||
+          a[i].cancellation != b[i].cancellation ||
+          a[i].registers != b[i].registers) {
+        return false;
+      }
+    }
+    return true;
   }
 
   void check_unused_events() {

@@ -35,20 +35,65 @@ std::vector<ResultTable::EventRow> event_rows(const core::PerfCtr& ctr,
 }
 
 std::vector<ResultTable::MetricRow> metric_rows(
-    const core::PerfCtr& ctr,
-    const std::vector<core::PerfCtr::MetricRow>& computed) {
+    const core::PerfCtr& ctr, const core::MetricBatch& batch) {
   std::vector<ResultTable::MetricRow> rows;
-  rows.reserve(computed.size());
-  for (const auto& m : computed) {
+  rows.reserve(batch.size());
+  for (std::size_t m = 0; m < batch.size(); ++m) {
+    const core::MetricBatch::RowView view = batch[m];
     ResultTable::MetricRow row;
-    row.name = m.name();
+    row.name = view.name();
     row.values.reserve(ctr.cpus().size());
     for (const int cpu : ctr.cpus()) {
-      row.values.push_back(m.value_or(cpu, 0.0));
+      row.values.push_back(view.value_or(cpu, 0.0));
     }
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+/// Release every arena-backed value row BEFORE the arena is rewound, so no
+/// vector ever aliases recycled arena memory.
+void detach_values(ResultTable& out) {
+  for (auto& row : out.events) row.values = ResultTable::Values();
+  for (auto& row : out.metrics) row.values = ResultTable::Values();
+}
+
+void event_rows_into(const core::PerfCtr& ctr, int set,
+                     const core::CountSlab& counts, ResultTable& out,
+                     TableScratch& scratch) {
+  const auto& assignments = ctr.assignments_of(set);
+  scratch.cpu_rows.clear();
+  scratch.cpu_rows.reserve(ctr.cpus().size());
+  for (const int cpu : ctr.cpus()) {
+    scratch.cpu_rows.push_back(counts.empty() ? -1 : counts.row_of(cpu));
+  }
+  const util::ArenaAllocator<double> alloc(&scratch.arena);
+  out.events.resize(assignments.size());
+  for (std::size_t slot = 0; slot < assignments.size(); ++slot) {
+    ResultTable::EventRow& row = out.events[slot];
+    row.event = assignments[slot].event_name;      // in-place string copy
+    row.counter = assignments[slot].counter_name;  // (capacity retained)
+    row.values = ResultTable::Values(scratch.cpu_rows.size(), 0.0, alloc);
+    for (std::size_t c = 0; c < scratch.cpu_rows.size(); ++c) {
+      const int r = scratch.cpu_rows[c];
+      if (r >= 0) row.values[c] = counts.row(static_cast<std::size_t>(r))[slot];
+    }
+  }
+}
+
+void metric_rows_into(const core::PerfCtr& ctr, const core::MetricBatch& batch,
+                      ResultTable& out, TableScratch& scratch) {
+  const util::ArenaAllocator<double> alloc(&scratch.arena);
+  out.metrics.resize(batch.size());
+  for (std::size_t m = 0; m < batch.size(); ++m) {
+    const core::MetricBatch::RowView view = batch[m];
+    ResultTable::MetricRow& row = out.metrics[m];
+    row.name = view.name();
+    row.values = ResultTable::Values(ctr.cpus().size(), 0.0, alloc);
+    for (std::size_t c = 0; c < ctr.cpus().size(); ++c) {
+      row.values[c] = view.value_or(ctr.cpus()[c], 0.0);
+    }
+  }
 }
 
 }  // namespace
@@ -60,11 +105,33 @@ ResultTable measurement_table(const core::PerfCtr& ctr, int set) {
   table.has_metrics = group.has_value();
   table.seconds = ctr.results(set).measured_seconds;
   table.cpus = ctr.cpus();
-  table.events = event_rows(ctr, set, ctr.extrapolated_counts(set));
+  const core::CountSlab counts = ctr.extrapolated_counts(set);
+  table.events = event_rows(ctr, set, counts);
   if (group) {
-    table.metrics = metric_rows(ctr, ctr.compute_metrics(set));
+    core::MetricBatch batch;
+    ctr.compute_metrics_batched(set, counts, batch);
+    table.metrics = metric_rows(ctr, batch);
   }
   return table;
+}
+
+void measurement_table_into(const core::PerfCtr& ctr, int set,
+                            ResultTable& out, TableScratch& scratch) {
+  detach_values(out);
+  scratch.arena.reset();
+  const auto& group = ctr.group_of(set);
+  out.group = group ? group->name : "custom";
+  out.has_metrics = group.has_value();
+  out.seconds = ctr.results(set).measured_seconds;
+  out.cpus = ctr.cpus();
+  ctr.extrapolated_counts_into(set, scratch.counts);
+  event_rows_into(ctr, set, scratch.counts, out, scratch);
+  if (group) {
+    ctr.compute_metrics_batched(set, scratch.counts, scratch.batch);
+    metric_rows_into(ctr, scratch.batch, out, scratch);
+  } else {
+    out.metrics.clear();
+  }
 }
 
 ResultTable counts_table(const core::PerfCtr& ctr, int set,
@@ -78,10 +145,33 @@ ResultTable counts_table(const core::PerfCtr& ctr, int set,
   table.cpus = ctr.cpus();
   table.events = event_rows(ctr, set, counts);
   if (group) {
-    table.metrics = metric_rows(
-        ctr, ctr.compute_metrics_for(set, counts, fallback_seconds, wall_time));
+    core::MetricBatch batch;
+    ctr.compute_metrics_batched(set, counts, batch, fallback_seconds,
+                                wall_time);
+    table.metrics = metric_rows(ctr, batch);
   }
   return table;
+}
+
+void counts_table_into(const core::PerfCtr& ctr, int set,
+                       const core::CountSlab& counts, ResultTable& out,
+                       TableScratch& scratch, double fallback_seconds,
+                       bool wall_time) {
+  detach_values(out);
+  scratch.arena.reset();
+  const auto& group = ctr.group_of(set);
+  out.group = group ? group->name : "custom";
+  out.has_metrics = group.has_value();
+  out.seconds = fallback_seconds >= 0 ? fallback_seconds : 0.0;
+  out.cpus = ctr.cpus();
+  event_rows_into(ctr, set, counts, out, scratch);
+  if (group) {
+    ctr.compute_metrics_batched(set, counts, scratch.batch, fallback_seconds,
+                                wall_time);
+    metric_rows_into(ctr, scratch.batch, out, scratch);
+  } else {
+    out.metrics.clear();
+  }
 }
 
 RegionReport region_report(const core::PerfCtr& ctr, int set,
@@ -102,8 +192,9 @@ RegionReport region_report(const core::PerfCtr& ctr, int set,
       for (const auto& [cpu, seconds] : region.seconds) {
         wall = std::max(wall, seconds);
       }
-      entry.metrics = metric_rows(
-          ctr, ctr.compute_metrics_for(set, region.counts, wall));
+      core::MetricBatch batch;
+      ctr.compute_metrics_batched(set, region.counts, batch, wall);
+      entry.metrics = metric_rows(ctr, batch);
     }
     report.regions.push_back(std::move(entry));
   }

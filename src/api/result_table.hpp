@@ -6,6 +6,14 @@
 // per-set / per-cpu extraction that used to be copy-pasted across the
 // ASCII, CSV and XML writers lives here exactly once; OutputSink
 // implementations only format what they are handed.
+//
+// Value storage is allocator-parameterized: the one-shot builders return
+// self-contained tables on the heap (ArenaAllocator's default state is a
+// plain heap allocator), while the *_into refill variants carve every
+// value row out of a caller-owned TableScratch arena and overwrite names
+// in place — after warm-up, re-extracting a table performs zero heap
+// allocations, which is what keeps the steady-state sampling->sink path
+// allocation-free end to end.
 #pragma once
 
 #include <string>
@@ -13,6 +21,7 @@
 
 #include "core/marker.hpp"
 #include "core/perfctr.hpp"
+#include "util/arena.hpp"
 
 namespace likwid::api {
 
@@ -20,6 +29,10 @@ namespace likwid::api {
 /// format. Values are aligned with `cpus` (0.0 for cpus the backing slab
 /// never saw, matching the writers' historical fallback).
 struct ResultTable {
+  /// Value storage; default-constructed allocator = plain heap (used by
+  /// the by-value builders), arena-bound allocator = TableScratch refills.
+  using Values = std::vector<double, util::ArenaAllocator<double>>;
+
   std::string group;         ///< group name, or "custom" for custom sets
   bool has_metrics = false;  ///< group sets carry derived metrics
   double seconds = 0;        ///< wall time the set was live
@@ -28,13 +41,13 @@ struct ResultTable {
   struct EventRow {
     std::string event;    ///< event name ("INSTR_RETIRED_ANY")
     std::string counter;  ///< counter it ran on ("PMC0", "FIXC1", "UPMC3")
-    std::vector<double> values;
+    Values values;
   };
   std::vector<EventRow> events;
 
   struct MetricRow {
     std::string name;  ///< display name ("DP MFlops/s")
-    std::vector<double> values;
+    Values values;
   };
   std::vector<MetricRow> metrics;
 };
@@ -54,17 +67,41 @@ struct RegionReport {
   std::vector<Region> regions;
 };
 
+/// Reusable workspace of the *_into builders: the arena backing the value
+/// rows plus the intermediate buffers of one extraction (extrapolated
+/// counts, the evaluated metric batch, the cpu->slab-row map). All of it
+/// refills in place, so one long-lived (ResultTable, TableScratch) pair
+/// extracts measurement after measurement without touching the heap.
+/// The scratch must outlive any table filled from it.
+struct TableScratch {
+  util::Arena arena;
+  core::CountSlab counts;
+  core::MetricBatch batch;
+  std::vector<int> cpu_rows;
+};
+
 /// Wrapper-mode table of `set`: extrapolated counts plus, for group sets,
 /// the derived metrics.
 ResultTable measurement_table(const core::PerfCtr& ctr, int set);
 
+/// measurement_table() into a caller-owned table + scratch, allocation-
+/// free once both are warm.
+void measurement_table_into(const core::PerfCtr& ctr, int set,
+                            ResultTable& out, TableScratch& scratch);
+
 /// Table over externally accumulated counts (marker regions, sampling
 /// intervals). `fallback_seconds` / `wall_time` forward to
-/// PerfCtr::compute_metrics_for.
+/// PerfCtr::compute_metrics_batched.
 ResultTable counts_table(const core::PerfCtr& ctr, int set,
                          const core::CountSlab& counts,
                          double fallback_seconds = -1.0,
                          bool wall_time = false);
+
+/// counts_table() into a caller-owned table + scratch.
+void counts_table_into(const core::PerfCtr& ctr, int set,
+                       const core::CountSlab& counts, ResultTable& out,
+                       TableScratch& scratch, double fallback_seconds = -1.0,
+                       bool wall_time = false);
 
 /// Marker-mode report of `set` over a finished MarkerSession.
 RegionReport region_report(const core::PerfCtr& ctr, int set,

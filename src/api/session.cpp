@@ -252,6 +252,11 @@ ResultTable Session::measurement(int set) const {
   return measurement_table(counters(), set);
 }
 
+void Session::measurement_into(int set, ResultTable& out) const {
+  const UseGuard guard(*this);
+  measurement_table_into(counters(), set, out, table_scratch_);
+}
+
 RegionReport Session::regions(int set) const {
   const UseGuard guard(*this);
   const core::MarkerSession* session = markers_.session();

@@ -192,6 +192,10 @@ class Session {
 
   /// Wrapper-mode results of one event set.
   ResultTable measurement(int set) const;
+  /// measurement() into a caller-owned table, refilled from the session's
+  /// retained TableScratch — the steady-state form: after the first call
+  /// for a set shape, re-extracting results allocates nothing.
+  void measurement_into(int set, ResultTable& out) const;
   /// Marker-mode results; requires an initialized marker session.
   RegionReport regions(int set) const;
 
@@ -251,6 +255,9 @@ class Session {
   std::unique_ptr<core::IntervalSampler> sampler_ LIKWID_GUARDED_BY(use_);
   core::MarkerEnv markers_ LIKWID_GUARDED_BY(use_);
   std::function<int()> current_cpu_ LIKWID_GUARDED_BY(use_);
+  /// Arena + evaluation buffers behind measurement_into(), retained for
+  /// the session's lifetime so repeated extraction stays allocation-free.
+  mutable TableScratch table_scratch_ LIKWID_GUARDED_BY(use_);
 };
 
 }  // namespace likwid::api

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <utility>
+#include <span>
 #include <vector>
 
 #include "api/result_table.hpp"
@@ -114,7 +115,7 @@ namespace {
 // ResultTable is a public struct embedders may build by hand; a row
 // shorter than the cpu list reads as 0.0 (the writers' historical
 // fallback) instead of indexing out of bounds.
-double value_at(const std::vector<double>& values, std::size_t c) {
+double value_at(std::span<const double> values, std::size_t c) {
   return c < values.size() ? values[c] : 0.0;
 }
 

@@ -1,0 +1,357 @@
+#include "core/batch_program.hpp"
+
+#include <bit>
+#include <map>
+#include <tuple>
+
+#include "core/metric_abstract.hpp"
+#include "util/status.hpp"
+
+namespace likwid::core {
+
+double MetricBatch::RowView::at(int cpu) const {
+  if (cpus != nullptr) {
+    for (std::size_t r = 0; r < cpus->size(); ++r) {
+      if ((*cpus)[r] == cpu) return values[r];
+    }
+  }
+  throw_error(ErrorCode::kNotFound,
+              "cpu " + std::to_string(cpu) + " is not measured by this row");
+}
+
+double MetricBatch::RowView::value_or(int cpu,
+                                      double fallback) const noexcept {
+  if (cpus != nullptr) {
+    for (std::size_t r = 0; r < cpus->size(); ++r) {
+      if ((*cpus)[r] == cpu) return values[r];
+    }
+  }
+  return fallback;
+}
+
+BatchProgram BatchProgram::fuse(
+    std::span<const CompiledMetric* const> programs, std::size_t slab_slots) {
+  BatchProgram fused;
+  fused.slab_slots_ = slab_slots;
+  fused.roots_.reserve(programs.size());
+  fused.div_sites_.resize(programs.size());
+
+  // Value numbering: a step is identified by (op, operand steps, payload),
+  // so structurally identical subtrees — within one formula or across the
+  // whole group — collapse to one step. Constants key on their exact bit
+  // pattern (distinct NaNs and -0.0 stay distinct).
+  using Key = std::tuple<std::uint8_t, std::int32_t, std::int32_t,
+                         std::uint64_t>;
+  std::map<Key, std::int32_t> numbering;
+  const auto emit = [&](Step step) -> std::int32_t {
+    std::uint64_t payload = 0;
+    switch (step.op) {
+      case StepOp::kConst:
+        payload = std::bit_cast<std::uint64_t>(step.value);
+        break;
+      case StepOp::kReg:
+        payload = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(step.reg));
+        break;
+      default:
+        break;
+    }
+    const Key key{static_cast<std::uint8_t>(step.op), step.a, step.b,
+                  payload};
+    const auto [it, inserted] =
+        numbering.emplace(key, static_cast<std::int32_t>(fused.steps_.size()));
+    if (inserted) fused.steps_.push_back(step);
+    return it->second;
+  };
+
+  std::vector<std::int32_t> stack;
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    const CompiledMetric* program = programs[p];
+    LIKWID_ASSERT(program != nullptr, "null program handed to fuse");
+    fused.fused_instructions_ += program->code_.size();
+    stack.clear();
+    for (const CompiledMetric::Instr& ins : program->code_) {
+      switch (ins.op) {
+        case CompiledMetric::Op::kPushConst: {
+          Step s{StepOp::kConst};
+          s.value = ins.value;
+          stack.push_back(emit(s));
+          break;
+        }
+        case CompiledMetric::Op::kPushReg: {
+          Step s{StepOp::kReg};
+          s.reg = ins.reg;
+          // The two trailing registers are the `time` and `clock`
+          // built-ins — they get their own ops because their values come
+          // from the binding, not the slab.
+          if (ins.reg == static_cast<std::int32_t>(slab_slots)) {
+            s.op = StepOp::kTime;
+          } else if (ins.reg == static_cast<std::int32_t>(slab_slots) + 1) {
+            s.op = StepOp::kClock;
+          }
+          stack.push_back(emit(s));
+          break;
+        }
+        case CompiledMetric::Op::kAdd:
+        case CompiledMetric::Op::kSub:
+        case CompiledMetric::Op::kMul:
+        case CompiledMetric::Op::kDiv: {
+          LIKWID_ASSERT(stack.size() >= 2, "fuse underflow on binary op");
+          Step s{StepOp::kAdd};
+          switch (ins.op) {
+            case CompiledMetric::Op::kSub: s.op = StepOp::kSub; break;
+            case CompiledMetric::Op::kMul: s.op = StepOp::kMul; break;
+            case CompiledMetric::Op::kDiv: s.op = StepOp::kDiv; break;
+            default: break;
+          }
+          s.b = stack.back();
+          stack.pop_back();
+          s.a = stack.back();
+          stack.pop_back();
+          const std::int32_t id = emit(s);
+          if (s.op == StepOp::kDiv) fused.div_sites_[p].push_back(id);
+          stack.push_back(id);
+          break;
+        }
+        case CompiledMetric::Op::kNeg: {
+          LIKWID_ASSERT(!stack.empty(), "fuse underflow on negate");
+          Step s{StepOp::kNeg};
+          s.a = stack.back();
+          stack.pop_back();
+          stack.push_back(emit(s));
+          break;
+        }
+      }
+    }
+    fused.roots_.push_back(stack.empty() ? -1 : stack.back());
+  }
+  return fused;
+}
+
+namespace {
+
+/// One binary step over uniform/column operands. Each variant performs the
+/// exact per-element double operation the scalar interpreter performs —
+/// the uniform x uniform case computes it once, which is bitwise the same
+/// result for every row.
+template <typename BinOp>
+void eval_binary(const BinOp& op, bool a_uniform, double a_scalar,
+                 const double* a_col, bool b_uniform, double b_scalar,
+                 const double* b_col, std::size_t rows, bool& out_uniform,
+                 double& out_scalar, double* out_col) {
+  if (a_uniform && b_uniform) {
+    out_uniform = true;
+    out_scalar = op(a_scalar, b_scalar);
+    return;
+  }
+  out_uniform = false;
+  if (a_uniform) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out_col[r] = op(a_scalar, b_col[r]);
+    }
+  } else if (b_uniform) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out_col[r] = op(a_col[r], b_scalar);
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out_col[r] = op(a_col[r], b_col[r]);
+    }
+  }
+}
+
+}  // namespace
+
+void BatchProgram::evaluate(const BatchBinding& binding, std::size_t rows,
+                            BatchScratch& scratch,
+                            std::span<double> out) const {
+  LIKWID_ASSERT(out.size() == num_metrics() * rows,
+                "batch output span does not match num_metrics x rows");
+  const bool have_slab =
+      binding.counts != nullptr && !binding.counts->empty();
+  LIKWID_ASSERT(!have_slab || binding.counts->slots() == slab_slots_,
+                "count slab does not match the fused program");
+  LIKWID_ASSERT(binding.row_map.empty() || binding.row_map.size() == rows,
+                "row map does not match the output row count");
+
+  const std::size_t steps = steps_.size();
+  scratch.columns.resize(steps * rows);
+  scratch.uniform.resize(steps);
+  scratch.uniform_flag.resize(steps);
+
+  const double* slab = have_slab ? binding.counts->data().data() : nullptr;
+  const std::size_t stride = have_slab ? binding.counts->slots() : 0;
+  const int* map = binding.row_map.empty() ? nullptr : binding.row_map.data();
+  const auto slab_value = [&](std::size_t r, std::size_t slot) -> double {
+    const std::ptrdiff_t srow =
+        map ? map[r] : static_cast<std::ptrdiff_t>(r);
+    if (srow < 0) return 0.0;
+    return slab[static_cast<std::size_t>(srow) * stride + slot];
+  };
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Step& s = steps_[i];
+    double* col = scratch.columns.data() + i * rows;
+    bool uniform = false;
+    double scalar = 0.0;
+    switch (s.op) {
+      case StepOp::kConst:
+        uniform = true;
+        scalar = s.value;
+        break;
+      case StepOp::kClock:
+        uniform = true;
+        scalar = binding.clock_hz;
+        break;
+      case StepOp::kReg:
+        if (!have_slab) {
+          uniform = true;  // every row reads 0.0 — uncovered-cpu semantics
+        } else {
+          const auto slot = static_cast<std::size_t>(s.reg);
+          for (std::size_t r = 0; r < rows; ++r) {
+            col[r] = slab_value(r, slot);
+          }
+        }
+        break;
+      case StepOp::kTime:
+        if (binding.time_slot < 0) {
+          uniform = true;
+          scalar = binding.time_value;
+        } else if (!have_slab) {
+          // Scalar path: time = regs[cycles_slot] / clock with the
+          // register zero-filled; same division, row-invariant.
+          uniform = true;
+          scalar = 0.0 / binding.clock_hz;
+        } else {
+          const auto slot = static_cast<std::size_t>(binding.time_slot);
+          for (std::size_t r = 0; r < rows; ++r) {
+            col[r] = slab_value(r, slot) / binding.clock_hz;
+          }
+        }
+        break;
+      case StepOp::kNeg: {
+        const auto a = static_cast<std::size_t>(s.a);
+        if (scratch.uniform_flag[a]) {
+          uniform = true;
+          scalar = -scratch.uniform[a];
+        } else {
+          const double* src = scratch.columns.data() + a * rows;
+          for (std::size_t r = 0; r < rows; ++r) col[r] = -src[r];
+        }
+        break;
+      }
+      case StepOp::kAdd:
+      case StepOp::kSub:
+      case StepOp::kMul:
+      case StepOp::kDiv: {
+        const auto a = static_cast<std::size_t>(s.a);
+        const auto b = static_cast<std::size_t>(s.b);
+        const bool au = scratch.uniform_flag[a] != 0;
+        const bool bu = scratch.uniform_flag[b] != 0;
+        const double as = scratch.uniform[a];
+        const double bs = scratch.uniform[b];
+        const double* ac = scratch.columns.data() + a * rows;
+        const double* bc = scratch.columns.data() + b * rows;
+        switch (s.op) {
+          case StepOp::kAdd:
+            eval_binary([](double x, double y) { return x + y; }, au, as, ac,
+                        bu, bs, bc, rows, uniform, scalar, col);
+            break;
+          case StepOp::kSub:
+            eval_binary([](double x, double y) { return x - y; }, au, as, ac,
+                        bu, bs, bc, rows, uniform, scalar, col);
+            break;
+          case StepOp::kMul:
+            eval_binary([](double x, double y) { return x * y; }, au, as, ac,
+                        bu, bs, bc, rows, uniform, scalar, col);
+            break;
+          default:
+            eval_binary(
+                [](double x, double y) { return y == 0.0 ? 0.0 : x / y; },
+                au, as, ac, bu, bs, bc, rows, uniform, scalar, col);
+            break;
+        }
+        break;
+      }
+    }
+    scratch.uniform_flag[i] = uniform ? 1 : 0;
+    scratch.uniform[i] = scalar;
+  }
+
+  for (std::size_t m = 0; m < roots_.size(); ++m) {
+    double* dst = out.data() + m * rows;
+    const std::int32_t root = roots_[m];
+    if (root < 0) {
+      for (std::size_t r = 0; r < rows; ++r) dst[r] = 0.0;
+    } else if (scratch.uniform_flag[static_cast<std::size_t>(root)]) {
+      const double v = scratch.uniform[static_cast<std::size_t>(root)];
+      for (std::size_t r = 0; r < rows; ++r) dst[r] = v;
+    } else {
+      const double* src =
+          scratch.columns.data() + static_cast<std::size_t>(root) * rows;
+      for (std::size_t r = 0; r < rows; ++r) dst[r] = src[r];
+    }
+  }
+}
+
+std::vector<std::vector<CompiledMetric::DivisionRisk>>
+BatchProgram::division_risks(const std::vector<bool>& nonzero_regs) const {
+  // Abstract value per step, memoized in DAG order — shared subtrees are
+  // analyzed once but report once per original division site below.
+  std::vector<AbstractValue> values;
+  values.reserve(steps_.size());
+  for (const Step& s : steps_) {
+    switch (s.op) {
+      case StepOp::kConst:
+        values.push_back(abstract_const(s.value));
+        break;
+      case StepOp::kReg:
+      case StepOp::kTime:
+      case StepOp::kClock: {
+        // kTime/kClock carry their pseudo-register index (slots, slots+1)
+        // so the lattice sees exactly the scalar analysis's kPushReg.
+        const auto reg = static_cast<std::size_t>(s.reg);
+        const bool nonzero = reg < nonzero_regs.size() && nonzero_regs[reg];
+        values.push_back(abstract_reg(s.reg, nonzero));
+        break;
+      }
+      case StepOp::kAdd:
+        values.push_back(abstract_add(values[static_cast<std::size_t>(s.a)],
+                                      values[static_cast<std::size_t>(s.b)]));
+        break;
+      case StepOp::kSub:
+        values.push_back(abstract_sub(values[static_cast<std::size_t>(s.a)],
+                                      values[static_cast<std::size_t>(s.b)]));
+        break;
+      case StepOp::kMul:
+        values.push_back(abstract_mul(values[static_cast<std::size_t>(s.a)],
+                                      values[static_cast<std::size_t>(s.b)]));
+        break;
+      case StepOp::kDiv:
+        values.push_back(abstract_div(values[static_cast<std::size_t>(s.a)],
+                                      values[static_cast<std::size_t>(s.b)]));
+        break;
+      case StepOp::kNeg:
+        values.push_back(abstract_neg(values[static_cast<std::size_t>(s.a)]));
+        break;
+    }
+  }
+
+  std::vector<std::vector<CompiledMetric::DivisionRisk>> risks(roots_.size());
+  for (std::size_t m = 0; m < div_sites_.size(); ++m) {
+    for (const std::int32_t site : div_sites_[m]) {
+      const Step& div = steps_[static_cast<std::size_t>(site)];
+      const AbstractValue& divisor =
+          values[static_cast<std::size_t>(div.b)];
+      if (!divisor.may_zero) continue;
+      CompiledMetric::DivisionRisk risk;
+      risk.certain = divisor.always_zero;
+      risk.cancellation = divisor.has_sub;
+      risk.registers = divisor.regs;
+      risks[m].push_back(std::move(risk));
+    }
+  }
+  return risks;
+}
+
+}  // namespace likwid::core

@@ -1,0 +1,232 @@
+// batch_program.hpp — fused struct-of-arrays execution of a group's metrics.
+//
+// CompiledMetric evaluates ONE formula for ONE cpu row: the monitoring loop
+// therefore re-ran every shared subexpression (time, clock, per-event
+// deltas) once per metric per cpu. A BatchProgram fuses all formulas of an
+// event set into a single step DAG at group-setup time — common
+// subexpressions are merged by structural value numbering — and evaluates
+// each step across ALL cpu rows of a CountSlab at once: one tight,
+// vectorizable loop per step over dense columns, no per-row dispatch.
+//
+// Bit-equality contract: for every register file the batched evaluator
+// performs exactly the IEEE-754 double operations the scalar interpreter
+// performs, in the same dependency order (CSE only merges structurally
+// identical subtrees, which compute identical values; every step
+// materializes its result, so the compiler cannot contract operations
+// across steps into FMAs). tests/batch_program_test.cpp enforces this
+// differentially over every machine x group catalog entry, and the scalar
+// CompiledMetric::evaluate stays in the tree as the oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/compiled_metric.hpp"
+#include "core/count_slab.hpp"
+#include "core/name_table.hpp"
+
+namespace likwid::core {
+
+/// Where a BatchProgram reads its registers for one evaluation.
+struct BatchBinding {
+  /// Counts, one slab row per covered cpu; null/empty means every event
+  /// register reads 0.0 (the scalar path's "slab does not cover this cpu"
+  /// convention).
+  const CountSlab* counts = nullptr;
+  /// Output row -> slab row (-1: uncovered, registers read 0.0). Empty
+  /// means identity — valid when the slab's cpu list IS the output list.
+  std::span<const int> row_map;
+  /// Uniform value of the `time` register when `time_slot < 0`.
+  double time_value = 0.0;
+  /// When >= 0: `time` is counts[row][time_slot] / clock_hz per row (the
+  /// busy-time semantic derived from the core-cycles slot).
+  int time_slot = -1;
+  /// Value of the `clock` register (and the time divisor).
+  double clock_hz = 0.0;
+};
+
+/// Reusable evaluation workspace; sized on first use, then allocation-free.
+struct BatchScratch {
+  std::vector<double> columns;            ///< step-major, num_steps x rows
+  std::vector<double> uniform;            ///< per-step scalar value
+  std::vector<std::uint8_t> uniform_flag;  ///< step is row-invariant
+};
+
+class BatchProgram {
+ public:
+  BatchProgram() = default;
+
+  /// Fuse the postfix programs of one event set (register convention:
+  /// regs [0, slab_slots) are the slots, slab_slots is `time`,
+  /// slab_slots + 1 is `clock`) into a shared step DAG. Null entries are
+  /// not allowed; an empty span yields a program with zero metrics.
+  static BatchProgram fuse(std::span<const CompiledMetric* const> programs,
+                           std::size_t slab_slots);
+
+  /// Evaluate every metric for `rows` output rows into `out`, metric-major
+  /// (out[m * rows + r] = metric m on row r, so out.size() must be
+  /// num_metrics() * rows). Allocation-free once `scratch` is warm.
+  void evaluate(const BatchBinding& binding, std::size_t rows,
+                BatchScratch& scratch, std::span<double> out) const;
+
+  /// The zero-division analysis over the fused DAG, one risk vector per
+  /// metric in fuse() order. Reports exactly what
+  /// CompiledMetric::division_risks reports for the corresponding scalar
+  /// program (CSE-duplicated division sites included) — likwid-lint
+  /// cross-checks the two on every group.
+  std::vector<std::vector<CompiledMetric::DivisionRisk>> division_risks(
+      const std::vector<bool>& nonzero_regs) const;
+
+  std::size_t num_metrics() const noexcept { return roots_.size(); }
+  std::size_t num_steps() const noexcept { return steps_.size(); }
+  /// Total scalar instructions fed into fuse(); num_steps() below this
+  /// is the CSE win (tests assert it on real groups).
+  std::size_t fused_instructions() const noexcept {
+    return fused_instructions_;
+  }
+  std::size_t slab_slots() const noexcept { return slab_slots_; }
+
+ private:
+  enum class StepOp : std::uint8_t {
+    kConst,  ///< uniform `value`
+    kReg,    ///< gather slab column `reg`
+    kTime,   ///< the `time` built-in (uniform or cycles/clock per row)
+    kClock,  ///< the `clock` built-in (uniform)
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,  ///< x/0 -> 0, matching CompiledMetric::evaluate
+    kNeg,
+  };
+
+  struct Step {
+    StepOp op;
+    std::int32_t a = -1;  ///< left operand step (binaries, kNeg)
+    std::int32_t b = -1;  ///< right operand step (binaries)
+    std::int32_t reg = 0;  ///< kReg slot; slots / slots+1 for kTime/kClock
+    double value = 0;      ///< kConst payload
+  };
+
+  std::vector<Step> steps_;
+  /// Result step per metric; -1 for an empty program (evaluates to 0.0,
+  /// the scalar interpreter's empty-stack result).
+  std::vector<std::int32_t> roots_;
+  /// Per metric: the step of every kDiv INSTRUCTION in program order.
+  /// CSE-merged duplicates appear once per original instruction so
+  /// division_risks reports per-site like the scalar analysis.
+  std::vector<std::vector<std::int32_t>> div_sites_;
+  std::size_t slab_slots_ = 0;
+  std::size_t fused_instructions_ = 0;
+};
+
+/// The batched twin of std::vector<PerfCtr::MetricRow>: one dense
+/// metric-major value matrix plus interned names, with row views that
+/// mirror MetricRow's accessors. Engine-side it is a reusable output
+/// buffer — reset()/clear() keep capacity, so the steady-state sampling
+/// path refills it without allocating.
+class MetricBatch {
+ public:
+  /// One metric across all measured cpus (values[r] belongs to
+  /// (*cpus)[r]). A cheap value type — spans into the batch.
+  struct RowView {
+    NameId name_id = kInvalidNameId;
+    const std::vector<int>* cpus = nullptr;  ///< row -> os cpu id
+    std::span<const double> values;
+
+    const std::string& name() const { return resolve_name(name_id); }
+
+    /// Value for an os cpu id; throws Error(kNotFound) when unmeasured.
+    double at(int cpu) const;
+    /// Value for an os cpu id, or `fallback` when unmeasured.
+    double value_or(int cpu, double fallback) const noexcept;
+  };
+
+  /// Forward iterator yielding RowView by value (range-for support).
+  class const_iterator {
+   public:
+    using value_type = RowView;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator() = default;
+    const_iterator(const MetricBatch* batch, std::size_t index)
+        : batch_(batch), index_(index) {}
+
+    RowView operator*() const { return (*batch_)[index_]; }
+    const_iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++index_;
+      return old;
+    }
+    bool operator==(const const_iterator& o) const {
+      return index_ == o.index_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    const MetricBatch* batch_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  bool empty() const noexcept { return names_.empty(); }
+  std::size_t size() const noexcept { return names_.size(); }
+  std::size_t rows() const noexcept { return rows_; }
+
+  RowView operator[](std::size_t m) const {
+    RowView view;
+    view.name_id = names_[m];
+    view.cpus = cpus_ ? cpus_.get() : nullptr;
+    view.values = values(m);
+    return view;
+  }
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, names_.size()}; }
+
+  std::span<const double> values(std::size_t m) const {
+    return {values_.data() + m * rows_, rows_};
+  }
+
+  /// Drop all rows, keeping every buffer's capacity.
+  void clear() noexcept {
+    names_.clear();
+    values_.clear();
+    rows_ = 0;
+    cpus_.reset();
+  }
+
+  // --- engine-facing refill interface (PerfCtr::compute_metrics_batched) --
+
+  /// Shape the batch for `metrics` rows over `cpus`; existing capacity is
+  /// reused. Names must be set afterwards, values via mutable_values().
+  void reset(std::shared_ptr<const std::vector<int>> cpus,
+             std::size_t metrics) {
+    cpus_ = std::move(cpus);
+    rows_ = cpus_ ? cpus_->size() : 0;
+    names_.resize(metrics);
+    values_.resize(metrics * rows_);
+  }
+
+  void set_name(std::size_t m, NameId id) { names_[m] = id; }
+
+  /// The whole metric-major value matrix (size() * rows() doubles).
+  std::span<double> mutable_values() noexcept { return values_; }
+
+  BatchScratch& scratch() noexcept { return scratch_; }
+  std::vector<int>& row_map_scratch() noexcept { return row_map_; }
+
+ private:
+  std::shared_ptr<const std::vector<int>> cpus_;
+  std::vector<NameId> names_;
+  std::size_t rows_ = 0;
+  std::vector<double> values_;  ///< metric-major, size() x rows()
+  BatchScratch scratch_;        ///< evaluation workspace, reused per poll
+  std::vector<int> row_map_;    ///< binding scratch, reused per poll
+};
+
+}  // namespace likwid::core

@@ -1,6 +1,8 @@
 #include "core/compiled_metric.hpp"
 
-#include <algorithm>
+#include <utility>
+
+#include "core/metric_abstract.hpp"
 
 namespace likwid::core {
 
@@ -40,30 +42,10 @@ double CompiledMetric::evaluate(std::span<const double> regs) const noexcept {
   return top >= 0 ? stack[top] : 0.0;
 }
 
-namespace {
-
-/// Abstract value of one operand-stack slot for division_risks(): what we
-/// can prove about the sign/zeroness of the subexpression it holds, and
-/// which registers feed it.
-struct AbstractValue {
-  bool may_zero = true;      ///< cannot rule out the value being 0
-  bool always_zero = false;  ///< provably 0 on every register file
-  bool nonneg = false;       ///< provably >= 0 (counters, nonneg literals)
-  bool has_sub = false;      ///< a live subtraction feeds this value
-  std::vector<std::int32_t> regs;
-};
-
-AbstractValue merge_regs(AbstractValue v, const AbstractValue& a,
-                         const AbstractValue& b) {
-  v.regs = a.regs;
-  v.regs.insert(v.regs.end(), b.regs.begin(), b.regs.end());
-  std::sort(v.regs.begin(), v.regs.end());
-  v.regs.erase(std::unique(v.regs.begin(), v.regs.end()), v.regs.end());
-  return v;
-}
-
-}  // namespace
-
+// The lattice and its transfer functions live in core/metric_abstract.hpp,
+// shared with the fused interpreter (BatchProgram::division_risks) so the
+// two can never drift apart — likwid-lint cross-checks them on every
+// machine x group catalog entry.
 std::vector<CompiledMetric::DivisionRisk> CompiledMetric::division_risks(
     const std::vector<bool>& nonzero_regs) const {
   std::vector<DivisionRisk> risks;
@@ -76,58 +58,31 @@ std::vector<CompiledMetric::DivisionRisk> CompiledMetric::division_risks(
   };
   for (const Instr& ins : code_) {
     switch (ins.op) {
-      case Op::kPushConst: {
-        AbstractValue v;
-        v.may_zero = v.always_zero = (ins.value == 0.0);
-        v.nonneg = ins.value >= 0.0;
-        stack.push_back(std::move(v));
+      case Op::kPushConst:
+        stack.push_back(abstract_const(ins.value));
         break;
-      }
       case Op::kPushReg: {
-        AbstractValue v;
         const auto reg = static_cast<std::size_t>(ins.reg);
         const bool nonzero = reg < nonzero_regs.size() && nonzero_regs[reg];
-        v.may_zero = !nonzero;
-        v.always_zero = false;
-        v.nonneg = true;  // registers carry counts / seconds / Hz
-        v.regs = {ins.reg};
-        stack.push_back(std::move(v));
+        stack.push_back(abstract_reg(ins.reg, nonzero));
         break;
       }
       case Op::kAdd: {
         const AbstractValue b = pop();
         const AbstractValue a = pop();
-        AbstractValue v;
-        // A sum of nonnegatives vanishes only when both sides do; with a
-        // possibly negative side anything can cancel.
-        v.may_zero = (a.nonneg && b.nonneg) ? (a.may_zero && b.may_zero)
-                                            : !(a.always_zero && b.always_zero);
-        v.always_zero = a.always_zero && b.always_zero;
-        v.nonneg = a.nonneg && b.nonneg;
-        v.has_sub = a.has_sub || b.has_sub;
-        stack.push_back(merge_regs(std::move(v), a, b));
+        stack.push_back(abstract_add(a, b));
         break;
       }
       case Op::kSub: {
         const AbstractValue b = pop();
         const AbstractValue a = pop();
-        AbstractValue v;
-        v.may_zero = b.always_zero ? a.may_zero : true;
-        v.always_zero = a.always_zero && b.always_zero;
-        v.nonneg = a.nonneg && b.always_zero;
-        v.has_sub = a.has_sub || b.has_sub || !b.always_zero;
-        stack.push_back(merge_regs(std::move(v), a, b));
+        stack.push_back(abstract_sub(a, b));
         break;
       }
       case Op::kMul: {
         const AbstractValue b = pop();
         const AbstractValue a = pop();
-        AbstractValue v;
-        v.may_zero = a.may_zero || b.may_zero;
-        v.always_zero = a.always_zero || b.always_zero;
-        v.nonneg = (a.nonneg && b.nonneg) || v.always_zero;
-        v.has_sub = a.has_sub || b.has_sub;
-        stack.push_back(merge_regs(std::move(v), a, b));
+        stack.push_back(abstract_mul(a, b));
         break;
       }
       case Op::kDiv: {
@@ -140,22 +95,12 @@ std::vector<CompiledMetric::DivisionRisk> CompiledMetric::division_risks(
           risk.registers = b.regs;
           risks.push_back(std::move(risk));
         }
-        AbstractValue v;
-        // evaluate() defines x/0 = 0, so a zero on EITHER side zeroes the
-        // quotient.
-        v.may_zero = a.may_zero || b.may_zero;
-        v.always_zero = a.always_zero || b.always_zero;
-        v.nonneg = (a.nonneg && b.nonneg) || v.always_zero;
-        v.has_sub = a.has_sub || b.has_sub;
-        stack.push_back(merge_regs(std::move(v), a, b));
+        stack.push_back(abstract_div(a, b));
         break;
       }
-      case Op::kNeg: {
-        AbstractValue v = pop();
-        v.nonneg = v.always_zero;
-        stack.push_back(std::move(v));
+      case Op::kNeg:
+        stack.push_back(abstract_neg(pop()));
         break;
-      }
     }
   }
   return risks;

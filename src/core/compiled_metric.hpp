@@ -70,6 +70,7 @@ class CompiledMetric {
  private:
   friend class MetricExpr;     ///< compile() is the only constructor path
   friend struct MetricCompiler;  ///< the AST-lowering pass (metric_expr.cpp)
+  friend class BatchProgram;   ///< fuses programs into step DAGs (batch_program.hpp)
 
   enum class Op : std::uint8_t {
     kPushConst,  ///< push `value`

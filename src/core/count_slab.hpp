@@ -40,6 +40,17 @@ class CountSlab {
     return cpus_ ? *cpus_ : kNone;
   }
 
+  /// The shared cpu list itself (null for a default-constructed slab).
+  /// Pointer identity against PerfCtr::cpus_ptr() is the batched
+  /// evaluator's row-map fast path: same list object -> row i is cpu row i.
+  const std::shared_ptr<const std::vector<int>>& cpus_ptr() const noexcept {
+    return cpus_;
+  }
+
+  /// The whole slab, row-major (cpu row x slot) — the struct-of-arrays
+  /// view the batched evaluator gathers columns from.
+  std::span<const double> data() const noexcept { return data_; }
+
   /// Row index of an os cpu id; -1 when the cpu is not measured.
   int row_of(int cpu) const noexcept {
     if (!cpus_) return -1;

@@ -1,0 +1,113 @@
+// metric_abstract.hpp — the zero-division abstract domain shared by the
+// scalar and fused metric interpreters.
+//
+// CompiledMetric::division_risks() walks a postfix program with a
+// may-be-zero/always-zero/nonnegative lattice per stack slot;
+// BatchProgram::division_risks() walks the fused step DAG with the same
+// lattice per step. Both must report identical diagnostics (likwid-lint
+// cross-checks them on every machine x group), so the transfer functions
+// live here exactly once. The semantics encode evaluate()'s x/0 = 0
+// convention and the counters-are-nonnegative assumption; see the scalar
+// implementation's comments for the case-by-case rationale.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace likwid::core {
+
+/// Abstract value of one subexpression: what the analysis can prove about
+/// its sign/zeroness, and which registers feed it.
+struct AbstractValue {
+  bool may_zero = true;      ///< cannot rule out the value being 0
+  bool always_zero = false;  ///< provably 0 on every register file
+  bool nonneg = false;       ///< provably >= 0 (counters, nonneg literals)
+  bool has_sub = false;      ///< a live subtraction feeds this value
+  std::vector<std::int32_t> regs;  ///< ascending, deduped
+};
+
+namespace abstract_detail {
+
+inline AbstractValue merge_regs(AbstractValue v, const AbstractValue& a,
+                                const AbstractValue& b) {
+  v.regs = a.regs;
+  v.regs.insert(v.regs.end(), b.regs.begin(), b.regs.end());
+  std::sort(v.regs.begin(), v.regs.end());
+  v.regs.erase(std::unique(v.regs.begin(), v.regs.end()), v.regs.end());
+  return v;
+}
+
+}  // namespace abstract_detail
+
+inline AbstractValue abstract_const(double value) {
+  AbstractValue v;
+  v.may_zero = v.always_zero = (value == 0.0);
+  v.nonneg = value >= 0.0;
+  return v;
+}
+
+/// `nonzero` marks the register as guaranteed nonzero (time, clock,
+/// always-advancing fixed counters).
+inline AbstractValue abstract_reg(std::int32_t reg, bool nonzero) {
+  AbstractValue v;
+  v.may_zero = !nonzero;
+  v.always_zero = false;
+  v.nonneg = true;  // registers carry counts / seconds / Hz
+  v.regs = {reg};
+  return v;
+}
+
+inline AbstractValue abstract_add(const AbstractValue& a,
+                                  const AbstractValue& b) {
+  AbstractValue v;
+  // A sum of nonnegatives vanishes only when both sides do; with a
+  // possibly negative side anything can cancel.
+  v.may_zero = (a.nonneg && b.nonneg) ? (a.may_zero && b.may_zero)
+                                      : !(a.always_zero && b.always_zero);
+  v.always_zero = a.always_zero && b.always_zero;
+  v.nonneg = a.nonneg && b.nonneg;
+  v.has_sub = a.has_sub || b.has_sub;
+  return abstract_detail::merge_regs(std::move(v), a, b);
+}
+
+inline AbstractValue abstract_sub(const AbstractValue& a,
+                                  const AbstractValue& b) {
+  AbstractValue v;
+  v.may_zero = b.always_zero ? a.may_zero : true;
+  v.always_zero = a.always_zero && b.always_zero;
+  v.nonneg = a.nonneg && b.always_zero;
+  v.has_sub = a.has_sub || b.has_sub || !b.always_zero;
+  return abstract_detail::merge_regs(std::move(v), a, b);
+}
+
+inline AbstractValue abstract_mul(const AbstractValue& a,
+                                  const AbstractValue& b) {
+  AbstractValue v;
+  v.may_zero = a.may_zero || b.may_zero;
+  v.always_zero = a.always_zero || b.always_zero;
+  v.nonneg = (a.nonneg && b.nonneg) || v.always_zero;
+  v.has_sub = a.has_sub || b.has_sub;
+  return abstract_detail::merge_regs(std::move(v), a, b);
+}
+
+/// The quotient's abstract value; whether the DIVISOR is risky is the
+/// caller's check (b.may_zero), because only the caller knows the site.
+inline AbstractValue abstract_div(const AbstractValue& a,
+                                  const AbstractValue& b) {
+  AbstractValue v;
+  // evaluate() defines x/0 = 0, so a zero on EITHER side zeroes the
+  // quotient.
+  v.may_zero = a.may_zero || b.may_zero;
+  v.always_zero = a.always_zero || b.always_zero;
+  v.nonneg = (a.nonneg && b.nonneg) || v.always_zero;
+  v.has_sub = a.has_sub || b.has_sub;
+  return abstract_detail::merge_regs(std::move(v), a, b);
+}
+
+inline AbstractValue abstract_neg(AbstractValue a) {
+  a.nonneg = a.always_zero;
+  return a;
+}
+
+}  // namespace likwid::core

@@ -147,6 +147,11 @@ void PerfCtr::validate_and_store(EventSet set) {
       compiled.program = MetricExpr::parse(metric.formula).compile(reg_of);
       set.programs.push_back(std::move(compiled));
     }
+    // Fuse the whole group into one step DAG for the batched evaluator.
+    std::vector<const CompiledMetric*> programs;
+    programs.reserve(set.programs.size());
+    for (const auto& m : set.programs) programs.push_back(&m.program);
+    set.batch = BatchProgram::fuse(programs, slots);
   }
 
   set.results.counts = CountSlab(cpus_, slots);
@@ -439,10 +444,11 @@ void PerfCtr::start() {
   const EventSet& set = sets_[static_cast<std::size_t>(current_)];
   program_set(set);
   enable_set(set);
-  start_values_.clear();
-  start_values_.reserve(cpus_->size());
-  for (const int cpu : *cpus_) {
-    start_values_.push_back(snapshot(cpu));
+  // resize + snapshot_into reuse the per-row buffers from earlier
+  // start()/stop() cycles — the rotating sampling loop never allocates.
+  start_values_.resize(cpus_->size());
+  for (std::size_t r = 0; r < cpus_->size(); ++r) {
+    snapshot_into((*cpus_)[r], start_values_[r]);
   }
   start_time_ = kernel_.now();
   running_ = true;
@@ -452,10 +458,12 @@ void PerfCtr::stop() {
   LIKWID_REQUIRE(running_, "counters are not running");
   EventSet& set = sets_[static_cast<std::size_t>(current_)];
   for (std::size_t r = 0; r < cpus_->size(); ++r) {
-    const CounterSnapshot after = snapshot((*cpus_)[r]);
-    const std::vector<double> delta = snapshot_delta(start_values_[r], after);
+    snapshot_into((*cpus_)[r], stop_snapshot_);
+    snapshot_delta_into(start_values_[r], stop_snapshot_, stop_delta_);
     const std::span<double> row = set.results.counts.row(r);
-    for (std::size_t i = 0; i < delta.size(); ++i) row[i] += delta[i];
+    for (std::size_t i = 0; i < stop_delta_.size(); ++i) {
+      row[i] += stop_delta_[i];
+    }
   }
   set.results.measured_seconds += kernel_.now() - start_time_;
   disable_set(set);
@@ -481,33 +489,45 @@ void PerfCtr::select_set(int set) {
 }
 
 CounterSnapshot PerfCtr::snapshot(int cpu) const {
+  CounterSnapshot snap;
+  snapshot_into(cpu, snap);
+  return snap;
+}
+
+void PerfCtr::snapshot_into(int cpu, CounterSnapshot& out) const {
   LIKWID_REQUIRE(!sets_.empty(), "no event set configured");
   const EventSet& set = sets_[static_cast<std::size_t>(current_)];
-  CounterSnapshot snap;
-  snap.values.reserve(set.assignments.size());
+  out.values.clear();
+  out.values.reserve(set.assignments.size());
   for (const auto& a : set.assignments) {
     if (a.klass == CounterClass::kUncore && !owns_uncore(cpu)) {
-      snap.values.push_back(0);
+      out.values.push_back(0);
       continue;
     }
-    snap.values.push_back(kernel_.msr_read(cpu, counter_msr(a)));
+    out.values.push_back(kernel_.msr_read(cpu, counter_msr(a)));
   }
-  return snap;
 }
 
 std::vector<double> PerfCtr::snapshot_delta(const CounterSnapshot& before,
                                             const CounterSnapshot& after) const {
+  std::vector<double> delta;
+  snapshot_delta_into(before, after, delta);
+  return delta;
+}
+
+void PerfCtr::snapshot_delta_into(const CounterSnapshot& before,
+                                  const CounterSnapshot& after,
+                                  std::vector<double>& out) const {
   const EventSet& set = sets_[static_cast<std::size_t>(current_)];
   LIKWID_REQUIRE(before.values.size() == set.assignments.size() &&
                      after.values.size() == set.assignments.size(),
                  "snapshot does not match the current event set");
-  std::vector<double> delta(set.assignments.size());
+  out.resize(set.assignments.size());
   for (std::size_t i = 0; i < set.assignments.size(); ++i) {
-    delta[i] = static_cast<double>(hwsim::counter_delta(
+    out[i] = static_cast<double>(hwsim::counter_delta(
         before.values[i], after.values[i],
         counter_bits(set.assignments[i])));
   }
-  return delta;
 }
 
 const PerfCtr::SetResults& PerfCtr::results(int set) const {
@@ -538,12 +558,17 @@ double PerfCtr::extrapolated_count(int set, int cpu,
 }
 
 CountSlab PerfCtr::extrapolated_counts(int set) const {
-  const SetResults& r = results(set);
-  CountSlab counts = r.counts;
-  if (num_event_sets() > 1 && r.measured_seconds > 0) {
-    counts.scale(total_seconds() / r.measured_seconds);
-  }
+  CountSlab counts;
+  extrapolated_counts_into(set, counts);
   return counts;
+}
+
+void PerfCtr::extrapolated_counts_into(int set, CountSlab& out) const {
+  const SetResults& r = results(set);
+  out = r.counts;  // vector copy-assignment: reuses out's capacity
+  if (num_event_sets() > 1 && r.measured_seconds > 0) {
+    out.scale(total_seconds() / r.measured_seconds);
+  }
 }
 
 std::vector<NameId> PerfCtr::metric_ids(int set) const {
@@ -556,7 +581,64 @@ std::vector<NameId> PerfCtr::metric_ids(int set) const {
 }
 
 std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics(int set) const {
-  return compute_metrics_for(set, extrapolated_counts(set));
+  // One-shot reporting path: batched evaluation, then standalone rows.
+  MetricBatch batch;
+  compute_metrics_batched(set, extrapolated_counts(set), batch);
+  std::vector<MetricRow> rows;
+  rows.reserve(batch.size());
+  for (std::size_t m = 0; m < batch.size(); ++m) {
+    MetricRow row;
+    row.name_id = batch[m].name_id;
+    row.cpus = cpus_;
+    const std::span<const double> values = batch.values(m);
+    row.values.assign(values.begin(), values.end());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void PerfCtr::compute_metrics_batched(int set, const CountSlab& counts,
+                                      MetricBatch& out,
+                                      double fallback_seconds,
+                                      bool wall_time) const {
+  const auto& group = group_of(set);
+  LIKWID_REQUIRE(group.has_value(),
+                 "metrics require a performance group event set");
+  const EventSet& es = sets_[static_cast<std::size_t>(set)];
+  const std::size_t slots = es.assignments.size();
+  LIKWID_REQUIRE(counts.empty() || counts.slots() == slots,
+                 "count slab does not match the event set");
+
+  out.reset(cpus_, es.programs.size());
+  for (std::size_t m = 0; m < es.programs.size(); ++m) {
+    out.set_name(m, es.programs[m].name_id);
+  }
+
+  BatchBinding binding;
+  binding.clock_hz = clock_hz();
+  binding.time_value = fallback_seconds >= 0 ? fallback_seconds
+                                             : es.results.measured_seconds;
+  if (!wall_time && es.cycles_slot >= 0) binding.time_slot = es.cycles_slot;
+  if (!counts.empty()) {
+    binding.counts = &counts;
+    if (counts.cpus_ptr() != cpus_) {
+      // Foreign cpu list (e.g. an externally built slab): map each output
+      // row to its slab row once; -1 rows read 0 like the scalar path.
+      std::vector<int>& map = out.row_map_scratch();
+      map.resize(cpus_->size());
+      for (std::size_t r = 0; r < cpus_->size(); ++r) {
+        map[r] = counts.row_of((*cpus_)[r]);
+      }
+      binding.row_map = map;
+    }
+  }
+  es.batch.evaluate(binding, cpus_->size(), out.scratch(),
+                    out.mutable_values());
+}
+
+const BatchProgram& PerfCtr::fused_metrics(int set) const {
+  LIKWID_REQUIRE(set >= 0 && set < num_event_sets(), "event set out of range");
+  return sets_[static_cast<std::size_t>(set)].batch;
 }
 
 std::vector<PerfCtr::MetricRow> PerfCtr::compute_metrics_for(

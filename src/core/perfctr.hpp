@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/batch_program.hpp"
 #include "core/compiled_metric.hpp"
 #include "core/count_slab.hpp"
 #include "core/name_table.hpp"
@@ -95,10 +96,17 @@ class PerfCtr {
 
   /// Raw per-cpu snapshot of the current set's counters (marker API).
   CounterSnapshot snapshot(int cpu) const;
+  /// snapshot() into a reusable buffer — the steady-state form start()/
+  /// stop() use so the sampling loop never allocates.
+  void snapshot_into(int cpu, CounterSnapshot& out) const;
 
   /// Wrap-aware difference between two snapshots of the current set.
   std::vector<double> snapshot_delta(const CounterSnapshot& before,
                                      const CounterSnapshot& after) const;
+  /// snapshot_delta() into a reusable buffer.
+  void snapshot_delta_into(const CounterSnapshot& before,
+                           const CounterSnapshot& after,
+                           std::vector<double>& out) const;
 
   // --- results ------------------------------------------------------------
 
@@ -120,6 +128,9 @@ class PerfCtr {
   /// The whole set's counts extrapolated at once (dense twin of
   /// extrapolated_count, and what the writers and metrics consume).
   CountSlab extrapolated_counts(int set) const;
+  /// extrapolated_counts() into a reusable slab (copy-assignment keeps the
+  /// destination's capacity, so refills after warm-up never allocate).
+  void extrapolated_counts_into(int set, CountSlab& out) const;
 
   /// One derived metric evaluated per measured cpu; `values` is aligned
   /// with `cpus()` and the name is resolved through the NameTable only
@@ -152,9 +163,26 @@ class PerfCtr {
   /// evaluate `time` as `fallback_seconds` even when the set counts
   /// cycles — the continuous-monitoring semantic, where rates are per
   /// sampling interval rather than per unhalted-cycle busy time.
+  ///
+  /// This is the row-at-a-time SCALAR interpreter, kept as the
+  /// differential oracle for the batched engine below (and for callers
+  /// that want standalone rows). Production paths use the batched form.
   std::vector<MetricRow> compute_metrics_for(
       int set, const CountSlab& counts, double fallback_seconds = -1.0,
       bool wall_time = false) const;
+
+  /// The batched twin of compute_metrics_for: evaluates the set's fused
+  /// BatchProgram across all cpu rows at once into a reusable MetricBatch.
+  /// Bit-equal to the scalar interpreter by contract; allocation-free once
+  /// `out` is warm. Same `fallback_seconds` / `wall_time` semantics.
+  void compute_metrics_batched(int set, const CountSlab& counts,
+                               MetricBatch& out,
+                               double fallback_seconds = -1.0,
+                               bool wall_time = false) const;
+
+  /// The fused step DAG of a group set (diagnostics / benchmarks); throws
+  /// like group_of for out-of-range sets. Empty program for custom sets.
+  const BatchProgram& fused_metrics(int set) const;
 
   const std::vector<int>& cpus() const { return *cpus_; }
   /// The shared cpu list backing every slab and metric row of this ctr.
@@ -178,6 +206,7 @@ class PerfCtr {
     std::vector<CounterAssignment> assignments;
     std::optional<EventGroup> group;
     std::vector<CompiledGroupMetric> programs;  ///< empty for custom sets
+    BatchProgram batch;    ///< all programs fused (empty for custom sets)
     int cycles_slot = -1;  ///< slot counting core cycles, -1 if none
     SetResults results;
   };
@@ -200,8 +229,12 @@ class PerfCtr {
   int current_ = 0;
   bool running_ = false;
   double start_time_ = 0;
-  /// start values per cpu row (cpus() order) of the running set
+  /// start values per cpu row (cpus() order) of the running set; resized,
+  /// never reallocated, across start()/stop() cycles
   std::vector<CounterSnapshot> start_values_;
+  /// stop() read-out scratch, reused so rotate() stays allocation-free
+  CounterSnapshot stop_snapshot_;
+  std::vector<double> stop_delta_;
 };
 
 }  // namespace likwid::core

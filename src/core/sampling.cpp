@@ -73,6 +73,12 @@ class PollScope {
 }  // namespace
 
 IntervalSampler::Interval IntervalSampler::poll(bool rotate) {
+  Interval iv;
+  poll_into(iv, rotate);
+  return iv;
+}
+
+void IntervalSampler::poll_into(Interval& iv, bool rotate) {
   const PollScope scope(polling_);
   const int set = ctr_.current_set();
   if (rotate && ctr_.num_event_sets() > 1) {
@@ -82,7 +88,6 @@ IntervalSampler::Interval IntervalSampler::poll(bool rotate) {
     ctr_.start();
   }
 
-  Interval iv;
   iv.set = set;
   iv.t_start = last_time_;
   iv.t_end = ctr_.kernel().now();
@@ -91,20 +96,23 @@ IntervalSampler::Interval IntervalSampler::poll(bool rotate) {
   // Dense interval delta: copy the cumulative slab, subtract the previous
   // poll's cumulative values — two flat array passes, no lookups. Sized
   // here, not at construction: event sets may be added after the sampler.
+  // All copies are copy-ASSIGNMENTS into retained buffers: once every set
+  // has been polled, the slabs refill in place without allocating.
   if (prev_.size() < static_cast<std::size_t>(ctr_.num_event_sets())) {
     prev_.resize(static_cast<std::size_t>(ctr_.num_event_sets()));
   }
-  CountSlab cumulative = ctr_.results(set).counts;
+  const CountSlab& cumulative = ctr_.results(set).counts;
   iv.counts = cumulative;
   CountSlab& prev = prev_[static_cast<std::size_t>(set)];
   if (!prev.empty()) iv.counts.subtract(prev);
-  prev = std::move(cumulative);
+  prev = cumulative;
 
   if (ctr_.group_of(set)) {
-    iv.metrics = ctr_.compute_metrics_for(set, iv.counts, iv.seconds(),
-                                          /*wall_time=*/true);
+    ctr_.compute_metrics_batched(set, iv.counts, iv.metrics, iv.seconds(),
+                                 /*wall_time=*/true);
+  } else {
+    iv.metrics.clear();
   }
-  return iv;
 }
 
 }  // namespace likwid::core

@@ -105,9 +105,11 @@ class IntervalSampler {
     double t_end = 0;   ///< kernel time of the closing poll
     /// Counts accrued since the set's previous poll (cpu row x slot).
     CountSlab counts;
-    /// Derived metrics over `counts` and the interval's wall time
-    /// (empty for custom sets, which have no formulas).
-    std::vector<PerfCtr::MetricRow> metrics;
+    /// Derived metrics over `counts` and the interval's wall time,
+    /// evaluated by the set's fused BatchProgram (empty for custom sets,
+    /// which have no formulas). A reusable buffer: poll_into() refills it
+    /// in place, so a long-lived Interval stops allocating once warm.
+    MetricBatch metrics;
 
     double seconds() const { return t_end - t_start; }
   };
@@ -125,6 +127,13 @@ class IntervalSampler {
   /// granularity); a rotated set's metrics are still evaluated against the
   /// full wall interval, so its rates match what extrapolation reports.
   Interval poll(bool rotate = false);
+
+  /// poll() into a caller-owned Interval. The steady-state form: every
+  /// buffer (counts, metric batch, scratch) is refilled in place, so a
+  /// monitoring loop that reuses one Interval allocates nothing per poll
+  /// once every set has been seen (tests/alloc_steadystate_test.cpp holds
+  /// this to zero with a counting allocator).
+  void poll_into(Interval& iv, bool rotate = false);
 
   PerfCtr& ctr() { return ctr_; }
 

@@ -47,9 +47,11 @@ Collector::Collector(int machine_id, MonitorConfig config)
   LIKWID_REQUIRE(cfg_.interval_seconds > 0,
                  "sampling interval must be positive");
   LIKWID_REQUIRE(!cfg_.groups.empty(), "configure at least one event group");
+  // 0 is a valid target: a fully idle node (the allocation regression
+  // test uses it to measure the bare sampling path).
   LIKWID_REQUIRE(
-      cfg_.target_utilization > 0 && cfg_.target_utilization <= 1,
-      "target utilization must be in (0, 1]");
+      cfg_.target_utilization >= 0 && cfg_.target_utilization <= 1,
+      "target utilization must be in [0, 1]");
   // Validated here, not first in Aggregator, so a bad window length fails
   // before any monitoring time is spent.
   LIKWID_REQUIRE(cfg_.window_samples > 0, "window length must be positive");
@@ -157,7 +159,10 @@ void Collector::step() {
 
   const bool rotate =
       cfg_.rotate_groups && session_->counters().num_event_sets() > 1;
-  const core::IntervalSampler::Interval iv = session_->sampler().poll(rotate);
+  // Member scratch: the interval's slabs and metric batch refill in place
+  // every step, so the steady-state fold loop never allocates.
+  core::IntervalSampler::Interval& iv = interval_;
+  session_->sampler().poll_into(iv, rotate);
 
   // Plausibility-check the raw counts while the node's fault device is
   // armed: a frozen counter bank yields an all-zero interval (the metric
@@ -189,7 +194,10 @@ void Collector::step() {
     }
   }
 
-  Sample s;
+  // Build the sample inside the buffer the ring retired last time around
+  // (push_swap hands it back through sample_): after the ring has wrapped,
+  // recording a sample reuses its capacity instead of allocating.
+  Sample& s = sample_;
   s.sequence = steps_;
   s.t_start = iv.t_start;
   s.t_end = iv.t_end;
@@ -198,7 +206,7 @@ void Collector::step() {
   for (std::size_t m = 0; m < iv.metrics.size(); ++m) {
     s.values[m] = reduce_values(s.schema->reduce[m], iv.metrics[m].values);
   }
-  ring_.push(std::move(s));
+  ring_.push_swap(s);
   ++steps_;
 }
 

@@ -86,6 +86,12 @@ class Collector {
   fault::NodeFault fault_;
   std::shared_ptr<fault::MsrFaultDevice> fault_device_;
   SampleRing ring_;
+  /// step() scratch, refilled in place every interval: the polled
+  /// interval's buffers and the sample being built (which push_swap
+  /// exchanges against the ring's retired slot). Together these make the
+  /// steady-state step allocation-free.
+  core::IntervalSampler::Interval interval_;
+  Sample sample_;
   /// Measured cost rate of the resident workload (workload fraction per
   /// simulated second), calibrated after every slice; sizes the next slice
   /// to hit its time target.

@@ -52,7 +52,8 @@ struct MonitorConfig {
   int window_samples = 5;
   /// Fraction of each interval the machine's synthetic load keeps it busy;
   /// the rest of the interval the node idles, like a real host between
-  /// job phases.
+  /// job phases. 0 means fully idle — the node only samples (the bare
+  /// monitoring path, which the allocation regression test measures).
   double target_utilization = 0.6;
   /// Base RNG seed; collectors offset it by their machine id so a fleet is
   /// deterministic yet not in lockstep.

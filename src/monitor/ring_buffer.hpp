@@ -56,6 +56,22 @@ class RingBuffer {
     ++pushed_;
   }
 
+  /// push() by exchange: swaps `value` into the ring and hands the
+  /// retired slot's payload back out through `value`. The steady-state
+  /// form for samples with heap payloads — once the ring has wrapped, the
+  /// caller's next sample is built inside a recycled buffer and the push
+  /// itself allocates nothing.
+  void push_swap(T& value) {
+    if (full()) {
+      ++begin_;
+      ++dropped_;
+    }
+    using std::swap;
+    swap(slots_[slot_of(end_)], value);
+    ++end_;
+    ++pushed_;
+  }
+
   /// Remove and return the oldest retained sample (drain-style
   /// consumption); throws Error(kInvalidArgument) when empty.
   T pop_front() {

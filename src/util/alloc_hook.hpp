@@ -1,0 +1,46 @@
+// alloc_hook.hpp — test-only counting allocator hook.
+//
+// The zero-allocation contract of the sampling hot path ("the steady-state
+// IntervalSampler -> Sample -> sink path performs zero allocations after
+// warm-up") needs a witness, not a promise. alloc_hook.cpp replaces the
+// global operator new/delete with counting pass-throughs; alloc_counts()
+// reads the process-wide tally. The .cpp is deliberately NOT part of
+// likwid_core — only the allocation regression test and the metric
+// pipeline bench link it (CMake target `likwid_alloc_hook`), so production
+// binaries keep the stock allocator.
+//
+// Under ASan/TSan the sanitizer runtime allocates behind the program's
+// back, so counts are not attributable to the code under test; gate with
+// LIKWID_UNDER_SANITIZER and skip.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LIKWID_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#ifndef LIKWID_UNDER_SANITIZER
+#define LIKWID_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef LIKWID_UNDER_SANITIZER
+#define LIKWID_UNDER_SANITIZER 0
+#endif
+
+namespace likwid::util {
+
+/// Process-wide allocation tally since program start.
+struct AllocCounts {
+  std::uint64_t allocations = 0;  ///< operator new calls
+  std::uint64_t frees = 0;        ///< operator delete calls
+  std::uint64_t bytes = 0;        ///< total bytes requested from new
+};
+
+/// Snapshot the tally. Only resolves in binaries that link
+/// `likwid_alloc_hook`; measure a region by differencing two snapshots.
+AllocCounts alloc_counts() noexcept;
+
+}  // namespace likwid::util

@@ -1,0 +1,140 @@
+// arena.hpp — monotonic chunk allocator behind the reusable result
+// storage.
+//
+// The steady-state sampling path refills the same ResultTable shape every
+// interval; what changes per refill is only the numbers. An Arena gives
+// that shape a home that is allocated once and rewound with reset():
+// blocks are retained across resets, so after the first fill every
+// subsequent refill of the same shape touches the allocator not at all.
+// ArenaAllocator is the std::allocator-shaped adapter; default-constructed
+// (arena == nullptr) it falls back to the heap, which keeps arena-typed
+// containers usable as ordinary value types everywhere a one-shot table
+// is built.
+//
+// Thread-safety: none. An Arena and every container allocated from it
+// belong to one consumer (a TimelineStreamer, a Session's render scratch);
+// that consumer is single-threaded by its own contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace likwid::util {
+
+class Arena {
+ public:
+  /// `block_bytes` sizes the chunks the arena grows by; requests larger
+  /// than a block get a dedicated block of exactly their size.
+  explicit Arena(std::size_t block_bytes = 4096)
+      : block_bytes_(block_bytes ? block_bytes : 4096) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two). Grows by a
+  /// new block only when no retained block has room — the warm-up cost the
+  /// refill paths pay once.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        offset_ = aligned + bytes;
+        allocated_ += bytes;
+        return b.data.get() + aligned;
+      }
+      ++block_;
+      offset_ = 0;
+    }
+    Block b;
+    b.size = bytes > block_bytes_ ? bytes : block_bytes_;
+    b.data.reset(new std::byte[b.size]);
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    offset_ = bytes;
+    allocated_ += bytes;
+    // A fresh block is aligned for any fundamental type by operator new[].
+    return blocks_.back().data.get();
+  }
+
+  /// Rewind to empty, RETAINING every block — the whole point: the next
+  /// fill of the same shape allocates nothing.
+  void reset() noexcept {
+    block_ = 0;
+    offset_ = 0;
+    allocated_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (diagnostics / tests).
+  std::size_t bytes_allocated() const noexcept { return allocated_; }
+  /// Bytes of retained block capacity.
+  std::size_t bytes_capacity() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< index of the block being bumped
+  std::size_t offset_ = 0;  ///< bump cursor inside that block
+  std::size_t allocated_ = 0;
+  std::size_t block_bytes_;
+};
+
+/// std::allocator-shaped adapter. With an arena, allocation bumps and
+/// deallocation is a no-op (memory returns on Arena::reset()); without one
+/// (default construction) it is a plain heap allocator, so containers
+/// typed on ArenaAllocator stay ordinary value types in one-shot code.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // Containers adopt the source's allocator on copy/move/swap, so a row
+  // copied out of an arena-backed table correctly drags its arena along.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ == nullptr) return static_cast<T*>(::operator new(bytes));
+    return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory returns in bulk on reset().
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace likwid::util

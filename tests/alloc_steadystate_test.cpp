@@ -1,0 +1,123 @@
+// Zero-allocation regression tests for the steady-state sampling path
+// (the tentpole contract of the batched metric engine): after warm-up,
+//   IntervalSampler::poll_into -> CountSlab delta -> BatchProgram ->
+//   MetricBatch -> monitor::Sample -> SampleRing
+// performs NO heap allocations per sample, and the fleet fold loop
+// (WindowFolder::add) performs none per folded sample between window
+// closes. Counted through the operator new/delete replacement in
+// util/alloc_hook.cpp (this binary links `likwid_alloc_hook`).
+//
+// Carries the `concurrency` ctest label: the contract exists so parallel
+// fleet workers never contend on the allocator in their hot loops.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/perfctr.hpp"
+#include "core/sampling.hpp"
+#include "hwsim/presets.hpp"
+#include "monitor/aggregator.hpp"
+#include "monitor/collector.hpp"
+#include "monitor/config.hpp"
+#include "ossim/kernel.hpp"
+#include "util/alloc_hook.hpp"
+
+namespace likwid {
+namespace {
+
+std::uint64_t allocations_now() { return util::alloc_counts().allocations; }
+
+TEST(AllocSteadyState, HookCountsThisBinarysAllocations) {
+  const std::uint64_t before = allocations_now();
+  auto* p = new std::vector<double>(1024);
+  delete p;
+  EXPECT_GT(allocations_now(), before);
+}
+
+TEST(AllocSteadyState, SamplerPollIntoIsAllocationFreeAfterWarmup) {
+#if LIKWID_UNDER_SANITIZER
+  GTEST_SKIP() << "sanitizer runtime allocates behind the program's back";
+#endif
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  ossim::SimKernel kernel(machine);
+  core::PerfCtr ctr(kernel, {0, 1, 2, 3});
+  ctr.add_group("MEM");
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  core::IntervalSampler sampler(ctr);
+  core::IntervalSampler::Interval iv;
+  // Warm-up: every set must have been polled (rotation covers both) so
+  // all reusable buffers — slab, metric batch, scratch columns — reach
+  // their steady-state capacity.
+  for (int i = 0; i < 6; ++i) {
+    kernel.advance_time(0.01);
+    sampler.poll_into(iv, /*rotate=*/true);
+  }
+  for (int i = 0; i < 32; ++i) {
+    kernel.advance_time(0.01);
+    const std::uint64_t before = allocations_now();
+    sampler.poll_into(iv, /*rotate=*/true);
+    EXPECT_EQ(allocations_now() - before, 0u) << "poll " << i;
+  }
+}
+
+TEST(AllocSteadyState, CollectorStepIsAllocationFreeAfterWarmup) {
+#if LIKWID_UNDER_SANITIZER
+  GTEST_SKIP() << "sanitizer runtime allocates behind the program's back";
+#endif
+  monitor::MonitorConfig cfg;
+  cfg.machine_preset = "nehalem-ep";
+  cfg.groups = {"MEM", "FLOPS_DP"};
+  cfg.interval_seconds = 0.01;
+  cfg.ring_capacity = 4;  // small: retirement/recycling kicks in early
+  cfg.window_samples = 4;
+  // A fully idle node: the workload loop would allocate task bookkeeping
+  // inside the simulated kernel, which is application behavior, not the
+  // monitoring path under test.
+  cfg.target_utilization = 0.0;
+  monitor::Collector collector(0, cfg);
+  // Warm-up: fill the ring past capacity so push_swap recycles retired
+  // slots, and visit every group at least twice.
+  for (int i = 0; i < 12; ++i) collector.step();
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t before = allocations_now();
+    collector.step();
+    EXPECT_EQ(allocations_now() - before, 0u) << "step " << i;
+  }
+}
+
+TEST(AllocSteadyState, FoldLoopIsAllocationFreeBetweenWindowCloses) {
+#if LIKWID_UNDER_SANITIZER
+  GTEST_SKIP() << "sanitizer runtime allocates behind the program's back";
+#endif
+  monitor::MonitorConfig cfg;
+  cfg.machine_preset = "nehalem-ep";
+  cfg.groups = {"MEM"};
+  cfg.interval_seconds = 0.01;
+  cfg.ring_capacity = 64;
+  cfg.window_samples = 4;
+  cfg.target_utilization = 0.0;
+  monitor::Collector collector(0, cfg);
+  for (int i = 0; i < 40; ++i) collector.step();
+  const monitor::SampleRing& ring = collector.samples();
+  ASSERT_EQ(ring.size(), 40u);
+  monitor::WindowFolder folder(0, cfg.window_samples);
+  // Warm-up: two full windows establish the series buffers' capacity and
+  // the emitted-points vector's slack.
+  std::size_t i = 0;
+  for (; i < 8; ++i) folder.add(ring[i]);
+  for (; i < 39; ++i) {
+    // A closing add emits a SeriesPoint (amortized growth is allowed
+    // there); every other add must be allocation-free.
+    const bool closes =
+        (folder.samples_folded() + 1) % cfg.window_samples == 0;
+    const std::uint64_t before = allocations_now();
+    folder.add(ring[i]);
+    if (!closes) {
+      EXPECT_EQ(allocations_now() - before, 0u) << "sample " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace likwid

@@ -270,6 +270,17 @@ TEST(LintCatalog, EveryBuiltinPresetCatalogHasNoErrors) {
   }
 }
 
+TEST(LintCatalog, FusedAndScalarZeroDivisionAnalysesAgreeEverywhere) {
+  // Every lint pass cross-checks the fused BatchProgram's zero-division
+  // analysis against the scalar CompiledMetric analysis and reports any
+  // divergence as a `zero-division-parity` error — so linting the whole
+  // catalog IS the proof that both interpreters emit identical
+  // diagnostics on every machine x group entry.
+  const auto diags = lint_all_machines();
+  EXPECT_TRUE(of_check(diags, "zero-division-parity").empty())
+      << format_diagnostics(of_check(diags, "zero-division-parity"));
+}
+
 TEST(LintCatalog, KnownBuiltinWarningsStayCharacterized) {
   // The builtin ratio groups divide by plain counters on purpose — the
   // maybe-zero warnings on those divisors are the only findings the

@@ -1,0 +1,301 @@
+// Differential tests for the fused struct-of-arrays metric engine
+// (core/batch_program.hpp): the scalar CompiledMetric interpreter is the
+// oracle, and the batched evaluator must reproduce it BIT-EQUAL — same
+// IEEE-754 operations in the same dependency order — over every machine
+// preset x group catalog entry, over randomized count slabs including
+// NaN / infinity / zero-division rows, and over every time-binding mode
+// (measured, fallback seconds, wall-time).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/batch_program.hpp"
+#include "core/compiled_metric.hpp"
+#include "core/count_slab.hpp"
+#include "core/metric_expr.hpp"
+#include "core/perfctr.hpp"
+#include "core/topology.hpp"
+#include "hwsim/presets.hpp"
+#include "ossim/kernel.hpp"
+#include "util/status.hpp"
+
+namespace likwid::core {
+namespace {
+
+bool bit_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// Fill a slab with counter-like values plus adversarial rows: exact
+// zeros (x/0 -> 0 paths), NaN and infinity (propagation must match the
+// scalar interpreter bit for bit), and negative values (the abstract
+// lattice assumes counters are nonnegative only for LINT purposes — the
+// evaluator itself must not care).
+void randomize_slab(CountSlab& slab, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> counts(0.0, 1e9);
+  std::uniform_int_distribution<int> kind(0, 9);
+  for (std::size_t r = 0; r < slab.rows(); ++r) {
+    for (double& v : slab.row(r)) {
+      switch (kind(rng)) {
+        case 0: v = 0.0; break;
+        case 1: v = std::numeric_limits<double>::quiet_NaN(); break;
+        case 2: v = std::numeric_limits<double>::infinity(); break;
+        case 3: v = -counts(rng); break;
+        default: v = counts(rng); break;
+      }
+    }
+  }
+}
+
+void expect_bit_equal_rows(const PerfCtr& ctr,
+                           const std::vector<PerfCtr::MetricRow>& scalar,
+                           const MetricBatch& batched,
+                           const std::string& context) {
+  ASSERT_EQ(scalar.size(), batched.size()) << context;
+  ASSERT_EQ(batched.rows(), ctr.cpus().size()) << context;
+  for (std::size_t m = 0; m < scalar.size(); ++m) {
+    const MetricBatch::RowView view = batched[m];
+    EXPECT_EQ(scalar[m].name_id, view.name_id) << context;
+    ASSERT_EQ(scalar[m].values.size(), view.values.size()) << context;
+    for (std::size_t r = 0; r < view.values.size(); ++r) {
+      EXPECT_TRUE(bit_equal(scalar[m].values[r], view.values[r]))
+          << context << " metric '" << scalar[m].name() << "' row " << r
+          << ": scalar " << scalar[m].values[r] << " batched "
+          << view.values[r];
+    }
+  }
+}
+
+// The full catalog sweep: every preset, every group its architecture
+// supports, several randomized slabs, all three time-binding modes.
+TEST(BatchDifferential, AllMachinesAllGroupsRandomSlabs) {
+  std::size_t groups_with_cse_wins = 0;
+  for (const auto& preset : hwsim::presets::all_presets()) {
+    hwsim::SimMachine machine(preset.factory());
+    ossim::SimKernel kernel(machine);
+    const NodeTopology topo = probe_topology(machine);
+    std::vector<int> cpus;
+    for (std::size_t i = 0; i < topo.threads.size() && cpus.size() < 4; ++i) {
+      cpus.push_back(topo.threads[i].os_id);
+    }
+    PerfCtr ctr(kernel, cpus);
+    int set = 0;
+    std::mt19937_64 rng(0xb47c5ab5 ^ std::hash<std::string>{}(preset.key));
+    for (const EventGroup& group : supported_groups(ctr.arch())) {
+      ctr.add_group(group.name);
+      const std::string context = preset.key + "/" + group.name;
+      // Fusion must cover every metric, never add work, and across the
+      // catalog actually merge shared subexpressions (counted below).
+      const BatchProgram& fused = ctr.fused_metrics(set);
+      EXPECT_EQ(fused.num_metrics(), group.metrics.size()) << context;
+      EXPECT_LE(fused.num_steps(), fused.fused_instructions()) << context;
+      if (fused.num_steps() < fused.fused_instructions()) {
+        ++groups_with_cse_wins;
+      }
+      CountSlab slab = ctr.make_slab(set);
+      struct Mode {
+        double fallback;
+        bool wall_time;
+      };
+      for (const Mode mode : {Mode{-1.0, false}, Mode{0.37, false},
+                              Mode{0.37, true}, Mode{0.0, true}}) {
+        for (int round = 0; round < 3; ++round) {
+          randomize_slab(slab, rng);
+          const std::vector<PerfCtr::MetricRow> scalar =
+              ctr.compute_metrics_for(set, slab, mode.fallback,
+                                      mode.wall_time);
+          MetricBatch batched;
+          ctr.compute_metrics_batched(set, slab, batched, mode.fallback,
+                                      mode.wall_time);
+          expect_bit_equal_rows(ctr, scalar, batched, context);
+          if (HasFailure()) return;  // one detailed report is enough
+        }
+      }
+      ++set;
+    }
+  }
+  // The bandwidth/rate groups all divide by time and reuse events across
+  // formulas; if no group in the whole catalog fused anything, CSE broke.
+  EXPECT_GT(groups_with_cse_wins, 0u);
+}
+
+TEST(BatchDifferential, EmptySlabReadsZeroEverywhere) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  ossim::SimKernel kernel(machine);
+  PerfCtr ctr(kernel, {0, 1, 2});
+  ctr.add_group("FLOPS_DP");
+  const CountSlab empty;
+  const std::vector<PerfCtr::MetricRow> scalar =
+      ctr.compute_metrics_for(0, empty, 0.25);
+  MetricBatch batched;
+  ctr.compute_metrics_batched(0, empty, batched, 0.25);
+  expect_bit_equal_rows(ctr, scalar, batched, "westmere-ep/FLOPS_DP/empty");
+}
+
+// A slab whose cpu list is NOT the ctr's (marker regions / foreign
+// accumulators): the batched path must go through the row map, covering
+// both matched rows and uncovered (-1 -> 0.0) rows.
+TEST(BatchDifferential, ForeignCpuListUsesRowMap) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  ossim::SimKernel kernel(machine);
+  PerfCtr ctr(kernel, {0, 1, 2, 3});
+  ctr.add_group("MEM");
+  const std::size_t slots = ctr.make_slab(0).slots();
+  // Covers cpus 2 and 3 of the measured list, plus two foreign cpus.
+  const auto foreign = std::make_shared<const std::vector<int>>(
+      std::vector<int>{2, 3, 9, 11});
+  CountSlab slab(foreign, slots);
+  std::mt19937_64 rng(7);
+  randomize_slab(slab, rng);
+  for (const bool wall_time : {false, true}) {
+    const std::vector<PerfCtr::MetricRow> scalar =
+        ctr.compute_metrics_for(0, slab, 0.5, wall_time);
+    MetricBatch batched;
+    ctr.compute_metrics_batched(0, slab, batched, 0.5, wall_time);
+    expect_bit_equal_rows(ctr, scalar, batched, "westmere-ep/MEM/foreign");
+  }
+}
+
+// End-to-end: a real measured workload through the wrapper path. The
+// public compute_metrics() routes through the batched engine; the scalar
+// oracle over the same extrapolated counts must agree bit for bit.
+TEST(BatchDifferential, MeasuredWrapperRunMatchesScalar) {
+  hwsim::SimMachine machine(hwsim::presets::core2_quad());
+  ossim::SimKernel kernel(machine);
+  PerfCtr ctr(kernel, {0, 1});
+  ctr.add_group("FLOPS_DP");
+  ctr.start();
+  kernel.advance_time(0.01);
+  ctr.stop();
+  const CountSlab counts = ctr.extrapolated_counts(0);
+  const std::vector<PerfCtr::MetricRow> scalar =
+      ctr.compute_metrics_for(0, counts);
+  const std::vector<PerfCtr::MetricRow> rows = ctr.compute_metrics(0);
+  ASSERT_EQ(scalar.size(), rows.size());
+  for (std::size_t m = 0; m < scalar.size(); ++m) {
+    ASSERT_EQ(scalar[m].values.size(), rows[m].values.size());
+    for (std::size_t r = 0; r < scalar[m].values.size(); ++r) {
+      EXPECT_TRUE(bit_equal(scalar[m].values[r], rows[m].values[r]))
+          << scalar[m].name() << " row " << r;
+    }
+  }
+}
+
+// Hand-authored fusion: known formulas over a 2-slot register file,
+// checking CSE merging, step counts and per-row results directly against
+// CompiledMetric::evaluate.
+TEST(BatchProgramFuse, HandAuthoredFormulas) {
+  const auto reg_of = [](std::string_view name) -> int {
+    if (name == "A") return 0;
+    if (name == "B") return 1;
+    if (name == "time") return 2;
+    if (name == "clock") return 3;
+    return -1;
+  };
+  const CompiledMetric p0 = MetricExpr::parse("A/B").compile(reg_of);
+  const CompiledMetric p1 = MetricExpr::parse("A/B+B*time").compile(reg_of);
+  const CompiledMetric p2 = MetricExpr::parse("clock/(A-B)").compile(reg_of);
+  const std::vector<const CompiledMetric*> programs{&p0, &p1, &p2};
+  const BatchProgram fused = BatchProgram::fuse(programs, 2);
+  EXPECT_EQ(fused.num_metrics(), 3u);
+  EXPECT_EQ(fused.fused_instructions(), p0.size() + p1.size() + p2.size());
+  // "A/B" (3 scalar instructions) is fully shared with p1's first term.
+  EXPECT_LE(fused.num_steps(), fused.fused_instructions() - 3);
+
+  const auto cpus =
+      std::make_shared<const std::vector<int>>(std::vector<int>{0, 1, 2});
+  CountSlab slab(cpus, 2);
+  slab.at(0, 0) = 6.0;
+  slab.at(0, 1) = 3.0;   // plain ratio
+  slab.at(1, 0) = 5.0;
+  slab.at(1, 1) = 0.0;   // x/0 -> 0 and A-B nonzero
+  slab.at(2, 0) = 4.0;
+  slab.at(2, 1) = 4.0;   // A-B cancels: clock/(A-B) -> 0
+
+  BatchBinding binding;
+  binding.counts = &slab;
+  binding.time_value = 0.5;
+  binding.clock_hz = 2.0e9;
+  BatchScratch scratch;
+  std::vector<double> out(3 * 3);
+  fused.evaluate(binding, 3, scratch, out);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const double regs[4] = {slab.row(r)[0], slab.row(r)[1], 0.5, 2.0e9};
+    EXPECT_TRUE(bit_equal(out[0 * 3 + r], p0.evaluate(regs))) << r;
+    EXPECT_TRUE(bit_equal(out[1 * 3 + r], p1.evaluate(regs))) << r;
+    EXPECT_TRUE(bit_equal(out[2 * 3 + r], p2.evaluate(regs))) << r;
+  }
+  EXPECT_DOUBLE_EQ(out[0 * 3 + 1], 0.0);  // 5/0 -> 0
+  EXPECT_DOUBLE_EQ(out[2 * 3 + 2], 0.0);  // clock/0 -> 0
+}
+
+// The fused zero-division analysis must report exactly the scalar
+// analysis's sites — likwid-lint cross-checks this on every group, this
+// is the unit-level pin.
+TEST(BatchProgramFuse, DivisionRisksMatchScalarPerSite) {
+  const auto reg_of = [](std::string_view name) -> int {
+    if (name == "A") return 0;
+    if (name == "B") return 1;
+    if (name == "time") return 2;
+    return -1;
+  };
+  const CompiledMetric p0 = MetricExpr::parse("A/B").compile(reg_of);
+  // Duplicated division site: CSE merges the step, but per-site reporting
+  // must still list it twice.
+  const CompiledMetric p1 = MetricExpr::parse("A/B + A/B").compile(reg_of);
+  const CompiledMetric p2 = MetricExpr::parse("A/(B*0)").compile(reg_of);
+  const std::vector<const CompiledMetric*> programs{&p0, &p1, &p2};
+  const BatchProgram fused = BatchProgram::fuse(programs, 2);
+  const std::vector<bool> nonzero{false, false, true};
+  const auto fused_risks = fused.division_risks(nonzero);
+  ASSERT_EQ(fused_risks.size(), 3u);
+  const std::vector<const CompiledMetric*> scalars{&p0, &p1, &p2};
+  for (std::size_t m = 0; m < scalars.size(); ++m) {
+    const auto scalar_risks = scalars[m]->division_risks(nonzero);
+    ASSERT_EQ(fused_risks[m].size(), scalar_risks.size()) << m;
+    for (std::size_t i = 0; i < scalar_risks.size(); ++i) {
+      EXPECT_EQ(fused_risks[m][i].certain, scalar_risks[i].certain) << m;
+      EXPECT_EQ(fused_risks[m][i].cancellation, scalar_risks[i].cancellation)
+          << m;
+      EXPECT_EQ(fused_risks[m][i].registers, scalar_risks[i].registers) << m;
+    }
+  }
+  EXPECT_EQ(fused_risks[1].size(), 2u);      // both sites of "A/B + A/B"
+  EXPECT_TRUE(fused_risks[2][0].certain);    // B*0 is provably zero
+}
+
+TEST(MetricBatchView, RowViewMirrorsMetricRowAccessors) {
+  hwsim::SimMachine machine(hwsim::presets::westmere_ep());
+  ossim::SimKernel kernel(machine);
+  PerfCtr ctr(kernel, {0, 2});
+  ctr.add_group("BRANCH");
+  CountSlab slab = ctr.make_slab(0);
+  std::mt19937_64 rng(3);
+  randomize_slab(slab, rng);
+  MetricBatch batched;
+  ctr.compute_metrics_batched(0, slab, batched, 1.0);
+  ASSERT_FALSE(batched.empty());
+  std::size_t seen = 0;
+  for (const MetricBatch::RowView row : batched) {
+    EXPECT_FALSE(row.name().empty());
+    EXPECT_TRUE(bit_equal(row.at(2), row.values[1]));
+    EXPECT_DOUBLE_EQ(row.value_or(5, -1.0), -1.0);
+    EXPECT_THROW(row.at(5), Error);
+    ++seen;
+  }
+  EXPECT_EQ(seen, batched.size());
+  // clear() keeps capacity but drops the rows.
+  batched.clear();
+  EXPECT_TRUE(batched.empty());
+  EXPECT_EQ(batched.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace likwid::core

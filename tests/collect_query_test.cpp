@@ -197,7 +197,7 @@ TEST(Query, NodeStatusAccountsEveryNode) {
   const api::ResultTable status = c.query().node_status();
   EXPECT_EQ(status.group, "COLLECT_NODES");
   ASSERT_EQ(status.cpus.size(), 8u);
-  auto row = [&](const std::string& name) -> const std::vector<double>* {
+  auto row = [&](const std::string& name) -> const api::ResultTable::Values* {
     for (const auto& metric : status.metrics) {
       if (metric.name == name) return &metric.values;
     }

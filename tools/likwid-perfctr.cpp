@@ -111,7 +111,10 @@ class TimelineStreamer {
     // A forced flush right after a paced tick would emit a duplicate
     // zero-length block at the same timestamp.
     if (force && now <= last_emit_) return;
-    const core::IntervalSampler::Interval iv = sampler_.poll();
+    // Member interval: the slabs and metric batch refill in place, so a
+    // long timeline stream stops allocating once warm.
+    core::IntervalSampler::Interval& iv = interval_scratch_;
+    sampler_.poll_into(iv);
     const std::string group =
         ctr_.group_of(0) ? ctr_.group_of(0)->name : "custom";
     for (const auto& row : iv.metrics) {
@@ -136,6 +139,7 @@ class TimelineStreamer {
   core::IntervalSampler& sampler_;
   double interval_;
   double last_emit_ = 0;
+  core::IntervalSampler::Interval interval_scratch_;
 };
 
 }  // namespace
